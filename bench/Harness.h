@@ -1,0 +1,111 @@
+//===- Harness.h - Shared benchmark-suite harness ---------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table/figure reproduction binaries: compiles
+/// each suite program once, runs the requested execution configurations,
+/// and provides the memory models documented in EXPERIMENTS.md (process
+/// image sizes for the virtual-memory and resident-set figures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_BENCH_HARNESS_H
+#define MATCOAL_BENCH_HARNESS_H
+
+#include "bench/programs/Programs.h"
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+namespace bench {
+
+/// Fixed seed: every figure uses the same deterministic runs.
+constexpr std::uint64_t Seed = 20030609;
+
+/// Process-image model constants (bytes), standing in for the binary and
+/// library mappings of the paper's platform. mcc links the run-time typed
+/// library (large mappings, small code); mat2c inlines operations (larger
+/// code, no library). See EXPERIMENTS.md.
+constexpr double MccImageBytes = 8.0 * 1024 * 1024;
+/// Heap the mcc run-time library (libmatlb) allocates for its own
+/// workspace at startup, independent of program data.
+constexpr double MccLibraryHeapBytes = 1.0 * 1024 * 1024;
+constexpr double MccResidentImageBytes = 2.0 * 1024 * 1024;
+constexpr double Mat2cImageBaseBytes = 1.5 * 1024 * 1024;
+constexpr double Mat2cBytesPerInstr = 512.0;
+constexpr double Mat2cResidentImageBytes = 0.5 * 1024 * 1024;
+
+/// One compiled suite program plus cached run results.
+struct SuiteEntry {
+  const BenchmarkProgram *Prog = nullptr;
+  std::unique_ptr<CompiledProgram> Compiled;
+  unsigned IRInstrCount = 0;
+
+  double mat2cImageBytes() const {
+    return Mat2cImageBaseBytes + Mat2cBytesPerInstr * IRInstrCount;
+  }
+};
+
+/// Compiles the whole suite; exits with a message on any compile error.
+inline std::vector<SuiteEntry> compileSuite() {
+  std::vector<SuiteEntry> Out;
+  for (const BenchmarkProgram &P : benchmarkSuite()) {
+    Diagnostics Diags;
+    SuiteEntry E;
+    E.Prog = &P;
+    E.Compiled = compileSource(P.Source, Diags);
+    if (!E.Compiled) {
+      std::fprintf(stderr, "failed to compile %s:\n%s\n", P.Name.c_str(),
+                   Diags.str().c_str());
+      std::exit(1);
+    }
+    for (const auto &F : E.Compiled->module().Functions)
+      for (const auto &BB : F->Blocks)
+        E.IRInstrCount += static_cast<unsigned>(BB->Instrs.size());
+    Out.push_back(std::move(E));
+  }
+  return Out;
+}
+
+/// Runs one configuration, aborting the binary on failure so broken runs
+/// cannot masquerade as results.
+inline ExecResult mustRun(const SuiteEntry &E, const char *Which,
+                          ExecResult (CompiledProgram::*Fn)(std::uint64_t)
+                              const) {
+  ExecResult R = (E.Compiled.get()->*Fn)(Seed);
+  if (!R.OK) {
+    std::fprintf(stderr, "%s run of %s failed: %s\n", Which,
+                 E.Prog->Name.c_str(), R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+/// mustRun for a standalone CompiledProgram (no SuiteEntry).
+inline ExecResult mustRunNamed(const CompiledProgram &P, const char *Name,
+                               const char *Which,
+                               ExecResult (CompiledProgram::*Fn)(
+                                   std::uint64_t) const) {
+  ExecResult R = (P.*Fn)(Seed);
+  if (!R.OK) {
+    std::fprintf(stderr, "%s run of %s failed: %s\n", Which, Name,
+                 R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+inline double toKB(double Bytes) { return Bytes / 1024.0; }
+
+} // namespace bench
+} // namespace matcoal
+
+#endif // MATCOAL_BENCH_HARNESS_H

@@ -1,0 +1,47 @@
+//===- fig2_main.cpp - Reproduces Figure 2 (stack and stack+heap levels) -===//
+//
+// Average stack-segment and dynamic-program-data (stack + heap) levels of
+// the mcc-model and mat2c-model executions, with the relative reduction
+// percentages the paper annotates above the bars, and kcore-min values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <cstdio>
+
+using namespace matcoal;
+using namespace matcoal::bench;
+
+int main() {
+  std::printf("Figure 2: Average Stack, and Stack+Heap Levels (KB)\n");
+  std::printf("%-6s %12s %12s %12s %12s %10s %14s %14s\n", "Bench",
+              "mcc stack", "m2c stack", "mcc s+h", "m2c s+h", "reduc%",
+              "mcc kcoremin", "m2c kcoremin");
+  std::printf("%.*s\n", 100,
+              "------------------------------------------------------------"
+              "----------------------------------------");
+  auto Suite = compileSuite();
+  for (const SuiteEntry &E : Suite) {
+    ExecResult Mcc = mustRun(E, "mcc", &CompiledProgram::runMcc);
+    ExecResult M2c = mustRun(E, "static", &CompiledProgram::runStatic);
+    if (Mcc.Output != M2c.Output) {
+      std::fprintf(stderr, "%s: model outputs diverge\n",
+                   E.Prog->Name.c_str());
+      return 1;
+    }
+    double MccDyn = Mcc.Mem.AvgDynamicBytes + MccLibraryHeapBytes;
+    double M2cDyn = M2c.Mem.AvgDynamicBytes;
+    double Reduc = 100.0 * (MccDyn - M2cDyn) / M2cDyn;
+    // kcore-min = mean KB x minutes of execution (paper section 4.5.2.1).
+    double MccKCM = toKB(MccDyn) * (Mcc.WallSeconds / 60.0);
+    double M2cKCM = toKB(M2cDyn) * (M2c.WallSeconds / 60.0);
+    std::printf("%-6s %12.1f %12.1f %12.1f %12.1f %9.1f%% %14.5f %14.5f\n",
+                E.Prog->Name.c_str(), toKB(Mcc.Mem.AvgStackSegBytes),
+                toKB(M2c.Mem.AvgStackSegBytes), toKB(MccDyn), toKB(M2cDyn),
+                Reduc, MccKCM, M2cKCM);
+  }
+  std::printf("\n(reduc%% = dynamic-data reduction of mat2c relative to "
+              "mcc, as annotated above the paper's bars)\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+//===- fig3_main.cpp - Reproduces Figure 3 (average virtual memory) ------===//
+//
+// Virtual-memory levels: dynamic program data plus the process-image
+// model (mcc maps its typed run-time library; mat2c inlines operations
+// into a larger text segment). Model constants are in Harness.h and
+// documented in EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <cstdio>
+
+using namespace matcoal;
+using namespace matcoal::bench;
+
+int main() {
+  std::printf("Figure 3: Average Virtual Memory Levels (KB)\n");
+  std::printf("%-6s %14s %14s %10s\n", "Bench", "mcc VM", "mat2c VM",
+              "reduc%");
+  std::printf("%.*s\n", 48,
+              "------------------------------------------------");
+  auto Suite = compileSuite();
+  for (const SuiteEntry &E : Suite) {
+    ExecResult Mcc = mustRun(E, "mcc", &CompiledProgram::runMcc);
+    ExecResult M2c = mustRun(E, "static", &CompiledProgram::runStatic);
+    double MccVM = MccImageBytes + Mcc.Mem.AvgDynamicBytes + MccLibraryHeapBytes;
+    double M2cVM = E.mat2cImageBytes() + M2c.Mem.AvgDynamicBytes;
+    std::printf("%-6s %14.1f %14.1f %9.1f%%\n", E.Prog->Name.c_str(),
+                toKB(MccVM), toKB(M2cVM),
+                100.0 * (MccVM - M2cVM) / M2cVM);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+//===- fig4_main.cpp - Reproduces Figure 4 (average resident sets) -------===//
+//
+// Resident-set levels: the touched portion of the image plus dynamic
+// data (non-resident pages don't tax RAM -- paper section 4.5.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <cstdio>
+
+using namespace matcoal;
+using namespace matcoal::bench;
+
+int main() {
+  std::printf("Figure 4: Average Resident Set Levels (KB)\n");
+  std::printf("%-6s %14s %14s %10s\n", "Bench", "mcc RSS", "mat2c RSS",
+              "reduc%");
+  std::printf("%.*s\n", 48,
+              "------------------------------------------------");
+  auto Suite = compileSuite();
+  for (const SuiteEntry &E : Suite) {
+    ExecResult Mcc = mustRun(E, "mcc", &CompiledProgram::runMcc);
+    ExecResult M2c = mustRun(E, "static", &CompiledProgram::runStatic);
+    double MccRSS = MccResidentImageBytes + Mcc.Mem.AvgDynamicBytes + MccLibraryHeapBytes;
+    double M2cRSS = Mat2cResidentImageBytes +
+                    Mat2cBytesPerInstr * E.IRInstrCount +
+                    M2c.Mem.AvgDynamicBytes;
+    std::printf("%-6s %14.1f %14.1f %9.1f%%\n", E.Prog->Name.c_str(),
+                toKB(MccRSS), toKB(M2cRSS),
+                100.0 * (MccRSS - M2cRSS) / M2cRSS);
+  }
+  return 0;
+}

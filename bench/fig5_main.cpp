@@ -1,0 +1,54 @@
+//===- fig5_main.cpp - Reproduces Figure 5 (comparative execution times) -===//
+//
+// Wall-clock execution times for the mcc model, the mat2c model (with
+// GCTD) and the AST interpreter, with mat2c-over-mcc speedups as the
+// paper annotates above its bars.
+//
+//----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace matcoal;
+using namespace matcoal::bench;
+
+int main() {
+  std::printf("Figure 5: Comparative Execution Times (seconds)\n");
+  std::printf("%-6s %12s %12s %12s %12s\n", "Bench", "mcc", "mat2c",
+              "intrp", "speedup");
+  std::printf("%.*s\n", 60,
+              "------------------------------------------------------------");
+  auto Suite = compileSuite();
+  // Warm up allocators and caches so first-run noise doesn't skew the
+  // smallest benchmarks.
+  if (!Suite.empty())
+    (void)Suite.front().Compiled->runStatic(Seed);
+  for (const SuiteEntry &E : Suite) {
+    ExecResult Mcc = mustRun(E, "mcc", &CompiledProgram::runMcc);
+    ExecResult M2c = mustRun(E, "static", &CompiledProgram::runStatic);
+    // Best of two: wall clocks on a shared machine jitter.
+    ExecResult Mcc2 = mustRun(E, "mcc", &CompiledProgram::runMcc);
+    ExecResult M2c2 = mustRun(E, "static", &CompiledProgram::runStatic);
+    Mcc.WallSeconds = std::min(Mcc.WallSeconds, Mcc2.WallSeconds);
+    M2c.WallSeconds = std::min(M2c.WallSeconds, M2c2.WallSeconds);
+    InterpResult Intrp = E.Compiled->runInterp(Seed);
+    if (!Intrp.OK) {
+      std::fprintf(stderr, "interp run of %s failed: %s\n",
+                   E.Prog->Name.c_str(), Intrp.Error.c_str());
+      return 1;
+    }
+    if (Intrp.Output != M2c.Output) {
+      std::fprintf(stderr, "%s: interpreter output diverges\n",
+                   E.Prog->Name.c_str());
+      return 1;
+    }
+    std::printf("%-6s %12.4f %12.4f %12.4f %11.1fx\n", E.Prog->Name.c_str(),
+                Mcc.WallSeconds, M2c.WallSeconds, Intrp.WallSeconds,
+                Mcc.WallSeconds / M2c.WallSeconds);
+  }
+  std::printf("\n(speedup = mcc time / mat2c time, the paper's bar "
+              "annotations)\n");
+  return 0;
+}

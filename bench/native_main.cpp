@@ -1,0 +1,110 @@
+//===- native_main.cpp - True mat2c datapoint: compiled C ----------------===//
+//
+// The paper's mat2c numbers come from real compiled C. This harness takes
+// every suite program within the C back end's scope (real values, 2-D
+// arrays), emits C, compiles it with the system compiler at -O2, runs the
+// binary, verifies its output against the instrumented VM, and reports
+// wall times: compiled-native vs the two VM models. The native/mcc-model
+// ratio is the closest analogue of the paper's Figure 5 magnitudes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "codegen/CEmitter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#ifndef MCRT_DIR
+#define MCRT_DIR "src/codegen/mcrt"
+#endif
+
+using namespace matcoal;
+using namespace matcoal::bench;
+
+namespace {
+
+int runCapture(const std::string &Cmd, std::string &Out) {
+  FILE *P = popen((Cmd + " 2>/dev/null").c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  Out.clear();
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  return pclose(P);
+}
+
+} // namespace
+
+int main() {
+  std::string Probe;
+  if (runCapture("cc --version", Probe) != 0) {
+    std::printf("no system C compiler; skipping native mat2c bench\n");
+    return 0;
+  }
+  // Programs inside mcrt's scope: real-valued (diff is complex and stays
+  // on the VM).
+  const char *Suitable[] = {"adpt", "capr", "clos", "crni", "dich",
+                            "edit", "fdtd", "fiff", "nb1d", "nb3d"};
+
+  std::printf("Native mat2c (emitted C, cc -O2) vs VM models (seconds)\n");
+  std::printf("%-6s %12s %12s %12s %14s\n", "Bench", "native", "vm-mat2c",
+              "vm-mcc", "mcc/native");
+  std::printf("%.*s\n", 62,
+              "--------------------------------------------------------------");
+
+  for (const char *Name : Suitable) {
+    const BenchmarkProgram *Prog = findBenchmark(Name);
+    Diagnostics Diags;
+    auto P = compileSource(Prog->Source, Diags);
+    if (!P) {
+      std::fprintf(stderr, "compile failure for %s\n", Name);
+      return 1;
+    }
+    ExecResult VMStatic = mustRunNamed(*P, Name, "static",
+                                       &CompiledProgram::runStatic);
+    ExecResult VMMcc = mustRunNamed(*P, Name, "mcc",
+                                    &CompiledProgram::runMcc);
+
+    std::string C = emitModuleC(P->module(), P->GCTDPlans, P->types());
+    std::string Dir = "/tmp";
+    std::string CPath = Dir + "/matcoal_native_" + Name + ".c";
+    std::string Exe = Dir + "/matcoal_native_" + Name;
+    {
+      std::ofstream Out(CPath);
+      Out << C;
+    }
+    std::string Compile = std::string("cc -std=c99 -O2 -I '") + MCRT_DIR +
+                          "' '" + CPath + "' '" + MCRT_DIR +
+                          "/mcrt.c' -o '" + Exe + "' -lm";
+    std::string Ignored;
+    if (runCapture(Compile, Ignored) != 0) {
+      std::fprintf(stderr, "%s: C compilation failed\n", Name);
+      return 1;
+    }
+
+    std::string NativeOut;
+    auto T0 = std::chrono::steady_clock::now();
+    int Status = runCapture("'" + Exe + "'", NativeOut);
+    auto T1 = std::chrono::steady_clock::now();
+    double NativeSecs = std::chrono::duration<double>(T1 - T0).count();
+    if (Status != 0 || NativeOut != VMStatic.Output) {
+      std::fprintf(stderr, "%s: native output diverged from the VM\n",
+                   Name);
+      return 1;
+    }
+    std::printf("%-6s %12.4f %12.4f %12.4f %13.1fx\n", Name, NativeSecs,
+                VMStatic.WallSeconds, VMMcc.WallSeconds,
+                VMMcc.WallSeconds / NativeSecs);
+    std::remove(CPath.c_str());
+    std::remove(Exe.c_str());
+  }
+  std::printf("\n(mcc/native approximates the paper's mcc-vs-mat2c gap: "
+              "real compiled C\n against a boxed, dispatched runtime.)\n");
+  return 0;
+}

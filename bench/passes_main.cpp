@@ -1,0 +1,103 @@
+//===- passes_main.cpp - Compiler-pass microbenchmarks --------------------===//
+//
+// Google-benchmark timings of the compiler pipeline stages over the
+// benchmark suite (not a paper figure; useful for tracking the cost of
+// GCTD itself, which the paper argues is cheap enough for static use).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/programs/Programs.h"
+#include "driver/Compiler.h"
+#include "frontend/Parser.h"
+#include "gctd/GCTD.h"
+#include "transforms/Lowering.h"
+#include "transforms/Passes.h"
+#include "transforms/SSA.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace matcoal;
+
+namespace {
+
+const std::string &suiteSource(size_t Index) {
+  return benchmarkSuite()[Index % benchmarkSuite().size()].Source;
+}
+
+void BM_ParseSuite(benchmark::State &State) {
+  const std::string &Src = suiteSource(State.range(0));
+  for (auto _ : State) {
+    Diagnostics Diags;
+    auto P = parseProgram(Src, Diags);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_ParseSuite)->DenseRange(0, 10);
+
+void BM_LowerAndSSA(benchmark::State &State) {
+  const std::string &Src = suiteSource(State.range(0));
+  Diagnostics Diags;
+  auto Prog = parseProgram(Src, Diags);
+  for (auto _ : State) {
+    Diagnostics D2;
+    auto M = lowerProgram(*Prog, D2);
+    for (auto &F : M->Functions)
+      buildSSA(*F, D2);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_LowerAndSSA)->DenseRange(0, 10);
+
+void BM_CleanupPipeline(benchmark::State &State) {
+  const std::string &Src = suiteSource(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    Diagnostics D;
+    auto Prog = parseProgram(Src, D);
+    auto M = lowerProgram(*Prog, D);
+    for (auto &F : M->Functions)
+      buildSSA(*F, D);
+    State.ResumeTiming();
+    for (auto &F : M->Functions)
+      runCleanupPipeline(*F);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_CleanupPipeline)->DenseRange(0, 10);
+
+void BM_TypeInferenceAndGCTD(benchmark::State &State) {
+  const std::string &Src = suiteSource(State.range(0));
+  for (auto _ : State) {
+    State.PauseTiming();
+    Diagnostics D;
+    auto Prog = parseProgram(Src, D);
+    auto M = lowerProgram(*Prog, D);
+    for (auto &F : M->Functions) {
+      buildSSA(*F, D);
+      runCleanupPipeline(*F);
+    }
+    State.ResumeTiming();
+    SymExprContext Ctx;
+    TypeInference TI(*M, Ctx, D);
+    TI.run("main");
+    for (auto &F : M->Functions) {
+      StoragePlan Plan = runGCTD(*F, TI);
+      benchmark::DoNotOptimize(Plan);
+    }
+  }
+}
+BENCHMARK(BM_TypeInferenceAndGCTD)->DenseRange(0, 10);
+
+void BM_FullCompile(benchmark::State &State) {
+  const std::string &Src = suiteSource(State.range(0));
+  for (auto _ : State) {
+    Diagnostics D;
+    auto P = compileSource(Src, D);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_FullCompile)->DenseRange(0, 10);
+
+} // namespace
+
+BENCHMARK_MAIN();

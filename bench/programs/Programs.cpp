@@ -1,0 +1,485 @@
+//===- Programs.cpp - The 11-program benchmark suite ----------------------===//
+
+#include "bench/programs/Programs.h"
+
+namespace matcoal {
+
+namespace {
+
+// adpt: Adaptive Quadrature by Simpson's Rule (FALCON). Iterative with an
+// explicit interval stack that grows and shrinks at run time, so most
+// array sizes are statically inestimable (dynamic), as in the paper.
+const char *AdptSource = R"M(
+function main
+  % driver: integrate f over [0, 2] to a tight tolerance
+  tol = 1e-9;
+  [q, cnt] = adapt(0, 2, tol);
+  fprintf('adpt: integral=%.10f intervals=%d\n', q, cnt);
+
+function [q, cnt] = adapt(a0, b0, tol)
+  % iterative adaptive Simpson quadrature with an explicit worklist
+  sa(1) = a0;
+  sb(1) = b0;
+  st(1) = tol;
+  top = 1;
+  q = 0;
+  cnt = 0;
+  while top > 0
+    a = sa(top);
+    b = sb(top);
+    t = st(top);
+    top = top - 1;
+    c = (a + b) / 2;
+    s1 = (b - a) / 6 * (fx(a) + 4 * fx(c) + fx(b));
+    d = (a + c) / 2;
+    e = (c + b) / 2;
+    s2 = (b - a) / 12 * (fx(a) + 4 * fx(d) + 2 * fx(c) + 4 * fx(e) + fx(b));
+    if abs(s2 - s1) < 15 * t || b - a < 1e-13
+      q = q + s2 + (s2 - s1) / 15;
+      cnt = cnt + 1;
+    else
+      top = top + 1;
+      sa(top) = a;
+      sb(top) = c;
+      st(top) = t / 2;
+      top = top + 1;
+      sa(top) = c;
+      sb(top) = b;
+      st(top) = t / 2;
+    end
+  end
+
+function y = fx(x)
+  % the integrand
+  y = x .* cos(3 * x) + exp(-2 * x) + 1;
+)M";
+
+// capr: Transmission Line Capacitance (Chalmers). SOR relaxation of the
+// Laplace equation on a coax cross-section plus a charge integration.
+// The grid size derives from run-time data, so shapes stay symbolic.
+const char *CaprSource = R"M(
+function main
+  % driver: problem size comes from run-time data (dynamic shapes)
+  n = 40 + round(rand() * 8);
+  [cap, iters] = capacitor(n);
+  fprintf('capr: n=%d cap=%.6f iters=%d\n', n, cap, iters);
+
+function [cap, iters] = capacitor(n)
+  % capacitance of a square coax: outer grounded, inner strip at 1V
+  f = zeros(n, n);
+  mask = innermask(n);
+  f = f + mask;
+  iters = 0;
+  delta = 1;
+  while delta > 1e-5 && iters < 400
+    g = relax(f);
+    g = g .* (1 - mask) + mask;
+    delta = max(abs(g(:) - f(:)));
+    f = g;
+    iters = iters + 1;
+  end
+  cap = charge(f);
+
+function m = innermask(n)
+  % inner conductor occupies the central third of the grid
+  m = zeros(n, n);
+  lo = floor(n / 3) + 1;
+  hi = n - floor(n / 3);
+  m(lo:hi, lo:hi) = ones(hi - lo + 1, hi - lo + 1);
+
+function g = relax(f)
+  % one Jacobi sweep of the interior
+  [n, mcols] = size(f);
+  g = f;
+  g(2:n-1, 2:mcols-1) = 0.25 * (f(1:n-2, 2:mcols-1) + f(3:n, 2:mcols-1) ...
+      + f(2:n-1, 1:mcols-2) + f(2:n-1, 3:mcols));
+
+function q = charge(f)
+  % total boundary flux approximates the enclosed charge
+  [n, mcols] = size(f);
+  q = sum(f(2, 2:mcols-1)) + sum(f(n-1, 2:mcols-1)) ...
+      + sum(f(2:n-1, 2)') + sum(f(2:n-1, mcols-1)');
+)M";
+
+// clos: Transitive Closure (OTTER). Boolean matrix squaring; every shape
+// is explicit in the source, so all storage is stack allocated.
+const char *ClosSource = R"M(
+function main
+  % driver
+  n = 80;
+  a = rand(n, n) > 0.965;
+  c = closure(a, n);
+  fprintf('clos: n=%d reachable=%d\n', n, sum(sum(c)));
+
+function c = closure(a, n)
+  % repeated boolean squaring: c = (a + I)^ceil(log2 n)
+  c = (a + eye(n, n)) > 0;
+  k = 1;
+  while k < n
+    c = (c * c) > 0;
+    k = k * 2;
+  end
+)M";
+
+// crni: Crank-Nicholson Heat Equation Solver (FALCON). The whole
+// space-time grid is stored (the paper's 4 MB static reduction); the
+// tridiagonal systems are solved with in-line Thomas recurrences.
+const char *CrniSource = R"M(
+function main
+  % driver
+  sol = crnich(321, 80);
+  fprintf('crni: u(mid,end)=%.8f checksum=%.6f\n', ...
+      sol(161, 80), sum(sol(:, 80)'));
+
+function u = crnich(n, m)
+  % Crank-Nicholson for u_t = u_xx on [0,1], fixed step sizes
+  h = 1 / (n - 1);
+  k = 1 / (4 * (m - 1));
+  r = k / (h * h);
+  u = zeros(n, m);
+  % initial condition: sin profile
+  x = 0;
+  for i = 1:n
+    u(i, 1) = sin(3.14159265358979 * x);
+    x = x + h;
+  end
+  % coefficient vectors for the tridiagonal solve
+  va = zeros(1, n);
+  vb = zeros(1, n);
+  vc = zeros(1, n);
+  vd = zeros(1, n);
+  for j = 2:m
+    % build the right-hand side
+    vd(1) = 0;
+    vd(n) = 0;
+    for i = 2:n-1
+      vd(i) = r * u(i-1, j-1) + (2 - 2 * r) * u(i, j-1) + r * u(i+1, j-1);
+    end
+    % Thomas forward sweep
+    vb(1) = 1;
+    vc(1) = 0;
+    for i = 2:n-1
+      va(i) = -r;
+      vb(i) = 2 + 2 * r;
+      vc(i) = -r;
+    end
+    vb(n) = 1;
+    for i = 2:n
+      w = va(i) / vb(i-1);
+      vb(i) = vb(i) - w * vc(i-1);
+      vd(i) = vd(i) - w * vd(i-1);
+    end
+    % back substitution
+    u(n, j) = vd(n) / vb(n);
+    for i = n-1:-1:1
+      u(i, j) = (vd(i) - vc(i) * u(i+1, j)) / vb(i);
+    end
+  end
+)M";
+
+// diff: Young's Two-Slit Diffraction (MathWorks Central File Exchange).
+// Complex phasor sums over a screen; COMPLEX intrinsic types throughout.
+const char *DiffSource = R"M(
+function main
+  % driver
+  inten = young(1200);
+  fprintf('diff: peak=%.6f mean=%.6f\n', max(inten), ...
+      sum(inten) / numel(inten));
+
+function inten = young(np)
+  % two-slit interference pattern on a screen of np points
+  lambda = 500e-9;
+  kwave = 2 * 3.14159265358979 / lambda;
+  dsep = 1e-5;
+  screenz = 1;
+  xs = linspace(-0.02, 0.02, np);
+  r1 = sqrt((xs - dsep / 2) .^ 2 + screenz ^ 2);
+  r2 = sqrt((xs + dsep / 2) .^ 2 + screenz ^ 2);
+  amp = exp(1i * kwave * r1) ./ r1 + exp(1i * kwave * r2) ./ r2;
+  inten = abs(amp) .^ 2;
+  inten = inten / max(inten);
+)M";
+
+// dich: Dirichlet Solution to Laplace's Equation (FALCON). Jacobi sweeps
+// with explicit small grids: fully static storage, mostly small arrays.
+const char *DichSource = R"M(
+function main
+  % driver
+  u = dirich(64, 300);
+  fprintf('dich: center=%.8f edge=%.8f\n', u(32, 32), u(2, 32));
+
+function u = dirich(n, maxit)
+  % Laplace on the unit square, top edge held at 100
+  u = zeros(n, n);
+  u(1, 1:n) = 100 * ones(1, n);
+  it = 0;
+  diffr = 1;
+  while diffr > 1e-4 && it < maxit
+    v = u;
+    v(2:n-1, 2:n-1) = 0.25 * (u(1:n-2, 2:n-1) + u(3:n, 2:n-1) ...
+        + u(2:n-1, 1:n-2) + u(2:n-1, 3:n));
+    diffr = max(max(abs(v - u)));
+    u = v;
+    it = it + 1;
+  end
+)M";
+
+// edit: Edit Distance (MathWorks Central File Exchange). Dynamic-
+// programming over two strings whose lengths derive from run-time data.
+const char *EditSource = R"M(
+function main
+  % driver: build two pseudo-random strings of data-dependent length
+  la = 90 + round(rand() * 30);
+  lb = 95 + round(rand() * 30);
+  sa = 97 + round(rand(1, la) * 24);
+  sb = 97 + round(rand(1, lb) * 24);
+  d = editdist(sa, sb);
+  fprintf('edit: la=%d lb=%d distance=%d\n', la, lb, d);
+
+function d = editdist(sa, sb)
+  % classic Levenshtein dynamic program
+  m = numel(sa);
+  n = numel(sb);
+  dp = zeros(m + 1, n + 1);
+  for i = 1:m+1
+    dp(i, 1) = i - 1;
+  end
+  for j = 1:n+1
+    dp(1, j) = j - 1;
+  end
+  for i = 2:m+1
+    for j = 2:n+1
+      if sa(i-1) == sb(j-1)
+        cost = 0;
+      else
+        cost = 1;
+      end
+      best = dp(i-1, j) + 1;
+      alt = dp(i, j-1) + 1;
+      if alt < best
+        best = alt;
+      end
+      alt = dp(i-1, j-1) + cost;
+      if alt < best
+        best = alt;
+      end
+      dp(i, j) = best;
+    end
+  end
+  d = dp(m+1, n+1);
+)M";
+
+// fdtd: Finite Difference Time Domain (Chalmers). Three-dimensional field
+// arrays with explicit sizes: the paper's second-largest static savings.
+const char *FdtdSource = R"M(
+function main
+  % driver
+  [ex, hy] = fdtd3d(18, 60);
+  fprintf('fdtd: probe=%.8f energy=%.6f\n', ex(9, 9, 9), hy);
+
+function [ex, henergy] = fdtd3d(n, steps)
+  % Yee-style update on an n^3 cavity with a point source
+  ex = zeros(n, n, n);
+  ey = zeros(n, n, n);
+  ez = zeros(n, n, n);
+  hx = zeros(n, n, n);
+  hy = zeros(n, n, n);
+  hz = zeros(n, n, n);
+  ct = 0.5;
+  for t = 1:steps
+    % magnetic field updates
+    hx(1:n, 1:n-1, 1:n-1) = hx(1:n, 1:n-1, 1:n-1) ...
+        + ct * (ey(1:n, 1:n-1, 2:n) - ey(1:n, 1:n-1, 1:n-1)) ...
+        - ct * (ez(1:n, 2:n, 1:n-1) - ez(1:n, 1:n-1, 1:n-1));
+    hy(1:n-1, 1:n, 1:n-1) = hy(1:n-1, 1:n, 1:n-1) ...
+        + ct * (ez(2:n, 1:n, 1:n-1) - ez(1:n-1, 1:n, 1:n-1)) ...
+        - ct * (ex(1:n-1, 1:n, 2:n) - ex(1:n-1, 1:n, 1:n-1));
+    hz(1:n-1, 1:n-1, 1:n) = hz(1:n-1, 1:n-1, 1:n) ...
+        + ct * (ex(1:n-1, 2:n, 1:n) - ex(1:n-1, 1:n-1, 1:n)) ...
+        - ct * (ey(2:n, 1:n-1, 1:n) - ey(1:n-1, 1:n-1, 1:n));
+    % electric field updates
+    ex(1:n-1, 2:n, 2:n) = ex(1:n-1, 2:n, 2:n) ...
+        + ct * (hz(1:n-1, 2:n, 2:n) - hz(1:n-1, 1:n-1, 2:n)) ...
+        - ct * (hy(1:n-1, 2:n, 2:n) - hy(1:n-1, 2:n, 1:n-1));
+    ey(2:n, 1:n-1, 2:n) = ey(2:n, 1:n-1, 2:n) ...
+        + ct * (hx(2:n, 1:n-1, 2:n) - hx(2:n, 1:n-1, 1:n-1)) ...
+        - ct * (hz(2:n, 1:n-1, 2:n) - hz(1:n-1, 1:n-1, 2:n));
+    ez(2:n, 2:n, 1:n-1) = ez(2:n, 2:n, 1:n-1) ...
+        + ct * (hy(2:n, 2:n, 1:n-1) - hy(1:n-1, 2:n, 1:n-1)) ...
+        - ct * (hx(2:n, 2:n, 1:n-1) - hx(2:n, 1:n-1, 1:n-1));
+    % point source drive
+    ez(9, 9, 9) = ez(9, 9, 9) + sin(0.3 * t);
+  end
+  henergy = sum(sum(sum(hy .* hy)));
+)M";
+
+// fiff: Finite-Difference Solution to the Wave Equation (FALCON). The
+// loop-based FALCON style: three full grids carried across time steps
+// (the paper's largest static coalescing win; grid scaled from 451 to
+// 251 to keep model runs short -- see EXPERIMENTS.md).
+const char *FiffSource = R"M(
+function main
+  % driver
+  u = fiff(201, 8);
+  fprintf('fiff: u(101,101)=%.8f checksum=%.6f\n', u(101, 101), ...
+      sum(u(101, 1:201)));
+
+function u = fiff(n, steps)
+  % explicit leapfrog for u_tt = c^2 (u_xx + u_yy), element at a time
+  c2 = 0.25;
+  uprev = zeros(n, n);
+  ucur = zeros(n, n);
+  % initial displacement: centered bump
+  for i = 75:127
+    for j = 75:127
+      ucur(i, j) = sin(3.14159 * (i - 74) / 53) * ...
+          sin(3.14159 * (j - 74) / 53);
+    end
+  end
+  uprev = ucur;
+  for t = 1:steps
+    unew = zeros(n, n);
+    for i = 2:n-1
+      for j = 2:n-1
+        unew(i, j) = 2 * ucur(i, j) - uprev(i, j) + c2 * ( ...
+            ucur(i-1, j) + ucur(i+1, j) + ucur(i, j-1) + ucur(i, j+1) ...
+            - 4 * ucur(i, j));
+      end
+    end
+    uprev = ucur;
+    ucur = unew;
+  end
+  u = ucur;
+)M";
+
+// nb1d: One-Dimensional N-Body Simulation (OTTER). The particle count is
+// run-time data, so nearly all arrays are dynamically sized.
+const char *Nb1dSource = R"M(
+function main
+  % driver: data-dependent particle count
+  n = 90 + round(rand() * 30);
+  [p, ke] = nbody1d(n, 40);
+  fprintf('nb1d: n=%d spread=%.6f ke=%.6f\n', n, max(p) - min(p), ke);
+
+function [pos, ke] = nbody1d(n, steps)
+  % leapfrog integration of n gravitating particles on a line
+  dt = 1e-3;
+  eps2 = 1e-4;
+  pos = linspace(0, 1, n) + 0.01 * rand(1, n);
+  vel = zeros(1, n);
+  mass = 1 + rand(1, n);
+  for t = 1:steps
+    acc = zeros(1, n);
+    for i = 1:n
+      dx = pos - pos(i);
+      r2 = dx .* dx + eps2;
+      f = mass .* dx ./ (r2 .* sqrt(r2));
+      acc(i) = sum(f) - f(i);
+    end
+    vel = vel + dt * acc;
+    pos = pos + dt * vel;
+  end
+  ke = 0.5 * sum(mass .* vel .* vel);
+)M";
+
+// nb3d: Three-Dimensional N-Body Simulation (modified nb1d). Keeps a
+// three-dimensional trajectory history array; sizes remain dynamic.
+const char *Nb3dSource = R"M(
+function main
+  % driver: data-dependent particle count
+  n = 40 + round(rand() * 16);
+  steps = 30;
+  [hist, ke] = nbody3d(n, steps);
+  fprintf('nb3d: n=%d final=%.6f ke=%.6f\n', n, hist(1, 1, steps), ke);
+
+function [hist, ke] = nbody3d(n, steps)
+  % leapfrog in three dimensions with a trajectory history
+  dt = 1e-3;
+  eps2 = 1e-4;
+  pos = rand(n, 3);
+  vel = zeros(n, 3);
+  mass = 1 + rand(n, 1);
+  hist = zeros(n, 3, steps);
+  for t = 1:steps
+    acc = zeros(n, 3);
+    for i = 1:n
+      dx = pos(:, 1) - pos(i, 1);
+      dy = pos(:, 2) - pos(i, 2);
+      dz = pos(:, 3) - pos(i, 3);
+      r2 = dx .* dx + dy .* dy + dz .* dz + eps2;
+      w = mass ./ (r2 .* sqrt(r2));
+      acc(i, 1) = sum(w .* dx);
+      acc(i, 2) = sum(w .* dy);
+      acc(i, 3) = sum(w .* dz);
+    end
+    vel = vel + dt * acc;
+    pos = pos + dt * vel;
+    hist(1:n, 1:3, t) = pos;
+  end
+  ke = 0.5 * sum(mass' .* sum((vel .* vel)'));
+)M";
+
+} // namespace
+
+unsigned BenchmarkProgram::mFileCount() const {
+  unsigned N = 0;
+  size_t Pos = 0;
+  while ((Pos = Source.find("function ", Pos)) != std::string::npos) {
+    // Count only definitions at the start of a line.
+    if (Pos == 0 || Source[Pos - 1] == '\n')
+      ++N;
+    Pos += 9;
+  }
+  return N;
+}
+
+unsigned BenchmarkProgram::lineCount() const {
+  unsigned N = 0;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    // Skip blanks and comment-only lines.
+    size_t First = Source.find_first_not_of(" \t", Pos);
+    if (First < End && Source[First] != '%')
+      ++N;
+    Pos = End + 1;
+  }
+  return N;
+}
+
+const std::vector<BenchmarkProgram> &benchmarkSuite() {
+  static const std::vector<BenchmarkProgram> Suite = {
+      {"adpt", "Adaptive Quadrature by Simpson's Rule", "FALCON",
+       AdptSource},
+      {"capr", "Transmission Line Capacitance", "Chalmers University",
+       CaprSource},
+      {"clos", "Transitive Closure", "OTTER", ClosSource},
+      {"crni", "Crank-Nicholson Heat Equation Solver", "FALCON",
+       CrniSource},
+      {"diff", "Young's Two-Slit Diffraction Experiment",
+       "MathWorks Central File Exchange", DiffSource},
+      {"dich", "Dirichlet Solution to Laplace's Equation", "FALCON",
+       DichSource},
+      {"edit", "Edit Distance", "MathWorks Central File Exchange",
+       EditSource},
+      {"fdtd", "Finite Difference Time Domain (FDTD) Technique",
+       "Chalmers University", FdtdSource},
+      {"fiff", "Finite-Difference Solution to the Wave Equation", "FALCON",
+       FiffSource},
+      {"nb1d", "One-Dimensional N-Body Simulation", "OTTER", Nb1dSource},
+      {"nb3d", "Three-Dimensional N-Body Simulation", "Modified nb1d",
+       Nb3dSource},
+  };
+  return Suite;
+}
+
+const BenchmarkProgram *findBenchmark(const std::string &Name) {
+  for (const BenchmarkProgram &P : benchmarkSuite())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+} // namespace matcoal

@@ -1,0 +1,47 @@
+//===- Programs.h - The 11-program benchmark suite --------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite of the paper's Table 1, re-written in the MATLAB
+/// subset: adpt capr clos crni diff dich edit fdtd fiff nb1d nb3d. Each
+/// program follows the FALCON organization (a driver invoking the main
+/// routine). Programs whose paper versions have fully inferable shapes
+/// (clos crni dich fdtd fiff) use literal sizes; the others derive their
+/// problem sizes from run-time data (the seeded PRNG), reproducing the
+/// paper's statically inestimable ("dynamic") storage character.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_BENCH_PROGRAMS_H
+#define MATCOAL_BENCH_PROGRAMS_H
+
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+struct BenchmarkProgram {
+  std::string Name;
+  std::string Synopsis;
+  std::string Origin;
+  std::string Source;
+
+  /// Number of function definitions ("M-files" in the FALCON layout).
+  unsigned mFileCount() const;
+  /// Non-empty, non-comment source lines (Table 1's "Lines" column).
+  unsigned lineCount() const;
+};
+
+/// The full suite, in the paper's order.
+const std::vector<BenchmarkProgram> &benchmarkSuite();
+
+/// Looks a benchmark up by name; returns nullptr when absent.
+const BenchmarkProgram *findBenchmark(const std::string &Name);
+
+} // namespace matcoal
+
+#endif // MATCOAL_BENCH_PROGRAMS_H

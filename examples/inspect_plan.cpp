@@ -1,0 +1,71 @@
+//===- inspect_plan.cpp - Dive into interference and generated C ----------===//
+//
+// Shows the analysis layers under GCTD for a program with interesting
+// operator-semantics interference: the interference decisions for matrix
+// multiply vs array addition (paper section 2.3), the resulting storage
+// plan, and the C code the back end emits (Figure 1 style loops).
+//
+//   $ ./inspect_plan
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Compiler.h"
+#include "gctd/GCTD.h"
+
+#include <cstdio>
+
+using namespace matcoal;
+
+int main() {
+  const char *Source = R"M(
+a = rand(32, 32);
+b = rand(32, 32);
+c = a + b;       % elementwise: c may form in place in a or b
+d = c * c;       % matrix multiply: d must NOT share storage with c
+e = d(:, 1);     % column slice: array subscript, not in-place
+f = e + 1;       % elementwise again
+disp(sum(f));
+)M";
+
+  Diagnostics Diags;
+  auto Program = compileSource(Source, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+  const Function &Main = Program->function("main");
+
+  // Rebuild the phase-1 interference graph to inspect it (the compiled
+  // program only retains the final plan).
+  InterferenceGraph IG(Main, Program->types());
+  std::printf("interference decisions (paper section 2.3):\n");
+  auto Named = [&](const char *Base) -> VarId {
+    for (unsigned V = 0; V < Main.numVars(); ++V)
+      if (Main.var(V).Base == Base && Main.var(V).Version == 0)
+        return static_cast<VarId>(V);
+    return NoVar;
+  };
+  struct Pair {
+    const char *X, *Y;
+  } Pairs[] = {{"a", "c"}, {"b", "c"}, {"c", "d"}, {"d", "e"}, {"e", "f"}};
+  for (const Pair &P : Pairs) {
+    VarId X = Named(P.X), Y = Named(P.Y);
+    if (X == NoVar || Y == NoVar)
+      continue;
+    std::printf("  %s -- %s : %s\n", P.X, P.Y,
+                IG.interferes(X, Y) ? "interfere (separate storage)"
+                                    : "free to share");
+  }
+  std::printf("\ncolors used: %u\n\n", IG.numColors());
+
+  std::printf("%s\n", Program->planOf(Main).str(Main).c_str());
+
+  std::printf("generated C (mat2c back end):\n\n%s",
+              emitFunctionC(Main, Program->planOf(Main), Program->types())
+                  .c_str());
+
+  ExecResult R = Program->runStatic();
+  std::printf("\nprogram output:\n%s", R.Output.c_str());
+  return R.OK ? 0 : 1;
+}

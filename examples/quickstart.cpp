@@ -1,0 +1,58 @@
+//===- quickstart.cpp - Minimal end-to-end use of the library -------------===//
+//
+// Compiles a small MATLAB program through the full GCTD pipeline, prints
+// the Table-2-style coalescing statistics, and runs it under the
+// optimized static model.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include <cstdio>
+
+using namespace matcoal;
+
+int main() {
+  const char *Source = R"M(
+% Paper Example 1: a chain of elementwise operations. GCTD binds t0..t3
+% to one storage area, reused in place.
+t0 = rand(64, 64);
+t1 = t0 - 1.345;
+t2 = 2.788 .* t1;
+t3 = tan(t2);
+fprintf('result checksum: %.6f\n', sum(sum(abs(t3))));
+)M";
+
+  Diagnostics Diags;
+  auto Program = compileSource(Source, Diags);
+  if (!Program) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // What did GCTD coalesce?
+  CompiledProgram::Stats S = Program->stats();
+  std::printf("variables entering GCTD : %u\n", S.OriginalVarCount);
+  std::printf("statically subsumed     : %u\n", S.StaticSubsumed);
+  std::printf("dynamically subsumed    : %u\n", S.DynamicSubsumed);
+  std::printf("stack storage saved     : %.1f KB\n\n",
+              S.StaticReductionBytes / 1024.0);
+
+  // The storage plan for the entry function, human readable.
+  const Function &Main = Program->function("main");
+  std::printf("%s\n", Program->planOf(Main).str(Main).c_str());
+
+  // Run it.
+  ExecResult R = Program->runStatic();
+  if (!R.OK) {
+    std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("program output:\n%s", R.Output.c_str());
+  std::printf("\nexecuted %llu ops; average dynamic data %.1f KB\n",
+              static_cast<unsigned long long>(R.Ops),
+              R.Mem.AvgDynamicBytes / 1024.0);
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- Dominators.cpp -----------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace matcoal;
+
+DominatorTree::DominatorTree(const Function &F) {
+  size_t N = F.Blocks.size();
+  IDoms.assign(N, NoBlock);
+  Children.assign(N, {});
+  Frontiers.assign(N, {});
+  RPOIndex.assign(N, -1);
+
+  RPO = F.reversePostOrder();
+  for (size_t I = 0; I < RPO.size(); ++I)
+    RPOIndex[RPO[I]] = static_cast<int>(I);
+
+  // Cooper-Harvey-Kennedy: iterate intersect() over RPO to a fixed point.
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RPOIndex[A] > RPOIndex[B])
+        A = IDoms[A];
+      while (RPOIndex[B] > RPOIndex[A])
+        B = IDoms[B];
+    }
+    return A;
+  };
+
+  IDoms[0] = 0; // Sentinel: the entry is its own idom during iteration.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : RPO) {
+      if (B == 0)
+        continue;
+      BlockId NewIDom = NoBlock;
+      for (BlockId P : F.block(B)->Preds) {
+        if (RPOIndex[P] < 0 || IDoms[P] == NoBlock)
+          continue; // Unreachable or unprocessed predecessor.
+        NewIDom = NewIDom == NoBlock ? P : Intersect(P, NewIDom);
+      }
+      if (NewIDom != NoBlock && IDoms[B] != NewIDom) {
+        IDoms[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDoms[0] = NoBlock; // The entry has no immediate dominator.
+
+  for (BlockId B : RPO)
+    if (B != 0 && IDoms[B] != NoBlock)
+      Children[IDoms[B]].push_back(B);
+
+  // Dominance frontiers (Cytron et al.): a block is in the frontier of
+  // every dominator of a predecessor up to (but excluding) its own idom.
+  // Single-pred blocks usually contribute nothing (the walk stops at the
+  // pred immediately), but an edge back into the entry -- whose idom is
+  // NoBlock -- must still be processed.
+  for (BlockId B : RPO) {
+    const BasicBlock *BB = F.block(B);
+    if (BB->Preds.empty())
+      continue;
+    for (BlockId P : BB->Preds) {
+      if (RPOIndex[P] < 0)
+        continue;
+      BlockId Runner = P;
+      while (Runner != NoBlock && Runner != IDoms[B]) {
+        auto &DF = Frontiers[Runner];
+        if (std::find(DF.begin(), DF.end(), B) == DF.end())
+          DF.push_back(B);
+        Runner = IDoms[Runner];
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  if (A == B)
+    return true;
+  BlockId Runner = IDoms[B];
+  while (Runner != NoBlock) {
+    if (Runner == A)
+      return true;
+    if (Runner == 0)
+      break;
+    Runner = IDoms[Runner];
+  }
+  return A == 0 && isReachable(B);
+}

@@ -1,0 +1,54 @@
+//===- Dominators.h - Dominator tree and dominance frontiers ----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooper-Harvey-Kennedy iterative dominator computation plus dominance
+/// frontiers, used by the SSA builder (Cytron et al., the paper's [12]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_ANALYSIS_DOMINATORS_H
+#define MATCOAL_ANALYSIS_DOMINATORS_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace matcoal {
+
+/// Immediate dominators, dominator-tree children and dominance frontiers
+/// for one function. Unreachable blocks get IDom == NoBlock and empty sets.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  BlockId idom(BlockId B) const { return IDoms[B]; }
+  const std::vector<BlockId> &children(BlockId B) const {
+    return Children[B];
+  }
+  const std::vector<BlockId> &frontier(BlockId B) const {
+    return Frontiers[B];
+  }
+  /// True iff \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+  bool isReachable(BlockId B) const {
+    return B == 0 || IDoms[B] != NoBlock;
+  }
+  /// Reachable blocks in reverse postorder.
+  const std::vector<BlockId> &rpo() const { return RPO; }
+
+private:
+  std::vector<BlockId> IDoms;
+  std::vector<std::vector<BlockId>> Children;
+  std::vector<std::vector<BlockId>> Frontiers;
+  std::vector<BlockId> RPO;
+  std::vector<int> RPOIndex; ///< -1 for unreachable blocks.
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_ANALYSIS_DOMINATORS_H

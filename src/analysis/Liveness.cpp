@@ -1,0 +1,110 @@
+//===- Liveness.cpp -------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace matcoal;
+
+LivenessInfo matcoal::computeLiveness(const Function &F) {
+  size_t NB = F.Blocks.size();
+  unsigned NV = F.numVars();
+  LivenessInfo Info;
+  Info.LiveIn.assign(NB, BitVector(NV));
+  Info.LiveOut.assign(NB, BitVector(NV));
+
+  // Per block: upward-exposed uses and definitions, phis excluded (their
+  // uses belong to predecessor edges; their defs kill at the block head).
+  std::vector<BitVector> UEVar(NB, BitVector(NV));
+  std::vector<BitVector> Kill(NB, BitVector(NV));
+  // PhiUse[P]: variables used by successor phis along the edge from P.
+  std::vector<BitVector> PhiUse(NB, BitVector(NV));
+
+  for (const auto &BB : F.Blocks) {
+    BitVector Defined(NV);
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op == Opcode::Phi) {
+        for (size_t PI = 0; PI < I.Operands.size(); ++PI) {
+          assert(PI < BB->Preds.size());
+          PhiUse[BB->Preds[PI]].set(I.Operands[PI]);
+        }
+        for (VarId R : I.Results) {
+          Kill[BB->Id].set(R);
+          Defined.set(R);
+        }
+        continue;
+      }
+      for (VarId U : I.Operands)
+        if (!Defined.test(U))
+          UEVar[BB->Id].set(U);
+      for (VarId R : I.Results) {
+        Kill[BB->Id].set(R);
+        Defined.set(R);
+      }
+    }
+  }
+
+  // Iterate to a fixed point, visiting blocks in postorder (reverse RPO)
+  // for fast convergence of the backward problem.
+  std::vector<BlockId> Order = F.reversePostOrder();
+  std::reverse(Order.begin(), Order.end());
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Order) {
+      BitVector Out(NV);
+      Out.unionWith(PhiUse[B]);
+      for (BlockId S : F.block(B)->successors())
+        Out.unionWith(Info.LiveIn[S]);
+      BitVector In = Out;
+      In.subtract(Kill[B]);
+      In.unionWith(UEVar[B]);
+      if (!(Out == Info.LiveOut[B]) || !(In == Info.LiveIn[B])) {
+        Info.LiveOut[B] = std::move(Out);
+        Info.LiveIn[B] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return Info;
+}
+
+AvailabilityInfo matcoal::computeAvailability(const Function &F) {
+  size_t NB = F.Blocks.size();
+  unsigned NV = F.numVars();
+  AvailabilityInfo Info;
+  Info.AvailIn.assign(NB, BitVector(NV));
+  Info.AvailOut.assign(NB, BitVector(NV));
+
+  std::vector<BitVector> Defs(NB, BitVector(NV));
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      for (VarId R : I.Results)
+        Defs[BB->Id].set(R);
+
+  BitVector EntryIn(NV);
+  for (VarId P : F.Params)
+    EntryIn.set(P);
+
+  std::vector<BlockId> Order = F.reversePostOrder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Order) {
+      BitVector In(NV);
+      if (B == 0)
+        In = EntryIn;
+      for (BlockId P : F.block(B)->Preds)
+        In.unionWith(Info.AvailOut[P]);
+      BitVector Out = In;
+      Out.unionWith(Defs[B]);
+      if (!(In == Info.AvailIn[B]) || !(Out == Info.AvailOut[B])) {
+        Info.AvailIn[B] = std::move(In);
+        Info.AvailOut[B] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+  return Info;
+}

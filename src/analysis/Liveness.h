@@ -1,0 +1,50 @@
+//===- Liveness.h - Live and available variable analyses --------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two dataflow facts interference is built from (paper section 2): a
+/// variable is *live* at s if some path from s reaches a use before a
+/// redefinition, and *available* at s if some path from a definition
+/// reaches s. Both are may-analyses, exactly as the paper defines them.
+/// Phi uses are attributed to the corresponding predecessor edge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_ANALYSIS_LIVENESS_H
+#define MATCOAL_ANALYSIS_LIVENESS_H
+
+#include "ir/IR.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace matcoal {
+
+/// Per-block live-variable sets (bit index == VarId).
+struct LivenessInfo {
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+};
+
+/// Backward may-analysis over the CFG. Works on both pre-SSA and SSA form;
+/// in SSA form a phi's operands are treated as uses at the end of the
+/// matching predecessor and its result as a definition at the block head.
+LivenessInfo computeLiveness(const Function &F);
+
+/// Per-block available-variable sets (a definition reaches the point along
+/// some path). Parameters are available on entry.
+struct AvailabilityInfo {
+  std::vector<BitVector> AvailIn;
+  std::vector<BitVector> AvailOut;
+};
+
+/// Forward may-analysis over the CFG.
+AvailabilityInfo computeAvailability(const Function &F);
+
+} // namespace matcoal
+
+#endif // MATCOAL_ANALYSIS_LIVENESS_H

@@ -1,0 +1,580 @@
+//===- CEmitter.cpp -------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+using namespace matcoal;
+
+namespace {
+
+/// Renders a double as a C literal without precision loss
+/// (std::to_string truncates to 6 decimals, destroying constants like
+/// 1e-9).
+std::string cDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  std::string S = Buf;
+  // Ensure a double-typed literal (e.g. "2" -> "2.0") for clarity.
+  if (S.find_first_of(".eEnN") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+/// Escapes a string for inclusion in a C string literal. MATLAB string
+/// payloads keep their backslash sequences verbatim (fprintf interprets
+/// them at run time), so a backslash must survive as a backslash.
+std::string cEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '\\': Out += "\\\\"; break;
+    case '"': Out += "\\\""; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    case '\r': Out += "\\r"; break;
+    default: Out += C; break;
+    }
+  }
+  return Out;
+}
+
+/// Per-function emission state.
+///
+/// Storage convention in the emitted C: every slot (a storage group or an
+/// unplanned variable) is a quadruple
+///     double *S;  mcrt_size S_cap;  mcrt_size S_d0, S_d1;
+/// Stack groups point at a fixed local array and carry a NEGATIVE cap
+/// (-capacity in elements): mcrt_ensure() treats them as non-growable.
+/// Heap groups start null with cap 0 and grow through mcrt_ensure().
+/// Results are passed to the mcrt runtime as (&S, &S_cap, &S_d0, &S_d1)
+/// and arguments as (S, S_d0, S_d1) -- one uniform variadic ABI.
+class Emitter {
+public:
+  Emitter(const Function &F, const StoragePlan &Plan,
+          const TypeInference &TI)
+      : F(F), Plan(Plan), Types(TI.functionTypes(F)) {}
+
+  std::string run();
+
+private:
+  // Naming. Groups are gN; unplanned variables (colon markers, temps
+  // created after planning) are xN.
+  std::string slot(VarId V) const {
+    int G = Plan.groupOf(V);
+    if (G < 0)
+      return "x" + std::to_string(V);
+    return "g" + std::to_string(G);
+  }
+  std::string buf(VarId V) const { return slot(V); }
+  std::string cap(VarId V) const { return slot(V) + "_cap"; }
+  std::string dim(VarId V, int D) const {
+    return slot(V) + "_d" + std::to_string(D);
+  }
+  std::string numelExpr(VarId V) const {
+    return "(" + dim(V, 0) + "*" + dim(V, 1) + "*" + dim(V, 2) + ")";
+  }
+  bool isComplexVar(VarId V) const {
+    return Types[V].IT == IntrinsicType::Complex;
+  }
+  bool isCharVar(VarId V) const {
+    return Types[V].IT == IntrinsicType::Char;
+  }
+  bool isStaticScalar(VarId V) const { return Types[V].isScalar(); }
+
+  // Emission helpers.
+  void line(const std::string &S) {
+    for (int I = 0; I < Indent; ++I)
+      OS << "  ";
+    OS << S << "\n";
+  }
+  void open(const std::string &S) {
+    line(S + " {");
+    ++Indent;
+  }
+  void close() {
+    --Indent;
+    line("}");
+  }
+
+  void emitPrologue();
+  void emitBlock(const BasicBlock &BB);
+  void emitInstr(const Instr &I);
+  void emitElementwiseBinary(const Instr &I, const char *COp);
+  void emitDimCopy(VarId Dst, VarId Src);
+  void emitDimSet(VarId Dst, const std::string &D0, const std::string &D1);
+  /// Grows (or checks) the destination slot before a definition needing
+  /// \p CountExpr elements (the paper's "resizing storage on the fly").
+  void emitEnsure(VarId V, const std::string &CountExpr);
+  /// One uniform runtime call: mcrt_call("op", nres, nargs, results...,
+  /// args...).
+  std::string runtimeCall(const std::string &Op, const Instr &I);
+
+  const Function &F;
+  const StoragePlan &Plan;
+  const std::vector<VarType> &Types;
+  std::ostringstream OS;
+  int Indent = 0;
+};
+
+void Emitter::emitDimCopy(VarId Dst, VarId Src) {
+  line(dim(Dst, 0) + " = " + dim(Src, 0) + ";");
+  line(dim(Dst, 1) + " = " + dim(Src, 1) + ";");
+  line(dim(Dst, 2) + " = " + dim(Src, 2) + ";");
+}
+
+void Emitter::emitDimSet(VarId Dst, const std::string &D0,
+                         const std::string &D1) {
+  line(dim(Dst, 0) + " = " + D0 + ";");
+  line(dim(Dst, 1) + " = " + D1 + ";");
+  line(dim(Dst, 2) + " = 1;");
+}
+
+void Emitter::emitEnsure(VarId V, const std::string &CountExpr) {
+  line("mcrt_ensure(&" + buf(V) + ", &" + cap(V) + ", " + CountExpr + ");");
+}
+
+void Emitter::emitPrologue() {
+  // Storage declarations: one slot per group (the decomposition's payoff
+  // -- many variables, few buffers) plus any unplanned variables.
+  for (size_t GI = 0; GI < Plan.Groups.size(); ++GI) {
+    const StorageGroup &G = Plan.Groups[GI];
+    std::string S = "g" + std::to_string(GI);
+    std::ostringstream Cmt;
+    Cmt << "/*";
+    for (VarId V : G.Members)
+      Cmt << " " << F.var(V).Name;
+    Cmt << " */";
+    if (G.K == StorageGroup::Kind::Stack) {
+      std::int64_t Elems =
+          G.StackBytes / (G.IT == IntrinsicType::Complex ? 16 : 8);
+      if (Elems < 1)
+        Elems = 1;
+      std::int64_t Doubles =
+          G.IT == IntrinsicType::Complex ? Elems * 2 : Elems;
+      line("double " + S + "_fix[" + std::to_string(Doubles) + "]; " +
+           Cmt.str());
+      line("double *" + S + " = " + S + "_fix; mcrt_size " + S + "_cap = -" +
+           std::to_string(Elems) + ";");
+    } else {
+      line("double *" + S + " = 0; mcrt_size " + S + "_cap = 0; " +
+           Cmt.str());
+    }
+    line("mcrt_size " + S + "_d0 = 0, " + S + "_d1 = 0, " + S +
+         "_d2 = 1;");
+  }
+  // Unplanned variables referenced by the code (colon markers, post-GCTD
+  // temporaries such as parallel-copy temps).
+  std::set<VarId> Unplanned;
+  auto Note = [&](VarId V) {
+    if (Plan.groupOf(V) < 0)
+      Unplanned.insert(V);
+  };
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs) {
+      for (VarId R : I.Results)
+        Note(R);
+      for (VarId Op : I.Operands)
+        Note(Op);
+    }
+  for (VarId P : F.Params)
+    Note(P);
+  for (VarId V : Unplanned) {
+    std::string S = "x" + std::to_string(V);
+    line("double *" + S + " = 0; mcrt_size " + S + "_cap = 0; /* " +
+         F.var(V).Name + " */");
+    line("mcrt_size " + S + "_d0 = 0, " + S + "_d1 = 0, " + S +
+         "_d2 = 1;");
+  }
+  line("mcrt_size __i;");
+  line("(void)__i;");
+}
+
+std::string Emitter::run() {
+  OS << "/* " << F.Name << ": " << Plan.Groups.size()
+     << " storage groups, frame " << Plan.FrameBytes << " bytes */\n";
+  OS << "void mat_" << F.Name << "(";
+  bool First = true;
+  for (size_t K = 0; K < F.Params.size(); ++K) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "mcrt_arg in" << K;
+  }
+  for (size_t K = 0; K < F.Outputs.size(); ++K) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "mcrt_ref out" << K;
+  }
+  if (First)
+    OS << "void";
+  OS << ") {\n";
+  Indent = 1;
+  emitPrologue();
+  for (size_t K = 0; K < F.Params.size(); ++K) {
+    VarId P = F.Params[K];
+    line("mcrt_load(&" + buf(P) + ", &" + cap(P) + ", &" + dim(P, 0) +
+         ", &" + dim(P, 1) + ", &" + dim(P, 2) + ", in" +
+         std::to_string(K) + ");");
+  }
+  for (const auto &BB : F.Blocks)
+    emitBlock(*BB);
+  Indent = 0;
+  OS << "}\n";
+  return OS.str();
+}
+
+void Emitter::emitBlock(const BasicBlock &BB) {
+  OS << "L" << BB.Id << ":;\n";
+  for (const Instr &I : BB.Instrs)
+    emitInstr(I);
+}
+
+void Emitter::emitElementwiseBinary(const Instr &I, const char *COp) {
+  VarId C = I.result(), A = I.Operands[0], B = I.Operands[1];
+  // Complex or logical-producing paths go through the runtime.
+  if (isComplexVar(C) || isComplexVar(A) || isComplexVar(B)) {
+    line(runtimeCall(std::string("op_") + opcodeName(I.Op), I));
+    return;
+  }
+  std::string BA = buf(A), BB = buf(B), BC = buf(C);
+  line("/* " + F.var(C).Name + " <- " + F.var(A).Name + " " + COp + " " +
+       F.var(B).Name + " */");
+
+  auto Loop = [&](VarId Shaped, bool AScalar, bool BScalar) {
+    // Hoist scalar reads so in-place formation is safe even when the
+    // result shares the scalar's group.
+    if (AScalar)
+      line("{ double __s = " + BA + "[0];");
+    else if (BScalar)
+      line("{ double __s = " + BB + "[0];");
+    else
+      line("{");
+    ++Indent;
+    std::string LHS = AScalar ? "__s" : BA + "[__i]";
+    std::string RHS = BScalar ? "__s" : BB + "[__i]";
+    open("for (__i = 0; __i < " + numelExpr(Shaped) + "; __i++)");
+    line(BC + "[__i] = " + LHS + " " + COp + " " + RHS + ";");
+    close();
+    --Indent;
+    line("}");
+  };
+
+  // Static type information specializes the guards, exactly as the paper's
+  // Figure 1 does when shapes are only known dynamically.
+  bool AScalar = isStaticScalar(A);
+  bool BScalar = isStaticScalar(B);
+  if (AScalar && BScalar) {
+    emitEnsure(C, "1");
+    line(BC + "[0] = " + BA + "[0] " + COp + " " + BB + "[0];");
+    emitDimSet(C, "1", "1");
+    return;
+  }
+  if (AScalar) {
+    emitEnsure(C, numelExpr(B));
+    Loop(B, true, false);
+    emitDimCopy(C, B);
+    return;
+  }
+  if (BScalar) {
+    emitEnsure(C, numelExpr(A));
+    Loop(A, false, true);
+    emitDimCopy(C, A);
+    return;
+  }
+  // Shapes not statically resolved: the three-way dynamic guard.
+  emitEnsure(C, "mcrt_max(" + numelExpr(A) + ", " + numelExpr(B) + ")");
+  open("if (" + dim(A, 0) + " == 1 && " + dim(A, 1) + " == 1)");
+  line("/* First operand is a scalar. */");
+  Loop(B, true, false);
+  emitDimCopy(C, B);
+  close();
+  open("else if (" + dim(B, 0) + " == 1 && " + dim(B, 1) + " == 1)");
+  line("/* Second operand is a scalar. */");
+  Loop(A, false, true);
+  emitDimCopy(C, A);
+  close();
+  open("else");
+  line("/* Both operands have identical shapes. */");
+  line("mcrt_check_conformance(" + dim(A, 0) + ", " + dim(A, 1) + ", " +
+       dim(B, 0) + ", " + dim(B, 1) + ");");
+  Loop(A, false, false);
+  emitDimCopy(C, A);
+  close();
+}
+
+std::string Emitter::runtimeCall(const std::string &Op, const Instr &I) {
+  std::ostringstream Call;
+  Call << "mcrt_call(\"" << Op << "\", "
+       << I.Results.size() << ", " << I.Operands.size();
+  for (VarId R : I.Results)
+    Call << ", &" << buf(R) << ", &" << cap(R) << ", &" << dim(R, 0)
+         << ", &" << dim(R, 1) << ", &" << dim(R, 2);
+  for (VarId OpV : I.Operands)
+    Call << ", " << buf(OpV) << ", " << dim(OpV, 0) << ", " << dim(OpV, 1)
+         << ", " << dim(OpV, 2);
+  Call << ");";
+  return Call.str();
+}
+
+void Emitter::emitInstr(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::ConstNum: {
+    VarId C = I.result();
+    if (isComplexVar(C)) {
+      line("mcrt_const_complex(&" + buf(C) + ", &" + cap(C) + ", &" +
+           dim(C, 0) + ", &" + dim(C, 1) + ", &" + dim(C, 2) + ", " +
+           cDouble(I.NumRe) + ", " + cDouble(I.NumIm) + ");");
+    } else {
+      emitEnsure(C, "1");
+      line(buf(C) + "[0] = " + cDouble(I.NumRe) + ";");
+      emitDimSet(C, "1", "1");
+    }
+    return;
+  }
+  case Opcode::ConstStr: {
+    VarId C = I.result();
+    emitEnsure(C, std::to_string(I.StrVal.size() ? I.StrVal.size() : 1));
+    line("mcrt_str(" + buf(C) + ", &" + dim(C, 0) + ", &" + dim(C, 1) +
+         ", &" + dim(C, 2) + ", \"" + cEscape(I.StrVal) + "\");");
+    return;
+  }
+  case Opcode::ConstColon: {
+    VarId C = I.result();
+    // The ':' subscript marker: encoded as d0 = -1.
+    line(dim(C, 0) + " = -1; " + dim(C, 1) + " = 0; " + dim(C, 2) +
+         " = 1; /* ':' subscript marker */");
+    return;
+  }
+  case Opcode::Copy: {
+    VarId Dst = I.result(), Src = I.Operands[0];
+    if (Plan.sameSlot(Dst, Src)) {
+      // Identity assignment from a coalesced phi web: nothing to emit.
+      line("/* " + F.var(Dst).Name + " = " + F.var(Src).Name +
+           ": identity (coalesced) */");
+      return;
+    }
+    emitEnsure(Dst, numelExpr(Src));
+    open("for (__i = 0; __i < " + numelExpr(Src) + "; __i++)");
+    line(buf(Dst) + "[__i] = " + buf(Src) + "[__i];");
+    close();
+    emitDimCopy(Dst, Src);
+    return;
+  }
+  case Opcode::Add:
+    emitElementwiseBinary(I, "+");
+    return;
+  case Opcode::Sub:
+    emitElementwiseBinary(I, "-");
+    return;
+  case Opcode::ElemMul:
+    emitElementwiseBinary(I, "*");
+    return;
+  case Opcode::ElemRDiv:
+    emitElementwiseBinary(I, "/");
+    return;
+  case Opcode::MatMul:
+    // Scalar-operand multiplies are elementwise (and eligible for the
+    // in-place formation); true matrix products go to the runtime.
+    if (isStaticScalar(I.Operands[0]) || isStaticScalar(I.Operands[1])) {
+      emitElementwiseBinary(I, "*");
+      return;
+    }
+    line(runtimeCall("matmul", I));
+    return;
+  case Opcode::Subsref: {
+    // Inline the scalar-subscript fast path (mat2c's code selection);
+    // array subscripts and colons go to the runtime.
+    VarId C = I.result(), A = I.Operands[0];
+    unsigned NumSubs = static_cast<unsigned>(I.Operands.size()) - 1;
+    bool AllScalar = !isComplexVar(A) && !isComplexVar(C) &&
+                     NumSubs >= 1 && NumSubs <= 3;
+    for (size_t K = 1; K < I.Operands.size(); ++K) {
+      const VarType &T = Types[I.Operands[K]];
+      AllScalar &= T.isScalar() && T.IT != IntrinsicType::Colon;
+    }
+    if (AllScalar) {
+      line("/* inline scalar R-indexing */");
+      std::string Idx;
+      if (NumSubs == 1)
+        Idx = "mcrt_index1(" + buf(I.Operands[1]) + "[0], " +
+              numelExpr(A) + ")";
+      else if (NumSubs == 2)
+        Idx = "mcrt_index2(" + buf(I.Operands[1]) + "[0], " +
+              buf(I.Operands[2]) + "[0], " + dim(A, 0) + ", " +
+              dim(A, 1) + ")";
+      else
+        Idx = "mcrt_index3(" + buf(I.Operands[1]) + "[0], " +
+              buf(I.Operands[2]) + "[0], " + buf(I.Operands[3]) + "[0], " +
+              dim(A, 0) + ", " + dim(A, 1) + ", " + dim(A, 2) + ")";
+      open("");
+      line("mcrt_size __k = " + Idx + ";");
+      line("if (__k < 0) mcrt_fail(\"index exceeds array bounds\");");
+      emitEnsure(C, "1");
+      line(buf(C) + "[0] = " + buf(A) + "[__k];");
+      emitDimSet(C, "1", "1");
+      close();
+      return;
+    }
+    line(runtimeCall("subsref", I));
+    return;
+  }
+  case Opcode::Subsasgn: {
+    bool InPlace = Plan.sameSlot(I.result(), I.Operands[0]);
+    // Inline the scalar-on-scalar in-place write when no growth happens;
+    // beyond-extent writes fall back to the growing runtime path.
+    VarId Base = I.Operands[0], Rhs = I.Operands[1];
+    unsigned NumSubs = static_cast<unsigned>(I.Operands.size()) - 2;
+    bool Fast = InPlace && !isComplexVar(Base) && !isComplexVar(Rhs) &&
+                Types[Rhs].isScalar() && NumSubs >= 1 && NumSubs <= 3;
+    for (size_t K = 2; K < I.Operands.size(); ++K) {
+      const VarType &T = Types[I.Operands[K]];
+      Fast &= T.isScalar() && T.IT != IntrinsicType::Colon;
+    }
+    if (Fast) {
+      std::string Idx;
+      if (NumSubs == 1)
+        Idx = "mcrt_index1(" + buf(I.Operands[2]) + "[0], " +
+              numelExpr(Base) + ")";
+      else if (NumSubs == 2)
+        Idx = "mcrt_index2(" + buf(I.Operands[2]) + "[0], " +
+              buf(I.Operands[3]) + "[0], " + dim(Base, 0) + ", " +
+              dim(Base, 1) + ")";
+      else
+        Idx = "mcrt_index3(" + buf(I.Operands[2]) + "[0], " +
+              buf(I.Operands[3]) + "[0], " + buf(I.Operands[4]) + "[0], " +
+              dim(Base, 0) + ", " + dim(Base, 1) + ", " + dim(Base, 2) +
+              ")";
+      line("/* inline scalar L-indexing (in place; growth falls back) */");
+      open("");
+      line("mcrt_size __k = " + Idx + ";");
+      open("if (__k >= 0)");
+      line(buf(Base) + "[__k] = " + buf(Rhs) + "[0];");
+      close();
+      open("else");
+      line(runtimeCall("subsasgn_inplace", I));
+      close();
+      close();
+      return;
+    }
+    if (InPlace) {
+      line("/* in-place L-indexing: formed backwards (sec. 2.3.3.1) */");
+      line(runtimeCall("subsasgn_inplace", I));
+    } else {
+      line(runtimeCall("subsasgn_copy", I));
+    }
+    return;
+  }
+  case Opcode::Builtin:
+    // Char-ness is a static property in the C back end: route character
+    // displays to the string printer.
+    if (I.StrVal == "disp" && I.Operands.size() == 1 &&
+        isCharVar(I.Operands[0])) {
+      line(runtimeCall("disp_char", I));
+      return;
+    }
+    line(runtimeCall(I.StrVal, I));
+    return;
+  case Opcode::Call: {
+    std::ostringstream Call;
+    Call << "mat_" << I.StrVal << "(";
+    bool First = true;
+    for (VarId Op : I.Operands) {
+      if (!First)
+        Call << ", ";
+      First = false;
+      Call << "mcrt_arg_(" << buf(Op) << ", " << dim(Op, 0) << ", "
+           << dim(Op, 1) << ", " << dim(Op, 2) << ")";
+    }
+    for (VarId R : I.Results) {
+      if (!First)
+        Call << ", ";
+      First = false;
+      Call << "mcrt_ref_(&" << buf(R) << ", &" << cap(R) << ", &"
+           << dim(R, 0) << ", &" << dim(R, 1) << ", &" << dim(R, 2)
+           << ")";
+    }
+    Call << ");";
+    line(Call.str());
+    return;
+  }
+  case Opcode::Display:
+    line(std::string(isCharVar(I.Operands[0]) ? "mcrt_display_char(\""
+                                              : "mcrt_display(\"") +
+         cEscape(I.StrVal) + "\", " + buf(I.Operands[0]) + ", " +
+         dim(I.Operands[0], 0) + ", " + dim(I.Operands[0], 1) + ", " +
+         dim(I.Operands[0], 2) + ");");
+    return;
+  case Opcode::Jmp:
+    line("goto L" + std::to_string(I.Target1) + ";");
+    return;
+  case Opcode::Br:
+    line("if (mcrt_truth(" + buf(I.Operands[0]) + ", " +
+         numelExpr(I.Operands[0]) + ")) goto L" +
+         std::to_string(I.Target1) + "; else goto L" +
+         std::to_string(I.Target2) + ";");
+    return;
+  case Opcode::Ret: {
+    for (size_t K = 0; K < I.Operands.size(); ++K)
+      line("mcrt_store(out" + std::to_string(K) + ", " +
+           buf(I.Operands[K]) + ", " + dim(I.Operands[K], 0) + ", " +
+           dim(I.Operands[K], 1) + ", " + dim(I.Operands[K], 2) + ");");
+    line("return;");
+    return;
+  }
+  default:
+    // Every remaining operation maps onto one runtime routine named after
+    // the opcode.
+    line(runtimeCall(std::string("op_") + opcodeName(I.Op), I));
+    return;
+  }
+}
+
+} // namespace
+
+std::string matcoal::emitFunctionC(const Function &F,
+                                   const StoragePlan &Plan,
+                                   const TypeInference &TI) {
+  Emitter E(F, Plan, TI);
+  return E.run();
+}
+
+std::string matcoal::emitModuleC(
+    const Module &M, const std::map<const Function *, StoragePlan> &Plans,
+    const TypeInference &TI) {
+  std::ostringstream OS;
+  OS << "/* Generated by matcoal (GCTD array storage optimization). */\n"
+     << "#include \"mcrt.h\"\n\n";
+  // Forward declarations so call order doesn't matter.
+  for (const auto &F : M.Functions) {
+    OS << "void mat_" << F->Name << "(";
+    bool First = true;
+    for (size_t K = 0; K < F->Params.size(); ++K) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << "mcrt_arg";
+    }
+    for (size_t K = 0; K < F->Outputs.size(); ++K) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << "mcrt_ref";
+    }
+    if (First)
+      OS << "void";
+    OS << ");\n";
+  }
+  OS << "\n";
+  for (const auto &F : M.Functions) {
+    auto It = Plans.find(F.get());
+    assert(It != Plans.end() && "missing plan for function");
+    OS << emitFunctionC(*F, It->second, TI) << "\n";
+  }
+  OS << "int main(void) { mat_main(); return 0; }\n";
+  return OS.str();
+}

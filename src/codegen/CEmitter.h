@@ -1,0 +1,42 @@
+//===- CEmitter.h - C code generation from planned IR -----------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits C from the optimized, planned, SSA-inverted IR, mirroring what
+/// the paper's mat2c back end produces: stack groups become fixed-size
+/// local arrays, heap groups become resizable buffers with explicit
+/// resize checks, elementwise operators become the scalar-guarded
+/// in-place loops of the paper's Figure 1, and identity copies (coalesced
+/// phi webs) disappear. Library-shaped operations call into an `mcrt_`
+/// runtime whose prototypes are emitted alongside.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_CODEGEN_CEMITTER_H
+#define MATCOAL_CODEGEN_CEMITTER_H
+
+#include "gctd/StoragePlan.h"
+#include "ir/IR.h"
+#include "typeinf/TypeInference.h"
+
+#include <string>
+
+namespace matcoal {
+
+/// Emits C for one function under its storage plan.
+std::string emitFunctionC(const Function &F, const StoragePlan &Plan,
+                          const TypeInference &TI);
+
+/// Emits a full translation unit: the mcrt runtime declarations followed
+/// by every function of the module.
+std::string emitModuleC(const Module &M,
+                        const std::map<const Function *, StoragePlan> &Plans,
+                        const TypeInference &TI);
+
+} // namespace matcoal
+
+#endif // MATCOAL_CODEGEN_CEMITTER_H

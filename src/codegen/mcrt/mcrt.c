@@ -1,0 +1,1455 @@
+/*===- mcrt.c - C runtime for matcoal-generated code ---------------------===
+ *
+ * Scope: real-valued arrays of up to three dimensions (column major).
+ * Complex data faults with a clear message (use the instrumented VM).
+ *
+ *===----------------------------------------------------------------------===
+ */
+
+#include "mcrt.h"
+
+#include <math.h>
+#include <stdarg.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/*===--------------------------------------------------------------------===
+ * Basics
+ *===--------------------------------------------------------------------===*/
+
+void mcrt_fail(const char *msg) {
+  fprintf(stderr, "mcrt error: %s\n", msg);
+  exit(1);
+}
+
+mcrt_arg mcrt_arg_(const double *data, mcrt_size d0, mcrt_size d1,
+                   mcrt_size d2) {
+  mcrt_arg a;
+  a.data = data;
+  a.d0 = d0;
+  a.d1 = d1;
+  a.d2 = d2;
+  return a;
+}
+
+mcrt_ref mcrt_ref_(double **buf, mcrt_size *cap, mcrt_size *d0,
+                   mcrt_size *d1, mcrt_size *d2) {
+  mcrt_ref r;
+  r.buf = buf;
+  r.cap = cap;
+  r.d0 = d0;
+  r.d1 = d1;
+  r.d2 = d2;
+  return r;
+}
+
+void mcrt_ensure(double **buf, mcrt_size *cap, mcrt_size need) {
+  if (need < 1)
+    need = 1;
+  if (*cap < 0) {
+    /* Fixed (stack-planned) slot. */
+    if (need > -*cap)
+      mcrt_fail("static storage slot overflow (plan violation)");
+    return;
+  }
+  if (need <= *cap)
+    return;
+  {
+    mcrt_size newcap = *cap ? *cap : 4;
+    double *p;
+    while (newcap < need)
+      newcap *= 2;
+    p = (double *)realloc(*buf, (size_t)newcap * sizeof(double));
+    if (!p)
+      mcrt_fail("out of memory");
+    *buf = p;
+    *cap = newcap;
+  }
+}
+
+void mcrt_load(double **buf, mcrt_size *cap, mcrt_size *d0, mcrt_size *d1,
+               mcrt_size *d2, mcrt_arg in) {
+  mcrt_size n = in.d0 * in.d1 * in.d2;
+  mcrt_ensure(buf, cap, n);
+  if (n > 0)
+    memcpy(*buf, in.data, (size_t)n * sizeof(double));
+  *d0 = in.d0;
+  *d1 = in.d1;
+  *d2 = in.d2;
+}
+
+void mcrt_store(mcrt_ref out, const double *src, mcrt_size d0,
+                mcrt_size d1, mcrt_size d2) {
+  mcrt_size n = d0 * d1 * d2;
+  mcrt_ensure(out.buf, out.cap, n);
+  if (n > 0 && *out.buf != src)
+    memmove(*out.buf, src, (size_t)n * sizeof(double));
+  *out.d0 = d0;
+  *out.d1 = d1;
+  *out.d2 = d2;
+}
+
+int mcrt_truth(const double *buf, mcrt_size n) {
+  mcrt_size i;
+  if (n <= 0)
+    return 0;
+  for (i = 0; i < n; i++)
+    if (buf[i] == 0.0)
+      return 0;
+  return 1;
+}
+
+mcrt_size mcrt_max(mcrt_size a, mcrt_size b) { return a > b ? a : b; }
+
+void mcrt_check_conformance(mcrt_size a0, mcrt_size a1, mcrt_size b0,
+                            mcrt_size b1) {
+  if (a0 != b0 || a1 != b1)
+    mcrt_fail("matrix dimensions must agree");
+}
+
+static mcrt_size checked_index(double v) {
+  if (v < 1.0 || v != (double)(mcrt_size)v)
+    mcrt_fail("subscript indices must be positive integers");
+  return (mcrt_size)v - 1;
+}
+
+mcrt_size mcrt_index1(double i, mcrt_size n) {
+  mcrt_size k = checked_index(i);
+  return k < n ? k : -1;
+}
+
+mcrt_size mcrt_index2(double i, double j, mcrt_size d0, mcrt_size d1) {
+  mcrt_size r = checked_index(i), c = checked_index(j);
+  if (r < d0 && c < d1)
+    return r + c * d0;
+  return -1;
+}
+
+mcrt_size mcrt_index3(double i, double j, double k, mcrt_size d0,
+                      mcrt_size d1, mcrt_size d2) {
+  mcrt_size r = checked_index(i), c = checked_index(j),
+            p = checked_index(k);
+  if (r < d0 && c < d1 && p < d2)
+    return r + c * d0 + p * d0 * d1;
+  return -1;
+}
+
+void mcrt_str(double *buf, mcrt_size *d0, mcrt_size *d1, mcrt_size *d2,
+              const char *s) {
+  mcrt_size i, n = (mcrt_size)strlen(s);
+  for (i = 0; i < n; i++)
+    buf[i] = (double)(unsigned char)s[i];
+  *d0 = 1;
+  *d1 = n;
+  *d2 = 1;
+}
+
+void mcrt_const_complex(double **buf, mcrt_size *cap, mcrt_size *d0,
+                        mcrt_size *d1, mcrt_size *d2, double re,
+                        double im) {
+  (void)buf;
+  (void)cap;
+  (void)d0;
+  (void)d1;
+  (void)d2;
+  (void)re;
+  (void)im;
+  mcrt_fail("complex values are not supported by the mcrt back end");
+}
+
+/*===--------------------------------------------------------------------===
+ * Formatting (matches the matcoal VM's display byte for byte)
+ *===--------------------------------------------------------------------===*/
+
+static void fmt_double(char *out, size_t cap, double v) {
+  if (isnan(v)) {
+    snprintf(out, cap, "NaN");
+    return;
+  }
+  if (isinf(v)) {
+    snprintf(out, cap, v > 0 ? "Inf" : "-Inf");
+    return;
+  }
+  if (v == floor(v) && fabs(v) < 1e15) {
+    snprintf(out, cap, "%.0f", v);
+    return;
+  }
+  snprintf(out, cap, "%.5g", v);
+}
+
+static void print_matrix(const double *buf, mcrt_size d0, mcrt_size d1,
+                         mcrt_size d2) {
+  char elem[64];
+  mcrt_size i, j, p;
+  if (d0 * d1 * d2 == 0) {
+    printf("[]");
+    return;
+  }
+  if (d0 == 1 && d1 == 1 && d2 == 1) {
+    fmt_double(elem, sizeof(elem), buf[0]);
+    printf("%s", elem);
+    return;
+  }
+  for (p = 0; p < d2; p++) {
+    if (d2 > 1)
+      printf("(:,:,%lld) =\n", (long long)(p + 1));
+    for (i = 0; i < d0; i++) {
+      printf("  ");
+      for (j = 0; j < d1; j++) {
+        if (j)
+          printf("  ");
+        fmt_double(elem, sizeof(elem), buf[p * d0 * d1 + j * d0 + i]);
+        printf("%s", elem);
+      }
+      if (i + 1 < d0 || p + 1 < d2)
+        printf("\n");
+    }
+  }
+}
+
+void mcrt_display(const char *name, const double *buf, mcrt_size d0,
+                  mcrt_size d1, mcrt_size d2) {
+  printf("%s =\n", name);
+  print_matrix(buf, d0, d1, d2);
+  printf("\n");
+}
+
+static void print_chars(const double *buf, mcrt_size n) {
+  mcrt_size i;
+  for (i = 0; i < n; i++)
+    putchar((char)(int)buf[i]);
+}
+
+void mcrt_display_char(const char *name, const double *buf, mcrt_size d0,
+                       mcrt_size d1, mcrt_size d2) {
+  printf("%s =\n", name);
+  print_chars(buf, d0 * d1 * d2);
+  printf("\n");
+}
+
+/*===--------------------------------------------------------------------===
+ * PRNG: identical stream to the VM's RandState per seed.
+ *===--------------------------------------------------------------------===*/
+
+static unsigned long long mcrt_rng_state;
+
+void mcrt_srand(unsigned long long seed) {
+  unsigned long long z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  mcrt_rng_state = (z ^ (z >> 31)) | 1ull;
+}
+
+static double rng_next(void) {
+  unsigned long long s = mcrt_rng_state;
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  mcrt_rng_state = s;
+  return (double)(s >> 11) * (1.0 / 9007199254740992.0);
+}
+
+static int rng_initialized;
+static void rng_init_once(void) {
+  if (!rng_initialized) {
+    mcrt_srand(20030609ull);
+    rng_initialized = 1;
+  }
+}
+
+/*===--------------------------------------------------------------------===
+ * mcrt_call plumbing
+ *===--------------------------------------------------------------------===*/
+
+#define MCRT_MAX_RES 4
+#define MCRT_MAX_ARGS 16
+
+typedef struct {
+  double **buf;
+  mcrt_size *cap;
+  mcrt_size *d0, *d1, *d2;
+} res_slot;
+
+typedef struct {
+  const double *p;
+  mcrt_size d0, d1, d2;
+} arg_view;
+
+static mcrt_size numel(const arg_view *a) {
+  return a->d0 < 0 ? 0 : a->d0 * a->d1 * a->d2;
+}
+static int is_colon(const arg_view *a) { return a->d0 < 0; }
+static int is_scalar(const arg_view *a) {
+  return a->d0 == 1 && a->d1 == 1 && a->d2 == 1;
+}
+static int is_2d(const arg_view *a) { return a->d2 == 1; }
+static double scalar_of(const arg_view *a) {
+  if (numel(a) < 1)
+    mcrt_fail("operand must not be empty");
+  return a->p[0];
+}
+static mcrt_size dim_of(const arg_view *a, int d) {
+  switch (d) {
+  case 0: return a->d0;
+  case 1: return a->d1;
+  default: return a->d2;
+  }
+}
+
+static void set_result(const res_slot *r, mcrt_size d0, mcrt_size d1,
+                       mcrt_size d2) {
+  mcrt_ensure(r->buf, r->cap, d0 * d1 * d2);
+  *r->d0 = d0;
+  *r->d1 = d1;
+  *r->d2 = d2;
+}
+
+static void set_scalar(const res_slot *r, double v) {
+  set_result(r, 1, 1, 1);
+  (*r->buf)[0] = v;
+}
+
+/*===--------------------------------------------------------------------===
+ * Library operations
+ *===--------------------------------------------------------------------===*/
+
+static void op_fill(const res_slot *r, const arg_view *args, int nargs,
+                    double v) {
+  mcrt_size d0 = 1, d1 = 1, d2 = 1, i;
+  if (nargs == 1) {
+    d0 = d1 = (mcrt_size)scalar_of(&args[0]);
+  } else if (nargs >= 2) {
+    d0 = (mcrt_size)scalar_of(&args[0]);
+    d1 = (mcrt_size)scalar_of(&args[1]);
+    if (nargs >= 3)
+      d2 = (mcrt_size)scalar_of(&args[2]);
+    if (nargs > 3)
+      mcrt_fail("arrays beyond three dimensions are not supported");
+  }
+  set_result(r, d0, d1, d2);
+  for (i = 0; i < d0 * d1 * d2; i++)
+    (*r->buf)[i] = v;
+}
+
+static void op_rand(const res_slot *r, const arg_view *args, int nargs,
+                    int normal) {
+  mcrt_size i, n;
+  rng_init_once();
+  op_fill(r, args, nargs, 0.0);
+  n = *r->d0 * *r->d1 * *r->d2;
+  if (!normal) {
+    for (i = 0; i < n; i++)
+      (*r->buf)[i] = rng_next();
+  } else {
+    for (i = 0; i < n; i++) {
+      double u1 = rng_next(), u2 = rng_next();
+      if (u1 < 1e-300)
+        u1 = 1e-300;
+      (*r->buf)[i] =
+          sqrt(-2.0 * log(u1)) * cos(2.0 * 3.14159265358979323846 * u2);
+    }
+  }
+}
+
+typedef double (*unary_fn)(double);
+
+static void op_map(const res_slot *r, const arg_view *a, unary_fn f) {
+  mcrt_size i, n = numel(a);
+  mcrt_size d0 = a->d0, d1 = a->d1, d2 = a->d2;
+  set_result(r, d0, d1, d2);
+  for (i = 0; i < n; i++)
+    (*r->buf)[i] = f(a->p[i]);
+  *r->d0 = d0;
+  *r->d1 = d1;
+  *r->d2 = d2;
+}
+
+static double f_sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+static double f_fix(double x) { return trunc(x); }
+static double f_sqrt_real(double x) {
+  if (x < 0)
+    mcrt_fail("sqrt of a negative value escapes to complex "
+              "(unsupported by mcrt)");
+  return sqrt(x);
+}
+static double f_log_real(double x) {
+  if (x < 0)
+    mcrt_fail("log of a negative value escapes to complex "
+              "(unsupported by mcrt)");
+  return log(x);
+}
+static double f_identity(double x) { return x; }
+static double f_zero(double x) { (void)x; return 0.0; }
+static double f_logical(double x) { return x != 0.0; }
+static double f_neg(double x) { return -x; }
+static double f_not(double x) { return x == 0.0 ? 1.0 : 0.0; }
+
+typedef double (*binary_fn)(double, double);
+static double f_add(double x, double y) { return x + y; }
+static double f_sub(double x, double y) { return x - y; }
+static double f_mul(double x, double y) { return x * y; }
+static double f_div(double x, double y) { return x / y; }
+static double f_ldiv(double x, double y) { return y / x; }
+static double f_lt(double x, double y) { return x < y; }
+static double f_le(double x, double y) { return x <= y; }
+static double f_gt(double x, double y) { return x > y; }
+static double f_ge(double x, double y) { return x >= y; }
+static double f_eq(double x, double y) { return x == y; }
+static double f_ne(double x, double y) { return x != y; }
+static double f_and(double x, double y) { return x != 0.0 && y != 0.0; }
+static double f_or(double x, double y) { return x != 0.0 || y != 0.0; }
+static double f_min2(double x, double y) { return x < y ? x : y; }
+static double f_max2(double x, double y) { return x > y ? x : y; }
+static double f_mod(double x, double y) {
+  if (y == 0.0)
+    return x;
+  return x - floor(x / y) * y;
+}
+static double f_rem(double x, double y) {
+  return y == 0.0 ? x : fmod(x, y);
+}
+static double f_pow(double x, double y) {
+  if (x < 0 && y != floor(y))
+    mcrt_fail("fractional power of a negative value escapes to complex "
+              "(unsupported by mcrt)");
+  return pow(x, y);
+}
+
+static void op_zip(const res_slot *r, const arg_view *a, const arg_view *b,
+                   binary_fn f) {
+  int as = is_scalar(a), bs = is_scalar(b);
+  const arg_view *big = (as && !bs) ? b : a;
+  mcrt_size i, n = numel(big);
+  mcrt_size d0 = big->d0, d1 = big->d1, d2 = big->d2;
+  double sa = as ? a->p[0] : 0, sb = bs ? b->p[0] : 0;
+  if (!as && !bs &&
+      (a->d0 != b->d0 || a->d1 != b->d1 || a->d2 != b->d2))
+    mcrt_fail("matrix dimensions must agree");
+  set_result(r, d0, d1, d2);
+  for (i = 0; i < n; i++)
+    (*r->buf)[i] = f(as ? sa : a->p[i], bs ? sb : b->p[i]);
+  *r->d0 = d0;
+  *r->d1 = d1;
+  *r->d2 = d2;
+}
+
+static void op_matmul(const res_slot *r, const arg_view *a,
+                      const arg_view *b) {
+  mcrt_size m, k, n, i, j, p;
+  double *out;
+  if (is_scalar(a) || is_scalar(b)) {
+    op_zip(r, a, b, f_mul);
+    return;
+  }
+  if (!is_2d(a) || !is_2d(b))
+    mcrt_fail("matrix multiplication requires 2-D operands");
+  m = a->d0;
+  k = a->d1;
+  n = b->d1;
+  if (k != b->d0)
+    mcrt_fail("inner matrix dimensions must agree");
+  set_result(r, m, n, 1);
+  out = *r->buf;
+  for (i = 0; i < m * n; i++)
+    out[i] = 0.0;
+  for (j = 0; j < n; j++)
+    for (p = 0; p < k; p++) {
+      double bv = b->p[p + j * k];
+      if (bv == 0.0)
+        continue;
+      for (i = 0; i < m; i++)
+        out[i + j * m] += a->p[i + p * m] * bv;
+    }
+}
+
+/* Gaussian elimination with partial pivoting: solves A X = B. */
+static void op_solve(const res_slot *r, const arg_view *a,
+                     const arg_view *b) {
+  mcrt_size n = a->d0, nrhs = b->d1, i, j, col;
+  double *m, *x;
+  if (!is_2d(a) || !is_2d(b) || a->d1 != n)
+    mcrt_fail("matrix must be square for this solver");
+  if (b->d0 != n)
+    mcrt_fail("matrix dimensions must agree in solve");
+  m = (double *)malloc((size_t)(n * n) * sizeof(double));
+  x = (double *)malloc((size_t)(n * nrhs) * sizeof(double));
+  if (!m || !x)
+    mcrt_fail("out of memory");
+  memcpy(m, a->p, (size_t)(n * n) * sizeof(double));
+  memcpy(x, b->p, (size_t)(n * nrhs) * sizeof(double));
+  for (col = 0; col < n; col++) {
+    mcrt_size piv = col;
+    double best = fabs(m[col + col * n]);
+    for (i = col + 1; i < n; i++)
+      if (fabs(m[i + col * n]) > best) {
+        best = fabs(m[i + col * n]);
+        piv = i;
+      }
+    if (best == 0.0)
+      mcrt_fail("matrix is singular to working precision");
+    if (piv != col) {
+      for (j = 0; j < n; j++) {
+        double t = m[col + j * n];
+        m[col + j * n] = m[piv + j * n];
+        m[piv + j * n] = t;
+      }
+      for (j = 0; j < nrhs; j++) {
+        double t = x[col + j * n];
+        x[col + j * n] = x[piv + j * n];
+        x[piv + j * n] = t;
+      }
+    }
+    for (i = col + 1; i < n; i++) {
+      double factor = m[i + col * n] / m[col + col * n];
+      if (factor == 0.0)
+        continue;
+      for (j = col; j < n; j++)
+        m[i + j * n] -= factor * m[col + j * n];
+      for (j = 0; j < nrhs; j++)
+        x[i + j * n] -= factor * x[col + j * n];
+    }
+  }
+  for (col = n; col-- > 0;) {
+    for (j = 0; j < nrhs; j++) {
+      double sum = x[col + j * n];
+      for (i = col + 1; i < n; i++)
+        sum -= m[col + i * n] * x[i + j * n];
+      x[col + j * n] = sum / m[col + col * n];
+    }
+  }
+  set_result(r, n, nrhs, 1);
+  memcpy(*r->buf, x, (size_t)(n * nrhs) * sizeof(double));
+  free(m);
+  free(x);
+}
+
+static void op_transpose(const res_slot *r, const arg_view *a) {
+  mcrt_size i, j, d0 = a->d0, d1 = a->d1;
+  if (!is_2d(a))
+    mcrt_fail("transpose of an N-D array is undefined");
+  if (*r->buf == a->p && !is_scalar(a)) {
+    if (d0 != 1 && d1 != 1)
+      mcrt_fail("aliased matrix transpose (plan violation)");
+    *r->d0 = d1;
+    *r->d1 = d0;
+    *r->d2 = 1;
+    return;
+  }
+  set_result(r, d1, d0, 1);
+  for (i = 0; i < d0; i++)
+    for (j = 0; j < d1; j++)
+      (*r->buf)[j + i * d1] = a->p[i + j * d0];
+  *r->d0 = d1;
+  *r->d1 = d0;
+  *r->d2 = 1;
+}
+
+static void op_colon(const res_slot *r, double lo, double step, double hi) {
+  mcrt_size n = 0, i;
+  if (step != 0.0 && !((step > 0 && lo > hi) || (step < 0 && lo < hi))) {
+    double t = (hi - lo) / step;
+    double fudge = 1e-10 * (t > 1 ? t : 1);
+    n = (mcrt_size)floor(t + fudge) + 1;
+  }
+  set_result(r, 1, n, 1);
+  for (i = 0; i < n; i++)
+    (*r->buf)[i] = lo + (double)i * step;
+  *r->d0 = 1;
+  *r->d1 = n;
+  *r->d2 = 1;
+}
+
+/*===--------------------------------------------------------------------===
+ * Indexing (generic over 1..3 subscripts)
+ *===--------------------------------------------------------------------===*/
+
+typedef struct {
+  const double *idx; /* NULL for ':' */
+  mcrt_size count;
+} sub_view;
+
+static sub_view resolve_sub(const arg_view *s, mcrt_size extent) {
+  sub_view v;
+  if (is_colon(s)) {
+    v.idx = 0;
+    v.count = extent;
+  } else {
+    v.idx = s->p;
+    v.count = numel(s);
+  }
+  return v;
+}
+
+static mcrt_size sub_at(const sub_view *v, mcrt_size k) {
+  if (!v->idx)
+    return k;
+  return checked_index(v->idx[k]);
+}
+
+/* Extent of the base seen by subscript d of nsubs (the last subscript
+ * folds the trailing dimensions). */
+static mcrt_size fold_extent(const arg_view *a, int d, int nsubs) {
+  if (d + 1 < nsubs)
+    return dim_of(a, d);
+  {
+    mcrt_size e = 1;
+    int dd;
+    for (dd = d; dd < 3; dd++)
+      e *= dim_of(a, dd);
+    return e;
+  }
+}
+
+static void op_subsref(const res_slot *r, const arg_view *a,
+                       const arg_view *subs, int nsubs) {
+  sub_view s[3];
+  mcrt_size extent[3] = {1, 1, 1};
+  mcrt_size strides[3] = {1, 1, 1};
+  mcrt_size count[3] = {1, 1, 1};
+  mcrt_size total = 1, k, stride = 1;
+  int d;
+  double *tmp;
+  mcrt_size od0, od1, od2;
+  if (nsubs < 1 || nsubs > 3)
+    mcrt_fail("unsupported subscript count");
+  if (nsubs == 1) {
+    extent[0] = numel(a);
+  } else {
+    for (d = 0; d < nsubs; d++)
+      extent[d] = fold_extent(a, d, nsubs);
+  }
+  for (d = 0; d < nsubs; d++) {
+    s[d] = resolve_sub(&subs[d], extent[d]);
+    count[d] = s[d].count;
+    strides[d] = stride;
+    stride *= extent[d];
+    total *= count[d];
+  }
+  tmp = (double *)malloc((size_t)(total != 0 ? total : 1) *
+                         sizeof(double));
+  if (!tmp)
+    mcrt_fail("out of memory");
+  {
+    mcrt_size c[3] = {0, 0, 0};
+    for (k = 0; k < total; k++) {
+      mcrt_size src = 0;
+      for (d = 0; d < nsubs; d++) {
+        mcrt_size idx = sub_at(&s[d], c[d]);
+        if (idx >= extent[d])
+          mcrt_fail("index exceeds array bounds");
+        src += idx * strides[d];
+      }
+      tmp[k] = a->p[src];
+      for (d = 0; d < nsubs; d++) {
+        if (++c[d] < count[d])
+          break;
+        c[d] = 0;
+      }
+    }
+  }
+  /* Result shape. */
+  if (nsubs == 1) {
+    if (is_colon(&subs[0])) {
+      od0 = total;
+      od1 = 1;
+    } else if ((a->d0 == 1 || a->d1 == 1) && a->d2 == 1 &&
+               (subs[0].d0 == 1 || subs[0].d1 == 1) && subs[0].d2 == 1) {
+      od0 = a->d0 == 1 ? 1 : total;
+      od1 = a->d0 == 1 ? total : 1;
+    } else {
+      od0 = subs[0].d0;
+      od1 = subs[0].d1;
+    }
+    od2 = 1;
+  } else {
+    od0 = count[0];
+    od1 = count[1];
+    od2 = nsubs >= 3 ? count[2] : 1;
+  }
+  set_result(r, od0, od1, od2);
+  memcpy(*r->buf, tmp, (size_t)total * sizeof(double));
+  *r->d0 = od0;
+  *r->d1 = od1;
+  *r->d2 = od2;
+  free(tmp);
+}
+
+/* L-indexing with growth, in place in the destination slot. Elements move
+ * backwards on expansion, exactly as section 2.3.3.1 prescribes. */
+static void op_subsasgn(const res_slot *r, const arg_view *rhs,
+                        const arg_view *subs, int nsubs,
+                        const mcrt_size bd[3]) {
+  sub_view s[3];
+  mcrt_size extent[3] = {1, 1, 1};
+  mcrt_size nd[3];
+  mcrt_size count[3] = {1, 1, 1};
+  mcrt_size total = 1, k;
+  int d, grew = 0;
+  if (nsubs < 1 || nsubs > 3)
+    mcrt_fail("unsupported subscript count");
+  nd[0] = bd[0];
+  nd[1] = bd[1];
+  nd[2] = bd[2];
+
+  if (nsubs == 1) {
+    mcrt_size base_n = bd[0] * bd[1] * bd[2];
+    mcrt_size maxi = -1;
+    s[0] = resolve_sub(&subs[0], base_n);
+    total = s[0].count;
+    for (k = 0; k < s[0].count; k++) {
+      mcrt_size idx = sub_at(&s[0], k);
+      if (idx > maxi)
+        maxi = idx;
+    }
+    if (maxi >= base_n) {
+      if (bd[2] != 1)
+        mcrt_fail("linear growth of an N-D array is not supported");
+      if (base_n == 0) {
+        nd[0] = 1;
+        nd[1] = maxi + 1;
+      } else if (bd[0] == 1) {
+        nd[1] = maxi + 1;
+      } else if (bd[1] == 1) {
+        nd[0] = maxi + 1;
+      } else {
+        mcrt_fail("linear index out of bounds for a matrix (cannot grow)");
+      }
+      mcrt_ensure(r->buf, r->cap, nd[0] * nd[1]);
+      for (k = base_n; k < nd[0] * nd[1]; k++)
+        (*r->buf)[k] = 0.0;
+    }
+    if (!is_scalar(rhs) && numel(rhs) != total)
+      mcrt_fail("assignment dimension mismatch");
+    for (k = 0; k < total; k++)
+      (*r->buf)[sub_at(&s[0], k)] =
+          is_scalar(rhs) ? rhs->p[0] : rhs->p[k];
+    *r->d0 = nd[0];
+    *r->d1 = nd[1];
+    *r->d2 = nd[2];
+    return;
+  }
+
+  if (nsubs == 2 && bd[2] != 1)
+    mcrt_fail("2-subscript writes into a 3-D array are not supported");
+  for (d = 0; d < nsubs; d++)
+    extent[d] = bd[d];
+  for (d = 0; d < nsubs; d++) {
+    s[d] = resolve_sub(&subs[d], extent[d]);
+    count[d] = s[d].count;
+    total *= count[d];
+    for (k = 0; k < s[d].count; k++) {
+      mcrt_size idx = sub_at(&s[d], k);
+      if (idx + 1 > nd[d]) {
+        nd[d] = idx + 1;
+        grew = 1;
+      }
+    }
+  }
+
+  if (grew) {
+    /* Expand: move old contents backwards (last to first). */
+    mcrt_size oldn = bd[0] * bd[1] * bd[2];
+    mcrt_size newn = nd[0] * nd[1] * nd[2];
+    mcrt_size i0, i1, i2;
+    mcrt_ensure(r->buf, r->cap, newn);
+    for (k = newn; k-- > oldn;)
+      (*r->buf)[k] = 0.0;
+    for (i2 = bd[2]; i2-- > 0;)
+      for (i1 = bd[1]; i1-- > 0;)
+        for (i0 = bd[0]; i0-- > 0;) {
+          mcrt_size oldi = i0 + i1 * bd[0] + i2 * bd[0] * bd[1];
+          mcrt_size newi = i0 + i1 * nd[0] + i2 * nd[0] * nd[1];
+          if (newi != oldi) {
+            (*r->buf)[newi] = (*r->buf)[oldi];
+            (*r->buf)[oldi] = 0.0;
+          }
+        }
+  }
+
+  if (!is_scalar(rhs) && numel(rhs) != total)
+    mcrt_fail("assignment dimension mismatch");
+  {
+    mcrt_size c[3] = {0, 0, 0};
+    for (k = 0; k < total; k++) {
+      mcrt_size dst = 0;
+      mcrt_size stride = 1;
+      for (d = 0; d < 3; d++) {
+        mcrt_size idx = d < nsubs ? sub_at(&s[d], c[d]) : 0;
+        dst += idx * stride;
+        stride *= nd[d];
+      }
+      (*r->buf)[dst] = is_scalar(rhs) ? rhs->p[0] : rhs->p[k];
+      for (d = 0; d < nsubs; d++) {
+        if (++c[d] < count[d])
+          break;
+        c[d] = 0;
+      }
+    }
+  }
+  *r->d0 = nd[0];
+  *r->d1 = nd[1];
+  *r->d2 = nd[2];
+}
+
+static void op_concat(const res_slot *r, const arg_view *args, int nargs,
+                      int dim) {
+  mcrt_size keep = -1, total = 0, off = 0, i, j;
+  int k;
+  double *tmp;
+  mcrt_size td0, td1;
+  for (k = 0; k < nargs; k++) {
+    if (numel(&args[k]) == 0)
+      continue;
+    if (!is_2d(&args[k]))
+      mcrt_fail("N-D concatenation is not supported");
+    {
+      mcrt_size kd = dim == 1 ? args[k].d0 : args[k].d1;
+      mcrt_size cd = dim == 1 ? args[k].d1 : args[k].d0;
+      if (keep < 0)
+        keep = kd;
+      else if (kd != keep)
+        mcrt_fail("concatenation dimensions are inconsistent");
+      total += cd;
+    }
+  }
+  if (keep < 0) {
+    set_result(r, 0, 0, 1);
+    return;
+  }
+  td0 = dim == 1 ? keep : total;
+  td1 = dim == 1 ? total : keep;
+  tmp = (double *)malloc((size_t)((td0 * td1) != 0 ? td0 * td1 : 1) *
+                         sizeof(double));
+  if (!tmp)
+    mcrt_fail("out of memory");
+  for (k = 0; k < nargs; k++) {
+    mcrt_size ad0 = args[k].d0, ad1 = args[k].d1;
+    if (numel(&args[k]) == 0)
+      continue;
+    for (j = 0; j < ad1; j++)
+      for (i = 0; i < ad0; i++) {
+        mcrt_size di = dim == 0 ? off + i : i;
+        mcrt_size dj = dim == 1 ? off + j : j;
+        tmp[di + dj * td0] = args[k].p[i + j * ad0];
+      }
+    off += dim == 1 ? ad1 : ad0;
+  }
+  set_result(r, td0, td1, 1);
+  memcpy(*r->buf, tmp, (size_t)(td0 * td1) * sizeof(double));
+  *r->d0 = td0;
+  *r->d1 = td1;
+  *r->d2 = 1;
+  free(tmp);
+}
+
+/*===--------------------------------------------------------------------===
+ * printf-style formatting (matches the VM's formatPrintf)
+ *===--------------------------------------------------------------------===*/
+
+static void do_printf(FILE *out, const arg_view *fmt_arg,
+                      const arg_view *args, int nargs) {
+  char fmt[4096];
+  mcrt_size fi, fn = numel(fmt_arg);
+  double vals[256];
+  int nvals = 0, k;
+  size_t next = 0;
+  int consumed_any;
+  if (fn >= (mcrt_size)sizeof(fmt))
+    mcrt_fail("format string too long");
+  for (fi = 0; fi < fn; fi++)
+    fmt[fi] = (char)(int)fmt_arg->p[fi];
+  fmt[fn] = 0;
+  for (k = 0; k < nargs; k++) {
+    mcrt_size i, n = numel(&args[k]);
+    for (i = 0; i < n && nvals < 256; i++)
+      vals[nvals++] = args[k].p[i];
+  }
+  do {
+    size_t i = 0, flen = strlen(fmt);
+    consumed_any = 0;
+    while (i < flen) {
+      char c = fmt[i];
+      if (c == '\\' && i + 1 < flen) {
+        char e = fmt[i + 1];
+        i += 2;
+        if (e == 'n')
+          fputc('\n', out);
+        else if (e == 't')
+          fputc('\t', out);
+        else if (e == 'r')
+          fputc('\r', out);
+        else
+          fputc(e, out);
+        continue;
+      }
+      if (c != '%') {
+        fputc(c, out);
+        i++;
+        continue;
+      }
+      if (i + 1 < flen && fmt[i + 1] == '%') {
+        fputc('%', out);
+        i += 2;
+        continue;
+      }
+      {
+        size_t spec_start = i++;
+        char spec[32], conv;
+        size_t spec_len;
+        while (i < flen &&
+               ((fmt[i] >= '0' && fmt[i] <= '9') || fmt[i] == '.' ||
+                fmt[i] == '-' || fmt[i] == '+' || fmt[i] == ' ' ||
+                fmt[i] == '#'))
+          i++;
+        if (i >= flen)
+          break;
+        conv = fmt[i++];
+        spec_len = i - spec_start;
+        if (spec_len >= sizeof(spec))
+          mcrt_fail("format spec too long");
+        memcpy(spec, fmt + spec_start, spec_len);
+        spec[spec_len] = 0;
+        if (next >= (size_t)nvals) {
+          if (nvals == 0) {
+            fputs(spec, out);
+            continue;
+          }
+          return;
+        }
+        {
+          double v = vals[next++];
+          char buf[256];
+          consumed_any = 1;
+          switch (conv) {
+          case 'd':
+          case 'i': {
+            char spec2[40];
+            snprintf(spec2, sizeof(spec2), "%.*slld",
+                     (int)(spec_len - 1), spec);
+            snprintf(buf, sizeof(buf), spec2, (long long)v);
+            fputs(buf, out);
+            break;
+          }
+          case 'f':
+          case 'e':
+          case 'g':
+          case 'E':
+          case 'G':
+            snprintf(buf, sizeof(buf), spec, v);
+            fputs(buf, out);
+            break;
+          case 's':
+            fmt_double(buf, sizeof(buf), v);
+            fputs(buf, out);
+            break;
+          case 'c':
+            fputc((char)(int)v, out);
+            break;
+          default:
+            fputs(spec, out);
+            break;
+          }
+        }
+      }
+    }
+  } while (next < (size_t)nvals && consumed_any);
+}
+
+/*===--------------------------------------------------------------------===
+ * Dispatch
+ *===--------------------------------------------------------------------===*/
+
+void mcrt_call(const char *op, int nres, int nargs, ...) {
+  res_slot res[MCRT_MAX_RES];
+  arg_view args[MCRT_MAX_ARGS];
+  va_list ap;
+  int k;
+  if (nres > MCRT_MAX_RES || nargs > MCRT_MAX_ARGS)
+    mcrt_fail("too many results or arguments");
+  va_start(ap, nargs);
+  for (k = 0; k < nres; k++) {
+    res[k].buf = va_arg(ap, double **);
+    res[k].cap = va_arg(ap, mcrt_size *);
+    res[k].d0 = va_arg(ap, mcrt_size *);
+    res[k].d1 = va_arg(ap, mcrt_size *);
+    res[k].d2 = va_arg(ap, mcrt_size *);
+  }
+  for (k = 0; k < nargs; k++) {
+    args[k].p = va_arg(ap, const double *);
+    args[k].d0 = va_arg(ap, mcrt_size);
+    args[k].d1 = va_arg(ap, mcrt_size);
+    args[k].d2 = va_arg(ap, mcrt_size);
+  }
+  va_end(ap);
+
+#define OP(name) (strcmp(op, name) == 0)
+  /* Constructors. */
+  if (OP("zeros")) { op_fill(&res[0], args, nargs, 0.0); return; }
+  if (OP("ones")) { op_fill(&res[0], args, nargs, 1.0); return; }
+  if (OP("eye")) {
+    mcrt_size i, n;
+    op_fill(&res[0], args, nargs, 0.0);
+    if (*res[0].d2 != 1)
+      mcrt_fail("eye is 2-D only");
+    n = *res[0].d0 < *res[0].d1 ? *res[0].d0 : *res[0].d1;
+    for (i = 0; i < n; i++)
+      (*res[0].buf)[i + i * *res[0].d0] = 1.0;
+    return;
+  }
+  if (OP("rand")) { op_rand(&res[0], args, nargs, 0); return; }
+  if (OP("randn")) { op_rand(&res[0], args, nargs, 1); return; }
+  if (OP("linspace")) {
+    double lo = scalar_of(&args[0]), hi = scalar_of(&args[1]);
+    mcrt_size n = nargs >= 3 ? (mcrt_size)scalar_of(&args[2]) : 100, i;
+    set_result(&res[0], 1, n, 1);
+    for (i = 0; i < n; i++)
+      (*res[0].buf)[i] =
+          n == 1 ? hi : lo + (hi - lo) * (double)i / (double)(n - 1);
+    return;
+  }
+
+  /* Shape queries. */
+  if (OP("size")) {
+    const arg_view *a = &args[0];
+    if (nres >= 2) {
+      set_scalar(&res[0], (double)a->d0);
+      if (nres == 2)
+        set_scalar(&res[1], (double)(a->d1 * a->d2));
+      else {
+        set_scalar(&res[1], (double)a->d1);
+        set_scalar(&res[2], (double)a->d2);
+      }
+      return;
+    }
+    if (nargs >= 2) {
+      mcrt_size d = (mcrt_size)scalar_of(&args[1]);
+      set_scalar(&res[0], d >= 1 && d <= 3
+                              ? (double)dim_of(a, (int)(d - 1))
+                              : 1.0);
+      return;
+    }
+    if (a->d2 > 1) {
+      set_result(&res[0], 1, 3, 1);
+      (*res[0].buf)[0] = (double)a->d0;
+      (*res[0].buf)[1] = (double)a->d1;
+      (*res[0].buf)[2] = (double)a->d2;
+    } else {
+      set_result(&res[0], 1, 2, 1);
+      (*res[0].buf)[0] = (double)a->d0;
+      (*res[0].buf)[1] = (double)a->d1;
+    }
+    return;
+  }
+  if (OP("numel")) { set_scalar(&res[0], (double)numel(&args[0])); return; }
+  if (OP("length")) {
+    mcrt_size l = 0;
+    if (numel(&args[0]) != 0) {
+      l = args[0].d0;
+      if (args[0].d1 > l)
+        l = args[0].d1;
+      if (args[0].d2 > l)
+        l = args[0].d2;
+    }
+    set_scalar(&res[0], (double)l);
+    return;
+  }
+  if (OP("isempty")) {
+    set_scalar(&res[0], numel(&args[0]) == 0 ? 1.0 : 0.0);
+    return;
+  }
+
+  /* Elementwise maps. */
+  if (OP("abs")) { op_map(&res[0], &args[0], fabs); return; }
+  if (OP("sqrt")) { op_map(&res[0], &args[0], f_sqrt_real); return; }
+  if (OP("exp")) { op_map(&res[0], &args[0], exp); return; }
+  if (OP("log")) { op_map(&res[0], &args[0], f_log_real); return; }
+  if (OP("log2")) { op_map(&res[0], &args[0], log2); return; }
+  if (OP("log10")) { op_map(&res[0], &args[0], log10); return; }
+  if (OP("sin")) { op_map(&res[0], &args[0], sin); return; }
+  if (OP("cos")) { op_map(&res[0], &args[0], cos); return; }
+  if (OP("tan")) { op_map(&res[0], &args[0], tan); return; }
+  if (OP("asin")) { op_map(&res[0], &args[0], asin); return; }
+  if (OP("acos")) { op_map(&res[0], &args[0], acos); return; }
+  if (OP("atan")) { op_map(&res[0], &args[0], atan); return; }
+  if (OP("sinh")) { op_map(&res[0], &args[0], sinh); return; }
+  if (OP("cosh")) { op_map(&res[0], &args[0], cosh); return; }
+  if (OP("tanh")) { op_map(&res[0], &args[0], tanh); return; }
+  if (OP("floor")) { op_map(&res[0], &args[0], floor); return; }
+  if (OP("ceil")) { op_map(&res[0], &args[0], ceil); return; }
+  if (OP("round")) { op_map(&res[0], &args[0], round); return; }
+  if (OP("fix")) { op_map(&res[0], &args[0], f_fix); return; }
+  if (OP("sign")) { op_map(&res[0], &args[0], f_sign); return; }
+  if (OP("real") || OP("conj") || OP("double")) {
+    op_map(&res[0], &args[0], f_identity);
+    return;
+  }
+  if (OP("imag") || OP("angle")) {
+    op_map(&res[0], &args[0], f_zero);
+    return;
+  }
+  if (OP("logical")) { op_map(&res[0], &args[0], f_logical); return; }
+  if (OP("op_neg")) { op_map(&res[0], &args[0], f_neg); return; }
+  if (OP("op_uplus")) { op_map(&res[0], &args[0], f_identity); return; }
+  if (OP("op_not")) { op_map(&res[0], &args[0], f_not); return; }
+
+  /* Elementwise binaries. */
+  if (OP("atan2")) { op_zip(&res[0], &args[0], &args[1], atan2); return; }
+  if (OP("hypot")) { op_zip(&res[0], &args[0], &args[1], hypot); return; }
+  if (OP("mod")) { op_zip(&res[0], &args[0], &args[1], f_mod); return; }
+  if (OP("rem")) { op_zip(&res[0], &args[0], &args[1], f_rem); return; }
+  if (OP("op_add")) { op_zip(&res[0], &args[0], &args[1], f_add); return; }
+  if (OP("op_sub")) { op_zip(&res[0], &args[0], &args[1], f_sub); return; }
+  if (OP("op_elemmul")) {
+    op_zip(&res[0], &args[0], &args[1], f_mul);
+    return;
+  }
+  if (OP("op_elemrdiv")) {
+    op_zip(&res[0], &args[0], &args[1], f_div);
+    return;
+  }
+  if (OP("op_elemldiv")) {
+    op_zip(&res[0], &args[0], &args[1], f_ldiv);
+    return;
+  }
+  if (OP("op_elempow")) {
+    op_zip(&res[0], &args[0], &args[1], f_pow);
+    return;
+  }
+  if (OP("op_lt")) { op_zip(&res[0], &args[0], &args[1], f_lt); return; }
+  if (OP("op_le")) { op_zip(&res[0], &args[0], &args[1], f_le); return; }
+  if (OP("op_gt")) { op_zip(&res[0], &args[0], &args[1], f_gt); return; }
+  if (OP("op_ge")) { op_zip(&res[0], &args[0], &args[1], f_ge); return; }
+  if (OP("op_eq")) { op_zip(&res[0], &args[0], &args[1], f_eq); return; }
+  if (OP("op_ne")) { op_zip(&res[0], &args[0], &args[1], f_ne); return; }
+  if (OP("op_and")) { op_zip(&res[0], &args[0], &args[1], f_and); return; }
+  if (OP("op_or")) { op_zip(&res[0], &args[0], &args[1], f_or); return; }
+
+  /* Linear algebra. */
+  if (OP("matmul") || OP("op_matmul")) {
+    op_matmul(&res[0], &args[0], &args[1]);
+    return;
+  }
+  if (OP("op_matldiv")) {
+    if (is_scalar(&args[0])) {
+      op_zip(&res[0], &args[1], &args[0], f_div);
+      return;
+    }
+    op_solve(&res[0], &args[0], &args[1]);
+    return;
+  }
+  if (OP("op_matrdiv")) {
+    if (is_scalar(&args[1])) {
+      op_zip(&res[0], &args[0], &args[1], f_div);
+      return;
+    }
+    mcrt_fail("general right division is not supported by mcrt");
+  }
+  if (OP("op_matpow")) {
+    if (is_scalar(&args[0]) && is_scalar(&args[1])) {
+      set_scalar(&res[0], f_pow(args[0].p[0], args[1].p[0]));
+      return;
+    }
+    mcrt_fail("matrix power is not supported by mcrt");
+  }
+  if (OP("op_transpose") || OP("op_ctranspose")) {
+    op_transpose(&res[0], &args[0]);
+    return;
+  }
+
+  /* Ranges, indexing, concatenation. */
+  if (OP("op_colon2")) {
+    op_colon(&res[0], scalar_of(&args[0]), 1.0, scalar_of(&args[1]));
+    return;
+  }
+  if (OP("op_colon3")) {
+    op_colon(&res[0], scalar_of(&args[0]), scalar_of(&args[1]),
+             scalar_of(&args[2]));
+    return;
+  }
+  if (OP("subsref") || OP("op_subsref")) {
+    op_subsref(&res[0], &args[0], &args[1], nargs - 1);
+    return;
+  }
+  if (OP("subsasgn_inplace")) {
+    mcrt_size bd[3];
+    bd[0] = args[0].d0;
+    bd[1] = args[0].d1;
+    bd[2] = args[0].d2;
+    op_subsasgn(&res[0], &args[1], &args[2], nargs - 2, bd);
+    return;
+  }
+  if (OP("subsasgn_copy")) {
+    /* Snapshot operands that alias the result slot before the base copy
+     * (a scalar rhs may legally share the slot). */
+    mcrt_size n = numel(&args[0]);
+    mcrt_size bd[3];
+    double *snaps[MCRT_MAX_ARGS];
+    int k2;
+    bd[0] = args[0].d0;
+    bd[1] = args[0].d1;
+    bd[2] = args[0].d2;
+    for (k2 = 1; k2 < nargs; k2++) {
+      snaps[k2] = 0;
+      if (args[k2].p == *res[0].buf && numel(&args[k2]) > 0) {
+        mcrt_size an = numel(&args[k2]);
+        snaps[k2] = (double *)malloc((size_t)an * sizeof(double));
+        if (!snaps[k2])
+          mcrt_fail("out of memory");
+        memcpy(snaps[k2], args[k2].p, (size_t)an * sizeof(double));
+        args[k2].p = snaps[k2];
+      }
+    }
+    mcrt_ensure(res[0].buf, res[0].cap, n);
+    if (n && *res[0].buf != args[0].p)
+      memmove(*res[0].buf, args[0].p, (size_t)n * sizeof(double));
+    op_subsasgn(&res[0], &args[1], &args[2], nargs - 2, bd);
+    for (k2 = 1; k2 < nargs; k2++)
+      free(snaps[k2]);
+    return;
+  }
+  if (OP("op_horzcat")) { op_concat(&res[0], args, nargs, 1); return; }
+  if (OP("op_vertcat")) { op_concat(&res[0], args, nargs, 0); return; }
+  if (OP("reshape")) {
+    mcrt_size d0 = (mcrt_size)scalar_of(&args[1]);
+    mcrt_size d1 = nargs >= 3 ? (mcrt_size)scalar_of(&args[2]) : 1;
+    mcrt_size d2 = nargs >= 4 ? (mcrt_size)scalar_of(&args[3]) : 1;
+    if (d0 * d1 * d2 != numel(&args[0]))
+      mcrt_fail("reshape must preserve the element count");
+    set_result(&res[0], d0, d1, d2);
+    if (numel(&args[0]) && *res[0].buf != args[0].p)
+      memmove(*res[0].buf, args[0].p,
+              (size_t)numel(&args[0]) * sizeof(double));
+    *res[0].d0 = d0;
+    *res[0].d1 = d1;
+    *res[0].d2 = d2;
+    return;
+  }
+  if (OP("repmat")) {
+    mcrt_size m = (mcrt_size)scalar_of(&args[1]);
+    mcrt_size n = nargs >= 3 ? (mcrt_size)scalar_of(&args[2]) : m;
+    mcrt_size r0 = args[0].d0, c0 = args[0].d1, bi, bj, i, j;
+    double *tmp;
+    if (!is_2d(&args[0]))
+      mcrt_fail("repmat of an N-D array is not supported");
+    tmp = (double *)malloc(
+        (size_t)((r0 * m * c0 * n) != 0 ? r0 * m * c0 * n : 1) *
+        sizeof(double));
+    if (!tmp)
+      mcrt_fail("out of memory");
+    for (bj = 0; bj < n; bj++)
+      for (bi = 0; bi < m; bi++)
+        for (j = 0; j < c0; j++)
+          for (i = 0; i < r0; i++)
+            tmp[(bi * r0 + i) + (bj * c0 + j) * r0 * m] =
+                args[0].p[i + j * r0];
+    set_result(&res[0], r0 * m, c0 * n, 1);
+    memcpy(*res[0].buf, tmp, (size_t)(r0 * m * c0 * n) * sizeof(double));
+    *res[0].d0 = r0 * m;
+    *res[0].d1 = c0 * n;
+    *res[0].d2 = 1;
+    free(tmp);
+    return;
+  }
+
+  /* Reductions. */
+  if (OP("min") || OP("max")) {
+    int ismax = OP("max");
+    if (nargs >= 2) {
+      op_zip(&res[0], &args[0], &args[1], ismax ? f_max2 : f_min2);
+      return;
+    }
+    {
+      const arg_view *a = &args[0];
+      if (numel(a) == 0)
+        mcrt_fail("min/max of an empty array");
+      if (a->d0 == 1 || (a->d1 == 1 && a->d2 == 1)) {
+        mcrt_size best = 0, i;
+        for (i = 1; i < numel(a); i++)
+          if (ismax ? a->p[i] > a->p[best] : a->p[i] < a->p[best])
+            best = i;
+        set_scalar(&res[0], a->p[best]);
+        if (nres >= 2)
+          set_scalar(&res[1], (double)(best + 1));
+        return;
+      }
+      if (!is_2d(a))
+        mcrt_fail("N-D reduction is not supported");
+      {
+        mcrt_size j, i;
+        double *tmp =
+            (double *)malloc((size_t)(2 * a->d1) * sizeof(double));
+        if (!tmp)
+          mcrt_fail("out of memory");
+        for (j = 0; j < a->d1; j++) {
+          mcrt_size best = 0;
+          for (i = 1; i < a->d0; i++)
+            if (ismax ? a->p[i + j * a->d0] > a->p[best + j * a->d0]
+                      : a->p[i + j * a->d0] < a->p[best + j * a->d0])
+              best = i;
+          tmp[j] = a->p[best + j * a->d0];
+          tmp[a->d1 + j] = (double)(best + 1);
+        }
+        set_result(&res[0], 1, a->d1, 1);
+        memcpy(*res[0].buf, tmp, (size_t)a->d1 * sizeof(double));
+        if (nres >= 2) {
+          set_result(&res[1], 1, a->d1, 1);
+          memcpy(*res[1].buf, tmp + a->d1,
+                 (size_t)a->d1 * sizeof(double));
+        }
+        free(tmp);
+        return;
+      }
+    }
+  }
+  if (OP("sum") || OP("prod") || OP("mean")) {
+    /* MATLAB rule: collapse the first non-singleton dimension. */
+    const arg_view *a = &args[0];
+    int isprod = OP("prod"), ismean = OP("mean");
+    mcrt_size dims[3], inner = 1, rext = 1, outer = 1, i, o, kk;
+    int d = 0, dd;
+    double *tmp;
+    dims[0] = a->d0;
+    dims[1] = a->d1;
+    dims[2] = a->d2;
+    if (numel(a) == 0 || is_scalar(a)) {
+      double acc = isprod ? 1.0 : 0.0;
+      for (i = 0; i < numel(a); i++)
+        acc = isprod ? acc * a->p[i] : acc + a->p[i];
+      if (numel(a) == 1)
+        acc = a->p[0];
+      set_scalar(&res[0], acc);
+      return;
+    }
+    while (d < 3 && dims[d] == 1)
+      d++;
+    rext = dims[d];
+    for (dd = 0; dd < d; dd++)
+      inner *= dims[dd];
+    outer = numel(a) / (inner * rext);
+    tmp = (double *)malloc((size_t)(inner * outer) * sizeof(double));
+    if (!tmp)
+      mcrt_fail("out of memory");
+    for (o = 0; o < outer; o++)
+      for (i = 0; i < inner; i++) {
+        double acc = isprod ? 1.0 : 0.0;
+        for (kk = 0; kk < rext; kk++) {
+          double v = a->p[i + kk * inner + o * inner * rext];
+          acc = isprod ? acc * v : acc + v;
+        }
+        if (ismean)
+          acc /= (double)rext;
+        tmp[i + o * inner] = acc;
+      }
+    dims[d] = 1;
+    set_result(&res[0], dims[0], dims[1], dims[2]);
+    memcpy(*res[0].buf, tmp, (size_t)(inner * outer) * sizeof(double));
+    free(tmp);
+    return;
+  }
+  if (OP("norm")) {
+    double acc = 0;
+    mcrt_size i;
+    if (args[0].d0 != 1 && args[0].d1 != 1 && numel(&args[0]) != 0)
+      mcrt_fail("norm is only implemented for vectors");
+    for (i = 0; i < numel(&args[0]); i++)
+      acc += args[0].p[i] * args[0].p[i];
+    set_scalar(&res[0], sqrt(acc));
+    return;
+  }
+  if (OP("dot")) {
+    double acc = 0;
+    mcrt_size i;
+    if (numel(&args[0]) != numel(&args[1]))
+      mcrt_fail("dot operands must have the same length");
+    for (i = 0; i < numel(&args[0]); i++)
+      acc += args[0].p[i] * args[1].p[i];
+    set_scalar(&res[0], acc);
+    return;
+  }
+  if (OP("cumsum")) {
+    const arg_view *a = &args[0];
+    mcrt_size i, j;
+    mcrt_size d0 = a->d0, d1 = a->d1, d2 = a->d2;
+    if (!is_2d(a))
+      mcrt_fail("N-D cumsum is not supported");
+    set_result(&res[0], d0, d1, d2);
+    if (*res[0].buf != a->p && numel(a))
+      memmove(*res[0].buf, a->p, (size_t)numel(a) * sizeof(double));
+    if (d0 == 1) {
+      for (i = 1; i < d1; i++)
+        (*res[0].buf)[i] += (*res[0].buf)[i - 1];
+    } else {
+      for (j = 0; j < d1; j++)
+        for (i = 1; i < d0; i++)
+          (*res[0].buf)[i + j * d0] += (*res[0].buf)[i - 1 + j * d0];
+    }
+    *res[0].d0 = d0;
+    *res[0].d1 = d1;
+    *res[0].d2 = d2;
+    return;
+  }
+
+  /* Effects. */
+  if (OP("disp_char")) {
+    print_chars(args[0].p, numel(&args[0]));
+    printf("\n");
+    return;
+  }
+  if (OP("disp")) {
+    print_matrix(args[0].p, args[0].d0, args[0].d1, args[0].d2);
+    printf("\n");
+    return;
+  }
+  if (OP("fprintf")) {
+    if (nargs >= 1)
+      do_printf(stdout, &args[0], args + 1, nargs - 1);
+    return;
+  }
+  if (OP("error")) {
+    fprintf(stderr, "error: ");
+    if (nargs >= 1)
+      do_printf(stderr, &args[0], args + 1, nargs - 1);
+    fprintf(stderr, "\n");
+    exit(1);
+  }
+
+  /* Constants and miscellany. */
+  if (OP("pi")) { set_scalar(&res[0], 3.14159265358979323846); return; }
+  if (OP("eps")) { set_scalar(&res[0], 2.220446049250313e-16); return; }
+  if (OP("Inf") || OP("inf")) { set_scalar(&res[0], INFINITY); return; }
+  if (OP("NaN") || OP("nan")) { set_scalar(&res[0], NAN); return; }
+  if (OP("true")) { set_scalar(&res[0], 1.0); return; }
+  if (OP("false")) { set_scalar(&res[0], 0.0); return; }
+  if (OP("tic") || OP("toc")) {
+    if (nres >= 1)
+      set_scalar(&res[0], 0.0);
+    return;
+  }
+  if (OP("__forcond")) {
+    double i = scalar_of(&args[0]);
+    double s = scalar_of(&args[1]);
+    double h = scalar_of(&args[2]);
+    set_scalar(&res[0], s >= 0 ? (i <= h ? 1.0 : 0.0)
+                               : (i >= h ? 1.0 : 0.0));
+    return;
+  }
+  if (OP("__switcheq")) {
+    int match = 0;
+    if (numel(&args[0]) == numel(&args[1]) && args[0].d0 == args[1].d0 &&
+        args[0].d1 == args[1].d1 && args[0].d2 == args[1].d2) {
+      mcrt_size i2;
+      match = 1;
+      for (i2 = 0; i2 < numel(&args[0]) && match; i2++)
+        match = args[0].p[i2] == args[1].p[i2];
+    }
+    set_scalar(&res[0], match ? 1.0 : 0.0);
+    return;
+  }
+
+  {
+    char msg[128];
+    snprintf(msg, sizeof(msg), "undefined runtime operation '%s'", op);
+    mcrt_fail(msg);
+  }
+}

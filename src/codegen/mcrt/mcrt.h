@@ -1,0 +1,102 @@
+/*===- mcrt.h - C runtime for matcoal-generated code ---------------------===
+ *
+ * Part of the matcoal project: a reproduction of "Static Array Storage
+ * Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+ *
+ * The target runtime of the C back end (src/codegen). Generated code keeps
+ * every storage slot as the quadruple
+ *     double *S;  mcrt_size S_cap;  mcrt_size S_d0, S_d1;
+ * Stack-planned slots carry a NEGATIVE cap (-capacity in elements) and may
+ * never grow; heap slots start null and grow through mcrt_ensure(). Library
+ * operations go through the single variadic entry point mcrt_call().
+ *
+ * Scope: real-valued arrays of up to three dimensions (column major).
+ * Complex data faults with a clear message (use the instrumented VM).
+ *
+ *===----------------------------------------------------------------------===
+ */
+
+#ifndef MATCOAL_MCRT_H
+#define MATCOAL_MCRT_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef long long mcrt_size;
+
+/* A by-value argument view (up to three dimensions; d0 == -1 encodes the
+ * ':' subscript marker). */
+typedef struct {
+  const double *data;
+  mcrt_size d0, d1, d2;
+} mcrt_arg;
+
+/* A by-reference output slot. */
+typedef struct {
+  double **buf;
+  mcrt_size *cap;
+  mcrt_size *d0, *d1, *d2;
+} mcrt_ref;
+
+mcrt_arg mcrt_arg_(const double *data, mcrt_size d0, mcrt_size d1,
+                   mcrt_size d2);
+mcrt_ref mcrt_ref_(double **buf, mcrt_size *cap, mcrt_size *d0,
+                   mcrt_size *d1, mcrt_size *d2);
+
+/* Aborts with "mcrt error: <msg>". */
+void mcrt_fail(const char *msg);
+
+/* Grows *buf to hold need elements (heap slots) or checks the fixed
+ * capacity (stack slots, negative cap). */
+void mcrt_ensure(double **buf, mcrt_size *cap, mcrt_size need);
+
+/* Parameter/result marshalling. */
+void mcrt_load(double **buf, mcrt_size *cap, mcrt_size *d0, mcrt_size *d1,
+               mcrt_size *d2, mcrt_arg in);
+void mcrt_store(mcrt_ref out, const double *src, mcrt_size d0,
+                mcrt_size d1, mcrt_size d2);
+
+/* MATLAB truth: nonempty and all elements nonzero. */
+int mcrt_truth(const double *buf, mcrt_size n);
+mcrt_size mcrt_max(mcrt_size a, mcrt_size b);
+void mcrt_check_conformance(mcrt_size a0, mcrt_size a1, mcrt_size b0,
+                            mcrt_size b1);
+
+/* Character row literal (stores char codes). */
+void mcrt_str(double *buf, mcrt_size *d0, mcrt_size *d1, mcrt_size *d2,
+              const char *s);
+/* Complex literals are unsupported in mcrt (clear fault). */
+void mcrt_const_complex(double **buf, mcrt_size *cap, mcrt_size *d0,
+                        mcrt_size *d1, mcrt_size *d2, double re,
+                        double im);
+
+/* Named display (the IR's Display op); prints pages when d2 > 1. */
+void mcrt_display(const char *name, const double *buf, mcrt_size d0,
+                  mcrt_size d1, mcrt_size d2);
+/* Same for statically char-typed values (prints the characters). */
+void mcrt_display_char(const char *name, const double *buf, mcrt_size d0,
+                       mcrt_size d1, mcrt_size d2);
+
+/* Deterministic PRNG shared with the matcoal VM (same stream per seed). */
+void mcrt_srand(unsigned long long seed);
+
+/* Checked scalar-subscript helpers for inlined indexing. Both fault on
+ * non-positive or fractional subscripts; they return the 0-based linear
+ * index, or -1 when the subscript lies beyond the extent (reads fail on
+ * -1; writes fall back to the growing runtime path). */
+mcrt_size mcrt_index1(double i, mcrt_size n);
+mcrt_size mcrt_index2(double i, double j, mcrt_size d0, mcrt_size d1);
+mcrt_size mcrt_index3(double i, double j, double k, mcrt_size d0,
+                      mcrt_size d1, mcrt_size d2);
+
+/* The uniform library entry: op name, result count, argument count, then
+ * nres x (double **buf, mcrt_size *cap, mcrt_size *d0, *d1, *d2)
+ * followed by nargs x (const double *buf, mcrt_size d0, d1, d2). */
+void mcrt_call(const char *op, int nres, int nargs, ...);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* MATCOAL_MCRT_H */

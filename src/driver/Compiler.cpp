@@ -1,0 +1,114 @@
+//===- Compiler.cpp -------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "frontend/Parser.h"
+#include "transforms/Lowering.h"
+#include "transforms/Passes.h"
+#include "transforms/SSA.h"
+
+using namespace matcoal;
+
+std::unique_ptr<CompiledProgram>
+matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
+                       const std::string &Entry) {
+  auto P = std::make_unique<CompiledProgram>();
+  P->Entry = Entry;
+
+  P->Ast = parseProgram(Source, Diags);
+  if (!P->Ast)
+    return nullptr;
+  if (!P->Ast->findFunction(Entry)) {
+    Diags.error(SourceLoc{}, "no entry function named '" + Entry + "'");
+    return nullptr;
+  }
+
+  P->M = lowerProgram(*P->Ast, Diags);
+  if (!P->M)
+    return nullptr;
+
+  for (auto &F : P->M->Functions) {
+    if (!buildSSA(*F, Diags))
+      return nullptr;
+    runCleanupPipeline(*F);
+    if (!verifyFunction(*F, Diags))
+      return nullptr;
+  }
+
+  P->Ctx = std::make_unique<SymExprContext>();
+  P->TI = std::make_unique<TypeInference>(*P->M, *P->Ctx, Diags);
+  P->TI->run(Entry);
+
+  for (auto &F : P->M->Functions) {
+    InterferenceGraph IG(*F, *P->TI);
+    StoragePlan Plan = decomposeColorClasses(*F, IG, *P->TI);
+    // Self-check while the SSA-form graph still exists: interfering
+    // variables must never share a storage slot.
+    for (unsigned U = 0; U < F->numVars(); ++U)
+      for (unsigned V = U + 1; V < F->numVars(); ++V) {
+        if (!IG.participates(U) || !IG.participates(V))
+          continue;
+        if (IG.interferes(U, V) && Plan.sameSlot(U, V))
+          ++P->PlanConsistencyErrors;
+      }
+    P->GCTDPlans.emplace(F.get(), std::move(Plan));
+    P->IdentityPlans.emplace(F.get(), makeIdentityPlan(*F, *P->TI));
+  }
+
+  // Leave SSA: the plans are fixed, so inversion's copies become identity
+  // assignments wherever phi webs were coalesced.
+  for (auto &F : P->M->Functions) {
+    invertSSA(*F);
+    F->recomputePreds();
+    if (!verifyFunction(*F, Diags))
+      return nullptr;
+  }
+  return P;
+}
+
+ExecResult CompiledProgram::runMcc(std::uint64_t Seed) const {
+  VM Machine(*M, ExecModel::Mcc, {}, Seed);
+  Machine.setOpBudget(OpBudget);
+  return Machine.run(Entry);
+}
+
+ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
+  VM Machine(*M, ExecModel::Static, GCTDPlans, Seed);
+  Machine.setOpBudget(OpBudget);
+  return Machine.run(Entry);
+}
+
+ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
+  VM Machine(*M, ExecModel::Static, IdentityPlans, Seed);
+  Machine.setOpBudget(OpBudget);
+  return Machine.run(Entry);
+}
+
+InterpResult CompiledProgram::runInterp(std::uint64_t Seed) const {
+  Interpreter I(*Ast, Seed);
+  I.setStepBudget(OpBudget);
+  return I.run(Entry);
+}
+
+CompiledProgram::Stats CompiledProgram::stats() const {
+  Stats S;
+  for (const auto &[F, Plan] : GCTDPlans) {
+    (void)F;
+    S.OriginalVarCount += Plan.OriginalVarCount;
+    S.StaticSubsumed += Plan.StaticSubsumed;
+    S.DynamicSubsumed += Plan.DynamicSubsumed;
+    S.StaticReductionBytes += Plan.StaticReductionBytes;
+  }
+  return S;
+}
+
+const StoragePlan &CompiledProgram::planOf(const Function &F) const {
+  return GCTDPlans.at(&F);
+}
+
+const Function &CompiledProgram::function(const std::string &Name) const {
+  const Function *F = M->findFunction(Name);
+  if (!F)
+    throw MatError("no function named '" + Name + "'");
+  return *F;
+}

@@ -1,0 +1,354 @@
+//===- AST.h - MATLAB-subset abstract syntax trees --------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions. Nodes form a closed hierarchy discriminated by
+/// kind enums (no RTTI); children are owned through unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_FRONTEND_AST_H
+#define MATCOAL_FRONTEND_AST_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  Number,
+  String,
+  Ident,
+  ColonAll,   ///< A bare ':' used as a subscript.
+  EndIndex,   ///< The 'end' keyword inside a subscript.
+  Unary,
+  Binary,
+  CallOrIndex, ///< name(args): call vs. array index resolved during lowering.
+  Range,       ///< start : step : stop.
+  Matrix,      ///< [ e, e ; e, e ] literal.
+  Transpose,
+};
+
+class Expr {
+public:
+  virtual ~Expr() = default;
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Numeric literal; \c IsImaginary marks an i/j suffix (value is the
+/// imaginary part).
+class NumberExpr : public Expr {
+public:
+  NumberExpr(double Value, bool IsImaginary, SourceLoc Loc)
+      : Expr(ExprKind::Number, Loc), Value(Value), IsImaginary(IsImaginary) {}
+  double Value;
+  bool IsImaginary;
+};
+
+/// Single-quoted character literal.
+class StringExpr : public Expr {
+public:
+  StringExpr(std::string Value, SourceLoc Loc)
+      : Expr(ExprKind::String, Loc), Value(std::move(Value)) {}
+  std::string Value;
+};
+
+class IdentExpr : public Expr {
+public:
+  IdentExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::Ident, Loc), Name(std::move(Name)) {}
+  std::string Name;
+};
+
+class ColonAllExpr : public Expr {
+public:
+  explicit ColonAllExpr(SourceLoc Loc) : Expr(ExprKind::ColonAll, Loc) {}
+};
+
+class EndIndexExpr : public Expr {
+public:
+  explicit EndIndexExpr(SourceLoc Loc) : Expr(ExprKind::EndIndex, Loc) {}
+};
+
+enum class UnaryOp { Plus, Minus, Not };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  MatMul,    ///< *
+  ElemMul,   ///< .*
+  MatRDiv,   ///< /
+  ElemRDiv,  ///< ./
+  MatLDiv,   ///< backslash
+  ElemLDiv,  ///< .backslash
+  MatPow,    ///< ^
+  ElemPow,   ///< .^
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,       ///< & elementwise
+  Or,        ///< | elementwise
+  AndAnd,    ///< && short-circuit
+  OrOr,      ///< || short-circuit
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// `name(arg, ...)`: either a function call or an array index; MATLAB's
+/// grammar cannot tell them apart, so lowering resolves the name against
+/// the set of in-scope variables and known functions.
+class CallOrIndexExpr : public Expr {
+public:
+  CallOrIndexExpr(std::string Name, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(ExprKind::CallOrIndex, Loc), Name(std::move(Name)),
+        Args(std::move(Args)) {}
+  std::string Name;
+  std::vector<ExprPtr> Args;
+};
+
+/// start:stop or start:step:stop. Step is null for the two-operand form.
+class RangeExpr : public Expr {
+public:
+  RangeExpr(ExprPtr Start, ExprPtr Step, ExprPtr Stop, SourceLoc Loc)
+      : Expr(ExprKind::Range, Loc), Start(std::move(Start)),
+        Step(std::move(Step)), Stop(std::move(Stop)) {}
+  ExprPtr Start;
+  ExprPtr Step; ///< May be null.
+  ExprPtr Stop;
+};
+
+/// A bracketed literal; rows of element expressions, concatenated
+/// horizontally within a row and vertically across rows.
+class MatrixExpr : public Expr {
+public:
+  MatrixExpr(std::vector<std::vector<ExprPtr>> Rows, SourceLoc Loc)
+      : Expr(ExprKind::Matrix, Loc), Rows(std::move(Rows)) {}
+  std::vector<std::vector<ExprPtr>> Rows;
+};
+
+class TransposeExpr : public Expr {
+public:
+  TransposeExpr(ExprPtr Operand, bool Conjugate, SourceLoc Loc)
+      : Expr(ExprKind::Transpose, Loc), Operand(std::move(Operand)),
+        Conjugate(Conjugate) {}
+  ExprPtr Operand;
+  bool Conjugate;
+};
+
+/// Checked downcast helpers (kind-discriminated; no RTTI).
+template <typename T> T *exprCast(Expr *E);
+template <> inline NumberExpr *exprCast<NumberExpr>(Expr *E) {
+  assert(E && E->kind() == ExprKind::Number);
+  return static_cast<NumberExpr *>(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Assign,
+  MultiAssign,
+  ExprStmt,
+  If,
+  Switch,
+  While,
+  For,
+  Break,
+  Continue,
+  Return,
+};
+
+class Stmt {
+public:
+  virtual ~Stmt() = default;
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// An assignment target: a plain variable or an L-indexed element/slice.
+struct LValue {
+  std::string Name;
+  std::vector<ExprPtr> Indices; ///< Empty for a plain variable.
+  SourceLoc Loc;
+};
+
+/// `lhs = rhs` (Display mirrors MATLAB's "no trailing semicolon" echo).
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(LValue Target, ExprPtr Value, bool Display, SourceLoc Loc)
+      : Stmt(StmtKind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)), Display(Display) {}
+  LValue Target;
+  ExprPtr Value;
+  bool Display;
+};
+
+/// `[a, b] = f(...)`; multiple-output call.
+class MultiAssignStmt : public Stmt {
+public:
+  MultiAssignStmt(std::vector<LValue> Targets, ExprPtr Call, bool Display,
+                  SourceLoc Loc)
+      : Stmt(StmtKind::MultiAssign, Loc), Targets(std::move(Targets)),
+        Call(std::move(Call)), Display(Display) {}
+  std::vector<LValue> Targets;
+  ExprPtr Call; ///< Always a CallOrIndexExpr.
+  bool Display;
+};
+
+/// A bare expression statement (display or side effect such as disp).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr Value, bool Display, SourceLoc Loc)
+      : Stmt(StmtKind::ExprStmt, Loc), Value(std::move(Value)),
+        Display(Display) {}
+  ExprPtr Value;
+  bool Display;
+};
+
+class IfStmt : public Stmt {
+public:
+  struct Branch {
+    ExprPtr Cond;
+    StmtList Body;
+  };
+  IfStmt(std::vector<Branch> Branches, StmtList ElseBody, SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Branches(std::move(Branches)),
+        ElseBody(std::move(ElseBody)) {}
+  std::vector<Branch> Branches; ///< if + elseif chain, in order.
+  StmtList ElseBody;
+};
+
+/// switch/case/otherwise. A case matches when the switch value equals
+/// the case value (numeric scalars compare by value; char rows compare
+/// as strings).
+class SwitchStmt : public Stmt {
+public:
+  struct Case {
+    ExprPtr Value;
+    StmtList Body;
+  };
+  SwitchStmt(ExprPtr Cond, std::vector<Case> Cases, StmtList Otherwise,
+             SourceLoc Loc)
+      : Stmt(StmtKind::Switch, Loc), Cond(std::move(Cond)),
+        Cases(std::move(Cases)), Otherwise(std::move(Otherwise)) {}
+  ExprPtr Cond;
+  std::vector<Case> Cases;
+  StmtList Otherwise;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtList Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtList Body;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::string Var, ExprPtr Range, StmtList Body, SourceLoc Loc)
+      : Stmt(StmtKind::For, Loc), Var(std::move(Var)),
+        Range(std::move(Range)), Body(std::move(Body)) {}
+  std::string Var;
+  ExprPtr Range;
+  StmtList Body;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(SourceLoc Loc) : Stmt(StmtKind::Return, Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+/// One `function [outs] = name(ins)` definition.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<std::string> Outputs;
+  StmtList Body;
+  SourceLoc Loc;
+};
+
+/// A parsed program: one or more functions. Script-style input (statements
+/// with no function header) is wrapped into a function named "main" with no
+/// parameters and no outputs.
+struct Program {
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+
+  const FunctionDecl *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_FRONTEND_AST_H

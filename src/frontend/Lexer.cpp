@@ -1,0 +1,389 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace matcoal;
+
+const char *matcoal::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof: return "end of input";
+  case TokenKind::Newline: return "newline";
+  case TokenKind::MatrixSep: return "matrix separator";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::Number: return "number";
+  case TokenKind::String: return "string";
+  case TokenKind::KwFunction: return "'function'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElseif: return "'elseif'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwEnd: return "'end'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwSwitch: return "'switch'";
+  case TokenKind::KwCase: return "'case'";
+  case TokenKind::KwOtherwise: return "'otherwise'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Assign: return "'='";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Backslash: return "'\\'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::DotStar: return "'.*'";
+  case TokenKind::DotSlash: return "'./'";
+  case TokenKind::DotBackslash: return "'.\\'";
+  case TokenKind::DotCaret: return "'.^'";
+  case TokenKind::Apos: return "transpose";
+  case TokenKind::DotApos: return "'.''";
+  case TokenKind::EqEq: return "'=='";
+  case TokenKind::NotEq: return "'~='";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEq: return "'<='";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEq: return "'>='";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Tilde: return "'~'";
+  }
+  return "token";
+}
+
+Lexer::Lexer(std::string Source, Diagnostics &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+void Lexer::advance(unsigned N) {
+  for (unsigned I = 0; I < N && Pos < Source.size(); ++I) {
+    if (Source[Pos] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++Pos;
+  }
+}
+
+bool Lexer::endsValue(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+  case TokenKind::Number:
+  case TokenKind::String:
+  case TokenKind::RParen:
+  case TokenKind::RBracket:
+  case TokenKind::Apos:
+  case TokenKind::DotApos:
+  case TokenKind::KwEnd: // "end" inside an index expression.
+    return true;
+  default:
+    return false;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, unsigned Length) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = currentLoc();
+  T.Text = Source.substr(Pos, Length);
+  advance(Length);
+  return T;
+}
+
+/// True if \p C can begin an expression (used for matrix separators).
+static bool startsExpression(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) ||
+         std::isdigit(static_cast<unsigned char>(C)) || C == '(' ||
+         C == '[' || C == '\'' || C == '~' || C == '_' || C == '.';
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = lexToken();
+    bool Done = T.is(TokenKind::Eof);
+    // Collapse runs of newlines.
+    if (T.is(TokenKind::Newline) && !Tokens.empty() &&
+        Tokens.back().is(TokenKind::Newline)) {
+      PrevKind = T.Kind;
+      continue;
+    }
+    PrevKind = T.Kind;
+    Tokens.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}
+
+Token Lexer::lexToken() {
+  // Skip horizontal whitespace, comments and continuations; detect matrix
+  // element separators while doing so.
+  bool SawSpace = false;
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r') {
+      SawSpace = true;
+      advance();
+      continue;
+    }
+    if (C == '%') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '.' && peek(1) == '.' && peek(2) == '.') {
+      // Line continuation: skip to and past the newline.
+      while (!atEnd() && peek() != '\n')
+        advance();
+      if (!atEnd())
+        advance();
+      SawSpace = true;
+      continue;
+    }
+    break;
+  }
+
+  if (atEnd()) {
+    Token T;
+    T.Kind = TokenKind::Eof;
+    T.Loc = currentLoc();
+    return T;
+  }
+
+  char C = peek();
+
+  // Inside [ ] (and not inside nested parens), whitespace separates elements
+  // when it sits between a value-ending token and an expression-starting
+  // character. "a -b" separates; "a - b" is a binary minus.
+  if (SawSpace && BracketDepth > 0 && ParenDepth == 0 && endsValue(PrevKind)) {
+    bool Separates = false;
+    if (startsExpression(C)) {
+      // A quote after whitespace inside brackets begins a string element.
+      Separates = true;
+    } else if ((C == '+' || C == '-') && peek(1) != ' ' && peek(1) != '\t' &&
+               peek(1) != '=' && peek(1) != '\0' && peek(1) != '\n') {
+      Separates = true;
+    }
+    if (Separates) {
+      Token T;
+      T.Kind = TokenKind::MatrixSep;
+      T.Loc = currentLoc();
+      return T;
+    }
+  }
+
+  if (C == '\n') {
+    // Inside brackets a newline separates matrix rows; the parser treats a
+    // Semi the same way, so emit one.
+    if (BracketDepth > 0 && ParenDepth == 0)
+      return makeToken(TokenKind::Semi, 1);
+    return makeToken(TokenKind::Newline, 1);
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+
+  switch (C) {
+  case '\'':
+    if (endsValue(PrevKind))
+      return makeToken(TokenKind::Apos, 1);
+    return lexString();
+  case '(': {
+    ++ParenDepth;
+    return makeToken(TokenKind::LParen, 1);
+  }
+  case ')': {
+    if (ParenDepth > 0)
+      --ParenDepth;
+    return makeToken(TokenKind::RParen, 1);
+  }
+  case '[': {
+    ++BracketDepth;
+    return makeToken(TokenKind::LBracket, 1);
+  }
+  case ']': {
+    if (BracketDepth > 0)
+      --BracketDepth;
+    return makeToken(TokenKind::RBracket, 1);
+  }
+  case ',':
+    return makeToken(TokenKind::Comma, 1);
+  case ';':
+    return makeToken(TokenKind::Semi, 1);
+  case ':':
+    return makeToken(TokenKind::Colon, 1);
+  case '+':
+    return makeToken(TokenKind::Plus, 1);
+  case '-':
+    return makeToken(TokenKind::Minus, 1);
+  case '*':
+    return makeToken(TokenKind::Star, 1);
+  case '/':
+    return makeToken(TokenKind::Slash, 1);
+  case '\\':
+    return makeToken(TokenKind::Backslash, 1);
+  case '^':
+    return makeToken(TokenKind::Caret, 1);
+  case '=':
+    if (peek(1) == '=')
+      return makeToken(TokenKind::EqEq, 2);
+    return makeToken(TokenKind::Assign, 1);
+  case '~':
+    if (peek(1) == '=')
+      return makeToken(TokenKind::NotEq, 2);
+    return makeToken(TokenKind::Tilde, 1);
+  case '<':
+    if (peek(1) == '=')
+      return makeToken(TokenKind::LessEq, 2);
+    return makeToken(TokenKind::Less, 1);
+  case '>':
+    if (peek(1) == '=')
+      return makeToken(TokenKind::GreaterEq, 2);
+    return makeToken(TokenKind::Greater, 1);
+  case '&':
+    if (peek(1) == '&')
+      return makeToken(TokenKind::AmpAmp, 2);
+    return makeToken(TokenKind::Amp, 1);
+  case '|':
+    if (peek(1) == '|')
+      return makeToken(TokenKind::PipePipe, 2);
+    return makeToken(TokenKind::Pipe, 1);
+  case '.':
+    if (peek(1) == '*')
+      return makeToken(TokenKind::DotStar, 2);
+    if (peek(1) == '/')
+      return makeToken(TokenKind::DotSlash, 2);
+    if (peek(1) == '\\')
+      return makeToken(TokenKind::DotBackslash, 2);
+    if (peek(1) == '^')
+      return makeToken(TokenKind::DotCaret, 2);
+    if (peek(1) == '\'')
+      return makeToken(TokenKind::DotApos, 2);
+    break;
+  default:
+    break;
+  }
+
+  Diags.error(currentLoc(),
+              std::string("unexpected character '") + C + "'");
+  advance();
+  return lexToken();
+}
+
+Token Lexer::lexNumber() {
+  Token T;
+  T.Kind = TokenKind::Number;
+  T.Loc = currentLoc();
+  size_t Start = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else if (peek() == '.' && peek(1) != '*' && peek(1) != '/' &&
+             peek(1) != '\\' && peek(1) != '^' && peek(1) != '\'' &&
+             peek(1) != '.') {
+    // Trailing dot as in "1." (but not "1.*x" or "1..." continuation).
+    advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    unsigned Save = 1;
+    if (peek(1) == '+' || peek(1) == '-')
+      Save = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(Save)))) {
+      advance(Save);
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+  T.Text = Source.substr(Start, Pos - Start);
+  T.NumValue = std::strtod(T.Text.c_str(), nullptr);
+  if (peek() == 'i' || peek() == 'j') {
+    // Imaginary suffix, but only when not beginning an identifier ("4if"
+    // cannot occur; "2in" would be a lex error in MATLAB as well).
+    if (!std::isalnum(static_cast<unsigned char>(peek(1))) &&
+        peek(1) != '_') {
+      T.IsImaginary = true;
+      advance();
+    }
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  Token T;
+  T.Loc = currentLoc();
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  T.Text = Source.substr(Start, Pos - Start);
+
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"function", TokenKind::KwFunction}, {"if", TokenKind::KwIf},
+      {"elseif", TokenKind::KwElseif},     {"else", TokenKind::KwElse},
+      {"end", TokenKind::KwEnd},           {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},           {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"return", TokenKind::KwReturn},
+      {"switch", TokenKind::KwSwitch},     {"case", TokenKind::KwCase},
+      {"otherwise", TokenKind::KwOtherwise},
+  };
+  auto It = Keywords.find(T.Text);
+  T.Kind = It == Keywords.end() ? TokenKind::Identifier : It->second;
+  return T;
+}
+
+Token Lexer::lexString() {
+  Token T;
+  T.Kind = TokenKind::String;
+  T.Loc = currentLoc();
+  assert(peek() == '\'' && "string must start with a quote");
+  advance();
+  std::string Value;
+  while (true) {
+    if (atEnd() || peek() == '\n') {
+      Diags.error(T.Loc, "unterminated string literal");
+      break;
+    }
+    char C = peek();
+    if (C == '\'') {
+      if (peek(1) == '\'') { // Escaped quote.
+        Value += '\'';
+        advance(2);
+        continue;
+      }
+      advance();
+      break;
+    }
+    Value += C;
+    advance();
+  }
+  T.Text = std::move(Value);
+  return T;
+}

@@ -1,0 +1,67 @@
+//===- Lexer.h - MATLAB-subset lexer ----------------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the MATLAB subset. Handles the language's two
+/// classic lexical quirks: a quote is a transpose after a value-ending token
+/// and a string otherwise, and whitespace inside [ ] separates matrix
+/// elements ("[1 -2]" is two elements, "[1 - 2]" is one).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_FRONTEND_LEXER_H
+#define MATCOAL_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// Converts MATLAB source text to a token stream.
+class Lexer {
+public:
+  Lexer(std::string Source, Diagnostics &Diags);
+
+  /// Lexes the whole buffer; the last token is always Eof. On a lexical
+  /// error a diagnostic is emitted and the offending character is skipped.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+  Token lexString();
+  Token makeToken(TokenKind Kind, unsigned Length);
+
+  /// True if \p Kind can end a value expression, which makes a following
+  /// quote a transpose rather than a string, and makes following bracket
+  /// whitespace a potential element separator.
+  static bool endsValue(TokenKind Kind);
+
+  char peek(unsigned Ahead = 0) const;
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc currentLoc() const { return SourceLoc{Line, Col}; }
+  void advance(unsigned N = 1);
+
+  std::string Source;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+  /// Nesting depth of [ ] brackets (for matrix whitespace separators).
+  int BracketDepth = 0;
+  /// Nesting depth of ( ) parens; whitespace never separates inside parens.
+  int ParenDepth = 0;
+  TokenKind PrevKind = TokenKind::Newline;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_FRONTEND_LEXER_H

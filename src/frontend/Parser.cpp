@@ -1,0 +1,758 @@
+//===- Parser.cpp ---------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+
+using namespace matcoal;
+
+std::unique_ptr<Program> matcoal::parseProgram(const std::string &Source,
+                                               Diagnostics &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  auto Prog = P.parseProgram();
+  if (Diags.hasErrors())
+    return nullptr;
+  return Prog;
+}
+
+Parser::Parser(std::vector<Token> Tokens, Diagnostics &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && this->Tokens.back().is(TokenKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+const Token &Parser::tok(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // Eof.
+  return Tokens[I];
+}
+
+void Parser::advance() {
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+}
+
+bool Parser::consumeIf(TokenKind Kind) {
+  if (!at(Kind))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (consumeIf(Kind))
+    return true;
+  Diags.error(tok().Loc, std::string("expected ") + tokenKindName(Kind) +
+                             " " + Context + ", found " +
+                             tokenKindName(tok().Kind));
+  HadError = true;
+  return false;
+}
+
+void Parser::skipSeparators() {
+  while (at(TokenKind::Newline) || at(TokenKind::Semi) ||
+         at(TokenKind::Comma))
+    advance();
+}
+
+bool Parser::consumeStatementEnd() {
+  if (at(TokenKind::Semi)) {
+    advance();
+    // Consume one trailing newline too so blank lines don't multiply.
+    consumeIf(TokenKind::Newline);
+    return false;
+  }
+  if (at(TokenKind::Newline) || at(TokenKind::Comma)) {
+    advance();
+    return true;
+  }
+  if (at(TokenKind::Eof) || at(TokenKind::KwEnd) || at(TokenKind::KwElse) ||
+      at(TokenKind::KwElseif) || at(TokenKind::KwFunction))
+    return true;
+  Diags.error(tok().Loc, std::string("expected end of statement, found ") +
+                             tokenKindName(tok().Kind));
+  HadError = true;
+  recoverToLineEnd();
+  return true;
+}
+
+void Parser::recoverToLineEnd() {
+  while (!at(TokenKind::Eof) && !at(TokenKind::Newline))
+    advance();
+  consumeIf(TokenKind::Newline);
+}
+
+//===----------------------------------------------------------------------===//
+// Programs and functions
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto Prog = std::make_unique<Program>();
+  skipSeparators();
+  if (at(TokenKind::KwFunction)) {
+    while (at(TokenKind::KwFunction)) {
+      auto F = parseFunction();
+      if (!F)
+        return nullptr;
+      Prog->Functions.push_back(std::move(F));
+      skipSeparators();
+    }
+    if (!at(TokenKind::Eof)) {
+      Diags.error(tok().Loc, "expected 'function' or end of input");
+      return nullptr;
+    }
+    return Prog;
+  }
+
+  // Script mode: wrap top-level statements into main().
+  auto Main = std::make_unique<FunctionDecl>();
+  Main->Name = "main";
+  Main->Loc = tok().Loc;
+  Main->Body = parseStmtList(/*StopAtElse=*/false);
+  if (!at(TokenKind::Eof)) {
+    Diags.error(tok().Loc, std::string("unexpected ") +
+                               tokenKindName(tok().Kind) +
+                               " at top level of script");
+    return nullptr;
+  }
+  Prog->Functions.push_back(std::move(Main));
+  return Prog;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction() {
+  auto F = std::make_unique<FunctionDecl>();
+  F->Loc = tok().Loc;
+  expect(TokenKind::KwFunction, "to begin function");
+
+  // Three header shapes: "function name(...)", "function out = name(...)"
+  // and "function [o1, o2] = name(...)".
+  if (consumeIf(TokenKind::LBracket)) {
+    while (!at(TokenKind::RBracket)) {
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(tok().Loc, "expected output name in function header");
+        return nullptr;
+      }
+      F->Outputs.push_back(tok().Text);
+      advance();
+      if (!consumeIf(TokenKind::Comma) && !consumeIf(TokenKind::MatrixSep))
+        break;
+    }
+    if (!expect(TokenKind::RBracket, "after function outputs") ||
+        !expect(TokenKind::Assign, "after function outputs"))
+      return nullptr;
+  } else if (at(TokenKind::Identifier) && tok(1).is(TokenKind::Assign)) {
+    F->Outputs.push_back(tok().Text);
+    advance();
+    advance();
+  }
+
+  if (!at(TokenKind::Identifier)) {
+    Diags.error(tok().Loc, "expected function name");
+    return nullptr;
+  }
+  F->Name = tok().Text;
+  advance();
+
+  if (consumeIf(TokenKind::LParen)) {
+    while (!at(TokenKind::RParen)) {
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(tok().Loc, "expected parameter name");
+        return nullptr;
+      }
+      F->Params.push_back(tok().Text);
+      advance();
+      if (!consumeIf(TokenKind::Comma))
+        break;
+    }
+    if (!expect(TokenKind::RParen, "after parameters"))
+      return nullptr;
+  }
+
+  F->Body = parseStmtList(/*StopAtElse=*/false);
+  // Optional terminating 'end' (both M-file styles are legal).
+  consumeIf(TokenKind::KwEnd);
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtList Parser::parseStmtList(bool StopAtElse, bool StopAtCase) {
+  StmtList Body;
+  skipSeparators();
+  while (!at(TokenKind::Eof) && !at(TokenKind::KwEnd) &&
+         !at(TokenKind::KwFunction) &&
+         !(StopAtElse &&
+           (at(TokenKind::KwElse) || at(TokenKind::KwElseif))) &&
+         !(StopAtCase &&
+           (at(TokenKind::KwCase) || at(TokenKind::KwOtherwise)))) {
+    if (HadError && !at(TokenKind::KwIf) && !at(TokenKind::KwWhile) &&
+        !at(TokenKind::KwFor))
+      break;
+    StmtPtr S = parseStmt();
+    if (S)
+      Body.push_back(std::move(S));
+    skipSeparators();
+  }
+  return Body;
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (tok().Kind) {
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwBreak: {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    consumeStatementEnd();
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KwContinue: {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    consumeStatementEnd();
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokenKind::KwReturn: {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    consumeStatementEnd();
+    return std::make_unique<ReturnStmt>(Loc);
+  }
+  default:
+    return parseAssignOrExpr();
+  }
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = tok().Loc;
+  std::vector<IfStmt::Branch> Branches;
+  StmtList ElseBody;
+  expect(TokenKind::KwIf, "to begin if");
+  while (true) {
+    IfStmt::Branch B;
+    B.Cond = parseExpr();
+    if (!B.Cond)
+      return nullptr;
+    B.Body = parseStmtList(/*StopAtElse=*/true);
+    Branches.push_back(std::move(B));
+    if (consumeIf(TokenKind::KwElseif))
+      continue;
+    if (consumeIf(TokenKind::KwElse)) {
+      ElseBody = parseStmtList(/*StopAtElse=*/false);
+    }
+    break;
+  }
+  expect(TokenKind::KwEnd, "to close if");
+  return std::make_unique<IfStmt>(std::move(Branches), std::move(ElseBody),
+                                  Loc);
+}
+
+StmtPtr Parser::parseSwitch() {
+  SourceLoc Loc = tok().Loc;
+  expect(TokenKind::KwSwitch, "to begin switch");
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  skipSeparators();
+  std::vector<SwitchStmt::Case> Cases;
+  StmtList Otherwise;
+  while (at(TokenKind::KwCase)) {
+    advance();
+    SwitchStmt::Case C;
+    C.Value = parseExpr();
+    if (!C.Value)
+      return nullptr;
+    C.Body = parseStmtList(/*StopAtElse=*/false, /*StopAtCase=*/true);
+    Cases.push_back(std::move(C));
+  }
+  if (consumeIf(TokenKind::KwOtherwise))
+    Otherwise = parseStmtList(/*StopAtElse=*/false, /*StopAtCase=*/true);
+  expect(TokenKind::KwEnd, "to close switch");
+  return std::make_unique<SwitchStmt>(std::move(Cond), std::move(Cases),
+                                      std::move(Otherwise), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = tok().Loc;
+  expect(TokenKind::KwWhile, "to begin while");
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  StmtList Body = parseStmtList(/*StopAtElse=*/false);
+  expect(TokenKind::KwEnd, "to close while");
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = tok().Loc;
+  expect(TokenKind::KwFor, "to begin for");
+  if (!at(TokenKind::Identifier)) {
+    Diags.error(tok().Loc, "expected loop variable after 'for'");
+    HadError = true;
+    return nullptr;
+  }
+  std::string Var = tok().Text;
+  advance();
+  if (!expect(TokenKind::Assign, "in for statement"))
+    return nullptr;
+  ExprPtr Range = parseExpr();
+  if (!Range)
+    return nullptr;
+  StmtList Body = parseStmtList(/*StopAtElse=*/false);
+  expect(TokenKind::KwEnd, "to close for");
+  return std::make_unique<ForStmt>(std::move(Var), std::move(Range),
+                                   std::move(Body), Loc);
+}
+
+bool Parser::buildLValue(Expr *E, LValue &Out) {
+  if (E->kind() == ExprKind::Ident) {
+    Out.Name = static_cast<IdentExpr *>(E)->Name;
+    Out.Loc = E->loc();
+    return true;
+  }
+  if (E->kind() == ExprKind::CallOrIndex) {
+    auto *CI = static_cast<CallOrIndexExpr *>(E);
+    Out.Name = CI->Name;
+    Out.Indices = std::move(CI->Args);
+    Out.Loc = E->loc();
+    return true;
+  }
+  if (E->kind() == ExprKind::ColonAll || E->kind() == ExprKind::Matrix) {
+    Diags.error(E->loc(), "unsupported assignment target");
+    return false;
+  }
+  Diags.error(E->loc(), "invalid assignment target");
+  return false;
+}
+
+StmtPtr Parser::parseAssignOrExpr() {
+  SourceLoc Loc = tok().Loc;
+  ExprPtr E = parseExpr();
+  if (!E) {
+    recoverToLineEnd();
+    return nullptr;
+  }
+
+  if (at(TokenKind::Assign)) {
+    advance();
+    // Multi-output form: [a, b] = f(...).
+    if (E->kind() == ExprKind::Matrix) {
+      auto *M = static_cast<MatrixExpr *>(E.get());
+      if (M->Rows.size() != 1) {
+        Diags.error(Loc, "invalid multi-assignment target");
+        HadError = true;
+        return nullptr;
+      }
+      std::vector<LValue> Targets;
+      for (ExprPtr &Elt : M->Rows.front()) {
+        LValue LV;
+        if (!buildLValue(Elt.get(), LV)) {
+          HadError = true;
+          return nullptr;
+        }
+        Targets.push_back(std::move(LV));
+      }
+      ExprPtr RHS = parseExpr();
+      if (!RHS)
+        return nullptr;
+      bool Display = consumeStatementEnd();
+      if (RHS->kind() != ExprKind::CallOrIndex) {
+        Diags.error(Loc,
+                    "right side of a multi-assignment must be a call");
+        HadError = true;
+        return nullptr;
+      }
+      return std::make_unique<MultiAssignStmt>(
+          std::move(Targets), std::move(RHS), Display, Loc);
+    }
+
+    LValue LV;
+    if (!buildLValue(E.get(), LV)) {
+      HadError = true;
+      recoverToLineEnd();
+      return nullptr;
+    }
+    ExprPtr RHS = parseExpr();
+    if (!RHS) {
+      recoverToLineEnd();
+      return nullptr;
+    }
+    bool Display = consumeStatementEnd();
+    return std::make_unique<AssignStmt>(std::move(LV), std::move(RHS),
+                                        Display, Loc);
+  }
+
+  bool Display = consumeStatementEnd();
+  return std::make_unique<ExprStmt>(std::move(E), Display, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpression() { return parseExpr(); }
+
+ExprPtr Parser::parseExpr() { return parseOrOr(); }
+
+ExprPtr Parser::parseOrOr() {
+  ExprPtr LHS = parseAndAnd();
+  while (LHS && at(TokenKind::PipePipe)) {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseAndAnd();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::OrOr, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAndAnd() {
+  ExprPtr LHS = parseElemOr();
+  while (LHS && at(TokenKind::AmpAmp)) {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseElemOr();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::AndAnd, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseElemOr() {
+  ExprPtr LHS = parseElemAnd();
+  while (LHS && at(TokenKind::Pipe)) {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseElemAnd();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseElemAnd() {
+  ExprPtr LHS = parseComparison();
+  while (LHS && at(TokenKind::Amp)) {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseComparison();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr LHS = parseRange();
+  while (LHS) {
+    BinaryOp Op;
+    switch (tok().Kind) {
+    case TokenKind::Less: Op = BinaryOp::Lt; break;
+    case TokenKind::LessEq: Op = BinaryOp::Le; break;
+    case TokenKind::Greater: Op = BinaryOp::Gt; break;
+    case TokenKind::GreaterEq: Op = BinaryOp::Ge; break;
+    case TokenKind::EqEq: Op = BinaryOp::Eq; break;
+    case TokenKind::NotEq: Op = BinaryOp::Ne; break;
+    default:
+      return LHS;
+    }
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseRange();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseRange() {
+  ExprPtr First = parseAdditive();
+  if (!First || !at(TokenKind::Colon))
+    return First;
+  SourceLoc Loc = tok().Loc;
+  advance();
+  ExprPtr Second = parseAdditive();
+  if (!Second)
+    return nullptr;
+  if (!at(TokenKind::Colon))
+    return std::make_unique<RangeExpr>(std::move(First), nullptr,
+                                       std::move(Second), Loc);
+  advance();
+  ExprPtr Third = parseAdditive();
+  if (!Third)
+    return nullptr;
+  return std::make_unique<RangeExpr>(std::move(First), std::move(Second),
+                                     std::move(Third), Loc);
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr LHS = parseMultiplicative();
+  while (LHS && (at(TokenKind::Plus) || at(TokenKind::Minus))) {
+    BinaryOp Op = at(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseMultiplicative();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr LHS = parseUnary();
+  while (LHS) {
+    BinaryOp Op;
+    switch (tok().Kind) {
+    case TokenKind::Star: Op = BinaryOp::MatMul; break;
+    case TokenKind::DotStar: Op = BinaryOp::ElemMul; break;
+    case TokenKind::Slash: Op = BinaryOp::MatRDiv; break;
+    case TokenKind::DotSlash: Op = BinaryOp::ElemRDiv; break;
+    case TokenKind::Backslash: Op = BinaryOp::MatLDiv; break;
+    case TokenKind::DotBackslash: Op = BinaryOp::ElemLDiv; break;
+    default:
+      return LHS;
+    }
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseUnary() {
+  switch (tok().Kind) {
+  case TokenKind::Plus: {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Plus, std::move(Operand),
+                                       Loc);
+  }
+  case TokenKind::Minus: {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Minus, std::move(Operand),
+                                       Loc);
+  }
+  case TokenKind::Tilde: {
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(Operand),
+                                       Loc);
+  }
+  default:
+    return parsePower();
+  }
+}
+
+ExprPtr Parser::parsePower() {
+  ExprPtr LHS = parsePostfix();
+  while (LHS && (at(TokenKind::Caret) || at(TokenKind::DotCaret))) {
+    BinaryOp Op =
+        at(TokenKind::Caret) ? BinaryOp::MatPow : BinaryOp::ElemPow;
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr RHS = parseExponentOperand();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS),
+                                       Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseExponentOperand() {
+  // Exponents admit unary signs that bind tighter than the power's
+  // left-associativity: 2^-3 parses, and 2^-x^y is 2^(-(x))^y in MATLAB.
+  if (at(TokenKind::Plus) || at(TokenKind::Minus) || at(TokenKind::Tilde)) {
+    UnaryOp Op = at(TokenKind::Plus)    ? UnaryOp::Plus
+                 : at(TokenKind::Minus) ? UnaryOp::Minus
+                                        : UnaryOp::Not;
+    SourceLoc Loc = tok().Loc;
+    advance();
+    ExprPtr Operand = parseExponentOperand();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Op, std::move(Operand), Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (E) {
+    if (at(TokenKind::Apos)) {
+      SourceLoc Loc = tok().Loc;
+      advance();
+      E = std::make_unique<TransposeExpr>(std::move(E), /*Conjugate=*/true,
+                                          Loc);
+      continue;
+    }
+    if (at(TokenKind::DotApos)) {
+      SourceLoc Loc = tok().Loc;
+      advance();
+      E = std::make_unique<TransposeExpr>(std::move(E), /*Conjugate=*/false,
+                                          Loc);
+      continue;
+    }
+    if (at(TokenKind::LParen)) {
+      if (E->kind() != ExprKind::Ident) {
+        Diags.error(tok().Loc, "only named values can be indexed or called");
+        return nullptr;
+      }
+      std::string Name = static_cast<IdentExpr *>(E.get())->Name;
+      SourceLoc Loc = E->loc();
+      advance();
+      std::vector<ExprPtr> Args = parseArgList();
+      if (!expect(TokenKind::RParen, "to close argument list"))
+        return nullptr;
+      E = std::make_unique<CallOrIndexExpr>(std::move(Name), std::move(Args),
+                                            Loc);
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+std::vector<ExprPtr> Parser::parseArgList() {
+  std::vector<ExprPtr> Args;
+  ++IndexDepth;
+  if (!at(TokenKind::RParen)) {
+    while (true) {
+      if (at(TokenKind::Colon) &&
+          (tok(1).is(TokenKind::Comma) || tok(1).is(TokenKind::RParen))) {
+        Args.push_back(std::make_unique<ColonAllExpr>(tok().Loc));
+        advance();
+      } else {
+        ExprPtr Arg = parseExpr();
+        if (!Arg)
+          break;
+        Args.push_back(std::move(Arg));
+      }
+      if (!consumeIf(TokenKind::Comma))
+        break;
+    }
+  }
+  --IndexDepth;
+  return Args;
+}
+
+ExprPtr Parser::parsePrimary() {
+  switch (tok().Kind) {
+  case TokenKind::Number: {
+    auto E = std::make_unique<NumberExpr>(tok().NumValue, tok().IsImaginary,
+                                          tok().Loc);
+    advance();
+    return E;
+  }
+  case TokenKind::String: {
+    auto E = std::make_unique<StringExpr>(tok().Text, tok().Loc);
+    advance();
+    return E;
+  }
+  case TokenKind::Identifier: {
+    auto E = std::make_unique<IdentExpr>(tok().Text, tok().Loc);
+    advance();
+    return E;
+  }
+  case TokenKind::KwEnd: {
+    if (IndexDepth > 0) {
+      auto E = std::make_unique<EndIndexExpr>(tok().Loc);
+      advance();
+      return E;
+    }
+    Diags.error(tok().Loc, "'end' is only valid inside a subscript");
+    HadError = true;
+    return nullptr;
+  }
+  case TokenKind::LParen: {
+    advance();
+    // Parenthesized expressions suspend subscript context: in a(x(1):(end))
+    // the inner parens still see the index context, but MATLAB scripts in
+    // this subset never rely on that subtlety; keep the context active.
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(TokenKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  case TokenKind::LBracket:
+    return parseMatrixLiteral();
+  default:
+    Diags.error(tok().Loc, std::string("expected expression, found ") +
+                               tokenKindName(tok().Kind));
+    HadError = true;
+    return nullptr;
+  }
+}
+
+ExprPtr Parser::parseMatrixLiteral() {
+  SourceLoc Loc = tok().Loc;
+  expect(TokenKind::LBracket, "to begin matrix literal");
+  std::vector<std::vector<ExprPtr>> Rows;
+  if (at(TokenKind::RBracket)) {
+    advance();
+    return std::make_unique<MatrixExpr>(std::move(Rows), Loc);
+  }
+  std::vector<ExprPtr> Row;
+  while (true) {
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    Row.push_back(std::move(E));
+    if (consumeIf(TokenKind::Comma) || consumeIf(TokenKind::MatrixSep))
+      continue;
+    if (consumeIf(TokenKind::Semi)) {
+      // Trailing semicolon before ']' is allowed.
+      if (at(TokenKind::RBracket))
+        break;
+      Rows.push_back(std::move(Row));
+      Row.clear();
+      continue;
+    }
+    break;
+  }
+  if (!Row.empty())
+    Rows.push_back(std::move(Row));
+  if (!expect(TokenKind::RBracket, "to close matrix literal"))
+    return nullptr;
+  return std::make_unique<MatrixExpr>(std::move(Rows), Loc);
+}

@@ -1,0 +1,94 @@
+//===- Parser.h - MATLAB-subset recursive-descent parser --------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing the AST of AST.h. Operator
+/// precedence follows MATLAB: || < && < | < & < relational < range (:)
+/// < additive < multiplicative < unary < power < postfix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_FRONTEND_PARSER_H
+#define MATCOAL_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace matcoal {
+
+/// Parses one source buffer into a Program. Returns nullptr (with
+/// diagnostics) on a syntax error.
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      Diagnostics &Diags);
+
+/// Implementation class; exposed for unit tests that drive sub-grammar
+/// entry points directly.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Diagnostics &Diags);
+
+  std::unique_ptr<Program> parseProgram();
+  ExprPtr parseExpression();
+
+private:
+  // Statement level.
+  std::unique_ptr<FunctionDecl> parseFunction();
+  StmtList parseStmtList(bool StopAtElse, bool StopAtCase = false);
+  StmtPtr parseStmt();
+  StmtPtr parseIf();
+  StmtPtr parseSwitch();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseAssignOrExpr();
+  bool buildLValue(Expr *E, LValue &Out);
+
+  // Expression level, lowest to highest precedence.
+  ExprPtr parseExpr();
+  ExprPtr parseOrOr();
+  ExprPtr parseAndAnd();
+  ExprPtr parseElemOr();
+  ExprPtr parseElemAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseRange();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePower();
+  ExprPtr parseExponentOperand();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseMatrixLiteral();
+  std::vector<ExprPtr> parseArgList();
+
+  // Token plumbing.
+  const Token &tok(unsigned Ahead = 0) const;
+  bool at(TokenKind Kind) const { return tok().Kind == Kind; }
+  bool consumeIf(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void advance();
+  /// Skips statement separators (newline, comma, semicolon).
+  void skipSeparators();
+  /// Consumes the statement terminator and reports whether the statement's
+  /// result should be displayed (no trailing ';').
+  bool consumeStatementEnd();
+  void recoverToLineEnd();
+
+  std::vector<Token> Tokens;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  /// Depth of subscript contexts in which 'end' and ':' are expressions.
+  int IndexDepth = 0;
+  bool HadError = false;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_FRONTEND_PARSER_H

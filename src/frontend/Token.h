@@ -1,0 +1,97 @@
+//===- Token.h - MATLAB-subset token definitions ----------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Lexer and consumed by the Parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_FRONTEND_TOKEN_H
+#define MATCOAL_FRONTEND_TOKEN_H
+
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace matcoal {
+
+enum class TokenKind {
+  Eof,
+  Newline,   ///< End of a physical statement line.
+  MatrixSep, ///< Whitespace acting as an element separator inside [ ].
+
+  Identifier,
+  Number, ///< Numeric literal, possibly imaginary (suffix i or j).
+  String, ///< Single-quoted character literal.
+
+  // Keywords.
+  KwFunction,
+  KwIf,
+  KwElseif,
+  KwElse,
+  KwEnd,
+  KwWhile,
+  KwFor,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwSwitch,
+  KwCase,
+  KwOtherwise,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Colon,
+  Assign,    ///< =
+  Plus,
+  Minus,
+  Star,      ///< * (matrix multiply)
+  Slash,     ///< / (matrix right divide)
+  Backslash, ///< \ (matrix left divide)
+  Caret,     ///< ^ (matrix power)
+  DotStar,   ///< .*
+  DotSlash,  ///< ./
+  DotBackslash, ///< .\.
+  DotCaret,  ///< .^
+  Apos,      ///< ' used as (conjugate) transpose
+  DotApos,   ///< .' non-conjugate transpose
+  EqEq,
+  NotEq, ///< ~=
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Amp,    ///< &
+  Pipe,   ///< |
+  AmpAmp, ///< &&
+  PipePipe, ///< ||
+  Tilde,  ///< ~
+};
+
+/// Returns a human-readable spelling for diagnostics ("'('", "number", ...).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. \c Text holds the identifier/string payload; \c NumValue
+/// the numeric payload for Number tokens.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  double NumValue = 0.0;
+  bool IsImaginary = false; ///< Number carried an i/j suffix.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_FRONTEND_TOKEN_H

@@ -1,0 +1,20 @@
+//===- GCTD.h - Graph Coloring with Type-based Decomposition ----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the GCTD pass: phase 1 (Interference.h) and phase 2
+/// (StoragePlan.h). runGCTD() in StoragePlan.h runs both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_GCTD_GCTD_H
+#define MATCOAL_GCTD_GCTD_H
+
+#include "gctd/Interference.h"
+#include "gctd/StoragePlan.h"
+
+#endif // MATCOAL_GCTD_GCTD_H

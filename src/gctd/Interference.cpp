@@ -1,0 +1,503 @@
+//===- Interference.cpp ---------------------------------------------------===//
+
+#include "gctd/Interference.h"
+
+#include "analysis/Liveness.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace matcoal;
+
+InterferenceGraph::InterferenceGraph(const Function &F,
+                                     const TypeInference &TI, bool Coalesce,
+                                     ColoringStrategy Strategy)
+    : F(F), Participates(F.numVars(), 0), Parent(F.numVars()),
+      Adj(F.numVars()), Affinity(F.numVars()), ITOf(F.numVars(),
+                                                    IntrinsicType::None),
+      NonScalarOf(F.numVars(), 0), Colors(F.numVars(), -1) {
+  for (unsigned V = 0; V < F.numVars(); ++V)
+    Parent[V] = static_cast<VarId>(V);
+  markParticipants(TI);
+  buildEdges(TI);
+  if (Coalesce)
+    coalescePhis();
+  if (Strategy == ColoringStrategy::Affinity)
+    addAffinities();
+  color(Strategy, TI);
+}
+
+void InterferenceGraph::addAffinities() {
+  // A result that could be computed in place in an operand (no
+  // interference survived phase 1) should prefer that operand's color;
+  // otherwise the greedy minimal coloring can split in-place pairs across
+  // classes and phase 2 never sees them together.
+  for (const auto &BB : F.Blocks) {
+    for (const Instr &I : BB->Instrs) {
+      if (I.Results.size() != 1 || !Participates[I.result()])
+        continue;
+      VarId YV = I.result();
+      VarId Y = findRoot(YV);
+      for (VarId X : I.Operands) {
+        if (!Participates[X])
+          continue;
+        VarId RX = findRoot(X);
+        if (RX == Y || Adj[Y].count(RX))
+          continue;
+        int Priority = 0;
+        if (ITOf[YV] == ITOf[X]) {
+          Priority = 1;
+          if (NonScalarOf[YV] && NonScalarOf[X])
+            Priority = 2;
+        }
+        int &PY = Affinity[Y][RX];
+        PY = std::max(PY, Priority);
+        int &PX = Affinity[RX][Y];
+        PX = std::max(PX, Priority);
+      }
+    }
+  }
+}
+
+void InterferenceGraph::markParticipants(const TypeInference &TI) {
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  auto Mark = [&](VarId V) {
+    if (V < 0 || static_cast<size_t>(V) >= Types.size())
+      return;
+    const VarType &T = Types[V];
+    if (T.isBottom() || T.IT == IntrinsicType::Colon)
+      return;
+    Participates[V] = 1;
+    ITOf[V] = T.IT;
+    NonScalarOf[V] = !T.isScalar();
+  };
+  for (const auto &BB : F.Blocks) {
+    for (const Instr &I : BB->Instrs) {
+      for (VarId R : I.Results)
+        Mark(R);
+      // Record lexical definition order for the coloring heuristic.
+      for (VarId R : I.Results)
+        if (Participates[R])
+          DefOrder.push_back(R);
+    }
+  }
+  for (VarId P : F.Params) {
+    Mark(P);
+    if (Participates[P])
+      DefOrder.insert(DefOrder.begin(), P);
+  }
+  // Dedup while preserving first occurrence.
+  std::vector<char> Seen(F.numVars(), 0);
+  std::vector<VarId> Unique;
+  for (VarId V : DefOrder) {
+    if (Seen[V])
+      continue;
+    Seen[V] = 1;
+    Unique.push_back(V);
+  }
+  DefOrder = std::move(Unique);
+}
+
+VarId InterferenceGraph::findRoot(VarId V) const {
+  while (Parent[V] != V) {
+    Parent[V] = Parent[Parent[V]];
+    V = Parent[V];
+  }
+  return V;
+}
+
+VarId InterferenceGraph::repOf(VarId V) const { return findRoot(V); }
+
+void InterferenceGraph::addEdge(VarId U, VarId V) {
+  U = findRoot(U);
+  V = findRoot(V);
+  if (U == V || !Participates[U] || !Participates[V])
+    return;
+  Adj[U].insert(V);
+  Adj[V].insert(U);
+}
+
+bool InterferenceGraph::interferes(VarId U, VarId V) const {
+  U = findRoot(U);
+  V = findRoot(V);
+  if (U == V)
+    return false;
+  return Adj[U].count(V) != 0;
+}
+
+void InterferenceGraph::buildEdges(const TypeInference &TI) {
+  LivenessInfo Live = computeLiveness(F);
+  AvailabilityInfo Avail = computeAvailability(F);
+
+  for (const auto &BB : F.Blocks) {
+    // First definition index of each variable within this block, for
+    // statement-level availability.
+    std::map<VarId, size_t> FirstDef;
+    for (size_t I = 0; I < BB->Instrs.size(); ++I)
+      for (VarId R : BB->Instrs[I].Results)
+        if (!FirstDef.count(R))
+          FirstDef[R] = I;
+
+    auto AvailableAt = [&](VarId U, size_t Idx) {
+      if (Avail.AvailIn[BB->Id].test(U))
+        return true;
+      auto It = FirstDef.find(U);
+      return It != FirstDef.end() && It->second < Idx;
+    };
+
+    // Backward walk (paper section 2): the set holds variables live after
+    // the current statement; a definition interferes with every member
+    // that is also available; then kill the defs and gen the uses.
+    BitVector Set = Live.LiveOut[BB->Id];
+    for (size_t Idx = BB->Instrs.size(); Idx-- > 0;) {
+      const Instr &I = BB->Instrs[Idx];
+      for (VarId D : I.Results) {
+        if (!Participates[D])
+          continue;
+        Set.forEach([&](unsigned U) {
+          if (static_cast<VarId>(U) == D || !Participates[U])
+            return;
+          if (AvailableAt(static_cast<VarId>(U), Idx))
+            addEdge(D, static_cast<VarId>(U));
+        });
+      }
+      // Results defined in parallel (multi-output calls) interfere.
+      for (size_t A = 0; A < I.Results.size(); ++A)
+        for (size_t B = A + 1; B < I.Results.size(); ++B)
+          addEdge(I.Results[A], I.Results[B]);
+      addOperatorSemanticsEdges(I, TI);
+      for (VarId D : I.Results)
+        Set.reset(D);
+      if (I.Op != Opcode::Phi) {
+        for (VarId U : I.Operands)
+          Set.set(U);
+      }
+    }
+  }
+
+  // Parameters are defined simultaneously on entry: pairwise interference
+  // (their storage comes from the caller).
+  for (size_t A = 0; A < F.Params.size(); ++A)
+    for (size_t B = A + 1; B < F.Params.size(); ++B)
+      addEdge(F.Params[A], F.Params[B]);
+
+  // Phis at one join execute as a parallel copy on each incoming edge: the
+  // result of one phi is defined while the operands of the others are
+  // still in use (and may hold different values), so each result
+  // interferes with every *other* phi's operand on the same edge. Without
+  // this, SSA inversion's sequenced copies can clobber a shared slot (the
+  // classic lost-copy/swap hazard).
+  for (const auto &BB : F.Blocks) {
+    std::vector<const Instr *> Phis;
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Phi)
+        break;
+      Phis.push_back(&I);
+    }
+    if (Phis.size() < 2)
+      continue;
+    for (size_t PI = 0; PI < BB->Preds.size(); ++PI) {
+      for (const Instr *P : Phis)
+        for (const Instr *Q : Phis) {
+          if (P == Q || PI >= Q->Operands.size() ||
+              PI >= P->Operands.size())
+            continue;
+          // When both phis read the same source on this edge, writing P's
+          // result is either an identity copy (if coalesced with that
+          // source) or lands in a disjoint slot: no hazard either way.
+          if (P->Operands[PI] == Q->Operands[PI])
+            continue;
+          addEdge(P->result(), Q->Operands[PI]);
+        }
+    }
+  }
+}
+
+void InterferenceGraph::addOperatorSemanticsEdges(const Instr &I,
+                                                  const TypeInference &TI) {
+  // Section 2.3: an edge Y -- Xi is inserted when computing Y in place in
+  // Xi's storage could violate the operator's semantics. Inferred types
+  // (is the operand provably scalar / a vector?) resolve the cases.
+  if (I.Results.size() != 1)
+    return;
+  VarId Y = I.Results[0];
+  if (!Participates[Y])
+    return;
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  auto IsScalar = [&](VarId V) { return Types[V].isScalar(); };
+  auto IsScalarOrVector = [&](VarId V) {
+    const VarType &T = Types[V];
+    if (T.isScalar())
+      return true;
+    if (T.Extents.size() != 2)
+      return false;
+    return (T.Extents[0]->isConst() && T.Extents[0]->constValue() == 1) ||
+           (T.Extents[1]->isConst() && T.Extents[1]->constValue() == 1);
+  };
+  auto EdgeToNonScalars = [&](size_t From = 0) {
+    for (size_t K = From; K < I.Operands.size(); ++K)
+      if (!IsScalar(I.Operands[K]))
+        addEdge(Y, I.Operands[K]);
+  };
+
+  switch (I.Op) {
+  // Elementwise operations can always be formed in place (scalar operands
+  // are hoisted by the code generator / VM kernels): no extra edges.
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::ElemMul:
+  case Opcode::ElemRDiv:
+  case Opcode::ElemLDiv:
+  case Opcode::ElemPow:
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge:
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Neg:
+  case Opcode::UPlus:
+  case Opcode::Not:
+    return;
+
+  // Matrix multiplication overwrites elements before they are fully used
+  // unless one operand is a scalar (section 2.3's c = a*b example).
+  case Opcode::MatMul:
+  case Opcode::MatRDiv:
+  case Opcode::MatLDiv:
+  case Opcode::MatPow: {
+    if (I.Operands.size() == 2 &&
+        (IsScalar(I.Operands[0]) || IsScalar(I.Operands[1])))
+      return;
+    EdgeToNonScalars();
+    return;
+  }
+
+  // A transpose permutes element positions: unsafe in place except for
+  // scalars and vectors (a vector's linear layout is unchanged).
+  case Opcode::Transpose:
+  case Opcode::CTranspose:
+    if (!IsScalarOrVector(I.Operands[0]))
+      addEdge(Y, I.Operands[0]);
+    return;
+
+  // R-indexing (section 2.3.2): safe in place only when every subscript is
+  // a scalar; an array subscript can permute arbitrarily.
+  case Opcode::Subsref: {
+    bool AllScalar = true;
+    for (size_t K = 1; K < I.Operands.size(); ++K) {
+      const VarType &T = Types[I.Operands[K]];
+      AllScalar &= T.isScalar() && T.IT != IntrinsicType::Colon;
+    }
+    if (AllScalar)
+      return;
+    addEdge(Y, I.Operands[0]);
+    EdgeToNonScalars(1);
+    return;
+  }
+
+  // L-indexing (section 2.3.3.1): always formable in place in the base by
+  // computing elements backwards -- no edge to operand 0. The rhs and any
+  // array subscripts must not share storage with the result.
+  case Opcode::Subsasgn:
+    EdgeToNonScalars(1);
+    return;
+
+  // Concatenations interleave reads and writes: conservative.
+  case Opcode::HorzCat:
+  case Opcode::VertCat:
+    EdgeToNonScalars();
+    return;
+
+  case Opcode::Colon2:
+  case Opcode::Colon3:
+  case Opcode::ConstNum:
+  case Opcode::ConstStr:
+  case Opcode::ConstColon:
+  case Opcode::Copy:
+  case Opcode::Phi:
+    return;
+
+  // Calls copy results back after the callee returns: safe.
+  case Opcode::Call:
+    return;
+
+  case Opcode::Builtin: {
+    static const std::set<std::string> InPlaceSafe = {
+        // Elementwise (hoisted scalars, forward loops).
+        "abs", "sqrt", "exp", "log", "log2", "log10", "sin", "cos", "tan",
+        "sinh", "cosh", "tanh", "asin", "acos", "atan", "atan2", "floor",
+        "ceil", "round", "fix", "sign", "real", "imag", "conj", "angle",
+        "mod", "rem", "hypot", "double", "logical",
+        // Write-only constructors (dimension args are scalars).
+        "zeros", "ones", "eye", "rand", "randn", "linspace",
+        // Reductions compute into a register before storing.
+        "min", "max", "sum", "prod", "mean", "norm", "dot",
+        // Metadata-only queries.
+        "size", "numel", "length", "isempty",
+        // Effects with scalar results.
+        "disp", "fprintf", "error", "tic", "toc", "__forcond", "__switcheq",
+        "trace", "strcmp", "cumsum",
+        "pi", "eps", "Inf", "inf", "NaN", "nan", "true", "false", "i", "j",
+    };
+    if (InPlaceSafe.count(I.StrVal))
+      return;
+    EdgeToNonScalars();
+    return;
+  }
+
+  case Opcode::Display:
+  case Opcode::Jmp:
+  case Opcode::Br:
+  case Opcode::Ret:
+    return;
+  }
+}
+
+bool InterferenceGraph::tryUnion(VarId U, VarId V) {
+  U = findRoot(U);
+  V = findRoot(V);
+  if (U == V)
+    return true;
+  if (Adj[U].count(V))
+    return false; // They interfere: cannot share storage.
+  // Merge V into U.
+  Parent[V] = U;
+  for (VarId W : Adj[V]) {
+    Adj[W].erase(V);
+    Adj[W].insert(U);
+    Adj[U].insert(W);
+  }
+  Adj[V].clear();
+  for (auto &[W, P] : Affinity[V]) {
+    Affinity[W].erase(V);
+    if (W != U) {
+      int &PW = Affinity[W][U];
+      PW = std::max(PW, P);
+      int &PU = Affinity[U][W];
+      PU = std::max(PU, P);
+    }
+  }
+  Affinity[V].clear();
+  return true;
+}
+
+void InterferenceGraph::coalescePhis() {
+  // Section 2.2.1: coalesce each phi result with its operands when they do
+  // not interfere, so the copies reintroduced by SSA inversion become
+  // identity assignments.
+  for (const auto &BB : F.Blocks) {
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Phi)
+        break;
+      if (!Participates[I.result()])
+        continue;
+      for (VarId Op : I.Operands) {
+        if (!Participates[Op])
+          continue;
+        tryUnion(I.result(), Op);
+      }
+    }
+  }
+}
+
+void InterferenceGraph::color(ColoringStrategy Strategy,
+                              const TypeInference &TI) {
+  // Greedy, lexical definition order (section 2.4): the smallest color
+  // consistent with already-colored neighbors. The SizeWeighted variant
+  // visits big arrays first and packs same-size classes together.
+  std::vector<VarId> Order = DefOrder;
+  std::vector<std::int64_t> SizeOf;
+  if (Strategy == ColoringStrategy::SizeWeighted) {
+    const std::vector<VarType> &Types = TI.functionTypes(F);
+    SizeOf.assign(F.numVars(), 0);
+    for (VarId V : Order)
+      SizeOf[V] = Types[V].hasKnownShape()
+                      ? Types[V].knownNumElements() *
+                            static_cast<std::int64_t>(
+                                elemSizeBytes(Types[V].IT))
+                      : -1; // Symbolic: after all known sizes.
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](VarId A, VarId B) { return SizeOf[A] > SizeOf[B]; });
+  }
+  // Track the largest member size per color for size-aware packing.
+  std::vector<std::int64_t> ColorMax;
+  NumColors = 0;
+  for (VarId V : Order) {
+    VarId R = findRoot(V);
+    if (Colors[R] != -1)
+      continue;
+    std::set<int> Used;
+    for (VarId W : Adj[R])
+      if (Colors[W] != -1)
+        Used.insert(Colors[W]);
+    // Prefer the consistent color of the best in-place affine partner
+    // (highest priority, then smallest color); fall back to the globally
+    // smallest consistent color.
+    int C = -1;
+    int BestPriority = -1;
+    for (auto &[W, P] : Affinity[R]) {
+      if (Colors[W] == -1 || Used.count(Colors[W]))
+        continue;
+      if (P > BestPriority || (P == BestPriority && Colors[W] < C)) {
+        BestPriority = P;
+        C = Colors[W];
+      }
+    }
+    if (C == -1 && Strategy == ColoringStrategy::SizeWeighted &&
+        !SizeOf.empty() && SizeOf[V] >= 0) {
+      // Pack this node with the class whose maximal member is largest but
+      // still >= this node's size (subsumption without growing the class).
+      std::int64_t BestMax = -1;
+      for (int K = 0; K < static_cast<int>(NumColors); ++K) {
+        if (Used.count(K) || ColorMax[K] < SizeOf[V])
+          continue;
+        if (ColorMax[K] > BestMax) {
+          BestMax = ColorMax[K];
+          C = K;
+        }
+      }
+    }
+    if (C == -1) {
+      C = 0;
+      while (Used.count(C))
+        ++C;
+    }
+    Colors[R] = C;
+    if (static_cast<unsigned>(C) >= NumColors) {
+      NumColors = static_cast<unsigned>(C) + 1;
+      ColorMax.resize(NumColors, 0);
+    }
+    if (!SizeOf.empty() && SizeOf[V] > ColorMax[C])
+      ColorMax[C] = SizeOf[V];
+  }
+}
+
+int InterferenceGraph::colorOf(VarId V) const {
+  if (!Participates[V])
+    return -1;
+  return Colors[findRoot(V)];
+}
+
+std::vector<std::vector<VarId>> InterferenceGraph::colorClasses() const {
+  std::vector<std::vector<VarId>> Classes(NumColors);
+  for (unsigned V = 0; V < F.numVars(); ++V) {
+    if (!Participates[V])
+      continue;
+    int C = colorOf(static_cast<VarId>(V));
+    if (C >= 0)
+      Classes[C].push_back(static_cast<VarId>(V));
+  }
+  return Classes;
+}
+
+unsigned InterferenceGraph::numEdges() const {
+  unsigned N = 0;
+  for (const auto &S : Adj)
+    N += static_cast<unsigned>(S.size());
+  return N / 2;
+}

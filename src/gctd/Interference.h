@@ -1,0 +1,106 @@
+//===- Interference.h - GCTD Phase 1: interference graph --------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase 1 of GCTD (paper section 2): builds the interference graph over
+/// the SSA IR using the Chaitin notion of interference restricted to
+/// variables that are both live and available, adds interference edges
+/// required by operator semantics (resolved with inferred types, section
+/// 2.3), coalesces phi webs so SSA-inversion copies become identity
+/// assignments (section 2.2.1), and colors the graph with the greedy
+/// lexical-order heuristic (section 2.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_GCTD_INTERFERENCE_H
+#define MATCOAL_GCTD_INTERFERENCE_H
+
+#include "ir/IR.h"
+#include "typeinf/TypeInference.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace matcoal {
+
+/// How the greedy coloring breaks ties (ablations of the paper's
+/// section 5 non-optimality discussion).
+enum class ColoringStrategy {
+  /// The paper's heuristic: lexical definition order, smallest color.
+  Lexical,
+  /// Lexical order with an in-place affinity preference (our default; it
+  /// keeps in-place pairs inside one color class for phase 2).
+  Affinity,
+  /// Visit nodes largest-static-size first, preferring the color whose
+  /// class currently has the largest maximal size (a size-aware greedy
+  /// inspired by the paper's A/B/C example).
+  SizeWeighted,
+};
+
+/// The phase-1 result: a colored, coalesced interference graph.
+class InterferenceGraph {
+public:
+  /// Builds, coalesces and colors the graph for \p F. \p Coalesce disables
+  /// phi coalescing when false (for ablation benchmarks).
+  InterferenceGraph(const Function &F, const TypeInference &TI,
+                    bool Coalesce = true,
+                    ColoringStrategy Strategy = ColoringStrategy::Affinity);
+
+  /// True if the variable takes part in storage allocation (defined, typed,
+  /// not the ':' marker).
+  bool participates(VarId V) const { return Participates[V]; }
+
+  /// Union-find representative after coalescing.
+  VarId repOf(VarId V) const;
+
+  /// True if the (representatives of) U and V interfere.
+  bool interferes(VarId U, VarId V) const;
+
+  /// Color assigned to V's representative; -1 for non-participants.
+  int colorOf(VarId V) const;
+  unsigned numColors() const { return NumColors; }
+
+  /// All participating variables grouped per color, in VarId order.
+  std::vector<std::vector<VarId>> colorClasses() const;
+
+  /// Number of interference edges between representatives (for tests).
+  unsigned numEdges() const;
+
+private:
+  void markParticipants(const TypeInference &TI);
+  void buildEdges(const TypeInference &TI);
+  void addOperatorSemanticsEdges(const Instr &I, const TypeInference &TI);
+  void coalescePhis();
+  void color(ColoringStrategy Strategy, const TypeInference &TI);
+
+  void addEdge(VarId U, VarId V);
+  void addAffinities();
+  VarId findRoot(VarId V) const;
+  bool tryUnion(VarId U, VarId V);
+
+  const Function &F;
+  std::vector<char> Participates;
+  mutable std::vector<VarId> Parent; ///< Union-find with path compression.
+  std::vector<std::set<VarId>> Adj;  ///< Adjacency over representatives.
+  /// In-place affinity over representatives: result/operand pairs that do
+  /// not interfere, weighted by how much sharing matters (2: same
+  /// intrinsic type and both nonscalar; 1: same intrinsic type; 0: other).
+  /// The coloring heuristic prefers the best affine neighbor's color so
+  /// phase 2 sees in-place pairs inside one color class.
+  std::vector<std::map<VarId, int>> Affinity;
+  std::vector<IntrinsicType> ITOf;
+  std::vector<char> NonScalarOf;
+  std::vector<int> Colors;           ///< Per representative.
+  unsigned NumColors = 0;
+  /// Definition order used by the coloring heuristic (lexical order).
+  std::vector<VarId> DefOrder;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_GCTD_INTERFERENCE_H

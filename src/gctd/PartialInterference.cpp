@@ -1,0 +1,107 @@
+//===- PartialInterference.cpp --------------------------------------------===//
+
+#include "gctd/PartialInterference.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace matcoal;
+
+namespace {
+
+/// The largest constant linear element index read from \p U across all
+/// uses at which \p V is available; returns -1 when some such use is not
+/// a constant-scalar subsref (no overlap possible).
+std::int64_t maxConstReadWithin(const Function &F, VarId U, VarId V,
+                                const AvailabilityInfo &Avail,
+                                const std::vector<VarType> &Types) {
+  std::int64_t MaxIndex = 0; // 1-based; 0 = never read within the range.
+  for (const auto &BB : F.Blocks) {
+    // Track availability of V within the block.
+    bool VAvail = Avail.AvailIn[BB->Id].test(V);
+    for (const Instr &I : BB->Instrs) {
+      bool UsesU =
+          std::find(I.Operands.begin(), I.Operands.end(), U) !=
+          I.Operands.end();
+      if (UsesU && VAvail) {
+        // The use must be a constant-scalar element read of U (as base).
+        if (I.Op != Opcode::Subsref || I.Operands.empty() ||
+            I.Operands[0] != U)
+          return -1;
+        std::int64_t Linear = 0, Stride = 1;
+        const VarType &BaseT = Types[U];
+        for (size_t K = 1; K < I.Operands.size(); ++K) {
+          const VarType &ST = Types[I.Operands[K]];
+          if (!ST.isScalar() || !ST.ValExpr || !ST.ValExpr->isConst())
+            return -1;
+          std::int64_t Idx = ST.ValExpr->constValue(); // 1-based.
+          Linear += (Idx - 1) * Stride;
+          size_t D = K - 1;
+          std::int64_t Extent =
+              D < BaseT.Extents.size() && BaseT.Extents[D]->isConst()
+                  ? BaseT.Extents[D]->constValue()
+                  : 1;
+          Stride *= Extent;
+        }
+        MaxIndex = std::max(MaxIndex, Linear + 1);
+      }
+      for (VarId R : I.Results)
+        if (R == V)
+          VAvail = true;
+    }
+  }
+  return MaxIndex;
+}
+
+} // namespace
+
+PartialInterferenceReport
+matcoal::analyzePartialInterference(const Function &F,
+                                    const InterferenceGraph &IG,
+                                    const TypeInference &TI) {
+  PartialInterferenceReport Report;
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  AvailabilityInfo Avail = computeAvailability(F);
+
+  for (unsigned U = 0; U < F.numVars(); ++U) {
+    if (!IG.participates(U))
+      continue;
+    const VarType &TU = Types[U];
+    if (!TU.hasKnownShape() || TU.isScalar())
+      continue;
+    std::int64_t BytesU =
+        TU.knownNumElements() *
+        static_cast<std::int64_t>(elemSizeBytes(TU.IT));
+    for (unsigned V = 0; V < F.numVars(); ++V) {
+      if (U == V || !IG.participates(V))
+        continue;
+      if (!IG.interferes(static_cast<VarId>(U), static_cast<VarId>(V)))
+        continue; // Full sharing is already possible: not "partial".
+      const VarType &TV = Types[V];
+      if (!TV.hasKnownShape() || TV.isScalar() || TU.IT != TV.IT)
+        continue;
+      std::int64_t Needed = maxConstReadWithin(
+          F, static_cast<VarId>(U), static_cast<VarId>(V), Avail, Types);
+      if (Needed < 0 || Needed == 0)
+        continue; // Not provably partial (or never read: dead-ish).
+      std::int64_t NeededBytes =
+          Needed * static_cast<std::int64_t>(elemSizeBytes(TU.IT));
+      if (NeededBytes >= BytesU)
+        continue;
+      std::int64_t BytesV =
+          TV.knownNumElements() *
+          static_cast<std::int64_t>(elemSizeBytes(TV.IT));
+      PartialInterferenceCandidate C;
+      C.Reduced = static_cast<VarId>(U);
+      C.Other = static_cast<VarId>(V);
+      C.ReducedBytes = BytesU;
+      C.NeededBytes = NeededBytes;
+      C.SavableBytes = std::min(BytesU - NeededBytes, BytesV);
+      Report.Candidates.push_back(C);
+      Report.TotalSavableBytes += C.SavableBytes;
+    }
+  }
+  return Report;
+}

@@ -1,0 +1,60 @@
+//===- PartialInterference.h - Section 2.1 overlap analysis -----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's section 2.1 notes that its interference is conservative:
+/// in
+///     a <- rand(2, 2); b <- rand(2, 2); c <- a(1); d <- b + c;
+/// a and b fully interfere under the Chaitin criterion, yet only a's
+/// first element is read after b's definition -- their storage could have
+/// been overlapped, computing everything in five doubles. The paper
+/// leaves exploiting this as future work.
+///
+/// This analysis quantifies that headroom: it finds interfering pairs of
+/// statically-sized arrays where every use of one variable inside the
+/// other's range reads only constant scalar elements, and reports the
+/// bytes an overlapping allocator could reclaim. It is a measurement
+/// pass (consumed by bench_partial); the storage planner stays
+/// conservative, exactly like the paper's implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_GCTD_PARTIALINTERFERENCE_H
+#define MATCOAL_GCTD_PARTIALINTERFERENCE_H
+
+#include "gctd/Interference.h"
+#include "ir/IR.h"
+#include "typeinf/TypeInference.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace matcoal {
+
+/// One overlappable pair and the bytes an overlapping layout could save.
+struct PartialInterferenceCandidate {
+  VarId Reduced;  ///< The variable only partially read (a in the example).
+  VarId Other;    ///< The interfering variable that could overlap it.
+  std::int64_t ReducedBytes; ///< Full size of Reduced.
+  std::int64_t NeededBytes;  ///< Prefix of Reduced actually read.
+  std::int64_t SavableBytes; ///< min(ReducedBytes - NeededBytes, size(Other)).
+};
+
+struct PartialInterferenceReport {
+  std::vector<PartialInterferenceCandidate> Candidates;
+  std::int64_t TotalSavableBytes = 0;
+};
+
+/// Analyzes one function's interference graph for partial-interference
+/// headroom.
+PartialInterferenceReport
+analyzePartialInterference(const Function &F, const InterferenceGraph &IG,
+                           const TypeInference &TI);
+
+} // namespace matcoal
+
+#endif // MATCOAL_GCTD_PARTIALINTERFERENCE_H

@@ -1,0 +1,481 @@
+//===- StoragePlan.cpp ----------------------------------------------------===//
+
+#include "gctd/StoragePlan.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+
+using namespace matcoal;
+
+namespace {
+
+/// Phase-2 helper bundling the per-function facts the partial order needs.
+class Decomposer {
+public:
+  Decomposer(const Function &F, const InterferenceGraph &IG,
+             const TypeInference &TI)
+      : F(F), IG(IG), TI(TI), Types(TI.functionTypes(F)),
+        Ctx(const_cast<TypeInference &>(TI).context()),
+        Avail(computeAvailability(F)), StaticSize(F.numVars(), -2) {
+    recordDefSites();
+  }
+
+  StoragePlan run();
+
+private:
+  struct DefSite {
+    BlockId Block = NoBlock;
+    int Index = -1; ///< Instruction index; -1 = function entry (params).
+  };
+
+  void recordDefSites();
+  /// Static storage size in bytes per section 3.2.1 (explicit shape, or a
+  /// phi of statically estimable operands); -1 when inestimable.
+  std::int64_t staticSizeBytes(VarId V);
+  /// Whether some definition of \p U reaches the definition of \p V.
+  bool availableAtDef(VarId U, VarId V) const;
+  /// |s(u)| <= |s(v)| provably (same element type assumed).
+  bool symbolicSizeLE(VarId U, VarId V) const;
+  /// The partial order S(u) :<= S(v) (Relation 1), lifted to coalesced
+  /// supernodes.
+  bool orderLE(const std::vector<VarId> &U, const std::vector<VarId> &V,
+               bool UStatic, bool VStatic);
+
+  const Function &F;
+  const InterferenceGraph &IG;
+  const TypeInference &TI;
+  const std::vector<VarType> &Types;
+  SymExprContext &Ctx;
+  AvailabilityInfo Avail;
+  std::vector<std::int64_t> StaticSize; ///< -2 unknown, -1 inestimable.
+  std::vector<DefSite> DefSites;
+  std::map<VarId, const Instr *> DefInstr;
+};
+
+void Decomposer::recordDefSites() {
+  DefSites.assign(F.numVars(), DefSite{});
+  for (const auto &BB : F.Blocks) {
+    for (size_t I = 0; I < BB->Instrs.size(); ++I) {
+      for (VarId R : BB->Instrs[I].Results) {
+        if (DefSites[R].Block == NoBlock) {
+          DefSites[R] = DefSite{BB->Id, static_cast<int>(I)};
+          DefInstr[R] = &BB->Instrs[I];
+        }
+      }
+    }
+  }
+  for (VarId P : F.Params)
+    if (DefSites[P].Block == NoBlock)
+      DefSites[P] = DefSite{0, -1};
+}
+
+std::int64_t Decomposer::staticSizeBytes(VarId V) {
+  std::int64_t &Memo = StaticSize[V];
+  if (Memo != -2)
+    return Memo;
+  Memo = -1; // Break recursion through phi cycles: treat as inestimable.
+  const VarType &T = Types[V];
+  if (T.isBottom() || T.IT == IntrinsicType::Colon)
+    return Memo;
+  if (T.hasKnownShape()) {
+    Memo = T.knownNumElements() *
+           static_cast<std::int64_t>(elemSizeBytes(T.IT));
+    return Memo;
+  }
+  // Section 3.2.1, case 2: a phi of statically estimable operands has the
+  // max of their sizes.
+  auto It = DefInstr.find(V);
+  if (It != DefInstr.end() && It->second->Op == Opcode::Phi) {
+    std::int64_t MaxSize = 0;
+    for (VarId Op : It->second->Operands) {
+      std::int64_t S = staticSizeBytes(Op);
+      if (S < 0)
+        return Memo;
+      // The partial order demands identical intrinsic types; a phi mixing
+      // types cannot be statically laid out with a single element kind.
+      if (Types[Op].IT != T.IT)
+        return Memo;
+      MaxSize = std::max(MaxSize, S);
+    }
+    Memo = MaxSize;
+  }
+  return Memo;
+}
+
+bool Decomposer::availableAtDef(VarId U, VarId V) const {
+  const DefSite &DV = DefSites[V];
+  if (DV.Block == NoBlock)
+    return false;
+  if (Avail.AvailIn[DV.Block].test(U))
+    return true;
+  // Defined earlier in the same block?
+  const DefSite &DU = DefSites[U];
+  return DU.Block == DV.Block && DU.Index < DV.Index;
+}
+
+bool Decomposer::symbolicSizeLE(VarId U, VarId V) const {
+  const VarType &TU = Types[U];
+  const VarType &TV = Types[V];
+  if (TU.Extents.empty() || TV.Extents.empty())
+    return false;
+  SymExpr NU = Ctx.numElements(TU.Extents);
+  SymExpr NV = Ctx.numElements(TV.Extents);
+  if (SymExprContext::provablyEq(NU, NV) || Ctx.provablyLE(NU, NV))
+    return true;
+  // Extent-wise comparison covers the subsasgn growth pattern, where each
+  // result extent is max(base extent, subscript bound).
+  if (TU.Extents.size() == TV.Extents.size()) {
+    bool All = true;
+    for (size_t D = 0; D < TU.Extents.size(); ++D)
+      All = All && Ctx.provablyLE(TU.Extents[D], TV.Extents[D]);
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+bool Decomposer::orderLE(const std::vector<VarId> &U,
+                         const std::vector<VarId> &V, bool UStatic,
+                         bool VStatic) {
+  // Relation 1's two criteria are disjoint: both statically estimable, or
+  // neither.
+  if (UStatic != VStatic)
+    return false;
+  // Identical intrinsic types across both supernodes (avoids casts and
+  // alignment trouble in the C mapping, section 3.2).
+  IntrinsicType IT = Types[U.front()].IT;
+  for (VarId X : U)
+    if (Types[X].IT != IT)
+      return false;
+  for (VarId X : V)
+    if (Types[X].IT != IT)
+      return false;
+
+  if (UStatic) {
+    std::int64_t MaxU = 0, MaxV = 0;
+    for (VarId X : U)
+      MaxU = std::max(MaxU, staticSizeBytes(X));
+    for (VarId X : V)
+      MaxV = std::max(MaxV, staticSizeBytes(X));
+    return MaxU <= MaxV;
+  }
+
+  // Dynamic case: |s(u)| <= |s(v)| for every member pair (sound lifting to
+  // supernodes), plus the control-flow clause: some U-def reaches some
+  // V-def.
+  for (VarId MU : U)
+    for (VarId MV : V)
+      if (!symbolicSizeLE(MU, MV))
+        return false;
+  for (VarId MU : U)
+    for (VarId MV : V)
+      if (availableAtDef(MU, MV))
+        return true;
+  return false;
+}
+
+/// Iterative Tarjan SCC over a small adjacency list.
+class TarjanSCC {
+public:
+  explicit TarjanSCC(const std::vector<std::vector<int>> &Adj)
+      : Adj(Adj), Index(Adj.size(), -1), Low(Adj.size(), 0),
+        OnStack(Adj.size(), 0), Comp(Adj.size(), -1) {
+    for (size_t N = 0; N < Adj.size(); ++N)
+      if (Index[N] < 0)
+        strongConnect(static_cast<int>(N));
+  }
+
+  int componentOf(int N) const { return Comp[N]; }
+  int numComponents() const { return NumComps; }
+
+private:
+  void strongConnect(int N) {
+    // Explicit stack to avoid deep recursion.
+    struct Frame {
+      int Node;
+      size_t NextEdge;
+    };
+    std::vector<Frame> Call;
+    Call.push_back({N, 0});
+    while (!Call.empty()) {
+      Frame &Fr = Call.back();
+      int U = Fr.Node;
+      if (Fr.NextEdge == 0) {
+        Index[U] = Low[U] = Next++;
+        Stack.push_back(U);
+        OnStack[U] = 1;
+      }
+      bool Descended = false;
+      while (Fr.NextEdge < Adj[U].size()) {
+        int W = Adj[U][Fr.NextEdge++];
+        if (Index[W] < 0) {
+          Call.push_back({W, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          Low[U] = std::min(Low[U], Index[W]);
+      }
+      if (Descended)
+        continue;
+      if (Low[U] == Index[U]) {
+        int C = NumComps++;
+        while (true) {
+          int W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          Comp[W] = C;
+          if (W == U)
+            break;
+        }
+      }
+      Call.pop_back();
+      if (!Call.empty()) {
+        int P = Call.back().Node;
+        Low[P] = std::min(Low[P], Low[U]);
+      }
+    }
+  }
+
+  const std::vector<std::vector<int>> &Adj;
+  std::vector<int> Index, Low;
+  std::vector<char> OnStack;
+  std::vector<int> Comp;
+  std::vector<int> Stack;
+  int Next = 0;
+  int NumComps = 0;
+};
+
+StoragePlan Decomposer::run() {
+  StoragePlan Plan;
+  Plan.GroupOf.assign(F.numVars(), -1);
+  Plan.NumColors = IG.numColors();
+
+  // Collect supernodes (coalesced webs) per color class.
+  std::vector<std::vector<VarId>> Classes = IG.colorClasses();
+  for (auto &Class : Classes) {
+    if (Class.empty())
+      continue;
+    // Group members by representative.
+    std::map<VarId, std::vector<VarId>> Webs;
+    for (VarId V : Class)
+      Webs[IG.repOf(V)].push_back(V);
+    std::vector<std::vector<VarId>> Nodes;
+    for (auto &[Rep, Members] : Webs)
+      Nodes.push_back(std::move(Members));
+
+    Plan.OriginalVarCount += static_cast<unsigned>(Class.size());
+
+    // Per-node static estimability: every member must be estimable.
+    std::vector<char> NodeStatic(Nodes.size(), 1);
+    for (size_t N = 0; N < Nodes.size(); ++N)
+      for (VarId V : Nodes[N])
+        if (staticSizeBytes(V) < 0)
+          NodeStatic[N] = 0;
+
+    // Build the order digraph with edges from BIGGER to SMALLER, so that
+    // in-degree-0 components are the maximal elements (as in the paper's
+    // Decompose-color-class).
+    std::vector<std::vector<int>> Adj(Nodes.size());
+    for (size_t A = 0; A < Nodes.size(); ++A)
+      for (size_t B = 0; B < Nodes.size(); ++B) {
+        if (A == B)
+          continue;
+        if (orderLE(Nodes[B], Nodes[A], NodeStatic[B], NodeStatic[A]))
+          Adj[A].push_back(static_cast<int>(B)); // S(B) <= S(A): A -> B.
+      }
+
+    // Component graph and in-degrees.
+    TarjanSCC SCC(Adj);
+    int NC = SCC.numComponents();
+    std::vector<std::vector<int>> CompAdj(NC);
+    std::vector<int> InDeg(NC, 0);
+    for (size_t A = 0; A < Nodes.size(); ++A)
+      for (int B : Adj[A]) {
+        int CA = SCC.componentOf(static_cast<int>(A));
+        int CB = SCC.componentOf(B);
+        if (CA == CB)
+          continue;
+        CompAdj[CA].push_back(CB);
+        ++InDeg[CB];
+      }
+
+    // BFS from each in-degree-0 component; first-found wins for nodes on
+    // several maximal chains (the paper's tie-break).
+    std::vector<int> GroupOfComp(NC, -1);
+    std::map<int, int> RootCompOfGroup; ///< group id -> root component.
+    for (int C = 0; C < NC; ++C) {
+      if (InDeg[C] != 0 || GroupOfComp[C] != -1)
+        continue;
+      int GroupId = static_cast<int>(Plan.Groups.size());
+      Plan.Groups.emplace_back();
+      RootCompOfGroup[GroupId] = C;
+      std::vector<int> Queue = {C};
+      GroupOfComp[C] = GroupId;
+      while (!Queue.empty()) {
+        int Cur = Queue.back();
+        Queue.pop_back();
+        for (int Next : CompAdj[Cur]) {
+          if (GroupOfComp[Next] != -1)
+            continue;
+          GroupOfComp[Next] = GroupId;
+          Queue.push_back(Next);
+        }
+      }
+    }
+
+    // Fill group contents. The maximal element of each group comes from
+    // the root component (in-degree 0: maximal under the order).
+    for (size_t N = 0; N < Nodes.size(); ++N) {
+      int C = SCC.componentOf(static_cast<int>(N));
+      int GroupId = GroupOfComp[C];
+      assert(GroupId >= 0 && "node not assigned to a group");
+      StorageGroup &G = Plan.Groups[GroupId];
+      bool IsRootComp = RootCompOfGroup[GroupId] == C;
+      for (VarId V : Nodes[N]) {
+        G.Members.push_back(V);
+        Plan.GroupOf[V] = GroupId;
+      }
+      if (NodeStatic[N]) {
+        G.K = StorageGroup::Kind::Stack;
+        for (VarId V : Nodes[N]) {
+          std::int64_t S = staticSizeBytes(V);
+          if (IsRootComp &&
+              (G.Maximal == NoVar || S > staticSizeBytes(G.Maximal)))
+            G.Maximal = V;
+          G.StackBytes = std::max(G.StackBytes, S);
+        }
+      } else {
+        G.K = StorageGroup::Kind::Heap;
+        if (IsRootComp && G.Maximal == NoVar)
+          G.Maximal = Nodes[N].front();
+      }
+      if (G.Maximal == NoVar)
+        G.Maximal = Nodes[N].front();
+      G.IT = Types[Nodes[N].front()].IT;
+    }
+  }
+
+  // Table 2 statistics and the stack frame layout, over all groups.
+  std::int64_t Offset = 0;
+  for (StorageGroup &G : Plan.Groups) {
+    if (G.Members.size() > 1) {
+      if (G.K == StorageGroup::Kind::Stack) {
+        Plan.StaticSubsumed += static_cast<unsigned>(G.Members.size() - 1);
+        std::int64_t Sum = 0;
+        for (VarId V : G.Members)
+          Sum += staticSizeBytes(V);
+        Plan.StaticReductionBytes += Sum - G.StackBytes;
+      } else {
+        Plan.DynamicSubsumed += static_cast<unsigned>(G.Members.size() - 1);
+      }
+    }
+    if (G.K == StorageGroup::Kind::Stack) {
+      // 16-byte alignment accommodates complex elements.
+      Offset = (Offset + 15) & ~std::int64_t(15);
+      G.FrameOffset = Offset;
+      Offset += G.StackBytes;
+    } else if (!G.Members.empty()) {
+      // Record a symbolic size for the maximal member when available.
+      const VarType &T = Types[G.Maximal];
+      if (!T.Extents.empty())
+        G.SizeExpr = Ctx.mul(
+            Ctx.numElements(T.Extents),
+            Ctx.makeConst(static_cast<std::int64_t>(elemSizeBytes(T.IT))));
+    }
+  }
+  Plan.FrameBytes = (Offset + 15) & ~std::int64_t(15);
+  return Plan;
+}
+
+} // namespace
+
+StoragePlan matcoal::decomposeColorClasses(const Function &F,
+                                           const InterferenceGraph &IG,
+                                           const TypeInference &TI) {
+  Decomposer D(F, IG, TI);
+  return D.run();
+}
+
+StoragePlan matcoal::runGCTD(const Function &F, const TypeInference &TI) {
+  InterferenceGraph IG(F, TI, /*Coalesce=*/true);
+  return decomposeColorClasses(F, IG, TI);
+}
+
+StoragePlan matcoal::runGCTDWith(const Function &F, const TypeInference &TI,
+                                 bool Coalesce, ColoringStrategy Strategy) {
+  InterferenceGraph IG(F, TI, Coalesce, Strategy);
+  return decomposeColorClasses(F, IG, TI);
+}
+
+StoragePlan matcoal::makeIdentityPlan(const Function &F,
+                                      const TypeInference &TI) {
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  StoragePlan Plan;
+  Plan.GroupOf.assign(F.numVars(), -1);
+
+  auto AddVar = [&](VarId V) {
+    if (Plan.GroupOf[V] != -1)
+      return;
+    const VarType &T = Types[V];
+    if (T.isBottom() || T.IT == IntrinsicType::Colon)
+      return;
+    StorageGroup G;
+    G.Members = {V};
+    G.Maximal = V;
+    G.IT = T.IT;
+    if (T.hasKnownShape()) {
+      G.K = StorageGroup::Kind::Stack;
+      G.StackBytes = T.knownNumElements() *
+                     static_cast<std::int64_t>(elemSizeBytes(T.IT));
+    } else {
+      G.K = StorageGroup::Kind::Heap;
+    }
+    Plan.GroupOf[V] = static_cast<int>(Plan.Groups.size());
+    Plan.Groups.push_back(std::move(G));
+    ++Plan.OriginalVarCount;
+  };
+
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      for (VarId R : I.Results)
+        AddVar(R);
+  for (VarId P : F.Params)
+    AddVar(P);
+
+  std::int64_t Offset = 0;
+  for (StorageGroup &G : Plan.Groups) {
+    if (G.K != StorageGroup::Kind::Stack)
+      continue;
+    Offset = (Offset + 15) & ~std::int64_t(15);
+    G.FrameOffset = Offset;
+    Offset += G.StackBytes;
+  }
+  Plan.FrameBytes = (Offset + 15) & ~std::int64_t(15);
+  return Plan;
+}
+
+std::string StoragePlan::str(const Function &F) const {
+  std::ostringstream OS;
+  OS << "storage plan for " << F.Name << ": " << Groups.size()
+     << " groups, frame " << FrameBytes << " bytes, " << NumColors
+     << " colors\n";
+  for (size_t GI = 0; GI < Groups.size(); ++GI) {
+    const StorageGroup &G = Groups[GI];
+    OS << "  g" << GI
+       << (G.K == StorageGroup::Kind::Stack ? " stack " : " heap  ");
+    if (G.K == StorageGroup::Kind::Stack)
+      OS << "[" << G.StackBytes << "B @" << G.FrameOffset << "] ";
+    else if (G.SizeExpr)
+      OS << "[" << G.SizeExpr->str() << "] ";
+    OS << intrinsicTypeName(G.IT) << ":";
+    for (VarId V : G.Members)
+      OS << " " << F.var(V).Name;
+    OS << "\n";
+  }
+  return OS.str();
+}

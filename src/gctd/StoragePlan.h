@@ -1,0 +1,94 @@
+//===- StoragePlan.h - GCTD Phase 2: type-based decomposition ---*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase 2 of GCTD (paper section 3): each color class is decomposed into
+/// groups via the storage-size partial order (Relation 1). Statically
+/// estimable groups are stack-allocated with fixed offsets; the rest are
+/// heap-allocated group slots resized on the fly. The plan also carries
+/// the Table 2 statistics (variable reductions, static storage savings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_GCTD_STORAGEPLAN_H
+#define MATCOAL_GCTD_STORAGEPLAN_H
+
+#include "gctd/Interference.h"
+#include "ir/IR.h"
+#include "typeinf/TypeInference.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// One storage group: all members share one storage area laid out from
+/// the same starting address as the group's maximal element.
+struct StorageGroup {
+  enum class Kind { Stack, Heap };
+  Kind K = Kind::Heap;
+  IntrinsicType IT = IntrinsicType::Real;
+  std::vector<VarId> Members;
+  /// A member with maximal storage size under the partial order.
+  VarId Maximal = NoVar;
+  /// Stack groups: the fixed byte size (max over members).
+  std::int64_t StackBytes = 0;
+  /// Stack groups: byte offset within the function's frame.
+  std::int64_t FrameOffset = 0;
+  /// Heap groups: symbolic byte size of the maximal element (may be null).
+  SymExpr SizeExpr = nullptr;
+};
+
+/// The per-function storage assignment produced by GCTD.
+struct StoragePlan {
+  std::vector<StorageGroup> Groups;
+  /// Group index per VarId; -1 for variables with no storage (the ':'
+  /// marker, dead variables).
+  std::vector<int> GroupOf;
+  /// Total stack frame bytes for the function.
+  std::int64_t FrameBytes = 0;
+
+  // Table 2 statistics.
+  unsigned OriginalVarCount = 0;  ///< Variables entering the GCTD pass.
+  unsigned StaticSubsumed = 0;    ///< s: static vars subsumed in another.
+  unsigned DynamicSubsumed = 0;   ///< d: dynamic vars statically subsumed.
+  std::int64_t StaticReductionBytes = 0; ///< Stack bytes saved.
+  unsigned NumColors = 0;
+
+  int groupOf(VarId V) const {
+    return V >= 0 && static_cast<size_t>(V) < GroupOf.size() ? GroupOf[V]
+                                                             : -1;
+  }
+  /// True when U and V are bound to the same storage area.
+  bool sameSlot(VarId U, VarId V) const {
+    int G = groupOf(U);
+    return G >= 0 && G == groupOf(V);
+  }
+
+  std::string str(const Function &F) const;
+};
+
+/// Runs phase 2 on a colored interference graph.
+StoragePlan decomposeColorClasses(const Function &F,
+                                  const InterferenceGraph &IG,
+                                  const TypeInference &TI);
+
+/// Runs the full GCTD pass (phase 1 + phase 2).
+StoragePlan runGCTD(const Function &F, const TypeInference &TI);
+
+/// Strategy-parameterized variant for the coloring ablation benchmarks.
+StoragePlan runGCTDWith(const Function &F, const TypeInference &TI,
+                        bool Coalesce, ColoringStrategy Strategy);
+
+/// The no-coalescing baseline used by the "without GCTD" ablation: every
+/// variable gets its own storage area.
+StoragePlan makeIdentityPlan(const Function &F, const TypeInference &TI);
+
+} // namespace matcoal
+
+#endif // MATCOAL_GCTD_STORAGEPLAN_H

@@ -1,0 +1,420 @@
+//===- Interp.cpp ---------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include <chrono>
+#include <cmath>
+
+using namespace matcoal;
+
+void Interpreter::step() {
+  if (++Steps > StepBudget)
+    throw MatError("step budget exceeded (infinite loop?)");
+}
+
+InterpResult Interpreter::run(const std::string &Entry,
+                              const std::vector<Array> &Args) {
+  InterpResult R;
+  const FunctionDecl *F = Prog.findFunction(Entry);
+  if (!F) {
+    R.Error = "no function named '" + Entry + "'";
+    return R;
+  }
+  Rng = RandState(Seed);
+  Out.clear();
+  Steps = 0;
+  CallDepth = 0;
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    callFunction(*F, Args, 0);
+    R.OK = true;
+  } catch (const MatError &E) {
+    R.Error = E.what();
+  }
+  auto End = std::chrono::steady_clock::now();
+  R.WallSeconds = std::chrono::duration<double>(End - Start).count();
+  R.Output = Out.str();
+  R.Steps = Steps;
+  return R;
+}
+
+std::vector<Array> Interpreter::callFunction(const FunctionDecl &F,
+                                             const std::vector<Array> &Args,
+                                             unsigned NumResults) {
+  if (++CallDepth > 512) {
+    --CallDepth;
+    throw MatError("maximum recursion depth exceeded");
+  }
+  if (Args.size() < F.Params.size())
+    throw MatError("not enough arguments to " + F.Name);
+  Env E;
+  for (size_t K = 0; K < F.Params.size(); ++K)
+    E[F.Params[K]] = Args[K];
+  execStmtList(F.Body, E);
+  std::vector<Array> Outputs;
+  unsigned Want = std::max<unsigned>(NumResults,
+                                     F.Outputs.empty() ? 0 : 1);
+  for (unsigned K = 0; K < Want && K < F.Outputs.size(); ++K) {
+    auto It = E.find(F.Outputs[K]);
+    if (It == E.end())
+      throw MatError("output argument '" + F.Outputs[K] +
+                     "' not assigned in " + F.Name);
+    Outputs.push_back(It->second);
+  }
+  --CallDepth;
+  return Outputs;
+}
+
+Interpreter::Flow Interpreter::execStmtList(const StmtList &Body, Env &E) {
+  for (const StmtPtr &S : Body) {
+    Flow F = execStmt(*S, E);
+    if (F != Flow::Normal)
+      return F;
+  }
+  return Flow::Normal;
+}
+
+Interpreter::Flow Interpreter::execStmt(const Stmt &S, Env &E) {
+  step();
+  switch (S.kind()) {
+  case StmtKind::Assign: {
+    const auto &A = static_cast<const AssignStmt &>(S);
+    if (A.Target.Indices.empty()) {
+      E[A.Target.Name] = evalExpr(*A.Value, E);
+    } else {
+      Array Rhs = evalExpr(*A.Value, E);
+      Array &Base = E[A.Target.Name]; // Creates empty if absent (growth).
+      unsigned NumSubs = static_cast<unsigned>(A.Target.Indices.size());
+      std::vector<Array> SubVals;
+      SubVals.reserve(NumSubs);
+      for (unsigned K = 0; K < NumSubs; ++K)
+        SubVals.push_back(
+            evalSubscript(*A.Target.Indices[K], E, Base, K, NumSubs));
+      std::vector<const Array *> Subs;
+      for (const Array &V : SubVals)
+        Subs.push_back(&V);
+      subsasgnInPlace(Base, Rhs, Subs);
+    }
+    if (A.Display)
+      Out.write(E[A.Target.Name].formatNamed(A.Target.Name));
+    return Flow::Normal;
+  }
+  case StmtKind::MultiAssign: {
+    const auto &MA = static_cast<const MultiAssignStmt &>(S);
+    const auto &Call = static_cast<const CallOrIndexExpr &>(*MA.Call);
+    std::vector<Array> Results = evalCallOrIndex(
+        Call, E, static_cast<unsigned>(MA.Targets.size()));
+    if (Results.size() < MA.Targets.size())
+      throw MatError("too many output arguments for " + Call.Name);
+    for (size_t K = 0; K < MA.Targets.size(); ++K)
+      E[MA.Targets[K].Name] = std::move(Results[K]);
+    if (MA.Display)
+      for (const LValue &T : MA.Targets)
+        Out.write(E[T.Name].formatNamed(T.Name));
+    return Flow::Normal;
+  }
+  case StmtKind::ExprStmt: {
+    const auto &ES = static_cast<const ExprStmt &>(S);
+    // Zero-output call statements (disp/fprintf) must not demand a value.
+    if (ES.Value->kind() == ExprKind::CallOrIndex) {
+      const auto &Call = static_cast<const CallOrIndexExpr &>(*ES.Value);
+      if (!E.count(Call.Name)) {
+        std::vector<Array> Results =
+            evalCallOrIndex(Call, E, ES.Display ? 1 : 0);
+        if (ES.Display) {
+          if (Results.empty())
+            throw MatError("one output argument required from " +
+                           Call.Name);
+          Out.write(Results[0].formatNamed("ans"));
+        }
+        return Flow::Normal;
+      }
+    }
+    Array V = evalExpr(*ES.Value, E);
+    if (ES.Display) {
+      std::string Name = ES.Value->kind() == ExprKind::Ident
+                             ? static_cast<const IdentExpr &>(*ES.Value).Name
+                             : "ans";
+      Out.write(V.formatNamed(Name));
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    for (const IfStmt::Branch &B : If.Branches) {
+      if (evalExpr(*B.Cond, E).truth())
+        return execStmtList(B.Body, E);
+    }
+    return execStmtList(If.ElseBody, E);
+  }
+  case StmtKind::Switch: {
+    const auto &Sw = static_cast<const SwitchStmt &>(S);
+    Array Cond = evalExpr(*Sw.Cond, E);
+    for (const SwitchStmt::Case &C : Sw.Cases) {
+      Array V = evalExpr(*C.Value, E);
+      std::vector<const Array *> Args = {&Cond, &V};
+      auto R = callBuiltin("__switcheq", Args, 1, Rng, Out);
+      if (!R.empty() && R[0].truth())
+        return execStmtList(C.Body, E);
+    }
+    return execStmtList(Sw.Otherwise, E);
+  }
+  case StmtKind::While: {
+    const auto &W = static_cast<const WhileStmt &>(S);
+    while (true) {
+      step();
+      if (!evalExpr(*W.Cond, E).truth())
+        break;
+      Flow F = execStmtList(W.Body, E);
+      if (F == Flow::Break)
+        break;
+      if (F == Flow::Return)
+        return F;
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::For: {
+    const auto &For = static_cast<const ForStmt &>(S);
+    if (For.Range->kind() == ExprKind::Range) {
+      // Counted loop, matching the compiled lowering exactly.
+      const auto &R = static_cast<const RangeExpr &>(*For.Range);
+      double Lo = evalExpr(*R.Start, E).scalarValue();
+      double Step = R.Step ? evalExpr(*R.Step, E).scalarValue() : 1.0;
+      double Hi = evalExpr(*R.Stop, E).scalarValue();
+      for (double V = Lo; Step >= 0 ? V <= Hi : V >= Hi; V += Step) {
+        step();
+        E[For.Var] = Array::scalar(V);
+        Flow F = execStmtList(For.Body, E);
+        if (F == Flow::Break)
+          break;
+        if (F == Flow::Return)
+          return F;
+        if (Step == 0)
+          break;
+      }
+      return Flow::Normal;
+    }
+    // General form: iterate over columns.
+    Array A = evalExpr(*For.Range, E);
+    std::int64_t R = A.dim(0), C = A.dim(1);
+    for (std::int64_t J = 0; J < C; ++J) {
+      step();
+      Array Col;
+      Col.Dims = {R, 1};
+      Col.Re.resize(static_cast<size_t>(R));
+      if (A.isComplex())
+        Col.Im.resize(static_cast<size_t>(R));
+      for (std::int64_t I = 0; I < R; ++I) {
+        Col.Re[I] = A.reAt(I + J * R);
+        if (A.isComplex())
+          Col.Im[I] = A.imAt(I + J * R);
+      }
+      Col.normalizeComplex();
+      E[For.Var] = std::move(Col);
+      Flow F = execStmtList(For.Body, E);
+      if (F == Flow::Break)
+        break;
+      if (F == Flow::Return)
+        return F;
+    }
+    return Flow::Normal;
+  }
+  case StmtKind::Break:
+    return Flow::Break;
+  case StmtKind::Continue:
+    return Flow::Continue;
+  case StmtKind::Return:
+    return Flow::Return;
+  }
+  return Flow::Normal;
+}
+
+Array Interpreter::evalSubscript(const Expr &Ex, Env &E, const Array &Base,
+                                 unsigned DimIndex, unsigned NumSubs) {
+  if (Ex.kind() == ExprKind::ColonAll)
+    return Array::colonMarker();
+  EndStack.push_back({&Base, DimIndex, NumSubs});
+  Array V = evalExpr(Ex, E);
+  EndStack.pop_back();
+  return V;
+}
+
+std::vector<Array> Interpreter::evalCallOrIndex(const CallOrIndexExpr &Ex,
+                                                Env &E,
+                                                unsigned NumResults) {
+  auto It = E.find(Ex.Name);
+  if (It != E.end()) {
+    // R-indexing. Note: evaluate subscripts against a stable copy of the
+    // base reference (subscripts cannot modify E's arrays).
+    const Array &Base = It->second;
+    unsigned NumSubs = static_cast<unsigned>(Ex.Args.size());
+    if (NumSubs == 0)
+      return {Base};
+    std::vector<Array> SubVals;
+    SubVals.reserve(NumSubs);
+    for (unsigned K = 0; K < NumSubs; ++K)
+      SubVals.push_back(evalSubscript(*Ex.Args[K], E, Base, K, NumSubs));
+    std::vector<const Array *> Subs;
+    for (const Array &V : SubVals)
+      Subs.push_back(&V);
+    return {subsref(Base, Subs)};
+  }
+  // A call. Arguments are evaluated left to right (matching lowering).
+  std::vector<Array> Args;
+  for (const ExprPtr &A : Ex.Args) {
+    if (A->kind() == ExprKind::ColonAll)
+      throw MatError("':' is only valid as a subscript");
+    Args.push_back(evalExpr(*A, E));
+  }
+  if (const FunctionDecl *F = Prog.findFunction(Ex.Name))
+    return callFunction(*F, Args, std::max(1u, NumResults));
+  std::vector<const Array *> ArgPtrs;
+  for (const Array &A : Args)
+    ArgPtrs.push_back(&A);
+  return callBuiltin(Ex.Name, ArgPtrs, std::max(1u, NumResults), Rng, Out);
+}
+
+Array Interpreter::evalExpr(const Expr &Ex, Env &E) {
+  step();
+  switch (Ex.kind()) {
+  case ExprKind::Number: {
+    const auto &N = static_cast<const NumberExpr &>(Ex);
+    return N.IsImaginary ? Array::complexScalar(0.0, N.Value)
+                         : Array::scalar(N.Value);
+  }
+  case ExprKind::String:
+    return Array::charRow(static_cast<const StringExpr &>(Ex).Value);
+  case ExprKind::Ident: {
+    const auto &Id = static_cast<const IdentExpr &>(Ex);
+    auto It = E.find(Id.Name);
+    if (It != E.end())
+      return It->second;
+    // Zero-argument call.
+    if (const FunctionDecl *F = Prog.findFunction(Id.Name)) {
+      auto R = callFunction(*F, {}, 1);
+      if (R.empty())
+        throw MatError(Id.Name + " returns no value");
+      return R[0];
+    }
+    auto R = callBuiltin(Id.Name, {}, 1, Rng, Out);
+    if (R.empty())
+      throw MatError(Id.Name + " returns no value");
+    return R[0];
+  }
+  case ExprKind::ColonAll:
+    throw MatError("':' is only valid as a subscript");
+  case ExprKind::EndIndex: {
+    if (EndStack.empty())
+      throw MatError("'end' is only valid inside a subscript");
+    const EndContext &Ctx = EndStack.back();
+    if (Ctx.NumSubs == 1)
+      return Array::scalar(static_cast<double>(Ctx.Base->numel()));
+    if (Ctx.DimIndex + 1 == Ctx.NumSubs) {
+      // Last subscript: folded trailing dimensions.
+      std::int64_t Fold = 1;
+      for (size_t D = Ctx.DimIndex; D < Ctx.Base->dims().size(); ++D)
+        Fold *= Ctx.Base->dim(D);
+      return Array::scalar(static_cast<double>(Fold));
+    }
+    return Array::scalar(static_cast<double>(Ctx.Base->dim(Ctx.DimIndex)));
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(Ex);
+    Array V = evalExpr(*U.Operand, E);
+    switch (U.Op) {
+    case UnaryOp::Plus:
+      return unaryOp(Opcode::UPlus, V);
+    case UnaryOp::Minus:
+      return unaryOp(Opcode::Neg, V);
+    case UnaryOp::Not:
+      return unaryOp(Opcode::Not, V);
+    }
+    return V;
+  }
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(Ex);
+    if (B.Op == BinaryOp::AndAnd || B.Op == BinaryOp::OrOr) {
+      bool L = evalExpr(*B.LHS, E).truth();
+      if (B.Op == BinaryOp::AndAnd && !L)
+        return Array::logicalScalar(false);
+      if (B.Op == BinaryOp::OrOr && L)
+        return Array::logicalScalar(true);
+      return Array::logicalScalar(evalExpr(*B.RHS, E).truth());
+    }
+    Array L = evalExpr(*B.LHS, E);
+    Array R = evalExpr(*B.RHS, E);
+    Opcode Op;
+    switch (B.Op) {
+    case BinaryOp::Add: Op = Opcode::Add; break;
+    case BinaryOp::Sub: Op = Opcode::Sub; break;
+    case BinaryOp::MatMul: Op = Opcode::MatMul; break;
+    case BinaryOp::ElemMul: Op = Opcode::ElemMul; break;
+    case BinaryOp::MatRDiv: Op = Opcode::MatRDiv; break;
+    case BinaryOp::ElemRDiv: Op = Opcode::ElemRDiv; break;
+    case BinaryOp::MatLDiv: Op = Opcode::MatLDiv; break;
+    case BinaryOp::ElemLDiv: Op = Opcode::ElemLDiv; break;
+    case BinaryOp::MatPow: Op = Opcode::MatPow; break;
+    case BinaryOp::ElemPow: Op = Opcode::ElemPow; break;
+    case BinaryOp::Lt: Op = Opcode::Lt; break;
+    case BinaryOp::Le: Op = Opcode::Le; break;
+    case BinaryOp::Gt: Op = Opcode::Gt; break;
+    case BinaryOp::Ge: Op = Opcode::Ge; break;
+    case BinaryOp::Eq: Op = Opcode::Eq; break;
+    case BinaryOp::Ne: Op = Opcode::Ne; break;
+    case BinaryOp::And: Op = Opcode::And; break;
+    case BinaryOp::Or: Op = Opcode::Or; break;
+    default:
+      throw MatError("unsupported binary operator");
+    }
+    return binaryOp(Op, L, R);
+  }
+  case ExprKind::CallOrIndex: {
+    auto R = evalCallOrIndex(static_cast<const CallOrIndexExpr &>(Ex), E, 1);
+    if (R.empty())
+      throw MatError("expression produced no value");
+    return R[0];
+  }
+  case ExprKind::Range: {
+    const auto &R = static_cast<const RangeExpr &>(Ex);
+    Array Lo = evalExpr(*R.Start, E);
+    if (!R.Step) {
+      Array Hi = evalExpr(*R.Stop, E);
+      return colonRange(Lo, Hi);
+    }
+    Array Step = evalExpr(*R.Step, E);
+    Array Hi = evalExpr(*R.Stop, E);
+    return colonRange3(Lo, Step, Hi);
+  }
+  case ExprKind::Matrix: {
+    const auto &Mat = static_cast<const MatrixExpr &>(Ex);
+    if (Mat.Rows.empty())
+      return Array();
+    std::vector<Array> RowVals;
+    for (const auto &Row : Mat.Rows) {
+      std::vector<Array> Elems;
+      for (const ExprPtr &Elt : Row)
+        Elems.push_back(evalExpr(*Elt, E));
+      if (Elems.size() == 1) {
+        RowVals.push_back(std::move(Elems[0]));
+        continue;
+      }
+      std::vector<const Array *> Ptrs;
+      for (const Array &A : Elems)
+        Ptrs.push_back(&A);
+      RowVals.push_back(horzcat(Ptrs));
+    }
+    if (RowVals.size() == 1)
+      return RowVals[0];
+    std::vector<const Array *> Ptrs;
+    for (const Array &A : RowVals)
+      Ptrs.push_back(&A);
+    return vertcat(Ptrs);
+  }
+  case ExprKind::Transpose: {
+    const auto &T = static_cast<const TransposeExpr &>(Ex);
+    Array V = evalExpr(*T.Operand, E);
+    return unaryOp(T.Conjugate ? Opcode::CTranspose : Opcode::Transpose, V);
+  }
+  }
+  throw MatError("unsupported expression");
+}

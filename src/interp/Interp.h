@@ -1,0 +1,84 @@
+//===- Interp.h - AST tree-walking interpreter ------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A direct AST interpreter with MATLAB value semantics. It provides the
+/// "intrp" series of the paper's Figure 5 and serves as the semantic
+/// oracle for differential tests against both VM models: it shares the
+/// runtime kernels and PRNG, so outputs compare byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_INTERP_INTERP_H
+#define MATCOAL_INTERP_INTERP_H
+
+#include "frontend/AST.h"
+#include "runtime/Kernels.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// Outcome of one interpreted execution.
+struct InterpResult {
+  bool OK = false;
+  std::string Error;
+  std::string Output;
+  std::uint64_t Steps = 0;
+  double WallSeconds = 0;
+};
+
+/// Interprets a parsed Program.
+class Interpreter {
+public:
+  explicit Interpreter(const Program &Prog, std::uint64_t Seed = 20030609)
+      : Prog(Prog), Seed(Seed) {}
+
+  InterpResult run(const std::string &Entry = "main",
+                   const std::vector<Array> &Args = {});
+
+  void setStepBudget(std::uint64_t Budget) { StepBudget = Budget; }
+
+private:
+  enum class Flow { Normal, Break, Continue, Return };
+  using Env = std::map<std::string, Array>;
+
+  std::vector<Array> callFunction(const FunctionDecl &F,
+                                  const std::vector<Array> &Args,
+                                  unsigned NumResults);
+  Flow execStmtList(const StmtList &Body, Env &E);
+  Flow execStmt(const Stmt &S, Env &E);
+  Array evalExpr(const Expr &Ex, Env &E);
+  std::vector<Array> evalCallOrIndex(const CallOrIndexExpr &Ex, Env &E,
+                                     unsigned NumResults);
+  Array evalSubscript(const Expr &Ex, Env &E, const Array &Base,
+                      unsigned DimIndex, unsigned NumSubs);
+  void step();
+
+  const Program &Prog;
+  std::uint64_t Seed;
+  RandState Rng{0};
+  OutputSink Out;
+  std::uint64_t Steps = 0;
+  std::uint64_t StepBudget = 2000000000ull;
+  unsigned CallDepth = 0;
+
+  struct EndContext {
+    const Array *Base;
+    unsigned DimIndex;
+    unsigned NumSubs;
+  };
+  std::vector<EndContext> EndStack;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_INTERP_INTERP_H

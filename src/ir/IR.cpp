@@ -1,0 +1,301 @@
+//===- IR.cpp -------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace matcoal;
+
+const char *matcoal::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstNum: return "constnum";
+  case Opcode::ConstStr: return "conststr";
+  case Opcode::ConstColon: return "constcolon";
+  case Opcode::Copy: return "copy";
+  case Opcode::Phi: return "phi";
+  case Opcode::Neg: return "neg";
+  case Opcode::UPlus: return "uplus";
+  case Opcode::Not: return "not";
+  case Opcode::Transpose: return "transpose";
+  case Opcode::CTranspose: return "ctranspose";
+  case Opcode::Add: return "add";
+  case Opcode::Sub: return "sub";
+  case Opcode::MatMul: return "matmul";
+  case Opcode::ElemMul: return "elemmul";
+  case Opcode::MatRDiv: return "matrdiv";
+  case Opcode::ElemRDiv: return "elemrdiv";
+  case Opcode::MatLDiv: return "matldiv";
+  case Opcode::ElemLDiv: return "elemldiv";
+  case Opcode::MatPow: return "matpow";
+  case Opcode::ElemPow: return "elempow";
+  case Opcode::Lt: return "lt";
+  case Opcode::Le: return "le";
+  case Opcode::Gt: return "gt";
+  case Opcode::Ge: return "ge";
+  case Opcode::Eq: return "eq";
+  case Opcode::Ne: return "ne";
+  case Opcode::And: return "and";
+  case Opcode::Or: return "or";
+  case Opcode::Colon2: return "colon2";
+  case Opcode::Colon3: return "colon3";
+  case Opcode::Subsref: return "subsref";
+  case Opcode::Subsasgn: return "subsasgn";
+  case Opcode::HorzCat: return "horzcat";
+  case Opcode::VertCat: return "vertcat";
+  case Opcode::Builtin: return "builtin";
+  case Opcode::Call: return "call";
+  case Opcode::Display: return "display";
+  case Opcode::Jmp: return "jmp";
+  case Opcode::Br: return "br";
+  case Opcode::Ret: return "ret";
+  }
+  return "<bad opcode>";
+}
+
+bool matcoal::isTerminator(Opcode Op) {
+  return Op == Opcode::Jmp || Op == Opcode::Br || Op == Opcode::Ret;
+}
+
+bool matcoal::isPure(Opcode Op) {
+  switch (Op) {
+  case Opcode::Display:
+  case Opcode::Jmp:
+  case Opcode::Br:
+  case Opcode::Ret:
+  case Opcode::Call:    // Callees may print.
+  case Opcode::Builtin: // Some builtins (disp, fprintf, error) are effects;
+                        // DCE re-checks by name.
+    return false;
+  default:
+    return true;
+  }
+}
+
+std::vector<BlockId> BasicBlock::successors() const {
+  if (!hasTerminator())
+    return {};
+  const Instr &T = terminator();
+  switch (T.Op) {
+  case Opcode::Jmp:
+    return {T.Target1};
+  case Opcode::Br:
+    return {T.Target1, T.Target2};
+  default:
+    return {};
+  }
+}
+
+VarId Function::getOrCreateVar(const std::string &Name) {
+  for (size_t I = 0; I < Vars.size(); ++I)
+    if (Vars[I].Version == -1 && Vars[I].Name == Name)
+      return static_cast<VarId>(I);
+  VarInfo Info;
+  Info.Name = Name;
+  Info.Base = Name;
+  Vars.push_back(std::move(Info));
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+VarId Function::makeTemp(const std::string &Stem) {
+  VarInfo Info;
+  Info.Name = "%" + Stem + std::to_string(NextTemp++);
+  Info.Base = Info.Name;
+  Info.IsTemp = true;
+  Vars.push_back(std::move(Info));
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+VarId Function::makeVersion(VarId Base, int Version) {
+  VarInfo Info = Vars[Base];
+  Info.Base = Vars[Base].Base;
+  Info.Version = Version;
+  Info.Name = Info.Base + "." + std::to_string(Version);
+  Vars.push_back(std::move(Info));
+  return static_cast<VarId>(Vars.size() - 1);
+}
+
+BasicBlock *Function::addBlock() {
+  auto BB = std::make_unique<BasicBlock>();
+  BB->Id = static_cast<BlockId>(Blocks.size());
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+void Function::recomputePreds() {
+  for (auto &BB : Blocks)
+    BB->Preds.clear();
+  for (auto &BB : Blocks)
+    for (BlockId S : BB->successors())
+      block(S)->Preds.push_back(BB->Id);
+}
+
+std::vector<BlockId> Function::reversePostOrder() const {
+  std::vector<BlockId> Post;
+  std::vector<char> Visited(Blocks.size(), 0);
+  // Iterative DFS with an explicit stack of (block, next-successor) frames.
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(0, 0);
+  Visited[0] = 1;
+  while (!Stack.empty()) {
+    auto &[B, NextIdx] = Stack.back();
+    std::vector<BlockId> Succs = block(B)->successors();
+    if (NextIdx < Succs.size()) {
+      BlockId S = Succs[NextIdx++];
+      if (!Visited[S]) {
+        Visited[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    Post.push_back(B);
+    Stack.pop_back();
+  }
+  std::reverse(Post.begin(), Post.end());
+  return Post;
+}
+
+static void printOperandList(std::ostringstream &OS, const Function &F,
+                             const std::vector<VarId> &Ops) {
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.var(Ops[I]).Name;
+  }
+}
+
+std::string Function::str() const {
+  std::ostringstream OS;
+  OS << "function " << Name << "(";
+  for (size_t I = 0; I < Params.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << var(Params[I]).Name;
+  }
+  OS << ") -> (";
+  for (size_t I = 0; I < Outputs.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << var(Outputs[I]).Name;
+  }
+  OS << ")\n";
+  for (const auto &BB : Blocks) {
+    OS << "bb" << BB->Id << ":";
+    if (!BB->Preds.empty()) {
+      OS << "  ; preds:";
+      for (BlockId P : BB->Preds)
+        OS << " bb" << P;
+    }
+    OS << "\n";
+    for (const Instr &I : BB->Instrs) {
+      OS << "  ";
+      if (!I.Results.empty()) {
+        printOperandList(OS, *this, I.Results);
+        OS << " <- ";
+      }
+      OS << opcodeName(I.Op);
+      switch (I.Op) {
+      case Opcode::ConstNum:
+        OS << " " << I.NumRe;
+        if (I.NumIm != 0.0)
+          OS << "+" << I.NumIm << "i";
+        break;
+      case Opcode::ConstStr:
+        OS << " '" << I.StrVal << "'";
+        break;
+      case Opcode::Builtin:
+      case Opcode::Call:
+      case Opcode::Display:
+        OS << " @" << I.StrVal;
+        break;
+      default:
+        break;
+      }
+      if (!I.Operands.empty()) {
+        OS << " ";
+        printOperandList(OS, *this, I.Operands);
+      }
+      if (I.Op == Opcode::Jmp)
+        OS << " bb" << I.Target1;
+      else if (I.Op == Opcode::Br)
+        OS << " bb" << I.Target1 << ", bb" << I.Target2;
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}
+
+Function *Module::findFunction(const std::string &Name) {
+  for (auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+const Function *Module::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+Function *Module::addFunction(const std::string &Name) {
+  Functions.push_back(std::make_unique<Function>());
+  Functions.back()->Name = Name;
+  return Functions.back().get();
+}
+
+std::string Module::str() const {
+  std::string Out;
+  for (const auto &F : Functions) {
+    Out += F->str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool matcoal::verifyFunction(const Function &F, Diagnostics &Diags) {
+  bool OK = true;
+  auto Fail = [&](const std::string &Msg) {
+    Diags.error(SourceLoc{}, "verify " + F.Name + ": " + Msg);
+    OK = false;
+  };
+  if (F.Blocks.empty()) {
+    Fail("function has no blocks");
+    return false;
+  }
+  for (const auto &BB : F.Blocks) {
+    if (!BB->hasTerminator()) {
+      Fail("bb" + std::to_string(BB->Id) + " lacks a terminator");
+      continue;
+    }
+    for (size_t I = 0; I < BB->Instrs.size(); ++I) {
+      const Instr &In = BB->Instrs[I];
+      if (matcoal::isTerminator(In.Op) && I + 1 != BB->Instrs.size())
+        Fail("terminator not at end of bb" + std::to_string(BB->Id));
+      if (In.Op == Opcode::Phi) {
+        if (In.Operands.size() != BB->Preds.size())
+          Fail("phi operand count mismatch in bb" + std::to_string(BB->Id));
+        // Phis must be grouped at the block head.
+        if (I > 0 && BB->Instrs[I - 1].Op != Opcode::Phi)
+          Fail("phi not at head of bb" + std::to_string(BB->Id));
+      }
+      for (VarId V : In.Operands)
+        if (V < 0 || static_cast<size_t>(V) >= F.Vars.size())
+          Fail("operand out of range");
+      for (VarId V : In.Results)
+        if (V < 0 || static_cast<size_t>(V) >= F.Vars.size())
+          Fail("result out of range");
+      if (In.Op == Opcode::Jmp || In.Op == Opcode::Br) {
+        auto CheckTarget = [&](BlockId T) {
+          if (T < 0 || static_cast<size_t>(T) >= F.Blocks.size())
+            Fail("branch target out of range");
+        };
+        CheckTarget(In.Target1);
+        if (In.Op == Opcode::Br)
+          CheckTarget(In.Target2);
+      }
+    }
+  }
+  return OK;
+}

@@ -1,0 +1,221 @@
+//===- IR.h - Single-operator CFG intermediate representation ---*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mid-level IR. Every assignment is in Single Operator (SO) form --
+/// one MATLAB operation (or pseudo operation) per statement, exactly as the
+/// paper's mat2c translator requires (its section 2.3). Functions are
+/// control-flow graphs of basic blocks; the SSA builder rewrites variables
+/// in place and records versions in the variable table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_IR_IR_H
+#define MATCOAL_IR_IR_H
+
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// Index into Function::Vars. Variables are function-local.
+using VarId = int;
+constexpr VarId NoVar = -1;
+
+/// Index into Function::Blocks.
+using BlockId = int;
+constexpr BlockId NoBlock = -1;
+
+/// IR operation codes. Each op mirrors one MATLAB operation or pseudo
+/// operation (phi, copy, branch...).
+enum class Opcode {
+  // Value producers.
+  ConstNum,  ///< results[0] <- numeric literal (NumRe + NumIm*i).
+  ConstStr,  ///< results[0] <- character row vector (StrVal).
+  ConstColon, ///< results[0] <- the ':' subscript marker.
+  Copy,      ///< results[0] <- operands[0].
+  Phi,       ///< results[0] <- phi(operands aligned with block preds).
+
+  // Unary operations.
+  Neg,        ///< -x (elementwise).
+  UPlus,      ///< +x (identity; kept for completeness, folded early).
+  Not,        ///< ~x (elementwise logical not).
+  Transpose,  ///< x.' (non-conjugate).
+  CTranspose, ///< x' (conjugate).
+
+  // Binary operations (MATLAB semantics: Mat* are linear-algebra forms,
+  // Elem* broadcast a scalar operand).
+  Add,
+  Sub,
+  MatMul,
+  ElemMul,
+  MatRDiv,
+  ElemRDiv,
+  MatLDiv,
+  ElemLDiv,
+  MatPow,
+  ElemPow,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or,
+
+  // Ranges and indexing.
+  Colon2,   ///< results[0] <- operands[0] : operands[1].
+  Colon3,   ///< results[0] <- operands[0] : operands[1] : operands[2].
+  Subsref,  ///< results[0] <- operands[0](operands[1..m]); R-indexing.
+  Subsasgn, ///< results[0] <- subsasgn(operands[0], operands[1],
+            ///<                        operands[2..m+1]); L-indexing.
+
+  // Structured data.
+  HorzCat, ///< results[0] <- [operands...] row concatenation.
+  VertCat, ///< results[0] <- [operands...] column concatenation.
+
+  // Calls.
+  Builtin, ///< results <- StrVal(operands...): library function.
+  Call,    ///< results <- StrVal(operands...): user-defined function.
+
+  // Effects.
+  Display, ///< Echo operands[0] under the name StrVal.
+
+  // Terminators.
+  Jmp, ///< Unconditional branch to Target1.
+  Br,  ///< Branch on operands[0]: Target1 if all-true/nonempty, else
+       ///< Target2 (MATLAB `if` truth rule).
+  Ret, ///< Return; output variables carry the results.
+};
+
+const char *opcodeName(Opcode Op);
+bool isTerminator(Opcode Op);
+/// True for opcodes whose result is a pure function of the operands (safe
+/// for DCE when the result is unused).
+bool isPure(Opcode Op);
+
+/// One SO-form instruction.
+struct Instr {
+  Opcode Op = Opcode::Copy;
+  std::vector<VarId> Results;
+  std::vector<VarId> Operands;
+
+  // Payloads.
+  double NumRe = 0.0;  ///< ConstNum real part.
+  double NumIm = 0.0;  ///< ConstNum imaginary part.
+  std::string StrVal;  ///< ConstStr text / Builtin/Call name / Display name.
+  BlockId Target1 = NoBlock;
+  BlockId Target2 = NoBlock;
+  VarId PhiOrig = NoVar; ///< Phi only: the pre-SSA variable it merges.
+  SourceLoc Loc;
+
+  VarId result() const {
+    assert(Results.size() == 1 && "instruction has no single result");
+    return Results[0];
+  }
+  bool hasResult() const { return !Results.empty(); }
+};
+
+/// Metadata for one IR variable.
+struct VarInfo {
+  std::string Name;    ///< Display name ("a", "a.2" for SSA version 2).
+  std::string Base;    ///< Source-level name ("a"); temps use their name.
+  int Version = -1;    ///< SSA version; -1 before SSA construction.
+  bool IsTemp = false; ///< Introduced by SO-form lowering or SSA.
+  bool IsParam = false;
+  bool IsOutput = false;
+};
+
+/// A basic block: straight-line instructions ending in one terminator.
+struct BasicBlock {
+  BlockId Id = NoBlock;
+  std::vector<Instr> Instrs;
+  std::vector<BlockId> Preds; ///< Maintained by Function::recomputePreds.
+
+  bool hasTerminator() const {
+    return !Instrs.empty() && matcoal::isTerminator(Instrs.back().Op);
+  }
+  const Instr &terminator() const {
+    assert(hasTerminator() && "block has no terminator");
+    return Instrs.back();
+  }
+  /// Successor block ids in branch order.
+  std::vector<BlockId> successors() const;
+};
+
+/// One compiled function: a CFG plus its variable table.
+class Function {
+public:
+  std::string Name;
+  std::vector<VarId> Params;
+  std::vector<VarId> Outputs;
+  std::vector<VarInfo> Vars;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+
+  /// Creates (or returns) the variable with the given source name.
+  VarId getOrCreateVar(const std::string &Name);
+  /// Creates a fresh compiler temporary.
+  VarId makeTemp(const std::string &Stem = "t");
+  /// Creates a new SSA version of \p Base.
+  VarId makeVersion(VarId Base, int Version);
+
+  BasicBlock *addBlock();
+  BasicBlock *block(BlockId Id) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Blocks.size());
+    return Blocks[Id].get();
+  }
+  const BasicBlock *block(BlockId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Blocks.size());
+    return Blocks[Id].get();
+  }
+  BasicBlock *entry() { return Blocks.front().get(); }
+  const BasicBlock *entry() const { return Blocks.front().get(); }
+
+  const VarInfo &var(VarId Id) const {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Vars.size());
+    return Vars[Id];
+  }
+  unsigned numVars() const { return static_cast<unsigned>(Vars.size()); }
+
+  /// Recomputes every block's predecessor list from the terminators.
+  void recomputePreds();
+
+  /// Blocks in reverse postorder from the entry (unreachable blocks are
+  /// excluded).
+  std::vector<BlockId> reversePostOrder() const;
+
+  /// Renders the function as text (tests, debugging).
+  std::string str() const;
+
+private:
+  int NextTemp = 0;
+};
+
+/// A compiled program: one function per user-defined MATLAB function.
+class Module {
+public:
+  std::vector<std::unique_ptr<Function>> Functions;
+
+  Function *findFunction(const std::string &Name);
+  const Function *findFunction(const std::string &Name) const;
+  Function *addFunction(const std::string &Name);
+
+  std::string str() const;
+};
+
+/// Structural sanity checks; appends problems to \p Diags as errors.
+/// Returns true when the function verifies clean.
+bool verifyFunction(const Function &F, Diagnostics &Diags);
+
+} // namespace matcoal
+
+#endif // MATCOAL_IR_IR_H

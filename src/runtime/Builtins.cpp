@@ -1,0 +1,754 @@
+//===- Builtins.cpp - Builtin function library ----------------------------===//
+
+#include "runtime/Kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <set>
+
+using namespace matcoal;
+
+namespace {
+
+using Complex = std::complex<double>;
+
+const Array &arg(const std::vector<const Array *> &Args, size_t K,
+                 const char *Name) {
+  if (K >= Args.size())
+    throw MatError(std::string("not enough arguments to ") + Name);
+  return *Args[K];
+}
+
+std::int64_t dimArg(const Array &A, const char *Name) {
+  if (!A.isScalar())
+    throw MatError(std::string("size arguments to ") + Name +
+                   " must be scalars");
+  double V = A.scalarValue();
+  if (V < 0 || V != std::floor(V))
+    throw MatError(std::string("size arguments to ") + Name +
+                   " must be non-negative integers");
+  return static_cast<std::int64_t>(V);
+}
+
+std::vector<std::int64_t> dimsFromArgs(const std::vector<const Array *> &Args,
+                                       const char *Name) {
+  if (Args.empty())
+    return {1, 1};
+  std::vector<std::int64_t> Dims;
+  for (const Array *A : Args)
+    Dims.push_back(dimArg(*A, Name));
+  if (Dims.size() == 1)
+    Dims = {Dims[0], Dims[0]};
+  return Dims;
+}
+
+/// Elementwise real->real map.
+template <typename Fn> Array mapReal(const Array &A, Fn F) {
+  Array Out;
+  Out.Dims = A.dims();
+  Out.Re.resize(A.Re.size());
+  for (size_t I = 0; I < A.Re.size(); ++I)
+    Out.Re[I] = F(A.reAt(I));
+  return Out;
+}
+
+/// Elementwise complex-aware analytic map.
+template <typename Fn> Array mapComplex(const Array &A, Fn F) {
+  Array Out;
+  Out.Dims = A.dims();
+  std::int64_t N = A.numel();
+  Out.Re.resize(static_cast<size_t>(N));
+  if (A.isComplex()) {
+    Out.Im.resize(static_cast<size_t>(N));
+    for (std::int64_t I = 0; I < N; ++I) {
+      Complex R = F(A.cAt(I));
+      Out.Re[I] = R.real();
+      Out.Im[I] = R.imag();
+    }
+    Out.normalizeComplex();
+  } else {
+    for (std::int64_t I = 0; I < N; ++I) {
+      Complex R = F(Complex(A.reAt(I), 0.0));
+      if (R.imag() != 0.0) {
+        // Escape to complex mid-array: restart in complex mode.
+        Out.Im.assign(static_cast<size_t>(N), 0.0);
+        for (std::int64_t J = 0; J < N; ++J) {
+          Complex RJ = F(Complex(A.reAt(J), 0.0));
+          Out.Re[J] = RJ.real();
+          Out.Im[J] = RJ.imag();
+        }
+        Out.normalizeComplex();
+        return Out;
+      }
+      Out.Re[I] = R.real();
+    }
+  }
+  return Out;
+}
+
+/// MATLAB reduction rule: collapse the first non-singleton dimension
+/// (vectors reduce to scalars; a 1 x n x p array reduces along dim 2).
+template <typename Init, typename Step>
+Array reduce(const Array &A, Init InitFn, Step StepFn) {
+  if (A.isEmpty()) {
+    Complex Z = InitFn();
+    return Array::complexScalar(Z.real(), Z.imag());
+  }
+  if (A.isScalar())
+    return A;
+  size_t D = 0;
+  while (D < A.dims().size() && A.dim(D) == 1)
+    ++D;
+  if (D >= A.dims().size())
+    return A;
+  std::int64_t R = A.dim(D);
+  std::int64_t Inner = 1; // Stride of dimension D.
+  for (size_t K = 0; K < D; ++K)
+    Inner *= A.dim(K);
+  std::int64_t Outer = A.numel() / (Inner * R);
+  Array Out;
+  Out.Dims = A.dims();
+  Out.Dims[D] = 1;
+  Out.Re.resize(static_cast<size_t>(Inner * Outer));
+  Out.Im.resize(static_cast<size_t>(Inner * Outer));
+  for (std::int64_t O = 0; O < Outer; ++O)
+    for (std::int64_t I = 0; I < Inner; ++I) {
+      Complex Acc = InitFn();
+      for (std::int64_t K = 0; K < R; ++K)
+        Acc = StepFn(Acc, A.cAt(I + K * Inner + O * Inner * R));
+      Out.Re[I + O * Inner] = Acc.real();
+      Out.Im[I + O * Inner] = Acc.imag();
+    }
+  Out.normalizeComplex();
+  return Out;
+}
+
+/// min/max over a vector/matrix, with optional index result.
+std::vector<Array> minmax1(const Array &A, bool IsMax, unsigned NumResults) {
+  if (A.isEmpty())
+    throw MatError("min/max of an empty array");
+  if (A.dims().size() > 2 && A.dim(2) > 1)
+    throw MatError("N-D min/max reductions are not supported");
+  auto Better = [&](double X, double Y) { return IsMax ? X > Y : X < Y; };
+  if (A.isVector() || A.isScalar()) {
+    std::int64_t BestI = 0;
+    for (std::int64_t I = 1; I < A.numel(); ++I)
+      if (Better(A.reAt(I), A.reAt(BestI)))
+        BestI = I;
+    std::vector<Array> Out = {Array::scalar(A.reAt(BestI))};
+    if (NumResults >= 2)
+      Out.push_back(Array::scalar(static_cast<double>(BestI + 1)));
+    return Out;
+  }
+  std::int64_t R = A.dim(0), C = A.dim(1);
+  Array Vals, Idx;
+  Vals.Dims = {1, C};
+  Vals.Re.resize(static_cast<size_t>(C));
+  Idx.Dims = {1, C};
+  Idx.Re.resize(static_cast<size_t>(C));
+  for (std::int64_t J = 0; J < C; ++J) {
+    std::int64_t BestI = 0;
+    for (std::int64_t I = 1; I < R; ++I)
+      if (Better(A.reAt(I + J * R), A.reAt(BestI + J * R)))
+        BestI = I;
+    Vals.Re[J] = A.reAt(BestI + J * R);
+    Idx.Re[J] = static_cast<double>(BestI + 1);
+  }
+  std::vector<Array> Out = {Vals};
+  if (NumResults >= 2)
+    Out.push_back(Idx);
+  return Out;
+}
+
+/// fprintf/sprintf formatting: supports %d %i %u %f %e %g %s with flags,
+/// width and precision, plus \n \t \\ escapes; the format recycles while
+/// argument values remain (MATLAB behaviour).
+std::string formatPrintf(const std::string &Fmt,
+                         const std::vector<const Array *> &Args) {
+  // Flatten all numeric/char argument values.
+  struct Val {
+    double Num;
+    bool FromChar;
+    std::string Str; ///< Whole char array for %s.
+  };
+  std::vector<Val> Values;
+  for (const Array *A : Args) {
+    if (A->isChar()) {
+      Values.push_back({0.0, true, A->toStdString()});
+      continue;
+    }
+    for (std::int64_t I = 0; I < A->numel(); ++I)
+      Values.push_back({A->reAt(I), false, ""});
+  }
+
+  std::string Out;
+  size_t Next = 0;
+  bool ConsumedAny = true;
+  do {
+    ConsumedAny = false;
+    size_t I = 0;
+    while (I < Fmt.size()) {
+      char C = Fmt[I];
+      if (C == '\\' && I + 1 < Fmt.size()) {
+        char E = Fmt[I + 1];
+        I += 2;
+        switch (E) {
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        case 'r': Out += '\r'; break;
+        case '\\': Out += '\\'; break;
+        default:
+          Out += E;
+          break;
+        }
+        continue;
+      }
+      if (C != '%') {
+        Out += C;
+        ++I;
+        continue;
+      }
+      if (I + 1 < Fmt.size() && Fmt[I + 1] == '%') {
+        Out += '%';
+        I += 2;
+        continue;
+      }
+      // Parse the conversion spec.
+      size_t SpecStart = I++;
+      while (I < Fmt.size() && (std::isdigit(static_cast<unsigned char>(
+                                    Fmt[I])) ||
+                                Fmt[I] == '.' || Fmt[I] == '-' ||
+                                Fmt[I] == '+' || Fmt[I] == ' ' ||
+                                Fmt[I] == '#' || Fmt[I] == '0'))
+        ++I;
+      if (I >= Fmt.size())
+        break;
+      char Conv = Fmt[I++];
+      std::string Spec = Fmt.substr(SpecStart, I - SpecStart);
+      if (Next >= Values.size()) {
+        // No values left: emit the spec literally (MATLAB prints the
+        // remaining format once when called with no arguments at all;
+        // with exhausted arguments it stops).
+        if (Values.empty()) {
+          Out += Spec;
+          continue;
+        }
+        return Out;
+      }
+      const Val &V = Values[Next++];
+      ConsumedAny = true;
+      char Buf[256];
+      switch (Conv) {
+      case 'd':
+      case 'i': {
+        std::string S2 = Spec.substr(0, Spec.size() - 1) + "lld";
+        std::snprintf(Buf, sizeof(Buf), S2.c_str(),
+                      static_cast<long long>(V.Num));
+        Out += Buf;
+        break;
+      }
+      case 'f':
+      case 'e':
+      case 'g':
+      case 'E':
+      case 'G': {
+        std::snprintf(Buf, sizeof(Buf), Spec.c_str(), V.Num);
+        Out += Buf;
+        break;
+      }
+      case 's': {
+        if (V.FromChar)
+          Out += V.Str;
+        else
+          Out += formatDouble(V.Num);
+        break;
+      }
+      case 'c': {
+        Out += static_cast<char>(static_cast<int>(V.Num));
+        break;
+      }
+      default:
+        Out += Spec;
+        break;
+      }
+    }
+  } while (Next < Values.size() && ConsumedAny);
+  return Out;
+}
+
+} // namespace
+
+bool matcoal::isKnownBuiltin(const std::string &Name) {
+  static const std::set<std::string> Known = {
+      "zeros", "ones", "eye", "rand", "randn", "size", "numel", "length",
+      "isempty", "abs", "sqrt", "exp", "log", "log2", "log10", "sin",
+      "cos", "tan", "asin", "acos", "atan", "atan2", "sinh", "cosh",
+      "tanh", "floor", "ceil", "round", "fix", "sign", "mod", "rem",
+      "hypot", "min", "max", "sum", "prod", "mean", "norm", "dot", "real",
+      "imag", "conj", "angle", "disp", "fprintf", "sprintf", "num2str",
+      "error", "linspace", "repmat", "double", "logical", "pi", "eps",
+      "diag", "trace", "fliplr", "flipud", "cumsum", "strcmp",
+      "Inf", "inf", "NaN", "nan", "true", "false", "i", "j", "__forcond",
+      "tic", "toc", "reshape", "__switcheq",
+  };
+  return Known.count(Name) != 0;
+}
+
+std::vector<Array>
+matcoal::callBuiltin(const std::string &Name,
+                     const std::vector<const Array *> &Args,
+                     unsigned NumResults, RandState &Rng, OutputSink &Out) {
+  auto A = [&](size_t K) -> const Array & { return arg(Args, K, Name.c_str()); };
+
+  // Constructors.
+  if (Name == "zeros" || Name == "ones") {
+    Array R = Array::zeros(dimsFromArgs(Args, Name.c_str()));
+    if (Name == "ones")
+      for (double &V : R.Re)
+        V = 1.0;
+    return {R};
+  }
+  if (Name == "eye") {
+    std::vector<std::int64_t> Dims = dimsFromArgs(Args, "eye");
+    Array R = Array::zeros(Dims);
+    std::int64_t N = std::min(R.dim(0), R.dim(1));
+    for (std::int64_t I = 0; I < N; ++I)
+      R.Re[I + I * R.dim(0)] = 1.0;
+    return {R};
+  }
+  if (Name == "rand" || Name == "randn") {
+    Array R = Array::zeros(dimsFromArgs(Args, Name.c_str()));
+    if (Name == "rand") {
+      for (double &V : R.Re)
+        V = Rng.next();
+    } else {
+      // Box-Muller with a deterministic stream.
+      for (double &V : R.Re) {
+        double U1 = std::max(Rng.next(), 1e-300);
+        double U2 = Rng.next();
+        V = std::sqrt(-2.0 * std::log(U1)) * std::cos(2.0 * M_PI * U2);
+      }
+    }
+    return {R};
+  }
+  if (Name == "linspace") {
+    double Lo = A(0).scalarValue();
+    double Hi = A(1).scalarValue();
+    std::int64_t N = Args.size() >= 3
+                         ? static_cast<std::int64_t>(A(2).scalarValue())
+                         : 100;
+    Array R;
+    R.Dims = {1, N};
+    R.Re.resize(static_cast<size_t>(N));
+    for (std::int64_t I = 0; I < N; ++I)
+      R.Re[I] = N == 1 ? Hi : Lo + (Hi - Lo) * static_cast<double>(I) /
+                                       static_cast<double>(N - 1);
+    return {R};
+  }
+  if (Name == "repmat") {
+    const Array &Src = A(0);
+    std::int64_t M = dimArg(A(1), "repmat");
+    std::int64_t N = Args.size() >= 3 ? dimArg(A(2), "repmat") : M;
+    std::int64_t R = Src.dim(0), C = Src.dim(1);
+    Array Out2;
+    Out2.Dims = {R * M, C * N};
+    Out2.Re.resize(static_cast<size_t>(Out2.numel()));
+    if (Src.isComplex())
+      Out2.Im.resize(Out2.Re.size());
+    for (std::int64_t BJ = 0; BJ < N; ++BJ)
+      for (std::int64_t BI = 0; BI < M; ++BI)
+        for (std::int64_t J = 0; J < C; ++J)
+          for (std::int64_t I = 0; I < R; ++I) {
+            std::int64_t DI = BI * R + I, DJ = BJ * C + J;
+            Out2.Re[DI + DJ * R * M] = Src.reAt(I + J * R);
+            if (Src.isComplex())
+              Out2.Im[DI + DJ * R * M] = Src.imAt(I + J * R);
+          }
+    return {Out2};
+  }
+  if (Name == "reshape") {
+    Array R = A(0);
+    std::vector<std::int64_t> Dims;
+    for (size_t K = 1; K < Args.size(); ++K)
+      Dims.push_back(dimArg(A(K), "reshape"));
+    R.reshape(std::move(Dims));
+    return {R};
+  }
+
+  // Shape queries.
+  if (Name == "size") {
+    const Array &X = A(0);
+    if (NumResults >= 2) {
+      std::vector<Array> Rs;
+      size_t ND = std::max<size_t>(X.dims().size(), 2);
+      for (unsigned K = 0; K < NumResults; ++K) {
+        if (K + 1 == NumResults && K + 1 < ND) {
+          // Last output folds the trailing dimensions.
+          std::int64_t Fold = 1;
+          for (size_t D = K; D < ND; ++D)
+            Fold *= X.dim(D);
+          Rs.push_back(Array::scalar(static_cast<double>(Fold)));
+        } else {
+          Rs.push_back(Array::scalar(static_cast<double>(X.dim(K))));
+        }
+      }
+      return Rs;
+    }
+    if (Args.size() >= 2) {
+      std::int64_t D = static_cast<std::int64_t>(A(1).scalarValue());
+      if (D < 1)
+        throw MatError("dimension argument must be positive");
+      return {Array::scalar(static_cast<double>(X.dim(
+          static_cast<size_t>(D - 1))))};
+    }
+    Array R;
+    size_t ND = std::max<size_t>(X.dims().size(), 2);
+    R.Dims = {1, static_cast<std::int64_t>(ND)};
+    for (size_t D = 0; D < ND; ++D)
+      R.Re.push_back(static_cast<double>(X.dim(D)));
+    return {R};
+  }
+  if (Name == "numel")
+    return {Array::scalar(static_cast<double>(A(0).numel()))};
+  if (Name == "length") {
+    const Array &X = A(0);
+    if (X.isEmpty())
+      return {Array::scalar(0.0)};
+    std::int64_t L = 0;
+    for (size_t D = 0; D < std::max<size_t>(X.dims().size(), 2); ++D)
+      L = std::max(L, X.dim(D));
+    return {Array::scalar(static_cast<double>(L))};
+  }
+  if (Name == "isempty")
+    return {Array::logicalScalar(A(0).isEmpty())};
+
+  // Elementwise math.
+  if (Name == "abs") {
+    const Array &X = A(0);
+    Array R;
+    R.Dims = X.dims();
+    R.Re.resize(static_cast<size_t>(X.numel()));
+    for (std::int64_t I = 0; I < X.numel(); ++I)
+      R.Re[I] = std::abs(X.cAt(I));
+    return {R};
+  }
+  if (Name == "sqrt")
+    return {mapComplex(A(0), [](Complex Z) { return std::sqrt(Z); })};
+  if (Name == "exp")
+    return {mapComplex(A(0), [](Complex Z) { return std::exp(Z); })};
+  if (Name == "log")
+    return {mapComplex(A(0), [](Complex Z) { return std::log(Z); })};
+  if (Name == "log2")
+    return {mapComplex(A(0), [](Complex Z) {
+      return std::log(Z) / std::log(2.0);
+    })};
+  if (Name == "log10")
+    return {mapComplex(A(0), [](Complex Z) {
+      return std::log(Z) / std::log(10.0);
+    })};
+  if (Name == "sin")
+    return {mapComplex(A(0), [](Complex Z) { return std::sin(Z); })};
+  if (Name == "cos")
+    return {mapComplex(A(0), [](Complex Z) { return std::cos(Z); })};
+  if (Name == "tan")
+    return {mapComplex(A(0), [](Complex Z) { return std::tan(Z); })};
+  if (Name == "asin")
+    return {mapComplex(A(0), [](Complex Z) { return std::asin(Z); })};
+  if (Name == "acos")
+    return {mapComplex(A(0), [](Complex Z) { return std::acos(Z); })};
+  if (Name == "atan")
+    return {mapComplex(A(0), [](Complex Z) { return std::atan(Z); })};
+  if (Name == "sinh")
+    return {mapComplex(A(0), [](Complex Z) { return std::sinh(Z); })};
+  if (Name == "cosh")
+    return {mapComplex(A(0), [](Complex Z) { return std::cosh(Z); })};
+  if (Name == "tanh")
+    return {mapComplex(A(0), [](Complex Z) { return std::tanh(Z); })};
+  if (Name == "floor")
+    return {mapReal(A(0), [](double X) { return std::floor(X); })};
+  if (Name == "ceil")
+    return {mapReal(A(0), [](double X) { return std::ceil(X); })};
+  if (Name == "round")
+    return {mapReal(A(0), [](double X) { return std::round(X); })};
+  if (Name == "fix")
+    return {mapReal(A(0), [](double X) { return std::trunc(X); })};
+  if (Name == "sign")
+    return {mapReal(A(0), [](double X) {
+      return X > 0 ? 1.0 : (X < 0 ? -1.0 : 0.0);
+    })};
+  if (Name == "real")
+    return {mapReal(A(0), [](double X) { return X; })};
+  if (Name == "imag") {
+    const Array &X = A(0);
+    Array R;
+    R.Dims = X.dims();
+    R.Re.resize(static_cast<size_t>(X.numel()));
+    for (std::int64_t I = 0; I < X.numel(); ++I)
+      R.Re[I] = X.imAt(I);
+    return {R};
+  }
+  if (Name == "conj") {
+    Array R = A(0);
+    for (double &V : R.Im)
+      V = -V;
+    return {R};
+  }
+  if (Name == "angle") {
+    const Array &X = A(0);
+    Array R;
+    R.Dims = X.dims();
+    R.Re.resize(static_cast<size_t>(X.numel()));
+    for (std::int64_t I = 0; I < X.numel(); ++I)
+      R.Re[I] = std::arg(X.cAt(I));
+    return {R};
+  }
+  if (Name == "atan2" || Name == "hypot" || Name == "mod" ||
+      Name == "rem") {
+    const Array &X = A(0);
+    const Array &Y = A(1);
+    auto Fn = [&](double XV, double YV) {
+      if (Name == "atan2")
+        return std::atan2(XV, YV);
+      if (Name == "hypot")
+        return std::hypot(XV, YV);
+      if (Name == "rem")
+        return YV == 0.0 ? XV : std::fmod(XV, YV);
+      return YV == 0.0 ? XV : XV - std::floor(XV / YV) * YV;
+    };
+    bool XS = X.isScalar(), YS = Y.isScalar();
+    const Array &Big = XS && !YS ? Y : X;
+    Array R;
+    R.Dims = Big.dims();
+    R.Re.resize(static_cast<size_t>(Big.numel()));
+    for (std::int64_t I = 0; I < Big.numel(); ++I)
+      R.Re[I] = Fn(XS ? X.reAt(0) : X.reAt(I), YS ? Y.reAt(0) : Y.reAt(I));
+    return {R};
+  }
+
+  // Reductions.
+  if (Name == "min" || Name == "max") {
+    if (Args.size() >= 2) {
+      bool IsMax = Name == "max";
+      const Array &X = A(0);
+      const Array &Y = A(1);
+      bool XS = X.isScalar(), YS = Y.isScalar();
+      const Array &Big = XS && !YS ? Y : X;
+      Array R;
+      R.Dims = Big.dims();
+      R.Re.resize(static_cast<size_t>(Big.numel()));
+      for (std::int64_t I = 0; I < Big.numel(); ++I) {
+        double XV = XS ? X.reAt(0) : X.reAt(I);
+        double YV = YS ? Y.reAt(0) : Y.reAt(I);
+        R.Re[I] = IsMax ? std::max(XV, YV) : std::min(XV, YV);
+      }
+      return {R};
+    }
+    return minmax1(A(0), Name == "max", NumResults);
+  }
+  if (Name == "sum")
+    return {reduce(A(0), []() { return Complex(0, 0); },
+                   [](Complex Acc, Complex V) { return Acc + V; })};
+  if (Name == "prod")
+    return {reduce(A(0), []() { return Complex(1, 0); },
+                   [](Complex Acc, Complex V) { return Acc * V; })};
+  if (Name == "mean") {
+    const Array &X = A(0);
+    Array S = reduce(X, []() { return Complex(0, 0); },
+                     [](Complex Acc, Complex V) { return Acc + V; });
+    // Divide by the collapsed extent (first non-singleton dimension).
+    std::int64_t N = 1;
+    for (size_t D = 0; D < X.dims().size(); ++D)
+      if (X.dim(D) > 1) {
+        N = X.dim(D);
+        break;
+      }
+    return {binaryOp(Opcode::ElemRDiv, S, Array::scalar(
+                                              static_cast<double>(N)))};
+  }
+  if (Name == "norm") {
+    const Array &X = A(0);
+    if (!X.isVector() && !X.isScalar() && !X.isEmpty())
+      throw MatError("norm is only implemented for vectors");
+    double Acc = 0.0;
+    for (std::int64_t I = 0; I < X.numel(); ++I)
+      Acc += std::norm(X.cAt(I));
+    return {Array::scalar(std::sqrt(Acc))};
+  }
+  if (Name == "dot") {
+    const Array &X = A(0);
+    const Array &Y = A(1);
+    if (X.numel() != Y.numel())
+      throw MatError("dot operands must have the same length");
+    Complex Acc(0, 0);
+    for (std::int64_t I = 0; I < X.numel(); ++I)
+      Acc += std::conj(X.cAt(I)) * Y.cAt(I);
+    return {Array::complexScalar(Acc.real(), Acc.imag())};
+  }
+
+  // Conversions.
+  if (Name == "double") {
+    Array R = A(0);
+    R.toDouble();
+    return {R};
+  }
+  if (Name == "logical") {
+    Array R = mapReal(A(0), [](double X) { return X != 0.0; });
+    R.setLogical(true);
+    return {R};
+  }
+  if (Name == "num2str" || Name == "sprintf") {
+    if (Name == "sprintf") {
+      if (Args.empty() || !A(0).isChar())
+        throw MatError("sprintf requires a format string");
+      std::vector<const Array *> Rest(Args.begin() + 1, Args.end());
+      return {Array::charRow(formatPrintf(A(0).toStdString(), Rest))};
+    }
+    return {Array::charRow(A(0).isScalar() ? formatDouble(A(0).scalarValue())
+                                           : A(0).format())};
+  }
+
+  if (Name == "diag") {
+    const Array &X = A(0);
+    if (X.isVector() || X.isScalar()) {
+      std::int64_t N = X.numel();
+      Array R = Array::zeros({N, N});
+      for (std::int64_t I = 0; I < N; ++I)
+        R.Re[I + I * N] = X.reAt(I);
+      return {R};
+    }
+    std::int64_t N = std::min(X.dim(0), X.dim(1));
+    Array R;
+    R.Dims = {N, 1};
+    R.Re.resize(static_cast<size_t>(N));
+    for (std::int64_t I = 0; I < N; ++I)
+      R.Re[I] = X.reAt(I + I * X.dim(0));
+    return {R};
+  }
+  if (Name == "trace") {
+    const Array &X = A(0);
+    if (X.dim(0) != X.dim(1))
+      throw MatError("trace requires a square matrix");
+    Complex Acc(0, 0);
+    for (std::int64_t I = 0; I < X.dim(0); ++I)
+      Acc += X.cAt(I + I * X.dim(0));
+    return {Array::complexScalar(Acc.real(), Acc.imag())};
+  }
+  if (Name == "fliplr" || Name == "flipud") {
+    const Array &X = A(0);
+    if (X.dims().size() > 2)
+      throw MatError("flip of an N-D array is not supported");
+    Array R = X;
+    std::int64_t D0 = X.dim(0), D1 = X.dim(1);
+    for (std::int64_t J = 0; J < D1; ++J)
+      for (std::int64_t I = 0; I < D0; ++I) {
+        std::int64_t SI = Name == "flipud" ? D0 - 1 - I : I;
+        std::int64_t SJ = Name == "fliplr" ? D1 - 1 - J : J;
+        R.Re[I + J * D0] = X.reAt(SI + SJ * D0);
+        if (X.isComplex())
+          R.Im[I + J * D0] = X.imAt(SI + SJ * D0);
+      }
+    return {R};
+  }
+  if (Name == "cumsum") {
+    const Array &X = A(0);
+    Array R = X;
+    R.toDouble();
+    if (X.isVector() || X.isScalar()) {
+      for (std::int64_t I = 1; I < X.numel(); ++I) {
+        R.Re[I] += R.Re[I - 1];
+        if (R.isComplex())
+          R.Im[I] += R.Im[I - 1];
+      }
+      return {R};
+    }
+    for (std::int64_t J = 0; J < X.dim(1); ++J)
+      for (std::int64_t I = 1; I < X.dim(0); ++I) {
+        R.Re[I + J * X.dim(0)] += R.Re[I - 1 + J * X.dim(0)];
+        if (R.isComplex())
+          R.Im[I + J * X.dim(0)] += R.Im[I - 1 + J * X.dim(0)];
+      }
+    return {R};
+  }
+  if (Name == "strcmp") {
+    const Array &X = A(0);
+    const Array &Y = A(1);
+    bool Eq = X.isChar() && Y.isChar() &&
+              X.toStdString() == Y.toStdString();
+    return {Array::logicalScalar(Eq)};
+  }
+
+  // Effects.
+  if (Name == "disp") {
+    Out.write(A(0).format());
+    Out.write("\n");
+    return {};
+  }
+  if (Name == "fprintf") {
+    if (Args.empty())
+      return {};
+    size_t FmtIdx = 0;
+    // fprintf(fid, fmt, ...) with numeric fid 1/2 writes to the console.
+    if (!A(0).isChar() && Args.size() >= 2 && A(1).isChar())
+      FmtIdx = 1;
+    if (!A(FmtIdx).isChar())
+      throw MatError("fprintf requires a format string");
+    std::vector<const Array *> Rest(Args.begin() + FmtIdx + 1, Args.end());
+    Out.write(formatPrintf(A(FmtIdx).toStdString(), Rest));
+    return {};
+  }
+  if (Name == "error") {
+    std::string Msg = "error";
+    if (!Args.empty() && A(0).isChar()) {
+      std::vector<const Array *> Rest(Args.begin() + 1, Args.end());
+      Msg = formatPrintf(A(0).toStdString(), Rest);
+    }
+    throw MatError(Msg);
+  }
+
+  // Constants and miscellany.
+  if (Name == "pi")
+    return {Array::scalar(M_PI)};
+  if (Name == "eps")
+    return {Array::scalar(2.220446049250313e-16)};
+  if (Name == "Inf" || Name == "inf")
+    return {Array::scalar(std::numeric_limits<double>::infinity())};
+  if (Name == "NaN" || Name == "nan")
+    return {Array::scalar(std::numeric_limits<double>::quiet_NaN())};
+  if (Name == "true")
+    return {Array::logicalScalar(true)};
+  if (Name == "false")
+    return {Array::logicalScalar(false)};
+  if (Name == "i" || Name == "j")
+    return {Array::complexScalar(0.0, 1.0)};
+  if (Name == "tic")
+    return {};
+  if (Name == "toc")
+    return {Array::scalar(0.0)}; // Deterministic runs: no wall clock.
+  if (Name == "__switcheq") {
+    // switch matching: char rows compare as strings; otherwise equal
+    // shape and elementwise-equal values (scalars being the common case).
+    const Array &X = A(0);
+    const Array &V = A(1);
+    bool Match = false;
+    if (X.isChar() || V.isChar()) {
+      Match = X.isChar() && V.isChar() &&
+              X.toStdString() == V.toStdString();
+    } else if (X.numel() == V.numel() &&
+               X.dims() == V.dims()) {
+      Match = true;
+      for (std::int64_t I = 0; I < X.numel() && Match; ++I)
+        Match = X.cAt(I) == V.cAt(I);
+    }
+    return {Array::logicalScalar(Match)};
+  }
+  if (Name == "__forcond") {
+    double I = A(0).scalarValue();
+    double S = A(1).scalarValue();
+    double H = A(2).scalarValue();
+    return {Array::logicalScalar(S >= 0.0 ? I <= H : I >= H)};
+  }
+
+  throw MatError("undefined function '" + Name + "'");
+}

@@ -1,0 +1,107 @@
+//===- Kernels.h - Runtime operator kernels ---------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MATLAB operation kernels shared by the VM and the AST interpreter:
+/// elementwise and linear-algebra operators, R-/L-indexing (with the
+/// paper's backward in-place formation for L-indexing), concatenation,
+/// ranges, and the builtin library. All kernels throw MatError on
+/// semantic errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_RUNTIME_KERNELS_H
+#define MATCOAL_RUNTIME_KERNELS_H
+
+#include "ir/IR.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// Deterministic xorshift64* PRNG standing in for MATLAB's generator; both
+/// execution paths use the same stream so outputs compare exactly.
+class RandState {
+public:
+  explicit RandState(std::uint64_t Seed = 88172645463325252ull) {
+    // splitmix64 mixing so small seeds (1, 2, ...) still produce
+    // well-distributed first draws.
+    std::uint64_t Z = Seed + 0x9e3779b97f4a7c15ull;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    S = (Z ^ (Z >> 31)) | 1;
+  }
+
+  /// Uniform double in [0, 1).
+  double next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return static_cast<double>(S >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  std::uint64_t S;
+};
+
+/// Captures disp/fprintf output so runs can be compared exactly.
+class OutputSink {
+public:
+  void write(const std::string &S) { Buf += S; }
+  const std::string &str() const { return Buf; }
+  void clear() { Buf.clear(); }
+
+private:
+  std::string Buf;
+};
+
+/// Binary MATLAB operator (Add..Or opcodes).
+Array binaryOp(Opcode Op, const Array &A, const Array &B);
+
+/// Elementwise binary fast path that writes through \p Dst, which may
+/// alias A or B (the in-place computation GCTD legalizes). Falls back to
+/// the general kernel for non-elementwise cases.
+void binaryOpInto(Array &Dst, Opcode Op, const Array &A, const Array &B);
+
+/// Unary operator (Neg, UPlus, Not, Transpose, CTranspose).
+Array unaryOp(Opcode Op, const Array &A);
+
+/// lo:hi and lo:step:hi.
+Array colonRange(const Array &Lo, const Array &Hi);
+Array colonRange3(const Array &Lo, const Array &Step, const Array &Hi);
+
+/// R-indexing: A(subs...). Subscripts may be numeric arrays or the colon
+/// marker.
+Array subsref(const Array &A, const std::vector<const Array *> &Subs);
+
+/// L-indexing: base(subs...) = rhs, with MATLAB's growth semantics. The
+/// base is updated in place using the backward formation of section
+/// 2.3.3.1 (safe even when the result shares the base's storage).
+void subsasgnInPlace(Array &Base, const Array &Rhs,
+                     const std::vector<const Array *> &Subs);
+
+/// [a, b, ...] and [a; b; ...].
+Array horzcat(const std::vector<const Array *> &Parts);
+Array vertcat(const std::vector<const Array *> &Parts);
+
+/// Calls the named builtin. \p NumResults is how many outputs the caller
+/// wants (affects size/min/max). Results are returned in order; effects
+/// (disp/fprintf) append to \p Out.
+std::vector<Array> callBuiltin(const std::string &Name,
+                               const std::vector<const Array *> &Args,
+                               unsigned NumResults, RandState &Rng,
+                               OutputSink &Out);
+
+/// True if this translation unit implements the named builtin.
+bool isKnownBuiltin(const std::string &Name);
+
+} // namespace matcoal
+
+#endif // MATCOAL_RUNTIME_KERNELS_H

@@ -1,0 +1,95 @@
+//===- Memory.h - Time-weighted memory metering -----------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement substrate for the paper's section 4: stack and heap
+/// occupancy tracked over virtual time, averaged with the paper's Eq. (2)
+/// (time-weighted mean), with peaks and a paged stack-segment model (the
+/// Solaris stack grows in 8 KB pages and never shrinks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_RUNTIME_MEMORY_H
+#define MATCOAL_RUNTIME_MEMORY_H
+
+#include <cstdint>
+
+namespace matcoal {
+
+/// Aggregated metering results for one execution.
+struct MemoryStats {
+  double AvgStackSegBytes = 0; ///< Time-weighted average stack segment.
+  double AvgHeapBytes = 0;     ///< Time-weighted average heap occupancy.
+  double AvgDynamicBytes = 0;  ///< Stack segment + heap (Figure 2's metric).
+  std::int64_t PeakStackSegBytes = 0;
+  std::int64_t PeakHeapBytes = 0;
+  std::uint64_t Ticks = 0; ///< Virtual duration of the run.
+};
+
+/// Tracks stack/heap levels over a virtual clock. Callers adjust levels as
+/// storage is allocated and released and advance the clock as work is
+/// performed; averages follow Eq. (2): sum(m_i * dt_i) / sum(dt_i).
+class MemoryMeter {
+public:
+  static constexpr std::int64_t PageSize = 8192;
+  /// A process starts with one stack page (the initial environment).
+  static constexpr std::int64_t InitialStackSeg = PageSize;
+
+  MemoryMeter() { StackSeg = InitialStackSeg; }
+
+  /// Advances the virtual clock, weighting current levels by the elapsed
+  /// time.
+  void advance(std::uint64_t DeltaTicks) {
+    Now += DeltaTicks;
+    SumStack += static_cast<double>(StackSeg) * DeltaTicks;
+    SumHeap += static_cast<double>(HeapBytes) * DeltaTicks;
+  }
+
+  void stackAdjust(std::int64_t Delta) {
+    StackBytes += Delta;
+    // The stack segment grows in pages and never shrinks (high watermark).
+    std::int64_t Needed =
+        ((StackBytes + InitialStackSeg + PageSize - 1) / PageSize) * PageSize;
+    if (Needed > StackSeg)
+      StackSeg = Needed;
+  }
+
+  void heapAdjust(std::int64_t Delta) {
+    HeapBytes += Delta;
+    if (HeapBytes > PeakHeap)
+      PeakHeap = HeapBytes;
+  }
+
+  std::int64_t currentStackBytes() const { return StackBytes; }
+  std::int64_t currentHeapBytes() const { return HeapBytes; }
+  std::int64_t stackSegment() const { return StackSeg; }
+
+  MemoryStats finish() {
+    MemoryStats S;
+    S.Ticks = Now;
+    double T = Now ? static_cast<double>(Now) : 1.0;
+    S.AvgStackSegBytes = SumStack / T;
+    S.AvgHeapBytes = SumHeap / T;
+    S.AvgDynamicBytes = S.AvgStackSegBytes + S.AvgHeapBytes;
+    S.PeakStackSegBytes = StackSeg;
+    S.PeakHeapBytes = PeakHeap;
+    return S;
+  }
+
+private:
+  std::uint64_t Now = 0;
+  std::int64_t StackBytes = 0; ///< Live frame bytes.
+  std::int64_t StackSeg = 0;   ///< Page-granular segment (monotone).
+  std::int64_t HeapBytes = 0;
+  std::int64_t PeakHeap = 0;
+  double SumStack = 0;
+  double SumHeap = 0;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_RUNTIME_MEMORY_H

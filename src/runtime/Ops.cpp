@@ -1,0 +1,858 @@
+//===- Ops.cpp - Operator kernels -----------------------------------------===//
+
+#include "runtime/Kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <functional>
+
+using namespace matcoal;
+
+namespace {
+
+using Complex = std::complex<double>;
+
+bool sameDims(const Array &A, const Array &B) {
+  size_t Rank = std::max(A.dims().size(), B.dims().size());
+  for (size_t D = 0; D < Rank; ++D)
+    if (A.dim(D) != B.dim(D))
+      return false;
+  return true;
+}
+
+/// Generic elementwise combine with scalar broadcast.
+template <typename RealFn, typename ComplexFn>
+Array elementwise(const Array &A, const Array &B, RealFn RF, ComplexFn CF,
+                  bool Logical) {
+  const Array *Big = &A;
+  bool AScalar = A.isScalar(), BScalar = B.isScalar();
+  if (!AScalar && !BScalar && !sameDims(A, B))
+    throw MatError("matrix dimensions must agree");
+  if (AScalar && !BScalar)
+    Big = &B;
+  Array Out;
+  Out.Dims = Big->dims();
+  std::int64_t N = Big->numel();
+  bool Cplx = A.isComplex() || B.isComplex();
+  Out.Re.resize(static_cast<size_t>(N));
+  if (Cplx && !Logical) {
+    Out.Im.resize(static_cast<size_t>(N));
+    Complex SA = A.isScalar() ? A.cAt(0) : Complex();
+    Complex SB = B.isScalar() ? B.cAt(0) : Complex();
+    for (std::int64_t I = 0; I < N; ++I) {
+      Complex VA = AScalar ? SA : A.cAt(I);
+      Complex VB = BScalar ? SB : B.cAt(I);
+      Complex R = CF(VA, VB);
+      Out.Re[I] = R.real();
+      Out.Im[I] = R.imag();
+    }
+    Out.normalizeComplex();
+  } else if (Cplx && Logical) {
+    Complex SA = A.isScalar() ? A.cAt(0) : Complex();
+    Complex SB = B.isScalar() ? B.cAt(0) : Complex();
+    for (std::int64_t I = 0; I < N; ++I) {
+      Complex VA = AScalar ? SA : A.cAt(I);
+      Complex VB = BScalar ? SB : B.cAt(I);
+      Out.Re[I] = CF(VA, VB).real();
+    }
+  } else {
+    double SA = AScalar ? A.reAt(0) : 0.0;
+    double SB = BScalar ? B.reAt(0) : 0.0;
+    const double *PA = A.re();
+    const double *PB = B.re();
+    for (std::int64_t I = 0; I < N; ++I)
+      Out.Re[I] = RF(AScalar ? SA : PA[I], BScalar ? SB : PB[I]);
+  }
+  if (Logical)
+    Out.setLogical(true);
+  return Out;
+}
+
+double truthOf(double Re, double Im) { return (Re != 0.0 || Im != 0.0); }
+
+Array matmul(const Array &A, const Array &B) {
+  if (A.dims().size() > 2 || B.dims().size() > 2)
+    throw MatError("matrix multiplication requires 2-D operands");
+  std::int64_t M = A.dim(0), K = A.dim(1), K2 = B.dim(0), N = B.dim(1);
+  if (K != K2)
+    throw MatError("inner matrix dimensions must agree");
+  Array Out;
+  Out.Dims = {M, N};
+  bool Cplx = A.isComplex() || B.isComplex();
+  Out.Re.assign(static_cast<size_t>(M * N), 0.0);
+  if (Cplx)
+    Out.Im.assign(static_cast<size_t>(M * N), 0.0);
+  for (std::int64_t J = 0; J < N; ++J) {
+    for (std::int64_t P = 0; P < K; ++P) {
+      if (!Cplx) {
+        double BV = B.reAt(P + J * K);
+        if (BV == 0.0)
+          continue;
+        const double *ACol = A.re() + P * M;
+        double *OCol = Out.Re.data() + J * M;
+        for (std::int64_t I = 0; I < M; ++I)
+          OCol[I] += ACol[I] * BV;
+      } else {
+        Complex BV = B.cAt(P + J * K);
+        for (std::int64_t I = 0; I < M; ++I) {
+          Complex R = Complex(Out.Re[I + J * M], Out.Im[I + J * M]) +
+                      A.cAt(I + P * M) * BV;
+          Out.Re[I + J * M] = R.real();
+          Out.Im[I + J * M] = R.imag();
+        }
+      }
+    }
+  }
+  Out.normalizeComplex();
+  return Out;
+}
+
+/// Solves A * X = B with Gaussian elimination (partial pivoting); used by
+/// the backslash operators.
+Array solveSquare(const Array &A, const Array &B) {
+  std::int64_t N = A.dim(0);
+  if (A.dim(1) != N)
+    throw MatError("matrix must be square for this solver");
+  if (B.dim(0) != N)
+    throw MatError("matrix dimensions must agree in solve");
+  std::int64_t NRHS = B.dim(1);
+  std::vector<Complex> M(static_cast<size_t>(N * N));
+  std::vector<Complex> X(static_cast<size_t>(N * NRHS));
+  for (std::int64_t I = 0; I < N * N; ++I)
+    M[I] = A.cAt(I);
+  for (std::int64_t I = 0; I < N * NRHS; ++I)
+    X[I] = B.cAt(I);
+  for (std::int64_t Col = 0; Col < N; ++Col) {
+    // Pivot.
+    std::int64_t Piv = Col;
+    double Best = std::abs(M[Col + Col * N]);
+    for (std::int64_t I = Col + 1; I < N; ++I) {
+      double V = std::abs(M[I + Col * N]);
+      if (V > Best) {
+        Best = V;
+        Piv = I;
+      }
+    }
+    if (Best == 0.0)
+      throw MatError("matrix is singular to working precision");
+    if (Piv != Col) {
+      for (std::int64_t J = 0; J < N; ++J)
+        std::swap(M[Col + J * N], M[Piv + J * N]);
+      for (std::int64_t J = 0; J < NRHS; ++J)
+        std::swap(X[Col + J * N], X[Piv + J * N]);
+    }
+    Complex D = M[Col + Col * N];
+    for (std::int64_t I = Col + 1; I < N; ++I) {
+      Complex Factor = M[I + Col * N] / D;
+      if (Factor == Complex())
+        continue;
+      for (std::int64_t J = Col; J < N; ++J)
+        M[I + J * N] -= Factor * M[Col + J * N];
+      for (std::int64_t J = 0; J < NRHS; ++J)
+        X[I + J * N] -= Factor * X[Col + J * N];
+    }
+  }
+  // Back substitution.
+  for (std::int64_t Col = N; Col-- > 0;) {
+    Complex D = M[Col + Col * N];
+    for (std::int64_t J = 0; J < NRHS; ++J) {
+      Complex Sum = X[Col + J * N];
+      for (std::int64_t K = Col + 1; K < N; ++K)
+        Sum -= M[Col + K * N] * X[K + J * N];
+      X[Col + J * N] = Sum / D;
+    }
+  }
+  Array Out;
+  Out.Dims = {N, NRHS};
+  Out.Re.resize(static_cast<size_t>(N * NRHS));
+  Out.Im.resize(static_cast<size_t>(N * NRHS));
+  for (std::int64_t I = 0; I < N * NRHS; ++I) {
+    Out.Re[I] = X[I].real();
+    Out.Im[I] = X[I].imag();
+  }
+  Out.normalizeComplex();
+  return Out;
+}
+
+Complex powComplexAware(Complex A, Complex B, bool &WentComplex) {
+  if (A.imag() == 0.0 && B.imag() == 0.0) {
+    double X = A.real(), Y = B.real();
+    if (X >= 0.0 || Y == std::floor(Y)) {
+      WentComplex = false;
+      return Complex(std::pow(X, Y), 0.0);
+    }
+  }
+  WentComplex = true;
+  return std::pow(A, B);
+}
+
+Array matpow(const Array &A, const Array &B) {
+  if (A.isScalar() && B.isScalar()) {
+    bool WC = false;
+    Complex R = powComplexAware(A.cAt(0), B.cAt(0), WC);
+    return Array::complexScalar(R.real(), R.imag());
+  }
+  if (B.isScalar() && B.reAt(0) == std::floor(B.reAt(0)) &&
+      B.reAt(0) >= 0.0 && !B.isComplex()) {
+    // Matrix to a non-negative integer power.
+    std::int64_t N = A.dim(0);
+    if (A.dim(1) != N)
+      throw MatError("matrix must be square for ^");
+    std::int64_t P = static_cast<std::int64_t>(B.reAt(0));
+    Array Result;
+    Result.Dims = {N, N};
+    Result.Re.assign(static_cast<size_t>(N * N), 0.0);
+    for (std::int64_t I = 0; I < N; ++I)
+      Result.Re[I + I * N] = 1.0;
+    Array Base = A;
+    while (P > 0) {
+      if (P & 1)
+        Result = matmul(Result, Base);
+      Base = matmul(Base, Base);
+      P >>= 1;
+    }
+    return Result;
+  }
+  throw MatError("unsupported operands for ^");
+}
+
+} // namespace
+
+Array matcoal::binaryOp(Opcode Op, const Array &A, const Array &B) {
+  switch (Op) {
+  case Opcode::Add:
+    return elementwise(A, B, [](double X, double Y) { return X + Y; },
+                       [](Complex X, Complex Y) { return X + Y; }, false);
+  case Opcode::Sub:
+    return elementwise(A, B, [](double X, double Y) { return X - Y; },
+                       [](Complex X, Complex Y) { return X - Y; }, false);
+  case Opcode::ElemMul:
+    return elementwise(A, B, [](double X, double Y) { return X * Y; },
+                       [](Complex X, Complex Y) { return X * Y; }, false);
+  case Opcode::ElemRDiv:
+    return elementwise(A, B, [](double X, double Y) { return X / Y; },
+                       [](Complex X, Complex Y) { return X / Y; }, false);
+  case Opcode::ElemLDiv:
+    return elementwise(A, B, [](double X, double Y) { return Y / X; },
+                       [](Complex X, Complex Y) { return Y / X; }, false);
+  case Opcode::MatMul:
+    if (A.isScalar() || B.isScalar())
+      return binaryOp(Opcode::ElemMul, A, B);
+    return matmul(A, B);
+  case Opcode::MatRDiv:
+    if (B.isScalar())
+      return binaryOp(Opcode::ElemRDiv, A, B);
+    // A/B = (B' \ A')'.
+    return unaryOp(Opcode::Transpose,
+                   solveSquare(unaryOp(Opcode::Transpose, B),
+                               unaryOp(Opcode::Transpose, A)));
+  case Opcode::MatLDiv:
+    if (A.isScalar())
+      return binaryOp(Opcode::ElemRDiv, B, A);
+    return solveSquare(A, B);
+  case Opcode::MatPow:
+    return matpow(A, B);
+  case Opcode::ElemPow: {
+    // Dedicated kernel: a real base with a fractional exponent escapes to
+    // complex, which the generic elementwise dispatcher cannot express.
+    bool AScalar = A.isScalar(), BScalar = B.isScalar();
+    const Array *Big = AScalar && !BScalar ? &B : &A;
+    if (!AScalar && !BScalar && !sameDims(A, B))
+      throw MatError("matrix dimensions must agree");
+    std::int64_t N = Big->numel();
+    Array Out;
+    Out.Dims = Big->dims();
+    Out.Re.resize(static_cast<size_t>(N));
+    Out.Im.resize(static_cast<size_t>(N));
+    for (std::int64_t I = 0; I < N; ++I) {
+      Complex X = AScalar ? A.cAt(0) : A.cAt(I);
+      Complex Y = BScalar ? B.cAt(0) : B.cAt(I);
+      bool WC = false;
+      Complex R = powComplexAware(X, Y, WC);
+      Out.Re[I] = R.real();
+      Out.Im[I] = R.imag();
+    }
+    Out.normalizeComplex();
+    return Out;
+  }
+  case Opcode::Lt:
+    return elementwise(A, B, [](double X, double Y) -> double { return X < Y; },
+                       [](Complex X, Complex Y) -> Complex {
+                         return X.real() < Y.real();
+                       },
+                       true);
+  case Opcode::Le:
+    return elementwise(A, B,
+                       [](double X, double Y) -> double { return X <= Y; },
+                       [](Complex X, Complex Y) -> Complex {
+                         return X.real() <= Y.real();
+                       },
+                       true);
+  case Opcode::Gt:
+    return elementwise(A, B, [](double X, double Y) -> double { return X > Y; },
+                       [](Complex X, Complex Y) -> Complex {
+                         return X.real() > Y.real();
+                       },
+                       true);
+  case Opcode::Ge:
+    return elementwise(A, B,
+                       [](double X, double Y) -> double { return X >= Y; },
+                       [](Complex X, Complex Y) -> Complex {
+                         return X.real() >= Y.real();
+                       },
+                       true);
+  case Opcode::Eq:
+    return elementwise(A, B,
+                       [](double X, double Y) -> double { return X == Y; },
+                       [](Complex X, Complex Y) -> Complex { return X == Y; },
+                       true);
+  case Opcode::Ne:
+    return elementwise(A, B,
+                       [](double X, double Y) -> double { return X != Y; },
+                       [](Complex X, Complex Y) -> Complex { return X != Y; },
+                       true);
+  case Opcode::And:
+    return elementwise(A, B,
+                       [](double X, double Y) -> double {
+                         return X != 0.0 && Y != 0.0;
+                       },
+                       [](Complex X, Complex Y) -> Complex {
+                         return truthOf(X.real(), X.imag()) &&
+                                truthOf(Y.real(), Y.imag());
+                       },
+                       true);
+  case Opcode::Or:
+    return elementwise(A, B,
+                       [](double X, double Y) -> double {
+                         return X != 0.0 || Y != 0.0;
+                       },
+                       [](Complex X, Complex Y) -> Complex {
+                         return truthOf(X.real(), X.imag()) ||
+                                truthOf(Y.real(), Y.imag());
+                       },
+                       true);
+  default:
+    throw MatError(std::string("not a binary operator: ") + opcodeName(Op));
+  }
+}
+
+void matcoal::binaryOpInto(Array &Dst, Opcode Op, const Array &A,
+                           const Array &B) {
+  // True in-place fast path: real elementwise arithmetic where Dst aliases
+  // the array-shaped operand (the situation GCTD's coalescing creates).
+  bool Elementwise = Op == Opcode::Add || Op == Opcode::Sub ||
+                     Op == Opcode::ElemMul || Op == Opcode::ElemRDiv;
+  if (Elementwise && !A.isComplex() && !B.isComplex() && !A.isChar() &&
+      !B.isChar()) {
+    bool AScalar = A.isScalar(), BScalar = B.isScalar();
+    const Array *Big = AScalar && !BScalar ? &B : &A;
+    if ((AScalar || BScalar || sameDims(A, B)) &&
+        (&Dst == Big || (AScalar && BScalar))) {
+      // Hoist scalar operands before writing (Figure 1's loops made safe).
+      double SA = AScalar ? A.reAt(0) : 0.0;
+      double SB = BScalar ? B.reAt(0) : 0.0;
+      std::int64_t N = Big->numel();
+      double *PD = Dst.re();
+      const double *PA = A.re();
+      const double *PB = B.re();
+      switch (Op) {
+      case Opcode::Add:
+        for (std::int64_t I = 0; I < N; ++I)
+          PD[I] = (AScalar ? SA : PA[I]) + (BScalar ? SB : PB[I]);
+        break;
+      case Opcode::Sub:
+        for (std::int64_t I = 0; I < N; ++I)
+          PD[I] = (AScalar ? SA : PA[I]) - (BScalar ? SB : PB[I]);
+        break;
+      case Opcode::ElemMul:
+        for (std::int64_t I = 0; I < N; ++I)
+          PD[I] = (AScalar ? SA : PA[I]) * (BScalar ? SB : PB[I]);
+        break;
+      default:
+        for (std::int64_t I = 0; I < N; ++I)
+          PD[I] = (AScalar ? SA : PA[I]) / (BScalar ? SB : PB[I]);
+        break;
+      }
+      Dst.Dims = Big->dims();
+      Dst.toDouble();
+      return;
+    }
+  }
+  Dst = binaryOp(Op, A, B);
+}
+
+Array matcoal::unaryOp(Opcode Op, const Array &A) {
+  switch (Op) {
+  case Opcode::UPlus: {
+    Array Out = A;
+    Out.toDouble();
+    return Out;
+  }
+  case Opcode::Neg: {
+    Array Out = A;
+    for (double &V : Out.Re)
+      V = -V;
+    for (double &V : Out.Im)
+      V = -V;
+    Out.toDouble();
+    return Out;
+  }
+  case Opcode::Not: {
+    Array Out;
+    Out.Dims = A.dims();
+    Out.Re.resize(A.Re.size());
+    for (size_t I = 0; I < A.Re.size(); ++I)
+      Out.Re[I] = !truthOf(A.reAt(I), A.imAt(I));
+    Out.setLogical(true);
+    return Out;
+  }
+  case Opcode::Transpose:
+  case Opcode::CTranspose: {
+    if (A.dims().size() > 2)
+      throw MatError("transpose of an N-D array is undefined");
+    std::int64_t R = A.dim(0), C = A.dim(1);
+    Array Out;
+    Out.Dims = {C, R};
+    Out.Re.resize(A.Re.size());
+    if (A.isComplex())
+      Out.Im.resize(A.Im.size());
+    for (std::int64_t I = 0; I < R; ++I)
+      for (std::int64_t J = 0; J < C; ++J) {
+        Out.Re[J + I * C] = A.Re[I + J * R];
+        if (A.isComplex())
+          Out.Im[J + I * C] = Op == Opcode::CTranspose ? -A.Im[I + J * R]
+                                                       : A.Im[I + J * R];
+      }
+    Out.normalizeComplex();
+    if (A.isChar())
+      Out.setChar(true);
+    if (A.isLogical())
+      Out.setLogical(true);
+    return Out;
+  }
+  default:
+    throw MatError(std::string("not a unary operator: ") + opcodeName(Op));
+  }
+}
+
+Array matcoal::colonRange(const Array &Lo, const Array &Hi) {
+  return colonRange3(Lo, Array::scalar(1.0), Hi);
+}
+
+Array matcoal::colonRange3(const Array &Lo, const Array &Step,
+                           const Array &Hi) {
+  if (!Lo.isScalar() || !Step.isScalar() || !Hi.isScalar())
+    throw MatError("colon operands must be scalars");
+  double L = Lo.scalarValue(), S = Step.scalarValue(), H = Hi.scalarValue();
+  Array Out;
+  Out.Dims = {1, 0};
+  if (S == 0.0 || (S > 0.0 && L > H) || (S < 0.0 && L < H))
+    return Out;
+  double T = (H - L) / S;
+  std::int64_t N =
+      static_cast<std::int64_t>(std::floor(T + 1e-10 * std::max(1.0, T))) + 1;
+  Out.Dims = {1, N};
+  Out.Re.resize(static_cast<size_t>(N));
+  for (std::int64_t I = 0; I < N; ++I)
+    Out.Re[I] = L + static_cast<double>(I) * S;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Indexing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One resolved subscript: either "all of the dimension" or an explicit
+/// 0-based index list with an original shape.
+struct ResolvedSub {
+  bool IsColon = false;
+  std::vector<std::int64_t> Indices;
+  std::vector<std::int64_t> ShapeDims; ///< Shape of the subscript array.
+
+  std::int64_t count(std::int64_t Extent) const {
+    return IsColon ? Extent : static_cast<std::int64_t>(Indices.size());
+  }
+  std::int64_t at(std::int64_t K, std::int64_t /*Extent*/) const {
+    return IsColon ? K : Indices[K];
+  }
+};
+
+ResolvedSub resolveSub(const Array &S) {
+  ResolvedSub R;
+  if (S.isColon()) {
+    R.IsColon = true;
+    return R;
+  }
+  if (S.isLogical()) {
+    // Logical subscript: positions of true elements.
+    for (std::int64_t I = 0; I < S.numel(); ++I)
+      if (S.reAt(I) != 0.0)
+        R.Indices.push_back(I);
+    R.ShapeDims = {1, static_cast<std::int64_t>(R.Indices.size())};
+    return R;
+  }
+  R.Indices.reserve(static_cast<size_t>(S.numel()));
+  for (std::int64_t I = 0; I < S.numel(); ++I) {
+    double V = S.reAt(I);
+    if (V != std::floor(V) || V < 1.0)
+      throw MatError("subscript indices must be positive integers");
+    R.Indices.push_back(static_cast<std::int64_t>(V) - 1);
+  }
+  R.ShapeDims = S.dims();
+  return R;
+}
+
+} // namespace
+
+Array matcoal::subsref(const Array &A,
+                       const std::vector<const Array *> &Subs) {
+  if (Subs.empty())
+    return A;
+
+  if (Subs.size() == 1) {
+    const Array &S = *Subs[0];
+    if (S.isColon()) {
+      Array Out = A;
+      Out.Dims = {A.numel(), 1};
+      return Out;
+    }
+    ResolvedSub R = resolveSub(S);
+    Array Out;
+    // Result shape: shape of the subscript, except that indexing a vector
+    // with a vector keeps the base's orientation.
+    std::vector<std::int64_t> OutDims = R.ShapeDims;
+    if (S.isLogical())
+      OutDims = {1, static_cast<std::int64_t>(R.Indices.size())};
+    bool SubIsVector = OutDims.size() == 2 &&
+                       (OutDims[0] == 1 || OutDims[1] == 1);
+    if (A.isVector() && SubIsVector) {
+      std::int64_t N = static_cast<std::int64_t>(R.Indices.size());
+      OutDims = A.isRowVector() ? std::vector<std::int64_t>{1, N}
+                                : std::vector<std::int64_t>{N, 1};
+    }
+    Out.Dims = OutDims;
+    std::int64_t Total = A.numel();
+    Out.Re.resize(R.Indices.size());
+    if (A.isComplex())
+      Out.Im.resize(R.Indices.size());
+    for (size_t K = 0; K < R.Indices.size(); ++K) {
+      std::int64_t I = R.Indices[K];
+      if (I < 0 || I >= Total)
+        throw MatError("index exceeds array bounds");
+      Out.Re[K] = A.Re[I];
+      if (A.isComplex())
+        Out.Im[K] = A.Im[I];
+    }
+    Out.normalizeComplex();
+    if (A.isChar())
+      Out.setChar(true);
+    if (A.isLogical())
+      Out.setLogical(true);
+    return Out;
+  }
+
+  // Multi-dimensional: cartesian gather. The last subscript addresses all
+  // trailing dimensions folded together.
+  size_t M = Subs.size();
+  std::vector<ResolvedSub> R;
+  R.reserve(M);
+  for (const Array *S : Subs)
+    R.push_back(resolveSub(*S));
+  std::vector<std::int64_t> Extents(M);
+  for (size_t D = 0; D + 1 < M; ++D)
+    Extents[D] = A.dim(D);
+  std::int64_t Fold = 1;
+  for (size_t D = M - 1; D < A.dims().size(); ++D)
+    Fold *= A.dim(D);
+  Extents[M - 1] = Fold;
+
+  std::vector<std::int64_t> OutDims(M);
+  for (size_t D = 0; D < M; ++D)
+    OutDims[D] = R[D].count(Extents[D]);
+  Array Out;
+  Out.Dims = OutDims;
+  std::int64_t N = Out.numel();
+  Out.Re.resize(static_cast<size_t>(N));
+  if (A.isComplex())
+    Out.Im.resize(static_cast<size_t>(N));
+
+  std::vector<std::int64_t> Counter(M, 0);
+  std::vector<std::int64_t> Strides(M);
+  std::int64_t Stride = 1;
+  for (size_t D = 0; D < M; ++D) {
+    Strides[D] = Stride;
+    Stride *= Extents[D];
+  }
+  for (std::int64_t K = 0; K < N; ++K) {
+    std::int64_t Src = 0;
+    for (size_t D = 0; D < M; ++D) {
+      std::int64_t Idx = R[D].at(Counter[D], Extents[D]);
+      if (Idx < 0 || Idx >= Extents[D])
+        throw MatError("index exceeds array bounds");
+      Src += Idx * Strides[D];
+    }
+    Out.Re[K] = A.Re[Src];
+    if (A.isComplex())
+      Out.Im[K] = A.Im[Src];
+    for (size_t D = 0; D < M; ++D) {
+      if (++Counter[D] < R[D].count(Extents[D]))
+        break;
+      Counter[D] = 0;
+    }
+  }
+  Out.normalizeComplex();
+  if (A.isChar())
+    Out.setChar(true);
+  if (A.isLogical())
+    Out.setLogical(true);
+  return Out;
+}
+
+void matcoal::subsasgnInPlace(Array &Base, const Array &Rhs,
+                              const std::vector<const Array *> &Subs) {
+  if (Subs.empty())
+    throw MatError("assignment requires at least one subscript");
+  if (Rhs.isComplex())
+    Base.makeComplex();
+  bool Cplx = Base.isComplex();
+  if (!Rhs.isChar())
+    Base.toDouble();
+
+  size_t M = Subs.size();
+  std::vector<ResolvedSub> R;
+  R.reserve(M);
+  for (const Array *S : Subs)
+    R.push_back(resolveSub(*S));
+
+  // Determine the (possibly grown) dimensions.
+  std::vector<std::int64_t> OldDims = Base.dims();
+  while (OldDims.size() < std::max<size_t>(M == 1 ? 2 : M, 2))
+    OldDims.push_back(1);
+  std::vector<std::int64_t> NewDims = OldDims;
+
+  if (M == 1) {
+    const ResolvedSub &S = R[0];
+    std::int64_t MaxIdx = -1;
+    if (!S.IsColon)
+      for (std::int64_t I : S.Indices)
+        MaxIdx = std::max(MaxIdx, I);
+    std::int64_t Total = Base.numel();
+    if (MaxIdx >= Total) {
+      // Linear growth is legal only for vectors (and empties).
+      bool RowV = Base.isEmpty() ? false : Base.isRowVector();
+      bool ColV = !Base.isEmpty() && Base.dims().size() == 2 &&
+                  Base.dim(1) == 1 && Base.dim(0) > 1;
+      if (Base.isEmpty())
+        NewDims = {1, MaxIdx + 1}; // Growing an empty makes a row vector.
+      else if (RowV)
+        NewDims = {1, MaxIdx + 1};
+      else if (ColV)
+        NewDims = {MaxIdx + 1, 1};
+      else
+        throw MatError(
+            "linear index out of bounds for a matrix (cannot grow)");
+    }
+  } else {
+    for (size_t D = 0; D < M; ++D) {
+      if (R[D].IsColon)
+        continue;
+      std::int64_t MaxIdx = -1;
+      for (std::int64_t I : R[D].Indices)
+        MaxIdx = std::max(MaxIdx, I);
+      size_t Dim = D;
+      if (Dim >= NewDims.size())
+        NewDims.resize(Dim + 1, 1);
+      if (D + 1 == M) {
+        // Last subscript covers folded trailing dims; growth applies when
+        // it is the true last dimension.
+        std::int64_t Fold = 1;
+        for (size_t DD = D; DD < OldDims.size(); ++DD)
+          Fold *= OldDims[DD];
+        if (MaxIdx >= Fold) {
+          if (OldDims.size() > M)
+            throw MatError("index exceeds folded trailing dimensions");
+          NewDims[D] = std::max(NewDims[D], MaxIdx + 1);
+        }
+      } else {
+        NewDims[D] = std::max(NewDims[D], MaxIdx + 1);
+      }
+    }
+  }
+
+  // Expand if needed, moving elements backwards (section 2.3.3.1: carried
+  // elements land at the same or higher linear positions, so a last-to-
+  // first move never clobbers unread data).
+  bool Grew = NewDims != Base.dims();
+  if (Grew) {
+    std::vector<std::int64_t> Old = Base.dims();
+    std::int64_t OldN = Base.numel();
+    Array Tmp; // New dims bookkeeping only; reuse storage vectors.
+    Tmp.Dims = NewDims;
+    std::int64_t NewN = Tmp.numel();
+    Base.Re.resize(static_cast<size_t>(NewN), 0.0);
+    if (Cplx)
+      Base.Im.resize(static_cast<size_t>(NewN), 0.0);
+    // Move from last old element to first.
+    std::vector<std::int64_t> Counter(Old.size(), 0);
+    // Start at the last old subscript.
+    for (size_t D = 0; D < Old.size(); ++D)
+      Counter[D] = Old[D] - 1;
+    std::vector<std::int64_t> NewStrides(Old.size());
+    std::int64_t Stride = 1;
+    for (size_t D = 0; D < Old.size(); ++D) {
+      NewStrides[D] = Stride;
+      Stride *= D < NewDims.size() ? NewDims[D] : 1;
+    }
+    auto NewIndexOf = [&](const std::vector<std::int64_t> &Sub) {
+      std::int64_t Idx = 0;
+      for (size_t D = 0; D < Sub.size(); ++D)
+        Idx += Sub[D] * NewStrides[D];
+      return Idx;
+    };
+    if (OldN > 0) {
+      for (std::int64_t Linear = OldN; Linear-- > 0;) {
+        std::int64_t NewIdx = NewIndexOf(Counter);
+        if (NewIdx != Linear) {
+          Base.Re[NewIdx] = Base.Re[Linear];
+          Base.Re[Linear] = 0.0;
+          if (Cplx) {
+            Base.Im[NewIdx] = Base.Im[Linear];
+            Base.Im[Linear] = 0.0;
+          }
+        }
+        // Decrement the column-major counter.
+        for (size_t D = 0; D < Old.size(); ++D) {
+          if (Counter[D]-- > 0)
+            break;
+          Counter[D] = Old[D] - 1;
+        }
+      }
+    }
+    Base.Dims = NewDims;
+  }
+
+  // Scatter the rhs.
+  std::vector<std::int64_t> Extents(M);
+  if (M == 1) {
+    Extents[0] = Base.numel();
+  } else {
+    for (size_t D = 0; D + 1 < M; ++D)
+      Extents[D] = Base.dim(D);
+    std::int64_t Fold = 1;
+    for (size_t D = M - 1; D < Base.dims().size(); ++D)
+      Fold *= Base.dim(D);
+    Extents[M - 1] = Fold;
+  }
+  std::int64_t Count = 1;
+  for (size_t D = 0; D < M; ++D)
+    Count *= R[D].count(Extents[D]);
+  bool ScalarRhs = Rhs.isScalar();
+  if (!ScalarRhs && Rhs.numel() != Count)
+    throw MatError("assignment dimension mismatch");
+
+  std::vector<std::int64_t> Strides(M);
+  std::int64_t Stride = 1;
+  for (size_t D = 0; D < M; ++D) {
+    Strides[D] = Stride;
+    Stride *= M == 1 ? Base.numel() : Base.dim(D);
+  }
+  if (M >= 2) {
+    Strides[M - 1] = 1;
+    Stride = 1;
+    for (size_t D = 0; D < M; ++D) {
+      Strides[D] = Stride;
+      Stride *= Base.dim(D);
+    }
+  }
+
+  std::vector<std::int64_t> Counter(M, 0);
+  for (std::int64_t K = 0; K < Count; ++K) {
+    std::int64_t DstIdx = 0;
+    for (size_t D = 0; D < M; ++D)
+      DstIdx += R[D].at(Counter[D], Extents[D]) * Strides[D];
+    if (DstIdx < 0 || DstIdx >= Base.numel())
+      throw MatError("index exceeds array bounds");
+    Base.Re[DstIdx] = ScalarRhs ? Rhs.reAt(0) : Rhs.reAt(K);
+    if (Cplx)
+      Base.Im[DstIdx] = ScalarRhs ? Rhs.imAt(0) : Rhs.imAt(K);
+    for (size_t D = 0; D < M; ++D) {
+      if (++Counter[D] < R[D].count(Extents[D]))
+        break;
+      Counter[D] = 0;
+    }
+  }
+  Base.normalizeComplex();
+}
+
+//===----------------------------------------------------------------------===//
+// Concatenation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Array concat(const std::vector<const Array *> &Parts, unsigned Dim) {
+  // Drop empty parts (MATLAB ignores [] in concatenation).
+  std::vector<const Array *> Use;
+  for (const Array *P : Parts)
+    if (!P->isEmpty())
+      Use.push_back(P);
+  if (Use.empty())
+    return Array();
+  unsigned Keep = 1 - Dim;
+  std::int64_t KeepExtent = Use.front()->dim(Keep);
+  std::int64_t Total = 0;
+  bool AnyChar = false, AllLogical = true, Cplx = false;
+  for (const Array *P : Use) {
+    if (P->dims().size() > 2)
+      throw MatError("N-D concatenation is not supported");
+    if (P->dim(Keep) != KeepExtent)
+      throw MatError("concatenation dimensions are inconsistent");
+    Total += P->dim(Dim);
+    AnyChar |= P->isChar();
+    AllLogical &= P->isLogical();
+    Cplx |= P->isComplex();
+  }
+  Array Out;
+  std::vector<std::int64_t> Dims(2);
+  Dims[Dim] = Total;
+  Dims[Keep] = KeepExtent;
+  Out.Dims = Dims;
+  std::int64_t N = Out.numel();
+  Out.Re.resize(static_cast<size_t>(N));
+  if (Cplx)
+    Out.Im.assign(static_cast<size_t>(N), 0.0);
+  std::int64_t Offset = 0;
+  std::int64_t OutR = Out.dim(0);
+  for (const Array *P : Use) {
+    std::int64_t R = P->dim(0), C = P->dim(1);
+    for (std::int64_t J = 0; J < C; ++J)
+      for (std::int64_t I = 0; I < R; ++I) {
+        std::int64_t DI = Dim == 0 ? Offset + I : I;
+        std::int64_t DJ = Dim == 1 ? Offset + J : J;
+        Out.Re[DI + DJ * OutR] = P->Re[I + J * R];
+        if (Cplx)
+          Out.Im[DI + DJ * OutR] = P->imAt(I + J * R);
+      }
+    Offset += P->dim(Dim);
+  }
+  Out.normalizeComplex();
+  if (AnyChar)
+    Out.setChar(true);
+  else if (AllLogical)
+    Out.setLogical(true);
+  return Out;
+}
+
+} // namespace
+
+Array matcoal::horzcat(const std::vector<const Array *> &Parts) {
+  return concat(Parts, 1);
+}
+
+Array matcoal::vertcat(const std::vector<const Array *> &Parts) {
+  return concat(Parts, 0);
+}

@@ -1,0 +1,189 @@
+//===- Value.cpp ----------------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+using namespace matcoal;
+
+Array Array::scalar(double V) {
+  Array A;
+  A.Dims = {1, 1};
+  A.Re = {V};
+  return A;
+}
+
+Array Array::complexScalar(double ReV, double ImV) {
+  Array A;
+  A.Dims = {1, 1};
+  A.Re = {ReV};
+  A.Im = {ImV};
+  A.normalizeComplex();
+  return A;
+}
+
+Array Array::logicalScalar(bool V) {
+  Array A = scalar(V ? 1.0 : 0.0);
+  A.LogicalFlag = true;
+  return A;
+}
+
+Array Array::charRow(const std::string &S) {
+  Array A;
+  A.Dims = {1, static_cast<std::int64_t>(S.size())};
+  A.Re.reserve(S.size());
+  for (char C : S)
+    A.Re.push_back(static_cast<double>(static_cast<unsigned char>(C)));
+  A.CharFlag = true;
+  return A;
+}
+
+Array Array::colonMarker() {
+  Array A;
+  A.ColonFlag = true;
+  return A;
+}
+
+Array Array::zeros(std::vector<std::int64_t> Dims) {
+  Array A;
+  A.Dims = std::move(Dims);
+  while (A.Dims.size() < 2)
+    A.Dims.push_back(A.Dims.empty() ? 0 : 1);
+  for (std::int64_t D : A.Dims)
+    if (D < 0)
+      throw MatError("array dimensions must be non-negative");
+  A.Re.assign(static_cast<size_t>(A.numel()), 0.0);
+  return A;
+}
+
+bool Array::truth() const {
+  if (isEmpty())
+    return false;
+  for (size_t I = 0; I < Re.size(); ++I)
+    if (Re[I] == 0.0 && (Im.empty() || Im[I] == 0.0))
+      return false;
+  return true;
+}
+
+void Array::normalizeComplex() {
+  if (Im.empty())
+    return;
+  for (double V : Im)
+    if (V != 0.0)
+      return;
+  Im.clear();
+}
+
+void Array::reshape(std::vector<std::int64_t> NewDims) {
+  std::int64_t N = 1;
+  for (std::int64_t D : NewDims)
+    N *= D;
+  if (N != numel())
+    throw MatError("reshape must preserve the element count");
+  Dims = std::move(NewDims);
+  while (Dims.size() < 2)
+    Dims.push_back(1);
+}
+
+void Array::redefine(std::vector<std::int64_t> NewDims, bool Complex) {
+  Dims = std::move(NewDims);
+  while (Dims.size() < 2)
+    Dims.push_back(Dims.empty() ? 0 : 1);
+  size_t N = static_cast<size_t>(numel());
+  Re.assign(N, 0.0);
+  if (Complex)
+    Im.assign(N, 0.0);
+  else
+    Im.clear();
+  CharFlag = false;
+  LogicalFlag = false;
+}
+
+std::int64_t Array::linearIndex(const std::vector<std::int64_t> &Subs) const {
+  std::int64_t Index = 0;
+  std::int64_t Stride = 1;
+  for (size_t D = 0; D < Subs.size(); ++D) {
+    std::int64_t Extent = dim(D);
+    if (Subs[D] < 0 || Subs[D] >= Extent)
+      throw MatError("index exceeds array bounds");
+    Index += Subs[D] * Stride;
+    Stride *= Extent;
+  }
+  return Index;
+}
+
+std::string Array::toStdString() const {
+  std::string Out;
+  Out.reserve(Re.size());
+  for (double V : Re)
+    Out += static_cast<char>(static_cast<int>(V));
+  return Out;
+}
+
+std::string matcoal::formatDouble(double V) {
+  if (std::isnan(V))
+    return "NaN";
+  if (std::isinf(V))
+    return V > 0 ? "Inf" : "-Inf";
+  if (V == std::floor(V) && std::fabs(V) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", V);
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.5g", V);
+  return Buf;
+}
+
+static std::string formatElement(const Array &A, std::int64_t I) {
+  if (!A.isComplex())
+    return formatDouble(A.reAt(I));
+  double ImV = A.imAt(I);
+  std::string Out = formatDouble(A.reAt(I));
+  Out += ImV < 0 ? " - " : " + ";
+  Out += formatDouble(std::fabs(ImV));
+  Out += "i";
+  return Out;
+}
+
+std::string Array::format() const {
+  if (isColon())
+    return "(:)";
+  if (isChar())
+    return toStdString();
+  if (isEmpty())
+    return "[]";
+  std::ostringstream OS;
+  if (isScalar()) {
+    OS << formatElement(*this, 0);
+    return OS.str();
+  }
+  // 2-D pages; higher dimensions print page by page.
+  std::int64_t R = dim(0), C = dim(1);
+  std::int64_t PageElems = R * C;
+  std::int64_t Pages = PageElems == 0 ? 0 : numel() / PageElems;
+  for (std::int64_t P = 0; P < Pages; ++P) {
+    if (Pages > 1)
+      OS << "(:,:," << P + 1 << ") =\n";
+    for (std::int64_t I = 0; I < R; ++I) {
+      OS << "  ";
+      for (std::int64_t J = 0; J < C; ++J) {
+        if (J)
+          OS << "  ";
+        OS << formatElement(*this, P * PageElems + J * R + I);
+      }
+      OS << "\n";
+    }
+  }
+  std::string S = OS.str();
+  if (!S.empty() && S.back() == '\n')
+    S.pop_back();
+  return S;
+}
+
+std::string Array::formatNamed(const std::string &Name) const {
+  return Name + " =\n" + format() + "\n";
+}

@@ -1,0 +1,159 @@
+//===- Value.h - Runtime array values ---------------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime value type shared by the VM and the AST interpreter: an
+/// N-dimensional column-major array of doubles, with an optional imaginary
+/// plane and char/logical class flags, mirroring MATLAB semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_RUNTIME_VALUE_H
+#define MATCOAL_RUNTIME_VALUE_H
+
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// Runtime error with MATLAB-style message; thrown by kernels and caught
+/// at the VM / interpreter API boundary.
+class MatError : public std::runtime_error {
+public:
+  explicit MatError(const std::string &Message)
+      : std::runtime_error(Message) {}
+};
+
+/// A MATLAB value: column-major numeric array, char array, logical array,
+/// or the ':' subscript marker.
+class Array {
+public:
+  /// 0 x 0 empty double array.
+  Array() : Dims{0, 0} {}
+
+  static Array scalar(double V);
+  static Array complexScalar(double ReV, double ImV);
+  static Array logicalScalar(bool V);
+  static Array charRow(const std::string &S);
+  static Array colonMarker();
+  /// All-zero array with the given extents.
+  static Array zeros(std::vector<std::int64_t> Dims);
+
+  const std::vector<std::int64_t> &dims() const { return Dims; }
+  std::int64_t numel() const {
+    std::int64_t N = 1;
+    for (std::int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+  std::int64_t rows() const { return Dims.empty() ? 0 : Dims[0]; }
+  std::int64_t cols() const { return Dims.size() < 2 ? 1 : Dims[1]; }
+  /// Extent along dimension \p D (0-based); trailing dims are 1.
+  std::int64_t dim(size_t D) const {
+    return D < Dims.size() ? Dims[D] : 1;
+  }
+
+  bool isEmpty() const { return numel() == 0; }
+  bool isScalar() const { return numel() == 1; }
+  bool isVector() const {
+    return Dims.size() == 2 && (Dims[0] == 1 || Dims[1] == 1);
+  }
+  bool isRowVector() const { return Dims.size() == 2 && Dims[0] == 1; }
+  bool isComplex() const { return !Im.empty(); }
+  bool isChar() const { return CharFlag; }
+  bool isLogical() const { return LogicalFlag; }
+  bool isColon() const { return ColonFlag; }
+
+  double *re() { return Re.data(); }
+  const double *re() const { return Re.data(); }
+  double *im() { return Im.data(); }
+  const double *im() const { return Im.data(); }
+
+  double reAt(std::int64_t I) const { return Re[I]; }
+  double imAt(std::int64_t I) const { return Im.empty() ? 0.0 : Im[I]; }
+  std::complex<double> cAt(std::int64_t I) const {
+    return {Re[I], imAt(I)};
+  }
+
+  /// First element as a double; throws on empty.
+  double scalarValue() const {
+    if (isEmpty())
+      throw MatError("operand must not be empty");
+    return Re[0];
+  }
+  std::complex<double> complexValue() const {
+    if (isEmpty())
+      throw MatError("operand must not be empty");
+    return {Re[0], imAt(0)};
+  }
+
+  /// MATLAB truth: nonempty and every element nonzero.
+  bool truth() const;
+
+  /// Promotes to complex storage (no-op if already complex).
+  void makeComplex() {
+    if (Im.empty())
+      Im.assign(Re.size(), 0.0);
+  }
+  /// Drops an all-zero imaginary plane (MATLAB normalizes results).
+  void normalizeComplex();
+  /// Clears char/logical class (after arithmetic).
+  void toDouble() {
+    CharFlag = false;
+    LogicalFlag = false;
+  }
+
+  void setLogical(bool V) { LogicalFlag = V; if (V) CharFlag = false; }
+  void setChar(bool V) { CharFlag = V; if (V) LogicalFlag = false; }
+
+  /// Reshapes in place; the element count must match.
+  void reshape(std::vector<std::int64_t> NewDims);
+
+  /// Resizes storage for a fresh definition with the given dims (contents
+  /// unspecified). Keeps complex plane iff \p Complex.
+  void redefine(std::vector<std::int64_t> NewDims, bool Complex);
+
+  /// Bytes of element data (8 per real element, 16 per complex).
+  std::int64_t dataBytes() const {
+    return static_cast<std::int64_t>(Re.size()) * 8 +
+           static_cast<std::int64_t>(Im.size()) * 8;
+  }
+
+  /// Converts char/logical to its numeric value array (for arithmetic).
+  /// Returns *this unchanged for numeric arrays.
+
+  /// Column-major linear index of the given 0-based subscripts.
+  std::int64_t linearIndex(const std::vector<std::int64_t> &Subs) const;
+
+  /// The contents as a std::string (char arrays).
+  std::string toStdString() const;
+
+  /// MATLAB-style rendering used by disp; stable across VM/interpreter.
+  std::string format() const;
+  /// "name =\n  <value>\n" rendering used for un-semicoloned statements.
+  std::string formatNamed(const std::string &Name) const;
+
+  std::vector<std::int64_t> Dims;
+  std::vector<double> Re;
+  std::vector<double> Im;
+
+private:
+  bool CharFlag = false;
+  bool LogicalFlag = false;
+  bool ColonFlag = false;
+};
+
+/// Formats one double the way our display does (integers plain, otherwise
+/// %.5g); shared so interpreter and VM output match exactly.
+std::string formatDouble(double V);
+
+} // namespace matcoal
+
+#endif // MATCOAL_RUNTIME_VALUE_H

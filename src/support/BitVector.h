@@ -1,0 +1,114 @@
+//===- BitVector.h - Fixed-size dense bit vector ----------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dense bit vector used by the dataflow analyses (live/available
+/// variable sets keyed by VarId).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SUPPORT_BITVECTOR_H
+#define MATCOAL_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace matcoal {
+
+/// Fixed-capacity bit set; all set-algebra operations require operands of
+/// the same size.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(unsigned NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  unsigned size() const { return NumBits; }
+
+  void set(unsigned I) {
+    assert(I < NumBits);
+    Words[I / 64] |= (std::uint64_t(1) << (I % 64));
+  }
+  void reset(unsigned I) {
+    assert(I < NumBits);
+    Words[I / 64] &= ~(std::uint64_t(1) << (I % 64));
+  }
+  bool test(unsigned I) const {
+    assert(I < NumBits);
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+  void clear() {
+    for (auto &W : Words)
+      W = 0;
+  }
+
+  /// Set union; returns true if this changed.
+  bool unionWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits);
+    bool Changed = false;
+    for (std::size_t I = 0; I < Words.size(); ++I) {
+      std::uint64_t New = Words[I] | Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// Set intersection.
+  void intersectWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits);
+    for (std::size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= Other.Words[I];
+  }
+
+  /// this = this - Other.
+  void subtract(const BitVector &Other) {
+    assert(NumBits == Other.NumBits);
+    for (std::size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (std::uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool any() const {
+    for (std::uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  /// Calls \p Fn for each set bit index, in increasing order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (std::size_t WI = 0; WI < Words.size(); ++WI) {
+      std::uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(static_cast<unsigned>(WI * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  unsigned NumBits = 0;
+  std::vector<std::uint64_t> Words;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_SUPPORT_BITVECTOR_H

@@ -1,0 +1,53 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <sstream>
+
+using namespace matcoal;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  std::ostringstream OS;
+  OS << Line << ':' << Col;
+  return OS.str();
+}
+
+static const char *levelName(DiagLevel Level) {
+  switch (Level) {
+  case DiagLevel::Note:
+    return "note";
+  case DiagLevel::Warning:
+    return "warning";
+  case DiagLevel::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream OS;
+  OS << Loc.str() << ": " << levelName(Level) << ": " << Message;
+  return OS.str();
+}
+
+void Diagnostics::report(DiagLevel Level, SourceLoc Loc, std::string Message) {
+  if (Level == DiagLevel::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Level, Loc, std::move(Message)});
+}
+
+std::string Diagnostics::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+void Diagnostics::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

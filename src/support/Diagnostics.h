@@ -1,0 +1,78 @@
+//===- Diagnostics.h - Source locations and diagnostics ---------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the frontend and the
+/// compiler passes. Passes never throw; they report here and callers check
+/// hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SUPPORT_DIAGNOSTICS_H
+#define MATCOAL_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// A 1-based line/column position in a source buffer. Line 0 means "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported message.
+struct Diagnostic {
+  DiagLevel Level = DiagLevel::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while compiling one program.
+///
+/// The engine is a plain accumulator: the frontend and passes append to it
+/// and the driver decides what to do with the result. Messages follow the
+/// LLVM style (lowercase first word, no trailing period).
+class Diagnostics {
+public:
+  void report(DiagLevel Level, SourceLoc Loc, std::string Message);
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagLevel::Note, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line, for tests and CLI output.
+  std::string str() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,332 @@
+//===- SymExpr.cpp --------------------------------------------------------===//
+
+#include "support/SymExpr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace matcoal;
+
+std::string SymExprNode::str() const {
+  switch (Kind) {
+  case SymKind::Const:
+    return std::to_string(ConstVal);
+  case SymKind::Sym:
+    return SymName;
+  case SymKind::Add: {
+    std::string Out = "(";
+    for (size_t I = 0; I < Operands.size(); ++I) {
+      if (I)
+        Out += " + ";
+      Out += Operands[I]->str();
+    }
+    return Out + ")";
+  }
+  case SymKind::Mul: {
+    std::string Out = "(";
+    for (size_t I = 0; I < Operands.size(); ++I) {
+      if (I)
+        Out += "*";
+      Out += Operands[I]->str();
+    }
+    return Out + ")";
+  }
+  case SymKind::Max: {
+    std::string Out = "max(";
+    for (size_t I = 0; I < Operands.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Operands[I]->str();
+    }
+    return Out + ")";
+  }
+  }
+  return "<invalid>";
+}
+
+SymExprContext::SymExprContext() = default;
+
+SymExpr SymExprContext::intern(SymKind Kind, std::int64_t ConstVal,
+                               std::string SymName, bool Nonneg,
+                               std::vector<SymExpr> Operands) {
+  std::ostringstream Key;
+  Key << static_cast<int>(Kind) << '|' << ConstVal << '|' << SymName << '|'
+      << Nonneg << '|';
+  for (SymExpr Op : Operands)
+    Key << Op->id() << ',';
+  auto It = InternTable.find(Key.str());
+  if (It != InternTable.end())
+    return It->second;
+
+  Nodes.emplace_back();
+  SymExprNode &N = Nodes.back();
+  N.Kind = Kind;
+  N.Id = static_cast<unsigned>(Nodes.size() - 1);
+  N.ConstVal = ConstVal;
+  N.SymName = std::move(SymName);
+  N.Nonneg = Nonneg;
+  N.Operands = std::move(Operands);
+  InternTable.emplace(Key.str(), &N);
+  return &N;
+}
+
+SymExpr SymExprContext::makeConst(std::int64_t Value) {
+  return intern(SymKind::Const, Value, "", Value >= 0, {});
+}
+
+SymExpr SymExprContext::makeSym(const std::string &Name, bool Nonneg) {
+  auto It = NamedSyms.find(Name);
+  if (It != NamedSyms.end())
+    return It->second;
+  SymExpr S = intern(SymKind::Sym, 0, Name, Nonneg, {});
+  NamedSyms.emplace(Name, S);
+  return S;
+}
+
+SymExpr SymExprContext::freshSym(const std::string &Stem, bool Nonneg) {
+  std::string Name = Stem + std::to_string(NextFresh++);
+  // Fresh symbols are guaranteed unique; still route through the named
+  // table so str()-identical symbols cannot collide with later makeSym
+  // calls.
+  return makeSym(Name, Nonneg);
+}
+
+std::pair<std::int64_t, SymExpr> SymExprContext::splitCoefficient(SymExpr A) {
+  if (A->kind() == SymKind::Mul && A->operands().size() >= 2 &&
+      A->operands().front()->isConst()) {
+    // Canonical Mul places its (single) constant first.
+    std::int64_t Coef = A->operands().front()->constValue();
+    // Rebuild the core term without re-canonicalizing; the operand list is
+    // already canonical, so reuse the tail directly when it is a single
+    // node, otherwise keep the Mul node as the collection key by pointer.
+    if (A->operands().size() == 2)
+      return {Coef, A->operands()[1]};
+  }
+  return {1, A};
+}
+
+SymExpr SymExprContext::add(SymExpr A, SymExpr B) {
+  return add(std::vector<SymExpr>{A, B});
+}
+
+SymExpr SymExprContext::add(const std::vector<SymExpr> &Terms) {
+  std::int64_t ConstSum = 0;
+  // Collect like terms: core term id -> (coefficient, node).
+  std::vector<std::pair<SymExpr, std::int64_t>> Cores;
+  auto AccumulateTerm = [&](SymExpr T) {
+    auto [Coef, Core] = splitCoefficient(T);
+    for (auto &Entry : Cores) {
+      if (Entry.first == Core) {
+        Entry.second += Coef;
+        return;
+      }
+    }
+    Cores.emplace_back(Core, Coef);
+  };
+  // Flatten nested adds one level deep (operands of an interned Add are
+  // never themselves Adds, so one level suffices).
+  for (SymExpr T : Terms) {
+    if (T->isConst()) {
+      ConstSum += T->constValue();
+      continue;
+    }
+    if (T->kind() == SymKind::Add) {
+      for (SymExpr Inner : T->operands()) {
+        if (Inner->isConst())
+          ConstSum += Inner->constValue();
+        else
+          AccumulateTerm(Inner);
+      }
+      continue;
+    }
+    AccumulateTerm(T);
+  }
+
+  std::vector<SymExpr> Ops;
+  for (auto &[Core, Coef] : Cores) {
+    if (Coef == 0)
+      continue;
+    if (Coef == 1)
+      Ops.push_back(Core);
+    else
+      Ops.push_back(mul(makeConst(Coef), Core));
+  }
+  std::sort(Ops.begin(), Ops.end(),
+            [](SymExpr L, SymExpr R) { return L->id() < R->id(); });
+  if (ConstSum != 0)
+    Ops.push_back(makeConst(ConstSum));
+  if (Ops.empty())
+    return makeConst(0);
+  if (Ops.size() == 1)
+    return Ops.front();
+  return intern(SymKind::Add, 0, "", true, std::move(Ops));
+}
+
+SymExpr SymExprContext::sub(SymExpr A, SymExpr B) {
+  return add(A, mul(makeConst(-1), B));
+}
+
+SymExpr SymExprContext::mul(SymExpr A, SymExpr B) {
+  return mul(std::vector<SymExpr>{A, B});
+}
+
+SymExpr SymExprContext::mul(const std::vector<SymExpr> &Factors) {
+  std::int64_t ConstProd = 1;
+  std::vector<SymExpr> Ops;
+  for (SymExpr F : Factors) {
+    if (F->isConst()) {
+      ConstProd *= F->constValue();
+      continue;
+    }
+    if (F->kind() == SymKind::Mul) {
+      for (SymExpr Inner : F->operands()) {
+        if (Inner->isConst())
+          ConstProd *= Inner->constValue();
+        else
+          Ops.push_back(Inner);
+      }
+      continue;
+    }
+    Ops.push_back(F);
+  }
+  if (ConstProd == 0)
+    return makeConst(0);
+  std::sort(Ops.begin(), Ops.end(),
+            [](SymExpr L, SymExpr R) { return L->id() < R->id(); });
+  if (Ops.empty())
+    return makeConst(ConstProd);
+  if (ConstProd == 1 && Ops.size() == 1)
+    return Ops.front();
+  std::vector<SymExpr> Final;
+  if (ConstProd != 1)
+    Final.push_back(makeConst(ConstProd));
+  Final.insert(Final.end(), Ops.begin(), Ops.end());
+  if (Final.size() == 1)
+    return Final.front();
+  return intern(SymKind::Mul, 0, "", true, std::move(Final));
+}
+
+SymExpr SymExprContext::max(SymExpr A, SymExpr B) {
+  return max(std::vector<SymExpr>{A, B});
+}
+
+SymExpr SymExprContext::max(const std::vector<SymExpr> &Args) {
+  assert(!Args.empty() && "max of no arguments");
+  std::optional<std::int64_t> ConstMax;
+  std::vector<SymExpr> Ops;
+  auto AddOp = [&](SymExpr E) {
+    if (std::find(Ops.begin(), Ops.end(), E) == Ops.end())
+      Ops.push_back(E);
+  };
+  for (SymExpr A : Args) {
+    if (A->isConst()) {
+      ConstMax = ConstMax ? std::max(*ConstMax, A->constValue())
+                          : A->constValue();
+      continue;
+    }
+    if (A->kind() == SymKind::Max) {
+      for (SymExpr Inner : A->operands()) {
+        if (Inner->isConst())
+          ConstMax = ConstMax ? std::max(*ConstMax, Inner->constValue())
+                              : Inner->constValue();
+        else
+          AddOp(Inner);
+      }
+      continue;
+    }
+    AddOp(A);
+  }
+  // max(x, 0) == x for non-negative x; shape extents are non-negative, so a
+  // non-positive constant bound is redundant whenever every other operand
+  // is provably non-negative.
+  if (ConstMax && *ConstMax <= 0 && !Ops.empty()) {
+    bool AllNonneg = true;
+    for (SymExpr Op : Ops)
+      AllNonneg = AllNonneg && provablyNonneg(Op);
+    if (AllNonneg)
+      ConstMax.reset();
+  }
+  std::sort(Ops.begin(), Ops.end(),
+            [](SymExpr L, SymExpr R) { return L->id() < R->id(); });
+  if (Ops.empty())
+    return makeConst(*ConstMax);
+  if (ConstMax)
+    Ops.push_back(makeConst(*ConstMax));
+  if (Ops.size() == 1)
+    return Ops.front();
+  return intern(SymKind::Max, 0, "", true, std::move(Ops));
+}
+
+SymExpr SymExprContext::numElements(const std::vector<SymExpr> &Extents) {
+  if (Extents.empty())
+    return makeConst(1);
+  return mul(Extents);
+}
+
+bool SymExprContext::provablyNonneg(SymExpr E) const {
+  switch (E->kind()) {
+  case SymKind::Const:
+    return E->constValue() >= 0;
+  case SymKind::Sym:
+    return E->symNonneg();
+  case SymKind::Add:
+  case SymKind::Mul: {
+    for (SymExpr Op : E->operands())
+      if (!provablyNonneg(Op))
+        return false;
+    return true;
+  }
+  case SymKind::Max: {
+    for (SymExpr Op : E->operands())
+      if (provablyNonneg(Op))
+        return true;
+    return false;
+  }
+  }
+  return false;
+}
+
+bool SymExprContext::provablyLE(SymExpr A, SymExpr B) const {
+  if (A == B)
+    return true;
+  if (A->isConst() && B->isConst())
+    return A->constValue() <= B->constValue();
+  // B = max(..., X, ...) with A <= X for some operand.
+  if (B->kind() == SymKind::Max) {
+    for (SymExpr Op : B->operands())
+      if (provablyLE(A, Op))
+        return true;
+  }
+  // B = A + (provably non-negative remainder).
+  if (B->kind() == SymKind::Add) {
+    std::vector<SymExpr> Rest;
+    bool Found = false;
+    for (SymExpr Op : B->operands()) {
+      if (!Found && Op == A) {
+        Found = true;
+        continue;
+      }
+      Rest.push_back(Op);
+    }
+    if (Found) {
+      bool AllNonneg = true;
+      for (SymExpr Op : Rest)
+        AllNonneg = AllNonneg && provablyNonneg(Op);
+      if (AllNonneg)
+        return true;
+    }
+  }
+  // max(xs) <= B when every operand is <= B.
+  if (A->kind() == SymKind::Max) {
+    bool All = true;
+    for (SymExpr Op : A->operands())
+      All = All && provablyLE(Op, B);
+    if (All)
+      return true;
+  }
+  // 0 <= anything provably non-negative.
+  if (A->isConst() && A->constValue() == 0 && provablyNonneg(B))
+    return true;
+  return false;
+}

@@ -1,0 +1,143 @@
+//===- SymExpr.h - Interned symbolic integer expressions --------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonicalized, hash-consed symbolic integer expressions.
+///
+/// These stand in for the Mathematica-backed shape algebra of the MAGICA
+/// inference engine the paper uses (its references [17, 18]). Array extents
+/// and element counts are represented as SymExpr values; because every
+/// expression is canonicalized and interned, the "reuse inferences whenever
+/// symbolic equivalence can be established" trait of MAGICA reduces to
+/// pointer (id) equality, which is exactly what GCTD's storage-size partial
+/// order consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SUPPORT_SYMEXPR_H
+#define MATCOAL_SUPPORT_SYMEXPR_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace matcoal {
+
+class SymExprContext;
+
+/// The operator at the root of a symbolic expression node.
+enum class SymKind { Const, Sym, Add, Mul, Max };
+
+/// One interned expression node. Nodes are immutable and owned by a
+/// SymExprContext; equal canonical forms share one node, so two expressions
+/// are provably equal iff their node pointers (or ids) are equal.
+class SymExprNode {
+public:
+  SymKind kind() const { return Kind; }
+  /// Interning id; stable within one context, usable as a map key.
+  unsigned id() const { return Id; }
+
+  /// Constant payload; only valid for Const nodes.
+  std::int64_t constValue() const { return ConstVal; }
+  /// Display name; only valid for Sym nodes.
+  const std::string &symName() const { return SymName; }
+  /// Whether a Sym node is known to be non-negative (true for all shape
+  /// symbols; arithmetic like n-1 is an Add node, not a Sym).
+  bool symNonneg() const { return Nonneg; }
+
+  const std::vector<const SymExprNode *> &operands() const { return Operands; }
+
+  bool isConst() const { return Kind == SymKind::Const; }
+  std::optional<std::int64_t> getConst() const {
+    if (isConst())
+      return ConstVal;
+    return std::nullopt;
+  }
+
+  /// Renders the expression, e.g. "max(n, (m + -1))".
+  std::string str() const;
+
+  /// Nodes are created only by SymExprContext; the constructor is public
+  /// solely so the owning std::deque can emplace them.
+  SymExprNode() = default;
+
+private:
+  friend class SymExprContext;
+
+  SymKind Kind = SymKind::Const;
+  unsigned Id = 0;
+  std::int64_t ConstVal = 0;
+  std::string SymName;
+  bool Nonneg = true;
+  std::vector<const SymExprNode *> Operands;
+};
+
+/// A non-owning handle to an interned node.
+using SymExpr = const SymExprNode *;
+
+/// Owns and interns SymExprNodes, and builds canonical forms.
+///
+/// Canonicalization rules: Add and Mul flatten nested same-kind operands,
+/// fold constants, and sort operands by id (Add additionally collects like
+/// terms into coefficient * term products); Max flattens, dedupes, and keeps
+/// at most one constant. The context is not thread-safe; the compiler uses
+/// one context per compilation.
+class SymExprContext {
+public:
+  SymExprContext();
+  SymExprContext(const SymExprContext &) = delete;
+  SymExprContext &operator=(const SymExprContext &) = delete;
+
+  /// Interns an integer constant.
+  SymExpr makeConst(std::int64_t Value);
+  /// Interns the named symbol; the same name yields the same node.
+  SymExpr makeSym(const std::string &Name, bool Nonneg = true);
+  /// Creates a unique symbol with a generated name ("<Stem>0", "<Stem>1"...).
+  SymExpr freshSym(const std::string &Stem, bool Nonneg = true);
+
+  SymExpr add(SymExpr A, SymExpr B);
+  SymExpr add(const std::vector<SymExpr> &Terms);
+  SymExpr sub(SymExpr A, SymExpr B);
+  SymExpr mul(SymExpr A, SymExpr B);
+  SymExpr mul(const std::vector<SymExpr> &Factors);
+  SymExpr max(SymExpr A, SymExpr B);
+  SymExpr max(const std::vector<SymExpr> &Args);
+
+  /// Product of the given extents; the element count of a shape tuple.
+  SymExpr numElements(const std::vector<SymExpr> &Extents);
+
+  /// True iff the two expressions are provably equal (same canonical node).
+  static bool provablyEq(SymExpr A, SymExpr B) { return A == B; }
+
+  /// Conservative "A <= B under all variable assignments" test. Handles
+  /// equal nodes, constants, B = max(..., A, ...), B = A + nonnegative, and
+  /// componentwise max dominance. Returns false when unsure.
+  bool provablyLE(SymExpr A, SymExpr B) const;
+
+  /// Conservative "E >= 0 under all assignments" test.
+  bool provablyNonneg(SymExpr E) const;
+
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
+
+private:
+  SymExpr intern(SymKind Kind, std::int64_t ConstVal, std::string SymName,
+                 bool Nonneg, std::vector<SymExpr> Operands);
+  /// Splits A into (coefficient, core term) for like-term collection.
+  static std::pair<std::int64_t, SymExpr> splitCoefficient(SymExpr A);
+
+  std::deque<SymExprNode> Nodes;
+  std::unordered_map<std::string, SymExpr> InternTable;
+  std::unordered_map<std::string, SymExpr> NamedSyms;
+  unsigned NextFresh = 0;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_SUPPORT_SYMEXPR_H

@@ -1,0 +1,846 @@
+//===- Lowering.cpp -------------------------------------------------------===//
+
+#include "transforms/Lowering.h"
+
+#include <cassert>
+#include <set>
+
+using namespace matcoal;
+
+namespace {
+
+/// Collects every name assigned anywhere in a statement list (MATLAB's rule
+/// for deciding whether an identifier is a variable or a function).
+void collectAssignedNames(const StmtList &Body, std::set<std::string> &Out) {
+  for (const StmtPtr &S : Body) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+      Out.insert(static_cast<const AssignStmt *>(S.get())->Target.Name);
+      break;
+    case StmtKind::MultiAssign:
+      for (const LValue &LV :
+           static_cast<const MultiAssignStmt *>(S.get())->Targets)
+        Out.insert(LV.Name);
+      break;
+    case StmtKind::If: {
+      const auto *If = static_cast<const IfStmt *>(S.get());
+      for (const auto &B : If->Branches)
+        collectAssignedNames(B.Body, Out);
+      collectAssignedNames(If->ElseBody, Out);
+      break;
+    }
+    case StmtKind::Switch: {
+      const auto *Sw = static_cast<const SwitchStmt *>(S.get());
+      for (const auto &C : Sw->Cases)
+        collectAssignedNames(C.Body, Out);
+      collectAssignedNames(Sw->Otherwise, Out);
+      break;
+    }
+    case StmtKind::While:
+      collectAssignedNames(static_cast<const WhileStmt *>(S.get())->Body,
+                           Out);
+      break;
+    case StmtKind::For: {
+      const auto *For = static_cast<const ForStmt *>(S.get());
+      Out.insert(For->Var);
+      collectAssignedNames(For->Body, Out);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}
+
+/// Lowers one FunctionDecl into one IR Function.
+class FunctionLowerer {
+public:
+  FunctionLowerer(const FunctionDecl &Decl, const Program &Prog,
+                  Function &F, Diagnostics &Diags)
+      : Decl(Decl), Prog(Prog), F(F), Diags(Diags) {}
+
+  bool run();
+
+private:
+  // Statement lowering.
+  void lowerStmtList(const StmtList &Body);
+  void lowerStmt(const Stmt &S);
+  void lowerAssign(const AssignStmt &S);
+  void lowerMultiAssign(const MultiAssignStmt &S);
+  void lowerExprStmt(const ExprStmt &S);
+  void lowerIf(const IfStmt &S);
+  void lowerSwitch(const SwitchStmt &S);
+  void lowerWhile(const WhileStmt &S);
+  void lowerFor(const ForStmt &S);
+
+  // Expression lowering. Returns NoVar after reporting an error.
+  VarId lowerExpr(const Expr &E);
+  /// Lowers \p E so that its value is defined into \p Target when the
+  /// expression produces a fresh instruction (avoiding a trailing copy).
+  void lowerExprInto(const Expr &E, VarId Target);
+  VarId lowerBinary(const BinaryExpr &E);
+  VarId lowerShortCircuit(const BinaryExpr &E);
+  VarId lowerCallOrIndex(const CallOrIndexExpr &E);
+  VarId lowerMatrix(const MatrixExpr &E);
+  /// Lowers one subscript of `Base(...)`; handles ':' and 'end'.
+  VarId lowerSubscript(const Expr &E, VarId Base, unsigned DimIndex,
+                       unsigned NumSubs);
+
+  // IR emission helpers.
+  Instr &emit(Opcode Op, std::vector<VarId> Results,
+              std::vector<VarId> Operands, SourceLoc Loc);
+  VarId emitConstNum(double Re, double Im, SourceLoc Loc);
+  VarId emitResultOp(Opcode Op, std::vector<VarId> Operands, SourceLoc Loc);
+  void setTerminatorJmp(BlockId Target, SourceLoc Loc);
+  void setTerminatorBr(VarId Cond, BlockId T1, BlockId T2, SourceLoc Loc);
+  BasicBlock *startBlock();
+
+  bool isVariable(const std::string &Name) const {
+    return VarNames.count(Name) != 0;
+  }
+  bool isUserFunction(const std::string &Name) const {
+    return Prog.findFunction(Name) != nullptr;
+  }
+
+  const FunctionDecl &Decl;
+  const Program &Prog;
+  Function &F;
+  Diagnostics &Diags;
+
+  std::set<std::string> VarNames;
+  BasicBlock *Cur = nullptr;
+  BlockId ExitBlock = NoBlock;
+  struct LoopTargets {
+    BlockId BreakTarget;
+    BlockId ContinueTarget;
+  };
+  std::vector<LoopTargets> LoopStack;
+  /// Innermost-first stack of (base array, dim index, subscript count) for
+  /// resolving 'end' in subscripts.
+  struct EndContext {
+    VarId Base;
+    unsigned DimIndex;
+    unsigned NumSubs;
+  };
+  std::vector<EndContext> EndStack;
+  bool HadError = false;
+};
+
+bool FunctionLowerer::run() {
+  VarNames.insert(Decl.Params.begin(), Decl.Params.end());
+  VarNames.insert(Decl.Outputs.begin(), Decl.Outputs.end());
+  collectAssignedNames(Decl.Body, VarNames);
+
+  for (const std::string &P : Decl.Params) {
+    VarId V = F.getOrCreateVar(P);
+    F.Vars[V].IsParam = true;
+    F.Params.push_back(V);
+  }
+  for (const std::string &O : Decl.Outputs) {
+    VarId V = F.getOrCreateVar(O);
+    F.Vars[V].IsOutput = true;
+    F.Outputs.push_back(V);
+  }
+
+  Cur = F.addBlock();
+  BasicBlock *Exit = F.addBlock();
+  ExitBlock = Exit->Id;
+  {
+    Instr Ret;
+    Ret.Op = Opcode::Ret;
+    Ret.Loc = Decl.Loc;
+    // Returning reads the output variables; modeling that as operands lets
+    // SSA renaming record which versions escape and keeps outputs live.
+    Ret.Operands = F.Outputs;
+    Exit->Instrs.push_back(Ret);
+  }
+
+  lowerStmtList(Decl.Body);
+  if (!Cur->hasTerminator())
+    setTerminatorJmp(ExitBlock, Decl.Loc);
+  F.recomputePreds();
+  return !HadError;
+}
+
+BasicBlock *FunctionLowerer::startBlock() {
+  BasicBlock *BB = F.addBlock();
+  Cur = BB;
+  return BB;
+}
+
+Instr &FunctionLowerer::emit(Opcode Op, std::vector<VarId> Results,
+                             std::vector<VarId> Operands, SourceLoc Loc) {
+  assert(Cur && "no current block");
+  // Statements after a terminator (e.g. after 'return') are unreachable;
+  // give them their own block so the CFG stays well formed.
+  if (Cur->hasTerminator())
+    startBlock();
+  Instr I;
+  I.Op = Op;
+  I.Results = std::move(Results);
+  I.Operands = std::move(Operands);
+  I.Loc = Loc;
+  Cur->Instrs.push_back(std::move(I));
+  return Cur->Instrs.back();
+}
+
+VarId FunctionLowerer::emitConstNum(double Re, double Im, SourceLoc Loc) {
+  VarId T = F.makeTemp();
+  Instr &I = emit(Opcode::ConstNum, {T}, {}, Loc);
+  I.NumRe = Re;
+  I.NumIm = Im;
+  return T;
+}
+
+VarId FunctionLowerer::emitResultOp(Opcode Op, std::vector<VarId> Operands,
+                                    SourceLoc Loc) {
+  VarId T = F.makeTemp();
+  emit(Op, {T}, std::move(Operands), Loc);
+  return T;
+}
+
+void FunctionLowerer::setTerminatorJmp(BlockId Target, SourceLoc Loc) {
+  if (Cur->hasTerminator())
+    return;
+  Instr &I = emit(Opcode::Jmp, {}, {}, Loc);
+  I.Target1 = Target;
+}
+
+void FunctionLowerer::setTerminatorBr(VarId Cond, BlockId T1, BlockId T2,
+                                      SourceLoc Loc) {
+  if (Cur->hasTerminator())
+    return;
+  Instr &I = emit(Opcode::Br, {}, {Cond}, Loc);
+  I.Target1 = T1;
+  I.Target2 = T2;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FunctionLowerer::lowerStmtList(const StmtList &Body) {
+  for (const StmtPtr &S : Body) {
+    if (HadError)
+      return;
+    lowerStmt(*S);
+  }
+}
+
+void FunctionLowerer::lowerStmt(const Stmt &S) {
+  switch (S.kind()) {
+  case StmtKind::Assign:
+    lowerAssign(static_cast<const AssignStmt &>(S));
+    break;
+  case StmtKind::MultiAssign:
+    lowerMultiAssign(static_cast<const MultiAssignStmt &>(S));
+    break;
+  case StmtKind::ExprStmt:
+    lowerExprStmt(static_cast<const ExprStmt &>(S));
+    break;
+  case StmtKind::If:
+    lowerIf(static_cast<const IfStmt &>(S));
+    break;
+  case StmtKind::Switch:
+    lowerSwitch(static_cast<const SwitchStmt &>(S));
+    break;
+  case StmtKind::While:
+    lowerWhile(static_cast<const WhileStmt &>(S));
+    break;
+  case StmtKind::For:
+    lowerFor(static_cast<const ForStmt &>(S));
+    break;
+  case StmtKind::Break: {
+    if (LoopStack.empty()) {
+      Diags.error(S.loc(), "'break' outside of a loop");
+      HadError = true;
+      return;
+    }
+    setTerminatorJmp(LoopStack.back().BreakTarget, S.loc());
+    break;
+  }
+  case StmtKind::Continue: {
+    if (LoopStack.empty()) {
+      Diags.error(S.loc(), "'continue' outside of a loop");
+      HadError = true;
+      return;
+    }
+    setTerminatorJmp(LoopStack.back().ContinueTarget, S.loc());
+    break;
+  }
+  case StmtKind::Return:
+    setTerminatorJmp(ExitBlock, S.loc());
+    break;
+  }
+}
+
+void FunctionLowerer::lowerAssign(const AssignStmt &S) {
+  if (S.Target.Indices.empty()) {
+    VarId Target = F.getOrCreateVar(S.Target.Name);
+    lowerExprInto(*S.Value, Target);
+    if (HadError)
+      return;
+    if (S.Display) {
+      Instr &I = emit(Opcode::Display, {}, {Target}, S.loc());
+      I.StrVal = S.Target.Name;
+    }
+    return;
+  }
+
+  // L-indexing: a(i1..im) = r  =>  a <- subsasgn(a, r, i1..im).
+  VarId Base = F.getOrCreateVar(S.Target.Name);
+  VarId RHS = lowerExpr(*S.Value);
+  if (RHS == NoVar)
+    return;
+  std::vector<VarId> Operands = {Base, RHS};
+  unsigned NumSubs = static_cast<unsigned>(S.Target.Indices.size());
+  for (unsigned I = 0; I < NumSubs; ++I) {
+    VarId Sub = lowerSubscript(*S.Target.Indices[I], Base, I, NumSubs);
+    if (Sub == NoVar)
+      return;
+    Operands.push_back(Sub);
+  }
+  emit(Opcode::Subsasgn, {Base}, std::move(Operands), S.loc());
+  if (S.Display) {
+    Instr &I = emit(Opcode::Display, {}, {Base}, S.loc());
+    I.StrVal = S.Target.Name;
+  }
+}
+
+void FunctionLowerer::lowerMultiAssign(const MultiAssignStmt &S) {
+  const auto &Call = static_cast<const CallOrIndexExpr &>(*S.Call);
+  if (isVariable(Call.Name)) {
+    Diags.error(S.loc(), "multiple-output target requires a function call");
+    HadError = true;
+    return;
+  }
+  std::vector<VarId> Results;
+  for (const LValue &LV : S.Targets) {
+    if (!LV.Indices.empty()) {
+      Diags.error(LV.Loc,
+                  "indexed targets in multi-assignments are unsupported");
+      HadError = true;
+      return;
+    }
+    Results.push_back(F.getOrCreateVar(LV.Name));
+  }
+  std::vector<VarId> Args;
+  for (const ExprPtr &A : Call.Args) {
+    VarId V = lowerExpr(*A);
+    if (V == NoVar)
+      return;
+    Args.push_back(V);
+  }
+  Opcode Op = isUserFunction(Call.Name) ? Opcode::Call : Opcode::Builtin;
+  Instr &I = emit(Op, std::move(Results), std::move(Args), S.loc());
+  I.StrVal = Call.Name;
+  if (S.Display) {
+    for (size_t Idx = 0; Idx < S.Targets.size(); ++Idx) {
+      Instr &D = emit(Opcode::Display, {},
+                      {F.getOrCreateVar(S.Targets[Idx].Name)}, S.loc());
+      D.StrVal = S.Targets[Idx].Name;
+    }
+  }
+}
+
+void FunctionLowerer::lowerExprStmt(const ExprStmt &S) {
+  // Zero-output call statements (disp, fprintf...) produce no value.
+  if (S.Value->kind() == ExprKind::CallOrIndex) {
+    const auto &Call = static_cast<const CallOrIndexExpr &>(*S.Value);
+    if (!isVariable(Call.Name)) {
+      std::vector<VarId> Args;
+      for (const ExprPtr &A : Call.Args) {
+        VarId V = lowerExpr(*A);
+        if (V == NoVar)
+          return;
+        Args.push_back(V);
+      }
+      Opcode Op = isUserFunction(Call.Name) ? Opcode::Call : Opcode::Builtin;
+      // A displayed call statement still echoes its value as "ans".
+      std::vector<VarId> Results;
+      VarId T = NoVar;
+      if (S.Display) {
+        T = F.makeTemp("ans");
+        Results.push_back(T);
+      }
+      Instr &I = emit(Op, std::move(Results), std::move(Args), S.loc());
+      I.StrVal = Call.Name;
+      if (S.Display) {
+        Instr &D = emit(Opcode::Display, {}, {T}, S.loc());
+        D.StrVal = "ans";
+      }
+      return;
+    }
+  }
+  VarId V = lowerExpr(*S.Value);
+  if (V == NoVar)
+    return;
+  if (S.Display) {
+    Instr &D = emit(Opcode::Display, {}, {V}, S.loc());
+    D.StrVal = S.Value->kind() == ExprKind::Ident
+                   ? static_cast<const IdentExpr &>(*S.Value).Name
+                   : "ans";
+  }
+}
+
+void FunctionLowerer::lowerIf(const IfStmt &S) {
+  BasicBlock *Join = F.addBlock();
+  for (const IfStmt::Branch &B : S.Branches) {
+    VarId Cond = lowerExpr(*B.Cond);
+    if (Cond == NoVar)
+      return;
+    BasicBlock *Then = F.addBlock();
+    BasicBlock *Next = F.addBlock();
+    setTerminatorBr(Cond, Then->Id, Next->Id, S.loc());
+    Cur = Then;
+    lowerStmtList(B.Body);
+    setTerminatorJmp(Join->Id, S.loc());
+    Cur = Next;
+  }
+  lowerStmtList(S.ElseBody);
+  setTerminatorJmp(Join->Id, S.loc());
+  Cur = Join;
+}
+
+void FunctionLowerer::lowerSwitch(const SwitchStmt &S) {
+  // Lower to an if-chain over __switcheq(cond, case-value): the MATLAB
+  // matching rule (numeric equality for scalars, string equality for
+  // char rows).
+  VarId Cond = lowerExpr(*S.Cond);
+  if (Cond == NoVar)
+    return;
+  BasicBlock *Join = F.addBlock();
+  for (const SwitchStmt::Case &C : S.Cases) {
+    VarId CaseVal = lowerExpr(*C.Value);
+    if (CaseVal == NoVar)
+      return;
+    VarId Match = F.makeTemp();
+    Instr &I = emit(Opcode::Builtin, {Match}, {Cond, CaseVal}, S.loc());
+    I.StrVal = "__switcheq";
+    BasicBlock *Then = F.addBlock();
+    BasicBlock *Next = F.addBlock();
+    setTerminatorBr(Match, Then->Id, Next->Id, S.loc());
+    Cur = Then;
+    lowerStmtList(C.Body);
+    setTerminatorJmp(Join->Id, S.loc());
+    Cur = Next;
+  }
+  lowerStmtList(S.Otherwise);
+  setTerminatorJmp(Join->Id, S.loc());
+  Cur = Join;
+}
+
+void FunctionLowerer::lowerWhile(const WhileStmt &S) {
+  BasicBlock *Header = F.addBlock();
+  setTerminatorJmp(Header->Id, S.loc());
+  Cur = Header;
+  VarId Cond = lowerExpr(*S.Cond);
+  if (Cond == NoVar)
+    return;
+  BasicBlock *Body = F.addBlock();
+  BasicBlock *Exit = F.addBlock();
+  setTerminatorBr(Cond, Body->Id, Exit->Id, S.loc());
+
+  LoopStack.push_back({Exit->Id, Header->Id});
+  Cur = Body;
+  lowerStmtList(S.Body);
+  setTerminatorJmp(Header->Id, S.loc());
+  LoopStack.pop_back();
+  Cur = Exit;
+}
+
+void FunctionLowerer::lowerFor(const ForStmt &S) {
+  VarId LoopVar = F.getOrCreateVar(S.Var);
+
+  if (S.Range->kind() == ExprKind::Range) {
+    // Counted loop: for v = lo : step : hi.
+    const auto &R = static_cast<const RangeExpr &>(*S.Range);
+    VarId Lo = lowerExpr(*R.Start);
+    if (Lo == NoVar)
+      return;
+    VarId Step =
+        R.Step ? lowerExpr(*R.Step) : emitConstNum(1.0, 0.0, S.loc());
+    if (Step == NoVar)
+      return;
+    VarId Hi = lowerExpr(*R.Stop);
+    if (Hi == NoVar)
+      return;
+    emit(Opcode::Copy, {LoopVar}, {Lo}, S.loc());
+
+    BasicBlock *Header = F.addBlock();
+    setTerminatorJmp(Header->Id, S.loc());
+    Cur = Header;
+
+    // Direction test. With a constant step we can pick Le/Ge statically;
+    // otherwise fall back to the __forcond builtin.
+    VarId Cond;
+    const Expr *StepExpr = R.Step.get();
+    double StepConst = 1.0;
+    bool StepIsConst = !StepExpr;
+    if (StepExpr && StepExpr->kind() == ExprKind::Number) {
+      StepIsConst = true;
+      StepConst = static_cast<const NumberExpr &>(*StepExpr).Value;
+    } else if (StepExpr && StepExpr->kind() == ExprKind::Unary) {
+      const auto &U = static_cast<const UnaryExpr &>(*StepExpr);
+      if (U.Op == UnaryOp::Minus && U.Operand->kind() == ExprKind::Number) {
+        StepIsConst = true;
+        StepConst = -static_cast<const NumberExpr &>(*U.Operand).Value;
+      }
+    }
+    if (StepIsConst) {
+      Cond = emitResultOp(StepConst >= 0 ? Opcode::Le : Opcode::Ge,
+                          {LoopVar, Hi}, S.loc());
+    } else {
+      VarId T = F.makeTemp();
+      Instr &I = emit(Opcode::Builtin, {T}, {LoopVar, Step, Hi}, S.loc());
+      I.StrVal = "__forcond";
+      Cond = T;
+    }
+
+    BasicBlock *Body = F.addBlock();
+    BasicBlock *Latch = F.addBlock();
+    BasicBlock *Exit = F.addBlock();
+    setTerminatorBr(Cond, Body->Id, Exit->Id, S.loc());
+
+    LoopStack.push_back({Exit->Id, Latch->Id});
+    Cur = Body;
+    lowerStmtList(S.Body);
+    setTerminatorJmp(Latch->Id, S.loc());
+    LoopStack.pop_back();
+
+    Cur = Latch;
+    VarId Next = emitResultOp(Opcode::Add, {LoopVar, Step}, S.loc());
+    emit(Opcode::Copy, {LoopVar}, {Next}, S.loc());
+    setTerminatorJmp(Header->Id, S.loc());
+    Cur = Exit;
+    return;
+  }
+
+  // General form: for v = A iterates over the columns of A.
+  VarId A = lowerExpr(*S.Range);
+  if (A == NoVar)
+    return;
+  VarId Two = emitConstNum(2.0, 0.0, S.loc());
+  VarId NCols = F.makeTemp();
+  {
+    Instr &I = emit(Opcode::Builtin, {NCols}, {A, Two}, S.loc());
+    I.StrVal = "size";
+  }
+  VarId K = F.makeTemp("fk");
+  VarId One = emitConstNum(1.0, 0.0, S.loc());
+  emit(Opcode::Copy, {K}, {One}, S.loc());
+
+  BasicBlock *Header = F.addBlock();
+  setTerminatorJmp(Header->Id, S.loc());
+  Cur = Header;
+  VarId Cond = emitResultOp(Opcode::Le, {K, NCols}, S.loc());
+  BasicBlock *Body = F.addBlock();
+  BasicBlock *Latch = F.addBlock();
+  BasicBlock *Exit = F.addBlock();
+  setTerminatorBr(Cond, Body->Id, Exit->Id, S.loc());
+
+  LoopStack.push_back({Exit->Id, Latch->Id});
+  Cur = Body;
+  VarId Colon = emitResultOp(Opcode::ConstColon, {}, S.loc());
+  emit(Opcode::Subsref, {LoopVar}, {A, Colon, K}, S.loc());
+  lowerStmtList(S.Body);
+  setTerminatorJmp(Latch->Id, S.loc());
+  LoopStack.pop_back();
+
+  Cur = Latch;
+  VarId One2 = emitConstNum(1.0, 0.0, S.loc());
+  VarId NextK = emitResultOp(Opcode::Add, {K, One2}, S.loc());
+  emit(Opcode::Copy, {K}, {NextK}, S.loc());
+  setTerminatorJmp(Header->Id, S.loc());
+  Cur = Exit;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+void FunctionLowerer::lowerExprInto(const Expr &E, VarId Target) {
+  // Lower the value, then retarget the defining instruction when it is a
+  // fresh temp produced by the expression's root; otherwise emit a copy.
+  size_t BlockBefore = F.Blocks.size();
+  BasicBlock *CurBefore = Cur;
+  size_t LenBefore = Cur->Instrs.size();
+  VarId V = lowerExpr(E);
+  if (V == NoVar)
+    return;
+  // Only retarget when (a) the value is a temp defined by the last emitted
+  // instruction of the current block, and (b) lowering stayed within the
+  // same block (short-circuit lowering branches; retargeting across blocks
+  // would skip the false path's definition).
+  if (F.var(V).IsTemp && Cur == CurBefore && F.Blocks.size() == BlockBefore &&
+      Cur->Instrs.size() > LenBefore) {
+    Instr &Last = Cur->Instrs.back();
+    if (Last.Results.size() == 1 && Last.Results[0] == V) {
+      Last.Results[0] = Target;
+      return;
+    }
+  }
+  emit(Opcode::Copy, {Target}, {V}, E.loc());
+}
+
+VarId FunctionLowerer::lowerExpr(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::Number: {
+    const auto &N = static_cast<const NumberExpr &>(E);
+    return N.IsImaginary ? emitConstNum(0.0, N.Value, E.loc())
+                         : emitConstNum(N.Value, 0.0, E.loc());
+  }
+  case ExprKind::String: {
+    VarId T = F.makeTemp();
+    Instr &I = emit(Opcode::ConstStr, {T}, {}, E.loc());
+    I.StrVal = static_cast<const StringExpr &>(E).Value;
+    return T;
+  }
+  case ExprKind::Ident: {
+    const auto &Id = static_cast<const IdentExpr &>(E);
+    if (isVariable(Id.Name))
+      return F.getOrCreateVar(Id.Name);
+    // A free identifier is a zero-argument call: pi, eps, rand...
+    VarId T = F.makeTemp();
+    Opcode Op = isUserFunction(Id.Name) ? Opcode::Call : Opcode::Builtin;
+    Instr &I = emit(Op, {T}, {}, E.loc());
+    I.StrVal = Id.Name;
+    return T;
+  }
+  case ExprKind::ColonAll:
+    Diags.error(E.loc(), "':' is only valid as a subscript");
+    HadError = true;
+    return NoVar;
+  case ExprKind::EndIndex: {
+    if (EndStack.empty()) {
+      Diags.error(E.loc(), "'end' is only valid inside a subscript");
+      HadError = true;
+      return NoVar;
+    }
+    const EndContext &Ctx = EndStack.back();
+    VarId T = F.makeTemp();
+    if (Ctx.NumSubs == 1) {
+      Instr &I = emit(Opcode::Builtin, {T}, {Ctx.Base}, E.loc());
+      I.StrVal = "numel";
+    } else {
+      VarId Dim =
+          emitConstNum(static_cast<double>(Ctx.DimIndex + 1), 0.0, E.loc());
+      Instr &I = emit(Opcode::Builtin, {T}, {Ctx.Base, Dim}, E.loc());
+      I.StrVal = "size";
+    }
+    return T;
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    VarId V = lowerExpr(*U.Operand);
+    if (V == NoVar)
+      return NoVar;
+    switch (U.Op) {
+    case UnaryOp::Plus:
+      return V;
+    case UnaryOp::Minus:
+      return emitResultOp(Opcode::Neg, {V}, E.loc());
+    case UnaryOp::Not:
+      return emitResultOp(Opcode::Not, {V}, E.loc());
+    }
+    return NoVar;
+  }
+  case ExprKind::Binary:
+    return lowerBinary(static_cast<const BinaryExpr &>(E));
+  case ExprKind::CallOrIndex:
+    return lowerCallOrIndex(static_cast<const CallOrIndexExpr &>(E));
+  case ExprKind::Range: {
+    const auto &R = static_cast<const RangeExpr &>(E);
+    VarId Lo = lowerExpr(*R.Start);
+    if (Lo == NoVar)
+      return NoVar;
+    if (!R.Step) {
+      VarId Hi = lowerExpr(*R.Stop);
+      if (Hi == NoVar)
+        return NoVar;
+      return emitResultOp(Opcode::Colon2, {Lo, Hi}, E.loc());
+    }
+    VarId Step = lowerExpr(*R.Step);
+    if (Step == NoVar)
+      return NoVar;
+    VarId Hi = lowerExpr(*R.Stop);
+    if (Hi == NoVar)
+      return NoVar;
+    return emitResultOp(Opcode::Colon3, {Lo, Step, Hi}, E.loc());
+  }
+  case ExprKind::Matrix:
+    return lowerMatrix(static_cast<const MatrixExpr &>(E));
+  case ExprKind::Transpose: {
+    const auto &T = static_cast<const TransposeExpr &>(E);
+    VarId V = lowerExpr(*T.Operand);
+    if (V == NoVar)
+      return NoVar;
+    return emitResultOp(T.Conjugate ? Opcode::CTranspose : Opcode::Transpose,
+                        {V}, E.loc());
+  }
+  }
+  return NoVar;
+}
+
+VarId FunctionLowerer::lowerBinary(const BinaryExpr &E) {
+  if (E.Op == BinaryOp::AndAnd || E.Op == BinaryOp::OrOr)
+    return lowerShortCircuit(E);
+
+  VarId L = lowerExpr(*E.LHS);
+  if (L == NoVar)
+    return NoVar;
+  VarId R = lowerExpr(*E.RHS);
+  if (R == NoVar)
+    return NoVar;
+
+  Opcode Op;
+  switch (E.Op) {
+  case BinaryOp::Add: Op = Opcode::Add; break;
+  case BinaryOp::Sub: Op = Opcode::Sub; break;
+  case BinaryOp::MatMul: Op = Opcode::MatMul; break;
+  case BinaryOp::ElemMul: Op = Opcode::ElemMul; break;
+  case BinaryOp::MatRDiv: Op = Opcode::MatRDiv; break;
+  case BinaryOp::ElemRDiv: Op = Opcode::ElemRDiv; break;
+  case BinaryOp::MatLDiv: Op = Opcode::MatLDiv; break;
+  case BinaryOp::ElemLDiv: Op = Opcode::ElemLDiv; break;
+  case BinaryOp::MatPow: Op = Opcode::MatPow; break;
+  case BinaryOp::ElemPow: Op = Opcode::ElemPow; break;
+  case BinaryOp::Lt: Op = Opcode::Lt; break;
+  case BinaryOp::Le: Op = Opcode::Le; break;
+  case BinaryOp::Gt: Op = Opcode::Gt; break;
+  case BinaryOp::Ge: Op = Opcode::Ge; break;
+  case BinaryOp::Eq: Op = Opcode::Eq; break;
+  case BinaryOp::Ne: Op = Opcode::Ne; break;
+  case BinaryOp::And: Op = Opcode::And; break;
+  case BinaryOp::Or: Op = Opcode::Or; break;
+  default:
+    return NoVar;
+  }
+  return emitResultOp(Op, {L, R}, E.loc());
+}
+
+VarId FunctionLowerer::lowerShortCircuit(const BinaryExpr &E) {
+  // a && b  =>  r = false; if a then r = (b ~= 0)   (dually for ||).
+  bool IsAnd = E.Op == BinaryOp::AndAnd;
+  VarId R = F.makeTemp("sc");
+
+  VarId L = lowerExpr(*E.LHS);
+  if (L == NoVar)
+    return NoVar;
+
+  BasicBlock *Eval = F.addBlock();
+  BasicBlock *Skip = F.addBlock();
+  BasicBlock *Join = F.addBlock();
+  if (IsAnd)
+    setTerminatorBr(L, Eval->Id, Skip->Id, E.loc());
+  else
+    setTerminatorBr(L, Skip->Id, Eval->Id, E.loc());
+
+  Cur = Eval;
+  VarId RHS = lowerExpr(*E.RHS);
+  if (RHS == NoVar)
+    return NoVar;
+  VarId Zero = emitConstNum(0.0, 0.0, E.loc());
+  emit(Opcode::Ne, {R}, {RHS, Zero}, E.loc());
+  setTerminatorJmp(Join->Id, E.loc());
+
+  Cur = Skip;
+  VarId Fixed = emitConstNum(IsAnd ? 0.0 : 1.0, 0.0, E.loc());
+  emit(Opcode::Copy, {R}, {Fixed}, E.loc());
+  setTerminatorJmp(Join->Id, E.loc());
+
+  Cur = Join;
+  return R;
+}
+
+VarId FunctionLowerer::lowerSubscript(const Expr &E, VarId Base,
+                                      unsigned DimIndex, unsigned NumSubs) {
+  if (E.kind() == ExprKind::ColonAll)
+    return emitResultOp(Opcode::ConstColon, {}, E.loc());
+  EndStack.push_back({Base, DimIndex, NumSubs});
+  VarId V = lowerExpr(E);
+  EndStack.pop_back();
+  return V;
+}
+
+VarId FunctionLowerer::lowerCallOrIndex(const CallOrIndexExpr &E) {
+  if (isVariable(E.Name)) {
+    // R-indexing: a(i1..im).
+    VarId Base = F.getOrCreateVar(E.Name);
+    std::vector<VarId> Operands = {Base};
+    unsigned NumSubs = static_cast<unsigned>(E.Args.size());
+    if (NumSubs == 0) {
+      // a() is just a.
+      return Base;
+    }
+    for (unsigned I = 0; I < NumSubs; ++I) {
+      VarId Sub = lowerSubscript(*E.Args[I], Base, I, NumSubs);
+      if (Sub == NoVar)
+        return NoVar;
+      Operands.push_back(Sub);
+    }
+    return emitResultOp(Opcode::Subsref, std::move(Operands), E.loc());
+  }
+
+  std::vector<VarId> Args;
+  for (const ExprPtr &A : E.Args) {
+    // ':' can be passed to builtins like a(:) via subsref; as a plain call
+    // argument it is invalid, but size(a, ':') never occurs -- reuse the
+    // subscript path only for variables (handled above).
+    if (A->kind() == ExprKind::ColonAll) {
+      Diags.error(A->loc(), "':' is only valid as a subscript");
+      HadError = true;
+      return NoVar;
+    }
+    VarId V = lowerExpr(*A);
+    if (V == NoVar)
+      return NoVar;
+    Args.push_back(V);
+  }
+  VarId T = F.makeTemp();
+  Opcode Op = isUserFunction(E.Name) ? Opcode::Call : Opcode::Builtin;
+  Instr &I = emit(Op, {T}, std::move(Args), E.loc());
+  I.StrVal = E.Name;
+  return T;
+}
+
+VarId FunctionLowerer::lowerMatrix(const MatrixExpr &E) {
+  // [] -> empty array.
+  if (E.Rows.empty())
+    return emitResultOp(Opcode::VertCat, {}, E.loc());
+  std::vector<VarId> RowVals;
+  for (const auto &Row : E.Rows) {
+    std::vector<VarId> Elems;
+    for (const ExprPtr &Elt : Row) {
+      VarId V = lowerExpr(*Elt);
+      if (V == NoVar)
+        return NoVar;
+      Elems.push_back(V);
+    }
+    if (Elems.size() == 1) {
+      RowVals.push_back(Elems[0]);
+      continue;
+    }
+    RowVals.push_back(
+        emitResultOp(Opcode::HorzCat, std::move(Elems), E.loc()));
+  }
+  if (RowVals.size() == 1)
+    return RowVals[0];
+  return emitResultOp(Opcode::VertCat, std::move(RowVals), E.loc());
+}
+
+} // namespace
+
+std::unique_ptr<Module> matcoal::lowerProgram(const Program &Prog,
+                                              Diagnostics &Diags) {
+  auto M = std::make_unique<Module>();
+  for (const auto &Decl : Prog.Functions) {
+    Function *F = M->addFunction(Decl->Name);
+    FunctionLowerer L(*Decl, Prog, *F, Diags);
+    if (!L.run())
+      return nullptr;
+    if (!verifyFunction(*F, Diags))
+      return nullptr;
+  }
+  return M;
+}

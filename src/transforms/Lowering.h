@@ -1,0 +1,34 @@
+//===- Lowering.h - AST to SO-form IR lowering ------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the parsed AST into the SO-form CFG IR. Every MATLAB assignment
+/// is decomposed into single-operator statements via temporaries (paper
+/// section 2.3); name(args) is resolved to Subsref / Call / Builtin using
+/// the function's assigned-name set; 'end' subscripts become size()
+/// queries; short-circuit operators and loops become control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_TRANSFORMS_LOWERING_H
+#define MATCOAL_TRANSFORMS_LOWERING_H
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace matcoal {
+
+/// Lowers every function of \p Prog. Returns nullptr (with diagnostics) on
+/// a lowering error.
+std::unique_ptr<Module> lowerProgram(const Program &Prog, Diagnostics &Diags);
+
+} // namespace matcoal
+
+#endif // MATCOAL_TRANSFORMS_LOWERING_H

@@ -1,0 +1,522 @@
+//===- Passes.cpp ---------------------------------------------------------===//
+
+#include "transforms/Passes.h"
+
+#include "analysis/Dominators.h"
+#include "transforms/SSA.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace matcoal;
+
+bool matcoal::isPureBuiltin(const std::string &Name) {
+  // Only names known to be effect-free may be CSE'd or dead-code
+  // eliminated; anything unknown is conservatively impure (it may print,
+  // abort, or consume PRNG state -- and an undefined function must still
+  // fault at run time rather than vanish).
+  static const std::set<std::string> Pure = {
+      "zeros",  "ones",   "eye",    "size",    "numel",  "length",
+      "isempty", "abs",   "sqrt",   "exp",     "log",    "log2",
+      "log10",  "sin",    "cos",    "tan",     "asin",   "acos",
+      "atan",   "atan2",  "sinh",   "cosh",    "tanh",   "floor",
+      "ceil",   "round",  "fix",    "sign",    "mod",    "rem",
+      "hypot",  "min",    "max",    "sum",     "prod",   "mean",
+      "norm",   "dot",    "real",   "imag",    "conj",   "angle",
+      "linspace", "repmat", "double", "logical", "sprintf", "num2str",
+      "reshape", "pi",    "eps",    "Inf",     "inf",    "NaN",
+      "nan",    "true",   "false",  "i",       "j",      "__forcond",
+      "__switcheq", "diag", "trace", "fliplr", "flipud", "cumsum",
+      "strcmp",
+  };
+  return Pure.count(Name) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Copy propagation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+VarId resolve(std::vector<VarId> &Repl, VarId V) {
+  while (Repl[V] != NoVar && Repl[V] != V)
+    V = Repl[V];
+  return V;
+}
+
+} // namespace
+
+bool matcoal::copyPropagation(Function &F) {
+  bool Changed = false;
+
+  // Degenerate phis first: phi(x) and phi(x, x, ..., self) are copies.
+  for (auto &BB : F.Blocks) {
+    for (Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Phi)
+        break;
+      VarId Uniform = NoVar;
+      bool IsUniform = true;
+      for (VarId Op : I.Operands) {
+        if (Op == I.result())
+          continue; // Self-reference doesn't break uniformity.
+        if (Uniform == NoVar)
+          Uniform = Op;
+        else if (Uniform != Op)
+          IsUniform = false;
+      }
+      if (IsUniform && Uniform != NoVar) {
+        I.Op = Opcode::Copy;
+        I.Operands = {Uniform};
+        I.PhiOrig = NoVar;
+        Changed = true;
+      }
+    }
+  }
+
+  std::vector<VarId> Repl(F.numVars(), NoVar);
+  bool AnyCopy = false;
+  for (auto &BB : F.Blocks)
+    for (Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Copy && I.Results.size() == 1) {
+        Repl[I.result()] = I.Operands[0];
+        AnyCopy = true;
+      }
+  if (!AnyCopy)
+    return Changed;
+
+  for (auto &BB : F.Blocks) {
+    for (Instr &I : BB->Instrs) {
+      for (VarId &U : I.Operands) {
+        VarId R = resolve(Repl, U);
+        if (R != U) {
+          U = R;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Complex = std::complex<double>;
+
+bool isScalarTruth(Complex C) { return C.real() != 0.0 || C.imag() != 0.0; }
+
+/// Attempts to fold one instruction given known constant operands.
+/// Returns true and sets \p Out on success.
+bool foldInstr(const Instr &I, const std::vector<Complex> &Vals,
+               const std::vector<char> &Known, Complex &Out) {
+  auto AllKnown = [&]() {
+    if (I.Operands.empty())
+      return false;
+    for (VarId V : I.Operands)
+      if (!Known[V])
+        return false;
+    return true;
+  };
+
+  switch (I.Op) {
+  case Opcode::Neg:
+    if (!AllKnown())
+      return false;
+    Out = -Vals[I.Operands[0]];
+    return true;
+  case Opcode::UPlus:
+    if (!AllKnown())
+      return false;
+    Out = Vals[I.Operands[0]];
+    return true;
+  case Opcode::Not:
+    if (!AllKnown())
+      return false;
+    Out = isScalarTruth(Vals[I.Operands[0]]) ? 0.0 : 1.0;
+    return true;
+  case Opcode::Transpose:
+  case Opcode::CTranspose: {
+    if (!AllKnown())
+      return false;
+    Complex V = Vals[I.Operands[0]];
+    Out = I.Op == Opcode::CTranspose ? std::conj(V) : V;
+    return true;
+  }
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::MatMul:
+  case Opcode::ElemMul:
+  case Opcode::MatRDiv:
+  case Opcode::ElemRDiv:
+  case Opcode::MatLDiv:
+  case Opcode::ElemLDiv:
+  case Opcode::MatPow:
+  case Opcode::ElemPow:
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge:
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::And:
+  case Opcode::Or: {
+    if (I.Operands.size() != 2 || !AllKnown())
+      return false;
+    Complex A = Vals[I.Operands[0]];
+    Complex B = Vals[I.Operands[1]];
+    switch (I.Op) {
+    case Opcode::Add: Out = A + B; return true;
+    case Opcode::Sub: Out = A - B; return true;
+    case Opcode::MatMul:
+    case Opcode::ElemMul: Out = A * B; return true;
+    case Opcode::MatRDiv:
+    case Opcode::ElemRDiv: Out = A / B; return true;
+    case Opcode::MatLDiv:
+    case Opcode::ElemLDiv: Out = B / A; return true;
+    case Opcode::MatPow:
+    case Opcode::ElemPow:
+      if (A.imag() == 0.0 && B.imag() == 0.0 &&
+          (A.real() >= 0.0 || B.real() == std::floor(B.real()))) {
+        Out = std::pow(A.real(), B.real());
+      } else {
+        Out = std::pow(A, B);
+      }
+      return true;
+    // MATLAB relational operators compare real parts.
+    case Opcode::Lt: Out = A.real() < B.real() ? 1.0 : 0.0; return true;
+    case Opcode::Le: Out = A.real() <= B.real() ? 1.0 : 0.0; return true;
+    case Opcode::Gt: Out = A.real() > B.real() ? 1.0 : 0.0; return true;
+    case Opcode::Ge: Out = A.real() >= B.real() ? 1.0 : 0.0; return true;
+    case Opcode::Eq: Out = A == B ? 1.0 : 0.0; return true;
+    case Opcode::Ne: Out = A != B ? 1.0 : 0.0; return true;
+    case Opcode::And:
+      Out = (isScalarTruth(A) && isScalarTruth(B)) ? 1.0 : 0.0;
+      return true;
+    case Opcode::Or:
+      Out = (isScalarTruth(A) || isScalarTruth(B)) ? 1.0 : 0.0;
+      return true;
+    default:
+      return false;
+    }
+  }
+  case Opcode::Builtin: {
+    if (!AllKnown())
+      return false;
+    if (I.Operands.size() == 1) {
+      Complex A = Vals[I.Operands[0]];
+      if (I.StrVal == "abs") {
+        Out = std::abs(A);
+        return true;
+      }
+      if (A.imag() != 0.0)
+        return false;
+      double X = A.real();
+      if (I.StrVal == "floor") { Out = std::floor(X); return true; }
+      if (I.StrVal == "ceil") { Out = std::ceil(X); return true; }
+      if (I.StrVal == "round") { Out = std::round(X); return true; }
+      if (I.StrVal == "fix") { Out = std::trunc(X); return true; }
+      if (I.StrVal == "sqrt") {
+        Out = std::sqrt(Complex(X, 0.0));
+        return true;
+      }
+    }
+    if (I.Operands.size() == 2 &&
+        (I.StrVal == "min" || I.StrVal == "max" || I.StrVal == "mod" ||
+         I.StrVal == "rem")) {
+      Complex A = Vals[I.Operands[0]];
+      Complex B = Vals[I.Operands[1]];
+      if (A.imag() != 0.0 || B.imag() != 0.0)
+        return false;
+      double X = A.real(), Y = B.real();
+      if (I.StrVal == "min") { Out = std::min(X, Y); return true; }
+      if (I.StrVal == "max") { Out = std::max(X, Y); return true; }
+      if (I.StrVal == "rem") {
+        Out = Y == 0.0 ? X : std::fmod(X, Y);
+        return true;
+      }
+      // mod(x, y) = x - floor(x/y)*y, with mod(x, 0) = x.
+      Out = Y == 0.0 ? X : X - std::floor(X / Y) * Y;
+      return true;
+    }
+    if (I.Operands.empty()) {
+      if (I.StrVal == "pi") { Out = M_PI; return true; }
+      if (I.StrVal == "eps") { Out = 2.220446049250313e-16; return true; }
+      if (I.StrVal == "true") { Out = 1.0; return true; }
+      if (I.StrVal == "false") { Out = 0.0; return true; }
+      if (I.StrVal == "i" || I.StrVal == "j") {
+        Out = Complex(0.0, 1.0);
+        return true;
+      }
+      if (I.StrVal == "Inf" || I.StrVal == "inf") {
+        Out = std::numeric_limits<double>::infinity();
+        return true;
+      }
+      if (I.StrVal == "NaN" || I.StrVal == "nan") {
+        Out = std::numeric_limits<double>::quiet_NaN();
+        return true;
+      }
+    }
+    return false;
+  }
+  default:
+    return false;
+  }
+}
+
+/// Removes the CFG edge From -> (the Ordinal-th successor edge landing in
+/// To), fixing To's pred list and phi operands.
+void removeEdge(Function &F, BlockId From, BlockId To, size_t EdgeOrdinal) {
+  BasicBlock *TB = F.block(To);
+  size_t Seen = 0;
+  for (size_t PI = 0; PI < TB->Preds.size(); ++PI) {
+    if (TB->Preds[PI] != From)
+      continue;
+    if (Seen != EdgeOrdinal) {
+      ++Seen;
+      continue;
+    }
+    TB->Preds.erase(TB->Preds.begin() + PI);
+    for (Instr &I : TB->Instrs) {
+      if (I.Op != Opcode::Phi)
+        break;
+      if (PI < I.Operands.size())
+        I.Operands.erase(I.Operands.begin() + PI);
+    }
+    return;
+  }
+}
+
+} // namespace
+
+bool matcoal::constantFold(Function &F) {
+  bool Changed = false;
+  std::vector<Complex> Vals(F.numVars(), Complex(0, 0));
+  std::vector<char> Known(F.numVars(), 0);
+
+  bool RoundChanged = true;
+  while (RoundChanged) {
+    RoundChanged = false;
+    for (BlockId B : F.reversePostOrder()) {
+      for (Instr &I : F.block(B)->Instrs) {
+        if (I.Op == Opcode::ConstNum && I.Results.size() == 1) {
+          if (!Known[I.result()]) {
+            Known[I.result()] = 1;
+            Vals[I.result()] = Complex(I.NumRe, I.NumIm);
+            RoundChanged = true;
+          }
+          continue;
+        }
+        if (I.Results.size() != 1 || Known[I.result()])
+          continue;
+        if (I.Op == Opcode::Builtin && !isPureBuiltin(I.StrVal))
+          continue;
+        Complex Out;
+        if (foldInstr(I, Vals, Known, Out)) {
+          I.Op = Opcode::ConstNum;
+          I.Operands.clear();
+          I.NumRe = Out.real();
+          I.NumIm = Out.imag();
+          I.StrVal.clear();
+          Known[I.result()] = 1;
+          Vals[I.result()] = Out;
+          RoundChanged = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Fold branches on constants.
+  for (auto &BB : F.Blocks) {
+    if (BB->Instrs.empty())
+      continue;
+    Instr &T = BB->Instrs.back();
+    if (T.Op != Opcode::Br || !Known[T.Operands[0]])
+      continue;
+    bool Truth = isScalarTruth(Vals[T.Operands[0]]);
+    BlockId Taken = Truth ? T.Target1 : T.Target2;
+    BlockId NotTaken = Truth ? T.Target2 : T.Target1;
+    // The ordinal of the removed edge among From->NotTaken edges: Target1
+    // precedes Target2 in the successor (and so pred) ordering.
+    size_t Ordinal = 0;
+    if (!Truth && T.Target1 == T.Target2)
+      Ordinal = 1;
+    T.Op = Opcode::Jmp;
+    T.Operands.clear();
+    T.Target1 = Taken;
+    T.Target2 = NoBlock;
+    if (NotTaken != Taken || Ordinal == 1)
+      removeEdge(F, BB->Id, NotTaken, Ordinal);
+    else
+      removeEdge(F, BB->Id, NotTaken, 1); // Both targets equal: drop dup.
+    Changed = true;
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Common subexpression elimination
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string cseKey(const Instr &I) {
+  std::ostringstream OS;
+  OS << static_cast<int>(I.Op) << '|' << I.StrVal << '|' << I.NumRe << '|'
+     << I.NumIm << '|';
+  for (VarId V : I.Operands)
+    OS << V << ',';
+  return OS.str();
+}
+
+bool isCSECandidate(const Instr &I) {
+  if (I.Results.size() != 1)
+    return false;
+  if (I.Op == Opcode::Phi || I.Op == Opcode::Copy)
+    return false;
+  if (!isPure(I.Op))
+    return I.Op == Opcode::Builtin && isPureBuiltin(I.StrVal);
+  return true;
+}
+
+void cseWalk(Function &F, const DominatorTree &DT, BlockId B,
+             std::map<std::string, VarId> &Table,
+             std::vector<VarId> &Repl, bool &Changed) {
+  std::vector<std::string> Added;
+  for (Instr &I : F.block(B)->Instrs) {
+    // Rewrite operands through known replacements so keys canonicalize.
+    for (VarId &U : I.Operands)
+      if (Repl[U] != NoVar)
+        U = Repl[U];
+    if (!isCSECandidate(I))
+      continue;
+    std::string Key = cseKey(I);
+    auto It = Table.find(Key);
+    if (It != Table.end()) {
+      Repl[I.result()] = It->second;
+      Changed = true;
+      continue;
+    }
+    Table.emplace(Key, I.result());
+    Added.push_back(std::move(Key));
+  }
+  for (BlockId C : DT.children(B))
+    cseWalk(F, DT, C, Table, Repl, Changed);
+  for (const std::string &K : Added)
+    Table.erase(K);
+}
+
+} // namespace
+
+bool matcoal::commonSubexpressionElimination(Function &F) {
+  DominatorTree DT(F);
+  std::map<std::string, VarId> Table;
+  std::vector<VarId> Repl(F.numVars(), NoVar);
+  bool Changed = false;
+  cseWalk(F, DT, 0, Table, Repl, Changed);
+  if (!Changed)
+    return false;
+  // Final rewrite: phi operands (edge uses) and any instruction missed by
+  // the preorder walk.
+  for (auto &BB : F.Blocks)
+    for (Instr &I : BB->Instrs)
+      for (VarId &U : I.Operands) {
+        VarId R = resolve(Repl, U);
+        if (R != U)
+          U = R;
+      }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination
+//===----------------------------------------------------------------------===//
+
+bool matcoal::deadCodeElimination(Function &F) {
+  std::vector<char> Live(F.numVars(), 0);
+  std::vector<VarId> Work;
+  auto MarkUses = [&](const Instr &I) {
+    for (VarId U : I.Operands)
+      if (!Live[U]) {
+        Live[U] = 1;
+        Work.push_back(U);
+      }
+  };
+  auto IsRequired = [&](const Instr &I) {
+    if (isTerminator(I.Op) || I.Op == Opcode::Display ||
+        I.Op == Opcode::Call)
+      return true;
+    return I.Op == Opcode::Builtin && !isPureBuiltin(I.StrVal);
+  };
+
+  // Seed from effectful instructions (reachable blocks only).
+  std::vector<BlockId> RPO = F.reversePostOrder();
+  std::vector<char> Reachable(F.Blocks.size(), 0);
+  for (BlockId B : RPO)
+    Reachable[B] = 1;
+  for (BlockId B : RPO)
+    for (const Instr &I : F.block(B)->Instrs)
+      if (IsRequired(I))
+        MarkUses(I);
+
+  // Propagate through defining instructions.
+  std::vector<const Instr *> DefOf(F.numVars(), nullptr);
+  for (BlockId B : RPO)
+    for (const Instr &I : F.block(B)->Instrs)
+      for (VarId R : I.Results)
+        DefOf[R] = &I;
+  while (!Work.empty()) {
+    VarId V = Work.back();
+    Work.pop_back();
+    if (const Instr *I = DefOf[V])
+      MarkUses(*I);
+  }
+
+  bool Changed = false;
+  for (auto &BB : F.Blocks) {
+    if (!Reachable[BB->Id]) {
+      // Unreachable code is trivially dead except its terminator (kept so
+      // the block stays well formed until removal).
+      continue;
+    }
+    auto &Instrs = BB->Instrs;
+    size_t Before = Instrs.size();
+    Instrs.erase(
+        std::remove_if(Instrs.begin(), Instrs.end(),
+                       [&](const Instr &I) {
+                         if (IsRequired(I))
+                           return false;
+                         if (I.Results.empty())
+                           return false;
+                         for (VarId R : I.Results)
+                           if (Live[R])
+                             return false;
+                         return true;
+                       }),
+        Instrs.end());
+    Changed |= Instrs.size() != Before;
+  }
+  return Changed;
+}
+
+void matcoal::runCleanupPipeline(Function &F) {
+  for (int Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    Changed |= copyPropagation(F);
+    Changed |= constantFold(F);
+    Changed |= commonSubexpressionElimination(F);
+    Changed |= copyPropagation(F);
+    Changed |= deadCodeElimination(F);
+    removeUnreachableBlocks(F);
+    if (!Changed)
+      break;
+  }
+}

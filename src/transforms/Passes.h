@@ -1,0 +1,54 @@
+//===- Passes.h - SSA cleanup passes ----------------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cleanup passes the paper's translator runs before GCTD (section
+/// 2.2): copy propagation, constant folding/propagation (with branch
+/// folding), dominator-scoped common-subexpression elimination, and
+/// dead-code elimination. All passes require SSA form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_TRANSFORMS_PASSES_H
+#define MATCOAL_TRANSFORMS_PASSES_H
+
+#include "ir/IR.h"
+
+namespace matcoal {
+
+/// Rewrites every use of `x <- copy y` to use y directly (transitively);
+/// single-operand and self-referential phis become copies first. The copy
+/// definitions themselves are left for DCE. Returns true if it changed
+/// anything.
+bool copyPropagation(Function &F);
+
+/// Sparse conditional-constant style folding: scalar arithmetic on
+/// constants folds to ConstNum; branches on constants fold to jumps
+/// (removing the dead edge from the CFG and successor phis). Returns true
+/// on change.
+bool constantFold(Function &F);
+
+/// Dominator-scoped value numbering over pure instructions. Returns true
+/// on change.
+bool commonSubexpressionElimination(Function &F);
+
+/// Removes pure instructions whose results are never used. Returns true on
+/// change.
+bool deadCodeElimination(Function &F);
+
+/// True if calling the named builtin twice with the same arguments is
+/// guaranteed to produce the same value with no side effects (rand,
+/// disp... are not pure).
+bool isPureBuiltin(const std::string &Name);
+
+/// Runs the full pipeline to a fixed point:
+/// copyprop -> constfold -> CSE -> DCE -> unreachable-block removal.
+void runCleanupPipeline(Function &F);
+
+} // namespace matcoal
+
+#endif // MATCOAL_TRANSFORMS_PASSES_H

@@ -1,0 +1,389 @@
+//===- SSA.cpp ------------------------------------------------------------===//
+
+#include "transforms/SSA.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace matcoal;
+
+void matcoal::removeUnreachableBlocks(Function &F) {
+  std::vector<BlockId> RPO = F.reversePostOrder();
+  std::vector<char> Reachable(F.Blocks.size(), 0);
+  for (BlockId B : RPO)
+    Reachable[B] = 1;
+
+  // Drop predecessor entries (and matching phi operands) that come from
+  // unreachable blocks, preserving the order of the survivors.
+  for (auto &BB : F.Blocks) {
+    if (!Reachable[BB->Id])
+      continue;
+    for (size_t I = BB->Preds.size(); I-- > 0;) {
+      if (Reachable[BB->Preds[I]])
+        continue;
+      BB->Preds.erase(BB->Preds.begin() + I);
+      for (Instr &In : BB->Instrs) {
+        if (In.Op != Opcode::Phi)
+          break;
+        if (I < In.Operands.size())
+          In.Operands.erase(In.Operands.begin() + I);
+      }
+    }
+  }
+
+  // Compact the block vector, keeping the original relative order.
+  std::vector<BlockId> Remap(F.Blocks.size(), NoBlock);
+  std::vector<std::unique_ptr<BasicBlock>> NewBlocks;
+  for (auto &BB : F.Blocks) {
+    if (!Reachable[BB->Id])
+      continue;
+    Remap[BB->Id] = static_cast<BlockId>(NewBlocks.size());
+    NewBlocks.push_back(std::move(BB));
+  }
+  F.Blocks = std::move(NewBlocks);
+  for (size_t I = 0; I < F.Blocks.size(); ++I)
+    F.Blocks[I]->Id = static_cast<BlockId>(I);
+  for (auto &BB : F.Blocks) {
+    for (BlockId &P : BB->Preds)
+      P = Remap[P];
+    if (!BB->Instrs.empty()) {
+      Instr &T = BB->Instrs.back();
+      if (T.Op == Opcode::Jmp || T.Op == Opcode::Br) {
+        T.Target1 = Remap[T.Target1];
+        if (T.Op == Opcode::Br)
+          T.Target2 = Remap[T.Target2];
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Forward must-analysis: variables definitely assigned on every path.
+/// Returns the set of variables that may be read before assignment.
+std::vector<VarId> findMaybeUndefinedUses(const Function &F) {
+  size_t NB = F.Blocks.size();
+  unsigned NV = F.numVars();
+  BitVector Full(NV);
+  for (unsigned I = 0; I < NV; ++I)
+    Full.set(I);
+
+  std::vector<BitVector> In(NB, Full), Out(NB, Full);
+  BitVector EntryIn(NV);
+  for (VarId P : F.Params)
+    EntryIn.set(P);
+  In[0] = EntryIn;
+
+  std::vector<BlockId> RPO = F.reversePostOrder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : RPO) {
+      BitVector NewIn = B == 0 ? EntryIn : Full;
+      if (B != 0) {
+        bool Any = false;
+        for (BlockId P : F.block(B)->Preds) {
+          NewIn.intersectWith(Out[P]);
+          Any = true;
+        }
+        if (!Any)
+          NewIn = BitVector(NV);
+      }
+      BitVector NewOut = NewIn;
+      for (const Instr &I : F.block(B)->Instrs)
+        for (VarId R : I.Results)
+          NewOut.set(R);
+      if (!(NewIn == In[B]) || !(NewOut == Out[B])) {
+        In[B] = std::move(NewIn);
+        Out[B] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+
+  BitVector Maybe(NV);
+  for (BlockId B : RPO) {
+    BitVector Defined = In[B];
+    for (const Instr &I : F.block(B)->Instrs) {
+      for (VarId U : I.Operands)
+        if (!Defined.test(U))
+          Maybe.set(U);
+      for (VarId R : I.Results)
+        Defined.set(R);
+    }
+  }
+  std::vector<VarId> Result;
+  Maybe.forEach([&](unsigned V) { Result.push_back(static_cast<VarId>(V)); });
+  return Result;
+}
+
+/// The SSA renaming pass (Cytron et al.).
+class Renamer {
+public:
+  Renamer(Function &F, const DominatorTree &DT)
+      : F(F), DT(DT), Stacks(F.numVars()), Counter(F.numVars(), 0) {}
+
+  void run() {
+    // Parameters receive version 0 at entry.
+    for (VarId &P : F.Params) {
+      VarId V = newVersion(P);
+      P = V;
+    }
+    renameBlock(0);
+  }
+
+private:
+  VarId newVersion(VarId Orig) {
+    VarId V = F.makeVersion(Orig, Counter[Orig]++);
+    Stacks[Orig].push_back(V);
+    // makeVersion may grow Vars; Stacks/Counter are indexed by pre-SSA ids
+    // only, which are all < the initial size, so no resize is needed.
+    return V;
+  }
+
+  VarId top(VarId Orig) const {
+    assert(!Stacks[Orig].empty() && "use of undefined variable in renaming");
+    return Stacks[Orig].back();
+  }
+
+  void renameBlock(BlockId B) {
+    std::vector<VarId> Pushed;
+    BasicBlock *BB = F.block(B);
+    for (Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Phi) {
+        for (VarId &U : I.Operands)
+          U = top(U);
+      }
+      for (VarId &R : I.Results) {
+        VarId Orig = R;
+        R = newVersion(Orig);
+        Pushed.push_back(Orig);
+      }
+    }
+    for (BlockId S : BB->successors()) {
+      BasicBlock *SB = F.block(S);
+      size_t PredIdx = 0;
+      // A block can appear several times in a successor's pred list (e.g.
+      // br with identical targets); fill each matching slot.
+      for (size_t PI = 0; PI < SB->Preds.size(); ++PI) {
+        if (SB->Preds[PI] != B)
+          continue;
+        for (Instr &I : SB->Instrs) {
+          if (I.Op != Opcode::Phi)
+            break;
+          assert(I.PhiOrig != NoVar);
+          if (!Stacks[I.PhiOrig].empty())
+            I.Operands[PI] = top(I.PhiOrig);
+        }
+        (void)PredIdx;
+      }
+    }
+    for (BlockId C : DT.children(B))
+      renameBlock(C);
+    for (VarId Orig : Pushed)
+      Stacks[Orig].pop_back();
+  }
+
+  Function &F;
+  const DominatorTree &DT;
+  std::vector<std::vector<VarId>> Stacks;
+  std::vector<int> Counter;
+};
+
+} // namespace
+
+bool matcoal::buildSSA(Function &F, Diagnostics &Diags) {
+  removeUnreachableBlocks(F);
+  F.recomputePreds();
+
+  // Initialize possibly-undefined variables with an empty array at entry
+  // (MATLAB grows subsasgn bases from nothing; other reads will fault at
+  // run time, matching the interpreter).
+  std::vector<VarId> Maybe = findMaybeUndefinedUses(F);
+  if (!Maybe.empty()) {
+    BasicBlock *Entry = F.entry();
+    for (VarId V : Maybe) {
+      Instr Init;
+      Init.Op = Opcode::VertCat;
+      Init.Results = {V};
+      Entry->Instrs.insert(Entry->Instrs.begin(), Init);
+      Diags.note(SourceLoc{},
+                 "variable '" + F.var(V).Name + "' in " + F.Name +
+                     " may be used before assignment; initialized empty");
+    }
+  }
+
+  DominatorTree DT(F);
+  LivenessInfo Live = computeLiveness(F);
+
+  // Collect definition sites per variable.
+  unsigned NV = F.numVars();
+  std::vector<std::vector<BlockId>> DefBlocks(NV);
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      for (VarId R : I.Results)
+        DefBlocks[R].push_back(BB->Id);
+  for (VarId P : F.Params)
+    DefBlocks[P].push_back(0);
+
+  // Pruned phi insertion: place a phi for v in DF+ of its defs only where
+  // v is live-in.
+  for (unsigned V = 0; V < NV; ++V) {
+    if (DefBlocks[V].size() < 1)
+      continue;
+    std::vector<BlockId> Work = DefBlocks[V];
+    std::vector<char> HasPhi(F.Blocks.size(), 0);
+    std::vector<char> InWork(F.Blocks.size(), 0);
+    for (BlockId B : Work)
+      InWork[B] = 1;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId D : DT.frontier(B)) {
+        if (HasPhi[D] || !Live.LiveIn[D].test(V))
+          continue;
+        HasPhi[D] = 1;
+        BasicBlock *DB = F.block(D);
+        Instr Phi;
+        Phi.Op = Opcode::Phi;
+        Phi.Results = {static_cast<VarId>(V)};
+        Phi.Operands.assign(DB->Preds.size(), static_cast<VarId>(V));
+        Phi.PhiOrig = static_cast<VarId>(V);
+        DB->Instrs.insert(DB->Instrs.begin(), std::move(Phi));
+        if (!InWork[D]) {
+          InWork[D] = 1;
+          Work.push_back(D);
+        }
+      }
+    }
+  }
+
+  Renamer R(F, DT);
+  R.run();
+  return verifyFunction(F, Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// SSA inversion
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Emits the copies for one predecessor edge in an order that respects the
+/// parallel-copy semantics of phis (a destination that is also a pending
+/// source is deferred; cycles are broken with a temporary).
+void sequenceParallelCopies(Function &F, BasicBlock *Pred,
+                            std::vector<std::pair<VarId, VarId>> Copies) {
+  // Drop no-op copies.
+  Copies.erase(std::remove_if(Copies.begin(), Copies.end(),
+                              [](auto &C) { return C.first == C.second; }),
+               Copies.end());
+
+  auto EmitCopy = [&](VarId Dst, VarId Src) {
+    Instr C;
+    C.Op = Opcode::Copy;
+    C.Results = {Dst};
+    C.Operands = {Src};
+    assert(Pred->hasTerminator());
+    Pred->Instrs.insert(Pred->Instrs.end() - 1, std::move(C));
+  };
+
+  while (!Copies.empty()) {
+    bool Progress = false;
+    for (size_t I = 0; I < Copies.size(); ++I) {
+      VarId Dst = Copies[I].first;
+      bool DstIsPendingSource = false;
+      for (size_t J = 0; J < Copies.size(); ++J)
+        if (J != I && Copies[J].second == Dst)
+          DstIsPendingSource = true;
+      if (DstIsPendingSource)
+        continue;
+      EmitCopy(Dst, Copies[I].second);
+      Copies.erase(Copies.begin() + I);
+      Progress = true;
+      break;
+    }
+    if (Progress)
+      continue;
+    // Cycle: save one source in a temp and retarget its readers.
+    VarId Saved = Copies.front().second;
+    VarId Temp = F.makeTemp("swap");
+    EmitCopy(Temp, Saved);
+    for (auto &C : Copies)
+      if (C.second == Saved)
+        C.second = Temp;
+  }
+}
+
+} // namespace
+
+void matcoal::invertSSA(Function &F) {
+  // Split critical edges into blocks that contain phis.
+  size_t OrigCount = F.Blocks.size();
+  for (size_t BI = 0; BI < OrigCount; ++BI) {
+    BasicBlock *BB = F.block(static_cast<BlockId>(BI));
+    if (BB->Instrs.empty() || BB->Instrs.front().Op != Opcode::Phi)
+      continue;
+    if (BB->Preds.size() < 2)
+      continue;
+    for (size_t PI = 0; PI < BB->Preds.size(); ++PI) {
+      BlockId P = BB->Preds[PI];
+      BasicBlock *PB = F.block(P);
+      if (PB->successors().size() < 2)
+        continue;
+      // Split edge P -> BB.
+      BasicBlock *Mid = F.addBlock();
+      Instr Jmp;
+      Jmp.Op = Opcode::Jmp;
+      Jmp.Target1 = BB->Id;
+      Mid->Instrs.push_back(Jmp);
+      Mid->Preds = {P};
+      // Retarget exactly one edge from P to Mid (the PI-th pred slot).
+      Instr &T = PB->Instrs.back();
+      size_t Seen = 0;
+      bool Done = false;
+      auto Retarget = [&](BlockId &Tgt) {
+        if (Done || Tgt != BB->Id)
+          return;
+        // Count which occurrence of BB in P's successor list corresponds
+        // to this pred slot.
+        size_t SlotOrdinal = 0;
+        for (size_t K = 0; K < PI; ++K)
+          if (BB->Preds[K] == P)
+            ++SlotOrdinal;
+        if (Seen == SlotOrdinal) {
+          Tgt = Mid->Id;
+          Done = true;
+        }
+        ++Seen;
+      };
+      Retarget(T.Target1);
+      if (T.Op == Opcode::Br)
+        Retarget(T.Target2);
+      BB->Preds[PI] = Mid->Id;
+    }
+  }
+
+  // Gather and remove phis; insert sequenced copies at predecessors.
+  for (auto &BB : F.Blocks) {
+    if (BB->Instrs.empty() || BB->Instrs.front().Op != Opcode::Phi)
+      continue;
+    // Per predecessor: list of (dst, src).
+    std::map<BlockId, std::vector<std::pair<VarId, VarId>>> EdgeCopies;
+    size_t NumPhis = 0;
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Phi)
+        break;
+      ++NumPhis;
+      for (size_t PI = 0; PI < I.Operands.size(); ++PI)
+        EdgeCopies[BB->Preds[PI]].emplace_back(I.result(), I.Operands[PI]);
+    }
+    BB->Instrs.erase(BB->Instrs.begin(), BB->Instrs.begin() + NumPhis);
+    for (auto &[Pred, Copies] : EdgeCopies)
+      sequenceParallelCopies(F, F.block(Pred), std::move(Copies));
+  }
+}

@@ -1,0 +1,41 @@
+//===- SSA.h - SSA construction and inversion -------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pruned SSA construction (Cytron et al., the paper's [12]) and SSA
+/// inversion. Inversion reintroduces copies at phi predecessors -- the
+/// copies GCTD's phi coalescing (paper section 2.2.1) turns into trivially
+/// removable identity assignments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_TRANSFORMS_SSA_H
+#define MATCOAL_TRANSFORMS_SSA_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+namespace matcoal {
+
+/// Converts \p F (fresh from lowering) to pruned SSA form. Variables that
+/// may be read before their first definition receive an empty-array
+/// initialization at entry (MATLAB's behaviour for subsasgn bases; a
+/// warning is emitted for other uses). Returns false on error.
+bool buildSSA(Function &F, Diagnostics &Diags);
+
+/// Replaces phis with copies on predecessor edges (splitting critical
+/// edges as needed) using parallel-copy sequentialization, so phi-operand
+/// cycles are handled with a temporary.
+void invertSSA(Function &F);
+
+/// Deletes blocks unreachable from the entry, preserving the relative
+/// order of surviving predecessor lists (phi operand order stays valid).
+void removeUnreachableBlocks(Function &F);
+
+} // namespace matcoal
+
+#endif // MATCOAL_TRANSFORMS_SSA_H

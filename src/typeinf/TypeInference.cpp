@@ -1,0 +1,1118 @@
+//===- TypeInference.cpp --------------------------------------------------===//
+
+#include "typeinf/TypeInference.h"
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace matcoal;
+
+namespace {
+
+bool isIntegralConst(double V) {
+  return std::isfinite(V) && V == std::floor(V);
+}
+
+/// Promotes the result of arithmetic: Bool -> Int, Char -> Real.
+IntrinsicType arithPromote(IntrinsicType IT) {
+  return joinIntrinsic(IT, IntrinsicType::Int);
+}
+
+} // namespace
+
+const std::vector<VarType> &
+TypeInference::functionTypes(const Function &F) const {
+  auto It = AllTypes.find(&F);
+  assert(It != AllTypes.end() && "types not inferred for function");
+  return It->second;
+}
+
+bool TypeInference::typesEqual(const VarType &A, const VarType &B) {
+  return A.IT == B.IT && A.Extents == B.Extents && A.ValExpr == B.ValExpr &&
+         A.MaxElem == B.MaxElem;
+}
+
+std::vector<SymExpr> TypeInference::scalarShape() {
+  return {Ctx.makeConst(1), Ctx.makeConst(1)};
+}
+
+SymExpr TypeInference::freshExtent(const Instr &I, int Slot) {
+  auto Key = std::make_pair(&I, Slot);
+  auto It = FreshCache.find(Key);
+  if (It != FreshCache.end())
+    return It->second;
+  SymExpr S = Ctx.freshSym("$s");
+  FreshCache.emplace(Key, S);
+  return S;
+}
+
+std::vector<SymExpr> TypeInference::freshShape(const Instr &I, int Base,
+                                               unsigned Rank) {
+  std::vector<SymExpr> Shape;
+  for (unsigned D = 0; D < Rank; ++D)
+    Shape.push_back(freshExtent(I, Base + static_cast<int>(D)));
+  return Shape;
+}
+
+std::vector<SymExpr> TypeInference::joinShape(const std::vector<SymExpr> &A,
+                                              const std::vector<SymExpr> &B) {
+  if (A.empty())
+    return B;
+  if (B.empty())
+    return A;
+  size_t Rank = std::max(A.size(), B.size());
+  std::vector<SymExpr> Out;
+  for (size_t D = 0; D < Rank; ++D) {
+    SymExpr EA = D < A.size() ? A[D] : Ctx.makeConst(1);
+    SymExpr EB = D < B.size() ? B[D] : Ctx.makeConst(1);
+    if (EA == EB) {
+      Out.push_back(EA);
+      continue;
+    }
+    // A pinned (widened) extent absorbs any join.
+    if (Pinned.count(EA)) {
+      Out.push_back(EA);
+      continue;
+    }
+    if (Pinned.count(EB)) {
+      Out.push_back(EB);
+      continue;
+    }
+    auto Key = std::minmax(EA->id(), EB->id());
+    auto It = JoinCache.find(Key);
+    if (It != JoinCache.end()) {
+      Out.push_back(It->second);
+      continue;
+    }
+    SymExpr S = Ctx.freshSym("$j");
+    JoinCache.emplace(Key, S);
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+VarType TypeInference::joinTypes(const VarType &A, const VarType &B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  VarType Out;
+  Out.IT = joinIntrinsic(A.IT, B.IT);
+  Out.Extents = joinShape(A.Extents, B.Extents);
+  Out.ValExpr = A.ValExpr == B.ValExpr ? A.ValExpr : nullptr;
+  Out.MaxElem = A.MaxElem == B.MaxElem ? A.MaxElem : nullptr;
+  return Out;
+}
+
+std::vector<SymExpr> TypeInference::elementwiseShape(const VarType &A,
+                                                     const VarType &B,
+                                                     const Instr &I) {
+  if (A.isScalar())
+    return B.Extents;
+  if (B.isScalar())
+    return A.Extents;
+  if (A.Extents == B.Extents)
+    return A.Extents;
+  if (A.hasKnownShape() && B.hasKnownShape()) {
+    // Known but different: a shape error at run time; carry the larger so
+    // storage stays safe.
+    return A.knownNumElements() >= B.knownNumElements() ? A.Extents
+                                                        : B.Extents;
+  }
+  // Unknown relationship: a fresh (memoized) shape. MATLAB requires the
+  // shapes to match, so rank follows either operand.
+  unsigned Rank =
+      static_cast<unsigned>(std::max(A.Extents.size(), B.Extents.size()));
+  if (Rank < 2)
+    Rank = 2;
+  return freshShape(I, /*Base=*/100, Rank);
+}
+
+std::vector<SymExpr>
+TypeInference::shapeFromDims(const Instr &I,
+                             const std::vector<VarType> &Types) {
+  // zeros(), zeros(n), zeros(m, n), zeros(m, n, p)...
+  if (I.Operands.empty())
+    return scalarShape();
+  std::vector<SymExpr> Dims;
+  for (size_t K = 0; K < I.Operands.size(); ++K) {
+    const VarType &T = Types[I.Operands[K]];
+    if (T.ValExpr)
+      Dims.push_back(T.ValExpr);
+    else
+      Dims.push_back(freshExtent(I, static_cast<int>(K)));
+  }
+  if (Dims.size() == 1)
+    return {Dims[0], Dims[0]}; // zeros(n) is n x n.
+  return Dims;
+}
+
+bool TypeInference::updateType(VarType &Slot, VarType New, const Function &F,
+                               VarId V) {
+  if (typesEqual(Slot, New))
+    return false;
+  int &Count = ChangeCount[{&F, V}];
+  ++Count;
+  if (Count > 6) {
+    // Widen: pin every still-changing extent so joins stabilize.
+    for (size_t D = 0; D < New.Extents.size(); ++D) {
+      if (D < Slot.Extents.size() && Slot.Extents[D] == New.Extents[D])
+        continue;
+      if (!New.Extents[D]->isConst() || Count > 8) {
+        SymExpr P = Ctx.freshSym("$w");
+        Pinned.insert(P);
+        New.Extents[D] = P;
+      }
+    }
+    New.ValExpr = nullptr;
+    New.MaxElem = nullptr;
+    if (typesEqual(Slot, New))
+      return false;
+  }
+  Slot = std::move(New);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Builtin signatures
+//===----------------------------------------------------------------------===//
+
+VarType TypeInference::transferBuiltin(Function &F, const Instr &I,
+                                       const std::vector<VarType> &Types,
+                                       unsigned ResultIdx) {
+  const std::string &Name = I.StrVal;
+  auto Arg = [&](unsigned K) -> const VarType & {
+    static VarType Bottom;
+    return K < I.Operands.size() ? Types[I.Operands[K]] : Bottom;
+  };
+  VarType Out;
+
+  // Array constructors.
+  if (Name == "zeros" || Name == "ones" || Name == "rand" ||
+      Name == "randn") {
+    Out.IT = IntrinsicType::Real;
+    if (Name == "zeros" || Name == "ones") {
+      // MAGICA-style value-range typing: all-0 / all-1 contents are
+      // BOOLEAN (cf. the paper's Example 2 where eye() is BOOLEAN).
+      Out.IT = IntrinsicType::Bool;
+    }
+    Out.Extents = shapeFromDims(I, Types);
+    if (Out.isScalar() && Name == "zeros")
+      Out.ValExpr = Ctx.makeConst(0);
+    if (Out.isScalar() && Name == "ones")
+      Out.ValExpr = Ctx.makeConst(1);
+    return Out;
+  }
+  if (Name == "eye") {
+    Out.IT = IntrinsicType::Bool; // Values in {0, 1}: paper's Example 2.
+    Out.Extents = shapeFromDims(I, Types);
+    return Out;
+  }
+  if (Name == "linspace") {
+    Out.IT = IntrinsicType::Real;
+    SymExpr N = Arg(2).ValExpr;
+    Out.Extents = {Ctx.makeConst(1),
+                   N ? N : (I.Operands.size() >= 3 ? freshExtent(I, 2)
+                                                   : Ctx.makeConst(100))};
+    return Out;
+  }
+  if (Name == "repmat") {
+    const VarType &A = Arg(0);
+    Out.IT = A.IT;
+    SymExpr M = Arg(1).ValExpr ? Arg(1).ValExpr : freshExtent(I, 1);
+    SymExpr N = Arg(2).ValExpr ? Arg(2).ValExpr : freshExtent(I, 2);
+    if (A.Extents.size() >= 2)
+      Out.Extents = {Ctx.mul(A.Extents[0], M), Ctx.mul(A.Extents[1], N)};
+    else
+      Out.Extents = {M, N};
+    return Out;
+  }
+
+  // Shape queries: these are where symbolic shapes feed scalar values.
+  if (Name == "size") {
+    Out.IT = IntrinsicType::Int;
+    const VarType &A = Arg(0);
+    if (I.Results.size() == 2) {
+      // [m, n] = size(a).
+      Out.Extents = scalarShape();
+      if (A.Extents.size() >= 2)
+        Out.ValExpr = ResultIdx == 0 ? A.Extents[0] : A.Extents[1];
+      Out.MaxElem = Out.ValExpr;
+      return Out;
+    }
+    if (I.Operands.size() == 2) {
+      Out.Extents = scalarShape();
+      const VarType &K = Arg(1);
+      if (K.ValExpr && K.ValExpr->isConst()) {
+        size_t D = static_cast<size_t>(K.ValExpr->constValue()) - 1;
+        Out.ValExpr = D < A.Extents.size() ? A.Extents[D] : Ctx.makeConst(1);
+      }
+      Out.MaxElem = Out.ValExpr;
+      return Out;
+    }
+    Out.Extents = {Ctx.makeConst(1),
+                   Ctx.makeConst(static_cast<std::int64_t>(
+                       std::max<size_t>(A.Extents.size(), 2)))};
+    return Out;
+  }
+  if (Name == "numel") {
+    Out.IT = IntrinsicType::Int;
+    Out.Extents = scalarShape();
+    if (!Arg(0).Extents.empty())
+      Out.ValExpr = Ctx.numElements(Arg(0).Extents);
+    Out.MaxElem = Out.ValExpr;
+    return Out;
+  }
+  if (Name == "length") {
+    Out.IT = IntrinsicType::Int;
+    Out.Extents = scalarShape();
+    if (!Arg(0).Extents.empty())
+      Out.ValExpr = Ctx.max(Arg(0).Extents);
+    Out.MaxElem = Out.ValExpr;
+    return Out;
+  }
+  if (Name == "isempty") {
+    Out.IT = IntrinsicType::Bool;
+    Out.Extents = scalarShape();
+    return Out;
+  }
+
+  // Elementwise math: the result *shares* the operand's shape expression
+  // (the reuse trait of paper Example 1).
+  static const std::set<std::string> ElementwiseReal = {
+      "abs",  "floor", "ceil", "round", "fix", "real",
+      "imag", "angle", "sign"};
+  static const std::set<std::string> ElementwiseKeep = {"conj"};
+  static const std::set<std::string> ElementwiseAnalytic = {
+      "exp", "sin", "cos", "tan", "sinh", "cosh", "tanh", "asin", "acos",
+      "atan"};
+  if (ElementwiseReal.count(Name)) {
+    const VarType &A = Arg(0);
+    Out.IT = Name == "abs" || Name == "angle"
+                 ? IntrinsicType::Real
+                 : (Name == "floor" || Name == "ceil" || Name == "round" ||
+                            Name == "fix" || Name == "sign"
+                        ? IntrinsicType::Int
+                        : IntrinsicType::Real);
+    Out.Extents = A.Extents;
+    return Out;
+  }
+  if (ElementwiseKeep.count(Name)) {
+    Out = Arg(0);
+    Out.ValExpr = nullptr;
+    Out.MaxElem = nullptr;
+    return Out;
+  }
+  if (ElementwiseAnalytic.count(Name)) {
+    const VarType &A = Arg(0);
+    Out.IT = A.IT == IntrinsicType::Complex ? IntrinsicType::Complex
+                                            : IntrinsicType::Real;
+    // Unknown operands may be complex: stay conservative like MAGICA
+    // (paper Example 1 infers COMPLEX for tan of an unknown input).
+    if (A.IT == IntrinsicType::None || A.IT == IntrinsicType::Illegal)
+      Out.IT = IntrinsicType::Complex;
+    Out.Extents = A.Extents;
+    return Out;
+  }
+  if (Name == "sqrt" || Name == "log" || Name == "log2" ||
+      Name == "log10") {
+    const VarType &A = Arg(0);
+    // Negative reals escape to complex; only provably non-negative
+    // constants stay real.
+    bool ProvablyNonnegative =
+        A.ValExpr && A.ValExpr->isConst() && A.ValExpr->constValue() >= 0;
+    if (A.IT == IntrinsicType::Bool)
+      ProvablyNonnegative = true;
+    Out.IT = ProvablyNonnegative ? IntrinsicType::Real
+                                 : IntrinsicType::Complex;
+    Out.Extents = A.Extents;
+    return Out;
+  }
+  if (Name == "atan2" || Name == "mod" || Name == "rem" ||
+      Name == "hypot") {
+    Out.IT = Name == "atan2" || Name == "hypot" ? IntrinsicType::Real
+                                                : arithPromote(joinIntrinsic(
+                                                      Arg(0).IT, Arg(1).IT));
+    Out.Extents = elementwiseShape(Arg(0), Arg(1), I);
+    return Out;
+  }
+  if (Name == "min" || Name == "max") {
+    if (I.Operands.size() == 2) {
+      Out.IT = joinIntrinsic(Arg(0).IT, Arg(1).IT);
+      Out.Extents = elementwiseShape(Arg(0), Arg(1), I);
+      if (Arg(0).ValExpr && Arg(1).ValExpr)
+        Out.ValExpr = Name == "max" ? Ctx.max(Arg(0).ValExpr, Arg(1).ValExpr)
+                                    : nullptr;
+      Out.MaxElem = Out.ValExpr;
+      return Out;
+    }
+    // One-argument reduction: vectors reduce to a scalar, matrices to a
+    // row vector.
+    const VarType &A = Arg(0);
+    Out.IT = A.IT;
+    if (A.Extents.size() == 2 && A.Extents[0]->isConst() &&
+        A.Extents[0]->constValue() == 1)
+      Out.Extents = scalarShape();
+    else if (A.Extents.size() == 2 && A.Extents[1]->isConst() &&
+             A.Extents[1]->constValue() == 1)
+      Out.Extents = scalarShape();
+    else if (A.isScalar())
+      Out.Extents = scalarShape();
+    else if (A.Extents.size() == 2)
+      Out.Extents = {Ctx.makeConst(1), A.Extents[1]};
+    else
+      Out.Extents = scalarShape();
+    return Out;
+  }
+  if (Name == "sum" || Name == "prod" || Name == "mean" ||
+      Name == "norm" || Name == "dot") {
+    const VarType &A = Arg(0);
+    Out.IT = Name == "norm" || Name == "mean" ? IntrinsicType::Real
+                                              : arithPromote(A.IT);
+    if (Name == "norm" && A.IT == IntrinsicType::Complex)
+      Out.IT = IntrinsicType::Real;
+    if (Name != "norm" && A.IT == IntrinsicType::Complex)
+      Out.IT = IntrinsicType::Complex;
+    // MATLAB rule: collapse the first non-singleton dimension (vectors
+    // and scalars reduce to scalars).
+    if (Name == "norm" || Name == "dot") {
+      Out.Extents = scalarShape();
+      return Out;
+    }
+    if (A.Extents.empty()) {
+      Out.Extents = scalarShape();
+      return Out;
+    }
+    {
+      size_t D = 0;
+      while (D < A.Extents.size() && A.Extents[D]->isConst() &&
+             A.Extents[D]->constValue() == 1)
+        ++D;
+      if (D >= A.Extents.size()) {
+        Out.Extents = scalarShape();
+      } else if (!A.Extents[D]->isConst() && D + 1 == A.Extents.size() &&
+                 D <= 1) {
+        // Symbolic trailing extent on a vector-like shape: reduces to a
+        // scalar only if the other extent is 1 -- which it is (all
+        // earlier extents are constant 1).
+        Out.Extents = scalarShape();
+      } else {
+        Out.Extents = A.Extents;
+        Out.Extents[D] = Ctx.makeConst(1);
+      }
+    }
+    return Out;
+  }
+
+  if (Name == "diag") {
+    const VarType &A = Arg(0);
+    Out.IT = A.IT;
+    if (A.Extents.size() == 2 && A.Extents[0]->isConst() &&
+        A.Extents[0]->constValue() == 1) {
+      // Row vector -> square matrix.
+      Out.Extents = {A.Extents[1], A.Extents[1]};
+    } else if (A.Extents.size() == 2 && A.Extents[1]->isConst() &&
+               A.Extents[1]->constValue() == 1) {
+      Out.Extents = {A.Extents[0], A.Extents[0]};
+    } else if (A.Extents.size() == 2 && A.Extents[0] == A.Extents[1]) {
+      // Square matrix -> column of its diagonal.
+      Out.Extents = {A.Extents[0], Ctx.makeConst(1)};
+    } else {
+      Out.Extents = freshShape(I, 0, 2);
+    }
+    return Out;
+  }
+  if (Name == "trace") {
+    Out.IT = Arg(0).IT == IntrinsicType::Complex ? IntrinsicType::Complex
+                                                 : IntrinsicType::Real;
+    Out.Extents = scalarShape();
+    return Out;
+  }
+  if (Name == "fliplr" || Name == "flipud" || Name == "cumsum") {
+    const VarType &A = Arg(0);
+    Out.IT = Name == "cumsum" ? arithPromote(A.IT) : A.IT;
+    Out.Extents = A.Extents; // Shape expression reuse.
+    return Out;
+  }
+  if (Name == "strcmp") {
+    Out.IT = IntrinsicType::Bool;
+    Out.Extents = scalarShape();
+    return Out;
+  }
+
+  // Scalar constants (usually constant-folded before inference).
+  if (Name == "pi" || Name == "eps" || Name == "Inf" || Name == "inf" ||
+      Name == "NaN" || Name == "nan" || Name == "toc") {
+    Out.IT = IntrinsicType::Real;
+    Out.Extents = scalarShape();
+    return Out;
+  }
+  if (Name == "true" || Name == "false" || Name == "__forcond" ||
+      Name == "__switcheq") {
+    Out.IT = IntrinsicType::Bool;
+    Out.Extents = scalarShape();
+    return Out;
+  }
+  if (Name == "i" || Name == "j") {
+    Out.IT = IntrinsicType::Complex;
+    Out.Extents = scalarShape();
+    return Out;
+  }
+  if (Name == "double") {
+    Out = Arg(0);
+    Out.IT = Arg(0).IT == IntrinsicType::Complex ? IntrinsicType::Complex
+                                                 : IntrinsicType::Real;
+    return Out;
+  }
+  if (Name == "logical") {
+    Out = Arg(0);
+    Out.IT = IntrinsicType::Bool;
+    return Out;
+  }
+  if (Name == "sprintf" || Name == "num2str") {
+    Out.IT = IntrinsicType::Char;
+    Out.Extents = {Ctx.makeConst(1), freshExtent(I, 0)};
+    return Out;
+  }
+
+  // Effects without results.
+  if (Name == "disp" || Name == "fprintf" || Name == "error" ||
+      Name == "tic" || Name == "print") {
+    Out.IT = IntrinsicType::Real;
+    Out.Extents = scalarShape();
+    return Out;
+  }
+
+  // Unknown builtin: conservative.
+  if (Warned.insert(&I).second)
+    Diags.warning(I.Loc, "no type signature for builtin '" + Name +
+                             "' in " + F.Name + "; assuming complex");
+  Out.IT = IntrinsicType::Complex;
+  Out.Extents = freshShape(I, 0, 2);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction transfer function
+//===----------------------------------------------------------------------===//
+
+const TypeInference::FunctionIRInfo &
+TypeInference::irInfo(const Function &F) {
+  auto It = IRInfos.find(&F);
+  if (It != IRInfos.end())
+    return It->second;
+  FunctionIRInfo &Info = IRInfos[&F];
+  Info.UpperBounds.resize(F.Blocks.size());
+  Info.DefInstr.assign(F.numVars(), nullptr);
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      for (VarId R : I.Results)
+        if (!Info.DefInstr[R])
+          Info.DefInstr[R] = &I;
+
+  DominatorTree DT(F);
+  for (const auto &BB : F.Blocks) {
+    if (!BB->hasTerminator() || BB->terminator().Op != Opcode::Br)
+      continue;
+    const Instr &Br = BB->terminator();
+    const Instr *Cond = Info.DefInstr[Br.Operands[0]];
+    if (!Cond || (Cond->Op != Opcode::Le && Cond->Op != Opcode::Lt))
+      continue;
+    BlockId TrueSucc = Br.Target1;
+    if (TrueSucc == Br.Target2)
+      continue;
+    // The constraint holds on the true edge; attribute it to blocks
+    // dominated by the true successor when that successor has no other
+    // entry (otherwise the edge fact would leak).
+    const BasicBlock *TB = F.block(TrueSucc);
+    if (TB->Preds.size() != 1 || TB->Preds[0] != BB->Id)
+      continue;
+    FunctionIRInfo::Bound Fact{Cond->Operands[0], Cond->Operands[1],
+                               Cond->Op == Opcode::Le};
+    for (const auto &DB : F.Blocks)
+      if (DT.dominates(TrueSucc, DB->Id))
+        Info.UpperBounds[DB->Id].push_back(Fact);
+  }
+  return Info;
+}
+
+SymExpr TypeInference::maxElemAt(const Function &F, VarId V, BlockId B,
+                                 const std::vector<VarType> &Types,
+                                 int Depth) {
+  if (Depth > 4)
+    return Types[V].MaxElem;
+  const FunctionIRInfo &Info = irInfo(F);
+  // A guard dominating this block bounds the variable directly.
+  for (const auto &Bound : Info.UpperBounds[B]) {
+    if (Bound.X != V)
+      continue;
+    SymExpr H = Types[Bound.H].ValExpr;
+    if (!H)
+      continue;
+    return Bound.Inclusive ? H : Ctx.sub(H, Ctx.makeConst(1));
+  }
+  // Constant offsets compose over guards: bound(i + c) = bound(i) + c.
+  const Instr *Def = Info.DefInstr[V];
+  if (Def && (Def->Op == Opcode::Add || Def->Op == Opcode::Sub) &&
+      Def->Operands.size() == 2) {
+    const VarType &RT = Types[Def->Operands[1]];
+    const VarType &LT = Types[Def->Operands[0]];
+    if (RT.ValExpr && RT.ValExpr->isConst()) {
+      SymExpr Base = maxElemAt(F, Def->Operands[0], B, Types, Depth + 1);
+      if (Base)
+        return Def->Op == Opcode::Add
+                   ? Ctx.add(Base, RT.ValExpr)
+                   : Ctx.sub(Base, RT.ValExpr);
+    }
+    if (Def->Op == Opcode::Add && LT.ValExpr && LT.ValExpr->isConst()) {
+      SymExpr Base = maxElemAt(F, Def->Operands[1], B, Types, Depth + 1);
+      if (Base)
+        return Ctx.add(Base, LT.ValExpr);
+    }
+  }
+  return Types[V].MaxElem;
+}
+
+void TypeInference::transfer(Function &F, BlockId B, const Instr &I,
+                             std::vector<VarType> &Types, bool &Changed) {
+  auto T = [&](VarId V) -> const VarType & { return Types[V]; };
+  auto SetResult = [&](unsigned Idx, VarType New) {
+    if (New.isBottom())
+      return;
+    Changed |= updateType(Types[I.Results[Idx]], std::move(New), F,
+                          I.Results[Idx]);
+  };
+
+  switch (I.Op) {
+  case Opcode::ConstNum: {
+    VarType Out;
+    if (I.NumIm != 0.0) {
+      Out.IT = IntrinsicType::Complex;
+    } else if (isIntegralConst(I.NumRe)) {
+      Out.IT = (I.NumRe == 0.0 || I.NumRe == 1.0) ? IntrinsicType::Bool
+                                                  : IntrinsicType::Int;
+      Out.ValExpr = Ctx.makeConst(static_cast<std::int64_t>(I.NumRe));
+      Out.MaxElem = Out.ValExpr;
+    } else {
+      Out.IT = IntrinsicType::Real;
+    }
+    Out.Extents = scalarShape();
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::ConstStr: {
+    VarType Out;
+    Out.IT = IntrinsicType::Char;
+    Out.Extents = {Ctx.makeConst(1),
+                   Ctx.makeConst(static_cast<std::int64_t>(I.StrVal.size()))};
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::ConstColon: {
+    VarType Out;
+    Out.IT = IntrinsicType::Colon;
+    Out.Extents = scalarShape();
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Copy:
+    SetResult(0, T(I.Operands[0]));
+    return;
+  case Opcode::Phi: {
+    VarType Out;
+    for (VarId Op : I.Operands)
+      Out = joinTypes(Out, T(Op));
+    // Decreasing loop counters: i = phi(init, i - step) never exceeds the
+    // initial value, so the init's bound survives the join.
+    if (!Out.MaxElem && I.Operands.size() == 2) {
+      const FunctionIRInfo &Info = irInfo(F);
+      for (unsigned K = 0; K < 2; ++K) {
+        const Instr *BackDef = Info.DefInstr[I.Operands[1 - K]];
+        if (!BackDef || BackDef->Operands.size() != 2)
+          continue;
+        bool StepsDown = false;
+        if (BackDef->Op == Opcode::Add &&
+            BackDef->Operands[0] == I.result()) {
+          const VarType &StepT = T(BackDef->Operands[1]);
+          StepsDown = StepT.ValExpr && StepT.ValExpr->isConst() &&
+                      StepT.ValExpr->constValue() <= 0;
+        } else if (BackDef->Op == Opcode::Sub &&
+                   BackDef->Operands[0] == I.result()) {
+          const VarType &StepT = T(BackDef->Operands[1]);
+          StepsDown = StepT.ValExpr && StepT.ValExpr->isConst() &&
+                      StepT.ValExpr->constValue() >= 0;
+        }
+        if (StepsDown && T(I.Operands[K]).MaxElem) {
+          Out.MaxElem = T(I.Operands[K]).MaxElem;
+          break;
+        }
+      }
+    }
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Neg:
+  case Opcode::UPlus: {
+    const VarType &A = T(I.Operands[0]);
+    if (A.isBottom())
+      return;
+    VarType Out;
+    Out.IT = arithPromote(A.IT);
+    Out.Extents = A.Extents;
+    if (A.ValExpr && I.Op == Opcode::Neg)
+      Out.ValExpr = Ctx.sub(Ctx.makeConst(0), A.ValExpr);
+    else if (I.Op == Opcode::UPlus)
+      Out.ValExpr = A.ValExpr;
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Not: {
+    const VarType &A = T(I.Operands[0]);
+    if (A.isBottom())
+      return;
+    VarType Out;
+    Out.IT = IntrinsicType::Bool;
+    Out.Extents = A.Extents;
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Transpose:
+  case Opcode::CTranspose: {
+    const VarType &A = T(I.Operands[0]);
+    if (A.isBottom())
+      return;
+    VarType Out;
+    Out.IT = A.IT;
+    if (A.Extents.size() == 2)
+      Out.Extents = {A.Extents[1], A.Extents[0]};
+    else
+      Out.Extents = A.Extents; // ND transpose is a run-time error anyway.
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::ElemMul: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &B = T(I.Operands[1]);
+    if (A.isBottom() || B.isBottom())
+      return;
+    VarType Out;
+    Out.IT = arithPromote(joinIntrinsic(A.IT, B.IT));
+    Out.Extents = elementwiseShape(A, B, I);
+    if (A.ValExpr && B.ValExpr) {
+      switch (I.Op) {
+      case Opcode::Add: Out.ValExpr = Ctx.add(A.ValExpr, B.ValExpr); break;
+      case Opcode::Sub: Out.ValExpr = Ctx.sub(A.ValExpr, B.ValExpr); break;
+      default: Out.ValExpr = Ctx.mul(A.ValExpr, B.ValExpr); break;
+      }
+      Out.MaxElem = Out.ValExpr;
+    }
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::MatMul: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &B = T(I.Operands[1]);
+    if (A.isBottom() || B.isBottom())
+      return;
+    VarType Out;
+    Out.IT = arithPromote(joinIntrinsic(A.IT, B.IT));
+    if (A.isScalar() || B.isScalar()) {
+      Out.Extents = elementwiseShape(A, B, I);
+      if (A.ValExpr && B.ValExpr) {
+        Out.ValExpr = Ctx.mul(A.ValExpr, B.ValExpr);
+        Out.MaxElem = Out.ValExpr;
+      }
+    } else if (A.Extents.size() == 2 && B.Extents.size() == 2) {
+      Out.Extents = {A.Extents[0], B.Extents[1]};
+    } else {
+      Out.Extents = freshShape(I, 0, 2);
+    }
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::ElemRDiv:
+  case Opcode::ElemLDiv: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &B = T(I.Operands[1]);
+    if (A.isBottom() || B.isBottom())
+      return;
+    VarType Out;
+    Out.IT = joinIntrinsic(joinIntrinsic(A.IT, B.IT), IntrinsicType::Real);
+    Out.Extents = elementwiseShape(A, B, I);
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::MatRDiv: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &B = T(I.Operands[1]);
+    if (A.isBottom() || B.isBottom())
+      return;
+    VarType Out;
+    Out.IT = joinIntrinsic(joinIntrinsic(A.IT, B.IT), IntrinsicType::Real);
+    if (B.isScalar())
+      Out.Extents = A.Extents;
+    else if (A.Extents.size() == 2 && B.Extents.size() == 2)
+      Out.Extents = {A.Extents[0], B.Extents[0]}; // X*inv(B).
+    else
+      Out.Extents = freshShape(I, 0, 2);
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::MatLDiv: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &B = T(I.Operands[1]);
+    if (A.isBottom() || B.isBottom())
+      return;
+    VarType Out;
+    Out.IT = joinIntrinsic(joinIntrinsic(A.IT, B.IT), IntrinsicType::Real);
+    if (A.isScalar())
+      Out.Extents = B.Extents;
+    else if (A.Extents.size() == 2 && B.Extents.size() == 2)
+      Out.Extents = {A.Extents[1], B.Extents[1]}; // inv(A)*B.
+    else
+      Out.Extents = freshShape(I, 0, 2);
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::MatPow:
+  case Opcode::ElemPow: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &B = T(I.Operands[1]);
+    if (A.isBottom() || B.isBottom())
+      return;
+    VarType Out;
+    // Negative base with fractional exponent escapes to complex; only
+    // clearly safe combinations stay real.
+    bool IntExponent = B.ValExpr != nullptr; // Integer-valued exponent.
+    bool NonnegBase = A.IT == IntrinsicType::Bool ||
+                      (A.ValExpr && A.ValExpr->isConst() &&
+                       A.ValExpr->constValue() >= 0);
+    if (A.IT == IntrinsicType::Complex || B.IT == IntrinsicType::Complex)
+      Out.IT = IntrinsicType::Complex;
+    else if (IntExponent || NonnegBase ||
+             (A.IT != IntrinsicType::None && B.IT == IntrinsicType::Int))
+      Out.IT = IntrinsicType::Real;
+    else
+      Out.IT = IntrinsicType::Complex;
+    Out.Extents = I.Op == Opcode::ElemPow ? elementwiseShape(A, B, I)
+                                          : (B.isScalar() && !A.isScalar()
+                                                 ? A.Extents
+                                                 : elementwiseShape(A, B, I));
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge:
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::And:
+  case Opcode::Or: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &B = T(I.Operands[1]);
+    if (A.isBottom() || B.isBottom())
+      return;
+    VarType Out;
+    Out.IT = IntrinsicType::Bool;
+    Out.Extents = elementwiseShape(A, B, I);
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Colon2:
+  case Opcode::Colon3: {
+    const VarType &Lo = T(I.Operands[0]);
+    const VarType &Hi = T(I.Operands.back());
+    if (Lo.isBottom() || Hi.isBottom())
+      return;
+    VarType Out;
+    Out.IT = arithPromote(joinIntrinsic(Lo.IT, Hi.IT));
+    SymExpr Len = nullptr;
+    if (I.Op == Opcode::Colon2 && Lo.ValExpr && Hi.ValExpr) {
+      // length = max(hi - lo + 1, 0).
+      Len = Ctx.max(Ctx.add(Ctx.sub(Hi.ValExpr, Lo.ValExpr),
+                            Ctx.makeConst(1)),
+                    Ctx.makeConst(0));
+    } else if (I.Op == Opcode::Colon3) {
+      const VarType &St = T(I.Operands[1]);
+      Out.IT = arithPromote(joinIntrinsic(Out.IT, St.IT));
+      if (Lo.ValExpr && Hi.ValExpr && St.ValExpr && St.ValExpr->isConst() &&
+          Lo.ValExpr->isConst() && Hi.ValExpr->isConst() &&
+          St.ValExpr->constValue() != 0) {
+        double L = static_cast<double>(Lo.ValExpr->constValue());
+        double H = static_cast<double>(Hi.ValExpr->constValue());
+        double S = static_cast<double>(St.ValExpr->constValue());
+        std::int64_t N = static_cast<std::int64_t>(
+            std::max(std::floor((H - L) / S) + 1.0, 0.0));
+        Len = Ctx.makeConst(N);
+      }
+    }
+    Out.Extents = {Ctx.makeConst(1), Len ? Len : freshExtent(I, 0)};
+    if (Lo.ValExpr && Hi.ValExpr)
+      Out.MaxElem = Ctx.max(Lo.ValExpr, Hi.ValExpr);
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Subsref: {
+    const VarType &A = T(I.Operands[0]);
+    if (A.isBottom())
+      return;
+    VarType Out;
+    Out.IT = A.IT;
+    unsigned NumSubs = static_cast<unsigned>(I.Operands.size()) - 1;
+    auto SubT = [&](unsigned K) -> const VarType & {
+      return T(I.Operands[1 + K]);
+    };
+    if (NumSubs == 1) {
+      const VarType &S = SubT(0);
+      if (S.isBottom())
+        return;
+      if (S.IT == IntrinsicType::Colon) {
+        // a(:) is a column of all elements.
+        Out.Extents = {A.Extents.empty() ? freshExtent(I, 0)
+                                         : Ctx.numElements(A.Extents),
+                       Ctx.makeConst(1)};
+      } else if (S.isScalar()) {
+        Out.Extents = scalarShape();
+      } else {
+        Out.Extents = S.Extents; // Result takes the index's shape.
+      }
+    } else {
+      for (unsigned K = 0; K < NumSubs; ++K) {
+        const VarType &S = SubT(K);
+        if (S.isBottom())
+          return;
+        SymExpr BaseExtent = K < A.Extents.size() ? A.Extents[K]
+                                                  : Ctx.makeConst(1);
+        if (S.IT == IntrinsicType::Colon)
+          Out.Extents.push_back(BaseExtent);
+        else if (S.isScalar())
+          Out.Extents.push_back(Ctx.makeConst(1));
+        else if (!S.Extents.empty())
+          Out.Extents.push_back(Ctx.numElements(S.Extents));
+        else
+          Out.Extents.push_back(freshExtent(I, static_cast<int>(K)));
+      }
+    }
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Subsasgn: {
+    const VarType &A = T(I.Operands[0]);
+    const VarType &R = T(I.Operands[1]);
+    if (A.isBottom() || R.isBottom())
+      return;
+    VarType Out;
+    Out.IT = joinIntrinsic(A.IT, R.IT);
+    unsigned NumSubs = static_cast<unsigned>(I.Operands.size()) - 2;
+    auto SubT = [&](unsigned K) -> const VarType & {
+      return T(I.Operands[2 + K]);
+    };
+    // Result extents: max(base extent, largest subscript) per dimension
+    // (the growth semantics of section 2.3.3).
+    unsigned Rank = std::max<unsigned>(
+        NumSubs == 1 ? 2 : NumSubs,
+        static_cast<unsigned>(A.Extents.size()));
+    auto BaseExtent = [&](unsigned D) {
+      return D < A.Extents.size() ? A.Extents[D] : Ctx.makeConst(1);
+    };
+    if (NumSubs == 1) {
+      const VarType &S = SubT(0);
+      if (S.isBottom())
+        return;
+      // Linear indexing: grows along the vector orientation.
+      bool RowVector = !A.Extents.empty() && A.Extents[0]->isConst() &&
+                       A.Extents[0]->constValue() == 1;
+      SymExpr Bound = maxElemAt(F, I.Operands[2], B, Types);
+      if (!Bound)
+        Bound = freshExtent(I, 0);
+      for (unsigned D = 0; D < Rank; ++D) {
+        bool GrowDim = RowVector ? D == 1 : D == 0;
+        if (S.IT == IntrinsicType::Colon || !GrowDim)
+          Out.Extents.push_back(BaseExtent(D));
+        else
+          Out.Extents.push_back(Ctx.max(BaseExtent(D), Bound));
+      }
+    } else {
+      for (unsigned D = 0; D < Rank; ++D) {
+        if (D >= NumSubs) {
+          Out.Extents.push_back(BaseExtent(D));
+          continue;
+        }
+        const VarType &S = SubT(D);
+        if (S.isBottom())
+          return;
+        if (S.IT == IntrinsicType::Colon) {
+          Out.Extents.push_back(BaseExtent(D));
+          continue;
+        }
+        SymExpr Bound = maxElemAt(F, I.Operands[2 + D], B, Types);
+        if (!Bound)
+          Bound = freshExtent(I, static_cast<int>(D));
+        Out.Extents.push_back(Ctx.max(BaseExtent(D), Bound));
+      }
+    }
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::HorzCat:
+  case Opcode::VertCat: {
+    if (I.Operands.empty()) {
+      VarType Out;
+      Out.IT = IntrinsicType::Real; // [] is an empty double array.
+      Out.Extents = {Ctx.makeConst(0), Ctx.makeConst(0)};
+      SetResult(0, std::move(Out));
+      return;
+    }
+    VarType Out;
+    unsigned CatDim = I.Op == Opcode::HorzCat ? 1 : 0;
+    unsigned KeepDim = 1 - CatDim;
+    SymExpr Total = Ctx.makeConst(0);
+    SymExpr Keep = nullptr;
+    for (size_t K = 0; K < I.Operands.size(); ++K) {
+      const VarType &E = T(I.Operands[K]);
+      if (E.isBottom())
+        return;
+      // The runtime drops statically-empty parts; skip them here too so
+      // the kept extent doesn't come from a 0 x 0 placeholder.
+      if (E.hasKnownShape() && E.knownNumElements() == 0)
+        continue;
+      Out.IT = joinIntrinsic(Out.IT, E.IT);
+      SymExpr Ext = E.Extents.size() > CatDim ? E.Extents[CatDim]
+                                              : Ctx.makeConst(1);
+      Total = Ctx.add(Total, Ext);
+      if (!Keep && E.Extents.size() > KeepDim)
+        Keep = E.Extents[KeepDim];
+    }
+    if (Out.IT == IntrinsicType::None) {
+      // Every part was empty.
+      Out.IT = IntrinsicType::Real;
+      Out.Extents = {Ctx.makeConst(0), Ctx.makeConst(0)};
+      SetResult(0, std::move(Out));
+      return;
+    }
+    Out.Extents.resize(2);
+    Out.Extents[CatDim] = Total;
+    Out.Extents[KeepDim] = Keep ? Keep : Ctx.makeConst(1);
+    SetResult(0, std::move(Out));
+    return;
+  }
+  case Opcode::Builtin: {
+    // Operand bottoms block inference (except for effect-only builtins).
+    for (VarId Op : I.Operands)
+      if (T(Op).isBottom())
+        return;
+    for (unsigned RI = 0; RI < I.Results.size(); ++RI)
+      SetResult(RI, transferBuiltin(F, I, Types, RI));
+    return;
+  }
+  case Opcode::Call: {
+    Function *Callee = M.findFunction(I.StrVal);
+    if (!Callee)
+      return;
+    Summary &S = Summaries[Callee];
+    // Push argument types into the callee's parameter joins.
+    if (S.Params.size() < I.Operands.size())
+      S.Params.resize(I.Operands.size());
+    for (size_t K = 0; K < I.Operands.size(); ++K) {
+      if (T(I.Operands[K]).isBottom())
+        continue;
+      S.Params[K] = joinTypes(S.Params[K], T(I.Operands[K]));
+    }
+    // Pull the callee's output types.
+    for (unsigned RI = 0; RI < I.Results.size(); ++RI) {
+      if (RI < S.Outputs.size() && !S.Outputs[RI].isBottom())
+        SetResult(RI, S.Outputs[RI]);
+    }
+    return;
+  }
+  case Opcode::Display:
+  case Opcode::Jmp:
+  case Opcode::Br:
+  case Opcode::Ret:
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Function and module fixpoints
+//===----------------------------------------------------------------------===//
+
+bool TypeInference::inferFunction(Function &F) {
+  std::vector<VarType> &Types = AllTypes[&F];
+  if (Types.size() < F.numVars())
+    Types.resize(F.numVars());
+
+  bool AnyChange = false;
+  Summary &S = Summaries[&F];
+
+  // Seed parameters from the summary (entry gets conservative types in
+  // run()).
+  for (size_t K = 0; K < F.Params.size(); ++K) {
+    if (K < S.Params.size() && !S.Params[K].isBottom()) {
+      AnyChange |=
+          updateType(Types[F.Params[K]],
+                     joinTypes(Types[F.Params[K]], S.Params[K]), F,
+                     F.Params[K]);
+    }
+  }
+
+  std::vector<BlockId> RPO = F.reversePostOrder();
+  for (int Round = 0; Round < 50; ++Round) {
+    bool Changed = false;
+    for (BlockId B : RPO)
+      for (const Instr &I : F.block(B)->Instrs)
+        transfer(F, B, I, Types, Changed);
+    AnyChange |= Changed;
+    if (!Changed)
+      break;
+  }
+
+  // Record output types at Ret.
+  for (BlockId B : RPO) {
+    const BasicBlock *BB = F.block(B);
+    if (!BB->hasTerminator() || BB->terminator().Op != Opcode::Ret)
+      continue;
+    const Instr &Ret = BB->terminator();
+    if (S.Outputs.size() < Ret.Operands.size())
+      S.Outputs.resize(Ret.Operands.size());
+    for (size_t K = 0; K < Ret.Operands.size(); ++K) {
+      VarType New = joinTypes(S.Outputs[K], Types[Ret.Operands[K]]);
+      if (!typesEqual(S.Outputs[K], New)) {
+        S.Outputs[K] = std::move(New);
+        AnyChange = true;
+      }
+    }
+  }
+  return AnyChange;
+}
+
+void TypeInference::run(const std::string &EntryName) {
+  // Conservative types for the entry's parameters (usually none).
+  if (Function *Entry = M.findFunction(EntryName)) {
+    Summary &S = Summaries[Entry];
+    S.Params.resize(Entry->Params.size());
+    for (size_t K = 0; K < Entry->Params.size(); ++K) {
+      VarType T;
+      T.IT = IntrinsicType::Complex;
+      T.Extents = {Ctx.makeSym("$arg" + std::to_string(K) + "r"),
+                   Ctx.makeSym("$arg" + std::to_string(K) + "c")};
+      S.Params[K] = std::move(T);
+    }
+  }
+  for (auto &F : M.Functions)
+    AllTypes[F.get()].resize(F->numVars());
+
+  for (int Round = 0; Round < 30; ++Round) {
+    bool Changed = false;
+    for (auto &F : M.Functions)
+      Changed |= inferFunction(*F);
+    if (!Changed)
+      break;
+  }
+}

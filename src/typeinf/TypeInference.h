@@ -1,0 +1,130 @@
+//===- TypeInference.h - Symbolic type/shape inference ----------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inference engine standing in for MAGICA (paper's [17, 18]): for
+/// every SSA variable it infers the intrinsic type, a shape tuple of
+/// (possibly symbolic) extents, and where derivable a symbolic scalar
+/// value. Inference reuse via symbolic equivalence -- the property GCTD's
+/// partial order relies on -- falls out of interning: an elementwise op's
+/// result *shares* its operand's shape expression.
+///
+/// The analysis is an interprocedural fixpoint: function summaries carry
+/// joined parameter types from all call sites and inferred output types;
+/// because one SymExprContext is shared module-wide, shape expressions
+/// flow across call boundaries unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_TYPEINF_TYPEINFERENCE_H
+#define MATCOAL_TYPEINF_TYPEINFERENCE_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+#include "support/SymExpr.h"
+#include "typeinf/Types.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// Runs module-wide type inference over SSA-form functions.
+class TypeInference {
+public:
+  TypeInference(Module &M, SymExprContext &Ctx, Diagnostics &Diags)
+      : M(M), Ctx(Ctx), Diags(Diags) {}
+
+  /// Infers types for every function reachable from \p EntryName (other
+  /// functions get conservative parameter types). Must be called once.
+  void run(const std::string &EntryName = "main");
+
+  /// Per-variable types for \p F (indexed by VarId; bottom for variables
+  /// that are dead or pre-SSA originals).
+  const std::vector<VarType> &functionTypes(const Function &F) const;
+  const VarType &typeOf(const Function &F, VarId V) const {
+    return functionTypes(F)[V];
+  }
+
+  SymExprContext &context() { return Ctx; }
+
+private:
+  struct Summary {
+    std::vector<VarType> Params;  ///< Join over call sites.
+    std::vector<VarType> Outputs; ///< Types at the callee's Ret.
+  };
+
+  bool inferFunction(Function &F);
+  /// Computes the result types of one instruction from operand types.
+  void transfer(Function &F, BlockId B, const Instr &I,
+                std::vector<VarType> &Types, bool &Changed);
+  VarType transferBuiltin(Function &F, const Instr &I,
+                          const std::vector<VarType> &Types,
+                          unsigned ResultIdx);
+
+  // Type algebra helpers.
+  VarType joinTypes(const VarType &A, const VarType &B);
+  std::vector<SymExpr> joinShape(const std::vector<SymExpr> &A,
+                                 const std::vector<SymExpr> &B);
+  /// Elementwise binary result shape (scalar broadcast, expression reuse).
+  std::vector<SymExpr> elementwiseShape(const VarType &A, const VarType &B,
+                                        const Instr &I);
+  std::vector<SymExpr> scalarShape();
+  /// Memoized per-instruction fresh extent so the fixpoint terminates.
+  SymExpr freshExtent(const Instr &I, int Slot);
+  std::vector<SymExpr> freshShape(const Instr &I, int Base, unsigned Rank);
+  /// Shape-from-dimension-arguments helper for zeros/ones/rand/eye.
+  std::vector<SymExpr> shapeFromDims(const Instr &I,
+                                     const std::vector<VarType> &Types);
+  static bool typesEqual(const VarType &A, const VarType &B);
+  /// Updates Slot to New, applying widening if it keeps changing.
+  bool updateType(VarType &Slot, VarType New, const Function &F, VarId V);
+
+  /// Flow facts mined from the IR once per function: branch-guard upper
+  /// bounds (x <= h holds in blocks dominated by a comparison's true
+  /// successor -- MAGICA's value-range analysis specialized to subscript
+  /// bounding) and defining instructions.
+  struct FunctionIRInfo {
+    /// Per block: (x, h, inclusive) constraints.
+    struct Bound {
+      VarId X;
+      VarId H;
+      bool Inclusive;
+    };
+    std::vector<std::vector<Bound>> UpperBounds;
+    std::vector<const Instr *> DefInstr;
+  };
+  const FunctionIRInfo &irInfo(const Function &F);
+  /// Best provable upper bound on the (integer) value of V at block B;
+  /// null if none. Understands constant offsets (i + 1) over guards.
+  SymExpr maxElemAt(const Function &F, VarId V, BlockId B,
+                    const std::vector<VarType> &Types, int Depth = 0);
+
+  Module &M;
+  SymExprContext &Ctx;
+  Diagnostics &Diags;
+  std::map<const Function *, FunctionIRInfo> IRInfos;
+
+  std::map<const Function *, std::vector<VarType>> AllTypes;
+  std::map<const Function *, Summary> Summaries;
+  /// (instruction, slot) -> memoized fresh symbol.
+  std::map<std::pair<const Instr *, int>, SymExpr> FreshCache;
+  /// Memoized symbolic joins so repeated joins are stable.
+  std::map<std::pair<unsigned, unsigned>, SymExpr> JoinCache;
+  /// Widened ("pinned") symbols absorb further joins.
+  std::set<SymExpr> Pinned;
+  /// Change counters for widening, keyed by (function, var).
+  std::map<std::pair<const Function *, VarId>, int> ChangeCount;
+  /// Instructions already warned about (the fixpoint revisits them).
+  std::set<const Instr *> Warned;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_TYPEINF_TYPEINFERENCE_H

@@ -1,0 +1,82 @@
+//===- Types.cpp ----------------------------------------------------------===//
+
+#include "typeinf/Types.h"
+
+#include <sstream>
+
+using namespace matcoal;
+
+const char *matcoal::intrinsicTypeName(IntrinsicType IT) {
+  switch (IT) {
+  case IntrinsicType::None: return "none";
+  case IntrinsicType::Bool: return "boolean";
+  case IntrinsicType::Int: return "integer";
+  case IntrinsicType::Char: return "char";
+  case IntrinsicType::Real: return "real";
+  case IntrinsicType::Complex: return "complex";
+  case IntrinsicType::Colon: return "colon";
+  case IntrinsicType::Illegal: return "illegal";
+  }
+  return "<bad>";
+}
+
+IntrinsicType matcoal::joinIntrinsic(IntrinsicType A, IntrinsicType B) {
+  if (A == B)
+    return A;
+  if (A == IntrinsicType::None)
+    return B;
+  if (B == IntrinsicType::None)
+    return A;
+  if (A == IntrinsicType::Illegal || B == IntrinsicType::Illegal)
+    return IntrinsicType::Illegal;
+  if (A == IntrinsicType::Colon || B == IntrinsicType::Colon)
+    return IntrinsicType::Illegal; // ':' only joins with itself.
+  // Char beside the numeric chain: any mixed join lands on Real (MATLAB
+  // promotes char to double in arithmetic).
+  if (A == IntrinsicType::Char || B == IntrinsicType::Char) {
+    IntrinsicType Other = A == IntrinsicType::Char ? B : A;
+    if (Other == IntrinsicType::Complex)
+      return IntrinsicType::Complex;
+    return IntrinsicType::Real;
+  }
+  // Bool < Int < Real < Complex.
+  auto Rank = [](IntrinsicType T) {
+    switch (T) {
+    case IntrinsicType::Bool: return 0;
+    case IntrinsicType::Int: return 1;
+    case IntrinsicType::Real: return 2;
+    case IntrinsicType::Complex: return 3;
+    default: return 4;
+    }
+  };
+  return Rank(A) > Rank(B) ? A : B;
+}
+
+unsigned matcoal::elemSizeBytes(IntrinsicType IT) {
+  switch (IT) {
+  case IntrinsicType::Complex:
+    return 16;
+  case IntrinsicType::Colon:
+  case IntrinsicType::None:
+    return 0;
+  default:
+    return 8;
+  }
+}
+
+std::string VarType::str() const {
+  std::ostringstream OS;
+  OS << intrinsicTypeName(IT);
+  if (!Extents.empty()) {
+    OS << " [";
+    for (size_t I = 0; I < Extents.size(); ++I) {
+      if (I)
+        OS << " x ";
+      OS << Extents[I]->str();
+    }
+    OS << "]";
+  }
+  if (ValExpr)
+    OS << " val=" << ValExpr->str();
+  return OS.str();
+}

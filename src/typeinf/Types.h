@@ -1,0 +1,102 @@
+//===- Types.h - Inferred MATLAB value types --------------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type domain of the inference engine: an intrinsic-type lattice
+/// (paper section 3.1 lists BOOLEAN, INTEGER, REAL, COMPLEX and the
+/// illegal type), a shape tuple of symbolic extents, and an optional
+/// symbolic scalar value (how size()/numel() results feed back into shape
+/// expressions, mirroring MAGICA's value-range inference).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_TYPEINF_TYPES_H
+#define MATCOAL_TYPEINF_TYPES_H
+
+#include "support/SymExpr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// The intrinsic-type lattice: None (bottom) < Bool < Int < Real <
+/// Complex; Char sits beside the numeric chain (joining with numerics
+/// yields Real); Colon types the ':' subscript marker; Illegal is top.
+enum class IntrinsicType {
+  None, ///< Bottom: not yet inferred.
+  Bool,
+  Int,
+  Char,
+  Real,
+  Complex,
+  Colon,
+  Illegal,
+};
+
+const char *intrinsicTypeName(IntrinsicType IT);
+
+/// Lattice join.
+IntrinsicType joinIntrinsic(IntrinsicType A, IntrinsicType B);
+
+/// Storage bytes per element in the generated code / runtime (|t| in the
+/// paper's size formula |s(u)||t(u)|). The runtime boxes every non-complex
+/// element as a double.
+unsigned elemSizeBytes(IntrinsicType IT);
+
+/// The inferred type of one SSA variable.
+struct VarType {
+  IntrinsicType IT = IntrinsicType::None;
+  /// Shape tuple: one symbolic extent per dimension; rank >= 2 once
+  /// inferred (MATLAB scalars are 1x1). Empty while IT is None.
+  std::vector<SymExpr> Extents;
+  /// Symbolic integer value for scalar variables when derivable (constant
+  /// literals, size()/numel() results, arithmetic thereon). Null otherwise.
+  SymExpr ValExpr = nullptr;
+  /// Upper bound on the largest element value of an integer subscript
+  /// vector (scalars: the value itself; ranges lo:hi: max(lo, hi)). Used
+  /// by the subsasgn growth rule (paper section 2.3.3). Null if unknown.
+  SymExpr MaxElem = nullptr;
+
+  bool isBottom() const { return IT == IntrinsicType::None; }
+
+  /// True when every extent is the constant 1.
+  bool isScalar() const {
+    if (Extents.empty())
+      return false;
+    for (SymExpr E : Extents)
+      if (!E->isConst() || E->constValue() != 1)
+        return false;
+    return true;
+  }
+
+  /// True when every extent is an integer constant (the paper's
+  /// "statically estimable" condition 1, section 3.2.1).
+  bool hasKnownShape() const {
+    if (Extents.empty())
+      return false;
+    for (SymExpr E : Extents)
+      if (!E->isConst())
+        return false;
+    return true;
+  }
+
+  /// Element count when the shape is known.
+  std::int64_t knownNumElements() const {
+    std::int64_t N = 1;
+    for (SymExpr E : Extents)
+      N *= E->constValue();
+    return N;
+  }
+
+  std::string str() const;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_TYPEINF_TYPES_H

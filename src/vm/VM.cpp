@@ -1,0 +1,532 @@
+//===- VM.cpp -------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace matcoal;
+
+VM::VM(const Module &M, ExecModel Model,
+       std::map<const Function *, StoragePlan> Plans, std::uint64_t Seed)
+    : M(M), Model(Model), Plans(std::move(Plans)), Seed(Seed) {
+  buildInfo();
+}
+
+void VM::buildInfo() {
+  for (const auto &F : M.Functions) {
+    FunctionInfo &Info = Infos[F.get()];
+    auto PIt = Plans.find(F.get());
+    Info.Plan = PIt != Plans.end() ? &PIt->second : nullptr;
+
+    // Group SSA versions by source-level base name (for the mcc model's
+    // free-on-reassignment discipline).
+    Info.BaseIdOf.assign(F->numVars(), -1);
+    std::map<std::string, int> BaseIds;
+    for (unsigned V = 0; V < F->numVars(); ++V) {
+      const VarInfo &VI = F->var(static_cast<VarId>(V));
+      if (VI.IsTemp || VI.Version < 0)
+        continue;
+      auto [It, New] = BaseIds.emplace(
+          VI.Base, static_cast<int>(Info.VersionsOfBase.size()));
+      if (New)
+        Info.VersionsOfBase.emplace_back();
+      Info.BaseIdOf[V] = It->second;
+      Info.VersionsOfBase[It->second].push_back(static_cast<VarId>(V));
+    }
+
+    // Death points: a variable dies after the instruction of its last use
+    // (or its definition, if the result is never used).
+    LivenessInfo Live = computeLiveness(*F);
+    Info.Deaths.resize(F->Blocks.size());
+    for (const auto &BB : F->Blocks) {
+      auto &BlockDeaths = Info.Deaths[BB->Id];
+      BlockDeaths.resize(BB->Instrs.size());
+      BitVector LiveNow = Live.LiveOut[BB->Id];
+      for (size_t Idx = BB->Instrs.size(); Idx-- > 0;) {
+        const Instr &I = BB->Instrs[Idx];
+        for (VarId R : I.Results)
+          if (!LiveNow.test(R))
+            BlockDeaths[Idx].push_back(R); // Dead definition.
+        for (VarId R : I.Results)
+          LiveNow.reset(R);
+        for (VarId U : I.Operands)
+          if (!LiveNow.test(U)) {
+            BlockDeaths[Idx].push_back(U); // Last use.
+            LiveNow.set(U);
+          }
+      }
+    }
+  }
+}
+
+ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
+  ExecResult R;
+  const Function *F = M.findFunction(Entry);
+  if (!F) {
+    R.Error = "no function named '" + Entry + "'";
+    return R;
+  }
+  // Reset per-run state.
+  Rng = RandState(Seed);
+  Out.clear();
+  Meter = MemoryMeter();
+  OpCount = 0;
+  Violations = 0;
+  CallDepth = 0;
+  InPlaceOps = 0;
+  HeapResizes = 0;
+
+  auto Start = std::chrono::steady_clock::now();
+  try {
+    runFunction(*F, Args);
+    R.OK = true;
+  } catch (const MatError &E) {
+    R.Error = E.what();
+  }
+  auto End = std::chrono::steady_clock::now();
+  R.WallSeconds = std::chrono::duration<double>(End - Start).count();
+  R.Output = Out.str();
+  R.Ops = OpCount;
+  R.Mem = Meter.finish();
+  R.PlanViolations = Violations;
+  R.InPlaceOps = InPlaceOps;
+  R.HeapResizes = HeapResizes;
+  return R;
+}
+
+const Array &VM::valueOf(Frame &Fr, VarId V) const {
+  if (Model == ExecModel::Mcc) {
+    const auto &Box = Fr.Boxes[V];
+    if (!Box)
+      throw MatError("use of undefined variable '" + Fr.F->var(V).Name +
+                     "'");
+    return Box->A;
+  }
+  int G = Fr.Info->Plan->groupOf(V);
+  if (G < 0) {
+    auto It = Fr.Extra.find(V);
+    if (It == Fr.Extra.end())
+      throw MatError("use of undefined variable '" + Fr.F->var(V).Name +
+                     "'");
+    return It->second;
+  }
+  return Fr.GroupSlots[G];
+}
+
+void VM::tickFor(const Array &Result) {
+  Meter.advance(1 + static_cast<std::uint64_t>(Result.dataBytes() / 64));
+}
+
+void VM::killVar(Frame &Fr, VarId V) {
+  if (Model != ExecModel::Mcc)
+    return; // Static groups persist until redefinition or frame pop.
+  auto &Box = Fr.Boxes[V];
+  if (!Box)
+    return;
+  if (Box.use_count() == 1)
+    Meter.heapAdjust(-Box->Metered);
+  Box.reset();
+  Fr.DeadNamed[V] = 0;
+}
+
+void VM::sweepBase(Frame &Fr, VarId V) {
+  int BaseId = Fr.Info->BaseIdOf[V];
+  if (BaseId < 0)
+    return;
+  for (VarId W : Fr.Info->VersionsOfBase[BaseId])
+    if (W != V && Fr.DeadNamed[W])
+      killVar(Fr, W);
+}
+
+void VM::defineMcc(Frame &Fr, VarId V, Array Value) {
+  killVar(Fr, V); // Redefinitions (loop copies) release the old box.
+  // Reassigning a source name releases the arrays of its SSA-dead
+  // earlier versions (mcc's free-on-reassignment).
+  sweepBase(Fr, V);
+  auto Box = std::make_shared<VM::Box>();
+  Box->A = std::move(Value);
+  Box->Metered = MxArrayHeaderBytes + Box->A.dataBytes();
+  Meter.heapAdjust(Box->Metered);
+  Fr.Boxes[V] = std::move(Box);
+}
+
+void VM::defineStatic(Frame &Fr, VarId V, Array Value) {
+  const StoragePlan &Plan = *Fr.Info->Plan;
+  int G = Plan.groupOf(V);
+  if (G < 0) {
+    // Outside the plan (colon markers, post-GCTD temporaries): a private
+    // slot, metered as heap.
+    auto It = Fr.Extra.find(V);
+    std::int64_t Old = It == Fr.Extra.end() ? 0 : It->second.dataBytes();
+    Fr.Extra[V] = std::move(Value);
+    Meter.heapAdjust(Fr.Extra[V].dataBytes() - Old);
+    return;
+  }
+  const StorageGroup &Grp = Plan.Groups[G];
+  Fr.GroupSlots[G] = std::move(Value);
+  if (Grp.K == StorageGroup::Kind::Heap) {
+    std::int64_t NewBytes = Fr.GroupSlots[G].dataBytes();
+    if (NewBytes != Fr.GroupHeapBytes[G])
+      ++HeapResizes;
+    Meter.heapAdjust(NewBytes - Fr.GroupHeapBytes[G]);
+    Fr.GroupHeapBytes[G] = NewBytes;
+  } else if (Fr.GroupSlots[G].dataBytes() > Grp.StackBytes) {
+    ++Violations;
+  }
+}
+
+std::vector<Array> VM::runFunction(const Function &F,
+                                   const std::vector<Array> &Args) {
+  if (++CallDepth > 512) {
+    --CallDepth;
+    throw MatError("maximum recursion depth exceeded");
+  }
+  auto InfoIt = Infos.find(&F);
+  assert(InfoIt != Infos.end());
+  Frame Fr;
+  Fr.F = &F;
+  Fr.Info = &InfoIt->second;
+
+  std::int64_t FramePushBytes = FrameOverheadBytes;
+  if (Model == ExecModel::Static) {
+    if (!Fr.Info->Plan)
+      throw MatError("internal: static model requires a storage plan");
+    const StoragePlan &Plan = *Fr.Info->Plan;
+    Fr.GroupSlots.resize(Plan.Groups.size());
+    Fr.GroupHeapBytes.assign(Plan.Groups.size(), 0);
+    FramePushBytes += Plan.FrameBytes;
+  } else {
+    Fr.Boxes.resize(F.numVars());
+    Fr.DeadNamed.assign(F.numVars(), 0);
+  }
+  Meter.stackAdjust(FramePushBytes);
+  Meter.advance(1);
+
+  // Bind parameters.
+  if (Args.size() < F.Params.size())
+    throw MatError("not enough arguments to " + F.Name);
+  for (size_t K = 0; K < F.Params.size(); ++K) {
+    if (Model == ExecModel::Mcc) {
+      // Arguments are shared handles (copy-on-write), so only a header is
+      // charged; the data was metered in the caller.
+      auto Box = std::make_shared<VM::Box>();
+      Box->A = Args[K];
+      Box->Metered = MxArrayHeaderBytes;
+      Meter.heapAdjust(Box->Metered);
+      Fr.Boxes[F.Params[K]] = std::move(Box);
+    } else {
+      defineStatic(Fr, F.Params[K], Args[K]);
+    }
+  }
+
+  std::vector<Array> Outputs;
+  BlockId Cur = 0;
+  size_t Idx = 0;
+  bool Done = false;
+  while (!Done) {
+    const BasicBlock *BB = F.block(Cur);
+    if (Idx >= BB->Instrs.size())
+      throw MatError("internal: fell off the end of a block");
+    const Instr &I = BB->Instrs[Idx];
+    if (++OpCount > OpBudget)
+      throw MatError("operation budget exceeded (infinite loop?)");
+
+    BlockId NextBlock = Cur;
+    size_t NextIdx = Idx + 1;
+    switch (I.Op) {
+    case Opcode::Jmp:
+      NextBlock = I.Target1;
+      NextIdx = 0;
+      Meter.advance(1);
+      break;
+    case Opcode::Br: {
+      bool T = valueOf(Fr, I.Operands[0]).truth();
+      NextBlock = T ? I.Target1 : I.Target2;
+      NextIdx = 0;
+      Meter.advance(1);
+      break;
+    }
+    case Opcode::Ret: {
+      for (VarId O : I.Operands)
+        Outputs.push_back(valueOf(Fr, O));
+      Done = true;
+      Meter.advance(1);
+      break;
+    }
+    default:
+      execInstr(Fr, I, Fr.Info->Deaths[Cur][Idx]);
+      break;
+    }
+
+    // Apply deaths recorded for this instruction. In the mcc model,
+    // compiler temporaries are released at last use, but named variables
+    // persist until their source name is reassigned (or the frame pops).
+    for (VarId V : Fr.Info->Deaths[Cur][Idx]) {
+      if (Model == ExecModel::Mcc && Fr.Info->BaseIdOf[V] >= 0)
+        Fr.DeadNamed[V] = 1;
+      else
+        killVar(Fr, V);
+    }
+
+    Cur = NextBlock;
+    Idx = NextIdx;
+  }
+
+  // Pop the frame.
+  if (Model == ExecModel::Mcc) {
+    for (size_t V = 0; V < Fr.Boxes.size(); ++V)
+      killVar(Fr, static_cast<VarId>(V));
+  } else {
+    for (std::int64_t B : Fr.GroupHeapBytes)
+      Meter.heapAdjust(-B);
+    for (auto &[V, A] : Fr.Extra)
+      Meter.heapAdjust(-A.dataBytes());
+  }
+  Meter.stackAdjust(-FramePushBytes);
+  --CallDepth;
+  return Outputs;
+}
+
+void VM::execInstr(Frame &Fr, const Instr &I,
+                   const std::vector<VarId> &DeathsHere) {
+  auto Define = [&](VarId V, Array Value) {
+    tickFor(Value);
+    if (Model == ExecModel::Mcc)
+      defineMcc(Fr, V, std::move(Value));
+    else
+      defineStatic(Fr, V, std::move(Value));
+  };
+
+  switch (I.Op) {
+  case Opcode::ConstNum:
+    Define(I.result(), I.NumIm != 0.0
+                           ? Array::complexScalar(I.NumRe, I.NumIm)
+                           : Array::scalar(I.NumRe));
+    return;
+  case Opcode::ConstStr:
+    Define(I.result(), Array::charRow(I.StrVal));
+    return;
+  case Opcode::ConstColon:
+    Define(I.result(), Array::colonMarker());
+    return;
+
+  case Opcode::Copy: {
+    VarId Dst = I.result(), Src = I.Operands[0];
+    if (Model == ExecModel::Mcc) {
+      // Copy-on-write sharing: a new handle, no data copy.
+      auto SrcBox = Fr.Boxes[Src];
+      if (!SrcBox)
+        throw MatError("use of undefined variable");
+      killVar(Fr, Dst);
+      sweepBase(Fr, Dst);
+      Fr.Boxes[Dst] = std::move(SrcBox);
+      Meter.advance(1);
+      return;
+    }
+    const StoragePlan &Plan = *Fr.Info->Plan;
+    if (Plan.sameSlot(Dst, Src)) {
+      // Identity assignment: the whole point of phi coalescing
+      // (section 2.2.1) -- it costs nothing.
+      Meter.advance(1);
+      return;
+    }
+    Array V = valueOf(Fr, Src);
+    tickFor(V);
+    defineStatic(Fr, Dst, std::move(V));
+    return;
+  }
+
+  case Opcode::Neg:
+  case Opcode::UPlus:
+  case Opcode::Not:
+  case Opcode::Transpose:
+  case Opcode::CTranspose:
+    Define(I.result(), unaryOp(I.Op, valueOf(Fr, I.Operands[0])));
+    return;
+
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::MatMul:
+  case Opcode::ElemMul:
+  case Opcode::MatRDiv:
+  case Opcode::ElemRDiv:
+  case Opcode::MatLDiv:
+  case Opcode::ElemLDiv:
+  case Opcode::MatPow:
+  case Opcode::ElemPow:
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge:
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::And:
+  case Opcode::Or: {
+    const Array &A = valueOf(Fr, I.Operands[0]);
+    const Array &B = valueOf(Fr, I.Operands[1]);
+    if (Model == ExecModel::Static) {
+      const StoragePlan &Plan = *Fr.Info->Plan;
+      int G = Plan.groupOf(I.result());
+      if (G >= 0) {
+        Array &Slot = Fr.GroupSlots[G];
+        if (&Slot == &A || &Slot == &B) {
+          // In-place elementwise update through the shared slot.
+          ++InPlaceOps;
+          binaryOpInto(Slot, I.Op, A, B);
+          tickFor(Slot);
+          if (Plan.Groups[G].K == StorageGroup::Kind::Heap) {
+            std::int64_t NewBytes = Slot.dataBytes();
+            if (NewBytes != Fr.GroupHeapBytes[G])
+              ++HeapResizes;
+            Meter.heapAdjust(NewBytes - Fr.GroupHeapBytes[G]);
+            Fr.GroupHeapBytes[G] = NewBytes;
+          }
+          return;
+        }
+      }
+    }
+    Define(I.result(), binaryOp(I.Op, A, B));
+    return;
+  }
+
+  case Opcode::Colon2:
+    Define(I.result(), colonRange(valueOf(Fr, I.Operands[0]),
+                                  valueOf(Fr, I.Operands[1])));
+    return;
+  case Opcode::Colon3:
+    Define(I.result(), colonRange3(valueOf(Fr, I.Operands[0]),
+                                   valueOf(Fr, I.Operands[1]),
+                                   valueOf(Fr, I.Operands[2])));
+    return;
+
+  case Opcode::Subsref: {
+    std::vector<const Array *> Subs;
+    for (size_t K = 1; K < I.Operands.size(); ++K)
+      Subs.push_back(&valueOf(Fr, I.Operands[K]));
+    Define(I.result(), subsref(valueOf(Fr, I.Operands[0]), Subs));
+    return;
+  }
+
+  case Opcode::Subsasgn: {
+    VarId Dst = I.result(), Base = I.Operands[0];
+    std::vector<const Array *> Subs;
+    for (size_t K = 2; K < I.Operands.size(); ++K)
+      Subs.push_back(&valueOf(Fr, I.Operands[K]));
+    const Array &Rhs = valueOf(Fr, I.Operands[1]);
+
+    if (Model == ExecModel::Static) {
+      const StoragePlan &Plan = *Fr.Info->Plan;
+      int G = Plan.groupOf(Dst);
+      if (G >= 0 && Plan.sameSlot(Dst, Base)) {
+        // The paper's in-place L-indexing (section 2.3.3.1).
+        ++InPlaceOps;
+        Array &Slot = Fr.GroupSlots[G];
+        subsasgnInPlace(Slot, Rhs, Subs);
+        tickFor(Rhs);
+        if (Plan.Groups[G].K == StorageGroup::Kind::Heap) {
+          std::int64_t NewBytes = Slot.dataBytes();
+          if (NewBytes != Fr.GroupHeapBytes[G])
+            ++HeapResizes;
+          Meter.heapAdjust(NewBytes - Fr.GroupHeapBytes[G]);
+          Fr.GroupHeapBytes[G] = NewBytes;
+        } else if (Slot.dataBytes() > Plan.Groups[G].StackBytes) {
+          ++Violations;
+        }
+        return;
+      }
+      Array Copy = valueOf(Fr, Base);
+      subsasgnInPlace(Copy, Rhs, Subs);
+      Define(Dst, std::move(Copy));
+      return;
+    }
+
+    // Mcc model: copy-on-write.
+    auto &BaseBox = Fr.Boxes[Base];
+    if (!BaseBox)
+      throw MatError("use of undefined variable");
+    // mcc updates in place when the base's box is unshared and the base
+    // variable dies at this statement; otherwise it copies (COW).
+    bool BaseDiesHere =
+        BaseBox.use_count() == 1 && Dst != Base &&
+        std::find(DeathsHere.begin(), DeathsHere.end(), Base) !=
+            DeathsHere.end();
+    if (BaseDiesHere) {
+      auto Kept = BaseBox; // The slot may be aliased by Dst == Base webs.
+      std::int64_t Before = Kept->A.dataBytes();
+      subsasgnInPlace(Kept->A, Rhs, Subs);
+      std::int64_t After = Kept->A.dataBytes();
+      Kept->Metered += After - Before;
+      Meter.heapAdjust(After - Before);
+      killVar(Fr, Dst);
+      sweepBase(Fr, Dst);
+      Fr.Boxes[Dst] = std::move(Kept);
+      tickFor(Rhs);
+      return;
+    }
+    Array Copy = BaseBox->A;
+    subsasgnInPlace(Copy, Rhs, Subs);
+    Define(Dst, std::move(Copy));
+    return;
+  }
+
+  case Opcode::HorzCat:
+  case Opcode::VertCat: {
+    std::vector<const Array *> Parts;
+    for (VarId V : I.Operands)
+      Parts.push_back(&valueOf(Fr, V));
+    Define(I.result(),
+           I.Op == Opcode::HorzCat ? horzcat(Parts) : vertcat(Parts));
+    return;
+  }
+
+  case Opcode::Builtin: {
+    std::vector<const Array *> Args;
+    for (VarId V : I.Operands)
+      Args.push_back(&valueOf(Fr, V));
+    std::vector<Array> Results =
+        callBuiltin(I.StrVal, Args,
+                    static_cast<unsigned>(I.Results.size()), Rng, Out);
+    if (Results.size() < I.Results.size())
+      throw MatError("too many output arguments for " + I.StrVal);
+    if (I.Results.empty())
+      Meter.advance(1);
+    for (size_t K = 0; K < I.Results.size(); ++K)
+      Define(I.Results[K], std::move(Results[K]));
+    return;
+  }
+
+  case Opcode::Call: {
+    const Function *Callee = M.findFunction(I.StrVal);
+    if (!Callee)
+      throw MatError("undefined function '" + I.StrVal + "'");
+    std::vector<Array> Args;
+    for (VarId V : I.Operands)
+      Args.push_back(valueOf(Fr, V));
+    std::vector<Array> Results = runFunction(*Callee, Args);
+    if (Results.size() < I.Results.size())
+      throw MatError("too many output arguments for " + I.StrVal);
+    for (size_t K = 0; K < I.Results.size(); ++K)
+      Define(I.Results[K], std::move(Results[K]));
+    return;
+  }
+
+  case Opcode::Display: {
+    const Array &V = valueOf(Fr, I.Operands[0]);
+    Out.write(V.formatNamed(I.StrVal));
+    Meter.advance(1);
+    return;
+  }
+
+  case Opcode::Phi:
+    throw MatError("internal: phi reached the VM (run invertSSA first)");
+
+  case Opcode::Jmp:
+  case Opcode::Br:
+  case Opcode::Ret:
+    return; // Handled by the dispatch loop.
+  }
+}

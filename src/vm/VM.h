@@ -1,0 +1,150 @@
+//===- VM.h - Executes planned IR under allocation models -------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes the optimized, SSA-inverted IR under one of two allocation
+/// models, standing in for the paper's two compiled binaries:
+///
+/// * Mcc: every value (scalars included) is a heap-boxed mxArray-style
+///   object with an 88-byte header (section 4.4); operator results are
+///   fresh boxes, copies share via copy-on-write, and boxes are freed as
+///   soon as their variable dies.
+/// * Static ("mat2c"): storage follows a GCTD StoragePlan -- stack groups
+///   live in a fixed-size frame, heap groups are slots resized to each
+///   definition, identity copies vanish, and elementwise kernels run in
+///   place when the plan aliases result and operand.
+///
+/// Passing identity plans to the Static model gives the "without GCTD"
+/// ablation of Figure 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_VM_VM_H
+#define MATCOAL_VM_VM_H
+
+#include "gctd/StoragePlan.h"
+#include "ir/IR.h"
+#include "runtime/Kernels.h"
+#include "runtime/Memory.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+enum class ExecModel { Mcc, Static };
+
+/// Outcome of one program execution.
+struct ExecResult {
+  bool OK = false;
+  std::string Error;
+  std::string Output;       ///< Everything disp/fprintf/display produced.
+  std::uint64_t Ops = 0;    ///< Instructions executed.
+  double WallSeconds = 0;
+  MemoryStats Mem;
+  unsigned PlanViolations = 0; ///< Defs exceeding their static stack slot.
+  /// Operations executed truly in place through a shared slot (the
+  /// payoff of GCTD's coalescing; always 0 under the mcc model).
+  std::uint64_t InPlaceOps = 0;
+  /// Heap group slot resizes (section 3.2.2's on-the-fly resizing).
+  std::uint64_t HeapResizes = 0;
+};
+
+/// Executes one module. The VM is reusable; each run() is independent.
+class VM {
+public:
+  /// \p Plans must contain one plan per function for the Static model;
+  /// the Mcc model ignores them (pass an empty map).
+  VM(const Module &M, ExecModel Model,
+     std::map<const Function *, StoragePlan> Plans,
+     std::uint64_t Seed = 20030609);
+
+  /// Runs \p Entry with the given argument values.
+  ExecResult run(const std::string &Entry,
+                 const std::vector<Array> &Args = {});
+
+  /// Maximum instructions before aborting (runaway-loop guard).
+  void setOpBudget(std::uint64_t Budget) { OpBudget = Budget; }
+
+private:
+  struct FunctionInfo {
+    /// Variables whose last use is at (block, instr); freed afterwards.
+    std::vector<std::vector<std::vector<VarId>>> Deaths;
+    const StoragePlan *Plan = nullptr;
+    /// Per variable: index of its source-level base name; temps get -1.
+    /// mcc frees a *named* variable's box only once the name is
+    /// reassigned (its next SSA version is defined) -- compiler temps die
+    /// at last use ("deallocated immediately after being used").
+    std::vector<int> BaseIdOf;
+    /// Per base id: all SSA versions of that name.
+    std::vector<std::vector<VarId>> VersionsOfBase;
+  };
+
+  struct Box {
+    Array A;
+    std::int64_t Metered = 0;
+  };
+
+  struct Frame {
+    const Function *F = nullptr;
+    const FunctionInfo *Info = nullptr;
+    // Static model: one array per storage group.
+    std::vector<Array> GroupSlots;
+    std::vector<std::int64_t> GroupHeapBytes;
+    // Mcc model: one box per variable.
+    std::vector<std::shared_ptr<Box>> Boxes;
+    // Static model: values of variables outside the plan (colon markers,
+    // temporaries introduced after GCTD ran, e.g. swap temps).
+    std::map<VarId, Array> Extra;
+    // Mcc model: SSA-dead named variables whose boxes persist until the
+    // source name is reassigned.
+    std::vector<char> DeadNamed;
+  };
+
+  void buildInfo();
+  std::vector<Array> runFunction(const Function &F,
+                                 const std::vector<Array> &Args);
+  void execInstr(Frame &Fr, const Instr &I,
+                 const std::vector<VarId> &DeathsHere);
+  const Array &valueOf(Frame &Fr, VarId V) const;
+  void defineMcc(Frame &Fr, VarId V, Array Value);
+  void defineStatic(Frame &Fr, VarId V, Array Value);
+  void killVar(Frame &Fr, VarId V);
+  /// Frees the boxes of SSA-dead sibling versions of V's base name.
+  void sweepBase(Frame &Fr, VarId V);
+  void tickFor(const Array &Result);
+
+  const Module &M;
+  ExecModel Model;
+  std::map<const Function *, StoragePlan> Plans;
+  std::map<const Function *, FunctionInfo> Infos;
+  std::uint64_t Seed;
+
+  // Per-run state.
+  RandState Rng;
+  OutputSink Out;
+  MemoryMeter Meter;
+  std::uint64_t OpCount = 0;
+  std::uint64_t OpBudget = 2000000000ull;
+  unsigned Violations = 0;
+  unsigned CallDepth = 0;
+  std::uint64_t InPlaceOps = 0;
+  std::uint64_t HeapResizes = 0;
+
+  /// Per-frame bookkeeping overhead (locals, saved registers, handles).
+  static constexpr std::int64_t FrameOverheadBytes = 256;
+  /// The mxArray header size in mcc 2.2 (paper section 4.4).
+  static constexpr std::int64_t MxArrayHeaderBytes = 88;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_VM_VM_H

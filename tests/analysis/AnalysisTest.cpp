@@ -1,0 +1,142 @@
+//===- AnalysisTest.cpp - Dominators, liveness, availability --------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+
+#include "frontend/Parser.h"
+#include "transforms/Lowering.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+std::unique_ptr<Module> lower(const std::string &Src) {
+  Diagnostics Diags;
+  auto Prog = parseProgram(Src, Diags);
+  EXPECT_NE(Prog, nullptr) << Diags.str();
+  if (!Prog)
+    return nullptr;
+  auto M = lowerProgram(*Prog, Diags);
+  EXPECT_NE(M, nullptr) << Diags.str();
+  return M;
+}
+
+TEST(Dominators, StraightLine) {
+  auto M = lower("x = 1; y = x + 1;\n");
+  Function &F = *M->Functions[0];
+  DominatorTree DT(F);
+  // Entry dominates everything reachable.
+  for (BlockId B : F.reversePostOrder())
+    EXPECT_TRUE(DT.dominates(0, B));
+  EXPECT_EQ(DT.idom(0), NoBlock);
+}
+
+TEST(Dominators, IfDiamond) {
+  auto M = lower("if c\nx = 1;\nelse\nx = 2;\nend\ny = x;\n");
+  Function &F = *M->Functions[0];
+  DominatorTree DT(F);
+  // Find the join block: it has two predecessors.
+  BlockId Join = NoBlock;
+  for (const auto &BB : F.Blocks)
+    if (BB->Preds.size() == 2)
+      Join = BB->Id;
+  ASSERT_NE(Join, NoBlock);
+  // The join's idom must be the branching block (the entry here).
+  EXPECT_EQ(DT.idom(Join), 0);
+  // The then/else blocks do not dominate the join.
+  for (BlockId P : F.block(Join)->Preds)
+    EXPECT_FALSE(DT.dominates(P, Join) && P != Join);
+}
+
+TEST(Dominators, FrontierOfBranchArms) {
+  auto M = lower("if c\nx = 1;\nelse\nx = 2;\nend\ny = x;\n");
+  Function &F = *M->Functions[0];
+  DominatorTree DT(F);
+  BlockId Join = NoBlock;
+  for (const auto &BB : F.Blocks)
+    if (BB->Preds.size() == 2)
+      Join = BB->Id;
+  ASSERT_NE(Join, NoBlock);
+  for (BlockId P : F.block(Join)->Preds) {
+    auto &DF = DT.frontier(P);
+    EXPECT_NE(std::find(DF.begin(), DF.end(), Join), DF.end())
+        << "frontier of arm " << P << " must contain the join";
+  }
+}
+
+TEST(Dominators, LoopHeaderInOwnFrontier) {
+  auto M = lower("k = 0;\nwhile k < 10\nk = k + 1;\nend\n");
+  Function &F = *M->Functions[0];
+  DominatorTree DT(F);
+  // The while header has two preds (entry and backedge) and dominates the
+  // latch, so it appears in its own dominance frontier.
+  BlockId Header = NoBlock;
+  for (const auto &BB : F.Blocks)
+    if (BB->Preds.size() == 2)
+      Header = BB->Id;
+  ASSERT_NE(Header, NoBlock);
+  auto &DF = DT.frontier(Header);
+  EXPECT_NE(std::find(DF.begin(), DF.end(), Header), DF.end());
+}
+
+TEST(Liveness, UseKeepsVariableLiveAcrossBlocks) {
+  auto M = lower("x = 1;\nif c\ny = x;\nend\n");
+  Function &F = *M->Functions[0];
+  LivenessInfo L = computeLiveness(F);
+  // Find x's VarId.
+  VarId X = NoVar;
+  for (unsigned V = 0; V < F.numVars(); ++V)
+    if (F.var(V).Name == "x")
+      X = static_cast<VarId>(V);
+  ASSERT_NE(X, NoVar);
+  // x is live out of the entry block (used in the then-branch).
+  EXPECT_TRUE(L.LiveOut[0].test(X));
+}
+
+TEST(Liveness, DeadAfterLastUse) {
+  auto M = lower("x = 1;\ny = x + 1;\ndisp(y);\n");
+  Function &F = *M->Functions[0];
+  LivenessInfo L = computeLiveness(F);
+  VarId X = NoVar;
+  for (unsigned V = 0; V < F.numVars(); ++V)
+    if (F.var(V).Name == "x")
+      X = static_cast<VarId>(V);
+  ASSERT_NE(X, NoVar);
+  // Everything is in one block here; x must not be live out of it.
+  EXPECT_FALSE(L.LiveOut[0].test(X));
+}
+
+TEST(Availability, ParamsAvailableEverywhere) {
+  auto M = lower("function y = f(a)\nif a > 0\ny = a;\nelse\ny = -a;\nend\n");
+  Function &F = *M->Functions[0];
+  AvailabilityInfo A = computeAvailability(F);
+  VarId P = F.Params[0];
+  for (BlockId B : F.reversePostOrder())
+    EXPECT_TRUE(A.AvailIn[B].test(P) || B == 0);
+  EXPECT_TRUE(A.AvailIn[0].test(P));
+}
+
+TEST(Availability, DefReachesAlongSomePath) {
+  auto M = lower("if c\nx = 1;\nend\ny = 2;\n");
+  Function &F = *M->Functions[0];
+  AvailabilityInfo A = computeAvailability(F);
+  VarId X = NoVar;
+  for (unsigned V = 0; V < F.numVars(); ++V)
+    if (F.var(V).Name == "x")
+      X = static_cast<VarId>(V);
+  ASSERT_NE(X, NoVar);
+  // x is available (may-reach) at the join even though only one path
+  // defines it.
+  BlockId Join = NoBlock;
+  for (const auto &BB : F.Blocks)
+    if (BB->Preds.size() == 2)
+      Join = BB->Id;
+  ASSERT_NE(Join, NoBlock);
+  EXPECT_TRUE(A.AvailIn[Join].test(X));
+  // And not available on entry.
+  EXPECT_FALSE(A.AvailIn[0].test(X));
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- DominatorPropertyTest.cpp - Dominators vs brute force --------------===//
+//
+// Property test: on random CFGs, the Cooper-Harvey-Kennedy dominator tree
+// must agree with the definition of dominance computed by brute force
+// ("A dominates B iff B is unreachable when A is removed"), and dominance
+// frontiers must satisfy Cytron's definition.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+using namespace matcoal;
+
+namespace {
+
+/// Builds a random function-shaped CFG: every block gets a Jmp or Br to
+/// random targets; block 0 is the entry.
+std::unique_ptr<Function> randomCFG(unsigned Seed, unsigned NumBlocks) {
+  std::mt19937 Rng(Seed);
+  auto F = std::make_unique<Function>();
+  F->Name = "cfg";
+  for (unsigned I = 0; I < NumBlocks; ++I)
+    F->addBlock();
+  VarId C = F->getOrCreateVar("c");
+  // A dummy definition for the branch condition.
+  {
+    Instr Def;
+    Def.Op = Opcode::ConstNum;
+    Def.NumRe = 1;
+    Def.Results = {C};
+    F->block(0)->Instrs.push_back(Def);
+  }
+  std::uniform_int_distribution<BlockId> Pick(0, NumBlocks - 1);
+  for (unsigned I = 0; I < NumBlocks; ++I) {
+    BasicBlock *BB = F->block(static_cast<BlockId>(I));
+    unsigned Kind = std::uniform_int_distribution<unsigned>(0, 4)(Rng);
+    Instr T;
+    if (Kind == 0 || I + 1 == NumBlocks) {
+      T.Op = Opcode::Ret;
+    } else if (Kind <= 2) {
+      T.Op = Opcode::Jmp;
+      T.Target1 = Pick(Rng);
+    } else {
+      T.Op = Opcode::Br;
+      T.Operands = {C};
+      T.Target1 = Pick(Rng);
+      T.Target2 = Pick(Rng);
+    }
+    BB->Instrs.push_back(T);
+  }
+  F->recomputePreds();
+  return F;
+}
+
+/// Reachability from entry avoiding \p Removed (NoBlock = remove none).
+std::vector<char> reachableAvoiding(const Function &F, BlockId Removed) {
+  std::vector<char> Seen(F.Blocks.size(), 0);
+  if (Removed == 0)
+    return Seen;
+  std::vector<BlockId> Work = {0};
+  Seen[0] = 1;
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId S : F.block(B)->successors()) {
+      if (S == Removed || Seen[S])
+        continue;
+      Seen[S] = 1;
+      Work.push_back(S);
+    }
+  }
+  return Seen;
+}
+
+class DominatorPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DominatorPropertyTest, MatchesBruteForceDominance) {
+  auto F = randomCFG(GetParam() * 2654435761u + 17, 4 + GetParam() % 9);
+  DominatorTree DT(*F);
+  std::vector<char> Reach = reachableAvoiding(*F, NoBlock);
+  {
+    // Baseline reachability (nothing removed).
+    std::vector<BlockId> Work = {0};
+    Reach.assign(F->Blocks.size(), 0);
+    Reach[0] = 1;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId S : F->block(B)->successors())
+        if (!Reach[S]) {
+          Reach[S] = 1;
+          Work.push_back(S);
+        }
+    }
+  }
+
+  for (BlockId A = 0; A < static_cast<BlockId>(F->Blocks.size()); ++A) {
+    if (!Reach[A])
+      continue;
+    std::vector<char> Avoiding = reachableAvoiding(*F, A);
+    for (BlockId B = 0; B < static_cast<BlockId>(F->Blocks.size()); ++B) {
+      if (!Reach[B])
+        continue;
+      // A dominates B iff B is not reachable without passing through A
+      // (reflexively true for A == B).
+      bool Expected = A == B || !Avoiding[B];
+      EXPECT_EQ(DT.dominates(A, B), Expected)
+          << "blocks " << A << " -> " << B << " (seed " << GetParam()
+          << ")";
+    }
+  }
+}
+
+TEST_P(DominatorPropertyTest, FrontiersMatchDefinition) {
+  auto F = randomCFG(GetParam() * 40503u + 101, 4 + GetParam() % 9);
+  DominatorTree DT(*F);
+  // DF(A) = { B : A dominates some pred of B, A does not strictly
+  // dominate B }.
+  for (BlockId A : F->reversePostOrder()) {
+    std::vector<BlockId> Expected;
+    for (BlockId B : F->reversePostOrder()) {
+      bool DomPred = false;
+      for (BlockId P : F->block(B)->Preds)
+        if (DT.isReachable(P) && DT.dominates(A, P))
+          DomPred = true;
+      bool StrictlyDominates = A != B && DT.dominates(A, B);
+      if (DomPred && !StrictlyDominates)
+        Expected.push_back(B);
+    }
+    std::vector<BlockId> Actual = DT.frontier(A);
+    std::sort(Actual.begin(), Actual.end());
+    std::sort(Expected.begin(), Expected.end());
+    EXPECT_EQ(Actual, Expected) << "frontier of block " << A << " (seed "
+                                << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatorPropertyTest,
+                         ::testing::Range(0u, 25u));
+
+} // namespace

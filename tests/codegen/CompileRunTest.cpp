@@ -1,0 +1,166 @@
+//===- CompileRunTest.cpp - Compile emitted C with cc and run it ----------===//
+//
+// The strongest back-end validation: emit C for a program, compile it
+// against the mcrt runtime with the system C compiler, execute the binary,
+// and require byte-identical output with the instrumented VM (which in
+// turn matches the AST interpreter). Programs here stay within mcrt's
+// scope: real values, up to three dimensions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace matcoal;
+
+#ifndef MCRT_DIR
+#define MCRT_DIR "."
+#endif
+
+namespace {
+
+bool haveCC() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+/// Runs a command, captures stdout; returns exit status.
+int runCapture(const std::string &Cmd, std::string &Out) {
+  std::string Full = Cmd + " 2>/dev/null";
+  FILE *P = popen(Full.c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  Out.clear();
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  return pclose(P);
+}
+
+struct CProg {
+  const char *Name;
+  const char *Source;
+};
+
+class CompileRunTest : public ::testing::TestWithParam<CProg> {};
+
+TEST_P(CompileRunTest, EmittedCMatchesVM) {
+  if (!haveCC())
+    GTEST_SKIP() << "no system C compiler";
+
+  Diagnostics Diags;
+  auto P = compileSource(GetParam().Source, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+
+  // Reference output from the instrumented VM.
+  ExecResult VM = P->runStatic();
+  ASSERT_TRUE(VM.OK) << VM.Error;
+
+  // Emit, write, compile, run.
+  std::string C = emitModuleC(P->module(), P->GCTDPlans, P->types());
+  std::string Dir = ::testing::TempDir();
+  std::string CPath = Dir + "/matcoal_gen_" + GetParam().Name + ".c";
+  std::string Exe = Dir + "/matcoal_gen_" + GetParam().Name;
+  {
+    std::ofstream Out(CPath);
+    ASSERT_TRUE(Out.good());
+    Out << C;
+  }
+  std::string Compile = std::string("cc -std=c99 -O1 -I '") + MCRT_DIR +
+                        "' '" + CPath + "' '" + MCRT_DIR +
+                        "/mcrt.c' -o '" + Exe + "' -lm";
+  std::string CompileOut;
+  int Status = runCapture(Compile, CompileOut);
+  ASSERT_EQ(Status, 0) << "compile failed:\n" << C;
+
+  std::string RunOut;
+  Status = runCapture("'" + Exe + "'", RunOut);
+  EXPECT_EQ(Status, 0) << RunOut;
+  EXPECT_EQ(RunOut, VM.Output) << "generated C diverged from the VM\n" << C;
+
+  std::remove(CPath.c_str());
+  std::remove(Exe.c_str());
+}
+
+const CProg Programs[] = {
+    {"scalars", "a = 2; b = 3.5;\nc = a * b - 1;\ndisp(c);\n"},
+
+    {"example1_chain",
+     "t0 = rand(8, 8);\nt1 = t0 - 1.345;\nt2 = 2.788 .* t1;\n"
+     "t3 = tan(t2);\nfprintf('%.6f\\n', sum(sum(abs(t3))));\n"},
+
+    {"loops_and_branches",
+     "s = 0;\nfor i = 1:20\nif mod(i, 3) == 0\ns = s + i;\nend\nend\n"
+     "disp(s);\nk = 0;\nwhile k * k < 50\nk = k + 1;\nend\ndisp(k);\n"},
+
+    {"matrix_ops",
+     "a = [1, 2; 3, 4];\nb = a * a;\ndisp(b);\nc = a';\ndisp(c);\n"
+     "d = a + b .* 2;\ndisp(d);\n"},
+
+    {"indexing_and_growth",
+     "v = zeros(1, 4);\nfor k = 1:6\nv(k) = k * k;\nend\ndisp(v);\n"
+     "a = eye(3, 3);\na(5, 2) = 7;\ndisp(a(5, 2));\ndisp(size(a, 1));\n"},
+
+    {"slices",
+     "a = [1, 2, 3; 4, 5, 6; 7, 8, 9];\ndisp(a(:, 2));\ndisp(a(2, :));\n"
+     "a(2:3, 1) = [40; 70];\ndisp(a);\ndisp(a(1:2, 2:3));\n"},
+
+    {"functions_and_solve",
+     "function main\nA = [4, 1; 1, 3];\nb = [1; 2];\nx = A \\ b;\n"
+     "fprintf('%.6f %.6f\\n', x(1), x(2));\ndisp(peak([3, 9, 4]));\n\n"
+     "function m = peak(v)\nm = max(v);\n"},
+
+    {"rand_stream_matches",
+     "x = rand(2, 3);\nfprintf('%.12f ', x);\nfprintf('\\n');\n"
+     "y = rand();\nfprintf('%.12f\\n', y);\n"},
+
+    {"heat_kernel",
+     "n = 16;\nu = zeros(1, n);\nu(8) = 1;\nfor t = 1:12\nv = u;\n"
+     "for k = 2:n-1\nv(k) = u(k) + 0.4 * (u(k-1) - 2 * u(k) + u(k+1));\n"
+     "end\nu = v;\nend\nfprintf('%.6f ', u);\nfprintf('\\n');\n"},
+
+    {"reductions_and_ranges",
+     "v = 1:10;\ndisp(sum(v));\ndisp(prod(v(1:4)));\nw = 10:-2:1;\n"
+     "disp(w);\ndisp(min(w));\n[mx, ix] = max([2, 9, 4]);\n"
+     "fprintf('%d %d\\n', mx, ix);\n"},
+
+    {"concat",
+     "a = [1, 2];\nb = [a, 3, 4];\nc = [b; b];\ndisp(c);\n"},
+
+    {"display_named",
+     "x = 41\ny = [1, 2; 3, 4]\n"},
+
+    {"three_dimensional",
+     "a = zeros(2, 3, 2);\na(1, 2, 2) = 7;\na(2, 3, 1) = 5;\n"
+     "disp(a(1, 2, 2));\ndisp(numel(a));\ndisp(size(a, 3));\n"
+     "disp(sum(sum(sum(a))));\n"},
+
+    {"three_d_slices",
+     "n = 4;\nh = zeros(n, n, n);\ne = ones(n, n, n);\n"
+     "h(1:n, 1:n-1, 1:n-1) = h(1:n, 1:n-1, 1:n-1) + "
+     "0.5 * (e(1:n, 1:n-1, 2:n) - e(1:n, 1:n-1, 1:n-1));\n"
+     "fprintf('%.4f %.4f\\n', h(1, 1, 1), sum(sum(sum(h .* h))));\n"},
+
+    {"switch_statement",
+     "for k = 1:4\nswitch k\ncase 2\ndisp('two');\ncase 4\n"
+     "disp('four');\notherwise\ndisp(k);\nend\nend\n"},
+
+    {"tiny_constants",
+     "tol = 1e-9;\nx = 2.5e-7;\nfprintf('%g %g %g\\n', tol, x, "
+     "tol * 2);\n"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Programs, CompileRunTest,
+                         ::testing::ValuesIn(Programs),
+                         [](const ::testing::TestParamInfo<CProg> &Info) {
+                           return Info.param.Name;
+                         });
+
+} // namespace

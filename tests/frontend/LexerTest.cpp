@@ -1,0 +1,203 @@
+//===- LexerTest.cpp - Unit tests for the MATLAB-subset lexer -------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, Diagnostics &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Src) {
+  Diagnostics Diags;
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Src, Diags))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(Lexer, EmptyInput) {
+  Diagnostics Diags;
+  auto Toks = lex("", Diags);
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Numbers) {
+  Diagnostics Diags;
+  auto Toks = lex("42 3.14 1e-3 2.5e2 .5", Diags);
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_DOUBLE_EQ(Toks[0].NumValue, 42);
+  EXPECT_DOUBLE_EQ(Toks[1].NumValue, 3.14);
+  EXPECT_DOUBLE_EQ(Toks[2].NumValue, 1e-3);
+  EXPECT_DOUBLE_EQ(Toks[3].NumValue, 250);
+  EXPECT_DOUBLE_EQ(Toks[4].NumValue, 0.5);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, ImaginaryLiterals) {
+  Diagnostics Diags;
+  auto Toks = lex("2i 3.5j", Diags);
+  ASSERT_GE(Toks.size(), 2u);
+  EXPECT_TRUE(Toks[0].IsImaginary);
+  EXPECT_DOUBLE_EQ(Toks[0].NumValue, 2);
+  EXPECT_TRUE(Toks[1].IsImaginary);
+  EXPECT_DOUBLE_EQ(Toks[1].NumValue, 3.5);
+}
+
+TEST(Lexer, Keywords) {
+  auto K = kinds("function if elseif else end while for break continue "
+                 "return");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwFunction, TokenKind::KwIf,    TokenKind::KwElseif,
+      TokenKind::KwElse,     TokenKind::KwEnd,   TokenKind::KwWhile,
+      TokenKind::KwFor,      TokenKind::KwBreak, TokenKind::KwContinue,
+      TokenKind::KwReturn,   TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, OperatorsTwoChar) {
+  auto K = kinds("== ~= <= >= && || .* ./ .^ .'");
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqEq,     TokenKind::NotEq,    TokenKind::LessEq,
+      TokenKind::GreaterEq, TokenKind::AmpAmp,  TokenKind::PipePipe,
+      TokenKind::DotStar,  TokenKind::DotSlash, TokenKind::DotCaret,
+      TokenKind::DotApos,  TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto K = kinds("x = 1 % trailing comment\ny = 2");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Assign, TokenKind::Number,
+      TokenKind::Newline,    TokenKind::Identifier, TokenKind::Assign,
+      TokenKind::Number,     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, Continuation) {
+  auto K = kinds("x = 1 + ...\n    2");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Assign, TokenKind::Number,
+      TokenKind::Plus,       TokenKind::Number, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, QuoteAfterValueIsTranspose) {
+  auto K = kinds("a'");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier, TokenKind::Apos,
+                                     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, QuoteAfterOperatorIsString) {
+  Diagnostics Diags;
+  auto Toks = lex("x = 'hello'", Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::String);
+  EXPECT_EQ(Toks[2].Text, "hello");
+}
+
+TEST(Lexer, StringWithEscapedQuote) {
+  Diagnostics Diags;
+  auto Toks = lex("s = 'it''s'", Diags);
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_EQ(Toks[2].Text, "it's");
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  Diagnostics Diags;
+  lex("s = 'oops", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, TransposeAfterParenAndBracket) {
+  auto K = kinds("(a)' [1]'");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen, TokenKind::Identifier, TokenKind::RParen,
+      TokenKind::Apos,   TokenKind::LBracket,   TokenKind::Number,
+      TokenKind::RBracket, TokenKind::Apos,     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, MatrixSpaceSeparatesElements) {
+  // "[1 2]" -> two elements.
+  auto K = kinds("[1 2]");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBracket, TokenKind::Number, TokenKind::MatrixSep,
+      TokenKind::Number,   TokenKind::RBracket, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, MatrixUnarySignAfterSpaceSeparates) {
+  // "[1 -2]" -> two elements (1 and -2).
+  auto K = kinds("[1 -2]");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBracket, TokenKind::Number, TokenKind::MatrixSep,
+      TokenKind::Minus,    TokenKind::Number, TokenKind::RBracket,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, MatrixSpacedBinaryMinusDoesNotSeparate) {
+  // "[1 - 2]" -> one element (1-2).
+  auto K = kinds("[1 - 2]");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBracket, TokenKind::Number, TokenKind::Minus,
+      TokenKind::Number,   TokenKind::RBracket, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, NoMatrixSepInsideNestedParens) {
+  // Whitespace inside f(...) within brackets must not separate.
+  auto K = kinds("[f(1, 2) 3]");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBracket, TokenKind::Identifier, TokenKind::LParen,
+      TokenKind::Number,   TokenKind::Comma,      TokenKind::Number,
+      TokenKind::RParen,   TokenKind::MatrixSep,  TokenKind::Number,
+      TokenKind::RBracket, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, NewlineInsideBracketsIsRowSeparator) {
+  auto K = kinds("[1\n2]");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBracket, TokenKind::Number, TokenKind::Semi,
+      TokenKind::Number,   TokenKind::RBracket, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, CollapsesNewlineRuns) {
+  auto K = kinds("a\n\n\nb");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Newline, TokenKind::Identifier,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, UnexpectedCharacterRecovers) {
+  Diagnostics Diags;
+  auto Toks = lex("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Identifier);
+}
+
+TEST(Lexer, LocationTracking) {
+  Diagnostics Diags;
+  auto Toks = lex("a\nbb", Diags);
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[2].Loc.Line, 2u);
+  EXPECT_EQ(Toks[2].Loc.Col, 1u);
+}
+
+} // namespace

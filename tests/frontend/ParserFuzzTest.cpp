@@ -1,0 +1,86 @@
+//===- ParserFuzzTest.cpp - Frontend robustness fuzzing -------------------===//
+//
+// The lexer and parser must never crash, hang, or accept-and-corrupt on
+// arbitrary input: random token soups and mutated fragments of valid
+// programs must either parse cleanly or produce diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace matcoal;
+
+namespace {
+
+const char *Fragments[] = {
+    "function", "if",    "else",  "elseif", "end",   "while", "for",
+    "break",    "continue", "return", "switch", "case", "otherwise",
+    "x",        "y",     "foo",   "= ",     "==",    "~=",    "<=",
+    ">=",       "&&",    "||",    "&",      "|",     "~",     "+",
+    "-",        "*",     "/",     "\\",     "^",     ".*",    "./",
+    ".^",       ".'",    "'str'", "'",      "(",     ")",     "[",
+    "]",        ",",     ";",     ":",      "1",     "2.5",   "1e9",
+    "3i",       "...",   "\n",    " ",      "%c\n",  "@",     "#",
+};
+
+class ParserFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  std::mt19937 Rng(GetParam() * 69069u + 5);
+  std::uniform_int_distribution<size_t> Pick(
+      0, sizeof(Fragments) / sizeof(Fragments[0]) - 1);
+  std::uniform_int_distribution<int> Len(1, 120);
+  std::string Src;
+  int N = Len(Rng);
+  for (int I = 0; I < N; ++I) {
+    Src += Fragments[Pick(Rng)];
+    Src += ' ';
+  }
+  Diagnostics Diags;
+  auto P = parseProgram(Src, Diags);
+  // Either a program or diagnostics -- never both empty, never a crash.
+  if (!P) {
+    EXPECT_TRUE(Diags.hasErrors()) << Src;
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedProgramNeverCrashes) {
+  std::string Base = "function y = f(x)\n"
+                     "if x > 0\ny = x * 2;\nelse\ny = -x;\nend\n"
+                     "for i = 1:10\ny = y + i;\nend\n";
+  std::mt19937 Rng(GetParam() * 2654435761u + 99);
+  std::string Src = Base;
+  // Apply a few random byte mutations.
+  std::uniform_int_distribution<size_t> Pos(0, Src.size() - 1);
+  std::uniform_int_distribution<int> Byte(32, 126);
+  for (int I = 0; I < 5; ++I)
+    Src[Pos(Rng)] = static_cast<char>(Byte(Rng));
+  Diagnostics Diags;
+  auto P = parseProgram(Src, Diags);
+  if (!P) {
+    EXPECT_TRUE(Diags.hasErrors()) << Src;
+  }
+}
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  std::mt19937 Rng(GetParam() * 40503u + 7);
+  std::uniform_int_distribution<int> Len(0, 200);
+  std::uniform_int_distribution<int> Byte(1, 255);
+  std::string Src;
+  int N = Len(Rng);
+  for (int I = 0; I < N; ++I)
+    Src += static_cast<char>(Byte(Rng));
+  Diagnostics Diags;
+  auto P = parseProgram(Src, Diags);
+  if (!P) {
+    EXPECT_TRUE(Diags.hasErrors() || Src.empty()) << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0u, 30u));
+
+} // namespace

@@ -1,0 +1,264 @@
+//===- ParserTest.cpp - Unit tests for the MATLAB-subset parser -----------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+std::unique_ptr<Program> parseOK(const std::string &Src) {
+  Diagnostics Diags;
+  auto P = parseProgram(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_NE(P, nullptr);
+  return P;
+}
+
+ExprPtr parseExprOK(const std::string &Src) {
+  Diagnostics Diags;
+  Lexer L(Src, Diags);
+  Parser P(L.lexAll(), Diags);
+  ExprPtr E = P.parseExpression();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_NE(E, nullptr);
+  return E;
+}
+
+TEST(Parser, ScriptBecomesMain) {
+  auto P = parseOK("x = 1;\ny = x + 2;\n");
+  ASSERT_EQ(P->Functions.size(), 1u);
+  EXPECT_EQ(P->Functions[0]->Name, "main");
+  EXPECT_EQ(P->Functions[0]->Body.size(), 2u);
+}
+
+TEST(Parser, FunctionHeaderForms) {
+  auto P = parseOK("function y = f(x)\ny = x;\n\nfunction [a, b] = g(u, v)\n"
+                   "a = u; b = v;\n\nfunction h\n");
+  ASSERT_EQ(P->Functions.size(), 3u);
+  EXPECT_EQ(P->Functions[0]->Name, "f");
+  EXPECT_EQ(P->Functions[0]->Outputs.size(), 1u);
+  EXPECT_EQ(P->Functions[0]->Params.size(), 1u);
+  EXPECT_EQ(P->Functions[1]->Name, "g");
+  EXPECT_EQ(P->Functions[1]->Outputs.size(), 2u);
+  EXPECT_EQ(P->Functions[1]->Params.size(), 2u);
+  EXPECT_EQ(P->Functions[2]->Name, "h");
+  EXPECT_TRUE(P->Functions[2]->Outputs.empty());
+}
+
+TEST(Parser, FunctionWithExplicitEnd) {
+  auto P = parseOK("function y = f(x)\ny = x;\nend\n"
+                   "function z = g(x)\nz = x;\nend\n");
+  ASSERT_EQ(P->Functions.size(), 2u);
+}
+
+TEST(Parser, AssignDisplayFlag) {
+  auto P = parseOK("a = 1;\nb = 2\n");
+  auto *S0 = static_cast<AssignStmt *>(P->Functions[0]->Body[0].get());
+  auto *S1 = static_cast<AssignStmt *>(P->Functions[0]->Body[1].get());
+  EXPECT_FALSE(S0->Display);
+  EXPECT_TRUE(S1->Display);
+}
+
+TEST(Parser, IndexedAssignment) {
+  auto P = parseOK("a(2, 3) = 7;\n");
+  auto *S = static_cast<AssignStmt *>(P->Functions[0]->Body[0].get());
+  EXPECT_EQ(S->Target.Name, "a");
+  EXPECT_EQ(S->Target.Indices.size(), 2u);
+}
+
+TEST(Parser, MultiAssign) {
+  auto P = parseOK("[m, n] = size(a);\n");
+  ASSERT_EQ(P->Functions[0]->Body.size(), 1u);
+  auto *S = static_cast<MultiAssignStmt *>(P->Functions[0]->Body[0].get());
+  ASSERT_EQ(S->Targets.size(), 2u);
+  EXPECT_EQ(S->Targets[0].Name, "m");
+  EXPECT_EQ(S->Targets[1].Name, "n");
+  EXPECT_EQ(S->Call->kind(), ExprKind::CallOrIndex);
+}
+
+TEST(Parser, IfElseifElse) {
+  auto P = parseOK("if x < 1\ny = 1;\nelseif x < 2\ny = 2;\nelse\ny = 3;\n"
+                   "end\n");
+  auto *S = static_cast<IfStmt *>(P->Functions[0]->Body[0].get());
+  EXPECT_EQ(S->Branches.size(), 2u);
+  EXPECT_EQ(S->ElseBody.size(), 1u);
+}
+
+TEST(Parser, WhileLoop) {
+  auto P = parseOK("while k <= 10\nk = k + 1;\nend\n");
+  auto *S = static_cast<WhileStmt *>(P->Functions[0]->Body[0].get());
+  EXPECT_EQ(S->Body.size(), 1u);
+}
+
+TEST(Parser, ForLoop) {
+  auto P = parseOK("for i = 1:10\ns = s + i;\nend\n");
+  auto *S = static_cast<ForStmt *>(P->Functions[0]->Body[0].get());
+  EXPECT_EQ(S->Var, "i");
+  EXPECT_EQ(S->Range->kind(), ExprKind::Range);
+}
+
+TEST(Parser, BreakContinueReturn) {
+  auto P = parseOK("while 1\nbreak;\ncontinue;\nreturn;\nend\n");
+  auto *S = static_cast<WhileStmt *>(P->Functions[0]->Body[0].get());
+  ASSERT_EQ(S->Body.size(), 3u);
+  EXPECT_EQ(S->Body[0]->kind(), StmtKind::Break);
+  EXPECT_EQ(S->Body[1]->kind(), StmtKind::Continue);
+  EXPECT_EQ(S->Body[2]->kind(), StmtKind::Return);
+}
+
+TEST(Parser, PrecedenceRangeVsAdd) {
+  // 1:n+1 parses as 1:(n+1).
+  ExprPtr E = parseExprOK("1:n+1");
+  ASSERT_EQ(E->kind(), ExprKind::Range);
+  auto *R = static_cast<RangeExpr *>(E.get());
+  EXPECT_EQ(R->Stop->kind(), ExprKind::Binary);
+}
+
+TEST(Parser, PrecedenceCompareVsRange) {
+  // 1:n < 5 parses as (1:n) < 5.
+  ExprPtr E = parseExprOK("1:n < 5");
+  ASSERT_EQ(E->kind(), ExprKind::Binary);
+  auto *B = static_cast<BinaryExpr *>(E.get());
+  EXPECT_EQ(B->Op, BinaryOp::Lt);
+  EXPECT_EQ(B->LHS->kind(), ExprKind::Range);
+}
+
+TEST(Parser, PrecedenceUnaryVsPower) {
+  // -2^2 parses as -(2^2).
+  ExprPtr E = parseExprOK("-2^2");
+  ASSERT_EQ(E->kind(), ExprKind::Unary);
+  auto *U = static_cast<UnaryExpr *>(E.get());
+  EXPECT_EQ(U->Operand->kind(), ExprKind::Binary);
+}
+
+TEST(Parser, PowerAcceptsSignedExponent) {
+  ExprPtr E = parseExprOK("2^-3");
+  ASSERT_EQ(E->kind(), ExprKind::Binary);
+  auto *B = static_cast<BinaryExpr *>(E.get());
+  EXPECT_EQ(B->Op, BinaryOp::MatPow);
+  EXPECT_EQ(B->RHS->kind(), ExprKind::Unary);
+}
+
+TEST(Parser, PowerLeftAssociative) {
+  // 2^3^2 parses as (2^3)^2.
+  ExprPtr E = parseExprOK("2^3^2");
+  auto *B = static_cast<BinaryExpr *>(E.get());
+  EXPECT_EQ(B->LHS->kind(), ExprKind::Binary);
+  EXPECT_EQ(B->RHS->kind(), ExprKind::Number);
+}
+
+TEST(Parser, ShortCircuitPrecedence) {
+  // a || b && c parses as a || (b && c).
+  ExprPtr E = parseExprOK("a || b && c");
+  auto *B = static_cast<BinaryExpr *>(E.get());
+  EXPECT_EQ(B->Op, BinaryOp::OrOr);
+  EXPECT_EQ(B->RHS->kind(), ExprKind::Binary);
+  EXPECT_EQ(static_cast<BinaryExpr *>(B->RHS.get())->Op, BinaryOp::AndAnd);
+}
+
+TEST(Parser, TransposeBindsTightly) {
+  // a' * b: transpose applies to a only.
+  ExprPtr E = parseExprOK("a' * b");
+  auto *B = static_cast<BinaryExpr *>(E.get());
+  EXPECT_EQ(B->Op, BinaryOp::MatMul);
+  EXPECT_EQ(B->LHS->kind(), ExprKind::Transpose);
+}
+
+TEST(Parser, IndexWithColonAndEnd) {
+  ExprPtr E = parseExprOK("a(:, end)");
+  ASSERT_EQ(E->kind(), ExprKind::CallOrIndex);
+  auto *CI = static_cast<CallOrIndexExpr *>(E.get());
+  ASSERT_EQ(CI->Args.size(), 2u);
+  EXPECT_EQ(CI->Args[0]->kind(), ExprKind::ColonAll);
+  EXPECT_EQ(CI->Args[1]->kind(), ExprKind::EndIndex);
+}
+
+TEST(Parser, EndArithmeticInIndex) {
+  ExprPtr E = parseExprOK("a(end - 1)");
+  auto *CI = static_cast<CallOrIndexExpr *>(E.get());
+  ASSERT_EQ(CI->Args.size(), 1u);
+  EXPECT_EQ(CI->Args[0]->kind(), ExprKind::Binary);
+}
+
+TEST(Parser, EndOutsideIndexIsError) {
+  Diagnostics Diags;
+  auto P = parseProgram("x = end + 1;\n", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(P, nullptr);
+}
+
+TEST(Parser, MatrixLiteralRows) {
+  ExprPtr E = parseExprOK("[1, 2; 3, 4]");
+  auto *M = static_cast<MatrixExpr *>(E.get());
+  ASSERT_EQ(M->Rows.size(), 2u);
+  EXPECT_EQ(M->Rows[0].size(), 2u);
+  EXPECT_EQ(M->Rows[1].size(), 2u);
+}
+
+TEST(Parser, EmptyMatrix) {
+  ExprPtr E = parseExprOK("[]");
+  auto *M = static_cast<MatrixExpr *>(E.get());
+  EXPECT_TRUE(M->Rows.empty());
+}
+
+TEST(Parser, NestedCalls) {
+  ExprPtr E = parseExprOK("max(abs(x), eps)");
+  auto *CI = static_cast<CallOrIndexExpr *>(E.get());
+  EXPECT_EQ(CI->Name, "max");
+  ASSERT_EQ(CI->Args.size(), 2u);
+  EXPECT_EQ(CI->Args[0]->kind(), ExprKind::CallOrIndex);
+}
+
+TEST(Parser, CommaSeparatedStatements) {
+  auto P = parseOK("a = 1, b = 2; c = 3\n");
+  EXPECT_EQ(P->Functions[0]->Body.size(), 3u);
+}
+
+TEST(Parser, SyntaxErrorIsReported) {
+  Diagnostics Diags;
+  auto P = parseProgram("x = (1 + ;\n", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(P, nullptr);
+}
+
+TEST(Parser, MissingEndIsReported) {
+  Diagnostics Diags;
+  auto P = parseProgram("while 1\nx = 2;\n", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(P, nullptr);
+}
+
+TEST(Parser, IfWithCommaSeparators) {
+  auto P = parseOK("if x < 3, y = 1; end\n");
+  auto *S = static_cast<IfStmt *>(P->Functions[0]->Body[0].get());
+  EXPECT_EQ(S->Branches.size(), 1u);
+  EXPECT_EQ(S->Branches[0].Body.size(), 1u);
+}
+
+TEST(Parser, SwitchCaseOtherwise) {
+  auto P = parseOK("switch x\ncase 1\ny = 1;\ncase 2\ny = 2;\n"
+                   "otherwise\ny = 0;\nend\nx = 1;\n");
+  auto *S = static_cast<SwitchStmt *>(P->Functions[0]->Body[0].get());
+  ASSERT_EQ(S->kind(), StmtKind::Switch);
+  EXPECT_EQ(S->Cases.size(), 2u);
+  EXPECT_EQ(S->Otherwise.size(), 1u);
+}
+
+TEST(Parser, SwitchWithoutOtherwise) {
+  auto P = parseOK("switch x\ncase 'a'\ndisp(1);\nend\nx = 1;\n");
+  auto *S = static_cast<SwitchStmt *>(P->Functions[0]->Body[0].get());
+  EXPECT_EQ(S->Cases.size(), 1u);
+  EXPECT_TRUE(S->Otherwise.empty());
+}
+
+TEST(Parser, DispCallStatement) {
+  auto P = parseOK("disp(x);\n");
+  auto *S = static_cast<ExprStmt *>(P->Functions[0]->Body[0].get());
+  EXPECT_EQ(S->Value->kind(), ExprKind::CallOrIndex);
+}
+
+} // namespace

@@ -1,0 +1,526 @@
+//===- GCTDTest.cpp - GCTD phase 1 + phase 2 tests ------------------------===//
+
+#include "gctd/GCTD.h"
+#include "gctd/PartialInterference.h"
+
+#include "frontend/Parser.h"
+#include "transforms/Lowering.h"
+#include "transforms/Passes.h"
+#include "transforms/SSA.h"
+
+#include <gtest/gtest.h>
+#include <map>
+#include <set>
+
+using namespace matcoal;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<SymExprContext> Ctx;
+  std::unique_ptr<TypeInference> TI;
+  Diagnostics Diags;
+
+  Function &fn(const std::string &Name = "main") {
+    return *M->findFunction(Name);
+  }
+
+  VarId varNamed(const std::string &Base, int Version,
+                 const std::string &Fn = "main") {
+    Function &F = fn(Fn);
+    for (unsigned V = 0; V < F.numVars(); ++V)
+      if (F.var(V).Base == Base && F.var(V).Version == Version)
+        return static_cast<VarId>(V);
+    return NoVar;
+  }
+};
+
+Compiled compile(const std::string &Src) {
+  Compiled R;
+  auto Prog = parseProgram(Src, R.Diags);
+  EXPECT_NE(Prog, nullptr) << R.Diags.str();
+  R.M = lowerProgram(*Prog, R.Diags);
+  EXPECT_NE(R.M, nullptr) << R.Diags.str();
+  for (auto &F : R.M->Functions) {
+    EXPECT_TRUE(buildSSA(*F, R.Diags)) << R.Diags.str();
+    runCleanupPipeline(*F);
+  }
+  R.Ctx = std::make_unique<SymExprContext>();
+  R.TI = std::make_unique<TypeInference>(*R.M, *R.Ctx, R.Diags);
+  R.TI->run("main");
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 1: interference
+//===----------------------------------------------------------------------===//
+
+TEST(Interference, OverlappingLiveRangesInterfere) {
+  // Paper section 2.1's example: du-chains of a and b cross.
+  auto R = compile("a = rand(2, 2);\nb = rand(2, 2);\nc = a(1, 1);\n"
+                   "d = b + c;\ndisp(d);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  ASSERT_NE(A, NoVar);
+  ASSERT_NE(B, NoVar);
+  EXPECT_TRUE(IG.interferes(A, B));
+  EXPECT_NE(IG.colorOf(A), IG.colorOf(B));
+}
+
+TEST(Interference, DisjointLiveRangesDoNotInterfere) {
+  auto R = compile("a = rand(3, 3);\ndisp(a);\nb = rand(3, 3);\ndisp(b);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  EXPECT_FALSE(IG.interferes(A, B));
+}
+
+TEST(Interference, ArrayAdditionAllowsInPlace) {
+  // Section 2.3.1: c = a + b adds no operator-semantics interference, so
+  // when a dies at the statement c can reuse a's storage (same color).
+  auto R = compile("a = rand(4, 4);\nb = rand(4, 4);\nc = a + b;\n"
+                   "disp(c);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId C = R.varNamed("c", 0);
+  EXPECT_FALSE(IG.interferes(A, C));
+}
+
+TEST(Interference, MatrixMultiplyForcesInterference) {
+  // Section 2.3: c = a*b with nonscalar operands cannot be in place.
+  auto R = compile("a = rand(4, 4);\nb = rand(4, 4);\nc = a * b;\n"
+                   "disp(c);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  VarId C = R.varNamed("c", 0);
+  EXPECT_TRUE(IG.interferes(A, C));
+  EXPECT_TRUE(IG.interferes(B, C));
+}
+
+TEST(Interference, MatrixMultiplyScalarOperandAllowsInPlace) {
+  // With a scalar operand, * is elementwise: in-place is fine.
+  auto R = compile("a = rand(4, 4);\ns = 2.5;\nc = s * a;\ndisp(c);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId C = R.varNamed("c", 0);
+  EXPECT_FALSE(IG.interferes(A, C));
+}
+
+TEST(Interference, SubsrefScalarSubscriptInPlace) {
+  // Section 2.3.2: c = a(1) can be computed in place in a.
+  auto R = compile("a = rand(2, 2);\nc = a(1);\nd = c + 1;\ndisp(d);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId C = R.varNamed("c", 0);
+  EXPECT_FALSE(IG.interferes(A, C));
+}
+
+TEST(Interference, SubsrefArraySubscriptForcesInterference) {
+  // c = a(e) with array e can permute: unsafe in place.
+  auto R = compile("a = rand(2, 2);\ne = 4:-1:1;\nc = a(e);\ndisp(c);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId C = R.varNamed("c", 0);
+  EXPECT_TRUE(IG.interferes(A, C));
+}
+
+TEST(Interference, SubsasgnNeverInterferesWithBase) {
+  // Section 2.3.3.1: b = subsasgn(a, ...) is always formable in place.
+  auto R = compile("a = eye(4, 4);\na(6, 1) = 1;\ndisp(a);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A0 = R.varNamed("a", 0);
+  VarId A1 = R.varNamed("a", 1);
+  ASSERT_NE(A0, NoVar);
+  ASSERT_NE(A1, NoVar);
+  EXPECT_FALSE(IG.interferes(A0, A1));
+  EXPECT_EQ(IG.colorOf(A0), IG.colorOf(A1));
+}
+
+TEST(Interference, TransposeOfMatrixForcesInterference) {
+  auto R = compile("a = rand(3, 4);\nb = a';\ndisp(b);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  EXPECT_TRUE(IG.interferes(R.varNamed("a", 0), R.varNamed("b", 0)));
+}
+
+TEST(Interference, TransposeOfVectorAllowsInPlace) {
+  // A vector's linear layout is unchanged by transposition.
+  auto R = compile("a = rand(1, 5);\nb = a';\ndisp(b);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  EXPECT_FALSE(IG.interferes(R.varNamed("a", 0), R.varNamed("b", 0)));
+}
+
+TEST(Interference, PhiCoalescingMergesWebs) {
+  auto R = compile("k = 0;\nwhile k < 10\nk = k + 1;\nend\ndisp(k);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  // All SSA versions of k should share one color (coalesced web).
+  int Color = -2;
+  for (unsigned V = 0; V < F.numVars(); ++V) {
+    if (F.var(V).Base != "k" || !IG.participates(static_cast<VarId>(V)))
+      continue;
+    if (Color == -2)
+      Color = IG.colorOf(static_cast<VarId>(V));
+    EXPECT_EQ(IG.colorOf(static_cast<VarId>(V)), Color)
+        << "k web split: " << F.var(V).Name;
+  }
+}
+
+TEST(Interference, CoalescingRespectsInterference) {
+  // s1 and t2 from the paper's section 2.2 pattern: a copy whose source
+  // and destination interfere must not be merged. After SSA + copyprop
+  // the equivalent check: interfering phi operands stay separate colors.
+  auto R = compile("a = rand(2, 2);\nb = rand(2, 2);\nc = a * b;\n"
+                   "disp(c);\ndisp(a);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId C = R.varNamed("c", 0);
+  EXPECT_NE(IG.colorOf(A), IG.colorOf(C));
+}
+
+TEST(Interference, ColoringIsProper) {
+  auto R = compile("a = rand(3, 3);\nb = a + 1;\nc = a .* b;\nd = c * c;\n"
+                   "disp(d);\ndisp(b);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  for (unsigned U = 0; U < F.numVars(); ++U)
+    for (unsigned V = U + 1; V < F.numVars(); ++V) {
+      if (!IG.participates(U) || !IG.participates(V))
+        continue;
+      if (IG.interferes(U, V)) {
+        EXPECT_NE(IG.colorOf(U), IG.colorOf(V));
+      }
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 2: decomposition
+//===----------------------------------------------------------------------===//
+
+TEST(StoragePlanTest, Example1AllShareOneStorage) {
+  // Paper Example 1: t1 = t0-1.345; t2 = 2.788.*t1; t3 = tan(t2) -- all
+  // four bind to common storage (one group), with no resizing needed.
+  auto R = compile("t0 = rand(6, 6);\nt1 = t0 - 1.345;\nt2 = 2.788 .* t1;\n"
+                   "t3 = tan(t2);\ndisp(t3);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  VarId T0 = R.varNamed("t0", 0);
+  VarId T1 = R.varNamed("t1", 0);
+  VarId T2 = R.varNamed("t2", 0);
+  VarId T3 = R.varNamed("t3", 0);
+  EXPECT_TRUE(Plan.sameSlot(T0, T1)) << Plan.str(F);
+  EXPECT_TRUE(Plan.sameSlot(T1, T2)) << Plan.str(F);
+  EXPECT_TRUE(Plan.sameSlot(T2, T3)) << Plan.str(F);
+}
+
+TEST(StoragePlanTest, Example2SubsasgnSharesStorage) {
+  // Paper Example 2: a = eye(x, y); b = subsasgn(a, 1, i1, i2) -- a and b
+  // share storage (b formed in place, growing only).
+  auto R = compile("a = eye(5, 5);\na(7, 2) = 1;\ndisp(a);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  VarId A0 = R.varNamed("a", 0);
+  VarId A1 = R.varNamed("a", 1);
+  EXPECT_TRUE(Plan.sameSlot(A0, A1)) << Plan.str(F);
+}
+
+TEST(StoragePlanTest, Example2SymbolicShapes) {
+  // The same with symbolic sizes flowing through a function boundary.
+  auto R = compile("function main\nn = round(rand() * 5) + 3;\n"
+                   "x = work(n);\ndisp(x);\n\n"
+                   "function a = work(n)\na = eye(n, n);\n"
+                   "a(n + 2, 1) = 1;\n");
+  Function &F = R.fn("work");
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  VarId A0 = R.varNamed("a", 0, "work");
+  VarId A1 = R.varNamed("a", 1, "work");
+  ASSERT_NE(A0, NoVar);
+  ASSERT_NE(A1, NoVar);
+  EXPECT_TRUE(Plan.sameSlot(A0, A1)) << Plan.str(F);
+  int G = Plan.groupOf(A0);
+  ASSERT_GE(G, 0);
+  EXPECT_EQ(Plan.Groups[G].K, StorageGroup::Kind::Heap);
+}
+
+TEST(StoragePlanTest, MixedEstimabilityNeverShares) {
+  // "a and b won't share the same storage ... if the size of only one of
+  // them can be statically estimated."
+  auto R = compile("function main\nn = round(rand() * 5) + 2;\n"
+                   "x = work(n);\ndisp(x);\n\n"
+                   "function c = work(n)\na = zeros(4, 4);\ndisp(a);\n"
+                   "c = rand(n, n);\n");
+  Function &F = R.fn("work");
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  VarId A = R.varNamed("a", 0, "work");
+  VarId C = R.varNamed("c", 0, "work");
+  ASSERT_NE(A, NoVar);
+  ASSERT_NE(C, NoVar);
+  EXPECT_FALSE(Plan.sameSlot(A, C)) << Plan.str(F);
+}
+
+TEST(StoragePlanTest, DifferentIntrinsicTypesNeverShare) {
+  // zeros() is BOOLEAN-typed, rand() REAL: no shared storage even when
+  // live ranges are disjoint.
+  auto R = compile("a = zeros(4, 4);\ndisp(a);\nb = rand(4, 4);\n"
+                   "disp(b);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  EXPECT_FALSE(Plan.sameSlot(A, B)) << Plan.str(F);
+}
+
+TEST(StoragePlanTest, StackGroupSizedByMaximal) {
+  // Two disjoint same-typed arrays share a stack slot sized by the larger.
+  auto R = compile("a = rand(2, 2);\ndisp(a);\nb = rand(4, 4);\n"
+                   "disp(b);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  ASSERT_TRUE(Plan.sameSlot(A, B)) << Plan.str(F);
+  int G = Plan.groupOf(A);
+  EXPECT_EQ(Plan.Groups[G].K, StorageGroup::Kind::Stack);
+  EXPECT_EQ(Plan.Groups[G].StackBytes, 4 * 4 * 8);
+  EXPECT_EQ(Plan.Groups[G].Maximal, B);
+}
+
+TEST(StoragePlanTest, Table2StatsCountSubsumption) {
+  auto R = compile("a = rand(2, 2);\ndisp(a);\nb = rand(4, 4);\n"
+                   "disp(b);\nc = rand(3, 3);\ndisp(c);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  // a, b, c share one stack group: two variables subsumed; reduction is
+  // size(a) + size(c) bytes.
+  EXPECT_GE(Plan.StaticSubsumed, 2u);
+  EXPECT_GE(Plan.StaticReductionBytes, (4 + 9) * 8);
+  EXPECT_EQ(Plan.DynamicSubsumed, 0u);
+}
+
+TEST(StoragePlanTest, FrameLayoutNonOverlapping) {
+  auto R = compile("a = rand(2, 2);\nb = a * a;\nc = b + a;\ndisp(c);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  // Stack groups must occupy disjoint, aligned frame ranges.
+  for (size_t I = 0; I < Plan.Groups.size(); ++I) {
+    const StorageGroup &GI = Plan.Groups[I];
+    if (GI.K != StorageGroup::Kind::Stack)
+      continue;
+    EXPECT_EQ(GI.FrameOffset % 16, 0);
+    EXPECT_LE(GI.FrameOffset + GI.StackBytes, Plan.FrameBytes);
+    for (size_t J = I + 1; J < Plan.Groups.size(); ++J) {
+      const StorageGroup &GJ = Plan.Groups[J];
+      if (GJ.K != StorageGroup::Kind::Stack)
+        continue;
+      bool Disjoint = GI.FrameOffset + GI.StackBytes <= GJ.FrameOffset ||
+                      GJ.FrameOffset + GJ.StackBytes <= GI.FrameOffset;
+      EXPECT_TRUE(Disjoint);
+    }
+  }
+}
+
+TEST(StoragePlanTest, NonOptimalityExampleFromSection5) {
+  // The paper's A/B/C example: sizes 4, 2, 3 units; only edge A--B. The
+  // greedy minimal coloring may pick either B+C or A+C together; either
+  // way the plan must be proper (interfering vars in different groups).
+  auto R = compile("a = rand(1, 4);\nb = rand(1, 2);\nx = a(1) + b(1);\n"
+                   "disp(x);\nc = rand(1, 3);\ndisp(c);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  EXPECT_FALSE(Plan.sameSlot(A, B)) << Plan.str(F);
+}
+
+TEST(StoragePlanTest, IdentityPlanGivesEveryVarItsOwnGroup) {
+  auto R = compile("a = rand(2, 2);\nb = a + 1;\nc = b .* 2;\ndisp(c);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = makeIdentityPlan(F, *R.TI);
+  for (const StorageGroup &G : Plan.Groups)
+    EXPECT_EQ(G.Members.size(), 1u);
+  EXPECT_EQ(Plan.StaticSubsumed, 0u);
+  EXPECT_EQ(Plan.DynamicSubsumed, 0u);
+}
+
+TEST(StoragePlanTest, GCTDNeverSharesInterferingVars) {
+  // Property sweep over a composite program.
+  auto R = compile("n = 6;\na = rand(n, n);\nb = rand(n, n);\nc = a * b;\n"
+                   "d = c + a;\ne = d';\nf = e(:, 1);\ndisp(f);\n"
+                   "disp(b);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  StoragePlan Plan = decomposeColorClasses(F, IG, *R.TI);
+  for (unsigned U = 0; U < F.numVars(); ++U)
+    for (unsigned V = U + 1; V < F.numVars(); ++V) {
+      if (!IG.participates(U) || !IG.participates(V))
+        continue;
+      if (IG.interferes(U, V)) {
+        EXPECT_FALSE(Plan.sameSlot(U, V))
+            << F.var(U).Name << " and " << F.var(V).Name << " share a slot "
+            << "but interfere\n"
+            << Plan.str(F);
+      }
+    }
+}
+
+TEST(StoragePlanTest, SizeWeightedColoringPacksLikeSection5) {
+  // The paper's section 5 example: sizes 4, 2, 3 units with only A--B
+  // interfering. A minimal coloring that puts B and C together costs 7
+  // units; A and C together costs 6. The size-weighted greedy must find
+  // the 6-unit packing (A with C).
+  auto R = compile("a = rand(1, 4);\nb = rand(1, 2);\n"
+                   "x = a(1) + b(1);\ndisp(x);\nc = rand(1, 3);\n"
+                   "disp(c);\n");
+  Function &F = R.fn();
+  StoragePlan Weighted =
+      runGCTDWith(F, *R.TI, true, ColoringStrategy::SizeWeighted);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  VarId C = R.varNamed("c", 0);
+  ASSERT_NE(A, NoVar);
+  ASSERT_NE(B, NoVar);
+  ASSERT_NE(C, NoVar);
+  EXPECT_TRUE(Weighted.sameSlot(A, C)) << Weighted.str(F);
+  EXPECT_FALSE(Weighted.sameSlot(A, B)) << Weighted.str(F);
+  // Aggregate stack bytes for a, b, c: 4 + 2 doubles <= lexical's worst
+  // case of 4 + 3 + ... -- check the combined group sizes directly.
+  std::int64_t SumABC = 0;
+  std::set<int> Groups = {Weighted.groupOf(A), Weighted.groupOf(B),
+                          Weighted.groupOf(C)};
+  for (int G : Groups)
+    SumABC += Weighted.Groups[G].StackBytes;
+  EXPECT_EQ(SumABC, (4 + 2) * 8) << Weighted.str(F);
+}
+
+TEST(StoragePlanTest, ColoringStrategiesAllProduceValidPlans) {
+  auto R = compile("n = 6;\na = rand(n, n);\nb = a * a;\nc = b + a;\n"
+                   "d = c(:, 1);\ndisp(sum(d));\n");
+  Function &F = R.fn();
+  for (ColoringStrategy S :
+       {ColoringStrategy::Lexical, ColoringStrategy::Affinity,
+        ColoringStrategy::SizeWeighted}) {
+    InterferenceGraph IG(F, *R.TI, true, S);
+    StoragePlan Plan = decomposeColorClasses(F, IG, *R.TI);
+    for (unsigned U = 0; U < F.numVars(); ++U)
+      for (unsigned V = U + 1; V < F.numVars(); ++V) {
+        if (!IG.participates(U) || !IG.participates(V))
+          continue;
+        if (IG.interferes(U, V)) {
+          EXPECT_FALSE(Plan.sameSlot(U, V)) << "strategy broke the plan";
+        }
+      }
+  }
+}
+
+TEST(StoragePlanTest, LoopTemporariesReuseStorage) {
+  // Elementwise loop body: temporaries should coalesce into few groups.
+  auto R = compile("u = rand(1, 50);\nfor k = 1:100\n"
+                   "u = u + 0.1 .* (1 - u);\nend\ndisp(u);\n");
+  Function &F = R.fn();
+  StoragePlan Plan = runGCTD(F, *R.TI);
+  // Count groups holding 50-element REAL arrays: the u web and the
+  // elementwise temporaries should share.
+  unsigned BigGroups = 0;
+  for (const StorageGroup &G : Plan.Groups)
+    if (G.K == StorageGroup::Kind::Stack && G.StackBytes >= 50 * 8)
+      ++BigGroups;
+  EXPECT_LE(BigGroups, 2u) << Plan.str(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Partial interference (section 2.1, future work)
+//===----------------------------------------------------------------------===//
+
+TEST(PartialInterference, DetectsThePaperExample) {
+  // Section 2.1: a and b fully interfere, yet only a(1) is read after b's
+  // definition -- five doubles would suffice. The analysis must find the
+  // pair and the savable bytes: a is 2x2 (32 B), one element needed, b is
+  // 32 B, so min(32 - 8, 32) = 24 bytes.
+  auto R = compile("a = rand(2, 2);\nb = rand(2, 2);\nc = a(1);\n"
+                   "d = b + c;\ndisp(d);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  PartialInterferenceReport Rep =
+      analyzePartialInterference(F, IG, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  ASSERT_NE(A, NoVar);
+  ASSERT_NE(B, NoVar);
+  bool Found = false;
+  for (const auto &C : Rep.Candidates)
+    if (C.Reduced == A && C.Other == B) {
+      Found = true;
+      EXPECT_EQ(C.ReducedBytes, 32);
+      EXPECT_EQ(C.NeededBytes, 8);
+      EXPECT_EQ(C.SavableBytes, 24);
+    }
+  EXPECT_TRUE(Found) << "the section 2.1 example was not detected";
+  EXPECT_GE(Rep.TotalSavableBytes, 24);
+}
+
+TEST(PartialInterference, NoCandidateWhenFullyRead) {
+  // Reading all of a after b's definition leaves nothing to overlap.
+  auto R = compile("a = rand(2, 2);\nb = rand(2, 2);\nd = b + a;\n"
+                   "disp(d);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  PartialInterferenceReport Rep =
+      analyzePartialInterference(F, IG, *R.TI);
+  VarId A = R.varNamed("a", 0);
+  VarId B = R.varNamed("b", 0);
+  for (const auto &C : Rep.Candidates) {
+    EXPECT_FALSE(C.Reduced == A && C.Other == B);
+    EXPECT_FALSE(C.Reduced == B && C.Other == A);
+  }
+}
+
+TEST(PartialInterference, DynamicShapesAreSkipped) {
+  auto R = compile("function main\nn = round(rand() * 4) + 2;\n"
+                   "disp(work(n));\n\nfunction d = work(n)\n"
+                   "a = rand(n, n);\nb = rand(n, n);\nc = a(1);\n"
+                   "d = b + c;\n");
+  Function &F = R.fn("work");
+  InterferenceGraph IG(F, *R.TI);
+  PartialInterferenceReport Rep =
+      analyzePartialInterference(F, IG, *R.TI);
+  EXPECT_TRUE(Rep.Candidates.empty());
+}
+
+// Section 3.2.1: "all statically estimable sizes of the same intrinsic
+// type within a color class form a single chain" -- so phase 2 must
+// produce at most one stack group per (color class, intrinsic type).
+TEST(StoragePlanTest, OneStackGroupPerClassAndType) {
+  auto R = compile("a = rand(2, 2);\nb = a + 1;\nc = rand(3, 3);\n"
+                   "d = c .* 2;\ne = rand(4, 4);\nf = e - 1;\n"
+                   "disp(b);\ndisp(d);\ndisp(f);\n");
+  Function &F = R.fn();
+  InterferenceGraph IG(F, *R.TI);
+  StoragePlan Plan = decomposeColorClasses(F, IG, *R.TI);
+  // Map (color, IT) -> number of stack groups.
+  std::map<std::pair<int, int>, int> Count;
+  for (size_t GI = 0; GI < Plan.Groups.size(); ++GI) {
+    const StorageGroup &G = Plan.Groups[GI];
+    if (G.K != StorageGroup::Kind::Stack || G.Members.empty())
+      continue;
+    int Color = IG.colorOf(G.Members.front());
+    ++Count[{Color, static_cast<int>(G.IT)}];
+  }
+  for (const auto &[Key, N] : Count)
+    EXPECT_EQ(N, 1) << "color " << Key.first << " has " << N
+                    << " stack groups of one type";
+}
+
+} // namespace

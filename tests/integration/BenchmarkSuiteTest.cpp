@@ -1,0 +1,84 @@
+//===- BenchmarkSuiteTest.cpp - The 11-program suite end to end -----------===//
+//
+// Every suite program must compile, verify, and produce identical output
+// under the mcc model, the GCTD static model and the no-coalescing
+// ablation; GCTD must respect every inferred stack bound (no plan
+// violations) and actually coalesce something.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/programs/Programs.h"
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+class SuiteTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteTest, ModelsAgreeAndPlanHolds) {
+  const BenchmarkProgram *Prog = findBenchmark(GetParam());
+  ASSERT_NE(Prog, nullptr);
+  Diagnostics Diags;
+  auto P = compileSource(Prog->Source, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+
+  ExecResult Mcc = P->runMcc();
+  ASSERT_TRUE(Mcc.OK) << Mcc.Error;
+  EXPECT_FALSE(Mcc.Output.empty());
+
+  ExecResult Static = P->runStatic();
+  ASSERT_TRUE(Static.OK) << Static.Error;
+  EXPECT_EQ(Static.Output, Mcc.Output) << "GCTD changed program meaning";
+  EXPECT_EQ(Static.PlanViolations, 0u) << "stack plan under-sized";
+
+  ExecResult NoCoal = P->runNoCoalesce();
+  ASSERT_TRUE(NoCoal.OK) << NoCoal.Error;
+  EXPECT_EQ(NoCoal.Output, Mcc.Output);
+
+  // GCTD must find coalescing opportunities in every suite program.
+  CompiledProgram::Stats S = P->stats();
+  EXPECT_GT(S.StaticSubsumed + S.DynamicSubsumed, 0u);
+  // Coalescing must reduce memory relative to the identity plan.
+  EXPECT_LE(Static.Mem.AvgDynamicBytes, NoCoal.Mem.AvgDynamicBytes * 1.001)
+      << "GCTD used more memory than no coalescing at all";
+}
+
+TEST_P(SuiteTest, InterpreterMatchesOnSmallPrograms) {
+  // The interpreter oracle runs the quicker programs (fiff/crni are
+  // covered by the model-agreement test above and the figure harnesses).
+  if (GetParam() == "fiff" || GetParam() == "crni")
+    GTEST_SKIP() << "long-running; covered by model agreement";
+  const BenchmarkProgram *Prog = findBenchmark(GetParam());
+  Diagnostics Diags;
+  auto P = compileSource(Prog->Source, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  InterpResult Oracle = P->runInterp();
+  ASSERT_TRUE(Oracle.OK) << Oracle.Error;
+  ExecResult Static = P->runStatic();
+  ASSERT_TRUE(Static.OK) << Static.Error;
+  EXPECT_EQ(Static.Output, Oracle.Output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, SuiteTest,
+    ::testing::Values("adpt", "capr", "clos", "crni", "diff", "dich",
+                      "edit", "fdtd", "fiff", "nb1d", "nb3d"),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });
+
+TEST(SuiteMetadata, TableOneCountsAreSane) {
+  ASSERT_EQ(benchmarkSuite().size(), 11u);
+  for (const BenchmarkProgram &P : benchmarkSuite()) {
+    EXPECT_GE(P.mFileCount(), 2u) << P.Name;  // Driver + main routine.
+    EXPECT_GT(P.lineCount(), 10u) << P.Name;
+    EXPECT_FALSE(P.Synopsis.empty());
+    EXPECT_FALSE(P.Origin.empty());
+  }
+  EXPECT_EQ(findBenchmark("nope"), nullptr);
+}
+
+} // namespace

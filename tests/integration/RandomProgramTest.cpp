@@ -1,0 +1,284 @@
+//===- RandomProgramTest.cpp - Differential fuzzing of the pipeline -------===//
+//
+// Generates random but shape-safe MATLAB programs and requires the
+// interpreter, the mcc-model VM, the GCTD static VM and the no-coalescing
+// VM to produce byte-identical output. Because every engine shares the
+// kernel library and PRNG stream, even data-dependent control flow and
+// IEEE corner values compare exactly; the generator only has to avoid
+// guaranteed runtime errors (out-of-bounds reads, non-conforming shapes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "gctd/GCTD.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace matcoal;
+
+namespace {
+
+/// Tracks each generated variable's concrete shape so expressions always
+/// conform and subscripts stay in bounds.
+class ProgramGenerator {
+public:
+  explicit ProgramGenerator(unsigned Seed) : Rng(Seed) {}
+
+  std::string generate() {
+    OS.str("");
+    // Seed a few variables with known shapes.
+    unsigned NVars = 2 + pick(3);
+    for (unsigned I = 0; I < NVars; ++I)
+      emitFreshAssignment();
+    unsigned NStmts = 4 + pick(8);
+    for (unsigned I = 0; I < NStmts; ++I)
+      emitStatement(/*Depth=*/0, /*InLoop=*/false);
+    emitChecksums();
+    return OS.str();
+  }
+
+private:
+  struct Shape {
+    int R = 1, C = 1;
+    bool scalar() const { return R == 1 && C == 1; }
+  };
+
+  unsigned pick(unsigned N) { return std::uniform_int_distribution<unsigned>(0, N - 1)(Rng); }
+  bool coin() { return pick(2) == 0; }
+  double literal() {
+    return std::uniform_int_distribution<int>(-400, 400)(Rng) / 100.0;
+  }
+
+  std::string varName(size_t I) {
+    return std::string(1, static_cast<char>('a' + (I % 26))) +
+           (I >= 26 ? std::to_string(I / 26) : "");
+  }
+
+  /// A random existing variable, optionally constrained.
+  int findVar(bool WantScalar) {
+    std::vector<int> Candidates;
+    for (size_t I = 0; I < Vars.size(); ++I)
+      if (!WantScalar || Vars[I].scalar())
+        Candidates.push_back(static_cast<int>(I));
+    if (Candidates.empty())
+      return -1;
+    return Candidates[pick(static_cast<unsigned>(Candidates.size()))];
+  }
+
+  /// Expression of exactly the given shape.
+  std::string expr(Shape S, int Depth) {
+    // Leaves.
+    if (Depth >= 3 || pick(3) == 0) {
+      if (S.scalar()) {
+        int V = findVar(true);
+        if (V >= 0 && coin())
+          return varName(V);
+        std::ostringstream L;
+        L << literal();
+        return L.str();
+      }
+      // Array leaf: a matching variable or a constructor.
+      for (size_t I = 0; I < Vars.size(); ++I)
+        if (Vars[I].R == S.R && Vars[I].C == S.C && coin())
+          return varName(I);
+      const char *Ctor[] = {"zeros", "ones", "rand"};
+      std::ostringstream L;
+      L << Ctor[pick(3)] << "(" << S.R << ", " << S.C << ")";
+      return L.str();
+    }
+
+    switch (pick(S.scalar() ? 7 : 6)) {
+    case 0: { // Elementwise binary (scalar broadcast allowed).
+      const char *Ops[] = {"+", "-", ".*", "./"};
+      std::string L = coin() ? expr(S, Depth + 1)
+                             : expr(Shape{1, 1}, Depth + 1);
+      std::string R = expr(S, Depth + 1);
+      if (L == R && coin())
+        L = expr(Shape{1, 1}, Depth + 1);
+      return "(" + L + " " + Ops[pick(4)] + " " + R + ")";
+    }
+    case 1: { // Unary / elementwise map.
+      const char *Fns[] = {"abs", "floor", "sin", "cos", "exp"};
+      if (coin())
+        return "(-" + expr(S, Depth + 1) + ")";
+      return std::string(Fns[pick(5)]) + "(" + expr(S, Depth + 1) + ")";
+    }
+    case 2: { // Scalar scale.
+      return "(" + expr(Shape{1, 1}, Depth + 1) + " * " +
+             expr(S, Depth + 1) + ")";
+    }
+    case 3: { // Transpose of the transposed shape.
+      return expr(Shape{S.C, S.R}, Depth + 1) + "'";
+    }
+    case 4: { // Matrix multiply with conforming inner dim.
+      int K = 1 + static_cast<int>(pick(3));
+      return "(" + expr(Shape{S.R, K}, Depth + 1) + " * " +
+             expr(Shape{K, S.C}, Depth + 1) + ")";
+    }
+    case 5: { // Reduction or indexing producing this shape.
+      if (S.scalar()) {
+        int V = findVar(false);
+        if (V >= 0 && !Vars[V].scalar()) {
+          // In-bounds scalar read.
+          std::ostringstream E;
+          E << varName(V) << "(" << 1 + pick(Vars[V].R) << ", "
+            << 1 + pick(Vars[V].C) << ")";
+          return E.str();
+        }
+        return "sum(sum(" + expr(Shape{2, 2}, Depth + 1) + "))";
+      }
+      if (S.R == 1) // Row: a range scaled into shape via subsref.
+        return "(" + expr(Shape{1, S.C}, Depth + 1) + " + " +
+               rangeOfLen(S.C) + ")";
+      return expr(S, Depth + 1);
+    }
+    default: { // Scalar-only extras.
+      const char *Fns[] = {"sqrt", "tan", "atan"};
+      return std::string(Fns[pick(3)]) + "(abs(" +
+             expr(Shape{1, 1}, Depth + 1) + ") + 0.5)";
+    }
+    }
+  }
+
+  std::string rangeOfLen(int N) {
+    int Lo = 1 + static_cast<int>(pick(3));
+    std::ostringstream E;
+    // Parenthesized: the colon binds looser than + in MATLAB.
+    E << "(" << Lo << ":" << Lo + N - 1 << ")";
+    return E.str();
+  }
+
+  void emitFreshAssignment() {
+    Shape S;
+    switch (pick(4)) {
+    case 0: S = {1, 1}; break;
+    case 1: S = {1, 2 + static_cast<int>(pick(3))}; break;
+    case 2: S = {2 + static_cast<int>(pick(2)), 1}; break;
+    default:
+      S = {2 + static_cast<int>(pick(2)), 2 + static_cast<int>(pick(2))};
+      break;
+    }
+    // Generate the initializer before registering the variable, so the
+    // expression cannot reference the name being defined.
+    std::string Init = expr(S, 1);
+    size_t V = Vars.size();
+    Vars.push_back(S);
+    OS << varName(V) << " = " << Init << ";\n";
+  }
+
+  void emitStatement(int Depth, bool InLoop) {
+    switch (pick(Depth >= 2 ? 4 : 6)) {
+    case 0: { // Reassign an existing variable, same shape.
+      int V = findVar(false);
+      if (V < 0)
+        return emitFreshAssignment();
+      OS << varName(V) << " = " << expr(Vars[V], 0) << ";\n";
+      return;
+    }
+    case 1:
+      return emitFreshAssignment();
+    case 2: { // Element write, in bounds (or growing outside loops).
+      int V = -1;
+      for (size_t I = 0; I < Vars.size(); ++I)
+        if (!Vars[I].scalar() && (V < 0 || coin()))
+          V = static_cast<int>(I);
+      if (V < 0)
+        return emitFreshAssignment();
+      int RI = 1 + static_cast<int>(pick(Vars[V].R));
+      int CI = 1 + static_cast<int>(pick(Vars[V].C));
+      bool Grow = !InLoop && pick(4) == 0;
+      if (Grow)
+        RI = Vars[V].R + 1 + static_cast<int>(pick(2));
+      // The rhs evaluates BEFORE the write: generate it against the
+      // pre-growth shape.
+      std::string Rhs = expr(Shape{1, 1}, 1);
+      if (Grow && RI > Vars[V].R)
+        Vars[V].R = RI;
+      OS << varName(V) << "(" << RI << ", " << CI << ") = " << Rhs
+         << ";\n";
+      return;
+    }
+    case 3: { // Conditional; both arms keep shapes stable.
+      int V = findVar(false);
+      if (V < 0)
+        return emitFreshAssignment();
+      OS << "if " << expr(Shape{1, 1}, 1) << " > 0\n";
+      OS << varName(V) << " = " << expr(Vars[V], 1) << ";\n";
+      if (coin()) {
+        OS << "else\n";
+        OS << varName(V) << " = " << expr(Vars[V], 1) << ";\n";
+      }
+      OS << "end\n";
+      return;
+    }
+    case 4: { // Counted loop with shape-stable body.
+      unsigned Iters = 2 + pick(4);
+      OS << "for li" << Depth << " = 1:" << Iters << "\n";
+      unsigned Body = 1 + pick(2);
+      for (unsigned I = 0; I < Body; ++I)
+        emitStatement(Depth + 1, /*InLoop=*/true);
+      OS << "end\n";
+      return;
+    }
+    default: { // While loop with a decreasing counter.
+      OS << "wc" << Depth << " = " << 2 + pick(3) << ";\n";
+      OS << "while wc" << Depth << " > 0\n";
+      emitStatement(Depth + 1, /*InLoop=*/true);
+      OS << "wc" << Depth << " = wc" << Depth << " - 1;\n";
+      OS << "end\n";
+      return;
+    }
+    }
+  }
+
+  void emitChecksums() {
+    for (size_t I = 0; I < Vars.size(); ++I)
+      OS << "fprintf('" << varName(I) << "=%.9g;%d;%d ', sum(sum(abs("
+         << varName(I) << "))), size(" << varName(I) << ", 1), size("
+         << varName(I) << ", 2));\n";
+    OS << "fprintf('\\n');\n";
+  }
+
+  std::mt19937 Rng;
+  std::ostringstream OS;
+  std::vector<Shape> Vars;
+};
+
+class RandomProgramTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomProgramTest, AllEnginesAgree) {
+  ProgramGenerator Gen(GetParam() * 7919 + 13);
+  std::string Src = Gen.generate();
+
+  Diagnostics Diags;
+  auto P = compileSource(Src, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str() << "\nprogram:\n" << Src;
+
+  InterpResult Oracle = P->runInterp();
+  ASSERT_TRUE(Oracle.OK) << Oracle.Error << "\nprogram:\n" << Src;
+
+  ExecResult Mcc = P->runMcc();
+  ASSERT_TRUE(Mcc.OK) << Mcc.Error << "\nprogram:\n" << Src;
+  EXPECT_EQ(Mcc.Output, Oracle.Output) << "program:\n" << Src;
+
+  ExecResult Static = P->runStatic();
+  ASSERT_TRUE(Static.OK) << Static.Error << "\nprogram:\n" << Src;
+  EXPECT_EQ(Static.Output, Oracle.Output) << "program:\n" << Src;
+  EXPECT_EQ(Static.PlanViolations, 0u) << "program:\n" << Src;
+
+  ExecResult NoCoal = P->runNoCoalesce();
+  ASSERT_TRUE(NoCoal.OK) << NoCoal.Error << "\nprogram:\n" << Src;
+  EXPECT_EQ(NoCoal.Output, Oracle.Output) << "program:\n" << Src;
+
+  // Structural property, checked at plan time inside compileSource: no
+  // interfering pair shares a storage slot.
+  EXPECT_EQ(P->PlanConsistencyErrors, 0u) << "program:\n" << Src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range(0u, 40u));
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- InterpTest.cpp - AST interpreter unit tests ------------------------===//
+
+#include "interp/Interp.h"
+
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+InterpResult run(const std::string &Src, std::uint64_t Seed = 1) {
+  Diagnostics Diags;
+  auto P = parseProgram(Src, Diags);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  Interpreter I(*P, Seed);
+  return I.run();
+}
+
+TEST(Interp, BasicOutput) {
+  InterpResult R = run("x = 2 + 3;\ndisp(x);\n");
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, "5\n");
+}
+
+TEST(Interp, DisplayUsesVariableName) {
+  InterpResult R = run("abc = 7\n");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.Output, "abc =\n7\n");
+}
+
+TEST(Interp, ExpressionStatementDisplaysAns) {
+  InterpResult R = run("1 + 1\n");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.Output, "ans =\n2\n");
+}
+
+TEST(Interp, ValueSemanticsOnAssignment) {
+  // b must be an independent copy of a.
+  InterpResult R = run("a = [1, 2];\nb = a;\nb(1) = 9;\ndisp(a);\n"
+                       "disp(b);\n");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.Output, "  1  2\n  9  2\n");
+}
+
+TEST(Interp, FunctionArgumentsAreCopies) {
+  InterpResult R = run("function main\nv = [1, 2, 3];\nw = bump(v);\n"
+                       "disp(v);\ndisp(w);\n\n"
+                       "function v = bump(v)\nv(1) = 99;\n");
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, "  1  2  3\n  99  2  3\n");
+}
+
+TEST(Interp, ForOverMatrixIteratesColumns) {
+  InterpResult R = run("m = [1, 3; 2, 4];\nfor c = m\ndisp(c');\nend\n");
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, "  1  2\n  3  4\n");
+}
+
+TEST(Interp, ForOverColumnVectorRunsOnce) {
+  // MATLAB: for v = columnvector binds the whole column once.
+  InterpResult R = run("count = 0;\nfor v = [1; 2; 3]\n"
+                       "count = count + 1;\nend\ndisp(count);\n");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.Output, "1\n");
+}
+
+TEST(Interp, WhileBreakContinue) {
+  InterpResult R = run("k = 0;\ns = 0;\nwhile 1\nk = k + 1;\n"
+                       "if k == 3\ncontinue;\nend\nif k > 5\nbreak;\nend\n"
+                       "s = s + k;\nend\ndisp(s);\n");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.Output, "12\n"); // 1+2+4+5.
+}
+
+TEST(Interp, ReturnExitsFunction) {
+  InterpResult R = run("function main\ndisp(f(1));\ndisp(f(-1));\n\n"
+                       "function y = f(x)\ny = 0;\nif x < 0\nreturn;\nend\n"
+                       "y = 1;\n");
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, "1\n0\n");
+}
+
+TEST(Interp, MissingOutputIsError) {
+  InterpResult R = run("function main\ndisp(f(1));\n\n"
+                       "function y = f(x)\nz = x;\n");
+  EXPECT_FALSE(R.OK);
+  EXPECT_NE(R.Error.find("not assigned"), std::string::npos);
+}
+
+TEST(Interp, UndefinedVariableIsError) {
+  InterpResult R = run("disp(qqq);\n");
+  EXPECT_FALSE(R.OK);
+  EXPECT_NE(R.Error.find("undefined"), std::string::npos);
+}
+
+TEST(Interp, StepBudgetGuardsInfiniteLoops) {
+  Diagnostics Diags;
+  auto P = parseProgram("while 1\nx = 1;\nend\n", Diags);
+  Interpreter I(*P, 1);
+  I.setStepBudget(1000);
+  InterpResult R = I.run();
+  EXPECT_FALSE(R.OK);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, SeedControlsRandStream) {
+  InterpResult A = run("fprintf('%.9f', rand());\n", 11);
+  InterpResult B = run("fprintf('%.9f', rand());\n", 22);
+  InterpResult A2 = run("fprintf('%.9f', rand());\n", 11);
+  EXPECT_NE(A.Output, B.Output);
+  EXPECT_EQ(A.Output, A2.Output);
+}
+
+TEST(Interp, SwitchFallsToOtherwise) {
+  InterpResult R = run("x = 5;\nswitch x\ncase 1\ndisp('a');\n"
+                       "otherwise\ndisp('b');\nend\n");
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.Output, "b\n");
+}
+
+TEST(Interp, EndInNestedIndexContexts) {
+  InterpResult R = run("a = [1, 2, 3, 4];\nb = [10, 20];\n"
+                       "disp(a(end - b(end) / 20));\n");
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, "3\n"); // a(end - b(end)/20) = a(4 - 1) = a(3).
+}
+
+} // namespace

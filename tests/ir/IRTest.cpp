@@ -1,0 +1,157 @@
+//===- IRTest.cpp - Unit tests for the SO-form IR -------------------------===//
+
+#include "ir/IR.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+// Builds: entry -> (then | else) -> exit with a phi in exit.
+std::unique_ptr<Function> makeDiamond() {
+  auto F = std::make_unique<Function>();
+  F->Name = "diamond";
+  BasicBlock *Entry = F->addBlock();
+  BasicBlock *Then = F->addBlock();
+  BasicBlock *Else = F->addBlock();
+  BasicBlock *Exit = F->addBlock();
+
+  VarId C = F->getOrCreateVar("c");
+  VarId X = F->getOrCreateVar("x");
+
+  Instr CDef;
+  CDef.Op = Opcode::ConstNum;
+  CDef.NumRe = 1;
+  CDef.Results = {C};
+  Entry->Instrs.push_back(CDef);
+  Instr Br;
+  Br.Op = Opcode::Br;
+  Br.Operands = {C};
+  Br.Target1 = Then->Id;
+  Br.Target2 = Else->Id;
+  Entry->Instrs.push_back(Br);
+
+  Instr T1;
+  T1.Op = Opcode::ConstNum;
+  T1.NumRe = 2;
+  T1.Results = {X};
+  Then->Instrs.push_back(T1);
+  Instr J1;
+  J1.Op = Opcode::Jmp;
+  J1.Target1 = Exit->Id;
+  Then->Instrs.push_back(J1);
+
+  Instr T2;
+  T2.Op = Opcode::ConstNum;
+  T2.NumRe = 3;
+  T2.Results = {X};
+  Else->Instrs.push_back(T2);
+  Instr J2;
+  J2.Op = Opcode::Jmp;
+  J2.Target1 = Exit->Id;
+  Else->Instrs.push_back(J2);
+
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  Exit->Instrs.push_back(Ret);
+
+  F->recomputePreds();
+  return F;
+}
+
+TEST(IR, SuccessorsAndPreds) {
+  auto F = makeDiamond();
+  EXPECT_EQ(F->entry()->successors(), (std::vector<BlockId>{1, 2}));
+  EXPECT_EQ(F->block(3)->Preds.size(), 2u);
+  EXPECT_TRUE(F->entry()->Preds.empty());
+}
+
+TEST(IR, ReversePostOrderStartsAtEntryEndsAtExit) {
+  auto F = makeDiamond();
+  auto RPO = F->reversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), 0);
+  EXPECT_EQ(RPO.back(), 3);
+}
+
+TEST(IR, ReversePostOrderSkipsUnreachable) {
+  auto F = makeDiamond();
+  F->addBlock(); // Unreachable, no terminator.
+  auto RPO = F->reversePostOrder();
+  EXPECT_EQ(RPO.size(), 4u);
+}
+
+TEST(IR, VarCreation) {
+  Function F;
+  VarId A = F.getOrCreateVar("a");
+  VarId A2 = F.getOrCreateVar("a");
+  VarId B = F.getOrCreateVar("b");
+  EXPECT_EQ(A, A2);
+  EXPECT_NE(A, B);
+  VarId T = F.makeTemp();
+  EXPECT_TRUE(F.var(T).IsTemp);
+  VarId V = F.makeVersion(A, 2);
+  EXPECT_EQ(F.var(V).Base, "a");
+  EXPECT_EQ(F.var(V).Version, 2);
+  EXPECT_EQ(F.var(V).Name, "a.2");
+}
+
+TEST(IR, VerifyCleanFunction) {
+  auto F = makeDiamond();
+  Diagnostics Diags;
+  EXPECT_TRUE(verifyFunction(*F, Diags)) << Diags.str();
+}
+
+TEST(IR, VerifyCatchesMissingTerminator) {
+  auto F = makeDiamond();
+  F->block(3)->Instrs.clear();
+  Diagnostics Diags;
+  EXPECT_FALSE(verifyFunction(*F, Diags));
+}
+
+TEST(IR, VerifyCatchesPhiOperandMismatch) {
+  auto F = makeDiamond();
+  Instr Phi;
+  Phi.Op = Opcode::Phi;
+  Phi.Results = {F->getOrCreateVar("x")};
+  Phi.Operands = {F->getOrCreateVar("x")}; // Exit has 2 preds.
+  auto &Instrs = F->block(3)->Instrs;
+  Instrs.insert(Instrs.begin(), Phi);
+  Diagnostics Diags;
+  EXPECT_FALSE(verifyFunction(*F, Diags));
+}
+
+TEST(IR, VerifyCatchesBadBranchTarget) {
+  auto F = makeDiamond();
+  F->block(1)->Instrs.back().Target1 = 99;
+  Diagnostics Diags;
+  EXPECT_FALSE(verifyFunction(*F, Diags));
+}
+
+TEST(IR, PrinterMentionsBlocksAndOps) {
+  auto F = makeDiamond();
+  std::string S = F->str();
+  EXPECT_NE(S.find("bb0"), std::string::npos);
+  EXPECT_NE(S.find("constnum"), std::string::npos);
+  EXPECT_NE(S.find("br"), std::string::npos);
+}
+
+TEST(IR, OpcodeProperties) {
+  EXPECT_TRUE(isTerminator(Opcode::Jmp));
+  EXPECT_TRUE(isTerminator(Opcode::Br));
+  EXPECT_TRUE(isTerminator(Opcode::Ret));
+  EXPECT_FALSE(isTerminator(Opcode::Add));
+  EXPECT_TRUE(isPure(Opcode::Add));
+  EXPECT_FALSE(isPure(Opcode::Display));
+  EXPECT_FALSE(isPure(Opcode::Call));
+}
+
+TEST(IR, ModuleLookup) {
+  Module M;
+  Function *F = M.addFunction("foo");
+  EXPECT_EQ(M.findFunction("foo"), F);
+  EXPECT_EQ(M.findFunction("bar"), nullptr);
+}
+
+} // namespace

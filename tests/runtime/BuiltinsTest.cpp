@@ -1,0 +1,262 @@
+//===- BuiltinsTest.cpp - Builtin library unit tests ----------------------===//
+
+#include "runtime/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+struct BuiltinFixture : ::testing::Test {
+  RandState Rng{42};
+  OutputSink Out;
+
+  Array call1(const std::string &Name, std::vector<Array> Args) {
+    std::vector<const Array *> Ptrs;
+    for (const Array &A : Args)
+      Ptrs.push_back(&A);
+    auto R = callBuiltin(Name, Ptrs, 1, Rng, Out);
+    EXPECT_FALSE(R.empty()) << Name;
+    return R.empty() ? Array() : R[0];
+  }
+};
+
+TEST_F(BuiltinFixture, ZerosOnesEye) {
+  Array Z = call1("zeros", {Array::scalar(2), Array::scalar(3)});
+  EXPECT_EQ(Z.dims(), (std::vector<std::int64_t>{2, 3}));
+  EXPECT_DOUBLE_EQ(Z.reAt(5), 0);
+  Array O = call1("ones", {Array::scalar(2)});
+  EXPECT_EQ(O.numel(), 4);
+  EXPECT_DOUBLE_EQ(O.reAt(3), 1);
+  Array I = call1("eye", {Array::scalar(3)});
+  EXPECT_DOUBLE_EQ(I.reAt(0), 1);
+  EXPECT_DOUBLE_EQ(I.reAt(1), 0);
+  EXPECT_DOUBLE_EQ(I.reAt(4), 1);
+}
+
+TEST_F(BuiltinFixture, ZerosThreeD) {
+  Array Z = call1("zeros",
+                  {Array::scalar(2), Array::scalar(3), Array::scalar(4)});
+  EXPECT_EQ(Z.dims(), (std::vector<std::int64_t>{2, 3, 4}));
+  EXPECT_EQ(Z.numel(), 24);
+}
+
+TEST_F(BuiltinFixture, RandIsDeterministicPerSeed) {
+  RandState R1(7), R2(7);
+  OutputSink S;
+  auto A = callBuiltin("rand", {}, 1, R1, S);
+  auto B = callBuiltin("rand", {}, 1, R2, S);
+  EXPECT_DOUBLE_EQ(A[0].scalarValue(), B[0].scalarValue());
+  EXPECT_GE(A[0].scalarValue(), 0.0);
+  EXPECT_LT(A[0].scalarValue(), 1.0);
+}
+
+TEST_F(BuiltinFixture, SizeVariants) {
+  Array A = Array::zeros({3, 5});
+  Array S = call1("size", {A});
+  EXPECT_EQ(S.numel(), 2);
+  EXPECT_DOUBLE_EQ(S.reAt(0), 3);
+  EXPECT_DOUBLE_EQ(S.reAt(1), 5);
+  Array D2 = call1("size", {A, Array::scalar(2)});
+  EXPECT_DOUBLE_EQ(D2.scalarValue(), 5);
+  // Two-output form.
+  std::vector<const Array *> Args = {&A};
+  auto Two = callBuiltin("size", Args, 2, Rng, Out);
+  ASSERT_EQ(Two.size(), 2u);
+  EXPECT_DOUBLE_EQ(Two[0].scalarValue(), 3);
+  EXPECT_DOUBLE_EQ(Two[1].scalarValue(), 5);
+}
+
+TEST_F(BuiltinFixture, NumelLengthIsempty) {
+  Array A = Array::zeros({3, 5});
+  EXPECT_DOUBLE_EQ(call1("numel", {A}).scalarValue(), 15);
+  EXPECT_DOUBLE_EQ(call1("length", {A}).scalarValue(), 5);
+  EXPECT_DOUBLE_EQ(call1("isempty", {A}).scalarValue(), 0);
+  EXPECT_DOUBLE_EQ(call1("isempty", {Array()}).scalarValue(), 1);
+  EXPECT_DOUBLE_EQ(call1("length", {Array()}).scalarValue(), 0);
+}
+
+TEST_F(BuiltinFixture, AbsOfComplex) {
+  Array R = call1("abs", {Array::complexScalar(3, 4)});
+  EXPECT_DOUBLE_EQ(R.scalarValue(), 5);
+  EXPECT_FALSE(R.isComplex());
+}
+
+TEST_F(BuiltinFixture, SqrtEscapesToComplex) {
+  Array R = call1("sqrt", {Array::scalar(-4)});
+  EXPECT_TRUE(R.isComplex());
+  EXPECT_NEAR(R.imAt(0), 2.0, 1e-12);
+}
+
+TEST_F(BuiltinFixture, ExpOfImaginary) {
+  // exp(i*pi) = -1.
+  Array R = call1("exp", {Array::complexScalar(0, M_PI)});
+  EXPECT_NEAR(R.reAt(0), -1.0, 1e-12);
+}
+
+TEST_F(BuiltinFixture, RoundingFamily) {
+  EXPECT_DOUBLE_EQ(call1("floor", {Array::scalar(2.7)}).scalarValue(), 2);
+  EXPECT_DOUBLE_EQ(call1("ceil", {Array::scalar(2.2)}).scalarValue(), 3);
+  EXPECT_DOUBLE_EQ(call1("round", {Array::scalar(2.5)}).scalarValue(), 3);
+  EXPECT_DOUBLE_EQ(call1("fix", {Array::scalar(-2.7)}).scalarValue(), -2);
+  EXPECT_DOUBLE_EQ(call1("sign", {Array::scalar(-3)}).scalarValue(), -1);
+}
+
+TEST_F(BuiltinFixture, ModRem) {
+  EXPECT_DOUBLE_EQ(
+      call1("mod", {Array::scalar(-1), Array::scalar(3)}).scalarValue(), 2);
+  EXPECT_DOUBLE_EQ(
+      call1("rem", {Array::scalar(-1), Array::scalar(3)}).scalarValue(),
+      -1);
+  EXPECT_DOUBLE_EQ(
+      call1("mod", {Array::scalar(5), Array::scalar(0)}).scalarValue(), 5);
+}
+
+TEST_F(BuiltinFixture, MinMaxVector) {
+  Array V;
+  V.Dims = {1, 4};
+  V.Re = {3, 1, 4, 1};
+  EXPECT_DOUBLE_EQ(call1("min", {V}).scalarValue(), 1);
+  EXPECT_DOUBLE_EQ(call1("max", {V}).scalarValue(), 4);
+  // Two-output max gives the index of the first maximum.
+  std::vector<const Array *> Args = {&V};
+  auto R = callBuiltin("max", Args, 2, Rng, Out);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_DOUBLE_EQ(R[1].scalarValue(), 3);
+}
+
+TEST_F(BuiltinFixture, MinMaxElementwise) {
+  Array V;
+  V.Dims = {1, 3};
+  V.Re = {3, 1, 4};
+  Array R = call1("max", {V, Array::scalar(2)});
+  EXPECT_DOUBLE_EQ(R.reAt(0), 3);
+  EXPECT_DOUBLE_EQ(R.reAt(1), 2);
+}
+
+TEST_F(BuiltinFixture, SumProdMatrixColumns) {
+  Array A = Array::zeros({2, 2});
+  A.Re = {1, 2, 3, 4};
+  Array S = call1("sum", {A});
+  ASSERT_EQ(S.dims(), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(S.reAt(0), 3);
+  EXPECT_DOUBLE_EQ(S.reAt(1), 7);
+  Array V;
+  V.Dims = {1, 3};
+  V.Re = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(call1("prod", {V}).scalarValue(), 24);
+}
+
+TEST_F(BuiltinFixture, NormOfVector) {
+  Array V;
+  V.Dims = {1, 2};
+  V.Re = {3, 4};
+  EXPECT_DOUBLE_EQ(call1("norm", {V}).scalarValue(), 5);
+}
+
+TEST_F(BuiltinFixture, LinspaceEndpoints) {
+  Array R = call1("linspace",
+                  {Array::scalar(0), Array::scalar(1), Array::scalar(5)});
+  ASSERT_EQ(R.numel(), 5);
+  EXPECT_DOUBLE_EQ(R.reAt(0), 0);
+  EXPECT_DOUBLE_EQ(R.reAt(4), 1);
+  EXPECT_DOUBLE_EQ(R.reAt(2), 0.5);
+}
+
+TEST_F(BuiltinFixture, RepmatTiles) {
+  Array A = Array::zeros({1, 2});
+  A.Re = {1, 2};
+  Array R = call1("repmat", {A, Array::scalar(2), Array::scalar(2)});
+  EXPECT_EQ(R.dims(), (std::vector<std::int64_t>{2, 4}));
+  // [1 2 1 2; 1 2 1 2] column-major: cols are [1;1],[2;2],[1;1],[2;2].
+  EXPECT_DOUBLE_EQ(R.reAt(0), 1);
+  EXPECT_DOUBLE_EQ(R.reAt(2), 2);
+  EXPECT_DOUBLE_EQ(R.reAt(4), 1);
+}
+
+TEST_F(BuiltinFixture, DispWritesOutput) {
+  std::vector<const Array *> Args;
+  Array V = Array::scalar(42);
+  Args.push_back(&V);
+  callBuiltin("disp", Args, 0, Rng, Out);
+  EXPECT_EQ(Out.str(), "42\n");
+}
+
+TEST_F(BuiltinFixture, FprintfFormats) {
+  Array Fmt = Array::charRow("x=%d y=%.2f\n");
+  Array X = Array::scalar(7), Y = Array::scalar(3.14159);
+  callBuiltin("fprintf", {&Fmt, &X, &Y}, 0, Rng, Out);
+  EXPECT_EQ(Out.str(), "x=7 y=3.14\n");
+}
+
+TEST_F(BuiltinFixture, FprintfRecyclesFormat) {
+  Array Fmt = Array::charRow("%d ");
+  Array V;
+  V.Dims = {1, 3};
+  V.Re = {1, 2, 3};
+  callBuiltin("fprintf", {&Fmt, &V}, 0, Rng, Out);
+  EXPECT_EQ(Out.str(), "1 2 3 ");
+}
+
+TEST_F(BuiltinFixture, FprintfStringArg) {
+  Array Fmt = Array::charRow("hello %s!");
+  Array S = Array::charRow("world");
+  callBuiltin("fprintf", {&Fmt, &S}, 0, Rng, Out);
+  EXPECT_EQ(Out.str(), "hello world!");
+}
+
+TEST_F(BuiltinFixture, SprintfReturnsChar) {
+  Array R = call1("sprintf", {Array::charRow("v=%g"), Array::scalar(2.5)});
+  EXPECT_TRUE(R.isChar());
+  EXPECT_EQ(R.toStdString(), "v=2.5");
+}
+
+TEST_F(BuiltinFixture, ErrorThrows) {
+  Array Msg = Array::charRow("boom %d");
+  Array V = Array::scalar(3);
+  std::vector<const Array *> Args = {&Msg, &V};
+  try {
+    callBuiltin("error", Args, 0, Rng, Out);
+    FAIL() << "expected MatError";
+  } catch (const MatError &E) {
+    EXPECT_STREQ(E.what(), "boom 3");
+  }
+}
+
+TEST_F(BuiltinFixture, UnknownBuiltinThrows) {
+  EXPECT_THROW(callBuiltin("no_such_function", {}, 1, Rng, Out), MatError);
+}
+
+TEST_F(BuiltinFixture, ForcondBothDirections) {
+  EXPECT_DOUBLE_EQ(call1("__forcond", {Array::scalar(3), Array::scalar(1),
+                                       Array::scalar(5)})
+                       .scalarValue(),
+                   1);
+  // Negative step with i < hi: the loop body is not entered.
+  EXPECT_DOUBLE_EQ(call1("__forcond", {Array::scalar(3), Array::scalar(-1),
+                                       Array::scalar(5)})
+                       .scalarValue(),
+                   0);
+  EXPECT_DOUBLE_EQ(call1("__forcond", {Array::scalar(5), Array::scalar(-1),
+                                       Array::scalar(3)})
+                       .scalarValue(),
+                   1);
+  EXPECT_DOUBLE_EQ(call1("__forcond", {Array::scalar(6), Array::scalar(1),
+                                       Array::scalar(5)})
+                       .scalarValue(),
+                   0);
+}
+
+TEST_F(BuiltinFixture, FormattingStableForDisplay) {
+  EXPECT_EQ(Array::scalar(3).format(), "3");
+  EXPECT_EQ(Array::scalar(3.5).format(), "3.5");
+  EXPECT_EQ(Array::complexScalar(1, -2).format(), "1 - 2i");
+  Array M = Array::zeros({2, 2});
+  M.Re = {1, 2, 3, 4};
+  EXPECT_EQ(M.format(), "  1  3\n  2  4");
+  EXPECT_EQ(Array().format(), "[]");
+  EXPECT_EQ(Array::scalar(5).formatNamed("x"), "x =\n5\n");
+}
+
+} // namespace

@@ -1,0 +1,394 @@
+//===- OpsTest.cpp - Operator kernel unit tests ---------------------------===//
+
+#include "runtime/Kernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+Array mat(std::int64_t R, std::int64_t C, std::vector<double> Vals) {
+  Array A;
+  A.Dims = {R, C};
+  A.Re = std::move(Vals);
+  return A;
+}
+
+TEST(Ops, AddScalars) {
+  Array R = binaryOp(Opcode::Add, Array::scalar(2), Array::scalar(3));
+  EXPECT_DOUBLE_EQ(R.scalarValue(), 5.0);
+  EXPECT_TRUE(R.isScalar());
+}
+
+TEST(Ops, AddBroadcastScalar) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array R = binaryOp(Opcode::Add, A, Array::scalar(10));
+  EXPECT_DOUBLE_EQ(R.reAt(0), 11);
+  EXPECT_DOUBLE_EQ(R.reAt(3), 14);
+  Array R2 = binaryOp(Opcode::Add, Array::scalar(10), A);
+  EXPECT_DOUBLE_EQ(R2.reAt(2), 13);
+}
+
+TEST(Ops, AddShapeMismatchThrows) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array B = mat(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_THROW(binaryOp(Opcode::Add, A, B), MatError);
+}
+
+TEST(Ops, ComplexArithmetic) {
+  Array A = Array::complexScalar(1, 2);
+  Array B = Array::complexScalar(3, -1);
+  Array Sum = binaryOp(Opcode::Add, A, B);
+  EXPECT_DOUBLE_EQ(Sum.reAt(0), 4);
+  EXPECT_DOUBLE_EQ(Sum.imAt(0), 1);
+  Array Prod = binaryOp(Opcode::ElemMul, A, B);
+  EXPECT_DOUBLE_EQ(Prod.reAt(0), 5);
+  EXPECT_DOUBLE_EQ(Prod.imAt(0), 5);
+}
+
+TEST(Ops, ComplexResultNormalizesToReal) {
+  Array A = Array::complexScalar(1, 2);
+  Array B = Array::complexScalar(1, -2);
+  Array Sum = binaryOp(Opcode::Add, A, B);
+  EXPECT_FALSE(Sum.isComplex());
+}
+
+TEST(Ops, MatMul) {
+  Array A = mat(2, 3, {1, 4, 2, 5, 3, 6}); // [1 2 3; 4 5 6].
+  Array B = mat(3, 2, {7, 9, 11, 8, 10, 12});
+  Array C = binaryOp(Opcode::MatMul, A, B);
+  ASSERT_EQ(C.dims(), (std::vector<std::int64_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(C.reAt(0), 58);
+  EXPECT_DOUBLE_EQ(C.reAt(1), 139);
+  EXPECT_DOUBLE_EQ(C.reAt(2), 64);
+  EXPECT_DOUBLE_EQ(C.reAt(3), 154);
+}
+
+TEST(Ops, MatMulDimMismatchThrows) {
+  Array A = mat(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_THROW(binaryOp(Opcode::MatMul, A, A), MatError);
+}
+
+TEST(Ops, MatMulScalarIsElementwise) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array R = binaryOp(Opcode::MatMul, Array::scalar(2), A);
+  EXPECT_DOUBLE_EQ(R.reAt(3), 8);
+}
+
+TEST(Ops, SolveLeftDivide) {
+  // [2 0; 0 4] \ [2; 8] = [1; 2].
+  Array A = mat(2, 2, {2, 0, 0, 4});
+  Array B = mat(2, 1, {2, 8});
+  Array X = binaryOp(Opcode::MatLDiv, A, B);
+  EXPECT_NEAR(X.reAt(0), 1.0, 1e-12);
+  EXPECT_NEAR(X.reAt(1), 2.0, 1e-12);
+}
+
+TEST(Ops, SolveWithPivoting) {
+  // Requires a row swap: [0 1; 1 0] \ [3; 5] = [5; 3].
+  Array A = mat(2, 2, {0, 1, 1, 0});
+  Array B = mat(2, 1, {3, 5});
+  Array X = binaryOp(Opcode::MatLDiv, A, B);
+  EXPECT_NEAR(X.reAt(0), 5.0, 1e-12);
+  EXPECT_NEAR(X.reAt(1), 3.0, 1e-12);
+}
+
+TEST(Ops, SingularSolveThrows) {
+  Array A = mat(2, 2, {1, 1, 1, 1});
+  Array B = mat(2, 1, {1, 2});
+  EXPECT_THROW(binaryOp(Opcode::MatLDiv, A, B), MatError);
+}
+
+TEST(Ops, RightDivide) {
+  // [8 2] / [2 0; 0 2]  =  [4 1].
+  Array A = mat(1, 2, {8, 2});
+  Array B = mat(2, 2, {2, 0, 0, 2});
+  Array X = binaryOp(Opcode::MatRDiv, A, B);
+  EXPECT_NEAR(X.reAt(0), 4.0, 1e-12);
+  EXPECT_NEAR(X.reAt(1), 1.0, 1e-12);
+}
+
+TEST(Ops, ElemPowEscapesToComplex) {
+  Array R = binaryOp(Opcode::ElemPow, Array::scalar(-4), Array::scalar(0.5));
+  EXPECT_TRUE(R.isComplex());
+  EXPECT_NEAR(R.imAt(0), 2.0, 1e-12);
+  EXPECT_NEAR(R.reAt(0), 0.0, 1e-12);
+}
+
+TEST(Ops, ElemPowIntegerExponentStaysReal) {
+  Array R = binaryOp(Opcode::ElemPow, Array::scalar(-2), Array::scalar(3));
+  EXPECT_FALSE(R.isComplex());
+  EXPECT_DOUBLE_EQ(R.reAt(0), -8.0);
+}
+
+TEST(Ops, MatPowSquaresMatrix) {
+  Array A = mat(2, 2, {1, 0, 1, 1}); // [1 1; 0 1].
+  Array R = binaryOp(Opcode::MatPow, A, Array::scalar(3));
+  EXPECT_DOUBLE_EQ(R.reAt(2), 3.0); // Upper-right accumulates.
+}
+
+TEST(Ops, ComparisonsAreLogical) {
+  Array A = mat(1, 3, {1, 5, 3});
+  Array R = binaryOp(Opcode::Gt, A, Array::scalar(2));
+  EXPECT_TRUE(R.isLogical());
+  EXPECT_DOUBLE_EQ(R.reAt(0), 0);
+  EXPECT_DOUBLE_EQ(R.reAt(1), 1);
+  EXPECT_DOUBLE_EQ(R.reAt(2), 1);
+}
+
+TEST(Ops, TransposeMatrix) {
+  Array A = mat(2, 3, {1, 4, 2, 5, 3, 6});
+  Array T = unaryOp(Opcode::Transpose, A);
+  ASSERT_EQ(T.dims(), (std::vector<std::int64_t>{3, 2}));
+  EXPECT_DOUBLE_EQ(T.reAt(0), 1);
+  EXPECT_DOUBLE_EQ(T.reAt(1), 2);
+  EXPECT_DOUBLE_EQ(T.reAt(3), 4);
+}
+
+TEST(Ops, CTransposeConjugates) {
+  Array A = Array::complexScalar(1, 2);
+  Array T = unaryOp(Opcode::CTranspose, A);
+  EXPECT_DOUBLE_EQ(T.imAt(0), -2);
+  Array T2 = unaryOp(Opcode::Transpose, A);
+  EXPECT_DOUBLE_EQ(T2.imAt(0), 2);
+}
+
+TEST(Ops, NotIsLogical) {
+  Array R = unaryOp(Opcode::Not, mat(1, 2, {0, 7}));
+  EXPECT_TRUE(R.isLogical());
+  EXPECT_DOUBLE_EQ(R.reAt(0), 1);
+  EXPECT_DOUBLE_EQ(R.reAt(1), 0);
+}
+
+TEST(Ops, ColonRangeBasics) {
+  Array R = colonRange(Array::scalar(3), Array::scalar(7));
+  ASSERT_EQ(R.numel(), 5);
+  EXPECT_DOUBLE_EQ(R.reAt(4), 7);
+  EXPECT_TRUE(R.isRowVector());
+}
+
+TEST(Ops, ColonRangeEmpty) {
+  Array R = colonRange(Array::scalar(5), Array::scalar(1));
+  EXPECT_TRUE(R.isEmpty());
+}
+
+TEST(Ops, ColonRangeNegativeStep) {
+  Array R = colonRange3(Array::scalar(10), Array::scalar(-2),
+                        Array::scalar(4));
+  ASSERT_EQ(R.numel(), 4);
+  EXPECT_DOUBLE_EQ(R.reAt(3), 4);
+}
+
+TEST(Ops, ColonRangeFractionalStepIsRobust) {
+  Array R = colonRange3(Array::scalar(0), Array::scalar(0.1),
+                        Array::scalar(1.0));
+  EXPECT_EQ(R.numel(), 11);
+}
+
+TEST(Ops, SubsrefScalar) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array I1 = Array::scalar(2);
+  Array R = subsref(A, {&I1});
+  EXPECT_DOUBLE_EQ(R.scalarValue(), 2); // Column-major: a(2) = 2.
+}
+
+TEST(Ops, SubsrefTwoDim) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array I1 = Array::scalar(1), I2 = Array::scalar(2);
+  Array R = subsref(A, {&I1, &I2});
+  EXPECT_DOUBLE_EQ(R.scalarValue(), 3); // a(1, 2).
+}
+
+TEST(Ops, SubsrefColonColumn) {
+  Array A = mat(2, 3, {1, 2, 3, 4, 5, 6});
+  Array C = Array::colonMarker(), J = Array::scalar(2);
+  Array R = subsref(A, {&C, &J});
+  ASSERT_EQ(R.dims(), (std::vector<std::int64_t>{2, 1}));
+  EXPECT_DOUBLE_EQ(R.reAt(0), 3);
+  EXPECT_DOUBLE_EQ(R.reAt(1), 4);
+}
+
+TEST(Ops, SubsrefLinearColonIsColumn) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array C = Array::colonMarker();
+  Array R = subsref(A, {&C});
+  EXPECT_EQ(R.dims(), (std::vector<std::int64_t>{4, 1}));
+}
+
+TEST(Ops, SubsrefReversePermutation) {
+  Array A = mat(1, 4, {1, 2, 3, 4});
+  Array I = mat(1, 4, {4, 3, 2, 1});
+  Array R = subsref(A, {&I});
+  EXPECT_DOUBLE_EQ(R.reAt(0), 4);
+  EXPECT_DOUBLE_EQ(R.reAt(3), 1);
+}
+
+TEST(Ops, SubsrefOutOfBoundsThrows) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array I = Array::scalar(5);
+  EXPECT_THROW(subsref(A, {&I}), MatError);
+}
+
+TEST(Ops, SubsrefLogicalMask) {
+  Array A = mat(1, 4, {10, 20, 30, 40});
+  Array Mask = binaryOp(Opcode::Gt, A, Array::scalar(15));
+  Array R = subsref(A, {&Mask});
+  ASSERT_EQ(R.numel(), 3);
+  EXPECT_DOUBLE_EQ(R.reAt(0), 20);
+}
+
+TEST(Ops, SubsasgnScalarWrite) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array I1 = Array::scalar(2), I2 = Array::scalar(1);
+  subsasgnInPlace(A, Array::scalar(9), {&I1, &I2});
+  EXPECT_DOUBLE_EQ(A.reAt(1), 9);
+}
+
+TEST(Ops, SubsasgnGrowth) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array I1 = Array::scalar(3), I2 = Array::scalar(3);
+  subsasgnInPlace(A, Array::scalar(9), {&I1, &I2});
+  ASSERT_EQ(A.dims(), (std::vector<std::int64_t>{3, 3}));
+  // Old elements preserved at their (i, j) positions.
+  EXPECT_DOUBLE_EQ(A.reAt(0), 1);     // a(1, 1).
+  EXPECT_DOUBLE_EQ(A.reAt(1), 2);     // a(2, 1).
+  EXPECT_DOUBLE_EQ(A.reAt(3), 3);     // a(1, 2).
+  EXPECT_DOUBLE_EQ(A.reAt(4), 4);     // a(2, 2).
+  EXPECT_DOUBLE_EQ(A.reAt(8), 9);     // a(3, 3).
+  EXPECT_DOUBLE_EQ(A.reAt(2), 0);     // Zero-filled.
+}
+
+TEST(Ops, SubsasgnVectorGrowthFromEmpty) {
+  Array A;
+  Array I = Array::scalar(3);
+  subsasgnInPlace(A, Array::scalar(7), {&I});
+  ASSERT_EQ(A.dims(), (std::vector<std::int64_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(A.reAt(2), 7);
+  EXPECT_DOUBLE_EQ(A.reAt(0), 0);
+}
+
+TEST(Ops, SubsasgnColumnVectorGrowsDownward) {
+  Array A = mat(2, 1, {1, 2});
+  Array I = Array::scalar(4);
+  subsasgnInPlace(A, Array::scalar(9), {&I});
+  ASSERT_EQ(A.dims(), (std::vector<std::int64_t>{4, 1}));
+  EXPECT_DOUBLE_EQ(A.reAt(3), 9);
+}
+
+TEST(Ops, SubsasgnMatrixLinearGrowthThrows) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array I = Array::scalar(9);
+  EXPECT_THROW(subsasgnInPlace(A, Array::scalar(1), {&I}), MatError);
+}
+
+TEST(Ops, SubsasgnRangeWrite) {
+  Array A = mat(1, 5, {1, 2, 3, 4, 5});
+  Array I = mat(1, 2, {2, 4});
+  Array R = mat(1, 2, {20, 40});
+  subsasgnInPlace(A, R, {&I});
+  EXPECT_DOUBLE_EQ(A.reAt(1), 20);
+  EXPECT_DOUBLE_EQ(A.reAt(3), 40);
+}
+
+TEST(Ops, SubsasgnDimensionMismatchThrows) {
+  Array A = mat(1, 5, {1, 2, 3, 4, 5});
+  Array I = mat(1, 2, {2, 4});
+  Array R = mat(1, 3, {1, 2, 3});
+  EXPECT_THROW(subsasgnInPlace(A, R, {&I}), MatError);
+}
+
+TEST(Ops, SubsasgnColonColumnWrite) {
+  Array A = mat(2, 2, {1, 2, 3, 4});
+  Array C = Array::colonMarker(), J = Array::scalar(2);
+  Array R = mat(2, 1, {7, 8});
+  subsasgnInPlace(A, R, {&C, &J});
+  EXPECT_DOUBLE_EQ(A.reAt(2), 7);
+  EXPECT_DOUBLE_EQ(A.reAt(3), 8);
+}
+
+TEST(Ops, SubsasgnComplexRhsPromotes) {
+  Array A = mat(1, 2, {1, 2});
+  Array I = Array::scalar(1);
+  subsasgnInPlace(A, Array::complexScalar(0, 1), {&I});
+  EXPECT_TRUE(A.isComplex());
+  EXPECT_DOUBLE_EQ(A.imAt(0), 1);
+  EXPECT_DOUBLE_EQ(A.imAt(1), 0);
+}
+
+TEST(Ops, HorzcatAndVertcat) {
+  Array A = mat(2, 1, {1, 2});
+  Array B = mat(2, 1, {3, 4});
+  Array H = horzcat({&A, &B});
+  ASSERT_EQ(H.dims(), (std::vector<std::int64_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(H.reAt(2), 3);
+  Array V = vertcat({&A, &B});
+  ASSERT_EQ(V.dims(), (std::vector<std::int64_t>{4, 1}));
+  EXPECT_DOUBLE_EQ(V.reAt(2), 3);
+}
+
+TEST(Ops, ConcatIgnoresEmpties) {
+  Array A = mat(1, 2, {1, 2});
+  Array E;
+  Array H = horzcat({&E, &A});
+  EXPECT_EQ(H.numel(), 2);
+}
+
+TEST(Ops, ConcatMismatchThrows) {
+  Array A = mat(2, 1, {1, 2});
+  Array B = mat(3, 1, {1, 2, 3});
+  EXPECT_THROW(horzcat({&A, &B}), MatError);
+}
+
+TEST(Ops, CharConcatStaysChar) {
+  Array A = Array::charRow("ab");
+  Array B = Array::charRow("cd");
+  Array H = horzcat({&A, &B});
+  EXPECT_TRUE(H.isChar());
+  EXPECT_EQ(H.toStdString(), "abcd");
+}
+
+TEST(Ops, InPlaceBinaryAliasedAdd) {
+  // Dst aliasing an operand must be handled (GCTD's in-place case).
+  Array A = mat(1, 4, {1, 2, 3, 4});
+  binaryOpInto(A, Opcode::Add, A, Array::scalar(10));
+  EXPECT_DOUBLE_EQ(A.reAt(0), 11);
+  EXPECT_DOUBLE_EQ(A.reAt(3), 14);
+}
+
+TEST(Ops, InPlaceBinaryScalarHoisted) {
+  // c = s + c with c aliased: the scalar must be read before overwrite.
+  Array C = mat(1, 3, {1, 2, 3});
+  binaryOpInto(C, Opcode::Add, C, C); // c = c + c elementwise.
+  EXPECT_DOUBLE_EQ(C.reAt(0), 2);
+  EXPECT_DOUBLE_EQ(C.reAt(2), 6);
+}
+
+// Property-style sweep: subsasgn growth preserves all old elements for a
+// range of expansion shapes (the backward-formation invariant).
+class GrowthSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GrowthSweep, BackwardMovePreservesElements) {
+  auto [GrowR, GrowC] = GetParam();
+  Array A = mat(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Array I1 = Array::scalar(3 + GrowR), I2 = Array::scalar(3 + GrowC);
+  subsasgnInPlace(A, Array::scalar(-1), {&I1, &I2});
+  EXPECT_EQ(A.dim(0), 3 + GrowR);
+  EXPECT_EQ(A.dim(1), 3 + GrowC);
+  for (int J = 0; J < 3; ++J)
+    for (int I = 0; I < 3; ++I)
+      EXPECT_DOUBLE_EQ(A.reAt(I + J * (3 + GrowR)), 1 + I + 3 * J)
+          << "element (" << I << "," << J << ") lost";
+  EXPECT_DOUBLE_EQ(A.reAt((2 + GrowR) + (2 + GrowC) * (3 + GrowR)), -1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GrowthSweep,
+                         ::testing::Values(std::make_pair(0, 1),
+                                           std::make_pair(1, 0),
+                                           std::make_pair(1, 1),
+                                           std::make_pair(5, 0),
+                                           std::make_pair(0, 5),
+                                           std::make_pair(3, 7)));
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- BitVectorTest.cpp - Dense bit vector unit tests --------------------===//
+
+#include "support/BitVector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace matcoal;
+
+namespace {
+
+TEST(BitVector, SetTestReset) {
+  BitVector V(130);
+  EXPECT_FALSE(V.test(0));
+  V.set(0);
+  V.set(63);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 3u);
+}
+
+TEST(BitVector, UnionReportsChange) {
+  BitVector A(100), B(100);
+  A.set(3);
+  B.set(3);
+  EXPECT_FALSE(A.unionWith(B));
+  B.set(99);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_TRUE(A.test(99));
+}
+
+TEST(BitVector, IntersectAndSubtract) {
+  BitVector A(70), B(70);
+  A.set(1);
+  A.set(65);
+  A.set(30);
+  B.set(65);
+  B.set(30);
+  BitVector I = A;
+  I.intersectWith(B);
+  EXPECT_FALSE(I.test(1));
+  EXPECT_TRUE(I.test(65));
+  A.subtract(B);
+  EXPECT_TRUE(A.test(1));
+  EXPECT_FALSE(A.test(65));
+  EXPECT_FALSE(A.test(30));
+}
+
+TEST(BitVector, ForEachVisitsInOrder) {
+  BitVector V(200);
+  std::set<unsigned> Expected = {0, 5, 63, 64, 127, 128, 199};
+  for (unsigned I : Expected)
+    V.set(I);
+  std::vector<unsigned> Seen;
+  V.forEach([&](unsigned I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen.size(), Expected.size());
+  EXPECT_TRUE(std::is_sorted(Seen.begin(), Seen.end()));
+  for (unsigned I : Seen)
+    EXPECT_TRUE(Expected.count(I));
+}
+
+TEST(BitVector, ClearAndAny) {
+  BitVector V(10);
+  EXPECT_FALSE(V.any());
+  V.set(7);
+  EXPECT_TRUE(V.any());
+  V.clear();
+  EXPECT_FALSE(V.any());
+  EXPECT_EQ(V.count(), 0u);
+}
+
+TEST(BitVector, EqualityRequiresSameContents) {
+  BitVector A(64), B(64);
+  EXPECT_TRUE(A == B);
+  A.set(63);
+  EXPECT_FALSE(A == B);
+  B.set(63);
+  EXPECT_TRUE(A == B);
+}
+
+} // namespace

@@ -1,0 +1,42 @@
+//===- DiagnosticsTest.cpp ------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  Diagnostics D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc{1, 1}, "something odd");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc{2, 5}, "something bad");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.all().size(), 2u);
+}
+
+TEST(Diagnostics, Rendering) {
+  Diagnostics D;
+  D.error(SourceLoc{3, 7}, "expected expression");
+  EXPECT_EQ(D.str(), "3:7: error: expected expression\n");
+}
+
+TEST(Diagnostics, UnknownLocation) {
+  SourceLoc Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "<unknown>");
+}
+
+TEST(Diagnostics, ClearResets) {
+  Diagnostics D;
+  D.error(SourceLoc{1, 1}, "boom");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.all().empty());
+}
+
+} // namespace

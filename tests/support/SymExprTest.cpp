@@ -1,0 +1,202 @@
+//===- SymExprTest.cpp - Unit tests for symbolic expressions --------------===//
+
+#include "support/SymExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+class SymExprTest : public ::testing::Test {
+protected:
+  SymExprContext Ctx;
+};
+
+TEST_F(SymExprTest, ConstInterning) {
+  EXPECT_EQ(Ctx.makeConst(4), Ctx.makeConst(4));
+  EXPECT_NE(Ctx.makeConst(4), Ctx.makeConst(5));
+  EXPECT_TRUE(Ctx.makeConst(7)->isConst());
+  EXPECT_EQ(Ctx.makeConst(7)->constValue(), 7);
+}
+
+TEST_F(SymExprTest, NamedSymbolsIntern) {
+  SymExpr N1 = Ctx.makeSym("n");
+  SymExpr N2 = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  EXPECT_EQ(N1, N2);
+  EXPECT_NE(N1, M);
+  EXPECT_EQ(N1->str(), "n");
+}
+
+TEST_F(SymExprTest, FreshSymbolsAreUnique) {
+  SymExpr A = Ctx.freshSym("sigma");
+  SymExpr B = Ctx.freshSym("sigma");
+  EXPECT_NE(A, B);
+}
+
+TEST_F(SymExprTest, AddFoldsConstants) {
+  SymExpr E = Ctx.add(Ctx.makeConst(2), Ctx.makeConst(3));
+  ASSERT_TRUE(E->isConst());
+  EXPECT_EQ(E->constValue(), 5);
+}
+
+TEST_F(SymExprTest, AddIsCommutativeViaCanonicalization) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  EXPECT_EQ(Ctx.add(N, M), Ctx.add(M, N));
+}
+
+TEST_F(SymExprTest, AddCollectsLikeTerms) {
+  SymExpr N = Ctx.makeSym("n");
+  // n + n == 2*n.
+  SymExpr TwoN = Ctx.add(N, N);
+  EXPECT_EQ(TwoN, Ctx.mul(Ctx.makeConst(2), N));
+  // n - n == 0.
+  SymExpr Zero = Ctx.sub(N, N);
+  ASSERT_TRUE(Zero->isConst());
+  EXPECT_EQ(Zero->constValue(), 0);
+}
+
+TEST_F(SymExprTest, SubThenAddRoundTrips) {
+  SymExpr N = Ctx.makeSym("n");
+  // (n - 1) + 1 == n.
+  SymExpr E = Ctx.add(Ctx.sub(N, Ctx.makeConst(1)), Ctx.makeConst(1));
+  EXPECT_EQ(E, N);
+}
+
+TEST_F(SymExprTest, MulFoldsAndSorts) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  EXPECT_EQ(Ctx.mul(N, M), Ctx.mul(M, N));
+  SymExpr E = Ctx.mul(Ctx.makeConst(3), Ctx.makeConst(4));
+  ASSERT_TRUE(E->isConst());
+  EXPECT_EQ(E->constValue(), 12);
+}
+
+TEST_F(SymExprTest, MulByZeroCollapses) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr E = Ctx.mul(N, Ctx.makeConst(0));
+  ASSERT_TRUE(E->isConst());
+  EXPECT_EQ(E->constValue(), 0);
+}
+
+TEST_F(SymExprTest, MulByOneIsIdentity) {
+  SymExpr N = Ctx.makeSym("n");
+  EXPECT_EQ(Ctx.mul(N, Ctx.makeConst(1)), N);
+}
+
+TEST_F(SymExprTest, MulFlattensNestedProducts) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  SymExpr K = Ctx.makeSym("k");
+  EXPECT_EQ(Ctx.mul(Ctx.mul(N, M), K), Ctx.mul(N, Ctx.mul(M, K)));
+}
+
+TEST_F(SymExprTest, MaxDedupesAndFolds) {
+  SymExpr N = Ctx.makeSym("n");
+  EXPECT_EQ(Ctx.max(N, N), N);
+  SymExpr E = Ctx.max(Ctx.makeConst(3), Ctx.makeConst(9));
+  ASSERT_TRUE(E->isConst());
+  EXPECT_EQ(E->constValue(), 9);
+}
+
+TEST_F(SymExprTest, MaxDropsRedundantNonpositiveConst) {
+  SymExpr N = Ctx.makeSym("n"); // Non-negative by default.
+  EXPECT_EQ(Ctx.max(N, Ctx.makeConst(0)), N);
+}
+
+TEST_F(SymExprTest, MaxFlattens) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  SymExpr K = Ctx.makeSym("k");
+  EXPECT_EQ(Ctx.max(Ctx.max(N, M), K), Ctx.max(N, Ctx.max(M, K)));
+}
+
+TEST_F(SymExprTest, NumElements) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr E = Ctx.numElements({N, Ctx.makeConst(3)});
+  EXPECT_EQ(E, Ctx.mul(Ctx.makeConst(3), N));
+  EXPECT_EQ(Ctx.numElements({}), Ctx.makeConst(1));
+}
+
+TEST_F(SymExprTest, ProvablyLEEqualNodes) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr E1 = Ctx.add(N, Ctx.makeConst(1));
+  SymExpr E2 = Ctx.add(Ctx.makeConst(1), N);
+  EXPECT_TRUE(SymExprContext::provablyEq(E1, E2));
+  EXPECT_TRUE(Ctx.provablyLE(E1, E2));
+}
+
+TEST_F(SymExprTest, ProvablyLEConstants) {
+  EXPECT_TRUE(Ctx.provablyLE(Ctx.makeConst(3), Ctx.makeConst(4)));
+  EXPECT_FALSE(Ctx.provablyLE(Ctx.makeConst(4), Ctx.makeConst(3)));
+}
+
+TEST_F(SymExprTest, ProvablyLEUnderMax) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  SymExpr MaxNM = Ctx.max(N, M);
+  EXPECT_TRUE(Ctx.provablyLE(N, MaxNM));
+  EXPECT_TRUE(Ctx.provablyLE(M, MaxNM));
+  EXPECT_FALSE(Ctx.provablyLE(MaxNM, N));
+  // max(n, m) <= max(n, max(m, k)).
+  SymExpr K = Ctx.makeSym("k");
+  EXPECT_TRUE(Ctx.provablyLE(MaxNM, Ctx.max(MaxNM, K)));
+}
+
+TEST_F(SymExprTest, ProvablyLEPlusNonnegative) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  EXPECT_TRUE(Ctx.provablyLE(N, Ctx.add(N, Ctx.makeConst(2))));
+  EXPECT_TRUE(Ctx.provablyLE(N, Ctx.add(N, M)));
+  // Not provable: n <= n - 1.
+  EXPECT_FALSE(Ctx.provablyLE(N, Ctx.sub(N, Ctx.makeConst(1))));
+}
+
+TEST_F(SymExprTest, ProvablyLEIsConservativeForUnrelatedSyms) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  EXPECT_FALSE(Ctx.provablyLE(N, M));
+  EXPECT_FALSE(Ctx.provablyLE(M, N));
+}
+
+TEST_F(SymExprTest, ProvablyNonneg) {
+  SymExpr N = Ctx.makeSym("n");
+  EXPECT_TRUE(Ctx.provablyNonneg(N));
+  EXPECT_TRUE(Ctx.provablyNonneg(Ctx.mul(N, Ctx.makeConst(2))));
+  EXPECT_FALSE(Ctx.provablyNonneg(Ctx.sub(N, Ctx.makeConst(1))));
+  EXPECT_FALSE(Ctx.provablyNonneg(Ctx.makeConst(-1)));
+  EXPECT_TRUE(Ctx.provablyNonneg(Ctx.max(Ctx.makeConst(-5), N)));
+}
+
+TEST_F(SymExprTest, StrRendering) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr E = Ctx.max(N, Ctx.makeConst(5));
+  EXPECT_EQ(E->str(), "max(n, 5)");
+}
+
+// Property-style sweep: algebraic identities hold for arbitrary small
+// expression shapes.
+class SymExprPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymExprPropertyTest, AddMulDistributeOverConstants) {
+  SymExprContext Ctx;
+  int K = GetParam();
+  SymExpr N = Ctx.makeSym("n");
+  // (n + k) - k == n.
+  SymExpr E =
+      Ctx.sub(Ctx.add(N, Ctx.makeConst(K)), Ctx.makeConst(K));
+  EXPECT_EQ(E, N);
+  // k*n + k*n == 2*k*n.
+  SymExpr KN = Ctx.mul(Ctx.makeConst(K), N);
+  EXPECT_EQ(Ctx.add(KN, KN), Ctx.mul(Ctx.makeConst(2 * K), N));
+  // max is idempotent under self.
+  SymExpr MX = Ctx.max(KN, N);
+  EXPECT_EQ(Ctx.max(MX, MX), MX);
+}
+
+INSTANTIATE_TEST_SUITE_P(Constants, SymExprPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 100, 451));
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- LoweringTest.cpp - AST -> IR lowering tests ------------------------===//
+
+#include "transforms/Lowering.h"
+
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+std::unique_ptr<Module> lower(const std::string &Src) {
+  Diagnostics Diags;
+  auto Prog = parseProgram(Src, Diags);
+  EXPECT_NE(Prog, nullptr) << Diags.str();
+  if (!Prog)
+    return nullptr;
+  auto M = lowerProgram(*Prog, Diags);
+  EXPECT_NE(M, nullptr) << Diags.str();
+  return M;
+}
+
+/// Counts instructions with the given opcode across the function.
+unsigned countOps(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      N += I.Op == Op;
+  return N;
+}
+
+const Instr *findOp(const Function &F, Opcode Op) {
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Op)
+        return &I;
+  return nullptr;
+}
+
+TEST(Lowering, SOFormDecomposesExpressions) {
+  // d = b + c * 2 must become two SO statements via a temporary.
+  auto M = lower("d = b + c * 2;\nb = 1; c = 2;\n");
+  Function &F = *M->Functions[0];
+  const Instr *Add = findOp(F, Opcode::Add);
+  ASSERT_NE(Add, nullptr);
+  const Instr *Mul = findOp(F, Opcode::MatMul);
+  ASSERT_NE(Mul, nullptr);
+  // The multiply feeds the add through a temp.
+  EXPECT_TRUE(F.var(Mul->result()).IsTemp);
+  EXPECT_EQ(Add->Operands[1], Mul->result());
+  // The add defines d directly (retargeting avoided the extra copy).
+  EXPECT_EQ(F.var(Add->result()).Name, "d");
+}
+
+TEST(Lowering, IndexedAssignBecomesSubsasgn) {
+  auto M = lower("a = zeros(3, 3);\na(1, 2) = 5;\n");
+  Function &F = *M->Functions[0];
+  const Instr *SA = findOp(F, Opcode::Subsasgn);
+  ASSERT_NE(SA, nullptr);
+  // subsasgn(a, rhs, i1, i2): result and first operand are both 'a'.
+  EXPECT_EQ(F.var(SA->result()).Name, "a");
+  EXPECT_EQ(SA->Operands.size(), 4u);
+  EXPECT_EQ(SA->Operands[0], SA->result());
+}
+
+TEST(Lowering, RIndexBecomesSubsref) {
+  auto M = lower("a = rand(2, 2);\nc = a(1);\n");
+  Function &F = *M->Functions[0];
+  const Instr *SR = findOp(F, Opcode::Subsref);
+  ASSERT_NE(SR, nullptr);
+  EXPECT_EQ(SR->Operands.size(), 2u);
+  EXPECT_EQ(F.var(SR->result()).Name, "c");
+}
+
+TEST(Lowering, UnknownNameBecomesBuiltinCall) {
+  auto M = lower("x = zeros(2, 3);\n");
+  Function &F = *M->Functions[0];
+  const Instr *B = findOp(F, Opcode::Builtin);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->StrVal, "zeros");
+  EXPECT_EQ(B->Operands.size(), 2u);
+}
+
+TEST(Lowering, KnownFunctionBecomesCall) {
+  auto M = lower("function main\nx = helper(3);\n\nfunction y = helper(a)\n"
+                 "y = a + 1;\n");
+  Function &F = *M->Functions[0];
+  const Instr *C = findOp(F, Opcode::Call);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->StrVal, "helper");
+}
+
+TEST(Lowering, VariableShadowsBuiltin) {
+  // 'size' is assigned, so size(2) is an index, not a call.
+  auto M = lower("size = [4, 5, 6];\nx = size(2);\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::Subsref), 1u);
+  EXPECT_EQ(countOps(F, Opcode::Builtin), 0u);
+}
+
+const Instr *findBuiltin(const Function &F, const std::string &Name) {
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Builtin && I.StrVal == Name)
+        return &I;
+  return nullptr;
+}
+
+TEST(Lowering, EndBecomesSizeQuery) {
+  auto M = lower("a = rand(4, 4);\nx = a(end, 1);\n");
+  Function &F = *M->Functions[0];
+  EXPECT_NE(findBuiltin(F, "size"), nullptr);
+  EXPECT_EQ(findBuiltin(F, "numel"), nullptr);
+}
+
+TEST(Lowering, EndInVectorContextUsesNumel) {
+  auto M = lower("a = rand(1, 4);\nx = a(end);\n");
+  Function &F = *M->Functions[0];
+  EXPECT_NE(findBuiltin(F, "numel"), nullptr);
+  EXPECT_EQ(findBuiltin(F, "size"), nullptr);
+}
+
+TEST(Lowering, ColonSubscript) {
+  auto M = lower("a = rand(3, 3);\nc = a(:, 2);\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::ConstColon), 1u);
+}
+
+TEST(Lowering, MatrixLiteral) {
+  auto M = lower("m = [1, 2; 3, 4];\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::HorzCat), 2u);
+  EXPECT_EQ(countOps(F, Opcode::VertCat), 1u);
+}
+
+TEST(Lowering, EmptyMatrixLiteral) {
+  auto M = lower("m = [];\n");
+  Function &F = *M->Functions[0];
+  const Instr *VC = findOp(F, Opcode::VertCat);
+  ASSERT_NE(VC, nullptr);
+  EXPECT_TRUE(VC->Operands.empty());
+}
+
+TEST(Lowering, WhileLoopShape) {
+  auto M = lower("k = 0;\nwhile k < 3\nk = k + 1;\nend\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::Br), 1u);
+  EXPECT_GE(countOps(F, Opcode::Jmp), 2u);
+}
+
+TEST(Lowering, ForLoopLowersToCounter) {
+  auto M = lower("s = 0;\nfor i = 1:10\ns = s + i;\nend\n");
+  Function &F = *M->Functions[0];
+  // Le comparison in the header, Add for body and increment.
+  EXPECT_EQ(countOps(F, Opcode::Le), 1u);
+  EXPECT_EQ(countOps(F, Opcode::Add), 2u);
+}
+
+TEST(Lowering, ForLoopNegativeConstantStepUsesGe) {
+  auto M = lower("s = 0;\nfor i = 10:-1:1\ns = s + i;\nend\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::Ge), 1u);
+}
+
+TEST(Lowering, ForLoopDynamicStepUsesForcond) {
+  auto M = lower("st = 2;\ns = 0;\nfor i = 1:st:9\ns = s + i;\nend\n");
+  Function &F = *M->Functions[0];
+  const Instr *B = findOp(F, Opcode::Builtin);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->StrVal, "__forcond");
+}
+
+TEST(Lowering, ShortCircuitCreatesBranches) {
+  auto M = lower("a = 1; b = 2;\nif a > 0 && b > 0\nc = 1;\nend\n");
+  Function &F = *M->Functions[0];
+  EXPECT_GE(countOps(F, Opcode::Br), 2u);
+}
+
+TEST(Lowering, BreakOutsideLoopIsError) {
+  Diagnostics Diags;
+  auto Prog = parseProgram("break;\n", Diags);
+  ASSERT_NE(Prog, nullptr);
+  auto M = lowerProgram(*Prog, Diags);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lowering, RetCarriesOutputs) {
+  auto M = lower("function [a, b] = f(x)\na = x; b = x + 1;\n");
+  Function &F = *M->Functions[0];
+  const Instr *Ret = findOp(F, Opcode::Ret);
+  ASSERT_NE(Ret, nullptr);
+  EXPECT_EQ(Ret->Operands.size(), 2u);
+}
+
+TEST(Lowering, DisplayEmittedWithoutSemicolon) {
+  auto M = lower("x = 41\n");
+  Function &F = *M->Functions[0];
+  const Instr *D = findOp(F, Opcode::Display);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->StrVal, "x");
+}
+
+TEST(Lowering, MultiAssignSize) {
+  auto M = lower("a = rand(2, 3);\n[m, n] = size(a);\n");
+  Function &F = *M->Functions[0];
+  const Instr *B = nullptr;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Builtin && I.StrVal == "size")
+        B = &I;
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->Results.size(), 2u);
+}
+
+TEST(Lowering, AllBlocksTerminated) {
+  auto M = lower("if a\nx = 1;\nelseif b\nx = 2;\nelse\nx = 3;\nend\n"
+                 "a = 1; b = 2;\nwhile x > 0\nx = x - 1;\nif x == 2\n"
+                 "break;\nend\nend\n");
+  Function &F = *M->Functions[0];
+  Diagnostics Diags;
+  EXPECT_TRUE(verifyFunction(F, Diags)) << Diags.str();
+}
+
+} // namespace

@@ -1,0 +1,189 @@
+//===- PassesTest.cpp - Cleanup pass tests --------------------------------===//
+
+#include "transforms/Passes.h"
+
+#include "frontend/Parser.h"
+#include "transforms/Lowering.h"
+#include "transforms/SSA.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+std::unique_ptr<Module> pipeline(const std::string &Src) {
+  Diagnostics Diags;
+  auto Prog = parseProgram(Src, Diags);
+  EXPECT_NE(Prog, nullptr) << Diags.str();
+  auto M = lowerProgram(*Prog, Diags);
+  EXPECT_NE(M, nullptr) << Diags.str();
+  for (auto &F : M->Functions) {
+    EXPECT_TRUE(buildSSA(*F, Diags)) << Diags.str();
+    runCleanupPipeline(*F);
+    EXPECT_TRUE(verifyFunction(*F, Diags)) << Diags.str();
+  }
+  return M;
+}
+
+unsigned countOps(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      N += I.Op == Op;
+  return N;
+}
+
+unsigned countInstrs(const Function &F) {
+  unsigned N = 0;
+  for (const auto &BB : F.Blocks)
+    N += static_cast<unsigned>(BB->Instrs.size());
+  return N;
+}
+
+TEST(Passes, CopyPropagationEliminatesChains) {
+  auto M = pipeline("a = 1;\nb = a;\nc = b;\ndisp(c);\n");
+  Function &F = *M->Functions[0];
+  // After copyprop + DCE, the copies are gone; disp reads the constant.
+  EXPECT_EQ(countOps(F, Opcode::Copy), 0u);
+}
+
+TEST(Passes, ConstantFoldingScalars) {
+  auto M = pipeline("x = 2 + 3 * 4;\ndisp(x);\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::Add), 0u);
+  EXPECT_EQ(countOps(F, Opcode::MatMul), 0u);
+  // One surviving constant: 14.
+  const Instr *C = nullptr;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::ConstNum)
+        C = &I;
+  ASSERT_NE(C, nullptr);
+  EXPECT_DOUBLE_EQ(C->NumRe, 14.0);
+}
+
+TEST(Passes, ConstantFoldingBuiltins) {
+  auto M = pipeline("x = floor(3.7) + max(1, 2);\ndisp(x);\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::Builtin), 1u); // Only disp remains.
+  const Instr *C = nullptr;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::ConstNum)
+        C = &I;
+  ASSERT_NE(C, nullptr);
+  EXPECT_DOUBLE_EQ(C->NumRe, 5.0);
+}
+
+TEST(Passes, BranchFoldingWhileOne) {
+  auto M = pipeline("k = 0;\nwhile 1\nk = k + 1;\nif k > 3\nbreak;\nend\n"
+                    "end\ndisp(k);\n");
+  Function &F = *M->Functions[0];
+  // The `while 1` header branch must be folded to a jump; the only Br
+  // left is the k > 3 test.
+  EXPECT_EQ(countOps(F, Opcode::Br), 1u);
+}
+
+TEST(Passes, DeadBranchBodyRemoved) {
+  auto M = pipeline("if 0\nx = rand(100, 100);\ndisp(x);\nend\ny = 1;\n"
+                    "disp(y);\n");
+  Function &F = *M->Functions[0];
+  // rand and its disp are unreachable and removed entirely.
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Builtin) {
+        EXPECT_NE(I.StrVal, "rand");
+      }
+  EXPECT_EQ(countOps(F, Opcode::Br), 0u);
+}
+
+TEST(Passes, DCERemovesUnusedPureOps) {
+  auto M = pipeline("x = 1 + 2;\ny = 5;\ndisp(y);\n");
+  Function &F = *M->Functions[0];
+  // x is dead.
+  unsigned Consts = countOps(F, Opcode::ConstNum);
+  EXPECT_EQ(Consts, 1u);
+}
+
+TEST(Passes, DCEKeepsImpureBuiltins) {
+  auto M = pipeline("x = rand(3, 3);\n");
+  Function &F = *M->Functions[0];
+  // x is unused but rand mutates the PRNG stream; the call must survive.
+  bool FoundRand = false;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      FoundRand |= I.Op == Opcode::Builtin && I.StrVal == "rand";
+  EXPECT_TRUE(FoundRand);
+}
+
+TEST(Passes, DCEKeepsCalls) {
+  auto M = pipeline("function main\nx = f(2);\n\nfunction y = f(a)\n"
+                    "disp(a);\ny = a;\n");
+  Function &F = *M->Functions[0];
+  EXPECT_EQ(countOps(F, Opcode::Call), 1u);
+}
+
+TEST(Passes, CSEDeduplicatesSizeQueries) {
+  // Both uses of `end` expand to numel(a); CSE must merge them.
+  auto M = pipeline("a = rand(1, 8);\nx = a(end) + a(end);\ndisp(x);\n");
+  Function &F = *M->Functions[0];
+  unsigned Numels = 0;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Builtin && I.StrVal == "numel")
+        ++Numels;
+  EXPECT_EQ(Numels, 1u);
+  // Likewise the two subsrefs collapse to one.
+  EXPECT_EQ(countOps(F, Opcode::Subsref), 1u);
+}
+
+TEST(Passes, CSEDoesNotMergeRand) {
+  auto M = pipeline("x = rand + rand;\ndisp(x);\n");
+  Function &F = *M->Functions[0];
+  unsigned Rands = 0;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Builtin && I.StrVal == "rand")
+        ++Rands;
+  EXPECT_EQ(Rands, 2u);
+}
+
+TEST(Passes, PipelineShrinksTypicalProgram) {
+  Diagnostics Diags;
+  auto Prog = parseProgram(
+      "n = 10;\ns = 0;\nfor i = 1:n\ns = s + i * i;\nend\ndisp(s);\n",
+      Diags);
+  auto M = lowerProgram(*Prog, Diags);
+  Function &F = *M->Functions[0];
+  buildSSA(F, Diags);
+  unsigned Before = countInstrs(F);
+  runCleanupPipeline(F);
+  EXPECT_LT(countInstrs(F), Before);
+  EXPECT_TRUE(verifyFunction(F, Diags)) << Diags.str();
+}
+
+TEST(Passes, PureBuiltinClassification) {
+  EXPECT_TRUE(isPureBuiltin("size"));
+  EXPECT_TRUE(isPureBuiltin("zeros"));
+  EXPECT_TRUE(isPureBuiltin("sqrt"));
+  EXPECT_FALSE(isPureBuiltin("rand"));
+  EXPECT_FALSE(isPureBuiltin("disp"));
+  EXPECT_FALSE(isPureBuiltin("fprintf"));
+  EXPECT_FALSE(isPureBuiltin("error"));
+  // Unknown names are conservatively impure: an undefined function must
+  // fault at run time instead of being dead-code eliminated.
+  EXPECT_FALSE(isPureBuiltin("magic_missing"));
+}
+
+TEST(Passes, DCEKeepsUnknownBuiltins) {
+  auto M = pipeline("x = some_unknown_fn(3);\ny = 1;\ndisp(y);\n");
+  Function &F = *M->Functions[0];
+  bool Found = false;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      Found |= I.Op == Opcode::Builtin && I.StrVal == "some_unknown_fn";
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

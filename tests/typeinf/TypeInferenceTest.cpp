@@ -1,0 +1,329 @@
+//===- TypeInferenceTest.cpp - Type/shape inference tests -----------------===//
+
+#include "typeinf/TypeInference.h"
+
+#include "frontend/Parser.h"
+#include "transforms/Lowering.h"
+#include "transforms/Passes.h"
+#include "transforms/SSA.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+/// End-to-end fixture: source -> SSA -> cleanup -> types.
+struct Inferred {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<SymExprContext> Ctx;
+  std::unique_ptr<TypeInference> TI;
+  Diagnostics Diags;
+
+  Function &fn(const std::string &Name = "main") {
+    return *M->findFunction(Name);
+  }
+
+  /// Type of the highest SSA version of the source variable \p Base.
+  const VarType &typeOf(const std::string &Base,
+                        const std::string &Fn = "main") {
+    Function &F = fn(Fn);
+    VarId Best = NoVar;
+    int BestVer = -2;
+    for (unsigned V = 0; V < F.numVars(); ++V)
+      if (F.var(V).Base == Base && F.var(V).Version > BestVer) {
+        Best = static_cast<VarId>(V);
+        BestVer = F.var(V).Version;
+      }
+    EXPECT_NE(Best, NoVar) << "no variable named " << Base;
+    return TI->typeOf(F, Best);
+  }
+};
+
+Inferred infer(const std::string &Src) {
+  Inferred R;
+  auto Prog = parseProgram(Src, R.Diags);
+  EXPECT_NE(Prog, nullptr) << R.Diags.str();
+  R.M = lowerProgram(*Prog, R.Diags);
+  EXPECT_NE(R.M, nullptr) << R.Diags.str();
+  for (auto &F : R.M->Functions) {
+    EXPECT_TRUE(buildSSA(*F, R.Diags)) << R.Diags.str();
+    runCleanupPipeline(*F);
+  }
+  R.Ctx = std::make_unique<SymExprContext>();
+  R.TI = std::make_unique<TypeInference>(*R.M, *R.Ctx, R.Diags);
+  R.TI->run("main");
+  return R;
+}
+
+TEST(TypeInference, ScalarLiterals) {
+  auto R = infer("a = 1; b = 2.5; c = 3i; d = 0;\n"
+                 "disp(a); disp(b); disp(c); disp(d);\n");
+  EXPECT_EQ(R.typeOf("a").IT, IntrinsicType::Bool); // Value in {0,1}.
+  EXPECT_EQ(R.typeOf("b").IT, IntrinsicType::Real);
+  EXPECT_EQ(R.typeOf("c").IT, IntrinsicType::Complex);
+  EXPECT_EQ(R.typeOf("d").IT, IntrinsicType::Bool);
+  EXPECT_TRUE(R.typeOf("a").isScalar());
+}
+
+TEST(TypeInference, IntegerLiteral) {
+  auto R = infer("a = 7;\ndisp(a);\n");
+  EXPECT_EQ(R.typeOf("a").IT, IntrinsicType::Int);
+  ASSERT_NE(R.typeOf("a").ValExpr, nullptr);
+  EXPECT_EQ(R.typeOf("a").ValExpr->constValue(), 7);
+}
+
+TEST(TypeInference, ZerosKnownShape) {
+  auto R = infer("a = zeros(4, 5);\ndisp(a);\n");
+  const VarType &T = R.typeOf("a");
+  ASSERT_EQ(T.Extents.size(), 2u);
+  EXPECT_TRUE(T.hasKnownShape());
+  EXPECT_EQ(T.Extents[0]->constValue(), 4);
+  EXPECT_EQ(T.Extents[1]->constValue(), 5);
+  EXPECT_EQ(T.knownNumElements(), 20);
+}
+
+TEST(TypeInference, ZerosSquareForm) {
+  auto R = infer("a = zeros(7);\ndisp(a);\n");
+  const VarType &T = R.typeOf("a");
+  EXPECT_EQ(T.knownNumElements(), 49);
+}
+
+TEST(TypeInference, ZerosThreeD) {
+  auto R = infer("a = zeros(2, 3, 4);\ndisp(a);\n");
+  const VarType &T = R.typeOf("a");
+  ASSERT_EQ(T.Extents.size(), 3u);
+  EXPECT_EQ(T.knownNumElements(), 24);
+}
+
+TEST(TypeInference, ShapeExpressionFromArithmetic) {
+  // zeros(n-1, 1) with n = 321 resolves to an explicit 320 x 1 shape.
+  auto R = infer("n = 321;\nx = zeros(n - 1, 1);\ndisp(x);\n");
+  const VarType &T = R.typeOf("x");
+  ASSERT_TRUE(T.hasKnownShape());
+  EXPECT_EQ(T.Extents[0]->constValue(), 320);
+}
+
+TEST(TypeInference, ElementwiseSharesShapeExpression) {
+  // Paper Example 1: all elementwise results share s(t0).
+  auto R = infer("t0 = rand(3, 7);\nt1 = t0 - 1.345;\nt2 = 2.788 .* t1;\n"
+                 "t3 = tan(t2);\ndisp(t3);\n");
+  const VarType &T0 = R.typeOf("t0");
+  const VarType &T1 = R.typeOf("t1");
+  const VarType &T2 = R.typeOf("t2");
+  const VarType &T3 = R.typeOf("t3");
+  EXPECT_EQ(T0.Extents, T1.Extents);
+  EXPECT_EQ(T1.Extents, T2.Extents);
+  EXPECT_EQ(T2.Extents, T3.Extents);
+}
+
+TEST(TypeInference, ElementwiseSharesSymbolicShape) {
+  // Same, but with a symbolic source shape (rand(n, m), n m unknown at
+  // the call through a function boundary).
+  auto R = infer("function main\nx = work(rand(4, 4));\ndisp(x);\n\n"
+                 "function y = work(a)\nb = a + 1;\nc = sin(b);\ny = c .* 2;"
+                 "\n");
+  const VarType &A = R.typeOf("a", "work");
+  const VarType &B = R.typeOf("b", "work");
+  const VarType &C = R.typeOf("c", "work");
+  EXPECT_EQ(A.Extents, B.Extents);
+  EXPECT_EQ(B.Extents, C.Extents);
+}
+
+TEST(TypeInference, ComparisonIsBool) {
+  auto R = infer("a = rand(3, 3);\nm = a > 0.5;\ndisp(m);\n");
+  EXPECT_EQ(R.typeOf("m").IT, IntrinsicType::Bool);
+  EXPECT_EQ(R.typeOf("m").Extents, R.typeOf("a").Extents);
+}
+
+TEST(TypeInference, EyeIsBoolean) {
+  // Paper Example 2: eye() contents are in {0, 1}.
+  auto R = infer("a = eye(4, 4);\ndisp(a);\n");
+  EXPECT_EQ(R.typeOf("a").IT, IntrinsicType::Bool);
+}
+
+TEST(TypeInference, SubsasgnGrowthKeepsContainment) {
+  // Paper Example 2: b = subsasgn(a, ...) must satisfy extent(a) <=
+  // extent(b) provably, even when sizes are symbolic.
+  auto R = infer("function main\nn = round(rand() * 6) + 2;\nx = work(n);\n"
+                 "disp(x);\n\n"
+                 "function a = work(n)\na = eye(n, n);\na(n + 2, 1) = 1;\n");
+  Function &Work = *R.M->findFunction("work");
+  // Find the eye() result (version 0 of 'a') and the subsasgn result.
+  VarId AInit = NoVar, AGrown = NoVar;
+  for (unsigned V = 0; V < Work.numVars(); ++V) {
+    if (Work.var(V).Base != "a")
+      continue;
+    if (Work.var(V).Version == 0)
+      AInit = static_cast<VarId>(V);
+    if (Work.var(V).Version == 1)
+      AGrown = static_cast<VarId>(V);
+  }
+  ASSERT_NE(AInit, NoVar);
+  ASSERT_NE(AGrown, NoVar);
+  const VarType &A = R.TI->typeOf(Work, AInit);
+  const VarType &B = R.TI->typeOf(Work, AGrown);
+  ASSERT_EQ(A.Extents.size(), 2u);
+  ASSERT_EQ(B.Extents.size(), 2u);
+  SymExprContext &Ctx = R.TI->context();
+  EXPECT_TRUE(Ctx.provablyLE(A.Extents[0], B.Extents[0]))
+      << A.Extents[0]->str() << " vs " << B.Extents[0]->str();
+  EXPECT_TRUE(Ctx.provablyLE(A.Extents[1], B.Extents[1]));
+  // Both are BOOLEAN (eye contents and the value 1).
+  EXPECT_EQ(A.IT, IntrinsicType::Bool);
+  EXPECT_EQ(B.IT, IntrinsicType::Bool);
+}
+
+TEST(TypeInference, SubsasgnScalarIndexKnownShape) {
+  auto R = infer("a = zeros(4, 4);\na(2, 2) = 5;\ndisp(a);\n");
+  const VarType &T = R.typeOf("a");
+  EXPECT_TRUE(T.hasKnownShape());
+  EXPECT_EQ(T.knownNumElements(), 16);
+}
+
+TEST(TypeInference, SubsasgnExpandsKnownShape) {
+  auto R = infer("a = zeros(4, 4);\na(6, 2) = 5;\ndisp(a);\n");
+  const VarType &T = R.typeOf("a");
+  EXPECT_TRUE(T.hasKnownShape());
+  EXPECT_EQ(T.Extents[0]->constValue(), 6);
+  EXPECT_EQ(T.Extents[1]->constValue(), 4);
+}
+
+TEST(TypeInference, SubsrefScalar) {
+  auto R = infer("a = rand(4, 4);\nx = a(2, 3);\ndisp(x);\n");
+  EXPECT_TRUE(R.typeOf("x").isScalar());
+  EXPECT_EQ(R.typeOf("x").IT, IntrinsicType::Real);
+}
+
+TEST(TypeInference, SubsrefColumnSlice) {
+  auto R = infer("a = rand(4, 7);\nc = a(:, 2);\ndisp(c);\n");
+  const VarType &T = R.typeOf("c");
+  ASSERT_EQ(T.Extents.size(), 2u);
+  EXPECT_EQ(T.Extents[0]->constValue(), 4);
+  EXPECT_EQ(T.Extents[1]->constValue(), 1);
+}
+
+TEST(TypeInference, SizeFeedsShapes) {
+  // m = size(a, 1) has a's first extent as its symbolic value, so
+  // zeros(m, 1) shares that extent.
+  auto R = infer("function main\nx = work(rand(5, 3));\ndisp(x);\n\n"
+                 "function b = work(a)\nm = size(a, 1);\nb = zeros(m, 1);\n");
+  const VarType &A = R.typeOf("a", "work");
+  const VarType &B = R.typeOf("b", "work");
+  ASSERT_GE(A.Extents.size(), 1u);
+  ASSERT_GE(B.Extents.size(), 1u);
+  EXPECT_EQ(B.Extents[0], A.Extents[0]);
+}
+
+TEST(TypeInference, RangeLength) {
+  auto R = infer("v = 3:10;\ndisp(v);\n");
+  const VarType &T = R.typeOf("v");
+  ASSERT_EQ(T.Extents.size(), 2u);
+  EXPECT_EQ(T.Extents[0]->constValue(), 1);
+  EXPECT_EQ(T.Extents[1]->constValue(), 8);
+}
+
+TEST(TypeInference, RangeWithStepLength) {
+  auto R = infer("v = 1:2:10;\ndisp(v);\n");
+  const VarType &T = R.typeOf("v");
+  EXPECT_EQ(T.Extents[1]->constValue(), 5);
+}
+
+TEST(TypeInference, LoopGrowthWidens) {
+  // An array growing inside a loop cannot keep a known shape; inference
+  // must terminate and produce a symbolic extent.
+  auto R = infer("v = [];\nfor k = 1:10\nv(k) = k * k;\nend\ndisp(v);\n");
+  const VarType &T = R.typeOf("v");
+  ASSERT_EQ(T.Extents.size(), 2u);
+  EXPECT_FALSE(T.hasKnownShape());
+}
+
+TEST(TypeInference, InterproceduralOutputTypes) {
+  auto R = infer("function main\ny = sq(3);\ndisp(y);\n\n"
+                 "function y = sq(x)\ny = x * x;\n");
+  EXPECT_EQ(R.typeOf("y", "main").IT, IntrinsicType::Int);
+  EXPECT_TRUE(R.typeOf("y", "main").isScalar());
+}
+
+TEST(TypeInference, InterproceduralShapeFlows) {
+  auto R = infer("function main\nb = pad(zeros(3, 9));\ndisp(b);\n\n"
+                 "function y = pad(a)\ny = a + 1;\n");
+  const VarType &B = R.typeOf("b", "main");
+  ASSERT_EQ(B.Extents.size(), 2u);
+  EXPECT_TRUE(B.hasKnownShape());
+  EXPECT_EQ(B.Extents[1]->constValue(), 9);
+}
+
+TEST(TypeInference, MatMulShape) {
+  auto R = infer("a = rand(3, 5);\nb = rand(5, 2);\nc = a * b;\ndisp(c);\n");
+  const VarType &T = R.typeOf("c");
+  ASSERT_TRUE(T.hasKnownShape());
+  EXPECT_EQ(T.Extents[0]->constValue(), 3);
+  EXPECT_EQ(T.Extents[1]->constValue(), 2);
+}
+
+TEST(TypeInference, ScalarTimesMatrixKeepsShape) {
+  auto R = infer("a = rand(3, 5);\nc = 2 * a;\ndisp(c);\n");
+  EXPECT_EQ(R.typeOf("c").Extents, R.typeOf("a").Extents);
+}
+
+TEST(TypeInference, TransposeSwapsExtents) {
+  auto R = infer("a = rand(3, 5);\nb = a';\ndisp(b);\n");
+  const VarType &T = R.typeOf("b");
+  EXPECT_EQ(T.Extents[0]->constValue(), 5);
+  EXPECT_EQ(T.Extents[1]->constValue(), 3);
+}
+
+TEST(TypeInference, ComplexPropagation) {
+  auto R = infer("z = exp(2i);\nw = z + 1;\ndisp(w);\n");
+  EXPECT_EQ(R.typeOf("z").IT, IntrinsicType::Complex);
+  EXPECT_EQ(R.typeOf("w").IT, IntrinsicType::Complex);
+}
+
+TEST(TypeInference, SqrtOfUnknownIsComplex) {
+  auto R = infer("a = rand() - 0.5;\ns = sqrt(a);\ndisp(s);\n");
+  EXPECT_EQ(R.typeOf("s").IT, IntrinsicType::Complex);
+}
+
+TEST(TypeInference, SqrtOfBooleanIsReal) {
+  // Boolean contents are in {0, 1}: provably non-negative, so sqrt stays
+  // real rather than escaping to complex.
+  auto R = infer("x = zeros(3, 3);\ns = sqrt(x);\ndisp(s);\n");
+  EXPECT_EQ(R.typeOf("s").IT, IntrinsicType::Real);
+}
+
+TEST(TypeInference, StringIsCharRow) {
+  auto R = infer("s = 'hello';\ndisp(s);\n");
+  const VarType &T = R.typeOf("s");
+  EXPECT_EQ(T.IT, IntrinsicType::Char);
+  EXPECT_EQ(T.Extents[1]->constValue(), 5);
+}
+
+TEST(TypeInference, ConcatShapes) {
+  auto R = infer("a = [1, 2, 3];\nb = [a, a];\nc = [a; a];\n"
+                 "disp(b); disp(c);\n");
+  EXPECT_EQ(R.typeOf("b").Extents[1]->constValue(), 6);
+  EXPECT_EQ(R.typeOf("c").Extents[0]->constValue(), 2);
+  EXPECT_EQ(R.typeOf("c").Extents[1]->constValue(), 3);
+}
+
+TEST(TypeInference, PhiJoinOfEqualShapes) {
+  auto R = infer("c = rand() > 0.5;\nif c\nx = zeros(4, 4);\nelse\n"
+                 "x = ones(4, 4);\nend\ndisp(x);\n");
+  const VarType &T = R.typeOf("x");
+  EXPECT_TRUE(T.hasKnownShape());
+  EXPECT_EQ(T.knownNumElements(), 16);
+}
+
+TEST(TypeInference, PhiJoinOfDifferentShapesIsSymbolic) {
+  auto R = infer("c = rand() > 0.5;\nif c\nx = zeros(4, 4);\nelse\n"
+                 "x = ones(2, 2);\nend\ndisp(x);\n");
+  EXPECT_FALSE(R.typeOf("x").hasKnownShape());
+}
+
+TEST(TypeInference, WhileLoopScalarStaysScalar) {
+  auto R = infer("k = 0;\nwhile k < 100\nk = k + 1;\nend\ndisp(k);\n");
+  EXPECT_TRUE(R.typeOf("k").isScalar());
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+//===- TypesTest.cpp - Intrinsic-type lattice unit tests ------------------===//
+
+#include "typeinf/Types.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+TEST(IntrinsicLattice, JoinIsCommutative) {
+  const IntrinsicType All[] = {
+      IntrinsicType::None, IntrinsicType::Bool,    IntrinsicType::Int,
+      IntrinsicType::Char, IntrinsicType::Real,    IntrinsicType::Complex,
+      IntrinsicType::Colon, IntrinsicType::Illegal};
+  for (IntrinsicType A : All)
+    for (IntrinsicType B : All)
+      EXPECT_EQ(joinIntrinsic(A, B), joinIntrinsic(B, A))
+          << intrinsicTypeName(A) << " vs " << intrinsicTypeName(B);
+}
+
+TEST(IntrinsicLattice, JoinIsIdempotentAndAssociative) {
+  const IntrinsicType All[] = {
+      IntrinsicType::None, IntrinsicType::Bool,    IntrinsicType::Int,
+      IntrinsicType::Char, IntrinsicType::Real,    IntrinsicType::Complex,
+      IntrinsicType::Colon, IntrinsicType::Illegal};
+  for (IntrinsicType A : All) {
+    EXPECT_EQ(joinIntrinsic(A, A), A);
+    for (IntrinsicType B : All)
+      for (IntrinsicType C : All)
+        EXPECT_EQ(joinIntrinsic(joinIntrinsic(A, B), C),
+                  joinIntrinsic(A, joinIntrinsic(B, C)));
+  }
+}
+
+TEST(IntrinsicLattice, NoneIsBottom) {
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::None, IntrinsicType::Real),
+            IntrinsicType::Real);
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::None, IntrinsicType::Bool),
+            IntrinsicType::Bool);
+}
+
+TEST(IntrinsicLattice, NumericChainOrder) {
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Bool, IntrinsicType::Int),
+            IntrinsicType::Int);
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Int, IntrinsicType::Real),
+            IntrinsicType::Real);
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Real, IntrinsicType::Complex),
+            IntrinsicType::Complex);
+}
+
+TEST(IntrinsicLattice, CharJoinsToRealOrComplex) {
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Char, IntrinsicType::Int),
+            IntrinsicType::Real);
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Char, IntrinsicType::Complex),
+            IntrinsicType::Complex);
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Char, IntrinsicType::Char),
+            IntrinsicType::Char);
+}
+
+TEST(IntrinsicLattice, ColonOnlyJoinsWithItself) {
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Colon, IntrinsicType::Colon),
+            IntrinsicType::Colon);
+  EXPECT_EQ(joinIntrinsic(IntrinsicType::Colon, IntrinsicType::Real),
+            IntrinsicType::Illegal);
+}
+
+TEST(IntrinsicLattice, ElementSizes) {
+  // The paper's |t| factor: complex elements take twice a double.
+  EXPECT_EQ(elemSizeBytes(IntrinsicType::Real), 8u);
+  EXPECT_EQ(elemSizeBytes(IntrinsicType::Int), 8u);
+  EXPECT_EQ(elemSizeBytes(IntrinsicType::Bool), 8u);
+  EXPECT_EQ(elemSizeBytes(IntrinsicType::Complex), 16u);
+  EXPECT_EQ(elemSizeBytes(IntrinsicType::Colon), 0u);
+}
+
+TEST(VarTypeTest, ScalarAndKnownShape) {
+  SymExprContext Ctx;
+  VarType T;
+  T.IT = IntrinsicType::Real;
+  T.Extents = {Ctx.makeConst(1), Ctx.makeConst(1)};
+  EXPECT_TRUE(T.isScalar());
+  EXPECT_TRUE(T.hasKnownShape());
+  EXPECT_EQ(T.knownNumElements(), 1);
+
+  T.Extents = {Ctx.makeConst(3), Ctx.makeConst(4)};
+  EXPECT_FALSE(T.isScalar());
+  EXPECT_EQ(T.knownNumElements(), 12);
+
+  T.Extents = {Ctx.makeSym("n"), Ctx.makeConst(4)};
+  EXPECT_FALSE(T.hasKnownShape());
+  EXPECT_FALSE(T.isScalar());
+}
+
+TEST(VarTypeTest, BottomHasNoShape) {
+  VarType T;
+  EXPECT_TRUE(T.isBottom());
+  EXPECT_FALSE(T.isScalar());
+  EXPECT_FALSE(T.hasKnownShape());
+}
+
+TEST(VarTypeTest, Rendering) {
+  SymExprContext Ctx;
+  VarType T;
+  T.IT = IntrinsicType::Complex;
+  T.Extents = {Ctx.makeSym("n"), Ctx.makeConst(2)};
+  std::string S = T.str();
+  EXPECT_NE(S.find("complex"), std::string::npos);
+  EXPECT_NE(S.find("n"), std::string::npos);
+  EXPECT_NE(S.find("2"), std::string::npos);
+}
+
+} // namespace

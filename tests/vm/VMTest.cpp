@@ -1,0 +1,237 @@
+//===- VMTest.cpp - VM execution and metering tests -----------------------===//
+
+#include "vm/VM.h"
+
+#include "driver/Compiler.h"
+#include "runtime/Memory.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compileOK(const std::string &Src) {
+  Diagnostics Diags;
+  auto P = compileSource(Src, Diags);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// MemoryMeter semantics
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryMeter, TimeWeightedAverage) {
+  MemoryMeter M;
+  // 10 ticks at heap 0, then 10 ticks at heap 1000.
+  M.advance(10);
+  M.heapAdjust(1000);
+  M.advance(10);
+  MemoryStats S = M.finish();
+  EXPECT_DOUBLE_EQ(S.AvgHeapBytes, 500.0);
+  EXPECT_EQ(S.PeakHeapBytes, 1000);
+  EXPECT_EQ(S.Ticks, 20u);
+}
+
+TEST(MemoryMeter, StackSegmentGrowsInPagesAndNeverShrinks) {
+  MemoryMeter M;
+  EXPECT_EQ(M.stackSegment(), MemoryMeter::InitialStackSeg);
+  M.stackAdjust(100); // Still within the first page + initial.
+  std::int64_t AfterSmall = M.stackSegment();
+  EXPECT_EQ(AfterSmall % MemoryMeter::PageSize, 0);
+  M.stackAdjust(3 * MemoryMeter::PageSize);
+  std::int64_t AfterBig = M.stackSegment();
+  EXPECT_GT(AfterBig, AfterSmall);
+  // Popping the frame does not shrink the segment (high watermark).
+  M.stackAdjust(-3 * MemoryMeter::PageSize);
+  EXPECT_EQ(M.stackSegment(), AfterBig);
+}
+
+TEST(MemoryMeter, Eq2WeightsRapidFluctuations) {
+  MemoryMeter M;
+  // Spike to 1 MB for one tick within 99 idle ticks: the average must be
+  // dominated by the idle level.
+  M.advance(50);
+  M.heapAdjust(1 << 20);
+  M.advance(1);
+  M.heapAdjust(-(1 << 20));
+  M.advance(49);
+  MemoryStats S = M.finish();
+  EXPECT_LT(S.AvgHeapBytes, (1 << 20) / 50.0);
+  EXPECT_EQ(S.PeakHeapBytes, 1 << 20);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution semantics and metering invariants
+//===----------------------------------------------------------------------===//
+
+TEST(VMExec, HeapReturnsToZeroAfterRun) {
+  auto P = compileOK("a = rand(32, 32);\nb = a * a;\ndisp(sum(b(:)));\n");
+  // Both models release everything at frame pop; the meter's final level
+  // is visible through a second run producing identical stats.
+  ExecResult R1 = P->runMcc();
+  ExecResult R2 = P->runMcc();
+  ASSERT_TRUE(R1.OK && R2.OK);
+  EXPECT_DOUBLE_EQ(R1.Mem.AvgHeapBytes, R2.Mem.AvgHeapBytes);
+  EXPECT_EQ(R1.Mem.PeakHeapBytes, R2.Mem.PeakHeapBytes);
+  EXPECT_EQ(R1.Output, R2.Output);
+}
+
+TEST(VMExec, DeterministicAcrossRepetition) {
+  auto P = compileOK("x = rand(4, 4);\nfprintf('%.9f ', x(1, 1));\n");
+  ExecResult A = P->runStatic();
+  ExecResult B = P->runStatic();
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Ops, B.Ops);
+}
+
+TEST(VMExec, SeedChangesStream) {
+  auto P = compileOK("fprintf('%.9f', rand());\n");
+  ExecResult A = P->runStatic(1);
+  ExecResult B = P->runStatic(2);
+  EXPECT_NE(A.Output, B.Output);
+}
+
+TEST(VMExec, MccBoxesCostMoreHeapThanStatic) {
+  // Scalar-heavy loop: every mcc op is an 88-byte-headed box.
+  auto P = compileOK("s = 0;\nfor i = 1:200\ns = s + i * i;\nend\n"
+                     "disp(s);\n");
+  ExecResult Mcc = P->runMcc();
+  ExecResult St = P->runStatic();
+  ASSERT_TRUE(Mcc.OK && St.OK);
+  EXPECT_GT(Mcc.Mem.AvgHeapBytes, 0.0);
+  // The static model keeps these scalars in the stack frame.
+  EXPECT_EQ(St.Mem.PeakHeapBytes, 0);
+}
+
+TEST(VMExec, StaticStackHoldsFrameForWholeCall) {
+  auto P = compileOK("a = rand(64, 64);\ndisp(a(1, 1));\n");
+  ExecResult St = P->runStatic();
+  ASSERT_TRUE(St.OK);
+  // 64*64*8 = 32 KB must be visible in the stack segment.
+  EXPECT_GE(St.Mem.PeakStackSegBytes, 32 * 1024);
+}
+
+TEST(VMExec, RecursionPushesFrames) {
+  auto P = compileOK(
+      "function main\ndisp(depth(40));\n\n"
+      "function d = depth(n)\nif n <= 0\nd = 0;\nelse\n"
+      "d = depth(n - 1) + 1;\nend\n");
+  ExecResult St = P->runStatic();
+  ASSERT_TRUE(St.OK);
+  EXPECT_EQ(St.Output, "40\n");
+  // 40 nested frames with ~256B overhead each: at least 2 extra pages.
+  EXPECT_GE(St.Mem.PeakStackSegBytes, MemoryMeter::InitialStackSeg + 8192);
+}
+
+TEST(VMExec, InfiniteRecursionFails) {
+  auto P = compileOK("function main\ndisp(f(1));\n\n"
+                     "function y = f(x)\ny = f(x + 1);\n");
+  ExecResult R = P->runStatic();
+  EXPECT_FALSE(R.OK);
+  EXPECT_NE(R.Error.find("recursion"), std::string::npos);
+}
+
+TEST(VMExec, OpBudgetStopsRunawayLoops) {
+  auto P = compileOK("k = 0;\nwhile 1\nk = k + 1;\nend\n");
+  P->OpBudget = 10000;
+  ExecResult R = P->runStatic();
+  EXPECT_FALSE(R.OK);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(VMExec, GCTDExecutesInPlace) {
+  // Paper Example 1's chain must actually run in place under the GCTD
+  // plan; the mcc model never does.
+  auto P = compileOK("t0 = rand(16, 16);\nt1 = t0 - 1.345;\n"
+                     "t2 = 2.788 .* t1;\nt3 = tan(t2);\n"
+                     "disp(sum(sum(abs(t3))));\n");
+  ExecResult St = P->runStatic();
+  ExecResult Mcc = P->runMcc();
+  ASSERT_TRUE(St.OK && Mcc.OK);
+  EXPECT_GT(St.InPlaceOps, 0u);
+  EXPECT_EQ(Mcc.InPlaceOps, 0u);
+  // No coalescing, no aliasing, no in-place execution.
+  ExecResult NoCo = P->runNoCoalesce();
+  EXPECT_EQ(NoCo.InPlaceOps, 0u);
+}
+
+TEST(VMExec, HeapGroupsResizeOnTheFly) {
+  // A growing dynamic array must show heap resizes (section 3.2.2).
+  auto P = compileOK("function main\nn = round(rand() * 5) + 5;\n"
+                     "disp(work(n));\n\nfunction s = work(n)\nv = [];\n"
+                     "for k = 1:n\nv(k) = k;\nend\ns = sum(v);\n");
+  ExecResult St = P->runStatic();
+  ASSERT_TRUE(St.OK) << St.Error;
+  EXPECT_GT(St.HeapResizes, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure injection: runtime errors must surface identically everywhere
+//===----------------------------------------------------------------------===//
+
+struct Failure {
+  const char *Name;
+  const char *Source;
+  const char *ErrorSubstring;
+};
+
+class FailureTest : public ::testing::TestWithParam<Failure> {};
+
+TEST_P(FailureTest, AllModelsFailTheSameWay) {
+  Diagnostics Diags;
+  auto P = compileSource(GetParam().Source, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+
+  ExecResult Mcc = P->runMcc();
+  ExecResult St = P->runStatic();
+  InterpResult In = P->runInterp();
+
+  EXPECT_FALSE(Mcc.OK);
+  EXPECT_FALSE(St.OK);
+  EXPECT_FALSE(In.OK);
+  EXPECT_NE(Mcc.Error.find(GetParam().ErrorSubstring), std::string::npos)
+      << Mcc.Error;
+  EXPECT_NE(St.Error.find(GetParam().ErrorSubstring), std::string::npos)
+      << St.Error;
+  EXPECT_NE(In.Error.find(GetParam().ErrorSubstring), std::string::npos)
+      << In.Error;
+  // Output emitted before the fault must match too.
+  EXPECT_EQ(Mcc.Output, In.Output);
+  EXPECT_EQ(St.Output, In.Output);
+}
+
+const Failure Failures[] = {
+    {"user_error",
+     "disp('before');\nerror('custom failure %d', 7);\ndisp('after');\n",
+     "custom failure 7"},
+    {"index_out_of_bounds",
+     "a = [1, 2, 3];\ndisp(a(1));\nx = a(9);\ndisp(x);\n",
+     "exceeds array bounds"},
+    {"shape_mismatch",
+     "a = [1, 2, 3];\nb = [1; 2];\nc = a + b;\ndisp(c);\n",
+     "dimensions must agree"},
+    {"inner_dim_mismatch",
+     "a = rand(2, 3);\nc = a * a;\ndisp(c);\n",
+     "inner matrix dimensions"},
+    {"singular_solve",
+     "a = [1, 1; 1, 1];\nx = a \\ [1; 2];\ndisp(x);\n",
+     "singular"},
+    {"undefined_function",
+     "x = 1;\ny = frobnicate(x);\ndisp(y);\n",
+     "undefined function"},
+    {"bad_subscript",
+     "a = [1, 2, 3];\nx = a(1.5);\ndisp(x);\n",
+     "positive integers"},
+    {"matrix_linear_growth",
+     "a = zeros(2, 2);\na(9) = 1;\ndisp(a);\n",
+     "cannot grow"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Faults, FailureTest, ::testing::ValuesIn(Failures),
+                         [](const ::testing::TestParamInfo<Failure> &Info) {
+                           return Info.param.Name;
+                         });
+
+} // namespace
