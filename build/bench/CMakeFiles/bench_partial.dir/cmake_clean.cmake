@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partial.dir/partial_main.cpp.o"
+  "CMakeFiles/bench_partial.dir/partial_main.cpp.o.d"
+  "bench_partial"
+  "bench_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/passes_main.cpp" "bench/CMakeFiles/bench_passes.dir/passes_main.cpp.o" "gcc" "bench/CMakeFiles/bench_passes.dir/passes_main.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/matcoal_bench_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/matcoal_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/matcoal_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/matcoal_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/matcoal_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/matcoal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/gctd/CMakeFiles/matcoal_gctd.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/matcoal_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/matcoal_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/typeinf/CMakeFiles/matcoal_typeinf.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/matcoal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

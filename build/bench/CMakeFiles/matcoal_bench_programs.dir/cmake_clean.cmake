@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libmatcoal_bench_programs.a"
+  "../lib/libmatcoal_bench_programs.pdb"
+  "CMakeFiles/matcoal_bench_programs.dir/programs/Programs.cpp.o"
+  "CMakeFiles/matcoal_bench_programs.dir/programs/Programs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_bench_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_budget.dir/embedded_budget.cpp.o"
+  "CMakeFiles/embedded_budget.dir/embedded_budget.cpp.o.d"
+  "embedded_budget"
+  "embedded_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

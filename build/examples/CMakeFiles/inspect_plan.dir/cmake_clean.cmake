@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_plan.dir/inspect_plan.cpp.o"
+  "CMakeFiles/inspect_plan.dir/inspect_plan.cpp.o.d"
+  "inspect_plan"
+  "inspect_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matlab_runner.dir/matlab_runner.cpp.o"
+  "CMakeFiles/matlab_runner.dir/matlab_runner.cpp.o.d"
+  "matlab_runner"
+  "matlab_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matlab_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/matcoal_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/matcoal_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/matcoal_analysis.dir/Liveness.cpp.o.d"
+  "libmatcoal_analysis.a"
+  "libmatcoal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

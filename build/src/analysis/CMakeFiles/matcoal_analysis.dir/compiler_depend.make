@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for matcoal_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_codegen.dir/CEmitter.cpp.o"
+  "CMakeFiles/matcoal_codegen.dir/CEmitter.cpp.o.d"
+  "libmatcoal_codegen.a"
+  "libmatcoal_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/matcoal_driver.dir/Compiler.cpp.o.d"
+  "libmatcoal_driver.a"
+  "libmatcoal_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

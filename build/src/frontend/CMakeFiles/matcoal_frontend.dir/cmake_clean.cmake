@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/matcoal_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/matcoal_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/matcoal_frontend.dir/Parser.cpp.o.d"
+  "libmatcoal_frontend.a"
+  "libmatcoal_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

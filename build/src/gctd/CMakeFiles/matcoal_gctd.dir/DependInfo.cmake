@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gctd/Interference.cpp" "src/gctd/CMakeFiles/matcoal_gctd.dir/Interference.cpp.o" "gcc" "src/gctd/CMakeFiles/matcoal_gctd.dir/Interference.cpp.o.d"
+  "/root/repo/src/gctd/PartialInterference.cpp" "src/gctd/CMakeFiles/matcoal_gctd.dir/PartialInterference.cpp.o" "gcc" "src/gctd/CMakeFiles/matcoal_gctd.dir/PartialInterference.cpp.o.d"
+  "/root/repo/src/gctd/StoragePlan.cpp" "src/gctd/CMakeFiles/matcoal_gctd.dir/StoragePlan.cpp.o" "gcc" "src/gctd/CMakeFiles/matcoal_gctd.dir/StoragePlan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/typeinf/CMakeFiles/matcoal_typeinf.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/matcoal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/matcoal_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/matcoal_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_gctd.dir/Interference.cpp.o"
+  "CMakeFiles/matcoal_gctd.dir/Interference.cpp.o.d"
+  "CMakeFiles/matcoal_gctd.dir/PartialInterference.cpp.o"
+  "CMakeFiles/matcoal_gctd.dir/PartialInterference.cpp.o.d"
+  "CMakeFiles/matcoal_gctd.dir/StoragePlan.cpp.o"
+  "CMakeFiles/matcoal_gctd.dir/StoragePlan.cpp.o.d"
+  "libmatcoal_gctd.a"
+  "libmatcoal_gctd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_gctd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_interp.dir/Interp.cpp.o"
+  "CMakeFiles/matcoal_interp.dir/Interp.cpp.o.d"
+  "libmatcoal_interp.a"
+  "libmatcoal_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

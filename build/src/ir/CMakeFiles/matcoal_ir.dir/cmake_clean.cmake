@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_ir.dir/IR.cpp.o"
+  "CMakeFiles/matcoal_ir.dir/IR.cpp.o.d"
+  "libmatcoal_ir.a"
+  "libmatcoal_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

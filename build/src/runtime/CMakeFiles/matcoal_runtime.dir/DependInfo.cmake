@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Builtins.cpp" "src/runtime/CMakeFiles/matcoal_runtime.dir/Builtins.cpp.o" "gcc" "src/runtime/CMakeFiles/matcoal_runtime.dir/Builtins.cpp.o.d"
+  "/root/repo/src/runtime/Ops.cpp" "src/runtime/CMakeFiles/matcoal_runtime.dir/Ops.cpp.o" "gcc" "src/runtime/CMakeFiles/matcoal_runtime.dir/Ops.cpp.o.d"
+  "/root/repo/src/runtime/Value.cpp" "src/runtime/CMakeFiles/matcoal_runtime.dir/Value.cpp.o" "gcc" "src/runtime/CMakeFiles/matcoal_runtime.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

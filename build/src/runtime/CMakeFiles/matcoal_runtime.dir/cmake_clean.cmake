@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_runtime.dir/Builtins.cpp.o"
+  "CMakeFiles/matcoal_runtime.dir/Builtins.cpp.o.d"
+  "CMakeFiles/matcoal_runtime.dir/Ops.cpp.o"
+  "CMakeFiles/matcoal_runtime.dir/Ops.cpp.o.d"
+  "CMakeFiles/matcoal_runtime.dir/Value.cpp.o"
+  "CMakeFiles/matcoal_runtime.dir/Value.cpp.o.d"
+  "libmatcoal_runtime.a"
+  "libmatcoal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/matcoal_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/matcoal_support.dir/SymExpr.cpp.o"
+  "CMakeFiles/matcoal_support.dir/SymExpr.cpp.o.d"
+  "libmatcoal_support.a"
+  "libmatcoal_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

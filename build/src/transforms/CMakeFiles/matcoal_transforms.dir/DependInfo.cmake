@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transforms/Lowering.cpp" "src/transforms/CMakeFiles/matcoal_transforms.dir/Lowering.cpp.o" "gcc" "src/transforms/CMakeFiles/matcoal_transforms.dir/Lowering.cpp.o.d"
+  "/root/repo/src/transforms/Passes.cpp" "src/transforms/CMakeFiles/matcoal_transforms.dir/Passes.cpp.o" "gcc" "src/transforms/CMakeFiles/matcoal_transforms.dir/Passes.cpp.o.d"
+  "/root/repo/src/transforms/SSA.cpp" "src/transforms/CMakeFiles/matcoal_transforms.dir/SSA.cpp.o" "gcc" "src/transforms/CMakeFiles/matcoal_transforms.dir/SSA.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/matcoal_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/matcoal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_transforms.dir/Lowering.cpp.o"
+  "CMakeFiles/matcoal_transforms.dir/Lowering.cpp.o.d"
+  "CMakeFiles/matcoal_transforms.dir/Passes.cpp.o"
+  "CMakeFiles/matcoal_transforms.dir/Passes.cpp.o.d"
+  "CMakeFiles/matcoal_transforms.dir/SSA.cpp.o"
+  "CMakeFiles/matcoal_transforms.dir/SSA.cpp.o.d"
+  "libmatcoal_transforms.a"
+  "libmatcoal_transforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_transforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmatcoal_transforms.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/typeinf/TypeInference.cpp" "src/typeinf/CMakeFiles/matcoal_typeinf.dir/TypeInference.cpp.o" "gcc" "src/typeinf/CMakeFiles/matcoal_typeinf.dir/TypeInference.cpp.o.d"
+  "/root/repo/src/typeinf/Types.cpp" "src/typeinf/CMakeFiles/matcoal_typeinf.dir/Types.cpp.o" "gcc" "src/typeinf/CMakeFiles/matcoal_typeinf.dir/Types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

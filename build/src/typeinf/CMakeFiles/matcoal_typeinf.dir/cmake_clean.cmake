@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_typeinf.dir/TypeInference.cpp.o"
+  "CMakeFiles/matcoal_typeinf.dir/TypeInference.cpp.o.d"
+  "CMakeFiles/matcoal_typeinf.dir/Types.cpp.o"
+  "CMakeFiles/matcoal_typeinf.dir/Types.cpp.o.d"
+  "libmatcoal_typeinf.a"
+  "libmatcoal_typeinf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_typeinf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

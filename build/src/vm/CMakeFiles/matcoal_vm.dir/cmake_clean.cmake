@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcoal_vm.dir/VM.cpp.o"
+  "CMakeFiles/matcoal_vm.dir/VM.cpp.o.d"
+  "libmatcoal_vm.a"
+  "libmatcoal_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcoal_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

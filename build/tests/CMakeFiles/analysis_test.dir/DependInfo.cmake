@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/AnalysisTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/analysis/DominatorPropertyTest.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/DominatorPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/DominatorPropertyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/matcoal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/transforms/CMakeFiles/matcoal_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/matcoal_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_test.dir/codegen/CEmitterTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/CEmitterTest.cpp.o.d"
+  "CMakeFiles/codegen_test.dir/codegen/CompileRunTest.cpp.o"
+  "CMakeFiles/codegen_test.dir/codegen/CompileRunTest.cpp.o.d"
+  "codegen_test"
+  "codegen_test.pdb"
+  "codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

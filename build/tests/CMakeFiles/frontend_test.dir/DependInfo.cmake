@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/frontend/LexerTest.cpp" "tests/CMakeFiles/frontend_test.dir/frontend/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_test.dir/frontend/LexerTest.cpp.o.d"
+  "/root/repo/tests/frontend/ParserFuzzTest.cpp" "tests/CMakeFiles/frontend_test.dir/frontend/ParserFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_test.dir/frontend/ParserFuzzTest.cpp.o.d"
+  "/root/repo/tests/frontend/ParserTest.cpp" "tests/CMakeFiles/frontend_test.dir/frontend/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_test.dir/frontend/ParserTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/matcoal_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gctd_test.dir/gctd/GCTDTest.cpp.o"
+  "CMakeFiles/gctd_test.dir/gctd/GCTDTest.cpp.o.d"
+  "gctd_test"
+  "gctd_test.pdb"
+  "gctd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gctd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

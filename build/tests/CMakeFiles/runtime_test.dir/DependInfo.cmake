@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/BuiltinsTest.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/BuiltinsTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/BuiltinsTest.cpp.o.d"
+  "/root/repo/tests/runtime/OpsTest.cpp" "tests/CMakeFiles/runtime_test.dir/runtime/OpsTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/OpsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/matcoal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

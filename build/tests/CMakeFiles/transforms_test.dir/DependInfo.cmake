@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transforms/LoweringTest.cpp" "tests/CMakeFiles/transforms_test.dir/transforms/LoweringTest.cpp.o" "gcc" "tests/CMakeFiles/transforms_test.dir/transforms/LoweringTest.cpp.o.d"
+  "/root/repo/tests/transforms/PassesTest.cpp" "tests/CMakeFiles/transforms_test.dir/transforms/PassesTest.cpp.o" "gcc" "tests/CMakeFiles/transforms_test.dir/transforms/PassesTest.cpp.o.d"
+  "/root/repo/tests/transforms/SSATest.cpp" "tests/CMakeFiles/transforms_test.dir/transforms/SSATest.cpp.o" "gcc" "tests/CMakeFiles/transforms_test.dir/transforms/SSATest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transforms/CMakeFiles/matcoal_transforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/matcoal_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/matcoal_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/matcoal_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/matcoal_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

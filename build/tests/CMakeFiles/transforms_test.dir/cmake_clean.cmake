@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transforms_test.dir/transforms/LoweringTest.cpp.o"
+  "CMakeFiles/transforms_test.dir/transforms/LoweringTest.cpp.o.d"
+  "CMakeFiles/transforms_test.dir/transforms/PassesTest.cpp.o"
+  "CMakeFiles/transforms_test.dir/transforms/PassesTest.cpp.o.d"
+  "CMakeFiles/transforms_test.dir/transforms/SSATest.cpp.o"
+  "CMakeFiles/transforms_test.dir/transforms/SSATest.cpp.o.d"
+  "transforms_test"
+  "transforms_test.pdb"
+  "transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

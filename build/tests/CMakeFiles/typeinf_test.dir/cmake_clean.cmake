@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typeinf_test.dir/typeinf/TypeInferenceTest.cpp.o"
+  "CMakeFiles/typeinf_test.dir/typeinf/TypeInferenceTest.cpp.o.d"
+  "CMakeFiles/typeinf_test.dir/typeinf/TypesTest.cpp.o"
+  "CMakeFiles/typeinf_test.dir/typeinf/TypesTest.cpp.o.d"
+  "typeinf_test"
+  "typeinf_test.pdb"
+  "typeinf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typeinf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
