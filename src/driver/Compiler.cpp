@@ -6,87 +6,332 @@
 #include "transforms/Lowering.h"
 #include "transforms/Passes.h"
 #include "transforms/SSA.h"
+#include "verify/Verifier.h"
+
+#include <cstdlib>
+#include <exception>
 
 using namespace matcoal;
+
+const char *matcoal::compileStageName(CompileStage S) {
+  switch (S) {
+  case CompileStage::None:
+    return "none";
+  case CompileStage::Parse:
+    return "parse";
+  case CompileStage::Lower:
+    return "lower";
+  case CompileStage::SSA:
+    return "ssa";
+  case CompileStage::TypeInf:
+    return "typeinf";
+  case CompileStage::GCTD:
+    return "gctd";
+  }
+  return "none";
+}
+
+CompileStage matcoal::parseCompileStage(const std::string &Name) {
+  if (Name == "parse")
+    return CompileStage::Parse;
+  if (Name == "lower")
+    return CompileStage::Lower;
+  if (Name == "ssa")
+    return CompileStage::SSA;
+  if (Name == "typeinf")
+    return CompileStage::TypeInf;
+  if (Name == "gctd")
+    return CompileStage::GCTD;
+  return CompileStage::None;
+}
+
+const char *matcoal::degradeLevelName(DegradeLevel L) {
+  switch (L) {
+  case DegradeLevel::Full:
+    return "full";
+  case DegradeLevel::IdentityPlans:
+    return "identity-plans";
+  case DegradeLevel::MccOnly:
+    return "mcc-only";
+  case DegradeLevel::InterpOnly:
+    return "interp-only";
+  }
+  return "full";
+}
+
+void matcoal::reportExecResult(const ExecResult &R, Diagnostics &Diags) {
+  if (R.OK)
+    return;
+  Diags.error(SourceLoc{}, "execution trapped (" +
+                               std::string(trapKindName(R.Trap)) + "): " +
+                               R.Error);
+}
 
 std::unique_ptr<CompiledProgram>
 matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
                        const std::string &Entry) {
-  auto P = std::make_unique<CompiledProgram>();
-  P->Entry = Entry;
+  CompileOptions O;
+  O.Entry = Entry;
+  return compileSource(Source, Diags, O);
+}
 
+std::unique_ptr<CompiledProgram>
+matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
+                       const CompileOptions &Options) {
+  CompileOptions O = Options;
+  if (O.InjectFault == CompileStage::None)
+    if (const char *Env = std::getenv("MATCOAL_FAULT"))
+      O.InjectFault = parseCompileStage(Env);
+
+  auto P = std::make_unique<CompiledProgram>();
+  P->Entry = O.Entry;
+  P->OpBudget = O.OpBudget;
+  P->HeapLimit = O.HeapLimit;
+  P->RecursionLimit = O.RecursionLimit;
+
+  // Degrades to \p L (warning) or refuses (error + nullptr) depending on
+  // AllowDegrade. The returned pointer is what compileSource returns.
+  auto DegradeOr = [&](DegradeLevel L, CompileStage St,
+                       const std::string &Why)
+      -> std::unique_ptr<CompiledProgram> {
+    if (!O.AllowDegrade) {
+      Diags.error(SourceLoc{}, std::string(compileStageName(St)) +
+                                   " stage failed (" + Why +
+                                   ") and degradation is disabled");
+      return nullptr;
+    }
+    Diags.warning(SourceLoc{}, std::string(compileStageName(St)) +
+                                   " stage failed (" + Why +
+                                   "): degrading to " + degradeLevelName(L));
+    P->Level = L;
+    return std::move(P);
+  };
+
+  // --- Parse. Real syntax errors keep the historical contract: nullptr
+  // with errors in Diags. An injected parse fault degrades to the
+  // interpreter (the AST exists; everything downstream is suspect).
   P->Ast = parseProgram(Source, Diags);
   if (!P->Ast)
     return nullptr;
-  if (!P->Ast->findFunction(Entry)) {
-    Diags.error(SourceLoc{}, "no entry function named '" + Entry + "'");
+  if (!P->Ast->findFunction(O.Entry)) {
+    Diags.error(SourceLoc{}, "no entry function named '" + O.Entry + "'");
     return nullptr;
   }
+  if (O.InjectFault == CompileStage::Parse)
+    return DegradeOr(DegradeLevel::InterpOnly, CompileStage::Parse,
+                     "fault injected");
 
-  P->M = lowerProgram(*P->Ast, Diags);
-  if (!P->M)
-    return nullptr;
+  try {
+    // --- Lower to SO-form IR.
+    P->M = lowerProgram(*P->Ast, Diags);
+    if (O.InjectFault == CompileStage::Lower) {
+      P->M.reset();
+      return DegradeOr(DegradeLevel::InterpOnly, CompileStage::Lower,
+                       "fault injected");
+    }
+    if (!P->M)
+      return nullptr; // Semantic error in the input.
 
-  for (auto &F : P->M->Functions) {
-    if (!buildSSA(*F, Diags))
-      return nullptr;
-    runCleanupPipeline(*F);
-    if (!verifyFunction(*F, Diags))
-      return nullptr;
-  }
-
-  P->Ctx = std::make_unique<SymExprContext>();
-  P->TI = std::make_unique<TypeInference>(*P->M, *P->Ctx, Diags);
-  P->TI->run(Entry);
-
-  for (auto &F : P->M->Functions) {
-    InterferenceGraph IG(*F, *P->TI);
-    StoragePlan Plan = decomposeColorClasses(*F, IG, *P->TI);
-    // Self-check while the SSA-form graph still exists: interfering
-    // variables must never share a storage slot.
-    for (unsigned U = 0; U < F->numVars(); ++U)
-      for (unsigned V = U + 1; V < F->numVars(); ++V) {
-        if (!IG.participates(U) || !IG.participates(V))
-          continue;
-        if (IG.interferes(U, V) && Plan.sameSlot(U, V))
-          ++P->PlanConsistencyErrors;
+    // --- SSA construction + cleanup, verified per function.
+    bool SSAOK = true;
+    std::string SSAWhy = "fault injected";
+    for (auto &F : P->M->Functions) {
+      if (!buildSSA(*F, Diags)) {
+        SSAOK = false;
+        SSAWhy = "SSA construction failed for " + F->Name;
+        break;
       }
-    P->GCTDPlans.emplace(F.get(), std::move(Plan));
-    P->IdentityPlans.emplace(F.get(), makeIdentityPlan(*F, *P->TI));
-  }
+      runCleanupPipeline(*F);
+      if (O.Verify) {
+        VerifierReport R;
+        if (!verifyCFG(*F, R) || !verifySSA(*F, R)) {
+          R.reportTo(Diags, DiagLevel::Warning);
+          SSAOK = false;
+          SSAWhy = "verifier rejected " + F->Name;
+          break;
+        }
+      }
+    }
+    if (O.InjectFault == CompileStage::SSA)
+      SSAOK = false;
+    if (!SSAOK) {
+      P->M.reset();
+      return DegradeOr(DegradeLevel::InterpOnly, CompileStage::SSA, SSAWhy);
+    }
 
-  // Leave SSA: the plans are fixed, so inversion's copies become identity
-  // assignments wherever phi webs were coalesced.
-  for (auto &F : P->M->Functions) {
-    invertSSA(*F);
-    F->recomputePreds();
-    if (!verifyFunction(*F, Diags))
-      return nullptr;
+    // --- Type inference, verified per function.
+    P->Ctx = std::make_unique<SymExprContext>();
+    P->TI = std::make_unique<TypeInference>(*P->M, *P->Ctx, Diags);
+    P->TI->run(O.Entry);
+    bool TypesOK = O.InjectFault != CompileStage::TypeInf;
+    std::string TypesWhy = "fault injected";
+    if (TypesOK && O.Verify) {
+      VerifierReport R;
+      for (auto &F : P->M->Functions)
+        verifyTypes(*F, *P->TI, R);
+      if (!R.ok()) {
+        R.reportTo(Diags, DiagLevel::Warning);
+        TypesOK = false;
+        TypesWhy = "verifier rejected the inferred types";
+      }
+    }
+    if (!TypesOK) {
+      // The mcc model needs no types and no plans -- but it does need the
+      // IR out of SSA form.
+      auto Result = DegradeOr(DegradeLevel::MccOnly, CompileStage::TypeInf,
+                              TypesWhy);
+      if (Result) {
+        Result->TI.reset();
+        Result->Ctx.reset();
+        for (auto &F : Result->M->Functions) {
+          invertSSA(*F);
+          F->recomputePreds();
+        }
+      }
+      return Result;
+    }
+
+    // --- GCTD, verified per function. A rejected or throwing GCTD run
+    // falls back to that function's identity plan; the program then
+    // reports the IdentityPlans rung.
+    bool AnyIdentityFallback = false;
+    for (auto &F : P->M->Functions) {
+      StoragePlan Identity = makeIdentityPlan(*F, *P->TI);
+      bool UseGCTD = O.InjectFault != CompileStage::GCTD;
+      StoragePlan Plan;
+      if (UseGCTD) {
+        try {
+          InterferenceGraph IG(*F, *P->TI);
+          Plan = decomposeColorClasses(*F, IG, *P->TI);
+          // Self-check while the SSA-form graph still exists: interfering
+          // variables must never share a storage slot.
+          for (unsigned U = 0; U < F->numVars(); ++U)
+            for (unsigned V = U + 1; V < F->numVars(); ++V) {
+              if (!IG.participates(U) || !IG.participates(V))
+                continue;
+              if (IG.interferes(U, V) && Plan.sameSlot(U, V))
+                ++P->PlanConsistencyErrors;
+            }
+          if (O.Verify) {
+            VerifierReport R;
+            if (!verifyStoragePlan(*F, *P->TI, Plan, R)) {
+              R.reportTo(Diags, DiagLevel::Warning);
+              UseGCTD = false;
+            }
+          }
+        } catch (const std::exception &E) {
+          Diags.warning(SourceLoc{},
+                        "GCTD threw on " + F->Name + ": " + E.what());
+          UseGCTD = false;
+        }
+      }
+      if (!UseGCTD)
+        AnyIdentityFallback = true;
+      P->GCTDPlans.emplace(F.get(), UseGCTD ? std::move(Plan) : Identity);
+      P->IdentityPlans.emplace(F.get(), std::move(Identity));
+    }
+    if (AnyIdentityFallback) {
+      auto Result = DegradeOr(DegradeLevel::IdentityPlans, CompileStage::GCTD,
+                              O.InjectFault == CompileStage::GCTD
+                                  ? "fault injected"
+                                  : "plan verification failed");
+      if (!Result)
+        return nullptr;
+      // Keep going: the identity plans still need SSA inversion below.
+      P = std::move(Result);
+    }
+
+    // Leave SSA: the plans are fixed, so inversion's copies become
+    // identity assignments wherever phi webs were coalesced.
+    for (auto &F : P->M->Functions) {
+      invertSSA(*F);
+      F->recomputePreds();
+      if (O.Verify) {
+        VerifierReport R;
+        if (!verifyCFG(*F, R)) {
+          R.reportTo(Diags, DiagLevel::Warning);
+          P->GCTDPlans.clear();
+          P->IdentityPlans.clear();
+          P->TI.reset();
+          P->Ctx.reset();
+          P->M.reset();
+          return DegradeOr(DegradeLevel::InterpOnly, CompileStage::SSA,
+                           "SSA inversion broke the CFG of " + F->Name);
+        }
+      }
+    }
+    return P;
+  } catch (const std::exception &E) {
+    // Any uncaught stage exception: the interpreter rung only needs the
+    // AST, which exists by this point.
+    P->GCTDPlans.clear();
+    P->IdentityPlans.clear();
+    P->TI.reset();
+    P->Ctx.reset();
+    P->M.reset();
+    return DegradeOr(DegradeLevel::InterpOnly, CompileStage::SSA,
+                     std::string("internal compiler error: ") + E.what());
   }
-  return P;
 }
 
+namespace {
+
+/// Adapts an interpreter result to the VM's result type so degraded
+/// programs keep the ExecResult-returning API.
+ExecResult execFromInterp(InterpResult I) {
+  ExecResult R;
+  R.OK = I.OK;
+  R.Error = std::move(I.Error);
+  R.Trap = I.Trap;
+  R.Output = std::move(I.Output);
+  R.Ops = I.Steps;
+  R.WallSeconds = I.WallSeconds;
+  return R;
+}
+
+} // namespace
+
 ExecResult CompiledProgram::runMcc(std::uint64_t Seed) const {
+  if (Level == DegradeLevel::InterpOnly || !M)
+    return execFromInterp(runInterp(Seed));
   VM Machine(*M, ExecModel::Mcc, {}, Seed);
   Machine.setOpBudget(OpBudget);
+  Machine.setHeapLimit(HeapLimit);
+  Machine.setRecursionLimit(RecursionLimit);
   return Machine.run(Entry);
 }
 
 ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
+  if (Level == DegradeLevel::InterpOnly || !M)
+    return execFromInterp(runInterp(Seed));
+  if (Level == DegradeLevel::MccOnly)
+    return runMcc(Seed);
+  // At the IdentityPlans rung GCTDPlans holds identity copies, so the
+  // static model stays safe to run.
   VM Machine(*M, ExecModel::Static, GCTDPlans, Seed);
   Machine.setOpBudget(OpBudget);
+  Machine.setHeapLimit(HeapLimit);
+  Machine.setRecursionLimit(RecursionLimit);
   return Machine.run(Entry);
 }
 
 ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
+  if (Level == DegradeLevel::InterpOnly || !M)
+    return execFromInterp(runInterp(Seed));
+  if (Level == DegradeLevel::MccOnly)
+    return runMcc(Seed);
   VM Machine(*M, ExecModel::Static, IdentityPlans, Seed);
   Machine.setOpBudget(OpBudget);
+  Machine.setHeapLimit(HeapLimit);
+  Machine.setRecursionLimit(RecursionLimit);
   return Machine.run(Entry);
 }
 
 InterpResult CompiledProgram::runInterp(std::uint64_t Seed) const {
   Interpreter I(*Ast, Seed);
   I.setStepBudget(OpBudget);
+  I.setHeapLimit(HeapLimit);
+  I.setRecursionLimit(RecursionLimit);
   return I.run(Entry);
 }
 

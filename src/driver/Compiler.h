@@ -17,6 +17,25 @@
 ///   ExecResult R = P->runStatic();
 /// \endcode
 ///
+/// Error handling contract: invalid input (syntax or semantic errors)
+/// still yields nullptr with errors in the Diagnostics. On *valid* input
+/// the pipeline never crashes and never returns a corrupt plan: each stage
+/// is re-checked by the verifier (src/verify), and a stage that fails --
+/// or is forced to fail through fault injection -- degrades the program
+/// down a ladder of safe fallbacks instead of aborting:
+///
+///   Full          every stage verified; GCTD plans drive runStatic.
+///   IdentityPlans GCTD rejected; runStatic uses identity plans (the
+///                 "without GCTD" configuration -- still the static VM).
+///   MccOnly       type inference rejected; runStatic/runNoCoalesce fall
+///                 back to the mcc model (no plans needed).
+///   InterpOnly    lowering or SSA rejected; every run mode executes on
+///                 the AST interpreter.
+///
+/// Fault injection: set CompileOptions::InjectFault or the MATCOAL_FAULT
+/// environment variable to parse|lower|ssa|typeinf|gctd to force that
+/// stage to fail after it runs, exercising the corresponding rung.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MATCOAL_DRIVER_COMPILER_H
@@ -35,6 +54,38 @@
 #include <string>
 
 namespace matcoal {
+
+/// Pipeline stages, in execution order. Used to name fault-injection
+/// points and degradation causes.
+enum class CompileStage { None, Parse, Lower, SSA, TypeInf, GCTD };
+
+const char *compileStageName(CompileStage S);
+/// Parses a MATCOAL_FAULT value ("parse", "lower", "ssa", "typeinf",
+/// "gctd"); unknown strings map to None.
+CompileStage parseCompileStage(const std::string &Name);
+
+/// How far down the degradation ladder the compile had to go (see the
+/// file comment for what each rung guarantees).
+enum class DegradeLevel { Full, IdentityPlans, MccOnly, InterpOnly };
+
+const char *degradeLevelName(DegradeLevel L);
+
+/// Knobs for compileSource. The defaults reproduce the paper's pipeline.
+struct CompileOptions {
+  std::string Entry = "main";
+  /// Force this stage to fail after it runs (testing the ladder). The
+  /// MATCOAL_FAULT environment variable is consulted when this is None.
+  CompileStage InjectFault = CompileStage::None;
+  /// Run the verifier after each stage (cheap; disable only in
+  /// benchmarks).
+  bool Verify = true;
+  /// Degrade on stage failure instead of returning nullptr.
+  bool AllowDegrade = true;
+  // Execution guards, forwarded to every run mode.
+  std::uint64_t OpBudget = 2000000000ull;
+  std::int64_t HeapLimit = 0;    ///< Metered heap bytes; 0 = unlimited.
+  unsigned RecursionLimit = 512; ///< Maximum call depth.
+};
 
 /// A fully compiled program with its storage plans.
 class CompiledProgram {
@@ -57,6 +108,9 @@ public:
   /// Runs the AST interpreter (the paper's "intrp" series).
   InterpResult runInterp(std::uint64_t Seed = 20030609) const;
 
+  /// The rung this program compiled at (Full unless a stage degraded).
+  DegradeLevel level() const { return Level; }
+
   Stats stats() const;
   const StoragePlan &planOf(const Function &F) const;
   const Function &function(const std::string &Name) const;
@@ -72,7 +126,10 @@ public:
   std::map<const Function *, StoragePlan> GCTDPlans;
   std::map<const Function *, StoragePlan> IdentityPlans;
   std::string Entry;
+  DegradeLevel Level = DegradeLevel::Full;
   std::uint64_t OpBudget = 2000000000ull;
+  std::int64_t HeapLimit = 0;
+  unsigned RecursionLimit = 512;
   /// Interfering pairs found sharing a slot at plan time (always 0 for a
   /// correct GCTD; checked before SSA inversion, where the plan's
   /// interference graph is still reconstructible).
@@ -86,6 +143,16 @@ std::unique_ptr<CompiledProgram> compileSource(const std::string &Source,
                                                Diagnostics &Diags,
                                                const std::string &Entry =
                                                    "main");
+
+/// Options-taking variant: fault injection, verification and degradation
+/// control, and execution guards.
+std::unique_ptr<CompiledProgram> compileSource(const std::string &Source,
+                                               Diagnostics &Diags,
+                                               const CompileOptions &Options);
+
+/// Routes a failed execution into \p Diags as an error carrying the trap
+/// classification; no-op when \p R succeeded.
+void reportExecResult(const ExecResult &R, Diagnostics &Diags);
 
 } // namespace matcoal
 

@@ -86,6 +86,24 @@ void Parser::recoverToLineEnd() {
   consumeIf(TokenKind::Newline);
 }
 
+void Parser::synchronize() {
+  while (!at(TokenKind::Eof)) {
+    if (at(TokenKind::Newline) || at(TokenKind::Semi) ||
+        at(TokenKind::Comma)) {
+      advance();
+      break;
+    }
+    // Block keywords close an enclosing construct; stop in front of them
+    // so the enclosing parse can match its delimiter.
+    if (at(TokenKind::KwEnd) || at(TokenKind::KwElse) ||
+        at(TokenKind::KwElseif) || at(TokenKind::KwCase) ||
+        at(TokenKind::KwOtherwise) || at(TokenKind::KwFunction))
+      break;
+    advance();
+  }
+  HadError = false;
+}
+
 //===----------------------------------------------------------------------===//
 // Programs and functions
 //===----------------------------------------------------------------------===//
@@ -96,15 +114,20 @@ std::unique_ptr<Program> Parser::parseProgram() {
   if (at(TokenKind::KwFunction)) {
     while (at(TokenKind::KwFunction)) {
       auto F = parseFunction();
-      if (!F)
-        return nullptr;
-      Prog->Functions.push_back(std::move(F));
+      if (F) {
+        Prog->Functions.push_back(std::move(F));
+      } else {
+        // Skip to the next function header and keep collecting errors.
+        HadError = false;
+        while (!at(TokenKind::Eof) && !at(TokenKind::KwFunction))
+          advance();
+      }
       skipSeparators();
+      if (Diags.errorCount() >= MaxParseErrors)
+        break;
     }
-    if (!at(TokenKind::Eof)) {
+    if (!at(TokenKind::Eof))
       Diags.error(tok().Loc, "expected 'function' or end of input");
-      return nullptr;
-    }
     return Prog;
   }
 
@@ -113,11 +136,17 @@ std::unique_ptr<Program> Parser::parseProgram() {
   Main->Name = "main";
   Main->Loc = tok().Loc;
   Main->Body = parseStmtList(/*StopAtElse=*/false);
-  if (!at(TokenKind::Eof)) {
+  // Stray block closers at top level: report, resynchronize, and keep
+  // parsing so later errors surface in the same pass.
+  while (!at(TokenKind::Eof) && Diags.errorCount() < MaxParseErrors) {
     Diags.error(tok().Loc, std::string("unexpected ") +
                                tokenKindName(tok().Kind) +
                                " at top level of script");
-    return nullptr;
+    advance();
+    HadError = false;
+    StmtList More = parseStmtList(/*StopAtElse=*/false);
+    for (StmtPtr &S : More)
+      Main->Body.push_back(std::move(S));
   }
   Prog->Functions.push_back(std::move(Main));
   return Prog;
@@ -191,12 +220,17 @@ StmtList Parser::parseStmtList(bool StopAtElse, bool StopAtCase) {
            (at(TokenKind::KwElse) || at(TokenKind::KwElseif))) &&
          !(StopAtCase &&
            (at(TokenKind::KwCase) || at(TokenKind::KwOtherwise)))) {
-    if (HadError && !at(TokenKind::KwIf) && !at(TokenKind::KwWhile) &&
-        !at(TokenKind::KwFor))
-      break;
+    size_t Before = Pos;
     StmtPtr S = parseStmt();
     if (S)
       Body.push_back(std::move(S));
+    if (HadError) {
+      if (Diags.errorCount() >= MaxParseErrors)
+        break; // Give up; leave the flag set for the caller.
+      synchronize();
+    }
+    if (Pos == Before)
+      advance(); // Guarantee progress on tokens no rule consumes.
     skipSeparators();
   }
   return Body;

@@ -80,6 +80,15 @@ private:
   /// result should be displayed (no trailing ';').
   bool consumeStatementEnd();
   void recoverToLineEnd();
+  /// After a syntax error: skips ahead to the next statement boundary
+  /// (';', newline, ',') or block keyword and clears the error flag so
+  /// the rest of the buffer still gets parsed -- one bad statement then
+  /// yields several diagnostics instead of aborting at the first.
+  void synchronize();
+
+  /// Hard cap on reported syntax errors; past it the parser gives up
+  /// (guards against error avalanches on binary garbage).
+  static constexpr unsigned MaxParseErrors = 64;
 
   std::vector<Token> Tokens;
   Diagnostics &Diags;

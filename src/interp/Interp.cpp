@@ -4,12 +4,32 @@
 
 #include <chrono>
 #include <cmath>
+#include <new>
 
 using namespace matcoal;
 
 void Interpreter::step() {
   if (++Steps > StepBudget)
-    throw MatError("step budget exceeded (infinite loop?)");
+    throw MatError("step budget exceeded (infinite loop?)",
+                   TrapKind::OpBudget);
+}
+
+void Interpreter::chargeHeap(std::int64_t Delta) {
+  HeapBytes += Delta;
+  if (HeapLimit && HeapBytes > HeapLimit)
+    throw MatError("heap limit exceeded", TrapKind::HeapLimit);
+}
+
+void Interpreter::setVar(Env &E, const std::string &Name, Array V) {
+  Array &Slot = E[Name];
+  std::int64_t Old = Slot.dataBytes();
+  Slot = std::move(V);
+  chargeHeap(Slot.dataBytes() - Old);
+}
+
+void Interpreter::releaseEnv(Env &E) {
+  for (auto &KV : E)
+    HeapBytes -= KV.second.dataBytes();
 }
 
 InterpResult Interpreter::run(const std::string &Entry,
@@ -24,12 +44,20 @@ InterpResult Interpreter::run(const std::string &Entry,
   Out.clear();
   Steps = 0;
   CallDepth = 0;
+  HeapBytes = 0;
   auto Start = std::chrono::steady_clock::now();
   try {
     callFunction(*F, Args, 0);
     R.OK = true;
   } catch (const MatError &E) {
     R.Error = E.what();
+    R.Trap = E.Kind;
+  } catch (const std::bad_alloc &) {
+    R.Error = "out of memory";
+    R.Trap = TrapKind::OutOfMemory;
+  } catch (const std::exception &E) {
+    R.Error = std::string("internal error: ") + E.what();
+    R.Trap = TrapKind::RuntimeError;
   }
   auto End = std::chrono::steady_clock::now();
   R.WallSeconds = std::chrono::duration<double>(End - Start).count();
@@ -41,15 +69,16 @@ InterpResult Interpreter::run(const std::string &Entry,
 std::vector<Array> Interpreter::callFunction(const FunctionDecl &F,
                                              const std::vector<Array> &Args,
                                              unsigned NumResults) {
-  if (++CallDepth > 512) {
+  if (++CallDepth > RecursionLimit) {
     --CallDepth;
-    throw MatError("maximum recursion depth exceeded");
+    throw MatError("maximum recursion depth exceeded",
+                   TrapKind::RecursionDepth);
   }
   if (Args.size() < F.Params.size())
     throw MatError("not enough arguments to " + F.Name);
   Env E;
   for (size_t K = 0; K < F.Params.size(); ++K)
-    E[F.Params[K]] = Args[K];
+    setVar(E, F.Params[K], Args[K]);
   execStmtList(F.Body, E);
   std::vector<Array> Outputs;
   unsigned Want = std::max<unsigned>(NumResults,
@@ -61,6 +90,7 @@ std::vector<Array> Interpreter::callFunction(const FunctionDecl &F,
                      "' not assigned in " + F.Name);
     Outputs.push_back(It->second);
   }
+  releaseEnv(E);
   --CallDepth;
   return Outputs;
 }
@@ -80,7 +110,7 @@ Interpreter::Flow Interpreter::execStmt(const Stmt &S, Env &E) {
   case StmtKind::Assign: {
     const auto &A = static_cast<const AssignStmt &>(S);
     if (A.Target.Indices.empty()) {
-      E[A.Target.Name] = evalExpr(*A.Value, E);
+      setVar(E, A.Target.Name, evalExpr(*A.Value, E));
     } else {
       Array Rhs = evalExpr(*A.Value, E);
       Array &Base = E[A.Target.Name]; // Creates empty if absent (growth).
@@ -93,7 +123,9 @@ Interpreter::Flow Interpreter::execStmt(const Stmt &S, Env &E) {
       std::vector<const Array *> Subs;
       for (const Array &V : SubVals)
         Subs.push_back(&V);
+      std::int64_t Before = Base.dataBytes();
       subsasgnInPlace(Base, Rhs, Subs);
+      chargeHeap(Base.dataBytes() - Before);
     }
     if (A.Display)
       Out.write(E[A.Target.Name].formatNamed(A.Target.Name));
@@ -107,7 +139,7 @@ Interpreter::Flow Interpreter::execStmt(const Stmt &S, Env &E) {
     if (Results.size() < MA.Targets.size())
       throw MatError("too many output arguments for " + Call.Name);
     for (size_t K = 0; K < MA.Targets.size(); ++K)
-      E[MA.Targets[K].Name] = std::move(Results[K]);
+      setVar(E, MA.Targets[K].Name, std::move(Results[K]));
     if (MA.Display)
       for (const LValue &T : MA.Targets)
         Out.write(E[T.Name].formatNamed(T.Name));
@@ -183,7 +215,7 @@ Interpreter::Flow Interpreter::execStmt(const Stmt &S, Env &E) {
       double Hi = evalExpr(*R.Stop, E).scalarValue();
       for (double V = Lo; Step >= 0 ? V <= Hi : V >= Hi; V += Step) {
         step();
-        E[For.Var] = Array::scalar(V);
+        setVar(E, For.Var, Array::scalar(V));
         Flow F = execStmtList(For.Body, E);
         if (F == Flow::Break)
           break;
@@ -210,7 +242,7 @@ Interpreter::Flow Interpreter::execStmt(const Stmt &S, Env &E) {
           Col.Im[I] = A.imAt(I + J * R);
       }
       Col.normalizeComplex();
-      E[For.Var] = std::move(Col);
+      setVar(E, For.Var, std::move(Col));
       Flow F = execStmtList(For.Body, E);
       if (F == Flow::Break)
         break;

@@ -31,6 +31,9 @@ namespace matcoal {
 struct InterpResult {
   bool OK = false;
   std::string Error;
+  /// What stopped execution when !OK: a program error or an exhausted
+  /// execution guard (budget, heap cap, recursion depth).
+  TrapKind Trap = TrapKind::None;
   std::string Output;
   std::uint64_t Steps = 0;
   double WallSeconds = 0;
@@ -46,6 +49,10 @@ public:
                    const std::vector<Array> &Args = {});
 
   void setStepBudget(std::uint64_t Budget) { StepBudget = Budget; }
+  /// Maximum live environment bytes before trapping; 0 means unlimited.
+  void setHeapLimit(std::int64_t Bytes) { HeapLimit = Bytes; }
+  /// Maximum call depth before trapping.
+  void setRecursionLimit(unsigned Depth) { RecursionLimit = Depth; }
 
 private:
   enum class Flow { Normal, Break, Continue, Return };
@@ -62,6 +69,12 @@ private:
   Array evalSubscript(const Expr &Ex, Env &E, const Array &Base,
                       unsigned DimIndex, unsigned NumSubs);
   void step();
+  /// Assigns \p V to \p Name, keeping the live-heap meter current.
+  void setVar(Env &E, const std::string &Name, Array V);
+  /// Adjusts the live-heap meter and traps past the configured cap.
+  void chargeHeap(std::int64_t Delta);
+  /// Uncharges every binding of a dying environment (function return).
+  void releaseEnv(Env &E);
 
   const Program &Prog;
   std::uint64_t Seed;
@@ -70,6 +83,9 @@ private:
   std::uint64_t Steps = 0;
   std::uint64_t StepBudget = 2000000000ull;
   unsigned CallDepth = 0;
+  unsigned RecursionLimit = 512;
+  std::int64_t HeapLimit = 0;
+  std::int64_t HeapBytes = 0;
 
   struct EndContext {
     const Array *Base;

@@ -580,7 +580,7 @@ matcoal::callBuiltin(const std::string &Name,
     const Array &X = A(0);
     const Array &Y = A(1);
     if (X.numel() != Y.numel())
-      throw MatError("dot operands must have the same length");
+      throw MatError("dot operands must have the same length", TrapKind::ShapeMismatch);
     Complex Acc(0, 0);
     for (std::int64_t I = 0; I < X.numel(); ++I)
       Acc += std::conj(X.cAt(I)) * Y.cAt(I);
@@ -629,7 +629,7 @@ matcoal::callBuiltin(const std::string &Name,
   if (Name == "trace") {
     const Array &X = A(0);
     if (X.dim(0) != X.dim(1))
-      throw MatError("trace requires a square matrix");
+      throw MatError("trace requires a square matrix", TrapKind::ShapeMismatch);
     Complex Acc(0, 0);
     for (std::int64_t I = 0; I < X.dim(0); ++I)
       Acc += X.cAt(I + I * X.dim(0));
@@ -750,5 +750,5 @@ matcoal::callBuiltin(const std::string &Name,
     return {Array::logicalScalar(S >= 0.0 ? I <= H : I >= H)};
   }
 
-  throw MatError("undefined function '" + Name + "'");
+  throw MatError("undefined function '" + Name + "'", TrapKind::UndefinedName);
 }

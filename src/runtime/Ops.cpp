@@ -29,7 +29,7 @@ Array elementwise(const Array &A, const Array &B, RealFn RF, ComplexFn CF,
   const Array *Big = &A;
   bool AScalar = A.isScalar(), BScalar = B.isScalar();
   if (!AScalar && !BScalar && !sameDims(A, B))
-    throw MatError("matrix dimensions must agree");
+    throw MatError("matrix dimensions must agree", TrapKind::ShapeMismatch);
   if (AScalar && !BScalar)
     Big = &B;
   Array Out;
@@ -74,10 +74,10 @@ double truthOf(double Re, double Im) { return (Re != 0.0 || Im != 0.0); }
 
 Array matmul(const Array &A, const Array &B) {
   if (A.dims().size() > 2 || B.dims().size() > 2)
-    throw MatError("matrix multiplication requires 2-D operands");
+    throw MatError("matrix multiplication requires 2-D operands", TrapKind::ShapeMismatch);
   std::int64_t M = A.dim(0), K = A.dim(1), K2 = B.dim(0), N = B.dim(1);
   if (K != K2)
-    throw MatError("inner matrix dimensions must agree");
+    throw MatError("inner matrix dimensions must agree", TrapKind::ShapeMismatch);
   Array Out;
   Out.Dims = {M, N};
   bool Cplx = A.isComplex() || B.isComplex();
@@ -114,9 +114,9 @@ Array matmul(const Array &A, const Array &B) {
 Array solveSquare(const Array &A, const Array &B) {
   std::int64_t N = A.dim(0);
   if (A.dim(1) != N)
-    throw MatError("matrix must be square for this solver");
+    throw MatError("matrix must be square for this solver", TrapKind::ShapeMismatch);
   if (B.dim(0) != N)
-    throw MatError("matrix dimensions must agree in solve");
+    throw MatError("matrix dimensions must agree in solve", TrapKind::ShapeMismatch);
   std::int64_t NRHS = B.dim(1);
   std::vector<Complex> M(static_cast<size_t>(N * N));
   std::vector<Complex> X(static_cast<size_t>(N * NRHS));
@@ -199,7 +199,7 @@ Array matpow(const Array &A, const Array &B) {
     // Matrix to a non-negative integer power.
     std::int64_t N = A.dim(0);
     if (A.dim(1) != N)
-      throw MatError("matrix must be square for ^");
+      throw MatError("matrix must be square for ^", TrapKind::ShapeMismatch);
     std::int64_t P = static_cast<std::int64_t>(B.reAt(0));
     Array Result;
     Result.Dims = {N, N};
@@ -260,7 +260,7 @@ Array matcoal::binaryOp(Opcode Op, const Array &A, const Array &B) {
     bool AScalar = A.isScalar(), BScalar = B.isScalar();
     const Array *Big = AScalar && !BScalar ? &B : &A;
     if (!AScalar && !BScalar && !sameDims(A, B))
-      throw MatError("matrix dimensions must agree");
+      throw MatError("matrix dimensions must agree", TrapKind::ShapeMismatch);
     std::int64_t N = Big->numel();
     Array Out;
     Out.Dims = Big->dims();
@@ -499,7 +499,7 @@ ResolvedSub resolveSub(const Array &S) {
   for (std::int64_t I = 0; I < S.numel(); ++I) {
     double V = S.reAt(I);
     if (V != std::floor(V) || V < 1.0)
-      throw MatError("subscript indices must be positive integers");
+      throw MatError("subscript indices must be positive integers", TrapKind::IndexOutOfBounds);
     R.Indices.push_back(static_cast<std::int64_t>(V) - 1);
   }
   R.ShapeDims = S.dims();
@@ -542,7 +542,7 @@ Array matcoal::subsref(const Array &A,
     for (size_t K = 0; K < R.Indices.size(); ++K) {
       std::int64_t I = R.Indices[K];
       if (I < 0 || I >= Total)
-        throw MatError("index exceeds array bounds");
+        throw MatError("index exceeds array bounds", TrapKind::IndexOutOfBounds);
       Out.Re[K] = A.Re[I];
       if (A.isComplex())
         Out.Im[K] = A.Im[I];
@@ -592,7 +592,7 @@ Array matcoal::subsref(const Array &A,
     for (size_t D = 0; D < M; ++D) {
       std::int64_t Idx = R[D].at(Counter[D], Extents[D]);
       if (Idx < 0 || Idx >= Extents[D])
-        throw MatError("index exceeds array bounds");
+        throw MatError("index exceeds array bounds", TrapKind::IndexOutOfBounds);
       Src += Idx * Strides[D];
     }
     Out.Re[K] = A.Re[Src];
@@ -674,7 +674,7 @@ void matcoal::subsasgnInPlace(Array &Base, const Array &Rhs,
           Fold *= OldDims[DD];
         if (MaxIdx >= Fold) {
           if (OldDims.size() > M)
-            throw MatError("index exceeds folded trailing dimensions");
+            throw MatError("index exceeds folded trailing dimensions", TrapKind::IndexOutOfBounds);
           NewDims[D] = std::max(NewDims[D], MaxIdx + 1);
         }
       } else {
@@ -752,7 +752,7 @@ void matcoal::subsasgnInPlace(Array &Base, const Array &Rhs,
     Count *= R[D].count(Extents[D]);
   bool ScalarRhs = Rhs.isScalar();
   if (!ScalarRhs && Rhs.numel() != Count)
-    throw MatError("assignment dimension mismatch");
+    throw MatError("assignment dimension mismatch", TrapKind::ShapeMismatch);
 
   std::vector<std::int64_t> Strides(M);
   std::int64_t Stride = 1;
@@ -775,7 +775,7 @@ void matcoal::subsasgnInPlace(Array &Base, const Array &Rhs,
     for (size_t D = 0; D < M; ++D)
       DstIdx += R[D].at(Counter[D], Extents[D]) * Strides[D];
     if (DstIdx < 0 || DstIdx >= Base.numel())
-      throw MatError("index exceeds array bounds");
+      throw MatError("index exceeds array bounds", TrapKind::IndexOutOfBounds);
     Base.Re[DstIdx] = ScalarRhs ? Rhs.reAt(0) : Rhs.reAt(K);
     if (Cplx)
       Base.Im[DstIdx] = ScalarRhs ? Rhs.imAt(0) : Rhs.imAt(K);
@@ -810,7 +810,7 @@ Array concat(const std::vector<const Array *> &Parts, unsigned Dim) {
     if (P->dims().size() > 2)
       throw MatError("N-D concatenation is not supported");
     if (P->dim(Keep) != KeepExtent)
-      throw MatError("concatenation dimensions are inconsistent");
+      throw MatError("concatenation dimensions are inconsistent", TrapKind::ShapeMismatch);
     Total += P->dim(Dim);
     AnyChar |= P->isChar();
     AllLogical &= P->isLogical();

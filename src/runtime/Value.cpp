@@ -9,6 +9,30 @@
 
 using namespace matcoal;
 
+const char *matcoal::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::RuntimeError:
+    return "runtime-error";
+  case TrapKind::ShapeMismatch:
+    return "shape-mismatch";
+  case TrapKind::IndexOutOfBounds:
+    return "index-out-of-bounds";
+  case TrapKind::UndefinedName:
+    return "undefined-name";
+  case TrapKind::OpBudget:
+    return "op-budget";
+  case TrapKind::HeapLimit:
+    return "heap-limit";
+  case TrapKind::RecursionDepth:
+    return "recursion-depth";
+  case TrapKind::OutOfMemory:
+    return "out-of-memory";
+  }
+  return "none";
+}
+
 Array Array::scalar(double V) {
   Array A;
   A.Dims = {1, 1};
@@ -108,7 +132,7 @@ std::int64_t Array::linearIndex(const std::vector<std::int64_t> &Subs) const {
   for (size_t D = 0; D < Subs.size(); ++D) {
     std::int64_t Extent = dim(D);
     if (Subs[D] < 0 || Subs[D] >= Extent)
-      throw MatError("index exceeds array bounds");
+      throw MatError("index exceeds array bounds", TrapKind::IndexOutOfBounds);
     Index += Subs[D] * Stride;
     Stride *= Extent;
   }

@@ -23,12 +23,33 @@
 
 namespace matcoal {
 
+/// Classification of a runtime failure, carried by MatError and surfaced
+/// as ExecResult::Trap / InterpResult::Trap. Lets callers distinguish a
+/// program error (bad index, shape mismatch) from an exhausted execution
+/// guard (budget, heap cap, recursion depth) without parsing messages.
+enum class TrapKind {
+  None,             ///< No trap (successful execution).
+  RuntimeError,     ///< Generic MATLAB-semantics error.
+  ShapeMismatch,    ///< Operand/assignment dimensions disagree.
+  IndexOutOfBounds, ///< Subscript out of range or non-positive.
+  UndefinedName,    ///< Unknown function or variable at run time.
+  OpBudget,         ///< Instruction budget exhausted (runaway loop).
+  HeapLimit,        ///< Heap-byte cap exceeded.
+  RecursionDepth,   ///< Call depth limit exceeded.
+  OutOfMemory,      ///< Allocation failure (std::bad_alloc).
+};
+
+const char *trapKindName(TrapKind K);
+
 /// Runtime error with MATLAB-style message; thrown by kernels and caught
 /// at the VM / interpreter API boundary.
 class MatError : public std::runtime_error {
 public:
-  explicit MatError(const std::string &Message)
-      : std::runtime_error(Message) {}
+  explicit MatError(const std::string &Message,
+                    TrapKind Kind = TrapKind::RuntimeError)
+      : std::runtime_error(Message), Kind(Kind) {}
+
+  TrapKind Kind;
 };
 
 /// A MATLAB value: column-major numeric array, char array, logical array,

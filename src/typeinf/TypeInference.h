@@ -48,6 +48,10 @@ public:
   /// Per-variable types for \p F (indexed by VarId; bottom for variables
   /// that are dead or pre-SSA originals).
   const std::vector<VarType> &functionTypes(const Function &F) const;
+  /// True when run() produced a type table for \p F. Degraded pipelines
+  /// (see driver/Compiler.h) may skip inference entirely; functionTypes
+  /// asserts, so consumers that can degrade probe here first.
+  bool hasTypesFor(const Function &F) const { return AllTypes.count(&F) != 0; }
   const VarType &typeOf(const Function &F, VarId V) const {
     return functionTypes(F)[V];
   }

@@ -1,0 +1,487 @@
+//===- Verifier.cpp - IR, SSA, type and storage-plan verification ---------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verifier.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+using namespace matcoal;
+
+std::string VerifierIssue::str() const {
+  return "[" + Check + "] " + Function + ": " + Message;
+}
+
+void VerifierReport::add(std::string Check, const Function &F,
+                         std::string Message) {
+  Issues.push_back(VerifierIssue{std::move(Check), F.Name,
+                                 std::move(Message)});
+}
+
+void VerifierReport::reportTo(Diagnostics &Diags, DiagLevel Level) const {
+  for (const VerifierIssue &I : Issues)
+    Diags.report(Level, SourceLoc{}, "verifier: " + I.str());
+}
+
+std::string VerifierReport::str() const {
+  std::string Out;
+  for (const VerifierIssue &I : Issues) {
+    Out += I.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+bool inVarRange(const Function &F, VarId V) {
+  return V >= 0 && static_cast<unsigned>(V) < F.numVars();
+}
+
+std::string varName(const Function &F, VarId V) {
+  if (!inVarRange(F, V))
+    return "<var#" + std::to_string(V) + ">";
+  return "'" + F.var(V).Name + "'";
+}
+
+std::string blockName(BlockId B) { return "b" + std::to_string(B); }
+
+bool inBlockRange(const Function &F, BlockId B) {
+  return B >= 0 && static_cast<size_t>(B) < F.Blocks.size();
+}
+
+} // namespace
+
+bool matcoal::verifyCFG(const Function &F, VerifierReport &R) {
+  size_t Before = R.issues().size();
+  if (F.Blocks.empty()) {
+    R.add("cfg", F, "function has no basic blocks");
+    return false;
+  }
+
+  for (VarId P : F.Params)
+    if (!inVarRange(F, P))
+      R.add("cfg", F, "parameter id " + std::to_string(P) + " out of range");
+  for (VarId O : F.Outputs)
+    if (!inVarRange(F, O))
+      R.add("cfg", F, "output id " + std::to_string(O) + " out of range");
+
+  bool EdgesOk = true;
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const BasicBlock *BB = F.Blocks[BI].get();
+    if (!BB) {
+      R.add("cfg", F, "null block at index " + std::to_string(BI));
+      EdgesOk = false;
+      continue;
+    }
+    if (BB->Id != static_cast<BlockId>(BI)) {
+      R.add("cfg", F,
+            blockName(BB->Id) + " stored at index " + std::to_string(BI));
+      EdgesOk = false;
+    }
+    if (BB->Instrs.empty()) {
+      R.add("cfg", F, blockName(BB->Id) + " is empty (no terminator)");
+      EdgesOk = false;
+      continue;
+    }
+    for (size_t I = 0; I < BB->Instrs.size(); ++I) {
+      const Instr &In = BB->Instrs[I];
+      bool Term = isTerminator(In.Op);
+      bool Last = I + 1 == BB->Instrs.size();
+      if (Term && !Last)
+        R.add("cfg", F,
+              std::string(opcodeName(In.Op)) + " terminator in the middle of " +
+                  blockName(BB->Id));
+      if (!Term && Last) {
+        R.add("cfg", F, blockName(BB->Id) + " does not end in a terminator");
+        EdgesOk = false;
+      }
+      for (VarId Res : In.Results)
+        if (!inVarRange(F, Res))
+          R.add("cfg", F,
+                "result id " + std::to_string(Res) + " out of range in " +
+                    blockName(BB->Id));
+      for (VarId Op : In.Operands)
+        if (!inVarRange(F, Op))
+          R.add("cfg", F,
+                "operand id " + std::to_string(Op) + " out of range in " +
+                    blockName(BB->Id));
+      if (In.Op == Opcode::Jmp || In.Op == Opcode::Br) {
+        if (!inBlockRange(F, In.Target1)) {
+          R.add("cfg", F,
+                "branch target " + std::to_string(In.Target1) +
+                    " out of range in " + blockName(BB->Id));
+          EdgesOk = false;
+        }
+        if (In.Op == Opcode::Br && !inBlockRange(F, In.Target2)) {
+          R.add("cfg", F,
+                "branch target " + std::to_string(In.Target2) +
+                    " out of range in " + blockName(BB->Id));
+          EdgesOk = false;
+        }
+      }
+    }
+  }
+
+  // Predecessor lists must be exactly the multiset of incoming successor
+  // edges; phi operand alignment depends on this.
+  if (EdgesOk) {
+    std::vector<std::vector<BlockId>> Incoming(F.Blocks.size());
+    for (const auto &BB : F.Blocks)
+      if (BB->hasTerminator())
+        for (BlockId S : BB->successors())
+          Incoming[S].push_back(BB->Id);
+    for (const auto &BB : F.Blocks) {
+      std::vector<BlockId> Have = BB->Preds;
+      std::vector<BlockId> Want = Incoming[BB->Id];
+      std::sort(Have.begin(), Have.end());
+      std::sort(Want.begin(), Want.end());
+      if (Have != Want)
+        R.add("cfg", F,
+              "predecessor list of " + blockName(BB->Id) +
+                  " disagrees with the successor edges");
+    }
+  }
+  return R.issues().size() == Before;
+}
+
+bool matcoal::verifySSA(const Function &F, VerifierReport &R) {
+  size_t Before = R.issues().size();
+  unsigned N = F.numVars();
+
+  // Definition sites. Parameters count as a definition at function entry.
+  struct Site {
+    BlockId Block = NoBlock;
+    int Index = -1;
+  };
+  std::vector<Site> DefSite(N);
+  std::vector<int> DefCount(N, 0);
+  for (VarId P : F.Params) {
+    if (!inVarRange(F, P))
+      continue;
+    ++DefCount[P];
+    DefSite[P] = Site{0, -1};
+  }
+  for (const auto &BB : F.Blocks) {
+    for (size_t I = 0; I < BB->Instrs.size(); ++I) {
+      for (VarId Res : BB->Instrs[I].Results) {
+        if (!inVarRange(F, Res))
+          continue;
+        if (++DefCount[Res] == 1)
+          DefSite[Res] = Site{BB->Id, static_cast<int>(I)};
+      }
+    }
+  }
+  for (unsigned V = 0; V < N; ++V)
+    if (DefCount[V] > 1)
+      R.add("ssa", F,
+            varName(F, V) + " has " + std::to_string(DefCount[V]) +
+                " definitions" +
+                (F.var(V).IsParam ? " (parameter redefined)" : ""));
+
+  // Phi placement and arity.
+  for (const auto &BB : F.Blocks) {
+    bool SeenNonPhi = false;
+    for (const Instr &In : BB->Instrs) {
+      if (In.Op != Opcode::Phi) {
+        SeenNonPhi = true;
+        continue;
+      }
+      if (SeenNonPhi)
+        R.add("ssa", F,
+              "phi after a non-phi instruction in " + blockName(BB->Id));
+      if (In.Operands.size() != BB->Preds.size())
+        R.add("ssa", F,
+              "phi in " + blockName(BB->Id) + " has " +
+                  std::to_string(In.Operands.size()) + " operands for " +
+                  std::to_string(BB->Preds.size()) + " predecessors");
+    }
+  }
+
+  // Definitions dominate uses. Phi operands are uses at the end of the
+  // matching predecessor. Unreachable blocks are skipped (they carry no
+  // dataflow facts).
+  DominatorTree DT(F);
+  auto CheckUse = [&](VarId Op, BlockId UseBlock, int UseIndex,
+                      const std::string &Where) {
+    if (!inVarRange(F, Op))
+      return;
+    const Site &D = DefSite[Op];
+    if (D.Block == NoBlock) {
+      R.add("ssa", F, "use of undefined variable " + varName(F, Op) + Where);
+      return;
+    }
+    bool Dominates;
+    if (UseIndex >= 0 && D.Block == UseBlock)
+      Dominates = D.Index < UseIndex;
+    else
+      Dominates = DT.dominates(D.Block, UseBlock);
+    if (!Dominates)
+      R.add("ssa", F,
+            "definition of " + varName(F, Op) + " does not dominate its use" +
+                Where);
+  };
+  for (const auto &BB : F.Blocks) {
+    if (!DT.isReachable(BB->Id))
+      continue;
+    for (size_t I = 0; I < BB->Instrs.size(); ++I) {
+      const Instr &In = BB->Instrs[I];
+      if (In.Op == Opcode::Phi) {
+        for (size_t K = 0; K < In.Operands.size(); ++K) {
+          if (K >= BB->Preds.size())
+            break; // Arity mismatch already reported.
+          // The use happens at the end of the predecessor: a definition
+          // anywhere in that block (or dominating it) is fine.
+          CheckUse(In.Operands[K], BB->Preds[K], -1,
+                   " (phi in " + blockName(BB->Id) + ", edge from " +
+                       blockName(BB->Preds[K]) + ")");
+        }
+        continue;
+      }
+      for (VarId Op : In.Operands)
+        CheckUse(Op, BB->Id, static_cast<int>(I),
+                 " in " + blockName(BB->Id));
+    }
+  }
+  return R.issues().size() == Before;
+}
+
+bool matcoal::verifyTypes(const Function &F, const TypeInference &TI,
+                          VerifierReport &R) {
+  size_t Before = R.issues().size();
+  if (!TI.hasTypesFor(F)) {
+    R.add("types", F, "no inference results for function");
+    return false;
+  }
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  if (Types.size() != F.numVars()) {
+    R.add("types", F,
+          "type table has " + std::to_string(Types.size()) +
+              " entries for " + std::to_string(F.numVars()) + " variables");
+    return false;
+  }
+  for (unsigned V = 0; V < F.numVars(); ++V) {
+    const VarType &T = Types[V];
+    if (T.isBottom() || T.IT == IntrinsicType::Colon)
+      continue;
+    if (T.Extents.size() < 2)
+      R.add("types", F,
+            varName(F, V) + " has a rank-" +
+                std::to_string(T.Extents.size()) +
+                " shape (MATLAB values are rank >= 2)");
+    for (SymExpr E : T.Extents)
+      if (!E) {
+        R.add("types", F, varName(F, V) + " has a null extent");
+        break;
+      }
+  }
+  // Illegal is the lattice top: a variable that reached it and still feeds
+  // another computation means inference accepted a type error.
+  std::vector<char> Flagged(F.numVars(), 0);
+  for (const auto &BB : F.Blocks)
+    for (const Instr &In : BB->Instrs)
+      for (VarId Op : In.Operands) {
+        if (!inVarRange(F, Op) || Flagged[Op])
+          continue;
+        if (Types[Op].IT == IntrinsicType::Illegal) {
+          Flagged[Op] = 1;
+          R.add("types", F,
+                varName(F, Op) + " has the illegal type but feeds " +
+                    opcodeName(In.Op));
+        }
+      }
+  return R.issues().size() == Before;
+}
+
+bool matcoal::verifyStoragePlan(const Function &F, const TypeInference &TI,
+                                const StoragePlan &Plan, VerifierReport &R) {
+  size_t Before = R.issues().size();
+  unsigned N = F.numVars();
+  if (Plan.GroupOf.size() != N) {
+    R.add("plan", F,
+          "GroupOf table has " + std::to_string(Plan.GroupOf.size()) +
+              " entries for " + std::to_string(N) + " variables");
+    return false;
+  }
+  if (!TI.hasTypesFor(F)) {
+    R.add("plan", F, "no inference results to validate the plan against");
+    return false;
+  }
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  if (Types.size() != N) {
+    R.add("plan", F, "type table size disagrees with the variable table");
+    return false;
+  }
+  int NumGroups = static_cast<int>(Plan.Groups.size());
+
+  // Membership tables must agree in both directions.
+  bool MappingOk = true;
+  for (unsigned V = 0; V < N; ++V) {
+    int G = Plan.GroupOf[V];
+    if (G < -1 || G >= NumGroups) {
+      R.add("plan", F,
+            varName(F, V) + " mapped to out-of-range group " +
+                std::to_string(G));
+      MappingOk = false;
+    }
+  }
+  if (!MappingOk)
+    return false;
+  for (int G = 0; G < NumGroups; ++G) {
+    const StorageGroup &SG = Plan.Groups[G];
+    if (SG.Members.empty()) {
+      R.add("plan", F, "group " + std::to_string(G) + " has no members");
+      continue;
+    }
+    for (VarId M : SG.Members)
+      if (!inVarRange(F, M) || Plan.GroupOf[M] != G)
+        R.add("plan", F,
+              "member " + varName(F, M) + " of group " + std::to_string(G) +
+                  " is not mapped back to it");
+    if (SG.Maximal == NoVar ||
+        std::find(SG.Members.begin(), SG.Members.end(), SG.Maximal) ==
+            SG.Members.end())
+      R.add("plan", F,
+            "group " + std::to_string(G) + " maximal element is not a member");
+  }
+
+  // Stack groups: every member must be statically estimable and fit in the
+  // group's fixed slot, and the slot must lie inside the frame. The size is
+  // re-derived here with the same rules phase 2 uses (known shape, or a phi
+  // whose operands are all estimable with the same intrinsic type).
+  std::map<VarId, const Instr *> DefInstr;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &In : BB->Instrs)
+      for (VarId Res : In.Results)
+        if (inVarRange(F, Res) && !DefInstr.count(Res))
+          DefInstr[Res] = &In;
+  std::vector<std::int64_t> SizeMemo(N, -2);
+  std::function<std::int64_t(VarId)> SizeOf = [&](VarId V) -> std::int64_t {
+    std::int64_t &Memo = SizeMemo[V];
+    if (Memo != -2)
+      return Memo;
+    Memo = -1; // Break phi cycles: inestimable until proven otherwise.
+    const VarType &T = Types[V];
+    if (T.isBottom() || T.IT == IntrinsicType::Colon)
+      return Memo;
+    if (T.hasKnownShape()) {
+      Memo = T.knownNumElements() *
+             static_cast<std::int64_t>(elemSizeBytes(T.IT));
+      return Memo;
+    }
+    auto It = DefInstr.find(V);
+    if (It != DefInstr.end() && It->second->Op == Opcode::Phi) {
+      std::int64_t MaxSize = 0;
+      for (VarId Op : It->second->Operands) {
+        if (!inVarRange(F, Op))
+          return Memo;
+        std::int64_t S = SizeOf(Op);
+        if (S < 0 || Types[Op].IT != T.IT)
+          return Memo;
+        MaxSize = std::max(MaxSize, S);
+      }
+      Memo = MaxSize;
+    }
+    return Memo;
+  };
+  for (int G = 0; G < NumGroups; ++G) {
+    const StorageGroup &SG = Plan.Groups[G];
+    if (SG.K != StorageGroup::Kind::Stack)
+      continue;
+    for (VarId M : SG.Members) {
+      if (!inVarRange(F, M))
+        continue;
+      std::int64_t S = SizeOf(M);
+      if (S < 0)
+        R.add("plan", F,
+              "stack group " + std::to_string(G) + " member " +
+                  varName(F, M) + " has no statically estimable size");
+      else if (S > SG.StackBytes)
+        R.add("plan", F,
+              "stack group " + std::to_string(G) + " slot of " +
+                  std::to_string(SG.StackBytes) + " bytes is smaller than " +
+                  varName(F, M) + " (" + std::to_string(S) + " bytes)");
+    }
+    if (SG.StackBytes < 0 || SG.FrameOffset < 0 ||
+        SG.FrameOffset + SG.StackBytes > Plan.FrameBytes)
+      R.add("plan", F,
+            "stack group " + std::to_string(G) + " slot [" +
+                std::to_string(SG.FrameOffset) + ", " +
+                std::to_string(SG.FrameOffset + SG.StackBytes) +
+                ") lies outside the " + std::to_string(Plan.FrameBytes) +
+                "-byte frame");
+  }
+
+  // The soundness condition, re-derived from liveness and availability
+  // alone: writing a variable must not clobber another member of its group
+  // that is simultaneously live (some path still reads it) and available
+  // (some definition reached this point, so the slot holds its value).
+  // Checking at definition points is exactly Chaitin's rule, and is what
+  // keeps coalesced phi webs (value-identical at the def point) from being
+  // reported as clobbers.
+  if (F.Blocks.empty())
+    return R.issues().size() == Before;
+  LivenessInfo Live = computeLiveness(F);
+  AvailabilityInfo Avail = computeAvailability(F);
+  auto CheckDef = [&](VarId D, const BitVector &LiveAfter,
+                      const BitVector &AvailNow, const std::string &Where) {
+    if (!inVarRange(F, D))
+      return;
+    int G = Plan.GroupOf[D];
+    if (G < 0)
+      return;
+    LiveAfter.forEach([&](unsigned U) {
+      if (static_cast<VarId>(U) == D || U >= N)
+        return;
+      if (!AvailNow.test(U) || Plan.GroupOf[U] != G)
+        return;
+      R.add("plan", F,
+            "group " + std::to_string(G) + " holds two simultaneously live "
+                "values: defining " + varName(F, D) + " at " + Where +
+                " clobbers " + varName(F, U));
+    });
+  };
+  for (const auto &BB : F.Blocks) {
+    size_t NumInstrs = BB->Instrs.size();
+    // Live-after set per instruction, from a backward walk. Phi operands
+    // are uses on the predecessor edge, not here.
+    std::vector<BitVector> LiveAfter(NumInstrs);
+    BitVector Cur = Live.LiveOut[BB->Id];
+    for (size_t I = NumInstrs; I-- > 0;) {
+      LiveAfter[I] = Cur;
+      const Instr &In = BB->Instrs[I];
+      for (VarId Res : In.Results)
+        if (inVarRange(F, Res))
+          Cur.reset(Res);
+      if (In.Op != Opcode::Phi)
+        for (VarId Op : In.Operands)
+          if (inVarRange(F, Op))
+            Cur.set(Op);
+    }
+    // Forward walk tracking statement-level availability.
+    BitVector AvailNow = Avail.AvailIn[BB->Id];
+    for (size_t I = 0; I < NumInstrs; ++I) {
+      const Instr &In = BB->Instrs[I];
+      for (VarId Res : In.Results)
+        if (inVarRange(F, Res))
+          AvailNow.set(Res);
+      for (VarId Res : In.Results)
+        CheckDef(Res, LiveAfter[I], AvailNow,
+                 blockName(BB->Id) + ":" + std::to_string(I));
+    }
+  }
+  // Parameters are defined simultaneously on entry.
+  for (VarId P : F.Params)
+    CheckDef(P, Live.LiveIn[0], Avail.AvailIn[0], "entry");
+
+  return R.issues().size() == Before;
+}

@@ -1,0 +1,103 @@
+//===- Verifier.h - IR, SSA, type and storage-plan verification -*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent re-derivation of the invariants every pipeline stage must
+/// uphold. Each check recomputes the property it guards from first
+/// principles (dominators, liveness, availability) rather than trusting
+/// the data structures the passes maintain, so a buggy or corrupted pass
+/// is caught before its output reaches the VM or the code emitter:
+///
+/// * verifyCFG: structural CFG sanity (terminators, target/operand
+///   ranges, predecessor lists consistent with successor edges).
+/// * verifySSA: single static assignment, defs dominate uses, phi
+///   placement and arity.
+/// * verifyTypes: inference results are structurally well-formed and no
+///   live computation has the Illegal type.
+/// * verifyStoragePlan: the GCTD soundness condition re-checked from
+///   liveness and availability alone -- no storage group ever holds two
+///   simultaneously live-and-available values -- plus static estimability
+///   of every stack-bound group and frame-layout consistency.
+///
+/// The driver runs these after every stage and degrades (GCTD plans ->
+/// identity plans -> mcc model -> AST interpreter) instead of aborting
+/// when a check fails; see driver/Compiler.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_VERIFY_VERIFIER_H
+#define MATCOAL_VERIFY_VERIFIER_H
+
+#include "gctd/StoragePlan.h"
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+#include "typeinf/TypeInference.h"
+
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// One invariant violation found by a verifier check.
+struct VerifierIssue {
+  std::string Check;    ///< "cfg", "ssa", "types" or "plan".
+  std::string Function; ///< Name of the offending function.
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates issues across checks; empty means everything verified.
+class VerifierReport {
+public:
+  void add(std::string Check, const Function &F, std::string Message);
+
+  bool ok() const { return Issues.empty(); }
+  const std::vector<VerifierIssue> &issues() const { return Issues; }
+
+  /// Forwards every issue to \p Diags at the given severity (the driver
+  /// uses Warning when it will degrade, Error when it will fail).
+  void reportTo(Diagnostics &Diags, DiagLevel Level = DiagLevel::Error) const;
+
+  /// One issue per line, for tests and logs.
+  std::string str() const;
+
+private:
+  std::vector<VerifierIssue> Issues;
+};
+
+/// Structural CFG sanity: non-empty block list, exactly one terminator at
+/// the end of each block, branch targets and operand/result ids in range,
+/// predecessor lists matching the successor edges. Valid both before and
+/// after SSA construction.
+bool verifyCFG(const Function &F, VerifierReport &R);
+
+/// SSA-form invariants (assumes verifyCFG passed): every variable has at
+/// most one definition, definitions dominate uses (phi uses checked
+/// against the matching predecessor), phis sit at block heads with one
+/// operand per predecessor.
+bool verifySSA(const Function &F, VerifierReport &R);
+
+/// Type-inference results are well formed for \p F: a type per variable,
+/// non-bottom types carry a rank >= 2 shape with interned extents, and no
+/// variable feeding another instruction has the Illegal type.
+bool verifyTypes(const Function &F, const TypeInference &TI,
+                 VerifierReport &R);
+
+/// Re-checks a storage plan against the paper's soundness condition using
+/// nothing but freshly computed liveness and availability: at every
+/// definition point, no other member of the defined variable's group may
+/// be simultaneously live and available (its value would be clobbered).
+/// Also re-checks that stack-bound groups are statically estimable, that
+/// the frame layout is self-consistent, and that group membership tables
+/// agree. Must run while \p F is still in SSA form.
+bool verifyStoragePlan(const Function &F, const TypeInference &TI,
+                       const StoragePlan &Plan, VerifierReport &R);
+
+} // namespace matcoal
+
+#endif // MATCOAL_VERIFY_VERIFIER_H

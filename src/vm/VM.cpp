@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <new>
 
 using namespace matcoal;
 
@@ -86,6 +87,13 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
     R.OK = true;
   } catch (const MatError &E) {
     R.Error = E.what();
+    R.Trap = E.Kind;
+  } catch (const std::bad_alloc &) {
+    R.Error = "out of memory";
+    R.Trap = TrapKind::OutOfMemory;
+  } catch (const std::exception &E) {
+    R.Error = std::string("internal error: ") + E.what();
+    R.Trap = TrapKind::RuntimeError;
   }
   auto End = std::chrono::steady_clock::now();
   R.WallSeconds = std::chrono::duration<double>(End - Start).count();
@@ -181,9 +189,10 @@ void VM::defineStatic(Frame &Fr, VarId V, Array Value) {
 
 std::vector<Array> VM::runFunction(const Function &F,
                                    const std::vector<Array> &Args) {
-  if (++CallDepth > 512) {
+  if (++CallDepth > RecursionLimit) {
     --CallDepth;
-    throw MatError("maximum recursion depth exceeded");
+    throw MatError("maximum recursion depth exceeded",
+                   TrapKind::RecursionDepth);
   }
   auto InfoIt = Infos.find(&F);
   assert(InfoIt != Infos.end());
@@ -233,7 +242,10 @@ std::vector<Array> VM::runFunction(const Function &F,
       throw MatError("internal: fell off the end of a block");
     const Instr &I = BB->Instrs[Idx];
     if (++OpCount > OpBudget)
-      throw MatError("operation budget exceeded (infinite loop?)");
+      throw MatError("operation budget exceeded (infinite loop?)",
+                     TrapKind::OpBudget);
+    if (HeapLimit && Meter.currentHeapBytes() > HeapLimit)
+      throw MatError("heap limit exceeded", TrapKind::HeapLimit);
 
     BlockId NextBlock = Cur;
     size_t NextIdx = Idx + 1;
@@ -320,7 +332,7 @@ void VM::execInstr(Frame &Fr, const Instr &I,
       // Copy-on-write sharing: a new handle, no data copy.
       auto SrcBox = Fr.Boxes[Src];
       if (!SrcBox)
-        throw MatError("use of undefined variable");
+        throw MatError("use of undefined variable", TrapKind::UndefinedName);
       killVar(Fr, Dst);
       sweepBase(Fr, Dst);
       Fr.Boxes[Dst] = std::move(SrcBox);
@@ -447,7 +459,7 @@ void VM::execInstr(Frame &Fr, const Instr &I,
     // Mcc model: copy-on-write.
     auto &BaseBox = Fr.Boxes[Base];
     if (!BaseBox)
-      throw MatError("use of undefined variable");
+      throw MatError("use of undefined variable", TrapKind::UndefinedName);
     // mcc updates in place when the base's box is unshared and the base
     // variable dies at this statement; otherwise it copies (COW).
     bool BaseDiesHere =
@@ -502,7 +514,7 @@ void VM::execInstr(Frame &Fr, const Instr &I,
   case Opcode::Call: {
     const Function *Callee = M.findFunction(I.StrVal);
     if (!Callee)
-      throw MatError("undefined function '" + I.StrVal + "'");
+      throw MatError("undefined function '" + I.StrVal + "'", TrapKind::UndefinedName);
     std::vector<Array> Args;
     for (VarId V : I.Operands)
       Args.push_back(valueOf(Fr, V));

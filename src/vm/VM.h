@@ -46,6 +46,9 @@ enum class ExecModel { Mcc, Static };
 struct ExecResult {
   bool OK = false;
   std::string Error;
+  /// What stopped execution when !OK: a program error or an exhausted
+  /// execution guard (budget, heap cap, recursion depth).
+  TrapKind Trap = TrapKind::None;
   std::string Output;       ///< Everything disp/fprintf/display produced.
   std::uint64_t Ops = 0;    ///< Instructions executed.
   double WallSeconds = 0;
@@ -73,6 +76,10 @@ public:
 
   /// Maximum instructions before aborting (runaway-loop guard).
   void setOpBudget(std::uint64_t Budget) { OpBudget = Budget; }
+  /// Maximum metered heap bytes before trapping; 0 means unlimited.
+  void setHeapLimit(std::int64_t Bytes) { HeapLimit = Bytes; }
+  /// Maximum call depth before trapping.
+  void setRecursionLimit(unsigned Depth) { RecursionLimit = Depth; }
 
 private:
   struct FunctionInfo {
@@ -134,6 +141,8 @@ private:
   MemoryMeter Meter;
   std::uint64_t OpCount = 0;
   std::uint64_t OpBudget = 2000000000ull;
+  std::int64_t HeapLimit = 0;
+  unsigned RecursionLimit = 512;
   unsigned Violations = 0;
   unsigned CallDepth = 0;
   std::uint64_t InPlaceOps = 0;

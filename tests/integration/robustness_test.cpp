@@ -1,0 +1,459 @@
+//===- robustness_test.cpp - Hardened-pipeline integration tests ----------===//
+//
+// The contract under test (driver/Compiler.h): compileSource never crashes.
+// Invalid input yields nullptr plus error diagnostics; valid input always
+// yields a runnable program, degrading down the ladder (GCTD plans ->
+// identity plans -> mcc model -> AST interpreter) when a stage fails or a
+// fault is injected. Execution guards (op budget, heap cap, recursion
+// depth) stop runaway programs with classified traps instead of hangs or
+// std::bad_alloc.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/programs/Programs.h"
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+using namespace matcoal;
+
+namespace {
+
+/// A program every ladder rung can execute, with one phi-bearing loop so
+/// the degraded configurations exercise real control flow.
+const char *GoodSource = "s = 0;\n"
+                         "for i = 1:10\n"
+                         "  s = s + i * i;\n"
+                         "end\n"
+                         "disp(s);\n";
+
+std::string goodOutput() {
+  Diagnostics Diags;
+  auto P = compileSource(GoodSource, Diags);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  if (!P)
+    return "";
+  ExecResult R = P->runStatic();
+  EXPECT_TRUE(R.OK) << R.Error;
+  return R.Output;
+}
+
+// --- Malformed input: nullptr + diagnostics, never a crash --------------
+
+class MalformedInput : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(MalformedInput, RejectedWithDiagnostics) {
+  Diagnostics Diags;
+  auto P = compileSource(GetParam(), Diags);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_TRUE(Diags.hasErrors()) << "rejected without an error message";
+  for (const Diagnostic &D : Diags.all())
+    EXPECT_FALSE(D.Message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, MalformedInput,
+    ::testing::Values(
+        // Unbalanced delimiters and truncated constructs.
+        "x = (1 + 2;\n",
+        "x = [1, 2; 3\n",
+        "if x > 0\n  y = 1;\n",
+        "for i = 1:10\n  disp(i);\n",
+        "while 1\n",
+        "end\n",
+        "x = 1 +\n",
+        "x = ;\n",
+        "= 5;\n",
+        "function\n",
+        "function [ = f()\nend\n",
+        // Unterminated string.
+        "x = 'oops;\ndisp(x);\n",
+        // Operators with missing operands.
+        "x = * 3;\n",
+        "x = 1 ** 2;\n",
+        "x = );\n",
+        // Stray keywords in expression position.
+        "x = if;\n",
+        "x = end + 1;\n",
+        // Garbage bytes.
+        "\x01\x02\x03\x04",
+        "x = 1; @#$%^&\n",
+        "]]]]\n",
+        // Nested function definition mid-script.
+        "x = 1;\nfunction y = f()\ny = 2;\n"));
+
+TEST(MalformedInput, EmptyAndWhitespaceOnlySources) {
+  // Degenerate-but-harmless inputs must not crash; whatever the verdict,
+  // a null program must come with an explanatory diagnostic.
+  for (const char *Src : {"", "\n\n\n", "   ", "% only a comment\n", ";;;\n"}) {
+    Diagnostics Diags;
+    auto P = compileSource(Src, Diags);
+    if (!P) {
+      EXPECT_TRUE(Diags.hasErrors()) << "silent failure on: " << Src;
+    }
+  }
+}
+
+TEST(MalformedInput, ParserRecoversAndReportsMultipleErrors) {
+  // One buffer, four independent syntax errors: recovery must surface
+  // more than the first one while keeping the nullptr contract.
+  Diagnostics Diags;
+  auto P = compileSource("x = (1;\n"
+                         "y = 2;\n"
+                         "z = * 4;\n"
+                         "w = [5, 6;\n"
+                         "v = 7 +\n"
+                         "disp(y);\n",
+                         Diags);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_GE(Diags.errorCount(), 2u)
+      << "parser stopped at the first error:\n" << Diags.str();
+}
+
+TEST(MalformedInput, ErrorCascadeIsCapped) {
+  // Thousands of bad lines must not produce thousands of diagnostics.
+  std::string Src;
+  for (int I = 0; I < 5000; ++I)
+    Src += "x = (;\n";
+  Diagnostics Diags;
+  auto P = compileSource(Src, Diags);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_LE(Diags.errorCount(), 100u) << "unbounded error cascade";
+}
+
+// --- Adversarial-but-valid input: compiles and runs everywhere ----------
+
+class AdversarialInput : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(AdversarialInput, CompilesAndNoModeCrashes) {
+  Diagnostics Diags;
+  CompileOptions O;
+  O.OpBudget = 20000000; // Generous, but bounded.
+  auto P = compileSource(GetParam(), Diags, O);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  // Any mode may trap (out-of-bounds, budget...), but a failure must be
+  // classified and carry a message -- never a crash or silent stop.
+  for (ExecResult R : {P->runMcc(), P->runStatic(), P->runNoCoalesce()}) {
+    if (!R.OK) {
+      EXPECT_NE(R.Trap, TrapKind::None) << R.Error;
+      EXPECT_FALSE(R.Error.empty());
+    }
+  }
+  InterpResult I = P->runInterp();
+  if (!I.OK) {
+    EXPECT_NE(I.Trap, TrapKind::None) << I.Error;
+    EXPECT_FALSE(I.Error.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stress, AdversarialInput,
+    ::testing::Values(
+        // Empty arrays and zero-extent shapes.
+        "x = [];\ndisp(isempty(x));\n",
+        "x = zeros(0, 3);\ndisp(size(x));\n",
+        "x = [];\ny = [x, x];\ndisp(isempty(y));\n",
+        // Out-of-bounds reads (must trap, not crash).
+        "x = [1, 2, 3];\ndisp(x(10));\n",
+        "x = 1;\ndisp(x(0));\n",
+        // Shape mismatches.
+        "x = [1, 2, 3] + [1; 2];\ndisp(x);\n",
+        "x = [1, 2] * [3, 4];\ndisp(x);\n",
+        // Growth through end+1 assignment.
+        "x = 1;\nfor i = 1:50\n  x(i + 1) = i;\nend\ndisp(x(51));\n",
+        // Deeply nested expressions.
+        "x = ((((((((((1))))))))));\ndisp(x);\n",
+        "x = 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + 10))))))));\n"
+        "disp(x);\n",
+        // Deep control-flow nesting.
+        "x = 0;\nfor a = 1:2\n for b = 1:2\n  for c = 1:2\n   for d = 1:2\n"
+        "    x = x + 1;\n   end\n  end\n end\nend\ndisp(x);\n",
+        // Degenerate loop bounds (empty ranges).
+        "s = 0;\nfor i = 5:1\n  s = s + 1;\nend\ndisp(s);\n",
+        "s = 0;\nfor i = 1:0\n  s = s + 1;\nend\ndisp(s);\n",
+        // Inf/NaN arithmetic.
+        "x = 1 / 0;\ny = 0 / 0;\ndisp(x);\ndisp(y);\n",
+        "x = log(0);\ndisp(x);\n",
+        // Repeated shadowing with shape changes.
+        "x = 1;\nx = [1, 2, 3];\nx = 'str';\nx = zeros(2);\n"
+        "disp(size(x));\n",
+        // Undefined name (must trap as UndefinedName downstream).
+        "disp(no_such_variable_anywhere);\n",
+        // A variable that changes shape every loop iteration.
+        "x = 1;\nfor i = 1:6\n  x = [x, x];\nend\ndisp(length(x));\n"));
+
+TEST(AdversarialInput, UndefinedNameTrapIsClassified) {
+  Diagnostics Diags;
+  auto P = compileSource("disp(no_such_variable_anywhere);\n", Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ExecResult R = P->runMcc();
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Trap, TrapKind::UndefinedName) << R.Error;
+  Diagnostics ExecDiags;
+  reportExecResult(R, ExecDiags);
+  EXPECT_TRUE(ExecDiags.hasErrors());
+  EXPECT_NE(ExecDiags.str().find("undefined-name"), std::string::npos)
+      << ExecDiags.str();
+}
+
+TEST(AdversarialInput, OutOfBoundsTrapIsClassified) {
+  Diagnostics Diags;
+  auto P = compileSource("x = [1, 2, 3];\ndisp(x(10));\n", Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  for (ExecResult R : {P->runMcc(), P->runStatic()}) {
+    ASSERT_FALSE(R.OK);
+    EXPECT_EQ(R.Trap, TrapKind::IndexOutOfBounds) << R.Error;
+  }
+}
+
+TEST(AdversarialInput, ShapeMismatchTrapIsClassified) {
+  Diagnostics Diags;
+  auto P = compileSource("x = [1, 2, 3] + [1; 2];\ndisp(x);\n", Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ExecResult R = P->runMcc();
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Trap, TrapKind::ShapeMismatch) << R.Error;
+}
+
+// --- Fault injection: every stage degrades to a runnable rung -----------
+
+struct LadderCase {
+  CompileStage Stage;
+  DegradeLevel Expected;
+};
+
+class FaultLadder : public ::testing::TestWithParam<LadderCase> {};
+
+TEST_P(FaultLadder, DegradesAndStillRuns) {
+  const LadderCase C = GetParam();
+  Diagnostics Diags;
+  CompileOptions O;
+  O.InjectFault = C.Stage;
+  auto P = compileSource(GoodSource, Diags, O);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  EXPECT_EQ(P->level(), C.Expected)
+      << "expected rung " << degradeLevelName(C.Expected) << ", got "
+      << degradeLevelName(P->level());
+
+  // The degradation must be announced as a warning, not silent and not
+  // an error (the program is still usable).
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  bool SawWarning = false;
+  for (const Diagnostic &D : Diags.all())
+    if (D.Level == DiagLevel::Warning &&
+        D.Message.find(compileStageName(C.Stage)) != std::string::npos &&
+        D.Message.find(degradeLevelName(C.Expected)) != std::string::npos)
+      SawWarning = true;
+  EXPECT_TRUE(SawWarning) << "no degradation warning in:\n" << Diags.str();
+
+  // Every run mode still executes and agrees with the full pipeline.
+  const std::string Expected = goodOutput();
+  ExecResult Mcc = P->runMcc();
+  ASSERT_TRUE(Mcc.OK) << Mcc.Error;
+  EXPECT_EQ(Mcc.Output, Expected);
+  ExecResult Static = P->runStatic();
+  ASSERT_TRUE(Static.OK) << Static.Error;
+  EXPECT_EQ(Static.Output, Expected);
+  ExecResult NoCoal = P->runNoCoalesce();
+  ASSERT_TRUE(NoCoal.OK) << NoCoal.Error;
+  EXPECT_EQ(NoCoal.Output, Expected);
+  InterpResult I = P->runInterp();
+  ASSERT_TRUE(I.OK) << I.Error;
+  EXPECT_EQ(I.Output, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stages, FaultLadder,
+    ::testing::Values(
+        LadderCase{CompileStage::Parse, DegradeLevel::InterpOnly},
+        LadderCase{CompileStage::Lower, DegradeLevel::InterpOnly},
+        LadderCase{CompileStage::SSA, DegradeLevel::InterpOnly},
+        LadderCase{CompileStage::TypeInf, DegradeLevel::MccOnly},
+        LadderCase{CompileStage::GCTD, DegradeLevel::IdentityPlans}),
+    [](const ::testing::TestParamInfo<LadderCase> &Info) {
+      return compileStageName(Info.param.Stage);
+    });
+
+TEST(FaultLadder, EnvironmentVariableInjectsFault) {
+  ASSERT_EQ(setenv("MATCOAL_FAULT", "gctd", 1), 0);
+  Diagnostics Diags;
+  auto P = compileSource(GoodSource, Diags); // Plain overload: env applies.
+  unsetenv("MATCOAL_FAULT");
+  ASSERT_NE(P, nullptr) << Diags.str();
+  EXPECT_EQ(P->level(), DegradeLevel::IdentityPlans);
+  ExecResult R = P->runStatic();
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, goodOutput());
+}
+
+TEST(FaultLadder, UnknownEnvironmentValueIsIgnored) {
+  ASSERT_EQ(setenv("MATCOAL_FAULT", "frobnicate", 1), 0);
+  Diagnostics Diags;
+  auto P = compileSource(GoodSource, Diags);
+  unsetenv("MATCOAL_FAULT");
+  ASSERT_NE(P, nullptr) << Diags.str();
+  EXPECT_EQ(P->level(), DegradeLevel::Full);
+}
+
+TEST(FaultLadder, DegradationCanBeRefused) {
+  Diagnostics Diags;
+  CompileOptions O;
+  O.InjectFault = CompileStage::GCTD;
+  O.AllowDegrade = false;
+  auto P = compileSource(GoodSource, Diags, O);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("degradation is disabled"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(FaultLadder, CleanCompileStaysAtFull) {
+  Diagnostics Diags;
+  auto P = compileSource(GoodSource, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  EXPECT_EQ(P->level(), DegradeLevel::Full);
+  for (const Diagnostic &D : Diags.all())
+    EXPECT_NE(D.Level, DiagLevel::Warning) << D.Message;
+}
+
+TEST(FaultLadder, InvalidInputStillNullEvenWithInjection) {
+  // Degradation is for valid programs; syntax errors keep the historical
+  // nullptr contract no matter what fault is injected.
+  Diagnostics Diags;
+  CompileOptions O;
+  O.InjectFault = CompileStage::GCTD;
+  auto P = compileSource("x = (1;\n", Diags, O);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+// --- Execution guards: classified traps, not hangs ----------------------
+
+TEST(ExecutionGuards, OpBudgetTrapsInAllModes) {
+  Diagnostics Diags;
+  CompileOptions O;
+  O.OpBudget = 50; // Far below what GoodSource needs.
+  auto P = compileSource(GoodSource, Diags, O);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  for (ExecResult R : {P->runMcc(), P->runStatic(), P->runNoCoalesce()}) {
+    ASSERT_FALSE(R.OK);
+    EXPECT_EQ(R.Trap, TrapKind::OpBudget) << R.Error;
+  }
+  InterpResult I = P->runInterp();
+  ASSERT_FALSE(I.OK);
+  EXPECT_EQ(I.Trap, TrapKind::OpBudget) << I.Error;
+}
+
+TEST(ExecutionGuards, HeapLimitTrapsGrowthLoop) {
+  // Doubles a row vector 24 times: ~128 MB if left unchecked.
+  const char *Growth = "x = 1;\n"
+                       "for i = 1:24\n"
+                       "  x = [x, x];\n"
+                       "end\n"
+                       "disp(length(x));\n";
+  Diagnostics Diags;
+  CompileOptions O;
+  O.HeapLimit = 1 << 20; // 1 MB.
+  auto P = compileSource(Growth, Diags, O);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  for (ExecResult R : {P->runMcc(), P->runStatic()}) {
+    ASSERT_FALSE(R.OK);
+    EXPECT_EQ(R.Trap, TrapKind::HeapLimit) << R.Error;
+  }
+  InterpResult I = P->runInterp();
+  ASSERT_FALSE(I.OK);
+  EXPECT_EQ(I.Trap, TrapKind::HeapLimit) << I.Error;
+}
+
+TEST(ExecutionGuards, RecursionDepthTrapsRunawayRecursion) {
+  const char *Recursive = "function main()\n"
+                          "  disp(f(1000000));\n"
+                          "end\n"
+                          "function r = f(n)\n"
+                          "  if n <= 0\n"
+                          "    r = 0;\n"
+                          "  else\n"
+                          "    r = f(n - 1);\n"
+                          "  end\n"
+                          "end\n";
+  Diagnostics Diags;
+  CompileOptions O;
+  O.RecursionLimit = 32;
+  auto P = compileSource(Recursive, Diags, O);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ExecResult R = P->runMcc();
+  ASSERT_FALSE(R.OK);
+  EXPECT_EQ(R.Trap, TrapKind::RecursionDepth) << R.Error;
+  InterpResult I = P->runInterp();
+  ASSERT_FALSE(I.OK);
+  EXPECT_EQ(I.Trap, TrapKind::RecursionDepth) << I.Error;
+}
+
+TEST(ExecutionGuards, BoundedRecursionStillSucceeds) {
+  const char *Recursive = "function main()\n"
+                          "  disp(f(10));\n"
+                          "end\n"
+                          "function r = f(n)\n"
+                          "  if n <= 0\n"
+                          "    r = 0;\n"
+                          "  else\n"
+                          "    r = n + f(n - 1);\n"
+                          "  end\n"
+                          "end\n";
+  Diagnostics Diags;
+  CompileOptions O;
+  O.RecursionLimit = 32;
+  auto P = compileSource(Recursive, Diags, O);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ExecResult R = P->runMcc();
+  ASSERT_TRUE(R.OK) << R.Error;
+  InterpResult I = P->runInterp();
+  ASSERT_TRUE(I.OK) << I.Error;
+  EXPECT_EQ(R.Output, I.Output);
+}
+
+TEST(ExecutionGuards, DefaultLimitsLeaveBenchmarksUntouched) {
+  // The suite's own programs must run to completion under the default
+  // guards (they are the workload the defaults are sized for).
+  const BenchmarkProgram *Prog = findBenchmark("diff");
+  ASSERT_NE(Prog, nullptr);
+  Diagnostics Diags;
+  auto P = compileSource(Prog->Source, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  EXPECT_EQ(P->level(), DegradeLevel::Full);
+  ExecResult R = P->runStatic();
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Trap, TrapKind::None);
+}
+
+// --- Fault injection against a real benchmark ---------------------------
+
+TEST(FaultLadder, BenchmarkSurvivesEveryRung) {
+  const BenchmarkProgram *Prog = findBenchmark("diff");
+  ASSERT_NE(Prog, nullptr);
+  Diagnostics Ref;
+  auto Baseline = compileSource(Prog->Source, Ref);
+  ASSERT_NE(Baseline, nullptr) << Ref.str();
+  ExecResult Want = Baseline->runStatic();
+  ASSERT_TRUE(Want.OK) << Want.Error;
+
+  for (CompileStage St : {CompileStage::Parse, CompileStage::SSA,
+                          CompileStage::TypeInf, CompileStage::GCTD}) {
+    Diagnostics Diags;
+    CompileOptions O;
+    O.InjectFault = St;
+    auto P = compileSource(Prog->Source, Diags, O);
+    ASSERT_NE(P, nullptr) << compileStageName(St) << ":\n" << Diags.str();
+    EXPECT_NE(P->level(), DegradeLevel::Full) << compileStageName(St);
+    ExecResult R = P->runStatic();
+    ASSERT_TRUE(R.OK) << compileStageName(St) << ": " << R.Error;
+    EXPECT_EQ(R.Output, Want.Output) << compileStageName(St);
+  }
+}
+
+} // namespace

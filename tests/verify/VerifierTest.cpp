@@ -1,0 +1,500 @@
+//===- VerifierTest.cpp - Unit tests for the pipeline verifier ------------===//
+//
+// Each check is exercised twice: once on well-formed output of the real
+// pipeline (must pass) and once on the same structures corrupted by hand
+// (must fail with a message naming the violation). The storage-plan check
+// additionally runs over every Table 1 benchmark program unmodified.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Verifier.h"
+
+#include "bench/programs/Programs.h"
+#include "frontend/Parser.h"
+#include "gctd/StoragePlan.h"
+#include "transforms/Lowering.h"
+#include "transforms/Passes.h"
+#include "transforms/SSA.h"
+#include "typeinf/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace matcoal;
+
+namespace {
+
+/// Runs the pipeline up to (and including) type inference, leaving every
+/// function in SSA form -- the state the verifier checks are defined on.
+struct SSAProgram {
+  std::unique_ptr<Program> Ast;
+  std::unique_ptr<Module> M;
+  std::unique_ptr<SymExprContext> Ctx;
+  std::unique_ptr<TypeInference> TI;
+  Diagnostics Diags;
+
+  Function &fn(const std::string &Name = "main") {
+    Function *F = M->findFunction(Name);
+    EXPECT_NE(F, nullptr) << "no function " << Name;
+    return *F;
+  }
+};
+
+SSAProgram compileToSSA(const std::string &Source) {
+  SSAProgram P;
+  P.Ast = parseProgram(Source, P.Diags);
+  if (!P.Ast) {
+    ADD_FAILURE() << "parse failed:\n" << P.Diags.str();
+    return P;
+  }
+  P.M = lowerProgram(*P.Ast, P.Diags);
+  if (!P.M) {
+    ADD_FAILURE() << "lowering failed:\n" << P.Diags.str();
+    return P;
+  }
+  for (auto &F : P.M->Functions) {
+    EXPECT_TRUE(buildSSA(*F, P.Diags)) << P.Diags.str();
+    runCleanupPipeline(*F);
+  }
+  P.Ctx = std::make_unique<SymExprContext>();
+  P.TI = std::make_unique<TypeInference>(*P.M, *P.Ctx, P.Diags);
+  P.TI->run("main");
+  return P;
+}
+
+/// A hand-built single-block function: x = 1; ret.
+Function makeStraightLine() {
+  Function F;
+  F.Name = "f";
+  VarId X = F.getOrCreateVar("x");
+  BasicBlock *B = F.addBlock();
+  Instr C;
+  C.Op = Opcode::ConstNum;
+  C.Results = {X};
+  C.NumRe = 1.0;
+  B->Instrs.push_back(C);
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  B->Instrs.push_back(Ret);
+  return F;
+}
+
+const char *LoopSource = "s = 0;\n"
+                         "for i = 1:5\n"
+                         "  s = s + i;\n"
+                         "end\n"
+                         "disp(s);\n";
+
+// --- VerifierReport -----------------------------------------------------
+
+TEST(VerifierReport, AccumulatesAndRenders) {
+  Function F = makeStraightLine();
+  VerifierReport R;
+  EXPECT_TRUE(R.ok());
+  R.add("cfg", F, "something is off");
+  EXPECT_FALSE(R.ok());
+  ASSERT_EQ(R.issues().size(), 1u);
+  EXPECT_EQ(R.issues()[0].str(), "[cfg] f: something is off");
+  EXPECT_NE(R.str().find("something is off"), std::string::npos);
+}
+
+TEST(VerifierReport, ReportsAtRequestedSeverity) {
+  Function F = makeStraightLine();
+  VerifierReport R;
+  R.add("ssa", F, "broken");
+  Diagnostics AsWarnings;
+  R.reportTo(AsWarnings, DiagLevel::Warning);
+  EXPECT_FALSE(AsWarnings.hasErrors());
+  ASSERT_EQ(AsWarnings.all().size(), 1u);
+  Diagnostics AsErrors;
+  R.reportTo(AsErrors);
+  EXPECT_TRUE(AsErrors.hasErrors());
+}
+
+// --- verifyCFG ----------------------------------------------------------
+
+TEST(VerifyCFG, AcceptsWellFormedFunction) {
+  Function F = makeStraightLine();
+  VerifierReport R;
+  EXPECT_TRUE(verifyCFG(F, R)) << R.str();
+}
+
+TEST(VerifyCFG, RejectsMissingTerminator) {
+  Function F = makeStraightLine();
+  F.entry()->Instrs.pop_back();
+  VerifierReport R;
+  EXPECT_FALSE(verifyCFG(F, R));
+  EXPECT_NE(R.str().find("does not end in a terminator"), std::string::npos);
+}
+
+TEST(VerifyCFG, RejectsEmptyBlock) {
+  Function F = makeStraightLine();
+  F.entry()->Instrs.back().Op = Opcode::Jmp;
+  F.entry()->Instrs.back().Target1 = 1;
+  F.addBlock(); // Left empty.
+  VerifierReport R;
+  EXPECT_FALSE(verifyCFG(F, R));
+  EXPECT_NE(R.str().find("is empty"), std::string::npos);
+}
+
+TEST(VerifyCFG, RejectsTerminatorInMiddle) {
+  Function F = makeStraightLine();
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  F.entry()->Instrs.insert(F.entry()->Instrs.begin(), Ret);
+  VerifierReport R;
+  EXPECT_FALSE(verifyCFG(F, R));
+  EXPECT_NE(R.str().find("terminator in the middle"), std::string::npos);
+}
+
+TEST(VerifyCFG, RejectsBranchTargetOutOfRange) {
+  Function F = makeStraightLine();
+  F.entry()->Instrs.back().Op = Opcode::Jmp;
+  F.entry()->Instrs.back().Target1 = 7;
+  VerifierReport R;
+  EXPECT_FALSE(verifyCFG(F, R));
+  EXPECT_NE(R.str().find("branch target 7 out of range"), std::string::npos);
+}
+
+TEST(VerifyCFG, RejectsOperandOutOfRange) {
+  Function F = makeStraightLine();
+  Instr &C = F.entry()->Instrs.front();
+  C.Op = Opcode::Copy;
+  C.Operands = {99};
+  VerifierReport R;
+  EXPECT_FALSE(verifyCFG(F, R));
+  EXPECT_NE(R.str().find("operand id 99 out of range"), std::string::npos);
+}
+
+TEST(VerifyCFG, RejectsStalePredecessorList) {
+  Function F = makeStraightLine();
+  F.entry()->Instrs.back().Op = Opcode::Jmp;
+  F.entry()->Instrs.back().Target1 = 1;
+  BasicBlock *B1 = F.addBlock();
+  Instr Ret;
+  Ret.Op = Opcode::Ret;
+  B1->Instrs.push_back(Ret);
+  // Deliberately skip recomputePreds: b1's Preds stay empty.
+  VerifierReport R;
+  EXPECT_FALSE(verifyCFG(F, R));
+  EXPECT_NE(R.str().find("predecessor list"), std::string::npos);
+
+  F.recomputePreds();
+  VerifierReport R2;
+  EXPECT_TRUE(verifyCFG(F, R2)) << R2.str();
+}
+
+// --- verifySSA ----------------------------------------------------------
+
+TEST(VerifySSA, AcceptsPipelineOutput) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  VerifierReport R;
+  EXPECT_TRUE(verifyCFG(P.fn(), R)) << R.str();
+  EXPECT_TRUE(verifySSA(P.fn(), R)) << R.str();
+}
+
+TEST(VerifySSA, RejectsDuplicateDefinition) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  // Re-define the first entry-block result a second time, right before
+  // the entry terminator.
+  VarId Victim = NoVar;
+  for (const Instr &In : F.entry()->Instrs)
+    if (In.hasResult()) {
+      Victim = In.Results[0];
+      break;
+    }
+  ASSERT_NE(Victim, NoVar);
+  Instr Dup;
+  Dup.Op = Opcode::ConstNum;
+  Dup.Results = {Victim};
+  auto &Instrs = F.entry()->Instrs;
+  Instrs.insert(Instrs.end() - 1, Dup);
+  VerifierReport R;
+  EXPECT_FALSE(verifySSA(F, R));
+  EXPECT_NE(R.str().find("definitions"), std::string::npos);
+}
+
+TEST(VerifySSA, RejectsUseOfUndefinedVariable) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  VarId Ghost = F.makeTemp("ghost"); // Never defined anywhere.
+  bool Patched = false;
+  for (auto &BB : F.Blocks) {
+    for (Instr &In : BB->Instrs) {
+      if (In.Op == Opcode::Phi || In.Operands.empty())
+        continue;
+      In.Operands[0] = Ghost;
+      Patched = true;
+      break;
+    }
+    if (Patched)
+      break;
+  }
+  ASSERT_TRUE(Patched);
+  VerifierReport R;
+  EXPECT_FALSE(verifySSA(F, R));
+  EXPECT_NE(R.str().find("use of undefined variable"), std::string::npos);
+}
+
+TEST(VerifySSA, RejectsDefThatDoesNotDominateUse) {
+  // The body computes t <- i * i; s' <- s + t: an adjacent def/use chain.
+  SSAProgram P = compileToSSA("s = 0;\n"
+                              "for i = 1:5\n"
+                              "  s = s + i * i;\n"
+                              "end\n"
+                              "disp(s);\n");
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  // Swap an adjacent def/use pair so the use comes first.
+  bool Swapped = false;
+  for (auto &BB : F.Blocks) {
+    auto &Ins = BB->Instrs;
+    for (size_t I = 0; I + 1 < Ins.size() && !Swapped; ++I) {
+      if (!Ins[I].hasResult() || Ins[I + 1].Op == Opcode::Phi ||
+          isTerminator(Ins[I + 1].Op))
+        continue;
+      VarId D = Ins[I].Results[0];
+      for (VarId Op : Ins[I + 1].Operands)
+        if (Op == D) {
+          std::swap(Ins[I], Ins[I + 1]);
+          Swapped = true;
+          break;
+        }
+    }
+    if (Swapped)
+      break;
+  }
+  ASSERT_TRUE(Swapped) << "no adjacent def/use pair found";
+  VerifierReport R;
+  EXPECT_FALSE(verifySSA(F, R));
+  EXPECT_NE(R.str().find("does not dominate"), std::string::npos);
+}
+
+TEST(VerifySSA, RejectsPhiArityMismatch) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  bool Found = false;
+  for (auto &BB : F.Blocks)
+    for (Instr &In : BB->Instrs)
+      if (In.Op == Opcode::Phi && !Found) {
+        ASSERT_GE(In.Operands.size(), 2u);
+        In.Operands.pop_back();
+        Found = true;
+      }
+  ASSERT_TRUE(Found) << "loop source produced no phi";
+  VerifierReport R;
+  EXPECT_FALSE(verifySSA(F, R));
+  EXPECT_NE(R.str().find("operands for"), std::string::npos);
+}
+
+TEST(VerifySSA, RejectsPhiAfterNonPhi) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  // Move a phi one slot down, behind whatever follows it.
+  bool Moved = false;
+  for (auto &BB : F.Blocks) {
+    auto &Ins = BB->Instrs;
+    for (size_t I = 0; I + 1 < Ins.size(); ++I)
+      if (Ins[I].Op == Opcode::Phi && Ins[I + 1].Op != Opcode::Phi &&
+          !isTerminator(Ins[I + 1].Op)) {
+        std::swap(Ins[I], Ins[I + 1]);
+        Moved = true;
+        break;
+      }
+    if (Moved)
+      break;
+  }
+  ASSERT_TRUE(Moved);
+  VerifierReport R;
+  EXPECT_FALSE(verifySSA(F, R));
+  EXPECT_NE(R.str().find("phi after a non-phi"), std::string::npos);
+}
+
+// --- verifyTypes --------------------------------------------------------
+
+TEST(VerifyTypes, AcceptsPipelineOutput) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  VerifierReport R;
+  EXPECT_TRUE(verifyTypes(P.fn(), *P.TI, R)) << R.str();
+}
+
+TEST(VerifyTypes, RejectsFunctionWithoutInferenceResults) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  Function Orphan = makeStraightLine(); // TI has never seen it.
+  VerifierReport R;
+  EXPECT_FALSE(verifyTypes(Orphan, *P.TI, R));
+  EXPECT_NE(R.str().find("no inference results"), std::string::npos);
+}
+
+TEST(VerifyTypes, RejectsTypeTableSizeMismatch) {
+  SSAProgram P = compileToSSA(LoopSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  F.makeTemp("late"); // Grows the variable table past the type table.
+  VerifierReport R;
+  EXPECT_FALSE(verifyTypes(F, *P.TI, R));
+  EXPECT_NE(R.str().find("type table has"), std::string::npos);
+}
+
+// --- verifyStoragePlan --------------------------------------------------
+
+/// Source for the canonical clobber scenario: a stays live across the
+/// definition of b, so their groups must stay distinct.
+const char *ClobberSource = "a = rand(3);\n"
+                            "b = a + 1;\n"
+                            "disp(a(1, 1));\n"
+                            "disp(b(1, 1));\n";
+
+/// Finds the SSA variable whose source-level base is \p Base and which is
+/// mapped to a storage group in \p Plan.
+VarId findPlannedVar(const Function &F, const StoragePlan &Plan,
+                     const std::string &Base) {
+  for (unsigned V = 0; V < F.numVars(); ++V)
+    if (F.var(V).Base == Base && Plan.groupOf(V) >= 0)
+      return static_cast<VarId>(V);
+  return NoVar;
+}
+
+TEST(VerifyStoragePlan, AcceptsGCTDOutput) {
+  SSAProgram P = compileToSSA(ClobberSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  StoragePlan Plan = runGCTD(F, *P.TI);
+  VerifierReport R;
+  EXPECT_TRUE(verifyStoragePlan(F, *P.TI, Plan, R)) << R.str();
+}
+
+TEST(VerifyStoragePlan, RejectsMergedInterferingGroups) {
+  SSAProgram P = compileToSSA(ClobberSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  StoragePlan Plan = runGCTD(F, *P.TI);
+  VarId A = findPlannedVar(F, Plan, "a");
+  VarId B = findPlannedVar(F, Plan, "b");
+  ASSERT_NE(A, NoVar);
+  ASSERT_NE(B, NoVar);
+  int Ga = Plan.groupOf(A);
+  int Gb = Plan.groupOf(B);
+  ASSERT_NE(Ga, Gb) << "GCTD merged interfering variables";
+
+  // Corrupt the plan: force b into a's slot even though both are live.
+  StoragePlan Bad = Plan;
+  Bad.GroupOf[B] = Ga;
+  Bad.Groups[Ga].Members.push_back(B);
+  auto &GbMembers = Bad.Groups[Gb].Members;
+  GbMembers.erase(std::find(GbMembers.begin(), GbMembers.end(), B));
+
+  VerifierReport R;
+  EXPECT_FALSE(verifyStoragePlan(F, *P.TI, Bad, R));
+  EXPECT_NE(R.str().find("simultaneously live"), std::string::npos)
+      << R.str();
+}
+
+TEST(VerifyStoragePlan, RejectsGroupTableSizeMismatch) {
+  SSAProgram P = compileToSSA(ClobberSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  StoragePlan Bad = runGCTD(F, *P.TI);
+  Bad.GroupOf.pop_back();
+  VerifierReport R;
+  EXPECT_FALSE(verifyStoragePlan(F, *P.TI, Bad, R));
+  EXPECT_NE(R.str().find("GroupOf table"), std::string::npos);
+}
+
+TEST(VerifyStoragePlan, RejectsMaximalOutsideGroup) {
+  SSAProgram P = compileToSSA(ClobberSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  StoragePlan Bad = runGCTD(F, *P.TI);
+  ASSERT_FALSE(Bad.Groups.empty());
+  Bad.Groups[0].Maximal = NoVar;
+  VerifierReport R;
+  EXPECT_FALSE(verifyStoragePlan(F, *P.TI, Bad, R));
+  EXPECT_NE(R.str().find("maximal element is not a member"),
+            std::string::npos);
+}
+
+TEST(VerifyStoragePlan, RejectsUndersizedStackSlot) {
+  SSAProgram P = compileToSSA(ClobberSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  StoragePlan Bad = runGCTD(F, *P.TI);
+  bool Shrunk = false;
+  for (StorageGroup &G : Bad.Groups)
+    if (G.K == StorageGroup::Kind::Stack && G.StackBytes > 8) {
+      G.StackBytes = 1;
+      Shrunk = true;
+      break;
+    }
+  ASSERT_TRUE(Shrunk) << "rand(3) should produce a stack group";
+  VerifierReport R;
+  EXPECT_FALSE(verifyStoragePlan(F, *P.TI, Bad, R));
+  EXPECT_NE(R.str().find("smaller than"), std::string::npos);
+}
+
+TEST(VerifyStoragePlan, RejectsSlotOutsideFrame) {
+  SSAProgram P = compileToSSA(ClobberSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  StoragePlan Bad = runGCTD(F, *P.TI);
+  bool Moved = false;
+  for (StorageGroup &G : Bad.Groups)
+    if (G.K == StorageGroup::Kind::Stack) {
+      G.FrameOffset = Bad.FrameBytes; // Starts past the end of the frame.
+      Moved = true;
+      break;
+    }
+  ASSERT_TRUE(Moved);
+  VerifierReport R;
+  EXPECT_FALSE(verifyStoragePlan(F, *P.TI, Bad, R));
+  EXPECT_NE(R.str().find("outside the"), std::string::npos);
+}
+
+TEST(VerifyStoragePlan, AcceptsIdentityPlan) {
+  SSAProgram P = compileToSSA(ClobberSource);
+  ASSERT_NE(P.M, nullptr);
+  Function &F = P.fn();
+  StoragePlan Identity = makeIdentityPlan(F, *P.TI);
+  VerifierReport R;
+  EXPECT_TRUE(verifyStoragePlan(F, *P.TI, Identity, R)) << R.str();
+}
+
+// Every Table 1 benchmark must verify clean through all four checks while
+// still in SSA form -- the acceptance bar for the verifier having no false
+// positives on the paper's own workload.
+class BenchPlanVerify : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchPlanVerify, AllChecksPassUnmodified) {
+  const BenchmarkProgram *Prog = findBenchmark(GetParam());
+  ASSERT_NE(Prog, nullptr);
+  SSAProgram P = compileToSSA(Prog->Source);
+  ASSERT_NE(P.M, nullptr);
+  for (auto &F : P.M->Functions) {
+    VerifierReport R;
+    EXPECT_TRUE(verifyCFG(*F, R)) << F->Name << ":\n" << R.str();
+    EXPECT_TRUE(verifySSA(*F, R)) << F->Name << ":\n" << R.str();
+    EXPECT_TRUE(verifyTypes(*F, *P.TI, R)) << F->Name << ":\n" << R.str();
+    StoragePlan Plan = runGCTD(*F, *P.TI);
+    EXPECT_TRUE(verifyStoragePlan(*F, *P.TI, Plan, R))
+        << F->Name << ":\n" << R.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, BenchPlanVerify,
+    ::testing::Values("adpt", "capr", "clos", "crni", "diff", "dich",
+                      "edit", "fdtd", "fiff", "nb1d", "nb3d"),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });
+
+} // namespace
