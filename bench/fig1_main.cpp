@@ -26,7 +26,7 @@ int main() {
   }
   // The relax() routine contains the elementwise updates; print its code.
   const Function &F = C->function("relax");
-  std::string Code = emitFunctionC(F, C->planOf(F), C->types());
+  std::string Code = emitFunctionC(F, C->planOf(F), C->types(), C->ranges());
   std::printf("%s\n", Code.c_str());
   return 0;
 }

@@ -71,7 +71,8 @@ int main() {
     ExecResult VMMcc = mustRunNamed(*P, Name, "mcc",
                                     &CompiledProgram::runMcc);
 
-    std::string C = emitModuleC(P->module(), P->GCTDPlans, P->types());
+    std::string C =
+        emitModuleC(P->module(), P->GCTDPlans, P->types(), P->ranges());
     std::string Dir = "/tmp";
     std::string CPath = Dir + "/matcoal_native_" + Name + ".c";
     std::string Exe = Dir + "/matcoal_native_" + Name;

@@ -62,7 +62,8 @@ disp(sum(f));
   std::printf("%s\n", Program->planOf(Main).str(Main).c_str());
 
   std::printf("generated C (mat2c back end):\n\n%s",
-              emitFunctionC(Main, Program->planOf(Main), Program->types())
+              emitFunctionC(Main, Program->planOf(Main), Program->types(),
+                            Program->ranges())
                   .c_str());
 
   ExecResult R = Program->runStatic();

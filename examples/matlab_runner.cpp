@@ -64,7 +64,8 @@ int main(int Argc, char **Argv) {
     // mat2c mode: print the C translation (compile against
     // src/codegen/mcrt/mcrt.c).
     std::fputs(
-        emitModuleC(Program->module(), Program->GCTDPlans, Program->types())
+        emitModuleC(Program->module(), Program->GCTDPlans, Program->types(),
+                    Program->ranges())
             .c_str(),
         stdout);
     return 0;

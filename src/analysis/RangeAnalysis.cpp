@@ -1,0 +1,1350 @@
+//===- RangeAnalysis.cpp --------------------------------------------------===//
+
+#include "analysis/RangeAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace matcoal;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// Interval arithmetic helpers. All are conservative: the result contains
+/// every value the operation can produce from values in the inputs.
+Interval iAdd(const Interval &A, const Interval &B) {
+  if (A.isBottom() || B.isBottom())
+    return Interval::bottom();
+  double Lo = A.Lo + B.Lo, Hi = A.Hi + B.Hi;
+  // inf + -inf has no information.
+  if (std::isnan(Lo))
+    Lo = -Inf;
+  if (std::isnan(Hi))
+    Hi = Inf;
+  return {Lo, Hi};
+}
+
+Interval iNeg(const Interval &A) {
+  if (A.isBottom())
+    return A;
+  return {-A.Hi, -A.Lo};
+}
+
+Interval iSub(const Interval &A, const Interval &B) {
+  return iAdd(A, iNeg(B));
+}
+
+Interval iMul(const Interval &A, const Interval &B) {
+  if (A.isBottom() || B.isBottom())
+    return Interval::bottom();
+  double Lo = Inf, Hi = -Inf;
+  for (double X : {A.Lo, A.Hi})
+    for (double Y : {B.Lo, B.Hi}) {
+      double P = X * Y;
+      if (std::isnan(P)) // 0 * inf: both signs reachable in the limit.
+        return Interval::top();
+      Lo = std::min(Lo, P);
+      Hi = std::max(Hi, P);
+    }
+  return {Lo, Hi};
+}
+
+Interval iDiv(const Interval &A, const Interval &B) {
+  if (A.isBottom() || B.isBottom())
+    return Interval::bottom();
+  // A divisor interval containing 0 can produce anything.
+  if (B.Lo <= 0 && B.Hi >= 0)
+    return Interval::top();
+  double Lo = Inf, Hi = -Inf;
+  for (double X : {A.Lo, A.Hi})
+    for (double Y : {B.Lo, B.Hi}) {
+      double Q = X / Y;
+      if (std::isnan(Q))
+        return Interval::top();
+      Lo = std::min(Lo, Q);
+      Hi = std::max(Hi, Q);
+    }
+  return {Lo, Hi};
+}
+
+Interval iMax(const Interval &A, const Interval &B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  return {std::max(A.Lo, B.Lo), std::max(A.Hi, B.Hi)};
+}
+
+Interval iMin(const Interval &A, const Interval &B) {
+  if (A.isBottom())
+    return B;
+  if (B.isBottom())
+    return A;
+  return {std::min(A.Lo, B.Lo), std::min(A.Hi, B.Hi)};
+}
+
+/// Monotone elementwise map.
+template <typename Fn> Interval iMap(const Interval &A, Fn F) {
+  if (A.isBottom())
+    return A;
+  return {F(A.Lo), F(A.Hi)};
+}
+
+/// Bound on an array-constructor dimension computed from the dimension
+/// argument's value interval. The runtime faults on negative or
+/// non-integer size arguments, so on every *successful* execution the
+/// dimension is an integer within the argument's interval.
+Interval dimFromArg(const Interval &V) {
+  if (V.isBottom())
+    return Interval::bottom();
+  double Lo = std::max(0.0, std::ceil(V.Lo));
+  double Hi = std::floor(V.Hi);
+  if (Hi < 0)
+    Hi = 0;
+  return {std::min(Lo, Hi), Hi};
+}
+
+std::vector<Interval> scalarDims() {
+  return {Interval::point(1), Interval::point(1)};
+}
+
+bool dimsProvablyScalar(const std::vector<Interval> &Dims) {
+  if (Dims.empty())
+    return false;
+  for (const Interval &D : Dims)
+    if (D.isBottom() || D.Lo < 1 || D.Hi > 1)
+      return false;
+  return true;
+}
+
+/// Join two dim vectors, padding the shorter with unit extents (mirrors
+/// TypeInference::joinShape).
+std::vector<Interval> joinDims(const std::vector<Interval> &A,
+                               const std::vector<Interval> &B) {
+  if (A.empty() || B.empty())
+    return {}; // Unknown swallows.
+  size_t Rank = std::max(A.size(), B.size());
+  std::vector<Interval> Out(Rank);
+  for (size_t D = 0; D < Rank; ++D) {
+    Interval EA = D < A.size() ? A[D] : Interval::point(1);
+    Interval EB = D < B.size() ? B[D] : Interval::point(1);
+    Out[D] = EA.join(EB);
+  }
+  return Out;
+}
+
+/// Result dims of an elementwise binary: the operand shapes must agree at
+/// run time unless one side is scalar, so the hull of both is sound and a
+/// provably scalar side is dropped exactly.
+std::vector<Interval> elementwiseDims(const VarRange &A, const VarRange &B) {
+  if (dimsProvablyScalar(A.Dims))
+    return B.Dims;
+  if (dimsProvablyScalar(B.Dims))
+    return A.Dims;
+  return joinDims(A.Dims, B.Dims);
+}
+
+Interval numelOfDims(const std::vector<Interval> &Dims) {
+  if (Dims.empty())
+    return {0, Inf};
+  Interval N = Interval::point(1);
+  for (const Interval &D : Dims)
+    N = iMul(N, D);
+  return N;
+}
+
+} // namespace
+
+std::string Interval::str() const {
+  if (isBottom())
+    return "empty";
+  std::ostringstream OS;
+  OS << "[" << Lo << ", " << Hi << "]";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Construction and fixpoint
+//===----------------------------------------------------------------------===//
+
+RangeAnalysis::RangeAnalysis(const Module &M, const TypeInference &TI,
+                             const std::string &Entry)
+    : M(M), TI(TI) {
+  for (const auto &F : M.Functions) {
+    if (!TI.hasTypesFor(*F) || F->Blocks.empty())
+      continue;
+    FuncState &S = States[F.get()];
+    S.F = F.get();
+    S.Ranges.assign(F->numVars(), VarRange::bottom());
+    S.DT = std::make_unique<DominatorTree>(*F);
+    S.RPO = F->reversePostOrder();
+    collectFacts(S);
+    Summaries[F.get()].Params.assign(F->Params.size(), VarRange::bottom());
+    Summaries[F.get()].Outputs.assign(F->Outputs.size(), VarRange::bottom());
+  }
+  // The entry's parameters (usually none) are unconstrained.
+  if (const Function *E = M.findFunction(Entry)) {
+    auto It = Summaries.find(E);
+    if (It != Summaries.end())
+      for (VarRange &P : It->second.Params) {
+        P.Defined = true;
+        P.Val = Interval::top();
+      }
+  }
+  // Optimistic interprocedural fixpoint. Widening bounds the number of
+  // times any variable can change, so this terminates; the round cap is a
+  // safety net only.
+  for (int Round = 0; Round < 60; ++Round) {
+    ModuleChanged = false;
+    bool Changed = false;
+    for (auto &[F, S] : States)
+      Changed |= analyzeFunction(S);
+    Changed |= ModuleChanged;
+    if (!Changed)
+      break;
+    if (Round == 59) {
+      // Defensive: forget everything rather than ship a non-fixpoint.
+      for (auto &[F, S] : States)
+        for (VarRange &R : S.Ranges) {
+          R.Defined = true;
+          R.Val = Interval::top();
+          R.Dims.clear();
+        }
+    }
+  }
+  publishSymBounds();
+}
+
+void RangeAnalysis::collectFacts(FuncState &S) {
+  const Function &F = *S.F;
+  S.Facts.assign(F.Blocks.size(), {});
+  // Map from condition variable to its defining comparison.
+  std::map<VarId, const Instr *> Def;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      for (VarId R : I.Results)
+        Def.emplace(R, &I);
+
+  auto SinglePred = [&](BlockId B) {
+    return B != NoBlock && F.block(B)->Preds.size() == 1;
+  };
+  auto AddFact = [&](BlockId B, VarId V, VarId O, Fact::Rel R) {
+    S.Facts[B].push_back(Fact{V, O, R});
+  };
+
+  for (const auto &BB : F.Blocks) {
+    if (!BB->hasTerminator())
+      continue;
+    const Instr &T = BB->terminator();
+    if (T.Op != Opcode::Br || T.Operands.empty())
+      continue;
+    VarId C = T.Operands[0];
+    BlockId TrueB = T.Target1, FalseB = T.Target2;
+    // Peel logical negations: ~(a < b) swaps the edges.
+    auto It = Def.find(C);
+    while (It != Def.end() && It->second->Op == Opcode::Not &&
+           It->second->Operands.size() == 1) {
+      std::swap(TrueB, FalseB);
+      C = It->second->Operands[0];
+      It = Def.find(C);
+    }
+    if (It == Def.end())
+      continue;
+    const Instr &Cmp = *It->second;
+    if (Cmp.Operands.size() != 2)
+      continue;
+    VarId A = Cmp.Operands[0], B = Cmp.Operands[1];
+    // On the true edge the comparison held; the MATLAB truth rule demands
+    // *all* elements true, so the fact applies to every element of A and
+    // B -- which is exactly what the element-bounding Val interval needs.
+    // The false edge of an elementwise comparison only means "some element
+    // failed", so facts are attached there for scalar operands only.
+    bool BothScalar = TI.functionTypes(F)[A].isScalar() &&
+                      TI.functionTypes(F)[B].isScalar();
+    auto TrueFacts = [&](BlockId Blk, Opcode Op) {
+      switch (Op) {
+      case Opcode::Lt:
+      case Opcode::Le:
+        AddFact(Blk, A, B, Fact::LE);
+        AddFact(Blk, B, A, Fact::GE);
+        break;
+      case Opcode::Gt:
+      case Opcode::Ge:
+        AddFact(Blk, A, B, Fact::GE);
+        AddFact(Blk, B, A, Fact::LE);
+        break;
+      case Opcode::Eq:
+        AddFact(Blk, A, B, Fact::EQ);
+        AddFact(Blk, B, A, Fact::EQ);
+        break;
+      default:
+        break;
+      }
+    };
+    auto Negated = [](Opcode Op) {
+      switch (Op) {
+      case Opcode::Lt:
+        return Opcode::Ge;
+      case Opcode::Le:
+        return Opcode::Gt;
+      case Opcode::Gt:
+        return Opcode::Le;
+      case Opcode::Ge:
+        return Opcode::Lt;
+      case Opcode::Ne:
+        return Opcode::Eq;
+      default:
+        return Opcode::Display; // No fact.
+      }
+    };
+    if (SinglePred(TrueB))
+      TrueFacts(TrueB, Cmp.Op);
+    if (BothScalar && SinglePred(FalseB))
+      TrueFacts(FalseB, Negated(Cmp.Op));
+  }
+}
+
+bool RangeAnalysis::updateRange(FuncState &S, VarId V, VarRange New) {
+  VarRange &Cur = S.Ranges[V];
+  // Monotone update: join with the current value.
+  if (Cur.Defined) {
+    New.Defined = true;
+    New.Val = Cur.Val.join(New.Val);
+    New.Dims = joinDims(Cur.Dims, New.Dims);
+  }
+  if (New == Cur)
+    return false;
+  unsigned &Count = ++JoinCount[{S.F, V}];
+  if (Count > 16) {
+    // Widen: any bound that moved goes all the way.
+    if (Cur.Defined) {
+      if (New.Val.Lo < Cur.Val.Lo)
+        New.Val.Lo = -Inf;
+      if (New.Val.Hi > Cur.Val.Hi)
+        New.Val.Hi = Inf;
+      if (New.Dims.size() == Cur.Dims.size()) {
+        for (size_t D = 0; D < New.Dims.size(); ++D) {
+          if (New.Dims[D].Lo < Cur.Dims[D].Lo)
+            New.Dims[D].Lo = 0;
+          if (New.Dims[D].Hi > Cur.Dims[D].Hi)
+            New.Dims[D].Hi = Inf;
+        }
+      } else {
+        New.Dims.clear();
+      }
+    } else {
+      New.Val = Interval::top();
+      New.Dims.clear();
+    }
+    if (New == Cur)
+      return false;
+  }
+  Cur = std::move(New);
+  return true;
+}
+
+Interval RangeAnalysis::applyFacts(const FuncState &S, BlockId B, VarId V,
+                                   Interval Cur) const {
+  if (Cur.isBottom() || B == NoBlock ||
+      static_cast<size_t>(B) >= S.Facts.size())
+    return Cur;
+  for (size_t Blk = 0; Blk < S.Facts.size(); ++Blk) {
+    if (S.Facts[Blk].empty() ||
+        !S.DT->dominates(static_cast<BlockId>(Blk), B))
+      continue;
+    for (const Fact &Fa : S.Facts[Blk]) {
+      if (Fa.V != V)
+        continue;
+      const VarRange &O = S.Ranges[Fa.Other];
+      if (!O.Defined)
+        continue;
+      switch (Fa.R) {
+      case Fact::LE:
+        Cur.Hi = std::min(Cur.Hi, O.Val.Hi);
+        break;
+      case Fact::GE:
+        Cur.Lo = std::max(Cur.Lo, O.Val.Lo);
+        break;
+      case Fact::EQ:
+        Cur.Hi = std::min(Cur.Hi, O.Val.Hi);
+        Cur.Lo = std::max(Cur.Lo, O.Val.Lo);
+        break;
+      }
+    }
+  }
+  // Contradictory facts mean the block is unreachable under the current
+  // approximation; keep the unrefined interval rather than bottom so the
+  // fixpoint stays monotone.
+  if (Cur.isBottom())
+    return S.Ranges[V].Val;
+  return Cur;
+}
+
+VarRange RangeAnalysis::rangeIn(const FuncState &S, BlockId B,
+                                VarId V) const {
+  if (V < 0 || static_cast<size_t>(V) >= S.Ranges.size())
+    return VarRange::bottom();
+  VarRange R = S.Ranges[V];
+  if (R.Defined)
+    R.Val = applyFacts(S, B, V, R.Val);
+  return R;
+}
+
+bool RangeAnalysis::analyzeFunction(FuncState &S) {
+  const Function &F = *S.F;
+  const Summary &Sum = Summaries[S.F];
+  bool AnyChange = false;
+
+  // Seed parameters from the (join of) call sites.
+  for (size_t K = 0; K < F.Params.size(); ++K)
+    if (K < Sum.Params.size() && Sum.Params[K].Defined)
+      AnyChange |= updateRange(S, F.Params[K], Sum.Params[K]);
+
+  for (int Round = 0; Round < 30; ++Round) {
+    bool Changed = false;
+    for (BlockId B : S.RPO) {
+      for (const Instr &I : F.block(B)->Instrs) {
+        if (I.Results.empty())
+          continue;
+        std::vector<VarRange> Out = transfer(S, B, I);
+        for (size_t K = 0; K < I.Results.size() && K < Out.size(); ++K)
+          if (Out[K].Defined)
+            Changed |= updateRange(S, I.Results[K], std::move(Out[K]));
+      }
+    }
+    AnyChange |= Changed;
+    if (!Changed)
+      break;
+  }
+
+  // Publish output ranges at every Ret.
+  Summary &MutSum = Summaries[S.F];
+  for (const auto &BB : F.Blocks) {
+    if (!BB->hasTerminator() || BB->terminator().Op != Opcode::Ret)
+      continue;
+    const Instr &Ret = BB->terminator();
+    if (MutSum.Outputs.size() < Ret.Operands.size())
+      MutSum.Outputs.resize(Ret.Operands.size(), VarRange::bottom());
+    for (size_t K = 0; K < Ret.Operands.size(); ++K) {
+      VarRange R = rangeIn(S, BB->Id, Ret.Operands[K]);
+      if (!R.Defined)
+        continue;
+      VarRange Joined = MutSum.Outputs[K];
+      if (Joined.Defined) {
+        Joined.Val = Joined.Val.join(R.Val);
+        Joined.Dims = joinDims(Joined.Dims, R.Dims);
+      } else {
+        Joined = R;
+      }
+      if (!(Joined == MutSum.Outputs[K])) {
+        MutSum.Outputs[K] = std::move(Joined);
+        AnyChange = true;
+      }
+    }
+  }
+  return AnyChange;
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer functions
+//===----------------------------------------------------------------------===//
+
+std::vector<VarRange> RangeAnalysis::transfer(FuncState &S, BlockId B,
+                                              const Instr &I) {
+  const Function &F = *S.F;
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  auto Op = [&](size_t K) { return rangeIn(S, B, I.Operands[K]); };
+  auto Defined = [&](const VarRange &R) { return R.Defined; };
+
+  VarRange R;
+  R.Defined = true;
+
+  auto Done = [&](VarRange X) {
+    // Intervals bound real values; a complex result carries no bound.
+    if (!I.Results.empty() &&
+        Types[I.Results[0]].IT == IntrinsicType::Complex)
+      X.Val = Interval::top();
+    // Constant inferred extents refine the dimension bounds for free.
+    if (!I.Results.empty() && X.Defined) {
+      const VarType &T = Types[I.Results[0]];
+      if (!T.Extents.empty()) {
+        bool AllConst = true;
+        for (SymExpr E : T.Extents)
+          AllConst &= E->isConst();
+        if (AllConst) {
+          std::vector<Interval> TD;
+          for (SymExpr E : T.Extents)
+            TD.push_back(Interval::point(
+                static_cast<double>(E->constValue())));
+          if (X.Dims.empty())
+            X.Dims = TD;
+          else if (X.Dims.size() == TD.size())
+            for (size_t D = 0; D < TD.size(); ++D)
+              X.Dims[D] = X.Dims[D].meet(TD[D]).isBottom()
+                              ? TD[D]
+                              : X.Dims[D].meet(TD[D]);
+        }
+      }
+    }
+    return std::vector<VarRange>{std::move(X)};
+  };
+
+  switch (I.Op) {
+  case Opcode::ConstNum:
+    R.Val = I.NumIm != 0 ? Interval::top() : Interval::point(I.NumRe);
+    R.Dims = scalarDims();
+    return Done(R);
+  case Opcode::ConstStr:
+    R.Val = {0, 65535}; // Character codes.
+    R.Dims = {Interval::point(1),
+              Interval::point(static_cast<double>(
+                  I.StrVal.empty() ? 0 : I.StrVal.size()))};
+    return Done(R);
+  case Opcode::ConstColon:
+    R.Val = Interval::top();
+    return Done(R);
+
+  case Opcode::Copy:
+  case Opcode::UPlus: {
+    VarRange A = Op(0);
+    if (!Defined(A))
+      return {};
+    return Done(A);
+  }
+
+  case Opcode::Phi: {
+    VarRange Acc = VarRange::bottom();
+    for (VarId V : I.Operands) {
+      // Phi operands flow along predecessor edges; refine with the facts
+      // of the *predecessor* rather than this block. Conservative: use
+      // the global range (facts at B would be wrong for the other preds).
+      if (V < 0 || static_cast<size_t>(V) >= S.Ranges.size())
+        continue;
+      const VarRange &A = S.Ranges[V];
+      if (!A.Defined)
+        continue;
+      if (!Acc.Defined) {
+        Acc = A;
+      } else {
+        Acc.Val = Acc.Val.join(A.Val);
+        Acc.Dims = joinDims(Acc.Dims, A.Dims);
+      }
+    }
+    if (!Acc.Defined)
+      return {};
+    return Done(Acc);
+  }
+
+  case Opcode::Neg: {
+    VarRange A = Op(0);
+    if (!Defined(A))
+      return {};
+    R.Val = iNeg(A.Val);
+    R.Dims = A.Dims;
+    return Done(R);
+  }
+  case Opcode::Not: {
+    VarRange A = Op(0);
+    if (!Defined(A))
+      return {};
+    R.Val = {0, 1};
+    R.Dims = A.Dims;
+    return Done(R);
+  }
+  case Opcode::Transpose:
+  case Opcode::CTranspose: {
+    VarRange A = Op(0);
+    if (!Defined(A))
+      return {};
+    R.Val = A.Val; // Conjugation preserves real values; complex is topped.
+    R.Dims = A.Dims;
+    if (R.Dims.size() == 2)
+      std::swap(R.Dims[0], R.Dims[1]);
+    else
+      R.Dims.clear();
+    return Done(R);
+  }
+
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::ElemMul:
+  case Opcode::ElemRDiv:
+  case Opcode::ElemLDiv:
+  case Opcode::ElemPow: {
+    VarRange A = Op(0), Bv = Op(1);
+    if (!Defined(A) || !Defined(Bv))
+      return {};
+    switch (I.Op) {
+    case Opcode::Add:
+      R.Val = iAdd(A.Val, Bv.Val);
+      break;
+    case Opcode::Sub:
+      R.Val = iSub(A.Val, Bv.Val);
+      break;
+    case Opcode::ElemMul:
+      R.Val = iMul(A.Val, Bv.Val);
+      break;
+    case Opcode::ElemRDiv:
+      R.Val = iDiv(A.Val, Bv.Val);
+      break;
+    case Opcode::ElemLDiv:
+      R.Val = iDiv(Bv.Val, A.Val);
+      break;
+    default: { // ElemPow: cheap cases only.
+      if (A.Val.Lo >= 0)
+        R.Val = {0, Inf};
+      else
+        R.Val = Interval::top();
+      break;
+    }
+    }
+    R.Dims = elementwiseDims(A, Bv);
+    return Done(R);
+  }
+
+  case Opcode::MatMul:
+  case Opcode::MatRDiv:
+  case Opcode::MatLDiv:
+  case Opcode::MatPow: {
+    VarRange A = Op(0), Bv = Op(1);
+    if (!Defined(A) || !Defined(Bv))
+      return {};
+    bool AScalar = dimsProvablyScalar(A.Dims);
+    bool BScalar = dimsProvablyScalar(Bv.Dims);
+    if (I.Op == Opcode::MatMul && AScalar && BScalar)
+      R.Val = iMul(A.Val, Bv.Val);
+    else
+      R.Val = Interval::top();
+    if (AScalar && BScalar)
+      R.Dims = scalarDims();
+    else if (I.Op == Opcode::MatMul) {
+      if (AScalar)
+        R.Dims = Bv.Dims;
+      else if (BScalar)
+        R.Dims = A.Dims;
+      else if (A.Dims.size() == 2 && Bv.Dims.size() == 2) {
+        // True matrix product -- but a 1x1 operand means scalar
+        // EXPANSION, not a 1-column product, so when either side may
+        // still turn out scalar at run time the result hulls in the
+        // other operand's full shape.
+        auto MayBeScalar = [](const std::vector<Interval> &D) {
+          return D[0].Lo <= 1 && 1 <= D[0].Hi && D[1].Lo <= 1 &&
+                 1 <= D[1].Hi;
+        };
+        R.Dims = {A.Dims[0], Bv.Dims[1]};
+        if (MayBeScalar(A.Dims)) {
+          R.Dims[0] = R.Dims[0].join(Bv.Dims[0]);
+          R.Dims[1] = R.Dims[1].join(Bv.Dims[1]);
+        }
+        if (MayBeScalar(Bv.Dims)) {
+          R.Dims[0] = R.Dims[0].join(A.Dims[0]);
+          R.Dims[1] = R.Dims[1].join(A.Dims[1]);
+        }
+      }
+    }
+    return Done(R);
+  }
+
+  case Opcode::Lt:
+  case Opcode::Le:
+  case Opcode::Gt:
+  case Opcode::Ge:
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::And:
+  case Opcode::Or: {
+    VarRange A = Op(0), Bv = Op(1);
+    if (!Defined(A) || !Defined(Bv))
+      return {};
+    R.Val = {0, 1};
+    R.Dims = elementwiseDims(A, Bv);
+    return Done(R);
+  }
+
+  case Opcode::Colon2:
+  case Opcode::Colon3: {
+    bool HasStep = I.Op == Opcode::Colon3;
+    VarRange Lo = Op(0);
+    VarRange Step = HasStep ? Op(1) : VarRange{};
+    VarRange Hi = Op(HasStep ? 2 : 1);
+    if (!Defined(Lo) || !Defined(Hi) || (HasStep && !Defined(Step)))
+      return {};
+    R.Val = Interval{std::min(Lo.Val.Lo, Hi.Val.Lo),
+                     std::max(Lo.Val.Hi, Hi.Val.Hi)};
+    // Length bound for unit (or known-positive constant) steps.
+    double StepLo = HasStep ? Step.Val.Lo : 1.0;
+    double StepHi = HasStep ? Step.Val.Hi : 1.0;
+    if (StepLo > 0) {
+      double MaxLen =
+          std::floor((Hi.Val.Hi - Lo.Val.Lo) / StepLo) + 1;
+      if (std::isnan(MaxLen))
+        MaxLen = Inf;
+      double MinLen =
+          std::floor((Hi.Val.Lo - Lo.Val.Hi) / std::max(StepHi, 1e-300)) + 1;
+      if (std::isnan(MinLen) || MinLen < 0)
+        MinLen = 0;
+      R.Dims = {Interval::point(1),
+                Interval{std::min(MinLen, MaxLen), std::max(0.0, MaxLen)}};
+    }
+    return Done(R);
+  }
+
+  case Opcode::Subsref: {
+    VarRange A = Op(0);
+    if (!Defined(A))
+      return {};
+    R.Val = A.Val; // Elements of the result are elements of the base.
+    unsigned NumSubs = static_cast<unsigned>(I.Operands.size()) - 1;
+    bool AllScalar = true, AllDefined = true;
+    std::vector<VarRange> Subs;
+    for (unsigned K = 0; K < NumSubs; ++K) {
+      Subs.push_back(Op(K + 1));
+      AllDefined &= Subs.back().Defined;
+      // A ':' marker carries a scalar-looking type; it selects a whole
+      // dimension, so it must never count as a scalar subscript.
+      AllScalar &= Types[I.Operands[K + 1]].IT != IntrinsicType::Colon &&
+                   (Types[I.Operands[K + 1]].isScalar() ||
+                    dimsProvablyScalar(Subs.back().Dims));
+    }
+    if (AllDefined && AllScalar) {
+      R.Dims = scalarDims();
+    } else if (AllDefined && NumSubs >= 2) {
+      // Per-dimension selection: the result extent along k is the numel
+      // of subscript k (':' selects the base extent).
+      R.Dims.clear();
+      for (unsigned K = 0; K < NumSubs; ++K) {
+        if (Types[I.Operands[K + 1]].IT == IntrinsicType::Colon)
+          R.Dims.push_back(K < A.Dims.size() ? A.Dims[K]
+                                             : Interval{0, Inf});
+        else
+          R.Dims.push_back(numelOfDims(Subs[K].Dims));
+      }
+    } else if (AllDefined && NumSubs == 1) {
+      // Linear indexing: at most numel(sub) elements; orientation follows
+      // the base for vector bases, so keep the hull of both layouts.
+      Interval N = Types[I.Operands[1]].IT == IntrinsicType::Colon
+                       ? numelOfDims(A.Dims)
+                       : numelOfDims(Subs[0].Dims);
+      R.Dims = {Interval{std::min(1.0, N.Lo), std::max(1.0, N.Hi)},
+                Interval{std::min(1.0, N.Lo), std::max(1.0, N.Hi)}};
+    }
+    return Done(R);
+  }
+
+  case Opcode::Subsasgn: {
+    VarRange Base = Op(0), Rhs = Op(1);
+    if (!Defined(Base) || !Defined(Rhs))
+      return {};
+    // Growing a base zero-fills the gap.
+    R.Val = Base.Val.join(Rhs.Val).join(Interval::point(0));
+    unsigned NumSubs = static_cast<unsigned>(I.Operands.size()) - 2;
+    std::vector<VarRange> Subs;
+    bool AllDefined = true;
+    for (unsigned K = 0; K < NumSubs; ++K) {
+      Subs.push_back(Op(K + 2));
+      AllDefined &= Subs.back().Defined;
+    }
+    if (AllDefined && NumSubs >= 2 && Base.Dims.size() >= NumSubs &&
+        Base.Dims.size() <= NumSubs + 1) {
+      R.Dims = Base.Dims;
+      for (unsigned K = 0; K < NumSubs; ++K) {
+        if (Types[I.Operands[K + 2]].IT == IntrinsicType::Colon)
+          continue;
+        // The written extent reaches at least the max subscript value.
+        R.Dims[K] = iMax(R.Dims[K], Subs[K].Val);
+        R.Dims[K].Lo = Base.Dims.size() > K ? Base.Dims[K].Lo : 0;
+      }
+    } else if (AllDefined && NumSubs == 1) {
+      Interval Idx = Types[I.Operands[2]].IT == IntrinsicType::Colon
+                         ? numelOfDims(Base.Dims)
+                         : Subs[0].Val;
+      Interval N = numelOfDims(Base.Dims);
+      if (Idx.boundedAbove() && N.boundedBelow() && Idx.Hi <= N.Lo) {
+        R.Dims = Base.Dims; // Provably in bounds: shape unchanged.
+      } else if (Base.Dims.size() == 2) {
+        // Linear growth is only legal for vectors (or empties); the grown
+        // extent reaches max(old numel, max subscript).
+        Interval Len = iMax(numelOfDims(Base.Dims), Idx);
+        Len.Lo = 0;
+        Interval Unit{std::min(Base.Dims[0].Lo, Base.Dims[1].Lo), 1};
+        R.Dims = {Interval{Unit.Lo, std::max(1.0, std::min(
+                                                  Base.Dims[0].Hi, Len.Hi))},
+                  Interval{Unit.Lo, Len.Hi}};
+        // Keep it simple and sound: hull of both orientations.
+        R.Dims[0] = R.Dims[0].join(R.Dims[1]);
+        R.Dims[1] = R.Dims[0];
+      }
+    } else {
+      R.Dims = {};
+    }
+    return Done(R);
+  }
+
+  case Opcode::HorzCat:
+  case Opcode::VertCat: {
+    if (I.Operands.empty()) {
+      R.Val = Interval::bottom(); // No elements at all.
+      R.Val = Interval::point(0);
+      R.Dims = {Interval::point(0), Interval::point(0)};
+      return Done(R);
+    }
+    bool Horz = I.Op == Opcode::HorzCat;
+    Interval Along = Interval::point(0), Across = Interval::bottom();
+    Interval Val = Interval::bottom();
+    bool AllKnown = true;
+    for (size_t K = 0; K < I.Operands.size(); ++K) {
+      VarRange A = Op(K);
+      if (!Defined(A))
+        return {};
+      Val = Val.join(A.Val);
+      if (A.Dims.size() != 2) {
+        AllKnown = false;
+        continue;
+      }
+      Along = iAdd(Along, A.Dims[Horz ? 1 : 0]);
+      Across = Across.join(A.Dims[Horz ? 0 : 1]);
+    }
+    R.Val = Val;
+    if (AllKnown) {
+      // Empty operands are skipped at run time, so the across extent can
+      // be any operand's. Keep the hull; the along extent can only shrink
+      // when an operand is empty.
+      Along.Lo = 0;
+      R.Dims = Horz ? std::vector<Interval>{Across, Along}
+                    : std::vector<Interval>{Along, Across};
+    }
+    return Done(R);
+  }
+
+  case Opcode::Builtin: {
+    std::vector<VarRange> Ops;
+    for (size_t K = 0; K < I.Operands.size(); ++K)
+      Ops.push_back(Op(K));
+    return {builtinTransfer(S, B, I, Ops)};
+  }
+
+  case Opcode::Call: {
+    const Function *Callee = M.findFunction(I.StrVal);
+    auto SIt = Callee ? Summaries.find(Callee) : Summaries.end();
+    if (SIt == Summaries.end()) {
+      R.Val = Interval::top();
+      return {std::vector<VarRange>(I.Results.size(), R)};
+    }
+    // Push argument ranges into the callee's parameter summary.
+    Summary &CS = SIt->second;
+    FuncState &CalleeState = States[Callee];
+    for (size_t K = 0; K < I.Operands.size() && K < CS.Params.size(); ++K) {
+      VarRange A = rangeIn(S, B, I.Operands[K]);
+      if (!A.Defined)
+        continue;
+      VarRange &P = CS.Params[K];
+      VarRange Joined = P;
+      if (Joined.Defined) {
+        Joined.Val = Joined.Val.join(A.Val);
+        Joined.Dims = joinDims(Joined.Dims, A.Dims);
+      } else {
+        Joined = A;
+      }
+      if (!(Joined == P)) {
+        // Widen through the same counter as intra-function joins, keyed
+        // on the callee's parameter variable.
+        unsigned &Count =
+            ++JoinCount[{Callee, Callee->Params[K]}];
+        if (Count > 16 && P.Defined) {
+          if (Joined.Val.Lo < P.Val.Lo)
+            Joined.Val.Lo = -Inf;
+          if (Joined.Val.Hi > P.Val.Hi)
+            Joined.Val.Hi = Inf;
+          if (Joined.Dims.size() != P.Dims.size())
+            Joined.Dims.clear();
+          else
+            for (size_t D = 0; D < Joined.Dims.size(); ++D) {
+              if (Joined.Dims[D].Lo < P.Dims[D].Lo)
+                Joined.Dims[D].Lo = 0;
+              if (Joined.Dims[D].Hi > P.Dims[D].Hi)
+                Joined.Dims[D].Hi = Inf;
+            }
+        }
+        P = std::move(Joined);
+        ModuleChanged = true;
+      }
+    }
+    (void)CalleeState;
+    // Results come from the callee's output summary (optimistically
+    // bottom until the callee is analyzed; the module fixpoint re-runs
+    // this caller afterwards).
+    std::vector<VarRange> Out;
+    for (size_t K = 0; K < I.Results.size(); ++K)
+      Out.push_back(K < CS.Outputs.size() ? CS.Outputs[K]
+                                          : VarRange::bottom());
+    return Out;
+  }
+
+  case Opcode::Display:
+  case Opcode::Jmp:
+  case Opcode::Br:
+  case Opcode::Ret:
+    return {};
+  }
+  R.Val = Interval::top();
+  return {std::vector<VarRange>(I.Results.size(), R)};
+}
+
+VarRange RangeAnalysis::builtinTransfer(FuncState &S, BlockId B,
+                                        const Instr &I,
+                                        const std::vector<VarRange> &Ops) {
+  (void)S;
+  (void)B;
+  const std::string &Name = I.StrVal;
+  auto Defined = [&](size_t K) {
+    return K < Ops.size() && Ops[K].Defined;
+  };
+
+  VarRange R;
+  R.Defined = true;
+  R.Val = Interval::top();
+
+  auto ConstructorDims = [&]() {
+    std::vector<Interval> Dims;
+    if (Ops.empty()) {
+      return scalarDims();
+    }
+    for (size_t K = 0; K < Ops.size(); ++K) {
+      if (!Defined(K))
+        return std::vector<Interval>{};
+      Dims.push_back(dimFromArg(Ops[K].Val));
+    }
+    if (Dims.size() == 1)
+      Dims = {Dims[0], Dims[0]};
+    return Dims;
+  };
+
+  // Array constructors.
+  if (Name == "zeros" || Name == "ones" || Name == "rand" ||
+      Name == "randn" || Name == "eye") {
+    R.Dims = ConstructorDims();
+    if (Name == "zeros")
+      R.Val = Interval::point(0);
+    else if (Name == "ones")
+      R.Val = Interval::point(1);
+    else if (Name == "rand")
+      R.Val = {0, 1};
+    else if (Name == "eye")
+      R.Val = {0, 1};
+    return R;
+  }
+  if (Name == "linspace") {
+    if (Defined(0) && Defined(1))
+      R.Val = Ops[0].Val.join(Ops[1].Val);
+    Interval N = Ops.size() >= 3 && Defined(2) ? dimFromArg(Ops[2].Val)
+                                               : Interval::point(100);
+    R.Dims = {Interval::point(1), N};
+    return R;
+  }
+
+  // Elementwise monotone maps.
+  if (Name == "floor" || Name == "ceil" || Name == "round" ||
+      Name == "fix") {
+    if (Defined(0)) {
+      const Interval &A = Ops[0].Val;
+      if (Name == "floor")
+        R.Val = iMap(A, [](double X) { return std::floor(X); });
+      else if (Name == "ceil")
+        R.Val = iMap(A, [](double X) { return std::ceil(X); });
+      else if (Name == "round")
+        R.Val = iMap(A, [](double X) { return std::round(X); });
+      else
+        R.Val = iMap(A, [](double X) { return std::trunc(X); });
+      R.Dims = Ops[0].Dims;
+    }
+    return R;
+  }
+  if (Name == "abs") {
+    if (Defined(0)) {
+      const Interval &A = Ops[0].Val;
+      if (!A.isBottom()) {
+        double Lo = (A.Lo <= 0 && A.Hi >= 0)
+                        ? 0
+                        : std::min(std::abs(A.Lo), std::abs(A.Hi));
+        R.Val = {Lo, std::max(std::abs(A.Lo), std::abs(A.Hi))};
+      }
+      R.Dims = Ops[0].Dims;
+    }
+    return R;
+  }
+  if (Name == "sqrt") {
+    if (Defined(0)) {
+      const Interval &A = Ops[0].Val;
+      if (!A.isBottom() && A.Lo >= 0)
+        R.Val = {std::sqrt(A.Lo), std::sqrt(A.Hi)};
+      R.Dims = Ops[0].Dims;
+    }
+    return R;
+  }
+  if (Name == "exp") {
+    if (Defined(0)) {
+      R.Val = iMap(Ops[0].Val, [](double X) { return std::exp(X); });
+      R.Dims = Ops[0].Dims;
+    }
+    return R;
+  }
+  if (Name == "sin" || Name == "cos") {
+    R.Val = {-1, 1};
+    if (Defined(0))
+      R.Dims = Ops[0].Dims;
+    return R;
+  }
+  if (Name == "sign") {
+    R.Val = {-1, 1};
+    if (Defined(0))
+      R.Dims = Ops[0].Dims;
+    return R;
+  }
+  if (Name == "mod" || Name == "rem") {
+    // mod(a, k) for k > 0 lies in [0, k); rem keeps a's sign.
+    if (Defined(0) && Defined(1)) {
+      const Interval &K = Ops[1].Val;
+      if (!K.isBottom() && K.Lo > 0) {
+        if (Name == "mod")
+          R.Val = {0, K.Hi};
+        else
+          R.Val = {std::min(0.0, Ops[0].Val.Lo < 0 ? -K.Hi : 0.0), K.Hi};
+      }
+      R.Dims = elementwiseDims(Ops[0], Ops[1]);
+    }
+    return R;
+  }
+  if (Name == "min" || Name == "max") {
+    if (Ops.size() == 2 && Defined(0) && Defined(1)) {
+      R.Val = Name == "min" ? iMin(Ops[0].Val, Ops[1].Val)
+                            : iMax(Ops[0].Val, Ops[1].Val);
+      R.Dims = elementwiseDims(Ops[0], Ops[1]);
+    } else if (Ops.size() == 1 && Defined(0)) {
+      R.Val = Ops[0].Val;
+      R.Dims = scalarDims(); // Vector reduction (matrix case is hulled).
+      if (Ops[0].Dims.size() == 2 &&
+          !(Ops[0].Dims[0].Hi <= 1 || Ops[0].Dims[1].Hi <= 1))
+        R.Dims = {Interval{1, 1}, Ops[0].Dims[1]};
+    }
+    return R;
+  }
+  if (Name == "sum" || Name == "prod" || Name == "mean" || Name == "dot" ||
+      Name == "norm" || Name == "trace" || Name == "cumsum") {
+    if (Defined(0)) {
+      const Interval &A = Ops[0].Val;
+      Interval N = numelOfDims(Ops[0].Dims);
+      if (Name == "sum" && !A.isBottom() && N.boundedAbove()) {
+        Interval Total = iMul(A, Interval{0, N.Hi});
+        R.Val = Total.join(Interval::point(0)); // Empty sum is 0.
+      } else if (Name == "mean" && !A.isBottom()) {
+        R.Val = A;
+      } else if (Name == "norm") {
+        R.Val = {0, Inf};
+      }
+      if (Name == "cumsum")
+        R.Dims = Ops[0].Dims;
+      else if (Ops[0].Dims.size() == 2 &&
+               (Ops[0].Dims[0].Hi <= 1 || Ops[0].Dims[1].Hi <= 1))
+        R.Dims = scalarDims();
+      else if (Name == "norm" || Name == "trace" || Name == "dot")
+        R.Dims = scalarDims();
+    }
+    return R;
+  }
+  if (Name == "numel" || Name == "length" || Name == "size" ||
+      Name == "isempty") {
+    if (Defined(0)) {
+      Interval N = numelOfDims(Ops[0].Dims);
+      if (Name == "numel")
+        R.Val = N;
+      else if (Name == "isempty")
+        R.Val = {0, 1};
+      else if (Name == "length") {
+        // Max extent; bounded by numel.
+        Interval L = Interval::point(0);
+        for (const Interval &D : Ops[0].Dims)
+          L = iMax(L, D);
+        R.Val = Ops[0].Dims.empty() ? Interval{0, Inf} : L;
+      } else { // size
+        Interval Hull = Interval::bottom();
+        for (const Interval &D : Ops[0].Dims)
+          Hull = Hull.join(D);
+        R.Val = Ops[0].Dims.empty() ? Interval{0, Inf} : Hull;
+        if (I.Results.size() <= 1 && Ops[0].Dims.size() >= 2)
+          R.Dims = {Interval::point(1),
+                    Interval::point(
+                        static_cast<double>(Ops[0].Dims.size()))};
+        R.Val.Lo = std::min(R.Val.Lo, 0.0);
+      }
+      if (Name != "size" || I.Results.size() > 1)
+        R.Dims = scalarDims();
+    } else {
+      R.Dims = scalarDims();
+    }
+    if (Name == "numel" || Name == "length")
+      R.Val.Lo = std::max(R.Val.Lo, 0.0);
+    return R;
+  }
+  if (Name == "pi" || Name == "eps") {
+    R.Val = Name == "pi" ? Interval::point(3.141592653589793)
+                         : Interval::point(2.220446049250313e-16);
+    R.Dims = scalarDims();
+    return R;
+  }
+  if (Name == "Inf" || Name == "inf") {
+    R.Val = Interval::point(Inf);
+    R.Dims = scalarDims();
+    return R;
+  }
+  if (Name == "true" || Name == "false") {
+    R.Val = Interval::point(Name == "true" ? 1 : 0);
+    R.Dims = scalarDims();
+    return R;
+  }
+  if (Name == "__forcond") {
+    R.Val = {0, 1};
+    R.Dims = scalarDims();
+    return R;
+  }
+
+  // Unknown builtin: top value. Shape from the inferred type's constant
+  // extents is still merged in by the caller via Done(); here we only
+  // know the scalar-result convention for comparison-style helpers.
+  if (Name == "__switcheq" || Name == "strcmp") {
+    R.Val = {0, 1};
+    R.Dims = scalarDims();
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic bounds
+//===----------------------------------------------------------------------===//
+
+void RangeAnalysis::publishSymBounds() {
+  // When several variables carry the same symbol, JOIN their intervals.
+  // Type inference propagates an extent symbol through operations whose
+  // result extent it merely approximates, so two carriers of one "$s"
+  // symbol can hold different run-time values; meeting their ranges would
+  // manufacture bounds no single carrier satisfies.
+  auto Bind = [&](SymExpr E, const Interval &V) {
+    if (!E || V.isBottom())
+      return;
+    auto [It, Inserted] = SymBounds.emplace(E, V);
+    if (!Inserted)
+      It->second = It->second.join(V);
+  };
+  for (auto &[F, S] : States) {
+    const std::vector<VarType> &Types = TI.functionTypes(*F);
+    for (unsigned V = 0; V < F->numVars() && V < S.Ranges.size(); ++V) {
+      const VarRange &R = S.Ranges[V];
+      if (!R.Defined)
+        continue;
+      const VarType &T = Types[V];
+      // A scalar's ValExpr denotes exactly its run-time value.
+      if (T.ValExpr && T.isScalar() && !R.Val.isTop())
+        Bind(T.ValExpr, R.Val);
+      // Fresh "$s" extent symbols are memoized per (instruction, slot),
+      // so each denotes exactly this variable's extent along d. Joined
+      // ("$j") and pinned ("$w") symbols absorb several values and must
+      // not be bound.
+      for (size_t D = 0; D < T.Extents.size() && D < R.Dims.size(); ++D) {
+        SymExpr E = T.Extents[D];
+        if (E->kind() == SymKind::Sym &&
+            E->symName().rfind("$s", 0) == 0 && !R.Dims[D].isTop())
+          Bind(E, R.Dims[D]);
+      }
+    }
+  }
+}
+
+Interval RangeAnalysis::boundOf(SymExpr E) const {
+  if (!E)
+    return Interval::top();
+  return boundOfImpl(E, 0);
+}
+
+Interval RangeAnalysis::boundOfImpl(SymExpr E, unsigned Depth) const {
+  Interval Direct = Interval::top();
+  auto It = SymBounds.find(E);
+  if (It != SymBounds.end())
+    Direct = It->second;
+  if (Depth > 16)
+    return Direct;
+  Interval Structural = Interval::top();
+  switch (E->kind()) {
+  case SymKind::Const:
+    Structural = Interval::point(static_cast<double>(E->constValue()));
+    break;
+  case SymKind::Sym:
+    if (E->symNonneg())
+      Structural = {0, Inf};
+    break;
+  case SymKind::Add: {
+    Structural = Interval::point(0);
+    for (SymExpr Op : E->operands())
+      Structural = iAdd(Structural, boundOfImpl(Op, Depth + 1));
+    break;
+  }
+  case SymKind::Mul: {
+    Structural = Interval::point(1);
+    for (SymExpr Op : E->operands())
+      Structural = iMul(Structural, boundOfImpl(Op, Depth + 1));
+    break;
+  }
+  case SymKind::Max: {
+    Structural = Interval::bottom();
+    for (SymExpr Op : E->operands())
+      Structural = iMax(Structural, boundOfImpl(Op, Depth + 1));
+    break;
+  }
+  }
+  Interval Met = Direct.meet(Structural);
+  return Met.isBottom() ? Direct : Met;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+const VarRange &RangeAnalysis::rangeOf(const Function &F, VarId V) const {
+  static const VarRange Top = [] {
+    VarRange R;
+    R.Defined = true;
+    R.Val = Interval::top();
+    return R;
+  }();
+  auto It = States.find(&F);
+  if (It == States.end() || V < 0 ||
+      static_cast<size_t>(V) >= It->second.Ranges.size())
+    return Top;
+  const VarRange &R = It->second.Ranges[V];
+  // Bottom (never reached) would be unsound to expose as "impossible";
+  // treat it as unknown.
+  return R.Defined ? R : Top;
+}
+
+Interval RangeAnalysis::valueAt(const Function &F, BlockId B,
+                                VarId V) const {
+  auto It = States.find(&F);
+  if (It == States.end())
+    return Interval::top();
+  const FuncState &S = It->second;
+  if (V < 0 || static_cast<size_t>(V) >= S.Ranges.size())
+    return Interval::top();
+  const VarRange &R = S.Ranges[V];
+  if (!R.Defined)
+    return Interval::top();
+  // Blocks appended after analysis (SSA-inversion edge splits) carry no
+  // facts of their own; fall back to the flow-insensitive range.
+  if (B == NoBlock || static_cast<size_t>(B) >= S.Facts.size())
+    return R.Val;
+  return applyFacts(S, B, V, R.Val);
+}
+
+Interval RangeAnalysis::numelBound(const Function &F, VarId V) const {
+  Interval FromDims = numelOfDims(rangeOf(F, V).Dims);
+  Interval FromSyms = Interval::top();
+  if (TI.hasTypesFor(F)) {
+    const VarType &T = TI.functionTypes(F)[V];
+    if (!T.Extents.empty()) {
+      FromSyms = Interval::point(1);
+      for (SymExpr E : T.Extents)
+        FromSyms = iMul(FromSyms, boundOf(E));
+    }
+  }
+  Interval Met = FromDims.meet(FromSyms);
+  if (!Met.isBottom())
+    return Met;
+  // Disagreement (one path is stale relative to the other's precision):
+  // keep the tighter upper bound.
+  return FromDims.Hi <= FromSyms.Hi ? FromDims : FromSyms;
+}
+
+std::int64_t RangeAnalysis::staticSizeBytes(const Function &F,
+                                            VarId V) const {
+  if (!TI.hasTypesFor(F))
+    return -1;
+  const std::vector<VarType> &Types = TI.functionTypes(F);
+  if (V < 0 || static_cast<size_t>(V) >= Types.size())
+    return -1;
+  const VarType &T = Types[V];
+  if (T.isBottom() || T.IT == IntrinsicType::Colon)
+    return -1;
+  std::int64_t Elem = static_cast<std::int64_t>(elemSizeBytes(T.IT));
+  if (T.hasKnownShape())
+    return T.knownNumElements() * Elem;
+  Interval N = numelBound(F, V);
+  if (!N.boundedAbove() || N.Hi < 0)
+    return -1;
+  // Profitability guard: a range-justified size is a worst case, and the
+  // complex over-approximation doubles every element, so a non-scalar
+  // "maybe complex" value reserves far more stack than the real data it
+  // usually holds. Leave those on the heap.
+  if (T.IT == IntrinsicType::Complex && N.Hi > 1)
+    return -1;
+  double Bytes = std::floor(N.Hi) * static_cast<double>(Elem);
+  if (Bytes > static_cast<double>(kPromoteCapBytes))
+    return -1;
+  return static_cast<std::int64_t>(Bytes);
+}
+
+bool RangeAnalysis::provablyScalar(const Function &F, VarId V) const {
+  if (TI.hasTypesFor(F) && TI.functionTypes(F)[V].isScalar())
+    return true;
+  return dimsProvablyScalar(rangeOf(F, V).Dims);
+}
+
+bool RangeAnalysis::provablyScalarOrVector(const Function &F,
+                                           VarId V) const {
+  if (provablyScalar(F, V))
+    return true;
+  const std::vector<Interval> &Dims = rangeOf(F, V).Dims;
+  if (Dims.size() != 2)
+    return false;
+  auto Unit = [](const Interval &D) {
+    return !D.isBottom() && D.Lo >= 1 && D.Hi <= 1;
+  };
+  return Unit(Dims[0]) || Unit(Dims[1]);
+}
+
+bool RangeAnalysis::subscriptInBounds(const Function &F, BlockId B,
+                                      VarId Base, VarId Sub, unsigned Dim,
+                                      unsigned Rank) const {
+  // A ':' marker is not a value subscript; its interval is meaningless
+  // here.
+  if (TI.hasTypesFor(F) &&
+      TI.functionTypes(F)[Sub].IT == IntrinsicType::Colon)
+    return false;
+  Interval Idx = valueAt(F, B, Sub);
+  if (Idx.isBottom() || Idx.Lo < 1)
+    return false;
+  const VarRange &BaseR = rangeOf(F, Base);
+  Interval Extent;
+  if (Rank == 1) {
+    Extent = numelBound(F, Base);
+  } else {
+    if (BaseR.Dims.size() < Rank || Dim >= BaseR.Dims.size())
+      return false;
+    Extent = BaseR.Dims[Dim];
+    if (Dim + 1 == Rank && BaseR.Dims.size() > Rank)
+      // Trailing subscript spans the remaining dimensions; be strict.
+      return false;
+  }
+  // Also admit the symbolic-extent route: MaxElem-style proofs where the
+  // inferred extent expression dominates the subscript's bound.
+  if (!Extent.isBottom() && Extent.boundedBelow() && Idx.Hi <= Extent.Lo)
+    return true;
+  if (TI.hasTypesFor(F) && Rank >= 2) {
+    const VarType &T = TI.functionTypes(F)[Base];
+    if (Dim < T.Extents.size()) {
+      Interval SymExtent = boundOf(T.Extents[Dim]);
+      if (SymExtent.boundedBelow() && Idx.Hi <= SymExtent.Lo)
+        return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,204 @@
+//===- RangeAnalysis.h - Interval + symbolic shape analysis -----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forward, interprocedural dataflow analysis over the SSA IR that
+/// computes, per SSA value, a numeric interval bounding every element of
+/// the value plus per-dimension extent bounds, with widening at loop
+/// headers (join counters) and narrowing from branch conditions (facts
+/// attached to single-predecessor branch successors, applied through the
+/// dominator tree). The extent bounds are additionally published as
+/// bounds on the interned SymExpr shape algebra, so symbolic extents
+/// appearing in inferred types (e.g. "n + 1" where n comes from bounded
+/// run-time data) become evaluable.
+///
+/// Consumers:
+///  * gctd/StoragePlan: staticSizeBytes() makes sizes with bounded
+///    symbolic extents statically estimable, promoting heap groups to
+///    fixed stack slots (capped at kPromoteCapBytes per variable).
+///  * gctd/Interference: provablyScalar()/provablyVector() discharge
+///    operator-semantics edges the bare types cannot.
+///  * codegen/CEmitter: valueAt() discharges bounds/resize checks.
+///  * lint: every check reads the same facts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_ANALYSIS_RANGEANALYSIS_H
+#define MATCOAL_ANALYSIS_RANGEANALYSIS_H
+
+#include "analysis/Dominators.h"
+#include "ir/IR.h"
+#include "support/SymExpr.h"
+#include "typeinf/TypeInference.h"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// A closed numeric interval [Lo, Hi]; Lo > Hi encodes the empty
+/// (unreached/bottom) interval, +-infinity encode missing bounds.
+struct Interval {
+  double Lo = -std::numeric_limits<double>::infinity();
+  double Hi = std::numeric_limits<double>::infinity();
+
+  static Interval top() { return {}; }
+  static Interval bottom() {
+    return {std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+  }
+  static Interval point(double V) { return {V, V}; }
+  static Interval of(double L, double H) { return {L, H}; }
+
+  bool isBottom() const { return Lo > Hi; }
+  bool isTop() const {
+    return Lo == -std::numeric_limits<double>::infinity() &&
+           Hi == std::numeric_limits<double>::infinity();
+  }
+  bool isPoint() const { return Lo == Hi; }
+  bool boundedAbove() const {
+    return Hi < std::numeric_limits<double>::infinity();
+  }
+  bool boundedBelow() const {
+    return Lo > -std::numeric_limits<double>::infinity();
+  }
+
+  bool operator==(const Interval &O) const {
+    return (isBottom() && O.isBottom()) || (Lo == O.Lo && Hi == O.Hi);
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+
+  Interval join(const Interval &O) const {
+    if (isBottom())
+      return O;
+    if (O.isBottom())
+      return *this;
+    return {std::min(Lo, O.Lo), std::max(Hi, O.Hi)};
+  }
+  Interval meet(const Interval &O) const {
+    if (isBottom() || O.isBottom())
+      return bottom();
+    Interval R{std::max(Lo, O.Lo), std::min(Hi, O.Hi)};
+    return R.Lo > R.Hi ? bottom() : R;
+  }
+
+  std::string str() const;
+};
+
+/// The per-SSA-value lattice element: a bound on every element of the
+/// value, plus per-dimension extent bounds (empty = unknown shape).
+struct VarRange {
+  bool Defined = false;        ///< false = bottom (not yet reached).
+  Interval Val = Interval::bottom();
+  std::vector<Interval> Dims;  ///< Empty = unknown rank/extents.
+
+  static VarRange bottom() { return {}; }
+  bool operator==(const VarRange &O) const {
+    return Defined == O.Defined && Val == O.Val && Dims == O.Dims;
+  }
+};
+
+/// The module-wide analysis result. Construct once after type inference
+/// (while every function is still in SSA form); queries stay valid after
+/// SSA inversion for blocks that existed at analysis time (inversion only
+/// appends blocks and preserves VarIds).
+class RangeAnalysis {
+public:
+  /// Per-variable stack promotion cap for range-justified sizes, so a
+  /// bounded-but-large array cannot blow the frame.
+  static constexpr std::int64_t kPromoteCapBytes = 256 * 1024;
+
+  RangeAnalysis(const Module &M, const TypeInference &TI,
+                const std::string &Entry = "main");
+
+  /// The flow-insensitive range of V (the join over all program points).
+  const VarRange &rangeOf(const Function &F, VarId V) const;
+
+  /// V's value interval at entry to block B: rangeOf refined by every
+  /// branch fact attached to a block dominating B.
+  Interval valueAt(const Function &F, BlockId B, VarId V) const;
+
+  /// Bound on a symbolic shape expression, evaluated through the bounds
+  /// published for its interned subterms.
+  Interval boundOf(SymExpr E) const;
+
+  /// Upper bound on numel(V), from whichever of the dimension-range and
+  /// symbolic-extent paths is tighter; unbounded when neither is.
+  Interval numelBound(const Function &F, VarId V) const;
+
+  /// Range-justified static storage size in bytes: the worst-case size
+  /// when every extent is bounded (and the result is within
+  /// kPromoteCapBytes), the exact size for known shapes, -1 otherwise.
+  /// This is the single definition both the GCTD decomposer and the plan
+  /// verifier use, so a promotion the planner makes is exactly what an
+  /// independent re-derivation accepts.
+  std::int64_t staticSizeBytes(const Function &F, VarId V) const;
+
+  /// Provably a 1x1 value / provably has some unit dimension (rank 2).
+  bool provablyScalar(const Function &F, VarId V) const;
+  bool provablyScalarOrVector(const Function &F, VarId V) const;
+
+  /// True when the scalar subscript \p Sub, used at block B against
+  /// dimension \p Dim of \p Base (rank \p Rank subscripts total), is
+  /// provably within bounds (1 <= sub <= extent) on every execution.
+  bool subscriptInBounds(const Function &F, BlockId B, VarId Base,
+                         VarId Sub, unsigned Dim, unsigned Rank) const;
+
+  /// Analysis-wide statistics, for the bench harness.
+  unsigned numBoundedSyms() const {
+    return static_cast<unsigned>(SymBounds.size());
+  }
+
+private:
+  struct Fact {
+    VarId V = NoVar;      ///< The variable the fact constrains.
+    VarId Other = NoVar;  ///< The comparison operand.
+    enum Rel { LE, GE, EQ } R = LE;
+  };
+  struct FuncState {
+    const Function *F = nullptr;
+    std::vector<VarRange> Ranges;
+    std::vector<std::vector<Fact>> Facts; ///< Indexed by BlockId.
+    std::unique_ptr<DominatorTree> DT;
+    std::vector<BlockId> RPO;
+  };
+  struct Summary {
+    std::vector<VarRange> Params, Outputs;
+  };
+
+  void collectFacts(FuncState &S);
+  bool analyzeFunction(FuncState &S);
+  /// Joins \p New into Ranges[V], widening after repeated growth.
+  bool updateRange(FuncState &S, VarId V, VarRange New);
+  /// Operand range refined by the facts visible in block B.
+  VarRange rangeIn(const FuncState &S, BlockId B, VarId V) const;
+  Interval applyFacts(const FuncState &S, BlockId B, VarId V,
+                      Interval Cur) const;
+  std::vector<VarRange> transfer(FuncState &S, BlockId B, const Instr &I);
+  VarRange builtinTransfer(FuncState &S, BlockId B, const Instr &I,
+                           const std::vector<VarRange> &Ops);
+  void publishSymBounds();
+  Interval boundOfImpl(SymExpr E, unsigned Depth) const;
+
+  const Module &M;
+  const TypeInference &TI;
+  std::map<const Function *, FuncState> States;
+  std::map<const Function *, Summary> Summaries;
+  /// Set when a transfer function updates another function's parameter
+  /// summary; forces another module round.
+  bool ModuleChanged = false;
+  std::map<std::pair<const Function *, VarId>, unsigned> JoinCount;
+  std::map<SymExpr, Interval> SymBounds;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_ANALYSIS_RANGEANALYSIS_H

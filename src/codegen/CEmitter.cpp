@@ -55,8 +55,8 @@ std::string cEscape(const std::string &S) {
 class Emitter {
 public:
   Emitter(const Function &F, const StoragePlan &Plan,
-          const TypeInference &TI)
-      : F(F), Plan(Plan), Types(TI.functionTypes(F)) {}
+          const TypeInference &TI, const RangeAnalysis *RA)
+      : F(F), Plan(Plan), Types(TI.functionTypes(F)), RA(RA) {}
 
   std::string run();
 
@@ -83,7 +83,26 @@ private:
   bool isCharVar(VarId V) const {
     return Types[V].IT == IntrinsicType::Char;
   }
-  bool isStaticScalar(VarId V) const { return Types[V].isScalar(); }
+  // Code-selection predicate: must agree with InterferenceGraph's
+  // operator-semantics test. When the range analysis proves a value 1x1
+  // the graph drops the edge that would otherwise keep the result and
+  // that operand in distinct slots, so the emitter has to pick the
+  // in-place/scalar form for exactly the same values.
+  bool isStaticScalar(VarId V) const {
+    return Types[V].isScalar() || (RA && RA->provablyScalar(F, V));
+  }
+  /// Every subscript operand of \p I (starting at \p FirstSub, against
+  /// base \p Base) proven within bounds at the current block.
+  bool subsInBounds(const Instr &I, VarId Base, unsigned FirstSub) const {
+    if (!RA)
+      return false;
+    unsigned Rank = static_cast<unsigned>(I.Operands.size()) - FirstSub;
+    for (unsigned K = 0; K < Rank; ++K)
+      if (!RA->subscriptInBounds(F, CurBlock, Base,
+                                 I.Operands[FirstSub + K], K, Rank))
+        return false;
+    return true;
+  }
 
   // Emission helpers.
   void line(const std::string &S) {
@@ -116,6 +135,8 @@ private:
   const Function &F;
   const StoragePlan &Plan;
   const std::vector<VarType> &Types;
+  const RangeAnalysis *RA = nullptr;
+  BlockId CurBlock = NoBlock; ///< Block being emitted (for valueAt).
   std::ostringstream OS;
   int Indent = 0;
 };
@@ -134,6 +155,25 @@ void Emitter::emitDimSet(VarId Dst, const std::string &D0,
 }
 
 void Emitter::emitEnsure(VarId V, const std::string &CountExpr) {
+  // A stack group's buffer is the fixed local array, so mcrt_ensure only
+  // checks the capacity. When the analysis bounds numel(V) under the
+  // group's capacity the check can never fire: elide it. (Heap groups
+  // must keep the call -- it is what allocates.)
+  int G = Plan.groupOf(V);
+  if (RA && G >= 0 &&
+      Plan.Groups[G].K == StorageGroup::Kind::Stack) {
+    const StorageGroup &SG = Plan.Groups[G];
+    std::int64_t CapElems =
+        SG.StackBytes / (SG.IT == IntrinsicType::Complex ? 16 : 8);
+    if (CapElems < 1)
+      CapElems = 1;
+    Interval NB = RA->numelBound(F, V);
+    if (NB.boundedAbove() && NB.Hi <= static_cast<double>(CapElems)) {
+      line("/* capacity check elided: numel(" + F.var(V).Name +
+           ") <= " + std::to_string(CapElems) + " proven */");
+      return;
+    }
+  }
   line("mcrt_ensure(&" + buf(V) + ", &" + cap(V) + ", " + CountExpr + ");");
 }
 
@@ -229,6 +269,7 @@ std::string Emitter::run() {
 }
 
 void Emitter::emitBlock(const BasicBlock &BB) {
+  CurBlock = BB.Id;
   OS << "L" << BB.Id << ":;\n";
   for (const Instr &I : BB.Instrs)
     emitInstr(I);
@@ -395,10 +436,14 @@ void Emitter::emitInstr(const Instr &I) {
                      NumSubs >= 1 && NumSubs <= 3;
     for (size_t K = 1; K < I.Operands.size(); ++K) {
       const VarType &T = Types[I.Operands[K]];
-      AllScalar &= T.isScalar() && T.IT != IntrinsicType::Colon;
+      AllScalar &= isStaticScalar(I.Operands[K]) &&
+                   T.IT != IntrinsicType::Colon;
     }
     if (AllScalar) {
-      line("/* inline scalar R-indexing */");
+      bool Proven = subsInBounds(I, A, 1);
+      line(Proven ? "/* inline scalar R-indexing (bounds check elided: "
+                    "subscripts proven in range) */"
+                  : "/* inline scalar R-indexing */");
       std::string Idx;
       if (NumSubs == 1)
         Idx = "mcrt_index1(" + buf(I.Operands[1]) + "[0], " +
@@ -413,7 +458,8 @@ void Emitter::emitInstr(const Instr &I) {
               dim(A, 0) + ", " + dim(A, 1) + ", " + dim(A, 2) + ")";
       open("");
       line("mcrt_size __k = " + Idx + ";");
-      line("if (__k < 0) mcrt_fail(\"index exceeds array bounds\");");
+      if (!Proven)
+        line("if (__k < 0) mcrt_fail(\"index exceeds array bounds\");");
       emitEnsure(C, "1");
       line(buf(C) + "[0] = " + buf(A) + "[__k];");
       emitDimSet(C, "1", "1");
@@ -430,12 +476,14 @@ void Emitter::emitInstr(const Instr &I) {
     VarId Base = I.Operands[0], Rhs = I.Operands[1];
     unsigned NumSubs = static_cast<unsigned>(I.Operands.size()) - 2;
     bool Fast = InPlace && !isComplexVar(Base) && !isComplexVar(Rhs) &&
-                Types[Rhs].isScalar() && NumSubs >= 1 && NumSubs <= 3;
+                isStaticScalar(Rhs) && NumSubs >= 1 && NumSubs <= 3;
     for (size_t K = 2; K < I.Operands.size(); ++K) {
       const VarType &T = Types[I.Operands[K]];
-      Fast &= T.isScalar() && T.IT != IntrinsicType::Colon;
+      Fast &= isStaticScalar(I.Operands[K]) &&
+              T.IT != IntrinsicType::Colon;
     }
     if (Fast) {
+      bool Proven = subsInBounds(I, Base, 2);
       std::string Idx;
       if (NumSubs == 1)
         Idx = "mcrt_index1(" + buf(I.Operands[2]) + "[0], " +
@@ -449,6 +497,17 @@ void Emitter::emitInstr(const Instr &I) {
               buf(I.Operands[3]) + "[0], " + buf(I.Operands[4]) + "[0], " +
               dim(Base, 0) + ", " + dim(Base, 1) + ", " + dim(Base, 2) +
               ")";
+      if (Proven) {
+        // Subscripts proven within the base's extents: the write can
+        // never grow the array, so the runtime fallback is dead.
+        line("/* inline scalar L-indexing (growth fallback elided: "
+             "subscripts proven in range) */");
+        open("");
+        line("mcrt_size __k = " + Idx + ";");
+        line(buf(Base) + "[__k] = " + buf(Rhs) + "[0];");
+        close();
+        return;
+      }
       line("/* inline scalar L-indexing (in place; growth falls back) */");
       open("");
       line("mcrt_size __k = " + Idx + ";");
@@ -538,14 +597,15 @@ void Emitter::emitInstr(const Instr &I) {
 
 std::string matcoal::emitFunctionC(const Function &F,
                                    const StoragePlan &Plan,
-                                   const TypeInference &TI) {
-  Emitter E(F, Plan, TI);
+                                   const TypeInference &TI,
+                                   const RangeAnalysis *RA) {
+  Emitter E(F, Plan, TI, RA);
   return E.run();
 }
 
 std::string matcoal::emitModuleC(
     const Module &M, const std::map<const Function *, StoragePlan> &Plans,
-    const TypeInference &TI) {
+    const TypeInference &TI, const RangeAnalysis *RA) {
   std::ostringstream OS;
   OS << "/* Generated by matcoal (GCTD array storage optimization). */\n"
      << "#include \"mcrt.h\"\n\n";
@@ -573,7 +633,7 @@ std::string matcoal::emitModuleC(
   for (const auto &F : M.Functions) {
     auto It = Plans.find(F.get());
     assert(It != Plans.end() && "missing plan for function");
-    OS << emitFunctionC(*F, It->second, TI) << "\n";
+    OS << emitFunctionC(*F, It->second, TI, RA) << "\n";
   }
   OS << "int main(void) { mat_main(); return 0; }\n";
   return OS.str();

@@ -28,14 +28,23 @@
 namespace matcoal {
 
 /// Emits C for one function under its storage plan.
+///
+/// \p RA must be the same RangeAnalysis the plan's interference graph was
+/// built with (or null for a types-only plan): the emitter's in-place code
+/// selection consults it so the emitted aliasing assumptions agree with
+/// the operator-semantics edges the graph removed, and it additionally
+/// elides bounds checks, subsasgn growth fallbacks, and stack-slot
+/// capacity checks the analysis discharges.
 std::string emitFunctionC(const Function &F, const StoragePlan &Plan,
-                          const TypeInference &TI);
+                          const TypeInference &TI,
+                          const RangeAnalysis *RA = nullptr);
 
 /// Emits a full translation unit: the mcrt runtime declarations followed
 /// by every function of the module.
 std::string emitModuleC(const Module &M,
                         const std::map<const Function *, StoragePlan> &Plans,
-                        const TypeInference &TI);
+                        const TypeInference &TI,
+                        const RangeAnalysis *RA = nullptr);
 
 } // namespace matcoal
 

@@ -191,6 +191,42 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       return Result;
     }
 
+    // --- Range analysis (optional). A throwing analysis never fails the
+    // compile; the pipeline simply continues with types-only facts.
+    if (O.Analysis == AnalysisLevel::Ranges) {
+      try {
+        P->RA = std::make_unique<RangeAnalysis>(*P->M, *P->TI, O.Entry);
+      } catch (const std::exception &E) {
+        Diags.warning(SourceLoc{}, std::string("range analysis failed (") +
+                                       E.what() +
+                                       "); continuing without ranges");
+        P->RA.reset();
+      }
+    }
+
+    // --- Lint (optional; needs SSA form, so it runs before inversion).
+    if (O.Lint) {
+      try {
+        P->LintDiags = runLint(*P->M, *P->TI, P->RA.get());
+      } catch (const std::exception &E) {
+        Diags.warning(SourceLoc{},
+                      std::string("lint failed: ") + E.what());
+      }
+    }
+
+    // The verifier must accept range-justified promotions by re-deriving
+    // them: hand it an independently constructed analysis rather than the
+    // planner's instance.
+    std::unique_ptr<RangeAnalysis> VerifyRA;
+    if (P->RA && O.Verify) {
+      try {
+        VerifyRA = std::make_unique<RangeAnalysis>(*P->M, *P->TI, O.Entry);
+      } catch (const std::exception &E) {
+        (void)E;
+        VerifyRA.reset();
+      }
+    }
+
     // --- GCTD, verified per function. A rejected or throwing GCTD run
     // falls back to that function's identity plan; the program then
     // reports the IdentityPlans rung.
@@ -201,8 +237,9 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       StoragePlan Plan;
       if (UseGCTD) {
         try {
-          InterferenceGraph IG(*F, *P->TI);
-          Plan = decomposeColorClasses(*F, IG, *P->TI);
+          InterferenceGraph IG(*F, *P->TI, /*Coalesce=*/true,
+                               ColoringStrategy::Affinity, P->RA.get());
+          Plan = decomposeColorClasses(*F, IG, *P->TI, P->RA.get());
           // Self-check while the SSA-form graph still exists: interfering
           // variables must never share a storage slot.
           for (unsigned U = 0; U < F->numVars(); ++U)
@@ -214,7 +251,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
             }
           if (O.Verify) {
             VerifierReport R;
-            if (!verifyStoragePlan(*F, *P->TI, Plan, R)) {
+            if (!verifyStoragePlan(*F, *P->TI, Plan, R, VerifyRA.get())) {
               R.reportTo(Diags, DiagLevel::Warning);
               UseGCTD = false;
             }
@@ -252,6 +289,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
           R.reportTo(Diags, DiagLevel::Warning);
           P->GCTDPlans.clear();
           P->IdentityPlans.clear();
+          P->RA.reset();
           P->TI.reset();
           P->Ctx.reset();
           P->M.reset();
@@ -266,6 +304,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     // AST, which exists by this point.
     P->GCTDPlans.clear();
     P->IdentityPlans.clear();
+    P->RA.reset();
     P->TI.reset();
     P->Ctx.reset();
     P->M.reset();

@@ -41,10 +41,12 @@
 #ifndef MATCOAL_DRIVER_COMPILER_H
 #define MATCOAL_DRIVER_COMPILER_H
 
+#include "analysis/RangeAnalysis.h"
 #include "frontend/AST.h"
 #include "gctd/GCTD.h"
 #include "interp/Interp.h"
 #include "ir/IR.h"
+#include "lint/Lint.h"
 #include "support/Diagnostics.h"
 #include "typeinf/TypeInference.h"
 #include "vm/VM.h"
@@ -70,6 +72,12 @@ enum class DegradeLevel { Full, IdentityPlans, MccOnly, InterpOnly };
 
 const char *degradeLevelName(DegradeLevel L);
 
+/// How much static analysis feeds the optimizer. Ranges (the default)
+/// runs the interval/shape RangeAnalysis after type inference and hands
+/// its facts to GCTD and the code emitter; None reproduces the types-only
+/// pipeline (the pre-range baseline, also used by ablation benchmarks).
+enum class AnalysisLevel { None, Ranges };
+
 /// Knobs for compileSource. The defaults reproduce the paper's pipeline.
 struct CompileOptions {
   std::string Entry = "main";
@@ -81,6 +89,11 @@ struct CompileOptions {
   bool Verify = true;
   /// Degrade on stage failure instead of returning nullptr.
   bool AllowDegrade = true;
+  /// Static-analysis depth (see AnalysisLevel). A throwing RangeAnalysis
+  /// never fails the compile; the pipeline just continues without it.
+  AnalysisLevel Analysis = AnalysisLevel::Ranges;
+  /// Run the lint checks and store their diagnostics on the result.
+  bool Lint = false;
   // Execution guards, forwarded to every run mode.
   std::uint64_t OpBudget = 2000000000ull;
   std::int64_t HeapLimit = 0;    ///< Metered heap bytes; 0 = unlimited.
@@ -117,12 +130,19 @@ public:
   const Module &module() const { return *M; }
   const TypeInference &types() const { return *TI; }
   const std::string &entryName() const { return Entry; }
+  /// The range analysis the plans were built with; null at
+  /// AnalysisLevel::None or when its construction failed.
+  const RangeAnalysis *ranges() const { return RA.get(); }
+  /// Lint diagnostics (populated when CompileOptions::Lint was set).
+  const std::vector<LintDiag> &lintDiags() const { return LintDiags; }
 
   /// Implementation detail, public for the factory function.
   std::unique_ptr<Program> Ast;
   std::unique_ptr<Module> M;
   std::unique_ptr<SymExprContext> Ctx;
   std::unique_ptr<TypeInference> TI;
+  std::unique_ptr<RangeAnalysis> RA;
+  std::vector<LintDiag> LintDiags;
   std::map<const Function *, StoragePlan> GCTDPlans;
   std::map<const Function *, StoragePlan> IdentityPlans;
   std::string Entry;

@@ -13,8 +13,9 @@ using namespace matcoal;
 
 InterferenceGraph::InterferenceGraph(const Function &F,
                                      const TypeInference &TI, bool Coalesce,
-                                     ColoringStrategy Strategy)
-    : F(F), Participates(F.numVars(), 0), Parent(F.numVars()),
+                                     ColoringStrategy Strategy,
+                                     const RangeAnalysis *RA)
+    : F(F), RA(RA), Participates(F.numVars(), 0), Parent(F.numVars()),
       Adj(F.numVars()), Affinity(F.numVars()), ITOf(F.numVars(),
                                                     IntrinsicType::None),
       NonScalarOf(F.numVars(), 0), Colors(F.numVars(), -1) {
@@ -226,15 +227,21 @@ void InterferenceGraph::addOperatorSemanticsEdges(const Instr &I,
   if (!Participates[Y])
     return;
   const std::vector<VarType> &Types = TI.functionTypes(F);
-  auto IsScalar = [&](VarId V) { return Types[V].isScalar(); };
+  // Range-proven facts widen what the bare types can discharge; the
+  // CEmitter consults the same RangeAnalysis, so every edge removed here
+  // corresponds to an in-place-safe code path there.
+  auto IsScalar = [&](VarId V) {
+    return Types[V].isScalar() || (RA && RA->provablyScalar(F, V));
+  };
   auto IsScalarOrVector = [&](VarId V) {
     const VarType &T = Types[V];
     if (T.isScalar())
       return true;
-    if (T.Extents.size() != 2)
-      return false;
-    return (T.Extents[0]->isConst() && T.Extents[0]->constValue() == 1) ||
-           (T.Extents[1]->isConst() && T.Extents[1]->constValue() == 1);
+    if (T.Extents.size() == 2 &&
+        ((T.Extents[0]->isConst() && T.Extents[0]->constValue() == 1) ||
+         (T.Extents[1]->isConst() && T.Extents[1]->constValue() == 1)))
+      return true;
+    return RA && RA->provablyScalarOrVector(F, V);
   };
   auto EdgeToNonScalars = [&](size_t From = 0) {
     for (size_t K = From; K < I.Operands.size(); ++K)
@@ -291,7 +298,7 @@ void InterferenceGraph::addOperatorSemanticsEdges(const Instr &I,
     bool AllScalar = true;
     for (size_t K = 1; K < I.Operands.size(); ++K) {
       const VarType &T = Types[I.Operands[K]];
-      AllScalar &= T.isScalar() && T.IT != IntrinsicType::Colon;
+      AllScalar &= IsScalar(I.Operands[K]) && T.IT != IntrinsicType::Colon;
     }
     if (AllScalar)
       return;

@@ -19,6 +19,7 @@
 #ifndef MATCOAL_GCTD_INTERFERENCE_H
 #define MATCOAL_GCTD_INTERFERENCE_H
 
+#include "analysis/RangeAnalysis.h"
 #include "ir/IR.h"
 #include "typeinf/TypeInference.h"
 
@@ -46,10 +47,16 @@ enum class ColoringStrategy {
 class InterferenceGraph {
 public:
   /// Builds, coalesces and colors the graph for \p F. \p Coalesce disables
-  /// phi coalescing when false (for ablation benchmarks).
+  /// phi coalescing when false (for ablation benchmarks). When \p RA is
+  /// non-null, range-proven scalar/vector facts discharge operator-
+  /// semantics edges the bare types cannot; any consumer executing the
+  /// resulting plan through generated code must use the same facts (the
+  /// CEmitter takes the same RangeAnalysis so its in-place decisions agree
+  /// with the edges removed here).
   InterferenceGraph(const Function &F, const TypeInference &TI,
                     bool Coalesce = true,
-                    ColoringStrategy Strategy = ColoringStrategy::Affinity);
+                    ColoringStrategy Strategy = ColoringStrategy::Affinity,
+                    const RangeAnalysis *RA = nullptr);
 
   /// True if the variable takes part in storage allocation (defined, typed,
   /// not the ':' marker).
@@ -84,6 +91,7 @@ private:
   bool tryUnion(VarId U, VarId V);
 
   const Function &F;
+  const RangeAnalysis *RA = nullptr;
   std::vector<char> Participates;
   mutable std::vector<VarId> Parent; ///< Union-find with path compression.
   std::vector<std::set<VarId>> Adj;  ///< Adjacency over representatives.

@@ -17,8 +17,8 @@ namespace {
 class Decomposer {
 public:
   Decomposer(const Function &F, const InterferenceGraph &IG,
-             const TypeInference &TI)
-      : F(F), IG(IG), TI(TI), Types(TI.functionTypes(F)),
+             const TypeInference &TI, const RangeAnalysis *RA)
+      : F(F), IG(IG), TI(TI), RA(RA), Types(TI.functionTypes(F)),
         Ctx(const_cast<TypeInference &>(TI).context()),
         Avail(computeAvailability(F)), StaticSize(F.numVars(), -2) {
     recordDefSites();
@@ -48,6 +48,7 @@ private:
   const Function &F;
   const InterferenceGraph &IG;
   const TypeInference &TI;
+  const RangeAnalysis *RA;
   const std::vector<VarType> &Types;
   SymExprContext &Ctx;
   AvailabilityInfo Avail;
@@ -102,6 +103,15 @@ std::int64_t Decomposer::staticSizeBytes(VarId V) {
       MaxSize = std::max(MaxSize, S);
     }
     Memo = MaxSize;
+  }
+  // Range-justified estimability: a finite worst-case size derived from
+  // the interval analysis (with its promotion cap) is just as fixed a
+  // layout as an explicit shape. The verifier re-derives this bound from
+  // its own RangeAnalysis instance, so the promotion stays checkable.
+  if (Memo < 0 && RA) {
+    std::int64_t S = RA->staticSizeBytes(F, V);
+    if (S >= 0)
+      Memo = S;
   }
   return Memo;
 }
@@ -396,20 +406,24 @@ StoragePlan Decomposer::run() {
 
 StoragePlan matcoal::decomposeColorClasses(const Function &F,
                                            const InterferenceGraph &IG,
-                                           const TypeInference &TI) {
-  Decomposer D(F, IG, TI);
+                                           const TypeInference &TI,
+                                           const RangeAnalysis *RA) {
+  Decomposer D(F, IG, TI, RA);
   return D.run();
 }
 
-StoragePlan matcoal::runGCTD(const Function &F, const TypeInference &TI) {
-  InterferenceGraph IG(F, TI, /*Coalesce=*/true);
-  return decomposeColorClasses(F, IG, TI);
+StoragePlan matcoal::runGCTD(const Function &F, const TypeInference &TI,
+                             const RangeAnalysis *RA) {
+  InterferenceGraph IG(F, TI, /*Coalesce=*/true, ColoringStrategy::Affinity,
+                       RA);
+  return decomposeColorClasses(F, IG, TI, RA);
 }
 
 StoragePlan matcoal::runGCTDWith(const Function &F, const TypeInference &TI,
-                                 bool Coalesce, ColoringStrategy Strategy) {
-  InterferenceGraph IG(F, TI, Coalesce, Strategy);
-  return decomposeColorClasses(F, IG, TI);
+                                 bool Coalesce, ColoringStrategy Strategy,
+                                 const RangeAnalysis *RA) {
+  InterferenceGraph IG(F, TI, Coalesce, Strategy, RA);
+  return decomposeColorClasses(F, IG, TI, RA);
 }
 
 StoragePlan matcoal::makeIdentityPlan(const Function &F,

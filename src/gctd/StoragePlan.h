@@ -17,6 +17,7 @@
 #ifndef MATCOAL_GCTD_STORAGEPLAN_H
 #define MATCOAL_GCTD_STORAGEPLAN_H
 
+#include "analysis/RangeAnalysis.h"
 #include "gctd/Interference.h"
 #include "ir/IR.h"
 #include "typeinf/TypeInference.h"
@@ -73,17 +74,23 @@ struct StoragePlan {
   std::string str(const Function &F) const;
 };
 
-/// Runs phase 2 on a colored interference graph.
+/// Runs phase 2 on a colored interference graph. When \p RA is non-null,
+/// range-bounded symbolic extents also count as statically estimable
+/// (capped at RangeAnalysis::kPromoteCapBytes), promoting heap groups to
+/// fixed stack slots.
 StoragePlan decomposeColorClasses(const Function &F,
                                   const InterferenceGraph &IG,
-                                  const TypeInference &TI);
+                                  const TypeInference &TI,
+                                  const RangeAnalysis *RA = nullptr);
 
 /// Runs the full GCTD pass (phase 1 + phase 2).
-StoragePlan runGCTD(const Function &F, const TypeInference &TI);
+StoragePlan runGCTD(const Function &F, const TypeInference &TI,
+                    const RangeAnalysis *RA = nullptr);
 
 /// Strategy-parameterized variant for the coloring ablation benchmarks.
 StoragePlan runGCTDWith(const Function &F, const TypeInference &TI,
-                        bool Coalesce, ColoringStrategy Strategy);
+                        bool Coalesce, ColoringStrategy Strategy,
+                        const RangeAnalysis *RA = nullptr);
 
 /// The no-coalescing baseline used by the "without GCTD" ablation: every
 /// variable gets its own storage area.

@@ -1,0 +1,478 @@
+//===- Lint.cpp -----------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "analysis/Dominators.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+using namespace matcoal;
+
+namespace {
+
+constexpr double Inf = std::numeric_limits<double>::infinity();
+
+/// Blocks belonging to some natural loop: for every back edge P -> H
+/// (H dominates P), the loop body is H plus everything that reaches P
+/// without passing through H.
+std::vector<bool> blocksInLoops(const Function &F, const DominatorTree &DT) {
+  std::vector<bool> InLoop(F.Blocks.size(), false);
+  for (const auto &BB : F.Blocks) {
+    for (BlockId S : BB->successors()) {
+      if (S == NoBlock || !DT.dominates(S, BB->Id))
+        continue;
+      // Back edge BB -> S. Walk predecessors from BB, stopping at S.
+      std::vector<BlockId> Work{BB->Id};
+      std::set<BlockId> Body{S, BB->Id};
+      while (!Work.empty()) {
+        BlockId Cur = Work.back();
+        Work.pop_back();
+        for (BlockId P : F.block(Cur)->Preds)
+          if (Body.insert(P).second)
+            Work.push_back(P);
+      }
+      for (BlockId B : Body)
+        InLoop[B] = true;
+    }
+  }
+  return InLoop;
+}
+
+/// The defining instruction of each SSA value.
+std::vector<const Instr *> defMap(const Function &F) {
+  std::vector<const Instr *> Def(F.numVars(), nullptr);
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      for (VarId R : I.Results)
+        if (R >= 0 && static_cast<size_t>(R) < Def.size())
+          Def[R] = &I;
+  return Def;
+}
+
+/// Number of reads of each SSA value (phi and terminator operands count).
+std::vector<unsigned> useCounts(const Function &F) {
+  std::vector<unsigned> Uses(F.numVars(), 0);
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      for (VarId U : I.Operands)
+        if (U >= 0 && static_cast<size_t>(U) < Uses.size())
+          ++Uses[U];
+  return Uses;
+}
+
+class Linter {
+public:
+  Linter(const Module &M, const TypeInference &TI, const RangeAnalysis *RA)
+      : M(M), TI(TI), RA(RA) {}
+
+  std::vector<LintDiag> run() {
+    for (const auto &F : M.Functions) {
+      if (F->Blocks.empty() || !TI.hasTypesFor(*F))
+        continue;
+      lintFunction(*F);
+    }
+    return std::move(Diags);
+  }
+
+private:
+  void report(LintCheck C, const Function &F, const std::string &Var,
+              SourceLoc Loc, const std::string &Msg) {
+    Diags.push_back(LintDiag{C, F.Name, Var, Loc, Msg});
+  }
+
+  /// Source-level name of an SSA value ("a" for "a.3"); empty for temps.
+  static std::string sourceName(const Function &F, VarId V) {
+    const VarInfo &Info = F.var(V);
+    return Info.IsTemp ? std::string() : Info.Base;
+  }
+
+  void lintFunction(const Function &F) {
+    DominatorTree DT(F);
+    std::vector<bool> InLoop = blocksInLoops(F, DT);
+    std::vector<const Instr *> Def = defMap(F);
+    std::vector<unsigned> Uses = useCounts(F);
+
+    checkGrowthInLoop(F, DT, InLoop, Def);
+    checkOutOfBounds(F);
+    checkDeadStores(F, Def, Uses);
+    checkMaybeUndefined(F, Def);
+    checkShapeMismatch(F);
+  }
+
+  //===--------------------------------------------------------------===//
+  // growth-in-loop
+  //===--------------------------------------------------------------===//
+  //
+  // A subsasgn inside a natural loop whose subscript provably exceeds
+  // the array's pre-loop extent: the classic "preallocate me" pattern.
+  // The subscript's upper bound must be finite (a statically bounded
+  // growth is exactly the case a zeros() preallocation fixes), and the
+  // write must not be provably in bounds.
+  void checkGrowthInLoop(const Function &F, const DominatorTree &DT,
+                         const std::vector<bool> &InLoop,
+                         const std::vector<const Instr *> &Def) {
+    const std::vector<VarType> &Types = TI.functionTypes(F);
+    for (const auto &BB : F.Blocks) {
+      if (static_cast<size_t>(BB->Id) >= InLoop.size() || !InLoop[BB->Id])
+        continue;
+      for (const Instr &I : BB->Instrs) {
+        if (I.Op != Opcode::Subsasgn || I.Operands.size() < 3 ||
+            I.Results.empty())
+          continue;
+        VarId Base = I.Operands[0], Res = I.Results[0];
+        // The inferred shapes agreeing (same interned extents) means the
+        // write provably never grows the base.
+        if (Types[Res].Extents == Types[Base].Extents &&
+            !Types[Res].Extents.empty())
+          continue;
+        if (!RA)
+          continue;
+        unsigned Rank = static_cast<unsigned>(I.Operands.size()) - 2;
+        // Every subscript provably in bounds -> no growth.
+        bool AllIn = true;
+        double IdxHi = -Inf;
+        for (unsigned K = 0; K < Rank && AllIn; ++K) {
+          VarId Sub = I.Operands[K + 2];
+          if (Types[Sub].IT == IntrinsicType::Colon)
+            continue;
+          Interval Idx = RA->valueAt(F, BB->Id, Sub);
+          IdxHi = std::max(IdxHi, Idx.Hi);
+          if (!RA->subscriptInBounds(F, BB->Id, Base, Sub, K, Rank))
+            AllIn = false;
+        }
+        if (AllIn)
+          continue;
+        // Only a finite growth bound is actionable (and an unbounded one
+        // would flag adaptive-accumulation loops we cannot prove grow).
+        if (!(IdxHi < Inf))
+          continue;
+        // Find the value entering the loop: walk the base up through the
+        // subsasgn/phi chain to the phi operand defined outside the loop.
+        Interval EntryNumel = entryExtent(F, Def, InLoop, Base);
+        if (!(EntryNumel.Hi < Inf) || IdxHi <= EntryNumel.Hi)
+          continue;
+        std::string Name = sourceName(F, Res);
+        std::ostringstream OS;
+        OS << "array '" << (Name.empty() ? std::string("<tmp>") : Name)
+           << "' grows inside a loop (written up to index "
+           << static_cast<long long>(IdxHi) << ", entering with at most "
+           << static_cast<long long>(std::max(0.0, EntryNumel.Hi))
+           << " elements); preallocate before the loop";
+        report(LintCheck::GrowthInLoop, F, Name, I.Loc, OS.str());
+      }
+    }
+  }
+
+  /// Upper bound on numel of the value the grown array has on loop
+  /// entry: follow base -> phi -> the operand whose definition lies
+  /// outside any loop.
+  Interval entryExtent(const Function &F,
+                       const std::vector<const Instr *> &Def,
+                       const std::vector<bool> &InLoop, VarId Base) {
+    VarId Cur = Base;
+    for (int Hops = 0; Hops < 8; ++Hops) {
+      const Instr *D = static_cast<size_t>(Cur) < Def.size() ? Def[Cur]
+                                                             : nullptr;
+      if (!D)
+        break;
+      if (D->Op == Opcode::Copy) {
+        Cur = D->Operands[0];
+        continue;
+      }
+      if (D->Op != Opcode::Phi)
+        break;
+      // Take the join over operands defined outside loops.
+      Interval Out = Interval::bottom();
+      for (VarId Op : D->Operands) {
+        const Instr *OD =
+            static_cast<size_t>(Op) < Def.size() ? Def[Op] : nullptr;
+        BlockId ODB = NoBlock;
+        if (OD)
+          for (const auto &BB : F.Blocks)
+            for (const Instr &I : BB->Instrs)
+              if (&I == OD)
+                ODB = BB->Id;
+        bool OutsideLoop =
+            ODB == NoBlock ||
+            (static_cast<size_t>(ODB) < InLoop.size() && !InLoop[ODB]);
+        if (OutsideLoop && RA)
+          Out = Out.join(RA->numelBound(F, Op));
+      }
+      return Out.isBottom() ? Interval::top() : Out;
+    }
+    return Interval::top();
+  }
+
+  //===--------------------------------------------------------------===//
+  // out-of-bounds
+  //===--------------------------------------------------------------===//
+  //
+  // Reads whose subscript interval lies entirely outside the base's
+  // extent bounds on every execution. Both conditions compare a must
+  // bound of the subscript against a may bound of the extent, so a
+  // report is a proof. Writes only fault for subscripts < 1 (larger
+  // ones grow the array).
+  void checkOutOfBounds(const Function &F) {
+    if (!RA)
+      return;
+    const std::vector<VarType> &Types = TI.functionTypes(F);
+    for (const auto &BB : F.Blocks) {
+      for (const Instr &I : BB->Instrs) {
+        if (I.Op != Opcode::Subsref && I.Op != Opcode::Subsasgn)
+          continue;
+        bool IsRef = I.Op == Opcode::Subsref;
+        unsigned First = IsRef ? 1 : 2;
+        if (I.Operands.size() <= First)
+          continue;
+        VarId Base = I.Operands[0];
+        unsigned Rank = static_cast<unsigned>(I.Operands.size()) - First;
+        for (unsigned K = 0; K < Rank; ++K) {
+          VarId Sub = I.Operands[First + K];
+          if (Types[Sub].IT == IntrinsicType::Colon ||
+              !Types[Sub].isScalar())
+            continue;
+          Interval Idx = RA->valueAt(F, BB->Id, Sub);
+          if (Idx.isBottom())
+            continue;
+          std::string Name = sourceName(F, Base);
+          std::string Shown = Name.empty() ? std::string("<tmp>") : Name;
+          if (Idx.Hi < 1) {
+            std::ostringstream OS;
+            OS << "subscript of '" << Shown << "' is always "
+               << Idx.str() << ", below the minimum index 1";
+            report(LintCheck::OutOfBounds, F, Name, I.Loc, OS.str());
+            continue;
+          }
+          if (!IsRef)
+            continue; // Writing past the end grows the array legally.
+          Interval Extent = Rank == 1 ? RA->numelBound(F, Base)
+                                      : extentOf(F, Base, K);
+          if (!Extent.isBottom() && Extent.Hi < Inf &&
+              Idx.Lo > Extent.Hi) {
+            std::ostringstream OS;
+            OS << "subscript of '" << Shown << "' is always >= "
+               << Idx.Lo << " but the array never has more than "
+               << static_cast<long long>(Extent.Hi)
+               << (Rank == 1 ? " elements" : " along this dimension");
+            report(LintCheck::OutOfBounds, F, Name, I.Loc, OS.str());
+          }
+        }
+      }
+    }
+  }
+
+  Interval extentOf(const Function &F, VarId Base, unsigned Dim) {
+    const VarRange &R = RA->rangeOf(F, Base);
+    if (Dim < R.Dims.size())
+      return R.Dims[Dim];
+    return Interval::top();
+  }
+
+  //===--------------------------------------------------------------===//
+  // dead-store
+  //===--------------------------------------------------------------===//
+  //
+  // A named SSA version that is never read. Pure dead definitions were
+  // removed by cleanup, so survivors are (a) impure definitions whose
+  // value is discarded, or (b) values overwritten before any use --
+  // both worth telling the user about.
+  void checkDeadStores(const Function &F,
+                       const std::vector<const Instr *> &Def,
+                       const std::vector<unsigned> &Uses) {
+    for (VarId V = 0; static_cast<size_t>(V) < F.numVars(); ++V) {
+      const VarInfo &Info = F.var(V);
+      if (Info.IsTemp || Info.IsOutput || Info.IsParam)
+        continue;
+      if (static_cast<size_t>(V) >= Uses.size() || Uses[V] != 0)
+        continue;
+      const Instr *D =
+          static_cast<size_t>(V) < Def.size() ? Def[V] : nullptr;
+      if (!D || D->StrVal == "__undef_init")
+        continue;
+      if (D->Op == Opcode::Phi)
+        continue; // Dead phis are SSA plumbing, not a user store.
+      // Is there a later version of the same source variable?
+      bool Superseded = false;
+      for (VarId W = 0; static_cast<size_t>(W) < F.numVars(); ++W)
+        if (W != V && F.var(W).Base == Info.Base &&
+            F.var(W).Version > Info.Version) {
+          Superseded = true;
+          break;
+        }
+      std::ostringstream OS;
+      OS << "value assigned to '" << Info.Base << "' is never used";
+      if (Superseded)
+        OS << " (overwritten before any read)";
+      report(LintCheck::DeadStore, F, Info.Base, D->Loc, OS.str());
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // maybe-undefined
+  //===--------------------------------------------------------------===//
+  //
+  // The SSA builder initializes variables that some CFG path reads
+  // before assignment with a tagged empty array. A read of a value the
+  // tagged initializer can reach (through phis and copies) is a
+  // possible use-before-def -- except as a subsasgn base, where growing
+  // from empty is the idiomatic accumulation pattern.
+  void checkMaybeUndefined(const Function &F,
+                           const std::vector<const Instr *> &Def) {
+    std::vector<bool> Tainted(F.numVars(), false);
+    bool Any = false;
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs)
+        if (I.Op == Opcode::VertCat && I.Operands.empty() &&
+            I.StrVal == "__undef_init" && !I.Results.empty()) {
+          Tainted[I.Results[0]] = true;
+          Any = true;
+        }
+    if (!Any)
+      return;
+    // Propagate through phis and copies to a fixpoint.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const auto &BB : F.Blocks)
+        for (const Instr &I : BB->Instrs) {
+          if ((I.Op != Opcode::Phi && I.Op != Opcode::Copy) ||
+              I.Results.empty() || Tainted[I.Results[0]])
+            continue;
+          for (VarId U : I.Operands)
+            if (U >= 0 && Tainted[U]) {
+              Tainted[I.Results[0]] = true;
+              Changed = true;
+              break;
+            }
+        }
+    }
+    std::set<std::string> Reported;
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs) {
+        if (I.Op == Opcode::Phi || I.Op == Opcode::Copy)
+          continue;
+        for (size_t K = 0; K < I.Operands.size(); ++K) {
+          VarId U = I.Operands[K];
+          if (U < 0 || !Tainted[U])
+            continue;
+          if (I.Op == Opcode::Subsasgn && K == 0)
+            continue; // Growth from empty is fine.
+          std::string Name = F.var(U).Base;
+          if (!Reported.insert(Name).second)
+            continue;
+          report(LintCheck::MaybeUndefined, F, Name, I.Loc,
+                 "variable '" + Name +
+                     "' may be used before it is assigned on some path");
+        }
+      }
+  }
+
+  //===--------------------------------------------------------------===//
+  // shape-mismatch
+  //===--------------------------------------------------------------===//
+  //
+  // Operands whose inferred shapes are constants that can never agree:
+  // elementwise ops need equal (or scalar) shapes; matrix multiply
+  // needs inner extents to match.
+  void checkShapeMismatch(const Function &F) {
+    const std::vector<VarType> &Types = TI.functionTypes(F);
+    auto ConstShape = [&](VarId V) {
+      return Types[V].hasKnownShape() && !Types[V].isScalar();
+    };
+    for (const auto &BB : F.Blocks) {
+      for (const Instr &I : BB->Instrs) {
+        bool Elementwise = false;
+        switch (I.Op) {
+        case Opcode::Add:
+        case Opcode::Sub:
+        case Opcode::ElemMul:
+        case Opcode::ElemRDiv:
+        case Opcode::ElemLDiv:
+        case Opcode::ElemPow:
+        case Opcode::Lt:
+        case Opcode::Le:
+        case Opcode::Gt:
+        case Opcode::Ge:
+        case Opcode::Eq:
+        case Opcode::Ne:
+        case Opcode::And:
+        case Opcode::Or:
+          Elementwise = true;
+          break;
+        case Opcode::MatMul:
+          break;
+        default:
+          continue;
+        }
+        if (I.Operands.size() != 2)
+          continue;
+        VarId A = I.Operands[0], B = I.Operands[1];
+        if (!ConstShape(A) || !ConstShape(B))
+          continue;
+        const auto &EA = Types[A].Extents, &EB = Types[B].Extents;
+        if (Elementwise) {
+          if (EA != EB) {
+            report(LintCheck::ShapeMismatch, F, sourceName(F, A), I.Loc,
+                   std::string("elementwise '") + opcodeName(I.Op) +
+                       "' on incompatible shapes " + Types[A].str() +
+                       " and " + Types[B].str());
+          }
+        } else { // MatMul: inner extents must agree.
+          if (EA.size() == 2 && EB.size() == 2 && EA[1] != EB[0]) {
+            report(LintCheck::ShapeMismatch, F, sourceName(F, A), I.Loc,
+                   "matrix multiply with inner dimensions " +
+                       Types[A].str() + " * " + Types[B].str());
+          }
+        }
+      }
+    }
+  }
+
+  const Module &M;
+  const TypeInference &TI;
+  const RangeAnalysis *RA;
+  std::vector<LintDiag> Diags;
+};
+
+} // namespace
+
+const std::vector<LintCheckInfo> &matcoal::lintRegistry() {
+  static const std::vector<LintCheckInfo> Registry = {
+      {LintCheck::GrowthInLoop, "growth-in-loop",
+       "array grown by subsasgn inside a loop; preallocate instead"},
+      {LintCheck::OutOfBounds, "out-of-bounds",
+       "subscript provably outside the array on every execution"},
+      {LintCheck::DeadStore, "dead-store",
+       "assigned value is never read"},
+      {LintCheck::MaybeUndefined, "maybe-undefined",
+       "variable may be read before assignment on some CFG path"},
+      {LintCheck::ShapeMismatch, "shape-mismatch",
+       "operand shapes are statically inconsistent at this op"},
+  };
+  return Registry;
+}
+
+const char *matcoal::lintCheckId(LintCheck C) {
+  for (const LintCheckInfo &Info : lintRegistry())
+    if (Info.Check == C)
+      return Info.Id;
+  return "unknown";
+}
+
+std::string LintDiag::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.Line << ":" << Loc.Col << ": ";
+  OS << lintCheckId(Check) << ": " << Msg << " [" << Func << "]";
+  return OS.str();
+}
+
+std::vector<LintDiag> matcoal::runLint(const Module &M,
+                                       const TypeInference &TI,
+                                       const RangeAnalysis *RA) {
+  return Linter(M, TI, RA).run();
+}

@@ -1,0 +1,77 @@
+//===- Lint.h - "matlint": IR-level static diagnostics ----------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small static analyzer over the SSA IR. Every check consumes the same
+/// proven facts (types from TypeInference, intervals/shapes from
+/// RangeAnalysis) that the GCTD planner and code generator act on, so a
+/// clean lint run is evidence the optimizer's premises hold, and each
+/// diagnostic names a concrete habit the storage optimizer pays for --
+/// most prominently the array-growth-in-loop pattern of the preallocation
+/// literature.
+///
+/// Checks run on the module while it is still in SSA form (after cleanup,
+/// before SSA inversion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_LINT_LINT_H
+#define MATCOAL_LINT_LINT_H
+
+#include "analysis/RangeAnalysis.h"
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+#include "typeinf/TypeInference.h"
+
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// Identity of a lint check. Stable ids: golden tests and suppression
+/// lists key on the short name in lintCheckInfo().
+enum class LintCheck {
+  GrowthInLoop,   ///< Array grown by subsasgn inside a loop (preallocate!).
+  OutOfBounds,    ///< Subscript provably outside the array on every path.
+  DeadStore,      ///< Assigned value never read (survived DCE).
+  MaybeUndefined, ///< Read of a variable undefined along some CFG path.
+  ShapeMismatch,  ///< Operand shapes statically inconsistent at an op.
+};
+
+struct LintCheckInfo {
+  LintCheck Check;
+  const char *Id;    ///< Short stable name, e.g. "growth-in-loop".
+  const char *Descr; ///< One-line description for --help output.
+};
+
+/// The registry of all checks, in a stable order.
+const std::vector<LintCheckInfo> &lintRegistry();
+
+/// Id string for one check.
+const char *lintCheckId(LintCheck C);
+
+/// One diagnostic instance.
+struct LintDiag {
+  LintCheck Check = LintCheck::GrowthInLoop;
+  std::string Func;  ///< Containing function name.
+  std::string Var;   ///< Source-level variable involved (may be empty).
+  SourceLoc Loc;     ///< Best-effort source location.
+  std::string Msg;   ///< Human-readable explanation.
+
+  /// Renders "file-style" one-liner: "<line>:<col>: <id>: <msg> [func]".
+  std::string str() const;
+};
+
+/// Runs every registered check over the module. \p RA may be null (e.g.
+/// --no-ranges); range-dependent checks then degrade to the type-only
+/// facts and report strictly less.
+std::vector<LintDiag> runLint(const Module &M, const TypeInference &TI,
+                              const RangeAnalysis *RA);
+
+} // namespace matcoal
+
+#endif // MATCOAL_LINT_LINT_H

@@ -247,6 +247,36 @@ SymExpr SymExprContext::max(const std::vector<SymExpr> &Args) {
     if (AllNonneg)
       ConstMax.reset();
   }
+  // Dominance pruning: an operand provably <= another operand (or <= the
+  // collected constant) contributes nothing to the maximum. This folds the
+  // subsasgn growth pattern max(n, n-1) back to n, keeping extents interned
+  // on one node so GCTD's size order keeps succeeding.
+  if (Ops.size() > 1 || (ConstMax && !Ops.empty())) {
+    std::vector<SymExpr> Kept;
+    for (size_t I = 0; I < Ops.size(); ++I) {
+      bool Dominated = false;
+      for (size_t J = 0; J < Ops.size() && !Dominated; ++J) {
+        if (I == J || !provablyLE(Ops[I], Ops[J]))
+          continue;
+        // Mutual dominance (provable equality would be one node, but be
+        // safe): keep the lower id only.
+        if (provablyLE(Ops[J], Ops[I]))
+          Dominated = Ops[J]->id() < Ops[I]->id();
+        else
+          Dominated = true;
+      }
+      if (!Dominated)
+        Kept.push_back(Ops[I]);
+    }
+    Ops = std::move(Kept);
+    // A constant below some operand's guaranteed lower bound is redundant.
+    if (ConstMax)
+      for (SymExpr Op : Ops)
+        if (constLowerBound(Op) >= *ConstMax) {
+          ConstMax.reset();
+          break;
+        }
+  }
   std::sort(Ops.begin(), Ops.end(),
             [](SymExpr L, SymExpr R) { return L->id() < R->id(); });
   if (Ops.empty())
@@ -287,6 +317,68 @@ bool SymExprContext::provablyNonneg(SymExpr E) const {
   return false;
 }
 
+bool SymExprContext::provablyNonpos(SymExpr E) const {
+  switch (E->kind()) {
+  case SymKind::Const:
+    return E->constValue() <= 0;
+  case SymKind::Sym:
+    return false; // Shape symbols are only known non-negative.
+  case SymKind::Add: {
+    for (SymExpr Op : E->operands())
+      if (!provablyNonpos(Op))
+        return false;
+    return true;
+  }
+  case SymKind::Mul: {
+    // Exactly one non-positive factor with the rest non-negative.
+    unsigned Nonpos = 0;
+    for (SymExpr Op : E->operands()) {
+      if (provablyNonpos(Op))
+        ++Nonpos;
+      else if (!provablyNonneg(Op))
+        return false;
+    }
+    return Nonpos == 1;
+  }
+  case SymKind::Max: {
+    for (SymExpr Op : E->operands())
+      if (!provablyNonpos(Op))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+std::int64_t SymExprContext::constLowerBound(SymExpr E) const {
+  constexpr std::int64_t Unknown = INT64_MIN / 4; // Headroom for sums.
+  switch (E->kind()) {
+  case SymKind::Const:
+    return E->constValue();
+  case SymKind::Sym:
+    return E->symNonneg() ? 0 : Unknown;
+  case SymKind::Add: {
+    std::int64_t Sum = 0;
+    for (SymExpr Op : E->operands()) {
+      std::int64_t L = constLowerBound(Op);
+      if (L <= Unknown)
+        return Unknown;
+      Sum += L;
+    }
+    return Sum;
+  }
+  case SymKind::Mul:
+    return provablyNonneg(E) ? 0 : Unknown;
+  case SymKind::Max: {
+    std::int64_t Best = Unknown;
+    for (SymExpr Op : E->operands())
+      Best = std::max(Best, constLowerBound(Op));
+    return Best;
+  }
+  }
+  return Unknown;
+}
+
 bool SymExprContext::provablyLE(SymExpr A, SymExpr B) const {
   if (A == B)
     return true;
@@ -317,6 +409,29 @@ bool SymExprContext::provablyLE(SymExpr A, SymExpr B) const {
         return true;
     }
   }
+  // A = B + (provably non-positive remainder), e.g. n - 1 <= n.
+  if (A->kind() == SymKind::Add) {
+    std::vector<SymExpr> Rest;
+    bool Found = false;
+    for (SymExpr Op : A->operands()) {
+      if (!Found && Op == B) {
+        Found = true;
+        continue;
+      }
+      Rest.push_back(Op);
+    }
+    if (Found) {
+      bool AllNonpos = true;
+      for (SymExpr Op : Rest)
+        AllNonpos = AllNonpos && provablyNonpos(Op);
+      if (AllNonpos)
+        return true;
+    }
+  }
+  // A constant below B's guaranteed lower bound.
+  if (A->isConst() && A->constValue() <= constLowerBound(B) &&
+      constLowerBound(B) > INT64_MIN / 4)
+    return true;
   // max(xs) <= B when every operand is <= B.
   if (A->kind() == SymKind::Max) {
     bool All = true;

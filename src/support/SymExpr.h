@@ -117,12 +117,20 @@ public:
   static bool provablyEq(SymExpr A, SymExpr B) { return A == B; }
 
   /// Conservative "A <= B under all variable assignments" test. Handles
-  /// equal nodes, constants, B = max(..., A, ...), B = A + nonnegative, and
-  /// componentwise max dominance. Returns false when unsure.
+  /// equal nodes, constants, B = max(..., A, ...), B = A + nonnegative,
+  /// A = B + nonpositive, constant lower bounds of B, and componentwise
+  /// max dominance. Returns false when unsure.
   bool provablyLE(SymExpr A, SymExpr B) const;
 
   /// Conservative "E >= 0 under all assignments" test.
   bool provablyNonneg(SymExpr E) const;
+
+  /// Conservative "E <= 0 under all assignments" test.
+  bool provablyNonpos(SymExpr E) const;
+
+  /// A constant L with L <= E under all assignments (nonneg symbols are
+  /// >= 0). Conservative: returns a very small value when unsure.
+  std::int64_t constLowerBound(SymExpr E) const;
 
   unsigned numNodes() const { return static_cast<unsigned>(Nodes.size()); }
 

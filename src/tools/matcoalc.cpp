@@ -1,0 +1,151 @@
+//===- matcoalc.cpp - The matcoal compiler driver -------------------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// The standalone command-line front door to the pipeline:
+//
+//   $ matcoalc prog.m                   # compile + run (static model)
+//   $ matcoalc --lint prog.m            # static diagnostics (matlint)
+//   $ matcoalc --dump-plan prog.m       # print the GCTD storage plans
+//   $ matcoalc --emit-c prog.m          # print the mat2c C translation
+//   $ matcoalc --no-ranges ... prog.m   # types-only ablation of any mode
+//
+// Exit codes: 0 success (and, under --lint, no findings); 1 compile
+// failure, runtime failure, or lint findings; 2 usage error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Compiler.h"
+#include "lint/Lint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace matcoal;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] <file.m | ->\n"
+               "\n"
+               "modes (default: compile and run under the static model):\n"
+               "  --lint        run the matlint checks and print findings\n"
+               "  --dump-plan   print the per-function storage plans\n"
+               "  --emit-c      print the generated C translation unit\n"
+               "\n"
+               "options:\n"
+               "  --entry <fn>  entry function (default: main)\n"
+               "  --no-ranges   disable the range/shape analysis (the\n"
+               "                types-only pipeline; lint degrades too)\n"
+               "  --help        this text, plus the lint check registry\n",
+               Argv0);
+  std::fprintf(stderr, "\nlint checks:\n");
+  for (const LintCheckInfo &CI : lintRegistry())
+    std::fprintf(stderr, "  %-16s %s\n", CI.Id, CI.Descr);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool DoLint = false, DoPlan = false, DoEmitC = false;
+  CompileOptions Opts;
+  const char *Path = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--lint")) {
+      DoLint = true;
+    } else if (!std::strcmp(Argv[I], "--dump-plan")) {
+      DoPlan = true;
+    } else if (!std::strcmp(Argv[I], "--emit-c")) {
+      DoEmitC = true;
+    } else if (!std::strcmp(Argv[I], "--no-ranges")) {
+      Opts.Analysis = AnalysisLevel::None;
+    } else if (!std::strcmp(Argv[I], "--entry")) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --entry needs an argument\n");
+        return 2;
+      }
+      Opts.Entry = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--help") ||
+               !std::strcmp(Argv[I], "-h")) {
+      usage(Argv[0]);
+      return 0;
+    } else if (Argv[I][0] == '-' && std::strcmp(Argv[I], "-") != 0) {
+      std::fprintf(stderr, "error: unknown option %s\n", Argv[I]);
+      usage(Argv[0]);
+      return 2;
+    } else if (Path) {
+      std::fprintf(stderr, "error: multiple input files\n");
+      return 2;
+    } else {
+      Path = Argv[I];
+    }
+  }
+  if (!Path) {
+    usage(Argv[0]);
+    return 2;
+  }
+
+  std::string Source;
+  if (!std::strcmp(Path, "-")) {
+    std::ostringstream Buf;
+    Buf << std::cin.rdbuf();
+    Source = Buf.str();
+    Path = "<stdin>";
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path);
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  Opts.Lint = DoLint;
+  Diagnostics Diags;
+  auto Program = compileSource(Source, Diags, Opts);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  for (const Diagnostic &D : Diags.all())
+    if (D.Level != DiagLevel::Error)
+      std::fprintf(stderr, "%s\n", D.str().c_str());
+
+  if (DoLint) {
+    for (const LintDiag &D : Program->lintDiags())
+      std::printf("%s:%s\n", Path, D.str().c_str());
+    std::fprintf(stderr, "%zu finding(s)\n", Program->lintDiags().size());
+    if (!DoPlan && !DoEmitC)
+      return Program->lintDiags().empty() ? 0 : 1;
+  }
+  if (DoPlan) {
+    for (const auto &F : Program->module().Functions)
+      std::printf("%s\n", Program->planOf(*F).str(*F).c_str());
+    if (!DoEmitC)
+      return 0;
+  }
+  if (DoEmitC) {
+    std::fputs(emitModuleC(Program->module(), Program->GCTDPlans,
+                           Program->types(), Program->ranges())
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  ExecResult R = Program->runStatic();
+  std::fputs(R.Output.c_str(), stdout);
+  if (!R.OK) {
+    std::fprintf(stderr, "error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  return 0;
+}

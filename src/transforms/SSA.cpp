@@ -210,6 +210,7 @@ bool matcoal::buildSSA(Function &F, Diagnostics &Diags) {
       Instr Init;
       Init.Op = Opcode::VertCat;
       Init.Results = {V};
+      Init.StrVal = "__undef_init"; // Marker consumed by the lint pass.
       Entry->Instrs.insert(Entry->Instrs.begin(), Init);
       Diags.note(SourceLoc{},
                  "variable '" + F.var(V).Name + "' in " + F.Name +

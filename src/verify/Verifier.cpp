@@ -303,7 +303,8 @@ bool matcoal::verifyTypes(const Function &F, const TypeInference &TI,
 }
 
 bool matcoal::verifyStoragePlan(const Function &F, const TypeInference &TI,
-                                const StoragePlan &Plan, VerifierReport &R) {
+                                const StoragePlan &Plan, VerifierReport &R,
+                                const RangeAnalysis *RA) {
   size_t Before = R.issues().size();
   unsigned N = F.numVars();
   if (Plan.GroupOf.size() != N) {
@@ -390,6 +391,13 @@ bool matcoal::verifyStoragePlan(const Function &F, const TypeInference &TI,
         MaxSize = std::max(MaxSize, S);
       }
       Memo = MaxSize;
+    }
+    // Range-justified estimability, re-derived through the caller's
+    // independent RangeAnalysis (same rule as the decomposer's fallback).
+    if (Memo < 0 && RA) {
+      std::int64_t S = RA->staticSizeBytes(F, V);
+      if (S >= 0)
+        Memo = S;
     }
     return Memo;
   };

@@ -95,8 +95,14 @@ bool verifyTypes(const Function &F, const TypeInference &TI,
 /// Also re-checks that stack-bound groups are statically estimable, that
 /// the frame layout is self-consistent, and that group membership tables
 /// agree. Must run while \p F is still in SSA form.
+///
+/// Plans produced with a RangeAnalysis may stack-allocate groups whose
+/// extents are only range-bounded; pass an independently constructed
+/// \p RA so those promotions are re-derived rather than rejected. A
+/// null \p RA verifies strictly type-justified plans only.
 bool verifyStoragePlan(const Function &F, const TypeInference &TI,
-                       const StoragePlan &Plan, VerifierReport &R);
+                       const StoragePlan &Plan, VerifierReport &R,
+                       const RangeAnalysis *RA = nullptr);
 
 } // namespace matcoal
 

@@ -1,0 +1,265 @@
+//===- RangeAnalysisTest.cpp - Unit tests for the range/shape analysis ----===//
+//
+// Exercises the interval lattice over whole compiled programs: constant
+// propagation, branch narrowing, loop widening, shape transfer for the
+// array builtins, interprocedural summaries, and the storage-facing
+// queries (numelBound / staticSizeBytes / provablyScalar /
+// subscriptInBounds) that GCTD and the C emitter consume.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RangeAnalysis.h"
+
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+struct Compiled {
+  std::unique_ptr<CompiledProgram> P;
+  const Function *F = nullptr;
+  const RangeAnalysis *RA = nullptr;
+};
+
+Compiled analyze(const std::string &Src, const std::string &Fn = "main") {
+  Diagnostics Diags;
+  Compiled C;
+  C.P = compileSource(Src, Diags);
+  EXPECT_NE(C.P, nullptr) << Diags.str();
+  if (!C.P)
+    return C;
+  C.F = &C.P->function(Fn);
+  C.RA = C.P->ranges();
+  EXPECT_NE(C.RA, nullptr);
+  return C;
+}
+
+/// The last SSA version of source variable \p Base (its value at exit).
+VarId lastVersion(const Function &F, const std::string &Base) {
+  VarId Best = NoVar;
+  int BestVersion = -1;
+  for (VarId V = 0; static_cast<size_t>(V) < F.numVars(); ++V) {
+    const VarInfo &Info = F.var(V);
+    if (!Info.IsTemp && Info.Base == Base && Info.Version > BestVersion) {
+      Best = V;
+      BestVersion = Info.Version;
+    }
+  }
+  EXPECT_NE(Best, NoVar) << "no variable named " << Base;
+  return Best;
+}
+
+TEST(RangeAnalysis, ConstantsPropagateThroughArithmetic) {
+  Compiled C = analyze("x = 3;\ny = x * 2 + 1;\ndisp(y);\n");
+  ASSERT_TRUE(C.RA);
+  const VarRange &R = C.RA->rangeOf(*C.F, lastVersion(*C.F, "y"));
+  ASSERT_TRUE(R.Defined);
+  EXPECT_EQ(R.Val, Interval::point(7));
+  EXPECT_TRUE(C.RA->provablyScalar(*C.F, lastVersion(*C.F, "y")));
+}
+
+TEST(RangeAnalysis, RandIsBoundedUnitInterval) {
+  Compiled C = analyze("x = rand();\ndisp(x);\n");
+  ASSERT_TRUE(C.RA);
+  const VarRange &R = C.RA->rangeOf(*C.F, lastVersion(*C.F, "x"));
+  ASSERT_TRUE(R.Defined);
+  EXPECT_GE(R.Val.Lo, 0);
+  EXPECT_LE(R.Val.Hi, 1);
+}
+
+TEST(RangeAnalysis, LoopCounterWidensButKeepsExitBound) {
+  // i is 1..11 at exit: the widening must not lose the <= bound that the
+  // loop condition re-narrows on every back edge.
+  Compiled C = analyze("i = 1;\nwhile i <= 10\ni = i + 1;\nend\ndisp(i);\n");
+  ASSERT_TRUE(C.RA);
+  const VarRange &R = C.RA->rangeOf(*C.F, lastVersion(*C.F, "i"));
+  ASSERT_TRUE(R.Defined);
+  EXPECT_GE(R.Val.Lo, 1);
+  EXPECT_TRUE(R.Val.boundedAbove());
+  EXPECT_LE(R.Val.Hi, 11);
+}
+
+TEST(RangeAnalysis, UnboundedGrowthWidensToInfinity) {
+  // No loop bound exists, so widening must race the value to +inf
+  // rather than iterating forever.
+  Compiled C = analyze(
+      "x = 1;\nwhile rand() < 0.5\nx = x * 2;\nend\ndisp(x);\n");
+  ASSERT_TRUE(C.RA);
+  const VarRange &R = C.RA->rangeOf(*C.F, lastVersion(*C.F, "x"));
+  ASSERT_TRUE(R.Defined);
+  EXPECT_FALSE(R.Val.boundedAbove());
+  EXPECT_GE(R.Val.Lo, 1);
+}
+
+TEST(RangeAnalysis, ZerosGivesExactDims) {
+  Compiled C = analyze("a = zeros(3, 5);\ndisp(a);\n");
+  ASSERT_TRUE(C.RA);
+  VarId A = lastVersion(*C.F, "a");
+  const VarRange &R = C.RA->rangeOf(*C.F, A);
+  ASSERT_TRUE(R.Defined);
+  ASSERT_EQ(R.Dims.size(), 2u);
+  EXPECT_EQ(R.Dims[0], Interval::point(3));
+  EXPECT_EQ(R.Dims[1], Interval::point(5));
+  EXPECT_EQ(C.RA->numelBound(*C.F, A), Interval::point(15));
+  EXPECT_EQ(C.RA->staticSizeBytes(*C.F, A), 15 * 8);
+}
+
+TEST(RangeAnalysis, BoundedSymbolicExtentBoundsStorage) {
+  // n is in [2, 10], so rand(n, n) holds at most 100 doubles even
+  // though its shape is not a compile-time constant.
+  Compiled C = analyze(
+      "n = round(rand() * 8) + 2;\na = rand(n, n);\ndisp(a);\n");
+  ASSERT_TRUE(C.RA);
+  VarId A = lastVersion(*C.F, "a");
+  Interval N = C.RA->numelBound(*C.F, A);
+  EXPECT_TRUE(N.boundedAbove());
+  EXPECT_LE(N.Hi, 100);
+  std::int64_t Bytes = C.RA->staticSizeBytes(*C.F, A);
+  EXPECT_GT(Bytes, 0);
+  EXPECT_LE(Bytes, 100 * 8);
+}
+
+TEST(RangeAnalysis, UnboundedExtentRefusesStaticSize) {
+  Compiled C = analyze("n = 2;\nwhile rand() < 0.5\nn = n * 2;\nend\n"
+                       "a = rand(n, n);\ndisp(a);\n");
+  ASSERT_TRUE(C.RA);
+  VarId A = lastVersion(*C.F, "a");
+  EXPECT_FALSE(C.RA->numelBound(*C.F, A).boundedAbove());
+  EXPECT_EQ(C.RA->staticSizeBytes(*C.F, A), -1);
+}
+
+TEST(RangeAnalysis, PromotionRespectsCapBytes) {
+  // A constant shape always reports its exact size (GCTD's existing
+  // policy decides placement), but a merely *bounded* shape past the
+  // promotion cap must be refused so planner and verifier agree.
+  Compiled C = analyze("a = zeros(1000, 1000);\ndisp(a);\n");
+  ASSERT_TRUE(C.RA);
+  EXPECT_EQ(C.RA->staticSizeBytes(*C.F, lastVersion(*C.F, "a")),
+            1000 * 1000 * 8);
+  Compiled C2 = analyze(
+      "n = round(rand() * 999) + 1;\na = zeros(n, 1000);\ndisp(a);\n");
+  ASSERT_TRUE(C2.RA);
+  VarId A = lastVersion(*C2.F, "a");
+  EXPECT_TRUE(C2.RA->numelBound(*C2.F, A).boundedAbove());
+  EXPECT_EQ(C2.RA->staticSizeBytes(*C2.F, A), -1);
+}
+
+TEST(RangeAnalysis, BranchConditionNarrowsValue) {
+  // Inside the true branch of x < 5, valueAt sees x below 5 even
+  // though the function-wide range spans [0, 100].
+  Compiled C = analyze("x = round(rand() * 100);\nif x < 5\ny = x + 1;\n"
+                       "disp(y);\nend\ndisp(x);\n");
+  ASSERT_TRUE(C.RA);
+  VarId X = NoVar;
+  BlockId TrueB = NoBlock;
+  // The add defining 'y' sits in the guarded block; its x operand is
+  // the narrowed value.
+  for (const auto &BB : C.F->Blocks)
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Add || I.Results.empty() ||
+          C.F->var(I.Results[0]).Base != "y")
+        continue;
+      for (VarId Op : I.Operands)
+        if (C.F->var(Op).Base == "x") {
+          X = Op;
+          TrueB = BB->Id;
+        }
+    }
+  ASSERT_NE(X, NoVar) << "no add into y found";
+  Interval In = C.RA->valueAt(*C.F, TrueB, X);
+  EXPECT_TRUE(In.boundedAbove());
+  EXPECT_LE(In.Hi, 5);
+  const VarRange &Whole = C.RA->rangeOf(*C.F, X);
+  ASSERT_TRUE(Whole.Defined);
+  EXPECT_GT(Whole.Val.Hi, 5);
+}
+
+TEST(RangeAnalysis, SubscriptProvablyInBounds) {
+  Compiled C = analyze("a = zeros(4, 4);\ni = 1;\nwhile i <= 4\n"
+                       "a(i, 2) = i;\ni = i + 1;\nend\ndisp(a);\n");
+  ASSERT_TRUE(C.RA);
+  // Find the subsasgn and check both subscripts prove in bounds.
+  bool Checked = false;
+  for (const auto &BB : C.F->Blocks)
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Subsasgn || I.Operands.size() != 4)
+        continue;
+      EXPECT_TRUE(C.RA->subscriptInBounds(*C.F, BB->Id, I.Operands[0],
+                                          I.Operands[2], 0, 2));
+      EXPECT_TRUE(C.RA->subscriptInBounds(*C.F, BB->Id, I.Operands[0],
+                                          I.Operands[3], 1, 2));
+      Checked = true;
+    }
+  EXPECT_TRUE(Checked) << "no rank-2 subsasgn found";
+}
+
+TEST(RangeAnalysis, SubscriptNotProvableWhenRangeExceedsExtent) {
+  Compiled C = analyze("a = zeros(4, 4);\ni = round(rand() * 9) + 1;\n"
+                       "x = a(i);\ndisp(x);\n");
+  ASSERT_TRUE(C.RA);
+  bool Checked = false;
+  for (const auto &BB : C.F->Blocks)
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Subsref || I.Operands.size() != 2)
+        continue;
+      // i can be 10 > 16? No: i in [1, 10] fits 16 elements -- make the
+      // assertion about what is actually provable: numel(a) = 16, so a
+      // 1..10 subscript IS in bounds; the unprovable case is below.
+      Checked = true;
+    }
+  EXPECT_TRUE(Checked);
+  // Genuinely unprovable: subscript bound exceeds the array's numel.
+  Compiled C2 = analyze("a = zeros(2, 2);\ni = round(rand() * 9) + 1;\n"
+                        "x = a(i);\ndisp(x);\n");
+  ASSERT_TRUE(C2.RA);
+  for (const auto &BB : C2.F->Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Subsref && I.Operands.size() == 2) {
+        EXPECT_FALSE(C2.RA->subscriptInBounds(*C2.F, BB->Id, I.Operands[0],
+                                              I.Operands[1], 0, 1));
+      }
+}
+
+TEST(RangeAnalysis, InterproceduralParamSummary) {
+  // The callee only ever sees n in [2, 10]: its result's numel bound
+  // must reflect the caller's argument range.
+  Compiled C = analyze("function main\nn = round(rand() * 8) + 2;\n"
+                       "x = work(n);\ndisp(x);\n\n"
+                       "function c = work(n)\nc = rand(n, n) + 1;\n",
+                       "work");
+  ASSERT_TRUE(C.RA);
+  VarId Out = lastVersion(*C.F, "c");
+  Interval N = C.RA->numelBound(*C.F, Out);
+  EXPECT_TRUE(N.boundedAbove());
+  EXPECT_LE(N.Hi, 100);
+}
+
+TEST(RangeAnalysis, ColonSubscriptNeverCountsAsInBounds) {
+  // ':' markers carry a scalar-looking type; asking whether one is "in
+  // bounds" as a scalar subscript must answer no, never crash.
+  Compiled C = analyze("a = zeros(3, 3);\nb = a(:);\ndisp(b);\n");
+  ASSERT_TRUE(C.RA);
+  for (const auto &BB : C.F->Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Subsref && I.Operands.size() == 2) {
+        EXPECT_FALSE(C.RA->subscriptInBounds(*C.F, BB->Id, I.Operands[0],
+                                             I.Operands[1], 0, 1));
+      }
+}
+
+TEST(RangeAnalysis, IntervalLatticeLaws) {
+  Interval A = Interval::of(1, 5), B = Interval::of(3, 9);
+  EXPECT_EQ(A.join(B), Interval::of(1, 9));
+  EXPECT_EQ(A.meet(B), Interval::of(3, 5));
+  EXPECT_EQ(A.join(Interval::bottom()), A);
+  EXPECT_TRUE(A.meet(Interval::bottom()).isBottom());
+  EXPECT_EQ(A.meet(Interval::top()), A);
+  EXPECT_EQ(A.join(Interval::top()), Interval::top());
+  // Disjoint meets collapse to bottom.
+  EXPECT_TRUE(Interval::of(1, 2).meet(Interval::of(5, 6)).isBottom());
+}
+
+} // namespace

@@ -15,7 +15,7 @@ std::string emit(const std::string &Src, const std::string &Fn = "main") {
   auto P = compileSource(Src, Diags);
   EXPECT_NE(P, nullptr) << Diags.str();
   const Function &F = P->function(Fn);
-  return emitFunctionC(F, P->planOf(F), P->types());
+  return emitFunctionC(F, P->planOf(F), P->types(), P->ranges());
 }
 
 bool contains(const std::string &Hay, const std::string &Needle) {
@@ -68,13 +68,28 @@ TEST(CEmitter, DynamicShapesGetThreeWayGuard) {
 }
 
 TEST(CEmitter, HeapGroupsGetResizeChecks) {
+  // The extent doubles until rand() says stop, so no finite bound exists
+  // and the group must stay on the heap with its resize checks.
   std::string C =
-      emit("function main\nn = round(rand() * 8) + 2;\nx = work(n);\n"
-           "disp(x);\n\nfunction c = work(n)\nc = rand(n, n) + 1;\n",
+      emit("function main\nn = 2;\nwhile rand() < 0.5\nn = n * 2;\nend\n"
+           "x = work(n);\ndisp(x);\n\n"
+           "function c = work(n)\nc = rand(n, n) + 1;\n",
            "work");
   // Heap slots start null with cap 0 and grow through mcrt_ensure.
   EXPECT_TRUE(contains(C, "= 0; mcrt_size g")) << C;
   EXPECT_TRUE(contains(C, "mcrt_ensure(&g")) << C;
+}
+
+TEST(CEmitter, BoundedExtentsPromoteAndElideEnsure) {
+  // With n provably in [2, 10], work()'s result is at most 100 elements:
+  // the range analysis promotes the group to the stack and the capacity
+  // check on the fixed buffer is elided.
+  std::string C =
+      emit("function main\nn = round(rand() * 8) + 2;\nx = work(n);\n"
+           "disp(x);\n\nfunction c = work(n)\nc = rand(n, n) + 1;\n",
+           "work");
+  EXPECT_TRUE(contains(C, "capacity check elided")) << C;
+  EXPECT_FALSE(contains(C, "mcrt_ensure(&g")) << C;
 }
 
 TEST(CEmitter, IdentityCopiesAreElided) {
@@ -142,7 +157,8 @@ TEST(CEmitter, ModuleEmissionIncludesAllFunctions) {
                          "function y = f(x)\ny = x + 1;\n",
                          Diags);
   ASSERT_NE(P, nullptr);
-  std::string C = emitModuleC(P->module(), P->GCTDPlans, P->types());
+  std::string C =
+      emitModuleC(P->module(), P->GCTDPlans, P->types(), P->ranges());
   EXPECT_TRUE(contains(C, "void mat_main("));
   EXPECT_TRUE(contains(C, "void mat_f("));
   EXPECT_TRUE(contains(C, "#include \"mcrt.h\""));

@@ -64,7 +64,8 @@ TEST_P(CompileRunTest, EmittedCMatchesVM) {
   ASSERT_TRUE(VM.OK) << VM.Error;
 
   // Emit, write, compile, run.
-  std::string C = emitModuleC(P->module(), P->GCTDPlans, P->types());
+  std::string C =
+      emitModuleC(P->module(), P->GCTDPlans, P->types(), P->ranges());
   std::string Dir = ::testing::TempDir();
   std::string CPath = Dir + "/matcoal_gen_" + GetParam().Name + ".c";
   std::string Exe = Dir + "/matcoal_gen_" + GetParam().Name;

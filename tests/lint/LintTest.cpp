@@ -1,0 +1,135 @@
+//===- LintTest.cpp - Golden tests for the matlint checks -----------------===//
+//
+// Each case under cases/ seeds exactly one defect and declares the
+// diagnostics it must produce with "% expect: <check-id>" lines. The
+// test compares the SET of check ids fired against the declared set, so
+// a check that goes quiet on its own golden -- or one that starts
+// misfiring on another check's golden -- both fail.
+//
+// The second suite runs every Table 1 benchmark program through the
+// linter and requires silence: the paper's suite is clean code, and a
+// diagnostic there would be a false positive by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "bench/programs/Programs.h"
+#include "driver/Compiler.h"
+
+#include <fstream>
+#include <gtest/gtest.h>
+#include <set>
+#include <sstream>
+#include <string>
+
+using namespace matcoal;
+
+namespace {
+
+std::string readCase(const std::string &Name) {
+  std::string Path = std::string(LINT_CASES_DIR) + "/" + Name + ".m";
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "missing golden case " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Pulls the "% expect: <id>" declarations out of a case's source.
+std::set<std::string> expectedIds(const std::string &Source) {
+  std::set<std::string> Ids;
+  std::istringstream In(Source);
+  std::string Line;
+  const std::string Marker = "% expect:";
+  while (std::getline(In, Line)) {
+    size_t At = Line.find(Marker);
+    if (At == std::string::npos)
+      continue;
+    std::string Id = Line.substr(At + Marker.size());
+    Id.erase(0, Id.find_first_not_of(" \t"));
+    Id.erase(Id.find_last_not_of(" \t\r") + 1);
+    if (!Id.empty())
+      Ids.insert(Id);
+  }
+  return Ids;
+}
+
+std::set<std::string> lintIds(const std::string &Source) {
+  CompileOptions Opts;
+  Opts.Lint = true;
+  Diagnostics Diags;
+  auto P = compileSource(Source, Diags, Opts);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  std::set<std::string> Ids;
+  if (P)
+    for (const LintDiag &D : P->lintDiags())
+      Ids.insert(lintCheckId(D.Check));
+  return Ids;
+}
+
+std::string joined(const std::set<std::string> &Ids) {
+  std::string Out;
+  for (const std::string &Id : Ids)
+    Out += (Out.empty() ? "" : ", ") + Id;
+  return Out.empty() ? "<none>" : Out;
+}
+
+class LintGoldenTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(LintGoldenTest, FiresExactlyTheDeclaredChecks) {
+  std::string Source = readCase(GetParam());
+  ASSERT_FALSE(Source.empty());
+  std::set<std::string> Want = expectedIds(Source);
+  std::set<std::string> Got = lintIds(Source);
+  EXPECT_EQ(Want, Got) << "expected {" << joined(Want) << "} but lint fired {"
+                       << joined(Got) << "}";
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, LintGoldenTest,
+                         ::testing::Values("growth_in_loop", "out_of_bounds",
+                                           "dead_store", "maybe_undefined",
+                                           "shape_mismatch", "clean"),
+                         [](const auto &Info) {
+                           return std::string(Info.param);
+                         });
+
+TEST(LintRegistry, EveryCheckHasAGoldenCase) {
+  // Each registered check id must appear as an expectation in some
+  // golden case; a new check without a golden is untested.
+  std::set<std::string> Declared;
+  for (const char *Name : {"growth_in_loop", "out_of_bounds", "dead_store",
+                           "maybe_undefined", "shape_mismatch"})
+    for (const std::string &Id : expectedIds(readCase(Name)))
+      Declared.insert(Id);
+  for (const LintCheckInfo &Info : lintRegistry())
+    EXPECT_TRUE(Declared.count(Info.Id))
+        << "check '" << Info.Id << "' has no golden case";
+}
+
+TEST(LintRegistry, IdsRoundTrip) {
+  for (const LintCheckInfo &Info : lintRegistry())
+    EXPECT_STREQ(lintCheckId(Info.Check), Info.Id);
+}
+
+class LintSuiteSilenceTest
+    : public ::testing::TestWithParam<const BenchmarkProgram *> {};
+
+TEST_P(LintSuiteSilenceTest, BenchmarkProgramsAreClean) {
+  const BenchmarkProgram &Prog = *GetParam();
+  std::set<std::string> Got = lintIds(Prog.Source);
+  EXPECT_TRUE(Got.empty()) << Prog.Name << " fired {" << joined(Got) << "}";
+}
+
+std::vector<const BenchmarkProgram *> suitePrograms() {
+  std::vector<const BenchmarkProgram *> Out;
+  for (const BenchmarkProgram &P : benchmarkSuite())
+    Out.push_back(&P);
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, LintSuiteSilenceTest,
+                         ::testing::ValuesIn(suitePrograms()),
+                         [](const auto &Info) { return Info.param->Name; });
+
+} // namespace

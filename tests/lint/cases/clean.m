@@ -1,0 +1,17 @@
+% A well-behaved program: preallocated accumulation, in-bounds reads,
+% every store read, every variable defined on every path, conforming
+% shapes. Expects no findings at all.
+n = 8;
+a = zeros(1, n);
+i = 1;
+while i <= n
+a(i) = i * i;
+i = i + 1;
+end
+s = 0;
+j = 1;
+while j <= n
+s = s + a(j);
+j = j + 1;
+end
+disp(s);

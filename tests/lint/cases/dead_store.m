@@ -1,0 +1,7 @@
+% Seeded defect: the first assignment to 'x' is overwritten before any
+% read. The definition is a call, so dead-code cleanup keeps it and the
+% lint pass gets to point at it.
+% expect: dead-store
+x = rand();
+x = 5;
+disp(x);

@@ -1,0 +1,11 @@
+% Seeded defect: the classic "preallocate me" pattern. 'a' enters the
+% loop as a 1x1 and is written up to index 10, so every iteration past
+% the first reallocates. zeros(1, 10) before the loop fixes it.
+% expect: growth-in-loop
+a = zeros(1, 1);
+i = 1;
+while i <= 10
+a(i) = i * 2;
+i = i + 1;
+end
+disp(a);

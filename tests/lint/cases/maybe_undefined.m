@@ -1,0 +1,7 @@
+% Seeded defect: 'x' is only assigned on the true branch, so the disp
+% reads an undefined variable whenever rand() <= 0.5.
+% expect: maybe-undefined
+if rand() > 0.5
+x = 1;
+end
+disp(x);

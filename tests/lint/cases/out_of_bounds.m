@@ -1,0 +1,6 @@
+% Seeded defect: a read whose subscript interval lies entirely past the
+% array's maximum possible element count -- a proof of a run-time fault.
+% expect: out-of-bounds
+a = zeros(2, 2);
+x = a(9);
+disp(x);

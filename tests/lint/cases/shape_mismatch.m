@@ -1,0 +1,7 @@
+% Seeded defect: elementwise addition of two arrays whose constant
+% inferred shapes can never conform.
+% expect: shape-mismatch
+a = zeros(2, 3);
+b = zeros(4, 5);
+c = a + b;
+disp(c);

@@ -176,6 +176,106 @@ TEST_F(SymExprTest, StrRendering) {
   EXPECT_EQ(E->str(), "max(n, 5)");
 }
 
+//===----------------------------------------------------------------===//
+// Canonicalization edge cases: shapes the range analysis now leans on
+// when it publishes interval bounds per interned node. Interning is
+// only sound if every algebraically-equal spelling reaches one node.
+//===----------------------------------------------------------------===//
+
+TEST_F(SymExprTest, SubIsAddOfNegated) {
+  // n - m and n + (-1 * m) must intern to the same node, else a bound
+  // published against one spelling is invisible to the other.
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  EXPECT_EQ(Ctx.sub(N, M), Ctx.add(N, Ctx.mul(Ctx.makeConst(-1), M)));
+}
+
+TEST_F(SymExprTest, NestedAddsFlattenAndCancel) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  // ((n + 2) + (m - 2)) == n + m.
+  SymExpr E = Ctx.add(Ctx.add(N, Ctx.makeConst(2)),
+                      Ctx.sub(M, Ctx.makeConst(2)));
+  EXPECT_EQ(E, Ctx.add(N, M));
+  // (n + m) - m - n == 0.
+  SymExpr Z = Ctx.sub(Ctx.sub(Ctx.add(N, M), M), N);
+  ASSERT_TRUE(Z->isConst());
+  EXPECT_EQ(Z->constValue(), 0);
+}
+
+TEST_F(SymExprTest, NestedSumsFlattenBeforeCollecting) {
+  // (n+3) + (n+3) flattens into one sum and collects to 2*n + 6; the
+  // unflattened spelling must reach the same node as building the
+  // flat form directly. (Products are NOT distributed over sums, so
+  // 2*(n+3) stays a distinct node -- constants only fold inside one
+  // flattened sum.)
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr E = Ctx.add(N, Ctx.makeConst(3));
+  SymExpr Flat = Ctx.add(Ctx.mul(Ctx.makeConst(2), N), Ctx.makeConst(6));
+  EXPECT_EQ(Ctx.add(E, E), Flat);
+  // Termwise cancellation works against the flattened spelling.
+  SymExpr Z = Ctx.sub(Ctx.sub(Ctx.add(E, E), Ctx.makeConst(6)),
+                      Ctx.mul(Ctx.makeConst(2), N));
+  ASSERT_TRUE(Z->isConst());
+  EXPECT_EQ(Z->constValue(), 0);
+}
+
+TEST_F(SymExprTest, MaxOfSingletonIsIdentity) {
+  SymExpr N = Ctx.makeSym("n");
+  EXPECT_EQ(Ctx.max({N}), N);
+  EXPECT_EQ(Ctx.max(std::vector<SymExpr>{Ctx.makeConst(7)}),
+            Ctx.makeConst(7));
+}
+
+TEST_F(SymExprTest, MaxNestedDedupes) {
+  // max(n, max(m, n)) == max(n, m): flattening must dedupe across
+  // nesting levels, not only among immediate arguments.
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  EXPECT_EQ(Ctx.max(N, Ctx.max(M, N)), Ctx.max(N, M));
+}
+
+TEST_F(SymExprTest, NumElementsDropsUnitAndPropagatesZero) {
+  SymExpr N = Ctx.makeSym("n");
+  // numel([1, n, 1]) == n; a zero extent annihilates the product.
+  EXPECT_EQ(Ctx.numElements({Ctx.makeConst(1), N, Ctx.makeConst(1)}), N);
+  SymExpr Z =
+      Ctx.numElements({N, Ctx.makeConst(0), Ctx.makeSym("m")});
+  ASSERT_TRUE(Z->isConst());
+  EXPECT_EQ(Z->constValue(), 0);
+}
+
+TEST_F(SymExprTest, FreshSymsGetDistinctSpellings) {
+  // Each freshSym call mints a new spelling; the analysis keys bound
+  // tables on node identity, so two fresh extents must never alias.
+  SymExpr A = Ctx.freshSym("$s");
+  SymExpr B = Ctx.freshSym("$s");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A->symName(), B->symName());
+  // Re-spelling an existing fresh name DOES intern to the same node:
+  // identity is the name, freshness comes only from the counter.
+  EXPECT_EQ(Ctx.makeSym(A->symName()), A);
+}
+
+TEST_F(SymExprTest, ConstBoundsThroughMixedExpressions) {
+  // constLowerBound is the piece staticSizeBytes trusts for the "never
+  // negative" argument; spot-check it through sums, products, and max.
+  SymExpr N = Ctx.makeSym("n"); // Nonneg.
+  EXPECT_GE(Ctx.constLowerBound(Ctx.add(N, Ctx.makeConst(3))), 3);
+  EXPECT_GE(Ctx.constLowerBound(Ctx.mul(Ctx.makeConst(2), N)), 0);
+  EXPECT_GE(Ctx.constLowerBound(Ctx.max(N, Ctx.makeConst(5))), 5);
+}
+
+TEST_F(SymExprTest, ProvablyLEThroughProductsOfNonnegatives) {
+  SymExpr N = Ctx.makeSym("n");
+  SymExpr M = Ctx.makeSym("m");
+  // n*m <= n*m trivially; and monotone growth by a nonnegative term.
+  SymExpr NM = Ctx.mul(N, M);
+  EXPECT_TRUE(Ctx.provablyLE(NM, Ctx.add(NM, N)));
+  // Not provable without sign knowledge of the difference.
+  EXPECT_FALSE(Ctx.provablyLE(Ctx.add(NM, N), NM));
+}
+
 // Property-style sweep: algebraic identities hold for arbitrary small
 // expression shapes.
 class SymExprPropertyTest : public ::testing::TestWithParam<int> {};
