@@ -18,6 +18,7 @@
 
 #include "bench/programs/Programs.h"
 #include "driver/Compiler.h"
+#include "observe/Observe.h"
 
 #include <cstdio>
 #include <memory>
@@ -43,10 +44,14 @@ constexpr double Mat2cImageBaseBytes = 1.5 * 1024 * 1024;
 constexpr double Mat2cBytesPerInstr = 512.0;
 constexpr double Mat2cResidentImageBytes = 0.5 * 1024 * 1024;
 
-/// One compiled suite program plus cached run results.
+/// One compiled suite program plus cached run results. The per-entry
+/// Observer collects compile-pass timings and counters (the same streams
+/// `matcoalc --stats-json` serializes), plus `run.<config>` spans from
+/// mustRun, so every bench timing flows through the one PassTimer clock.
 struct SuiteEntry {
   const BenchmarkProgram *Prog = nullptr;
   std::unique_ptr<CompiledProgram> Compiled;
+  std::shared_ptr<Observer> Obs;
   unsigned IRInstrCount = 0;
 
   double mat2cImageBytes() const {
@@ -61,7 +66,10 @@ inline std::vector<SuiteEntry> compileSuite() {
     Diagnostics Diags;
     SuiteEntry E;
     E.Prog = &P;
-    E.Compiled = compileSource(P.Source, Diags);
+    E.Obs = std::make_shared<Observer>();
+    CompileOptions Opts;
+    Opts.Obs = E.Obs.get();
+    E.Compiled = compileSource(P.Source, Diags, Opts);
     if (!E.Compiled) {
       std::fprintf(stderr, "failed to compile %s:\n%s\n", P.Name.c_str(),
                    Diags.str().c_str());
@@ -76,11 +84,14 @@ inline std::vector<SuiteEntry> compileSuite() {
 }
 
 /// Runs one configuration, aborting the binary on failure so broken runs
-/// cannot masquerade as results.
+/// cannot masquerade as results. The run lands in the entry's observer as
+/// a `run.<which>` span.
 inline ExecResult mustRun(const SuiteEntry &E, const char *Which,
                           ExecResult (CompiledProgram::*Fn)(std::uint64_t)
                               const) {
+  PassTimer T(E.Obs.get(), std::string("run.") + Which);
   ExecResult R = (E.Compiled.get()->*Fn)(Seed);
+  T.stop();
   if (!R.OK) {
     std::fprintf(stderr, "%s run of %s failed: %s\n", Which,
                  E.Prog->Name.c_str(), R.Error.c_str());
@@ -89,12 +100,16 @@ inline ExecResult mustRun(const SuiteEntry &E, const char *Which,
   return R;
 }
 
-/// mustRun for a standalone CompiledProgram (no SuiteEntry).
+/// mustRun for a standalone CompiledProgram (no SuiteEntry). A non-null
+/// \p Obs receives the `run.<which>` span.
 inline ExecResult mustRunNamed(const CompiledProgram &P, const char *Name,
                                const char *Which,
                                ExecResult (CompiledProgram::*Fn)(
-                                   std::uint64_t) const) {
+                                   std::uint64_t) const,
+                               Observer *Obs = nullptr) {
+  PassTimer T(Obs, std::string("run.") + Which);
   ExecResult R = (P.*Fn)(Seed);
+  T.stop();
   if (!R.OK) {
     std::fprintf(stderr, "%s run of %s failed: %s\n", Which, Name,
                  R.Error.c_str());

@@ -35,10 +35,12 @@ struct Profile {
   bool RunOK = false;
 };
 
-Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level) {
+Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level,
+                Observer *Obs = nullptr) {
   Profile Out;
   CompileOptions Opts;
   Opts.Analysis = Level;
+  Opts.Obs = Obs;
   Diagnostics Diags;
   auto P = compileSource(Prog.Source, Diags, Opts);
   if (!P) {
@@ -62,7 +64,9 @@ Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level) {
                          ColoringStrategy::Affinity, P->ranges());
     Out.Edges += IG.numEdges();
   }
+  PassTimer T(Obs, "run.static");
   ExecResult R = P->runStatic();
+  T.stop();
   Out.RunOK = R.OK;
   Out.RunSeconds = R.WallSeconds;
   Out.AvgDynamicBytes = R.Mem.AvgDynamicBytes;
@@ -72,6 +76,20 @@ Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level) {
     std::exit(1);
   }
   return Out;
+}
+
+/// The per-program counter block, flat: {"name": value, ...} in sorted
+/// (deterministic) order.
+std::string countersJson(const StatRegistry &S) {
+  std::string J = "{";
+  bool First = true;
+  for (const auto &[Name, Value] : S.all()) {
+    if (!First)
+      J += ", ";
+    First = false;
+    J += "\"" + Name + "\": " + std::to_string(Value);
+  }
+  return J + "}";
 }
 
 void jsonProfile(std::string &J, const char *Key, const Profile &P) {
@@ -114,11 +132,18 @@ int main() {
               "------------------------------------------------------------"
               "------------------");
 
+  // The suite-wide observer gives one coherent timeline across every
+  // program's ranges-pipeline compile and run (BENCH_table1_trace.json).
+  Observer Master;
   std::string J = "{\n  \"programs\": {\n";
   unsigned Improved = 0, Count = 0;
   for (const BenchmarkProgram &Prog : benchmarkSuite()) {
     Profile Ty = profile(Prog, AnalysisLevel::None);
-    Profile Ra = profile(Prog, AnalysisLevel::Ranges);
+    Observer ProgObs;
+    Profile Ra = profile(Prog, AnalysisLevel::Ranges, &ProgObs);
+    for (const TraceEvent &E : ProgObs.Trace)
+      Master.record(TraceEvent{Prog.Name + "." + E.Name, E.StartMicros,
+                               E.DurMicros});
     bool Gain = Ra.StackGroups > Ty.StackGroups || Ra.Edges < Ty.Edges;
     Improved += Gain;
     std::printf("%-6s %6u -> %-5u %6u -> %-5u %6u -> %-5u %14lld %10s\n",
@@ -131,17 +156,22 @@ int main() {
     jsonProfile(J, "types_only", Ty);
     J += ",\n";
     jsonProfile(J, "ranges", Ra);
+    J += ",\n    \"stats\": " + countersJson(ProgObs.Stats);
     J += ",\n    \"improved\": ";
     J += Gain ? "true" : "false";
     J += "\n  }";
   }
   J += "\n  },\n  \"improved_count\": " + std::to_string(Improved) +
-       ",\n  \"program_count\": " + std::to_string(Count) + "\n}\n";
+       ",\n  \"program_count\": " + std::to_string(Count) +
+       ",\n  \"config\": " + hardwareConfigJson() + "\n}\n";
 
   std::ofstream Out("BENCH_table1.json");
   Out << J;
+  std::ofstream TraceOut("BENCH_table1_trace.json");
+  TraceOut << Master.traceJson();
   std::printf("\n%u of %u programs gain stack groups or shed interference "
-              "edges; details in BENCH_table1.json\n",
+              "edges; details in BENCH_table1.json (timeline in "
+              "BENCH_table1_trace.json)\n",
               Improved, Count);
   return 0;
 }

@@ -171,8 +171,13 @@ std::string Interval::str() const {
 //===----------------------------------------------------------------------===//
 
 RangeAnalysis::RangeAnalysis(const Module &M, const TypeInference &TI,
-                             const std::string &Entry)
-    : M(M), TI(TI) {
+                             const std::string &Entry, Observer *Obs)
+    : M(M), TI(TI), Obs(Obs) {
+  PassTimer Timer(Obs, "ranges");
+  count(Obs, "ranges.functions", 0);
+  count(Obs, "ranges.widenings", 0);
+  count(Obs, "ranges.facts", 0);
+  count(Obs, "ranges.bounded_syms", 0);
   for (const auto &F : M.Functions) {
     if (!TI.hasTypesFor(*F) || F->Blocks.empty())
       continue;
@@ -182,6 +187,10 @@ RangeAnalysis::RangeAnalysis(const Module &M, const TypeInference &TI,
     S.DT = std::make_unique<DominatorTree>(*F);
     S.RPO = F->reversePostOrder();
     collectFacts(S);
+    count(Obs, "ranges.functions");
+    for (const auto &BlockFacts : S.Facts)
+      count(Obs, "ranges.facts",
+            static_cast<std::int64_t>(BlockFacts.size()));
     Summaries[F.get()].Params.assign(F->Params.size(), VarRange::bottom());
     Summaries[F.get()].Outputs.assign(F->Outputs.size(), VarRange::bottom());
   }
@@ -216,6 +225,8 @@ RangeAnalysis::RangeAnalysis(const Module &M, const TypeInference &TI,
     }
   }
   publishSymBounds();
+  count(Obs, "ranges.bounded_syms",
+        static_cast<std::int64_t>(SymBounds.size()));
 }
 
 void RangeAnalysis::collectFacts(FuncState &S) {
@@ -319,6 +330,7 @@ bool RangeAnalysis::updateRange(FuncState &S, VarId V, VarRange New) {
     return false;
   unsigned &Count = ++JoinCount[{S.F, V}];
   if (Count > 16) {
+    count(Obs, "ranges.widenings");
     // Widen: any bound that moved goes all the way.
     if (Cur.Defined) {
       if (New.Val.Lo < Cur.Val.Lo)
@@ -854,6 +866,7 @@ std::vector<VarRange> RangeAnalysis::transfer(FuncState &S, BlockId B,
         unsigned &Count =
             ++JoinCount[{Callee, Callee->Params[K]}];
         if (Count > 16 && P.Defined) {
+          count(Obs, "ranges.widenings");
           if (Joined.Val.Lo < P.Val.Lo)
             Joined.Val.Lo = -Inf;
           if (Joined.Val.Hi > P.Val.Hi)

@@ -32,6 +32,7 @@
 
 #include "analysis/Dominators.h"
 #include "ir/IR.h"
+#include "observe/Observe.h"
 #include "support/SymExpr.h"
 #include "typeinf/TypeInference.h"
 
@@ -116,8 +117,13 @@ public:
   /// bounded-but-large array cannot blow the frame.
   static constexpr std::int64_t kPromoteCapBytes = 256 * 1024;
 
+  /// Runs the interprocedural fixpoint over \p M. A non-null \p Obs
+  /// receives the "ranges" pass timing plus the ranges.* counters
+  /// (functions analyzed, widenings applied, branch facts collected,
+  /// symbolic bounds published).
   RangeAnalysis(const Module &M, const TypeInference &TI,
-                const std::string &Entry = "main");
+                const std::string &Entry = "main",
+                Observer *Obs = nullptr);
 
   /// The flow-insensitive range of V (the join over all program points).
   const VarRange &rangeOf(const Function &F, VarId V) const;
@@ -190,6 +196,7 @@ private:
 
   const Module &M;
   const TypeInference &TI;
+  Observer *Obs = nullptr;
   std::map<const Function *, FuncState> States;
   std::map<const Function *, Summary> Summaries;
   /// Set when a transfer function updates another function's parameter

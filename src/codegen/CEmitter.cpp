@@ -55,8 +55,8 @@ std::string cEscape(const std::string &S) {
 class Emitter {
 public:
   Emitter(const Function &F, const StoragePlan &Plan,
-          const TypeInference &TI, const RangeAnalysis *RA)
-      : F(F), Plan(Plan), Types(TI.functionTypes(F)), RA(RA) {}
+          const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs)
+      : F(F), Plan(Plan), Types(TI.functionTypes(F)), RA(RA), Obs(Obs) {}
 
   std::string run();
 
@@ -136,7 +136,9 @@ private:
   const StoragePlan &Plan;
   const std::vector<VarType> &Types;
   const RangeAnalysis *RA = nullptr;
+  Observer *Obs = nullptr;
   BlockId CurBlock = NoBlock; ///< Block being emitted (for valueAt).
+  SourceLoc CurLoc;           ///< Location of the instruction in flight.
   std::ostringstream OS;
   int Indent = 0;
 };
@@ -171,9 +173,19 @@ void Emitter::emitEnsure(VarId V, const std::string &CountExpr) {
     if (NB.boundedAbove() && NB.Hi <= static_cast<double>(CapElems)) {
       line("/* capacity check elided: numel(" + F.var(V).Name +
            ") <= " + std::to_string(CapElems) + " proven */");
+      count(Obs, "codegen.ensure.elided");
+      remarkTo(Obs, "cemit", RemarkKind::CheckElided, F.Name,
+               "capacity check elided: numel(" + F.var(V).Name +
+                   ") proven <= " + std::to_string(CapElems) +
+                   " elements of fixed slot " + slot(V),
+               {{"var", F.var(V).Name},
+                {"check", "capacity"},
+                {"cap_elems", std::to_string(CapElems)}},
+               CurLoc);
       return;
     }
   }
+  count(Obs, "codegen.ensure.emitted");
   line("mcrt_ensure(&" + buf(V) + ", &" + cap(V) + ", " + CountExpr + ");");
 }
 
@@ -363,6 +375,7 @@ std::string Emitter::runtimeCall(const std::string &Op, const Instr &I) {
 }
 
 void Emitter::emitInstr(const Instr &I) {
+  CurLoc = I.Loc;
   switch (I.Op) {
   case Opcode::ConstNum: {
     VarId C = I.result();
@@ -441,6 +454,15 @@ void Emitter::emitInstr(const Instr &I) {
     }
     if (AllScalar) {
       bool Proven = subsInBounds(I, A, 1);
+      if (Proven) {
+        count(Obs, "codegen.bounds_check.elided");
+        remarkTo(Obs, "cemit", RemarkKind::CheckElided, F.Name,
+                 "bounds check elided: scalar subscripts of " +
+                     F.var(A).Name + " proven within its extents",
+                 {{"var", F.var(A).Name}, {"check", "bounds"}}, CurLoc);
+      } else {
+        count(Obs, "codegen.bounds_check.emitted");
+      }
       line(Proven ? "/* inline scalar R-indexing (bounds check elided: "
                     "subscripts proven in range) */"
                   : "/* inline scalar R-indexing */");
@@ -500,6 +522,11 @@ void Emitter::emitInstr(const Instr &I) {
       if (Proven) {
         // Subscripts proven within the base's extents: the write can
         // never grow the array, so the runtime fallback is dead.
+        count(Obs, "codegen.growth_fallback.elided");
+        remarkTo(Obs, "cemit", RemarkKind::CheckElided, F.Name,
+                 "growth fallback elided: subsasgn subscripts of " +
+                     F.var(Base).Name + " proven within its extents",
+                 {{"var", F.var(Base).Name}, {"check", "growth"}}, CurLoc);
         line("/* inline scalar L-indexing (growth fallback elided: "
              "subscripts proven in range) */");
         open("");
@@ -508,6 +535,7 @@ void Emitter::emitInstr(const Instr &I) {
         close();
         return;
       }
+      count(Obs, "codegen.growth_fallback.emitted");
       line("/* inline scalar L-indexing (in place; growth falls back) */");
       open("");
       line("mcrt_size __k = " + Idx + ";");
@@ -598,14 +626,27 @@ void Emitter::emitInstr(const Instr &I) {
 std::string matcoal::emitFunctionC(const Function &F,
                                    const StoragePlan &Plan,
                                    const TypeInference &TI,
-                                   const RangeAnalysis *RA) {
-  Emitter E(F, Plan, TI, RA);
+                                   const RangeAnalysis *RA, Observer *Obs) {
+  count(Obs, "codegen.functions");
+  Emitter E(F, Plan, TI, RA, Obs);
   return E.run();
 }
 
 std::string matcoal::emitModuleC(
     const Module &M, const std::map<const Function *, StoragePlan> &Plans,
-    const TypeInference &TI, const RangeAnalysis *RA) {
+    const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs) {
+  PassTimer T(Obs, "cemit");
+  if (Obs) {
+    // Seed the codegen schema so counter names survive inputs that never
+    // reach a given elision site.
+    Obs->Stats.add("codegen.functions", 0);
+    Obs->Stats.add("codegen.ensure.emitted", 0);
+    Obs->Stats.add("codegen.ensure.elided", 0);
+    Obs->Stats.add("codegen.bounds_check.emitted", 0);
+    Obs->Stats.add("codegen.bounds_check.elided", 0);
+    Obs->Stats.add("codegen.growth_fallback.emitted", 0);
+    Obs->Stats.add("codegen.growth_fallback.elided", 0);
+  }
   std::ostringstream OS;
   OS << "/* Generated by matcoal (GCTD array storage optimization). */\n"
      << "#include \"mcrt.h\"\n\n";
@@ -633,7 +674,7 @@ std::string matcoal::emitModuleC(
   for (const auto &F : M.Functions) {
     auto It = Plans.find(F.get());
     assert(It != Plans.end() && "missing plan for function");
-    OS << emitFunctionC(*F, It->second, TI, RA) << "\n";
+    OS << emitFunctionC(*F, It->second, TI, RA, Obs) << "\n";
   }
   OS << "int main(void) { mat_main(); return 0; }\n";
   return OS.str();

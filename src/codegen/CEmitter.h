@@ -21,6 +21,7 @@
 
 #include "gctd/StoragePlan.h"
 #include "ir/IR.h"
+#include "observe/Observe.h"
 #include "typeinf/TypeInference.h"
 
 #include <string>
@@ -34,17 +35,20 @@ namespace matcoal {
 /// selection consults it so the emitted aliasing assumptions agree with
 /// the operator-semantics edges the graph removed, and it additionally
 /// elides bounds checks, subsasgn growth fallbacks, and stack-slot
-/// capacity checks the analysis discharges.
+/// capacity checks the analysis discharges. A non-null \p Obs receives a
+/// check-elided remark per discharged check and the codegen.* counters.
 std::string emitFunctionC(const Function &F, const StoragePlan &Plan,
                           const TypeInference &TI,
-                          const RangeAnalysis *RA = nullptr);
+                          const RangeAnalysis *RA = nullptr,
+                          Observer *Obs = nullptr);
 
 /// Emits a full translation unit: the mcrt runtime declarations followed
 /// by every function of the module.
 std::string emitModuleC(const Module &M,
                         const std::map<const Function *, StoragePlan> &Plans,
                         const TypeInference &TI,
-                        const RangeAnalysis *RA = nullptr);
+                        const RangeAnalysis *RA = nullptr,
+                        Observer *Obs = nullptr);
 
 } // namespace matcoal
 

@@ -89,6 +89,22 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
   P->HeapLimit = O.HeapLimit;
   P->RecursionLimit = O.RecursionLimit;
 
+  Observer *Obs = O.Obs;
+  if (Obs) {
+    // Seed the driver-owned counters so the schema is input-independent.
+    Obs->Stats.add("ir.functions", 0);
+    Obs->Stats.add("ir.blocks", 0);
+    Obs->Stats.add("ir.instrs", 0);
+    Obs->Stats.add("ir.vars", 0);
+    Obs->Stats.add("ssa.phis", 0);
+    Obs->Stats.add("typeinf.typed_vars", 0);
+  }
+  // Records the module printer's output when --print-after requested it.
+  auto DumpAfter = [&](const char *Pass) {
+    if (Obs && Obs->wantsDump(Pass) && P->M)
+      Obs->recordDump(Pass, P->M->str());
+  };
+
   // Degrades to \p L (warning) or refuses (error + nullptr) depending on
   // AllowDegrade. The returned pointer is what compileSource returns.
   auto DegradeOr = [&](DegradeLevel L, CompileStage St,
@@ -103,6 +119,11 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     Diags.warning(SourceLoc{}, std::string(compileStageName(St)) +
                                    " stage failed (" + Why +
                                    "): degrading to " + degradeLevelName(L));
+    remarkTo(Obs, "driver", RemarkKind::Degraded, "",
+             std::string(compileStageName(St)) + " stage failed (" + Why +
+                 "): degraded to " + degradeLevelName(L),
+             {{"stage", compileStageName(St)},
+              {"level", degradeLevelName(L)}});
     P->Level = L;
     return std::move(P);
   };
@@ -110,7 +131,10 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
   // --- Parse. Real syntax errors keep the historical contract: nullptr
   // with errors in Diags. An injected parse fault degrades to the
   // interpreter (the AST exists; everything downstream is suspect).
-  P->Ast = parseProgram(Source, Diags);
+  {
+    PassTimer T(Obs, "parse");
+    P->Ast = parseProgram(Source, Diags);
+  }
   if (!P->Ast)
     return nullptr;
   if (!P->Ast->findFunction(O.Entry)) {
@@ -123,7 +147,10 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
 
   try {
     // --- Lower to SO-form IR.
-    P->M = lowerProgram(*P->Ast, Diags);
+    {
+      PassTimer T(Obs, "lower");
+      P->M = lowerProgram(*P->Ast, Diags);
+    }
     if (O.InjectFault == CompileStage::Lower) {
       P->M.reset();
       return DegradeOr(DegradeLevel::InterpOnly, CompileStage::Lower,
@@ -131,24 +158,38 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     }
     if (!P->M)
       return nullptr; // Semantic error in the input.
+    DumpAfter("lower");
 
-    // --- SSA construction + cleanup, verified per function.
+    // --- SSA construction, then cleanup, each verified per function.
+    // (Two loops so a --print-after=ssa dump shows pure SSA form, before
+    // the cleanup pipeline rewrites it.)
     bool SSAOK = true;
     std::string SSAWhy = "fault injected";
-    for (auto &F : P->M->Functions) {
-      if (!buildSSA(*F, Diags)) {
-        SSAOK = false;
-        SSAWhy = "SSA construction failed for " + F->Name;
-        break;
-      }
-      runCleanupPipeline(*F);
-      if (O.Verify) {
-        VerifierReport R;
-        if (!verifyCFG(*F, R) || !verifySSA(*F, R)) {
-          R.reportTo(Diags, DiagLevel::Warning);
+    {
+      PassTimer T(Obs, "ssa");
+      for (auto &F : P->M->Functions) {
+        if (!buildSSA(*F, Diags)) {
           SSAOK = false;
-          SSAWhy = "verifier rejected " + F->Name;
+          SSAWhy = "SSA construction failed for " + F->Name;
           break;
+        }
+      }
+    }
+    if (SSAOK)
+      DumpAfter("ssa");
+    if (SSAOK) {
+      PassTimer T(Obs, "cleanup");
+      for (auto &F : P->M->Functions) {
+        runCleanupPipeline(*F);
+        if (O.Verify) {
+          PassTimer VT(Obs, "verify");
+          VerifierReport R;
+          if (!verifyCFG(*F, R) || !verifySSA(*F, R)) {
+            R.reportTo(Diags, DiagLevel::Warning);
+            SSAOK = false;
+            SSAWhy = "verifier rejected " + F->Name;
+            break;
+          }
         }
       }
     }
@@ -158,14 +199,43 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       P->M.reset();
       return DegradeOr(DegradeLevel::InterpOnly, CompileStage::SSA, SSAWhy);
     }
+    DumpAfter("cleanup");
+    if (Obs) {
+      // IR shape counters, over the cleaned-up SSA the optimizer sees.
+      for (const auto &F : P->M->Functions) {
+        Obs->Stats.add("ir.functions");
+        Obs->Stats.add("ir.vars", F->numVars());
+        Obs->Stats.add("ir.blocks",
+                       static_cast<std::int64_t>(F->Blocks.size()));
+        for (const auto &BB : F->Blocks) {
+          Obs->Stats.add("ir.instrs",
+                         static_cast<std::int64_t>(BB->Instrs.size()));
+          for (const Instr &I : BB->Instrs)
+            if (I.Op == Opcode::Phi)
+              Obs->Stats.add("ssa.phis");
+        }
+      }
+    }
 
     // --- Type inference, verified per function.
     P->Ctx = std::make_unique<SymExprContext>();
     P->TI = std::make_unique<TypeInference>(*P->M, *P->Ctx, Diags);
-    P->TI->run(O.Entry);
+    {
+      PassTimer T(Obs, "typeinf");
+      P->TI->run(O.Entry);
+    }
+    if (Obs)
+      for (const auto &F : P->M->Functions) {
+        if (!P->TI->hasTypesFor(*F))
+          continue;
+        for (const VarType &T : P->TI->functionTypes(*F))
+          if (!T.isBottom())
+            Obs->Stats.add("typeinf.typed_vars");
+      }
     bool TypesOK = O.InjectFault != CompileStage::TypeInf;
     std::string TypesWhy = "fault injected";
     if (TypesOK && O.Verify) {
+      PassTimer VT(Obs, "verify");
       VerifierReport R;
       for (auto &F : P->M->Functions)
         verifyTypes(*F, *P->TI, R);
@@ -195,7 +265,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     // compile; the pipeline simply continues with types-only facts.
     if (O.Analysis == AnalysisLevel::Ranges) {
       try {
-        P->RA = std::make_unique<RangeAnalysis>(*P->M, *P->TI, O.Entry);
+        P->RA = std::make_unique<RangeAnalysis>(*P->M, *P->TI, O.Entry, Obs);
       } catch (const std::exception &E) {
         Diags.warning(SourceLoc{}, std::string("range analysis failed (") +
                                        E.what() +
@@ -207,6 +277,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     // --- Lint (optional; needs SSA form, so it runs before inversion).
     if (O.Lint) {
       try {
+        PassTimer T(Obs, "lint");
         P->LintDiags = runLint(*P->M, *P->TI, P->RA.get());
       } catch (const std::exception &E) {
         Diags.warning(SourceLoc{},
@@ -238,8 +309,8 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       if (UseGCTD) {
         try {
           InterferenceGraph IG(*F, *P->TI, /*Coalesce=*/true,
-                               ColoringStrategy::Affinity, P->RA.get());
-          Plan = decomposeColorClasses(*F, IG, *P->TI, P->RA.get());
+                               ColoringStrategy::Affinity, P->RA.get(), Obs);
+          Plan = decomposeColorClasses(*F, IG, *P->TI, P->RA.get(), Obs);
           // Self-check while the SSA-form graph still exists: interfering
           // variables must never share a storage slot.
           for (unsigned U = 0; U < F->numVars(); ++U)
@@ -250,6 +321,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
                 ++P->PlanConsistencyErrors;
             }
           if (O.Verify) {
+            PassTimer VT(Obs, "verify");
             VerifierReport R;
             if (!verifyStoragePlan(*F, *P->TI, Plan, R, VerifyRA.get())) {
               R.reportTo(Diags, DiagLevel::Warning);
@@ -280,24 +352,28 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
 
     // Leave SSA: the plans are fixed, so inversion's copies become
     // identity assignments wherever phi webs were coalesced.
-    for (auto &F : P->M->Functions) {
-      invertSSA(*F);
-      F->recomputePreds();
-      if (O.Verify) {
-        VerifierReport R;
-        if (!verifyCFG(*F, R)) {
-          R.reportTo(Diags, DiagLevel::Warning);
-          P->GCTDPlans.clear();
-          P->IdentityPlans.clear();
-          P->RA.reset();
-          P->TI.reset();
-          P->Ctx.reset();
-          P->M.reset();
-          return DegradeOr(DegradeLevel::InterpOnly, CompileStage::SSA,
-                           "SSA inversion broke the CFG of " + F->Name);
+    {
+      PassTimer T(Obs, "invert");
+      for (auto &F : P->M->Functions) {
+        invertSSA(*F);
+        F->recomputePreds();
+        if (O.Verify) {
+          VerifierReport R;
+          if (!verifyCFG(*F, R)) {
+            R.reportTo(Diags, DiagLevel::Warning);
+            P->GCTDPlans.clear();
+            P->IdentityPlans.clear();
+            P->RA.reset();
+            P->TI.reset();
+            P->Ctx.reset();
+            P->M.reset();
+            return DegradeOr(DegradeLevel::InterpOnly, CompileStage::SSA,
+                             "SSA inversion broke the CFG of " + F->Name);
+          }
         }
       }
     }
+    DumpAfter("invert");
     return P;
   } catch (const std::exception &E) {
     // Any uncaught stage exception: the interpreter rung only needs the

@@ -47,6 +47,7 @@
 #include "interp/Interp.h"
 #include "ir/IR.h"
 #include "lint/Lint.h"
+#include "observe/Observe.h"
 #include "support/Diagnostics.h"
 #include "typeinf/TypeInference.h"
 #include "vm/VM.h"
@@ -94,6 +95,11 @@ struct CompileOptions {
   AnalysisLevel Analysis = AnalysisLevel::Ranges;
   /// Run the lint checks and store their diagnostics on the result.
   bool Lint = false;
+  /// Observability sink: when non-null, every stage reports wall time,
+  /// counters, optimization remarks, and (when requested on the observer)
+  /// after-pass IR dumps into it. Owned by the caller; must outlive the
+  /// compile.
+  Observer *Obs = nullptr;
   // Execution guards, forwarded to every run mode.
   std::uint64_t OpBudget = 2000000000ull;
   std::int64_t HeapLimit = 0;    ///< Metered heap bytes; 0 = unlimited.

@@ -14,20 +14,60 @@ using namespace matcoal;
 InterferenceGraph::InterferenceGraph(const Function &F,
                                      const TypeInference &TI, bool Coalesce,
                                      ColoringStrategy Strategy,
-                                     const RangeAnalysis *RA)
-    : F(F), RA(RA), Participates(F.numVars(), 0), Parent(F.numVars()),
-      Adj(F.numVars()), Affinity(F.numVars()), ITOf(F.numVars(),
-                                                    IntrinsicType::None),
-      NonScalarOf(F.numVars(), 0), Colors(F.numVars(), -1) {
+                                     const RangeAnalysis *RA, Observer *Obs)
+    : F(F), RA(RA), Obs(Obs), Participates(F.numVars(), 0),
+      Parent(F.numVars()), Adj(F.numVars()), Affinity(F.numVars()),
+      ITOf(F.numVars(), IntrinsicType::None), NonScalarOf(F.numVars(), 0),
+      Colors(F.numVars(), -1) {
   for (unsigned V = 0; V < F.numVars(); ++V)
     Parent[V] = static_cast<VarId>(V);
+  // Seed every counter this phase owns so the stats key set does not
+  // depend on which code paths the input happens to exercise.
+  count(Obs, "gctd.participants", 0);
+  count(Obs, "gctd.edges.total", 0);
+  count(Obs, "gctd.edges.opsem", 0);
+  count(Obs, "gctd.edges.discharged", 0);
+  count(Obs, "gctd.phi_coalesced", 0);
+  count(Obs, "gctd.colors", 0);
   markParticipants(TI);
-  buildEdges(TI);
-  if (Coalesce)
+  {
+    PassTimer T = PassTimer(Obs, "gctd.interference");
+    buildEdges(TI);
+  }
+  if (Coalesce) {
+    PassTimer T = PassTimer(Obs, "gctd.coalesce");
     coalescePhis();
-  if (Strategy == ColoringStrategy::Affinity)
-    addAffinities();
-  color(Strategy, TI);
+  }
+  {
+    PassTimer T = PassTimer(Obs, "gctd.color");
+    if (Strategy == ColoringStrategy::Affinity)
+      addAffinities();
+    color(Strategy, TI);
+  }
+  if (Obs) {
+    for (unsigned V = 0; V < F.numVars(); ++V)
+      if (Participates[V])
+        Obs->Stats.add("gctd.participants");
+    Obs->Stats.add("gctd.edges.total", numEdges());
+    Obs->Stats.add("gctd.colors", NumColors);
+  }
+}
+
+void InterferenceGraph::remarkEdge(RemarkKind Kind, VarId Y, VarId X,
+                                   const Instr &I, const char *Why) {
+  if (!Obs)
+    return;
+  const char *What = Kind == RemarkKind::EdgeAdded ? " -- " : " -/- ";
+  Obs->remark("interference", Kind, F.Name,
+              "operator-semantics edge " + F.var(Y).Name + What +
+                  F.var(X).Name + " (" +
+                  (I.Op == Opcode::Builtin ? I.StrVal
+                                           : std::string(opcodeName(I.Op))) +
+                  "): " + Why,
+              {{"result", F.var(Y).Name},
+               {"operand", F.var(X).Name},
+               {"op", opcodeName(I.Op)}},
+              I.Loc);
 }
 
 void InterferenceGraph::addAffinities() {
@@ -227,11 +267,46 @@ void InterferenceGraph::addOperatorSemanticsEdges(const Instr &I,
   if (!Participates[Y])
     return;
   const std::vector<VarType> &Types = TI.functionTypes(F);
-  // Range-proven facts widen what the bare types can discharge; the
+
+  // The decision function, parameterized over whether range-proven facts
+  // may discharge what the bare types cannot. The edge set computed WITH
+  // the facts is what the graph gets; its delta against the types-only
+  // set is exactly the discharged edges the observer reports. The
   // CEmitter consults the same RangeAnalysis, so every edge removed here
   // corresponds to an in-place-safe code path there.
+  auto Collect = [&](bool UseRA, std::vector<std::pair<VarId, VarId>> &Out) {
+    collectOpSemEdges(I, Types, UseRA, Out);
+  };
+
+  std::vector<std::pair<VarId, VarId>> Edges;
+  Collect(RA != nullptr, Edges);
+  for (const auto &[R, X] : Edges) {
+    addEdge(R, X);
+    if (Obs) {
+      Obs->Stats.add("gctd.edges.opsem");
+      remarkEdge(RemarkKind::EdgeAdded, R, X, I,
+                 "result cannot be formed in place in this operand");
+    }
+  }
+  if (Obs && RA) {
+    std::vector<std::pair<VarId, VarId>> TypesOnly;
+    Collect(false, TypesOnly);
+    for (const auto &P : TypesOnly)
+      if (std::find(Edges.begin(), Edges.end(), P) == Edges.end()) {
+        Obs->Stats.add("gctd.edges.discharged");
+        remarkEdge(RemarkKind::EdgeDischarged, P.first, P.second, I,
+                   "range analysis proves in-place formation safe");
+      }
+  }
+}
+
+void InterferenceGraph::collectOpSemEdges(
+    const Instr &I, const std::vector<VarType> &Types, bool UseRA,
+    std::vector<std::pair<VarId, VarId>> &Out) const {
+  VarId Y = I.Results[0];
   auto IsScalar = [&](VarId V) {
-    return Types[V].isScalar() || (RA && RA->provablyScalar(F, V));
+    return Types[V].isScalar() ||
+           (UseRA && RA && RA->provablyScalar(F, V));
   };
   auto IsScalarOrVector = [&](VarId V) {
     const VarType &T = Types[V];
@@ -241,12 +316,16 @@ void InterferenceGraph::addOperatorSemanticsEdges(const Instr &I,
         ((T.Extents[0]->isConst() && T.Extents[0]->constValue() == 1) ||
          (T.Extents[1]->isConst() && T.Extents[1]->constValue() == 1)))
       return true;
-    return RA && RA->provablyScalarOrVector(F, V);
+    return UseRA && RA && RA->provablyScalarOrVector(F, V);
+  };
+  auto Edge = [&](VarId X) {
+    if (Participates[X])
+      Out.emplace_back(Y, X);
   };
   auto EdgeToNonScalars = [&](size_t From = 0) {
     for (size_t K = From; K < I.Operands.size(); ++K)
       if (!IsScalar(I.Operands[K]))
-        addEdge(Y, I.Operands[K]);
+        Edge(I.Operands[K]);
   };
 
   switch (I.Op) {
@@ -289,7 +368,7 @@ void InterferenceGraph::addOperatorSemanticsEdges(const Instr &I,
   case Opcode::Transpose:
   case Opcode::CTranspose:
     if (!IsScalarOrVector(I.Operands[0]))
-      addEdge(Y, I.Operands[0]);
+      Edge(I.Operands[0]);
     return;
 
   // R-indexing (section 2.3.2): safe in place only when every subscript is
@@ -302,7 +381,7 @@ void InterferenceGraph::addOperatorSemanticsEdges(const Instr &I,
     }
     if (AllScalar)
       return;
-    addEdge(Y, I.Operands[0]);
+    Edge(I.Operands[0]);
     EdgeToNonScalars(1);
     return;
   }
@@ -406,7 +485,17 @@ void InterferenceGraph::coalescePhis() {
       for (VarId Op : I.Operands) {
         if (!Participates[Op])
           continue;
-        tryUnion(I.result(), Op);
+        bool Distinct = findRoot(I.result()) != findRoot(Op);
+        if (tryUnion(I.result(), Op) && Distinct && Obs) {
+          Obs->Stats.add("gctd.phi_coalesced");
+          Obs->remark("interference", RemarkKind::PhiCoalesced, F.Name,
+                      "phi web coalesced: " + F.var(Op).Name +
+                          " joins " + F.var(I.result()).Name +
+                          " (SSA-inversion copy becomes identity)",
+                      {{"result", F.var(I.result()).Name},
+                       {"operand", F.var(Op).Name}},
+                      I.Loc);
+        }
       }
     }
   }
@@ -475,6 +564,12 @@ void InterferenceGraph::color(ColoringStrategy Strategy,
         ++C;
     }
     Colors[R] = C;
+    if (Obs)
+      Obs->remark("interference", RemarkKind::ColorAssigned, F.Name,
+                  "color " + std::to_string(C) + " assigned to " +
+                      F.var(V).Name +
+                      (R != V ? " (web of " + F.var(R).Name + ")" : ""),
+                  {{"var", F.var(V).Name}, {"color", std::to_string(C)}});
     if (static_cast<unsigned>(C) >= NumColors) {
       NumColors = static_cast<unsigned>(C) + 1;
       ColorMax.resize(NumColors, 0);

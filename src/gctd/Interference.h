@@ -21,6 +21,7 @@
 
 #include "analysis/RangeAnalysis.h"
 #include "ir/IR.h"
+#include "observe/Observe.h"
 #include "typeinf/TypeInference.h"
 
 #include <map>
@@ -52,11 +53,14 @@ public:
   /// semantics edges the bare types cannot; any consumer executing the
   /// resulting plan through generated code must use the same facts (the
   /// CEmitter takes the same RangeAnalysis so its in-place decisions agree
-  /// with the edges removed here).
+  /// with the edges removed here). A non-null \p Obs receives per-phase
+  /// timings, counters, and a remark for every edge added, edge
+  /// discharged, web coalesced, and color assigned.
   InterferenceGraph(const Function &F, const TypeInference &TI,
                     bool Coalesce = true,
                     ColoringStrategy Strategy = ColoringStrategy::Affinity,
-                    const RangeAnalysis *RA = nullptr);
+                    const RangeAnalysis *RA = nullptr,
+                    Observer *Obs = nullptr);
 
   /// True if the variable takes part in storage allocation (defined, typed,
   /// not the ':' marker).
@@ -82,6 +86,16 @@ private:
   void markParticipants(const TypeInference &TI);
   void buildEdges(const TypeInference &TI);
   void addOperatorSemanticsEdges(const Instr &I, const TypeInference &TI);
+  /// Records an operator-semantics edge (or its range-proven absence)
+  /// into the observer.
+  void remarkEdge(RemarkKind Kind, VarId Y, VarId X, const Instr &I,
+                  const char *Why);
+  /// The section 2.3 decision function as data: appends the (result,
+  /// operand) operator-semantics pairs for \p I to \p Out. \p UseRA
+  /// selects whether range-proven facts may discharge pairs.
+  void collectOpSemEdges(const Instr &I, const std::vector<VarType> &Types,
+                         bool UseRA,
+                         std::vector<std::pair<VarId, VarId>> &Out) const;
   void coalescePhis();
   void color(ColoringStrategy Strategy, const TypeInference &TI);
 
@@ -92,6 +106,7 @@ private:
 
   const Function &F;
   const RangeAnalysis *RA = nullptr;
+  Observer *Obs = nullptr;
   std::vector<char> Participates;
   mutable std::vector<VarId> Parent; ///< Union-find with path compression.
   std::vector<std::set<VarId>> Adj;  ///< Adjacency over representatives.

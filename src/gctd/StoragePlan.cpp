@@ -17,10 +17,13 @@ namespace {
 class Decomposer {
 public:
   Decomposer(const Function &F, const InterferenceGraph &IG,
-             const TypeInference &TI, const RangeAnalysis *RA)
-      : F(F), IG(IG), TI(TI), RA(RA), Types(TI.functionTypes(F)),
+             const TypeInference &TI, const RangeAnalysis *RA,
+             Observer *Obs)
+      : F(F), IG(IG), TI(TI), RA(RA), Obs(Obs),
+        Types(TI.functionTypes(F)),
         Ctx(const_cast<TypeInference &>(TI).context()),
-        Avail(computeAvailability(F)), StaticSize(F.numVars(), -2) {
+        Avail(computeAvailability(F)), StaticSize(F.numVars(), -2),
+        RangeJustified(F.numVars(), 0) {
     recordDefSites();
   }
 
@@ -33,6 +36,12 @@ private:
   };
 
   void recordDefSites();
+  /// Emits the storage decision for one finished group: stack (with the
+  /// fixed byte size and frame offset), heap (with the symbolic size
+  /// expression that forced it), and a separate promotion remark when the
+  /// stack binding was justified by range analysis rather than explicit
+  /// shapes.
+  void remarkGroup(int GroupId, const StorageGroup &G);
   /// Static storage size in bytes per section 3.2.1 (explicit shape, or a
   /// phi of statically estimable operands); -1 when inestimable.
   std::int64_t staticSizeBytes(VarId V);
@@ -49,10 +58,14 @@ private:
   const InterferenceGraph &IG;
   const TypeInference &TI;
   const RangeAnalysis *RA;
+  Observer *Obs;
   const std::vector<VarType> &Types;
   SymExprContext &Ctx;
   AvailabilityInfo Avail;
   std::vector<std::int64_t> StaticSize; ///< -2 unknown, -1 inestimable.
+  /// Estimability came from the range analysis, not an explicit shape:
+  /// the variable's group is a *promotion* worth remarking.
+  std::vector<char> RangeJustified;
   std::vector<DefSite> DefSites;
   std::map<VarId, const Instr *> DefInstr;
 };
@@ -72,6 +85,56 @@ void Decomposer::recordDefSites() {
   for (VarId P : F.Params)
     if (DefSites[P].Block == NoBlock)
       DefSites[P] = DefSite{0, -1};
+}
+
+void Decomposer::remarkGroup(int GroupId, const StorageGroup &G) {
+  std::string Members;
+  for (VarId V : G.Members) {
+    if (!Members.empty())
+      Members += " ";
+    Members += F.var(V).Name;
+  }
+  std::string Group = "g" + std::to_string(GroupId);
+  if (G.K == StorageGroup::Kind::Stack) {
+    Obs->Stats.add("gctd.groups.stack");
+    std::ostringstream OS;
+    OS << "group " << Group << " bound to stack: " << G.StackBytes
+       << " bytes at frame offset " << G.FrameOffset << " shared by {"
+       << Members << "}";
+    Obs->remark("storage-plan", RemarkKind::GroupStack, F.Name, OS.str(),
+                {{"group", Group},
+                 {"bytes", std::to_string(G.StackBytes)},
+                 {"offset", std::to_string(G.FrameOffset)},
+                 {"members", Members}});
+    // A stack binding only some range-derived bound made possible is a
+    // promotion: without the analysis these variables were heap-bound.
+    std::string Promoted;
+    for (VarId V : G.Members)
+      if (RangeJustified[V]) {
+        if (!Promoted.empty())
+          Promoted += " ";
+        Promoted += F.var(V).Name;
+      }
+    if (!Promoted.empty()) {
+      Obs->Stats.add("gctd.groups.promoted");
+      Obs->remark("storage-plan", RemarkKind::GroupPromoted, F.Name,
+                  "group " + Group +
+                      " promoted to stack: range analysis bounds {" +
+                      Promoted + "} at " + std::to_string(G.StackBytes) +
+                      " bytes worst case",
+                  {{"group", Group},
+                   {"bytes", std::to_string(G.StackBytes)},
+                   {"vars", Promoted}});
+    }
+  } else {
+    Obs->Stats.add("gctd.groups.heap");
+    std::string Size = G.SizeExpr ? G.SizeExpr->str() : "unknown";
+    Obs->remark("storage-plan", RemarkKind::GroupHeap, F.Name,
+                "group " + Group + " bound to heap: size " + Size +
+                    " bytes not statically estimable, shared by {" +
+                    Members + "}",
+                {{"group", Group}, {"size", Size}, {"members", Members}});
+  }
 }
 
 std::int64_t Decomposer::staticSizeBytes(VarId V) {
@@ -110,8 +173,10 @@ std::int64_t Decomposer::staticSizeBytes(VarId V) {
   // its own RangeAnalysis instance, so the promotion stays checkable.
   if (Memo < 0 && RA) {
     std::int64_t S = RA->staticSizeBytes(F, V);
-    if (S >= 0)
+    if (S >= 0) {
       Memo = S;
+      RangeJustified[V] = 1;
+    }
   }
   return Memo;
 }
@@ -265,6 +330,17 @@ StoragePlan Decomposer::run() {
   Plan.GroupOf.assign(F.numVars(), -1);
   Plan.NumColors = IG.numColors();
 
+  if (Obs) {
+    // Seed the schema so the counter key set is input-independent.
+    Obs->Stats.add("gctd.groups.stack", 0);
+    Obs->Stats.add("gctd.groups.heap", 0);
+    Obs->Stats.add("gctd.groups.promoted", 0);
+    Obs->Stats.add("gctd.subsumed.static", 0);
+    Obs->Stats.add("gctd.subsumed.dynamic", 0);
+    Obs->Stats.add("gctd.static_reduction_bytes", 0);
+    Obs->Stats.add("gctd.frame_bytes", 0);
+  }
+
   // Collect supernodes (coalesced webs) per color class.
   std::vector<std::vector<VarId>> Classes = IG.colorClasses();
   for (auto &Class : Classes) {
@@ -372,7 +448,8 @@ StoragePlan Decomposer::run() {
 
   // Table 2 statistics and the stack frame layout, over all groups.
   std::int64_t Offset = 0;
-  for (StorageGroup &G : Plan.Groups) {
+  for (size_t GI = 0; GI < Plan.Groups.size(); ++GI) {
+    StorageGroup &G = Plan.Groups[GI];
     if (G.Members.size() > 1) {
       if (G.K == StorageGroup::Kind::Stack) {
         Plan.StaticSubsumed += static_cast<unsigned>(G.Members.size() - 1);
@@ -397,8 +474,17 @@ StoragePlan Decomposer::run() {
             Ctx.numElements(T.Extents),
             Ctx.makeConst(static_cast<std::int64_t>(elemSizeBytes(T.IT))));
     }
+    if (Obs)
+      remarkGroup(static_cast<int>(GI), G);
   }
   Plan.FrameBytes = (Offset + 15) & ~std::int64_t(15);
+  if (Obs) {
+    Obs->Stats.add("gctd.subsumed.static", Plan.StaticSubsumed);
+    Obs->Stats.add("gctd.subsumed.dynamic", Plan.DynamicSubsumed);
+    Obs->Stats.add("gctd.static_reduction_bytes",
+                   Plan.StaticReductionBytes);
+    Obs->Stats.add("gctd.frame_bytes", Plan.FrameBytes);
+  }
   return Plan;
 }
 
@@ -407,23 +493,25 @@ StoragePlan Decomposer::run() {
 StoragePlan matcoal::decomposeColorClasses(const Function &F,
                                            const InterferenceGraph &IG,
                                            const TypeInference &TI,
-                                           const RangeAnalysis *RA) {
-  Decomposer D(F, IG, TI, RA);
+                                           const RangeAnalysis *RA,
+                                           Observer *Obs) {
+  PassTimer T(Obs, "gctd.decompose");
+  Decomposer D(F, IG, TI, RA, Obs);
   return D.run();
 }
 
 StoragePlan matcoal::runGCTD(const Function &F, const TypeInference &TI,
-                             const RangeAnalysis *RA) {
+                             const RangeAnalysis *RA, Observer *Obs) {
   InterferenceGraph IG(F, TI, /*Coalesce=*/true, ColoringStrategy::Affinity,
-                       RA);
-  return decomposeColorClasses(F, IG, TI, RA);
+                       RA, Obs);
+  return decomposeColorClasses(F, IG, TI, RA, Obs);
 }
 
 StoragePlan matcoal::runGCTDWith(const Function &F, const TypeInference &TI,
                                  bool Coalesce, ColoringStrategy Strategy,
-                                 const RangeAnalysis *RA) {
-  InterferenceGraph IG(F, TI, Coalesce, Strategy, RA);
-  return decomposeColorClasses(F, IG, TI, RA);
+                                 const RangeAnalysis *RA, Observer *Obs) {
+  InterferenceGraph IG(F, TI, Coalesce, Strategy, RA, Obs);
+  return decomposeColorClasses(F, IG, TI, RA, Obs);
 }
 
 StoragePlan matcoal::makeIdentityPlan(const Function &F,

@@ -20,6 +20,7 @@
 #include "analysis/RangeAnalysis.h"
 #include "gctd/Interference.h"
 #include "ir/IR.h"
+#include "observe/Observe.h"
 #include "typeinf/TypeInference.h"
 
 #include <cstdint>
@@ -77,20 +78,26 @@ struct StoragePlan {
 /// Runs phase 2 on a colored interference graph. When \p RA is non-null,
 /// range-bounded symbolic extents also count as statically estimable
 /// (capped at RangeAnalysis::kPromoteCapBytes), promoting heap groups to
-/// fixed stack slots.
+/// fixed stack slots. A non-null \p Obs receives a remark per storage
+/// decision: every group bound to stack or heap (with the symbolic size
+/// expression that forced a heap binding) and every range-justified
+/// stack promotion.
 StoragePlan decomposeColorClasses(const Function &F,
                                   const InterferenceGraph &IG,
                                   const TypeInference &TI,
-                                  const RangeAnalysis *RA = nullptr);
+                                  const RangeAnalysis *RA = nullptr,
+                                  Observer *Obs = nullptr);
 
 /// Runs the full GCTD pass (phase 1 + phase 2).
 StoragePlan runGCTD(const Function &F, const TypeInference &TI,
-                    const RangeAnalysis *RA = nullptr);
+                    const RangeAnalysis *RA = nullptr,
+                    Observer *Obs = nullptr);
 
 /// Strategy-parameterized variant for the coloring ablation benchmarks.
 StoragePlan runGCTDWith(const Function &F, const TypeInference &TI,
                         bool Coalesce, ColoringStrategy Strategy,
-                        const RangeAnalysis *RA = nullptr);
+                        const RangeAnalysis *RA = nullptr,
+                        Observer *Obs = nullptr);
 
 /// The no-coalescing baseline used by the "without GCTD" ablation: every
 /// variable gets its own storage area.

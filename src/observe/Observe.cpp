@@ -1,0 +1,260 @@
+//===- Observe.cpp --------------------------------------------------------===//
+
+#include "observe/Observe.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace matcoal;
+
+std::uint64_t matcoal::nowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char *matcoal::remarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::EdgeAdded:
+    return "edge-added";
+  case RemarkKind::EdgeDischarged:
+    return "edge-discharged";
+  case RemarkKind::PhiCoalesced:
+    return "phi-coalesced";
+  case RemarkKind::ColorAssigned:
+    return "color-assigned";
+  case RemarkKind::GroupStack:
+    return "group-stack";
+  case RemarkKind::GroupHeap:
+    return "group-heap";
+  case RemarkKind::GroupPromoted:
+    return "group-promoted";
+  case RemarkKind::CheckElided:
+    return "check-elided";
+  case RemarkKind::Degraded:
+    return "degraded";
+  }
+  return "unknown";
+}
+
+const std::string *Remark::arg(const std::string &Key) const {
+  for (const auto &[K, V] : Args)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+std::string Remark::str() const {
+  std::ostringstream OS;
+  if (Loc.isValid())
+    OS << Loc.str() << ": ";
+  OS << Pass << ": " << remarkKindName(Kind) << ": " << Message;
+  if (!Function.empty())
+    OS << " [" << Function << "]";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// PassTimer
+//===----------------------------------------------------------------------===//
+
+PassTimer::PassTimer(Observer *Obs, std::string Name)
+    : Obs(Obs), Name(std::move(Name)), Start(nowMicros()) {}
+
+PassTimer::PassTimer(PassTimer &&O) noexcept
+    : Obs(O.Obs), Name(std::move(O.Name)), Start(O.Start), End(O.End),
+      Stopped(O.Stopped) {
+  O.Obs = nullptr; // The moved-from timer must not record.
+  O.Stopped = true;
+}
+
+void PassTimer::stop() {
+  if (Stopped)
+    return;
+  Stopped = true;
+  End = nowMicros();
+  if (Obs)
+    Obs->record(TraceEvent{Name, Start, End - Start});
+}
+
+double PassTimer::seconds() const {
+  std::uint64_t Until = Stopped ? End : nowMicros();
+  return static_cast<double>(Until - Start) / 1e6;
+}
+
+//===----------------------------------------------------------------------===//
+// Observer
+//===----------------------------------------------------------------------===//
+
+void Observer::remark(const std::string &Pass, RemarkKind Kind,
+                      const std::string &Function,
+                      const std::string &Message,
+                      std::vector<std::pair<std::string, std::string>> Args,
+                      SourceLoc Loc) {
+  Remark R;
+  R.Pass = Pass;
+  R.Kind = Kind;
+  R.Loc = Loc;
+  R.Function = Function;
+  R.Message = Message;
+  R.Args = std::move(Args);
+  Remarks.push_back(std::move(R));
+}
+
+std::vector<const Remark *>
+Observer::remarksFor(const std::string &Pass) const {
+  std::vector<const Remark *> Out;
+  for (const Remark &R : Remarks)
+    if (Pass.empty() || R.Pass == Pass)
+      Out.push_back(&R);
+  return Out;
+}
+
+unsigned Observer::countRemarks(RemarkKind Kind) const {
+  unsigned N = 0;
+  for (const Remark &R : Remarks)
+    N += R.Kind == Kind;
+  return N;
+}
+
+const std::string *Observer::dumpOf(const std::string &Pass) const {
+  for (const auto &[P, Text] : IRDumps)
+    if (P == Pass)
+      return &Text;
+  return nullptr;
+}
+
+std::string matcoal::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string Observer::statsJson() const {
+  std::ostringstream OS;
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Stats.all()) {
+    OS << (First ? "\n" : ",\n") << "    \"" << jsonEscape(Name)
+       << "\": " << Value;
+    First = false;
+  }
+  OS << "\n  },\n  \"passes\": [";
+  // Aggregate spans by name, in first-appearance order (the pipeline
+  // order), so the block reads like the pipeline.
+  std::vector<std::string> Order;
+  std::map<std::string, std::pair<unsigned, std::uint64_t>> Agg;
+  for (const TraceEvent &E : Trace) {
+    auto [It, Inserted] = Agg.emplace(E.Name, std::make_pair(0u, 0ull));
+    if (Inserted)
+      Order.push_back(E.Name);
+    ++It->second.first;
+    It->second.second += E.DurMicros;
+  }
+  First = true;
+  for (const std::string &Name : Order) {
+    const auto &[Calls, Micros] = Agg[Name];
+    OS << (First ? "\n" : ",\n") << "    {\"name\": \"" << jsonEscape(Name)
+       << "\", \"calls\": " << Calls << ", \"wall_us\": " << Micros << "}";
+    First = false;
+  }
+  OS << "\n  ],\n  \"remarks\": " << Remarks.size()
+     << ",\n  \"config\": " << hardwareConfigJson() << "\n}\n";
+  return OS.str();
+}
+
+std::string Observer::traceJson() const {
+  // The Chrome trace-event "JSON array format": complete ("X") events
+  // with microsecond timestamps. Loadable in chrome://tracing and
+  // ui.perfetto.dev as-is.
+  std::ostringstream OS;
+  OS << "[\n";
+  bool First = true;
+  for (const TraceEvent &E : Trace) {
+    std::uint64_t Ts = E.StartMicros >= Epoch ? E.StartMicros - Epoch : 0;
+    OS << (First ? "" : ",\n") << "{\"name\": \"" << jsonEscape(E.Name)
+       << "\", \"cat\": \"matcoal\", \"ph\": \"X\", \"ts\": " << Ts
+       << ", \"dur\": " << E.DurMicros << ", \"pid\": 1, \"tid\": 1}";
+    First = false;
+  }
+  OS << "\n]\n";
+  return OS.str();
+}
+
+std::string Observer::remarksText(const std::string &PassFilter) const {
+  std::string Out;
+  for (const Remark &R : Remarks) {
+    if (!PassFilter.empty() && R.Pass != PassFilter)
+      continue;
+    Out += "remark: " + R.str() + "\n";
+  }
+  return Out;
+}
+
+std::string matcoal::hardwareConfigJson() {
+  std::ostringstream OS;
+  const char *Platform =
+#if defined(__linux__)
+      "linux";
+#elif defined(__APPLE__)
+      "darwin";
+#elif defined(_WIN32)
+      "windows";
+#else
+      "unknown";
+#endif
+  const char *Arch =
+#if defined(__x86_64__) || defined(_M_X64)
+      "x86_64";
+#elif defined(__aarch64__)
+      "aarch64";
+#else
+      "unknown";
+#endif
+  OS << "{\"platform\": \"" << Platform << "\", \"arch\": \"" << Arch
+     << "\", \"compiler\": \"";
+#if defined(__clang__)
+  OS << "clang " << __clang_major__ << "." << __clang_minor__;
+#elif defined(__GNUC__)
+  OS << "gcc " << __GNUC__ << "." << __GNUC_MINOR__;
+#else
+  OS << "unknown";
+#endif
+  OS << "\", \"build\": \"";
+#ifdef NDEBUG
+  OS << "optimized";
+#else
+  OS << "asserts";
+#endif
+  OS << "\", \"pointer_bits\": " << sizeof(void *) * 8
+     << ", \"cxx\": " << __cplusplus << "}";
+  return OS.str();
+}

@@ -1,0 +1,230 @@
+//===- Observe.h - Pass telemetry, remarks, and IR dump hooks ---*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler observability substrate, in the LLVM optimization-remark
+/// tradition. One `Observer` rides through a compile (and, in the bench
+/// harness, through the runs that follow) collecting three streams:
+///
+///  * **Stats** (`StatRegistry`): named monotone counters every stage
+///    reports into (`gctd.edges.opsem`, `codegen.ensure.elided`, ...).
+///    Counters are deterministic across runs of the same input; the
+///    checked-in schema in tests/observe/stats_schema.txt pins the name
+///    set so counters cannot silently vanish.
+///  * **Timeline** (`PassTimer` -> `TraceEvent`): wall-clock spans per
+///    pass, serializable as a Chrome `chrome://tracing` / Perfetto
+///    trace-event file (traceJson) and aggregated into statsJson.
+///  * **Remarks** (`Remark`): one record per optimization decision --
+///    operator-semantics edge added or discharged, phi web coalesced,
+///    color assigned, storage group bound to stack or heap (with the size
+///    expression that forced the heap binding), range-justified promotion,
+///    check elision -- queryable from tests and printed by
+///    `matcoalc --remarks[=pass]`.
+///
+/// The observer also hosts the IR dump hooks behind `matcoalc
+/// --print-after=<pass>` / `--print-after-all`: the driver records the
+/// module printer's output after each requested pass so golden-file tests
+/// can pin intermediate states.
+///
+/// Everything is null-tolerant: passes take an `Observer *` defaulting to
+/// nullptr and the free helpers (`count`, `remarkTo`) no-op on null, so
+/// observability costs nothing when not requested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_OBSERVE_OBSERVE_H
+#define MATCOAL_OBSERVE_OBSERVE_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace matcoal {
+
+/// Microseconds on the steady (monotonic) clock shared by every timer in
+/// the system -- compiler passes and bench runs alike.
+std::uint64_t nowMicros();
+
+/// What kind of decision a remark records.
+enum class RemarkKind {
+  EdgeAdded,      ///< Operator-semantics interference edge inserted.
+  EdgeDischarged, ///< Edge the bare types demand, discharged by ranges.
+  PhiCoalesced,   ///< Phi web member united with its result.
+  ColorAssigned,  ///< A representative received its color.
+  GroupStack,     ///< Storage group bound to a fixed stack slot.
+  GroupHeap,      ///< Storage group bound to heap, with its size expr.
+  GroupPromoted,  ///< Heap-shaped group promoted to stack via ranges.
+  CheckElided,    ///< Capacity/bounds/growth check proven dead.
+  Degraded,       ///< A pipeline stage fell down the degradation ladder.
+};
+
+const char *remarkKindName(RemarkKind K);
+
+/// One optimization decision, with enough structure for tests to query
+/// and for humans to read.
+struct Remark {
+  std::string Pass;     ///< Producing pass ("interference", "cemit"...).
+  RemarkKind Kind = RemarkKind::EdgeAdded;
+  SourceLoc Loc;        ///< Source position when one is known.
+  std::string Function; ///< Enclosing function name ("" = module-wide).
+  std::string Message;  ///< Human-readable, self-contained.
+  /// Machine-readable key/value arguments ("var" -> "a.2", "bytes" ->
+  /// "800"), preserved in order.
+  std::vector<std::pair<std::string, std::string>> Args;
+
+  const std::string *arg(const std::string &Key) const;
+  /// "line:col: pass: kind: message [function]" (loc omitted if unknown).
+  std::string str() const;
+};
+
+/// One timed span on the shared clock.
+struct TraceEvent {
+  std::string Name;
+  std::uint64_t StartMicros = 0;
+  std::uint64_t DurMicros = 0;
+};
+
+/// Named monotone counters with deterministic (sorted) iteration.
+class StatRegistry {
+public:
+  /// Adds \p Delta to \p Name, creating it at zero first. Seeding with
+  /// Delta == 0 registers the name so the key set is input-independent.
+  void add(const std::string &Name, std::int64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+  std::int64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  bool has(const std::string &Name) const { return Counters.count(Name); }
+  const std::map<std::string, std::int64_t> &all() const { return Counters; }
+
+  /// Merges \p Other into this registry (used by the bench harness to
+  /// fold per-program observers into one suite-wide block).
+  void merge(const StatRegistry &Other) {
+    for (const auto &[Name, Value] : Other.Counters)
+      Counters[Name] += Value;
+  }
+
+private:
+  std::map<std::string, std::int64_t> Counters;
+};
+
+class Observer;
+
+/// RAII wall-clock span: records a TraceEvent into the observer when it
+/// is stopped or destroyed. Null observer = pure timer (seconds() still
+/// works), so the bench harness can use one clock/format everywhere.
+class PassTimer {
+public:
+  explicit PassTimer(Observer *Obs, std::string Name);
+  PassTimer(PassTimer &&O) noexcept;
+  PassTimer(const PassTimer &) = delete;
+  PassTimer &operator=(const PassTimer &) = delete;
+  ~PassTimer() { stop(); }
+
+  /// Ends the span and records it (idempotent).
+  void stop();
+  /// Elapsed seconds, live while running, frozen after stop().
+  double seconds() const;
+
+private:
+  Observer *Obs = nullptr;
+  std::string Name;
+  std::uint64_t Start = 0;
+  std::uint64_t End = 0;
+  bool Stopped = false;
+};
+
+/// The per-compile collection point. Create one, hand it to
+/// CompileOptions::Obs (or any pass directly), then serialize.
+class Observer {
+public:
+  StatRegistry Stats;
+  std::vector<Remark> Remarks;
+  std::vector<TraceEvent> Trace;
+  /// (pass name, printed IR) in recording order.
+  std::vector<std::pair<std::string, std::string>> IRDumps;
+
+  Observer() : Epoch(nowMicros()) {}
+
+  // --- Remarks.
+  void remark(Remark R) { Remarks.push_back(std::move(R)); }
+  /// Convenience builder for the common case.
+  void remark(const std::string &Pass, RemarkKind Kind,
+              const std::string &Function, const std::string &Message,
+              std::vector<std::pair<std::string, std::string>> Args = {},
+              SourceLoc Loc = {});
+  /// Remarks from \p Pass, or all of them when \p Pass is empty.
+  std::vector<const Remark *> remarksFor(const std::string &Pass) const;
+  unsigned countRemarks(RemarkKind Kind) const;
+
+  // --- Timeline.
+  PassTimer time(const std::string &Name) { return PassTimer(this, Name); }
+  void record(TraceEvent E) { Trace.push_back(std::move(E)); }
+
+  // --- IR dump hooks (--print-after=<pass> / --print-after-all).
+  void requestDump(const std::string &Pass) { DumpAfter.insert(Pass); }
+  void requestDumpAll() { DumpAll = true; }
+  bool wantsDump(const std::string &Pass) const {
+    return DumpAll || DumpAfter.count(Pass);
+  }
+  bool wantsAnyDump() const { return DumpAll || !DumpAfter.empty(); }
+  void recordDump(const std::string &Pass, std::string Text) {
+    IRDumps.emplace_back(Pass, std::move(Text));
+  }
+  /// The recorded dump for \p Pass, or nullptr.
+  const std::string *dumpOf(const std::string &Pass) const;
+
+  // --- Serialization.
+  /// Machine-readable block: {"counters": {...}, "passes": [...],
+  /// "remarks": N, "config": {...}}. Counters are sorted, so two compiles
+  /// of one input produce byte-identical counter objects.
+  std::string statsJson() const;
+  /// Chrome trace-event JSON array (load via chrome://tracing or
+  /// ui.perfetto.dev). Timestamps are relative to observer creation.
+  std::string traceJson() const;
+  /// Remarks one per line, optionally filtered to one pass.
+  std::string remarksText(const std::string &PassFilter = "") const;
+
+private:
+  std::uint64_t Epoch = 0;
+  std::set<std::string> DumpAfter;
+  bool DumpAll = false;
+};
+
+/// Null-safe counter bump.
+inline void count(Observer *Obs, const char *Name, std::int64_t Delta = 1) {
+  if (Obs)
+    Obs->Stats.add(Name, Delta);
+}
+
+/// Null-safe remark emission.
+inline void
+remarkTo(Observer *Obs, const std::string &Pass, RemarkKind Kind,
+         const std::string &Function, const std::string &Message,
+         std::vector<std::pair<std::string, std::string>> Args = {},
+         SourceLoc Loc = {}) {
+  if (Obs)
+    Obs->remark(Pass, Kind, Function, Message, std::move(Args), Loc);
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+/// The hardware/config provenance block benchmarks embed next to their
+/// numbers: platform, architecture, compiler, build flavor, pointer width.
+std::string hardwareConfigJson();
+
+} // namespace matcoal
+
+#endif // MATCOAL_OBSERVE_OBSERVE_H

@@ -11,6 +11,15 @@
 //   $ matcoalc --emit-c prog.m          # print the mat2c C translation
 //   $ matcoalc --no-ranges ... prog.m   # types-only ablation of any mode
 //
+// Observability (composable with every mode):
+//
+//   $ matcoalc --remarks prog.m             # optimization remarks (stderr)
+//   $ matcoalc --remarks=storage-plan ...   # one pass only
+//   $ matcoalc --stats-json out.json ...    # counters + pass timings
+//   $ matcoalc --trace-out trace.json ...   # Chrome trace-event timeline
+//   $ matcoalc --print-after=ssa ...        # IR dump after one pass
+//   $ matcoalc --print-after-all ...        # ... after every dump point
+//
 // Exit codes: 0 success (and, under --lint, no findings); 1 compile
 // failure, runtime failure, or lint findings; 2 usage error.
 //
@@ -19,6 +28,7 @@
 #include "codegen/CEmitter.h"
 #include "driver/Compiler.h"
 #include "lint/Lint.h"
+#include "observe/Observe.h"
 
 #include <cstdio>
 #include <cstring>
@@ -44,17 +54,48 @@ void usage(const char *Argv0) {
                "  --entry <fn>  entry function (default: main)\n"
                "  --no-ranges   disable the range/shape analysis (the\n"
                "                types-only pipeline; lint degrades too)\n"
-               "  --help        this text, plus the lint check registry\n",
+               "  --help        this text, plus the lint check registry\n"
+               "\n"
+               "observability:\n"
+               "  --remarks[=<pass>]   print optimization remarks to stderr\n"
+               "                       (passes: interference, storage-plan,\n"
+               "                       cemit, driver)\n"
+               "  --stats-json <file>  write counters and pass timings as\n"
+               "                       JSON ('-' for stdout)\n"
+               "  --trace-out <file>   write a Chrome trace-event timeline\n"
+               "                       (open in chrome://tracing)\n"
+               "  --print-after=<pass> print the IR after a pass (lower,\n"
+               "                       ssa, cleanup, invert)\n"
+               "  --print-after-all    print the IR after every dump point\n",
                Argv0);
   std::fprintf(stderr, "\nlint checks:\n");
   for (const LintCheckInfo &CI : lintRegistry())
     std::fprintf(stderr, "  %-16s %s\n", CI.Id, CI.Descr);
 }
 
+/// Writes \p Text to \p Path, with "-" meaning stdout. Returns false (and
+/// complains) when the file cannot be opened.
+bool writeOut(const std::string &Path, const std::string &Text) {
+  if (Path == "-") {
+    std::fputs(Text.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    return false;
+  }
+  Out << Text;
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool DoLint = false, DoPlan = false, DoEmitC = false;
+  bool DoRemarks = false;
+  std::string RemarkPass, StatsPath, TracePath;
+  Observer Obs;
   CompileOptions Opts;
   const char *Path = nullptr;
   for (int I = 1; I < Argc; ++I) {
@@ -66,6 +107,27 @@ int main(int Argc, char **Argv) {
       DoEmitC = true;
     } else if (!std::strcmp(Argv[I], "--no-ranges")) {
       Opts.Analysis = AnalysisLevel::None;
+    } else if (!std::strcmp(Argv[I], "--remarks")) {
+      DoRemarks = true;
+    } else if (!std::strncmp(Argv[I], "--remarks=", 10)) {
+      DoRemarks = true;
+      RemarkPass = Argv[I] + 10;
+    } else if (!std::strcmp(Argv[I], "--stats-json")) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --stats-json needs an argument\n");
+        return 2;
+      }
+      StatsPath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--trace-out")) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --trace-out needs an argument\n");
+        return 2;
+      }
+      TracePath = Argv[++I];
+    } else if (!std::strncmp(Argv[I], "--print-after=", 14)) {
+      Obs.requestDump(Argv[I] + 14);
+    } else if (!std::strcmp(Argv[I], "--print-after-all")) {
+      Obs.requestDumpAll();
     } else if (!std::strcmp(Argv[I], "--entry")) {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: --entry needs an argument\n");
@@ -109,10 +171,34 @@ int main(int Argc, char **Argv) {
     Source = Buf.str();
   }
 
+  bool Observing = DoRemarks || !StatsPath.empty() || !TracePath.empty() ||
+                   Obs.wantsAnyDump();
   Opts.Lint = DoLint;
+  if (Observing)
+    Opts.Obs = &Obs;
   Diagnostics Diags;
   auto Program = compileSource(Source, Diags, Opts);
+
+  // IR dumps precede any mode output, mirroring compiler -print-after
+  // conventions.
+  for (const auto &[Pass, Text] : Obs.IRDumps)
+    std::printf("*** IR after %s ***\n%s\n", Pass.c_str(), Text.c_str());
+
+  // The observability outputs flow even when the compile fails or
+  // degrades: that is when you want them most.
+  auto EmitObservability = [&]() -> bool {
+    if (DoRemarks)
+      std::fputs(Obs.remarksText(RemarkPass).c_str(), stderr);
+    bool OK = true;
+    if (!StatsPath.empty())
+      OK &= writeOut(StatsPath, Obs.statsJson());
+    if (!TracePath.empty())
+      OK &= writeOut(TracePath, Obs.traceJson());
+    return OK;
+  };
+
   if (!Program) {
+    EmitObservability();
     std::fprintf(stderr, "%s", Diags.str().c_str());
     return 1;
   }
@@ -120,32 +206,42 @@ int main(int Argc, char **Argv) {
     if (D.Level != DiagLevel::Error)
       std::fprintf(stderr, "%s\n", D.str().c_str());
 
+  // Generated-code decisions (check elisions) are part of the remark
+  // stream, so observing runs always exercise the emitter.
+  if (Observing && !DoEmitC && Program->M && Program->TI)
+    (void)emitModuleC(Program->module(), Program->GCTDPlans,
+                      Program->types(), Program->ranges(), &Obs);
+
+  int Exit = 0;
   if (DoLint) {
     for (const LintDiag &D : Program->lintDiags())
       std::printf("%s:%s\n", Path, D.str().c_str());
     std::fprintf(stderr, "%zu finding(s)\n", Program->lintDiags().size());
-    if (!DoPlan && !DoEmitC)
-      return Program->lintDiags().empty() ? 0 : 1;
+    if (!DoPlan && !DoEmitC) {
+      Exit = Program->lintDiags().empty() ? 0 : 1;
+      return EmitObservability() ? Exit : 1;
+    }
   }
   if (DoPlan) {
     for (const auto &F : Program->module().Functions)
       std::printf("%s\n", Program->planOf(*F).str(*F).c_str());
     if (!DoEmitC)
-      return 0;
+      return EmitObservability() ? 0 : 1;
   }
   if (DoEmitC) {
     std::fputs(emitModuleC(Program->module(), Program->GCTDPlans,
-                           Program->types(), Program->ranges())
+                           Program->types(), Program->ranges(),
+                           Observing ? &Obs : nullptr)
                    .c_str(),
                stdout);
-    return 0;
+    return EmitObservability() ? 0 : 1;
   }
 
   ExecResult R = Program->runStatic();
   std::fputs(R.Output.c_str(), stdout);
   if (!R.OK) {
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
-    return 1;
+    Exit = 1;
   }
-  return 0;
+  return EmitObservability() ? Exit : 1;
 }

@@ -1,0 +1,389 @@
+//===- ObserveTest.cpp - Telemetry, remarks, and dump-hook tests ----------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// Covers the observability substrate end to end: counter determinism and
+// the checked-in schema, the every-GCTD-decision-remarked guarantee over
+// the 11-program suite, golden files for a range-justified promotion and
+// a discharged operator-semantics edge, the --print-after=ssa dump, and
+// trace serialization.
+//
+// Golden maintenance: run with MATCOAL_UPDATE_GOLDENS=1 to rewrite the
+// files under tests/observe/golden from current output, then review the
+// diff like any other code change.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/programs/Programs.h"
+#include "codegen/CEmitter.h"
+#include "driver/Compiler.h"
+#include "observe/Observe.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace matcoal;
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(OBSERVE_GOLDEN_DIR) + "/" + Name;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+bool updateGoldens() { return std::getenv("MATCOAL_UPDATE_GOLDENS"); }
+
+/// Compares \p Actual against the golden file (or rewrites it under
+/// MATCOAL_UPDATE_GOLDENS=1).
+void expectGolden(const std::string &Name, const std::string &Actual) {
+  std::string Path = goldenPath(Name);
+  if (updateGoldens()) {
+    std::ofstream Out(Path);
+    Out << Actual;
+    return;
+  }
+  EXPECT_EQ(readFile(Path), Actual) << "golden mismatch: " << Path
+                                    << " (MATCOAL_UPDATE_GOLDENS=1 to "
+                                       "regenerate)";
+}
+
+/// Compiles \p Source with an observer attached and the C emitter run, so
+/// every counter the pipeline owns is populated. Asserts a clean compile.
+std::unique_ptr<CompiledProgram> compileObserved(const std::string &Source,
+                                                 Observer &Obs) {
+  CompileOptions Opts;
+  Opts.Obs = &Obs;
+  Diagnostics Diags;
+  auto P = compileSource(Source, Diags, Opts);
+  EXPECT_TRUE(P) << Diags.str();
+  if (P && P->M && P->TI)
+    (void)emitModuleC(P->module(), P->GCTDPlans, P->types(), P->ranges(),
+                      &Obs);
+  return P;
+}
+
+const char *kPromoteSrc = "function main()\n"
+                          "  n = round(rand() * 8) + 2;\n"
+                          "  a = rand(n, n);\n"
+                          "  disp(sum(a(:, 1)));\n"
+                          "end\n";
+
+const char *kDischargeSrc = "function main()\n"
+                            "  n = round(rand() * 0) + 1;\n"
+                            "  b = rand(n, n);\n"
+                            "  a = rand(3, 3);\n"
+                            "  c = a * b;\n"
+                            "  disp(sum(c(:, 1)));\n"
+                            "end\n";
+
+const char *kSmallSrc = "function main()\n"
+                        "  x = 1;\n"
+                        "  if rand() < 0.5\n"
+                        "    x = 2;\n"
+                        "  end\n"
+                        "  disp(x);\n"
+                        "end\n";
+
+//===----------------------------------------------------------------------===//
+// Substrate unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(StatRegistry, AddsSeedsAndIteratesSorted) {
+  StatRegistry S;
+  S.add("b.two", 2);
+  S.add("a.one");
+  S.add("a.one");
+  S.add("c.zero", 0);
+  EXPECT_EQ(S.get("a.one"), 2);
+  EXPECT_EQ(S.get("b.two"), 2);
+  EXPECT_EQ(S.get("c.zero"), 0);
+  EXPECT_TRUE(S.has("c.zero"));
+  EXPECT_FALSE(S.has("missing"));
+  EXPECT_EQ(S.get("missing"), 0);
+  std::vector<std::string> Names;
+  for (const auto &[N, V] : S.all())
+    Names.push_back(N);
+  EXPECT_EQ(Names, (std::vector<std::string>{"a.one", "b.two", "c.zero"}));
+}
+
+TEST(StatRegistry, MergeFoldsCounters) {
+  StatRegistry A, B;
+  A.add("x", 3);
+  B.add("x", 4);
+  B.add("y", 1);
+  A.merge(B);
+  EXPECT_EQ(A.get("x"), 7);
+  EXPECT_EQ(A.get("y"), 1);
+}
+
+TEST(Remark, StrAndArgAccess) {
+  Remark R;
+  R.Pass = "interference";
+  R.Kind = RemarkKind::EdgeAdded;
+  R.Function = "main";
+  R.Message = "edge a -- b";
+  R.Args = {{"result", "a"}, {"operand", "b"}};
+  R.Loc = SourceLoc{3, 7};
+  EXPECT_EQ(R.str(), "3:7: interference: edge-added: edge a -- b [main]");
+  ASSERT_NE(R.arg("operand"), nullptr);
+  EXPECT_EQ(*R.arg("operand"), "b");
+  EXPECT_EQ(R.arg("absent"), nullptr);
+}
+
+TEST(PassTimer, RecordsTraceEventsAndWorksUnobserved) {
+  Observer Obs;
+  {
+    PassTimer T = Obs.time("pass.x");
+    (void)T;
+  }
+  ASSERT_EQ(Obs.Trace.size(), 1u);
+  EXPECT_EQ(Obs.Trace[0].Name, "pass.x");
+  PassTimer Free(nullptr, "unobserved");
+  Free.stop();
+  EXPECT_GE(Free.seconds(), 0.0);
+}
+
+TEST(Observer, DumpHooksOnlyFireWhenRequested) {
+  Observer Quiet;
+  compileObserved(kSmallSrc, Quiet);
+  EXPECT_TRUE(Quiet.IRDumps.empty());
+  EXPECT_FALSE(Quiet.wantsAnyDump());
+
+  Observer Dumping;
+  Dumping.requestDump("ssa");
+  EXPECT_TRUE(Dumping.wantsDump("ssa"));
+  EXPECT_FALSE(Dumping.wantsDump("lower"));
+  compileObserved(kSmallSrc, Dumping);
+  ASSERT_NE(Dumping.dumpOf("ssa"), nullptr);
+  EXPECT_EQ(Dumping.dumpOf("lower"), nullptr);
+
+  Observer All;
+  All.requestDumpAll();
+  compileObserved(kSmallSrc, All);
+  EXPECT_NE(All.dumpOf("lower"), nullptr);
+  EXPECT_NE(All.dumpOf("ssa"), nullptr);
+  EXPECT_NE(All.dumpOf("cleanup"), nullptr);
+  EXPECT_NE(All.dumpOf("invert"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and the counter schema
+//===----------------------------------------------------------------------===//
+
+TEST(ObserveStats, CountersDeterministicAcrossCompiles) {
+  Observer A, B;
+  compileObserved(kPromoteSrc, A);
+  compileObserved(kPromoteSrc, B);
+  EXPECT_EQ(A.Stats.all(), B.Stats.all());
+  EXPECT_EQ(A.Remarks.size(), B.Remarks.size());
+  for (size_t I = 0; I < A.Remarks.size() && I < B.Remarks.size(); ++I)
+    EXPECT_EQ(A.Remarks[I].str(), B.Remarks[I].str());
+}
+
+TEST(ObserveStats, StatsJsonCounterBlockIsByteStable) {
+  Observer A, B;
+  compileObserved(kDischargeSrc, A);
+  compileObserved(kDischargeSrc, B);
+  auto Counters = [](const Observer &O) {
+    std::string J = O.statsJson();
+    size_t Lo = J.find("\"counters\"");
+    size_t Hi = J.find("\"passes\"");
+    return J.substr(Lo, Hi - Lo);
+  };
+  EXPECT_EQ(Counters(A), Counters(B));
+}
+
+TEST(ObserveStats, SchemaMatchesCheckedInFile) {
+  // The union of counter names over the whole suite (with codegen run) is
+  // the schema. Pinning it in a checked-in file means a counter cannot
+  // silently vanish -- deleting one is a reviewed diff here and in CI.
+  StatRegistry Union;
+  for (const BenchmarkProgram &Prog : benchmarkSuite()) {
+    Observer Obs;
+    compileObserved(Prog.Source, Obs);
+    Union.merge(Obs.Stats);
+  }
+  std::string Actual;
+  for (const auto &[Name, Value] : Union.all()) {
+    (void)Value;
+    Actual += Name + "\n";
+  }
+  std::string Path = goldenPath("../stats_schema.txt");
+  if (updateGoldens()) {
+    std::ofstream Out(Path);
+    Out << Actual;
+    return;
+  }
+  EXPECT_EQ(readFile(Path), Actual)
+      << "counter schema drifted (MATCOAL_UPDATE_GOLDENS=1 regenerates "
+         "tests/observe/stats_schema.txt)";
+}
+
+//===----------------------------------------------------------------------===//
+// Every GCTD storage decision surfaces as a remark
+//===----------------------------------------------------------------------===//
+
+TEST(ObserveRemarks, EveryStorageDecisionRemarkedAcrossSuite) {
+  for (const BenchmarkProgram &Prog : benchmarkSuite()) {
+    Observer Obs;
+    auto P = compileObserved(Prog.Source, Obs);
+    ASSERT_TRUE(P) << Prog.Name;
+    EXPECT_EQ(P->level(), DegradeLevel::Full) << Prog.Name;
+
+    unsigned Groups = 0, Stack = 0, Heap = 0;
+    for (const auto &F : P->module().Functions) {
+      const StoragePlan &Plan = P->planOf(*F);
+      Groups += static_cast<unsigned>(Plan.Groups.size());
+      for (const StorageGroup &G : Plan.Groups)
+        (G.K == StorageGroup::Kind::Stack ? Stack : Heap) += 1;
+    }
+    // One remark per group, split by binding kind exactly as planned.
+    EXPECT_EQ(Obs.countRemarks(RemarkKind::GroupStack), Stack) << Prog.Name;
+    EXPECT_EQ(Obs.countRemarks(RemarkKind::GroupHeap), Heap) << Prog.Name;
+    EXPECT_EQ(Obs.countRemarks(RemarkKind::GroupStack) +
+                  Obs.countRemarks(RemarkKind::GroupHeap),
+              Groups)
+        << Prog.Name;
+    // Counters agree with the remark stream.
+    EXPECT_EQ(Obs.Stats.get("gctd.groups.stack"),
+              static_cast<std::int64_t>(Stack))
+        << Prog.Name;
+    EXPECT_EQ(Obs.Stats.get("gctd.groups.heap"),
+              static_cast<std::int64_t>(Heap))
+        << Prog.Name;
+    // Every heap binding names the size expression that forced it; every
+    // stack binding carries its byte size and frame offset.
+    for (const Remark *R : Obs.remarksFor("storage-plan")) {
+      if (R->Kind == RemarkKind::GroupHeap) {
+        ASSERT_NE(R->arg("size"), nullptr) << Prog.Name;
+      } else if (R->Kind == RemarkKind::GroupStack) {
+        ASSERT_NE(R->arg("bytes"), nullptr) << Prog.Name;
+        ASSERT_NE(R->arg("offset"), nullptr) << Prog.Name;
+      }
+    }
+  }
+}
+
+TEST(ObserveRemarks, ColorAssignmentsCoverEveryParticipant) {
+  Observer Obs;
+  auto P = compileObserved(kDischargeSrc, Obs);
+  ASSERT_TRUE(P);
+  // Each participating variable's web gets exactly one color remark per
+  // representative; the remark stream mentions at least one per color.
+  EXPECT_GT(Obs.countRemarks(RemarkKind::ColorAssigned), 0u);
+  EXPECT_GE(static_cast<std::int64_t>(
+                Obs.countRemarks(RemarkKind::ColorAssigned)),
+            Obs.Stats.get("gctd.colors"));
+}
+
+TEST(ObserveRemarks, DegradationLandsInTheStream) {
+  Observer Obs;
+  CompileOptions Opts;
+  Opts.Obs = &Obs;
+  Opts.InjectFault = CompileStage::GCTD;
+  Diagnostics Diags;
+  auto P = compileSource(kSmallSrc, Diags, Opts);
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->level(), DegradeLevel::IdentityPlans);
+  ASSERT_EQ(Obs.countRemarks(RemarkKind::Degraded), 1u);
+  for (const Remark &R : Obs.Remarks)
+    if (R.Kind == RemarkKind::Degraded) {
+      ASSERT_NE(R.arg("stage"), nullptr);
+      EXPECT_EQ(*R.arg("stage"), "gctd");
+      ASSERT_NE(R.arg("level"), nullptr);
+      EXPECT_EQ(*R.arg("level"), "identity-plans");
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Golden files
+//===----------------------------------------------------------------------===//
+
+TEST(ObserveGolden, RangeJustifiedPromotionRemark) {
+  Observer Obs;
+  compileObserved(kPromoteSrc, Obs);
+  EXPECT_GT(Obs.countRemarks(RemarkKind::GroupPromoted), 0u);
+  std::string Text;
+  for (const Remark *R : Obs.remarksFor("storage-plan"))
+    if (R->Kind == RemarkKind::GroupPromoted)
+      Text += R->str() + "\n";
+  expectGolden("promotion_remarks.txt", Text);
+}
+
+TEST(ObserveGolden, DischargedEdgeRemark) {
+  Observer Obs;
+  compileObserved(kDischargeSrc, Obs);
+  EXPECT_EQ(Obs.Stats.get("gctd.edges.discharged"),
+            static_cast<std::int64_t>(
+                Obs.countRemarks(RemarkKind::EdgeDischarged)));
+  EXPECT_GT(Obs.countRemarks(RemarkKind::EdgeDischarged), 0u);
+  std::string Text;
+  for (const Remark *R : Obs.remarksFor("interference"))
+    if (R->Kind == RemarkKind::EdgeDischarged)
+      Text += R->str() + "\n";
+  expectGolden("discharged_edge_remarks.txt", Text);
+}
+
+TEST(ObserveGolden, PrintAfterSSA) {
+  Observer Obs;
+  Obs.requestDump("ssa");
+  compileObserved(kSmallSrc, Obs);
+  const std::string *Dump = Obs.dumpOf("ssa");
+  ASSERT_NE(Dump, nullptr);
+  expectGolden("print_after_ssa.txt", *Dump);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ObserveSerialize, TraceJsonIsChromeTraceShaped) {
+  Observer Obs;
+  compileObserved(kSmallSrc, Obs);
+  std::string J = Obs.traceJson();
+  ASSERT_FALSE(Obs.Trace.empty());
+  EXPECT_EQ(J.front(), '[');
+  EXPECT_EQ(J[J.size() - 2], ']'); // Trailing newline after the array.
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"parse\""), std::string::npos);
+  EXPECT_NE(J.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(J.find("\"dur\":"), std::string::npos);
+}
+
+TEST(ObserveSerialize, StatsJsonCarriesCountersPassesAndConfig) {
+  Observer Obs;
+  compileObserved(kSmallSrc, Obs);
+  std::string J = Obs.statsJson();
+  EXPECT_NE(J.find("\"counters\""), std::string::npos);
+  EXPECT_NE(J.find("\"passes\""), std::string::npos);
+  EXPECT_NE(J.find("\"config\""), std::string::npos);
+  EXPECT_NE(J.find("\"ir.functions\": 1"), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"typeinf\""), std::string::npos);
+  // The config block is the same one benchmarks embed.
+  EXPECT_NE(J.find("\"pointer_bits\""), std::string::npos);
+  EXPECT_NE(hardwareConfigJson().find("\"platform\""), std::string::npos);
+}
+
+TEST(ObserveSerialize, RemarksTextFiltersByPass) {
+  Observer Obs;
+  compileObserved(kDischargeSrc, Obs);
+  std::string All = Obs.remarksText();
+  std::string Gctd = Obs.remarksText("storage-plan");
+  EXPECT_NE(All.find("interference"), std::string::npos);
+  EXPECT_NE(Gctd.find("storage-plan"), std::string::npos);
+  EXPECT_EQ(Gctd.find("edge-added"), std::string::npos);
+  EXPECT_EQ(Gctd.find("check-elided"), std::string::npos);
+}
+
+} // namespace
