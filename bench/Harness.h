@@ -20,6 +20,7 @@
 #include "driver/Compiler.h"
 #include "observe/Observe.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -30,6 +31,20 @@ namespace bench {
 
 /// Fixed seed: every figure uses the same deterministic runs.
 constexpr std::uint64_t Seed = 20030609;
+
+/// Timing protocol (mustRunTimed): each timed configuration first runs
+/// BenchWarmupRuns times to warm the allocator and caches, then
+/// BenchTimedRuns times, and reports the MEDIAN wall time -- robust to a
+/// single scheduling hiccup. Both constants land in every BENCH_*.json
+/// through benchProtocolJson() so results carry their own provenance.
+constexpr unsigned BenchWarmupRuns = 2;
+constexpr unsigned BenchTimedRuns = 7;
+
+inline std::string benchProtocolJson() {
+  return "{\"warmup_runs\": " + std::to_string(BenchWarmupRuns) +
+         ", \"timed_runs\": " + std::to_string(BenchTimedRuns) +
+         ", \"timing\": \"median\"}";
+}
 
 /// Process-image model constants (bytes), standing in for the binary and
 /// library mappings of the paper's platform. mcc links the run-time typed
@@ -115,6 +130,35 @@ inline ExecResult mustRunNamed(const CompiledProgram &P, const char *Name,
                  R.Error.c_str());
     std::exit(1);
   }
+  return R;
+}
+
+/// mustRunNamed under the warmup + median-of-N protocol: the returned
+/// result is the last timed run with its WallSeconds replaced by the
+/// median over BenchTimedRuns. The observer's `run.<which>` span covers
+/// the timed runs only (warmups are unrecorded). Aborts on any failure.
+inline ExecResult
+mustRunTimed(const CompiledProgram &P, const char *Name, const char *Which,
+             ExecResult (CompiledProgram::*Fn)(std::uint64_t) const,
+             Observer *Obs = nullptr) {
+  for (unsigned K = 0; K < BenchWarmupRuns; ++K)
+    mustRunNamed(P, Name, Which, Fn, nullptr);
+  std::vector<double> Times;
+  ExecResult R;
+  {
+    PassTimer T(Obs, std::string("run.") + Which);
+    for (unsigned K = 0; K < BenchTimedRuns; ++K) {
+      R = (P.*Fn)(Seed);
+      if (!R.OK) {
+        std::fprintf(stderr, "%s run of %s failed: %s\n", Which, Name,
+                     R.Error.c_str());
+        std::exit(1);
+      }
+      Times.push_back(R.WallSeconds);
+    }
+  }
+  std::sort(Times.begin(), Times.end());
+  R.WallSeconds = Times[Times.size() / 2];
   return R;
 }
 

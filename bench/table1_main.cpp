@@ -12,8 +12,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
+#include "codegen/CEmitter.h"
 #include "gctd/Interference.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -36,10 +38,11 @@ struct Profile {
 };
 
 Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level,
-                Observer *Obs = nullptr) {
+                bool NoFuse = false, Observer *Obs = nullptr) {
   Profile Out;
   CompileOptions Opts;
   Opts.Analysis = Level;
+  Opts.NoFuse = NoFuse;
   Opts.Obs = Obs;
   Diagnostics Diags;
   auto P = compileSource(Prog.Source, Diags, Opts);
@@ -47,6 +50,14 @@ Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level,
     std::fprintf(stderr, "failed to compile %s:\n%s\n", Prog.Name.c_str(),
                  Diags.str().c_str());
     std::exit(1);
+  }
+  // Exercise the C emitter into the same observer so the codegen.*
+  // counters (fusion regions, elided checks) ride along in "stats".
+  if (Obs && P->M && P->TI) {
+    CEmitOptions EOpts;
+    EOpts.Fuse = !NoFuse;
+    (void)emitModuleC(P->module(), P->GCTDPlans, P->types(), P->ranges(),
+                      Obs, EOpts);
   }
   for (const auto &F : P->module().Functions) {
     const StoragePlan &Plan = P->planOf(*F);
@@ -64,17 +75,11 @@ Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level,
                          ColoringStrategy::Affinity, P->ranges());
     Out.Edges += IG.numEdges();
   }
-  PassTimer T(Obs, "run.static");
-  ExecResult R = P->runStatic();
-  T.stop();
+  ExecResult R = mustRunTimed(*P, Prog.Name.c_str(), "static",
+                              &CompiledProgram::runStatic, Obs);
   Out.RunOK = R.OK;
   Out.RunSeconds = R.WallSeconds;
   Out.AvgDynamicBytes = R.Mem.AvgDynamicBytes;
-  if (!R.OK) {
-    std::fprintf(stderr, "%s failed under the static model: %s\n",
-                 Prog.Name.c_str(), R.Error.c_str());
-    std::exit(1);
-  }
   return Out;
 }
 
@@ -137,10 +142,19 @@ int main() {
   Observer Master;
   std::string J = "{\n  \"programs\": {\n";
   unsigned Improved = 0, Count = 0;
+  struct FuseRow {
+    std::string Name;
+    double FusedSec, UnfusedSec;
+  };
+  std::vector<FuseRow> FuseRows;
   for (const BenchmarkProgram &Prog : benchmarkSuite()) {
     Profile Ty = profile(Prog, AnalysisLevel::None);
     Observer ProgObs;
-    Profile Ra = profile(Prog, AnalysisLevel::Ranges, &ProgObs);
+    Profile Ra = profile(Prog, AnalysisLevel::Ranges, false, &ProgObs);
+    // The --no-fuse axis: same pipeline, destructive execution and loop
+    // fusion disabled.
+    Profile Un = profile(Prog, AnalysisLevel::Ranges, true);
+    FuseRows.push_back({Prog.Name, Ra.RunSeconds, Un.RunSeconds});
     for (const TraceEvent &E : ProgObs.Trace)
       Master.record(TraceEvent{Prog.Name + "." + E.Name, E.StartMicros,
                                E.DurMicros});
@@ -156,13 +170,38 @@ int main() {
     jsonProfile(J, "types_only", Ty);
     J += ",\n";
     jsonProfile(J, "ranges", Ra);
+    J += ",\n";
+    jsonProfile(J, "unfused", Un);
     J += ",\n    \"stats\": " + countersJson(ProgObs.Stats);
     J += ",\n    \"improved\": ";
     J += Gain ? "true" : "false";
     J += "\n  }";
   }
+
+  std::printf("\nFused vs unfused static model (median of %u runs, %u "
+              "warmup)\n",
+              BenchTimedRuns, BenchWarmupRuns);
+  std::printf("%-6s %12s %12s %9s\n", "Bench", "fused(s)", "unfused(s)",
+              "speedup");
+  std::printf("%.*s\n", 42,
+              "------------------------------------------------------");
+  double LogSum = 0;
+  for (const FuseRow &Row : FuseRows) {
+    double Speedup = Row.FusedSec > 0 ? Row.UnfusedSec / Row.FusedSec : 1.0;
+    LogSum += std::log(Speedup > 0 ? Speedup : 1.0);
+    std::printf("%-6s %12.6f %12.6f %8.3fx\n", Row.Name.c_str(),
+                Row.FusedSec, Row.UnfusedSec, Speedup);
+  }
+  double Geomean =
+      FuseRows.empty() ? 1.0 : std::exp(LogSum / FuseRows.size());
+  std::printf("%-6s %12s %12s %8.3fx (geomean)\n", "all", "", "", Geomean);
+
+  char GeoBuf[64];
+  std::snprintf(GeoBuf, sizeof(GeoBuf), "%.4f", Geomean);
   J += "\n  },\n  \"improved_count\": " + std::to_string(Improved) +
        ",\n  \"program_count\": " + std::to_string(Count) +
+       ",\n  \"fusion_speedup_geomean\": " + GeoBuf +
+       ",\n  \"protocol\": " + benchProtocolJson() +
        ",\n  \"config\": " + hardwareConfigJson() + "\n}\n";
 
   std::ofstream Out("BENCH_table1.json");

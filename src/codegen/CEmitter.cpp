@@ -2,9 +2,13 @@
 
 #include "codegen/CEmitter.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
+#include <vector>
 
 using namespace matcoal;
 
@@ -55,8 +59,10 @@ std::string cEscape(const std::string &S) {
 class Emitter {
 public:
   Emitter(const Function &F, const StoragePlan &Plan,
-          const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs)
-      : F(F), Plan(Plan), Types(TI.functionTypes(F)), RA(RA), Obs(Obs) {}
+          const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs,
+          const CEmitOptions &Opts)
+      : F(F), Plan(Plan), Types(TI.functionTypes(F)), RA(RA), Obs(Obs),
+        Fuse(Opts.Fuse) {}
 
   std::string run();
 
@@ -123,6 +129,33 @@ private:
   void emitBlock(const BasicBlock &BB);
   void emitInstr(const Instr &I);
   void emitElementwiseBinary(const Instr &I, const char *COp);
+
+  // --- Elementwise loop fusion (the fused-region optimization).
+  //
+  // A fusion tree is a set of contiguous-run instructions folded into one
+  // loop: the root keeps its position and its store; every internal
+  // instruction's store, load, and resize check disappear.
+  struct FusionTree {
+    unsigned Root = 0;                ///< Root's index in the block.
+    std::vector<unsigned> Members;    ///< All member indices, ascending.
+    std::map<VarId, unsigned> DefIdx; ///< Internal var -> defining member.
+    std::vector<VarId> ArrayLeaves;   ///< Non-scalar leaves, use order.
+    std::vector<VarId> ScalarLeaves;  ///< Static-scalar leaves, use order.
+    std::set<std::string> LeafSlots;  ///< Slots read by any leaf.
+  };
+  bool fusionCandidate(const Instr &I) const;
+  bool fusionTransparent(const Instr &I) const;
+  /// Fills per-instruction actions for \p BB: -1 emit normally, -2 folded
+  /// into a fused tree, >= 0 index into \p Trees (this instr is a root).
+  std::vector<int> planFusion(const BasicBlock &BB,
+                              std::vector<FusionTree> &Trees);
+  void planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
+               std::vector<int> &Action, std::vector<FusionTree> &Trees);
+  void emitFusedTree(const BasicBlock &BB, const FusionTree &T);
+  std::string fusedExpr(const BasicBlock &BB, const FusionTree &T,
+                        const Instr &I) const;
+  std::string fusedOperand(const BasicBlock &BB, const FusionTree &T,
+                           VarId V) const;
   void emitDimCopy(VarId Dst, VarId Src);
   void emitDimSet(VarId Dst, const std::string &D0, const std::string &D1);
   /// Grows (or checks) the destination slot before a definition needing
@@ -137,8 +170,13 @@ private:
   const std::vector<VarType> &Types;
   const RangeAnalysis *RA = nullptr;
   Observer *Obs = nullptr;
+  bool Fuse = true;           ///< Elementwise loop fusion enabled.
   BlockId CurBlock = NoBlock; ///< Block being emitted (for valueAt).
   SourceLoc CurLoc;           ///< Location of the instruction in flight.
+  // Whole-function def/use counts (indexed by VarId). Fusion folds a
+  // value only when it has exactly one def and one use, both inside the
+  // tree: that is the static proof the intermediate is dead afterwards.
+  std::vector<unsigned> DefCount, UseCount;
   std::ostringstream OS;
   int Indent = 0;
 };
@@ -246,6 +284,19 @@ void Emitter::emitPrologue() {
 }
 
 std::string Emitter::run() {
+  DefCount.assign(F.numVars(), 0);
+  UseCount.assign(F.numVars(), 0);
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs) {
+      for (VarId R : I.Results)
+        ++DefCount[R];
+      for (VarId Op : I.Operands)
+        ++UseCount[Op];
+    }
+  for (VarId P : F.Params)
+    ++DefCount[P];
+  for (VarId O : F.Outputs)
+    ++UseCount[O]; // The Ret carries outputs, but stay conservative.
   OS << "/* " << F.Name << ": " << Plan.Groups.size()
      << " storage groups, frame " << Plan.FrameBytes << " bytes */\n";
   OS << "void mat_" << F.Name << "(";
@@ -283,8 +334,293 @@ std::string Emitter::run() {
 void Emitter::emitBlock(const BasicBlock &BB) {
   CurBlock = BB.Id;
   OS << "L" << BB.Id << ":;\n";
-  for (const Instr &I : BB.Instrs)
-    emitInstr(I);
+  std::vector<FusionTree> Trees;
+  std::vector<int> Action = planFusion(BB, Trees);
+  for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
+    int A = Action[Idx];
+    if (A == -2)
+      continue; // Folded into the fused loop emitted at its root.
+    if (A >= 0) {
+      emitFusedTree(BB, Trees[A]);
+      continue;
+    }
+    emitInstr(BB.Instrs[Idx]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Elementwise loop fusion
+//===----------------------------------------------------------------------===//
+//
+// Legality, in storage-plan terms. Fusing a chain does two things the
+// straight-line emission would not:
+//
+//   1. It ELIDES the stores of internal results. Safe because an internal
+//      value has exactly one def and one use, both inside the tree -- no
+//      later read of the value exists, and no other variable can observe
+//      its slot: a variable live across the internal def would interfere
+//      with it and therefore sit in a different slot.
+//   2. It MOVES every leaf read to the root's position. Safe only when no
+//      instruction between the tree's first member and the root writes a
+//      slot some leaf reads -- the leaf-clobber check below rejects the
+//      region otherwise. The root's own destination may alias a leaf: the
+//      loop computes element i entirely before storing element i (the
+//      identity-index argument of the paper's in-place formation), and
+//      scalar leaves are hoisted into locals before the loop.
+//
+// Shape conformance is dynamic: a guard of mcrt_same_shape() over the
+// distinct array-leaf slots selects the fused loop; any disagreement
+// (broadcast or a genuine error) falls back to the unfused instruction
+// sequence, which reproduces the exact scalar-expansion and error
+// behavior of the straight-line emission.
+
+bool Emitter::fusionCandidate(const Instr &I) const {
+  if (I.Results.size() != 1 || I.Operands.size() != 2)
+    return false;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::ElemMul:
+  case Opcode::ElemRDiv:
+    break;
+  case Opcode::MatMul:
+    // Scalar-operand multiplies are elementwise (emitInstr's selection).
+    if (!isStaticScalar(I.Operands[0]) && !isStaticScalar(I.Operands[1]))
+      return false;
+    break;
+  default:
+    return false;
+  }
+  // A maybe-complex static type is no obstacle: the mcrt back end has no
+  // complex representation -- every complex production point traps -- so
+  // at run time these buffers only ever hold reals, and the unfused path
+  // (runtimeCall to op_add and friends) computes plain double arithmetic
+  // on them exactly like the fused loop does.
+  return true;
+}
+
+// Instructions a fusion run may span without breaking: they have no side
+// effects beyond their own slot (which the leaf-clobber check inspects),
+// and a numeric constant additionally folds into the fused expression as
+// a literal when it is single-def/single-use.
+bool Emitter::fusionTransparent(const Instr &I) const {
+  // A genuinely complex literal (NumIm != 0) must not fold: the unfused
+  // emission traps in mcrt_const_complex, and folding only the real part
+  // would silently compute past that error.
+  return I.Op == Opcode::ConstNum && I.NumIm == 0;
+}
+
+std::vector<int> Emitter::planFusion(const BasicBlock &BB,
+                                     std::vector<FusionTree> &Trees) {
+  size_t N = BB.Instrs.size();
+  std::vector<int> Action(N, -1);
+  if (!Fuse)
+    return Action;
+  std::vector<bool> Cand(N, false), InRun(N, false);
+  unsigned NumCand = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Cand[I] = fusionCandidate(BB.Instrs[I]);
+    InRun[I] = Cand[I] || fusionTransparent(BB.Instrs[I]);
+    NumCand += Cand[I];
+  }
+  if (NumCand < 2)
+    return Action;
+  // Maximal contiguous runs of candidates and transparent constants;
+  // trees never cross anything else (a call, branch, or runtime-routed
+  // op could read or write any slot).
+  size_t I = 0;
+  while (I < N) {
+    if (!InRun[I]) {
+      ++I;
+      continue;
+    }
+    size_t J = I;
+    while (J < N && InRun[J])
+      ++J;
+    planRun(BB, I, J, Action, Trees);
+    I = J;
+  }
+  return Action;
+}
+
+void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
+                      std::vector<int> &Action,
+                      std::vector<FusionTree> &Trees) {
+  // Where each value is defined within the run.
+  std::map<VarId, size_t> RunDef;
+  for (size_t K = Lo; K < Hi; ++K)
+    RunDef[BB.Instrs[K].result()] = K;
+  std::vector<char> Claimed(Hi - Lo, 0);
+  // Roots from the end down: the deepest chains claim their feeders
+  // first; a rejected root leaves its feeders free to root their own
+  // (smaller) trees later in the walk.
+  for (size_t R = Hi; R-- > Lo;) {
+    if (Claimed[R - Lo] || !fusionCandidate(BB.Instrs[R]))
+      continue;
+    std::set<size_t> Members = {R};
+    std::map<VarId, unsigned> DefIdx;
+    std::vector<size_t> Stack = {R};
+    unsigned NumCand = 1;
+    while (!Stack.empty()) {
+      size_t K = Stack.back();
+      Stack.pop_back();
+      for (VarId Op : BB.Instrs[K].Operands) {
+        auto It = RunDef.find(Op);
+        if (It == RunDef.end() || It->second >= K)
+          continue; // Defined outside the run (or later: loop-carried).
+        size_t D = It->second;
+        if (Claimed[D - Lo] || Members.count(D))
+          continue;
+        if (DefCount[Op] != 1 || UseCount[Op] != 1)
+          continue; // Live past its single tree use, or multiply defined.
+        Members.insert(D);
+        DefIdx[Op] = static_cast<unsigned>(D);
+        NumCand += fusionCandidate(BB.Instrs[D]);
+        Stack.push_back(D);
+      }
+    }
+    if (NumCand < 2)
+      continue; // A real chain: at least one intermediate store to elide
+                // (folded constants alone do not make a region).
+    // Leaves, in use order across the members.
+    FusionTree T;
+    T.Root = static_cast<unsigned>(R);
+    std::set<VarId> SeenLeaf;
+    for (size_t M : Members)
+      for (VarId Op : BB.Instrs[M].Operands) {
+        if (DefIdx.count(Op))
+          continue;
+        T.LeafSlots.insert(slot(Op));
+        if (!SeenLeaf.insert(Op).second)
+          continue;
+        if (isStaticScalar(Op))
+          T.ScalarLeaves.push_back(Op);
+        else
+          T.ArrayLeaves.push_back(Op);
+      }
+    if (T.ArrayLeaves.empty())
+      continue; // All-scalar arithmetic gains nothing from a loop.
+    // Leaf-clobber check: a non-member between the first member and the
+    // root must not define into any slot a leaf reads, since the fused
+    // loop reads every leaf at the root's position.
+    size_t MinM = *Members.begin();
+    bool Clobbered = false;
+    for (size_t K = MinM + 1; K < R && !Clobbered; ++K) {
+      if (Members.count(K))
+        continue;
+      for (VarId Res : BB.Instrs[K].Results)
+        if (T.LeafSlots.count(slot(Res))) {
+          Clobbered = true;
+          break;
+        }
+    }
+    if (Clobbered)
+      continue;
+    for (size_t M : Members) {
+      Claimed[M - Lo] = 1;
+      if (M != R)
+        Action[M] = -2;
+    }
+    T.Members.assign(Members.begin(), Members.end());
+    T.DefIdx = std::move(DefIdx);
+    Action[R] = static_cast<int>(Trees.size());
+    Trees.push_back(std::move(T));
+  }
+}
+
+std::string Emitter::fusedOperand(const BasicBlock &BB, const FusionTree &T,
+                                  VarId V) const {
+  auto It = T.DefIdx.find(V);
+  if (It != T.DefIdx.end())
+    return fusedExpr(BB, T, BB.Instrs[It->second]);
+  if (isStaticScalar(V))
+    return "__f_" + slot(V);
+  return "__p_" + slot(V) + "[__i]";
+}
+
+std::string Emitter::fusedExpr(const BasicBlock &BB, const FusionTree &T,
+                               const Instr &I) const {
+  if (I.Op == Opcode::ConstNum)
+    return cDouble(I.NumRe); // Folded constant: its store is elided too.
+  const char *COp = "+";
+  switch (I.Op) {
+  case Opcode::Add:      COp = "+"; break;
+  case Opcode::Sub:      COp = "-"; break;
+  case Opcode::ElemMul:
+  case Opcode::MatMul:   COp = "*"; break;
+  case Opcode::ElemRDiv: COp = "/"; break;
+  default:
+    assert(false && "non-elementwise instruction in fusion tree");
+  }
+  return "(" + fusedOperand(BB, T, I.Operands[0]) + " " + COp + " " +
+         fusedOperand(BB, T, I.Operands[1]) + ")";
+}
+
+void Emitter::emitFusedTree(const BasicBlock &BB, const FusionTree &T) {
+  const Instr &Root = BB.Instrs[T.Root];
+  CurLoc = Root.Loc;
+  VarId C = Root.result();
+  count(Obs, "codegen.fusion.regions");
+  count(Obs, "codegen.fusion.instrs_fused",
+        static_cast<std::int64_t>(T.Members.size()));
+  remarkTo(Obs, "cemit", RemarkKind::RegionFused, F.Name,
+           "fused " + std::to_string(T.Members.size()) +
+               " elementwise instructions into one loop producing " +
+               F.var(C).Name + " (" +
+               std::to_string(T.Members.size() - 1) +
+               " intermediate stores elided)",
+           {{"var", F.var(C).Name},
+            {"instrs", std::to_string(T.Members.size())}},
+           CurLoc);
+  // The first array leaf supplies the shape; the guard makes the other
+  // distinct array slots agree with it before the fused arm runs.
+  VarId Shape = T.ArrayLeaves.front();
+  std::vector<std::string> ASlots;
+  for (VarId V : T.ArrayLeaves) {
+    std::string S = slot(V);
+    if (std::find(ASlots.begin(), ASlots.end(), S) == ASlots.end())
+      ASlots.push_back(S);
+  }
+  line("/* fused elementwise region: " + std::to_string(T.Members.size()) +
+       " instrs -> " + F.var(C).Name + " */");
+  bool Guarded = ASlots.size() > 1;
+  if (Guarded) {
+    std::string Cond;
+    for (size_t K = 1; K < ASlots.size(); ++K) {
+      if (K > 1)
+        Cond += " && ";
+      Cond += "mcrt_same_shape(" + dim(Shape, 0) + ", " + dim(Shape, 1) +
+              ", " + dim(Shape, 2) + ", " + ASlots[K] + "_d0, " +
+              ASlots[K] + "_d1, " + ASlots[K] + "_d2)";
+    }
+    open("if (" + Cond + ")");
+  }
+  emitEnsure(C, numelExpr(Shape));
+  open("");
+  for (VarId S : T.ScalarLeaves)
+    line("double __f_" + slot(S) + " = " + buf(S) + "[0];");
+  // restrict on the destination is sound only when no leaf shares its
+  // slot; when one does, the loop still works element-at-a-time (the
+  // identity-index argument), just without the no-alias promise.
+  bool DestAliases = T.LeafSlots.count(slot(C)) != 0;
+  line(std::string("double *") + (DestAliases ? "" : "restrict ") +
+       "__pd = " + buf(C) + ";");
+  for (const std::string &S : ASlots)
+    line("const double *__p_" + S + " = " + S + ";");
+  open("for (__i = 0; __i < " + numelExpr(Shape) + "; __i++)");
+  line("__pd[__i] = " + fusedExpr(BB, T, Root) + ";");
+  close();
+  close();
+  emitDimCopy(C, Shape);
+  if (Guarded) {
+    close();
+    open("else");
+    line("/* shapes disagree dynamically (scalar expansion or error): "
+         "unfused fallback */");
+    for (unsigned M : T.Members)
+      emitInstr(BB.Instrs[M]);
+    close();
+  }
 }
 
 void Emitter::emitElementwiseBinary(const Instr &I, const char *COp) {
@@ -626,15 +962,17 @@ void Emitter::emitInstr(const Instr &I) {
 std::string matcoal::emitFunctionC(const Function &F,
                                    const StoragePlan &Plan,
                                    const TypeInference &TI,
-                                   const RangeAnalysis *RA, Observer *Obs) {
+                                   const RangeAnalysis *RA, Observer *Obs,
+                                   const CEmitOptions &Opts) {
   count(Obs, "codegen.functions");
-  Emitter E(F, Plan, TI, RA, Obs);
+  Emitter E(F, Plan, TI, RA, Obs, Opts);
   return E.run();
 }
 
 std::string matcoal::emitModuleC(
     const Module &M, const std::map<const Function *, StoragePlan> &Plans,
-    const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs) {
+    const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs,
+    const CEmitOptions &Opts) {
   PassTimer T(Obs, "cemit");
   if (Obs) {
     // Seed the codegen schema so counter names survive inputs that never
@@ -646,6 +984,8 @@ std::string matcoal::emitModuleC(
     Obs->Stats.add("codegen.bounds_check.elided", 0);
     Obs->Stats.add("codegen.growth_fallback.emitted", 0);
     Obs->Stats.add("codegen.growth_fallback.elided", 0);
+    Obs->Stats.add("codegen.fusion.regions", 0);
+    Obs->Stats.add("codegen.fusion.instrs_fused", 0);
   }
   std::ostringstream OS;
   OS << "/* Generated by matcoal (GCTD array storage optimization). */\n"
@@ -674,7 +1014,7 @@ std::string matcoal::emitModuleC(
   for (const auto &F : M.Functions) {
     auto It = Plans.find(F.get());
     assert(It != Plans.end() && "missing plan for function");
-    OS << emitFunctionC(*F, It->second, TI, RA, Obs) << "\n";
+    OS << emitFunctionC(*F, It->second, TI, RA, Obs, Opts) << "\n";
   }
   OS << "int main(void) { mat_main(); return 0; }\n";
   return OS.str();

@@ -28,6 +28,15 @@
 
 namespace matcoal {
 
+/// Code-emission knobs.
+struct CEmitOptions {
+  /// Fuse chains of shape-conforming elementwise instructions whose
+  /// intermediates are plan-local and dead after the chain into a single
+  /// loop, eliding the intermediate stores/loads and resize checks.
+  /// `matcoalc --no-fuse` clears it (the fused-vs-unfused benchmark axis).
+  bool Fuse = true;
+};
+
 /// Emits C for one function under its storage plan.
 ///
 /// \p RA must be the same RangeAnalysis the plan's interference graph was
@@ -36,11 +45,13 @@ namespace matcoal {
 /// the operator-semantics edges the graph removed, and it additionally
 /// elides bounds checks, subsasgn growth fallbacks, and stack-slot
 /// capacity checks the analysis discharges. A non-null \p Obs receives a
-/// check-elided remark per discharged check and the codegen.* counters.
+/// check-elided remark per discharged check and the codegen.* counters
+/// (including codegen.fusion.* when Opts.Fuse holds).
 std::string emitFunctionC(const Function &F, const StoragePlan &Plan,
                           const TypeInference &TI,
                           const RangeAnalysis *RA = nullptr,
-                          Observer *Obs = nullptr);
+                          Observer *Obs = nullptr,
+                          const CEmitOptions &Opts = CEmitOptions());
 
 /// Emits a full translation unit: the mcrt runtime declarations followed
 /// by every function of the module.
@@ -48,7 +59,8 @@ std::string emitModuleC(const Module &M,
                         const std::map<const Function *, StoragePlan> &Plans,
                         const TypeInference &TI,
                         const RangeAnalysis *RA = nullptr,
-                        Observer *Obs = nullptr);
+                        Observer *Obs = nullptr,
+                        const CEmitOptions &Opts = CEmitOptions());
 
 } // namespace matcoal
 

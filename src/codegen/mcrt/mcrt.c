@@ -44,6 +44,15 @@ mcrt_ref mcrt_ref_(double **buf, mcrt_size *cap, mcrt_size *d0,
   return r;
 }
 
+static mcrt_growth_stats g_growth;
+
+mcrt_growth_stats mcrt_get_growth_stats(void) { return g_growth; }
+
+void mcrt_reset_growth_stats(void) {
+  g_growth.reallocs = 0;
+  g_growth.copied_elems = 0;
+}
+
 void mcrt_ensure(double **buf, mcrt_size *cap, mcrt_size need) {
   if (need < 1)
     need = 1;
@@ -56,16 +65,25 @@ void mcrt_ensure(double **buf, mcrt_size *cap, mcrt_size need) {
   if (need <= *cap)
     return;
   {
+    /* Geometric doubling (any factor >= 1.5 gives the amortized-O(1)
+     * append bound; see mcrt_growth_stats). */
     mcrt_size newcap = *cap ? *cap : 4;
     double *p;
     while (newcap < need)
       newcap *= 2;
+    g_growth.reallocs++;
+    g_growth.copied_elems += *cap;
     p = (double *)realloc(*buf, (size_t)newcap * sizeof(double));
     if (!p)
       mcrt_fail("out of memory");
     *buf = p;
     *cap = newcap;
   }
+}
+
+int mcrt_same_shape(mcrt_size a0, mcrt_size a1, mcrt_size a2, mcrt_size b0,
+                    mcrt_size b1, mcrt_size b2) {
+  return a0 == b0 && a1 == b1 && a2 == b2;
 }
 
 void mcrt_load(double **buf, mcrt_size *cap, mcrt_size *d0, mcrt_size *d1,

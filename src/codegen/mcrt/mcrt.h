@@ -48,8 +48,26 @@ mcrt_ref mcrt_ref_(double **buf, mcrt_size *cap, mcrt_size *d0,
 void mcrt_fail(const char *msg);
 
 /* Grows *buf to hold need elements (heap slots) or checks the fixed
- * capacity (stack slots, negative cap). */
+ * capacity (stack slots, negative cap). Growth is geometric (doubling, a
+ * factor >= 1.5), so a sequence of n one-element appends copies O(n)
+ * elements total -- amortized O(1) per append. */
 void mcrt_ensure(double **buf, mcrt_size *cap, mcrt_size need);
+
+/* Reallocation statistics for the geometric-growth policy (tests assert
+ * the amortized-copy bound through these). copied_elems counts the
+ * elements realloc may have had to move: the old capacity at each growth
+ * event. */
+typedef struct {
+  mcrt_size reallocs;
+  mcrt_size copied_elems;
+} mcrt_growth_stats;
+mcrt_growth_stats mcrt_get_growth_stats(void);
+void mcrt_reset_growth_stats(void);
+
+/* Shape equality over all three extents: the guard of the emitter's
+ * fused elementwise loops. */
+int mcrt_same_shape(mcrt_size a0, mcrt_size a1, mcrt_size a2,
+                    mcrt_size b0, mcrt_size b1, mcrt_size b2);
 
 /* Parameter/result marshalling. */
 void mcrt_load(double **buf, mcrt_size *cap, mcrt_size *d0, mcrt_size *d1,

@@ -88,6 +88,8 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
   P->OpBudget = O.OpBudget;
   P->HeapLimit = O.HeapLimit;
   P->RecursionLimit = O.RecursionLimit;
+  P->NoFuse = O.NoFuse;
+  P->Obs = O.Obs;
 
   Observer *Obs = O.Obs;
   if (Obs) {
@@ -98,6 +100,8 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     Obs->Stats.add("ir.vars", 0);
     Obs->Stats.add("ssa.phis", 0);
     Obs->Stats.add("typeinf.typed_vars", 0);
+    Obs->Stats.add("vm.inplace.hits", 0);
+    Obs->Stats.add("rt.pool.reuses", 0);
   }
   // Records the module printer's output when --print-after requested it.
   auto DumpAfter = [&](const char *Pass) {
@@ -427,7 +431,13 @@ ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
   Machine.setOpBudget(OpBudget);
   Machine.setHeapLimit(HeapLimit);
   Machine.setRecursionLimit(RecursionLimit);
-  return Machine.run(Entry);
+  Machine.setBufferReuse(!NoFuse);
+  ExecResult R = Machine.run(Entry);
+  count(Obs, "vm.inplace.hits",
+        static_cast<std::int64_t>(R.InPlaceOps + R.DestReuses +
+                                  R.BufferSteals));
+  count(Obs, "rt.pool.reuses", static_cast<std::int64_t>(R.PoolReuses));
+  return R;
 }
 
 ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
@@ -439,6 +449,11 @@ ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
   Machine.setOpBudget(OpBudget);
   Machine.setHeapLimit(HeapLimit);
   Machine.setRecursionLimit(RecursionLimit);
+  // Last-use buffer stealing is itself a (dynamic) form of storage
+  // coalescing, so the "without GCTD" ablation keeps the destructive
+  // layer off regardless of NoFuse -- otherwise the ablation would no
+  // longer measure coalescing's absence.
+  Machine.setBufferReuse(false);
   return Machine.run(Entry);
 }
 
@@ -447,6 +462,7 @@ InterpResult CompiledProgram::runInterp(std::uint64_t Seed) const {
   I.setStepBudget(OpBudget);
   I.setHeapLimit(HeapLimit);
   I.setRecursionLimit(RecursionLimit);
+  I.setBufferReuse(!NoFuse);
   return I.run(Entry);
 }
 

@@ -95,6 +95,11 @@ struct CompileOptions {
   AnalysisLevel Analysis = AnalysisLevel::Ranges;
   /// Run the lint checks and store their diagnostics on the result.
   bool Lint = false;
+  /// Disable the destructive-execution layer (buffer stealing,
+  /// destination-passing, the free-list pool) in every run mode and loop
+  /// fusion in the C emitter. `matcoalc --no-fuse`; the fused-vs-unfused
+  /// benchmark axis.
+  bool NoFuse = false;
   /// Observability sink: when non-null, every stage reports wall time,
   /// counters, optimization remarks, and (when requested on the observer)
   /// after-pass IR dumps into it. Owned by the caller; must outlive the
@@ -156,6 +161,11 @@ public:
   std::uint64_t OpBudget = 2000000000ull;
   std::int64_t HeapLimit = 0;
   unsigned RecursionLimit = 512;
+  /// Mirrors CompileOptions::NoFuse: run modes disable buffer reuse.
+  bool NoFuse = false;
+  /// The compile's observer (if any); run modes report the pinned
+  /// vm.inplace.hits / rt.pool.reuses counters into it.
+  Observer *Obs = nullptr;
   /// Interfering pairs found sharing a slot at plan time (always 0 for a
   /// correct GCTD; checked before SSA inversion, where the plan's
   /// interference graph is still reconstructible).

@@ -2,6 +2,8 @@
 
 #include "interp/Interp.h"
 
+#include "runtime/BufferPool.h"
+
 #include <chrono>
 #include <cmath>
 #include <new>
@@ -22,9 +24,15 @@ void Interpreter::chargeHeap(std::int64_t Delta) {
 
 void Interpreter::setVar(Env &E, const std::string &Name, Array V) {
   Array &Slot = E[Name];
-  std::int64_t Old = Slot.dataBytes();
+  // Uncharge the dying binding before its buffers enter the
+  // (heap-charged) pool, so the meter never double-counts the handoff.
+  chargeHeap(-Slot.dataBytes());
+  if (!Slot.Re.empty())
+    poolGive(std::move(Slot.Re));
+  if (!Slot.Im.empty())
+    poolGive(std::move(Slot.Im));
   Slot = std::move(V);
-  chargeHeap(Slot.dataBytes() - Old);
+  chargeHeap(Slot.dataBytes());
 }
 
 void Interpreter::releaseEnv(Env &E) {
@@ -45,8 +53,20 @@ InterpResult Interpreter::run(const std::string &Entry,
   Steps = 0;
   CallDepth = 0;
   HeapBytes = 0;
+  DestructiveOps = 0;
+  // Free-list pool for dead binding buffers. Its occupancy is a separate
+  // account from the live-heap meter, but still counts against the heap
+  // cap (only growth may trap -- the post-run drain must not throw).
+  std::int64_t PoolHeld = 0;
+  BufferPool Pool;
+  Pool.Charge = [this, &PoolHeld](std::int64_t D) {
+    PoolHeld += D;
+    if (D > 0 && HeapLimit && HeapBytes + PoolHeld > HeapLimit)
+      throw MatError("heap limit exceeded", TrapKind::HeapLimit);
+  };
   auto Start = std::chrono::steady_clock::now();
   try {
+    PoolScope Scope(ReuseBuffers ? &Pool : nullptr);
     callFunction(*F, Args, 0);
     R.OK = true;
   } catch (const MatError &E) {
@@ -61,8 +81,11 @@ InterpResult Interpreter::run(const std::string &Entry,
   }
   auto End = std::chrono::steady_clock::now();
   R.WallSeconds = std::chrono::duration<double>(End - Start).count();
+  Pool.drain();
   R.Output = Out.str();
   R.Steps = Steps;
+  R.DestructiveOps = DestructiveOps;
+  R.PoolReuses = Pool.reuses();
   return R;
 }
 
@@ -397,6 +420,14 @@ Array Interpreter::evalExpr(const Expr &Ex, Env &E) {
     case BinaryOp::Or: Op = Opcode::Or; break;
     default:
       throw MatError("unsupported binary operator");
+    }
+    if (ReuseBuffers) {
+      // L and R are owned temporaries, so the result may overwrite L's
+      // storage destructively; binaryOpInto's internal fallback keeps
+      // non-elementwise and complex results identical to binaryOp.
+      if (binaryOpInto(L, Op, L, R))
+        ++DestructiveOps;
+      return L;
     }
     return binaryOp(Op, L, R);
   }

@@ -37,6 +37,11 @@ struct InterpResult {
   std::string Output;
   std::uint64_t Steps = 0;
   double WallSeconds = 0;
+  /// Binary operators whose result was computed destructively into the
+  /// left temporary's storage (no fresh result array).
+  std::uint64_t DestructiveOps = 0;
+  /// Temporary-buffer allocations served by the run's free-list pool.
+  std::uint64_t PoolReuses = 0;
 };
 
 /// Interprets a parsed Program.
@@ -53,6 +58,10 @@ public:
   void setHeapLimit(std::int64_t Bytes) { HeapLimit = Bytes; }
   /// Maximum call depth before trapping.
   void setRecursionLimit(unsigned Depth) { RecursionLimit = Depth; }
+  /// Enables (default) or disables destructive temporaries and the
+  /// free-list pool, mirroring the VM's switch so `--no-fuse` runs are
+  /// comparable across engines.
+  void setBufferReuse(bool On) { ReuseBuffers = On; }
 
 private:
   enum class Flow { Normal, Break, Continue, Return };
@@ -86,6 +95,8 @@ private:
   unsigned RecursionLimit = 512;
   std::int64_t HeapLimit = 0;
   std::int64_t HeapBytes = 0;
+  bool ReuseBuffers = true;
+  std::uint64_t DestructiveOps = 0;
 
   struct EndContext {
     const Array *Base;

@@ -32,6 +32,8 @@ const char *matcoal::remarkKindName(RemarkKind K) {
     return "group-promoted";
   case RemarkKind::CheckElided:
     return "check-elided";
+  case RemarkKind::RegionFused:
+    return "region-fused";
   case RemarkKind::Degraded:
     return "degraded";
   }

@@ -64,6 +64,7 @@ enum class RemarkKind {
   GroupHeap,      ///< Storage group bound to heap, with its size expr.
   GroupPromoted,  ///< Heap-shaped group promoted to stack via ranges.
   CheckElided,    ///< Capacity/bounds/growth check proven dead.
+  RegionFused,    ///< Elementwise chain fused into one loop.
   Degraded,       ///< A pipeline stage fell down the degradation ladder.
 };
 

@@ -1,0 +1,82 @@
+//===- BufferPool.cpp -----------------------------------------------------===//
+
+#include "runtime/BufferPool.h"
+
+using namespace matcoal;
+
+unsigned BufferPool::classOf(std::size_t Cap) {
+  unsigned K = 0;
+  while ((std::size_t(2) << K) <= Cap && K + 1 < NumClasses)
+    ++K;
+  return K;
+}
+
+std::vector<double> BufferPool::acquire(std::size_t N) {
+  // The request's own class plus one above it: a buffer binned at class k
+  // has capacity >= 2^k, so the class above fits by construction; within
+  // classOf(N) itself membership must be checked. Classes further up are
+  // skipped so a tiny request never pins a huge buffer.
+  unsigned First = classOf(N);
+  unsigned Last = First + 1 < NumClasses ? First + 1 : First;
+  for (unsigned K = First; K <= Last; ++K) {
+    for (unsigned S = 0; S < Count[K]; ++S) {
+      if (Slots[K][S].capacity() < N)
+        continue;
+      std::vector<double> V = std::move(Slots[K][S]);
+      Slots[K][S] = std::move(Slots[K][--Count[K]]);
+      charge(-static_cast<std::int64_t>(V.capacity() * sizeof(double)));
+      ++Reuses;
+      V.resize(N);
+      return V;
+    }
+  }
+  return std::vector<double>(N);
+}
+
+void BufferPool::release(std::vector<double> &&V) {
+  std::size_t Cap = V.capacity();
+  if (Cap < MinElems || Cap > MaxElems) {
+    std::vector<double>().swap(V);
+    return;
+  }
+  unsigned K = classOf(Cap);
+  if (Count[K] >= MaxPerClass) {
+    std::vector<double>().swap(V);
+    return;
+  }
+  charge(static_cast<std::int64_t>(Cap * sizeof(double)));
+  Slots[K][Count[K]++] = std::move(V);
+}
+
+void BufferPool::drain() {
+  for (unsigned K = 0; K < NumClasses; ++K) {
+    for (unsigned S = 0; S < Count[K]; ++S) {
+      charge(-static_cast<std::int64_t>(Slots[K][S].capacity() *
+                                        sizeof(double)));
+      std::vector<double>().swap(Slots[K][S]);
+    }
+    Count[K] = 0;
+  }
+}
+
+namespace {
+thread_local BufferPool *ActivePool = nullptr;
+} // namespace
+
+PoolScope::PoolScope(BufferPool *P) : Prev(ActivePool) { ActivePool = P; }
+PoolScope::~PoolScope() { ActivePool = Prev; }
+
+BufferPool *matcoal::activePool() { return ActivePool; }
+
+std::vector<double> matcoal::poolTake(std::size_t N) {
+  if (ActivePool)
+    return ActivePool->acquire(N);
+  return std::vector<double>(N);
+}
+
+void matcoal::poolGive(std::vector<double> &&V) {
+  if (ActivePool && !V.empty())
+    ActivePool->release(std::move(V));
+  else
+    std::vector<double>().swap(V);
+}

@@ -1,0 +1,113 @@
+//===- BufferPool.h - Size-class free list for array buffers ----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small size-class free list that recycles the `std::vector<double>`
+/// planes (Re/Im) of dying Array values so hot loops stop hitting the
+/// allocator. Buffers are binned by power-of-two capacity; acquire() pops
+/// the smallest class that fits, release() returns a buffer to its class.
+///
+/// Metering contract: every byte the pool holds is charged to the owner's
+/// memory meter through the Charge callback at release time and uncharged
+/// at acquire (or drain) time, so the Figure-2 averages stay honest --
+/// pooled storage is still allocated storage. Executors install their pool
+/// for the duration of one run via PoolScope; the kernels in Ops.cpp then
+/// draw result buffers from it through poolTake()/poolGive() without any
+/// signature changes along the call chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_RUNTIME_BUFFERPOOL_H
+#define MATCOAL_RUNTIME_BUFFERPOOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace matcoal {
+
+class BufferPool {
+public:
+  /// Charged +bytes when a buffer enters the pool, -bytes when it leaves.
+  /// Installed by the executor (VM -> MemoryMeter, interpreter -> its
+  /// live-heap account); null means unmetered (tests).
+  std::function<void(std::int64_t)> Charge;
+
+  /// Smallest buffer worth pooling; tiny vectors are cheaper to malloc
+  /// than to track.
+  static constexpr std::size_t MinElems = 32;
+  /// Largest buffer the pool will retain (elements). Holding giant
+  /// buffers between uses would inflate the time-weighted heap average
+  /// the benchmarks report, so oversized ones are freed immediately.
+  static constexpr std::size_t MaxElems = std::size_t(1) << 21;
+  /// Buffers retained per size class.
+  static constexpr std::size_t MaxPerClass = 2;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool &) = delete;
+  BufferPool &operator=(const BufferPool &) = delete;
+  ~BufferPool() { drain(); }
+
+  /// A vector of exactly \p N elements (contents unspecified), reusing a
+  /// pooled buffer when one with sufficient capacity exists.
+  std::vector<double> acquire(std::size_t N);
+
+  /// Offers a dying buffer to the pool; frees it instead when it is too
+  /// small, too large, or its class is full. \p V is left empty.
+  void release(std::vector<double> &&V);
+
+  /// Frees every held buffer and uncharges the meter.
+  void drain();
+
+  /// Allocations served from the pool instead of malloc.
+  std::uint64_t reuses() const { return Reuses; }
+  /// Bytes currently held (and charged to the meter).
+  std::int64_t heldBytes() const { return HeldBytes; }
+
+private:
+  // Class k holds buffers with capacity in [2^k, 2^(k+1)).
+  static constexpr unsigned NumClasses = 24;
+  std::vector<double> Slots[NumClasses][MaxPerClass];
+  unsigned Count[NumClasses] = {};
+  std::uint64_t Reuses = 0;
+  std::int64_t HeldBytes = 0;
+
+  static unsigned classOf(std::size_t Cap);
+  void charge(std::int64_t Delta) {
+    HeldBytes += Delta;
+    if (Charge)
+      Charge(Delta);
+  }
+};
+
+/// Scoped installation of the thread's active pool (the one
+/// poolTake/poolGive use). Executors create one per run.
+class PoolScope {
+public:
+  explicit PoolScope(BufferPool *P);
+  ~PoolScope();
+  PoolScope(const PoolScope &) = delete;
+  PoolScope &operator=(const PoolScope &) = delete;
+
+private:
+  BufferPool *Prev;
+};
+
+/// The pool installed by the innermost PoolScope, or null.
+BufferPool *activePool();
+
+/// A vector of exactly \p N elements from the active pool (fresh
+/// allocation when no pool is installed or nothing fits).
+std::vector<double> poolTake(std::size_t N);
+
+/// Offers \p V to the active pool; destroys it when no pool is installed.
+void poolGive(std::vector<double> &&V);
+
+} // namespace matcoal
+
+#endif // MATCOAL_RUNTIME_BUFFERPOOL_H

@@ -65,10 +65,17 @@ private:
 /// Binary MATLAB operator (Add..Or opcodes).
 Array binaryOp(Opcode Op, const Array &A, const Array &B);
 
-/// Elementwise binary fast path that writes through \p Dst, which may
-/// alias A or B (the in-place computation GCTD legalizes). Falls back to
-/// the general kernel for non-elementwise cases.
-void binaryOpInto(Array &Dst, Opcode Op, const Array &A, const Array &B);
+/// Destructive elementwise binary kernel: writes the result through
+/// \p Dst, which may alias A, B, both, or neither. Identity-index
+/// evaluation (every element is read before the same element is written)
+/// makes all aliasing patterns safe once scalar operands are hoisted, so
+/// this one entry point covers the plan-aliased in-place case, the
+/// stolen-buffer case (Dst is a dying operand moved out of its slot), and
+/// destination-passing into a disjoint slot whose capacity is recycled.
+/// Falls back to the general kernel for non-elementwise or complex cases.
+/// Returns true when the fast path ran (no fresh allocation beyond an
+/// in-capacity resize).
+bool binaryOpInto(Array &Dst, Opcode Op, const Array &A, const Array &B);
 
 /// Unary operator (Neg, UPlus, Not, Transpose, CTranspose).
 Array unaryOp(Opcode Op, const Array &A);

@@ -25,8 +25,14 @@ struct MemoryStats {
   double AvgStackSegBytes = 0; ///< Time-weighted average stack segment.
   double AvgHeapBytes = 0;     ///< Time-weighted average heap occupancy.
   double AvgDynamicBytes = 0;  ///< Stack segment + heap (Figure 2's metric).
+  /// Time-weighted average free-list pool occupancy: dead buffers retained
+  /// for reuse. Reported separately from AvgDynamicBytes, which measures
+  /// live program data (the paper's metric); pool bytes do count against
+  /// the heap cap.
+  double AvgPoolBytes = 0;
   std::int64_t PeakStackSegBytes = 0;
   std::int64_t PeakHeapBytes = 0;
+  std::int64_t PeakPoolBytes = 0;
   std::uint64_t Ticks = 0; ///< Virtual duration of the run.
 };
 
@@ -47,6 +53,7 @@ public:
     Now += DeltaTicks;
     SumStack += static_cast<double>(StackSeg) * DeltaTicks;
     SumHeap += static_cast<double>(HeapBytes) * DeltaTicks;
+    SumPool += static_cast<double>(PoolBytes) * DeltaTicks;
   }
 
   void stackAdjust(std::int64_t Delta) {
@@ -64,8 +71,16 @@ public:
       PeakHeap = HeapBytes;
   }
 
+  /// Adjusts the free-list pool account (dead buffers held for reuse).
+  void poolAdjust(std::int64_t Delta) {
+    PoolBytes += Delta;
+    if (PoolBytes > PeakPool)
+      PeakPool = PoolBytes;
+  }
+
   std::int64_t currentStackBytes() const { return StackBytes; }
   std::int64_t currentHeapBytes() const { return HeapBytes; }
+  std::int64_t currentPoolBytes() const { return PoolBytes; }
   std::int64_t stackSegment() const { return StackSeg; }
 
   MemoryStats finish() {
@@ -75,8 +90,10 @@ public:
     S.AvgStackSegBytes = SumStack / T;
     S.AvgHeapBytes = SumHeap / T;
     S.AvgDynamicBytes = S.AvgStackSegBytes + S.AvgHeapBytes;
+    S.AvgPoolBytes = SumPool / T;
     S.PeakStackSegBytes = StackSeg;
     S.PeakHeapBytes = PeakHeap;
+    S.PeakPoolBytes = PeakPool;
     return S;
   }
 
@@ -86,8 +103,11 @@ private:
   std::int64_t StackSeg = 0;   ///< Page-granular segment (monotone).
   std::int64_t HeapBytes = 0;
   std::int64_t PeakHeap = 0;
+  std::int64_t PoolBytes = 0;
+  std::int64_t PeakPool = 0;
   double SumStack = 0;
   double SumHeap = 0;
+  double SumPool = 0;
 };
 
 } // namespace matcoal

@@ -2,6 +2,8 @@
 
 #include "runtime/Kernels.h"
 
+#include "runtime/BufferPool.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -36,9 +38,11 @@ Array elementwise(const Array &A, const Array &B, RealFn RF, ComplexFn CF,
   Out.Dims = Big->dims();
   std::int64_t N = Big->numel();
   bool Cplx = A.isComplex() || B.isComplex();
-  Out.Re.resize(static_cast<size_t>(N));
+  // Every element is written below, so recycled (uninitialized) buffers
+  // from the active pool are safe here.
+  Out.Re = poolTake(static_cast<size_t>(N));
   if (Cplx && !Logical) {
-    Out.Im.resize(static_cast<size_t>(N));
+    Out.Im = poolTake(static_cast<size_t>(N));
     Complex SA = A.isScalar() ? A.cAt(0) : Complex();
     Complex SB = B.isScalar() ? B.cAt(0) : Complex();
     for (std::int64_t I = 0; I < N; ++I) {
@@ -81,9 +85,12 @@ Array matmul(const Array &A, const Array &B) {
   Array Out;
   Out.Dims = {M, N};
   bool Cplx = A.isComplex() || B.isComplex();
-  Out.Re.assign(static_cast<size_t>(M * N), 0.0);
-  if (Cplx)
-    Out.Im.assign(static_cast<size_t>(M * N), 0.0);
+  Out.Re = poolTake(static_cast<size_t>(M * N));
+  std::fill(Out.Re.begin(), Out.Re.end(), 0.0);
+  if (Cplx) {
+    Out.Im = poolTake(static_cast<size_t>(M * N));
+    std::fill(Out.Im.begin(), Out.Im.end(), 0.0);
+  }
   for (std::int64_t J = 0; J < N; ++J) {
     for (std::int64_t P = 0; P < K; ++P) {
       if (!Cplx) {
@@ -264,8 +271,8 @@ Array matcoal::binaryOp(Opcode Op, const Array &A, const Array &B) {
     std::int64_t N = Big->numel();
     Array Out;
     Out.Dims = Big->dims();
-    Out.Re.resize(static_cast<size_t>(N));
-    Out.Im.resize(static_cast<size_t>(N));
+    Out.Re = poolTake(static_cast<size_t>(N));
+    Out.Im = poolTake(static_cast<size_t>(N));
     for (std::int64_t I = 0; I < N; ++I) {
       Complex X = AScalar ? A.cAt(0) : A.cAt(I);
       Complex Y = BScalar ? B.cAt(0) : B.cAt(I);
@@ -338,22 +345,34 @@ Array matcoal::binaryOp(Opcode Op, const Array &A, const Array &B) {
   }
 }
 
-void matcoal::binaryOpInto(Array &Dst, Opcode Op, const Array &A,
+bool matcoal::binaryOpInto(Array &Dst, Opcode Op, const Array &A,
                            const Array &B) {
-  // True in-place fast path: real elementwise arithmetic where Dst aliases
-  // the array-shaped operand (the situation GCTD's coalescing creates).
+  // Destructive fast path: real elementwise arithmetic written straight
+  // through Dst. Because evaluation is identity-index (element I of every
+  // operand is read before element I of the result is stored), Dst may
+  // alias either operand -- the situation GCTD's coalescing creates -- or
+  // neither, in which case its existing capacity is recycled
+  // (destination-passing).
   bool Elementwise = Op == Opcode::Add || Op == Opcode::Sub ||
                      Op == Opcode::ElemMul || Op == Opcode::ElemRDiv;
   if (Elementwise && !A.isComplex() && !B.isComplex() && !A.isChar() &&
       !B.isChar()) {
     bool AScalar = A.isScalar(), BScalar = B.isScalar();
     const Array *Big = AScalar && !BScalar ? &B : &A;
-    if ((AScalar || BScalar || sameDims(A, B)) &&
-        (&Dst == Big || (AScalar && BScalar))) {
-      // Hoist scalar operands before writing (Figure 1's loops made safe).
+    if (AScalar || BScalar || sameDims(A, B)) {
+      // Hoist scalar operands before writing (Figure 1's loops made
+      // safe); a scalar Dst==A with an array B is then free to grow.
       double SA = AScalar ? A.reAt(0) : 0.0;
       double SB = BScalar ? B.reAt(0) : 0.0;
       std::int64_t N = Big->numel();
+      std::vector<std::int64_t> Dims = Big->dims();
+      // Resizing is safe: when Dst aliases the array-shaped operand its
+      // size is already N, so pointers below stay valid; when it aliases
+      // only a scalar operand that value was hoisted above.
+      if (Dst.Re.size() != static_cast<size_t>(N))
+        Dst.Re.resize(static_cast<size_t>(N));
+      if (!Dst.Im.empty())
+        poolGive(std::move(Dst.Im)); // Stale plane from a prior value.
       double *PD = Dst.re();
       const double *PA = A.re();
       const double *PB = B.re();
@@ -375,12 +394,13 @@ void matcoal::binaryOpInto(Array &Dst, Opcode Op, const Array &A,
           PD[I] = (AScalar ? SA : PA[I]) / (BScalar ? SB : PB[I]);
         break;
       }
-      Dst.Dims = Big->dims();
+      Dst.Dims = std::move(Dims);
       Dst.toDouble();
-      return;
+      return true;
     }
   }
   Dst = binaryOp(Op, A, B);
+  return false;
 }
 
 Array matcoal::unaryOp(Opcode Op, const Array &A) {

@@ -125,10 +125,13 @@ public:
   }
   /// Drops an all-zero imaginary plane (MATLAB normalizes results).
   void normalizeComplex();
-  /// Clears char/logical class (after arithmetic).
+  /// Clears char/logical/colon class (after arithmetic). Destructive
+  /// kernels reuse arbitrary destination storage, so any stale class flag
+  /// must drop here.
   void toDouble() {
     CharFlag = false;
     LogicalFlag = false;
+    ColonFlag = false;
   }
 
   void setLogical(bool V) { LogicalFlag = V; if (V) CharFlag = false; }

@@ -54,6 +54,9 @@ void usage(const char *Argv0) {
                "  --entry <fn>  entry function (default: main)\n"
                "  --no-ranges   disable the range/shape analysis (the\n"
                "                types-only pipeline; lint degrades too)\n"
+               "  --no-fuse     disable loop fusion in the C emitter and\n"
+               "                the destructive-execution layer (buffer\n"
+               "                stealing, free-list pool) in run modes\n"
                "  --help        this text, plus the lint check registry\n"
                "\n"
                "observability:\n"
@@ -107,6 +110,8 @@ int main(int Argc, char **Argv) {
       DoEmitC = true;
     } else if (!std::strcmp(Argv[I], "--no-ranges")) {
       Opts.Analysis = AnalysisLevel::None;
+    } else if (!std::strcmp(Argv[I], "--no-fuse")) {
+      Opts.NoFuse = true;
     } else if (!std::strcmp(Argv[I], "--remarks")) {
       DoRemarks = true;
     } else if (!std::strncmp(Argv[I], "--remarks=", 10)) {
@@ -208,9 +213,11 @@ int main(int Argc, char **Argv) {
 
   // Generated-code decisions (check elisions) are part of the remark
   // stream, so observing runs always exercise the emitter.
+  CEmitOptions EOpts;
+  EOpts.Fuse = !Opts.NoFuse;
   if (Observing && !DoEmitC && Program->M && Program->TI)
     (void)emitModuleC(Program->module(), Program->GCTDPlans,
-                      Program->types(), Program->ranges(), &Obs);
+                      Program->types(), Program->ranges(), &Obs, EOpts);
 
   int Exit = 0;
   if (DoLint) {
@@ -231,7 +238,7 @@ int main(int Argc, char **Argv) {
   if (DoEmitC) {
     std::fputs(emitModuleC(Program->module(), Program->GCTDPlans,
                            Program->types(), Program->ranges(),
-                           Observing ? &Obs : nullptr)
+                           Observing ? &Obs : nullptr, EOpts)
                    .c_str(),
                stdout);
     return EmitObservability() ? 0 : 1;

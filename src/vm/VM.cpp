@@ -3,6 +3,7 @@
 #include "vm/VM.h"
 
 #include "analysis/Liveness.h"
+#include "runtime/BufferPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -10,6 +11,40 @@
 #include <new>
 
 using namespace matcoal;
+
+namespace {
+
+/// Hands a dead value's element buffers to the active pool (or frees them
+/// when no pool is installed). Only heap-metered storage may pass through
+/// here; pooled bytes are charged to the meter by the pool itself.
+void recycleBuffers(Array &A) {
+  if (!A.Re.empty())
+    poolGive(std::move(A.Re));
+  if (!A.Im.empty())
+    poolGive(std::move(A.Im));
+}
+
+bool conforming(const Array &A, const Array &B) {
+  size_t N = std::max(A.dims().size(), B.dims().size());
+  for (size_t D = 0; D < N; ++D)
+    if (A.dim(D) != B.dim(D))
+      return false;
+  return true;
+}
+
+/// Mirrors binaryOpInto's fast path: a real, non-char elementwise op on
+/// scalar or shape-conforming operands. Only these are worth executing
+/// destructively; everything else goes through the general kernel.
+bool destructiveCandidate(Opcode Op, const Array &A, const Array &B) {
+  if (Op != Opcode::Add && Op != Opcode::Sub && Op != Opcode::ElemMul &&
+      Op != Opcode::ElemRDiv)
+    return false;
+  if (A.isComplex() || B.isComplex() || A.isChar() || B.isChar())
+    return false;
+  return A.isScalar() || B.isScalar() || conforming(A, B);
+}
+
+} // namespace
 
 VM::VM(const Module &M, ExecModel Model,
        std::map<const Function *, StoragePlan> Plans, std::uint64_t Seed)
@@ -80,9 +115,19 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   CallDepth = 0;
   InPlaceOps = 0;
   HeapResizes = 0;
+  DestReuses = 0;
+  BufferSteals = 0;
+
+  // Free-list pool for dying Re/Im buffers. Its occupancy is charged to
+  // the meter so Figure-2 style averages stay honest; it only runs under
+  // the Static model with buffer reuse enabled (--no-fuse turns it off).
+  BufferPool Pool;
+  Pool.Charge = [this](std::int64_t D) { Meter.poolAdjust(D); };
 
   auto Start = std::chrono::steady_clock::now();
   try {
+    PoolScope Scope(Model == ExecModel::Static && ReuseBuffers ? &Pool
+                                                               : nullptr);
     runFunction(*F, Args);
     R.OK = true;
   } catch (const MatError &E) {
@@ -97,12 +142,18 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   }
   auto End = std::chrono::steady_clock::now();
   R.WallSeconds = std::chrono::duration<double>(End - Start).count();
+  // Retained pool buffers are released (and uncharged) before the final
+  // heap snapshot so a finished run reports no residual pool bytes.
+  Pool.drain();
   R.Output = Out.str();
   R.Ops = OpCount;
   R.Mem = Meter.finish();
   R.PlanViolations = Violations;
   R.InPlaceOps = InPlaceOps;
   R.HeapResizes = HeapResizes;
+  R.DestReuses = DestReuses;
+  R.BufferSteals = BufferSteals;
+  R.PoolReuses = Pool.reuses();
   return R;
 }
 
@@ -169,12 +220,20 @@ void VM::defineStatic(Frame &Fr, VarId V, Array Value) {
     // Outside the plan (colon markers, post-GCTD temporaries): a private
     // slot, metered as heap.
     auto It = Fr.Extra.find(V);
-    std::int64_t Old = It == Fr.Extra.end() ? 0 : It->second.dataBytes();
-    Fr.Extra[V] = std::move(Value);
-    Meter.heapAdjust(Fr.Extra[V].dataBytes() - Old);
+    if (It == Fr.Extra.end()) {
+      It = Fr.Extra.emplace(V, Array()).first;
+    }
+    std::int64_t Old = It->second.dataBytes();
+    recycleBuffers(It->second);
+    It->second = std::move(Value);
+    Meter.heapAdjust(It->second.dataBytes() - Old);
     return;
   }
   const StorageGroup &Grp = Plan.Groups[G];
+  // Heap slots hand their dead buffer to the pool; stack slot storage is
+  // metered as frame bytes, so it never enters the (heap-charged) pool.
+  if (Grp.K == StorageGroup::Kind::Heap)
+    recycleBuffers(Fr.GroupSlots[G]);
   Fr.GroupSlots[G] = std::move(Value);
   if (Grp.K == StorageGroup::Kind::Heap) {
     std::int64_t NewBytes = Fr.GroupSlots[G].dataBytes();
@@ -244,7 +303,8 @@ std::vector<Array> VM::runFunction(const Function &F,
     if (++OpCount > OpBudget)
       throw MatError("operation budget exceeded (infinite loop?)",
                      TrapKind::OpBudget);
-    if (HeapLimit && Meter.currentHeapBytes() > HeapLimit)
+    if (HeapLimit &&
+        Meter.currentHeapBytes() + Meter.currentPoolBytes() > HeapLimit)
       throw MatError("heap limit exceeded", TrapKind::HeapLimit);
 
     BlockId NextBlock = Cur;
@@ -385,19 +445,86 @@ void VM::execInstr(Frame &Fr, const Instr &I,
       int G = Plan.groupOf(I.result());
       if (G >= 0) {
         Array &Slot = Fr.GroupSlots[G];
-        if (&Slot == &A || &Slot == &B) {
-          // In-place elementwise update through the shared slot.
-          ++InPlaceOps;
-          binaryOpInto(Slot, I.Op, A, B);
-          tickFor(Slot);
+        auto RemeterSlot = [&](bool CheckStack) {
           if (Plan.Groups[G].K == StorageGroup::Kind::Heap) {
             std::int64_t NewBytes = Slot.dataBytes();
             if (NewBytes != Fr.GroupHeapBytes[G])
               ++HeapResizes;
             Meter.heapAdjust(NewBytes - Fr.GroupHeapBytes[G]);
             Fr.GroupHeapBytes[G] = NewBytes;
+          } else if (CheckStack &&
+                     Slot.dataBytes() > Plan.Groups[G].StackBytes) {
+            ++Violations;
           }
+        };
+        if (&Slot == &A || &Slot == &B) {
+          // In-place elementwise update through the shared slot.
+          ++InPlaceOps;
+          binaryOpInto(Slot, I.Op, A, B);
+          tickFor(Slot);
+          RemeterSlot(false);
           return;
+        }
+        if (ReuseBuffers && destructiveCandidate(I.Op, A, B)) {
+          const Array &Big = A.isScalar() && !B.isScalar() ? B : A;
+          std::int64_t N = Big.numel();
+          if (Slot.Re.capacity() >= static_cast<size_t>(N)) {
+            // Destination-passing: compute straight into the result
+            // slot, recycling its existing capacity. Identity-index
+            // evaluation makes this safe even though the slot holds an
+            // unrelated (dead) prior value.
+            if (binaryOpInto(Slot, I.Op, A, B))
+              ++DestReuses;
+            tickFor(Slot);
+            RemeterSlot(true);
+            return;
+          }
+          // The slot lacks capacity: steal the element buffer of an
+          // operand whose last use is this instruction. Only heap-group
+          // or extra-slot victims qualify -- stack-slot storage is frame
+          // bytes and may not be donated to a heap value.
+          for (int K = 0; !DeathsHere.empty() && K < 2; ++K) {
+            const Array &OpRef = K == 0 ? A : B;
+            if (OpRef.numel() != N || OpRef.isScalar())
+              continue;
+            VarId Ov = I.Operands[K];
+            if (std::find(DeathsHere.begin(), DeathsHere.end(), Ov) ==
+                DeathsHere.end())
+              continue;
+            int Gv = Plan.groupOf(Ov);
+            Array *Store = nullptr;
+            if (Gv >= 0) {
+              if (Plan.Groups[Gv].K == StorageGroup::Kind::Heap)
+                Store = &Fr.GroupSlots[Gv];
+            } else {
+              auto It = Fr.Extra.find(Ov);
+              if (It != Fr.Extra.end())
+                Store = &It->second;
+            }
+            if (!Store || Store != &OpRef)
+              continue;
+            bool VictimIsA = Store == &A;
+            bool VictimIsB = Store == &B;
+            Array Stolen = std::move(*Store);
+            // The victim's bytes conceptually move into the result; the
+            // emptied slot is uncharged here and the result is charged by
+            // defineStatic below.
+            if (Gv >= 0) {
+              Meter.heapAdjust(-Fr.GroupHeapBytes[Gv]);
+              Fr.GroupHeapBytes[Gv] = 0;
+            } else {
+              Meter.heapAdjust(-Stolen.dataBytes());
+            }
+            // When an operand names the victim, read it through Stolen --
+            // identity-index evaluation keeps the overlap safe (this also
+            // covers x .* x, where both operands are the victim).
+            const Array &AA = VictimIsA ? Stolen : A;
+            const Array &BB = VictimIsB ? Stolen : B;
+            binaryOpInto(Stolen, I.Op, AA, BB);
+            ++BufferSteals;
+            Define(I.result(), std::move(Stolen));
+            return;
+          }
         }
       }
     }

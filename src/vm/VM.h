@@ -28,6 +28,7 @@
 
 #include "gctd/StoragePlan.h"
 #include "ir/IR.h"
+#include "runtime/BufferPool.h"
 #include "runtime/Kernels.h"
 #include "runtime/Memory.h"
 #include "runtime/Value.h"
@@ -59,6 +60,15 @@ struct ExecResult {
   std::uint64_t InPlaceOps = 0;
   /// Heap group slot resizes (section 3.2.2's on-the-fly resizing).
   std::uint64_t HeapResizes = 0;
+  /// Destructive kernels that wrote the result straight into the
+  /// destination slot's existing storage (destination-passing; no
+  /// temporary array was materialized).
+  std::uint64_t DestReuses = 0;
+  /// Dying operands whose buffer was stolen for the result (last-use-
+  /// aware destructive execution).
+  std::uint64_t BufferSteals = 0;
+  /// Result-buffer allocations served by the run's free-list pool.
+  std::uint64_t PoolReuses = 0;
 };
 
 /// Executes one module. The VM is reusable; each run() is independent.
@@ -80,6 +90,12 @@ public:
   void setHeapLimit(std::int64_t Bytes) { HeapLimit = Bytes; }
   /// Maximum call depth before trapping.
   void setRecursionLimit(unsigned Depth) { RecursionLimit = Depth; }
+  /// Enables (default) or disables the destructive-execution layer in the
+  /// Static model: buffer stealing at last use, destination-passing into
+  /// the result slot, and the Re/Im free-list pool. Disabled by
+  /// `matcoalc --no-fuse` so fused and unfused configurations can be
+  /// compared on otherwise identical runs.
+  void setBufferReuse(bool On) { ReuseBuffers = On; }
 
 private:
   struct FunctionInfo {
@@ -147,6 +163,9 @@ private:
   unsigned CallDepth = 0;
   std::uint64_t InPlaceOps = 0;
   std::uint64_t HeapResizes = 0;
+  std::uint64_t DestReuses = 0;
+  std::uint64_t BufferSteals = 0;
+  bool ReuseBuffers = true;
 
   /// Per-frame bookkeeping overhead (locals, saved registers, handles).
   static constexpr std::int64_t FrameOverheadBytes = 256;

@@ -1,0 +1,85 @@
+//===- McrtGrowthTest.cpp - mcrt_ensure growth-policy tests ---------------===//
+//
+// Links the mcrt runtime directly (no cc round trip) and asserts the
+// geometric-growth contract: a growth factor of at least 1.5x and the
+// amortized-O(1) append bound it buys -- n one-element appends copy O(n)
+// elements total across O(log n) reallocations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mcrt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace {
+
+TEST(McrtGrowth, AppendLoopCopiesLinearlyManyElements) {
+  mcrt_reset_growth_stats();
+  double *Buf = nullptr;
+  mcrt_size Cap = 0;
+  const mcrt_size N = 100000;
+  for (mcrt_size K = 1; K <= N; ++K) {
+    mcrt_ensure(&Buf, &Cap, K);
+    Buf[K - 1] = static_cast<double>(K);
+  }
+  mcrt_growth_stats S = mcrt_get_growth_stats();
+  // Geometric growth: total elements moved is bounded by the sum of the
+  // old capacities at each doubling, a geometric series < 2n. A linear
+  // (constant-increment) policy would copy Theta(n^2) -- over 10^9 here.
+  EXPECT_LE(S.copied_elems, 2 * N);
+  // ... across logarithmically many reallocations.
+  EXPECT_LE(S.reallocs, 20);
+  EXPECT_GE(S.reallocs, 2);
+  // The data survived every move.
+  for (mcrt_size K = 1; K <= N; ++K)
+    ASSERT_EQ(Buf[K - 1], static_cast<double>(K));
+  std::free(Buf);
+}
+
+TEST(McrtGrowth, GrowthFactorIsAtLeastOnePointFive) {
+  double *Buf = nullptr;
+  mcrt_size Cap = 0;
+  mcrt_size Prev = 0;
+  std::vector<mcrt_size> Caps;
+  for (mcrt_size K = 1; K <= 5000; ++K) {
+    mcrt_ensure(&Buf, &Cap, K);
+    if (Cap != Prev) {
+      Caps.push_back(Cap);
+      Prev = Cap;
+    }
+  }
+  ASSERT_GE(Caps.size(), 3u);
+  for (size_t I = 1; I < Caps.size(); ++I)
+    EXPECT_GE(static_cast<double>(Caps[I]),
+              1.5 * static_cast<double>(Caps[I - 1]))
+        << "growth step " << I << " below the amortization threshold";
+  std::free(Buf);
+}
+
+TEST(McrtGrowth, EnsureWithinCapacityDoesNotRealloc) {
+  double *Buf = nullptr;
+  mcrt_size Cap = 0;
+  mcrt_ensure(&Buf, &Cap, 100);
+  double *P = Buf;
+  mcrt_size C = Cap;
+  mcrt_reset_growth_stats();
+  for (mcrt_size K = 1; K <= C; ++K)
+    mcrt_ensure(&Buf, &Cap, K);
+  EXPECT_EQ(Buf, P);
+  EXPECT_EQ(Cap, C);
+  EXPECT_EQ(mcrt_get_growth_stats().reallocs, 0);
+  std::free(Buf);
+}
+
+TEST(McrtGrowth, SameShapePredicate) {
+  EXPECT_TRUE(mcrt_same_shape(3, 4, 1, 3, 4, 1));
+  EXPECT_FALSE(mcrt_same_shape(3, 4, 1, 4, 3, 1));
+  EXPECT_FALSE(mcrt_same_shape(3, 4, 1, 3, 4, 2));
+  EXPECT_FALSE(mcrt_same_shape(1, 1, 1, 3, 4, 1));
+  EXPECT_TRUE(mcrt_same_shape(0, 0, 1, 0, 0, 1));
+}
+
+} // namespace
