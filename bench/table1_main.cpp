@@ -14,6 +14,7 @@
 #include "bench/Harness.h"
 #include "codegen/CEmitter.h"
 #include "gctd/Interference.h"
+#include "observe/RuntimeProfiler.h"
 
 #include <cmath>
 #include <cstdio>
@@ -34,6 +35,10 @@ struct Profile {
   long long StaticReductionBytes = 0;
   double RunSeconds = 0;
   double AvgDynamicBytes = 0;
+  /// Run-time high-water storage across every group slot (one extra,
+  /// untimed run under the RuntimeProfiler): the observed counterpart to
+  /// the static frame_bytes / static_reduction_bytes columns.
+  long long ObservedHwmBytes = 0;
   bool RunOK = false;
 };
 
@@ -80,6 +85,14 @@ Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level,
   Out.RunOK = R.OK;
   Out.RunSeconds = R.WallSeconds;
   Out.AvgDynamicBytes = R.Mem.AvgDynamicBytes;
+  // One extra untimed run under the profiler (the hooks would pollute the
+  // timing above) for the observed high-water bytes.
+  RuntimeProfiler RProf;
+  P->Prof = &RProf;
+  ExecResult PR = P->runStatic();
+  P->Prof = nullptr;
+  if (PR.OK)
+    Out.ObservedHwmBytes = static_cast<long long>(RProf.totalHwmBytes());
   return Out;
 }
 
@@ -103,9 +116,10 @@ void jsonProfile(std::string &J, const char *Key, const Profile &P) {
                 "    \"%s\": {\"stack_groups\": %u, \"heap_groups\": %u, "
                 "\"interference_edges\": %u, \"frame_bytes\": %lld, "
                 "\"static_reduction_bytes\": %lld, \"run_seconds\": %.6f, "
-                "\"avg_dynamic_bytes\": %.1f}",
+                "\"avg_dynamic_bytes\": %.1f, \"observed_hwm_bytes\": %lld}",
                 Key, P.StackGroups, P.HeapGroups, P.Edges, P.FrameBytes,
-                P.StaticReductionBytes, P.RunSeconds, P.AvgDynamicBytes);
+                P.StaticReductionBytes, P.RunSeconds, P.AvgDynamicBytes,
+                P.ObservedHwmBytes);
   J += Buf;
 }
 
@@ -131,11 +145,12 @@ int main() {
 
   std::printf("\nRange analysis vs types-only pipeline (stack/heap groups, "
               "interference edges)\n");
-  std::printf("%-6s %14s %14s %14s %14s %10s\n", "Bench", "stack(ty->ra)",
-              "heap(ty->ra)", "edges(ty->ra)", "frameB(ra)", "improved");
-  std::printf("%.*s\n", 78,
+  std::printf("%-6s %14s %14s %14s %14s %12s %10s\n", "Bench",
+              "stack(ty->ra)", "heap(ty->ra)", "edges(ty->ra)", "frameB(ra)",
+              "obsHWM(ra)", "improved");
+  std::printf("%.*s\n", 91,
               "------------------------------------------------------------"
-              "------------------");
+              "-------------------------------");
 
   // The suite-wide observer gives one coherent timeline across every
   // program's ranges-pipeline compile and run (BENCH_table1_trace.json).
@@ -160,10 +175,11 @@ int main() {
                                E.DurMicros});
     bool Gain = Ra.StackGroups > Ty.StackGroups || Ra.Edges < Ty.Edges;
     Improved += Gain;
-    std::printf("%-6s %6u -> %-5u %6u -> %-5u %6u -> %-5u %14lld %10s\n",
+    std::printf("%-6s %6u -> %-5u %6u -> %-5u %6u -> %-5u %14lld %12lld "
+                "%10s\n",
                 Prog.Name.c_str(), Ty.StackGroups, Ra.StackGroups,
                 Ty.HeapGroups, Ra.HeapGroups, Ty.Edges, Ra.Edges,
-                Ra.FrameBytes, Gain ? "yes" : "no");
+                Ra.FrameBytes, Ra.ObservedHwmBytes, Gain ? "yes" : "no");
     if (Count++)
       J += ",\n";
     J += "  \"" + Prog.Name + "\": {\n";

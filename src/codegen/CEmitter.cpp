@@ -62,7 +62,7 @@ public:
           const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs,
           const CEmitOptions &Opts)
       : F(F), Plan(Plan), Types(TI.functionTypes(F)), RA(RA), Obs(Obs),
-        Fuse(Opts.Fuse) {}
+        Fuse(Opts.Fuse), Profile(Opts.Profile) {}
 
   std::string run();
 
@@ -128,6 +128,11 @@ private:
   void emitPrologue();
   void emitBlock(const BasicBlock &BB);
   void emitInstr(const Instr &I);
+  /// After an instruction (or fused tree root), report the new size of
+  /// every planned group slot it defined to the mcrt profiler. The slot
+  /// label and byte formula (8 * d0*d1*d2) match what the VM profiler
+  /// records for the same group, so the two streams compare directly.
+  void emitProfHooks(const Instr &I);
   void emitElementwiseBinary(const Instr &I, const char *COp);
 
   // --- Elementwise loop fusion (the fused-region optimization).
@@ -171,6 +176,7 @@ private:
   const RangeAnalysis *RA = nullptr;
   Observer *Obs = nullptr;
   bool Fuse = true;           ///< Elementwise loop fusion enabled.
+  bool Profile = false;       ///< Emit mcrt_prof_* hooks per definition.
   BlockId CurBlock = NoBlock; ///< Block being emitted (for valueAt).
   SourceLoc CurLoc;           ///< Location of the instruction in flight.
   // Whole-function def/use counts (indexed by VarId). Fusion folds a
@@ -323,6 +329,10 @@ std::string Emitter::run() {
     line("mcrt_load(&" + buf(P) + ", &" + cap(P) + ", &" + dim(P, 0) +
          ", &" + dim(P, 1) + ", &" + dim(P, 2) + ", in" +
          std::to_string(K) + ");");
+    if (Profile && Plan.groupOf(P) >= 0)
+      line("mcrt_prof_size(\"" + F.Name + "\", " +
+           std::to_string(Plan.groupOf(P)) + ", \"" + slot(P) + "\", 8*" +
+           numelExpr(P) + ");");
   }
   for (const auto &BB : F.Blocks)
     emitBlock(*BB);
@@ -342,9 +352,26 @@ void Emitter::emitBlock(const BasicBlock &BB) {
       continue; // Folded into the fused loop emitted at its root.
     if (A >= 0) {
       emitFusedTree(BB, Trees[A]);
+      emitProfHooks(BB.Instrs[Trees[A].Root]);
       continue;
     }
     emitInstr(BB.Instrs[Idx]);
+    emitProfHooks(BB.Instrs[Idx]);
+  }
+}
+
+void Emitter::emitProfHooks(const Instr &I) {
+  if (!Profile)
+    return;
+  int LastG = -1;
+  for (VarId R : I.Results) {
+    int G = Plan.groupOf(R);
+    if (G < 0 || G == LastG)
+      continue;
+    LastG = G;
+    line("mcrt_prof_size(\"" + F.Name + "\", " + std::to_string(G) +
+         ", \"g" + std::to_string(G) + "\", 8*" + numelExpr(R) + ");");
+    count(Obs, "codegen.prof.hooks");
   }
 }
 
@@ -986,6 +1013,7 @@ std::string matcoal::emitModuleC(
     Obs->Stats.add("codegen.growth_fallback.elided", 0);
     Obs->Stats.add("codegen.fusion.regions", 0);
     Obs->Stats.add("codegen.fusion.instrs_fused", 0);
+    Obs->Stats.add("codegen.prof.hooks", 0);
   }
   std::ostringstream OS;
   OS << "/* Generated by matcoal (GCTD array storage optimization). */\n"
@@ -1016,6 +1044,10 @@ std::string matcoal::emitModuleC(
     assert(It != Plans.end() && "missing plan for function");
     OS << emitFunctionC(*F, It->second, TI, RA, Obs, Opts) << "\n";
   }
-  OS << "int main(void) { mat_main(); return 0; }\n";
+  if (Opts.Profile)
+    OS << "int main(void) { mcrt_prof_begin(0); mat_main(); mcrt_prof_end();"
+          " return 0; }\n";
+  else
+    OS << "int main(void) { mat_main(); return 0; }\n";
   return OS.str();
 }

@@ -35,6 +35,11 @@ struct CEmitOptions {
   /// loop, eliding the intermediate stores/loads and resize checks.
   /// `matcoalc --no-fuse` clears it (the fused-vs-unfused benchmark axis).
   bool Fuse = true;
+  /// Emit `mcrt_prof_*` hooks after every group-slot definition plus a
+  /// profiled main(), so the compiled program streams the same event-
+  /// envelope JSON the VM's RuntimeProfiler writes (`matcoalc
+  /// --emit-profiling`). Off by default: hooks cost a call per definition.
+  bool Profile = false;
 };
 
 /// Emits C for one function under its storage plan.

@@ -53,6 +53,105 @@ void mcrt_reset_growth_stats(void) {
   g_growth.copied_elems = 0;
 }
 
+/*===--------------------------------------------------------------------===
+ * Runtime storage profiling (--emit-profiling)
+ *===--------------------------------------------------------------------===*/
+
+static FILE *g_prof_out = NULL;
+static long long g_prof_clock = 0;
+static int g_prof_nevents = 0;
+
+/* Last reported size per (fn, group, slot) so unchanged sizes are
+ * deduplicated the way the VM profiler's timelines are (change points
+ * only). Slots are registered on first sight; the table is static and
+ * bounded -- one entry per storage slot in the program, not per event. */
+#define MCRT_PROF_MAX_SLOTS 1024
+static struct {
+  const char *fn;
+  const char *slot;
+  int group;
+  long long bytes;
+} g_prof_slots[MCRT_PROF_MAX_SLOTS];
+static int g_prof_nslots = 0;
+
+static void mcrt_prof_emit(const char *kind, const char *fn, int group,
+                           const char *slot, long long bytes,
+                           long long delta) {
+  if (!g_prof_out)
+    return;
+  fprintf(g_prof_out,
+          "%s    {\"clock\": %lld, \"kind\": \"%s\", \"function\": \"%s\", "
+          "\"group\": %d, \"slot\": \"%s\", \"bytes\": %lld, "
+          "\"delta\": %lld}",
+          g_prof_nevents ? ",\n" : "", g_prof_clock, kind, fn ? fn : "",
+          group, slot ? slot : "", bytes, delta);
+  g_prof_nevents++;
+}
+
+void mcrt_prof_begin(const char *path) {
+  if (g_prof_out)
+    return;
+  if (!path || !path[0])
+    path = getenv("MCRT_PROF_OUT");
+  if (!path || !path[0])
+    path = "mcrt_profile.json";
+  g_prof_out = fopen(path, "w");
+  if (!g_prof_out) {
+    fprintf(stderr, "mcrt: cannot open profile output '%s'\n", path);
+    return;
+  }
+  g_prof_clock = 0;
+  g_prof_nevents = 0;
+  g_prof_nslots = 0;
+  fprintf(g_prof_out, "{\n  \"version\": 1,\n  \"clock\": \"op\",\n"
+                      "  \"source\": \"mcrt\",\n  \"events\": [\n");
+}
+
+void mcrt_prof_size(const char *fn, int group, const char *slot,
+                    mcrt_size bytes) {
+  int i;
+  if (!g_prof_out)
+    return;
+  g_prof_clock++;
+  for (i = 0; i < g_prof_nslots; i++) {
+    if (g_prof_slots[i].group == group &&
+        strcmp(g_prof_slots[i].fn, fn) == 0 &&
+        strcmp(g_prof_slots[i].slot, slot) == 0) {
+      long long old = g_prof_slots[i].bytes;
+      if (old == (long long)bytes)
+        return;
+      g_prof_slots[i].bytes = bytes;
+      mcrt_prof_emit(old == 0 ? "alloc" : "resize", fn, group, slot, bytes,
+                     (long long)bytes - old);
+      return;
+    }
+  }
+  if (g_prof_nslots < MCRT_PROF_MAX_SLOTS) {
+    g_prof_slots[g_prof_nslots].fn = fn;
+    g_prof_slots[g_prof_nslots].slot = slot;
+    g_prof_slots[g_prof_nslots].group = group;
+    g_prof_slots[g_prof_nslots].bytes = bytes;
+    g_prof_nslots++;
+  }
+  mcrt_prof_emit("alloc", fn, group, slot, bytes, bytes);
+}
+
+void mcrt_prof_event(const char *fn, const char *kind, int group,
+                     const char *slot, mcrt_size bytes) {
+  if (!g_prof_out)
+    return;
+  g_prof_clock++;
+  mcrt_prof_emit(kind, fn, group, slot, bytes, 0);
+}
+
+void mcrt_prof_end(void) {
+  if (!g_prof_out)
+    return;
+  fprintf(g_prof_out, "\n  ]\n}\n");
+  fclose(g_prof_out);
+  g_prof_out = NULL;
+}
+
 void mcrt_ensure(double **buf, mcrt_size *cap, mcrt_size need) {
   if (need < 1)
     need = 1;

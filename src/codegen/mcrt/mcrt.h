@@ -113,6 +113,29 @@ mcrt_size mcrt_index3(double i, double j, double k, mcrt_size d0,
  * followed by nargs x (const double *buf, mcrt_size d0, d1, d2). */
 void mcrt_call(const char *op, int nres, int nargs, ...);
 
+/* --- Runtime storage profiling (emitted under --emit-profiling) ---------
+ *
+ * Compiled programs stream the same event-envelope JSON the matcoal VM
+ * profiler writes ({"version":1,"clock":"op","source":"mcrt","events":
+ * [...]}) so the two tiers can be compared event-for-event. The clock is
+ * the count of profiling hooks executed -- deterministic across runs of
+ * one binary, like the VM's op-clock. */
+
+/* Opens the profile stream. A null path falls back to $MCRT_PROF_OUT,
+ * then to "mcrt_profile.json". Idempotent. */
+void mcrt_prof_begin(const char *path);
+/* Reports the current size of storage slot (fn, group, slot). Unchanged
+ * sizes are deduplicated; changes are emitted as "alloc" (first sighting
+ * or growth from empty) / "resize" events. */
+void mcrt_prof_size(const char *fn, int group, const char *slot,
+                    mcrt_size bytes);
+/* Emits a non-size event verbatim (kind in the profiler's vocabulary:
+ * "free", "pool_reuse", "in_place", "steal", "trap"). */
+void mcrt_prof_event(const char *fn, const char *kind, int group,
+                     const char *slot, mcrt_size bytes);
+/* Closes the events array and the stream. Idempotent. */
+void mcrt_prof_end(void);
+
 #ifdef __cplusplus
 }
 #endif

@@ -102,6 +102,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     Obs->Stats.add("typeinf.typed_vars", 0);
     Obs->Stats.add("vm.inplace.hits", 0);
     Obs->Stats.add("rt.pool.reuses", 0);
+    Obs->Stats.add("rt.pool.held_bytes_hwm", 0);
   }
   // Records the module printer's output when --print-after requested it.
   auto DumpAfter = [&](const char *Pass) {
@@ -432,11 +433,13 @@ ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
   Machine.setHeapLimit(HeapLimit);
   Machine.setRecursionLimit(RecursionLimit);
   Machine.setBufferReuse(!NoFuse);
+  Machine.setProfiler(Prof);
   ExecResult R = Machine.run(Entry);
   count(Obs, "vm.inplace.hits",
         static_cast<std::int64_t>(R.InPlaceOps + R.DestReuses +
                                   R.BufferSteals));
   count(Obs, "rt.pool.reuses", static_cast<std::int64_t>(R.PoolReuses));
+  count(Obs, "rt.pool.held_bytes_hwm", R.PoolHeldHwmBytes);
   return R;
 }
 
@@ -454,6 +457,7 @@ ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
   // layer off regardless of NoFuse -- otherwise the ablation would no
   // longer measure coalescing's absence.
   Machine.setBufferReuse(false);
+  Machine.setProfiler(Prof);
   return Machine.run(Entry);
 }
 
@@ -463,6 +467,7 @@ InterpResult CompiledProgram::runInterp(std::uint64_t Seed) const {
   I.setHeapLimit(HeapLimit);
   I.setRecursionLimit(RecursionLimit);
   I.setBufferReuse(!NoFuse);
+  I.setProfiler(Prof);
   return I.run(Entry);
 }
 
@@ -487,4 +492,55 @@ const Function &CompiledProgram::function(const std::string &Name) const {
   if (!F)
     throw MatError("no function named '" + Name + "'");
   return *F;
+}
+
+std::vector<PlannedGroupInfo>
+matcoal::plannedGroupInfo(const CompiledProgram &P) {
+  std::vector<PlannedGroupInfo> Out;
+  if (!P.M)
+    return Out;
+  for (const auto &F : P.M->Functions) {
+    auto It = P.GCTDPlans.find(F.get());
+    if (It == P.GCTDPlans.end())
+      continue;
+    const StoragePlan &Plan = It->second;
+    // First defining instruction (in layout order) carrying a source
+    // location, per group -- what a drift remark should point at.
+    std::vector<SourceLoc> GroupLoc(Plan.Groups.size());
+    for (const auto &BB : F->Blocks)
+      for (const Instr &I : BB->Instrs) {
+        if (!I.Loc.isValid())
+          continue;
+        for (VarId R : I.Results) {
+          int G = Plan.groupOf(R);
+          if (G >= 0 && !GroupLoc[G].isValid())
+            GroupLoc[G] = I.Loc;
+        }
+      }
+    for (size_t GI = 0; GI < Plan.Groups.size(); ++GI) {
+      const StorageGroup &SG = Plan.Groups[GI];
+      PlannedGroupInfo Info;
+      Info.Function = F->Name;
+      Info.Group = static_cast<int>(GI);
+      Info.Stack = SG.K == StorageGroup::Kind::Stack;
+      Info.PlannedBytes = SG.StackBytes;
+      if (SG.SizeExpr)
+        Info.SizeExpr = SG.SizeExpr->str();
+      for (VarId V : SG.Members) {
+        if (!Info.Members.empty())
+          Info.Members += ' ';
+        Info.Members += F->var(V).Name;
+      }
+      Info.Loc = GroupLoc[GI];
+      Out.push_back(std::move(Info));
+    }
+  }
+  return Out;
+}
+
+std::string matcoal::driftReportFor(const CompiledProgram &P,
+                                    const RuntimeProfiler &Prof,
+                                    Observer *Obs) {
+  return Prof.driftReport(plannedGroupInfo(P),
+                          RangeAnalysis::kPromoteCapBytes, Obs);
 }

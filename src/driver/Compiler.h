@@ -48,6 +48,7 @@
 #include "ir/IR.h"
 #include "lint/Lint.h"
 #include "observe/Observe.h"
+#include "observe/RuntimeProfiler.h"
 #include "support/Diagnostics.h"
 #include "typeinf/TypeInference.h"
 #include "vm/VM.h"
@@ -164,8 +165,13 @@ public:
   /// Mirrors CompileOptions::NoFuse: run modes disable buffer reuse.
   bool NoFuse = false;
   /// The compile's observer (if any); run modes report the pinned
-  /// vm.inplace.hits / rt.pool.reuses counters into it.
+  /// vm.inplace.hits / rt.pool.reuses / rt.pool.held_bytes_hwm counters
+  /// into it.
   Observer *Obs = nullptr;
+  /// Runtime storage profiler (if any); runStatic / runNoCoalesce /
+  /// runInterp attach it to their executor so the run produces an
+  /// op-clocked storage event stream. Owned by the caller.
+  RuntimeProfiler *Prof = nullptr;
   /// Interfering pairs found sharing a slot at plan time (always 0 for a
   /// correct GCTD; checked before SSA inversion, where the plan's
   /// interference graph is still reconstructible).
@@ -189,6 +195,19 @@ std::unique_ptr<CompiledProgram> compileSource(const std::string &Source,
 /// Routes a failed execution into \p Diags as an error carrying the trap
 /// classification; no-op when \p R succeeded.
 void reportExecResult(const ExecResult &R, Diagnostics &Diags);
+
+/// The static side of the plan-vs-actual drift report: one record per
+/// storage group across every planned function of \p P, with the group's
+/// kind, planned stack bytes, symbolic size bound, members, and the source
+/// location of the first defining instruction of any member.
+std::vector<PlannedGroupInfo> plannedGroupInfo(const CompiledProgram &P);
+
+/// Convenience: runs \p Prof's drift report against \p P's storage plans
+/// using the range analysis's stack-promotion cap as the promotability
+/// threshold. PlanDrift remarks go to \p Obs when non-null.
+std::string driftReportFor(const CompiledProgram &P,
+                           const RuntimeProfiler &Prof,
+                           Observer *Obs = nullptr);
 
 } // namespace matcoal
 

@@ -2,6 +2,7 @@
 
 #include "interp/Interp.h"
 
+#include "observe/RuntimeProfiler.h"
 #include "runtime/BufferPool.h"
 
 #include <chrono>
@@ -33,6 +34,8 @@ void Interpreter::setVar(Env &E, const std::string &Name, Array V) {
     poolGive(std::move(Slot.Im));
   Slot = std::move(V);
   chargeHeap(Slot.dataBytes());
+  if (Prof)
+    Prof->size(Steps, CurFn, -1, Name, Slot.dataBytes());
 }
 
 void Interpreter::releaseEnv(Env &E) {
@@ -54,6 +57,7 @@ InterpResult Interpreter::run(const std::string &Entry,
   CallDepth = 0;
   HeapBytes = 0;
   DestructiveOps = 0;
+  CurFn.clear();
   // Free-list pool for dead binding buffers. Its occupancy is a separate
   // account from the live-heap meter, but still counts against the heap
   // cap (only growth may trap -- the post-run drain must not throw).
@@ -63,6 +67,10 @@ InterpResult Interpreter::run(const std::string &Entry,
     PoolHeld += D;
     if (D > 0 && HeapLimit && HeapBytes + PoolHeld > HeapLimit)
       throw MatError("heap limit exceeded", TrapKind::HeapLimit);
+  };
+  Pool.OnReuse = [this] {
+    if (Prof)
+      Prof->event(ProfEventKind::PoolReuse, Steps, "", -1, "pool");
   };
   auto Start = std::chrono::steady_clock::now();
   try {
@@ -79,6 +87,8 @@ InterpResult Interpreter::run(const std::string &Entry,
     R.Error = std::string("internal error: ") + E.what();
     R.Trap = TrapKind::RuntimeError;
   }
+  if (!R.OK && Prof)
+    Prof->event(ProfEventKind::Trap, Steps, Entry, -1, "trap", 0, R.Error);
   auto End = std::chrono::steady_clock::now();
   R.WallSeconds = std::chrono::duration<double>(End - Start).count();
   Pool.drain();
@@ -99,6 +109,8 @@ std::vector<Array> Interpreter::callFunction(const FunctionDecl &F,
   }
   if (Args.size() < F.Params.size())
     throw MatError("not enough arguments to " + F.Name);
+  std::string PrevFn = CurFn;
+  CurFn = F.Name;
   Env E;
   for (size_t K = 0; K < F.Params.size(); ++K)
     setVar(E, F.Params[K], Args[K]);
@@ -113,7 +125,12 @@ std::vector<Array> Interpreter::callFunction(const FunctionDecl &F,
                      "' not assigned in " + F.Name);
     Outputs.push_back(It->second);
   }
+  if (Prof)
+    for (const auto &KV : E)
+      if (KV.second.dataBytes() > 0)
+        Prof->event(ProfEventKind::Free, Steps, F.Name, -1, KV.first);
   releaseEnv(E);
+  CurFn = std::move(PrevFn);
   --CallDepth;
   return Outputs;
 }

@@ -27,6 +27,8 @@
 
 namespace matcoal {
 
+class RuntimeProfiler;
+
 /// Outcome of one interpreted execution.
 struct InterpResult {
   bool OK = false;
@@ -62,6 +64,11 @@ public:
   /// free-list pool, mirroring the VM's switch so `--no-fuse` runs are
   /// comparable across engines.
   void setBufferReuse(bool On) { ReuseBuffers = On; }
+  /// Attaches a runtime storage profiler: every binding's size change,
+  /// pool reuse, environment release, and trap is recorded against the
+  /// step clock. The interpreter has no storage plan, so all slots record
+  /// under group -1 with their variable names. Null costs nothing.
+  void setProfiler(RuntimeProfiler *P) { Prof = P; }
 
 private:
   enum class Flow { Normal, Break, Continue, Return };
@@ -97,6 +104,8 @@ private:
   std::int64_t HeapBytes = 0;
   bool ReuseBuffers = true;
   std::uint64_t DestructiveOps = 0;
+  RuntimeProfiler *Prof = nullptr;
+  std::string CurFn; ///< Name of the function being executed.
 
   struct EndContext {
     const Array *Base;

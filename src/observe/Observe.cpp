@@ -36,6 +36,8 @@ const char *matcoal::remarkKindName(RemarkKind K) {
     return "region-fused";
   case RemarkKind::Degraded:
     return "degraded";
+  case RemarkKind::PlanDrift:
+    return "plan-drift";
   }
   return "unknown";
 }

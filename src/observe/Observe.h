@@ -66,6 +66,7 @@ enum class RemarkKind {
   CheckElided,    ///< Capacity/bounds/growth check proven dead.
   RegionFused,    ///< Elementwise chain fused into one loop.
   Degraded,       ///< A pipeline stage fell down the degradation ladder.
+  PlanDrift,      ///< Observed runtime behavior diverged from the plan.
 };
 
 const char *remarkKindName(RemarkKind K);
@@ -196,6 +197,10 @@ public:
   std::string traceJson() const;
   /// Remarks one per line, optionally filtered to one pass.
   std::string remarksText(const std::string &PassFilter = "") const;
+
+  /// Observer creation time on the shared clock; trace timestamps are
+  /// relative to this.
+  std::uint64_t epoch() const { return Epoch; }
 
 private:
   std::uint64_t Epoch = 0;

@@ -1,0 +1,529 @@
+//===- RuntimeProfiler.cpp - Runtime storage observability ----------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/RuntimeProfiler.h"
+
+#include "observe/Observe.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace matcoal {
+
+const char *profEventKindName(ProfEventKind K) {
+  switch (K) {
+  case ProfEventKind::Alloc:
+    return "alloc";
+  case ProfEventKind::Resize:
+    return "resize";
+  case ProfEventKind::Free:
+    return "free";
+  case ProfEventKind::PoolReuse:
+    return "pool_reuse";
+  case ProfEventKind::InPlace:
+    return "in_place";
+  case ProfEventKind::Steal:
+    return "steal";
+  case ProfEventKind::Trap:
+    return "trap";
+  }
+  return "unknown";
+}
+
+static bool profEventKindFromName(const std::string &Name, ProfEventKind &K) {
+  for (ProfEventKind C :
+       {ProfEventKind::Alloc, ProfEventKind::Resize, ProfEventKind::Free,
+        ProfEventKind::PoolReuse, ProfEventKind::InPlace, ProfEventKind::Steal,
+        ProfEventKind::Trap}) {
+    if (Name == profEventKindName(C)) {
+      K = C;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RuntimeProfiler::store(ProfEvent E) {
+  if (Events.size() >= MaxStoredEvents) {
+    ++DroppedEvents;
+    return;
+  }
+  Events.push_back(std::move(E));
+}
+
+MemTimeline &RuntimeProfiler::timeline(const std::string &Fn, int Group,
+                                       const std::string &Slot) {
+  MemTimeline &T = Timelines[Key(Fn, Group, Slot)];
+  if (T.Slot.empty() && T.Points.empty()) {
+    T.Function = Fn;
+    T.Group = Group;
+    T.Slot = Slot;
+  }
+  return T;
+}
+
+void RuntimeProfiler::size(std::uint64_t Clock, const std::string &Fn,
+                           int Group, const std::string &Slot,
+                           std::int64_t Bytes) {
+  MemTimeline &T = timeline(Fn, Group, Slot);
+  bool First = T.Points.empty();
+  if (!First && Bytes == T.CurBytes)
+    return; // Timelines record changes, not touches.
+
+  ProfEvent E;
+  E.Clock = Clock;
+  // A slot coming back from zero starts a new lifetime, not a resize.
+  E.Kind = (First || T.CurBytes == 0) ? ProfEventKind::Alloc
+                                      : ProfEventKind::Resize;
+  E.Function = Fn;
+  E.Group = Group;
+  E.Slot = Slot;
+  E.Bytes = Bytes;
+  E.Delta = Bytes - T.CurBytes;
+
+  TotalCur += E.Delta;
+  TotalHwm = std::max(TotalHwm, TotalCur);
+  T.CurBytes = Bytes;
+  T.HwmBytes = std::max(T.HwmBytes, Bytes);
+  if (First)
+    T.FirstClock = Clock;
+  T.LastClock = Clock;
+  T.Points.emplace_back(Clock, Bytes);
+  if (E.Kind == ProfEventKind::Alloc)
+    ++T.Allocs;
+  else
+    ++T.Resizes;
+  store(std::move(E));
+}
+
+void RuntimeProfiler::event(ProfEventKind Kind, std::uint64_t Clock,
+                            const std::string &Fn, int Group,
+                            const std::string &Slot, std::int64_t Bytes,
+                            const std::string &Note) {
+  if (Kind == ProfEventKind::Alloc || Kind == ProfEventKind::Resize)
+    return size(Clock, Fn, Group, Slot, Bytes); // kind is re-derived
+
+  ProfEvent E;
+  E.Clock = Clock;
+  E.Kind = Kind;
+  E.Function = Fn;
+  E.Group = Group;
+  E.Slot = Slot;
+  E.Bytes = Bytes;
+  E.Note = Note;
+
+  switch (Kind) {
+  case ProfEventKind::Free: {
+    MemTimeline &T = timeline(Fn, Group, Slot);
+    E.Delta = -T.CurBytes;
+    E.Bytes = 0;
+    TotalCur -= T.CurBytes;
+    if (T.CurBytes != 0)
+      T.Points.emplace_back(Clock, 0);
+    T.CurBytes = 0;
+    ++T.Frees;
+    T.LastClock = Clock;
+    break;
+  }
+  case ProfEventKind::InPlace: {
+    MemTimeline &T = timeline(Fn, Group, Slot);
+    ++T.InPlaceHits;
+    T.LastClock = Clock;
+    break;
+  }
+  case ProfEventKind::Steal: {
+    MemTimeline &T = timeline(Fn, Group, Slot);
+    ++T.Steals;
+    T.LastClock = Clock;
+    break;
+  }
+  case ProfEventKind::PoolReuse:
+    ++PoolReuses;
+    break;
+  case ProfEventKind::Trap:
+    Trapped = true;
+    break;
+  case ProfEventKind::Alloc:
+  case ProfEventKind::Resize:
+    break; // handled above
+  }
+  store(std::move(E));
+}
+
+void RuntimeProfiler::clear() {
+  Events.clear();
+  Timelines.clear();
+  TotalCur = TotalHwm = 0;
+  DroppedEvents = 0;
+  PoolReuses = 0;
+  Trapped = false;
+}
+
+std::vector<const MemTimeline *> RuntimeProfiler::timelines() const {
+  std::vector<const MemTimeline *> Out;
+  Out.reserve(Timelines.size());
+  for (const auto &KV : Timelines)
+    Out.push_back(&KV.second);
+  return Out; // std::map iteration is already (function, group, slot) order
+}
+
+const MemTimeline *RuntimeProfiler::timelineFor(const std::string &Fn,
+                                                int Group,
+                                                const std::string &Slot) const {
+  auto It = Timelines.find(Key(Fn, Group, Slot));
+  return It == Timelines.end() ? nullptr : &It->second;
+}
+
+// --- Serialization -----------------------------------------------------------
+
+static void appendEvent(std::ostringstream &OS, const ProfEvent &E,
+                        bool First) {
+  if (!First)
+    OS << ",\n";
+  OS << "    {\"clock\": " << E.Clock << ", \"kind\": \""
+     << profEventKindName(E.Kind) << "\", \"function\": \""
+     << jsonEscape(E.Function) << "\", \"group\": " << E.Group
+     << ", \"slot\": \"" << jsonEscape(E.Slot) << "\", \"bytes\": " << E.Bytes
+     << ", \"delta\": " << E.Delta;
+  if (!E.Note.empty())
+    OS << ", \"note\": \"" << jsonEscape(E.Note) << "\"";
+  OS << "}";
+}
+
+static void appendEventsArray(std::ostringstream &OS,
+                              const std::vector<ProfEvent> &Events) {
+  OS << "[\n";
+  for (size_t I = 0; I < Events.size(); ++I)
+    appendEvent(OS, Events[I], I == 0);
+  OS << "\n  ]";
+}
+
+std::string RuntimeProfiler::eventsJson(const std::string &SourceTag) const {
+  std::ostringstream OS;
+  OS << "{\n  \"version\": 1,\n  \"clock\": \"op\",\n  \"source\": \""
+     << jsonEscape(SourceTag) << "\",\n  \"events_dropped\": "
+     << DroppedEvents << ",\n  \"events\": ";
+  appendEventsArray(OS, Events);
+  OS << "\n}\n";
+  return OS.str();
+}
+
+std::string RuntimeProfiler::profileJson(const std::string &ProgramLabel,
+                                         const std::string &SourceTag) const {
+  std::ostringstream OS;
+  OS << "{\n  \"version\": 1,\n  \"program\": \"" << jsonEscape(ProgramLabel)
+     << "\",\n  \"source\": \"" << jsonEscape(SourceTag)
+     << "\",\n  \"clock\": \"op\",\n  \"total_hwm_bytes\": " << TotalHwm
+     << ",\n  \"pool_reuses\": " << PoolReuses
+     << ",\n  \"trapped\": " << (Trapped ? "true" : "false")
+     << ",\n  \"groups\": [\n";
+  bool First = true;
+  for (const MemTimeline *T : timelines()) {
+    if (!First)
+      OS << ",\n";
+    First = false;
+    OS << "    {\"function\": \"" << jsonEscape(T->Function)
+       << "\", \"group\": " << T->Group << ", \"slot\": \""
+       << jsonEscape(T->Slot) << "\", \"hwm_bytes\": " << T->HwmBytes
+       << ", \"first_clock\": " << T->FirstClock
+       << ", \"last_clock\": " << T->LastClock
+       << ", \"allocs\": " << T->Allocs << ", \"resizes\": " << T->Resizes
+       << ", \"frees\": " << T->Frees << ", \"in_place\": " << T->InPlaceHits
+       << ", \"steals\": " << T->Steals << "}";
+  }
+  OS << "\n  ],\n  \"events_dropped\": " << DroppedEvents
+     << ",\n  \"events\": ";
+  appendEventsArray(OS, Events);
+  OS << ",\n  \"config\": " << hardwareConfigJson() << "\n}\n";
+  return OS.str();
+}
+
+std::string RuntimeProfiler::timelineText() const {
+  std::ostringstream OS;
+  OS << "memory timelines (op-clock)\n";
+  for (const MemTimeline *T : timelines()) {
+    OS << "  " << (T->Function.empty() ? "?" : T->Function) << "/" << T->Slot;
+    if (T->Group >= 0)
+      OS << " (group " << T->Group << ")";
+    OS << ": hwm " << T->HwmBytes << " B, live [" << T->FirstClock << ", "
+       << T->LastClock << "], " << T->Allocs << " alloc, " << T->Resizes
+       << " resize, " << T->Frees << " free, " << T->InPlaceHits
+       << " in-place, " << T->Steals << " steal\n";
+    const size_t MaxPoints = 12;
+    for (size_t I = 0; I < T->Points.size() && I < MaxPoints; ++I)
+      OS << "    @" << T->Points[I].first << "  " << T->Points[I].second
+         << " B\n";
+    if (T->Points.size() > MaxPoints)
+      OS << "    ... (" << (T->Points.size() - MaxPoints) << " more)\n";
+  }
+  if (Timelines.empty())
+    OS << "  (no storage events recorded)\n";
+  return OS.str();
+}
+
+std::string RuntimeProfiler::traceJson(const Observer *Spans) const {
+  std::ostringstream OS;
+  OS << "[\n";
+  bool First = true;
+  auto Sep = [&] {
+    if (!First)
+      OS << ",\n";
+    First = false;
+  };
+  if (Spans) {
+    for (const TraceEvent &E : Spans->Trace) {
+      Sep();
+      std::uint64_t Rel =
+          E.StartMicros >= Spans->epoch() ? E.StartMicros - Spans->epoch() : 0;
+      OS << "  {\"name\": \"" << jsonEscape(E.Name)
+         << "\", \"cat\": \"matcoal\", \"ph\": \"X\", \"ts\": " << Rel
+         << ", \"dur\": " << E.DurMicros << ", \"pid\": 1, \"tid\": 1}";
+    }
+  }
+  // The memory counter track. One series per slot (from the change points)
+  // plus a running total rebuilt from the event deltas, all on the op-clock.
+  for (const MemTimeline *T : timelines()) {
+    std::string Name = "mem." + (T->Function.empty() ? "?" : T->Function) +
+                       "." + T->Slot;
+    for (const auto &P : T->Points) {
+      Sep();
+      OS << "  {\"name\": \"" << jsonEscape(Name)
+         << "\", \"cat\": \"mem\", \"ph\": \"C\", \"ts\": " << P.first
+         << ", \"pid\": 2, \"tid\": 1, \"args\": {\"bytes\": " << P.second
+         << "}}";
+    }
+  }
+  std::int64_t Running = 0;
+  for (const ProfEvent &E : Events) {
+    if (E.Delta == 0)
+      continue;
+    Running += E.Delta;
+    Sep();
+    OS << "  {\"name\": \"mem.total\", \"cat\": \"mem\", \"ph\": \"C\", "
+          "\"ts\": "
+       << E.Clock << ", \"pid\": 2, \"tid\": 1, \"args\": {\"bytes\": "
+       << Running << "}}";
+  }
+  OS << "\n]\n";
+  return OS.str();
+}
+
+// --- Event-stream parsing ----------------------------------------------------
+//
+// A deliberately small scanner for the one JSON shape we emit ourselves
+// (both from eventsJson/profileJson and from mcrt_prof_*). Not a general
+// JSON parser; tolerant of unknown fields and whitespace.
+
+static bool findFieldValue(const std::string &Obj, const std::string &Name,
+                           size_t &ValueStart) {
+  std::string Needle = "\"" + Name + "\"";
+  size_t P = 0;
+  while ((P = Obj.find(Needle, P)) != std::string::npos) {
+    size_t Q = P + Needle.size();
+    while (Q < Obj.size() && (Obj[Q] == ' ' || Obj[Q] == '\t'))
+      ++Q;
+    if (Q < Obj.size() && Obj[Q] == ':') {
+      ++Q;
+      while (Q < Obj.size() && (Obj[Q] == ' ' || Obj[Q] == '\t'))
+        ++Q;
+      ValueStart = Q;
+      return true;
+    }
+    P = Q;
+  }
+  return false;
+}
+
+static bool findIntField(const std::string &Obj, const std::string &Name,
+                         long long &Out) {
+  size_t Q;
+  if (!findFieldValue(Obj, Name, Q))
+    return false;
+  bool Neg = false;
+  if (Q < Obj.size() && Obj[Q] == '-') {
+    Neg = true;
+    ++Q;
+  }
+  if (Q >= Obj.size() || Obj[Q] < '0' || Obj[Q] > '9')
+    return false;
+  long long V = 0;
+  while (Q < Obj.size() && Obj[Q] >= '0' && Obj[Q] <= '9')
+    V = V * 10 + (Obj[Q++] - '0');
+  Out = Neg ? -V : V;
+  return true;
+}
+
+static bool findStringField(const std::string &Obj, const std::string &Name,
+                            std::string &Out) {
+  size_t Q;
+  if (!findFieldValue(Obj, Name, Q) || Q >= Obj.size() || Obj[Q] != '"')
+    return false;
+  ++Q;
+  Out.clear();
+  while (Q < Obj.size() && Obj[Q] != '"') {
+    if (Obj[Q] == '\\' && Q + 1 < Obj.size()) {
+      char C = Obj[Q + 1];
+      switch (C) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      default:
+        Out += C;
+        break;
+      }
+      Q += 2;
+    } else {
+      Out += Obj[Q++];
+    }
+  }
+  return true;
+}
+
+bool RuntimeProfiler::loadEventsJson(const std::string &Text) {
+  size_t EventsPos = Text.find("\"events\"");
+  if (EventsPos == std::string::npos)
+    return false;
+  size_t ArrStart = Text.find('[', EventsPos);
+  if (ArrStart == std::string::npos)
+    return false;
+
+  size_t P = ArrStart + 1;
+  int Depth = 0;
+  bool InString = false;
+  size_t ObjStart = 0;
+  for (; P < Text.size(); ++P) {
+    char C = Text[P];
+    if (InString) {
+      if (C == '\\')
+        ++P;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"') {
+      InString = true;
+    } else if (C == '{') {
+      if (Depth == 0)
+        ObjStart = P;
+      ++Depth;
+    } else if (C == '}') {
+      if (--Depth == 0) {
+        std::string Obj = Text.substr(ObjStart, P - ObjStart + 1);
+        long long Clock = 0, Group = -1, Bytes = 0;
+        std::string KindName, Fn, Slot, Note;
+        findIntField(Obj, "clock", Clock);
+        findIntField(Obj, "group", Group);
+        findIntField(Obj, "bytes", Bytes);
+        findStringField(Obj, "kind", KindName);
+        findStringField(Obj, "function", Fn);
+        findStringField(Obj, "slot", Slot);
+        findStringField(Obj, "note", Note);
+        ProfEventKind K;
+        if (KindName == "size" || KindName == "alloc" || KindName == "resize")
+          size(std::uint64_t(Clock), Fn, int(Group), Slot, Bytes);
+        else if (profEventKindFromName(KindName, K))
+          event(K, std::uint64_t(Clock), Fn, int(Group), Slot, Bytes, Note);
+      }
+    } else if (C == ']' && Depth == 0) {
+      break;
+    }
+  }
+  return true;
+}
+
+// --- Drift report ------------------------------------------------------------
+
+std::string
+RuntimeProfiler::driftReport(const std::vector<PlannedGroupInfo> &Plan,
+                             std::int64_t StackPromoteCapBytes,
+                             Observer *Obs) const {
+  std::ostringstream OS;
+  OS << "plan-vs-actual drift report (op-clock)\n";
+  unsigned Drifted = 0;
+  for (const PlannedGroupInfo &G : Plan) {
+    std::string SlotName = "g" + std::to_string(G.Group);
+    const MemTimeline *T = timelineFor(G.Function, G.Group, SlotName);
+
+    OS << "  " << G.Function << "/" << SlotName << " "
+       << (G.Stack ? "stack" : "heap");
+    if (G.Stack)
+      OS << " " << G.PlannedBytes << " B";
+    else if (!G.SizeExpr.empty())
+      OS << " [" << G.SizeExpr << "]";
+    if (!G.Members.empty())
+      OS << " {" << G.Members << "}";
+    OS << ": ";
+
+    std::string Verdict;
+    std::vector<std::pair<std::string, std::string>> Args = {
+        {"group", std::to_string(G.Group)},
+        {"planned", G.Stack ? "stack" : "heap"},
+    };
+    if (!T || T->Points.empty()) {
+      OS << "never materialized";
+      Verdict = "never materialized at run time";
+    } else {
+      OS << "observed hwm " << T->HwmBytes << " B, " << T->Allocs
+         << " alloc, " << T->Resizes << " resize";
+      Args.emplace_back("hwm_bytes", std::to_string(T->HwmBytes));
+      Args.emplace_back("resizes", std::to_string(T->Resizes));
+      if (G.Stack) {
+        if (T->HwmBytes * 2 <= G.PlannedBytes &&
+            G.PlannedBytes - T->HwmBytes >= 64) {
+          OS << " -- over-provisioned (planned " << G.PlannedBytes << " B)";
+          Verdict = "stack slot over-provisioned: planned " +
+                    std::to_string(G.PlannedBytes) + " B, observed peak " +
+                    std::to_string(T->HwmBytes) + " B";
+        } else {
+          OS << " -- matches plan";
+        }
+      } else {
+        if (T->Resizes > 0) {
+          OS << " -- resized at run time";
+          Verdict = "heap group resized " + std::to_string(T->Resizes) +
+                    " time(s) at run time";
+        } else if (T->HwmBytes <= StackPromoteCapBytes) {
+          OS << " -- stack-promotable (peak under "
+             << StackPromoteCapBytes << " B cap, no resizes)";
+          Verdict = "heap group stayed at " + std::to_string(T->HwmBytes) +
+                    " B with no resizes; could have been stack-promoted";
+        } else {
+          OS << " -- matches plan";
+        }
+      }
+    }
+    OS << "\n";
+    if (!Verdict.empty()) {
+      ++Drifted;
+      remarkTo(Obs, "profile", RemarkKind::PlanDrift, G.Function, Verdict,
+               Args, G.Loc);
+    }
+  }
+  // Storage the plan never saw (Extra slots, interpreter variables).
+  unsigned Unplanned = 0;
+  std::int64_t UnplannedHwm = 0;
+  for (const auto &KV : Timelines)
+    if (KV.second.Group < 0 && !KV.second.Points.empty()) {
+      ++Unplanned;
+      UnplannedHwm = std::max(UnplannedHwm, KV.second.HwmBytes);
+    }
+  if (Unplanned)
+    OS << "  unplanned storage: " << Unplanned
+       << " slot(s), largest hwm " << UnplannedHwm << " B\n";
+  OS << "drift: " << Drifted << " of " << Plan.size()
+     << " planned group(s) diverged from plan\n";
+  return OS.str();
+}
+
+} // namespace matcoal

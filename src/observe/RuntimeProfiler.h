@@ -1,0 +1,187 @@
+//===- RuntimeProfiler.h - Runtime storage observability --------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime half of the observability story. PR 3's telemetry stops at
+/// compile time; this layer records what the planned storage areas actually
+/// do while a program runs.
+///
+/// A `RuntimeProfiler` is an event recorder. Executors (VM, interpreter) and
+/// profiled compiled C (`--emit-profiling` + the `mcrt_prof_*` hooks) feed it
+/// alloc / resize / free / pool-reuse / in-place / steal / trap events keyed
+/// by (function, storage group, slot) and stamped with a deterministic
+/// **op-clock** -- the count of executed ops, not wall time -- so two runs of
+/// one program produce byte-identical event streams.
+///
+/// From the events it derives:
+///  * **Memory timelines** (`MemTimeline`): per-slot size-over-op-clock
+///    curves with high-water marks and lifetime intervals.
+///  * A **plan-vs-actual drift report**: each StoragePlan group's predicted
+///    size class (stack vs heap, symbolic bound) compared against the
+///    observed peak and resize count, with remarks for groups that resized,
+///    were over-provisioned, or could have been stack-promoted.
+///  * **Chrome-trace export** with a memory counter track ("ph":"C") that
+///    renders the timelines in chrome://tracing / Perfetto.
+///
+/// The same JSON event envelope is produced by the VM (`eventsJson`) and by
+/// profiled compiled programs (mcrt), and `loadEventsJson` replays either
+/// back into a profiler -- that round trip is how the tiers are compared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_OBSERVE_RUNTIMEPROFILER_H
+#define MATCOAL_OBSERVE_RUNTIMEPROFILER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace matcoal {
+
+class Observer;
+
+/// What a runtime storage event records.
+enum class ProfEventKind {
+  Alloc,     ///< A slot first materialized (or re-materialized after free).
+  Resize,    ///< A live slot changed size.
+  Free,      ///< A slot's storage was released (frame pop / rebind).
+  PoolReuse, ///< The buffer pool served an allocation from its free list.
+  InPlace,   ///< An op wrote its result into an existing buffer.
+  Steal,     ///< A result buffer was stolen from a dead operand's group.
+  Trap,      ///< The run ended in a runtime trap.
+};
+
+const char *profEventKindName(ProfEventKind K);
+
+/// One recorded storage event.
+struct ProfEvent {
+  std::uint64_t Clock = 0; ///< Deterministic op-clock stamp.
+  ProfEventKind Kind = ProfEventKind::Alloc;
+  std::string Function; ///< Enclosing function ("" = unknown).
+  int Group = -1;       ///< StoragePlan group id; -1 = unplanned storage.
+  std::string Slot;     ///< "g<N>" for groups, the variable name otherwise.
+  std::int64_t Bytes = 0; ///< Slot size after the event.
+  std::int64_t Delta = 0; ///< Size change the event caused.
+  std::string Note;       ///< Free text (trap message).
+};
+
+/// The derived size-over-time curve for one storage slot.
+struct MemTimeline {
+  std::string Function;
+  int Group = -1;
+  std::string Slot;
+  /// (op-clock, bytes) -- one point per size *change*, not per touch.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> Points;
+  std::int64_t HwmBytes = 0;  ///< Peak observed size.
+  std::int64_t CurBytes = 0;  ///< Size after the last event.
+  std::uint64_t FirstClock = 0, LastClock = 0; ///< Lifetime interval.
+  unsigned Allocs = 0, Resizes = 0, Frees = 0;
+  unsigned InPlaceHits = 0, Steals = 0;
+};
+
+/// What the compiler *planned* for one storage group -- the static side of
+/// the drift report. Built from a StoragePlan by the driver
+/// (`plannedGroupInfo`); kept dependency-free here so observe stays below
+/// gctd in the layering.
+struct PlannedGroupInfo {
+  std::string Function;
+  int Group = -1;
+  bool Stack = false;          ///< Bound to a fixed frame slot?
+  std::int64_t PlannedBytes = 0; ///< Stack slot size; 0 for heap groups.
+  std::string SizeExpr;        ///< Symbolic size bound ("" = unknown).
+  std::string Members;         ///< Space-joined member variable names.
+  SourceLoc Loc;               ///< First definition of any member.
+};
+
+/// The event recorder plus everything derived from it.
+class RuntimeProfiler {
+public:
+  /// Records the observed size of a slot at \p Clock. Derives the event
+  /// kind itself: first sighting -> Alloc, changed size -> Resize,
+  /// unchanged -> no event (timelines store changes only).
+  void size(std::uint64_t Clock, const std::string &Fn, int Group,
+            const std::string &Slot, std::int64_t Bytes);
+
+  /// Records a non-size event. Free zeroes the slot's running size;
+  /// InPlace/Steal bump the slot's hit counters; PoolReuse and Trap attach
+  /// to the run, not a slot.
+  void event(ProfEventKind Kind, std::uint64_t Clock, const std::string &Fn,
+             int Group, const std::string &Slot, std::int64_t Bytes = 0,
+             const std::string &Note = "");
+
+  void clear();
+
+  /// Caps the *stored* raw event stream (timelines, counters, and HWMs
+  /// stay exact past the cap; only the replayable event list truncates).
+  /// Long-running programs emit millions of in-place events; the default
+  /// keeps profile JSON in the tens of megabytes. Truncation is never
+  /// silent: the envelope carries "events_dropped".
+  void setMaxStoredEvents(std::uint64_t N) { MaxStoredEvents = N; }
+  std::uint64_t droppedEvents() const { return DroppedEvents; }
+
+  const std::vector<ProfEvent> &events() const { return Events; }
+  /// Timelines sorted by (function, group, slot) for deterministic output.
+  std::vector<const MemTimeline *> timelines() const;
+  /// The timeline for (\p Fn, \p Group, \p Slot), or nullptr.
+  const MemTimeline *timelineFor(const std::string &Fn, int Group,
+                                 const std::string &Slot) const;
+  /// Peak bytes held across *all* tracked slots simultaneously.
+  std::int64_t totalHwmBytes() const { return TotalHwm; }
+  std::uint64_t poolReuses() const { return PoolReuses; }
+  bool trapped() const { return Trapped; }
+
+  // --- Serialization.
+  /// The portable event-stream envelope: {"version", "clock": "op",
+  /// "source", "events": [...]}. mcrt_prof_* emits the same shape.
+  std::string eventsJson(const std::string &SourceTag) const;
+  /// Full profile: events + per-slot summaries + totals + hardware config.
+  std::string profileJson(const std::string &ProgramLabel,
+                          const std::string &SourceTag) const;
+  /// Human-readable per-slot timelines.
+  std::string timelineText() const;
+  /// Chrome trace-event JSON with one counter ("ph":"C") track per slot
+  /// plus "mem.total", timestamped on the op-clock. When \p Spans is given
+  /// its wall-clock pass spans are included on a separate pid.
+  std::string traceJson(const Observer *Spans = nullptr) const;
+
+  /// Replays an eventsJson / mcrt profile stream into this profiler.
+  /// Tolerant of the envelope (accepts profileJson output too). Returns
+  /// false when no events array was found.
+  bool loadEventsJson(const std::string &Text);
+
+  /// The plan-vs-actual drift report. Compares each planned group against
+  /// its observed timeline and classifies: matches-plan, resized,
+  /// over-provisioned (stack slot at least twice the observed peak),
+  /// stack-promotable (heap group whose peak stayed under
+  /// \p StackPromoteCapBytes without resizing), never-materialized. Emits
+  /// a PlanDrift remark per drifting group into \p Obs when given.
+  std::string driftReport(const std::vector<PlannedGroupInfo> &Plan,
+                          std::int64_t StackPromoteCapBytes,
+                          Observer *Obs = nullptr) const;
+
+private:
+  using Key = std::tuple<std::string, int, std::string>;
+  std::vector<ProfEvent> Events;
+  std::uint64_t MaxStoredEvents = 1u << 18;
+  std::uint64_t DroppedEvents = 0;
+  std::map<Key, MemTimeline> Timelines;
+  std::int64_t TotalCur = 0, TotalHwm = 0;
+  std::uint64_t PoolReuses = 0;
+  bool Trapped = false;
+
+  MemTimeline &timeline(const std::string &Fn, int Group,
+                        const std::string &Slot);
+  void store(ProfEvent E);
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_OBSERVE_RUNTIMEPROFILER_H

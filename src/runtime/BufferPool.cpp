@@ -26,6 +26,8 @@ std::vector<double> BufferPool::acquire(std::size_t N) {
       Slots[K][S] = std::move(Slots[K][--Count[K]]);
       charge(-static_cast<std::int64_t>(V.capacity() * sizeof(double)));
       ++Reuses;
+      if (OnReuse)
+        OnReuse();
       V.resize(N);
       return V;
     }

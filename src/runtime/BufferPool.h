@@ -38,6 +38,11 @@ public:
   /// live-heap account); null means unmetered (tests).
   std::function<void(std::int64_t)> Charge;
 
+  /// Invoked each time acquire() serves a request from the free list
+  /// instead of malloc. Installed by profiling executors so pool reuse
+  /// shows up in the runtime event stream; null means unobserved.
+  std::function<void()> OnReuse;
+
   /// Smallest buffer worth pooling; tiny vectors are cheaper to malloc
   /// than to track.
   static constexpr std::size_t MinElems = 32;
@@ -68,6 +73,9 @@ public:
   std::uint64_t reuses() const { return Reuses; }
   /// Bytes currently held (and charged to the meter).
   std::int64_t heldBytes() const { return HeldBytes; }
+  /// Peak bytes the pool held at once (the `rt.pool.held_bytes_hwm`
+  /// counter). Never reset by drain().
+  std::int64_t heldBytesHwm() const { return HeldBytesHwm; }
 
 private:
   // Class k holds buffers with capacity in [2^k, 2^(k+1)).
@@ -76,10 +84,13 @@ private:
   unsigned Count[NumClasses] = {};
   std::uint64_t Reuses = 0;
   std::int64_t HeldBytes = 0;
+  std::int64_t HeldBytesHwm = 0;
 
   static unsigned classOf(std::size_t Cap);
   void charge(std::int64_t Delta) {
     HeldBytes += Delta;
+    if (HeldBytes > HeldBytesHwm)
+      HeldBytesHwm = HeldBytes;
     if (Charge)
       Charge(Delta);
   }

@@ -10,6 +10,7 @@
 //   $ matcoalc --dump-plan prog.m       # print the GCTD storage plans
 //   $ matcoalc --emit-c prog.m          # print the mat2c C translation
 //   $ matcoalc --no-ranges ... prog.m   # types-only ablation of any mode
+//   $ matcoalc --bench crni             # run a built-in benchmark program
 //
 // Observability (composable with every mode):
 //
@@ -20,15 +21,24 @@
 //   $ matcoalc --print-after=ssa ...        # IR dump after one pass
 //   $ matcoalc --print-after-all ...        # ... after every dump point
 //
+// Runtime storage profiling (the plan-vs-actual loop):
+//
+//   $ matcoalc --profile=p.json prog.m      # op-clocked storage events
+//   $ matcoalc --mem-timeline prog.m        # per-slot size timelines
+//   $ matcoalc --drift-report prog.m        # plan-vs-actual drift report
+//   $ matcoalc --emit-c --emit-profiling .. # C with mcrt_prof_* hooks
+//
 // Exit codes: 0 success (and, under --lint, no findings); 1 compile
 // failure, runtime failure, or lint findings; 2 usage error.
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/programs/Programs.h"
 #include "codegen/CEmitter.h"
 #include "driver/Compiler.h"
 #include "lint/Lint.h"
 #include "observe/Observe.h"
+#include "observe/RuntimeProfiler.h"
 
 #include <cstdio>
 #include <cstring>
@@ -52,6 +62,10 @@ void usage(const char *Argv0) {
                "\n"
                "options:\n"
                "  --entry <fn>  entry function (default: main)\n"
+               "  --bench <name> use a built-in benchmark program as the\n"
+               "                input instead of a file (adpt, capr, clos,\n"
+               "                crni, diff, dich, edit, fdtd, fiff, nb1d,\n"
+               "                nb3d)\n"
                "  --no-ranges   disable the range/shape analysis (the\n"
                "                types-only pipeline; lint degrades too)\n"
                "  --no-fuse     disable loop fusion in the C emitter and\n"
@@ -62,14 +76,30 @@ void usage(const char *Argv0) {
                "observability:\n"
                "  --remarks[=<pass>]   print optimization remarks to stderr\n"
                "                       (passes: interference, storage-plan,\n"
-               "                       cemit, driver)\n"
+               "                       cemit, driver, profile)\n"
                "  --stats-json <file>  write counters and pass timings as\n"
                "                       JSON ('-' for stdout)\n"
                "  --trace-out <file>   write a Chrome trace-event timeline\n"
-               "                       (open in chrome://tracing)\n"
+               "                       (open in chrome://tracing); under\n"
+               "                       profiling it gains a memory counter\n"
+               "                       track on the op-clock\n"
                "  --print-after=<pass> print the IR after a pass (lower,\n"
                "                       ssa, cleanup, invert)\n"
-               "  --print-after-all    print the IR after every dump point\n",
+               "  --print-after-all    print the IR after every dump point\n"
+               "\n"
+               "runtime storage profiling:\n"
+               "  --profile[=<file>]   run under the storage profiler and\n"
+               "                       write the op-clocked event stream +\n"
+               "                       per-slot summaries (default:\n"
+               "                       profile.json; '-' for stdout)\n"
+               "  --mem-timeline       print per-slot memory timelines\n"
+               "                       (high-water marks, lifetimes)\n"
+               "  --drift-report       print the plan-vs-actual drift\n"
+               "                       report (resized, over-provisioned,\n"
+               "                       stack-promotable groups)\n"
+               "  --emit-profiling     with --emit-c: emit mcrt_prof_*\n"
+               "                       hooks so the compiled program\n"
+               "                       streams the same event JSON\n",
                Argv0);
   std::fprintf(stderr, "\nlint checks:\n");
   for (const LintCheckInfo &CI : lintRegistry())
@@ -97,7 +127,9 @@ bool writeOut(const std::string &Path, const std::string &Text) {
 int main(int Argc, char **Argv) {
   bool DoLint = false, DoPlan = false, DoEmitC = false;
   bool DoRemarks = false;
-  std::string RemarkPass, StatsPath, TracePath;
+  bool DoTimeline = false, DoDrift = false, EmitProfiling = false;
+  bool ProfileSet = false;
+  std::string RemarkPass, StatsPath, TracePath, ProfilePath, BenchName;
   Observer Obs;
   CompileOptions Opts;
   const char *Path = nullptr;
@@ -129,6 +161,24 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       TracePath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--profile")) {
+      ProfileSet = true;
+      ProfilePath = "profile.json";
+    } else if (!std::strncmp(Argv[I], "--profile=", 10)) {
+      ProfileSet = true;
+      ProfilePath = Argv[I] + 10;
+    } else if (!std::strcmp(Argv[I], "--mem-timeline")) {
+      DoTimeline = true;
+    } else if (!std::strcmp(Argv[I], "--drift-report")) {
+      DoDrift = true;
+    } else if (!std::strcmp(Argv[I], "--emit-profiling")) {
+      EmitProfiling = true;
+    } else if (!std::strcmp(Argv[I], "--bench")) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --bench needs an argument\n");
+        return 2;
+      }
+      BenchName = Argv[++I];
     } else if (!std::strncmp(Argv[I], "--print-after=", 14)) {
       Obs.requestDump(Argv[I] + 14);
     } else if (!std::strcmp(Argv[I], "--print-after-all")) {
@@ -154,17 +204,34 @@ int main(int Argc, char **Argv) {
       Path = Argv[I];
     }
   }
-  if (!Path) {
+  if (Path && !BenchName.empty()) {
+    std::fprintf(stderr, "error: both an input file and --bench given\n");
+    return 2;
+  }
+  if (!Path && BenchName.empty()) {
     usage(Argv[0]);
     return 2;
   }
 
   std::string Source;
-  if (!std::strcmp(Path, "-")) {
+  std::string PathLabel;
+  if (!BenchName.empty()) {
+    const BenchmarkProgram *BP = findBenchmark(BenchName);
+    if (!BP) {
+      std::fprintf(stderr, "error: no benchmark named '%s'; have:",
+                   BenchName.c_str());
+      for (const BenchmarkProgram &P : benchmarkSuite())
+        std::fprintf(stderr, " %s", P.Name.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    Source = BP->Source;
+    PathLabel = "bench:" + BenchName;
+  } else if (!std::strcmp(Path, "-")) {
     std::ostringstream Buf;
     Buf << std::cin.rdbuf();
     Source = Buf.str();
-    Path = "<stdin>";
+    PathLabel = "<stdin>";
   } else {
     std::ifstream In(Path);
     if (!In) {
@@ -174,13 +241,16 @@ int main(int Argc, char **Argv) {
     std::ostringstream Buf;
     Buf << In.rdbuf();
     Source = Buf.str();
+    PathLabel = Path;
   }
 
   bool Observing = DoRemarks || !StatsPath.empty() || !TracePath.empty() ||
                    Obs.wantsAnyDump();
+  bool DoProfile = ProfileSet || DoTimeline || DoDrift;
   Opts.Lint = DoLint;
   if (Observing)
     Opts.Obs = &Obs;
+  RuntimeProfiler Prof;
   Diagnostics Diags;
   auto Program = compileSource(Source, Diags, Opts);
 
@@ -190,7 +260,8 @@ int main(int Argc, char **Argv) {
     std::printf("*** IR after %s ***\n%s\n", Pass.c_str(), Text.c_str());
 
   // The observability outputs flow even when the compile fails or
-  // degrades: that is when you want them most.
+  // degrades: that is when you want them most. Under profiling the trace
+  // gains the memory counter track.
   auto EmitObservability = [&]() -> bool {
     if (DoRemarks)
       std::fputs(Obs.remarksText(RemarkPass).c_str(), stderr);
@@ -198,7 +269,8 @@ int main(int Argc, char **Argv) {
     if (!StatsPath.empty())
       OK &= writeOut(StatsPath, Obs.statsJson());
     if (!TracePath.empty())
-      OK &= writeOut(TracePath, Obs.traceJson());
+      OK &= writeOut(TracePath,
+                     DoProfile ? Prof.traceJson(&Obs) : Obs.traceJson());
     return OK;
   };
 
@@ -215,6 +287,7 @@ int main(int Argc, char **Argv) {
   // stream, so observing runs always exercise the emitter.
   CEmitOptions EOpts;
   EOpts.Fuse = !Opts.NoFuse;
+  EOpts.Profile = EmitProfiling;
   if (Observing && !DoEmitC && Program->M && Program->TI)
     (void)emitModuleC(Program->module(), Program->GCTDPlans,
                       Program->types(), Program->ranges(), &Obs, EOpts);
@@ -222,7 +295,7 @@ int main(int Argc, char **Argv) {
   int Exit = 0;
   if (DoLint) {
     for (const LintDiag &D : Program->lintDiags())
-      std::printf("%s:%s\n", Path, D.str().c_str());
+      std::printf("%s:%s\n", PathLabel.c_str(), D.str().c_str());
     std::fprintf(stderr, "%zu finding(s)\n", Program->lintDiags().size());
     if (!DoPlan && !DoEmitC) {
       Exit = Program->lintDiags().empty() ? 0 : 1;
@@ -244,11 +317,21 @@ int main(int Argc, char **Argv) {
     return EmitObservability() ? 0 : 1;
   }
 
+  if (DoProfile)
+    Program->Prof = &Prof;
   ExecResult R = Program->runStatic();
   std::fputs(R.Output.c_str(), stdout);
   if (!R.OK) {
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());
     Exit = 1;
   }
+  if (DoDrift)
+    std::fputs(
+        driftReportFor(*Program, Prof, Observing ? &Obs : nullptr).c_str(),
+        stdout);
+  if (DoTimeline)
+    std::fputs(Prof.timelineText().c_str(), stdout);
+  if (ProfileSet && !writeOut(ProfilePath, Prof.profileJson(PathLabel, "vm")))
+    Exit = 1;
   return EmitObservability() ? Exit : 1;
 }

@@ -3,6 +3,7 @@
 #include "vm/VM.h"
 
 #include "analysis/Liveness.h"
+#include "observe/RuntimeProfiler.h"
 #include "runtime/BufferPool.h"
 
 #include <algorithm>
@@ -117,12 +118,30 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   HeapResizes = 0;
   DestReuses = 0;
   BufferSteals = 0;
+  CurLoc = SourceLoc();
+  CurOp = Opcode::Jmp;
 
   // Free-list pool for dying Re/Im buffers. Its occupancy is charged to
   // the meter so Figure-2 style averages stay honest; it only runs under
   // the Static model with buffer reuse enabled (--no-fuse turns it off).
   BufferPool Pool;
   Pool.Charge = [this](std::int64_t D) { Meter.poolAdjust(D); };
+  Pool.OnReuse = [this] {
+    if (Prof)
+      Prof->event(ProfEventKind::PoolReuse, OpCount, "", -1, "pool");
+  };
+
+  // Traps attribute to the instruction being executed when the IR carried
+  // a source location for it (satellite: trap provenance).
+  auto NoteTrap = [&] {
+    R.TrapLoc = CurLoc;
+    if (CurLoc.isValid())
+      R.Error = "line " + std::to_string(CurLoc.Line) + " (" +
+                opcodeName(CurOp) + "): " + R.Error;
+    if (Prof)
+      Prof->event(ProfEventKind::Trap, OpCount, Entry, -1, "trap", 0,
+                  R.Error);
+  };
 
   auto Start = std::chrono::steady_clock::now();
   try {
@@ -133,12 +152,15 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   } catch (const MatError &E) {
     R.Error = E.what();
     R.Trap = E.Kind;
+    NoteTrap();
   } catch (const std::bad_alloc &) {
     R.Error = "out of memory";
     R.Trap = TrapKind::OutOfMemory;
+    NoteTrap();
   } catch (const std::exception &E) {
     R.Error = std::string("internal error: ") + E.what();
     R.Trap = TrapKind::RuntimeError;
+    NoteTrap();
   }
   auto End = std::chrono::steady_clock::now();
   R.WallSeconds = std::chrono::duration<double>(End - Start).count();
@@ -154,6 +176,7 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   R.DestReuses = DestReuses;
   R.BufferSteals = BufferSteals;
   R.PoolReuses = Pool.reuses();
+  R.PoolHeldHwmBytes = Pool.heldBytesHwm();
   return R;
 }
 
@@ -178,6 +201,19 @@ const Array &VM::valueOf(Frame &Fr, VarId V) const {
 
 void VM::tickFor(const Array &Result) {
   Meter.advance(1 + static_cast<std::uint64_t>(Result.dataBytes() / 64));
+}
+
+void VM::profGroupSize(Frame &Fr, int G) {
+  if (!Prof)
+    return;
+  Prof->size(OpCount, Fr.F->Name, G, "g" + std::to_string(G),
+             Fr.GroupSlots[G].dataBytes());
+}
+
+void VM::profGroupEvent(Frame &Fr, ProfEventKind K, int G) {
+  if (!Prof)
+    return;
+  Prof->event(K, OpCount, Fr.F->Name, G, "g" + std::to_string(G));
 }
 
 void VM::killVar(Frame &Fr, VarId V) {
@@ -227,6 +263,9 @@ void VM::defineStatic(Frame &Fr, VarId V, Array Value) {
     recycleBuffers(It->second);
     It->second = std::move(Value);
     Meter.heapAdjust(It->second.dataBytes() - Old);
+    if (Prof)
+      Prof->size(OpCount, Fr.F->Name, -1, Fr.F->var(V).Name,
+                 It->second.dataBytes());
     return;
   }
   const StorageGroup &Grp = Plan.Groups[G];
@@ -244,6 +283,7 @@ void VM::defineStatic(Frame &Fr, VarId V, Array Value) {
   } else if (Fr.GroupSlots[G].dataBytes() > Grp.StackBytes) {
     ++Violations;
   }
+  profGroupSize(Fr, G);
 }
 
 std::vector<Array> VM::runFunction(const Function &F,
@@ -300,6 +340,8 @@ std::vector<Array> VM::runFunction(const Function &F,
     if (Idx >= BB->Instrs.size())
       throw MatError("internal: fell off the end of a block");
     const Instr &I = BB->Instrs[Idx];
+    CurLoc = I.Loc;
+    CurOp = I.Op;
     if (++OpCount > OpBudget)
       throw MatError("operation budget exceeded (infinite loop?)",
                      TrapKind::OpBudget);
@@ -357,6 +399,16 @@ std::vector<Array> VM::runFunction(const Function &F,
       Meter.heapAdjust(-B);
     for (auto &[V, A] : Fr.Extra)
       Meter.heapAdjust(-A.dataBytes());
+    if (Prof) {
+      for (size_t G = 0; G < Fr.GroupSlots.size(); ++G)
+        if (Fr.GroupSlots[G].dataBytes() > 0)
+          Prof->event(ProfEventKind::Free, OpCount, F.Name,
+                      static_cast<int>(G), "g" + std::to_string(G));
+      for (auto &[V, A] : Fr.Extra)
+        if (A.dataBytes() > 0)
+          Prof->event(ProfEventKind::Free, OpCount, F.Name, -1,
+                      F.var(V).Name);
+    }
   }
   Meter.stackAdjust(-FramePushBytes);
   --CallDepth;
@@ -463,6 +515,8 @@ void VM::execInstr(Frame &Fr, const Instr &I,
           binaryOpInto(Slot, I.Op, A, B);
           tickFor(Slot);
           RemeterSlot(false);
+          profGroupEvent(Fr, ProfEventKind::InPlace, G);
+          profGroupSize(Fr, G);
           return;
         }
         if (ReuseBuffers && destructiveCandidate(I.Op, A, B)) {
@@ -473,10 +527,13 @@ void VM::execInstr(Frame &Fr, const Instr &I,
             // slot, recycling its existing capacity. Identity-index
             // evaluation makes this safe even though the slot holds an
             // unrelated (dead) prior value.
-            if (binaryOpInto(Slot, I.Op, A, B))
+            if (binaryOpInto(Slot, I.Op, A, B)) {
               ++DestReuses;
+              profGroupEvent(Fr, ProfEventKind::InPlace, G);
+            }
             tickFor(Slot);
             RemeterSlot(true);
+            profGroupSize(Fr, G);
             return;
           }
           // The slot lacks capacity: steal the element buffer of an
@@ -522,6 +579,17 @@ void VM::execInstr(Frame &Fr, const Instr &I,
             const Array &BB = VictimIsB ? Stolen : B;
             binaryOpInto(Stolen, I.Op, AA, BB);
             ++BufferSteals;
+            if (Prof) {
+              // The victim's storage is gone (its buffer now backs the
+              // result, which Define charges below).
+              if (Gv >= 0)
+                Prof->event(ProfEventKind::Free, OpCount, Fr.F->Name, Gv,
+                            "g" + std::to_string(Gv));
+              else
+                Prof->event(ProfEventKind::Free, OpCount, Fr.F->Name, -1,
+                            Fr.F->var(Ov).Name);
+              profGroupEvent(Fr, ProfEventKind::Steal, G);
+            }
             Define(I.result(), std::move(Stolen));
             return;
           }
@@ -575,6 +643,8 @@ void VM::execInstr(Frame &Fr, const Instr &I,
         } else if (Slot.dataBytes() > Plan.Groups[G].StackBytes) {
           ++Violations;
         }
+        profGroupEvent(Fr, ProfEventKind::InPlace, G);
+        profGroupSize(Fr, G);
         return;
       }
       Array Copy = valueOf(Fr, Base);

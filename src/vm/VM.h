@@ -41,6 +41,9 @@
 
 namespace matcoal {
 
+class RuntimeProfiler;
+enum class ProfEventKind;
+
 enum class ExecModel { Mcc, Static };
 
 /// Outcome of one program execution.
@@ -69,6 +72,10 @@ struct ExecResult {
   std::uint64_t BufferSteals = 0;
   /// Result-buffer allocations served by the run's free-list pool.
   std::uint64_t PoolReuses = 0;
+  /// Peak bytes the free-list pool held at once during the run.
+  std::int64_t PoolHeldHwmBytes = 0;
+  /// Source location of the trapping instruction, when the IR carried one.
+  SourceLoc TrapLoc;
 };
 
 /// Executes one module. The VM is reusable; each run() is independent.
@@ -96,6 +103,10 @@ public:
   /// `matcoalc --no-fuse` so fused and unfused configurations can be
   /// compared on otherwise identical runs.
   void setBufferReuse(bool On) { ReuseBuffers = On; }
+  /// Attaches a runtime storage profiler: every static-model slot change,
+  /// in-place hit, steal, pool reuse, free, and trap is recorded against
+  /// the op-clock. Null (default) costs nothing.
+  void setProfiler(RuntimeProfiler *P) { Prof = P; }
 
 private:
   struct FunctionInfo {
@@ -144,6 +155,9 @@ private:
   /// Frees the boxes of SSA-dead sibling versions of V's base name.
   void sweepBase(Frame &Fr, VarId V);
   void tickFor(const Array &Result);
+  /// Profiler hooks (no-ops when Prof is null).
+  void profGroupSize(Frame &Fr, int G);
+  void profGroupEvent(Frame &Fr, ProfEventKind K, int G);
 
   const Module &M;
   ExecModel Model;
@@ -166,6 +180,11 @@ private:
   std::uint64_t DestReuses = 0;
   std::uint64_t BufferSteals = 0;
   bool ReuseBuffers = true;
+  RuntimeProfiler *Prof = nullptr;
+  /// Location/opcode of the instruction being executed, for trap
+  /// provenance ("line N (op): message").
+  SourceLoc CurLoc;
+  Opcode CurOp = Opcode::Jmp;
 
   /// Per-frame bookkeeping overhead (locals, saved registers, handles).
   static constexpr std::int64_t FrameOverheadBytes = 256;

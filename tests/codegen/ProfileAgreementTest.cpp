@@ -1,0 +1,173 @@
+//===- ProfileAgreementTest.cpp - VM vs compiled-C profile agreement ------===//
+//
+// The cross-tier check behind --emit-profiling: run a program once under
+// the VM's RuntimeProfiler and once as compiled C with mcrt_prof_* hooks,
+// then require the two event streams to agree on per-group high-water
+// bytes. The tiers count ops differently (their clocks need not match),
+// but the storage groups are the same plan, so the peaks must be.
+//
+// Fusion is disabled on the C side here: fused chains elide intermediate
+// group stores (and their hooks) by design, which is exactly the kind of
+// divergence this test exists to distinguish from accounting bugs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Compiler.h"
+#include "observe/RuntimeProfiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+using namespace matcoal;
+
+#ifndef MCRT_DIR
+#define MCRT_DIR "."
+#endif
+
+namespace {
+
+bool haveCC() {
+  return std::system("cc --version > /dev/null 2>&1") == 0;
+}
+
+int runCapture(const std::string &Cmd, std::string &Out) {
+  std::string Full = Cmd + " 2>/dev/null";
+  FILE *P = popen(Full.c_str(), "r");
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  Out.clear();
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  return pclose(P);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// (function, group) -> peak bytes, group slots only.
+std::map<std::pair<std::string, int>, std::int64_t>
+groupHwms(const RuntimeProfiler &Prof) {
+  std::map<std::pair<std::string, int>, std::int64_t> Out;
+  for (const MemTimeline *T : Prof.timelines())
+    if (T->Group >= 0)
+      Out[{T->Function, T->Group}] = T->HwmBytes;
+  return Out;
+}
+
+struct CProg {
+  const char *Name;
+  const char *Source;
+};
+
+class ProfileAgreementTest : public ::testing::TestWithParam<CProg> {};
+
+TEST_P(ProfileAgreementTest, PerGroupHighWaterBytesAgree) {
+  if (!haveCC())
+    GTEST_SKIP() << "no system C compiler";
+
+  Diagnostics Diags;
+  auto P = compileSource(GetParam().Source, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+
+  // Tier 1: the VM under its profiler.
+  RuntimeProfiler VMProf;
+  P->Prof = &VMProf;
+  ExecResult VM = P->runStatic();
+  ASSERT_TRUE(VM.OK) << VM.Error;
+  auto VMHwm = groupHwms(VMProf);
+  ASSERT_FALSE(VMHwm.empty());
+
+  // Tier 2: compiled C with profiling hooks, unfused (see file comment).
+  CEmitOptions EOpts;
+  EOpts.Fuse = false;
+  EOpts.Profile = true;
+  std::string C =
+      emitModuleC(P->module(), P->GCTDPlans, P->types(), P->ranges(),
+                  nullptr, EOpts);
+  ASSERT_NE(C.find("mcrt_prof_size"), std::string::npos);
+
+  std::string Dir = ::testing::TempDir();
+  std::string Base = Dir + "/matcoal_prof_" + GetParam().Name;
+  std::string CPath = Base + ".c", Exe = Base, Json = Base + ".json";
+  {
+    std::ofstream Out(CPath);
+    ASSERT_TRUE(Out.good());
+    Out << C;
+  }
+  std::string Compile = std::string("cc -std=c99 -O1 -I '") + MCRT_DIR +
+                        "' '" + CPath + "' '" + MCRT_DIR +
+                        "/mcrt.c' -o '" + Exe + "' -lm";
+  std::string CompileOut;
+  ASSERT_EQ(runCapture(Compile, CompileOut), 0) << "compile failed:\n" << C;
+
+  std::string RunOut;
+  std::string Run = "MCRT_PROF_OUT='" + Json + "' '" + Exe + "'";
+  ASSERT_EQ(runCapture(Run, RunOut), 0) << RunOut;
+  EXPECT_EQ(RunOut, VM.Output);
+
+  std::string Stream = readFile(Json);
+  ASSERT_NE(Stream.find("\"source\": \"mcrt\""), std::string::npos) << Stream;
+
+  // The VM-side parser replays the mcrt stream; the derived peaks must
+  // match the VM's for every group the compiled program materialized.
+  RuntimeProfiler CProf;
+  ASSERT_TRUE(CProf.loadEventsJson(Stream));
+  auto CHwm = groupHwms(CProf);
+  ASSERT_FALSE(CHwm.empty());
+  for (const auto &[Key, Hwm] : CHwm) {
+    auto It = VMHwm.find(Key);
+    ASSERT_NE(It, VMHwm.end())
+        << Key.first << "/g" << Key.second << " only in the C stream";
+    EXPECT_EQ(It->second, Hwm)
+        << Key.first << "/g" << Key.second << " peaks diverge";
+  }
+
+  // Determinism: a second compiled run writes a byte-identical stream.
+  std::string Json2 = Base + "_2.json";
+  ASSERT_EQ(runCapture("MCRT_PROF_OUT='" + Json2 + "' '" + Exe + "'",
+                       RunOut),
+            0);
+  EXPECT_EQ(Stream, readFile(Json2));
+
+  std::remove(CPath.c_str());
+  std::remove(Exe.c_str());
+  std::remove(Json.c_str());
+  std::remove(Json2.c_str());
+}
+
+const CProg Programs[] = {
+    {"chain",
+     "t0 = rand(8, 8);\nt1 = t0 - 1.345;\nt2 = 2.788 .* t1;\n"
+     "t3 = tan(t2);\nfprintf('%.6f\\n', sum(sum(abs(t3))));\n"},
+
+    {"heat",
+     "n = 16;\nu = zeros(1, n);\nu(8) = 1;\nfor t = 1:12\nv = u;\n"
+     "for k = 2:n-1\nv(k) = u(k) + 0.4 * (u(k-1) - 2 * u(k) + u(k+1));\n"
+     "end\nu = v;\nend\nfprintf('%.6f ', u);\nfprintf('\\n');\n"},
+
+    {"functions",
+     "function main\nA = [4, 1; 1, 3];\nb = [1; 2];\nx = A \\ b;\n"
+     "fprintf('%.6f %.6f\\n', x(1), x(2));\ndisp(peak([3, 9, 4]));\n\n"
+     "function m = peak(v)\nm = max(v);\n"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Programs, ProfileAgreementTest,
+                         ::testing::ValuesIn(Programs),
+                         [](const ::testing::TestParamInfo<CProg> &Info) {
+                           return Info.param.Name;
+                         });
+
+} // namespace

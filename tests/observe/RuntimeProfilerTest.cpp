@@ -1,0 +1,326 @@
+//===- RuntimeProfilerTest.cpp - Runtime storage observability tests ------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// Covers the runtime half of the observability story: event-kind
+// derivation and high-water accounting in the recorder, the event-stream
+// JSON round trip, op-clock determinism of profiled VM runs, the
+// plan-vs-actual drift report (unit verdicts plus the full 11-program
+// suite), the memory counter track in the Chrome trace, the pinned
+// rt.pool.held_bytes_hwm counter, and trap provenance (source line + op
+// in the error message).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/programs/Programs.h"
+#include "driver/Compiler.h"
+#include "observe/Observe.h"
+#include "observe/RuntimeProfiler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace matcoal;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compileOK(const std::string &Source,
+                                           Observer *Obs = nullptr) {
+  CompileOptions Opts;
+  Opts.Obs = Obs;
+  Diagnostics Diags;
+  auto P = compileSource(Source, Diags, Opts);
+  EXPECT_TRUE(P) << Diags.str();
+  return P;
+}
+
+const char *kVectorSrc = "function main()\n"
+                         "  n = round(rand() * 8) + 2;\n"
+                         "  a = rand(n, n);\n"
+                         "  b = a .* 2;\n"
+                         "  disp(sum(b(:, 1)));\n"
+                         "end\n";
+
+const char *kGrowthSrc = "v = zeros(1, 4);\n"
+                         "for k = 1:64\n"
+                         "  v(k) = k;\n"
+                         "end\n"
+                         "disp(sum(v));\n";
+
+//===----------------------------------------------------------------------===//
+// Recorder unit tests
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeProfiler, DerivesAllocResizeAndSkipsUnchangedTouches) {
+  RuntimeProfiler P;
+  P.size(1, "f", 0, "g0", 80);
+  P.size(2, "f", 0, "g0", 80); // unchanged: no event, no point
+  P.size(5, "f", 0, "g0", 160);
+  ASSERT_EQ(P.events().size(), 2u);
+  EXPECT_EQ(P.events()[0].Kind, ProfEventKind::Alloc);
+  EXPECT_EQ(P.events()[1].Kind, ProfEventKind::Resize);
+  EXPECT_EQ(P.events()[1].Delta, 80);
+
+  const MemTimeline *T = P.timelineFor("f", 0, "g0");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Points.size(), 2u);
+  EXPECT_EQ(T->HwmBytes, 160);
+  EXPECT_EQ(T->Allocs, 1u);
+  EXPECT_EQ(T->Resizes, 1u);
+  EXPECT_EQ(T->FirstClock, 1u);
+  EXPECT_EQ(T->LastClock, 5u);
+}
+
+TEST(RuntimeProfiler, FreeStartsANewLifetimeAndTotalHwmIsSimultaneous) {
+  RuntimeProfiler P;
+  P.size(1, "f", 0, "g0", 100);
+  P.size(2, "f", 1, "g1", 50);
+  P.event(ProfEventKind::Free, 3, "f", 0, "g0");
+  P.size(4, "f", 0, "g0", 10); // re-materialize: Alloc, not Resize
+  // Peak was 150 (both live), not 160 (sum of per-slot peaks over time).
+  EXPECT_EQ(P.totalHwmBytes(), 150);
+  const MemTimeline *T = P.timelineFor("f", 0, "g0");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Allocs, 2u);
+  EXPECT_EQ(T->Resizes, 0u);
+  EXPECT_EQ(T->Frees, 1u);
+}
+
+TEST(RuntimeProfiler, InPlaceStealAndPoolReuseBumpCounters) {
+  RuntimeProfiler P;
+  P.size(1, "f", 0, "g0", 8);
+  P.event(ProfEventKind::InPlace, 2, "f", 0, "g0");
+  P.event(ProfEventKind::InPlace, 3, "f", 0, "g0");
+  P.event(ProfEventKind::Steal, 4, "f", 0, "g0");
+  P.event(ProfEventKind::PoolReuse, 5, "", -1, "pool");
+  const MemTimeline *T = P.timelineFor("f", 0, "g0");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->InPlaceHits, 2u);
+  EXPECT_EQ(T->Steals, 1u);
+  EXPECT_EQ(P.poolReuses(), 1u);
+  EXPECT_FALSE(P.trapped());
+  P.event(ProfEventKind::Trap, 6, "f", -1, "trap", 0, "boom");
+  EXPECT_TRUE(P.trapped());
+}
+
+TEST(RuntimeProfiler, StoredEventCapIsNeverSilent) {
+  RuntimeProfiler P;
+  P.setMaxStoredEvents(2);
+  P.size(1, "f", 0, "g0", 8);
+  P.size(2, "f", 0, "g0", 16);
+  P.size(3, "f", 0, "g0", 32);
+  P.size(4, "f", 0, "g0", 64);
+  EXPECT_EQ(P.events().size(), 2u);
+  EXPECT_EQ(P.droppedEvents(), 2u);
+  // Aggregates stay exact past the cap; the envelope admits the drop.
+  const MemTimeline *T = P.timelineFor("f", 0, "g0");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->HwmBytes, 64);
+  EXPECT_EQ(T->Resizes, 3u);
+  EXPECT_NE(P.eventsJson("vm").find("\"events_dropped\": 2"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization round trip
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeProfiler, EventsJsonRoundTripsThroughLoad) {
+  RuntimeProfiler A;
+  A.size(1, "main", 0, "g0", 80);
+  A.size(4, "main", 0, "g0", 160);
+  A.size(5, "sub", 1, "g1", 24);
+  A.event(ProfEventKind::InPlace, 6, "sub", 1, "g1");
+  A.event(ProfEventKind::Free, 9, "main", 0, "g0");
+  A.event(ProfEventKind::PoolReuse, 10, "", -1, "pool");
+
+  RuntimeProfiler B;
+  ASSERT_TRUE(B.loadEventsJson(A.eventsJson("vm")));
+  EXPECT_EQ(B.eventsJson("vm"), A.eventsJson("vm"));
+  EXPECT_EQ(B.totalHwmBytes(), A.totalHwmBytes());
+  EXPECT_EQ(B.poolReuses(), 1u);
+  const MemTimeline *T = B.timelineFor("main", 0, "g0");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->HwmBytes, 160);
+  EXPECT_EQ(T->Frees, 1u);
+
+  // profileJson carries the same events array; loading it replays too.
+  RuntimeProfiler C;
+  ASSERT_TRUE(C.loadEventsJson(A.profileJson("prog", "vm")));
+  EXPECT_EQ(C.totalHwmBytes(), A.totalHwmBytes());
+
+  RuntimeProfiler D;
+  EXPECT_FALSE(D.loadEventsJson("{\"no\": \"stream\"}"));
+}
+
+TEST(RuntimeProfiler, TraceJsonCarriesMemoryCounterTrack) {
+  RuntimeProfiler P;
+  P.size(1, "main", 0, "g0", 80);
+  P.size(7, "main", 0, "g0", 8);
+  std::string J = P.traceJson();
+  EXPECT_NE(J.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"mem.main.g0\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"mem.total\""), std::string::npos);
+  EXPECT_NE(J.find("\"ts\": 7"), std::string::npos);
+
+  // With an observer the compile-time spans ride along on their own pid.
+  Observer Obs;
+  compileOK("disp(1);\n", &Obs);
+  std::string WithSpans = P.traceJson(&Obs);
+  EXPECT_NE(WithSpans.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(WithSpans.find("\"ph\": \"C\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Drift report verdicts (unit level, synthetic plans)
+//===----------------------------------------------------------------------===//
+
+TEST(DriftReport, ClassifiesEveryVerdict) {
+  RuntimeProfiler P;
+  P.size(1, "main", 0, "g0", 8);     // matches its 8 B stack slot
+  P.size(2, "main", 1, "g1", 80);    // stack slot planned 1024 B: over-prov.
+  P.size(3, "main", 2, "g2", 800);   // heap, resized
+  P.size(4, "main", 2, "g2", 1600);
+  P.size(5, "main", 3, "g3", 640);   // heap, small, never resized
+  // group 4 never materializes.
+
+  std::vector<PlannedGroupInfo> Plan(5);
+  for (int G = 0; G < 5; ++G) {
+    Plan[G].Function = "main";
+    Plan[G].Group = G;
+  }
+  Plan[0].Stack = true;
+  Plan[0].PlannedBytes = 8;
+  Plan[1].Stack = true;
+  Plan[1].PlannedBytes = 1024;
+  Plan[2].SizeExpr = "8*n*n";
+  Plan[3].SizeExpr = "8*m";
+  Plan[4].Stack = true;
+  Plan[4].PlannedBytes = 16;
+
+  Observer Obs;
+  std::string R = P.driftReport(Plan, /*StackPromoteCapBytes=*/256 * 1024,
+                                &Obs);
+  EXPECT_NE(R.find("main/g0 stack 8 B: observed hwm 8 B"), std::string::npos);
+  EXPECT_NE(R.find("over-provisioned (planned 1024 B)"), std::string::npos);
+  EXPECT_NE(R.find("resized at run time"), std::string::npos);
+  EXPECT_NE(R.find("stack-promotable"), std::string::npos);
+  EXPECT_NE(R.find("never materialized"), std::string::npos);
+  EXPECT_NE(R.find("drift: 4 of 5 planned group(s)"), std::string::npos);
+  // One PlanDrift remark per diverging group, none for the clean one.
+  EXPECT_EQ(Obs.countRemarks(RemarkKind::PlanDrift), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiled VM runs
+//===----------------------------------------------------------------------===//
+
+TEST(ProfiledRun, VMFeedsTimelinesAndReportsPoolHwmCounter) {
+  Observer Obs;
+  auto P = compileOK(kVectorSrc, &Obs);
+  ASSERT_TRUE(P);
+  RuntimeProfiler Prof;
+  P->Prof = &Prof;
+  ExecResult R = P->runStatic();
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_FALSE(Prof.events().empty());
+  EXPECT_GT(Prof.totalHwmBytes(), 0);
+  EXPECT_FALSE(Prof.timelines().empty());
+  // The run reported the pool high-water counter into the observer.
+  EXPECT_TRUE(Obs.Stats.has("rt.pool.held_bytes_hwm"));
+  EXPECT_EQ(Obs.Stats.get("rt.pool.held_bytes_hwm"), R.PoolHeldHwmBytes);
+}
+
+TEST(ProfiledRun, OpClockMakesTwoRunsByteIdentical) {
+  auto P = compileOK(kVectorSrc);
+  ASSERT_TRUE(P);
+  RuntimeProfiler A, B;
+  P->Prof = &A;
+  ASSERT_TRUE(P->runStatic().OK);
+  P->Prof = &B;
+  ASSERT_TRUE(P->runStatic().OK);
+  EXPECT_EQ(A.eventsJson("vm"), B.eventsJson("vm"));
+  EXPECT_EQ(A.profileJson("p", "vm"), B.profileJson("p", "vm"));
+}
+
+TEST(ProfiledRun, GrowthShowsUpAsResizes) {
+  auto P = compileOK(kGrowthSrc);
+  ASSERT_TRUE(P);
+  RuntimeProfiler Prof;
+  P->Prof = &Prof;
+  ASSERT_TRUE(P->runStatic().OK);
+  unsigned Resizes = 0;
+  for (const MemTimeline *T : Prof.timelines())
+    Resizes += T->Resizes;
+  EXPECT_GT(Resizes, 0u) << Prof.timelineText();
+}
+
+TEST(ProfiledRun, InterpreterFeedsTheSameRecorder) {
+  auto P = compileOK(kVectorSrc);
+  ASSERT_TRUE(P);
+  RuntimeProfiler Prof;
+  P->Prof = &Prof;
+  InterpResult R = P->runInterp();
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_FALSE(Prof.events().empty());
+  // Interpreter storage is unplanned: variable-named slots, group -1.
+  bool SawNamed = false;
+  for (const MemTimeline *T : Prof.timelines())
+    if (T->Group < 0 && !T->Slot.empty() && T->Slot[0] != 'g')
+      SawNamed = true;
+  EXPECT_TRUE(SawNamed);
+}
+
+//===----------------------------------------------------------------------===//
+// Trap provenance
+//===----------------------------------------------------------------------===//
+
+TEST(TrapProvenance, RuntimeErrorsCarrySourceLineAndOp) {
+  const char *Src = "function main()\n"
+                    "  n = round(rand() * 3) + 2;\n"
+                    "  a = rand(n, n);\n"
+                    "  disp(a(n + 10, 1));\n"
+                    "end\n";
+  auto P = compileOK(Src);
+  ASSERT_TRUE(P);
+  RuntimeProfiler Prof;
+  P->Prof = &Prof;
+  ExecResult R = P->runStatic();
+  ASSERT_FALSE(R.OK);
+  EXPECT_TRUE(R.TrapLoc.isValid()) << R.Error;
+  EXPECT_EQ(R.Error.rfind("line ", 0), 0u) << R.Error;
+  EXPECT_TRUE(Prof.trapped());
+  bool SawTrapEvent = false;
+  for (const ProfEvent &E : Prof.events())
+    if (E.Kind == ProfEventKind::Trap) {
+      SawTrapEvent = true;
+      EXPECT_FALSE(E.Note.empty());
+    }
+  EXPECT_TRUE(SawTrapEvent);
+}
+
+//===----------------------------------------------------------------------===//
+// The full suite: drift report exists for every benchmark program
+//===----------------------------------------------------------------------===//
+
+TEST(DriftReport, CoversEveryBenchmarkProgram) {
+  for (const BenchmarkProgram &Prog : benchmarkSuite()) {
+    auto P = compileOK(Prog.Source);
+    ASSERT_TRUE(P) << Prog.Name;
+    RuntimeProfiler Prof;
+    P->Prof = &Prof;
+    ExecResult R = P->runStatic();
+    ASSERT_TRUE(R.OK) << Prog.Name << ": " << R.Error;
+    ASSERT_FALSE(plannedGroupInfo(*P).empty()) << Prog.Name;
+    std::string Report = driftReportFor(*P, Prof);
+    EXPECT_NE(Report.find("plan-vs-actual drift report"), std::string::npos)
+        << Prog.Name;
+    EXPECT_NE(Report.find("planned group(s)"), std::string::npos)
+        << Prog.Name;
+  }
+}
+
+} // namespace

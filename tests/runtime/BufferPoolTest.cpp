@@ -1,0 +1,158 @@
+//===- BufferPoolTest.cpp - Size-class boundary tests for the pool --------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// Pins the free list's boundary behavior: exact power-of-two class edges,
+// the MinElems / MaxElems retention window, the per-class retention cap,
+// reuse-after-free ordering (pointer identity), the two-class scan window
+// in acquire, and the held-bytes high-water accounting behind the
+// rt.pool.held_bytes_hwm counter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BufferPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+/// A vector with exactly \p Cap capacity and \p Cap elements (libstdc++
+/// reserve on a fresh vector allocates the requested amount exactly; the
+/// assertions below re-check rather than assume).
+std::vector<double> buf(std::size_t Cap) {
+  std::vector<double> V;
+  V.reserve(Cap);
+  V.resize(Cap);
+  return V;
+}
+
+constexpr std::int64_t B = sizeof(double);
+
+TEST(BufferPool, ExactClassEdgeReusesAndOneOverFallsThrough) {
+  // Class k holds capacities [2^k, 2^(k+1)); a capacity-64 buffer sits at
+  // the bottom edge of its class and must satisfy a request of exactly 64
+  // but not 65 (capacity check inside the class).
+  BufferPool P;
+  std::vector<double> V = buf(64);
+  ASSERT_EQ(V.capacity(), 64u);
+  P.release(std::move(V));
+  EXPECT_EQ(P.heldBytes(), 64 * B);
+
+  std::vector<double> Miss = P.acquire(65);
+  EXPECT_EQ(P.reuses(), 0u);
+  EXPECT_EQ(Miss.size(), 65u);
+  EXPECT_EQ(P.heldBytes(), 64 * B); // still pooled
+
+  std::vector<double> Hit = P.acquire(64);
+  EXPECT_EQ(P.reuses(), 1u);
+  EXPECT_EQ(Hit.size(), 64u);
+  EXPECT_EQ(P.heldBytes(), 0);
+}
+
+TEST(BufferPool, RetentionWindowMinAndMaxElems) {
+  BufferPool P;
+  // Below MinElems: freed, never pooled.
+  std::vector<double> Tiny = buf(BufferPool::MinElems - 1);
+  P.release(std::move(Tiny));
+  EXPECT_EQ(P.heldBytes(), 0);
+  // Exactly MinElems: pooled.
+  P.release(buf(BufferPool::MinElems));
+  EXPECT_EQ(P.heldBytes(),
+            static_cast<std::int64_t>(BufferPool::MinElems) * B);
+  P.drain();
+  // Exactly MaxElems: pooled; one past: freed immediately (oversize
+  // fallthrough keeps the time-weighted heap average honest).
+  P.release(buf(BufferPool::MaxElems));
+  EXPECT_EQ(P.heldBytes(),
+            static_cast<std::int64_t>(BufferPool::MaxElems) * B);
+  P.release(buf(BufferPool::MaxElems + 1));
+  EXPECT_EQ(P.heldBytes(),
+            static_cast<std::int64_t>(BufferPool::MaxElems) * B);
+}
+
+TEST(BufferPool, MaxPerClassEvictsTheThirdBuffer) {
+  BufferPool P;
+  P.release(buf(64));
+  P.release(buf(64));
+  EXPECT_EQ(P.heldBytes(), 2 * 64 * B);
+  P.release(buf(64)); // class full: freed, not held
+  EXPECT_EQ(P.heldBytes(), 2 * 64 * B);
+}
+
+TEST(BufferPool, ReuseAfterFreeReturnsTheFirstReleasedBuffer) {
+  BufferPool P;
+  std::vector<double> A = buf(64), Bv = buf(64);
+  const double *APtr = A.data(), *BPtr = Bv.data();
+  P.release(std::move(A));
+  P.release(std::move(Bv));
+  // acquire scans slots in insertion order: first released, first reused.
+  std::vector<double> R1 = P.acquire(40);
+  EXPECT_EQ(R1.data(), APtr);
+  std::vector<double> R2 = P.acquire(40);
+  EXPECT_EQ(R2.data(), BPtr);
+  EXPECT_EQ(P.reuses(), 2u);
+  EXPECT_EQ(P.heldBytes(), 0);
+}
+
+TEST(BufferPool, AcquireScansOnlyTwoClassesUp) {
+  // A held 1024-capacity buffer must not be pinned by a 33-element
+  // request four classes below it: acquire checks classOf(N) and the one
+  // class above, nothing further.
+  BufferPool P;
+  P.release(buf(1024));
+  std::vector<double> V = P.acquire(33);
+  EXPECT_EQ(P.reuses(), 0u);
+  EXPECT_EQ(V.size(), 33u);
+  EXPECT_EQ(P.heldBytes(), 1024 * B);
+  // The class directly above is eligible: a 128-capacity buffer serves a
+  // 65-element request (classOf(65) = classOf(128) - 1).
+  P.release(buf(128));
+  std::vector<double> W = P.acquire(65);
+  EXPECT_EQ(P.reuses(), 1u);
+  EXPECT_EQ(W.capacity(), 128u);
+}
+
+TEST(BufferPool, HeldBytesHwmSurvivesDrainAndTracksThePeak) {
+  BufferPool P;
+  EXPECT_EQ(P.heldBytesHwm(), 0);
+  P.release(buf(64));
+  P.release(buf(256));
+  std::int64_t Peak = (64 + 256) * B;
+  EXPECT_EQ(P.heldBytes(), Peak);
+  EXPECT_EQ(P.heldBytesHwm(), Peak);
+  (void)P.acquire(256); // leaves only the 64-buffer held
+  EXPECT_LT(P.heldBytes(), Peak);
+  EXPECT_EQ(P.heldBytesHwm(), Peak);
+  P.drain();
+  EXPECT_EQ(P.heldBytes(), 0);
+  EXPECT_EQ(P.heldBytesHwm(), Peak); // the counter is a true high-water
+}
+
+TEST(BufferPool, OnReuseFiresOncePerPoolServedAllocation) {
+  BufferPool P;
+  unsigned Fired = 0;
+  P.OnReuse = [&] { ++Fired; };
+  P.release(buf(64));
+  (void)P.acquire(64); // hit
+  (void)P.acquire(64); // pool empty: malloc, no callback
+  EXPECT_EQ(Fired, 1u);
+  EXPECT_EQ(P.reuses(), 1u);
+}
+
+TEST(BufferPool, MeterChargeMirrorsHeldBytes) {
+  BufferPool P;
+  std::int64_t Metered = 0;
+  P.Charge = [&](std::int64_t D) { Metered += D; };
+  P.release(buf(64));
+  P.release(buf(128));
+  EXPECT_EQ(Metered, P.heldBytes());
+  (void)P.acquire(64);
+  EXPECT_EQ(Metered, P.heldBytes());
+  P.drain();
+  EXPECT_EQ(Metered, 0);
+}
+
+} // namespace
