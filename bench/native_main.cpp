@@ -11,10 +11,10 @@
 
 #include "bench/Harness.h"
 #include "codegen/CEmitter.h"
+#include "support/Subprocess.h"
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -25,25 +25,8 @@
 using namespace matcoal;
 using namespace matcoal::bench;
 
-namespace {
-
-int runCapture(const std::string &Cmd, std::string &Out) {
-  FILE *P = popen((Cmd + " 2>/dev/null").c_str(), "r");
-  if (!P)
-    return -1;
-  char Buf[4096];
-  size_t N;
-  Out.clear();
-  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
-    Out.append(Buf, N);
-  return pclose(P);
-}
-
-} // namespace
-
 int main() {
-  std::string Probe;
-  if (runCapture("cc --version", Probe) != 0) {
+  if (!ccAvailable()) {
     std::printf("no system C compiler; skipping native mat2c bench\n");
     return 0;
   }
@@ -80,21 +63,18 @@ int main() {
       std::ofstream Out(CPath);
       Out << C;
     }
-    std::string Compile = std::string("cc -std=c99 -O2 -I '") + MCRT_DIR +
-                          "' '" + CPath + "' '" + MCRT_DIR +
-                          "/mcrt.c' -o '" + Exe + "' -lm";
-    std::string Ignored;
-    if (runCapture(Compile, Ignored) != 0) {
-      std::fprintf(stderr, "%s: C compilation failed\n", Name);
+    SubprocessResult CC = ccCompile(CPath, MCRT_DIR, Exe, "-O2");
+    if (!CC.ok()) {
+      std::fprintf(stderr, "%s: C compilation failed: %s\n", Name,
+                   CC.Diag.c_str());
       return 1;
     }
 
-    std::string NativeOut;
     auto T0 = std::chrono::steady_clock::now();
-    int Status = runCapture("'" + Exe + "'", NativeOut);
+    SubprocessResult Native = runExecutable(Exe, 300000);
     auto T1 = std::chrono::steady_clock::now();
     double NativeSecs = std::chrono::duration<double>(T1 - T0).count();
-    if (Status != 0 || NativeOut != VMStatic.Output) {
+    if (!Native.ok() || Native.Output != VMStatic.Output) {
       std::fprintf(stderr, "%s: native output diverged from the VM\n",
                    Name);
       return 1;

@@ -45,6 +45,15 @@ CompileStage matcoal::parseCompileStage(const std::string &Name) {
   return CompileStage::None;
 }
 
+bool matcoal::isValidFaultName(const std::string &Name) {
+  return Name.empty() || Name == "none" ||
+         parseCompileStage(Name) != CompileStage::None;
+}
+
+const char *matcoal::validCompileStageNames() {
+  return "parse, lower, ssa, typeinf, gctd";
+}
+
 const char *matcoal::degradeLevelName(DegradeLevel L) {
   switch (L) {
   case DegradeLevel::Full:
@@ -80,8 +89,19 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
                        const CompileOptions &Options) {
   CompileOptions O = Options;
   if (O.InjectFault == CompileStage::None)
-    if (const char *Env = std::getenv("MATCOAL_FAULT"))
+    if (const char *Env = std::getenv("MATCOAL_FAULT")) {
+      // A misspelled stage name must fail loudly: silently running the
+      // un-faulted pipeline is exactly what a fault-injection test does
+      // not want.
+      if (!isValidFaultName(Env)) {
+        Diags.error(SourceLoc{},
+                    std::string("unrecognized MATCOAL_FAULT stage '") + Env +
+                        "' (valid stages: " + validCompileStageNames() +
+                        ", or 'none')");
+        return nullptr;
+      }
       O.InjectFault = parseCompileStage(Env);
+    }
 
   auto P = std::make_unique<CompiledProgram>();
   P->Entry = O.Entry;
@@ -90,6 +110,21 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
   P->RecursionLimit = O.RecursionLimit;
   P->NoFuse = O.NoFuse;
   P->Obs = O.Obs;
+  P->Cancel = O.Cancel;
+
+  // Compile-time half of the deadline contract: the pipeline polls the
+  // token between stages and refuses (classified error, never a partial
+  // program) once it expires; the runtime half is the executors' in-loop
+  // poll that unwinds with TrapKind::Deadline.
+  auto DeadlineHit = [&](const char *AfterStage) -> bool {
+    if (!O.Cancel || !O.Cancel->expired())
+      return false;
+    Diags.error(SourceLoc{},
+                std::string(O.Cancel->cancelled() ? "compilation cancelled"
+                                                  : "deadline exceeded") +
+                    " (after " + AfterStage + " stage)");
+    return true;
+  };
 
   Observer *Obs = O.Obs;
   if (Obs) {
@@ -149,6 +184,8 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
   if (O.InjectFault == CompileStage::Parse)
     return DegradeOr(DegradeLevel::InterpOnly, CompileStage::Parse,
                      "fault injected");
+  if (DeadlineHit("parse"))
+    return nullptr;
 
   try {
     // --- Lower to SO-form IR.
@@ -204,6 +241,8 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       P->M.reset();
       return DegradeOr(DegradeLevel::InterpOnly, CompileStage::SSA, SSAWhy);
     }
+    if (DeadlineHit("ssa"))
+      return nullptr;
     DumpAfter("cleanup");
     if (Obs) {
       // IR shape counters, over the cleaned-up SSA the optimizer sees.
@@ -265,6 +304,9 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       }
       return Result;
     }
+
+    if (DeadlineHit("typeinf"))
+      return nullptr;
 
     // --- Range analysis (optional). A throwing analysis never fails the
     // compile; the pipeline simply continues with types-only facts.
@@ -418,6 +460,7 @@ ExecResult CompiledProgram::runMcc(std::uint64_t Seed) const {
   Machine.setOpBudget(OpBudget);
   Machine.setHeapLimit(HeapLimit);
   Machine.setRecursionLimit(RecursionLimit);
+  Machine.setCancelToken(Cancel);
   return Machine.run(Entry);
 }
 
@@ -434,6 +477,7 @@ ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
   Machine.setRecursionLimit(RecursionLimit);
   Machine.setBufferReuse(!NoFuse);
   Machine.setProfiler(Prof);
+  Machine.setCancelToken(Cancel);
   ExecResult R = Machine.run(Entry);
   count(Obs, "vm.inplace.hits",
         static_cast<std::int64_t>(R.InPlaceOps + R.DestReuses +
@@ -458,6 +502,7 @@ ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
   // longer measure coalescing's absence.
   Machine.setBufferReuse(false);
   Machine.setProfiler(Prof);
+  Machine.setCancelToken(Cancel);
   return Machine.run(Entry);
 }
 
@@ -468,6 +513,7 @@ InterpResult CompiledProgram::runInterp(std::uint64_t Seed) const {
   I.setRecursionLimit(RecursionLimit);
   I.setBufferReuse(!NoFuse);
   I.setProfiler(Prof);
+  I.setCancelToken(Cancel);
   return I.run(Entry);
 }
 

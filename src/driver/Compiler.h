@@ -49,6 +49,7 @@
 #include "lint/Lint.h"
 #include "observe/Observe.h"
 #include "observe/RuntimeProfiler.h"
+#include "support/Cancellation.h"
 #include "support/Diagnostics.h"
 #include "typeinf/TypeInference.h"
 #include "vm/VM.h"
@@ -67,6 +68,13 @@ const char *compileStageName(CompileStage S);
 /// Parses a MATCOAL_FAULT value ("parse", "lower", "ssa", "typeinf",
 /// "gctd"); unknown strings map to None.
 CompileStage parseCompileStage(const std::string &Name);
+/// True when \p Name is an injectable stage name or an explicit "off"
+/// spelling ("", "none"). An env value failing this check is a loud
+/// configuration error: compileSource refuses to compile and matcoald
+/// refuses to start, each listing validCompileStageNames().
+bool isValidFaultName(const std::string &Name);
+/// "parse, lower, ssa, typeinf, gctd" -- for error messages.
+const char *validCompileStageNames();
 
 /// How far down the degradation ladder the compile had to go (see the
 /// file comment for what each rung guarantees).
@@ -106,6 +114,13 @@ struct CompileOptions {
   /// after-pass IR dumps into it. Owned by the caller; must outlive the
   /// compile.
   Observer *Obs = nullptr;
+  /// Cooperative deadline/cancel token. The driver polls it between
+  /// stages (expiry aborts the compile with a classified "deadline
+  /// exceeded" error), and every run mode forwards it to its executor,
+  /// where expiry unwinds with TrapKind::Deadline. Owned by the caller;
+  /// must outlive the compile and every run. `matcoalc --timeout-ms` and
+  /// the matcoald per-request watchdog both arm one of these.
+  const CancelToken *Cancel = nullptr;
   // Execution guards, forwarded to every run mode.
   std::uint64_t OpBudget = 2000000000ull;
   std::int64_t HeapLimit = 0;    ///< Metered heap bytes; 0 = unlimited.
@@ -172,6 +187,9 @@ public:
   /// runInterp attach it to their executor so the run produces an
   /// op-clocked storage event stream. Owned by the caller.
   RuntimeProfiler *Prof = nullptr;
+  /// Cancellation token forwarded to every run mode (see
+  /// CompileOptions::Cancel). Owned by the caller.
+  const CancelToken *Cancel = nullptr;
   /// Interfering pairs found sharing a slot at plan time (always 0 for a
   /// correct GCTD; checked before SSA inversion, where the plan's
   /// interference graph is still reconstructible).

@@ -15,6 +15,10 @@ void Interpreter::step() {
   if (++Steps > StepBudget)
     throw MatError("step budget exceeded (infinite loop?)",
                    TrapKind::OpBudget);
+  if (Cancel && (Steps & 255) == 0 && Cancel->expired())
+    throw MatError(Cancel->cancelled() ? "execution cancelled"
+                                       : "deadline exceeded",
+                   TrapKind::Deadline);
 }
 
 void Interpreter::chargeHeap(std::int64_t Delta) {

@@ -19,6 +19,7 @@
 #include "frontend/AST.h"
 #include "runtime/Kernels.h"
 #include "runtime/Value.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <map>
@@ -69,6 +70,11 @@ public:
   /// step clock. The interpreter has no storage plan, so all slots record
   /// under group -1 with their variable names. Null costs nothing.
   void setProfiler(RuntimeProfiler *P) { Prof = P; }
+  /// Attaches a cooperative cancellation token, polled every 256 steps;
+  /// expiry unwinds with `TrapKind::Deadline`. Mirrors the VM's switch so
+  /// every execution tier honors the same per-request deadline. The token
+  /// must outlive the run and may be armed from another thread.
+  void setCancelToken(const CancelToken *T) { Cancel = T; }
 
 private:
   enum class Flow { Normal, Break, Continue, Return };
@@ -105,6 +111,7 @@ private:
   bool ReuseBuffers = true;
   std::uint64_t DestructiveOps = 0;
   RuntimeProfiler *Prof = nullptr;
+  const CancelToken *Cancel = nullptr;
   std::string CurFn; ///< Name of the function being executed.
 
   struct EndContext {

@@ -34,6 +34,15 @@
 /// nullptr and the free helpers (`count`, `remarkTo`) no-op on null, so
 /// observability costs nothing when not requested.
 ///
+/// **Thread-safety contract (matcoald): per-session.** An Observer (and
+/// its StatRegistry, remark list, trace, and IR-dump sinks) is owned by
+/// exactly one compile/run session and must never be shared across
+/// concurrently executing requests -- none of its mutators take locks.
+/// The service gives every request a fresh Observer and folds finished
+/// ones into its mutex-guarded server-wide aggregate (see
+/// service/Service.h, ServerStats); `StatRegistry::merge` makes that fold
+/// a one-liner. The same rule covers RuntimeProfiler.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MATCOAL_OBSERVE_OBSERVE_H

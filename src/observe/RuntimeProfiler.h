@@ -31,6 +31,11 @@
 /// profiled compiled programs (mcrt), and `loadEventsJson` replays either
 /// back into a profiler -- that round trip is how the tiers are compared.
 ///
+/// **Thread-safety contract (matcoald): per-session.** A RuntimeProfiler
+/// records the op-clocked stream of exactly one execution; it takes no
+/// locks and must not be attached to runs on two threads at once. The
+/// service allocates one per request next to the request's Observer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MATCOAL_OBSERVE_RUNTIMEPROFILER_H

@@ -19,6 +19,14 @@
 /// draw result buffers from it through poolTake()/poolGive() without any
 /// signature changes along the call chain.
 ///
+/// **Thread-safety contract (matcoald): per-run, per-thread.** Each
+/// VM/interpreter run constructs its own pool on its own stack, and the
+/// PoolScope registration point is `thread_local`, so concurrent requests
+/// on the service's worker pool never observe each other's free lists.
+/// Pools are deliberately *not* shared across requests: a shared pool
+/// would need locks on the hottest allocation path and would let one
+/// session's retained bytes distort another's memory metering.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MATCOAL_RUNTIME_BUFFERPOOL_H

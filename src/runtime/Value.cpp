@@ -29,6 +29,8 @@ const char *matcoal::trapKindName(TrapKind K) {
     return "recursion-depth";
   case TrapKind::OutOfMemory:
     return "out-of-memory";
+  case TrapKind::Deadline:
+    return "deadline";
   }
   return "none";
 }

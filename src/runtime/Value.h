@@ -37,6 +37,7 @@ enum class TrapKind {
   HeapLimit,        ///< Heap-byte cap exceeded.
   RecursionDepth,   ///< Call depth limit exceeded.
   OutOfMemory,      ///< Allocation failure (std::bad_alloc).
+  Deadline,         ///< Cooperative deadline/cancellation expired.
 };
 
 const char *trapKindName(TrapKind K);

@@ -1,0 +1,118 @@
+//===- JobQueue.h - Bounded MPMC work queue with backpressure ---*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The work queue feeding matcoald's worker pool: a classic bounded
+/// mutex-plus-two-condvars multi-producer/multi-consumer queue in the
+/// battle-tested C jobqueue idiom (one condition for "not empty", one for
+/// "not full", a close flag that drains before it stops consumers).
+///
+/// The bound is the backpressure mechanism, not an implementation detail:
+/// `tryPush` refuses instead of blocking when the queue is at capacity,
+/// and the service turns that refusal into a retry-after reply. Producers
+/// that *want* to wait (the stdio front end, which has nowhere to send
+/// backpressure) use the blocking `push`.
+///
+/// Close semantics: `close()` wakes everyone; pops keep succeeding until
+/// the queue drains, then return false forever -- so shutdown finishes
+/// accepted work but takes no more ("finish your plate, the kitchen is
+/// closed").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SERVICE_JOBQUEUE_H
+#define MATCOAL_SERVICE_JOBQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace matcoal {
+
+template <typename T> class JobQueue {
+public:
+  explicit JobQueue(std::size_t Capacity) : Capacity(Capacity) {}
+  JobQueue(const JobQueue &) = delete;
+  JobQueue &operator=(const JobQueue &) = delete;
+
+  /// Non-blocking enqueue. Returns false -- leaving \p Job untouched for
+  /// the caller's backpressure reply -- when the queue is full or closed.
+  bool tryPush(T &&Job) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Closed || Q.size() >= Capacity)
+        return false;
+      Q.push_back(std::move(Job));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue: waits for space. Returns false only when the
+  /// queue is closed.
+  bool push(T &&Job) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      NotFull.wait(Lock, [&] { return Closed || Q.size() < Capacity; });
+      if (Closed)
+        return false;
+      Q.push_back(std::move(Job));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue. Returns false once the queue is closed *and*
+  /// drained; until then every accepted job is delivered exactly once.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(M);
+    NotEmpty.wait(Lock, [&] { return Closed || !Q.empty(); });
+    if (Q.empty())
+      return false; // Closed and drained.
+    Out = std::move(Q.front());
+    Q.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return true;
+  }
+
+  /// Stops accepting new jobs and wakes all waiters. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Q.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Closed;
+  }
+
+  std::size_t capacity() const { return Capacity; }
+
+private:
+  const std::size_t Capacity;
+  mutable std::mutex M;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::deque<T> Q;
+  bool Closed = false;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_SERVICE_JOBQUEUE_H

@@ -1,0 +1,372 @@
+//===- Json.cpp -----------------------------------------------------------===//
+
+#include "service/Json.h"
+
+#include "observe/Observe.h" // jsonEscape
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace matcoal;
+
+JsonValue JsonValue::boolean(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+JsonValue JsonValue::number(double N) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.Num = N;
+  return V;
+}
+
+JsonValue JsonValue::str(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.S = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue V;
+  V.K = Kind::Array;
+  return V;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue V;
+  V.K = Kind::Object;
+  return V;
+}
+
+bool JsonValue::asBool(bool Default) const {
+  return K == Kind::Bool ? B : Default;
+}
+
+double JsonValue::asNumber(double Default) const {
+  return K == Kind::Number ? Num : Default;
+}
+
+std::int64_t JsonValue::asInt(std::int64_t Default) const {
+  return K == Kind::Number ? static_cast<std::int64_t>(Num) : Default;
+}
+
+const std::string &JsonValue::asString() const {
+  static const std::string Empty;
+  return K == Kind::String ? S : Empty;
+}
+
+const std::vector<JsonValue> &JsonValue::items() const {
+  static const std::vector<JsonValue> None;
+  return K == Kind::Array ? Arr : None;
+}
+
+const JsonValue &JsonValue::get(const std::string &Key) const {
+  static const JsonValue Missing;
+  if (K == Kind::Object)
+    for (const auto &[Name, V] : Obj)
+      if (Name == Key)
+        return V;
+  return Missing;
+}
+
+bool JsonValue::has(const std::string &Key) const {
+  if (K != Kind::Object)
+    return false;
+  for (const auto &[Name, V] : Obj) {
+    (void)V;
+    if (Name == Key)
+      return true;
+  }
+  return false;
+}
+
+void JsonValue::set(const std::string &Key, JsonValue V) {
+  K = Kind::Object;
+  for (auto &[Name, Old] : Obj)
+    if (Name == Key) {
+      Old = std::move(V);
+      return;
+    }
+  Obj.emplace_back(Key, std::move(V));
+}
+
+void JsonValue::push(JsonValue V) {
+  K = Kind::Array;
+  Arr.push_back(std::move(V));
+}
+
+std::string JsonValue::dump() const {
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return B ? "true" : "false";
+  case Kind::Number: {
+    if (std::isfinite(Num) && Num == std::floor(Num) &&
+        std::abs(Num) < 9.0e15) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(Num));
+      return Buf;
+    }
+    if (!std::isfinite(Num))
+      return "null"; // JSON has no Inf/NaN.
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", Num);
+    return Buf;
+  }
+  case Kind::String:
+    return "\"" + jsonEscape(S) + "\"";
+  case Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I < Arr.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Arr[I].dump();
+    }
+    return Out + "]";
+  }
+  case Kind::Object: {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &[Name, V] : Obj) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "\"" + jsonEscape(Name) + "\":" + V.dump();
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+namespace {
+
+struct Parser {
+  const std::string &T;
+  size_t P = 0;
+  std::string &Err;
+
+  bool fail(const std::string &Why) {
+    if (Err.empty())
+      Err = "offset " + std::to_string(P) + ": " + Why;
+    return false;
+  }
+
+  void ws() {
+    while (P < T.size() && (T[P] == ' ' || T[P] == '\t' || T[P] == '\n' ||
+                            T[P] == '\r'))
+      ++P;
+  }
+
+  bool literal(const char *Lit) {
+    size_t L = 0;
+    while (Lit[L]) {
+      if (P + L >= T.size() || T[P + L] != Lit[L])
+        return fail(std::string("expected '") + Lit + "'");
+      ++L;
+    }
+    P += L;
+    return true;
+  }
+
+  void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool string(std::string &Out) {
+    if (P >= T.size() || T[P] != '"')
+      return fail("expected string");
+    ++P;
+    while (P < T.size()) {
+      char C = T[P];
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (C == '\\') {
+        if (++P >= T.size())
+          return fail("dangling escape");
+        char E = T[P++];
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'b': Out += '\b'; break;
+        case 'f': Out += '\f'; break;
+        case 'n': Out += '\n'; break;
+        case 'r': Out += '\r'; break;
+        case 't': Out += '\t'; break;
+        case 'u': {
+          if (P + 4 > T.size())
+            return fail("truncated \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = T[P++];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          appendUtf8(Out, Code);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        continue;
+      }
+      Out += C;
+      ++P;
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(JsonValue &Out, unsigned Depth) {
+    if (Depth > 64)
+      return fail("nesting too deep");
+    ws();
+    if (P >= T.size())
+      return fail("unexpected end of input");
+    char C = T[P];
+    if (C == 'n') {
+      if (!literal("null"))
+        return false;
+      Out = JsonValue::null();
+      return true;
+    }
+    if (C == 't') {
+      if (!literal("true"))
+        return false;
+      Out = JsonValue::boolean(true);
+      return true;
+    }
+    if (C == 'f') {
+      if (!literal("false"))
+        return false;
+      Out = JsonValue::boolean(false);
+      return true;
+    }
+    if (C == '"') {
+      std::string S;
+      if (!string(S))
+        return false;
+      Out = JsonValue::str(std::move(S));
+      return true;
+    }
+    if (C == '[') {
+      ++P;
+      Out = JsonValue::array();
+      ws();
+      if (P < T.size() && T[P] == ']') {
+        ++P;
+        return true;
+      }
+      for (;;) {
+        JsonValue Item;
+        if (!value(Item, Depth + 1))
+          return false;
+        Out.push(std::move(Item));
+        ws();
+        if (P < T.size() && T[P] == ',') {
+          ++P;
+          continue;
+        }
+        if (P < T.size() && T[P] == ']') {
+          ++P;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '{') {
+      ++P;
+      Out = JsonValue::object();
+      ws();
+      if (P < T.size() && T[P] == '}') {
+        ++P;
+        return true;
+      }
+      for (;;) {
+        ws();
+        std::string Key;
+        if (!string(Key))
+          return false;
+        ws();
+        if (P >= T.size() || T[P] != ':')
+          return fail("expected ':'");
+        ++P;
+        JsonValue V;
+        if (!value(V, Depth + 1))
+          return false;
+        Out.set(Key, std::move(V));
+        ws();
+        if (P < T.size() && T[P] == ',') {
+          ++P;
+          continue;
+        }
+        if (P < T.size() && T[P] == '}') {
+          ++P;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    // Number.
+    {
+      size_t Start = P;
+      if (P < T.size() && (T[P] == '-' || T[P] == '+'))
+        ++P;
+      while (P < T.size() &&
+             ((T[P] >= '0' && T[P] <= '9') || T[P] == '.' || T[P] == 'e' ||
+              T[P] == 'E' || T[P] == '-' || T[P] == '+'))
+        ++P;
+      if (P == Start)
+        return fail("unexpected character");
+      char *End = nullptr;
+      std::string Num = T.substr(Start, P - Start);
+      double D = std::strtod(Num.c_str(), &End);
+      if (!End || *End != '\0')
+        return fail("malformed number");
+      Out = JsonValue::number(D);
+      return true;
+    }
+  }
+};
+
+} // namespace
+
+std::optional<JsonValue> JsonValue::parse(const std::string &Text,
+                                          std::string &Error) {
+  Error.clear();
+  Parser Ps{Text, 0, Error};
+  JsonValue V;
+  if (!Ps.value(V, 0))
+    return std::nullopt;
+  Ps.ws();
+  if (Ps.P != Text.size()) {
+    Ps.fail("trailing garbage after document");
+    return std::nullopt;
+  }
+  return V;
+}

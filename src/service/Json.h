@@ -1,0 +1,91 @@
+//===- Json.h - Minimal JSON value for the service protocol -----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON reader/writer for matcoald's
+/// newline-delimited request/response envelopes. The rest of the repo only
+/// ever *emits* JSON (statsJson, profileJson) or scrapes known fields out
+/// of its own output; the service is the first component that must parse
+/// arbitrary client input -- including MATLAB sources with embedded
+/// newlines, quotes, and backslashes -- so it gets a real parser with
+/// strict escape handling rather than another field scraper.
+///
+/// Scope is deliberately the protocol's: objects, arrays, strings,
+/// doubles, bools, null; no comments, no trailing commas, UTF-8 passed
+/// through verbatim (\uXXXX escapes decode to UTF-8). Parse failures
+/// return std::nullopt with a position-carrying message, which the daemon
+/// turns into a per-line protocol-error reply instead of dying.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SERVICE_JSON_H
+#define MATCOAL_SERVICE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// One JSON value. Object member order is preserved for serialization
+/// (responses stay byte-deterministic); lookup is linear, which is fine
+/// for envelopes of a dozen keys.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool B);
+  static JsonValue number(double N);
+  static JsonValue str(std::string S);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+
+  // --- Typed accessors (defaulted when absent or mistyped, so envelope
+  // handling reads like config lookup).
+  bool asBool(bool Default = false) const;
+  double asNumber(double Default = 0) const;
+  std::int64_t asInt(std::int64_t Default = 0) const;
+  const std::string &asString() const; // "" when not a string
+  const std::vector<JsonValue> &items() const;
+
+  /// Object member by key, or null-kind sentinel when missing.
+  const JsonValue &get(const std::string &Key) const;
+  bool has(const std::string &Key) const;
+  /// Sets (or replaces) an object member, preserving insertion order.
+  void set(const std::string &Key, JsonValue V);
+  void push(JsonValue V);
+
+  /// Compact single-line serialization (newline-free, so one response is
+  /// always one NDJSON line).
+  std::string dump() const;
+
+  /// Strict parse of a complete document. On failure returns nullopt and
+  /// sets \p Error to "offset N: why".
+  static std::optional<JsonValue> parse(const std::string &Text,
+                                        std::string &Error);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string S;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_SERVICE_JSON_H

@@ -1,0 +1,385 @@
+//===- Service.cpp - Fault-isolated concurrent compile service ------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "observe/RuntimeProfiler.h"
+
+#include <exception>
+
+using namespace matcoal;
+
+const char *matcoal::responseKindName(ResponseKind K) {
+  switch (K) {
+  case ResponseKind::OK:
+    return "ok";
+  case ResponseKind::Backpressure:
+    return "backpressure";
+  case ResponseKind::Protocol:
+    return "protocol-error";
+  case ResponseKind::CompileError:
+    return "compile-error";
+  case ResponseKind::Trap:
+    return "trap";
+  case ResponseKind::Deadline:
+    return "deadline";
+  case ResponseKind::Internal:
+    return "internal-error";
+  case ResponseKind::Shutdown:
+    return "shutdown";
+  }
+  return "internal-error";
+}
+
+//===----------------------------------------------------------------------===//
+// Envelope codecs
+//===----------------------------------------------------------------------===//
+
+bool ServiceRequest::fromJson(const JsonValue &V, ServiceRequest &Out,
+                              std::string &Error) {
+  if (!V.isObject()) {
+    Error = "request must be a JSON object";
+    return false;
+  }
+  Out = ServiceRequest();
+  Out.Id = V.get("id").asString();
+  if (!V.has("source") ||
+      V.get("source").kind() != JsonValue::Kind::String) {
+    Error = "request is missing a string 'source' field";
+    return false;
+  }
+  Out.Source = V.get("source").asString();
+  if (V.has("entry"))
+    Out.Entry = V.get("entry").asString();
+  if (Out.Entry.empty())
+    Out.Entry = "main";
+  Out.Fault = V.get("fault").asString();
+  if (V.has("deadline_ms")) {
+    Out.DeadlineMs = V.get("deadline_ms").asInt(-1);
+    if (Out.DeadlineMs < 0) {
+      Error = "'deadline_ms' must be a non-negative number";
+      return false;
+    }
+  }
+  if (V.has("seed"))
+    Out.Seed = static_cast<std::uint64_t>(V.get("seed").asInt(20030609));
+  Out.NoFuse = V.get("no_fuse").asBool(false);
+  Out.NoRanges = V.get("no_ranges").asBool(false);
+  Out.Profile = V.get("profile").asBool(false);
+  return true;
+}
+
+JsonValue ServiceResponse::toJson() const {
+  JsonValue O = JsonValue::object();
+  if (!Id.empty())
+    O.set("id", JsonValue::str(Id));
+  O.set("ok", JsonValue::boolean(OK));
+  O.set("kind", JsonValue::str(responseKindName(Kind)));
+  if (Kind == ResponseKind::Backpressure) {
+    O.set("rejected", JsonValue::boolean(true));
+    O.set("retry_after_ms",
+          JsonValue::number(static_cast<double>(RetryAfterMs)));
+    return O;
+  }
+  if (!Rung.empty())
+    O.set("rung", JsonValue::str(Rung));
+  if (!Trap.empty())
+    O.set("trap", JsonValue::str(Trap));
+  if (!Error.empty())
+    O.set("error", JsonValue::str(Error));
+  if (OK)
+    O.set("output", JsonValue::str(Output));
+  O.set("ops", JsonValue::number(static_cast<double>(Ops)));
+  O.set("compile_ms", JsonValue::number(CompileSeconds * 1000.0));
+  O.set("run_ms", JsonValue::number(RunSeconds * 1000.0));
+  O.set("queue_ms", JsonValue::number(static_cast<double>(QueueMs)));
+  if (Worker >= 0)
+    O.set("worker", JsonValue::number(Worker));
+  if (!DriftReport.empty())
+    O.set("drift", JsonValue::str(DriftReport));
+  if (!Counters.empty()) {
+    JsonValue C = JsonValue::object();
+    for (const auto &[Name, Value] : Counters)
+      C.set(Name, JsonValue::number(static_cast<double>(Value)));
+    O.set("counters", std::move(C));
+  }
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+CompileService::CompileService(ServiceConfig C)
+    : Cfg(C), Queue(C.QueueCap == 0 ? 1 : C.QueueCap) {
+  if (Cfg.Workers == 0)
+    Cfg.Workers = 1;
+  Pool.reserve(Cfg.Workers);
+  for (unsigned I = 0; I < Cfg.Workers; ++I)
+    Pool.emplace_back([this, I] { workerLoop(static_cast<int>(I)); });
+}
+
+CompileService::~CompileService() { shutdown(); }
+
+std::int64_t CompileService::deadlineAbsFor(const ServiceRequest &R,
+                                            std::int64_t NowMicros) const {
+  std::int64_t Ms = R.DeadlineMs >= 0 ? R.DeadlineMs : Cfg.DefaultDeadlineMs;
+  return Ms > 0 ? NowMicros + Ms * 1000 : 0;
+}
+
+bool CompileService::submit(ServiceRequest R, Callback Done) {
+  if (Stopped.load(std::memory_order_acquire))
+    return false;
+  Job J;
+  std::int64_t Now = cancelNowMicros();
+  J.AdmittedMicros = Now;
+  J.DeadlineAbsMicros = deadlineAbsFor(R, Now);
+  J.Req = std::move(R);
+  J.Done = std::move(Done);
+  // Count the job as in flight *before* it is visible to a worker, or a
+  // fast worker could finish it while InFlight still reads 0 and a
+  // concurrent drain() would return early.
+  {
+    std::lock_guard<std::mutex> Lock(FlightMu);
+    ++InFlight;
+  }
+  if (Queue.tryPush(std::move(J)))
+    return true;
+  {
+    std::lock_guard<std::mutex> Lock(FlightMu);
+    --InFlight;
+  }
+  FlightCV.notify_all();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Agg.add("svc.requests.rejected");
+  }
+  return false;
+}
+
+ServiceResponse
+CompileService::backpressureResponse(const ServiceRequest &R) const {
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Kind = ResponseKind::Backpressure;
+  Resp.OK = false;
+  Resp.RetryAfterMs = Cfg.RetryAfterMs;
+  Resp.Error = "queue full (" + std::to_string(Queue.capacity()) +
+               " pending); retry after " + std::to_string(Cfg.RetryAfterMs) +
+               " ms";
+  return Resp;
+}
+
+ServiceResponse CompileService::processNow(const ServiceRequest &R) {
+  std::int64_t Now = cancelNowMicros();
+  return process(R, deadlineAbsFor(R, Now), /*WorkerId=*/-1, /*QueueMs=*/0);
+}
+
+void CompileService::workerLoop(int WorkerId) {
+  Job J;
+  while (Queue.pop(J)) {
+    ServiceResponse Resp;
+    std::int64_t QueueMs = (cancelNowMicros() - J.AdmittedMicros) / 1000;
+    try {
+      Resp = process(J.Req, J.DeadlineAbsMicros, WorkerId, QueueMs);
+    } catch (...) {
+      // process() has its own catch-everything; this is the belt to its
+      // suspenders (e.g. bad_alloc building the response).
+      Resp = ServiceResponse();
+      Resp.Id = J.Req.Id;
+      Resp.Kind = ResponseKind::Internal;
+      Resp.Error = "internal error while building response";
+      Resp.Worker = WorkerId;
+    }
+    finishJob(J, std::move(Resp));
+    J = Job(); // Drop the source/closure before blocking in pop again.
+  }
+}
+
+void CompileService::finishJob(const Job &J, ServiceResponse Resp) {
+  if (J.Done) {
+    try {
+      J.Done(std::move(Resp));
+    } catch (...) {
+      // A throwing client callback must not take the worker down.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> Lock(FlightMu);
+    --InFlight;
+  }
+  FlightCV.notify_all();
+}
+
+ServiceResponse CompileService::process(const ServiceRequest &R,
+                                        std::int64_t DeadlineAbsMicros,
+                                        int WorkerId,
+                                        std::int64_t QueueMs) {
+  // Everything below is per-session state: this request's observer,
+  // profiler, diagnostics, and (inside compileSource) its own
+  // SymExprContext. Nothing here is shared across workers.
+  Observer Obs;
+  ServiceResponse Resp =
+      processInner(R, DeadlineAbsMicros, WorkerId, QueueMs, Obs);
+  for (const auto &[Name, Value] : Obs.Stats.all())
+    Resp.Counters.emplace_back(Name, Value);
+  // Single exit: every outcome -- protocol error, queue expiry, compile
+  // failure, trap, success -- reaches the aggregate exactly once.
+  foldStats(Resp, Obs.Stats);
+  return Resp;
+}
+
+ServiceResponse CompileService::processInner(const ServiceRequest &R,
+                                             std::int64_t DeadlineAbsMicros,
+                                             int WorkerId,
+                                             std::int64_t QueueMs,
+                                             Observer &Obs) {
+  ServiceResponse Resp;
+  Resp.Id = R.Id;
+  Resp.Worker = WorkerId;
+  Resp.QueueMs = QueueMs;
+
+  // Per-request fault names get the same loud validation as the env var.
+  if (!isValidFaultName(R.Fault)) {
+    Resp.Kind = ResponseKind::Protocol;
+    Resp.Error = "unrecognized fault stage '" + R.Fault +
+                 "' (valid stages: " + std::string(validCompileStageNames()) +
+                 ", or 'none')";
+    return Resp;
+  }
+
+  CancelToken Tok;
+  if (DeadlineAbsMicros > 0) {
+    Tok.setDeadlineMicros(DeadlineAbsMicros);
+    // The deadline clock started at admission; a request can die of old
+    // age in the queue without burning a compile.
+    if (Tok.expired()) {
+      Resp.Kind = ResponseKind::Deadline;
+      Resp.Trap = trapKindName(TrapKind::Deadline);
+      Resp.Error = "deadline exceeded while queued";
+      return Resp;
+    }
+  }
+
+  RuntimeProfiler Prof;
+  Diagnostics Diags;
+  try {
+    CompileOptions O;
+    O.Entry = R.Entry;
+    O.InjectFault =
+        R.Fault.empty() ? CompileStage::None : parseCompileStage(R.Fault);
+    O.NoFuse = R.NoFuse;
+    O.Analysis = R.NoRanges ? AnalysisLevel::None : AnalysisLevel::Ranges;
+    O.Obs = &Obs;
+    O.Cancel = DeadlineAbsMicros > 0 ? &Tok : nullptr;
+    O.OpBudget = Cfg.OpBudget;
+    O.HeapLimit = Cfg.HeapLimit;
+    O.RecursionLimit = Cfg.RecursionLimit;
+
+    PassTimer CompileT(nullptr, "svc.compile");
+    std::unique_ptr<CompiledProgram> P = compileSource(R.Source, Diags, O);
+    CompileT.stop();
+    Resp.CompileSeconds = CompileT.seconds();
+
+    if (!P) {
+      if (DeadlineAbsMicros > 0 && Tok.expired()) {
+        Resp.Kind = ResponseKind::Deadline;
+        Resp.Trap = trapKindName(TrapKind::Deadline);
+      } else {
+        Resp.Kind = ResponseKind::CompileError;
+      }
+      Resp.Error = Diags.str();
+      return Resp;
+    }
+
+    Resp.Rung = degradeLevelName(P->level());
+    if (R.Profile)
+      P->Prof = &Prof;
+
+    PassTimer RunT(nullptr, "svc.run");
+    ExecResult X = P->runStatic(R.Seed);
+    RunT.stop();
+    Resp.RunSeconds = RunT.seconds();
+    Resp.Ops = X.Ops;
+
+    if (!X.OK) {
+      Resp.Kind = X.Trap == TrapKind::Deadline ? ResponseKind::Deadline
+                                               : ResponseKind::Trap;
+      Resp.Trap = trapKindName(X.Trap);
+      Resp.Error = X.Error;
+    } else {
+      Resp.Kind = ResponseKind::OK;
+      Resp.OK = true;
+      Resp.Output = X.Output;
+      if (R.Profile)
+        Resp.DriftReport = driftReportFor(*P, Prof, &Obs);
+    }
+  } catch (const MatError &E) {
+    // Run modes normally convert traps to !OK results; a MatError this
+    // far up means a path outside those guards. Classify, don't die.
+    Resp.Kind = E.Kind == TrapKind::Deadline ? ResponseKind::Deadline
+                                             : ResponseKind::Trap;
+    Resp.Trap = trapKindName(E.Kind);
+    Resp.Error = E.what();
+  } catch (const std::exception &E) {
+    Resp.Kind = ResponseKind::Internal;
+    Resp.Error = std::string("internal error: ") + E.what();
+  } catch (...) {
+    Resp.Kind = ResponseKind::Internal;
+    Resp.Error = "internal error: unknown exception";
+  }
+  return Resp;
+}
+
+void CompileService::foldStats(const ServiceResponse &Resp,
+                               const StatRegistry &ReqStats) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  Agg.add("svc.requests.completed");
+  Agg.add(std::string("svc.kind.") + responseKindName(Resp.Kind));
+  if (!Resp.Rung.empty())
+    Agg.add("svc.rung." + Resp.Rung);
+  if (!Resp.Trap.empty())
+    Agg.add("svc.trap." + Resp.Trap);
+  Agg.merge(ReqStats);
+}
+
+void CompileService::drain() {
+  std::unique_lock<std::mutex> Lock(FlightMu);
+  FlightCV.wait(Lock, [&] { return InFlight == 0; });
+}
+
+void CompileService::shutdown() {
+  bool Expected = false;
+  if (!Stopped.compare_exchange_strong(Expected, true))
+    return;
+  Queue.close(); // Accepted jobs still drain (close-then-drain semantics).
+  for (std::thread &T : Pool)
+    if (T.joinable())
+      T.join();
+}
+
+std::string CompileService::statsJson() const {
+  JsonValue O = JsonValue::object();
+  JsonValue Counters = JsonValue::object();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    for (const auto &[Name, Value] : Agg.all())
+      Counters.set(Name, JsonValue::number(static_cast<double>(Value)));
+  }
+  O.set("counters", std::move(Counters));
+  JsonValue C = JsonValue::object();
+  C.set("workers", JsonValue::number(Cfg.Workers));
+  C.set("queue_capacity",
+        JsonValue::number(static_cast<double>(Queue.capacity())));
+  C.set("queue_depth", JsonValue::number(static_cast<double>(Queue.size())));
+  C.set("default_deadline_ms",
+        JsonValue::number(static_cast<double>(Cfg.DefaultDeadlineMs)));
+  C.set("retry_after_ms",
+        JsonValue::number(static_cast<double>(Cfg.RetryAfterMs)));
+  O.set("config", std::move(C));
+  return O.dump();
+}

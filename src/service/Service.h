@@ -1,0 +1,224 @@
+//===- Service.h - Fault-isolated concurrent compile service ----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "millions of users" architecture move: a persistent, concurrent
+/// compile-and-run service wrapping the Compiler facade. `matcoald` is a
+/// thin protocol shell around the `CompileService` here, and the service
+/// stress tests drive this class directly.
+///
+/// Robustness contract, in order of the guarantees the storm test pins:
+///
+///  * **Fault isolation.** Every request is processed under a
+///    catch-everything boundary on a worker thread with strictly
+///    per-session state (its own Observer, RuntimeProfiler, CancelToken,
+///    SymExprContext via compileSource). A request that trips a verifier
+///    failure or injected fault rides the existing Full -> IdentityPlans
+///    -> MccOnly -> InterpOnly ladder; a runtime trap or internal error
+///    becomes a classified error response. No request outcome -- not even
+///    an unknown exception -- terminates the worker or the server.
+///  * **Deadlines.** Each request's deadline starts at *admission* (queue
+///    wait counts -- a client's deadline does not pause because the
+///    server is busy). Workers arm the request's CancelToken with the
+///    absolute deadline; the driver polls it between stages and the
+///    VM/interpreter poll it in their op loops, so expiry surfaces as
+///    `TrapKind::Deadline` with trap provenance, never as a stuck worker.
+///  * **Backpressure.** The worker pool is fed by a bounded JobQueue.
+///    `submit` refuses when the queue is full and the caller turns the
+///    refusal into a `rejected: true` + `retry_after_ms` reply -- load
+///    sheds at the door instead of growing an unbounded backlog.
+///  * **Observability.** Per-request counters, the degradation rung, trap
+///    classification, and queue/compile/run timings ride in every
+///    response envelope; finished requests fold into a mutex-guarded
+///    server-wide StatRegistry served by the `stats` op.
+///
+/// Thread-safety: `submit`, `processNow`, `statsJson`, `drain`, and
+/// `shutdown` may be called from any thread. Everything the compiler
+/// touches is per-session by construction (see the contract notes in
+/// Observe.h, RuntimeProfiler.h, BufferPool.h, SymExpr.h); the only
+/// cross-request shared state is the job queue and the aggregate
+/// StatRegistry, each behind its own mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SERVICE_SERVICE_H
+#define MATCOAL_SERVICE_SERVICE_H
+
+#include "driver/Compiler.h"
+#include "service/JobQueue.h"
+#include "service/Json.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace matcoal {
+
+/// Server-level knobs, fixed at construction.
+struct ServiceConfig {
+  unsigned Workers = 4;
+  std::size_t QueueCap = 16;
+  /// Applied when a request carries no deadline of its own; 0 = none.
+  std::int64_t DefaultDeadlineMs = 0;
+  /// Hint carried in backpressure replies.
+  std::int64_t RetryAfterMs = 50;
+  // Execution guards every request runs under (per-request values may
+  // only tighten these, never exceed them).
+  std::uint64_t OpBudget = 2000000000ull;
+  std::int64_t HeapLimit = 0;
+  unsigned RecursionLimit = 512;
+};
+
+/// One compile-and-run request, decoded from the NDJSON envelope.
+struct ServiceRequest {
+  std::string Id;
+  std::string Source;
+  std::string Entry = "main";
+  /// Per-request fault injection: a stage name ("gctd", ...), same
+  /// vocabulary as MATCOAL_FAULT. Unknown names are a protocol error
+  /// listing the valid stages, mirroring the env var's loud validation.
+  std::string Fault;
+  /// Wall-clock deadline in ms, measured from admission; -1 = use the
+  /// server default, 0 = explicitly none.
+  std::int64_t DeadlineMs = -1;
+  std::uint64_t Seed = 20030609;
+  bool NoFuse = false;
+  bool NoRanges = false;
+  /// Run under the storage profiler and attach the plan-drift verdict
+  /// counts to the response.
+  bool Profile = false;
+
+  /// Decodes the protocol envelope; returns false with \p Error set on a
+  /// malformed request (missing source, mistyped fields).
+  static bool fromJson(const JsonValue &V, ServiceRequest &Out,
+                       std::string &Error);
+};
+
+/// Classification of a response, so clients switch on a field instead of
+/// parsing messages (the response-envelope analogue of TrapKind).
+enum class ResponseKind {
+  OK,           ///< Compiled and ran; output attached.
+  Backpressure, ///< Queue full; retry after RetryAfterMs.
+  Protocol,     ///< Malformed request envelope or bad fault name.
+  CompileError, ///< Diagnostics rejected the source.
+  Trap,         ///< Execution trapped (Trap names the TrapKind).
+  Deadline,     ///< Deadline expired (in queue, compile, or run).
+  Internal,     ///< Unexpected exception; request isolated, server fine.
+  Shutdown,     ///< Service stopped before the request ran.
+};
+
+const char *responseKindName(ResponseKind K);
+
+/// One response envelope.
+struct ServiceResponse {
+  std::string Id;
+  ResponseKind Kind = ResponseKind::Internal;
+  bool OK = false;
+  std::string Rung;  ///< degradeLevelName once a compile produced a program.
+  std::string Trap;  ///< trapKindName when Kind == Trap or Deadline.
+  std::string Error; ///< Human-readable; carries "line N (op)" provenance.
+  std::string Output;
+  std::int64_t RetryAfterMs = 0; ///< Set when Kind == Backpressure.
+  std::uint64_t Ops = 0;
+  double CompileSeconds = 0;
+  double RunSeconds = 0;
+  std::int64_t QueueMs = 0;
+  int Worker = -1;
+  /// Plan-vs-actual drift report when the request asked for profiling;
+  /// empty otherwise.
+  std::string DriftReport;
+  /// Per-request compile/run counters (the request Observer's registry).
+  std::vector<std::pair<std::string, std::int64_t>> Counters;
+
+  JsonValue toJson() const;
+};
+
+/// The worker-pool service. Construction spawns the pool; destruction
+/// (or shutdown()) closes the queue, finishes accepted work, and joins.
+class CompileService {
+public:
+  using Callback = std::function<void(ServiceResponse)>;
+
+  explicit CompileService(ServiceConfig Cfg);
+  ~CompileService();
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Admits a request. Returns false when the queue is full or the
+  /// service is shutting down -- the caller then sends
+  /// `backpressureResponse(R)` (no callback will fire). On true, \p Done
+  /// fires exactly once, on a worker thread, when the request completes.
+  bool submit(ServiceRequest R, Callback Done);
+
+  /// Processes a request synchronously on the calling thread, bypassing
+  /// the queue. This is the serial oracle the stress tests compare
+  /// against and the engine behind `matcoalc --timeout-ms`-style one
+  /// shots; it applies the same isolation and deadline rules.
+  ServiceResponse processNow(const ServiceRequest &R);
+
+  /// The rejection envelope for a request `submit` refused.
+  ServiceResponse backpressureResponse(const ServiceRequest &R) const;
+
+  /// Blocks until every accepted request has completed.
+  void drain();
+
+  /// Stops admissions, finishes accepted work, joins the pool.
+  /// Idempotent.
+  void shutdown();
+
+  /// Server-wide aggregate: svc.* counters plus the merged per-request
+  /// compile/run counters, as a statsJson-style object.
+  std::string statsJson() const;
+
+  std::size_t queueDepth() const { return Queue.size(); }
+  const ServiceConfig &config() const { return Cfg; }
+
+private:
+  struct Job {
+    ServiceRequest Req;
+    Callback Done;
+    std::int64_t AdmittedMicros = 0;
+    std::int64_t DeadlineAbsMicros = 0; ///< 0 = none.
+  };
+
+  void workerLoop(int WorkerId);
+  ServiceResponse process(const ServiceRequest &R,
+                          std::int64_t DeadlineAbsMicros, int WorkerId,
+                          std::int64_t QueueMs);
+  ServiceResponse processInner(const ServiceRequest &R,
+                               std::int64_t DeadlineAbsMicros, int WorkerId,
+                               std::int64_t QueueMs, Observer &Obs);
+  void finishJob(const Job &J, ServiceResponse Resp);
+  std::int64_t deadlineAbsFor(const ServiceRequest &R,
+                              std::int64_t NowMicros) const;
+  void foldStats(const ServiceResponse &Resp, const StatRegistry &ReqStats);
+
+  ServiceConfig Cfg;
+  JobQueue<Job> Queue;
+  std::vector<std::thread> Pool;
+  std::atomic<bool> Stopped{false};
+
+  // Drain accounting: accepted-but-unfinished jobs.
+  mutable std::mutex FlightMu;
+  std::condition_variable FlightCV;
+  std::size_t InFlight = 0;
+
+  // Server-wide aggregate. StatRegistry itself is per-session (see
+  // Observe.h); this instance is the documented exception, and StatsMu
+  // is the lock that makes it one.
+  mutable std::mutex StatsMu;
+  StatRegistry Agg;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_SERVICE_SERVICE_H

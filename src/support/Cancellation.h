@@ -1,0 +1,97 @@
+//===- Cancellation.h - Cooperative deadline/cancel token -------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cooperative cancellation token shared by everything that can run for
+/// a long time: the compile pipeline (between stages), the VM and the AST
+/// interpreter (inside their instruction/step loops), and the matcoald
+/// service's per-request watchdog. The token is *observed*, never
+/// enforced: holders poll `expired()` at safe points and unwind with
+/// `TrapKind::Deadline` (executors) or a classified diagnostic (the
+/// driver), so a deadline can never corrupt shared state the way a
+/// hard-killed thread would.
+///
+/// Thread-safety contract: one thread arms the token (`cancel()` /
+/// `setDeadlineIn()`), any number of threads poll it. Both sides are
+/// lock-free atomics, so polling from a hot interpreter loop costs a
+/// relaxed load. The token carries no callback and owns no resources;
+/// whoever allocates it must keep it alive until every observer has
+/// finished (in the service, the request owns it for its whole lifetime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SUPPORT_CANCELLATION_H
+#define MATCOAL_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace matcoal {
+
+/// Microseconds on the steady clock (the same clock every timer in the
+/// system uses); local so support/ does not depend on observe/.
+inline std::int64_t cancelNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One request's cancellation state: an explicit cancel flag plus an
+/// optional absolute deadline on the steady clock.
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Arms the explicit cancel flag (e.g. service shutdown).
+  void cancel() { Cancelled.store(true, std::memory_order_relaxed); }
+
+  /// Arms a deadline \p Millis from now. Zero disarms the deadline (the
+  /// explicit flag still applies).
+  void setDeadlineIn(std::int64_t Millis) {
+    DeadlineMicros.store(Millis > 0 ? cancelNowMicros() + Millis * 1000 : 0,
+                         std::memory_order_relaxed);
+  }
+
+  /// Arms an absolute steady-clock deadline in microseconds.
+  void setDeadlineMicros(std::int64_t AbsMicros) {
+    DeadlineMicros.store(AbsMicros, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return Cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// True once cancelled or past the deadline. Safe (and cheap) to call
+  /// from any thread at any rate.
+  bool expired() const {
+    if (cancelled())
+      return true;
+    std::int64_t D = DeadlineMicros.load(std::memory_order_relaxed);
+    return D != 0 && cancelNowMicros() >= D;
+  }
+
+  /// Milliseconds until the deadline (clamped at zero); -1 when no
+  /// deadline is armed.
+  std::int64_t remainingMillis() const {
+    std::int64_t D = DeadlineMicros.load(std::memory_order_relaxed);
+    if (D == 0)
+      return -1;
+    std::int64_t Left = (D - cancelNowMicros()) / 1000;
+    return Left > 0 ? Left : 0;
+  }
+
+private:
+  std::atomic<bool> Cancelled{false};
+  std::atomic<std::int64_t> DeadlineMicros{0}; ///< 0 = no deadline.
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_SUPPORT_CANCELLATION_H

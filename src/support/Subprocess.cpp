@@ -1,0 +1,163 @@
+//===- Subprocess.cpp -----------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace matcoal;
+
+namespace {
+
+std::string argvLine(const std::vector<std::string> &Argv) {
+  std::string S;
+  for (const std::string &A : Argv) {
+    if (!S.empty())
+      S += ' ';
+    S += A;
+  }
+  return S;
+}
+
+} // namespace
+
+SubprocessResult matcoal::runSubprocess(
+    const std::vector<std::string> &Argv, int TimeoutMs,
+    const std::vector<std::pair<std::string, std::string>> &ExtraEnv) {
+  SubprocessResult R;
+  if (Argv.empty()) {
+    R.Diag = "empty argv";
+    return R;
+  }
+
+  int Pipe[2];
+  if (pipe(Pipe) != 0) {
+    R.Diag = std::string("pipe failed: ") + std::strerror(errno);
+    return R;
+  }
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Pipe[0]);
+    close(Pipe[1]);
+    R.Diag = std::string("fork failed: ") + std::strerror(errno);
+    return R;
+  }
+
+  if (Pid == 0) {
+    // Child: stdout -> pipe, stderr -> /dev/null (keeps test logs clean;
+    // failures are diagnosed from the exit status), stdin -> /dev/null.
+    close(Pipe[0]);
+    dup2(Pipe[1], STDOUT_FILENO);
+    close(Pipe[1]);
+    int DevNull = open("/dev/null", O_RDWR);
+    if (DevNull >= 0) {
+      dup2(DevNull, STDERR_FILENO);
+      dup2(DevNull, STDIN_FILENO);
+      close(DevNull);
+    }
+    for (const auto &[K, V] : ExtraEnv)
+      setenv(K.c_str(), V.c_str(), 1);
+    std::vector<char *> CArgv;
+    CArgv.reserve(Argv.size() + 1);
+    for (const std::string &A : Argv)
+      CArgv.push_back(const_cast<char *>(A.c_str()));
+    CArgv.push_back(nullptr);
+    execvp(CArgv[0], CArgv.data());
+    _exit(127); // exec failed: conventional "command not found".
+  }
+
+  // Parent: drain the pipe under the deadline, then reap.
+  close(Pipe[1]);
+  const int SliceMs = 50;
+  int WaitedMs = 0;
+  bool TimedOut = false;
+  char Buf[4096];
+  for (;;) {
+    struct pollfd PFD = {Pipe[0], POLLIN, 0};
+    int N = poll(&PFD, 1, SliceMs);
+    if (N > 0) {
+      ssize_t Got = read(Pipe[0], Buf, sizeof(Buf));
+      if (Got > 0) {
+        R.Output.append(Buf, static_cast<size_t>(Got));
+        continue;
+      }
+      break; // EOF (child exited or closed stdout).
+    }
+    if (N < 0 && errno != EINTR)
+      break;
+    WaitedMs += SliceMs;
+    if (TimeoutMs > 0 && WaitedMs >= TimeoutMs) {
+      TimedOut = true;
+      kill(Pid, SIGKILL);
+      break;
+    }
+  }
+  close(Pipe[0]);
+
+  int Status = 0;
+  while (waitpid(Pid, &Status, 0) < 0 && errno == EINTR) {
+  }
+
+  if (TimedOut) {
+    R.St = SubprocessResult::Status::Timeout;
+    R.Diag = "'" + argvLine(Argv) + "' exceeded " +
+             std::to_string(TimeoutMs) + "ms and was killed";
+    return R;
+  }
+  R.St = SubprocessResult::Status::OK;
+  if (WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  else if (WIFSIGNALED(Status)) {
+    R.ExitCode = 128 + WTERMSIG(Status);
+    R.Diag = "'" + argvLine(Argv) + "' killed by signal " +
+             std::to_string(WTERMSIG(Status));
+    return R;
+  }
+  if (R.ExitCode != 0)
+    R.Diag = "'" + argvLine(Argv) + "' exited " + std::to_string(R.ExitCode) +
+             (R.ExitCode == 127 ? " (command not found?)" : "");
+  return R;
+}
+
+bool matcoal::ccAvailable() {
+  static int Have = -1;
+  if (Have < 0)
+    Have = runSubprocess({"cc", "--version"}, 10000).ok() ? 1 : 0;
+  return Have == 1;
+}
+
+SubprocessResult matcoal::ccCompile(const std::string &CPath,
+                                    const std::string &McrtDir,
+                                    const std::string &ExePath,
+                                    const char *OptFlag, int TimeoutMs) {
+  if (!ccAvailable()) {
+    SubprocessResult R;
+    R.St = SubprocessResult::Status::SpawnError;
+    R.Diag = "no system C compiler (cc) on PATH";
+    return R;
+  }
+  SubprocessResult R = runSubprocess({"cc", "-std=c99", OptFlag,
+                                      "-I", McrtDir, CPath,
+                                      McrtDir + "/mcrt.c", "-o", ExePath,
+                                      "-lm"},
+                                     TimeoutMs);
+  if (R.St == SubprocessResult::Status::Timeout)
+    R.Diag = "cc hung compiling " + CPath + ": " + R.Diag;
+  else if (!R.ok())
+    R.Diag = "cc failed on " + CPath + ": " + R.Diag;
+  return R;
+}
+
+SubprocessResult matcoal::runExecutable(
+    const std::string &ExePath, int TimeoutMs,
+    const std::vector<std::pair<std::string, std::string>> &ExtraEnv) {
+  return runSubprocess({ExePath}, TimeoutMs, ExtraEnv);
+}

@@ -1,0 +1,83 @@
+//===- Subprocess.h - Timeout-enforcing child processes ---------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one place that spawns external processes. Everything that used to
+/// call `std::system` / `popen` (the emitted-C differential tests, the
+/// native benchmark, the profile-agreement round trip) goes through
+/// `runSubprocess`, which captures stdout, enforces a wall-clock timeout
+/// (a hung `cc` or generated binary gets SIGKILLed, never hangs the
+/// suite), and classifies the outcome so callers can tell "no compiler
+/// installed" (skip) from "the compiler failed or hung" (fail) without
+/// parsing shell exit codes.
+///
+/// The `cc*` helpers layer the repo's one blessed external-compiler
+/// recipe (`cc -std=c99 -I <mcrt> prog.c mcrt.c -lm`) on top, so the
+/// flags cannot drift between the fusion tests, the codegen tests, and
+/// the benches again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_SUPPORT_SUBPROCESS_H
+#define MATCOAL_SUPPORT_SUBPROCESS_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace matcoal {
+
+/// Outcome of one child process.
+struct SubprocessResult {
+  enum class Status {
+    OK,         ///< Process ran to completion (check ExitCode).
+    Timeout,    ///< Killed after exceeding the wall-clock budget.
+    SpawnError, ///< fork/pipe/exec plumbing failed.
+  };
+
+  Status St = Status::SpawnError;
+  int ExitCode = -1;  ///< Valid when St == OK; 127 usually = not found.
+  std::string Output; ///< Captured stdout (stderr goes to /dev/null).
+  std::string Diag;   ///< Human-readable description when not ok().
+
+  /// Ran to completion and exited zero.
+  bool ok() const { return St == Status::OK && ExitCode == 0; }
+};
+
+/// Runs \p Argv (argv[0] resolved via PATH) with \p ExtraEnv added to the
+/// environment, capturing stdout. The child is SIGKILLed once
+/// \p TimeoutMs elapses. Never throws; every failure is classified in
+/// the result.
+SubprocessResult
+runSubprocess(const std::vector<std::string> &Argv, int TimeoutMs = 60000,
+              const std::vector<std::pair<std::string, std::string>>
+                  &ExtraEnv = {});
+
+/// True when the system C compiler answers `cc --version` promptly.
+/// Cached after the first probe. Callers in tests use this to *skip*
+/// (not fail) when no toolchain is installed.
+bool ccAvailable();
+
+/// Compiles \p CPath against the mcrt runtime into \p ExePath:
+/// `cc -std=c99 <OptFlag> -I <McrtDir> <CPath> <McrtDir>/mcrt.c -o
+/// <ExePath> -lm`, under a timeout. A non-ok() result carries a Diag
+/// that distinguishes a missing compiler from a failing or hanging one.
+SubprocessResult ccCompile(const std::string &CPath,
+                           const std::string &McrtDir,
+                           const std::string &ExePath,
+                           const char *OptFlag = "-O1",
+                           int TimeoutMs = 120000);
+
+/// Runs a compiled program under a timeout, capturing stdout.
+SubprocessResult
+runExecutable(const std::string &ExePath, int TimeoutMs = 60000,
+              const std::vector<std::pair<std::string, std::string>>
+                  &ExtraEnv = {});
+
+} // namespace matcoal
+
+#endif // MATCOAL_SUPPORT_SUBPROCESS_H

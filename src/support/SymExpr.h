@@ -16,6 +16,15 @@
 /// pointer (id) equality, which is exactly what GCTD's storage-size partial
 /// order consumes.
 ///
+/// **Thread-safety contract (matcoald): per-session.** There is no global
+/// interner: every compile owns the SymExprContext it allocates
+/// (CompiledProgram::Ctx), and interned ids are only comparable within
+/// that context. Concurrent requests therefore intern independently and
+/// never contend; sharing one context across threads is unsupported (the
+/// intern table is an unlocked hash map). This is also why cross-request
+/// plan caching (ROADMAP item 1) must key on *printed* canonical forms,
+/// not node ids.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MATCOAL_SUPPORT_SYMEXPR_H

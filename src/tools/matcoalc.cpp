@@ -41,6 +41,7 @@
 #include "observe/RuntimeProfiler.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -71,6 +72,11 @@ void usage(const char *Argv0) {
                "  --no-fuse     disable loop fusion in the C emitter and\n"
                "                the destructive-execution layer (buffer\n"
                "                stealing, free-list pool) in run modes\n"
+               "  --timeout-ms=<N>\n"
+               "                wall-clock deadline over compile + run;\n"
+               "                expiry aborts the compile with a classified\n"
+               "                error or unwinds the run as a 'deadline'\n"
+               "                trap with line provenance (exit 1)\n"
                "  --help        this text, plus the lint check registry\n"
                "\n"
                "observability:\n"
@@ -129,6 +135,7 @@ int main(int Argc, char **Argv) {
   bool DoRemarks = false;
   bool DoTimeline = false, DoDrift = false, EmitProfiling = false;
   bool ProfileSet = false;
+  std::int64_t TimeoutMs = 0;
   std::string RemarkPass, StatsPath, TracePath, ProfilePath, BenchName;
   Observer Obs;
   CompileOptions Opts;
@@ -144,6 +151,14 @@ int main(int Argc, char **Argv) {
       Opts.Analysis = AnalysisLevel::None;
     } else if (!std::strcmp(Argv[I], "--no-fuse")) {
       Opts.NoFuse = true;
+    } else if (!std::strncmp(Argv[I], "--timeout-ms=", 13)) {
+      char *End = nullptr;
+      TimeoutMs = std::strtoll(Argv[I] + 13, &End, 10);
+      if (!End || *End != '\0' || TimeoutMs <= 0) {
+        std::fprintf(stderr,
+                     "error: --timeout-ms needs a positive integer\n");
+        return 2;
+      }
     } else if (!std::strcmp(Argv[I], "--remarks")) {
       DoRemarks = true;
     } else if (!std::strncmp(Argv[I], "--remarks=", 10)) {
@@ -252,6 +267,14 @@ int main(int Argc, char **Argv) {
     Opts.Obs = &Obs;
   RuntimeProfiler Prof;
   Diagnostics Diags;
+  // The deadline clock starts here and covers compile *and* run: the
+  // driver polls the token between stages, the VM/interpreter poll it in
+  // their op loops (TrapKind::Deadline with "line N (op)" provenance).
+  CancelToken Deadline;
+  if (TimeoutMs > 0) {
+    Deadline.setDeadlineIn(TimeoutMs);
+    Opts.Cancel = &Deadline;
+  }
   auto Program = compileSource(Source, Diags, Opts);
 
   // IR dumps precede any mode output, mirroring compiler -print-after

@@ -1,0 +1,337 @@
+//===- matcoald.cpp - The matcoal compile-and-run daemon ------------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// A long-running, fault-isolated compile service speaking newline-
+// delimited JSON (one request per line, one response per line):
+//
+//   $ matcoald --workers=8 --queue=32                 # stdin/stdout
+//   $ matcoald --socket=/tmp/matcoal.sock             # unix socket
+//
+//   request:  {"id":"r1","source":"disp(1+1)","deadline_ms":500}
+//   response: {"id":"r1","ok":true,"kind":"ok","rung":"full",
+//              "output":"2\n",...}
+//
+// Request fields: id (echoed), source (required), entry, fault (inject a
+// stage fault: parse|lower|ssa|typeinf|gctd), deadline_ms, seed, no_fuse,
+// no_ranges, profile; op: "compile" (default), "stats", or "shutdown".
+//
+// The contract matcoald adds over matcoalc is *survival*: a request that
+// fails to parse, trips a verifier fault, traps at runtime, or outruns
+// its deadline gets a classified per-request reply -- degraded down the
+// Full -> IdentityPlans -> MccOnly -> InterpOnly ladder where possible --
+// and the server keeps serving. When the bounded queue is full the reply
+// is {"rejected":true,"retry_after_ms":N} (backpressure, not buffering).
+//
+// Exit codes: 0 clean shutdown; 1 I/O failure; 2 usage or configuration
+// error (including an unrecognized MATCOAL_FAULT value, which is a loud
+// startup error, never a silently ignored one).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "service/Service.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace matcoal;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "Serves newline-delimited JSON compile-and-run requests. By default\n"
+      "requests are read from stdin and responses written to stdout (one\n"
+      "line each); with --socket the daemon listens on a unix socket and\n"
+      "serves one connection at a time with the same framing.\n"
+      "\n"
+      "options:\n"
+      "  --workers=<N>      worker threads (default 4)\n"
+      "  --queue=<N>        bounded queue capacity; a full queue answers\n"
+      "                     {\"rejected\":true,\"retry_after_ms\":...}\n"
+      "                     (default 16)\n"
+      "  --deadline-ms=<N>  default per-request deadline when the request\n"
+      "                     carries none; 0 = none (default 0)\n"
+      "  --retry-after-ms=<N>  hint carried in backpressure replies\n"
+      "                     (default 50)\n"
+      "  --socket=<path>    listen on a unix socket instead of stdin\n"
+      "  --help             this text\n"
+      "\n"
+      "request ops: \"compile\" (default) runs the source; \"stats\"\n"
+      "returns the server-wide counter aggregate; \"shutdown\" drains and\n"
+      "stops the daemon.\n",
+      Argv0);
+}
+
+/// Responses from worker threads and protocol replies from the reader
+/// interleave on one stream; the lock keeps each NDJSON line whole.
+class LineWriter {
+public:
+  explicit LineWriter(FILE *Out) : Out(Out) {}
+
+  bool writeLine(const std::string &Line) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Out)
+      return false;
+    if (std::fputs(Line.c_str(), Out) == EOF || std::fputc('\n', Out) == EOF)
+      return false;
+    std::fflush(Out);
+    return true;
+  }
+
+private:
+  std::mutex Mu;
+  FILE *Out;
+};
+
+ServiceResponse protocolError(const std::string &Id, const std::string &Why) {
+  ServiceResponse R;
+  R.Id = Id;
+  R.Kind = ResponseKind::Protocol;
+  R.Error = Why;
+  return R;
+}
+
+/// Serves one NDJSON stream: parse each line, dispatch, reply. Returns
+/// false when the client asked for shutdown (stop accepting streams).
+bool serveStream(CompileService &Svc, std::istream &In, LineWriter &Out) {
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::string ParseErr;
+    std::optional<JsonValue> Doc = JsonValue::parse(Line, ParseErr);
+    if (!Doc) {
+      Out.writeLine(
+          protocolError("", "bad request JSON: " + ParseErr).toJson().dump());
+      continue;
+    }
+
+    const std::string &Op = Doc->get("op").asString();
+    if (Op == "stats") {
+      JsonValue R = JsonValue::object();
+      const std::string &Id = Doc->get("id").asString();
+      if (!Id.empty())
+        R.set("id", JsonValue::str(Id));
+      R.set("ok", JsonValue::boolean(true));
+      R.set("kind", JsonValue::str("stats"));
+      std::string StatsErr;
+      std::optional<JsonValue> Stats =
+          JsonValue::parse(Svc.statsJson(), StatsErr);
+      R.set("stats", Stats ? std::move(*Stats) : JsonValue::null());
+      Out.writeLine(R.dump());
+      continue;
+    }
+    if (Op == "shutdown") {
+      // Drain accepted work first so every admitted request still gets
+      // its reply before the acknowledgment.
+      Svc.drain();
+      JsonValue R = JsonValue::object();
+      const std::string &Id = Doc->get("id").asString();
+      if (!Id.empty())
+        R.set("id", JsonValue::str(Id));
+      R.set("ok", JsonValue::boolean(true));
+      R.set("kind", JsonValue::str("shutdown"));
+      Out.writeLine(R.dump());
+      return false;
+    }
+    if (!Op.empty() && Op != "compile") {
+      Out.writeLine(protocolError(Doc->get("id").asString(),
+                                  "unknown op '" + Op +
+                                      "' (have: compile, stats, shutdown)")
+                        .toJson()
+                        .dump());
+      continue;
+    }
+
+    ServiceRequest Req;
+    std::string ReqErr;
+    if (!ServiceRequest::fromJson(*Doc, Req, ReqErr)) {
+      Out.writeLine(
+          protocolError(Doc->get("id").asString(), ReqErr).toJson().dump());
+      continue;
+    }
+    bool Accepted = Svc.submit(Req, [&Out](ServiceResponse Resp) {
+      Out.writeLine(Resp.toJson().dump());
+    });
+    if (!Accepted)
+      Out.writeLine(Svc.backpressureResponse(Req).toJson().dump());
+  }
+  return true;
+}
+
+int serveSocket(CompileService &Svc, const std::string &Path) {
+  int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::perror("matcoald: socket");
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "matcoald: socket path too long: %s\n",
+                 Path.c_str());
+    ::close(Listen);
+    return 2;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  ::unlink(Path.c_str());
+  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Listen, 8) < 0) {
+    std::perror("matcoald: bind/listen");
+    ::close(Listen);
+    return 1;
+  }
+  std::fprintf(stderr, "matcoald: listening on %s\n", Path.c_str());
+
+  bool KeepServing = true;
+  while (KeepServing) {
+    int Conn = ::accept(Listen, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      std::perror("matcoald: accept");
+      break;
+    }
+    // One connection at a time: concurrency lives in the worker pool,
+    // not in the accept loop, and responses stream back as they finish.
+    FILE *OutF = ::fdopen(::dup(Conn), "w");
+    FILE *InF = ::fdopen(Conn, "r");
+    if (!InF || !OutF) {
+      if (InF)
+        std::fclose(InF);
+      else
+        ::close(Conn);
+      if (OutF)
+        std::fclose(OutF);
+      continue;
+    }
+    LineWriter Writer(OutF);
+    // getline over a FILE via a small shim: read chars until '\n'.
+    std::string Line;
+    int C;
+    bool SawShutdown = false;
+    while (!SawShutdown && (C = std::fgetc(InF)) != EOF) {
+      if (C != '\n') {
+        Line += static_cast<char>(C);
+        continue;
+      }
+      std::istringstream OneLine(Line);
+      Line.clear();
+      if (!serveStream(Svc, OneLine, Writer))
+        SawShutdown = true;
+    }
+    // Flush any unterminated trailing line as a request too.
+    if (!SawShutdown && !Line.empty()) {
+      std::istringstream OneLine(Line);
+      if (!serveStream(Svc, OneLine, Writer))
+        SawShutdown = true;
+    }
+    Svc.drain(); // Every admitted request replies before the stream dies.
+    std::fclose(OutF);
+    std::fclose(InF);
+    if (SawShutdown)
+      KeepServing = false;
+  }
+  ::close(Listen);
+  ::unlink(Path.c_str());
+  return 0;
+}
+
+bool parseCount(const char *Arg, const char *Prefix, std::int64_t &Out) {
+  size_t L = std::strlen(Prefix);
+  if (std::strncmp(Arg, Prefix, L) != 0)
+    return false;
+  char *End = nullptr;
+  Out = std::strtoll(Arg + L, &End, 10);
+  if (!End || *End != '\0' || Out < 0) {
+    std::fprintf(stderr, "matcoald: %s needs a non-negative integer\n",
+                 Prefix);
+    std::exit(2);
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServiceConfig Cfg;
+  std::string SocketPath;
+  for (int I = 1; I < Argc; ++I) {
+    std::int64_t N = 0;
+    if (parseCount(Argv[I], "--workers=", N)) {
+      Cfg.Workers = static_cast<unsigned>(N);
+    } else if (parseCount(Argv[I], "--queue=", N)) {
+      Cfg.QueueCap = static_cast<std::size_t>(N);
+    } else if (parseCount(Argv[I], "--deadline-ms=", N)) {
+      Cfg.DefaultDeadlineMs = N;
+    } else if (parseCount(Argv[I], "--retry-after-ms=", N)) {
+      Cfg.RetryAfterMs = N;
+    } else if (!std::strncmp(Argv[I], "--socket=", 9)) {
+      SocketPath = Argv[I] + 9;
+    } else if (!std::strcmp(Argv[I], "--help") ||
+               !std::strcmp(Argv[I], "-h")) {
+      usage(Argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "matcoald: unknown option %s\n", Argv[I]);
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+  if (Cfg.Workers == 0 || Cfg.QueueCap == 0) {
+    std::fprintf(stderr,
+                 "matcoald: --workers and --queue must be at least 1\n");
+    return 2;
+  }
+
+  // A server-wide MATCOAL_FAULT would silently poison every request;
+  // validate it here so a typo is a startup error, not a mystery. (The
+  // driver repeats this check per compile; failing fast is friendlier.)
+  if (const char *Env = std::getenv("MATCOAL_FAULT")) {
+    if (!isValidFaultName(Env)) {
+      std::fprintf(stderr,
+                   "matcoald: unrecognized MATCOAL_FAULT stage '%s' (valid "
+                   "stages: %s, or 'none')\n",
+                   Env, validCompileStageNames());
+      return 2;
+    }
+    if (*Env && std::strcmp(Env, "none") != 0)
+      std::fprintf(stderr,
+                   "matcoald: MATCOAL_FAULT=%s applies to every request\n",
+                   Env);
+  }
+
+  // A client that vanishes mid-reply must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  CompileService Svc(Cfg);
+  if (!SocketPath.empty()) {
+    int RC = serveSocket(Svc, SocketPath);
+    Svc.shutdown();
+    return RC;
+  }
+  LineWriter Writer(stdout);
+  serveStream(Svc, std::cin, Writer);
+  // EOF on stdin is an implicit shutdown: drain, then stop.
+  Svc.drain();
+  Svc.shutdown();
+  return 0;
+}

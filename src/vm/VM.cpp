@@ -345,6 +345,10 @@ std::vector<Array> VM::runFunction(const Function &F,
     if (++OpCount > OpBudget)
       throw MatError("operation budget exceeded (infinite loop?)",
                      TrapKind::OpBudget);
+    if (Cancel && (OpCount & CancelCheckMask) == 0 && Cancel->expired())
+      throw MatError(Cancel->cancelled() ? "execution cancelled"
+                                         : "deadline exceeded",
+                     TrapKind::Deadline);
     if (HeapLimit &&
         Meter.currentHeapBytes() + Meter.currentPoolBytes() > HeapLimit)
       throw MatError("heap limit exceeded", TrapKind::HeapLimit);

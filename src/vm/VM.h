@@ -32,6 +32,7 @@
 #include "runtime/Kernels.h"
 #include "runtime/Memory.h"
 #include "runtime/Value.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <map>
@@ -107,6 +108,12 @@ public:
   /// in-place hit, steal, pool reuse, free, and trap is recorded against
   /// the op-clock. Null (default) costs nothing.
   void setProfiler(RuntimeProfiler *P) { Prof = P; }
+  /// Attaches a cooperative cancellation token. The instruction loop polls
+  /// it every `CancelCheckMask + 1` ops and unwinds with
+  /// `TrapKind::Deadline` (with the usual "line N (op)" provenance) once
+  /// it expires. Null (default) costs nothing; the token must outlive the
+  /// run and may be armed from another thread (service watchdog).
+  void setCancelToken(const CancelToken *T) { Cancel = T; }
 
 private:
   struct FunctionInfo {
@@ -181,6 +188,11 @@ private:
   std::uint64_t BufferSteals = 0;
   bool ReuseBuffers = true;
   RuntimeProfiler *Prof = nullptr;
+  const CancelToken *Cancel = nullptr;
+  /// Poll granularity for the cancel token: a relaxed atomic load every
+  /// 256 ops keeps the overhead unmeasurable while bounding how long a
+  /// deadline can overshoot.
+  static constexpr std::uint64_t CancelCheckMask = 255;
   /// Location/opcode of the instruction being executed, for trap
   /// provenance ("line N (op): message").
   SourceLoc CurLoc;

@@ -10,11 +10,11 @@
 
 #include "codegen/CEmitter.h"
 #include "driver/Compiler.h"
+#include "support/Subprocess.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -26,24 +26,6 @@ using namespace matcoal;
 
 namespace {
 
-bool haveCC() {
-  return std::system("cc --version > /dev/null 2>&1") == 0;
-}
-
-/// Runs a command, captures stdout; returns exit status.
-int runCapture(const std::string &Cmd, std::string &Out) {
-  std::string Full = Cmd + " 2>/dev/null";
-  FILE *P = popen(Full.c_str(), "r");
-  if (!P)
-    return -1;
-  char Buf[4096];
-  size_t N;
-  Out.clear();
-  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
-    Out.append(Buf, N);
-  return pclose(P);
-}
-
 struct CProg {
   const char *Name;
   const char *Source;
@@ -52,7 +34,7 @@ struct CProg {
 class CompileRunTest : public ::testing::TestWithParam<CProg> {};
 
 TEST_P(CompileRunTest, EmittedCMatchesVM) {
-  if (!haveCC())
+  if (!ccAvailable())
     GTEST_SKIP() << "no system C compiler";
 
   Diagnostics Diags;
@@ -74,17 +56,13 @@ TEST_P(CompileRunTest, EmittedCMatchesVM) {
     ASSERT_TRUE(Out.good());
     Out << C;
   }
-  std::string Compile = std::string("cc -std=c99 -O1 -I '") + MCRT_DIR +
-                        "' '" + CPath + "' '" + MCRT_DIR +
-                        "/mcrt.c' -o '" + Exe + "' -lm";
-  std::string CompileOut;
-  int Status = runCapture(Compile, CompileOut);
-  ASSERT_EQ(Status, 0) << "compile failed:\n" << C;
+  SubprocessResult CC = ccCompile(CPath, MCRT_DIR, Exe);
+  ASSERT_TRUE(CC.ok()) << CC.Diag << "\n" << C;
 
-  std::string RunOut;
-  Status = runCapture("'" + Exe + "'", RunOut);
-  EXPECT_EQ(Status, 0) << RunOut;
-  EXPECT_EQ(RunOut, VM.Output) << "generated C diverged from the VM\n" << C;
+  SubprocessResult Run = runExecutable(Exe);
+  EXPECT_TRUE(Run.ok()) << Run.Diag << "\n" << Run.Output;
+  EXPECT_EQ(Run.Output, VM.Output)
+      << "generated C diverged from the VM\n" << C;
 
   std::remove(CPath.c_str());
   std::remove(Exe.c_str());

@@ -14,6 +14,7 @@
 
 #include "codegen/CEmitter.h"
 #include "driver/Compiler.h"
+#include "support/Subprocess.h"
 #include "observe/RuntimeProfiler.h"
 
 #include <gtest/gtest.h>
@@ -32,23 +33,6 @@ using namespace matcoal;
 #endif
 
 namespace {
-
-bool haveCC() {
-  return std::system("cc --version > /dev/null 2>&1") == 0;
-}
-
-int runCapture(const std::string &Cmd, std::string &Out) {
-  std::string Full = Cmd + " 2>/dev/null";
-  FILE *P = popen(Full.c_str(), "r");
-  if (!P)
-    return -1;
-  char Buf[4096];
-  size_t N;
-  Out.clear();
-  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
-    Out.append(Buf, N);
-  return pclose(P);
-}
 
 std::string readFile(const std::string &Path) {
   std::ifstream In(Path);
@@ -75,7 +59,7 @@ struct CProg {
 class ProfileAgreementTest : public ::testing::TestWithParam<CProg> {};
 
 TEST_P(ProfileAgreementTest, PerGroupHighWaterBytesAgree) {
-  if (!haveCC())
+  if (!ccAvailable())
     GTEST_SKIP() << "no system C compiler";
 
   Diagnostics Diags;
@@ -107,16 +91,13 @@ TEST_P(ProfileAgreementTest, PerGroupHighWaterBytesAgree) {
     ASSERT_TRUE(Out.good());
     Out << C;
   }
-  std::string Compile = std::string("cc -std=c99 -O1 -I '") + MCRT_DIR +
-                        "' '" + CPath + "' '" + MCRT_DIR +
-                        "/mcrt.c' -o '" + Exe + "' -lm";
-  std::string CompileOut;
-  ASSERT_EQ(runCapture(Compile, CompileOut), 0) << "compile failed:\n" << C;
+  SubprocessResult CC = ccCompile(CPath, MCRT_DIR, Exe);
+  ASSERT_TRUE(CC.ok()) << CC.Diag << "\n" << C;
 
-  std::string RunOut;
-  std::string Run = "MCRT_PROF_OUT='" + Json + "' '" + Exe + "'";
-  ASSERT_EQ(runCapture(Run, RunOut), 0) << RunOut;
-  EXPECT_EQ(RunOut, VM.Output);
+  SubprocessResult Run =
+      runExecutable(Exe, 60000, {{"MCRT_PROF_OUT", Json}});
+  ASSERT_TRUE(Run.ok()) << Run.Diag << "\n" << Run.Output;
+  EXPECT_EQ(Run.Output, VM.Output);
 
   std::string Stream = readFile(Json);
   ASSERT_NE(Stream.find("\"source\": \"mcrt\""), std::string::npos) << Stream;
@@ -137,9 +118,7 @@ TEST_P(ProfileAgreementTest, PerGroupHighWaterBytesAgree) {
 
   // Determinism: a second compiled run writes a byte-identical stream.
   std::string Json2 = Base + "_2.json";
-  ASSERT_EQ(runCapture("MCRT_PROF_OUT='" + Json2 + "' '" + Exe + "'",
-                       RunOut),
-            0);
+  ASSERT_TRUE(runExecutable(Exe, 60000, {{"MCRT_PROF_OUT", Json2}}).ok());
   EXPECT_EQ(Stream, readFile(Json2));
 
   std::remove(CPath.c_str());

@@ -11,11 +11,11 @@
 #include "bench/programs/Programs.h"
 #include "codegen/CEmitter.h"
 #include "driver/Compiler.h"
+#include "support/Subprocess.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -26,26 +26,6 @@ using namespace matcoal;
 #endif
 
 namespace {
-
-bool haveCC() {
-  static int Have = -1;
-  if (Have < 0)
-    Have = std::system("cc --version > /dev/null 2>&1") == 0 ? 1 : 0;
-  return Have == 1;
-}
-
-int runCapture(const std::string &Cmd, std::string &Out) {
-  std::string Full = Cmd + " 2>/dev/null";
-  FILE *P = popen(Full.c_str(), "r");
-  if (!P)
-    return -1;
-  char Buf[4096];
-  size_t N;
-  Out.clear();
-  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
-    Out.append(Buf, N);
-  return pclose(P);
-}
 
 /// Compiles \p CSource with the system compiler and runs it; returns
 /// stdout. Any failure is reported through gtest and yields "".
@@ -58,17 +38,15 @@ std::string ccRun(const std::string &CSource, const std::string &Name) {
     EXPECT_TRUE(Out.good());
     Out << CSource;
   }
-  std::string Compile = std::string("cc -std=c99 -O1 -I '") + MCRT_DIR +
-                        "' '" + CPath + "' '" + MCRT_DIR +
-                        "/mcrt.c' -o '" + Exe + "' -lm";
-  std::string Junk, RunOut;
-  EXPECT_EQ(runCapture(Compile, Junk), 0)
-      << "cc failed for " << Name << ":\n" << CSource;
-  int Status = runCapture("'" + Exe + "'", RunOut);
-  EXPECT_EQ(Status, 0) << Name << " exited nonzero:\n" << RunOut;
+  SubprocessResult CC = ccCompile(CPath, MCRT_DIR, Exe);
+  EXPECT_TRUE(CC.ok()) << "cc failed for " << Name << ": " << CC.Diag
+                       << "\n" << CSource;
+  SubprocessResult Run = runExecutable(Exe);
+  EXPECT_TRUE(Run.ok()) << Name << " failed: " << Run.Diag << "\n"
+                        << Run.Output;
   std::remove(CPath.c_str());
   std::remove(Exe.c_str());
-  return RunOut;
+  return Run.Output;
 }
 
 std::string emitC(const CompiledProgram &P, bool Fuse) {
@@ -106,7 +84,7 @@ void expectAllTiersAgree(const std::string &Source, const std::string &Name,
         << Name << ": interpreter diverged from the fused static model";
   }
 
-  if (!haveCC())
+  if (!ccAvailable())
     return;
   std::string FusedC = emitC(*Fused, /*Fuse=*/true);
   // The mcrt back end has no complex representation: a program that

@@ -291,13 +291,32 @@ TEST(FaultLadder, EnvironmentVariableInjectsFault) {
   EXPECT_EQ(R.Output, goodOutput());
 }
 
-TEST(FaultLadder, UnknownEnvironmentValueIsIgnored) {
+TEST(FaultLadder, UnknownEnvironmentValueIsALoudError) {
+  // A misspelled stage name must not silently run the un-faulted
+  // pipeline: the compile refuses and the error lists the valid stages.
   ASSERT_EQ(setenv("MATCOAL_FAULT", "frobnicate", 1), 0);
   Diagnostics Diags;
   auto P = compileSource(GoodSource, Diags);
   unsetenv("MATCOAL_FAULT");
-  ASSERT_NE(P, nullptr) << Diags.str();
-  EXPECT_EQ(P->level(), DegradeLevel::Full);
+  EXPECT_EQ(P, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("MATCOAL_FAULT"), std::string::npos)
+      << Diags.str();
+  EXPECT_NE(Diags.str().find("frobnicate"), std::string::npos);
+  EXPECT_NE(Diags.str().find("parse, lower, ssa, typeinf, gctd"),
+            std::string::npos)
+      << Diags.str();
+}
+
+TEST(FaultLadder, ExplicitOffSpellingsAreAccepted) {
+  for (const char *Off : {"", "none"}) {
+    ASSERT_EQ(setenv("MATCOAL_FAULT", Off, 1), 0);
+    Diagnostics Diags;
+    auto P = compileSource(GoodSource, Diags);
+    unsetenv("MATCOAL_FAULT");
+    ASSERT_NE(P, nullptr) << Diags.str();
+    EXPECT_EQ(P->level(), DegradeLevel::Full);
+  }
 }
 
 TEST(FaultLadder, DegradationCanBeRefused) {

@@ -1,0 +1,122 @@
+//===- DaemonTest.cpp - matcoald end-to-end protocol tests ----------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// Drives the real matcoald binary (path baked in as MATCOALD_PATH)
+// through its stdin/stdout NDJSON framing via the shared timeout-
+// enforcing subprocess helper -- the same discipline as the cc-driven
+// codegen tests: a hung daemon is a test failure, not a hung suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Subprocess.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace matcoal;
+
+namespace {
+
+/// Feeds \p Lines to matcoald over stdin via `sh -c 'printf ... | ...'`
+/// and returns the captured stdout. The pipeline runs under the helper's
+/// watchdog, so a wedged daemon dies with a diagnosis.
+SubprocessResult runDaemon(const std::vector<std::string> &Lines,
+                           const std::string &DaemonArgs = "--workers=2",
+                           const std::vector<std::pair<std::string,
+                                                       std::string>> &Env =
+                               {}) {
+  std::string Script = "printf '%s\\n'";
+  for (const std::string &L : Lines) {
+    // Single-quote for sh; the protocol never needs a literal ' here.
+    EXPECT_EQ(L.find('\''), std::string::npos) << L;
+    Script += " '" + L + "'";
+  }
+  Script += " | '";
+  Script += MATCOALD_PATH;
+  Script += "' " + DaemonArgs;
+  return runSubprocess({"sh", "-c", Script}, /*TimeoutMs=*/60000, Env);
+}
+
+TEST(MatcoaldDaemon, ServesComputeStatsAndShutdownOverStdin) {
+  SubprocessResult R = runDaemon({
+      R"({"id":"a","source":"x = 1 + 1; disp(x);"})",
+      R"({"id":"b","source":"disp(oops(","fault":"gctd"})",
+      R"({"id":"s","op":"stats"})",
+      R"({"id":"z","op":"shutdown"})",
+  });
+  ASSERT_EQ(R.St, SubprocessResult::Status::OK) << R.Diag;
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"id\":\"a\""), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"output\":\"2\\n\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"kind\":\"compile-error\""), std::string::npos)
+      << R.Output;
+  // Stats are point-in-time (they can answer before queued compiles
+  // finish); assert the endpoint shape, not the racy counter values --
+  // the storm test pins the aggregate deterministically after drain().
+  EXPECT_NE(R.Output.find("\"kind\":\"stats\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("queue_capacity"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"kind\":\"shutdown\""), std::string::npos)
+      << R.Output;
+}
+
+TEST(MatcoaldDaemon, SurvivesPoisonLinesAndKeepsServing) {
+  SubprocessResult R = runDaemon({
+      "this is not json",
+      R"({"id":"only-id"})",
+      R"({"id":"bad-fault","source":"disp(1);","fault":"frobnicate"})",
+      R"({"id":"bad-op","source":"disp(1);","op":"dance"})",
+      R"({"id":"after","source":"x = 40 + 2; disp(x);"})",
+  });
+  ASSERT_EQ(R.St, SubprocessResult::Status::OK) << R.Diag;
+  EXPECT_EQ(R.ExitCode, 0) << "poison input must never kill the daemon: "
+                           << R.Output;
+  EXPECT_NE(R.Output.find("bad request JSON"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("missing a string 'source'"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("frobnicate"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("unknown op"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"output\":\"42\\n\""), std::string::npos)
+      << "the request after the poison must still run: " << R.Output;
+}
+
+TEST(MatcoaldDaemon, DeadlineRequestsComeBackClassified) {
+  SubprocessResult R = runDaemon({
+      R"({"id":"dl","source":"while true; end","deadline_ms":150})",
+  });
+  ASSERT_EQ(R.St, SubprocessResult::Status::OK) << R.Diag;
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("\"kind\":\"deadline\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("deadline exceeded"), std::string::npos)
+      << R.Output;
+}
+
+TEST(MatcoaldDaemon, UnrecognizedFaultEnvIsALoudStartupError) {
+  // Satellite contract: a typo'd MATCOAL_FAULT is a refusal to start
+  // (exit 2), never a silently ignored setting.
+  SubprocessResult R =
+      runDaemon({R"({"id":"x","source":"disp(1);"})"}, "--workers=1",
+                {{"MATCOAL_FAULT", "frobnicate"}});
+  ASSERT_EQ(R.St, SubprocessResult::Status::OK) << R.Diag;
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_EQ(R.Output.find("\"id\":\"x\""), std::string::npos)
+      << "no request may be served under a bad fault config: " << R.Output;
+}
+
+TEST(MatcoaldDaemon, UsageErrorsExitTwo) {
+  SubprocessResult R = runDaemon({}, "--workers=0");
+  ASSERT_EQ(R.St, SubprocessResult::Status::OK) << R.Diag;
+  EXPECT_EQ(R.ExitCode, 2);
+  SubprocessResult R2 = runDaemon({}, "--no-such-flag");
+  ASSERT_EQ(R2.St, SubprocessResult::Status::OK) << R2.Diag;
+  EXPECT_EQ(R2.ExitCode, 2);
+}
+
+} // namespace

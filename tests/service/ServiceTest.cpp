@@ -1,0 +1,489 @@
+//===- ServiceTest.cpp - matcoald service-layer tests ---------------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// The service contract under test (see Service.h): per-request fault
+// isolation onto the degradation ladder, admission-clocked deadlines,
+// bounded-queue backpressure, and -- the big one -- the storm test:
+// concurrent execution must be byte-identical to serial execution,
+// because every piece of compiler state is per-session.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/JobQueue.h"
+#include "service/Json.h"
+#include "service/Service.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace matcoal;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+JsonValue parseOK(const std::string &Text) {
+  std::string Err;
+  std::optional<JsonValue> V = JsonValue::parse(Text, Err);
+  EXPECT_TRUE(V.has_value()) << Err;
+  return V ? *V : JsonValue::null();
+}
+
+TEST(Json, RoundTripsTheProtocolEnvelope) {
+  JsonValue V = parseOK(
+      R"({"id":"r1","source":"x = 1;\ndisp(x);","deadline_ms":250,)"
+      R"("no_fuse":true,"nested":{"a":[1,2.5,null,false],"b":"A"}})");
+  EXPECT_EQ(V.get("id").asString(), "r1");
+  EXPECT_EQ(V.get("source").asString(), "x = 1;\ndisp(x);");
+  EXPECT_EQ(V.get("deadline_ms").asInt(), 250);
+  EXPECT_TRUE(V.get("no_fuse").asBool());
+  EXPECT_EQ(V.get("nested").get("a").items().size(), 4u);
+  EXPECT_EQ(V.get("nested").get("b").asString(), "A");
+
+  // dump() is canonical enough to round-trip: parse(dump(x)) == dump-wise.
+  std::string Dumped = V.dump();
+  EXPECT_EQ(Dumped.find('\n'), std::string::npos)
+      << "NDJSON lines must be newline-free";
+  EXPECT_EQ(parseOK(Dumped).dump(), Dumped);
+}
+
+TEST(Json, EscapesEmbeddedSourceSafely) {
+  JsonValue O = JsonValue::object();
+  O.set("source", JsonValue::str("a = \"q\";\n\tdisp(a); % 100% \\ sure"));
+  JsonValue Back = parseOK(O.dump());
+  EXPECT_EQ(Back.get("source").asString(),
+            "a = \"q\";\n\tdisp(a); % 100% \\ sure");
+}
+
+TEST(Json, RejectsMalformedInputWithPosition) {
+  std::string Err;
+  EXPECT_FALSE(JsonValue::parse("{\"a\":", Err).has_value());
+  EXPECT_NE(Err.find("offset"), std::string::npos) << Err;
+  EXPECT_FALSE(JsonValue::parse("{} trailing", Err).has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\" 1}", Err).has_value());
+  EXPECT_FALSE(JsonValue::parse("\"dangling \\u12", Err).has_value());
+}
+
+TEST(Json, MissingKeysReadAsTypedDefaults) {
+  JsonValue V = parseOK("{}");
+  EXPECT_TRUE(V.get("nope").isNull());
+  EXPECT_EQ(V.get("nope").asInt(7), 7);
+  EXPECT_EQ(V.get("nope").asString(), "");
+  EXPECT_FALSE(V.get("nope").asBool());
+}
+
+//===----------------------------------------------------------------------===//
+// JobQueue
+//===----------------------------------------------------------------------===//
+
+TEST(JobQueue, TryPushRefusesAtCapacity) {
+  JobQueue<int> Q(2);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.tryPush(3)) << "full queue must refuse, not block";
+  int Out = 0;
+  EXPECT_TRUE(Q.pop(Out));
+  EXPECT_EQ(Out, 1);
+  EXPECT_TRUE(Q.tryPush(3)) << "space freed by pop must be reusable";
+}
+
+TEST(JobQueue, CloseDrainsBeforeStoppingConsumers) {
+  JobQueue<int> Q(8);
+  ASSERT_TRUE(Q.tryPush(1));
+  ASSERT_TRUE(Q.tryPush(2));
+  Q.close();
+  EXPECT_FALSE(Q.tryPush(3)) << "closed queue must refuse new work";
+  int Out = 0;
+  EXPECT_TRUE(Q.pop(Out)); // Accepted work still drains...
+  EXPECT_TRUE(Q.pop(Out));
+  EXPECT_FALSE(Q.pop(Out)) << "...then pop reports closed-and-drained";
+}
+
+TEST(JobQueue, DeliversEveryJobExactlyOnceAcrossThreads) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 250;
+  JobQueue<int> Q(8);
+  std::atomic<int> Accepted{0};
+  std::vector<std::atomic<int>> Seen(kProducers * kPerProducer);
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P < kProducers; ++P)
+    Threads.emplace_back([&, P] {
+      for (int I = 0; I < kPerProducer; ++I) {
+        int Job = P * kPerProducer + I;
+        // Mix blocking and non-blocking producers; retries model the
+        // daemon's client-side retry-after loop.
+        if (I % 2 ? Q.push(std::move(Job)) : [&] {
+              int J = Job;
+              while (!Q.tryPush(std::move(J)))
+                std::this_thread::yield();
+              return true;
+            }())
+          Accepted.fetch_add(1);
+      }
+    });
+  for (int C = 0; C < kConsumers; ++C)
+    Threads.emplace_back([&] {
+      int Job;
+      while (Q.pop(Job))
+        Seen[static_cast<size_t>(Job)].fetch_add(1);
+    });
+  for (int P = 0; P < kProducers; ++P)
+    Threads[static_cast<size_t>(P)].join();
+  Q.close();
+  for (size_t T = kProducers; T < Threads.size(); ++T)
+    Threads[T].join();
+
+  EXPECT_EQ(Accepted.load(), kProducers * kPerProducer);
+  for (auto &S : Seen)
+    EXPECT_EQ(S.load(), 1) << "each accepted job delivered exactly once";
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService: single-request semantics (processNow)
+//===----------------------------------------------------------------------===//
+
+ServiceConfig smallConfig(unsigned Workers = 2, std::size_t QueueCap = 4) {
+  ServiceConfig C;
+  C.Workers = Workers;
+  C.QueueCap = QueueCap;
+  return C;
+}
+
+ServiceRequest makeReq(std::string Id, std::string Source) {
+  ServiceRequest R;
+  R.Id = std::move(Id);
+  R.Source = std::move(Source);
+  return R;
+}
+
+TEST(CompileService, RunsACleanRequestAtTheFullRung) {
+  CompileService Svc(smallConfig());
+  ServiceResponse R =
+      Svc.processNow(makeReq("ok", "x = 1 + 1; disp(x);"));
+  EXPECT_TRUE(R.OK);
+  EXPECT_EQ(R.Kind, ResponseKind::OK);
+  EXPECT_EQ(R.Rung, "full");
+  EXPECT_EQ(R.Output, "2\n");
+  EXPECT_FALSE(R.Counters.empty()) << "per-request counters must ride along";
+}
+
+TEST(CompileService, InjectedFaultsMapToTheDocumentedRungs) {
+  // The same ladder the robustness suite pins, now reachable per request
+  // through the protocol's "fault" field.
+  const std::map<std::string, std::string> StageToRung = {
+      {"gctd", "identity-plans"},
+      {"typeinf", "mcc-only"},
+      {"ssa", "interp-only"},
+      {"lower", "interp-only"},
+  };
+  CompileService Svc(smallConfig());
+  for (const auto &[Stage, Rung] : StageToRung) {
+    ServiceRequest R = makeReq("f-" + Stage, "x = 2 * 3; disp(x);");
+    R.Fault = Stage;
+    ServiceResponse Resp = Svc.processNow(R);
+    EXPECT_TRUE(Resp.OK) << Stage << ": " << Resp.Error;
+    EXPECT_EQ(Resp.Rung, Rung) << Stage;
+    EXPECT_EQ(Resp.Output, "6\n") << "degraded rungs still agree on output";
+  }
+}
+
+TEST(CompileService, UnknownFaultNameIsAProtocolErrorListingStages) {
+  CompileService Svc(smallConfig());
+  ServiceRequest R = makeReq("bad", "disp(1);");
+  R.Fault = "frobnicate";
+  ServiceResponse Resp = Svc.processNow(R);
+  EXPECT_FALSE(Resp.OK);
+  EXPECT_EQ(Resp.Kind, ResponseKind::Protocol);
+  EXPECT_NE(Resp.Error.find("frobnicate"), std::string::npos);
+  EXPECT_NE(Resp.Error.find("gctd"), std::string::npos)
+      << "the error must list the valid stages: " << Resp.Error;
+}
+
+TEST(CompileService, CompileErrorsAreClassifiedPerRequest) {
+  CompileService Svc(smallConfig());
+  ServiceResponse R = Svc.processNow(makeReq("syn", "x = (((;"));
+  EXPECT_FALSE(R.OK);
+  EXPECT_EQ(R.Kind, ResponseKind::CompileError);
+  EXPECT_NE(R.Error.find("error"), std::string::npos);
+}
+
+TEST(CompileService, RuntimeTrapsAreClassifiedPerRequest) {
+  CompileService Svc(smallConfig());
+  ServiceResponse R =
+      Svc.processNow(makeReq("trap", "a = [1 2 3]; disp(a(7));"));
+  EXPECT_FALSE(R.OK);
+  EXPECT_EQ(R.Kind, ResponseKind::Trap);
+  EXPECT_EQ(R.Trap, "index-out-of-bounds");
+  EXPECT_NE(R.Error.find("line 1"), std::string::npos)
+      << "trap provenance must survive the service layer: " << R.Error;
+}
+
+TEST(CompileService, DeadlineUnwindsARunawayLoopWithProvenance) {
+  CompileService Svc(smallConfig());
+  ServiceRequest R = makeReq("dl", "while true; end");
+  R.DeadlineMs = 100;
+  ServiceResponse Resp = Svc.processNow(R);
+  EXPECT_FALSE(Resp.OK);
+  EXPECT_EQ(Resp.Kind, ResponseKind::Deadline);
+  EXPECT_EQ(Resp.Trap, "deadline");
+  EXPECT_NE(Resp.Error.find("line 1"), std::string::npos) << Resp.Error;
+  EXPECT_NE(Resp.Error.find("deadline exceeded"), std::string::npos);
+}
+
+TEST(CompileService, ProfileRequestsCarryADriftReport) {
+  CompileService Svc(smallConfig());
+  ServiceRequest R = makeReq(
+      "prof", "a = zeros(4, 4); a(2, 2) = 5; disp(sum(a(:, 2)));");
+  R.Profile = true;
+  ServiceResponse Resp = Svc.processNow(R);
+  ASSERT_TRUE(Resp.OK) << Resp.Error;
+  EXPECT_FALSE(Resp.DriftReport.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService: concurrency, backpressure, deadlines in the queue
+//===----------------------------------------------------------------------===//
+
+TEST(CompileService, BackpressureRefusesWhenTheQueueIsFull) {
+  // One worker, capacity-1 queue: a long request plus one queued job
+  // saturates the service almost immediately.
+  CompileService Svc(smallConfig(/*Workers=*/1, /*QueueCap=*/1));
+  auto Sink = [](ServiceResponse) {};
+  ServiceRequest Blocker = makeReq("blocker", "while true; end");
+  Blocker.DeadlineMs = 1500;
+
+  bool SawRefusal = false;
+  for (int I = 0; I < 64 && !SawRefusal; ++I) {
+    ServiceRequest R = Blocker;
+    R.Id = "b" + std::to_string(I);
+    if (!Svc.submit(R, Sink)) {
+      SawRefusal = true;
+      ServiceResponse Rej = Svc.backpressureResponse(R);
+      EXPECT_EQ(Rej.Kind, ResponseKind::Backpressure);
+      EXPECT_EQ(Rej.Id, R.Id);
+      EXPECT_GT(Rej.RetryAfterMs, 0);
+      std::string Line = Rej.toJson().dump();
+      EXPECT_NE(Line.find("\"rejected\":true"), std::string::npos) << Line;
+      EXPECT_NE(Line.find("retry_after_ms"), std::string::npos) << Line;
+    }
+  }
+  EXPECT_TRUE(SawRefusal)
+      << "a 1-worker/1-slot service must refuse the 3rd concurrent request";
+  Svc.shutdown();
+}
+
+TEST(CompileService, DeadlinesKeepTickingInTheQueue) {
+  // A single worker pinned by a long job; short-deadline jobs behind it
+  // must die of old age *in the queue* without burning a compile.
+  CompileService Svc(smallConfig(/*Workers=*/1, /*QueueCap=*/4));
+  ServiceRequest Blocker = makeReq("pin", "while true; end");
+  Blocker.DeadlineMs = 600;
+  ASSERT_TRUE(Svc.submit(Blocker, [](ServiceResponse) {}));
+
+  std::mutex Mu;
+  std::vector<ServiceResponse> Out;
+  ServiceRequest Starved = makeReq("starved", "disp(1 + 1);");
+  Starved.DeadlineMs = 50;
+  ASSERT_TRUE(Svc.submit(Starved, [&](ServiceResponse R) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out.push_back(std::move(R));
+  }));
+
+  Svc.drain();
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Kind, ResponseKind::Deadline);
+  EXPECT_NE(Out[0].Error.find("queued"), std::string::npos)
+      << "expiry location should be classified: " << Out[0].Error;
+  EXPECT_EQ(Out[0].Ops, 0u) << "an expired request must not burn a run";
+}
+
+TEST(CompileService, ShutdownFinishesAcceptedWork) {
+  std::atomic<int> Done{0};
+  {
+    CompileService Svc(smallConfig(/*Workers=*/2, /*QueueCap=*/8));
+    for (int I = 0; I < 6; ++I)
+      ASSERT_TRUE(Svc.submit(makeReq("s" + std::to_string(I),
+                                     "x = " + std::to_string(I) +
+                                         "; disp(x);"),
+                             [&](ServiceResponse R) {
+                               EXPECT_TRUE(R.OK) << R.Error;
+                               Done.fetch_add(1);
+                             }));
+    // Destructor path: close-then-drain must deliver all six replies.
+  }
+  EXPECT_EQ(Done.load(), 6);
+}
+
+//===----------------------------------------------------------------------===//
+// The storm: N workers x M requests, ~20% faults, mixed deadlines.
+//===----------------------------------------------------------------------===//
+
+/// One storm request: a deterministic source parameterized by index, a
+/// fault on every 5th request (20%), and a tight deadline on every 9th.
+ServiceRequest stormRequest(int I) {
+  static const char *Faults[] = {"gctd", "typeinf", "ssa", "lower"};
+  std::string N = std::to_string(3 + I % 5);
+  std::string Src;
+  switch (I % 4) {
+  case 0:
+    Src = "x = rand(" + N + "); disp(sum(x(:, 1)));";
+    break;
+  case 1:
+    Src = "a = zeros(" + N + ", " + N + "); a(1, 1) = " +
+          std::to_string(I) + "; disp(sum(a(:, 1)));";
+    break;
+  case 2:
+    Src = "s = 0; for i = 1:" + N + "; s = s + i * i; end; disp(s);";
+    break;
+  default:
+    Src = "v = ones(1, " + N + ") * " + std::to_string(I % 7) +
+          "; disp(sum(v));";
+    break;
+  }
+  ServiceRequest R = makeReq("storm-" + std::to_string(I), Src);
+  R.Seed = 1000 + static_cast<std::uint64_t>(I);
+  if (I % 5 == 0)
+    R.Fault = Faults[(I / 5) % 4];
+  if (I % 9 == 0)
+    R.DeadlineMs = 1; // Tight: may or may not expire; must stay classified.
+  return R;
+}
+
+bool isClassified(ResponseKind K) {
+  switch (K) {
+  case ResponseKind::OK:
+  case ResponseKind::Backpressure:
+  case ResponseKind::Protocol:
+  case ResponseKind::CompileError:
+  case ResponseKind::Trap:
+  case ResponseKind::Deadline:
+  case ResponseKind::Internal:
+  case ResponseKind::Shutdown:
+    return true;
+  }
+  return false;
+}
+
+TEST(CompileServiceStorm, HundredRequestsEightWorkersMatchSerialOracle) {
+  constexpr int kRequests = 100;
+  ServiceConfig Cfg;
+  Cfg.Workers = 8;
+  Cfg.QueueCap = 16;
+  Cfg.RetryAfterMs = 2;
+  CompileService Svc(Cfg);
+
+  std::mutex Mu;
+  std::map<std::string, ServiceResponse> ById;
+  int Backpressured = 0;
+
+  for (int I = 0; I < kRequests; ++I) {
+    ServiceRequest R = stormRequest(I);
+    auto Record = [&Mu, &ById](ServiceResponse Resp) {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ById.emplace(Resp.Id, std::move(Resp));
+    };
+    // Client-side retry-after loop: bounded retries, then give up loudly.
+    int Attempts = 0;
+    while (!Svc.submit(R, Record)) {
+      ++Backpressured;
+      ServiceResponse Rej = Svc.backpressureResponse(R);
+      ASSERT_EQ(Rej.Kind, ResponseKind::Backpressure);
+      ASSERT_LT(++Attempts, 10000) << "service never freed a queue slot";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Rej.RetryAfterMs));
+    }
+  }
+  Svc.drain();
+
+  // Every admitted request answered, exactly once, with a classified kind.
+  ASSERT_EQ(ById.size(), static_cast<size_t>(kRequests));
+  for (const auto &[Id, Resp] : ById) {
+    EXPECT_TRUE(isClassified(Resp.Kind)) << Id;
+    if (Resp.OK)
+      EXPECT_FALSE(Resp.Rung.empty()) << Id;
+    else
+      EXPECT_FALSE(Resp.Error.empty()) << Id;
+  }
+
+  // Byte-identical agreement with the serial oracle for every request
+  // whose outcome cannot be timing-dependent (no deadline).
+  CompileService Oracle(smallConfig(1, 1));
+  int Compared = 0;
+  for (int I = 0; I < kRequests; ++I) {
+    ServiceRequest R = stormRequest(I);
+    if (R.DeadlineMs >= 0)
+      continue;
+    const ServiceResponse &Got = ById.at(R.Id);
+    ServiceResponse Want = Oracle.processNow(R);
+    EXPECT_EQ(Got.OK, Want.OK) << R.Id << ": " << Got.Error;
+    EXPECT_EQ(Got.Kind, Want.Kind) << R.Id;
+    EXPECT_EQ(Got.Rung, Want.Rung) << R.Id;
+    EXPECT_EQ(Got.Output, Want.Output)
+        << R.Id << ": concurrent and serial runs must be byte-identical";
+    EXPECT_EQ(Got.Counters == Want.Counters, true)
+        << R.Id << ": per-request counters must not bleed across workers";
+    ++Compared;
+  }
+  EXPECT_GE(Compared, 80) << "the oracle comparison must cover the bulk";
+
+  // The aggregate saw everything; the stats endpoint stays parseable.
+  std::string Err;
+  std::optional<JsonValue> Stats = JsonValue::parse(Svc.statsJson(), Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  EXPECT_EQ(Stats->get("counters").get("svc.requests.completed").asInt(),
+            kRequests);
+  (void)Backpressured; // Informational; depends on scheduling.
+}
+
+//===----------------------------------------------------------------------===//
+// Envelope codec
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceEnvelope, RequestDecodingValidatesTypes) {
+  ServiceRequest R;
+  std::string Err;
+  EXPECT_FALSE(
+      ServiceRequest::fromJson(parseOK("{\"id\":\"x\"}"), R, Err));
+  EXPECT_NE(Err.find("source"), std::string::npos);
+  EXPECT_FALSE(ServiceRequest::fromJson(
+      parseOK(R"({"source":"disp(1);","deadline_ms":-5})"), R, Err));
+  ASSERT_TRUE(ServiceRequest::fromJson(
+      parseOK(
+          R"({"id":"q","source":"disp(1);","fault":"gctd","seed":7,)"
+          R"("deadline_ms":0,"no_fuse":true,"profile":true})"),
+      R, Err))
+      << Err;
+  EXPECT_EQ(R.Id, "q");
+  EXPECT_EQ(R.Fault, "gctd");
+  EXPECT_EQ(R.Seed, 7u);
+  EXPECT_EQ(R.DeadlineMs, 0);
+  EXPECT_TRUE(R.NoFuse);
+  EXPECT_TRUE(R.Profile);
+}
+
+TEST(ServiceEnvelope, ResponseJsonCarriesTheContractFields) {
+  ServiceResponse R;
+  R.Id = "e1";
+  R.Kind = ResponseKind::Deadline;
+  R.Trap = "deadline";
+  R.Error = "line 3 (mul): deadline exceeded";
+  R.Rung = "full";
+  std::string Line = R.toJson().dump();
+  JsonValue Back = parseOK(Line);
+  EXPECT_EQ(Back.get("kind").asString(), "deadline");
+  EXPECT_EQ(Back.get("trap").asString(), "deadline");
+  EXPECT_EQ(Back.get("rung").asString(), "full");
+  EXPECT_FALSE(Back.get("ok").asBool());
+  EXPECT_NE(Back.get("error").asString().find("line 3"), std::string::npos);
+}
+
+} // namespace
