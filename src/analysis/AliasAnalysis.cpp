@@ -1,0 +1,312 @@
+//===- AliasAnalysis.cpp - May-alias, escape, and last-use facts ----------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasAnalysis.h"
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+
+using namespace matcoal;
+
+const std::vector<VarId> AliasAnalysis::EmptyDeaths;
+
+AliasAnalysis::AliasAnalysis(const Module &M, const TypeInference &TI,
+                             const std::string &Entry, Observer *Obs)
+    : M(M), TI(TI), Obs(Obs) {
+  (void)Entry; // Every function is analyzed; reachability does not help
+               // a may-analysis whose summaries start optimistic.
+  PassTimer T(Obs, "alias");
+  for (const auto &F : M.Functions) {
+    FuncState &S = States[F.get()];
+    S.F = F.get();
+    computeLocalFacts(S);
+  }
+  // Optimistic interprocedural fixpoint: summaries only grow (more
+  // escapes, more alias edges, never fewer), so iteration terminates.
+  bool Changed = true;
+  unsigned Round = 0;
+  while (Changed && Round++ < 16) {
+    Changed = false;
+    for (const auto &F : M.Functions)
+      if (analyzeFunction(States[F.get()]))
+        Changed = true;
+  }
+}
+
+void AliasAnalysis::computeLocalFacts(FuncState &S) {
+  const Function &F = *S.F;
+  S.DefCount.assign(F.numVars(), 0);
+  S.UseCount.assign(F.numVars(), 0);
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs) {
+      for (VarId R : I.Results)
+        ++S.DefCount[R];
+      for (VarId U : I.Operands)
+        ++S.UseCount[U];
+    }
+  // The call binds each parameter (one definition) and the return reads
+  // each output (one use) -- the convention the emitter's fusion
+  // admission has always used.
+  for (VarId P : F.Params)
+    ++S.DefCount[P];
+  for (VarId O : F.Outputs)
+    ++S.UseCount[O];
+
+  // Death points, mirroring VM::buildInfo: a variable dies after the
+  // instruction of its last use (or its definition, if never used).
+  LivenessInfo Live = computeLiveness(F);
+  S.Deaths.assign(F.Blocks.size(), {});
+  for (const auto &BB : F.Blocks) {
+    auto &BlockDeaths = S.Deaths[BB->Id];
+    BlockDeaths.resize(BB->Instrs.size());
+    BitVector LiveNow = Live.LiveOut[BB->Id];
+    for (size_t Idx = BB->Instrs.size(); Idx-- > 0;) {
+      const Instr &I = BB->Instrs[Idx];
+      for (VarId R : I.Results)
+        if (!LiveNow.test(R))
+          BlockDeaths[Idx].push_back(R); // Dead definition.
+      for (VarId R : I.Results)
+        LiveNow.reset(R);
+      for (VarId U : I.Operands)
+        if (!LiveNow.test(U)) {
+          BlockDeaths[Idx].push_back(U); // Last use.
+          LiveNow.set(U);
+        }
+    }
+  }
+}
+
+bool AliasAnalysis::analyzeFunction(FuncState &S) {
+  const Function &F = *S.F;
+  S.Origins.assign(F.numVars(), {});
+  S.Escapes.assign(F.numVars(), false);
+
+  for (VarId P : F.Params)
+    S.Origins[P].insert(P);
+
+  auto Union = [](std::set<VarId> &Into, const std::set<VarId> &From) {
+    bool Grew = false;
+    for (VarId R : From)
+      Grew |= Into.insert(R).second;
+    return Grew;
+  };
+
+  // Forward origin propagation to a fixpoint (phi operands defined in
+  // loop latches need a second visit).
+  std::vector<BlockId> RPO = F.reversePostOrder();
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    for (BlockId B : RPO) {
+      for (const Instr &I : F.block(B)->Instrs) {
+        switch (I.Op) {
+        case Opcode::Copy:
+        case Opcode::Phi:
+          for (VarId U : I.Operands)
+            Grew |= Union(S.Origins[I.result()], S.Origins[U]);
+          break;
+        case Opcode::Subsasgn:
+          // The result may occupy the base's storage (in-place update)
+          // or fresh storage (the copy path) -- a may-analysis keeps
+          // both.
+          Grew |= Union(S.Origins[I.result()], S.Origins[I.Operands[0]]);
+          Grew |= S.Origins[I.result()].insert(I.result()).second;
+          break;
+        case Opcode::Call: {
+          const Function *Callee = M.findFunction(I.StrVal);
+          auto SIt = Summaries.find(I.StrVal);
+          const Summary *Sum =
+              SIt != Summaries.end() && SIt->second.Valid ? &SIt->second
+                                                          : nullptr;
+          for (size_t K = 0; K < I.Results.size(); ++K) {
+            VarId R = I.Results[K];
+            if (Sum && Callee && K < Sum->OutParamAlias.size()) {
+              for (int PIdx : Sum->OutParamAlias[K])
+                if (static_cast<size_t>(PIdx) < I.Operands.size())
+                  Grew |= Union(S.Origins[R], S.Origins[I.Operands[PIdx]]);
+              if (Sum->OutFresh[K])
+                Grew |= S.Origins[R].insert(R).second;
+            } else {
+              // No summary yet (first round, recursion, unknown callee):
+              // the output may reuse any argument's storage.
+              for (VarId U : I.Operands)
+                Grew |= Union(S.Origins[R], S.Origins[U]);
+              Grew |= S.Origins[R].insert(R).second;
+            }
+          }
+          break;
+        }
+        default:
+          // Value producers mint fresh storage.
+          for (VarId R : I.Results)
+            Grew |= S.Origins[R].insert(R).second;
+          break;
+        }
+      }
+    }
+  }
+
+  // Escape: outputs escape; call arguments escape when the callee's
+  // parameter does; close backward over storage-forwarding ops.
+  for (VarId O : F.Outputs)
+    S.Escapes[O] = true;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op != Opcode::Call)
+        continue;
+      auto SIt = Summaries.find(I.StrVal);
+      const Summary *Sum =
+          SIt != Summaries.end() && SIt->second.Valid ? &SIt->second : nullptr;
+      for (size_t K = 0; K < I.Operands.size(); ++K) {
+        bool ArgEscapes = !Sum || K >= Sum->ParamEscapes.size() ||
+                          Sum->ParamEscapes[K];
+        if (ArgEscapes)
+          S.Escapes[I.Operands[K]] = true;
+      }
+    }
+  bool EscGrew = true;
+  while (EscGrew) {
+    EscGrew = false;
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs) {
+        if (I.Results.empty() || !S.Escapes[I.Results[0]])
+          continue;
+        switch (I.Op) {
+        case Opcode::Copy:
+        case Opcode::Phi:
+          for (VarId U : I.Operands)
+            if (!S.Escapes[U]) {
+              S.Escapes[U] = true;
+              EscGrew = true;
+            }
+          break;
+        case Opcode::Subsasgn:
+          if (!S.Escapes[I.Operands[0]]) {
+            S.Escapes[I.Operands[0]] = true;
+            EscGrew = true;
+          }
+          break;
+        default:
+          break;
+        }
+      }
+  }
+
+  // Publish the summary; report whether it grew.
+  Summary New;
+  New.Valid = true;
+  New.ParamEscapes.reserve(F.Params.size());
+  for (VarId P : F.Params)
+    New.ParamEscapes.push_back(S.Escapes[P]);
+  New.OutParamAlias.resize(F.Outputs.size());
+  New.OutFresh.assign(F.Outputs.size(), false);
+  for (size_t K = 0; K < F.Outputs.size(); ++K) {
+    for (VarId Root : S.Origins[F.Outputs[K]]) {
+      auto PIt = std::find(F.Params.begin(), F.Params.end(), Root);
+      if (PIt != F.Params.end())
+        New.OutParamAlias[K].insert(
+            static_cast<int>(PIt - F.Params.begin()));
+      else
+        New.OutFresh[K] = true;
+    }
+  }
+  Summary &Old = Summaries[F.Name];
+  bool Changed = !Old.Valid || Old.ParamEscapes != New.ParamEscapes ||
+                 Old.OutParamAlias != New.OutParamAlias ||
+                 Old.OutFresh != New.OutFresh;
+  Old = std::move(New);
+  return Changed;
+}
+
+const AliasAnalysis::FuncState *
+AliasAnalysis::stateOf(const Function &F) const {
+  auto It = States.find(&F);
+  return It == States.end() ? nullptr : &It->second;
+}
+
+bool AliasAnalysis::mayAlias(const Function &F, VarId U, VarId V) const {
+  if (U == V)
+    return true;
+  const FuncState *S = stateOf(F);
+  if (!S || U < 0 || V < 0 || static_cast<size_t>(U) >= S->Origins.size() ||
+      static_cast<size_t>(V) >= S->Origins.size())
+    return true; // Unknown variables are conservatively aliased.
+  const std::set<VarId> &A = S->Origins[U], &B = S->Origins[V];
+  if (A.empty() || B.empty())
+    return true; // Never reached by the transfer: no information.
+  for (VarId R : A)
+    if (B.count(R))
+      return true;
+  return false;
+}
+
+bool AliasAnalysis::escapes(const Function &F, VarId V) const {
+  const FuncState *S = stateOf(F);
+  if (!S || V < 0 || static_cast<size_t>(V) >= S->Escapes.size())
+    return true;
+  return S->Escapes[V];
+}
+
+bool AliasAnalysis::lastUseAt(const Function &F, BlockId B, unsigned Idx,
+                              VarId V) const {
+  const std::vector<VarId> &D = deathsAt(F, B, Idx);
+  return std::find(D.begin(), D.end(), V) != D.end();
+}
+
+const std::vector<VarId> &AliasAnalysis::deathsAt(const Function &F,
+                                                  BlockId B,
+                                                  unsigned Idx) const {
+  const FuncState *S = stateOf(F);
+  if (!S || B < 0 || static_cast<size_t>(B) >= S->Deaths.size() ||
+      Idx >= S->Deaths[B].size())
+    return EmptyDeaths;
+  return S->Deaths[B][Idx];
+}
+
+unsigned AliasAnalysis::defCount(const Function &F, VarId V) const {
+  const FuncState *S = stateOf(F);
+  if (!S || V < 0 || static_cast<size_t>(V) >= S->DefCount.size())
+    return 0;
+  return S->DefCount[V];
+}
+
+unsigned AliasAnalysis::useCount(const Function &F, VarId V) const {
+  const FuncState *S = stateOf(F);
+  if (!S || V < 0 || static_cast<size_t>(V) >= S->UseCount.size())
+    return 0;
+  return S->UseCount[V];
+}
+
+bool AliasAnalysis::paramEscapes(const Function &F, unsigned ParamIdx) const {
+  auto It = Summaries.find(F.Name);
+  if (It == Summaries.end() || !It->second.Valid ||
+      ParamIdx >= It->second.ParamEscapes.size())
+    return true;
+  return It->second.ParamEscapes[ParamIdx];
+}
+
+bool AliasAnalysis::outputMayAliasParam(const Function &F, unsigned OutIdx,
+                                        unsigned ParamIdx) const {
+  auto It = Summaries.find(F.Name);
+  if (It == Summaries.end() || !It->second.Valid ||
+      OutIdx >= It->second.OutParamAlias.size())
+    return true;
+  return It->second.OutParamAlias[OutIdx].count(
+             static_cast<int>(ParamIdx)) != 0;
+}
+
+void AliasAnalysis::refresh(const Function &F) {
+  auto It = States.find(&F);
+  if (It == States.end())
+    return;
+  // Inversion rewrote the CFG (phis became copies, blocks were appended,
+  // swap temps were minted) but preserved VarIds; recompute everything
+  // local on the current shape, keeping every other function's summary.
+  computeLocalFacts(It->second);
+  analyzeFunction(It->second);
+}

@@ -1,0 +1,143 @@
+//===- AliasAnalysis.h - May-alias, escape, and last-use facts --*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-sensitive, interprocedural may-alias + escape + last-use
+/// analysis over the SSA IR. Where RangeAnalysis answers "how big can
+/// this value be", AliasAnalysis answers "whose storage can this value
+/// share, and who else can still see it" -- the two questions every
+/// destructive-update decision decomposes into.
+///
+/// The domain is storage *origins*: every SSA value maps to the set of
+/// storage roots its buffer may have come from. Value-producing ops
+/// (constants, arithmetic, concatenation, builtins) mint a fresh root;
+/// Copy and Phi propagate the union of their operands' roots; Subsasgn
+/// propagates its base's roots (MATLAB value semantics notwithstanding,
+/// the *planned* storage may be updated in place, which is exactly what
+/// the consumers need to reason about). Two values may alias iff their
+/// origin sets intersect.
+///
+/// Escape is a backward may-analysis seeded at function outputs and at
+/// call arguments whose callee summary says the parameter escapes; it
+/// closes over Copy/Phi/Subsasgn so that anything feeding an escaping
+/// value escapes too. Last-use facts mirror the VM's death bookkeeping:
+/// per instruction, the set of variables whose final read happens there.
+///
+/// Interprocedural summaries follow the RangeAnalysis pattern: an
+/// optimistic module-wide fixpoint over per-function summaries
+/// (ParamEscapes, OutParamAlias, OutFresh) that only grow, so the
+/// iteration terminates. Functions without summaries (not yet analyzed,
+/// recursion) are treated conservatively: arguments escape, outputs may
+/// alias anything passed in.
+///
+/// Queries stay valid after SSA inversion for facts about VarIds that
+/// existed at analysis time; `refresh()` recomputes the per-function
+/// local facts (def/use counts, deaths) on the post-inversion CFG while
+/// keeping the interprocedural summaries.
+///
+/// Consumers: InPlaceLegality (the shared VM/emitter oracle) and
+/// verify/PlanAudit (the static storage-plan auditor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_ANALYSIS_ALIASANALYSIS_H
+#define MATCOAL_ANALYSIS_ALIASANALYSIS_H
+
+#include "ir/IR.h"
+#include "observe/Observe.h"
+#include "typeinf/TypeInference.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// The module-wide alias/escape/last-use analysis result. Construct once
+/// after type inference while every function is still in SSA form.
+class AliasAnalysis {
+public:
+  /// Runs the interprocedural fixpoint over \p M. A non-null \p Obs
+  /// receives the "alias" pass timing.
+  AliasAnalysis(const Module &M, const TypeInference &TI,
+                const std::string &Entry = "main", Observer *Obs = nullptr);
+
+  /// True when U and V may refer to storage with a common origin. A
+  /// variable trivially may-aliases itself; unknown variables are
+  /// conservatively aliased.
+  bool mayAlias(const Function &F, VarId U, VarId V) const;
+
+  /// True when V's storage may outlive the function body or be observed
+  /// through another name after the current statement: function outputs,
+  /// values flowing into them, and arguments to calls whose parameter
+  /// escapes in the callee.
+  bool escapes(const Function &F, VarId V) const;
+
+  /// True when instruction \p Idx of block \p B is V's last use on every
+  /// path (the VM's "death" bookkeeping, recomputed statically).
+  bool lastUseAt(const Function &F, BlockId B, unsigned Idx, VarId V) const;
+
+  /// The variables whose last use is instruction \p Idx of block \p B.
+  const std::vector<VarId> &deathsAt(const Function &F, BlockId B,
+                                     unsigned Idx) const;
+
+  /// Whole-function definition/use counts per VarId. Parameters count one
+  /// extra definition (the call binds them); outputs count one extra use
+  /// (the return reads them) -- the same convention the C emitter's
+  /// fusion admission used, now owned here.
+  unsigned defCount(const Function &F, VarId V) const;
+  unsigned useCount(const Function &F, VarId V) const;
+
+  /// Summary queries (conservative when no summary exists).
+  bool paramEscapes(const Function &F, unsigned ParamIdx) const;
+  bool outputMayAliasParam(const Function &F, unsigned OutIdx,
+                           unsigned ParamIdx) const;
+
+  /// Recomputes the per-function local facts on F's *current* CFG (the
+  /// driver calls this after SSA inversion, which rewrites blocks but
+  /// preserves VarIds). Interprocedural summaries are kept.
+  void refresh(const Function &F);
+
+private:
+  struct FuncState {
+    const Function *F = nullptr;
+    /// Per VarId: set of storage roots the value may occupy.
+    std::vector<std::set<VarId>> Origins;
+    std::vector<bool> Escapes;
+    std::vector<unsigned> DefCount, UseCount;
+    /// Deaths[B][I] = variables whose last use is instruction I of block
+    /// B (mirrors VM::buildInfo exactly).
+    std::vector<std::vector<std::vector<VarId>>> Deaths;
+  };
+  struct Summary {
+    std::vector<bool> ParamEscapes;
+    /// Per output: indices of parameters whose storage the output may
+    /// reuse.
+    std::vector<std::set<int>> OutParamAlias;
+    /// Per output: may the output carry storage minted inside the callee.
+    std::vector<bool> OutFresh;
+    bool Valid = false;
+  };
+
+  /// One local pass over F: origins, escape closure, counts, deaths.
+  /// Returns true when F's summary changed.
+  bool analyzeFunction(FuncState &S);
+  void computeLocalFacts(FuncState &S);
+  const FuncState *stateOf(const Function &F) const;
+
+  const Module &M;
+  const TypeInference &TI;
+  Observer *Obs = nullptr;
+  std::map<const Function *, FuncState> States;
+  std::map<std::string, Summary> Summaries;
+  static const std::vector<VarId> EmptyDeaths;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_ANALYSIS_ALIASANALYSIS_H

@@ -1,0 +1,221 @@
+//===- InPlaceLegality.cpp - The shared in-place legality oracle ----------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InPlaceLegality.h"
+
+#include <set>
+
+using namespace matcoal;
+
+InPlaceLegality::InPlaceLegality(const TypeInference &TI,
+                                 const RangeAnalysis *RA,
+                                 const AliasAnalysis *AA, Observer *Obs)
+    : TI(TI), RA(RA), AA(AA), Obs(Obs) {
+  // Seed the pinned counters so the stats key set does not depend on
+  // which query sites the input happens to exercise.
+  count(Obs, "analysis.alias.queries", 0);
+  count(Obs, "analysis.inplace.proven", 0);
+}
+
+bool InPlaceLegality::destructiveOp(Opcode Op) {
+  return Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::ElemMul ||
+         Op == Opcode::ElemRDiv;
+}
+
+bool InPlaceLegality::builtinReadsOnly(const std::string &Name) {
+  // The single home of the set the interference graph (operator-semantics
+  // edges) consults: builtins that never need their result kept apart
+  // from an array argument's storage.
+  static const std::set<std::string> ReadsOnly = {
+      // Elementwise (hoisted scalars, forward loops).
+      "abs", "sqrt", "exp", "log", "log2", "log10", "sin", "cos", "tan",
+      "sinh", "cosh", "tanh", "asin", "acos", "atan", "atan2", "floor",
+      "ceil", "round", "fix", "sign", "real", "imag", "conj", "angle",
+      "mod", "rem", "hypot", "double", "logical",
+      // Write-only constructors (dimension args are scalars).
+      "zeros", "ones", "eye", "rand", "randn", "linspace",
+      // Reductions compute into a register before storing.
+      "min", "max", "sum", "prod", "mean", "norm", "dot",
+      // Metadata-only queries.
+      "size", "numel", "length", "isempty",
+      // Effects with scalar results.
+      "disp", "fprintf", "error", "tic", "toc", "__forcond", "__switcheq",
+      "trace", "strcmp", "cumsum",
+      "pi", "eps", "Inf", "inf", "NaN", "nan", "true", "false", "i", "j",
+  };
+  return ReadsOnly.count(Name) != 0;
+}
+
+bool InPlaceLegality::fusionTransparent(const Instr &I) {
+  // A genuinely complex literal (NumIm != 0) must not fold: the unfused
+  // emission traps in mcrt_const_complex, and folding only the real part
+  // would silently compute past that error.
+  return I.Op == Opcode::ConstNum && I.NumIm == 0;
+}
+
+bool InPlaceLegality::staticScalar(const Function &F, VarId V) const {
+  if (!TI.hasTypesFor(F))
+    return false;
+  return TI.typeOf(F, V).isScalar() || (RA && RA->provablyScalar(F, V));
+}
+
+bool InPlaceLegality::decide(const Function &F, const void *Site,
+                             const char *Query, Opcode Op, unsigned Line,
+                             bool Verdict, bool Remarkable,
+                             const void *Ctx) const {
+  auto Key = std::make_tuple(&F, Site, Ctx, std::string(Query));
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  Memo.emplace(std::move(Key), Verdict);
+  count(Obs, "analysis.alias.queries");
+  if (Verdict)
+    count(Obs, "analysis.inplace.proven");
+  Journal.push_back({F.Name, Line, Op, Query, Verdict});
+  if (Remarkable) {
+    SourceLoc Loc;
+    Loc.Line = Line;
+    remarkTo(Obs, "legality",
+             Verdict ? RemarkKind::InPlaceProven : RemarkKind::InPlaceRefused,
+             F.Name,
+             std::string(Query) + (Verdict ? " proven" : " refused") +
+                 " for " + opcodeName(Op),
+             {{"query", Query}, {"op", opcodeName(Op)}}, Loc);
+  }
+  return Verdict;
+}
+
+bool InPlaceLegality::destructiveLegal(const Function &F,
+                                       const Instr &I) const {
+  bool V = destructiveOp(I.Op) && I.Results.size() == 1 &&
+           I.Operands.size() == 2;
+  return decide(F, &I, "destructive", I.Op, I.Loc.Line, V,
+                /*Remarkable=*/destructiveOp(I.Op));
+}
+
+bool InPlaceLegality::stealLegal(const Function &F, const Instr &I,
+                                 unsigned OperandIdx) const {
+  // The dynamic precondition (the operand's value dies at this
+  // instruction) is the caller's; statically a steal is exactly as legal
+  // as the destructive kernel itself -- once the operand is dead nothing
+  // can observe its buffer (outputs are read at the Ret, so they are
+  // never dead at a binary op, and a value that merely *fed* an escaping
+  // copy donated its bytes before this point).
+  const char *Query = OperandIdx == 0 ? "steal-lhs" : "steal-rhs";
+  bool V = destructiveOp(I.Op) && I.Results.size() == 1 &&
+           I.Operands.size() == 2 && OperandIdx < I.Operands.size();
+  return decide(F, &I, Query, I.Op, I.Loc.Line, V,
+                /*Remarkable=*/destructiveOp(I.Op));
+}
+
+bool InPlaceLegality::subsasgnInPlace(const Function &F, const Instr &I,
+                                      const SlotView &Slots) const {
+  bool V = I.Op == Opcode::Subsasgn && I.Results.size() == 1 &&
+           !I.Operands.empty() && Slots.same(I.result(), I.Operands[0]);
+  return decide(F, &I, "subsasgn-inplace", I.Op, I.Loc.Line, V,
+                /*Remarkable=*/I.Op == Opcode::Subsasgn, Slots.Tag);
+}
+
+bool InPlaceLegality::fusionCandidate(const Function &F,
+                                      const Instr &I) const {
+  auto Verdict = [&] {
+    if (I.Results.size() != 1 || I.Operands.size() != 2)
+      return false;
+    switch (I.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::ElemMul:
+    case Opcode::ElemRDiv:
+      break;
+    case Opcode::MatMul:
+      // Scalar-operand multiplies are elementwise (the emitter's code
+      // selection routes them to the elementwise form).
+      if (!staticScalar(F, I.Operands[0]) && !staticScalar(F, I.Operands[1]))
+        return false;
+      break;
+    default:
+      return false;
+    }
+    // A maybe-complex static type is no obstacle: the mcrt back end has
+    // no complex representation -- every complex production point traps
+    // -- so at run time these buffers only ever hold reals.
+    return true;
+  };
+  bool Interesting = destructiveOp(I.Op) || I.Op == Opcode::MatMul;
+  return decide(F, &I, "fusion-candidate", I.Op, I.Loc.Line, Verdict(),
+                /*Remarkable=*/Interesting);
+}
+
+bool InPlaceLegality::elidableIntermediate(const Function &F,
+                                           VarId V) const {
+  // One def and one use, whole-function (params count an extra def, and
+  // outputs an extra use at the Ret): the static proof that the value is
+  // dead after its single in-tree read and that no live value can observe
+  // its slot.
+  unsigned Defs, Uses;
+  if (AA) {
+    Defs = AA->defCount(F, V);
+    Uses = AA->useCount(F, V);
+  } else {
+    Defs = Uses = 0;
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs) {
+        for (VarId R : I.Results)
+          Defs += R == V;
+        for (VarId U : I.Operands)
+          Uses += U == V;
+      }
+    for (VarId P : F.Params)
+      Defs += P == V;
+    for (VarId O : F.Outputs)
+      Uses += O == V;
+  }
+  bool Verdict = Defs == 1 && Uses == 1;
+  // Site key: the variable itself (VarIds are small non-negative ints;
+  // biased so VarId 0 is distinct from a null pointer).
+  const void *Site =
+      reinterpret_cast<const void *>(static_cast<uintptr_t>(V) + 1);
+  return decide(F, Site, "elide-intermediate", Opcode::Copy, 0, Verdict,
+                /*Remarkable=*/false);
+}
+
+bool InPlaceLegality::destMayAliasLeaf(const Function &F, const Instr &Root,
+                                       const std::vector<VarId> &LeafVars,
+                                       const SlotView &Slots) const {
+  bool V = false;
+  for (VarId L : LeafVars)
+    if (Slots.same(Root.result(), L)) {
+      V = true;
+      break;
+    }
+  return decide(F, &Root, "dest-aliases-leaf", Root.Op, Root.Loc.Line, V,
+                /*Remarkable=*/true, Slots.Tag);
+}
+
+bool InPlaceLegality::clobbersLeaf(const Function &F, const Instr &I,
+                                   const std::vector<VarId> &LeafVars,
+                                   const SlotView &Slots) const {
+  (void)F;
+  // Not memoized: the same instruction can sit between different trees
+  // with different leaf sets, so a per-site cache would be wrong. It is
+  // also not journaled -- the answer is a property of (instr, tree), not
+  // of the site alone, so the cross-tier journals would not line up.
+  for (VarId R : I.Results)
+    for (VarId L : LeafVars)
+      if (Slots.same(R, L))
+        return true;
+  return false;
+}
+
+void InPlaceLegality::refresh(const Function &F) {
+  for (auto It = Memo.begin(); It != Memo.end();) {
+    if (std::get<0>(It->first) == &F)
+      It = Memo.erase(It);
+    else
+      ++It;
+  }
+}

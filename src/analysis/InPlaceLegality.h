@@ -1,0 +1,169 @@
+//===- InPlaceLegality.h - The shared in-place legality oracle --*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single decision point for every destructive-storage question the
+/// execution tiers used to answer privately: may this op write its result
+/// over an operand's storage, may this fusion tree elide an intermediate,
+/// may this subsasgn update in place, may a dying operand's buffer be
+/// stolen. PR 2 noted the drift risk of the VM and the C emitter each
+/// keeping their own copy of these predicates; this oracle is the fix --
+/// both tiers ask here, the old predicates are gone, and a regression
+/// test asserts the tiers agree on every verdict.
+///
+/// Division of labor: the oracle owns the *static* halves (opcode
+/// families, type/range scalar facts, def/use admission, slot aliasing
+/// through a SlotView); the VM keeps the *dynamic* halves (actual shapes,
+/// complexness of runtime values, buffer capacities) as local value
+/// checks layered on top of an oracle verdict. That split keeps verdicts
+/// comparable across tiers: the static verdict for a site is
+/// tier-independent by construction.
+///
+/// Every distinct (site, query) pair is decided once, memoized,
+/// journaled, counted (`analysis.alias.queries`,
+/// `analysis.inplace.proven`), and remarked (pass "legality",
+/// InPlaceProven/InPlaceRefused) -- so tests can compare the decision
+/// streams of two tiers and `--remarks=legality` shows a human every
+/// proof and refusal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_ANALYSIS_INPLACELEGALITY_H
+#define MATCOAL_ANALYSIS_INPLACELEGALITY_H
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/RangeAnalysis.h"
+#include "ir/IR.h"
+#include "observe/Observe.h"
+#include "typeinf/TypeInference.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// The analysis layer cannot see gctd's StoragePlan (layering: gctd links
+/// against analysis, not the reverse), so slot identity is injected as a
+/// predicate. The VM wraps StoragePlan::sameSlot; the C emitter wraps
+/// slot-string equality (identical on planned variables, and also equates
+/// an unplanned variable with itself, matching its historical checks).
+struct SlotView {
+  std::function<bool(VarId, VarId)> SameSlot;
+  /// Identity of the plan behind the predicate (any stable address, e.g.
+  /// the StoragePlan). Slot-dependent verdicts are memoized per tag: one
+  /// compile legitimately holds several plans for the same function (the
+  /// coalesced plan and the no-coalesce identity plan), and a verdict
+  /// cached under one must never answer for the other.
+  const void *Tag = nullptr;
+
+  bool same(VarId U, VarId V) const { return SameSlot && SameSlot(U, V); }
+};
+
+/// The oracle. Construct once per compile (the driver owns it alongside
+/// the analyses); both tiers and the plan auditor query it.
+class InPlaceLegality {
+public:
+  /// One journaled verdict, for the cross-tier agreement test.
+  struct Decision {
+    std::string Func;
+    unsigned Line = 0;  ///< Source line of the site (0 = unknown).
+    Opcode Op = Opcode::Copy;
+    std::string Query;  ///< "destructive", "fusion-candidate", ...
+    bool Proven = false;
+  };
+
+  InPlaceLegality(const TypeInference &TI, const RangeAnalysis *RA = nullptr,
+                  const AliasAnalysis *AA = nullptr, Observer *Obs = nullptr);
+
+  // --- Static policy tables: the single home of the opcode/builtin sets
+  // the VM, the emitter, and the interference graph used to duplicate.
+
+  /// Elementwise ops worth executing destructively (the VM's destructive
+  /// kernel family; also exactly the emitter's elementwise fusion set).
+  static bool destructiveOp(Opcode Op);
+  /// Builtins that only read their array arguments -- never alias an
+  /// argument into a result's storage -- so the interference graph needs
+  /// no operator-semantics edges for them.
+  static bool builtinReadsOnly(const std::string &Name);
+  /// Instructions a fusion run may span without breaking (foldable
+  /// real-number constants).
+  static bool fusionTransparent(const Instr &I);
+
+  // --- Per-site verdicts (memoized, journaled, counted).
+
+  /// The static half of the VM's destructive-execution gate: a two-operand
+  /// single-result op of the destructive family. The VM layers its runtime
+  /// value checks (real, non-char, conforming-or-scalar) on top.
+  bool destructiveLegal(const Function &F, const Instr &I) const;
+  /// May operand \p OperandIdx of \p I donate its buffer to the result
+  /// when it dies at this instruction? (The dynamic death itself is the
+  /// VM's to establish.)
+  bool stealLegal(const Function &F, const Instr &I,
+                  unsigned OperandIdx) const;
+  /// Subsasgn updates the base in place iff the plan binds result and base
+  /// to one slot (the paper's section 2.3.3.1 formation).
+  bool subsasgnInPlace(const Function &F, const Instr &I,
+                       const SlotView &Slots) const;
+  /// May \p I anchor or join a fused elementwise region?
+  bool fusionCandidate(const Function &F, const Instr &I) const;
+  /// May V's store be elided inside a fusion tree? Exactly one def and
+  /// one use (both then necessarily inside the tree), so no later read
+  /// exists and no live value can observe its slot.
+  bool elidableIntermediate(const Function &F, VarId V) const;
+  /// Does the fused tree's destination slot alias any leaf slot? (Decides
+  /// whether `restrict` is sound on the destination pointer.)
+  bool destMayAliasLeaf(const Function &F, const Instr &Root,
+                        const std::vector<VarId> &LeafVars,
+                        const SlotView &Slots) const;
+  /// Does \p I (a non-member between a tree's first member and its root)
+  /// define into a slot some leaf reads? Rejects the region: the fused
+  /// loop reads every leaf at the root's position.
+  bool clobbersLeaf(const Function &F, const Instr &I,
+                    const std::vector<VarId> &LeafVars,
+                    const SlotView &Slots) const;
+  /// The shared code-selection scalar fact: statically 1x1 by type, or
+  /// proven 1x1 by the range analysis. Must agree with the interference
+  /// graph's operator-semantics test (it does: same inputs).
+  bool staticScalar(const Function &F, VarId V) const;
+
+  /// The decision journal, in query order.
+  const std::vector<Decision> &journal() const { return Journal; }
+
+  /// Drops per-function caches after SSA inversion rewrites \p F (sites
+  /// are re-decided on the inverted shape).
+  void refresh(const Function &F);
+
+  const AliasAnalysis *aliasAnalysis() const { return AA; }
+
+private:
+  bool decide(const Function &F, const void *Site, const char *Query,
+              Opcode Op, unsigned Line, bool Verdict, bool Remarkable,
+              const void *Ctx = nullptr) const;
+
+  const TypeInference &TI;
+  const RangeAnalysis *RA = nullptr;
+  const AliasAnalysis *AA = nullptr;
+  Observer *Obs = nullptr;
+
+  /// (function, site, context, query) -> verdict. The site pointer is the
+  /// Instr for instruction queries and the VarId (as an offset key) for
+  /// variable queries; the context pointer is the SlotView tag for
+  /// slot-dependent queries (null for plan-independent ones), so one
+  /// site's verdict under the coalesced plan cannot leak into the
+  /// identity-plan run.
+  mutable std::map<
+      std::tuple<const Function *, const void *, const void *, std::string>,
+      bool>
+      Memo;
+  mutable std::vector<Decision> Journal;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_ANALYSIS_INPLACELEGALITY_H

@@ -2,6 +2,8 @@
 
 #include "codegen/CEmitter.h"
 
+#include "analysis/InPlaceLegality.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -60,9 +62,16 @@ class Emitter {
 public:
   Emitter(const Function &F, const StoragePlan &Plan,
           const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs,
-          const CEmitOptions &Opts)
+          const CEmitOptions &Opts, const InPlaceLegality &Legal)
       : F(F), Plan(Plan), Types(TI.functionTypes(F)), RA(RA), Obs(Obs),
-        Fuse(Opts.Fuse), Profile(Opts.Profile) {}
+        Legal(Legal), Fuse(Opts.Fuse), Profile(Opts.Profile) {
+    // The oracle sees slot identity the way the emitted C does: two
+    // variables share storage iff they compile to the same slot name
+    // (planned variables via their group, unplanned ones only with
+    // themselves).
+    Slots.SameSlot = [this](VarId A, VarId B) { return slot(A) == slot(B); };
+    Slots.Tag = &this->Plan;
+  }
 
   std::string run();
 
@@ -93,10 +102,9 @@ private:
   // operator-semantics test. When the range analysis proves a value 1x1
   // the graph drops the edge that would otherwise keep the result and
   // that operand in distinct slots, so the emitter has to pick the
-  // in-place/scalar form for exactly the same values.
-  bool isStaticScalar(VarId V) const {
-    return Types[V].isScalar() || (RA && RA->provablyScalar(F, V));
-  }
+  // in-place/scalar form for exactly the same values. The fact itself
+  // lives in the shared legality oracle (one home for one question).
+  bool isStaticScalar(VarId V) const { return Legal.staticScalar(F, V); }
   /// Every subscript operand of \p I (starting at \p FirstSub, against
   /// base \p Base) proven within bounds at the current block.
   bool subsInBounds(const Instr &I, VarId Base, unsigned FirstSub) const {
@@ -146,10 +154,8 @@ private:
     std::map<VarId, unsigned> DefIdx; ///< Internal var -> defining member.
     std::vector<VarId> ArrayLeaves;   ///< Non-scalar leaves, use order.
     std::vector<VarId> ScalarLeaves;  ///< Static-scalar leaves, use order.
-    std::set<std::string> LeafSlots;  ///< Slots read by any leaf.
+    std::vector<VarId> LeafVars;      ///< Every distinct leaf variable.
   };
-  bool fusionCandidate(const Instr &I) const;
-  bool fusionTransparent(const Instr &I) const;
   /// Fills per-instruction actions for \p BB: -1 emit normally, -2 folded
   /// into a fused tree, >= 0 index into \p Trees (this instr is a root).
   std::vector<int> planFusion(const BasicBlock &BB,
@@ -175,14 +181,15 @@ private:
   const std::vector<VarType> &Types;
   const RangeAnalysis *RA = nullptr;
   Observer *Obs = nullptr;
+  /// The shared legality oracle: every fusion-legality, elision, and
+  /// dest-aliasing question goes through it (the VM queries the same
+  /// instance, so the tiers answer identically by construction).
+  const InPlaceLegality &Legal;
+  SlotView Slots;             ///< Slot identity as the emitted C sees it.
   bool Fuse = true;           ///< Elementwise loop fusion enabled.
   bool Profile = false;       ///< Emit mcrt_prof_* hooks per definition.
   BlockId CurBlock = NoBlock; ///< Block being emitted (for valueAt).
   SourceLoc CurLoc;           ///< Location of the instruction in flight.
-  // Whole-function def/use counts (indexed by VarId). Fusion folds a
-  // value only when it has exactly one def and one use, both inside the
-  // tree: that is the static proof the intermediate is dead afterwards.
-  std::vector<unsigned> DefCount, UseCount;
   std::ostringstream OS;
   int Indent = 0;
 };
@@ -290,19 +297,6 @@ void Emitter::emitPrologue() {
 }
 
 std::string Emitter::run() {
-  DefCount.assign(F.numVars(), 0);
-  UseCount.assign(F.numVars(), 0);
-  for (const auto &BB : F.Blocks)
-    for (const Instr &I : BB->Instrs) {
-      for (VarId R : I.Results)
-        ++DefCount[R];
-      for (VarId Op : I.Operands)
-        ++UseCount[Op];
-    }
-  for (VarId P : F.Params)
-    ++DefCount[P];
-  for (VarId O : F.Outputs)
-    ++UseCount[O]; // The Ret carries outputs, but stay conservative.
   OS << "/* " << F.Name << ": " << Plan.Groups.size()
      << " storage groups, frame " << Plan.FrameBytes << " bytes */\n";
   OS << "void mat_" << F.Name << "(";
@@ -401,42 +395,6 @@ void Emitter::emitProfHooks(const Instr &I) {
 // sequence, which reproduces the exact scalar-expansion and error
 // behavior of the straight-line emission.
 
-bool Emitter::fusionCandidate(const Instr &I) const {
-  if (I.Results.size() != 1 || I.Operands.size() != 2)
-    return false;
-  switch (I.Op) {
-  case Opcode::Add:
-  case Opcode::Sub:
-  case Opcode::ElemMul:
-  case Opcode::ElemRDiv:
-    break;
-  case Opcode::MatMul:
-    // Scalar-operand multiplies are elementwise (emitInstr's selection).
-    if (!isStaticScalar(I.Operands[0]) && !isStaticScalar(I.Operands[1]))
-      return false;
-    break;
-  default:
-    return false;
-  }
-  // A maybe-complex static type is no obstacle: the mcrt back end has no
-  // complex representation -- every complex production point traps -- so
-  // at run time these buffers only ever hold reals, and the unfused path
-  // (runtimeCall to op_add and friends) computes plain double arithmetic
-  // on them exactly like the fused loop does.
-  return true;
-}
-
-// Instructions a fusion run may span without breaking: they have no side
-// effects beyond their own slot (which the leaf-clobber check inspects),
-// and a numeric constant additionally folds into the fused expression as
-// a literal when it is single-def/single-use.
-bool Emitter::fusionTransparent(const Instr &I) const {
-  // A genuinely complex literal (NumIm != 0) must not fold: the unfused
-  // emission traps in mcrt_const_complex, and folding only the real part
-  // would silently compute past that error.
-  return I.Op == Opcode::ConstNum && I.NumIm == 0;
-}
-
 std::vector<int> Emitter::planFusion(const BasicBlock &BB,
                                      std::vector<FusionTree> &Trees) {
   size_t N = BB.Instrs.size();
@@ -446,8 +404,8 @@ std::vector<int> Emitter::planFusion(const BasicBlock &BB,
   std::vector<bool> Cand(N, false), InRun(N, false);
   unsigned NumCand = 0;
   for (size_t I = 0; I < N; ++I) {
-    Cand[I] = fusionCandidate(BB.Instrs[I]);
-    InRun[I] = Cand[I] || fusionTransparent(BB.Instrs[I]);
+    Cand[I] = Legal.fusionCandidate(F, BB.Instrs[I]);
+    InRun[I] = Cand[I] || InPlaceLegality::fusionTransparent(BB.Instrs[I]);
     NumCand += Cand[I];
   }
   if (NumCand < 2)
@@ -482,7 +440,7 @@ void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
   // first; a rejected root leaves its feeders free to root their own
   // (smaller) trees later in the walk.
   for (size_t R = Hi; R-- > Lo;) {
-    if (Claimed[R - Lo] || !fusionCandidate(BB.Instrs[R]))
+    if (Claimed[R - Lo] || !Legal.fusionCandidate(F, BB.Instrs[R]))
       continue;
     std::set<size_t> Members = {R};
     std::map<VarId, unsigned> DefIdx;
@@ -498,11 +456,11 @@ void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
         size_t D = It->second;
         if (Claimed[D - Lo] || Members.count(D))
           continue;
-        if (DefCount[Op] != 1 || UseCount[Op] != 1)
+        if (!Legal.elidableIntermediate(F, Op))
           continue; // Live past its single tree use, or multiply defined.
         Members.insert(D);
         DefIdx[Op] = static_cast<unsigned>(D);
-        NumCand += fusionCandidate(BB.Instrs[D]);
+        NumCand += Legal.fusionCandidate(F, BB.Instrs[D]);
         Stack.push_back(D);
       }
     }
@@ -517,9 +475,9 @@ void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
       for (VarId Op : BB.Instrs[M].Operands) {
         if (DefIdx.count(Op))
           continue;
-        T.LeafSlots.insert(slot(Op));
         if (!SeenLeaf.insert(Op).second)
           continue;
+        T.LeafVars.push_back(Op);
         if (isStaticScalar(Op))
           T.ScalarLeaves.push_back(Op);
         else
@@ -535,11 +493,7 @@ void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
     for (size_t K = MinM + 1; K < R && !Clobbered; ++K) {
       if (Members.count(K))
         continue;
-      for (VarId Res : BB.Instrs[K].Results)
-        if (T.LeafSlots.count(slot(Res))) {
-          Clobbered = true;
-          break;
-        }
+      Clobbered = Legal.clobbersLeaf(F, BB.Instrs[K], T.LeafVars, Slots);
     }
     if (Clobbered)
       continue;
@@ -629,7 +583,7 @@ void Emitter::emitFusedTree(const BasicBlock &BB, const FusionTree &T) {
   // restrict on the destination is sound only when no leaf shares its
   // slot; when one does, the loop still works element-at-a-time (the
   // identity-index argument), just without the no-alias promise.
-  bool DestAliases = T.LeafSlots.count(slot(C)) != 0;
+  bool DestAliases = Legal.destMayAliasLeaf(F, Root, T.LeafVars, Slots);
   line(std::string("double *") + (DestAliases ? "" : "restrict ") +
        "__pd = " + buf(C) + ";");
   for (const std::string &S : ASlots)
@@ -855,7 +809,7 @@ void Emitter::emitInstr(const Instr &I) {
     return;
   }
   case Opcode::Subsasgn: {
-    bool InPlace = Plan.sameSlot(I.result(), I.Operands[0]);
+    bool InPlace = Legal.subsasgnInPlace(F, I, Slots);
     // Inline the scalar-on-scalar in-place write when no growth happens;
     // beyond-extent writes fall back to the growing runtime path.
     VarId Base = I.Operands[0], Rhs = I.Operands[1];
@@ -990,16 +944,24 @@ std::string matcoal::emitFunctionC(const Function &F,
                                    const StoragePlan &Plan,
                                    const TypeInference &TI,
                                    const RangeAnalysis *RA, Observer *Obs,
-                                   const CEmitOptions &Opts) {
+                                   const CEmitOptions &Opts,
+                                   const InPlaceLegality *Legal) {
   count(Obs, "codegen.functions");
-  Emitter E(F, Plan, TI, RA, Obs, Opts);
+  if (Legal) {
+    Emitter E(F, Plan, TI, RA, Obs, Opts, *Legal);
+    return E.run();
+  }
+  // No shared oracle supplied (direct emission in tests/benches): a
+  // private one with identical policy stands in.
+  InPlaceLegality Local(TI, RA, nullptr, Obs);
+  Emitter E(F, Plan, TI, RA, Obs, Opts, Local);
   return E.run();
 }
 
 std::string matcoal::emitModuleC(
     const Module &M, const std::map<const Function *, StoragePlan> &Plans,
     const TypeInference &TI, const RangeAnalysis *RA, Observer *Obs,
-    const CEmitOptions &Opts) {
+    const CEmitOptions &Opts, const InPlaceLegality *Legal) {
   PassTimer T(Obs, "cemit");
   if (Obs) {
     // Seed the codegen schema so counter names survive inputs that never
@@ -1042,7 +1004,7 @@ std::string matcoal::emitModuleC(
   for (const auto &F : M.Functions) {
     auto It = Plans.find(F.get());
     assert(It != Plans.end() && "missing plan for function");
-    OS << emitFunctionC(*F, It->second, TI, RA, Obs, Opts) << "\n";
+    OS << emitFunctionC(*F, It->second, TI, RA, Obs, Opts, Legal) << "\n";
   }
   if (Opts.Profile)
     OS << "int main(void) { mcrt_prof_begin(0); mat_main(); mcrt_prof_end();"

@@ -28,6 +28,8 @@
 
 namespace matcoal {
 
+class InPlaceLegality;
+
 /// Code-emission knobs.
 struct CEmitOptions {
   /// Fuse chains of shape-conforming elementwise instructions whose
@@ -52,11 +54,17 @@ struct CEmitOptions {
 /// capacity checks the analysis discharges. A non-null \p Obs receives a
 /// check-elided remark per discharged check and the codegen.* counters
 /// (including codegen.fusion.* when Opts.Fuse holds).
+///
+/// \p Legal is the shared in-place legality oracle every fusion-legality
+/// and dest-aliasing question is routed through (the same oracle the VM's
+/// destructive kernels query). Null constructs a private oracle over
+/// (TI, RA, Obs) with identical policy.
 std::string emitFunctionC(const Function &F, const StoragePlan &Plan,
                           const TypeInference &TI,
                           const RangeAnalysis *RA = nullptr,
                           Observer *Obs = nullptr,
-                          const CEmitOptions &Opts = CEmitOptions());
+                          const CEmitOptions &Opts = CEmitOptions(),
+                          const InPlaceLegality *Legal = nullptr);
 
 /// Emits a full translation unit: the mcrt runtime declarations followed
 /// by every function of the module.
@@ -65,7 +73,8 @@ std::string emitModuleC(const Module &M,
                         const TypeInference &TI,
                         const RangeAnalysis *RA = nullptr,
                         Observer *Obs = nullptr,
-                        const CEmitOptions &Opts = CEmitOptions());
+                        const CEmitOptions &Opts = CEmitOptions(),
+                        const InPlaceLegality *Legal = nullptr);
 
 } // namespace matcoal
 

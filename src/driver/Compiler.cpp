@@ -6,6 +6,7 @@
 #include "transforms/Lowering.h"
 #include "transforms/Passes.h"
 #include "transforms/SSA.h"
+#include "verify/PlanAudit.h"
 #include "verify/Verifier.h"
 
 #include <cstdlib>
@@ -46,12 +47,12 @@ CompileStage matcoal::parseCompileStage(const std::string &Name) {
 }
 
 bool matcoal::isValidFaultName(const std::string &Name) {
-  return Name.empty() || Name == "none" ||
+  return Name.empty() || Name == "none" || Name == "plan-corrupt" ||
          parseCompileStage(Name) != CompileStage::None;
 }
 
 const char *matcoal::validCompileStageNames() {
-  return "parse, lower, ssa, typeinf, gctd";
+  return "parse, lower, ssa, typeinf, gctd, plan-corrupt";
 }
 
 const char *matcoal::degradeLevelName(DegradeLevel L) {
@@ -100,7 +101,12 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
                         ", or 'none')");
         return nullptr;
       }
-      O.InjectFault = parseCompileStage(Env);
+      // plan-corrupt is not a pipeline stage: it breaks an already-
+      // verified artifact so the independent auditor must catch it.
+      if (std::string(Env) == "plan-corrupt")
+        O.InjectPlanCorrupt = true;
+      else
+        O.InjectFault = parseCompileStage(Env);
     }
 
   auto P = std::make_unique<CompiledProgram>();
@@ -138,6 +144,10 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     Obs->Stats.add("vm.inplace.hits", 0);
     Obs->Stats.add("rt.pool.reuses", 0);
     Obs->Stats.add("rt.pool.held_bytes_hwm", 0);
+    Obs->Stats.add("analysis.alias.queries", 0);
+    Obs->Stats.add("analysis.inplace.proven", 0);
+    Obs->Stats.add("verify.audit.functions", 0);
+    Obs->Stats.add("verify.audit.violations", 0);
   }
   // Records the module printer's output when --print-after requested it.
   auto DumpAfter = [&](const char *Pass) {
@@ -321,6 +331,22 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       }
     }
 
+    // --- Interprocedural alias/escape/last-use analysis and the shared
+    // in-place legality oracle. Like ranges, a throwing alias analysis
+    // never fails the compile; the oracle then answers from types/ranges
+    // alone. The oracle is handed to both the VM (runStatic) and the C
+    // emitter so every in-place decision comes from one place.
+    try {
+      P->AA = std::make_unique<AliasAnalysis>(*P->M, *P->TI, O.Entry, Obs);
+    } catch (const std::exception &E) {
+      Diags.warning(SourceLoc{}, std::string("alias analysis failed (") +
+                                     E.what() +
+                                     "); continuing without aliases");
+      P->AA.reset();
+    }
+    P->Legal = std::make_unique<InPlaceLegality>(*P->TI, P->RA.get(),
+                                                 P->AA.get(), Obs);
+
     // --- Lint (optional; needs SSA form, so it runs before inversion).
     if (O.Lint) {
       try {
@@ -375,6 +401,37 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
               UseGCTD = false;
             }
           }
+          // Fault injection for the auditor: break the plan only *after*
+          // the interference-based verifier accepted it, so a rejection
+          // can only come from the independent audit below.
+          if (UseGCTD && O.InjectPlanCorrupt &&
+              !corruptStoragePlanForTesting(*F, Plan))
+            Diags.warning(SourceLoc{}, "plan-corrupt fault found no "
+                                       "eligible pair in " +
+                                           F->Name);
+          // --- Static plan audit: re-prove the plan's destructive
+          // discipline by abstract interpretation, independently of the
+          // interference graph the planner and verifier share.
+          if (UseGCTD) {
+            PassTimer AT(Obs, "audit");
+            std::vector<PlanAuditIssue> Issues = auditStoragePlan(
+                *F, Plan, *P->TI, P->RA.get(), P->AA.get(), Obs);
+            for (const PlanAuditIssue &Iss : Issues) {
+              Diags.warning(Iss.Loc, "plan audit: " + Iss.str());
+              LintDiag D;
+              D.Check = Iss.Rule == "plan-overlap"
+                            ? LintCheck::PlanOverlap
+                            : Iss.Rule == "unsafe-inplace"
+                                  ? LintCheck::UnsafeInPlace
+                                  : LintCheck::MultiUseElide;
+              D.Func = Iss.Function;
+              D.Loc = Iss.Loc;
+              D.Msg = Iss.Message;
+              P->AuditDiags.push_back(std::move(D));
+            }
+            if (!Issues.empty())
+              UseGCTD = false;
+          }
         } catch (const std::exception &E) {
           Diags.warning(SourceLoc{},
                         "GCTD threw on " + F->Name + ": " + E.what());
@@ -387,15 +444,22 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
       P->IdentityPlans.emplace(F.get(), std::move(Identity));
     }
     if (AnyIdentityFallback) {
-      auto Result = DegradeOr(DegradeLevel::IdentityPlans, CompileStage::GCTD,
-                              O.InjectFault == CompileStage::GCTD
-                                  ? "fault injected"
-                                  : "plan verification failed");
+      auto Result = DegradeOr(
+          DegradeLevel::IdentityPlans, CompileStage::GCTD,
+          O.InjectFault == CompileStage::GCTD ? "fault injected"
+          : !P->AuditDiags.empty()
+              ? "plan audit rejected " +
+                    std::to_string(P->AuditDiags.size()) + " violation(s)"
+              : "plan verification failed");
       if (!Result)
         return nullptr;
       // Keep going: the identity plans still need SSA inversion below.
       P = std::move(Result);
     }
+    // The matvet audit rules are part of the lint surface too.
+    if (O.Lint && !P->AuditDiags.empty())
+      P->LintDiags.insert(P->LintDiags.end(), P->AuditDiags.begin(),
+                          P->AuditDiags.end());
 
     // Leave SSA: the plans are fixed, so inversion's copies become
     // identity assignments wherever phi webs were coalesced.
@@ -410,6 +474,11 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
             R.reportTo(Diags, DiagLevel::Warning);
             P->GCTDPlans.clear();
             P->IdentityPlans.clear();
+            // The oracle and alias analysis hold references into TI/RA:
+            // they must go first.
+            P->Legal.reset();
+            P->AA.reset();
+            P->AuditDiags.clear();
             P->RA.reset();
             P->TI.reset();
             P->Ctx.reset();
@@ -418,6 +487,12 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
                              "SSA inversion broke the CFG of " + F->Name);
           }
         }
+        // Inversion rewrote instruction storage: cached per-instruction
+        // facts keyed by address are stale and must be dropped.
+        if (P->AA)
+          P->AA->refresh(*F);
+        if (P->Legal)
+          P->Legal->refresh(*F);
       }
     }
     DumpAfter("invert");
@@ -427,6 +502,9 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     // AST, which exists by this point.
     P->GCTDPlans.clear();
     P->IdentityPlans.clear();
+    P->Legal.reset();
+    P->AA.reset();
+    P->AuditDiags.clear();
     P->RA.reset();
     P->TI.reset();
     P->Ctx.reset();
@@ -476,6 +554,7 @@ ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
   Machine.setHeapLimit(HeapLimit);
   Machine.setRecursionLimit(RecursionLimit);
   Machine.setBufferReuse(!NoFuse);
+  Machine.setLegality(Legal.get(), &GCTDPlans);
   Machine.setProfiler(Prof);
   Machine.setCancelToken(Cancel);
   ExecResult R = Machine.run(Entry);
@@ -496,6 +575,7 @@ ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
   Machine.setOpBudget(OpBudget);
   Machine.setHeapLimit(HeapLimit);
   Machine.setRecursionLimit(RecursionLimit);
+  Machine.setLegality(Legal.get(), &IdentityPlans);
   // Last-use buffer stealing is itself a (dynamic) form of storage
   // coalescing, so the "without GCTD" ablation keeps the destructive
   // layer off regardless of NoFuse -- otherwise the ablation would no

@@ -34,13 +34,21 @@
 ///
 /// Fault injection: set CompileOptions::InjectFault or the MATCOAL_FAULT
 /// environment variable to parse|lower|ssa|typeinf|gctd to force that
-/// stage to fail after it runs, exercising the corresponding rung.
+/// stage to fail after it runs, exercising the corresponding rung. The
+/// extra value plan-corrupt (CompileOptions::InjectPlanCorrupt) breaks a
+/// verified storage plan *after* the verifier accepted it, proving the
+/// independent plan auditor (src/verify/PlanAudit) catches what the
+/// interference-based checks would miss; the audit failure degrades the
+/// program to IdentityPlans and the violations surface through
+/// auditDiags() and `matcoalc --audit-plan`.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MATCOAL_DRIVER_COMPILER_H
 #define MATCOAL_DRIVER_COMPILER_H
 
+#include "analysis/AliasAnalysis.h"
+#include "analysis/InPlaceLegality.h"
 #include "analysis/RangeAnalysis.h"
 #include "frontend/AST.h"
 #include "gctd/GCTD.h"
@@ -94,6 +102,10 @@ struct CompileOptions {
   /// Force this stage to fail after it runs (testing the ladder). The
   /// MATCOAL_FAULT environment variable is consulted when this is None.
   CompileStage InjectFault = CompileStage::None;
+  /// Deliberately corrupt each verified storage plan before the static
+  /// audit runs (MATCOAL_FAULT=plan-corrupt): the auditor must reject the
+  /// plan and the program degrades to IdentityPlans.
+  bool InjectPlanCorrupt = false;
   /// Run the verifier after each stage (cheap; disable only in
   /// benchmarks).
   bool Verify = true;
@@ -162,6 +174,17 @@ public:
   const RangeAnalysis *ranges() const { return RA.get(); }
   /// Lint diagnostics (populated when CompileOptions::Lint was set).
   const std::vector<LintDiag> &lintDiags() const { return LintDiags; }
+  /// Static plan-audit violations (the matvet lint group). Empty on a
+  /// clean audit; populated -- and the program degraded to
+  /// IdentityPlans -- when the auditor rejected a plan.
+  const std::vector<LintDiag> &auditDiags() const { return AuditDiags; }
+  /// The interprocedural alias/escape/last-use analysis; null when its
+  /// construction failed or type inference degraded away.
+  const AliasAnalysis *aliases() const { return AA.get(); }
+  /// The shared in-place legality oracle both the VM's destructive
+  /// kernels and the C emitter's fusion legality query; null only below
+  /// MccOnly (no types to reason over).
+  const InPlaceLegality *legality() const { return Legal.get(); }
 
   /// Implementation detail, public for the factory function.
   std::unique_ptr<Program> Ast;
@@ -169,7 +192,10 @@ public:
   std::unique_ptr<SymExprContext> Ctx;
   std::unique_ptr<TypeInference> TI;
   std::unique_ptr<RangeAnalysis> RA;
+  std::unique_ptr<AliasAnalysis> AA;
+  std::unique_ptr<InPlaceLegality> Legal;
   std::vector<LintDiag> LintDiags;
+  std::vector<LintDiag> AuditDiags;
   std::map<const Function *, StoragePlan> GCTDPlans;
   std::map<const Function *, StoragePlan> IdentityPlans;
   std::string Entry;

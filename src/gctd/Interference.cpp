@@ -2,6 +2,7 @@
 
 #include "gctd/Interference.h"
 
+#include "analysis/InPlaceLegality.h"
 #include "analysis/Liveness.h"
 #include "transforms/Passes.h"
 
@@ -412,29 +413,14 @@ void InterferenceGraph::collectOpSemEdges(
   case Opcode::Call:
     return;
 
-  case Opcode::Builtin: {
-    static const std::set<std::string> InPlaceSafe = {
-        // Elementwise (hoisted scalars, forward loops).
-        "abs", "sqrt", "exp", "log", "log2", "log10", "sin", "cos", "tan",
-        "sinh", "cosh", "tanh", "asin", "acos", "atan", "atan2", "floor",
-        "ceil", "round", "fix", "sign", "real", "imag", "conj", "angle",
-        "mod", "rem", "hypot", "double", "logical",
-        // Write-only constructors (dimension args are scalars).
-        "zeros", "ones", "eye", "rand", "randn", "linspace",
-        // Reductions compute into a register before storing.
-        "min", "max", "sum", "prod", "mean", "norm", "dot",
-        // Metadata-only queries.
-        "size", "numel", "length", "isempty",
-        // Effects with scalar results.
-        "disp", "fprintf", "error", "tic", "toc", "__forcond", "__switcheq",
-        "trace", "strcmp", "cumsum",
-        "pi", "eps", "Inf", "inf", "NaN", "nan", "true", "false", "i", "j",
-    };
-    if (InPlaceSafe.count(I.StrVal))
+  case Opcode::Builtin:
+    // The read-only builtin table lives in the shared legality oracle --
+    // the one home for "may this builtin's result overlay an argument's
+    // storage" that the emitter and the plan auditor consult too.
+    if (InPlaceLegality::builtinReadsOnly(I.StrVal))
       return;
     EdgeToNonScalars();
     return;
-  }
 
   case Opcode::Display:
   case Opcode::Jmp:

@@ -3,6 +3,7 @@
 #include "lint/Lint.h"
 
 #include "analysis/Dominators.h"
+#include "observe/Observe.h"
 #include "transforms/Passes.h"
 
 #include <algorithm>
@@ -452,6 +453,12 @@ const std::vector<LintCheckInfo> &matcoal::lintRegistry() {
        "variable may be read before assignment on some CFG path"},
       {LintCheck::ShapeMismatch, "shape-mismatch",
        "operand shapes are statically inconsistent at this op"},
+      {LintCheck::PlanOverlap, "matvet-plan-overlap",
+       "two simultaneously-live values share one coalesced storage slot"},
+      {LintCheck::UnsafeInPlace, "matvet-unsafe-inplace",
+       "destructive rewrite whose source is still live or not formable"},
+      {LintCheck::MultiUseElide, "matvet-multi-use-elide",
+       "fusion elided an intermediate that is not single-def/single-use"},
   };
   return Registry;
 }
@@ -461,6 +468,17 @@ const char *matcoal::lintCheckId(LintCheck C) {
     if (Info.Check == C)
       return Info.Id;
   return "unknown";
+}
+
+const char *matcoal::lintSeverity(LintCheck C) {
+  switch (C) {
+  case LintCheck::PlanOverlap:
+  case LintCheck::UnsafeInPlace:
+  case LintCheck::MultiUseElide:
+    return "error";
+  default:
+    return "warning";
+  }
 }
 
 std::string LintDiag::str() const {
@@ -475,4 +493,21 @@ std::vector<LintDiag> matcoal::runLint(const Module &M,
                                        const TypeInference &TI,
                                        const RangeAnalysis *RA) {
   return Linter(M, TI, RA).run();
+}
+
+std::string matcoal::lintDiagsJson(const std::vector<LintDiag> &Diags,
+                                   const std::string &File) {
+  std::ostringstream OS;
+  OS << "[";
+  bool First = true;
+  for (const LintDiag &D : Diags) {
+    OS << (First ? "\n" : ",\n") << "  {\"file\": \"" << jsonEscape(File)
+       << "\", \"line\": " << D.Loc.Line << ", \"col\": " << D.Loc.Col
+       << ", \"rule\": \"" << lintCheckId(D.Check) << "\", \"severity\": \""
+       << lintSeverity(D.Check) << "\", \"func\": \"" << jsonEscape(D.Func)
+       << "\", \"msg\": \"" << jsonEscape(D.Msg) << "\"}";
+    First = false;
+  }
+  OS << (First ? "]" : "\n]");
+  return OS.str();
 }

@@ -40,6 +40,13 @@ enum class LintCheck {
   DeadStore,      ///< Assigned value never read (survived DCE).
   MaybeUndefined, ///< Read of a variable undefined along some CFG path.
   ShapeMismatch,  ///< Operand shapes statically inconsistent at an op.
+  // The "matvet" group: violations reported by the static storage-plan
+  // auditor (verify/PlanAudit) rather than the SSA linter. They indicate
+  // an optimizer bug (or an injected plan-corrupt fault), never a source
+  // problem, and always come with the program degraded to identity plans.
+  PlanOverlap,    ///< Two simultaneously-live values share a coalesced slot.
+  UnsafeInPlace,  ///< Destructive rewrite whose source is live or unformable.
+  MultiUseElide,  ///< Fusion elided an intermediate that is not single-use.
 };
 
 struct LintCheckInfo {
@@ -53,6 +60,11 @@ const std::vector<LintCheckInfo> &lintRegistry();
 
 /// Id string for one check.
 const char *lintCheckId(LintCheck C);
+
+/// Severity class of a check: the matvet plan-audit rules are "error"
+/// (they mean the optimizer, not the source, is wrong); every source-
+/// level check is "warning".
+const char *lintSeverity(LintCheck C);
 
 /// One diagnostic instance.
 struct LintDiag {
@@ -71,6 +83,14 @@ struct LintDiag {
 /// facts and report strictly less.
 std::vector<LintDiag> runLint(const Module &M, const TypeInference &TI,
                               const RangeAnalysis *RA);
+
+/// Machine-readable rendering: a JSON array with one object per
+/// diagnostic -- {"file","line","col","rule","severity","func","msg"} --
+/// shared by `matcoalc --lint-json` and the matcoald "lint" op so tooling
+/// parses one envelope. \p File labels every record ("<stdin>" when the
+/// source did not come from a path).
+std::string lintDiagsJson(const std::vector<LintDiag> &Diags,
+                          const std::string &File);
 
 } // namespace matcoal
 

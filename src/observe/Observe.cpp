@@ -38,6 +38,10 @@ const char *matcoal::remarkKindName(RemarkKind K) {
     return "degraded";
   case RemarkKind::PlanDrift:
     return "plan-drift";
+  case RemarkKind::InPlaceProven:
+    return "inplace-proven";
+  case RemarkKind::InPlaceRefused:
+    return "inplace-refused";
   }
   return "unknown";
 }

@@ -76,6 +76,8 @@ enum class RemarkKind {
   RegionFused,    ///< Elementwise chain fused into one loop.
   Degraded,       ///< A pipeline stage fell down the degradation ladder.
   PlanDrift,      ///< Observed runtime behavior diverged from the plan.
+  InPlaceProven,  ///< Legality oracle proved an in-place question safe.
+  InPlaceRefused, ///< Legality oracle refused an in-place question.
 };
 
 const char *remarkKindName(RemarkKind K);

@@ -70,6 +70,7 @@ bool ServiceRequest::fromJson(const JsonValue &V, ServiceRequest &Out,
   Out.NoFuse = V.get("no_fuse").asBool(false);
   Out.NoRanges = V.get("no_ranges").asBool(false);
   Out.Profile = V.get("profile").asBool(false);
+  Out.LintOnly = V.get("lint").asBool(false);
   return true;
 }
 
@@ -101,6 +102,21 @@ JsonValue ServiceResponse::toJson() const {
     O.set("worker", JsonValue::number(Worker));
   if (!DriftReport.empty())
     O.set("drift", JsonValue::str(DriftReport));
+  if (HasLint) {
+    // Same record shape as `matcoalc --lint-json`, one tool envelope.
+    JsonValue L = JsonValue::array();
+    for (const LintDiag &D : Lint) {
+      JsonValue E = JsonValue::object();
+      E.set("line", JsonValue::number(D.Loc.Line));
+      E.set("col", JsonValue::number(D.Loc.Col));
+      E.set("rule", JsonValue::str(lintCheckId(D.Check)));
+      E.set("severity", JsonValue::str(lintSeverity(D.Check)));
+      E.set("func", JsonValue::str(D.Func));
+      E.set("msg", JsonValue::str(D.Msg));
+      L.push(std::move(E));
+    }
+    O.set("lint", std::move(L));
+  }
   if (!Counters.empty()) {
     JsonValue C = JsonValue::object();
     for (const auto &[Name, Value] : Counters)
@@ -270,8 +286,14 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
   try {
     CompileOptions O;
     O.Entry = R.Entry;
-    O.InjectFault =
-        R.Fault.empty() ? CompileStage::None : parseCompileStage(R.Fault);
+    // plan-corrupt is a valid fault name but not a pipeline stage: it
+    // breaks the verified plan so the static auditor must catch it.
+    if (R.Fault == "plan-corrupt")
+      O.InjectPlanCorrupt = true;
+    else
+      O.InjectFault =
+          R.Fault.empty() ? CompileStage::None : parseCompileStage(R.Fault);
+    O.Lint = R.LintOnly;
     O.NoFuse = R.NoFuse;
     O.Analysis = R.NoRanges ? AnalysisLevel::None : AnalysisLevel::Ranges;
     O.Obs = &Obs;
@@ -297,6 +319,16 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
     }
 
     Resp.Rung = degradeLevelName(P->level());
+
+    // The lint op stops here: diagnostics ride home, nothing runs.
+    if (R.LintOnly) {
+      Resp.Kind = ResponseKind::OK;
+      Resp.OK = true;
+      Resp.HasLint = true;
+      Resp.Lint = P->lintDiags();
+      return Resp;
+    }
+
     if (R.Profile)
       P->Prof = &Prof;
 

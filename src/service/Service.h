@@ -96,6 +96,9 @@ struct ServiceRequest {
   /// Run under the storage profiler and attach the plan-drift verdict
   /// counts to the response.
   bool Profile = false;
+  /// The "lint" op: compile with the matlint checks (plus the matvet
+  /// plan-audit group) and return the diagnostics instead of running.
+  bool LintOnly = false;
 
   /// Decodes the protocol envelope; returns false with \p Error set on a
   /// malformed request (missing source, mistyped fields).
@@ -136,6 +139,11 @@ struct ServiceResponse {
   /// Plan-vs-actual drift report when the request asked for profiling;
   /// empty otherwise.
   std::string DriftReport;
+  /// Lint findings for a LintOnly request, in the same
+  /// {file,line,col,rule,severity,func,msg} shape `matcoalc --lint-json`
+  /// prints; HasLint distinguishes "ran, clean" from "not requested".
+  bool HasLint = false;
+  std::vector<LintDiag> Lint;
   /// Per-request compile/run counters (the request Observer's registry).
   std::vector<std::pair<std::string, std::int64_t>> Counters;
 

@@ -7,6 +7,8 @@
 //
 //   $ matcoalc prog.m                   # compile + run (static model)
 //   $ matcoalc --lint prog.m            # static diagnostics (matlint)
+//   $ matcoalc --lint-json prog.m       # same findings, JSON envelope
+//   $ matcoalc --audit-plan prog.m      # re-prove the storage plans
 //   $ matcoalc --dump-plan prog.m       # print the GCTD storage plans
 //   $ matcoalc --emit-c prog.m          # print the mat2c C translation
 //   $ matcoalc --no-ranges ... prog.m   # types-only ablation of any mode
@@ -58,6 +60,15 @@ void usage(const char *Argv0) {
                "\n"
                "modes (default: compile and run under the static model):\n"
                "  --lint        run the matlint checks and print findings\n"
+               "  --lint-json   print the findings as a JSON array of\n"
+               "                {file,line,col,rule,severity,func,msg}\n"
+               "                records (the matcoald 'lint' op emits the\n"
+               "                same envelope)\n"
+               "  --audit-plan  re-prove every storage plan with the\n"
+               "                static auditor (abstract interpretation,\n"
+               "                independent of the interference graph);\n"
+               "                silent and exit 0 on a clean audit, one\n"
+               "                matvet-* finding per violation otherwise\n"
                "  --dump-plan   print the per-function storage plans\n"
                "  --emit-c      print the generated C translation unit\n"
                "\n"
@@ -131,7 +142,8 @@ bool writeOut(const std::string &Path, const std::string &Text) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bool DoLint = false, DoPlan = false, DoEmitC = false;
+  bool DoLint = false, LintJson = false, DoAudit = false, DoPlan = false,
+       DoEmitC = false;
   bool DoRemarks = false;
   bool DoTimeline = false, DoDrift = false, EmitProfiling = false;
   bool ProfileSet = false;
@@ -143,6 +155,11 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--lint")) {
       DoLint = true;
+    } else if (!std::strcmp(Argv[I], "--lint-json")) {
+      DoLint = true;
+      LintJson = true;
+    } else if (!std::strcmp(Argv[I], "--audit-plan")) {
+      DoAudit = true;
     } else if (!std::strcmp(Argv[I], "--dump-plan")) {
       DoPlan = true;
     } else if (!std::strcmp(Argv[I], "--emit-c")) {
@@ -313,13 +330,28 @@ int main(int Argc, char **Argv) {
   EOpts.Profile = EmitProfiling;
   if (Observing && !DoEmitC && Program->M && Program->TI)
     (void)emitModuleC(Program->module(), Program->GCTDPlans,
-                      Program->types(), Program->ranges(), &Obs, EOpts);
+                      Program->types(), Program->ranges(), &Obs, EOpts,
+                      Program->legality());
 
   int Exit = 0;
-  if (DoLint) {
-    for (const LintDiag &D : Program->lintDiags())
+  if (DoAudit) {
+    // Silent on a clean audit: CI greps for any output at all.
+    for (const LintDiag &D : Program->auditDiags())
       std::printf("%s:%s\n", PathLabel.c_str(), D.str().c_str());
-    std::fprintf(stderr, "%zu finding(s)\n", Program->lintDiags().size());
+    if (!DoLint && !DoPlan && !DoEmitC) {
+      Exit = Program->auditDiags().empty() ? 0 : 1;
+      return EmitObservability() ? Exit : 1;
+    }
+  }
+  if (DoLint) {
+    if (LintJson) {
+      std::printf("%s\n", lintDiagsJson(Program->lintDiags(),
+                                        PathLabel).c_str());
+    } else {
+      for (const LintDiag &D : Program->lintDiags())
+        std::printf("%s:%s\n", PathLabel.c_str(), D.str().c_str());
+      std::fprintf(stderr, "%zu finding(s)\n", Program->lintDiags().size());
+    }
     if (!DoPlan && !DoEmitC) {
       Exit = Program->lintDiags().empty() ? 0 : 1;
       return EmitObservability() ? Exit : 1;
@@ -334,7 +366,8 @@ int main(int Argc, char **Argv) {
   if (DoEmitC) {
     std::fputs(emitModuleC(Program->module(), Program->GCTDPlans,
                            Program->types(), Program->ranges(),
-                           Observing ? &Obs : nullptr, EOpts)
+                           Observing ? &Obs : nullptr, EOpts,
+                           Program->legality())
                    .c_str(),
                stdout);
     return EmitObservability() ? 0 : 1;

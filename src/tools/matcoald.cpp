@@ -14,8 +14,10 @@
 //              "output":"2\n",...}
 //
 // Request fields: id (echoed), source (required), entry, fault (inject a
-// stage fault: parse|lower|ssa|typeinf|gctd), deadline_ms, seed, no_fuse,
-// no_ranges, profile; op: "compile" (default), "stats", or "shutdown".
+// stage fault: parse|lower|ssa|typeinf|gctd|plan-corrupt), deadline_ms,
+// seed, no_fuse, no_ranges, profile; op: "compile" (default), "lint"
+// (return matlint + matvet findings instead of running), "stats", or
+// "shutdown".
 //
 // The contract matcoald adds over matcoalc is *survival*: a request that
 // fails to parse, trips a verifier fault, traps at runtime, or outruns
@@ -74,9 +76,11 @@ void usage(const char *Argv0) {
       "  --socket=<path>    listen on a unix socket instead of stdin\n"
       "  --help             this text\n"
       "\n"
-      "request ops: \"compile\" (default) runs the source; \"stats\"\n"
-      "returns the server-wide counter aggregate; \"shutdown\" drains and\n"
-      "stops the daemon.\n",
+      "request ops: \"compile\" (default) runs the source; \"lint\"\n"
+      "compiles and returns the matlint + matvet findings as a JSON\n"
+      "array (same record shape as matcoalc --lint-json) instead of\n"
+      "running; \"stats\" returns the server-wide counter aggregate;\n"
+      "\"shutdown\" drains and stops the daemon.\n",
       Argv0);
 }
 
@@ -152,10 +156,11 @@ bool serveStream(CompileService &Svc, std::istream &In, LineWriter &Out) {
       Out.writeLine(R.dump());
       return false;
     }
-    if (!Op.empty() && Op != "compile") {
+    if (!Op.empty() && Op != "compile" && Op != "lint") {
       Out.writeLine(protocolError(Doc->get("id").asString(),
                                   "unknown op '" + Op +
-                                      "' (have: compile, stats, shutdown)")
+                                      "' (have: compile, lint, stats, "
+                                      "shutdown)")
                         .toJson()
                         .dump());
       continue;
@@ -168,6 +173,8 @@ bool serveStream(CompileService &Svc, std::istream &In, LineWriter &Out) {
           protocolError(Doc->get("id").asString(), ReqErr).toJson().dump());
       continue;
     }
+    if (Op == "lint")
+      Req.LintOnly = true;
     bool Accepted = Svc.submit(Req, [&Out](ServiceResponse Resp) {
       Out.writeLine(Resp.toJson().dump());
     });

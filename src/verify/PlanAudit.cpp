@@ -1,0 +1,545 @@
+//===- PlanAudit.cpp - Static storage-plan auditor --------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/PlanAudit.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/InPlaceLegality.h"
+#include "analysis/Liveness.h"
+#include "support/BitVector.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace matcoal {
+
+namespace {
+
+std::string provenance(const Instr &I) {
+  std::ostringstream OS;
+  if (I.Loc.isValid())
+    OS << "line " << I.Loc.Line << " (" << opcodeName(I.Op) << ")";
+  else
+    OS << "(" << opcodeName(I.Op) << ")";
+  return OS.str();
+}
+
+/// Live-after bitvector for every instruction of \p BB, derived by the
+/// same backward in-block walk the VM's buildInfo uses (results killed,
+/// operands gen'd), seeded from the block's LiveOut.
+std::vector<BitVector> liveAfterBlock(const LivenessInfo &Live,
+                                      const BasicBlock &BB) {
+  std::vector<BitVector> After(BB.Instrs.size());
+  BitVector LiveNow = Live.LiveOut[BB.Id];
+  for (size_t Idx = BB.Instrs.size(); Idx-- > 0;) {
+    After[Idx] = LiveNow;
+    const Instr &I = BB.Instrs[Idx];
+    for (VarId R : I.Results)
+      if (R != NoVar)
+        LiveNow.reset(R);
+    for (VarId U : I.Operands)
+      if (U != NoVar)
+        LiveNow.set(U);
+  }
+  return After;
+}
+
+bool isOperandOf(const Instr &I, VarId V) {
+  return std::find(I.Operands.begin(), I.Operands.end(), V) !=
+         I.Operands.end();
+}
+
+/// The auditor's own copy of the paper's in-place-formability rules
+/// (sections 2.3.2/2.3.3): may instruction \p I legally write its result
+/// over \p X's storage when the plan puts them in one slot? Mirrors the
+/// operator-semantics edges Interference.cpp adds -- an edge between the
+/// result and X means "not formable" -- but is derived here directly from
+/// types and ranges so it cross-checks the graph rather than trusting it.
+class Formability {
+public:
+  Formability(const Function &F, const TypeInference &TI,
+              const RangeAnalysis *RA)
+      : F(F), Types(TI.hasTypesFor(F) ? &TI.functionTypes(F) : nullptr),
+        RA(RA) {}
+
+  bool isScalar(VarId V) const {
+    if (Types && (*Types)[V].isScalar())
+      return true;
+    return RA && RA->provablyScalar(F, V);
+  }
+
+  bool isScalarOrVector(VarId V) const {
+    if (isScalar(V))
+      return true;
+    if (Types) {
+      const VarType &T = (*Types)[V];
+      if (T.Extents.size() == 2 &&
+          ((T.Extents[0]->isConst() && T.Extents[0]->constValue() == 1) ||
+           (T.Extents[1]->isConst() && T.Extents[1]->constValue() == 1)))
+        return true;
+    }
+    return RA && RA->provablyScalarOrVector(F, V);
+  }
+
+  /// True when writing I's result over operand X's slot is safe.
+  bool formable(const Instr &I, VarId X) const {
+    // Edges only ever target non-scalar operands: a scalar operand is
+    // hoisted into a register before the destination is written.
+    if (isScalar(X))
+      return true;
+    switch (I.Op) {
+    // Elementwise operators visit each element exactly once, in order --
+    // the paper's canonical in-place form.
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::ElemMul:
+    case Opcode::ElemRDiv:
+    case Opcode::ElemLDiv:
+    case Opcode::ElemPow:
+    case Opcode::Lt:
+    case Opcode::Le:
+    case Opcode::Gt:
+    case Opcode::Ge:
+    case Opcode::Eq:
+    case Opcode::Ne:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Neg:
+    case Opcode::UPlus:
+    case Opcode::Not:
+      return true;
+    // Linear-algebra forms degenerate to elementwise only when one side
+    // is scalar; a true matrix product reads X after writing the result.
+    case Opcode::MatMul:
+    case Opcode::MatRDiv:
+    case Opcode::MatLDiv:
+    case Opcode::MatPow:
+      return I.Operands.size() == 2 &&
+             (isScalar(I.Operands[0]) || isScalar(I.Operands[1]));
+    // A vector transpose is a pure copy; a matrix transpose permutes.
+    case Opcode::Transpose:
+    case Opcode::CTranspose:
+      return isScalarOrVector(X);
+    case Opcode::Subsref: {
+      // All-scalar non-colon subscripts read one element: formable over
+      // anything. Otherwise the base may be re-read after the first
+      // write, and non-scalar subscript vectors are consumed gradually.
+      bool AllScalarSubs = true;
+      for (size_t K = 1; K < I.Operands.size(); ++K)
+        if (!isScalar(I.Operands[K]) ||
+            (Types && (*Types)[I.Operands[K]].IT == IntrinsicType::Colon))
+          AllScalarSubs = false;
+      return AllScalarSubs;
+    }
+    case Opcode::Subsasgn:
+      // The base is the destination by definition; everything else must
+      // not share the slot being updated.
+      return !I.Operands.empty() && X == I.Operands[0];
+    case Opcode::HorzCat:
+    case Opcode::VertCat:
+      // Concatenation re-reads every piece while filling the result.
+      return false;
+    case Opcode::Builtin:
+      return InPlaceLegality::builtinReadsOnly(I.StrVal);
+    default:
+      // Copies, phis, constants, colon ranges, calls: never formed over
+      // a live operand in a way that re-reads it.
+      return true;
+    }
+  }
+
+private:
+  const Function &F;
+  const std::vector<VarType> *Types;
+  const RangeAnalysis *RA;
+};
+
+/// May-occupancy state: per storage group, the set of values whose live
+/// data may sit in the slot along some path.
+using Occupancy = std::vector<std::set<VarId>>;
+
+bool unionInto(Occupancy &Dst, const Occupancy &Src) {
+  bool Changed = false;
+  for (size_t G = 0; G < Dst.size(); ++G)
+    for (VarId V : Src[G])
+      Changed |= Dst[G].insert(V).second;
+  return Changed;
+}
+
+bool isIdentityCopy(const Instr &I, const StoragePlan &Plan) {
+  return I.Op == Opcode::Copy && I.Results.size() == 1 &&
+         I.Operands.size() == 1 && Plan.sameSlot(I.Results[0], I.Operands[0]);
+}
+
+/// Applies one instruction to the occupancy state. Identity copies and
+/// phis do not physically write, so existing occupants survive; any other
+/// definition is a strong update of its group.
+void transferInstr(const Instr &I, const StoragePlan &Plan, Occupancy &Occ) {
+  for (VarId R : I.Results) {
+    if (R == NoVar)
+      continue;
+    int G = Plan.groupOf(R);
+    if (G < 0)
+      continue;
+    if (isIdentityCopy(I, Plan) || I.Op == Opcode::Phi) {
+      Occ[G].insert(R);
+    } else {
+      Occ[G].clear();
+      Occ[G].insert(R);
+    }
+  }
+}
+
+/// Re-derives the emitter's fusion regions from the IR alone and returns,
+/// per elided intermediate, the (def, use) sites the region relies on.
+/// Mirrors CEmitter::planFusion/planRun admission: runs of fusion
+/// candidates (plus transparent constants), roots at run ends, feeders
+/// admitted when single-def/single-use under the param/output convention.
+struct ElisionSite {
+  VarId V = NoVar;
+  const Instr *Def = nullptr; ///< The region member defining V.
+  const Instr *Use = nullptr; ///< The region member consuming V.
+};
+
+bool fusionCandidateStatic(const Instr &I, const Formability &Form) {
+  if (I.Results.size() != 1 || I.Operands.size() != 2)
+    return false;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::ElemMul:
+  case Opcode::ElemRDiv:
+    return true;
+  case Opcode::MatMul:
+    return Form.isScalar(I.Operands[0]) || Form.isScalar(I.Operands[1]);
+  default:
+    return false;
+  }
+}
+
+std::vector<ElisionSite> deriveElisions(const Function &F,
+                                        const Formability &Form,
+                                        const AliasAnalysis *AA) {
+  // Whole-function def/use counts under the oracle's convention: params
+  // carry an implicit definition, outputs an implicit use past Ret.
+  // Admission deliberately takes the counts from the alias analysis when
+  // one is attached -- the same source the oracle's elidableIntermediate
+  // consults -- while check (c)'s verification walks the function afresh.
+  // A divergence (a stale or miscounting analysis admitting a multi-use
+  // intermediate) is exactly what the check exists to catch.
+  std::map<VarId, int> Defs, Uses;
+  if (AA) {
+    for (unsigned V = 0; V < F.numVars(); ++V) {
+      Defs[static_cast<VarId>(V)] =
+          static_cast<int>(AA->defCount(F, static_cast<VarId>(V)));
+      Uses[static_cast<VarId>(V)] =
+          static_cast<int>(AA->useCount(F, static_cast<VarId>(V)));
+    }
+  } else {
+    for (VarId P : F.Params)
+      ++Defs[P];
+    for (VarId O : F.Outputs)
+      ++Uses[O];
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs) {
+        for (VarId R : I.Results)
+          if (R != NoVar)
+            ++Defs[R];
+        for (VarId U : I.Operands)
+          if (U != NoVar)
+            ++Uses[U];
+      }
+  }
+
+  std::vector<ElisionSite> Sites;
+  for (const auto &BB : F.Blocks) {
+    const auto &Instrs = BB->Instrs;
+    std::vector<char> InRun(Instrs.size(), 0), Cand(Instrs.size(), 0);
+    for (size_t I = 0; I < Instrs.size(); ++I) {
+      Cand[I] = fusionCandidateStatic(Instrs[I], Form);
+      InRun[I] = Cand[I] || InPlaceLegality::fusionTransparent(Instrs[I]);
+    }
+    size_t I = 0;
+    while (I < Instrs.size()) {
+      if (!InRun[I]) {
+        ++I;
+        continue;
+      }
+      size_t End = I;
+      while (End < Instrs.size() && InRun[End])
+        ++End;
+      // Within [I, End): grow a tree from each candidate root backwards,
+      // admitting single-def/single-use feeders, exactly as planRun does.
+      std::map<VarId, size_t> RunDef;
+      for (size_t K = I; K < End; ++K)
+        for (VarId R : Instrs[K].Results)
+          if (R != NoVar)
+            RunDef[R] = K;
+      std::vector<char> Taken(End - I, 0);
+      for (size_t R = End; R-- > I;) {
+        if (!Cand[R] || Taken[R - I])
+          continue;
+        std::vector<size_t> Work{R};
+        Taken[R - I] = 1;
+        while (!Work.empty()) {
+          size_t K = Work.back();
+          Work.pop_back();
+          for (VarId Op : Instrs[K].Operands) {
+            auto It = RunDef.find(Op);
+            if (It == RunDef.end() || It->second >= K || Taken[It->second - I])
+              continue;
+            if (Defs[Op] != 1 || Uses[Op] != 1)
+              continue;
+            Taken[It->second - I] = 1;
+            Work.push_back(It->second);
+            ElisionSite S;
+            S.V = Op;
+            S.Def = &Instrs[It->second];
+            S.Use = &Instrs[K];
+            Sites.push_back(S);
+          }
+        }
+      }
+      I = End;
+    }
+  }
+  return Sites;
+}
+
+} // namespace
+
+std::string PlanAuditIssue::str() const {
+  std::string S = Rule + ": " + Message;
+  if (!Function.empty())
+    S += " [" + Function + "]";
+  return S;
+}
+
+std::vector<PlanAuditIssue>
+auditStoragePlan(const Function &F, const StoragePlan &Plan,
+                 const TypeInference &TI, const RangeAnalysis *RA,
+                 const AliasAnalysis *AA, Observer *Obs) {
+  std::vector<PlanAuditIssue> Issues;
+  count(Obs, "verify.audit.functions");
+
+  auto Flag = [&](const char *Rule, const Instr &I, const std::string &Msg) {
+    PlanAuditIssue Iss;
+    Iss.Rule = Rule;
+    Iss.Function = F.Name;
+    Iss.Loc = I.Loc;
+    Iss.Message = provenance(I) + ": " + Msg;
+    Issues.push_back(std::move(Iss));
+  };
+
+  LivenessInfo Live = computeLiveness(F);
+  Formability Form(F, TI, RA);
+
+  // --- Check (a): plan-overlap ------------------------------------------
+  // Forward may-occupancy fixpoint (union join) ...
+  size_t NumGroups = Plan.Groups.size();
+  std::vector<Occupancy> OccIn(F.Blocks.size(),
+                               Occupancy(NumGroups));
+  std::vector<char> Seen(F.Blocks.size(), 0);
+  std::vector<BlockId> RPO = F.reversePostOrder();
+  for (VarId P : F.Params) {
+    int G = Plan.groupOf(P);
+    if (G >= 0)
+      OccIn[F.entry()->Id][G].insert(P);
+  }
+  Seen[F.entry()->Id] = 1;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : RPO) {
+      if (!Seen[B])
+        continue;
+      Occupancy Occ = OccIn[B];
+      const BasicBlock *BB = F.block(B);
+      for (const Instr &I : BB->Instrs)
+        transferInstr(I, Plan, Occ);
+      const Instr &Term = BB->Instrs.back();
+      for (BlockId S : {Term.Target1, Term.Target2}) {
+        if (S == NoBlock)
+          continue;
+        if (!Seen[S]) {
+          Seen[S] = 1;
+          Changed = true;
+        }
+        Changed |= unionInto(OccIn[S], Occ);
+      }
+    }
+  }
+  // ... then one reporting pass over the stable states.
+  for (const auto &BB : F.Blocks) {
+    if (!Seen[BB->Id])
+      continue; // Unreachable blocks never execute.
+    Occupancy Occ = OccIn[BB->Id];
+    std::vector<BitVector> After = liveAfterBlock(Live, *BB);
+    for (size_t Idx = 0; Idx < BB->Instrs.size(); ++Idx) {
+      const Instr &I = BB->Instrs[Idx];
+      bool Identity = isIdentityCopy(I, Plan);
+      for (VarId R : I.Results) {
+        if (R == NoVar)
+          continue;
+        int G = Plan.groupOf(R);
+        if (G < 0 || Identity)
+          continue;
+        for (VarId U : Occ[G]) {
+          if (U == R || isOperandOf(I, U))
+            continue; // Operand overlap is check (b)'s domain.
+          if (I.Op == Opcode::Phi)
+            continue; // Coalesced phi webs write nothing.
+          if (!After[Idx].test(U))
+            continue;
+          Flag("plan-overlap", I,
+               "defining '" + F.var(R).Name + "' clobbers slot g" +
+                   std::to_string(G) + " while '" + F.var(U).Name +
+                   "' is still live");
+        }
+      }
+      transferInstr(I, Plan, Occ);
+    }
+  }
+
+  // --- Check (b): unsafe-inplace ----------------------------------------
+  for (const auto &BB : F.Blocks) {
+    if (!Seen[BB->Id])
+      continue;
+    std::vector<BitVector> After = liveAfterBlock(Live, *BB);
+    for (size_t Idx = 0; Idx < BB->Instrs.size(); ++Idx) {
+      const Instr &I = BB->Instrs[Idx];
+      if (I.Op == Opcode::Copy || I.Op == Opcode::Phi ||
+          I.Results.size() != 1)
+        continue;
+      VarId R = I.Results[0];
+      if (Plan.groupOf(R) < 0)
+        continue;
+      std::set<VarId> Checked;
+      for (size_t K = 0; K < I.Operands.size(); ++K) {
+        VarId X = I.Operands[K];
+        if (X == NoVar || X == R || !Checked.insert(X).second)
+          continue;
+        if (!Plan.sameSlot(R, X))
+          continue;
+        // The source of a destructive rewrite must be dead here (its
+        // last use is this instruction). AliasAnalysis carries exactly
+        // this last-use fact; fall back to the local walk without it.
+        bool DeadAfter = AA ? AA->lastUseAt(F, BB->Id, Idx, X)
+                            : !After[Idx].test(X);
+        if (!DeadAfter) {
+          Flag("unsafe-inplace", I,
+               "result '" + F.var(R).Name + "' shares a slot with '" +
+                   F.var(X).Name + "' whose value is still live");
+          continue;
+        }
+        if (!Form.formable(I, X))
+          Flag("unsafe-inplace", I,
+               "operator is not formable in place over '" + F.var(X).Name +
+                   "' (result shares its slot)");
+      }
+    }
+  }
+
+  // --- Check (c): multi-use-elide ---------------------------------------
+  // Re-derive the fusion regions, then re-verify each elided intermediate
+  // against a fresh walk of the whole function.
+  for (const ElisionSite &S : deriveElisions(F, Form, AA)) {
+    const VarInfo &VI = F.var(S.V);
+    if (VI.IsParam || VI.IsOutput) {
+      Flag("multi-use-elide", *S.Def,
+           "fusion elides '" + VI.Name + "' which is a " +
+               (VI.IsParam ? "parameter" : "function output"));
+      continue;
+    }
+    int NDefs = 0, NUses = 0;
+    const Instr *Stranger = nullptr;
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs) {
+        for (VarId Rv : I.Results)
+          if (Rv == S.V) {
+            ++NDefs;
+            if (&I != S.Def)
+              Stranger = &I;
+          }
+        for (VarId U : I.Operands)
+          if (U == S.V) {
+            ++NUses;
+            if (&I != S.Use)
+              Stranger = &I;
+          }
+      }
+    if (NDefs != 1 || NUses != 1)
+      Flag("multi-use-elide", Stranger ? *Stranger : *S.Def,
+           "fusion elides '" + VI.Name + "' which has " +
+               std::to_string(NDefs) + " def(s) and " +
+               std::to_string(NUses) + " use(s); need exactly one of each");
+  }
+
+  count(Obs, "verify.audit.violations",
+        static_cast<std::int64_t>(Issues.size()));
+  return Issues;
+}
+
+bool corruptStoragePlanForTesting(const Function &F, StoragePlan &Plan) {
+  LivenessInfo Live = computeLiveness(F);
+  DominatorTree DT(F);
+
+  // Definition sites (block, in-block index); params define at entry/-1.
+  std::map<VarId, std::pair<BlockId, int>> DefSite;
+  for (VarId P : F.Params)
+    DefSite[P] = {F.entry()->Id, -1};
+  for (const auto &BB : F.Blocks)
+    for (size_t Idx = 0; Idx < BB->Instrs.size(); ++Idx)
+      for (VarId R : BB->Instrs[Idx].Results)
+        if (R != NoVar && !DefSite.count(R))
+          DefSite[R] = {BB->Id, static_cast<int>(Idx)};
+
+  for (BlockId B : DT.rpo()) {
+    const BasicBlock *BB = F.block(B);
+    std::vector<BitVector> After = liveAfterBlock(Live, *BB);
+    for (size_t Idx = 0; Idx < BB->Instrs.size(); ++Idx) {
+      const Instr &I = BB->Instrs[Idx];
+      if (I.Op == Opcode::Copy || I.Op == Opcode::Phi ||
+          I.Results.size() != 1)
+        continue;
+      VarId V = I.Results[0];
+      int G = Plan.groupOf(V);
+      if (G < 0)
+        continue;
+      for (const auto &Entry : DefSite) {
+        VarId U = Entry.first;
+        int GU = Plan.groupOf(U);
+        if (GU < 0 || GU == G)
+          continue;
+        if (Plan.Groups[GU].IT != Plan.Groups[G].IT)
+          continue;
+        if (isOperandOf(I, U))
+          continue;
+        // U's definition must reach V's on every path (dominance) so the
+        // auditor's may-occupancy provably contains it.
+        BlockId DB = Entry.second.first;
+        int DIdx = Entry.second.second;
+        bool Reaches = (DB == B) ? DIdx < static_cast<int>(Idx)
+                                 : DT.dominates(DB, B) && DB != B;
+        if (!Reaches || !After[Idx].test(U))
+          continue;
+        // Move V into U's group: two simultaneously-live values now share
+        // one slot -- exactly what the auditor must reject.
+        auto &Old = Plan.Groups[G].Members;
+        Old.erase(std::remove(Old.begin(), Old.end(), V), Old.end());
+        Plan.Groups[GU].Members.push_back(V);
+        Plan.GroupOf[V] = GU;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace matcoal

@@ -1,0 +1,85 @@
+//===- PlanAudit.h - Static storage-plan auditor ----------------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An abstract interpretation of each function's SSA form with symbolic
+/// storage states that re-proves, independently of the interference
+/// graph, that the storage plan's destructive discipline is sound:
+///
+///  * **plan-overlap**: no two simultaneously-live values ever occupy one
+///    coalesced slot. The auditor tracks, per storage group, the set of
+///    values that may occupy the slot along some path (may-occupancy,
+///    joined by union at CFG merges) and flags any definition that
+///    clobbers a slot while a distinct occupant is still live.
+///  * **unsafe-inplace**: every destructive rewrite's source is dead or
+///    uniquely owned -- an instruction whose result shares a slot with a
+///    non-scalar operand must consume that operand (its last use is here)
+///    and the operator must be formable in place (the paper's sections
+///    2.3.2/2.3.3 rules, re-derived here from types and ranges rather
+///    than trusted from Interference.cpp).
+///  * **multi-use-elide**: every fusion region's elided intermediates are
+///    single-def/single-use and neither parameters nor outputs, checked
+///    against a fresh IR walk rather than the emitter's own counts.
+///
+/// Violations carry "line N (op)" provenance like the VM's trap messages.
+/// A clean audit on a GCTD plan is the correctness gate ROADMAP item 3
+/// (cross-block fusion, threaded kernels) builds on; the driver surfaces
+/// failures through `matcoalc --audit-plan` and the matvet lint group,
+/// and `MATCOAL_FAULT=plan-corrupt` exercises the detector in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_VERIFY_PLANAUDIT_H
+#define MATCOAL_VERIFY_PLANAUDIT_H
+
+#include "analysis/AliasAnalysis.h"
+#include "analysis/RangeAnalysis.h"
+#include "gctd/StoragePlan.h"
+#include "ir/IR.h"
+#include "observe/Observe.h"
+#include "typeinf/TypeInference.h"
+
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// One audit violation.
+struct PlanAuditIssue {
+  /// Stable rule id: "plan-overlap", "unsafe-inplace", "multi-use-elide".
+  std::string Rule;
+  std::string Function;
+  SourceLoc Loc;
+  /// Self-contained message with "line N (op)" provenance.
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Audits \p Plan for \p F (must still be in SSA form). \p RA must be the
+/// analysis the plan was built with (or null for a types-only plan) so
+/// range-justified in-place formations are re-derived rather than
+/// rejected. \p AA, when present, sharpens the occupancy tracking with
+/// interprocedural escape facts (a Call argument whose callee summary
+/// proves it non-escaping cannot be clobbered by the callee). A non-null
+/// \p Obs receives the verify.audit.* counters.
+std::vector<PlanAuditIssue>
+auditStoragePlan(const Function &F, const StoragePlan &Plan,
+                 const TypeInference &TI, const RangeAnalysis *RA = nullptr,
+                 const AliasAnalysis *AA = nullptr, Observer *Obs = nullptr);
+
+/// Deliberately breaks \p Plan for fault-injection testing
+/// (`MATCOAL_FAULT=plan-corrupt`): moves some definition into another
+/// same-typed group whose occupant is still live at that point, creating
+/// exactly the overlap the auditor must catch. Returns false when the
+/// function has no eligible pair (e.g. every group is a singleton with
+/// disjoint lifetimes).
+bool corruptStoragePlanForTesting(const Function &F, StoragePlan &Plan);
+
+} // namespace matcoal
+
+#endif // MATCOAL_VERIFY_PLANAUDIT_H

@@ -2,6 +2,7 @@
 
 #include "vm/VM.h"
 
+#include "analysis/InPlaceLegality.h"
 #include "analysis/Liveness.h"
 #include "observe/RuntimeProfiler.h"
 #include "runtime/BufferPool.h"
@@ -33,13 +34,12 @@ bool conforming(const Array &A, const Array &B) {
   return true;
 }
 
-/// Mirrors binaryOpInto's fast path: a real, non-char elementwise op on
-/// scalar or shape-conforming operands. Only these are worth executing
-/// destructively; everything else goes through the general kernel.
-bool destructiveCandidate(Opcode Op, const Array &A, const Array &B) {
-  if (Op != Opcode::Add && Op != Opcode::Sub && Op != Opcode::ElemMul &&
-      Op != Opcode::ElemRDiv)
-    return false;
+/// The dynamic half of the destructive-execution gate: a real, non-char op
+/// on scalar or shape-conforming values -- binaryOpInto's fast path. The
+/// static half (opcode family, operand arity) is the legality oracle's
+/// (InPlaceLegality::destructiveLegal); this only checks what cannot be
+/// known before the values exist.
+bool destructiveValueOK(const Array &A, const Array &B) {
   if (A.isComplex() || B.isComplex() || A.isChar() || B.isChar())
     return false;
   return A.isScalar() || B.isScalar() || conforming(A, B);
@@ -100,6 +100,49 @@ void VM::buildInfo() {
   }
 }
 
+void VM::primeLegality() {
+  DestLegalCache.clear();
+  SubsInPlaceCache.clear();
+  if (Model != ExecModel::Static)
+    return;
+  // Decide every destructive-execution site up front: one oracle query per
+  // site (memoized, journaled, counted on the oracle side), so the
+  // instruction loop only reads cached verdicts and repeated executions of
+  // one site cost nothing. Without an attached oracle (direct VM
+  // construction in unit tests) the oracle's static tables stand in, so
+  // the policy still has a single home.
+  for (const auto &FP : M.Functions) {
+    const Function &F = *FP;
+    const StoragePlan *Plan = Infos[FP.get()].Plan;
+    if (!Plan)
+      continue;
+    SlotView Slots;
+    Slots.SameSlot = [Plan](VarId U, VarId V) { return Plan->sameSlot(U, V); };
+    Slots.Tag = LegalTag ? LegalTag : Plan; // Verdicts cache per plan: this
+                                            // VM's plan may be the identity
+                                            // plan while a sibling coalesced.
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs) {
+        if (InPlaceLegality::destructiveOp(I.Op)) {
+          bool OK;
+          if (Legal) {
+            OK = Legal->destructiveLegal(F, I);
+            Legal->stealLegal(F, I, 0);
+            Legal->stealLegal(F, I, 1);
+          } else {
+            OK = I.Results.size() == 1 && I.Operands.size() == 2;
+          }
+          DestLegalCache[&I] = OK;
+        } else if (I.Op == Opcode::Subsasgn && I.Results.size() == 1 &&
+                   !I.Operands.empty()) {
+          bool OK = Legal ? Legal->subsasgnInPlace(F, I, Slots)
+                          : Plan->sameSlot(I.result(), I.Operands[0]);
+          SubsInPlaceCache[&I] = OK;
+        }
+      }
+  }
+}
+
 ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   ExecResult R;
   const Function *F = M.findFunction(Entry);
@@ -120,6 +163,7 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   BufferSteals = 0;
   CurLoc = SourceLoc();
   CurOp = Opcode::Jmp;
+  primeLegality();
 
   // Free-list pool for dying Re/Im buffers. Its occupancy is charged to
   // the meter so Figure-2 style averages stay honest; it only runs under
@@ -523,7 +567,9 @@ void VM::execInstr(Frame &Fr, const Instr &I,
           profGroupSize(Fr, G);
           return;
         }
-        if (ReuseBuffers && destructiveCandidate(I.Op, A, B)) {
+        auto LIt = DestLegalCache.find(&I);
+        if (ReuseBuffers && LIt != DestLegalCache.end() && LIt->second &&
+            destructiveValueOK(A, B)) {
           const Array &Big = A.isScalar() && !B.isScalar() ? B : A;
           std::int64_t N = Big.numel();
           if (Slot.Re.capacity() >= static_cast<size_t>(N)) {
@@ -632,7 +678,8 @@ void VM::execInstr(Frame &Fr, const Instr &I,
     if (Model == ExecModel::Static) {
       const StoragePlan &Plan = *Fr.Info->Plan;
       int G = Plan.groupOf(Dst);
-      if (G >= 0 && Plan.sameSlot(Dst, Base)) {
+      auto LIt = SubsInPlaceCache.find(&I);
+      if (G >= 0 && LIt != SubsInPlaceCache.end() && LIt->second) {
         // The paper's in-place L-indexing (section 2.3.3.1).
         ++InPlaceOps;
         Array &Slot = Fr.GroupSlots[G];

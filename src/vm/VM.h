@@ -38,10 +38,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace matcoal {
 
+class InPlaceLegality;
 class RuntimeProfiler;
 enum class ProfEventKind;
 
@@ -114,6 +116,23 @@ public:
   /// it expires. Null (default) costs nothing; the token must outlive the
   /// run and may be armed from another thread (service watchdog).
   void setCancelToken(const CancelToken *T) { Cancel = T; }
+  /// Attaches the shared in-place legality oracle. When set, every
+  /// destructive-execution gate (dest-reuse, buffer steal, in-place
+  /// subsasgn) asks the oracle for the static half of its verdict -- the
+  /// same oracle the C emitter queries, so the tiers cannot drift. Null
+  /// (direct VM construction in unit tests) falls back to the oracle's
+  /// static opcode tables. \p PlanTag identifies the plan family behind
+  /// this VM's slot view for the oracle's memo (slot-dependent verdicts
+  /// cache per plan). It must be an address that stays stable and unique
+  /// for the oracle's lifetime -- the VM's own plan copies are NOT that
+  /// (a later VM can reallocate plan nodes at a freed VM's addresses), so
+  /// the driver passes the address of its persistent plan map. Null falls
+  /// back to this VM's plan pointers, safe only when the oracle does not
+  /// outlive the VM.
+  void setLegality(const InPlaceLegality *L, const void *PlanTag = nullptr) {
+    Legal = L;
+    LegalTag = PlanTag;
+  }
 
 private:
   struct FunctionInfo {
@@ -151,6 +170,9 @@ private:
   };
 
   void buildInfo();
+  /// Queries the legality oracle once per destructive-execution site and
+  /// caches the verdicts, so the instruction loop never re-decides.
+  void primeLegality();
   std::vector<Array> runFunction(const Function &F,
                                  const std::vector<Array> &Args);
   void execInstr(Frame &Fr, const Instr &I,
@@ -187,6 +209,13 @@ private:
   std::uint64_t DestReuses = 0;
   std::uint64_t BufferSteals = 0;
   bool ReuseBuffers = true;
+  const InPlaceLegality *Legal = nullptr;
+  const void *LegalTag = nullptr;
+  /// Per-site oracle verdicts, primed at run start (Static model only):
+  /// may this binary op execute destructively / may this subsasgn update
+  /// its base slot in place.
+  std::unordered_map<const Instr *, bool> DestLegalCache;
+  std::unordered_map<const Instr *, bool> SubsInPlaceCache;
   RuntimeProfiler *Prof = nullptr;
   const CancelToken *Cancel = nullptr;
   /// Poll granularity for the cancel token: a relaxed atomic load every

@@ -1,0 +1,152 @@
+//===- DominatorsTest.cpp - Hand-built CFG coverage for DominatorTree -----===//
+//
+// The source-level tests in AnalysisTest.cpp cover the shapes the
+// frontend actually produces; these build CFGs by hand to pin the edge
+// cases a lowering change could stop producing: loop back-edges,
+// unreachable (dead) blocks, and multi-return functions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+Instr constant(VarId R, double V) {
+  Instr I;
+  I.Op = Opcode::ConstNum;
+  I.Results = {R};
+  I.NumRe = V;
+  return I;
+}
+
+Instr binop(Opcode Op, VarId R, VarId A, VarId B) {
+  Instr I;
+  I.Op = Op;
+  I.Results = {R};
+  I.Operands = {A, B};
+  return I;
+}
+
+Instr jmp(BlockId T) {
+  Instr I;
+  I.Op = Opcode::Jmp;
+  I.Target1 = T;
+  return I;
+}
+
+Instr br(VarId C, BlockId T, BlockId F) {
+  Instr I;
+  I.Op = Opcode::Br;
+  I.Operands = {C};
+  I.Target1 = T;
+  I.Target2 = F;
+  return I;
+}
+
+Instr ret() {
+  Instr I;
+  I.Op = Opcode::Ret;
+  return I;
+}
+
+bool contains(const std::vector<BlockId> &Xs, BlockId B) {
+  return std::find(Xs.begin(), Xs.end(), B) != Xs.end();
+}
+
+//   B0 (entry)  ->  B1 (header)  ->  B3 (exit)
+//                     ^    |
+//                     |    v
+//                     +-- B2 (body, back-edge to B1)
+TEST(DominatorsHandBuilt, LoopBackEdge) {
+  Module M;
+  Function &F = *M.addFunction("main");
+  VarId C = F.getOrCreateVar("c");
+  VarId X = F.getOrCreateVar("x");
+  BasicBlock *B0 = F.addBlock();
+  BasicBlock *B1 = F.addBlock();
+  BasicBlock *B2 = F.addBlock();
+  BasicBlock *B3 = F.addBlock();
+  B0->Instrs = {constant(C, 1), constant(X, 0), jmp(B1->Id)};
+  B1->Instrs = {br(C, B2->Id, B3->Id)};
+  B2->Instrs = {binop(Opcode::Add, X, X, C), jmp(B1->Id)};
+  B3->Instrs = {ret()};
+  F.recomputePreds();
+
+  DominatorTree DT(F);
+  EXPECT_EQ(DT.idom(B0->Id), NoBlock);
+  EXPECT_EQ(DT.idom(B1->Id), B0->Id);
+  EXPECT_EQ(DT.idom(B2->Id), B1->Id);
+  EXPECT_EQ(DT.idom(B3->Id), B1->Id);
+  // The header dominates both the body and the exit; the back-edge source
+  // dominates neither the header nor the exit.
+  EXPECT_TRUE(DT.dominates(B1->Id, B2->Id));
+  EXPECT_TRUE(DT.dominates(B1->Id, B3->Id));
+  EXPECT_FALSE(DT.dominates(B2->Id, B1->Id));
+  EXPECT_FALSE(DT.dominates(B2->Id, B3->Id));
+  // The back edge puts the header in both the body's frontier and (since
+  // the header dominates its own predecessor) its own.
+  EXPECT_TRUE(contains(DT.frontier(B2->Id), B1->Id));
+  EXPECT_TRUE(contains(DT.frontier(B1->Id), B1->Id));
+}
+
+// B0: ret.  B1, B2: an unreachable cycle feeding back into B0's world.
+TEST(DominatorsHandBuilt, DeadBlocksAreUnreachable) {
+  Module M;
+  Function &F = *M.addFunction("main");
+  VarId X = F.getOrCreateVar("x");
+  BasicBlock *B0 = F.addBlock();
+  BasicBlock *B1 = F.addBlock();
+  BasicBlock *B2 = F.addBlock();
+  B0->Instrs = {constant(X, 1), ret()};
+  B1->Instrs = {jmp(B2->Id)};
+  B2->Instrs = {jmp(B1->Id)};
+  F.recomputePreds();
+
+  DominatorTree DT(F);
+  EXPECT_TRUE(DT.isReachable(B0->Id));
+  EXPECT_FALSE(DT.isReachable(B1->Id));
+  EXPECT_FALSE(DT.isReachable(B2->Id));
+  EXPECT_EQ(DT.idom(B1->Id), NoBlock);
+  EXPECT_EQ(DT.idom(B2->Id), NoBlock);
+  // Dead blocks never appear in the RPO or in anyone's frontier.
+  EXPECT_FALSE(contains(DT.rpo(), B1->Id));
+  EXPECT_FALSE(contains(DT.rpo(), B2->Id));
+  EXPECT_TRUE(DT.frontier(B1->Id).empty());
+  // The entry still dominates only what it reaches.
+  EXPECT_FALSE(DT.dominates(B1->Id, B0->Id));
+}
+
+// B0 branches to two returning arms: no join block exists.
+TEST(DominatorsHandBuilt, MultiReturn) {
+  Module M;
+  Function &F = *M.addFunction("main");
+  VarId C = F.getOrCreateVar("c");
+  VarId A = F.getOrCreateVar("a");
+  VarId B = F.getOrCreateVar("b");
+  BasicBlock *B0 = F.addBlock();
+  BasicBlock *B1 = F.addBlock();
+  BasicBlock *B2 = F.addBlock();
+  B0->Instrs = {constant(C, 1), br(C, B1->Id, B2->Id)};
+  B1->Instrs = {constant(A, 2), ret()};
+  B2->Instrs = {constant(B, 3), ret()};
+  F.recomputePreds();
+
+  DominatorTree DT(F);
+  EXPECT_EQ(DT.idom(B1->Id), B0->Id);
+  EXPECT_EQ(DT.idom(B2->Id), B0->Id);
+  EXPECT_FALSE(DT.dominates(B1->Id, B2->Id));
+  EXPECT_FALSE(DT.dominates(B2->Id, B1->Id));
+  // With no join, neither arm has a dominance frontier.
+  EXPECT_TRUE(DT.frontier(B1->Id).empty());
+  EXPECT_TRUE(DT.frontier(B2->Id).empty());
+  // Both arms are the branch block's dominator-tree children.
+  EXPECT_TRUE(contains(DT.children(B0->Id), B1->Id));
+  EXPECT_TRUE(contains(DT.children(B0->Id), B2->Id));
+}
+
+} // namespace

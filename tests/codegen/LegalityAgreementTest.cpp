@@ -1,0 +1,147 @@
+//===- LegalityAgreementTest.cpp - Cross-tier legality agreement ----------===//
+//
+// The regression test PR 2 asked for when it flagged the drift risk of
+// the VM and the C emitter each keeping private in-place predicates: both
+// tiers now route every destructive-storage question through one
+// InPlaceLegality oracle, and this test proves they agree on every
+// verdict. Each suite benchmark is compiled once; then each tier queries
+// its OWN oracle instance (so the decision streams cannot mix through the
+// memo) and the two journals are compared site by site:
+//
+//  * "subsasgn-inplace" verdicts must match exactly -- both tiers decide
+//    the same question against the same GCTD plan.
+//  * The VM's "destructive" gate and the emitter's "fusion-candidate"
+//    gate must match on the destructive opcode family (Add, Sub, ElemMul,
+//    ElemRDiv) -- the family the two tiers' old private predicates
+//    covered and the single place their policies could have drifted.
+//
+// Driving the VM through a fresh oracle must also leave program behavior
+// untouched: its output is compared against the driver's own runStatic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InPlaceLegality.h"
+#include "bench/programs/Programs.h"
+#include "codegen/CEmitter.h"
+#include "driver/Compiler.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+using namespace matcoal;
+
+namespace {
+
+/// A comparable site identity across tiers: journals carry no pointers,
+/// so sites line up by (function, line, opcode). Verdicts are aggregated
+/// per key as a (proven, refused) count pair, making the comparison
+/// robust to several sites sharing one source line.
+using SiteKey = std::tuple<std::string, unsigned, Opcode>;
+struct VerdictTally {
+  unsigned Proven = 0;
+  unsigned Refused = 0;
+  bool operator==(const VerdictTally &O) const {
+    return Proven == O.Proven && Refused == O.Refused;
+  }
+};
+
+std::map<SiteKey, VerdictTally>
+collect(const InPlaceLegality &Oracle, const std::string &Query,
+        bool (*OpFilter)(Opcode) = nullptr) {
+  std::map<SiteKey, VerdictTally> Out;
+  for (const InPlaceLegality::Decision &D : Oracle.journal()) {
+    if (D.Query != Query)
+      continue;
+    if (OpFilter && !OpFilter(D.Op))
+      continue;
+    VerdictTally &T = Out[{D.Func, D.Line, D.Op}];
+    ++(D.Proven ? T.Proven : T.Refused);
+  }
+  return Out;
+}
+
+std::string describe(const SiteKey &K) {
+  return std::get<0>(K) + " line " + std::to_string(std::get<1>(K)) + " (" +
+         opcodeName(std::get<2>(K)) + ")";
+}
+
+/// Asserts that every site present in both journals carries the same
+/// verdicts, and returns how many sites the tiers shared.
+unsigned expectAgreement(const std::map<SiteKey, VerdictTally> &VMSide,
+                         const std::map<SiteKey, VerdictTally> &EmitSide,
+                         const std::string &What) {
+  unsigned Shared = 0;
+  for (const auto &[Key, VMTally] : VMSide) {
+    auto It = EmitSide.find(Key);
+    if (It == EmitSide.end())
+      continue;
+    ++Shared;
+    EXPECT_EQ(VMTally.Proven, It->second.Proven)
+        << What << " diverged at " << describe(Key);
+    EXPECT_EQ(VMTally.Refused, It->second.Refused)
+        << What << " diverged at " << describe(Key);
+  }
+  return Shared;
+}
+
+class LegalityAgreementTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LegalityAgreementTest, TiersShareOneVerdictStream) {
+  const BenchmarkProgram *Prog = findBenchmark(GetParam());
+  ASSERT_NE(Prog, nullptr);
+  Diagnostics Diags;
+  auto P = compileSource(Prog->Source, Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ASSERT_EQ(P->Level, DegradeLevel::Full) << Diags.str();
+
+  // Tier 1: the VM's destructive kernels, priming a fresh oracle.
+  InPlaceLegality VMOracle(*P->TI, P->RA.get(), P->AA.get());
+  VM Machine(P->module(), ExecModel::Static, P->GCTDPlans);
+  Machine.setLegality(&VMOracle, &P->GCTDPlans);
+  ExecResult R = Machine.run(P->entryName());
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_FALSE(VMOracle.journal().empty());
+
+  // Swapping in the fresh oracle must not change what the program does.
+  ExecResult Reference = P->runStatic();
+  ASSERT_TRUE(Reference.OK) << Reference.Error;
+  EXPECT_EQ(R.Output, Reference.Output);
+
+  // Tier 2: the C emitter's fusion legality, against its own oracle.
+  InPlaceLegality EmitOracle(*P->TI, P->RA.get(), P->AA.get());
+  std::string C = emitModuleC(P->module(), P->GCTDPlans, *P->TI,
+                              P->RA.get(), /*Obs=*/nullptr, CEmitOptions(),
+                              &EmitOracle);
+  ASSERT_FALSE(C.empty());
+  EXPECT_FALSE(EmitOracle.journal().empty());
+
+  // The destructive family: the VM's kernel gate vs the emitter's fusion
+  // admission. Every benchmark exercises at least one such site.
+  unsigned Shared = expectAgreement(
+      collect(VMOracle, "destructive", InPlaceLegality::destructiveOp),
+      collect(EmitOracle, "fusion-candidate",
+              InPlaceLegality::destructiveOp),
+      "destructive/fusion-candidate");
+  EXPECT_GT(Shared, 0u) << "no shared destructive sites in " << GetParam();
+
+  // In-place subsasgn: both tiers ask the identical question of the
+  // identical plan; any shared site must agree (not every benchmark has
+  // indexed assignments, so zero shared sites is acceptable here).
+  expectAgreement(collect(VMOracle, "subsasgn-inplace"),
+                  collect(EmitOracle, "subsasgn-inplace"),
+                  "subsasgn-inplace");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, LegalityAgreementTest,
+    ::testing::Values("adpt", "capr", "clos", "crni", "diff", "dich",
+                      "edit", "fdtd", "fiff", "nb1d", "nb3d"),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return Info.param;
+    });
+
+} // namespace

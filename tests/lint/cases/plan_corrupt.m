@@ -1,0 +1,14 @@
+% A clean program run under the plan-corrupt fault (declared by the
+% directive below): after gctd plans storage, one variable is moved into a
+% coalesced group whose occupant is still live at the move's definition.
+% The static plan auditor must re-prove the plan independently of the
+% interference graph and flag the clobber; nothing else may fire.
+% fault: plan-corrupt
+% expect: matvet-plan-overlap
+n = 8;
+A = rand(n, n);
+B = A * A;
+C = B + B;
+D = C - A;
+s = sum(sum(D));
+fprintf('%.6f\n', s);

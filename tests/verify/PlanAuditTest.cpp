@@ -1,0 +1,253 @@
+//===- PlanAuditTest.cpp - Static storage-plan auditor unit tests ---------===//
+//
+// Three layers of coverage for verify/PlanAudit:
+//
+//  * Hand-built plans: each matvet check fires on a plan constructed to
+//    violate exactly its invariant (the two checks the plan-corrupt
+//    fault provably cannot reach -- see the note in tests/lint/
+//    LintTest.cpp -- are pinned here).
+//  * The corruption helper: corruptStoragePlanForTesting produces a plan
+//    the auditor must reject.
+//  * The driver pipeline: an InjectPlanCorrupt compile degrades to
+//    identity plans, surfaces auditDiags, and still computes the same
+//    output as a clean compile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/PlanAudit.h"
+
+#include "analysis/AliasAnalysis.h"
+#include "driver/Compiler.h"
+#include "support/SymExpr.h"
+#include "typeinf/TypeInference.h"
+
+#include <gtest/gtest.h>
+
+using namespace matcoal;
+
+namespace {
+
+Instr constant(VarId R, double V) {
+  Instr I;
+  I.Op = Opcode::ConstNum;
+  I.Results = {R};
+  I.NumRe = V;
+  return I;
+}
+
+Instr binop(Opcode Op, VarId R, VarId A, VarId B) {
+  Instr I;
+  I.Op = Op;
+  I.Results = {R};
+  I.Operands = {A, B};
+  I.Loc.Line = 1;
+  return I;
+}
+
+Instr ret() {
+  Instr I;
+  I.Op = Opcode::Ret;
+  return I;
+}
+
+/// An identity plan over F: every variable its own group.
+StoragePlan identityPlan(const Function &F) {
+  StoragePlan Plan;
+  Plan.GroupOf.assign(F.numVars(), -1);
+  for (unsigned V = 0; V < F.numVars(); ++V) {
+    StorageGroup G;
+    G.Members = {static_cast<VarId>(V)};
+    Plan.GroupOf[V] = static_cast<int>(Plan.Groups.size());
+    Plan.Groups.push_back(std::move(G));
+  }
+  return Plan;
+}
+
+bool hasRule(const std::vector<PlanAuditIssue> &Issues,
+             const std::string &Rule) {
+  for (const PlanAuditIssue &I : Issues)
+    if (I.Rule == Rule)
+      return true;
+  return false;
+}
+
+struct Fixture {
+  Module M;
+  SymExprContext Ctx;
+  Diagnostics Diags;
+  TypeInference TI{M, Ctx, Diags};
+};
+
+// a = 1; b = 2; e = 5; c = a + b; f = e + e  -- e stays live across c's
+// definition without being one of its operands, so planning c into e's
+// slot is a pure occupancy clash (check (a)'s domain; an operand clash
+// would route to unsafe-inplace instead).
+TEST(PlanAuditHandBuilt, FlagsOverlapOfLiveValues) {
+  Fixture Fx;
+  Function &F = *Fx.M.addFunction("main");
+  VarId A = F.getOrCreateVar("a");
+  VarId B = F.getOrCreateVar("b");
+  VarId E = F.getOrCreateVar("e");
+  VarId C = F.getOrCreateVar("c");
+  VarId Fv = F.getOrCreateVar("f");
+  BasicBlock *BB = F.addBlock();
+  BB->Instrs = {constant(A, 1), constant(B, 2), constant(E, 5),
+                binop(Opcode::Add, C, A, B), binop(Opcode::Add, Fv, E, E),
+                ret()};
+  F.recomputePreds();
+
+  StoragePlan Plan = identityPlan(F);
+  EXPECT_TRUE(auditStoragePlan(F, Plan, Fx.TI).empty());
+
+  // Merge c into e's group: e's value is clobbered while the second add
+  // still needs it.
+  Plan.Groups[Plan.GroupOf[E]].Members.push_back(C);
+  Plan.Groups[Plan.GroupOf[C]].Members.clear();
+  Plan.GroupOf[C] = Plan.GroupOf[E];
+  std::vector<PlanAuditIssue> Issues = auditStoragePlan(F, Plan, Fx.TI);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(hasRule(Issues, "plan-overlap"));
+  // Provenance carries "line N (op)".
+  EXPECT_NE(Issues[0].str().find("(add)"), std::string::npos);
+}
+
+// c = a * b (true matrix product): never formable over an operand's
+// slot, even when the operand dies there.
+TEST(PlanAuditHandBuilt, FlagsUnformableInPlaceRewrite) {
+  Fixture Fx;
+  Function &F = *Fx.M.addFunction("main");
+  VarId A = F.getOrCreateVar("a");
+  VarId B = F.getOrCreateVar("b");
+  VarId C = F.getOrCreateVar("c");
+  BasicBlock *BB = F.addBlock();
+  BB->Instrs = {constant(A, 1), constant(B, 2),
+                binop(Opcode::MatMul, C, A, B), ret()};
+  F.recomputePreds();
+
+  StoragePlan Plan = identityPlan(F);
+  // a is dead after the multiply, so occupancy accepts the merge; the
+  // unsafe-inplace check must still reject it because a matrix product
+  // reads its operands after writing result elements.
+  Plan.Groups[Plan.GroupOf[A]].Members.push_back(C);
+  Plan.Groups[Plan.GroupOf[C]].Members.clear();
+  Plan.GroupOf[C] = Plan.GroupOf[A];
+  std::vector<PlanAuditIssue> Issues = auditStoragePlan(F, Plan, Fx.TI);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(hasRule(Issues, "unsafe-inplace"));
+}
+
+// c = a + b with a still live afterwards: sharing c's slot with a is a
+// destructive rewrite of a live source.
+TEST(PlanAuditHandBuilt, FlagsInPlaceRewriteOfLiveSource) {
+  Fixture Fx;
+  Function &F = *Fx.M.addFunction("main");
+  VarId A = F.getOrCreateVar("a");
+  VarId B = F.getOrCreateVar("b");
+  VarId C = F.getOrCreateVar("c");
+  VarId D = F.getOrCreateVar("d");
+  BasicBlock *BB = F.addBlock();
+  BB->Instrs = {constant(A, 1), constant(B, 2),
+                binop(Opcode::Add, C, A, B), binop(Opcode::Sub, D, A, A),
+                ret()};
+  F.recomputePreds();
+
+  StoragePlan Plan = identityPlan(F);
+  Plan.Groups[Plan.GroupOf[A]].Members.push_back(C);
+  Plan.Groups[Plan.GroupOf[C]].Members.clear();
+  Plan.GroupOf[C] = Plan.GroupOf[A];
+  std::vector<PlanAuditIssue> Issues = auditStoragePlan(F, Plan, Fx.TI);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(hasRule(Issues, "unsafe-inplace"));
+}
+
+// A fusion tree t = x + y; r = t + z admits t only while the def/use
+// counts say single-use. Auditing with a STALE alias analysis (built
+// before a second use of t was appended) models the admission/reality
+// divergence check (c) exists to catch.
+TEST(PlanAuditHandBuilt, FlagsMultiUseElisionViaStaleCounts) {
+  Fixture Fx;
+  Function &F = *Fx.M.addFunction("main");
+  VarId X = F.getOrCreateVar("x");
+  VarId Y = F.getOrCreateVar("y");
+  VarId Z = F.getOrCreateVar("z");
+  VarId T = F.getOrCreateVar("t");
+  VarId R = F.getOrCreateVar("r");
+  VarId S = F.getOrCreateVar("s");
+  BasicBlock *BB = F.addBlock();
+  BB->Instrs = {constant(X, 1), constant(Y, 2), constant(Z, 3),
+                binop(Opcode::Add, T, X, Y), binop(Opcode::Add, R, T, Z),
+                ret()};
+  F.recomputePreds();
+  StoragePlan Plan = identityPlan(F);
+
+  AliasAnalysis AA(Fx.M, Fx.TI);
+  // Clean function, fresh analysis: silent.
+  EXPECT_TRUE(
+      auditStoragePlan(F, Plan, Fx.TI, /*RA=*/nullptr, &AA).empty());
+
+  // Append a second read of t without refreshing the analysis.
+  BB->Instrs.insert(BB->Instrs.end() - 1, binop(Opcode::Sub, S, T, T));
+  std::vector<PlanAuditIssue> Issues =
+      auditStoragePlan(F, Plan, Fx.TI, /*RA=*/nullptr, &AA);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(hasRule(Issues, "multi-use-elide"));
+  // A refreshed analysis sees the second use, stops admitting t, and the
+  // audit is silent again.
+  AA.refresh(F);
+  EXPECT_TRUE(
+      auditStoragePlan(F, Plan, Fx.TI, /*RA=*/nullptr, &AA).empty());
+}
+
+TEST(PlanAuditCorruption, CorruptorProducesARejectedPlan) {
+  Diagnostics Diags;
+  auto P = compileSource("n = 8;\n"
+                         "A = rand(n, n);\n"
+                         "B = A * A;\n"
+                         "C = B + B;\n"
+                         "D = C - A;\n"
+                         "s = sum(sum(D));\n"
+                         "fprintf('%.6f\\n', s);\n",
+                         Diags);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  const Function &F = P->function("main");
+  StoragePlan Plan = P->planOf(F);
+  const TypeInference &TI = P->types();
+  ASSERT_TRUE(auditStoragePlan(F, Plan, TI).empty());
+  ASSERT_TRUE(corruptStoragePlanForTesting(F, Plan));
+  std::vector<PlanAuditIssue> Issues = auditStoragePlan(F, Plan, TI);
+  ASSERT_FALSE(Issues.empty());
+  EXPECT_TRUE(hasRule(Issues, "plan-overlap"));
+}
+
+TEST(PlanAuditPipeline, InjectedCorruptionDegradesAndPreservesOutput) {
+  const std::string Src = "n = 8;\n"
+                          "A = rand(n, n);\n"
+                          "B = A * A;\n"
+                          "C = B + B;\n"
+                          "D = C - A;\n"
+                          "s = sum(sum(D));\n"
+                          "fprintf('%.6f\\n', s);\n";
+  Diagnostics CleanDiags;
+  auto Clean = compileSource(Src, CleanDiags);
+  ASSERT_NE(Clean, nullptr) << CleanDiags.str();
+  EXPECT_TRUE(Clean->auditDiags().empty());
+  EXPECT_EQ(Clean->Level, DegradeLevel::Full);
+
+  CompileOptions Opts;
+  Opts.InjectPlanCorrupt = true;
+  Diagnostics Diags;
+  auto P = compileSource(Src, Diags, Opts);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  // The audit rejected the corrupted plan and the pipeline degraded to
+  // identity plans rather than executing it.
+  EXPECT_FALSE(P->auditDiags().empty());
+  EXPECT_EQ(P->Level, DegradeLevel::IdentityPlans);
+  // Degradation preserves semantics: byte-identical program output.
+  ExecResult Corrupt = P->runStatic();
+  ExecResult Good = Clean->runStatic();
+  ASSERT_TRUE(Corrupt.OK) << Corrupt.Error;
+  ASSERT_TRUE(Good.OK) << Good.Error;
+  EXPECT_EQ(Corrupt.Output, Good.Output);
+}
+
+} // namespace
