@@ -9,15 +9,23 @@
 // model's runtime and memory. The same numbers are written to
 // BENCH_table1.json so drivers can assert on them.
 //
+// With --native a third axis runs every program on the in-process native
+// tier (warmup + median-of-7, same protocol), verifies byte-identity
+// against the VM, and reports the artifact-cache counters: a second run
+// against the same --cache-dir should show cache_hits == program_count
+// and compile_seconds == 0. See docs/EXECUTION_TIERS.md.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
 #include "codegen/CEmitter.h"
 #include "gctd/Interference.h"
+#include "native/NativeEngine.h"
 #include "observe/RuntimeProfiler.h"
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 
@@ -96,6 +104,57 @@ Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level,
   return Out;
 }
 
+/// One program's native-tier measurements. The counters come from the
+/// FIRST native run only -- that run's cache outcome is the program's
+/// cold/warm verdict (later warmup/timed runs would all hit and drown the
+/// signal the CI perf-smoke gate asserts on).
+struct NativeAxis {
+  double RunSeconds = 0;   ///< Median over BenchTimedRuns (after warmup).
+  bool Identical = false;  ///< Every native output byte-matched the VM.
+  long long Hits = 0, Misses = 0, CompileSeconds = 0;
+};
+
+NativeAxis nativeAxis(const BenchmarkProgram &Prog, NativeEngine &Engine) {
+  NativeAxis Out;
+  Observer Obs;
+  CompileOptions Opts;
+  Opts.Obs = &Obs;
+  Diagnostics Diags;
+  auto P = compileSource(Prog.Source, Diags, Opts);
+  if (!P) {
+    std::fprintf(stderr, "failed to compile %s:\n%s\n", Prog.Name.c_str(),
+                 Diags.str().c_str());
+    std::exit(1);
+  }
+  ExecResult VM = P->runStatic(Seed);
+  if (!VM.OK) {
+    std::fprintf(stderr, "vm run of %s failed: %s\n", Prog.Name.c_str(),
+                 VM.Error.c_str());
+    std::exit(1);
+  }
+  Out.Identical = true;
+  std::vector<double> Times;
+  for (unsigned K = 0; K < BenchWarmupRuns + BenchTimedRuns; ++K) {
+    ExecResult R = Engine.run(*P, Seed);
+    if (!R.OK) {
+      std::fprintf(stderr, "native run of %s failed: %s\n",
+                   Prog.Name.c_str(), R.Error.c_str());
+      std::exit(1);
+    }
+    Out.Identical &= R.Output == VM.Output;
+    if (K == 0) {
+      Out.Hits = Obs.Stats.get("native.cache.hits");
+      Out.Misses = Obs.Stats.get("native.cache.misses");
+      Out.CompileSeconds = Obs.Stats.get("native.compile_seconds");
+    }
+    if (K >= BenchWarmupRuns)
+      Times.push_back(R.WallSeconds);
+  }
+  std::sort(Times.begin(), Times.end());
+  Out.RunSeconds = Times[Times.size() / 2];
+  return Out;
+}
+
 /// The per-program counter block, flat: {"name": value, ...} in sorted
 /// (deterministic) order.
 std::string countersJson(const StatRegistry &S) {
@@ -125,7 +184,21 @@ void jsonProfile(std::string &J, const char *Key, const Profile &P) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool DoNative = false;
+  std::string CacheDir;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--native")) {
+      DoNative = true;
+    } else if (!std::strncmp(Argv[I], "--cache-dir=", 12)) {
+      CacheDir = Argv[I] + 12;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--native] [--cache-dir=<dir>]\n", Argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Table 1: Benchmark Suite Description\n");
   std::printf("%-6s %-48s %-36s %8s %6s\n", "Bench", "Synopsis", "Origin",
               "M-Files", "Lines");
@@ -162,6 +235,15 @@ int main() {
     double FusedSec, UnfusedSec;
   };
   std::vector<FuseRow> FuseRows;
+  // One engine for the whole suite: the second program onward shares the
+  // index the first populated, exactly like matcoald's workers do.
+  NativeEngine Engine(CacheDir);
+  struct NativeRow {
+    std::string Name;
+    double VmSec;
+    NativeAxis Axis;
+  };
+  std::vector<NativeRow> NativeRows;
   for (const BenchmarkProgram &Prog : benchmarkSuite()) {
     Profile Ty = profile(Prog, AnalysisLevel::None);
     Observer ProgObs;
@@ -188,6 +270,18 @@ int main() {
     jsonProfile(J, "ranges", Ra);
     J += ",\n";
     jsonProfile(J, "unfused", Un);
+    if (DoNative) {
+      NativeAxis Na = nativeAxis(Prog, Engine);
+      NativeRows.push_back({Prog.Name, Ra.RunSeconds, Na});
+      char NBuf[256];
+      std::snprintf(NBuf, sizeof(NBuf),
+                    ",\n    \"native\": {\"run_seconds\": %.6f, "
+                    "\"identical\": %s, \"cache_hits\": %lld, "
+                    "\"cache_misses\": %lld, \"compile_seconds\": %lld}",
+                    Na.RunSeconds, Na.Identical ? "true" : "false",
+                    Na.Hits, Na.Misses, Na.CompileSeconds);
+      J += NBuf;
+    }
     J += ",\n    \"stats\": " + countersJson(ProgObs.Stats);
     J += ",\n    \"improved\": ";
     J += Gain ? "true" : "false";
@@ -212,10 +306,43 @@ int main() {
       FuseRows.empty() ? 1.0 : std::exp(LogSum / FuseRows.size());
   std::printf("%-6s %12s %12s %8.3fx (geomean)\n", "all", "", "", Geomean);
 
+  std::string NativeTotals;
+  if (DoNative) {
+    std::printf("\nNative tier vs static VM (median of %u runs, %u warmup; "
+                "first-run cache outcome)\n",
+                BenchTimedRuns, BenchWarmupRuns);
+    std::printf("%-6s %12s %12s %9s %7s %10s\n", "Bench", "native(s)",
+                "vm(s)", "speedup", "cache", "identical");
+    std::printf("%.*s\n", 60,
+                "------------------------------------------------------------");
+    long long Hits = 0, Misses = 0, CompileSecs = 0, IdCount = 0;
+    for (const NativeRow &Row : NativeRows) {
+      double Speedup = Row.Axis.RunSeconds > 0
+                           ? Row.VmSec / Row.Axis.RunSeconds
+                           : 1.0;
+      std::printf("%-6s %12.6f %12.6f %8.3fx %7s %10s\n", Row.Name.c_str(),
+                  Row.Axis.RunSeconds, Row.VmSec, Speedup,
+                  Row.Axis.Hits ? "hit" : "miss",
+                  Row.Axis.Identical ? "yes" : "NO");
+      Hits += Row.Axis.Hits;
+      Misses += Row.Axis.Misses;
+      CompileSecs += Row.Axis.CompileSeconds;
+      IdCount += Row.Axis.Identical;
+    }
+    std::printf("cache: %lld hit / %lld miss, %lld compile second(s); "
+                "%lld/%zu byte-identical\n",
+                Hits, Misses, CompileSecs, IdCount, NativeRows.size());
+    NativeTotals = ",\n  \"native\": {\"cache_hits\": " +
+                   std::to_string(Hits) +
+                   ", \"cache_misses\": " + std::to_string(Misses) +
+                   ", \"compile_seconds\": " + std::to_string(CompileSecs) +
+                   ", \"identical_count\": " + std::to_string(IdCount) + "}";
+  }
+
   char GeoBuf[64];
   std::snprintf(GeoBuf, sizeof(GeoBuf), "%.4f", Geomean);
   J += "\n  },\n  \"improved_count\": " + std::to_string(Improved) +
-       ",\n  \"program_count\": " + std::to_string(Count) +
+       ",\n  \"program_count\": " + std::to_string(Count) + NativeTotals +
        ",\n  \"fusion_speedup_geomean\": " + GeoBuf +
        ",\n  \"protocol\": " + benchProtocolJson() +
        ",\n  \"config\": " + hardwareConfigJson() + "\n}\n";

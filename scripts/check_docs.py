@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (the CI `docs` job; run locally too).
+
+Two checks, both cheap and dependency-free:
+
+1. Every intra-repo markdown link in the checked documentation set must
+   resolve to a file or directory in the repository. External links
+   (http/https/mailto) and pure anchors are ignored; a `path#anchor`
+   link is checked for the path part only.
+
+2. Every counter name pinned in tests/observe/stats_schema.txt must be
+   mentioned in DESIGN.md or docs/GLOSSARY.md, so a new counter cannot
+   land without prose saying what it measures. Counter families count
+   via their longest documented prefix: `gctd.groups.stack` is covered
+   by a mention of `gctd.groups.stack` or the family wildcard
+   `gctd.*` / `gctd.groups.*`.
+
+Exit 0 when clean; prints one line per violation and exits 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/GLOSSARY.md",
+    "docs/EXECUTION_TIERS.md",
+]
+
+COUNTER_DOCS = ["DESIGN.md", "docs/GLOSSARY.md"]
+
+SCHEMA = "tests/observe/stats_schema.txt"
+
+# [text](target) -- target up to the first unescaped ')'; inline code
+# spans are stripped first so `(a | b)` tables don't false-positive.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def read(path):
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        return f.read()
+
+
+def check_links():
+    bad = []
+    for doc in DOCS:
+        if not os.path.exists(os.path.join(REPO, doc)):
+            bad.append(f"{doc}: listed in check_docs.py but missing")
+            continue
+        text = re.sub(r"`[^`]*`", "", read(doc))
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            resolved = os.path.normpath(
+                os.path.join(REPO, os.path.dirname(doc), path))
+            if not os.path.exists(resolved):
+                line = text[:m.start()].count("\n") + 1
+                bad.append(f"{doc}:{line}: broken link: {target}")
+    return bad
+
+
+def check_counters():
+    schema = [l.strip() for l in read(SCHEMA).splitlines() if l.strip()]
+    prose = "\n".join(read(d) for d in COUNTER_DOCS)
+    bad = []
+    for counter in schema:
+        if counter in prose:
+            continue
+        # Family wildcard: any documented `prefix.*` covers the counter.
+        parts = counter.split(".")
+        covered = any(".".join(parts[:i]) + ".*" in prose
+                      for i in range(1, len(parts)))
+        if not covered:
+            bad.append(f"{SCHEMA}: counter '{counter}' is not mentioned "
+                       f"in {' or '.join(COUNTER_DOCS)}")
+    return bad
+
+
+def main():
+    problems = check_links() + check_counters()
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    print("docs OK: links resolve, every pinned counter is documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -205,12 +205,19 @@ RangeAnalysis::RangeAnalysis(const Module &M, const TypeInference &TI,
   }
   // Optimistic interprocedural fixpoint. Widening bounds the number of
   // times any variable can change, so this terminates; the round cap is a
-  // safety net only.
+  // safety net only. Functions are visited in MODULE order, never in
+  // States' key order: States is keyed by pointer, and widening makes the
+  // fixpoint order-sensitive, so pointer-ordered visits would let the
+  // allocator's address layout pick which bounds survive (observable as
+  // plan -- and native-tier cache-key -- churn between processes).
   for (int Round = 0; Round < 60; ++Round) {
     ModuleChanged = false;
     bool Changed = false;
-    for (auto &[F, S] : States)
-      Changed |= analyzeFunction(S);
+    for (const auto &F : M.Functions) {
+      auto It = States.find(F.get());
+      if (It != States.end())
+        Changed |= analyzeFunction(It->second);
+    }
     Changed |= ModuleChanged;
     if (!Changed)
       break;

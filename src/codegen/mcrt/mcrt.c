@@ -18,10 +18,25 @@
  * Basics
  *===--------------------------------------------------------------------===*/
 
+int mcrt_abi_version(void) { return MCRT_ABI_VERSION; }
+
+static mcrt_fail_handler g_fail_handler = NULL;
+
+void mcrt_set_fail_handler(mcrt_fail_handler h) { g_fail_handler = h; }
+
 void mcrt_fail(const char *msg) {
+  if (g_fail_handler)
+    g_fail_handler(msg); /* must not return; fall through if it does */
   fprintf(stderr, "mcrt error: %s\n", msg);
   exit(1);
 }
+
+/* Program output sink: stdout unless the in-process host redirected it. */
+static FILE *g_out_override = NULL;
+
+void mcrt_set_out(FILE *out) { g_out_override = out; }
+
+static FILE *mcrt_out_(void) { return g_out_override ? g_out_override : stdout; }
 
 mcrt_arg mcrt_arg_(const double *data, mcrt_size d0, mcrt_size d1,
                    mcrt_size d2) {
@@ -300,49 +315,49 @@ static void print_matrix(const double *buf, mcrt_size d0, mcrt_size d1,
   char elem[64];
   mcrt_size i, j, p;
   if (d0 * d1 * d2 == 0) {
-    printf("[]");
+    fprintf(mcrt_out_(), "[]");
     return;
   }
   if (d0 == 1 && d1 == 1 && d2 == 1) {
     fmt_double(elem, sizeof(elem), buf[0]);
-    printf("%s", elem);
+    fprintf(mcrt_out_(), "%s", elem);
     return;
   }
   for (p = 0; p < d2; p++) {
     if (d2 > 1)
-      printf("(:,:,%lld) =\n", (long long)(p + 1));
+      fprintf(mcrt_out_(), "(:,:,%lld) =\n", (long long)(p + 1));
     for (i = 0; i < d0; i++) {
-      printf("  ");
+      fprintf(mcrt_out_(), "  ");
       for (j = 0; j < d1; j++) {
         if (j)
-          printf("  ");
+          fprintf(mcrt_out_(), "  ");
         fmt_double(elem, sizeof(elem), buf[p * d0 * d1 + j * d0 + i]);
-        printf("%s", elem);
+        fprintf(mcrt_out_(), "%s", elem);
       }
       if (i + 1 < d0 || p + 1 < d2)
-        printf("\n");
+        fprintf(mcrt_out_(), "\n");
     }
   }
 }
 
 void mcrt_display(const char *name, const double *buf, mcrt_size d0,
                   mcrt_size d1, mcrt_size d2) {
-  printf("%s =\n", name);
+  fprintf(mcrt_out_(), "%s =\n", name);
   print_matrix(buf, d0, d1, d2);
-  printf("\n");
+  fprintf(mcrt_out_(), "\n");
 }
 
 static void print_chars(const double *buf, mcrt_size n) {
   mcrt_size i;
   for (i = 0; i < n; i++)
-    putchar((char)(int)buf[i]);
+    fputc((int)buf[i], mcrt_out_());
 }
 
 void mcrt_display_char(const char *name, const double *buf, mcrt_size d0,
                        mcrt_size d1, mcrt_size d2) {
-  printf("%s =\n", name);
+  fprintf(mcrt_out_(), "%s =\n", name);
   print_chars(buf, d0 * d1 * d2);
-  printf("\n");
+  fprintf(mcrt_out_(), "\n");
 }
 
 /*===--------------------------------------------------------------------===
@@ -351,11 +366,16 @@ void mcrt_display_char(const char *name, const double *buf, mcrt_size d0,
 
 static unsigned long long mcrt_rng_state;
 
+static int rng_initialized;
+
 void mcrt_srand(unsigned long long seed) {
   unsigned long long z = seed + 0x9e3779b97f4a7c15ull;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   mcrt_rng_state = (z ^ (z >> 31)) | 1ull;
+  /* An explicit seeding (the in-process host re-seeding a cached shared
+   * object between runs) must stick: suppress the lazy default seed. */
+  rng_initialized = 1;
 }
 
 static double rng_next(void) {
@@ -367,7 +387,6 @@ static double rng_next(void) {
   return (double)(s >> 11) * (1.0 / 9007199254740992.0);
 }
 
-static int rng_initialized;
 static void rng_init_once(void) {
   if (!rng_initialized) {
     mcrt_srand(20030609ull);
@@ -1510,17 +1529,17 @@ void mcrt_call(const char *op, int nres, int nargs, ...) {
   /* Effects. */
   if (OP("disp_char")) {
     print_chars(args[0].p, numel(&args[0]));
-    printf("\n");
+    fprintf(mcrt_out_(), "\n");
     return;
   }
   if (OP("disp")) {
     print_matrix(args[0].p, args[0].d0, args[0].d1, args[0].d2);
-    printf("\n");
+    fprintf(mcrt_out_(), "\n");
     return;
   }
   if (OP("fprintf")) {
     if (nargs >= 1)
-      do_printf(stdout, &args[0], args + 1, nargs - 1);
+      do_printf(mcrt_out_(), &args[0], args + 1, nargs - 1);
     return;
   }
   if (OP("error")) {
@@ -1528,7 +1547,9 @@ void mcrt_call(const char *op, int nres, int nargs, ...) {
     if (nargs >= 1)
       do_printf(stderr, &args[0], args + 1, nargs - 1);
     fprintf(stderr, "\n");
-    exit(1);
+    /* Through mcrt_fail so an in-process host survives user error()
+     * calls too; standalone behavior is unchanged (stderr text + exit 1). */
+    mcrt_fail("error() raised");
   }
 
   /* Constants and miscellany. */

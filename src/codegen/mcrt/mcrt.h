@@ -19,11 +19,25 @@
 #ifndef MATCOAL_MCRT_H
 #define MATCOAL_MCRT_H
 
+#include <stdio.h>
+
 #ifdef __cplusplus
 extern "C" {
 #endif
 
 typedef long long mcrt_size;
+
+/* ABI version stamp. Bumped whenever the slot quadruple layout, the
+ * mcrt_call contract, or any host-visible hook below changes shape. The
+ * in-process native tier bakes this value into its artifact-cache key and
+ * re-checks it through mcrt_abi_version() after dlopen, so a stale shared
+ * object compiled against an older runtime can never be called through a
+ * newer host's expectations (it is evicted and recompiled instead). */
+#define MCRT_ABI_VERSION 2
+
+/* The MCRT_ABI_VERSION the runtime was compiled with (a function, not the
+ * macro, so the check crosses the dlopen boundary). */
+int mcrt_abi_version(void);
 
 /* A by-value argument view (up to three dimensions; d0 == -1 encodes the
  * ':' subscript marker). */
@@ -44,8 +58,27 @@ mcrt_arg mcrt_arg_(const double *data, mcrt_size d0, mcrt_size d1,
 mcrt_ref mcrt_ref_(double **buf, mcrt_size *cap, mcrt_size *d0,
                    mcrt_size *d1, mcrt_size *d2);
 
-/* Aborts with "mcrt error: <msg>". */
+/* Aborts with "mcrt error: <msg>" -- unless a failure handler is
+ * installed (below), in which case the handler is invoked instead and
+ * must not return. */
 void mcrt_fail(const char *msg);
+
+/* Host-installable failure handler. A standalone compiled program leaves
+ * this unset and mcrt_fail exits the process; an in-process host (the
+ * native execution tier) installs a handler that longjmps back to the
+ * call site so a runtime trap in dlopened generated code classifies as a
+ * trap instead of killing the host (or the matcoald daemon). The handler
+ * MUST NOT return; if it does, mcrt_fail falls through to the exit path.
+ * NULL uninstalls. */
+typedef void (*mcrt_fail_handler)(const char *msg);
+void mcrt_set_fail_handler(mcrt_fail_handler h);
+
+/* Redirects everything the program prints (disp/display/fprintf) to
+ * \p out; NULL restores stdout. The in-process host points this at an
+ * open_memstream so captured output never races the host's own stdout
+ * (matcoald writes protocol frames there). Error text and mcrt_fail
+ * messages stay on stderr regardless. */
+void mcrt_set_out(FILE *out);
 
 /* Grows *buf to hold need elements (heap slots) or checks the fixed
  * capacity (stack slots, negative cap). Growth is geometric (doubling, a

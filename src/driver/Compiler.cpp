@@ -55,6 +55,22 @@ const char *matcoal::validCompileStageNames() {
   return "parse, lower, ssa, typeinf, gctd, plan-corrupt";
 }
 
+const char *matcoal::execTierName(ExecTier T) {
+  switch (T) {
+  case ExecTier::Native:
+    return "native";
+  case ExecTier::StaticVM:
+    return "vm-static";
+  case ExecTier::MccVM:
+    return "vm-mcc";
+  case ExecTier::Interp:
+    return "interp";
+  case ExecTier::ExternalCC:
+    return "external-cc";
+  }
+  return "vm-static";
+}
+
 const char *matcoal::degradeLevelName(DegradeLevel L) {
   switch (L) {
   case DegradeLevel::Full:
@@ -148,6 +164,11 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     Obs->Stats.add("analysis.inplace.proven", 0);
     Obs->Stats.add("verify.audit.functions", 0);
     Obs->Stats.add("verify.audit.violations", 0);
+    // Native-tier counters: seeded here (not in src/native) so the pinned
+    // key set is identical whether or not a run ever goes native.
+    Obs->Stats.add("native.cache.hits", 0);
+    Obs->Stats.add("native.cache.misses", 0);
+    Obs->Stats.add("native.compile_seconds", 0);
   }
   // Records the module printer's output when --print-after requested it.
   auto DumpAfter = [&](const char *Pass) {

@@ -90,6 +90,18 @@ enum class DegradeLevel { Full, IdentityPlans, MccOnly, InterpOnly };
 
 const char *degradeLevelName(DegradeLevel L);
 
+/// Which execution surface actually ran a program. The compile-time
+/// ladder (DegradeLevel) decides how much *planning* survived; this enum
+/// names the *executor* a run landed on, so tools and matcoald responses
+/// can report "native" vs "vm-static" vs "interp" uniformly. Selection
+/// order when the native tier is requested: Native (in-process dlopened
+/// C, src/native) -> StaticVM (degrade rung: cc/dlopen failure, complex
+/// data, or a below-MccOnly compile) -> the usual DegradeLevel fallbacks.
+/// docs/EXECUTION_TIERS.md is the full matrix.
+enum class ExecTier { Native, StaticVM, MccVM, Interp, ExternalCC };
+
+const char *execTierName(ExecTier T);
+
 /// How much static analysis feeds the optimizer. Ranges (the default)
 /// runs the interval/shape RangeAnalysis after type inference and hands
 /// its facts to GCTD and the code emitter; None reproduces the types-only

@@ -1,0 +1,216 @@
+//===- ArtifactCache.cpp --------------------------------------------------===//
+
+#include "native/ArtifactCache.h"
+
+#include "support/Subprocess.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include "codegen/mcrt/mcrt.h" // MCRT_ABI_VERSION (the host's expectation)
+
+using namespace matcoal;
+
+NativeArtifact::~NativeArtifact() {
+  if (Handle)
+    dlclose(Handle);
+}
+
+namespace {
+
+std::string defaultCacheBase() {
+  if (const char *Env = std::getenv("MATCOAL_CACHE_DIR"))
+    if (Env[0])
+      return Env;
+  return "/tmp/matcoal-native-cache";
+}
+
+/// 64-bit FNV-1a with a caller-chosen offset basis, so two passes give
+/// 128 independent bits. No external hash dependency.
+std::uint64_t fnv1a(const std::string &S, std::uint64_t H) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string hex64(std::uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return false;
+  Out << Text;
+  return Out.good();
+}
+
+} // namespace
+
+ArtifactCache::ArtifactCache(std::string Dir) {
+  if (Dir.empty())
+    Dir = defaultCacheBase();
+  // The versioned schema component: see the file comment.
+  this->Dir = Dir + "/v1";
+}
+
+std::string ArtifactCache::contentAddress(const std::string &Preimage) {
+  // Two FNV-1a passes from distinct offset bases; the second basis is the
+  // standard offset advanced one prime step so the halves are independent.
+  std::uint64_t A = fnv1a(Preimage, 14695981039346656037ull);
+  std::uint64_t B = fnv1a(Preimage, 14695981039346656037ull *
+                                        1099511628211ull);
+  return hex64(A) + hex64(B);
+}
+
+std::string ArtifactCache::soPathFor(const std::string &Key) const {
+  return Dir + "/" + Key + ".so";
+}
+
+bool ArtifactCache::ensureDir(std::string &Err) const {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    Err = "cannot create artifact cache dir " + Dir + ": " + EC.message();
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<NativeArtifact>
+ArtifactCache::loadSo(const std::string &SoPath, std::string &Err) {
+  auto Art = std::make_shared<NativeArtifact>();
+  Art->SoPath = SoPath;
+  // RTLD_LOCAL: every artifact keeps its own mat_* and mcrt globals;
+  // programs loaded side by side can never see each other's symbols.
+  Art->Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Art->Handle) {
+    const char *D = dlerror();
+    Err = "dlopen failed: " + std::string(D ? D : "unknown error");
+    return nullptr;
+  }
+  auto Sym = [&](const char *Name) -> void * {
+    void *P = dlsym(Art->Handle, Name);
+    if (!P && Err.empty())
+      Err = std::string("artifact lacks symbol '") + Name + "'";
+    return P;
+  };
+  Art->Entry =
+      reinterpret_cast<void (*)(void)>(Sym("matcoal_native_entry"));
+  Art->AbiVersion = reinterpret_cast<int (*)(void)>(Sym("mcrt_abi_version"));
+  Art->SetFailHandler = reinterpret_cast<void (*)(void (*)(const char *))>(
+      Sym("mcrt_set_fail_handler"));
+  Art->SetOut =
+      reinterpret_cast<void (*)(std::FILE *)>(Sym("mcrt_set_out"));
+  Art->Srand =
+      reinterpret_cast<void (*)(unsigned long long)>(Sym("mcrt_srand"));
+  Art->ResetGrowthStats =
+      reinterpret_cast<void (*)(void)>(Sym("mcrt_reset_growth_stats"));
+  Art->ProfBegin =
+      reinterpret_cast<void (*)(const char *)>(Sym("mcrt_prof_begin"));
+  Art->ProfEnd = reinterpret_cast<void (*)(void)>(Sym("mcrt_prof_end"));
+  if (!Err.empty())
+    return nullptr;
+  // The ABI stamp crossing the dlopen boundary: a stale artifact built
+  // against an older runtime is rejected here, never called.
+  int Got = Art->AbiVersion();
+  if (Got != MCRT_ABI_VERSION) {
+    Err = "artifact ABI version " + std::to_string(Got) +
+          " != host MCRT_ABI_VERSION " + std::to_string(MCRT_ABI_VERSION);
+    return nullptr;
+  }
+  return Art;
+}
+
+std::shared_ptr<NativeArtifact>
+ArtifactCache::lookup(const std::string &Key, CacheOutcome &Outcome,
+                      std::string &Err) {
+  Err.clear();
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      Outcome = CacheOutcome::MemoryHit;
+      return It->second;
+    }
+  }
+  std::string SoPath = soPathFor(Key);
+  if (!std::filesystem::exists(SoPath)) {
+    Outcome = CacheOutcome::Miss;
+    return nullptr;
+  }
+  std::shared_ptr<NativeArtifact> Art = loadSo(SoPath, Err);
+  if (!Art) {
+    // Corrupt or stale: evict so the next run recompiles cleanly.
+    std::error_code EC;
+    std::filesystem::remove(SoPath, EC);
+    Outcome = CacheOutcome::Corrupt;
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> L(Mu);
+  auto [It, Inserted] = Index.emplace(Key, Art);
+  Outcome = CacheOutcome::DiskHit;
+  return Inserted ? Art : It->second; // a racing loader won; use theirs
+}
+
+std::shared_ptr<NativeArtifact>
+ArtifactCache::insert(const std::string &Key, const std::string &CText,
+                      const std::string &Preimage,
+                      const std::string &McrtDir, const char *OptFlag,
+                      std::string &Err, double &CompileSeconds) {
+  CompileSeconds = 0;
+  if (!ensureDir(Err))
+    return nullptr;
+  std::string Base = Dir + "/" + Key;
+  if (!writeFile(Base + ".c", CText)) {
+    Err = "cannot write " + Base + ".c";
+    return nullptr;
+  }
+  (void)writeFile(Base + ".key", Preimage); // best-effort debugging aid
+  // Compile to a private temp name, then atomically rename into place:
+  // two processes racing on one key both succeed and the loser's rename
+  // simply replaces an identical artifact.
+  std::string Tmp =
+      Base + ".tmp" + std::to_string(static_cast<long>(getpid())) + ".so";
+  auto T0 = std::chrono::steady_clock::now();
+  SubprocessResult CC = ccCompileShared(Base + ".c", McrtDir, Tmp, OptFlag);
+  CompileSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  if (!CC.ok()) {
+    Err = CC.Diag;
+    std::error_code EC;
+    std::filesystem::remove(Tmp, EC);
+    return nullptr;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Base + ".so", EC);
+  if (EC) {
+    Err = "cannot rename artifact into place: " + EC.message();
+    std::filesystem::remove(Tmp, EC);
+    return nullptr;
+  }
+  std::shared_ptr<NativeArtifact> Art = loadSo(Base + ".so", Err);
+  if (!Art)
+    return nullptr;
+  std::lock_guard<std::mutex> L(Mu);
+  auto [It, Inserted] = Index.emplace(Key, Art);
+  return Inserted ? Art : It->second;
+}
+
+void ArtifactCache::dropIndex() {
+  std::lock_guard<std::mutex> L(Mu);
+  Index.clear();
+}

@@ -1,0 +1,140 @@
+//===- ArtifactCache.h - Content-addressed native artifacts -----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled-artifact cache behind the in-process native execution
+/// tier (src/native/NativeEngine). Artifacts are shared objects built
+/// from emitted C + the bundled mcrt runtime, addressed by the content
+/// of what produced them -- never by file name, program name, or time.
+///
+/// **Key contract.** A cache key is the 128-bit FNV hash of a canonical
+/// preimage assembled by the engine from *printed* forms only:
+///
+///   * the mcrt ABI version stamp (`MCRT_ABI_VERSION`),
+///   * the emitter options (fusion on/off, profiling hooks on/off,
+///     optimization flag, entry function),
+///   * the printed SO-form IR of the whole module, and
+///   * the printed storage plan of every function.
+///
+/// Printed forms matter: interned SymExpr node ids are only comparable
+/// within one SymExprContext (see the thread-safety contract note in
+/// support/SymExpr.h), but the *printed* canonical text of an expression
+/// is stable across contexts, requests, and processes. Hashing printed
+/// IR + plans is what makes one on-disk cache safely shareable across
+/// matcoald requests, workers, and daemon restarts.
+///
+/// **Disk schema** (documented in DESIGN.md "Artifact cache & ABI"):
+///
+///   <dir>/v1/<key>.so    the dlopen-able artifact
+///   <dir>/v1/<key>.c     the C translation unit it was built from
+///   <dir>/v1/<key>.key   the key preimage (debugging: why this key?)
+///
+/// `<dir>` defaults to $MATCOAL_CACHE_DIR, else /tmp/matcoal-native-cache.
+/// The v1 component is the schema version: incompatible layout changes
+/// land in a sibling directory instead of misreading old entries.
+///
+/// **Validation.** Loading revalidates: a .so that fails dlopen, lacks
+/// the expected symbols, or reports an mcrt_abi_version() different from
+/// the host's MCRT_ABI_VERSION is *evicted* (unlinked) and reported as
+/// corrupt -- the engine then degrades that run to the VM loudly and the
+/// next run recompiles. In-memory, loaded artifacts are indexed by key
+/// behind a mutex so a hit costs one map lookup; the index is shared by
+/// every matcoald worker through the service's one engine instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_NATIVE_ARTIFACTCACHE_H
+#define MATCOAL_NATIVE_ARTIFACTCACHE_H
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace matcoal {
+
+/// A loaded artifact: the dlopened handle plus every mcrt-ABI entry point
+/// the engine calls. Symbols are resolved once at load; a missing symbol
+/// fails the load (corrupt or stale artifact).
+struct NativeArtifact {
+  void *Handle = nullptr;
+  /// The emitted wrapper the engine calls: runs the program's entry
+  /// function (no process spawn, no argv).
+  void (*Entry)(void) = nullptr;
+  int (*AbiVersion)(void) = nullptr;
+  void (*SetFailHandler)(void (*)(const char *)) = nullptr;
+  void (*SetOut)(std::FILE *) = nullptr;
+  void (*Srand)(unsigned long long) = nullptr;
+  void (*ResetGrowthStats)(void) = nullptr;
+  void (*ProfBegin)(const char *) = nullptr;
+  void (*ProfEnd)(void) = nullptr;
+  std::string SoPath;
+
+  ~NativeArtifact();
+  NativeArtifact() = default;
+  NativeArtifact(const NativeArtifact &) = delete;
+  NativeArtifact &operator=(const NativeArtifact &) = delete;
+};
+
+/// Outcome classification for one cache probe (feeds the pinned
+/// native.cache.{hits,misses} counters and the tests).
+enum class CacheOutcome {
+  MemoryHit, ///< Already loaded in this process.
+  DiskHit,   ///< Valid .so on disk; dlopened without running cc.
+  Miss,      ///< Nothing usable; caller must compile.
+  Corrupt,   ///< A .so existed but failed validation; it was evicted.
+};
+
+class ArtifactCache {
+public:
+  /// \p Dir empty selects $MATCOAL_CACHE_DIR, else the /tmp default.
+  explicit ArtifactCache(std::string Dir = "");
+
+  /// 32-hex-digit content address of \p Preimage (128-bit FNV-1a).
+  static std::string contentAddress(const std::string &Preimage);
+
+  /// Probes memory then disk. On MemoryHit/DiskHit the artifact is
+  /// returned (and indexed); on Miss/Corrupt it is null and \p Err says
+  /// why (empty for a plain miss).
+  std::shared_ptr<NativeArtifact> lookup(const std::string &Key,
+                                         CacheOutcome &Outcome,
+                                         std::string &Err);
+
+  /// Compiles \p CText against \p McrtDir into this key's artifact
+  /// (write .c, cc -shared -fPIC to a temp name, atomic rename), loads
+  /// and indexes it. \p Preimage is stored beside the artifact for
+  /// debugging. Null with \p Err on a cc or load failure.
+  /// \p CompileSeconds reports the cc wall time.
+  std::shared_ptr<NativeArtifact>
+  insert(const std::string &Key, const std::string &CText,
+         const std::string &Preimage, const std::string &McrtDir,
+         const char *OptFlag, std::string &Err, double &CompileSeconds);
+
+  /// The versioned artifact directory (<dir>/v1).
+  const std::string &dir() const { return Dir; }
+
+  /// Path a key's .so lives at (exists or not) -- tests corrupt it.
+  std::string soPathFor(const std::string &Key) const;
+
+  /// Drops the in-memory index (artifacts stay on disk). Tests use this
+  /// to force the disk-hit path.
+  void dropIndex();
+
+private:
+  std::shared_ptr<NativeArtifact> loadSo(const std::string &SoPath,
+                                         std::string &Err);
+  bool ensureDir(std::string &Err) const;
+
+  std::string Dir; ///< <base>/v1, created lazily.
+  std::mutex Mu;   ///< Guards Index; cc/dlopen run outside it.
+  std::map<std::string, std::shared_ptr<NativeArtifact>> Index;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_NATIVE_ARTIFACTCACHE_H

@@ -1,0 +1,248 @@
+//===- NativeEngine.cpp ---------------------------------------------------===//
+
+#include "native/NativeEngine.h"
+
+#include "codegen/CEmitter.h"
+#include "codegen/mcrt/mcrt.h"
+#include "observe/RuntimeProfiler.h"
+#include "support/Subprocess.h"
+
+#include <chrono>
+#include <cmath>
+#include <csetjmp>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include <unistd.h>
+
+#ifndef MATCOAL_MCRT_DIR
+#define MATCOAL_MCRT_DIR "src/codegen/mcrt"
+#endif
+
+using namespace matcoal;
+
+namespace {
+
+/// Serializes every native execution in the process: the dlopened
+/// runtime's globals (output sink, fail handler, PRNG) are per-artifact
+/// but single-threaded, and the longjmp trampoline below is global.
+std::mutex &runMutex() {
+  static std::mutex Mu;
+  return Mu;
+}
+
+std::jmp_buf g_trap_jmp;
+std::string g_trap_msg;
+
+extern "C" void matcoalNativeFailHandler(const char *Msg) {
+  // Not a signal handler: mcrt_fail calls this synchronously, so a
+  // string assignment and a longjmp over plain C frames are safe.
+  g_trap_msg = Msg ? Msg : "";
+  std::longjmp(g_trap_jmp, 1);
+}
+
+std::string readWholeFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+NativeEngine::NativeEngine(std::string CacheDir, std::string McrtDir)
+    : Cache(std::move(CacheDir)) {
+  if (McrtDir.empty()) {
+    if (const char *Env = std::getenv("MATCOAL_MCRT_DIR"))
+      McrtDir = Env;
+    if (McrtDir.empty())
+      McrtDir = MATCOAL_MCRT_DIR;
+  }
+  this->McrtDir = std::move(McrtDir);
+}
+
+NativeEngine &NativeEngine::shared() {
+  static NativeEngine E;
+  return E;
+}
+
+bool NativeEngine::eligible(const CompiledProgram &P, std::string *WhyNot) {
+  auto No = [&](const char *Why) {
+    if (WhyNot)
+      *WhyNot = Why;
+    return false;
+  };
+  if (P.Level != DegradeLevel::Full &&
+      P.Level != DegradeLevel::IdentityPlans)
+    return No("compile degraded below the planned static model");
+  if (!P.M || !P.TI)
+    return No("no typed module to emit");
+  // Possibly-complex types are NOT rejected here: inference widens `.^`
+  // and friends to complex even when every runtime value stays real
+  // (nb1d/nb3d), and the emitted C handles those fine. A program whose
+  // data actually goes complex trips mcrt's clear-fault path at run time
+  // and re-runs on the VM, which models complex natively.
+  if (P.GCTDPlans.size() != P.M->Functions.size())
+    return No("missing storage plans");
+  return true;
+}
+
+std::string NativeEngine::preimageFor(const CompiledProgram &P, bool Profile,
+                                      bool NoFuse) const {
+  // Printed canonical forms only -- never interned ids (SymExpr.h's
+  // contract): this text is stable across SymExprContexts, requests,
+  // and daemon restarts, which is what makes the on-disk cache shareable.
+  std::ostringstream Pre;
+  Pre << "mcrt-abi: " << MCRT_ABI_VERSION << "\n"
+      << "opt: " << OptFlag << "\n"
+      << "fuse: " << (NoFuse ? 0 : 1) << "\n"
+      << "profile: " << (Profile ? 1 : 0) << "\n"
+      << "entry: " << P.Entry << "\n"
+      << "ir:\n"
+      << P.M->str() << "plans:\n";
+  for (const auto &F : P.M->Functions)
+    Pre << P.GCTDPlans.at(F.get()).str(*F);
+  return Pre.str();
+}
+
+std::string NativeEngine::cacheKeyFor(const CompiledProgram &P, bool Profile,
+                                      bool NoFuse) const {
+  return ArtifactCache::contentAddress(preimageFor(P, Profile, NoFuse));
+}
+
+ExecResult NativeEngine::fallback(const CompiledProgram &P,
+                                  std::uint64_t Seed,
+                                  const std::string &Why) const {
+  remarkTo(P.Obs, "native", RemarkKind::Degraded, P.Entry,
+           "native tier unavailable (" + Why + "): running on the VM",
+           {{"tier", execTierName(ExecTier::StaticVM)}});
+  return P.runStatic(Seed);
+}
+
+ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
+  std::string WhyNot;
+  if (!eligible(P, &WhyNot))
+    return fallback(P, Seed, WhyNot);
+  // An already-expired deadline goes straight to the VM, whose op loop
+  // polls the token and classifies TrapKind::Deadline with provenance;
+  // native code cannot be interrupted mid-run.
+  if (P.Cancel && P.Cancel->expired())
+    return fallback(P, Seed, "deadline expired before native entry");
+
+  const bool Profile = P.Prof != nullptr;
+  const std::string Preimage = preimageFor(P, Profile, P.NoFuse);
+  const std::string Key = ArtifactCache::contentAddress(Preimage);
+
+  CacheOutcome Outcome;
+  std::string Err;
+  std::shared_ptr<NativeArtifact> Art = Cache.lookup(Key, Outcome, Err);
+  if (Outcome == CacheOutcome::Corrupt) {
+    // The artifact existed but failed validation (truncated file, stale
+    // ABI stamp): it was evicted; this run degrades loudly and the next
+    // one recompiles from source.
+    count(P.Obs, "native.cache.misses");
+    return fallback(P, Seed, "corrupted artifact rejected: " + Err);
+  }
+  if (Art) {
+    count(P.Obs, "native.cache.hits");
+  } else {
+    count(P.Obs, "native.cache.misses");
+    if (!ccAvailable())
+      return fallback(P, Seed, "no system C compiler (cc) on PATH");
+    CEmitOptions EOpts;
+    EOpts.Fuse = !P.NoFuse;
+    EOpts.Profile = Profile;
+    std::string C = emitModuleC(P.module(), P.GCTDPlans, P.types(),
+                                P.ranges(), nullptr, EOpts, P.legality());
+    // The in-process entry: the TU's main() is for the standalone
+    // external-cc path; the engine calls this wrapper via dlsym instead.
+    C += "\nvoid matcoal_native_entry(void) { mat_" + P.Entry +
+         "(); }\n";
+    double CompileSeconds = 0;
+    Art = Cache.insert(Key, C, Preimage, McrtDir, OptFlag, Err,
+                       CompileSeconds);
+    // Whole seconds rounded up per cc invocation: a warm cache shows an
+    // exact 0 while even a 100ms compile stays visible in the counter.
+    count(P.Obs, "native.compile_seconds",
+          static_cast<std::int64_t>(std::ceil(CompileSeconds)));
+    if (!Art)
+      return fallback(P, Seed, Err);
+  }
+
+  // --- The actual in-process run, serialized process-wide. ---
+  std::lock_guard<std::mutex> L(runMutex());
+
+  std::string ProfPath;
+  if (Profile)
+    ProfPath = Cache.dir() + "/prof." + std::to_string(getpid()) + ".json";
+
+  char *OutBuf = nullptr;
+  size_t OutLen = 0;
+  std::FILE *Mem = open_memstream(&OutBuf, &OutLen);
+  if (!Mem)
+    return fallback(P, Seed, "open_memstream failed");
+
+  // Per-run reset: cached artifacts keep their globals between runs.
+  Art->Srand(Seed);
+  Art->ResetGrowthStats();
+  Art->SetOut(Mem);
+  Art->SetFailHandler(&matcoalNativeFailHandler);
+  if (Profile)
+    Art->ProfBegin(ProfPath.c_str());
+  g_trap_msg.clear();
+
+  volatile bool Trapped = false;
+  auto T0 = std::chrono::steady_clock::now();
+  if (setjmp(g_trap_jmp) == 0)
+    Art->Entry();
+  else
+    Trapped = true;
+  double Wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+
+  if (Profile)
+    Art->ProfEnd();
+  Art->SetFailHandler(nullptr);
+  Art->SetOut(nullptr);
+  std::fclose(Mem); // flushes; OutBuf/OutLen now valid
+
+  std::string Output;
+  if (OutBuf) {
+    Output.assign(OutBuf, OutLen);
+    std::free(OutBuf);
+  }
+
+  if (Trapped) {
+    // A runtime trap (bounds, shape, error(), complex data, plan
+    // violation) unwound via the fail handler. The VM is the
+    // authoritative classifier -- it reproduces the trap with TrapKind
+    // and "line N (op)" provenance, and it models complex data natively
+    // where mcrt clear-faults -- so discard the partial native output
+    // (and any partial profile stream) and re-run there.
+    if (Profile && !ProfPath.empty()) {
+      std::error_code EC;
+      std::filesystem::remove(ProfPath, EC);
+    }
+    return fallback(P, Seed, "native run trapped: " +
+                                 (g_trap_msg.empty() ? "mcrt error"
+                                                     : g_trap_msg));
+  }
+
+  if (Profile && P.Prof) {
+    std::string Events = readWholeFile(ProfPath);
+    std::error_code EC;
+    std::filesystem::remove(ProfPath, EC);
+    if (!Events.empty())
+      P.Prof->loadEventsJson(Events);
+  }
+
+  ExecResult R;
+  R.OK = true;
+  R.Output = std::move(Output);
+  R.WallSeconds = Wall;
+  return R;
+}

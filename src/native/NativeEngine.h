@@ -1,0 +1,111 @@
+//===- NativeEngine.h - In-process native execution tier --------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fourth execution tier (docs/EXECUTION_TIERS.md is the full
+/// matrix): emitted C compiled in-process into a shared object via the
+/// blessed `support/Subprocess` cc recipe, dlopened, and called through
+/// the fixed mcrt ABI -- no per-run process spawn, and on a cache hit no
+/// cc invocation at all. Fronted by a content-addressed ArtifactCache
+/// keyed on printed IR + storage plans + emitter options + the mcrt ABI
+/// stamp.
+///
+/// **Degradation.** The native tier is a rung *above* the static VM on
+/// the execution side of the ladder: anything that prevents a native run
+/// -- no C toolchain, cc failure, dlopen/validation failure (corrupted
+/// artifact), a compile that degraded below IdentityPlans, or a runtime
+/// mcrt trap (bounds, shape, error(), complex data) -- falls back to
+/// `CompiledProgram::runStatic` loudly: a `Degraded` remark on the
+/// program's observer names the cause, mirroring PR 1's ladder
+/// discipline. Output therefore never silently diverges: the fallback
+/// *is* the tier the native output is byte-compared against.
+///
+/// **Safety.** Generated code calls `mcrt_fail` on any runtime error;
+/// in-process that would exit() the host (fatal for matcoald). The engine
+/// installs an `mcrt_set_fail_handler` trampoline that longjmps back to
+/// the call site, classifies the trap, and re-runs the program on the VM
+/// for an authoritative result with "line N (op)" provenance. Program
+/// output is captured through `mcrt_set_out` into an open_memstream --
+/// the host's own stdout (matcoald's protocol stream) is never touched.
+///
+/// **Concurrency.** The cache index is mutex-guarded and shared across
+/// requests and workers (matcoald holds one engine). Actual native
+/// executions serialize behind a process-wide run mutex: the dlopened
+/// runtime's globals (PRNG, growth stats, output sink, fail handler) are
+/// per-artifact but not thread-safe, and the per-run reseeding contract
+/// (`mcrt_srand(seed)` before every entry call) keeps cached artifacts
+/// deterministic run to run.
+///
+/// **Limits** (documented in the tier matrix): the native tier does not
+/// poll CancelToken mid-run (the deadline is checked before entry; an
+/// expired token routes to the VM, which polls properly), does not meter
+/// memory (ExecResult::Mem is zero), and reports Ops = 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_NATIVE_NATIVEENGINE_H
+#define MATCOAL_NATIVE_NATIVEENGINE_H
+
+#include "driver/Compiler.h"
+#include "native/ArtifactCache.h"
+
+#include <cstdint>
+#include <string>
+
+namespace matcoal {
+
+class NativeEngine {
+public:
+  /// \p CacheDir empty selects $MATCOAL_CACHE_DIR then the /tmp default;
+  /// \p McrtDir empty selects $MATCOAL_MCRT_DIR then the baked-in source
+  /// location of src/codegen/mcrt.
+  explicit NativeEngine(std::string CacheDir = "", std::string McrtDir = "");
+
+  /// The process-wide engine (one shared artifact cache). matcoalc and
+  /// the benches use this; matcoald constructs one per service so tests
+  /// can isolate cache directories.
+  static NativeEngine &shared();
+
+  /// Runs \p P natively, or falls back to P.runStatic(Seed) with a
+  /// `Degraded` remark naming the cause. Counts native.cache.{hits,
+  /// misses} and native.compile_seconds (whole seconds, rounded up per cc
+  /// invocation so even a fast compile is visible) into P.Obs. When
+  /// P.Prof is set the artifact is built with mcrt_prof_* hooks (a
+  /// distinct cache key -- emitter options are part of the address) and
+  /// the streamed events are replayed into the profiler.
+  ExecResult run(const CompiledProgram &P, std::uint64_t Seed = 20030609);
+
+  /// Static eligibility: compiled at Full/IdentityPlans with plans and
+  /// types intact. Possibly-complex types do not disqualify (inference
+  /// widens conservatively; actually-complex data trips mcrt's runtime
+  /// clear-fault and re-runs on the VM). Does NOT probe for a C compiler
+  /// -- a cache hit needs none.
+  static bool eligible(const CompiledProgram &P, std::string *WhyNot = nullptr);
+
+  /// The canonical cache key for \p P under this engine's options --
+  /// exposed so tests can assert invalidation behavior.
+  std::string cacheKeyFor(const CompiledProgram &P, bool Profile,
+                          bool NoFuse) const;
+
+  ArtifactCache &cache() { return Cache; }
+  const std::string &mcrtDir() const { return McrtDir; }
+
+private:
+  std::string preimageFor(const CompiledProgram &P, bool Profile,
+                          bool NoFuse) const;
+  /// The loud fallback: remark + runStatic.
+  ExecResult fallback(const CompiledProgram &P, std::uint64_t Seed,
+                      const std::string &Why) const;
+
+  ArtifactCache Cache;
+  std::string McrtDir;
+  const char *OptFlag = "-O2";
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_NATIVE_NATIVEENGINE_H

@@ -71,6 +71,7 @@ bool ServiceRequest::fromJson(const JsonValue &V, ServiceRequest &Out,
   Out.NoRanges = V.get("no_ranges").asBool(false);
   Out.Profile = V.get("profile").asBool(false);
   Out.LintOnly = V.get("lint").asBool(false);
+  Out.Native = V.get("native").asBool(false);
   return true;
 }
 
@@ -88,6 +89,8 @@ JsonValue ServiceResponse::toJson() const {
   }
   if (!Rung.empty())
     O.set("rung", JsonValue::str(Rung));
+  if (!Tier.empty())
+    O.set("tier", JsonValue::str(Tier));
   if (!Trap.empty())
     O.set("trap", JsonValue::str(Trap));
   if (!Error.empty())
@@ -131,7 +134,7 @@ JsonValue ServiceResponse::toJson() const {
 //===----------------------------------------------------------------------===//
 
 CompileService::CompileService(ServiceConfig C)
-    : Cfg(C), Queue(C.QueueCap == 0 ? 1 : C.QueueCap) {
+    : Cfg(C), Queue(C.QueueCap == 0 ? 1 : C.QueueCap), Native(C.CacheDir) {
   if (Cfg.Workers == 0)
     Cfg.Workers = 1;
   Pool.reserve(Cfg.Workers);
@@ -333,7 +336,22 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
       P->Prof = &Prof;
 
     PassTimer RunT(nullptr, "svc.run");
-    ExecResult X = P->runStatic(R.Seed);
+    ExecResult X;
+    if (R.Native) {
+      std::size_t RemarksBefore = Obs.Remarks.size();
+      X = Native.run(*P, R.Seed);
+      // The engine degrades loudly: a native Degraded remark appended
+      // during this run means the VM produced the output we are about to
+      // return, and the tier field should say so.
+      bool Degraded = false;
+      for (std::size_t I = RemarksBefore; I < Obs.Remarks.size(); ++I)
+        Degraded |= Obs.Remarks[I].Pass == "native" &&
+                    Obs.Remarks[I].Kind == RemarkKind::Degraded;
+      Resp.Tier =
+          execTierName(Degraded ? ExecTier::StaticVM : ExecTier::Native);
+    } else {
+      X = P->runStatic(R.Seed);
+    }
     RunT.stop();
     Resp.RunSeconds = RunT.seconds();
     Resp.Ops = X.Ops;

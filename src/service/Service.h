@@ -49,6 +49,7 @@
 #define MATCOAL_SERVICE_SERVICE_H
 
 #include "driver/Compiler.h"
+#include "native/NativeEngine.h"
 #include "service/JobQueue.h"
 #include "service/Json.h"
 
@@ -76,6 +77,12 @@ struct ServiceConfig {
   std::uint64_t OpBudget = 2000000000ull;
   std::int64_t HeapLimit = 0;
   unsigned RecursionLimit = 512;
+  /// Artifact-cache directory for the native tier; empty selects
+  /// $MATCOAL_CACHE_DIR, then the /tmp default (see ArtifactCache.h).
+  /// The service owns one NativeEngine, so the cache -- both the on-disk
+  /// store and the in-memory dlopen index -- is shared across requests
+  /// and workers.
+  std::string CacheDir;
 };
 
 /// One compile-and-run request, decoded from the NDJSON envelope.
@@ -99,6 +106,10 @@ struct ServiceRequest {
   /// The "lint" op: compile with the matlint checks (plus the matvet
   /// plan-audit group) and return the diagnostics instead of running.
   bool LintOnly = false;
+  /// Run on the in-process native tier (shared-object artifact cache,
+  /// mcrt ABI); anything that prevents it degrades loudly to the VM and
+  /// the response's `tier` field names what actually ran.
+  bool Native = false;
 
   /// Decodes the protocol envelope; returns false with \p Error set on a
   /// malformed request (missing source, mistyped fields).
@@ -127,6 +138,10 @@ struct ServiceResponse {
   ResponseKind Kind = ResponseKind::Internal;
   bool OK = false;
   std::string Rung;  ///< degradeLevelName once a compile produced a program.
+  /// execTierName of the tier that actually produced the run, set for
+  /// native-requested runs: "native", or "vm-static" after a loud
+  /// degradation (the Degraded remark rides in the counters' session).
+  std::string Tier;
   std::string Trap;  ///< trapKindName when Kind == Trap or Deadline.
   std::string Error; ///< Human-readable; carries "line N (op)" provenance.
   std::string Output;
@@ -225,6 +240,11 @@ private:
   // is the lock that makes it one.
   mutable std::mutex StatsMu;
   StatRegistry Agg;
+
+  // The native tier's engine: one per service, so the artifact cache is
+  // shared across requests and workers (the engine's index mutex and the
+  // process-wide run mutex make that safe; see NativeEngine.h).
+  NativeEngine Native;
 };
 
 } // namespace matcoal

@@ -156,6 +156,29 @@ SubprocessResult matcoal::ccCompile(const std::string &CPath,
   return R;
 }
 
+SubprocessResult matcoal::ccCompileShared(const std::string &CPath,
+                                          const std::string &McrtDir,
+                                          const std::string &SoPath,
+                                          const char *OptFlag,
+                                          int TimeoutMs) {
+  if (!ccAvailable()) {
+    SubprocessResult R;
+    R.St = SubprocessResult::Status::SpawnError;
+    R.Diag = "no system C compiler (cc) on PATH";
+    return R;
+  }
+  SubprocessResult R = runSubprocess({"cc", "-std=c99", OptFlag, "-shared",
+                                      "-fPIC", "-I", McrtDir, CPath,
+                                      McrtDir + "/mcrt.c", "-o", SoPath,
+                                      "-lm"},
+                                     TimeoutMs);
+  if (R.St == SubprocessResult::Status::Timeout)
+    R.Diag = "cc hung compiling " + CPath + ": " + R.Diag;
+  else if (!R.ok())
+    R.Diag = "cc failed on " + CPath + ": " + R.Diag;
+  return R;
+}
+
 SubprocessResult matcoal::runExecutable(
     const std::string &ExePath, int TimeoutMs,
     const std::vector<std::pair<std::string, std::string>> &ExtraEnv) {

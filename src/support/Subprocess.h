@@ -72,6 +72,18 @@ SubprocessResult ccCompile(const std::string &CPath,
                            const char *OptFlag = "-O1",
                            int TimeoutMs = 120000);
 
+/// The shared-object variant of the blessed recipe, for the in-process
+/// native tier: `cc -std=c99 <OptFlag> -shared -fPIC -I <McrtDir> <CPath>
+/// <McrtDir>/mcrt.c -o <SoPath> -lm`. mcrt.c is compiled INTO each
+/// object, so every dlopened artifact carries its own private runtime
+/// globals (growth stats, PRNG, profile stream) -- the per-session
+/// isolation contract extends to native artifacts for free.
+SubprocessResult ccCompileShared(const std::string &CPath,
+                                 const std::string &McrtDir,
+                                 const std::string &SoPath,
+                                 const char *OptFlag = "-O2",
+                                 int TimeoutMs = 120000);
+
 /// Runs a compiled program under a timeout, capturing stdout.
 SubprocessResult
 runExecutable(const std::string &ExePath, int TimeoutMs = 60000,

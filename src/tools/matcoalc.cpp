@@ -39,6 +39,7 @@
 #include "codegen/CEmitter.h"
 #include "driver/Compiler.h"
 #include "lint/Lint.h"
+#include "native/NativeEngine.h"
 #include "observe/Observe.h"
 #include "observe/RuntimeProfiler.h"
 
@@ -88,12 +89,24 @@ void usage(const char *Argv0) {
                "                expiry aborts the compile with a classified\n"
                "                error or unwinds the run as a 'deadline'\n"
                "                trap with line provenance (exit 1)\n"
+               "  --native      run on the in-process native tier: the\n"
+               "                emitted C is compiled into a shared object\n"
+               "                (content-addressed artifact cache; a warm\n"
+               "                key skips cc entirely), dlopened, and\n"
+               "                called through the mcrt ABI; anything that\n"
+               "                prevents it degrades loudly to the VM (see\n"
+               "                docs/EXECUTION_TIERS.md)\n"
+               "  --cache-dir=<dir>\n"
+               "                artifact cache directory for --native\n"
+               "                (default: $MATCOAL_CACHE_DIR, else\n"
+               "                /tmp/matcoal-native-cache)\n"
                "  --help        this text, plus the lint check registry\n"
                "\n"
                "observability:\n"
                "  --remarks[=<pass>]   print optimization remarks to stderr\n"
                "                       (passes: interference, storage-plan,\n"
-               "                       cemit, driver, profile)\n"
+               "                       cemit, legality, driver, profile,\n"
+               "                       native)\n"
                "  --stats-json <file>  write counters and pass timings as\n"
                "                       JSON ('-' for stdout)\n"
                "  --trace-out <file>   write a Chrome trace-event timeline\n"
@@ -146,9 +159,10 @@ int main(int Argc, char **Argv) {
        DoEmitC = false;
   bool DoRemarks = false;
   bool DoTimeline = false, DoDrift = false, EmitProfiling = false;
-  bool ProfileSet = false;
+  bool ProfileSet = false, DoNative = false;
   std::int64_t TimeoutMs = 0;
-  std::string RemarkPass, StatsPath, TracePath, ProfilePath, BenchName;
+  std::string RemarkPass, StatsPath, TracePath, ProfilePath, BenchName,
+      CacheDir;
   Observer Obs;
   CompileOptions Opts;
   const char *Path = nullptr;
@@ -168,6 +182,14 @@ int main(int Argc, char **Argv) {
       Opts.Analysis = AnalysisLevel::None;
     } else if (!std::strcmp(Argv[I], "--no-fuse")) {
       Opts.NoFuse = true;
+    } else if (!std::strcmp(Argv[I], "--native")) {
+      DoNative = true;
+    } else if (!std::strncmp(Argv[I], "--cache-dir=", 12)) {
+      CacheDir = Argv[I] + 12;
+      if (CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir needs a directory\n");
+        return 2;
+      }
     } else if (!std::strncmp(Argv[I], "--timeout-ms=", 13)) {
       char *End = nullptr;
       TimeoutMs = std::strtoll(Argv[I] + 13, &End, 10);
@@ -375,7 +397,20 @@ int main(int Argc, char **Argv) {
 
   if (DoProfile)
     Program->Prof = &Prof;
-  ExecResult R = Program->runStatic();
+  ExecResult R;
+  if (DoNative) {
+    // A per-invocation engine when the cache dir was pinned (tests want
+    // isolation); the shared engine otherwise, so repeated matcoalc runs
+    // in one shell warm the same on-disk cache.
+    if (!CacheDir.empty()) {
+      NativeEngine Engine(CacheDir);
+      R = Engine.run(*Program);
+    } else {
+      R = NativeEngine::shared().run(*Program);
+    }
+  } else {
+    R = Program->runStatic();
+  }
   std::fputs(R.Output.c_str(), stdout);
   if (!R.OK) {
     std::fprintf(stderr, "error: %s\n", R.Error.c_str());

@@ -15,9 +15,11 @@
 //
 // Request fields: id (echoed), source (required), entry, fault (inject a
 // stage fault: parse|lower|ssa|typeinf|gctd|plan-corrupt), deadline_ms,
-// seed, no_fuse, no_ranges, profile; op: "compile" (default), "lint"
-// (return matlint + matvet findings instead of running), "stats", or
-// "shutdown".
+// seed, no_fuse, no_ranges, profile, native (run on the in-process
+// native tier; the artifact cache is shared across requests and the
+// response's "tier" field names what actually ran); op: "compile"
+// (default), "lint" (return matlint + matvet findings instead of
+// running), "stats", or "shutdown".
 //
 // The contract matcoald adds over matcoalc is *survival*: a request that
 // fails to parse, trips a verifier fault, traps at runtime, or outruns
@@ -73,6 +75,10 @@ void usage(const char *Argv0) {
       "                     carries none; 0 = none (default 0)\n"
       "  --retry-after-ms=<N>  hint carried in backpressure replies\n"
       "                     (default 50)\n"
+      "  --cache-dir=<dir>  native-tier artifact cache directory, shared\n"
+      "                     across requests and workers (default:\n"
+      "                     $MATCOAL_CACHE_DIR, else\n"
+      "                     /tmp/matcoal-native-cache)\n"
       "  --socket=<path>    listen on a unix socket instead of stdin\n"
       "  --help             this text\n"
       "\n"
@@ -291,6 +297,12 @@ int main(int Argc, char **Argv) {
       Cfg.DefaultDeadlineMs = N;
     } else if (parseCount(Argv[I], "--retry-after-ms=", N)) {
       Cfg.RetryAfterMs = N;
+    } else if (!std::strncmp(Argv[I], "--cache-dir=", 12)) {
+      Cfg.CacheDir = Argv[I] + 12;
+      if (Cfg.CacheDir.empty()) {
+        std::fprintf(stderr, "matcoald: --cache-dir needs a directory\n");
+        return 2;
+      }
     } else if (!std::strncmp(Argv[I], "--socket=", 9)) {
       SocketPath = Argv[I] + 9;
     } else if (!std::strcmp(Argv[I], "--help") ||

@@ -1,0 +1,385 @@
+//===- NativeTierTest.cpp - In-process native tier + artifact cache -------===//
+//
+// The native-tier contract, end to end (docs/EXECUTION_TIERS.md):
+//
+//  * Cold (cache miss) and warm (cache hit) native runs are byte-identical
+//    to the static VM on every suite benchmark, and a warm engine never
+//    invokes cc (native.compile_seconds == 0).
+//  * The cache key is a content address: changing any emitter option that
+//    changes the generated code (profiling hooks, fusion) changes the key;
+//    recompiling the same source reproduces the same key.
+//  * A corrupted on-disk artifact is rejected at load, evicted, and the
+//    run degrades loudly to the VM -- output still byte-identical.
+//  * One engine (and one cache) shared by concurrent matcoald-style
+//    requests stays coherent: every response is byte-identical and the
+//    suite sees exactly one compile per distinct program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/programs/Programs.h"
+#include "native/NativeEngine.h"
+#include "service/Service.h"
+#include "support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace matcoal;
+
+namespace {
+
+/// Fresh cache directory per test so tests cannot warm each other.
+std::string freshCacheDir(const char *Tag) {
+  static std::atomic<unsigned> Counter{0};
+  std::string Dir = ::testing::TempDir() + "/matcoal_native_" + Tag + "_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(Counter++);
+  return Dir;
+}
+
+std::unique_ptr<CompiledProgram> compileBench(const std::string &Name,
+                                              Observer *Obs = nullptr) {
+  const BenchmarkProgram *BP = findBenchmark(Name);
+  EXPECT_NE(BP, nullptr) << Name;
+  Diagnostics Diags;
+  CompileOptions Opts;
+  Opts.Obs = Obs;
+  auto P = compileSource(BP->Source, Diags, Opts);
+  EXPECT_NE(P, nullptr) << Diags.str();
+  return P;
+}
+
+bool nativeDegradedRemark(const Observer &Obs) {
+  for (const Remark &R : Obs.Remarks)
+    if (R.Pass == "native" && R.Kind == RemarkKind::Degraded)
+      return true;
+  return false;
+}
+
+class NativeSuiteTest : public ::testing::TestWithParam<std::string> {};
+
+// Cold compile-and-run, then a warm run from the same engine (memory
+// hit), then a warm run from a second engine over the same directory
+// (disk hit): all three byte-identical to the VM, and only the first
+// pays a cc invocation.
+TEST_P(NativeSuiteTest, ColdAndWarmRunsMatchVM) {
+  if (!ccAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  std::string Dir = freshCacheDir("suite");
+
+  Observer Obs;
+  auto P = compileBench(GetParam(), &Obs);
+  ASSERT_NE(P, nullptr);
+  ExecResult VM = P->runStatic();
+  ASSERT_TRUE(VM.OK) << VM.Error;
+
+  NativeEngine Engine(Dir);
+  ExecResult Cold = Engine.run(*P);
+  ASSERT_TRUE(Cold.OK) << Cold.Error;
+  EXPECT_EQ(Cold.Output, VM.Output) << "cold native run diverged";
+  EXPECT_EQ(Obs.Stats.get("native.cache.misses"), 1);
+  EXPECT_EQ(Obs.Stats.get("native.cache.hits"), 0);
+  EXPECT_GE(Obs.Stats.get("native.compile_seconds"), 1)
+      << "a cold compile must be visible in the counter";
+
+  ExecResult Warm = Engine.run(*P);
+  ASSERT_TRUE(Warm.OK) << Warm.Error;
+  EXPECT_EQ(Warm.Output, VM.Output) << "warm native run diverged";
+  EXPECT_EQ(Obs.Stats.get("native.cache.hits"), 1);
+  EXPECT_EQ(Obs.Stats.get("native.cache.misses"), 1);
+
+  // A second engine over the same directory models a daemon restart:
+  // the artifact comes off disk, cc is never invoked.
+  Observer Obs2;
+  auto P2 = compileBench(GetParam(), &Obs2);
+  ASSERT_NE(P2, nullptr);
+  NativeEngine Engine2(Dir);
+  ExecResult Disk = Engine2.run(*P2);
+  ASSERT_TRUE(Disk.OK) << Disk.Error;
+  EXPECT_EQ(Disk.Output, VM.Output) << "disk-hit native run diverged";
+  EXPECT_EQ(Obs2.Stats.get("native.cache.hits"), 1);
+  EXPECT_EQ(Obs2.Stats.get("native.cache.misses"), 0);
+  EXPECT_EQ(Obs2.Stats.get("native.compile_seconds"), 0)
+      << "a warm engine must never invoke cc";
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, NativeSuiteTest,
+                         ::testing::Values("adpt", "capr", "clos", "crni",
+                                           "diff", "dich", "edit", "fdtd",
+                                           "fiff", "nb1d", "nb3d"),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           return I.param;
+                         });
+
+// The key is a pure content address: recompiling the identical source
+// reproduces it (that is what makes the cache shareable across
+// processes), and every code-changing emitter option perturbs it.
+TEST(NativeCacheKeyTest, StableAcrossCompilesAndSensitiveToOptions) {
+  NativeEngine Engine(freshCacheDir("key"));
+  auto P1 = compileBench("crni");
+  auto P2 = compileBench("crni");
+  ASSERT_TRUE(P1 && P2);
+
+  std::string Base = Engine.cacheKeyFor(*P1, false, false);
+  EXPECT_EQ(Base, Engine.cacheKeyFor(*P2, false, false))
+      << "identical source must reproduce the key";
+  EXPECT_EQ(Base.size(), 32u) << "128-bit hex content address";
+
+  EXPECT_NE(Base, Engine.cacheKeyFor(*P1, true, false))
+      << "profiling hooks change the generated C, so the key";
+  EXPECT_NE(Base, Engine.cacheKeyFor(*P1, false, true))
+      << "fusion changes the generated C, so the key";
+  auto POther = compileBench("clos");
+  ASSERT_NE(POther, nullptr);
+  EXPECT_NE(Base, Engine.cacheKeyFor(*POther, false, false));
+}
+
+// Corrupt the on-disk .so, drop the memory index, run: the load is
+// rejected, the artifact evicted, the run degrades loudly to the VM, and
+// output stays byte-identical. The *next* run recompiles cleanly.
+TEST(NativeCorruptionTest, CorruptArtifactEvictedAndRunDegradesToVM) {
+  if (!ccAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  std::string Dir = freshCacheDir("corrupt");
+
+  Observer Obs;
+  auto P = compileBench("crni", &Obs);
+  ASSERT_NE(P, nullptr);
+  ExecResult VM = P->runStatic();
+  ASSERT_TRUE(VM.OK);
+
+  NativeEngine Engine(Dir);
+  ASSERT_TRUE(Engine.run(*P).OK);
+
+  std::string Key = Engine.cacheKeyFor(*P, false, false);
+  std::string SoPath = Engine.cache().soPathFor(Key);
+  // Unload first (dlclose), THEN corrupt: truncating a still-mapped .so
+  // invites SIGBUS from the mapping, which is not the scenario -- this
+  // models a daemon (re)start finding a damaged artifact on disk.
+  Engine.cache().dropIndex();
+  {
+    std::ofstream Junk(SoPath, std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(Junk.good());
+    Junk << "this is not a shared object";
+  }
+
+  ExecResult R = Engine.run(*P);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, VM.Output)
+      << "the degraded run must still be byte-identical";
+  EXPECT_TRUE(nativeDegradedRemark(Obs))
+      << "corruption must degrade loudly, not silently";
+  EXPECT_FALSE(std::ifstream(SoPath).good())
+      << "the corrupt artifact must be evicted from disk";
+
+  // Recovery: the following run recompiles and goes native again.
+  std::int64_t MissesBefore = Obs.Stats.get("native.cache.misses");
+  ExecResult R2 = Engine.run(*P);
+  ASSERT_TRUE(R2.OK);
+  EXPECT_EQ(R2.Output, VM.Output);
+  EXPECT_EQ(Obs.Stats.get("native.cache.misses"), MissesBefore + 1);
+  EXPECT_TRUE(std::ifstream(SoPath).good())
+      << "the recompile must repopulate the cache";
+}
+
+// A stale ABI stamp is corruption too: an artifact whose
+// mcrt_abi_version() disagrees with the host must never be called. We
+// simulate it with an .so that lacks the mcrt symbols entirely (any
+// system library): rejected, evicted, loud VM fallback.
+TEST(NativeCorruptionTest, ForeignSoRejected) {
+  if (!ccAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  std::string Dir = freshCacheDir("foreign");
+
+  Observer Obs;
+  auto P = compileBench("clos", &Obs);
+  ASSERT_NE(P, nullptr);
+  ExecResult VM = P->runStatic();
+  ASSERT_TRUE(VM.OK);
+
+  NativeEngine Engine(Dir);
+  ASSERT_TRUE(Engine.run(*P).OK);
+
+  // Replace the artifact with a real, loadable .so that is not ours
+  // (unload first: cc truncates in place, and truncating a mapped .so
+  // is its own crash).
+  std::string SoPath =
+      Engine.cache().soPathFor(Engine.cacheKeyFor(*P, false, false));
+  Engine.cache().dropIndex();
+  std::string CPath = Dir + "/empty.c";
+  {
+    std::ofstream C(CPath);
+    C << "int matcoal_unrelated(void) { return 7; }\n";
+  }
+  SubprocessResult CC = ccCompileShared(CPath, Engine.mcrtDir(), SoPath);
+  ASSERT_TRUE(CC.ok()) << CC.Diag;
+
+  ExecResult R = Engine.run(*P);
+  ASSERT_TRUE(R.OK);
+  EXPECT_EQ(R.Output, VM.Output);
+  EXPECT_TRUE(nativeDegradedRemark(Obs));
+}
+
+// Programs whose data actually goes complex trip mcrt's runtime
+// clear-fault; the engine longjmps out, discards the partial output, and
+// re-runs on the VM -- still byte-identical, loudly degraded, and the
+// daemon-fatal exit(1) in mcrt_fail never fires in-process.
+TEST(NativeTrapTest, ComplexProgramDegradesToVM) {
+  if (!ccAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  Observer Obs;
+  auto P = compileBench("diff", &Obs); // fiff's complex-valued sibling
+  ASSERT_NE(P, nullptr);
+  ExecResult VM = P->runStatic();
+  ASSERT_TRUE(VM.OK);
+
+  NativeEngine Engine(freshCacheDir("trap"));
+  ExecResult R = Engine.run(*P);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, VM.Output);
+  EXPECT_TRUE(nativeDegradedRemark(Obs))
+      << "a runtime trap must surface as a Degraded remark";
+}
+
+// An error() raised by generated code is a trap, not a host exit: the
+// fail-handler trampoline must carry it back and the VM must classify it.
+TEST(NativeTrapTest, ErrorBuiltinDoesNotKillTheHost) {
+  if (!ccAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  Observer Obs;
+  Diagnostics Diags;
+  CompileOptions Opts;
+  Opts.Obs = &Obs;
+  auto P = compileSource("disp(1);\nerror('boom');\ndisp(2);\n", Diags, Opts);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ExecResult VM = P->runStatic();
+
+  NativeEngine Engine(freshCacheDir("error"));
+  ExecResult R = Engine.run(*P);
+  // Both tiers agree the program fails; the native tier survived to say
+  // so (the whole point of the longjmp trampoline).
+  EXPECT_EQ(R.OK, VM.OK);
+  EXPECT_FALSE(R.OK);
+  EXPECT_TRUE(nativeDegradedRemark(Obs));
+}
+
+// matcoald-style storm: one service, one engine, one cache. A serial
+// warm pass compiles each distinct program once (one miss each); the
+// concurrent storm that follows must be all hits -- no request recompiles
+// what the shared cache already holds -- with every response
+// byte-identical to its program's VM output and tagged "native".
+TEST(NativeServiceStormTest, ConcurrentRequestsShareOneCache) {
+  if (!ccAvailable())
+    GTEST_SKIP() << "no system C compiler";
+
+  const char *Sources[] = {
+      "x = 0;\nfor i = 1:50\nx = x + i * i;\nend\ndisp(x);\n",
+      "a = [1, 2; 3, 4];\nb = a * a';\ndisp(sum(sum(b)));\n",
+      "v = zeros(1, 16);\nfor k = 1:16\nv(k) = mod(k * 7, 5);\nend\n"
+      "disp(sum(v));\n",
+      "n = 1;\nwhile n < 40\nn = n * 3;\nend\ndisp(n);\n",
+  };
+  constexpr unsigned NumSources = 4;
+  constexpr unsigned Waves = 8; // 32 requests over 4 distinct programs.
+
+  std::vector<std::string> VMOut(NumSources);
+  for (unsigned I = 0; I < NumSources; ++I) {
+    Diagnostics Diags;
+    auto P = compileSource(Sources[I], Diags);
+    ASSERT_NE(P, nullptr) << Diags.str();
+    ExecResult R = P->runStatic();
+    ASSERT_TRUE(R.OK) << R.Error;
+    VMOut[I] = R.Output;
+  }
+
+  ServiceConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.QueueCap = NumSources * Waves;
+  Cfg.CacheDir = freshCacheDir("storm");
+  CompileService Svc(Cfg);
+
+  // Serial warm pass: one compile (miss) per distinct program.
+  for (unsigned I = 0; I < NumSources; ++I) {
+    ServiceRequest Req;
+    Req.Source = Sources[I];
+    Req.Native = true;
+    ServiceResponse R = Svc.processNow(Req);
+    ASSERT_EQ(R.Kind, ResponseKind::OK) << R.Error;
+    EXPECT_EQ(R.Output, VMOut[I]);
+    for (const auto &[Name, Value] : R.Counters) {
+      if (Name == "native.cache.misses") {
+        EXPECT_EQ(Value, 1) << "warm pass program " << I;
+      }
+    }
+  }
+
+  std::mutex Mu;
+  std::vector<ServiceResponse> Got;
+  for (unsigned W = 0; W < Waves; ++W)
+    for (unsigned I = 0; I < NumSources; ++I) {
+      ServiceRequest Req;
+      Req.Id = std::to_string(W) + "." + std::to_string(I);
+      Req.Source = Sources[I];
+      Req.Native = true;
+      ASSERT_TRUE(Svc.submit(Req, [&](ServiceResponse R) {
+        std::lock_guard<std::mutex> L(Mu);
+        Got.push_back(std::move(R));
+      }));
+    }
+  Svc.drain();
+
+  ASSERT_EQ(Got.size(), NumSources * Waves);
+  for (const ServiceResponse &R : Got) {
+    ASSERT_EQ(R.Kind, ResponseKind::OK) << R.Error;
+    unsigned I = std::stoul(R.Id.substr(R.Id.find('.') + 1));
+    EXPECT_EQ(R.Output, VMOut[I]) << "request " << R.Id << " diverged";
+    EXPECT_EQ(R.Tier, "native") << "request " << R.Id;
+    long long Hits = 0, Misses = 0;
+    for (const auto &[Name, Value] : R.Counters) {
+      if (Name == "native.cache.hits")
+        Hits = Value;
+      if (Name == "native.cache.misses")
+        Misses = Value;
+    }
+    EXPECT_EQ(Hits, 1) << "request " << R.Id << " should hit the cache";
+    EXPECT_EQ(Misses, 0) << "request " << R.Id << " recompiled needlessly";
+  }
+  Svc.shutdown();
+}
+
+// Ineligibility is loud, cheap, and correct even with no cc on PATH: a
+// program degraded below the planned static model never reaches the
+// compiler or the cache.
+TEST(NativeEligibilityTest, DegradedCompileFallsBackWithoutTouchingCache) {
+  Observer Obs;
+  Diagnostics Diags;
+  CompileOptions Opts;
+  Opts.Obs = &Obs;
+  Opts.InjectFault = parseCompileStage("typeinf"); // -> MccOnly rung.
+  auto P = compileSource("disp(42);\n", Diags, Opts);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ASSERT_LT(static_cast<int>(DegradeLevel::IdentityPlans),
+            static_cast<int>(P->level()))
+      << "fault injection should have degraded below IdentityPlans";
+
+  std::string WhyNot;
+  EXPECT_FALSE(NativeEngine::eligible(*P, &WhyNot));
+  EXPECT_FALSE(WhyNot.empty());
+
+  NativeEngine Engine(freshCacheDir("inelig"));
+  ExecResult R = Engine.run(*P);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, "42\n");
+  EXPECT_TRUE(nativeDegradedRemark(Obs));
+  EXPECT_EQ(Obs.Stats.get("native.cache.hits"), 0);
+  EXPECT_EQ(Obs.Stats.get("native.cache.misses"), 0);
+}
+
+} // namespace
