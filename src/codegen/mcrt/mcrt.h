@@ -32,7 +32,12 @@ typedef long long mcrt_size;
  * in-process native tier bakes this value into its artifact-cache key and
  * re-checks it through mcrt_abi_version() after dlopen, so a stale shared
  * object compiled against an older runtime can never be called through a
- * newer host's expectations (it is evicted and recompiled instead). */
+ * newer host's expectations (it is evicted and recompiled instead).
+ * The stamp only covers ABI *shape*: behavioral changes to this runtime
+ * (print formatting, RNG, growth policy) need no bump, because the
+ * native tier also mixes a content digest of mcrt.c + mcrt.h into every
+ * cache key (NativeEngine's mcrt-src preimage line), which retires
+ * cached artifacts on any runtime source change. */
 #define MCRT_ABI_VERSION 2
 
 /* The MCRT_ABI_VERSION the runtime was compiled with (a function, not the

@@ -4,14 +4,19 @@
 
 #include "support/Subprocess.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include <dlfcn.h>
+#include <sys/stat.h>
+#include <sys/types.h>
 #include <unistd.h>
 
 #include "codegen/mcrt/mcrt.h" // MCRT_ABI_VERSION (the host's expectation)
@@ -25,36 +30,191 @@ NativeArtifact::~NativeArtifact() {
 
 namespace {
 
+/// The default must be per-user: dlopen runs artifact initializers before
+/// the host can check anything, so loading from a fixed world-writable
+/// path (the old /tmp/matcoal-native-cache) would let any local user
+/// pre-plant a .so under a predictable key and execute code in the
+/// matcoalc/matcoald process. $XDG_CACHE_HOME and $HOME/.cache are
+/// per-user by convention; the /tmp fallback embeds the uid, and
+/// ensureDir()/ownedPrivate() below enforce 0700-style isolation either
+/// way.
 std::string defaultCacheBase() {
   if (const char *Env = std::getenv("MATCOAL_CACHE_DIR"))
     if (Env[0])
       return Env;
-  return "/tmp/matcoal-native-cache";
+  if (const char *Xdg = std::getenv("XDG_CACHE_HOME"))
+    if (Xdg[0] == '/')
+      return std::string(Xdg) + "/matcoal/native";
+  if (const char *Home = std::getenv("HOME"))
+    if (Home[0] == '/')
+      return std::string(Home) + "/.cache/matcoal/native";
+  return "/tmp/matcoal-native-cache-" +
+         std::to_string(static_cast<long>(::geteuid()));
 }
 
-/// 64-bit FNV-1a with a caller-chosen offset basis, so two passes give
-/// 128 independent bits. No external hash dependency.
-std::uint64_t fnv1a(const std::string &S, std::uint64_t H) {
-  for (unsigned char C : S) {
-    H ^= C;
-    H *= 1099511628211ull;
+/// Minimal SHA-256 (FIPS 180-4); no external dependency. matcoald
+/// accepts untrusted source with native:true, so the content address
+/// must be collision-resistant -- a seedable or algebraic hash (the old
+/// double-FNV) would let a crafted program alias another program's
+/// artifact and be served its code.
+struct Sha256 {
+  std::uint32_t H[8] = {0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+                        0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u};
+  unsigned char Block[64];
+  std::uint64_t Total = 0;
+  std::size_t Fill = 0;
+
+  static std::uint32_t rotr(std::uint32_t X, int N) {
+    return (X >> N) | (X << (32 - N));
   }
-  return H;
+
+  void compress(const unsigned char *P) {
+    static const std::uint32_t K[64] = {
+        0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+        0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+        0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+        0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+        0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+        0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+        0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+        0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+        0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+        0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+        0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+        0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+        0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u};
+    std::uint32_t W[64];
+    for (int I = 0; I < 16; ++I)
+      W[I] = (std::uint32_t(P[4 * I]) << 24) |
+             (std::uint32_t(P[4 * I + 1]) << 16) |
+             (std::uint32_t(P[4 * I + 2]) << 8) | P[4 * I + 3];
+    for (int I = 16; I < 64; ++I) {
+      std::uint32_t S0 =
+          rotr(W[I - 15], 7) ^ rotr(W[I - 15], 18) ^ (W[I - 15] >> 3);
+      std::uint32_t S1 =
+          rotr(W[I - 2], 17) ^ rotr(W[I - 2], 19) ^ (W[I - 2] >> 10);
+      W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+    }
+    std::uint32_t A = H[0], B = H[1], C = H[2], D = H[3], E = H[4], F = H[5],
+                  G = H[6], Hh = H[7];
+    for (int I = 0; I < 64; ++I) {
+      std::uint32_t S1 = rotr(E, 6) ^ rotr(E, 11) ^ rotr(E, 25);
+      std::uint32_t Ch = (E & F) ^ (~E & G);
+      std::uint32_t T1 = Hh + S1 + Ch + K[I] + W[I];
+      std::uint32_t S0 = rotr(A, 2) ^ rotr(A, 13) ^ rotr(A, 22);
+      std::uint32_t Maj = (A & B) ^ (A & C) ^ (B & C);
+      std::uint32_t T2 = S0 + Maj;
+      Hh = G;
+      G = F;
+      F = E;
+      E = D + T1;
+      D = C;
+      C = B;
+      B = A;
+      A = T1 + T2;
+    }
+    H[0] += A;
+    H[1] += B;
+    H[2] += C;
+    H[3] += D;
+    H[4] += E;
+    H[5] += F;
+    H[6] += G;
+    H[7] += Hh;
+  }
+
+  void update(const unsigned char *P, std::size_t N) {
+    Total += N;
+    while (N) {
+      std::size_t Take = std::min(N, sizeof(Block) - Fill);
+      std::memcpy(Block + Fill, P, Take);
+      Fill += Take;
+      P += Take;
+      N -= Take;
+      if (Fill == sizeof(Block)) {
+        compress(Block);
+        Fill = 0;
+      }
+    }
+  }
+
+  void final(unsigned char Digest[32]) {
+    std::uint64_t BitLen = Total * 8;
+    const unsigned char Pad = 0x80, Zero = 0;
+    update(&Pad, 1);
+    while (Fill != 56)
+      update(&Zero, 1);
+    unsigned char Len[8];
+    for (int I = 0; I < 8; ++I)
+      Len[I] = static_cast<unsigned char>(BitLen >> (56 - 8 * I));
+    update(Len, 8);
+    for (int I = 0; I < 8; ++I) {
+      Digest[4 * I] = static_cast<unsigned char>(H[I] >> 24);
+      Digest[4 * I + 1] = static_cast<unsigned char>(H[I] >> 16);
+      Digest[4 * I + 2] = static_cast<unsigned char>(H[I] >> 8);
+      Digest[4 * I + 3] = static_cast<unsigned char>(H[I]);
+    }
+  }
+};
+
+/// Unique per attempt, not just per process: matcoald worker threads
+/// share one engine and can race insert() on the same key, so a
+/// pid-keyed temp name would have two threads compiling into one path.
+std::string uniqueSuffix() {
+  static std::atomic<unsigned> Counter{0};
+  return std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(Counter.fetch_add(1, std::memory_order_relaxed));
 }
 
-std::string hex64(std::uint64_t V) {
-  char Buf[17];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(V));
-  return Buf;
-}
-
-bool writeFile(const std::string &Path, const std::string &Text) {
-  std::ofstream Out(Path, std::ios::binary);
-  if (!Out)
+/// Write-temp-then-rename: readers (including a racing cc on the .c
+/// file) only ever see a complete old or complete new file.
+bool writeFileAtomic(const std::string &Path, const std::string &Text) {
+  std::string Tmp = Path + ".tmp" + uniqueSuffix();
+  {
+    std::ofstream Out(Tmp, std::ios::binary);
+    if (!Out)
+      return false;
+    Out << Text;
+    if (!Out.good()) {
+      std::error_code EC;
+      std::filesystem::remove(Tmp, EC);
+      return false;
+    }
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Path, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
     return false;
-  Out << Text;
-  return Out.good();
+  }
+  return true;
+}
+
+/// The trust check gating every dlopen: \p Path must be exactly the
+/// expected kind (lstat, so a symlink planted in the dir never passes),
+/// owned by this effective user, and not writable by group or other.
+/// Anything else is treated as corrupt and never loaded.
+bool ownedPrivate(const std::string &Path, bool WantDir, std::string &Err) {
+  struct stat St;
+  if (::lstat(Path.c_str(), &St) != 0) {
+    Err = "cannot stat " + Path;
+    return false;
+  }
+  if (WantDir ? !S_ISDIR(St.st_mode) : !S_ISREG(St.st_mode)) {
+    Err = Path + (WantDir ? " is not a directory" : " is not a regular file");
+    return false;
+  }
+  if (St.st_uid != ::geteuid()) {
+    Err = Path + " is owned by uid " + std::to_string(St.st_uid) +
+          ", not this user (uid " +
+          std::to_string(static_cast<long>(::geteuid())) + ")";
+    return false;
+  }
+  if (St.st_mode & (S_IWGRP | S_IWOTH)) {
+    Err = Path + " is writable by group/other; refusing to trust it";
+    return false;
+  }
+  return true;
 }
 
 } // namespace
@@ -67,12 +227,21 @@ ArtifactCache::ArtifactCache(std::string Dir) {
 }
 
 std::string ArtifactCache::contentAddress(const std::string &Preimage) {
-  // Two FNV-1a passes from distinct offset bases; the second basis is the
-  // standard offset advanced one prime step so the halves are independent.
-  std::uint64_t A = fnv1a(Preimage, 14695981039346656037ull);
-  std::uint64_t B = fnv1a(Preimage, 14695981039346656037ull *
-                                        1099511628211ull);
-  return hex64(A) + hex64(B);
+  // SHA-256 truncated to the leading 128 bits: collision resistance is
+  // part of the key contract (DESIGN.md "Artifact cache & ABI").
+  Sha256 S;
+  S.update(reinterpret_cast<const unsigned char *>(Preimage.data()),
+           Preimage.size());
+  unsigned char D[32];
+  S.final(D);
+  static const char Hex[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(32);
+  for (int I = 0; I < 16; ++I) {
+    Out += Hex[D[I] >> 4];
+    Out += Hex[D[I] & 15];
+  }
+  return Out;
 }
 
 std::string ArtifactCache::soPathFor(const std::string &Key) const {
@@ -86,11 +255,20 @@ bool ArtifactCache::ensureDir(std::string &Err) const {
     Err = "cannot create artifact cache dir " + Dir + ": " + EC.message();
     return false;
   }
-  return true;
+  // create_directories obeys the umask; tighten to owner-only before
+  // trusting the directory (best-effort -- ownedPrivate is the gate).
+  ::chmod(Dir.c_str(), 0700);
+  return ownedPrivate(Dir, /*WantDir=*/true, Err);
 }
 
 std::shared_ptr<NativeArtifact>
 ArtifactCache::loadSo(const std::string &SoPath, std::string &Err) {
+  // Never dlopen from an untrusted location: initializers run before the
+  // ABI check below, so ownership/permissions are verified first. A
+  // failure here reads as a corrupt artifact (evicted by the caller).
+  if (!ownedPrivate(Dir, /*WantDir=*/true, Err) ||
+      !ownedPrivate(SoPath, /*WantDir=*/false, Err))
+    return nullptr;
   auto Art = std::make_shared<NativeArtifact>();
   Art->SoPath = SoPath;
   // RTLD_LOCAL: every artifact keeps its own mat_* and mcrt globals;
@@ -174,16 +352,19 @@ ArtifactCache::insert(const std::string &Key, const std::string &CText,
   if (!ensureDir(Err))
     return nullptr;
   std::string Base = Dir + "/" + Key;
-  if (!writeFile(Base + ".c", CText)) {
+  // Atomic writes: two threads/processes racing on one key write
+  // identical bytes (same key, same preimage, same emitted C), and
+  // rename() guarantees any reader -- including the racer's cc -- sees a
+  // complete file.
+  if (!writeFileAtomic(Base + ".c", CText)) {
     Err = "cannot write " + Base + ".c";
     return nullptr;
   }
-  (void)writeFile(Base + ".key", Preimage); // best-effort debugging aid
-  // Compile to a private temp name, then atomically rename into place:
-  // two processes racing on one key both succeed and the loser's rename
+  (void)writeFileAtomic(Base + ".key", Preimage); // best-effort debug aid
+  // Compile to a per-attempt private temp name, then atomically rename
+  // into place: racing inserts both succeed and the loser's rename
   // simply replaces an identical artifact.
-  std::string Tmp =
-      Base + ".tmp" + std::to_string(static_cast<long>(getpid())) + ".so";
+  std::string Tmp = Base + ".tmp" + uniqueSuffix() + ".so";
   auto T0 = std::chrono::steady_clock::now();
   SubprocessResult CC = ccCompileShared(Base + ".c", McrtDir, Tmp, OptFlag);
   CompileSeconds =
@@ -195,6 +376,9 @@ ArtifactCache::insert(const std::string &Key, const std::string &CText,
     std::filesystem::remove(Tmp, EC);
     return nullptr;
   }
+  // cc's output mode follows the umask; tighten to owner-only before the
+  // artifact becomes visible so ownedPrivate() accepts it.
+  ::chmod(Tmp.c_str(), 0700);
   std::error_code EC;
   std::filesystem::rename(Tmp, Base + ".so", EC);
   if (EC) {

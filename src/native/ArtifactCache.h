@@ -11,14 +11,22 @@
 /// from emitted C + the bundled mcrt runtime, addressed by the content
 /// of what produced them -- never by file name, program name, or time.
 ///
-/// **Key contract.** A cache key is the 128-bit FNV hash of a canonical
-/// preimage assembled by the engine from *printed* forms only:
+/// **Key contract.** A cache key is SHA-256, truncated to its leading
+/// 128 bits, of a canonical preimage assembled by the engine from
+/// *printed* forms only:
 ///
 ///   * the mcrt ABI version stamp (`MCRT_ABI_VERSION`),
+///   * a content digest of the mcrt runtime source (mcrt.c + mcrt.h),
+///     so a behavioral runtime fix that keeps the ABI shape still
+///     retires every cached artifact,
 ///   * the emitter options (fusion on/off, profiling hooks on/off,
 ///     optimization flag, entry function),
 ///   * the printed SO-form IR of the whole module, and
 ///   * the printed storage plan of every function.
+///
+/// The hash must be collision-resistant, not merely well-distributed:
+/// matcoald compiles untrusted source, and a craftable collision would
+/// serve one request another program's artifact.
 ///
 /// Printed forms matter: interned SymExpr node ids are only comparable
 /// within one SymExprContext (see the thread-safety contract note in
@@ -33,17 +41,25 @@
 ///   <dir>/v1/<key>.c     the C translation unit it was built from
 ///   <dir>/v1/<key>.key   the key preimage (debugging: why this key?)
 ///
-/// `<dir>` defaults to $MATCOAL_CACHE_DIR, else /tmp/matcoal-native-cache.
-/// The v1 component is the schema version: incompatible layout changes
-/// land in a sibling directory instead of misreading old entries.
+/// `<dir>` defaults to $MATCOAL_CACHE_DIR, else a per-user location:
+/// $XDG_CACHE_HOME/matcoal/native, else $HOME/.cache/matcoal/native,
+/// else /tmp/matcoal-native-cache-<uid>. The directory is created (and
+/// tightened) to mode 0700 -- dlopen runs artifact initializers, so the
+/// cache must never live where another local user could plant a .so
+/// under a predictable key. The v1 component is the schema version:
+/// incompatible layout changes land in a sibling directory instead of
+/// misreading old entries.
 ///
-/// **Validation.** Loading revalidates: a .so that fails dlopen, lacks
-/// the expected symbols, or reports an mcrt_abi_version() different from
-/// the host's MCRT_ABI_VERSION is *evicted* (unlinked) and reported as
-/// corrupt -- the engine then degrades that run to the VM loudly and the
-/// next run recompiles. In-memory, loaded artifacts are indexed by key
-/// behind a mutex so a hit costs one map lookup; the index is shared by
-/// every matcoald worker through the service's one engine instance.
+/// **Validation.** Loading revalidates: before any dlopen, the cache
+/// directory and the .so itself must be regular (no symlinks), owned by
+/// the effective user, and not group/other-writable; then a .so that
+/// fails dlopen, lacks the expected symbols, or reports an
+/// mcrt_abi_version() different from the host's MCRT_ABI_VERSION is
+/// *evicted* (unlinked) and reported as corrupt -- the engine then
+/// degrades that run to the VM loudly and the next run recompiles.
+/// In-memory, loaded artifacts are indexed by key behind a mutex so a
+/// hit costs one map lookup; the index is shared by every matcoald
+/// worker through the service's one engine instance.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -92,10 +108,12 @@ enum class CacheOutcome {
 
 class ArtifactCache {
 public:
-  /// \p Dir empty selects $MATCOAL_CACHE_DIR, else the /tmp default.
+  /// \p Dir empty selects $MATCOAL_CACHE_DIR, else the per-user default
+  /// (see the file comment).
   explicit ArtifactCache(std::string Dir = "");
 
-  /// 32-hex-digit content address of \p Preimage (128-bit FNV-1a).
+  /// 32-hex-digit content address of \p Preimage (SHA-256 truncated to
+  /// 128 bits; collision resistance is part of the key contract).
   static std::string contentAddress(const std::string &Preimage);
 
   /// Probes memory then disk. On MemoryHit/DiskHit the artifact is
@@ -106,9 +124,10 @@ public:
                                          std::string &Err);
 
   /// Compiles \p CText against \p McrtDir into this key's artifact
-  /// (write .c, cc -shared -fPIC to a temp name, atomic rename), loads
-  /// and indexes it. \p Preimage is stored beside the artifact for
-  /// debugging. Null with \p Err on a cc or load failure.
+  /// (every file lands via write-to-per-attempt-temp-name + atomic
+  /// rename, so racing threads and processes never corrupt an entry),
+  /// loads and indexes it. \p Preimage is stored beside the artifact
+  /// for debugging. Null with \p Err on a cc or load failure.
   /// \p CompileSeconds reports the cc wall time.
   std::shared_ptr<NativeArtifact>
   insert(const std::string &Key, const std::string &CText,

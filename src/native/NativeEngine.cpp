@@ -62,6 +62,14 @@ NativeEngine::NativeEngine(std::string CacheDir, std::string McrtDir)
       McrtDir = MATCOAL_MCRT_DIR;
   }
   this->McrtDir = std::move(McrtDir);
+  // Digest of the runtime source every artifact is compiled against:
+  // MCRT_ABI_VERSION only tracks the ABI *shape*, so a behavioral mcrt
+  // fix that keeps the shape (print formatting, RNG) must invalidate
+  // through this line or cached artifacts silently diverge from the VM
+  // they are byte-compared against.
+  McrtSrcDigest = ArtifactCache::contentAddress(
+      readWholeFile(this->McrtDir + "/mcrt.c") + "\x1f" +
+      readWholeFile(this->McrtDir + "/mcrt.h"));
 }
 
 NativeEngine &NativeEngine::shared() {
@@ -97,6 +105,7 @@ std::string NativeEngine::preimageFor(const CompiledProgram &P, bool Profile,
   // and daemon restarts, which is what makes the on-disk cache shareable.
   std::ostringstream Pre;
   Pre << "mcrt-abi: " << MCRT_ABI_VERSION << "\n"
+      << "mcrt-src: " << McrtSrcDigest << "\n"
       << "opt: " << OptFlag << "\n"
       << "fuse: " << (NoFuse ? 0 : 1) << "\n"
       << "profile: " << (Profile ? 1 : 0) << "\n"
@@ -174,6 +183,14 @@ ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
 
   // --- The actual in-process run, serialized process-wide. ---
   std::lock_guard<std::mutex> L(runMutex());
+
+  // Re-check after (possibly) queueing behind another native run: the
+  // run mutex is the tier's head-of-line-blocking point (the "Known
+  // limits" in docs/EXECUTION_TIERS.md), and a request whose deadline
+  // expired while it waited belongs on the VM, which polls the token
+  // and classifies the trap with provenance.
+  if (P.Cancel && P.Cancel->expired())
+    return fallback(P, Seed, "deadline expired waiting for the native run slot");
 
   std::string ProfPath;
   if (Profile)

@@ -12,7 +12,8 @@
 /// the fixed mcrt ABI -- no per-run process spawn, and on a cache hit no
 /// cc invocation at all. Fronted by a content-addressed ArtifactCache
 /// keyed on printed IR + storage plans + emitter options + the mcrt ABI
-/// stamp.
+/// stamp + a digest of the mcrt runtime source (so a behavioral runtime
+/// fix that keeps the ABI shape still retires every cached artifact).
 ///
 /// **Degradation.** The native tier is a rung *above* the static VM on
 /// the execution side of the ladder: anything that prevents a native run
@@ -41,9 +42,14 @@
 /// deterministic run to run.
 ///
 /// **Limits** (documented in the tier matrix): the native tier does not
-/// poll CancelToken mid-run (the deadline is checked before entry; an
-/// expired token routes to the VM, which polls properly), does not meter
-/// memory (ExecResult::Mem is zero), and reports Ops = 0.
+/// poll CancelToken mid-run (the deadline is checked before entry and
+/// again after acquiring the run mutex; an expired token routes to the
+/// VM, which polls properly), does not meter memory (ExecResult::Mem is
+/// zero), and reports Ops = 0. Because executions serialize on the run
+/// mutex and cannot be interrupted, one long native run head-of-line
+/// blocks the native tier for every matcoald worker -- set request
+/// deadlines; a request that expires in the queue falls back to the VM
+/// instead of starting late.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,9 +66,10 @@ namespace matcoal {
 
 class NativeEngine {
 public:
-  /// \p CacheDir empty selects $MATCOAL_CACHE_DIR then the /tmp default;
-  /// \p McrtDir empty selects $MATCOAL_MCRT_DIR then the baked-in source
-  /// location of src/codegen/mcrt.
+  /// \p CacheDir empty selects $MATCOAL_CACHE_DIR, then a per-user
+  /// default (see ArtifactCache.h); \p McrtDir empty selects
+  /// $MATCOAL_MCRT_DIR then the baked-in source location of
+  /// src/codegen/mcrt.
   explicit NativeEngine(std::string CacheDir = "", std::string McrtDir = "");
 
   /// The process-wide engine (one shared artifact cache). matcoalc and
@@ -103,6 +110,9 @@ private:
 
   ArtifactCache Cache;
   std::string McrtDir;
+  /// Content address of McrtDir's mcrt.c + mcrt.h, mixed into every
+  /// cache preimage (computed once at construction).
+  std::string McrtSrcDigest;
   const char *OptFlag = "-O2";
 };
 

@@ -78,7 +78,7 @@ struct ServiceConfig {
   std::int64_t HeapLimit = 0;
   unsigned RecursionLimit = 512;
   /// Artifact-cache directory for the native tier; empty selects
-  /// $MATCOAL_CACHE_DIR, then the /tmp default (see ArtifactCache.h).
+  /// $MATCOAL_CACHE_DIR, then the per-user default (see ArtifactCache.h).
   /// The service owns one NativeEngine, so the cache -- both the on-disk
   /// store and the in-memory dlopen index -- is shared across requests
   /// and workers.

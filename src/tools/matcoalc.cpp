@@ -98,8 +98,9 @@ void usage(const char *Argv0) {
                "                docs/EXECUTION_TIERS.md)\n"
                "  --cache-dir=<dir>\n"
                "                artifact cache directory for --native\n"
-               "                (default: $MATCOAL_CACHE_DIR, else\n"
-               "                /tmp/matcoal-native-cache)\n"
+               "                (default: $MATCOAL_CACHE_DIR, else a\n"
+               "                per-user dir: $XDG_CACHE_HOME or\n"
+               "                ~/.cache, matcoal/native, 0700)\n"
                "  --help        this text, plus the lint check registry\n"
                "\n"
                "observability:\n"

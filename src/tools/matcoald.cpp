@@ -77,8 +77,9 @@ void usage(const char *Argv0) {
       "                     (default 50)\n"
       "  --cache-dir=<dir>  native-tier artifact cache directory, shared\n"
       "                     across requests and workers (default:\n"
-      "                     $MATCOAL_CACHE_DIR, else\n"
-      "                     /tmp/matcoal-native-cache)\n"
+      "                     $MATCOAL_CACHE_DIR, else a per-user dir:\n"
+      "                     $XDG_CACHE_HOME or ~/.cache, matcoal/native,\n"
+      "                     created 0700)\n"
       "  --socket=<path>    listen on a unix socket instead of stdin\n"
       "  --help             this text\n"
       "\n"

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace matcoal;
@@ -141,6 +142,20 @@ TEST(NativeCacheKeyTest, StableAcrossCompilesAndSensitiveToOptions) {
   EXPECT_NE(Base, Engine.cacheKeyFor(*POther, false, false));
 }
 
+// The address must be collision-resistant (matcoald hashes untrusted
+// source), so it is pinned to real SHA-256: the FIPS 180-4 test vectors,
+// truncated to the leading 128 bits.
+TEST(NativeCacheKeyTest, ContentAddressIsTruncatedSha256) {
+  EXPECT_EQ(ArtifactCache::contentAddress(""),
+            "e3b0c44298fc1c149afbf4c8996fb924");
+  EXPECT_EQ(ArtifactCache::contentAddress("abc"),
+            "ba7816bf8f01cfea414140de5dae2223");
+  // Spans the 64-byte block boundary (448 bits of input).
+  EXPECT_EQ(ArtifactCache::contentAddress(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039");
+}
+
 // Corrupt the on-disk .so, drop the memory index, run: the load is
 // rejected, the artifact evicted, the run degrades loudly to the VM, and
 // output stays byte-identical. The *next* run recompiles cleanly.
@@ -225,6 +240,38 @@ TEST(NativeCorruptionTest, ForeignSoRejected) {
   ASSERT_TRUE(R.OK);
   EXPECT_EQ(R.Output, VM.Output);
   EXPECT_TRUE(nativeDegradedRemark(Obs));
+}
+
+// dlopen runs initializers before any host-side check, so an artifact
+// another principal could have tampered with (here: group/other
+// writable) must be refused before dlopen -- treated as corrupt,
+// evicted, loud VM fallback.
+TEST(NativeCorruptionTest, GroupWritableArtifactRejected) {
+  if (!ccAvailable())
+    GTEST_SKIP() << "no system C compiler";
+  std::string Dir = freshCacheDir("perms");
+
+  Observer Obs;
+  auto P = compileBench("clos", &Obs);
+  ASSERT_NE(P, nullptr);
+  ExecResult VM = P->runStatic();
+  ASSERT_TRUE(VM.OK);
+
+  NativeEngine Engine(Dir);
+  ASSERT_TRUE(Engine.run(*P).OK);
+
+  std::string SoPath =
+      Engine.cache().soPathFor(Engine.cacheKeyFor(*P, false, false));
+  Engine.cache().dropIndex();
+  ASSERT_EQ(::chmod(SoPath.c_str(), 0766), 0);
+
+  ExecResult R = Engine.run(*P);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Output, VM.Output);
+  EXPECT_TRUE(nativeDegradedRemark(Obs))
+      << "an untrustworthy artifact must degrade loudly";
+  EXPECT_FALSE(std::ifstream(SoPath).good())
+      << "the untrusted artifact must be evicted";
 }
 
 // Programs whose data actually goes complex trip mcrt's runtime
