@@ -29,6 +29,19 @@ struct BenchmarkProgram {
   std::string Synopsis;
   std::string Origin;
   std::string Source;
+  /// Large-size variant for the threads axis of bench_table1: the same
+  /// program with its driver's problem size scaled so the hot arrays
+  /// cross the runtime's parallel threshold (ParMinElems). Empty for
+  /// programs whose hot loops are scalar recurrences (adpt, crni, edit,
+  /// fiff, ...) or complex-typed (diff) -- scaling those would only make
+  /// the serial axis slower without exercising the worker pool; the
+  /// threads axis falls back to Source for them.
+  std::string LargeSource;
+
+  bool hasLarge() const { return !LargeSource.empty(); }
+  const std::string &threadsAxisSource() const {
+    return LargeSource.empty() ? Source : LargeSource;
+  }
 
   /// Number of function definitions ("M-files" in the FALCON layout).
   unsigned mFileCount() const;

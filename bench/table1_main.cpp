@@ -15,6 +15,12 @@
 // against the same --cache-dir should show cache_hits == program_count
 // and compile_seconds == 0. See docs/EXECUTION_TIERS.md.
 //
+// The threads axis (always on) runs each program's large-size variant
+// (bench/programs; falls back to the Table 1 source) on the static VM at
+// 1 vs 4 worker threads, byte-compares the outputs, and records the
+// parallel-region chunk counts plus each program's cross-loop fusion
+// region count (codegen.fusion.cross_loop) into BENCH_table1.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
@@ -155,6 +161,52 @@ NativeAxis nativeAxis(const BenchmarkProgram &Prog, NativeEngine &Engine) {
   return Out;
 }
 
+/// Worker-thread count for the parallel arm of the threads axis.
+constexpr int ThreadsAxisN = 4;
+
+/// One program's threads axis: the large-size variant (bench/programs,
+/// sizes scaled past the runtime's parallel threshold; the Table 1
+/// source when the program has none) run on the static VM at 1 and
+/// ThreadsAxisN worker threads, byte-compared. Chunks counts the
+/// parallel-region partitions of one 4-thread run (rt.threads.chunks):
+/// zero means no kernel crossed the threshold and the "speedup" is just
+/// noise around 1.0.
+struct ThreadsAxis {
+  bool Large = false;
+  double T1Seconds = 0, T4Seconds = 0;
+  bool Identical = false;
+  long long Chunks = 0;
+};
+
+ThreadsAxis threadsAxis(const BenchmarkProgram &Prog) {
+  ThreadsAxis Out;
+  Out.Large = Prog.hasLarge();
+  const std::string &Src = Prog.threadsAxisSource();
+  auto CompileAt = [&](int Threads) {
+    CompileOptions Opts;
+    Opts.Threads = Threads;
+    Diagnostics Diags;
+    auto P = compileSource(Src, Diags, Opts);
+    if (!P) {
+      std::fprintf(stderr, "failed to compile %s (threads axis):\n%s\n",
+                   Prog.Name.c_str(), Diags.str().c_str());
+      std::exit(1);
+    }
+    return P;
+  };
+  auto P1 = CompileAt(1);
+  auto P4 = CompileAt(ThreadsAxisN);
+  ExecResult R1 = mustRunTimed(*P1, Prog.Name.c_str(), "threads1",
+                               &CompiledProgram::runStatic);
+  ExecResult R4 = mustRunTimed(*P4, Prog.Name.c_str(), "threads4",
+                               &CompiledProgram::runStatic);
+  Out.T1Seconds = R1.WallSeconds;
+  Out.T4Seconds = R4.WallSeconds;
+  Out.Identical = R1.Output == R4.Output;
+  Out.Chunks = static_cast<long long>(R4.ThreadChunks);
+  return Out;
+}
+
 /// The per-program counter block, flat: {"name": value, ...} in sorted
 /// (deterministic) order.
 std::string countersJson(const StatRegistry &S) {
@@ -244,6 +296,12 @@ int main(int Argc, char **Argv) {
     NativeAxis Axis;
   };
   std::vector<NativeRow> NativeRows;
+  struct ThreadsRow {
+    std::string Name;
+    ThreadsAxis Axis;
+  };
+  std::vector<ThreadsRow> ThreadsRows;
+  unsigned CrossLoopPrograms = 0;
   for (const BenchmarkProgram &Prog : benchmarkSuite()) {
     Profile Ty = profile(Prog, AnalysisLevel::None);
     Observer ProgObs;
@@ -282,6 +340,24 @@ int main(int Argc, char **Argv) {
                     Na.Hits, Na.Misses, Na.CompileSeconds);
       J += NBuf;
     }
+    // The threads axis: large-size variant at 1 vs ThreadsAxisN worker
+    // threads on the static VM, byte-compared (output is identical at
+    // any thread count by construction; this run proves it per program).
+    ThreadsAxis Ta = threadsAxis(Prog);
+    ThreadsRows.push_back({Prog.Name, Ta});
+    long long CrossLoop = ProgObs.Stats.get("codegen.fusion.cross_loop");
+    CrossLoopPrograms += CrossLoop > 0;
+    char TBuf[320];
+    std::snprintf(TBuf, sizeof(TBuf),
+                  ",\n    \"threads\": {\"large\": %s, \"t1_seconds\": %.6f, "
+                  "\"t%d_seconds\": %.6f, \"speedup\": %.3f, "
+                  "\"identical\": %s, \"chunks\": %lld}"
+                  ",\n    \"cross_loop_regions\": %lld",
+                  Ta.Large ? "true" : "false", Ta.T1Seconds, ThreadsAxisN,
+                  Ta.T4Seconds,
+                  Ta.T4Seconds > 0 ? Ta.T1Seconds / Ta.T4Seconds : 1.0,
+                  Ta.Identical ? "true" : "false", Ta.Chunks, CrossLoop);
+    J += TBuf;
     J += ",\n    \"stats\": " + countersJson(ProgObs.Stats);
     J += ",\n    \"improved\": ";
     J += Gain ? "true" : "false";
@@ -305,6 +381,34 @@ int main(int Argc, char **Argv) {
   double Geomean =
       FuseRows.empty() ? 1.0 : std::exp(LogSum / FuseRows.size());
   std::printf("%-6s %12s %12s %8.3fx (geomean)\n", "all", "", "", Geomean);
+
+  std::printf("\nThreads axis: static VM at 1 vs %d worker threads "
+              "(large-size variants where available; median of %u runs, "
+              "%u warmup)\n",
+              ThreadsAxisN, BenchTimedRuns, BenchWarmupRuns);
+  std::printf("%-6s %6s %12s %12s %9s %7s %10s\n", "Bench", "large",
+              "1-thr(s)", "4-thr(s)", "speedup", "chunks", "identical");
+  std::printf("%.*s\n", 68,
+              "------------------------------------------------------------"
+              "--------");
+  unsigned ThreadsSpedUp = 0, ThreadsLarge = 0;
+  for (const ThreadsRow &Row : ThreadsRows) {
+    double Speedup = Row.Axis.T4Seconds > 0
+                         ? Row.Axis.T1Seconds / Row.Axis.T4Seconds
+                         : 1.0;
+    ThreadsLarge += Row.Axis.Large;
+    // "Measurable": a parallel region actually ran (chunks > 0) and the
+    // 4-thread median beat the 1-thread median by more than noise.
+    ThreadsSpedUp += Row.Axis.Chunks > 0 && Speedup > 1.05;
+    std::printf("%-6s %6s %12.6f %12.6f %8.3fx %7lld %10s\n",
+                Row.Name.c_str(), Row.Axis.Large ? "yes" : "no",
+                Row.Axis.T1Seconds, Row.Axis.T4Seconds, Speedup,
+                Row.Axis.Chunks, Row.Axis.Identical ? "yes" : "NO");
+  }
+  std::printf("%u/%zu programs speed up at %d threads (%u large variants); "
+              "%u programs gain cross-loop fusion regions\n",
+              ThreadsSpedUp, ThreadsRows.size(), ThreadsAxisN, ThreadsLarge,
+              CrossLoopPrograms);
 
   std::string NativeTotals;
   if (DoNative) {
@@ -343,6 +447,16 @@ int main(int Argc, char **Argv) {
   std::snprintf(GeoBuf, sizeof(GeoBuf), "%.4f", Geomean);
   J += "\n  },\n  \"improved_count\": " + std::to_string(Improved) +
        ",\n  \"program_count\": " + std::to_string(Count) + NativeTotals +
+       ",\n  \"threads_axis\": {\"threads\": " +
+       std::to_string(ThreadsAxisN) +
+       ", \"speedup_count\": " + std::to_string(ThreadsSpedUp) +
+       ", \"large_count\": " + std::to_string(ThreadsLarge) +
+       ", \"identical_count\": " +
+       std::to_string(static_cast<unsigned>(std::count_if(
+           ThreadsRows.begin(), ThreadsRows.end(),
+           [](const ThreadsRow &R) { return R.Axis.Identical; }))) +
+       "},\n  \"cross_loop_program_count\": " +
+       std::to_string(CrossLoopPrograms) +
        ",\n  \"fusion_speedup_geomean\": " + GeoBuf +
        ",\n  \"protocol\": " + benchProtocolJson() +
        ",\n  \"config\": " + hardwareConfigJson() + "\n}\n";

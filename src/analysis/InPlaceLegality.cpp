@@ -57,6 +57,23 @@ bool InPlaceLegality::fusionTransparent(const Instr &I) {
   return I.Op == Opcode::ConstNum && I.NumIm == 0;
 }
 
+bool InPlaceLegality::fusibleUnaryBuiltin(const std::string &Name) {
+  // Exactly the builtins whose op_map kernel is one pure double->double
+  // function the fused loop can apply inline (mcrt exports the faulting
+  // ones -- sqrt/log of a negative escape to complex -- so the fused and
+  // unfused arms share one fault site).
+  static const std::set<std::string> Fusible = {
+      "abs", "sqrt", "exp",  "log",   "sin", "cos",
+      "tan", "floor", "ceil", "round", "fix", "sign",
+  };
+  return Fusible.count(Name) != 0;
+}
+
+bool InPlaceLegality::reductionBuiltin(const std::string &Name) {
+  return Name == "sum" || Name == "prod" || Name == "mean" ||
+         Name == "min" || Name == "max";
+}
+
 bool InPlaceLegality::staticScalar(const Function &F, VarId V) const {
   if (!TI.hasTypesFor(F))
     return false;
@@ -123,6 +140,16 @@ bool InPlaceLegality::subsasgnInPlace(const Function &F, const Instr &I,
 bool InPlaceLegality::fusionCandidate(const Function &F,
                                       const Instr &I) const {
   auto Verdict = [&] {
+    // Unary elementwise members: negation and the whitelisted map
+    // builtins, one array in, one array out, never characters (a char
+    // operand reaches op_map as codes; keep the fused arm out of that
+    // corner).
+    if (I.Op == Opcode::Neg)
+      return I.Results.size() == 1 && I.Operands.size() == 1;
+    if (I.Op == Opcode::Builtin)
+      return I.Results.size() == 1 && I.Operands.size() == 1 &&
+             fusibleUnaryBuiltin(I.StrVal) && TI.hasTypesFor(F) &&
+             TI.typeOf(F, I.Operands[0]).IT != IntrinsicType::Char;
     if (I.Results.size() != 1 || I.Operands.size() != 2)
       return false;
     switch (I.Op) {
@@ -148,6 +175,23 @@ bool InPlaceLegality::fusionCandidate(const Function &F,
   bool Interesting = destructiveOp(I.Op) || I.Op == Opcode::MatMul;
   return decide(F, &I, "fusion-candidate", I.Op, I.Loc.Line, Verdict(),
                 /*Remarkable=*/Interesting);
+}
+
+bool InPlaceLegality::reductionRoot(const Function &F, const Instr &I) const {
+  auto Verdict = [&] {
+    if (I.Op != Opcode::Builtin || I.Results.size() != 1 ||
+        I.Operands.size() != 1 || !reductionBuiltin(I.StrVal))
+      return false;
+    // Character data reduces through the runtime (sum('ab') sums codes;
+    // keep one code path for that corner), and min/max with an index
+    // result never fuse (Results.size() == 1 above already holds).
+    return TI.hasTypesFor(F) &&
+           TI.typeOf(F, I.Operands[0]).IT != IntrinsicType::Char;
+  };
+  bool Interesting =
+      I.Op == Opcode::Builtin && reductionBuiltin(I.StrVal);
+  return decide(F, &I, "reduction-root", I.Op, I.Loc.Line, Verdict(),
+                Interesting);
 }
 
 bool InPlaceLegality::elidableIntermediate(const Function &F,

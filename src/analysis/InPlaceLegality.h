@@ -94,6 +94,12 @@ public:
   /// Instructions a fusion run may span without breaking (foldable
   /// real-number constants).
   static bool fusionTransparent(const Instr &I);
+  /// Unary elementwise builtins a fusion tree may absorb (each maps onto
+  /// one C kernel applied per element, bit-identical to op_map's).
+  static bool fusibleUnaryBuiltin(const std::string &Name);
+  /// Reduction builtins a fusion tree may ROOT (never join as an internal
+  /// member: their result is a scalar, not an elementwise value).
+  static bool reductionBuiltin(const std::string &Name);
 
   // --- Per-site verdicts (memoized, journaled, counted).
 
@@ -112,6 +118,12 @@ public:
                        const SlotView &Slots) const;
   /// May \p I anchor or join a fused elementwise region?
   bool fusionCandidate(const Function &F, const Instr &I) const;
+  /// May \p I (a one-operand reduction builtin: sum/prod/mean/min/max)
+  /// root a fused region, folding its operand's elementwise producer
+  /// chain into the accumulation loop? The loop stays serial and
+  /// accumulates in the runtime's exact linear order, so the verdict is
+  /// purely about legality, never about reassociation.
+  bool reductionRoot(const Function &F, const Instr &I) const;
   /// May V's store be elided inside a fusion tree? Exactly one def and
   /// one use (both then necessarily inside the tree), so no later read
   /// exists and no live value can observe its slot.

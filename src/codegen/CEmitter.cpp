@@ -3,6 +3,7 @@
 #include "codegen/CEmitter.h"
 
 #include "analysis/InPlaceLegality.h"
+#include "codegen/mcrt/mcrt.h" // MCRT_PAR_MIN: the runtime's own threshold.
 
 #include <algorithm>
 #include <cassert>
@@ -134,7 +135,7 @@ private:
   }
 
   void emitPrologue();
-  void emitBlock(const BasicBlock &BB);
+  void emitSuperblock(const std::vector<const BasicBlock *> &Chain);
   void emitInstr(const Instr &I);
   /// After an instruction (or fused tree root), report the new size of
   /// every planned group slot it defined to the mcrt profiler. The slot
@@ -143,30 +144,47 @@ private:
   void emitProfHooks(const Instr &I);
   void emitElementwiseBinary(const Instr &I, const char *COp);
 
-  // --- Elementwise loop fusion (the fused-region optimization).
+  // --- Loop fusion (the fused-region optimization).
   //
-  // A fusion tree is a set of contiguous-run instructions folded into one
-  // loop: the root keeps its position and its store; every internal
-  // instruction's store, load, and resize check disappear.
+  // A fusion tree is a set of instructions from one superblock's
+  // instruction stream folded into one loop: the root keeps its position
+  // and its store; every internal instruction's store, load, and resize
+  // check disappear. A root is either an elementwise candidate (the loop
+  // writes the root's slot per element) or a reduction builtin
+  // (sum/prod/mean/min/max over a vector: the loop folds its operand's
+  // producer chain straight into the accumulation).
+  struct StreamItem {
+    const Instr *I = nullptr;
+    const BasicBlock *BB = nullptr;
+    bool Link = false; ///< The Jmp linking two superblock halves.
+  };
   struct FusionTree {
-    unsigned Root = 0;                ///< Root's index in the block.
+    unsigned Root = 0;                ///< Root's index in the stream.
     std::vector<unsigned> Members;    ///< All member indices, ascending.
     std::map<VarId, unsigned> DefIdx; ///< Internal var -> defining member.
     std::vector<VarId> ArrayLeaves;   ///< Non-scalar leaves, use order.
     std::vector<VarId> ScalarLeaves;  ///< Static-scalar leaves, use order.
     std::vector<VarId> LeafVars;      ///< Every distinct leaf variable.
+    bool Reduction = false;           ///< Root is a reduction builtin.
+    bool CrossBlock = false;          ///< Members span >1 basic block.
   };
-  /// Fills per-instruction actions for \p BB: -1 emit normally, -2 folded
-  /// into a fused tree, >= 0 index into \p Trees (this instr is a root).
-  std::vector<int> planFusion(const BasicBlock &BB,
+  /// Fills per-stream-item actions: -1 emit normally, -2 folded into a
+  /// fused tree, >= 0 index into \p Trees (this item is a root).
+  std::vector<int> planFusion(const std::vector<StreamItem> &Stream,
                               std::vector<FusionTree> &Trees);
-  void planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
+  void planRun(const std::vector<StreamItem> &Stream, size_t Lo, size_t Hi,
+               const std::vector<char> &Cand, const std::vector<char> &Red,
                std::vector<int> &Action, std::vector<FusionTree> &Trees);
-  void emitFusedTree(const BasicBlock &BB, const FusionTree &T);
-  std::string fusedExpr(const BasicBlock &BB, const FusionTree &T,
-                        const Instr &I) const;
-  std::string fusedOperand(const BasicBlock &BB, const FusionTree &T,
-                           VarId V) const;
+  void emitFusedTree(const std::vector<StreamItem> &Stream,
+                     const FusionTree &T);
+  void emitFusedMap(const std::vector<StreamItem> &Stream,
+                    const FusionTree &T);
+  void emitFusedReduction(const std::vector<StreamItem> &Stream,
+                          const FusionTree &T);
+  std::string fusedExpr(const std::vector<StreamItem> &Stream,
+                        const FusionTree &T, const Instr &I) const;
+  std::string fusedOperand(const std::vector<StreamItem> &Stream,
+                           const FusionTree &T, VarId V) const;
   void emitDimCopy(VarId Dst, VarId Src);
   void emitDimSet(VarId Dst, const std::string &D0, const std::string &D1);
   /// Grows (or checks) the destination slot before a definition needing
@@ -190,7 +208,13 @@ private:
   bool Profile = false;       ///< Emit mcrt_prof_* hooks per definition.
   BlockId CurBlock = NoBlock; ///< Block being emitted (for valueAt).
   SourceLoc CurLoc;           ///< Location of the instruction in flight.
+  /// Outputs returned by pointer handoff (destination-passing style).
+  std::vector<unsigned> DpsOuts;
+  unsigned FuseSeq = 0;  ///< Per-function id for hoisted loop bodies.
   std::ostringstream OS;
+  /// File-scope text emitted before the function: the context structs and
+  /// loop-body functions mcrt_parallel_for partitions across the pool.
+  std::ostringstream HoistOS;
   int Indent = 0;
 };
 
@@ -328,29 +352,90 @@ std::string Emitter::run() {
            std::to_string(Plan.groupOf(P)) + ", \"" + slot(P) + "\", 8*" +
            numelExpr(P) + ");");
   }
+  // Destination-passing returns: borrow the caller's allocation into each
+  // eligible output's slot. After every mcrt_load -- the loads copy
+  // argument data, which is what makes the borrow alias-safe when the
+  // caller passes one buffer as both argument and destination.
+  DpsOuts = dpsReturnSlots(F, Plan);
+  for (unsigned K : DpsOuts) {
+    VarId O = F.Outputs[K];
+    count(Obs, "codegen.dps.outputs");
+    remarkTo(Obs, "cemit", RemarkKind::InPlaceProven, F.Name,
+             "output " + F.var(O).Name +
+                 " returns by pointer handoff (destination passing)",
+             {{"var", F.var(O).Name}, {"query", "dps"}}, SourceLoc());
+    line("mcrt_dps_bind(out" + std::to_string(K) + ", &" + buf(O) + ", &" +
+         cap(O) + ");");
+  }
+  // Superblocks: maximal chains of textually consecutive blocks linked by
+  // an unconditional Jmp to a block with no other predecessor. Control
+  // flow through a chain is straight-line, so fusion may plan across the
+  // links; emission order and labels are unchanged.
+  std::map<BlockId, unsigned> PredCount;
   for (const auto &BB : F.Blocks)
-    emitBlock(*BB);
+    for (const Instr &I : BB->Instrs) {
+      if (I.Op == Opcode::Jmp)
+        ++PredCount[I.Target1];
+      else if (I.Op == Opcode::Br) {
+        ++PredCount[I.Target1];
+        ++PredCount[I.Target2];
+      }
+    }
+  for (size_t BI = 0; BI < F.Blocks.size();) {
+    std::vector<const BasicBlock *> Chain = {F.Blocks[BI].get()};
+    for (;;) {
+      const BasicBlock *Last = Chain.back();
+      if (Last->Instrs.empty() ||
+          Last->Instrs.back().Op != Opcode::Jmp ||
+          BI + Chain.size() >= F.Blocks.size())
+        break;
+      const BasicBlock *Next = F.Blocks[BI + Chain.size()].get();
+      if (Last->Instrs.back().Target1 != Next->Id ||
+          PredCount[Next->Id] != 1)
+        break;
+      Chain.push_back(Next);
+    }
+    emitSuperblock(Chain);
+    BI += Chain.size();
+  }
   Indent = 0;
   OS << "}\n";
-  return OS.str();
+  return HoistOS.str() + OS.str();
 }
 
-void Emitter::emitBlock(const BasicBlock &BB) {
-  CurBlock = BB.Id;
-  OS << "L" << BB.Id << ":;\n";
-  std::vector<FusionTree> Trees;
-  std::vector<int> Action = planFusion(BB, Trees);
-  for (size_t Idx = 0; Idx < BB.Instrs.size(); ++Idx) {
-    int A = Action[Idx];
-    if (A == -2)
-      continue; // Folded into the fused loop emitted at its root.
-    if (A >= 0) {
-      emitFusedTree(BB, Trees[A]);
-      emitProfHooks(BB.Instrs[Trees[A].Root]);
-      continue;
+void Emitter::emitSuperblock(const std::vector<const BasicBlock *> &Chain) {
+  // One planning stream over the whole chain; the Jmp linking two chain
+  // halves is part of the stream (runs may span it) but is emitted
+  // normally at its position, never folded.
+  std::vector<StreamItem> Stream;
+  for (size_t CI = 0; CI < Chain.size(); ++CI) {
+    const BasicBlock *BB = Chain[CI];
+    for (size_t Idx = 0; Idx < BB->Instrs.size(); ++Idx) {
+      StreamItem It;
+      It.I = &BB->Instrs[Idx];
+      It.BB = BB;
+      It.Link = CI + 1 < Chain.size() && Idx + 1 == BB->Instrs.size();
+      Stream.push_back(It);
     }
-    emitInstr(BB.Instrs[Idx]);
-    emitProfHooks(BB.Instrs[Idx]);
+  }
+  std::vector<FusionTree> Trees;
+  std::vector<int> Action = planFusion(Stream, Trees);
+  size_t Pos = 0;
+  for (const BasicBlock *BB : Chain) {
+    CurBlock = BB->Id;
+    OS << "L" << BB->Id << ":;\n";
+    for (size_t Idx = 0; Idx < BB->Instrs.size(); ++Idx, ++Pos) {
+      int A = Action[Pos];
+      if (A == -2)
+        continue; // Folded into the fused loop emitted at its root.
+      if (A >= 0) {
+        emitFusedTree(Stream, Trees[A]);
+        emitProfHooks(*Stream[Trees[A].Root].I);
+        continue;
+      }
+      emitInstr(BB->Instrs[Idx]);
+      emitProfHooks(BB->Instrs[Idx]);
+    }
   }
 }
 
@@ -395,24 +480,35 @@ void Emitter::emitProfHooks(const Instr &I) {
 // sequence, which reproduces the exact scalar-expansion and error
 // behavior of the straight-line emission.
 
-std::vector<int> Emitter::planFusion(const BasicBlock &BB,
+std::vector<int> Emitter::planFusion(const std::vector<StreamItem> &Stream,
                                      std::vector<FusionTree> &Trees) {
-  size_t N = BB.Instrs.size();
+  size_t N = Stream.size();
   std::vector<int> Action(N, -1);
   if (!Fuse)
     return Action;
-  std::vector<bool> Cand(N, false), InRun(N, false);
-  unsigned NumCand = 0;
+  std::vector<char> Cand(N, 0), Red(N, 0);
+  std::vector<bool> InRun(N, false);
+  unsigned NumCand = 0, NumRed = 0;
   for (size_t I = 0; I < N; ++I) {
-    Cand[I] = Legal.fusionCandidate(F, BB.Instrs[I]);
-    InRun[I] = Cand[I] || InPlaceLegality::fusionTransparent(BB.Instrs[I]);
+    const Instr &In = *Stream[I].I;
+    if (!Stream[I].Link) {
+      Cand[I] = Legal.fusionCandidate(F, In);
+      if (!Cand[I] && In.Op == Opcode::Builtin &&
+          InPlaceLegality::reductionBuiltin(In.StrVal))
+        Red[I] = Legal.reductionRoot(F, In);
+    }
+    InRun[I] = Cand[I] || Red[I] || Stream[I].Link ||
+               InPlaceLegality::fusionTransparent(In);
     NumCand += Cand[I];
+    NumRed += Red[I];
   }
-  if (NumCand < 2)
+  // Something must be elidable: an elementwise pair, or a reduction with
+  // at least one elementwise feeder.
+  if (NumCand < 2 && !(NumCand >= 1 && NumRed >= 1))
     return Action;
-  // Maximal contiguous runs of candidates and transparent constants;
-  // trees never cross anything else (a call, branch, or runtime-routed
-  // op could read or write any slot).
+  // Maximal contiguous runs of candidates, reduction roots, transparent
+  // constants, and superblock links; trees never cross anything else (a
+  // call, branch, or runtime-routed op could read or write any slot).
   size_t I = 0;
   while (I < N) {
     if (!InRun[I]) {
@@ -422,57 +518,69 @@ std::vector<int> Emitter::planFusion(const BasicBlock &BB,
     size_t J = I;
     while (J < N && InRun[J])
       ++J;
-    planRun(BB, I, J, Action, Trees);
+    planRun(Stream, I, J, Cand, Red, Action, Trees);
     I = J;
   }
   return Action;
 }
 
-void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
+void Emitter::planRun(const std::vector<StreamItem> &Stream, size_t Lo,
+                      size_t Hi, const std::vector<char> &Cand,
+                      const std::vector<char> &Red,
                       std::vector<int> &Action,
                       std::vector<FusionTree> &Trees) {
-  // Where each value is defined within the run.
+  // Where each value is defined within the run (links define nothing).
   std::map<VarId, size_t> RunDef;
   for (size_t K = Lo; K < Hi; ++K)
-    RunDef[BB.Instrs[K].result()] = K;
+    if (!Stream[K].Link && Stream[K].I->Results.size() == 1)
+      RunDef[Stream[K].I->result()] = K;
   std::vector<char> Claimed(Hi - Lo, 0);
   // Roots from the end down: the deepest chains claim their feeders
   // first; a rejected root leaves its feeders free to root their own
   // (smaller) trees later in the walk.
   for (size_t R = Hi; R-- > Lo;) {
-    if (Claimed[R - Lo] || !Legal.fusionCandidate(F, BB.Instrs[R]))
+    if (Claimed[R - Lo] || !(Cand[R] || Red[R]))
       continue;
+    bool IsRed = Red[R];
     std::set<size_t> Members = {R};
     std::map<VarId, unsigned> DefIdx;
     std::vector<size_t> Stack = {R};
-    unsigned NumCand = 1;
+    unsigned NumCand = Cand[R] ? 1 : 0;
     while (!Stack.empty()) {
       size_t K = Stack.back();
       Stack.pop_back();
-      for (VarId Op : BB.Instrs[K].Operands) {
+      for (VarId Op : Stream[K].I->Operands) {
         auto It = RunDef.find(Op);
         if (It == RunDef.end() || It->second >= K)
           continue; // Defined outside the run (or later: loop-carried).
         size_t D = It->second;
         if (Claimed[D - Lo] || Members.count(D))
           continue;
+        // Internal members must be elementwise (or folded constants): a
+        // reduction produces a scalar, never a per-element value, so it
+        // roots trees but cannot join one.
+        if (!Cand[D] && !InPlaceLegality::fusionTransparent(*Stream[D].I))
+          continue;
         if (!Legal.elidableIntermediate(F, Op))
           continue; // Live past its single tree use, or multiply defined.
         Members.insert(D);
         DefIdx[Op] = static_cast<unsigned>(D);
-        NumCand += Legal.fusionCandidate(F, BB.Instrs[D]);
+        NumCand += Cand[D];
         Stack.push_back(D);
       }
     }
-    if (NumCand < 2)
-      continue; // A real chain: at least one intermediate store to elide
-                // (folded constants alone do not make a region).
+    // A real chain elides at least one intermediate store: an elementwise
+    // root needs a second candidate; a reduction root needs one
+    // elementwise feeder (folded constants alone make no region).
+    if (NumCand < (IsRed ? 1u : 2u))
+      continue;
     // Leaves, in use order across the members.
     FusionTree T;
     T.Root = static_cast<unsigned>(R);
+    T.Reduction = IsRed;
     std::set<VarId> SeenLeaf;
     for (size_t M : Members)
-      for (VarId Op : BB.Instrs[M].Operands) {
+      for (VarId Op : Stream[M].I->Operands) {
         if (DefIdx.count(Op))
           continue;
         if (!SeenLeaf.insert(Op).second)
@@ -491,9 +599,9 @@ void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
     size_t MinM = *Members.begin();
     bool Clobbered = false;
     for (size_t K = MinM + 1; K < R && !Clobbered; ++K) {
-      if (Members.count(K))
+      if (Members.count(K) || Stream[K].Link)
         continue;
-      Clobbered = Legal.clobbersLeaf(F, BB.Instrs[K], T.LeafVars, Slots);
+      Clobbered = Legal.clobbersLeaf(F, *Stream[K].I, T.LeafVars, Slots);
     }
     if (Clobbered)
       continue;
@@ -501,6 +609,8 @@ void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
       Claimed[M - Lo] = 1;
       if (M != R)
         Action[M] = -2;
+      if (Stream[M].BB != Stream[R].BB)
+        T.CrossBlock = true;
     }
     T.Members.assign(Members.begin(), Members.end());
     T.DefIdx = std::move(DefIdx);
@@ -509,20 +619,40 @@ void Emitter::planRun(const BasicBlock &BB, size_t Lo, size_t Hi,
   }
 }
 
-std::string Emitter::fusedOperand(const BasicBlock &BB, const FusionTree &T,
-                                  VarId V) const {
+std::string Emitter::fusedOperand(const std::vector<StreamItem> &Stream,
+                                  const FusionTree &T, VarId V) const {
   auto It = T.DefIdx.find(V);
   if (It != T.DefIdx.end())
-    return fusedExpr(BB, T, BB.Instrs[It->second]);
+    return fusedExpr(Stream, T, *Stream[It->second].I);
   if (isStaticScalar(V))
     return "__f_" + slot(V);
   return "__p_" + slot(V) + "[__i]";
 }
 
-std::string Emitter::fusedExpr(const BasicBlock &BB, const FusionTree &T,
-                               const Instr &I) const {
+std::string Emitter::fusedExpr(const std::vector<StreamItem> &Stream,
+                               const FusionTree &T, const Instr &I) const {
   if (I.Op == Opcode::ConstNum)
     return cDouble(I.NumRe); // Folded constant: its store is elided too.
+  if (I.Op == Opcode::Neg)
+    return "(- " + fusedOperand(Stream, T, I.Operands[0]) + ")";
+  if (I.Op == Opcode::Builtin) {
+    // Whitelisted unary maps. Each name renders to the exact kernel
+    // op_map dispatches to -- the faulting ones (sqrt/log escape to
+    // complex, sign's NaN check) through mcrt's exported versions -- so
+    // the fused loop is bit-identical to the runtime path, faults
+    // included.
+    static const std::map<std::string, std::string> Fn = {
+        {"abs", "fabs"},        {"sqrt", "mcrt_f_sqrt"},
+        {"exp", "exp"},         {"log", "mcrt_f_log"},
+        {"sin", "sin"},         {"cos", "cos"},
+        {"tan", "tan"},         {"floor", "floor"},
+        {"ceil", "ceil"},       {"round", "round"},
+        {"fix", "trunc"},       {"sign", "mcrt_f_sign"},
+    };
+    auto It = Fn.find(I.StrVal);
+    assert(It != Fn.end() && "non-fusible builtin in fusion tree");
+    return It->second + "(" + fusedOperand(Stream, T, I.Operands[0]) + ")";
+  }
   const char *COp = "+";
   switch (I.Op) {
   case Opcode::Add:      COp = "+"; break;
@@ -533,26 +663,42 @@ std::string Emitter::fusedExpr(const BasicBlock &BB, const FusionTree &T,
   default:
     assert(false && "non-elementwise instruction in fusion tree");
   }
-  return "(" + fusedOperand(BB, T, I.Operands[0]) + " " + COp + " " +
-         fusedOperand(BB, T, I.Operands[1]) + ")";
+  return "(" + fusedOperand(Stream, T, I.Operands[0]) + " " + COp + " " +
+         fusedOperand(Stream, T, I.Operands[1]) + ")";
 }
 
-void Emitter::emitFusedTree(const BasicBlock &BB, const FusionTree &T) {
-  const Instr &Root = BB.Instrs[T.Root];
+void Emitter::emitFusedTree(const std::vector<StreamItem> &Stream,
+                            const FusionTree &T) {
+  const Instr &Root = *Stream[T.Root].I;
   CurLoc = Root.Loc;
   VarId C = Root.result();
   count(Obs, "codegen.fusion.regions");
   count(Obs, "codegen.fusion.instrs_fused",
         static_cast<std::int64_t>(T.Members.size()));
+  if (T.CrossBlock || T.Reduction)
+    count(Obs, "codegen.fusion.cross_loop");
+  std::string What = T.Reduction
+                         ? "into the " + Root.StrVal + " accumulation loop"
+                         : "into one loop";
   remarkTo(Obs, "cemit", RemarkKind::RegionFused, F.Name,
            "fused " + std::to_string(T.Members.size()) +
-               " elementwise instructions into one loop producing " +
-               F.var(C).Name + " (" +
-               std::to_string(T.Members.size() - 1) +
-               " intermediate stores elided)",
+               " instructions " + What + " producing " + F.var(C).Name +
+               " (" + std::to_string(T.Members.size() - 1) +
+               " intermediate stores elided" +
+               (T.CrossBlock ? ", across basic blocks" : "") + ")",
            {{"var", F.var(C).Name},
             {"instrs", std::to_string(T.Members.size())}},
            CurLoc);
+  if (T.Reduction)
+    emitFusedReduction(Stream, T);
+  else
+    emitFusedMap(Stream, T);
+}
+
+void Emitter::emitFusedMap(const std::vector<StreamItem> &Stream,
+                           const FusionTree &T) {
+  const Instr &Root = *Stream[T.Root].I;
+  VarId C = Root.result();
   // The first array leaf supplies the shape; the guard makes the other
   // distinct array slots agree with it before the fused arm runs.
   VarId Shape = T.ArrayLeaves.front();
@@ -588,9 +734,57 @@ void Emitter::emitFusedTree(const BasicBlock &BB, const FusionTree &T) {
        "__pd = " + buf(C) + ";");
   for (const std::string &S : ASlots)
     line("const double *__p_" + S + " = " + S + ";");
-  open("for (__i = 0; __i < " + numelExpr(Shape) + "; __i++)");
-  line("__pd[__i] = " + fusedExpr(BB, T, Root) + ";");
-  close();
+  // Partition the loop across the worker pool unless the analysis bounds
+  // it under the runtime's own serial threshold (then the handshake --
+  // even the call -- costs more than the loop). The partitioned body is
+  // pure per-element arithmetic over disjoint index ranges, so parallel
+  // output is byte-identical to serial; mcrt_parallel_for itself runs
+  // serially (in cancel-checked chunks) when n is small or threads == 1.
+  bool Par = true;
+  if (RA) {
+    Interval NB = RA->numelBound(F, Shape);
+    if (NB.boundedAbove() && NB.Hi < static_cast<double>(MCRT_PAR_MIN))
+      Par = false;
+  }
+  std::string Expr = fusedExpr(Stream, T, Root);
+  if (!Par) {
+    open("for (__i = 0; __i < " + numelExpr(Shape) + "; __i++)");
+    line("__pd[__i] = " + Expr + ";");
+    close();
+  } else {
+    std::string Id = F.Name + "_" + std::to_string(FuseSeq++);
+    std::string Ctx = "__fuse_ctx_" + Id, Body = "__fuse_body_" + Id;
+    HoistOS << "struct " << Ctx << " {\n  double *pd;\n";
+    for (const std::string &S : ASlots)
+      HoistOS << "  const double *p_" << S << ";\n";
+    for (VarId S : T.ScalarLeaves)
+      HoistOS << "  double f_" << slot(S) << ";\n";
+    HoistOS << "};\n"
+            << "static void " << Body
+            << "(void *__v, mcrt_size __lo, mcrt_size __hi) {\n"
+            << "  struct " << Ctx << " *__c = (struct " << Ctx
+            << " *)__v;\n"
+            << "  double *" << (DestAliases ? "" : "restrict ")
+            << "__pd = __c->pd;\n";
+    for (const std::string &S : ASlots)
+      HoistOS << "  const double *__p_" << S << " = __c->p_" << S
+              << ";\n";
+    for (VarId S : T.ScalarLeaves)
+      HoistOS << "  double __f_" << slot(S) << " = __c->f_" << slot(S)
+              << ";\n";
+    HoistOS << "  mcrt_size __i;\n"
+            << "  for (__i = __lo; __i < __hi; __i++)\n"
+            << "    __pd[__i] = " << Expr << ";\n"
+            << "}\n\n";
+    line("struct " + Ctx + " __c;");
+    line("__c.pd = __pd;");
+    for (const std::string &S : ASlots)
+      line("__c.p_" + S + " = __p_" + S + ";");
+    for (VarId S : T.ScalarLeaves)
+      line("__c.f_" + slot(S) + " = __f_" + slot(S) + ";");
+    line("mcrt_parallel_for(" + numelExpr(Shape) + ", &__c, " + Body +
+         ");");
+  }
   close();
   emitDimCopy(C, Shape);
   if (Guarded) {
@@ -599,9 +793,104 @@ void Emitter::emitFusedTree(const BasicBlock &BB, const FusionTree &T) {
     line("/* shapes disagree dynamically (scalar expansion or error): "
          "unfused fallback */");
     for (unsigned M : T.Members)
-      emitInstr(BB.Instrs[M]);
+      emitInstr(*Stream[M].I);
     close();
   }
+}
+
+void Emitter::emitFusedReduction(const std::vector<StreamItem> &Stream,
+                                 const FusionTree &T) {
+  const Instr &Root = *Stream[T.Root].I;
+  const std::string &RN = Root.StrVal;
+  VarId C = Root.result();
+  VarId Shape = T.ArrayLeaves.front();
+  std::vector<std::string> ASlots;
+  for (VarId V : T.ArrayLeaves) {
+    std::string S = slot(V);
+    if (std::find(ASlots.begin(), ASlots.end(), S) == ASlots.end())
+      ASlots.push_back(S);
+  }
+  line("/* fused reduction region: " + std::to_string(T.Members.size()) +
+       " instrs -> " + RN + " -> " + F.var(C).Name + " */");
+  // Guard: shapes agree across the leaf slots, the reduced value is a
+  // vector (the runtime's general path reduces along the first
+  // non-singleton dimension; only vector shapes collapse to the single
+  // linear accumulation fused here), and nonempty for mean (the
+  // runtime's empty path yields 0 without dividing) and min/max (empty
+  // faults). sum/prod of an empty vector need no extent guard: the
+  // untouched initial accumulator IS the runtime's answer.
+  std::string Cond;
+  for (size_t K = 1; K < ASlots.size(); ++K)
+    Cond += "mcrt_same_shape(" + dim(Shape, 0) + ", " + dim(Shape, 1) +
+            ", " + dim(Shape, 2) + ", " + ASlots[K] + "_d0, " +
+            ASlots[K] + "_d1, " + ASlots[K] + "_d2) && ";
+  Cond += "((" + dim(Shape, 0) + " == 1 && " + dim(Shape, 1) +
+          " == 1) || (" + dim(Shape, 0) + " == 1 && " + dim(Shape, 2) +
+          " == 1) || (" + dim(Shape, 1) + " == 1 && " + dim(Shape, 2) +
+          " == 1))";
+  if (RN == "mean" || RN == "min" || RN == "max")
+    Cond += " && " + numelExpr(Shape) + " > 0";
+  open("if (" + Cond + ")");
+  for (VarId S : T.ScalarLeaves)
+    line("double __f_" + slot(S) + " = " + buf(S) + "[0];");
+  for (const std::string &S : ASlots)
+    line("const double *__p_" + S + " = " + S + ";");
+  line("mcrt_size __n = " + numelExpr(Shape) + ";");
+  line("mcrt_size __lo, __hi;");
+  // The reduction stays SERIAL by policy: floating-point accumulation
+  // does not reassociate, and byte-identity with the runtime's linear
+  // fold is the contract. Chunked so a deadline can interrupt it.
+  std::string E = fusedOperand(Stream, T, Root.Operands[0]);
+  if (RN == "min" || RN == "max") {
+    // Mirrors the runtime's index scan: best starts at element 0, strict
+    // </> keeps the earliest extremum and never adopts a NaN.
+    line("double __acc;");
+    line("__i = 0;");
+    line("__acc = " + E + ";");
+    open("for (__lo = 1; __lo < __n; __lo += MCRT_CANCEL_CHUNK)");
+    line("__hi = __lo + MCRT_CANCEL_CHUNK < __n ? __lo + MCRT_CANCEL_CHUNK"
+         " : __n;");
+    open("for (__i = __lo; __i < __hi; __i++)");
+    line("double __x = " + E + ";");
+    line(std::string("if (__x ") + (RN == "max" ? ">" : "<") +
+         " __acc) __acc = __x;");
+    close();
+    line("mcrt_cancel_point();");
+    close();
+  } else {
+    bool IsProd = RN == "prod";
+    line(std::string("double __acc = ") + (IsProd ? "1.0" : "0.0") + ";");
+    open("for (__lo = 0; __lo < __n; __lo += MCRT_CANCEL_CHUNK)");
+    line("__hi = __lo + MCRT_CANCEL_CHUNK < __n ? __lo + MCRT_CANCEL_CHUNK"
+         " : __n;");
+    open("for (__i = __lo; __i < __hi; __i++)");
+    line("__acc = __acc " + std::string(IsProd ? "*" : "+") + " " + E +
+         ";");
+    close();
+    line("mcrt_cancel_point();");
+    close();
+    // The runtime's one-element path returns the element itself, not
+    // init+element (0 + -0.0 is +0.0: the fold is not an identity).
+    // Re-evaluate the chain at element 0 to match it bitwise.
+    open("if (__n == 1)");
+    line("__i = 0;");
+    line("__acc = " + E + ";");
+    close();
+    if (RN == "mean")
+      line("__acc = __acc / (double)__n;");
+  }
+  // Grow the destination only AFTER the loop: when the scalar result
+  // shares a slot with a leaf, an earlier mcrt_ensure could move the
+  // buffer the loop is still reading.
+  emitEnsure(C, "1");
+  line(buf(C) + "[0] = __acc;");
+  emitDimSet(C, "1", "1");
+  close();
+  open("else");
+  line("/* not a conforming nonempty vector: unfused fallback */");
+  for (unsigned M : T.Members)
+    emitInstr(*Stream[M].I);
+  close();
 }
 
 void Emitter::emitElementwiseBinary(const Instr &I, const char *COp) {
@@ -923,10 +1212,21 @@ void Emitter::emitInstr(const Instr &I) {
          std::to_string(I.Target2) + ";");
     return;
   case Opcode::Ret: {
-    for (size_t K = 0; K < I.Operands.size(); ++K)
-      line("mcrt_store(out" + std::to_string(K) + ", " +
-           buf(I.Operands[K]) + ", " + dim(I.Operands[K], 0) + ", " +
-           dim(I.Operands[K], 1) + ", " + dim(I.Operands[K], 2) + ");");
+    for (size_t K = 0; K < I.Operands.size(); ++K) {
+      VarId V = I.Operands[K];
+      bool Dps = std::find(DpsOuts.begin(), DpsOuts.end(),
+                           static_cast<unsigned>(K)) != DpsOuts.end();
+      if (Dps)
+        // Destination-passing return: the slot's buffer travels to the
+        // caller by pointer; the copy (and the caller-side realloc the
+        // copy might force) disappears.
+        line("mcrt_dps_ret(out" + std::to_string(K) + ", &" + buf(V) +
+             ", &" + cap(V) + ", " + dim(V, 0) + ", " + dim(V, 1) + ", " +
+             dim(V, 2) + ");");
+      else
+        line("mcrt_store(out" + std::to_string(K) + ", " + buf(V) + ", " +
+             dim(V, 0) + ", " + dim(V, 1) + ", " + dim(V, 2) + ");");
+    }
     line("return;");
     return;
   }
@@ -975,11 +1275,14 @@ std::string matcoal::emitModuleC(
     Obs->Stats.add("codegen.growth_fallback.elided", 0);
     Obs->Stats.add("codegen.fusion.regions", 0);
     Obs->Stats.add("codegen.fusion.instrs_fused", 0);
+    Obs->Stats.add("codegen.fusion.cross_loop", 0);
+    Obs->Stats.add("codegen.dps.outputs", 0);
     Obs->Stats.add("codegen.prof.hooks", 0);
   }
   std::ostringstream OS;
   OS << "/* Generated by matcoal (GCTD array storage optimization). */\n"
-     << "#include \"mcrt.h\"\n\n";
+     << "#include \"mcrt.h\"\n"
+     << "#include <math.h>\n\n";
   // Forward declarations so call order doesn't matter.
   for (const auto &F : M.Functions) {
     OS << "void mat_" << F->Name << "(";
@@ -1006,10 +1309,13 @@ std::string matcoal::emitModuleC(
     assert(It != Plans.end() && "missing plan for function");
     OS << emitFunctionC(*F, It->second, TI, RA, Obs, Opts, Legal) << "\n";
   }
+  // Standalone binaries resolve their worker count from $MATCOAL_THREADS
+  // (mcrt_set_threads(0)); the in-process native tier overrides this with
+  // the compile option through the dlsym'd hook before each run.
   if (Opts.Profile)
-    OS << "int main(void) { mcrt_prof_begin(0); mat_main(); mcrt_prof_end();"
-          " return 0; }\n";
+    OS << "int main(void) { mcrt_set_threads(0); mcrt_prof_begin(0); "
+          "mat_main(); mcrt_prof_end(); return 0; }\n";
   else
-    OS << "int main(void) { mat_main(); return 0; }\n";
+    OS << "int main(void) { mcrt_set_threads(0); mat_main(); return 0; }\n";
   return OS.str();
 }

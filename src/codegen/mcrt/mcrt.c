@@ -9,6 +9,8 @@
 #include "mcrt.h"
 
 #include <math.h>
+#include <pthread.h>
+#include <setjmp.h>
 #include <stdarg.h>
 #include <stdio.h>
 #include <stdlib.h>
@@ -24,7 +26,18 @@ static mcrt_fail_handler g_fail_handler = NULL;
 
 void mcrt_set_fail_handler(mcrt_fail_handler h) { g_fail_handler = h; }
 
+/* Worker-side fault trampoline (see the pool below): a worker that hits
+ * mcrt_fail must not run the host's handler (which longjmps across
+ * threads) -- it longjmps to its own dispatch loop instead and the main
+ * thread re-raises after the join. */
+static __thread jmp_buf *g_worker_jmp = NULL;
+static void mcrt_pool_record_fault(const char *msg, mcrt_size lo);
+
 void mcrt_fail(const char *msg) {
+  if (g_worker_jmp) {
+    mcrt_pool_record_fault(msg, -1);
+    longjmp(*g_worker_jmp, 1);
+  }
   if (g_fail_handler)
     g_fail_handler(msg); /* must not return; fall through if it does */
   fprintf(stderr, "mcrt error: %s\n", msg);
@@ -66,6 +79,261 @@ mcrt_growth_stats mcrt_get_growth_stats(void) { return g_growth; }
 void mcrt_reset_growth_stats(void) {
   g_growth.reallocs = 0;
   g_growth.copied_elems = 0;
+}
+
+/*===--------------------------------------------------------------------===
+ * Cancellation
+ *===--------------------------------------------------------------------===*/
+
+static mcrt_cancel_fn g_cancel_fn = NULL;
+static void *g_cancel_host = NULL;
+
+void mcrt_set_cancel_check(mcrt_cancel_fn fn, void *host) {
+  g_cancel_fn = fn;
+  g_cancel_host = host;
+}
+
+void mcrt_cancel_point(void) {
+  if (g_worker_jmp)
+    return; /* only the main thread may fail; workers are polled via it */
+  if (g_cancel_fn && g_cancel_fn(g_cancel_host))
+    mcrt_fail("deadline exceeded");
+}
+
+/*===--------------------------------------------------------------------===
+ * Heap metering
+ *===--------------------------------------------------------------------===*/
+
+static mcrt_mem_stats g_mem;
+
+mcrt_mem_stats mcrt_get_mem_stats(void) { return g_mem; }
+
+void mcrt_reset_mem_stats(void) {
+  g_mem.heap_bytes = 0;
+  g_mem.peak_heap_bytes = 0;
+}
+
+static void mem_grow(mcrt_size delta_bytes) {
+  g_mem.heap_bytes += delta_bytes;
+  if (g_mem.heap_bytes > g_mem.peak_heap_bytes)
+    g_mem.peak_heap_bytes = g_mem.heap_bytes;
+}
+
+static void mem_shrink(mcrt_size delta_bytes) {
+  g_mem.heap_bytes -= delta_bytes;
+  if (g_mem.heap_bytes < 0)
+    g_mem.heap_bytes = 0; /* buffer predating the last reset */
+}
+
+/*===--------------------------------------------------------------------===
+ * Worker pool
+ *===--------------------------------------------------------------------===*/
+
+#define MCRT_MAX_THREADS 64
+
+static int g_threads = 1;
+
+void mcrt_set_threads(int n) {
+  if (n <= 0) {
+    const char *e = getenv("MATCOAL_THREADS");
+    n = 1;
+    if (e && e[0]) {
+      n = atoi(e);
+      if (n < 1)
+        n = 1;
+    }
+  }
+  if (n > MCRT_MAX_THREADS)
+    n = MCRT_MAX_THREADS;
+  g_threads = n;
+}
+
+int mcrt_get_threads(void) { return g_threads; }
+
+static mcrt_thread_stats g_tstats;
+
+mcrt_thread_stats mcrt_get_thread_stats(void) { return g_tstats; }
+
+void mcrt_reset_thread_stats(void) {
+  g_tstats.spawned = 0;
+  g_tstats.chunks = 0;
+}
+
+/* All pool state lives under one mutex; workers wait for a generation
+ * bump, run their contiguous partition, and report done. The main
+ * thread always participates (last partition), so a 4-thread region
+ * spawns only 3 workers. */
+static struct {
+  pthread_mutex_t mu;
+  pthread_cond_t work_cv;
+  pthread_cond_t done_cv;
+  pthread_t tid[MCRT_MAX_THREADS];
+  int spawned;
+  int shutdown;
+  unsigned long long gen;
+  /* Current job (valid while outstanding > 0). */
+  mcrt_par_body body;
+  void *ctx;
+  mcrt_size n;
+  int nparts;
+  int outstanding;
+  /* First fault across participants, by lowest partition start, so the
+   * re-raised message is the one a serial run would have hit first. */
+  int faulted;
+  mcrt_size fault_lo;
+  char fault_msg[256];
+} g_pool = {PTHREAD_MUTEX_INITIALIZER, PTHREAD_COND_INITIALIZER,
+            PTHREAD_COND_INITIALIZER};
+
+static __thread mcrt_size g_part_lo = 0;
+
+static void mcrt_pool_record_fault(const char *msg, mcrt_size lo) {
+  (void)lo;
+  pthread_mutex_lock(&g_pool.mu);
+  if (!g_pool.faulted || g_part_lo < g_pool.fault_lo) {
+    g_pool.faulted = 1;
+    g_pool.fault_lo = g_part_lo;
+    strncpy(g_pool.fault_msg, msg, sizeof(g_pool.fault_msg) - 1);
+    g_pool.fault_msg[sizeof(g_pool.fault_msg) - 1] = 0;
+  }
+  pthread_mutex_unlock(&g_pool.mu);
+}
+
+static void *mcrt_worker_main(void *arg) {
+  int id = (int)(size_t)arg;
+  unsigned long long seen = 0;
+  jmp_buf jb;
+  for (;;) {
+    mcrt_par_body body;
+    void *ctx;
+    mcrt_size n;
+    int nparts;
+    pthread_mutex_lock(&g_pool.mu);
+    while (!g_pool.shutdown && g_pool.gen == seen)
+      pthread_cond_wait(&g_pool.work_cv, &g_pool.mu);
+    if (g_pool.shutdown) {
+      pthread_mutex_unlock(&g_pool.mu);
+      break;
+    }
+    seen = g_pool.gen;
+    body = g_pool.body;
+    ctx = g_pool.ctx;
+    n = g_pool.n;
+    nparts = g_pool.nparts;
+    pthread_mutex_unlock(&g_pool.mu);
+    if (id < nparts - 1) {
+      mcrt_size lo = (mcrt_size)id * n / nparts;
+      mcrt_size hi = ((mcrt_size)id + 1) * n / nparts;
+      g_part_lo = lo;
+      g_worker_jmp = &jb;
+      if (setjmp(jb) == 0)
+        body(ctx, lo, hi);
+      g_worker_jmp = NULL;
+      pthread_mutex_lock(&g_pool.mu);
+      if (--g_pool.outstanding == 0)
+        pthread_cond_signal(&g_pool.done_cv);
+      pthread_mutex_unlock(&g_pool.mu);
+    }
+  }
+  return NULL;
+}
+
+static void mcrt_pool_spawn_locked(int want) {
+  while (g_pool.spawned < want && g_pool.spawned < MCRT_MAX_THREADS - 1) {
+    if (pthread_create(&g_pool.tid[g_pool.spawned], NULL, mcrt_worker_main,
+                       (void *)(size_t)g_pool.spawned) != 0)
+      break; /* degrade to fewer participants */
+    g_pool.spawned++;
+    g_tstats.spawned++;
+  }
+}
+
+/* Joins the pool. Registered as a destructor so a dlclosed artifact
+ * (native-tier eviction) never leaves a worker executing unmapped code,
+ * and rerun-safe: the next parallel region respawns. */
+#if defined(__GNUC__)
+__attribute__((destructor))
+#endif
+static void mcrt_pool_teardown(void) {
+  int i, n;
+  pthread_mutex_lock(&g_pool.mu);
+  n = g_pool.spawned;
+  g_pool.shutdown = 1;
+  pthread_cond_broadcast(&g_pool.work_cv);
+  pthread_mutex_unlock(&g_pool.mu);
+  for (i = 0; i < n; i++)
+    pthread_join(g_pool.tid[i], NULL);
+  pthread_mutex_lock(&g_pool.mu);
+  g_pool.spawned = 0;
+  g_pool.shutdown = 0;
+  pthread_mutex_unlock(&g_pool.mu);
+}
+
+static void mcrt_par_run(mcrt_size n, void *ctx, mcrt_par_body body,
+                         mcrt_size min_items) {
+  mcrt_size lo, hi;
+  int t = g_threads;
+  if (n <= 0)
+    return;
+  if (t > 1 && n >= min_items) {
+    int nparts;
+    pthread_mutex_lock(&g_pool.mu);
+    mcrt_pool_spawn_locked(t - 1);
+    nparts = g_pool.spawned + 1 < t ? g_pool.spawned + 1 : t;
+    if (nparts > 1) {
+      jmp_buf jb;
+      int faulted;
+      static char raise_msg[256];
+      g_pool.body = body;
+      g_pool.ctx = ctx;
+      g_pool.n = n;
+      g_pool.nparts = nparts;
+      g_pool.outstanding = nparts - 1;
+      g_pool.faulted = 0;
+      g_pool.fault_lo = 0;
+      g_pool.gen++;
+      g_tstats.chunks += nparts;
+      pthread_cond_broadcast(&g_pool.work_cv);
+      pthread_mutex_unlock(&g_pool.mu);
+      /* The main thread runs the last partition -- under the same fault
+       * trampoline as the workers, so a fault in ANY partition defers to
+       * after the join (a longjmp out mid-region would leave workers
+       * writing into buffers the host is free to reuse). */
+      lo = (mcrt_size)(nparts - 1) * n / nparts;
+      g_part_lo = lo;
+      g_worker_jmp = &jb;
+      if (setjmp(jb) == 0)
+        body(ctx, lo, n);
+      g_worker_jmp = NULL;
+      pthread_mutex_lock(&g_pool.mu);
+      while (g_pool.outstanding > 0)
+        pthread_cond_wait(&g_pool.done_cv, &g_pool.mu);
+      faulted = g_pool.faulted;
+      if (faulted) {
+        memcpy(raise_msg, g_pool.fault_msg, sizeof(raise_msg));
+        g_pool.faulted = 0;
+      }
+      pthread_mutex_unlock(&g_pool.mu);
+      if (faulted)
+        mcrt_fail(raise_msg);
+      mcrt_cancel_point();
+      return;
+    }
+    pthread_mutex_unlock(&g_pool.mu);
+  }
+  /* Serial: cancel-checked chunks, same iteration order as one big
+   * loop, so a deadline can interrupt between chunks. */
+  for (lo = 0; lo < n; lo = hi) {
+    hi = lo + MCRT_CANCEL_CHUNK;
+    if (hi > n)
+      hi = n;
+    body(ctx, lo, hi);
+    mcrt_cancel_point();
+  }
+}
+
+void mcrt_parallel_for(mcrt_size n, void *ctx, mcrt_par_body body) {
+  mcrt_par_run(n, ctx, body, MCRT_PAR_MIN);
 }
 
 /*===--------------------------------------------------------------------===
@@ -190,6 +458,7 @@ void mcrt_ensure(double **buf, mcrt_size *cap, mcrt_size need) {
     p = (double *)realloc(*buf, (size_t)newcap * sizeof(double));
     if (!p)
       mcrt_fail("out of memory");
+    mem_grow((newcap - *cap) * (mcrt_size)sizeof(double));
     *buf = p;
     *cap = newcap;
   }
@@ -217,6 +486,36 @@ void mcrt_store(mcrt_ref out, const double *src, mcrt_size d0,
   mcrt_ensure(out.buf, out.cap, n);
   if (n > 0 && *out.buf != src)
     memmove(*out.buf, src, (size_t)n * sizeof(double));
+  *out.d0 = d0;
+  *out.d1 = d1;
+  *out.d2 = d2;
+}
+
+void mcrt_dps_bind(mcrt_ref out, double **buf, mcrt_size *cap) {
+  if (*cap != 0)
+    return; /* callee slot already holds storage (fixed, or populated) */
+  if (*out.cap <= 0 || !*out.buf)
+    return; /* caller side is fixed or empty: nothing to borrow */
+  *buf = *out.buf;
+  *cap = *out.cap;
+  *out.buf = NULL;
+  *out.cap = 0;
+}
+
+void mcrt_dps_ret(mcrt_ref out, double **buf, mcrt_size *cap, mcrt_size d0,
+                  mcrt_size d1, mcrt_size d2) {
+  if (*out.cap < 0 || *cap < 0) {
+    mcrt_store(out, *buf, d0, d1, d2); /* a fixed slot cannot change owner */
+    return;
+  }
+  if (*out.buf != *buf) {
+    mem_shrink(*out.cap * (mcrt_size)sizeof(double));
+    free(*out.buf);
+    *out.buf = *buf;
+    *out.cap = *cap;
+    *buf = NULL;
+    *cap = 0;
+  }
   *out.d0 = d0;
   *out.d1 = d1;
   *out.d2 = d2;
@@ -490,31 +789,54 @@ static void op_rand(const res_slot *r, const arg_view *args, int nargs,
 
 typedef double (*unary_fn)(double);
 
+/* Elementwise maps partition across the worker pool: every element is
+ * independent and lands at its own index, so the parallel result is
+ * byte-identical to the serial one. Faulting kernels (sqrt/log of a
+ * negative) are safe here through the pool's per-thread trampoline. */
+typedef struct {
+  double *dst;
+  const double *src;
+  unary_fn f;
+} map_pctx;
+
+static void map_pbody(void *vctx, mcrt_size lo, mcrt_size hi) {
+  map_pctx *c = (map_pctx *)vctx;
+  mcrt_size i;
+  for (i = lo; i < hi; i++)
+    c->dst[i] = c->f(c->src[i]);
+}
+
 static void op_map(const res_slot *r, const arg_view *a, unary_fn f) {
-  mcrt_size i, n = numel(a);
+  mcrt_size n = numel(a);
   mcrt_size d0 = a->d0, d1 = a->d1, d2 = a->d2;
+  map_pctx c;
   set_result(r, d0, d1, d2);
-  for (i = 0; i < n; i++)
-    (*r->buf)[i] = f(a->p[i]);
+  c.dst = *r->buf;
+  c.src = a->p;
+  c.f = f;
+  mcrt_parallel_for(n, &c, map_pbody);
   *r->d0 = d0;
   *r->d1 = d1;
   *r->d2 = d2;
 }
 
-static double f_sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+double mcrt_f_sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+static double f_sign(double x) { return mcrt_f_sign(x); }
 static double f_fix(double x) { return trunc(x); }
-static double f_sqrt_real(double x) {
+double mcrt_f_sqrt(double x) {
   if (x < 0)
     mcrt_fail("sqrt of a negative value escapes to complex "
               "(unsupported by mcrt)");
   return sqrt(x);
 }
-static double f_log_real(double x) {
+double mcrt_f_log(double x) {
   if (x < 0)
     mcrt_fail("log of a negative value escapes to complex "
               "(unsupported by mcrt)");
   return log(x);
 }
+static double f_sqrt_real(double x) { return mcrt_f_sqrt(x); }
+static double f_log_real(double x) { return mcrt_f_log(x); }
 static double f_identity(double x) { return x; }
 static double f_zero(double x) { (void)x; return 0.0; }
 static double f_logical(double x) { return x != 0.0; }
@@ -552,28 +874,73 @@ static double f_pow(double x, double y) {
   return pow(x, y);
 }
 
+typedef struct {
+  double *dst;
+  const double *a, *b;
+  double sa, sb;
+  int as, bs;
+  binary_fn f;
+} zip_pctx;
+
+static void zip_pbody(void *vctx, mcrt_size lo, mcrt_size hi) {
+  zip_pctx *c = (zip_pctx *)vctx;
+  mcrt_size i;
+  for (i = lo; i < hi; i++)
+    c->dst[i] = c->f(c->as ? c->sa : c->a[i], c->bs ? c->sb : c->b[i]);
+}
+
 static void op_zip(const res_slot *r, const arg_view *a, const arg_view *b,
                    binary_fn f) {
   int as = is_scalar(a), bs = is_scalar(b);
   const arg_view *big = (as && !bs) ? b : a;
-  mcrt_size i, n = numel(big);
+  mcrt_size n = numel(big);
   mcrt_size d0 = big->d0, d1 = big->d1, d2 = big->d2;
-  double sa = as ? a->p[0] : 0, sb = bs ? b->p[0] : 0;
+  zip_pctx c;
   if (!as && !bs &&
       (a->d0 != b->d0 || a->d1 != b->d1 || a->d2 != b->d2))
     mcrt_fail("matrix dimensions must agree");
+  c.sa = as ? a->p[0] : 0;
+  c.sb = bs ? b->p[0] : 0;
   set_result(r, d0, d1, d2);
-  for (i = 0; i < n; i++)
-    (*r->buf)[i] = f(as ? sa : a->p[i], bs ? sb : b->p[i]);
+  c.dst = *r->buf;
+  c.a = a->p;
+  c.b = b->p;
+  c.as = as;
+  c.bs = bs;
+  c.f = f;
+  mcrt_parallel_for(n, &c, zip_pbody);
   *r->d0 = d0;
   *r->d1 = d1;
   *r->d2 = d2;
 }
 
+/* Matmul partitions RESULT COLUMNS across the pool: each column keeps
+ * its serial accumulation order (including the skip-on-zero shortcut),
+ * so the parallel product is bit-identical to the serial one. */
+typedef struct {
+  double *out;
+  const double *a, *b;
+  mcrt_size m, k;
+} matmul_pctx;
+
+static void matmul_pbody(void *vctx, mcrt_size lo, mcrt_size hi) {
+  matmul_pctx *c = (matmul_pctx *)vctx;
+  mcrt_size i, j, p;
+  for (j = lo; j < hi; j++)
+    for (p = 0; p < c->k; p++) {
+      double bv = c->b[p + j * c->k];
+      if (bv == 0.0)
+        continue;
+      for (i = 0; i < c->m; i++)
+        c->out[i + j * c->m] += c->a[i + p * c->m] * bv;
+    }
+}
+
 static void op_matmul(const res_slot *r, const arg_view *a,
                       const arg_view *b) {
-  mcrt_size m, k, n, i, j, p;
+  mcrt_size m, k, n, i;
   double *out;
+  matmul_pctx c;
   if (is_scalar(a) || is_scalar(b)) {
     op_zip(r, a, b, f_mul);
     return;
@@ -589,14 +956,15 @@ static void op_matmul(const res_slot *r, const arg_view *a,
   out = *r->buf;
   for (i = 0; i < m * n; i++)
     out[i] = 0.0;
-  for (j = 0; j < n; j++)
-    for (p = 0; p < k; p++) {
-      double bv = b->p[p + j * k];
-      if (bv == 0.0)
-        continue;
-      for (i = 0; i < m; i++)
-        out[i + j * m] += a->p[i + p * m] * bv;
-    }
+  c.out = out;
+  c.a = a->p;
+  c.b = b->p;
+  c.m = m;
+  c.k = k;
+  if (m * n >= MCRT_PAR_MIN)
+    mcrt_par_run(n, &c, matmul_pbody, 1); /* flops gate, not column count */
+  else
+    matmul_pbody(&c, 0, n);
 }
 
 /* Gaussian elimination with partial pivoting: solves A X = B. */

@@ -37,8 +37,12 @@ typedef long long mcrt_size;
  * (print formatting, RNG, growth policy) need no bump, because the
  * native tier also mixes a content digest of mcrt.c + mcrt.h into every
  * cache key (NativeEngine's mcrt-src preimage line), which retires
- * cached artifacts on any runtime source change. */
-#define MCRT_ABI_VERSION 2
+ * cached artifacts on any runtime source change.
+ * v3: destination-passing returns (mcrt_dps_bind/mcrt_dps_ret), the
+ * worker pool (mcrt_set_threads/mcrt_parallel_for), the cancellation
+ * hook (mcrt_set_cancel_check/mcrt_cancel_point), and the heap meter
+ * (mcrt_get_mem_stats). */
+#define MCRT_ABI_VERSION 3
 
 /* The MCRT_ABI_VERSION the runtime was compiled with (a function, not the
  * macro, so the check crosses the dlopen boundary). */
@@ -112,6 +116,101 @@ void mcrt_load(double **buf, mcrt_size *cap, mcrt_size *d0, mcrt_size *d1,
                mcrt_size *d2, mcrt_arg in);
 void mcrt_store(mcrt_ref out, const double *src, mcrt_size d0,
                 mcrt_size d1, mcrt_size d2);
+
+/* --- Destination-passing-style returns ---------------------------------
+ *
+ * A callee whose plan proves an output's storage group is heap-only,
+ * never shared with a parameter or another output, and the unique source
+ * of every return of that output, hands the buffer to the caller by
+ * POINTER instead of copying through mcrt_store. At entry (after the
+ * mcrt_loads, which copy argument data and therefore make the handoff
+ * alias-safe) the callee borrows the caller's existing allocation so the
+ * chain stays in one buffer across the call boundary; at return the
+ * grown buffer travels back the same way. Both calls degrade to the copy
+ * path at run time when either side is a fixed (stack-planned, negative
+ * cap) slot, so eligibility is purely an optimization decision. */
+
+/* Borrows the caller's heap allocation into the callee slot (*buf,*cap)
+ * when both sides are heap and the callee slot is still empty; no-op
+ * otherwise. The caller's ref is left empty (NULL buf, 0 cap) so the
+ * buffer has exactly one owner at any instant. */
+void mcrt_dps_bind(mcrt_ref out, double **buf, mcrt_size *cap);
+/* Returns the callee slot to the caller: frees the caller's old buffer
+ * and installs the callee's (pointer handoff, no copy) when both sides
+ * are heap; falls back to mcrt_store's copy when either side is fixed. */
+void mcrt_dps_ret(mcrt_ref out, double **buf, mcrt_size *cap, mcrt_size d0,
+                  mcrt_size d1, mcrt_size d2);
+
+/* --- Worker pool -------------------------------------------------------
+ *
+ * A small persistent pthread pool for the emitter's big fused loops and
+ * the runtime's elementwise/matmul kernels. Only order-insensitive work
+ * is ever partitioned (elementwise maps by contiguous index ranges,
+ * matmul by result columns with the per-column accumulation order
+ * intact), so parallel output is byte-identical to serial output;
+ * reductions stay serial by policy (floating-point addition does not
+ * reassociate). Workers never call mcrt_fail's handler themselves: a
+ * fault inside a partitioned body is trapped on the worker (per-thread
+ * setjmp), recorded, and re-raised on the main thread after the join --
+ * the deterministic winner is the fault from the lowest chunk. */
+
+/* Sets the worker count. n <= 0 resolves $MATCOAL_THREADS (clamped to
+ * [1, 64]; unset or invalid means 1). Threads are spawned lazily on the
+ * first parallel region that wants them and persist for reuse. */
+void mcrt_set_threads(int n);
+int mcrt_get_threads(void);
+
+/* Below this many items a region runs serially (in cancel-checked
+ * chunks): the fork/join handshake costs more than the loop. The
+ * emitter consults the same constant when a static size bound proves a
+ * loop can never reach it. */
+#define MCRT_PAR_MIN 16384
+/* Serial chunk length between two mcrt_cancel_point() polls. */
+#define MCRT_CANCEL_CHUNK 65536
+
+typedef void (*mcrt_par_body)(void *ctx, mcrt_size lo, mcrt_size hi);
+/* Runs body over [0, n) -- partitioned into one contiguous range per
+ * thread when n >= MCRT_PAR_MIN and more than one thread is configured,
+ * serially in MCRT_CANCEL_CHUNK-sized cancel-checked chunks otherwise. */
+void mcrt_parallel_for(mcrt_size n, void *ctx, mcrt_par_body body);
+
+typedef struct {
+  mcrt_size spawned; /* worker threads created (lifetime total)   */
+  mcrt_size chunks;  /* per-thread ranges dispatched to the pool  */
+} mcrt_thread_stats;
+mcrt_thread_stats mcrt_get_thread_stats(void);
+void mcrt_reset_thread_stats(void);
+
+/* --- Cancellation ------------------------------------------------------
+ *
+ * The in-process host installs a check so a deadline can interrupt a
+ * long-running kernel between chunks instead of after it. The check runs
+ * on the MAIN thread only (mcrt_fail may longjmp); a nonzero return
+ * makes mcrt_cancel_point fail with "deadline exceeded". NULL
+ * uninstalls. */
+typedef int (*mcrt_cancel_fn)(void *host);
+void mcrt_set_cancel_check(mcrt_cancel_fn fn, void *host);
+void mcrt_cancel_point(void);
+
+/* --- Heap metering -----------------------------------------------------
+ *
+ * Slot-storage accounting for the native tier's MemoryMeter: bytes
+ * currently held by heap slots grown through mcrt_ensure (less buffers
+ * retired by mcrt_dps_ret) and the high-water mark. op_solve's internal
+ * scratch is not slot storage and is not counted. */
+typedef struct {
+  mcrt_size heap_bytes;      /* live slot bytes */
+  mcrt_size peak_heap_bytes; /* high-water mark since the last reset */
+} mcrt_mem_stats;
+mcrt_mem_stats mcrt_get_mem_stats(void);
+void mcrt_reset_mem_stats(void);
+
+/* Faulting real-domain unary kernels, exported so fused loops emitted by
+ * the C back end apply bit-for-bit the same functions (and the same
+ * escape-to-complex faults) as the runtime's op_map dispatch. */
+double mcrt_f_sqrt(double x);
+double mcrt_f_log(double x);
+double mcrt_f_sign(double x);
 
 /* MATLAB truth: nonempty and all elements nonzero. */
 int mcrt_truth(const double *buf, mcrt_size n);

@@ -14,6 +14,27 @@
 
 using namespace matcoal;
 
+int matcoal::resolveThreads(int Requested) {
+  // Mirrors mcrt_set_threads exactly: the native tier resolves through
+  // the runtime's own copy of this rule, so the two must not drift.
+  int N = Requested;
+  if (N <= 0) {
+    N = 1;
+    if (const char *Env = std::getenv("MATCOAL_THREADS")) {
+      if (Env[0]) {
+        N = std::atoi(Env);
+        if (N < 1)
+          N = 1;
+      }
+    }
+  }
+  if (N < 1)
+    N = 1;
+  if (N > 64)
+    N = 64;
+  return N;
+}
+
 const char *matcoal::compileStageName(CompileStage S) {
   switch (S) {
   case CompileStage::None:
@@ -130,6 +151,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
   P->OpBudget = O.OpBudget;
   P->HeapLimit = O.HeapLimit;
   P->RecursionLimit = O.RecursionLimit;
+  P->Threads = resolveThreads(O.Threads);
   P->NoFuse = O.NoFuse;
   P->Obs = O.Obs;
   P->Cancel = O.Cancel;
@@ -160,6 +182,8 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     Obs->Stats.add("vm.inplace.hits", 0);
     Obs->Stats.add("rt.pool.reuses", 0);
     Obs->Stats.add("rt.pool.held_bytes_hwm", 0);
+    Obs->Stats.add("rt.threads.spawned", 0);
+    Obs->Stats.add("rt.threads.chunks", 0);
     Obs->Stats.add("analysis.alias.queries", 0);
     Obs->Stats.add("analysis.inplace.proven", 0);
     Obs->Stats.add("verify.audit.functions", 0);
@@ -560,6 +584,7 @@ ExecResult CompiledProgram::runMcc(std::uint64_t Seed) const {
   Machine.setHeapLimit(HeapLimit);
   Machine.setRecursionLimit(RecursionLimit);
   Machine.setCancelToken(Cancel);
+  Machine.setThreads(Threads);
   return Machine.run(Entry);
 }
 
@@ -578,12 +603,16 @@ ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
   Machine.setLegality(Legal.get(), &GCTDPlans);
   Machine.setProfiler(Prof);
   Machine.setCancelToken(Cancel);
+  Machine.setThreads(Threads);
   ExecResult R = Machine.run(Entry);
   count(Obs, "vm.inplace.hits",
         static_cast<std::int64_t>(R.InPlaceOps + R.DestReuses +
                                   R.BufferSteals));
   count(Obs, "rt.pool.reuses", static_cast<std::int64_t>(R.PoolReuses));
   count(Obs, "rt.pool.held_bytes_hwm", R.PoolHeldHwmBytes);
+  count(Obs, "rt.threads.spawned",
+        static_cast<std::int64_t>(R.ThreadsSpawned));
+  count(Obs, "rt.threads.chunks", static_cast<std::int64_t>(R.ThreadChunks));
   return R;
 }
 
@@ -604,6 +633,7 @@ ExecResult CompiledProgram::runNoCoalesce(std::uint64_t Seed) const {
   Machine.setBufferReuse(false);
   Machine.setProfiler(Prof);
   Machine.setCancelToken(Cancel);
+  Machine.setThreads(Threads);
   return Machine.run(Entry);
 }
 

@@ -149,7 +149,19 @@ struct CompileOptions {
   std::uint64_t OpBudget = 2000000000ull;
   std::int64_t HeapLimit = 0;    ///< Metered heap bytes; 0 = unlimited.
   unsigned RecursionLimit = 512; ///< Maximum call depth.
+  /// Worker-thread count for kernel loops in every execution tier
+  /// (`matcoalc --threads=N`). 0 resolves $MATCOAL_THREADS (unset or
+  /// invalid means 1 = serial); values clamp to [1, 64], mirroring
+  /// mcrt_set_threads. Output is byte-identical at any setting: only
+  /// pure identity-indexed writes partition, reductions stay serial.
+  int Threads = 0;
 };
+
+/// The one resolution rule for a requested thread count: \p Requested > 0
+/// clamps to [1, 64]; <= 0 consults $MATCOAL_THREADS the same way
+/// mcrt_set_threads(0) does (unset/invalid -> 1). matcoalc, matcoald,
+/// and the benches all resolve through here so the tiers agree.
+int resolveThreads(int Requested);
 
 /// A fully compiled program with its storage plans.
 class CompiledProgram {
@@ -217,6 +229,10 @@ public:
   unsigned RecursionLimit = 512;
   /// Mirrors CompileOptions::NoFuse: run modes disable buffer reuse.
   bool NoFuse = false;
+  /// Resolved worker-thread count (resolveThreads of the option); every
+  /// run mode forwards it to its executor, and the native tier passes it
+  /// through mcrt_set_threads.
+  int Threads = 1;
   /// The compile's observer (if any); run modes report the pinned
   /// vm.inplace.hits / rt.pool.reuses / rt.pool.held_bytes_hwm counters
   /// into it.

@@ -581,3 +581,58 @@ std::string StoragePlan::str(const Function &F) const {
   }
   return OS.str();
 }
+
+std::vector<unsigned> matcoal::dpsReturnSlots(const Function &F,
+                                              const StoragePlan &Plan) {
+  std::vector<unsigned> Eligible;
+  size_t NOut = F.Outputs.size();
+  if (NOut == 0)
+    return Eligible;
+  std::vector<const Instr *> Rets;
+  for (const auto &BB : F.Blocks)
+    for (const Instr &I : BB->Instrs)
+      if (I.Op == Opcode::Ret)
+        Rets.push_back(&I);
+  if (Rets.empty())
+    return Eligible;
+  for (unsigned K = 0; K < NOut; ++K) {
+    int G = Plan.groupOf(F.Outputs[K]);
+    if (G < 0)
+      continue;
+    const StorageGroup &SG = Plan.Groups[static_cast<size_t>(G)];
+    // Stack slots point at a fixed local array (the runtime calls degrade
+    // to copies on a negative cap anyway); complex groups never reach
+    // mcrt. Neither is worth planning a handoff for.
+    if (SG.K != StorageGroup::Kind::Heap ||
+        SG.IT == IntrinsicType::Complex)
+      continue;
+    bool OK = true;
+    for (const Instr *R : Rets) {
+      if (R->Operands.size() != NOut) {
+        OK = false;
+        break;
+      }
+      // Every return of K must surrender exactly slot G, and G must feed
+      // no OTHER returned position: the handoff at K nulls the slot, so a
+      // later mcrt_store of the same slot would copy from nothing.
+      for (unsigned K2 = 0; K2 < NOut && OK; ++K2) {
+        int OG = Plan.groupOf(R->Operands[K2]);
+        OK = K2 == K ? OG == G : OG != G;
+      }
+      if (!OK)
+        break;
+    }
+    // A parameter's storage belongs to the caller for the whole call; a
+    // group holding one must load, never borrow.
+    for (VarId P : F.Params)
+      if (OK && Plan.groupOf(P) == G)
+        OK = false;
+    // Two outputs in one group can never both hand the buffer off.
+    for (unsigned K2 = 0; K2 < NOut && OK; ++K2)
+      if (K2 != K && Plan.groupOf(F.Outputs[K2]) == G)
+        OK = false;
+    if (OK)
+      Eligible.push_back(K);
+  }
+  return Eligible;
+}

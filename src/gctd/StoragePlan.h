@@ -103,6 +103,19 @@ StoragePlan runGCTDWith(const Function &F, const TypeInference &TI,
 /// variable gets its own storage area.
 StoragePlan makeIdentityPlan(const Function &F, const TypeInference &TI);
 
+/// Output indices of \p F whose returns may use destination-passing style
+/// (mcrt_dps_bind at entry, mcrt_dps_ret at every Ret: pointer handoff
+/// instead of a copy). Output K qualifies when its planned group G is
+/// heap-allocated and real, every Ret's K-th operand lives in G, no other
+/// Ret operand or output shares G (a handoff at position K would leave a
+/// later copy of the same slot reading a surrendered buffer), and no
+/// parameter shares G (parameters own caller storage for the whole call).
+/// The single home of this eligibility question: the C emitter plans the
+/// handoff from it and the plan auditor re-proves each returned index
+/// against a fresh IR walk (rule "dps-overlap").
+std::vector<unsigned> dpsReturnSlots(const Function &F,
+                                     const StoragePlan &Plan);
+
 } // namespace matcoal
 
 #endif // MATCOAL_GCTD_STORAGEPLAN_H

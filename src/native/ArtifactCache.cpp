@@ -299,6 +299,20 @@ ArtifactCache::loadSo(const std::string &SoPath, std::string &Err) {
   Art->ProfBegin =
       reinterpret_cast<void (*)(const char *)>(Sym("mcrt_prof_begin"));
   Art->ProfEnd = reinterpret_cast<void (*)(void)>(Sym("mcrt_prof_end"));
+  Art->SetThreads =
+      reinterpret_cast<void (*)(int)>(Sym("mcrt_set_threads"));
+  Art->GetThreadStats = reinterpret_cast<mcrt_thread_stats (*)(void)>(
+      Sym("mcrt_get_thread_stats"));
+  Art->ResetThreadStats =
+      reinterpret_cast<void (*)(void)>(Sym("mcrt_reset_thread_stats"));
+  Art->GetMemStats = reinterpret_cast<mcrt_mem_stats (*)(void)>(
+      Sym("mcrt_get_mem_stats"));
+  Art->ResetMemStats =
+      reinterpret_cast<void (*)(void)>(Sym("mcrt_reset_mem_stats"));
+  Art->GetGrowthStats = reinterpret_cast<mcrt_growth_stats (*)(void)>(
+      Sym("mcrt_get_growth_stats"));
+  Art->SetCancelCheck = reinterpret_cast<void (*)(mcrt_cancel_fn, void *)>(
+      Sym("mcrt_set_cancel_check"));
   if (!Err.empty())
     return nullptr;
   // The ABI stamp crossing the dlopen boundary: a stale artifact built

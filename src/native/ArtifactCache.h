@@ -66,6 +66,8 @@
 #ifndef MATCOAL_NATIVE_ARTIFACTCACHE_H
 #define MATCOAL_NATIVE_ARTIFACTCACHE_H
 
+#include "codegen/mcrt/mcrt.h"
+
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -89,6 +91,16 @@ struct NativeArtifact {
   void (*ResetGrowthStats)(void) = nullptr;
   void (*ProfBegin)(const char *) = nullptr;
   void (*ProfEnd)(void) = nullptr;
+  // ABI v3 surface: worker pool, cancellation bridge, heap metering.
+  // Resolved like every other symbol -- an artifact lacking one is stale
+  // (pre-v3) and fails the load, which evicts it.
+  void (*SetThreads)(int) = nullptr;
+  mcrt_thread_stats (*GetThreadStats)(void) = nullptr;
+  void (*ResetThreadStats)(void) = nullptr;
+  mcrt_mem_stats (*GetMemStats)(void) = nullptr;
+  void (*ResetMemStats)(void) = nullptr;
+  mcrt_growth_stats (*GetGrowthStats)(void) = nullptr;
+  void (*SetCancelCheck)(mcrt_cancel_fn, void *) = nullptr;
   std::string SoPath;
 
   ~NativeArtifact();

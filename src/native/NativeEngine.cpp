@@ -44,6 +44,13 @@ extern "C" void matcoalNativeFailHandler(const char *Msg) {
   std::longjmp(g_trap_jmp, 1);
 }
 
+/// The cancellation bridge mcrt polls at chunk boundaries inside long
+/// fused/parallel loops (mcrt_cancel_point; main thread only, so the
+/// fail handler's longjmp stays safe). \p Host is the run's CancelToken.
+extern "C" int matcoalNativeCancelCheck(void *Host) {
+  return static_cast<const CancelToken *>(Host)->expired() ? 1 : 0;
+}
+
 std::string readWholeFile(const std::string &Path) {
   std::ifstream In(Path, std::ios::binary);
   std::ostringstream Buf;
@@ -205,6 +212,15 @@ ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
   // Per-run reset: cached artifacts keep their globals between runs.
   Art->Srand(Seed);
   Art->ResetGrowthStats();
+  Art->ResetMemStats();
+  Art->ResetThreadStats();
+  Art->SetThreads(P.Threads);
+  // The cancellation bridge: mcrt_cancel_point polls the run's token at
+  // chunk boundaries inside long fused/parallel loops and faults with
+  // "deadline exceeded", which unwinds through the fail handler below
+  // and re-runs on the VM for the classified TrapKind::Deadline.
+  Art->SetCancelCheck(P.Cancel ? &matcoalNativeCancelCheck : nullptr,
+                      const_cast<CancelToken *>(P.Cancel));
   Art->SetOut(Mem);
   Art->SetFailHandler(&matcoalNativeFailHandler);
   if (Profile)
@@ -224,6 +240,7 @@ ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
   if (Profile)
     Art->ProfEnd();
   Art->SetFailHandler(nullptr);
+  Art->SetCancelCheck(nullptr, nullptr);
   Art->SetOut(nullptr);
   std::fclose(Mem); // flushes; OutBuf/OutLen now valid
 
@@ -261,5 +278,19 @@ ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
   R.OK = true;
   R.Output = std::move(Output);
   R.WallSeconds = Wall;
+  // Native-tier metering: mcrt's heap meter tracks live slot bytes and
+  // their high-water mark (time-weighted averages need the VM's virtual
+  // clock and stay zero here); growth and thread stats flow into the
+  // same ExecResult fields the VM fills, so the counters and the bench
+  // tables read uniformly across tiers.
+  mcrt_mem_stats MS = Art->GetMemStats();
+  R.Mem.PeakHeapBytes = static_cast<std::int64_t>(MS.peak_heap_bytes);
+  mcrt_growth_stats GS = Art->GetGrowthStats();
+  R.HeapResizes = static_cast<std::uint64_t>(GS.reallocs);
+  mcrt_thread_stats TS = Art->GetThreadStats();
+  R.ThreadsSpawned = static_cast<std::uint64_t>(TS.spawned);
+  R.ThreadChunks = static_cast<std::uint64_t>(TS.chunks);
+  count(P.Obs, "rt.threads.spawned", static_cast<std::int64_t>(TS.spawned));
+  count(P.Obs, "rt.threads.chunks", static_cast<std::int64_t>(TS.chunks));
   return R;
 }

@@ -41,15 +41,25 @@
 /// (`mcrt_srand(seed)` before every entry call) keeps cached artifacts
 /// deterministic run to run.
 ///
-/// **Limits** (documented in the tier matrix): the native tier does not
-/// poll CancelToken mid-run (the deadline is checked before entry and
-/// again after acquiring the run mutex; an expired token routes to the
-/// VM, which polls properly), does not meter memory (ExecResult::Mem is
-/// zero), and reports Ops = 0. Because executions serialize on the run
-/// mutex and cannot be interrupted, one long native run head-of-line
-/// blocks the native tier for every matcoald worker -- set request
-/// deadlines; a request that expires in the queue falls back to the VM
-/// instead of starting late.
+/// **Cancellation & metering.** The run's CancelToken is bridged into
+/// the artifact through `mcrt_set_cancel_check`: mcrt_cancel_point polls
+/// it at chunk boundaries inside long fused/parallel loops, and expiry
+/// faults through the fail trampoline, re-running on the VM for the
+/// classified TrapKind::Deadline (the token is also checked before entry
+/// and after acquiring the run mutex, so an already-late request never
+/// starts). The engine resets and reads mcrt's per-run heap meter,
+/// growth stats, and thread stats, filling ExecResult::Mem.PeakHeapBytes,
+/// HeapResizes, ThreadsSpawned, and ThreadChunks; `mcrt_set_threads`
+/// carries the program's resolved `--threads` count into the worker
+/// pool.
+///
+/// **Limits** (documented in the tier matrix): time-weighted memory
+/// averages stay zero (they need the VM's virtual op-clock) and Ops = 0.
+/// Executions serialize on the run mutex, so one long native run
+/// head-of-line blocks the native tier for every matcoald worker -- set
+/// request deadlines; a request that expires in the queue falls back to
+/// the VM instead of starting late, and one that expires mid-run unwinds
+/// at the next chunk boundary.
 ///
 //===----------------------------------------------------------------------===//
 

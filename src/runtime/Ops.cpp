@@ -3,6 +3,7 @@
 #include "runtime/Kernels.h"
 
 #include "runtime/BufferPool.h"
+#include "runtime/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -66,8 +67,17 @@ Array elementwise(const Array &A, const Array &B, RealFn RF, ComplexFn CF,
     double SB = BScalar ? B.reAt(0) : 0.0;
     const double *PA = A.re();
     const double *PB = B.re();
-    for (std::int64_t I = 0; I < N; ++I)
-      Out.Re[I] = RF(AScalar ? SA : PA[I], BScalar ? SB : PB[I]);
+    double *PO = Out.Re.data();
+    // Pure writes through disjoint ranges: partitionable. Small arrays
+    // skip the dispatch entirely (parRun would run them serially anyway).
+    auto Loop = [&](std::int64_t Lo, std::int64_t Hi) {
+      for (std::int64_t I = Lo; I < Hi; ++I)
+        PO[I] = RF(AScalar ? SA : PA[I], BScalar ? SB : PB[I]);
+    };
+    if (N < ParMinElems)
+      Loop(0, N);
+    else
+      parRun(N, Loop);
   }
   if (Logical)
     Out.setLogical(true);
@@ -91,17 +101,33 @@ Array matmul(const Array &A, const Array &B) {
     Out.Im = poolTake(static_cast<size_t>(M * N));
     std::fill(Out.Im.begin(), Out.Im.end(), 0.0);
   }
-  for (std::int64_t J = 0; J < N; ++J) {
-    for (std::int64_t P = 0; P < K; ++P) {
-      if (!Cplx) {
-        double BV = B.reAt(P + J * K);
-        if (BV == 0.0)
-          continue;
-        const double *ACol = A.re() + P * M;
-        double *OCol = Out.Re.data() + J * M;
-        for (std::int64_t I = 0; I < M; ++I)
-          OCol[I] += ACol[I] * BV;
-      } else {
+  if (!Cplx) {
+    // Partition the result by columns: each partition accumulates its
+    // own disjoint output columns in the exact P-inner order the serial
+    // loop uses, so per-column rounding is identical at any thread
+    // count. The threshold weighs the full M*N output, not the column
+    // count.
+    double *PO = Out.Re.data();
+    auto Cols = [&](std::int64_t JLo, std::int64_t JHi) {
+      for (std::int64_t J = JLo; J < JHi; ++J) {
+        for (std::int64_t P = 0; P < K; ++P) {
+          double BV = B.reAt(P + J * K);
+          if (BV == 0.0)
+            continue;
+          const double *ACol = A.re() + P * M;
+          double *OCol = PO + J * M;
+          for (std::int64_t I = 0; I < M; ++I)
+            OCol[I] += ACol[I] * BV;
+        }
+      }
+    };
+    if (M * N < ParMinElems)
+      Cols(0, N);
+    else
+      parRunUnits(N, M * N, Cols);
+  } else {
+    for (std::int64_t J = 0; J < N; ++J) {
+      for (std::int64_t P = 0; P < K; ++P) {
         Complex BV = B.cAt(P + J * K);
         for (std::int64_t I = 0; I < M; ++I) {
           Complex R = Complex(Out.Re[I + J * M], Out.Im[I + J * M]) +
@@ -376,24 +402,33 @@ bool matcoal::binaryOpInto(Array &Dst, Opcode Op, const Array &A,
       double *PD = Dst.re();
       const double *PA = A.re();
       const double *PB = B.re();
-      switch (Op) {
-      case Opcode::Add:
-        for (std::int64_t I = 0; I < N; ++I)
-          PD[I] = (AScalar ? SA : PA[I]) + (BScalar ? SB : PB[I]);
-        break;
-      case Opcode::Sub:
-        for (std::int64_t I = 0; I < N; ++I)
-          PD[I] = (AScalar ? SA : PA[I]) - (BScalar ? SB : PB[I]);
-        break;
-      case Opcode::ElemMul:
-        for (std::int64_t I = 0; I < N; ++I)
-          PD[I] = (AScalar ? SA : PA[I]) * (BScalar ? SB : PB[I]);
-        break;
-      default:
-        for (std::int64_t I = 0; I < N; ++I)
-          PD[I] = (AScalar ? SA : PA[I]) / (BScalar ? SB : PB[I]);
-        break;
-      }
+      // The destructive loop is identity-indexed even when Dst aliases
+      // an operand, so partitions write (and read) disjoint ranges and
+      // the region is partitionable exactly like the copying kernel.
+      auto Loop = [&](std::int64_t Lo, std::int64_t Hi) {
+        switch (Op) {
+        case Opcode::Add:
+          for (std::int64_t I = Lo; I < Hi; ++I)
+            PD[I] = (AScalar ? SA : PA[I]) + (BScalar ? SB : PB[I]);
+          break;
+        case Opcode::Sub:
+          for (std::int64_t I = Lo; I < Hi; ++I)
+            PD[I] = (AScalar ? SA : PA[I]) - (BScalar ? SB : PB[I]);
+          break;
+        case Opcode::ElemMul:
+          for (std::int64_t I = Lo; I < Hi; ++I)
+            PD[I] = (AScalar ? SA : PA[I]) * (BScalar ? SB : PB[I]);
+          break;
+        default:
+          for (std::int64_t I = Lo; I < Hi; ++I)
+            PD[I] = (AScalar ? SA : PA[I]) / (BScalar ? SB : PB[I]);
+          break;
+        }
+      };
+      if (N < ParMinElems)
+        Loop(0, N);
+      else
+        parRun(N, Loop);
       Dst.Dims = std::move(Dims);
       Dst.toDouble();
       return true;

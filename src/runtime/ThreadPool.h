@@ -1,0 +1,110 @@
+//===- ThreadPool.h - Persistent worker pool for kernel loops ---*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM/interpreter mirror of mcrt's worker pool: a process-wide set of
+/// persistent std::threads that kernel hot loops partition contiguous
+/// index ranges across. Executors opt in per run through a `ParScope`
+/// (the exact shape of BufferPool's `PoolScope`): it carries the resolved
+/// thread count, the run's spawned/chunk counters, and the run's
+/// CancelToken. Kernels then call `parRun(N, Body)` with a pure-write
+/// body `Body(Lo, Hi)` and never see the pool directly.
+///
+/// **What a body may do: write disjoint elements, nothing else.** Every
+/// partitioned loop computes element I of the result from element I of
+/// its operands -- identity indexing -- so partitions touch disjoint
+/// destination ranges and need no synchronization. Allocation, metering,
+/// pool recycling, and profiling all happen on the executing thread
+/// *before* the region starts (result buffers are sized first;
+/// BufferPool's thread_local registration means workers see no pool at
+/// all), which is why the byte-level output is identical at 1 and N
+/// threads: the same doubles are written to the same slots, only by
+/// different threads.
+///
+/// Determinism contract: partition boundaries depend only on (N, thread
+/// count), never on scheduling, and no partitioned kernel accumulates
+/// across partition edges (reductions stay serial for exactly this
+/// reason). Cancellation is polled at chunk boundaries inside every
+/// partition; an expired token abandons the region and unwinds on the
+/// *calling* thread as `TrapKind::Deadline` (a half-written destination
+/// is fine -- the trap discards the run's results).
+///
+/// Concurrent runs (matcoald serves sockets on independent threads) are
+/// safe: regions serialize on the pool's region lock, so two VMs time-
+/// share the workers rather than corrupt the dispatch state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_RUNTIME_THREADPOOL_H
+#define MATCOAL_RUNTIME_THREADPOOL_H
+
+#include <cstdint>
+#include <functional>
+
+namespace matcoal {
+
+class CancelToken;
+
+/// Minimum elements before a loop is worth partitioning; mirrors mcrt's
+/// MCRT_PAR_MIN so the VM and the native tier parallelize the same
+/// regions.
+constexpr std::int64_t ParMinElems = 16384;
+
+/// Elements per cancel-poll chunk inside a partition (and on the serial
+/// path); mirrors MCRT_CANCEL_CHUNK.
+constexpr std::int64_t ParCancelChunk = 65536;
+
+/// The per-run threading configuration a ParScope installs.
+struct ParConfig {
+  /// Resolved worker count for this run; <= 1 means serial.
+  int Threads = 1;
+  /// Cumulative workers created on the run's behalf (rt.threads.spawned);
+  /// null = uncounted. Only the executing thread touches it.
+  std::uint64_t *Spawned = nullptr;
+  /// Cumulative partitions dispatched across parallel regions
+  /// (rt.threads.chunks); null = uncounted.
+  std::uint64_t *Chunks = nullptr;
+  /// Polled at chunk boundaries; expiry throws MatError(Deadline) from
+  /// parRun on the executing thread. Null = uncancellable.
+  const CancelToken *Cancel = nullptr;
+};
+
+/// Scoped installation of the thread's active ParConfig (the one parRun
+/// consults). Executors create one per run, exactly like PoolScope.
+class ParScope {
+public:
+  explicit ParScope(const ParConfig &C);
+  ~ParScope();
+  ParScope(const ParScope &) = delete;
+  ParScope &operator=(const ParScope &) = delete;
+
+private:
+  ParConfig Prev;
+};
+
+/// The configuration installed by the innermost ParScope; a default
+/// (serial, uncounted, uncancellable) config when none is installed.
+const ParConfig &activePar();
+
+/// Runs \p Body over [0, N) -- partitioned across the worker pool when
+/// the active config asks for threads and N >= ParMinElems, serial (in
+/// cancel-polled chunks) otherwise. Blocks until the whole range is
+/// done. Worker exceptions are captured and rethrown here; an expired
+/// CancelToken throws MatError with TrapKind::Deadline.
+void parRun(std::int64_t N,
+            const std::function<void(std::int64_t, std::int64_t)> &Body);
+
+/// parRun for loops whose iteration unit is coarser than one element:
+/// matmul partitions [0, Items) result *columns* while the parallelism
+/// threshold must weigh the full M*N element count. Gates on
+/// \p TotalElems >= ParMinElems, partitions \p Items.
+void parRunUnits(std::int64_t Items, std::int64_t TotalElems,
+                 const std::function<void(std::int64_t, std::int64_t)> &Body);
+
+} // namespace matcoal
+
+#endif // MATCOAL_RUNTIME_THREADPOOL_H

@@ -67,6 +67,13 @@ bool ServiceRequest::fromJson(const JsonValue &V, ServiceRequest &Out,
   }
   if (V.has("seed"))
     Out.Seed = static_cast<std::uint64_t>(V.get("seed").asInt(20030609));
+  if (V.has("threads")) {
+    Out.Threads = static_cast<int>(V.get("threads").asInt(0));
+    if (Out.Threads < 0 || Out.Threads > 64) {
+      Error = "'threads' must be a number in [0, 64] (0 = server default)";
+      return false;
+    }
+  }
   Out.NoFuse = V.get("no_fuse").asBool(false);
   Out.NoRanges = V.get("no_ranges").asBool(false);
   Out.Profile = V.get("profile").asBool(false);
@@ -298,6 +305,7 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
           R.Fault.empty() ? CompileStage::None : parseCompileStage(R.Fault);
     O.Lint = R.LintOnly;
     O.NoFuse = R.NoFuse;
+    O.Threads = R.Threads;
     O.Analysis = R.NoRanges ? AnalysisLevel::None : AnalysisLevel::Ranges;
     O.Obs = &Obs;
     O.Cancel = DeadlineAbsMicros > 0 ? &Tok : nullptr;

@@ -110,6 +110,12 @@ struct ServiceRequest {
   /// mcrt ABI); anything that prevents it degrades loudly to the VM and
   /// the response's `tier` field names what actually ran.
   bool Native = false;
+  /// Worker threads for the run's kernel loops (VM parallel regions and
+  /// mcrt's pool on the native tier). 0 = resolve the server's
+  /// environment default ($MATCOAL_THREADS) exactly like `matcoalc
+  /// --threads`; values clamp to [1, 64]. Output is byte-identical at
+  /// any thread count.
+  int Threads = 0;
 
   /// Decodes the protocol envelope; returns false with \p Error set on a
   /// malformed request (missing source, mistyped fields).

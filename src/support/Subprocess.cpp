@@ -144,7 +144,7 @@ SubprocessResult matcoal::ccCompile(const std::string &CPath,
     R.Diag = "no system C compiler (cc) on PATH";
     return R;
   }
-  SubprocessResult R = runSubprocess({"cc", "-std=c99", OptFlag,
+  SubprocessResult R = runSubprocess({"cc", "-std=c99", OptFlag, "-pthread",
                                       "-I", McrtDir, CPath,
                                       McrtDir + "/mcrt.c", "-o", ExePath,
                                       "-lm"},
@@ -168,9 +168,9 @@ SubprocessResult matcoal::ccCompileShared(const std::string &CPath,
     return R;
   }
   SubprocessResult R = runSubprocess({"cc", "-std=c99", OptFlag, "-shared",
-                                      "-fPIC", "-I", McrtDir, CPath,
-                                      McrtDir + "/mcrt.c", "-o", SoPath,
-                                      "-lm"},
+                                      "-fPIC", "-pthread", "-I", McrtDir,
+                                      CPath, McrtDir + "/mcrt.c", "-o",
+                                      SoPath, "-lm"},
                                      TimeoutMs);
   if (R.St == SubprocessResult::Status::Timeout)
     R.Diag = "cc hung compiling " + CPath + ": " + R.Diag;

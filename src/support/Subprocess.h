@@ -63,8 +63,8 @@ runSubprocess(const std::vector<std::string> &Argv, int TimeoutMs = 60000,
 bool ccAvailable();
 
 /// Compiles \p CPath against the mcrt runtime into \p ExePath:
-/// `cc -std=c99 <OptFlag> -I <McrtDir> <CPath> <McrtDir>/mcrt.c -o
-/// <ExePath> -lm`, under a timeout. A non-ok() result carries a Diag
+/// `cc -std=c99 <OptFlag> -pthread -I <McrtDir> <CPath> <McrtDir>/mcrt.c
+/// -o <ExePath> -lm`, under a timeout. A non-ok() result carries a Diag
 /// that distinguishes a missing compiler from a failing or hanging one.
 SubprocessResult ccCompile(const std::string &CPath,
                            const std::string &McrtDir,
@@ -73,8 +73,9 @@ SubprocessResult ccCompile(const std::string &CPath,
                            int TimeoutMs = 120000);
 
 /// The shared-object variant of the blessed recipe, for the in-process
-/// native tier: `cc -std=c99 <OptFlag> -shared -fPIC -I <McrtDir> <CPath>
-/// <McrtDir>/mcrt.c -o <SoPath> -lm`. mcrt.c is compiled INTO each
+/// native tier: `cc -std=c99 <OptFlag> -shared -fPIC -pthread -I
+/// <McrtDir> <CPath> <McrtDir>/mcrt.c -o <SoPath> -lm`. mcrt.c is
+/// compiled INTO each
 /// object, so every dlopened artifact carries its own private runtime
 /// globals (growth stats, PRNG, profile stream) -- the per-session
 /// isolation contract extends to native artifacts for free.

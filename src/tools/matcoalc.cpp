@@ -84,6 +84,11 @@ void usage(const char *Argv0) {
                "  --no-fuse     disable loop fusion in the C emitter and\n"
                "                the destructive-execution layer (buffer\n"
                "                stealing, free-list pool) in run modes\n"
+               "  --threads=<N> worker threads for kernel loops in every\n"
+               "                execution tier (1-64; default resolves\n"
+               "                $MATCOAL_THREADS, else 1). Large loops\n"
+               "                partition across a persistent pool; output\n"
+               "                is byte-identical at any setting\n"
                "  --timeout-ms=<N>\n"
                "                wall-clock deadline over compile + run;\n"
                "                expiry aborts the compile with a classified\n"
@@ -183,6 +188,14 @@ int main(int Argc, char **Argv) {
       Opts.Analysis = AnalysisLevel::None;
     } else if (!std::strcmp(Argv[I], "--no-fuse")) {
       Opts.NoFuse = true;
+    } else if (!std::strncmp(Argv[I], "--threads=", 10)) {
+      char *End = nullptr;
+      long T = std::strtol(Argv[I] + 10, &End, 10);
+      if (!End || *End != '\0' || T <= 0 || T > 64) {
+        std::fprintf(stderr, "error: --threads needs an integer in [1, 64]\n");
+        return 2;
+      }
+      Opts.Threads = static_cast<int>(T);
     } else if (!std::strcmp(Argv[I], "--native")) {
       DoNative = true;
     } else if (!std::strncmp(Argv[I], "--cache-dir=", 12)) {

@@ -17,9 +17,10 @@
 // stage fault: parse|lower|ssa|typeinf|gctd|plan-corrupt), deadline_ms,
 // seed, no_fuse, no_ranges, profile, native (run on the in-process
 // native tier; the artifact cache is shared across requests and the
-// response's "tier" field names what actually ran); op: "compile"
-// (default), "lint" (return matlint + matvet findings instead of
-// running), "stats", or "shutdown".
+// response's "tier" field names what actually ran), threads (worker
+// threads for the run's kernel loops, 0 = server env default, output is
+// byte-identical at any count); op: "compile" (default), "lint" (return
+// matlint + matvet findings instead of running), "stats", or "shutdown".
 //
 // The contract matcoald adds over matcoalc is *survival*: a request that
 // fails to parse, trips a verifier fault, traps at runtime, or outruns
@@ -39,14 +40,19 @@
 
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -64,7 +70,8 @@ void usage(const char *Argv0) {
       "Serves newline-delimited JSON compile-and-run requests. By default\n"
       "requests are read from stdin and responses written to stdout (one\n"
       "line each); with --socket the daemon listens on a unix socket and\n"
-      "serves one connection at a time with the same framing.\n"
+      "serves every connected client concurrently with the same framing\n"
+      "(all connections share one worker pool and one artifact cache).\n"
       "\n"
       "options:\n"
       "  --workers=<N>      worker threads (default 4)\n"
@@ -120,9 +127,44 @@ ServiceResponse protocolError(const std::string &Id, const std::string &Why) {
   return R;
 }
 
+/// Per-stream state shared between the reader (the thread running
+/// serveStream) and the worker callbacks that stream responses back.
+/// Held by shared_ptr: a worker callback may fire after the reader has
+/// seen EOF, so the callbacks keep the writer alive, and the pending
+/// count lets the reader wait for *this stream's* outstanding replies --
+/// not the whole service's -- before closing its file handles.
+struct StreamState {
+  explicit StreamState(FILE *Out) : Writer(Out) {}
+  LineWriter Writer;
+
+  void addPending() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Pending;
+  }
+  void donePending() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Pending;
+    }
+    CV.notify_all();
+  }
+  /// Blocks until every submitted request on this stream has replied.
+  void waitIdle() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    CV.wait(Lock, [this] { return Pending == 0; });
+  }
+
+private:
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::size_t Pending = 0;
+};
+
 /// Serves one NDJSON stream: parse each line, dispatch, reply. Returns
 /// false when the client asked for shutdown (stop accepting streams).
-bool serveStream(CompileService &Svc, std::istream &In, LineWriter &Out) {
+bool serveStream(CompileService &Svc, std::istream &In,
+                 const std::shared_ptr<StreamState> &St) {
+  LineWriter &Out = St->Writer;
   std::string Line;
   while (std::getline(In, Line)) {
     if (Line.empty())
@@ -182,13 +224,101 @@ bool serveStream(CompileService &Svc, std::istream &In, LineWriter &Out) {
     }
     if (Op == "lint")
       Req.LintOnly = true;
-    bool Accepted = Svc.submit(Req, [&Out](ServiceResponse Resp) {
-      Out.writeLine(Resp.toJson().dump());
+    St->addPending();
+    bool Accepted = Svc.submit(Req, [St](ServiceResponse Resp) {
+      St->Writer.writeLine(Resp.toJson().dump());
+      St->donePending();
     });
-    if (!Accepted)
+    if (!Accepted) {
+      St->donePending(); // submit refused: the callback will never fire
       Out.writeLine(Svc.backpressureResponse(Req).toJson().dump());
+    }
   }
   return true;
+}
+
+/// Live-connection registry: a shutdown request on any connection must
+/// unblock every *other* connection's reader (blocked in fgetc) so their
+/// threads can be joined. stopAll() half-closes each live fd's read side
+/// -- in-flight replies still stream out -- and refuses later adds.
+class ConnRegistry {
+public:
+  bool add(int Fd) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped)
+      return false;
+    Fds.insert(Fd);
+    return true;
+  }
+  void remove(int Fd) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Fds.erase(Fd);
+  }
+  void stopAll() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stopped = true;
+    for (int Fd : Fds)
+      ::shutdown(Fd, SHUT_RD);
+  }
+
+private:
+  std::mutex Mu;
+  std::set<int> Fds;
+  bool Stopped = false;
+};
+
+/// One connection's reader, run on its own thread: requests from every
+/// connected client funnel into the shared worker pool concurrently, and
+/// each client's responses stream back over its own socket as they
+/// finish. A "shutdown" op from any client stops the daemon: it flips
+/// \p Stop, wakes the accept loop by shutting down the listen socket,
+/// and half-closes every other connection via the registry.
+void serveConnection(CompileService &Svc, int Conn, std::atomic<bool> &Stop,
+                     int ListenFd, ConnRegistry &Reg) {
+  FILE *OutF = ::fdopen(::dup(Conn), "w");
+  FILE *InF = ::fdopen(Conn, "r");
+  if (!InF || !OutF) {
+    if (InF)
+      std::fclose(InF);
+    else
+      ::close(Conn);
+    if (OutF)
+      std::fclose(OutF);
+    Reg.remove(Conn);
+    return;
+  }
+  auto St = std::make_shared<StreamState>(OutF);
+  // getline over a FILE via a small shim: read chars until '\n'.
+  std::string Line;
+  int C;
+  bool SawShutdown = false;
+  while (!SawShutdown && (C = std::fgetc(InF)) != EOF) {
+    if (C != '\n') {
+      Line += static_cast<char>(C);
+      continue;
+    }
+    std::istringstream OneLine(Line);
+    Line.clear();
+    if (!serveStream(Svc, OneLine, St))
+      SawShutdown = true;
+  }
+  // Flush any unterminated trailing line as a request too.
+  if (!SawShutdown && !Line.empty()) {
+    std::istringstream OneLine(Line);
+    if (!serveStream(Svc, OneLine, St))
+      SawShutdown = true;
+  }
+  // Every request admitted on THIS stream replies before the stream
+  // dies; other connections' work is not waited on here.
+  St->waitIdle();
+  std::fclose(OutF);
+  std::fclose(InF);
+  Reg.remove(Conn);
+  if (SawShutdown) {
+    Stop.store(true);
+    Reg.stopAll();
+    ::shutdown(ListenFd, SHUT_RDWR); // wake the blocked accept()
+  }
 }
 
 int serveSocket(CompileService &Svc, const std::string &Path) {
@@ -215,55 +345,31 @@ int serveSocket(CompileService &Svc, const std::string &Path) {
   }
   std::fprintf(stderr, "matcoald: listening on %s\n", Path.c_str());
 
-  bool KeepServing = true;
-  while (KeepServing) {
+  // Concurrent connections: one reader thread per accepted client, all
+  // feeding the one bounded queue / worker pool (backpressure still
+  // sheds load at the door, per stream).
+  std::atomic<bool> Stop{false};
+  ConnRegistry Reg;
+  std::vector<std::thread> Readers;
+  while (!Stop.load()) {
     int Conn = ::accept(Listen, nullptr, nullptr);
     if (Conn < 0) {
       if (errno == EINTR)
         continue;
-      std::perror("matcoald: accept");
+      if (!Stop.load())
+        std::perror("matcoald: accept");
       break;
     }
-    // One connection at a time: concurrency lives in the worker pool,
-    // not in the accept loop, and responses stream back as they finish.
-    FILE *OutF = ::fdopen(::dup(Conn), "w");
-    FILE *InF = ::fdopen(Conn, "r");
-    if (!InF || !OutF) {
-      if (InF)
-        std::fclose(InF);
-      else
-        ::close(Conn);
-      if (OutF)
-        std::fclose(OutF);
-      continue;
+    if (!Reg.add(Conn)) { // raced a shutdown request
+      ::close(Conn);
+      break;
     }
-    LineWriter Writer(OutF);
-    // getline over a FILE via a small shim: read chars until '\n'.
-    std::string Line;
-    int C;
-    bool SawShutdown = false;
-    while (!SawShutdown && (C = std::fgetc(InF)) != EOF) {
-      if (C != '\n') {
-        Line += static_cast<char>(C);
-        continue;
-      }
-      std::istringstream OneLine(Line);
-      Line.clear();
-      if (!serveStream(Svc, OneLine, Writer))
-        SawShutdown = true;
-    }
-    // Flush any unterminated trailing line as a request too.
-    if (!SawShutdown && !Line.empty()) {
-      std::istringstream OneLine(Line);
-      if (!serveStream(Svc, OneLine, Writer))
-        SawShutdown = true;
-    }
-    Svc.drain(); // Every admitted request replies before the stream dies.
-    std::fclose(OutF);
-    std::fclose(InF);
-    if (SawShutdown)
-      KeepServing = false;
+    Readers.emplace_back([&Svc, Conn, &Stop, Listen, &Reg] {
+      serveConnection(Svc, Conn, Stop, Listen, Reg);
+    });
   }
+  for (std::thread &T : Readers)
+    T.join();
   ::close(Listen);
   ::unlink(Path.c_str());
   return 0;
@@ -348,10 +454,11 @@ int main(int Argc, char **Argv) {
     Svc.shutdown();
     return RC;
   }
-  LineWriter Writer(stdout);
-  serveStream(Svc, std::cin, Writer);
+  auto St = std::make_shared<StreamState>(stdout);
+  serveStream(Svc, std::cin, St);
   // EOF on stdin is an implicit shutdown: drain, then stop.
   Svc.drain();
+  St->waitIdle();
   Svc.shutdown();
   return 0;
 }

@@ -481,6 +481,64 @@ auditStoragePlan(const Function &F, const StoragePlan &Plan,
                std::to_string(NUses) + " use(s); need exactly one of each");
   }
 
+  // --- Check (d): dps-overlap -------------------------------------------
+  // Re-prove every output index the emitter plans a destination-passing
+  // handoff for (gctd's dpsReturnSlots) against a fresh walk: the handoff
+  // at position K surrenders group G's buffer to the caller, so G must be
+  // a real heap group that no parameter, no other output, and no other
+  // returned position can still be reading.
+  for (unsigned K : dpsReturnSlots(F, Plan)) {
+    int G = Plan.groupOf(F.Outputs[K]);
+    auto BadClaim = [&](const Instr &At, const std::string &Why) {
+      Flag("dps-overlap", At,
+           "output #" + std::to_string(K) + " ('" +
+               F.var(F.Outputs[K]).Name +
+               "') is planned for a destination-passing handoff but " + Why);
+    };
+    const Instr *FirstRet = nullptr;
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs)
+        if (I.Op == Opcode::Ret && !FirstRet)
+          FirstRet = &I;
+    if (!FirstRet)
+      continue; // dpsReturnSlots never claims a Ret-less function.
+    if (G < 0 ||
+        Plan.Groups[static_cast<size_t>(G)].K != StorageGroup::Kind::Heap) {
+      BadClaim(*FirstRet, "its group is not heap-allocated");
+      continue;
+    }
+    if (Plan.Groups[static_cast<size_t>(G)].IT == IntrinsicType::Complex)
+      BadClaim(*FirstRet, "its group is complex-typed");
+    for (VarId P : F.Params)
+      if (Plan.groupOf(P) == G)
+        BadClaim(*FirstRet, "parameter '" + F.var(P).Name +
+                                "' shares its group (caller storage)");
+    for (unsigned K2 = 0; K2 < F.Outputs.size(); ++K2)
+      if (K2 != K && Plan.groupOf(F.Outputs[K2]) == G)
+        BadClaim(*FirstRet, "output '" + F.var(F.Outputs[K2]).Name +
+                                "' shares its group");
+    for (const auto &BB : F.Blocks)
+      for (const Instr &I : BB->Instrs) {
+        if (I.Op != Opcode::Ret)
+          continue;
+        if (I.Operands.size() != F.Outputs.size()) {
+          BadClaim(I, "this return's operand count does not match the "
+                      "function's outputs");
+          continue;
+        }
+        for (unsigned K2 = 0; K2 < I.Operands.size(); ++K2) {
+          int OG = Plan.groupOf(I.Operands[K2]);
+          if (K2 == K && OG != G)
+            BadClaim(I, "this return's operand #" + std::to_string(K2) +
+                            " lives outside the surrendered group");
+          if (K2 != K && OG == G)
+            BadClaim(I, "this return also reads the surrendered group at "
+                        "operand #" +
+                            std::to_string(K2));
+        }
+      }
+  }
+
   count(Obs, "verify.audit.violations",
         static_cast<std::int64_t>(Issues.size()));
   return Issues;

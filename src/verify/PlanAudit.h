@@ -24,6 +24,11 @@
 ///  * **multi-use-elide**: every fusion region's elided intermediates are
 ///    single-def/single-use and neither parameters nor outputs, checked
 ///    against a fresh IR walk rather than the emitter's own counts.
+///  * **dps-overlap**: every output index gctd's dpsReturnSlots marks for
+///    a destination-passing handoff (mcrt_dps_bind/mcrt_dps_ret) is
+///    re-proven against a fresh walk: the surrendered group is heap and
+///    real, shared by no parameter and no other output, and read by no
+///    other operand position of any return.
 ///
 /// Violations carry "line N (op)" provenance like the VM's trap messages.
 /// A clean audit on a GCTD plan is the correctness gate ROADMAP item 3
@@ -50,7 +55,8 @@ namespace matcoal {
 
 /// One audit violation.
 struct PlanAuditIssue {
-  /// Stable rule id: "plan-overlap", "unsafe-inplace", "multi-use-elide".
+  /// Stable rule id: "plan-overlap", "unsafe-inplace", "multi-use-elide",
+  /// or "dps-overlap".
   std::string Rule;
   std::string Function;
   SourceLoc Loc;

@@ -6,6 +6,7 @@
 #include "analysis/Liveness.h"
 #include "observe/RuntimeProfiler.h"
 #include "runtime/BufferPool.h"
+#include "runtime/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -161,6 +162,8 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   HeapResizes = 0;
   DestReuses = 0;
   BufferSteals = 0;
+  ThreadsSpawned = 0;
+  ThreadChunks = 0;
   CurLoc = SourceLoc();
   CurOp = Opcode::Jmp;
   primeLegality();
@@ -191,6 +194,15 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   try {
     PoolScope Scope(Model == ExecModel::Static && ReuseBuffers ? &Pool
                                                                : nullptr);
+    // Kernel loops over ParMinElems elements partition across the
+    // worker pool (and poll the run's cancel token at chunk
+    // boundaries) for the duration of this run.
+    ParConfig PC;
+    PC.Threads = Threads;
+    PC.Spawned = &ThreadsSpawned;
+    PC.Chunks = &ThreadChunks;
+    PC.Cancel = Cancel;
+    ParScope Par(PC);
     runFunction(*F, Args);
     R.OK = true;
   } catch (const MatError &E) {
@@ -221,6 +233,8 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   R.BufferSteals = BufferSteals;
   R.PoolReuses = Pool.reuses();
   R.PoolHeldHwmBytes = Pool.heldBytesHwm();
+  R.ThreadsSpawned = ThreadsSpawned;
+  R.ThreadChunks = ThreadChunks;
   return R;
 }
 

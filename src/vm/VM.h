@@ -77,6 +77,12 @@ struct ExecResult {
   std::uint64_t PoolReuses = 0;
   /// Peak bytes the free-list pool held at once during the run.
   std::int64_t PoolHeldHwmBytes = 0;
+  /// Worker threads created on this run's behalf (rt.threads.spawned;
+  /// 0 once the persistent pool is warm or when running single-threaded).
+  std::uint64_t ThreadsSpawned = 0;
+  /// Partitions dispatched across this run's parallel kernel regions
+  /// (rt.threads.chunks; 0 when every loop stayed serial).
+  std::uint64_t ThreadChunks = 0;
   /// Source location of the trapping instruction, when the IR carried one.
   SourceLoc TrapLoc;
 };
@@ -116,6 +122,12 @@ public:
   /// it expires. Null (default) costs nothing; the token must outlive the
   /// run and may be armed from another thread (service watchdog).
   void setCancelToken(const CancelToken *T) { Cancel = T; }
+  /// Worker-thread count for kernel loops (1 = serial, the default).
+  /// Loops over runtime/ThreadPool.h's ParMinElems elements partition
+  /// into contiguous ranges across the persistent pool; because every
+  /// partitioned kernel is a pure identity-indexed write (reductions
+  /// stay serial), output is byte-identical at any thread count.
+  void setThreads(int N) { Threads = N > 1 ? N : 1; }
   /// Attaches the shared in-place legality oracle. When set, every
   /// destructive-execution gate (dest-reuse, buffer steal, in-place
   /// subsasgn) asks the oracle for the static half of its verdict -- the
@@ -208,6 +220,9 @@ private:
   std::uint64_t HeapResizes = 0;
   std::uint64_t DestReuses = 0;
   std::uint64_t BufferSteals = 0;
+  std::uint64_t ThreadsSpawned = 0;
+  std::uint64_t ThreadChunks = 0;
+  int Threads = 1;
   bool ReuseBuffers = true;
   const InPlaceLegality *Legal = nullptr;
   const void *LegalTag = nullptr;

@@ -11,11 +11,13 @@
 #include "bench/programs/Programs.h"
 #include "codegen/CEmitter.h"
 #include "driver/Compiler.h"
+#include "native/NativeEngine.h"
 #include "support/Subprocess.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -167,6 +169,136 @@ TEST(FusionAliasing, SelfOperandChain) {
                       "x = x - 0.5 .* x;\n"
                       "disp(sum(sum(x)));\n",
                       "alias_self_chain");
+}
+
+// --- Reduction-fusion legality corners. Cross-loop fusion may pull
+// sum/prod-style reductions into elementwise regions only when the trip
+// counts agree and no loop in the region clobbers a leaf a later
+// consumer (or the reduction itself) still reads. Whatever the planner
+// decides, the outputs must stay byte-identical across every tier.
+
+TEST(ReductionFusion, TripCountDisagreement) {
+  // Two elementwise chains over DIFFERENT extents, each feeding its own
+  // reduction: regions with disagreeing trip counts must never merge,
+  // and the split must not perturb either sum.
+  expectAllTiersAgree("a = rand(1, 300);\n"
+                      "b = rand(1, 200);\n"
+                      "x = a .* 2 + 1;\n"
+                      "y = b .* 3 - 1;\n"
+                      "s = sum(x) + sum(y);\n"
+                      "disp(s);\n",
+                      "red_trip_disagreement");
+}
+
+TEST(ReductionFusion, ReductionFeedsElementwiseConsumer) {
+  // The reduced scalar feeds a later elementwise loop over the same
+  // leaf: the consumer must observe the COMPLETE sum, so the reduction
+  // can root a fused region but cannot fuse INTO its own consumer.
+  expectAllTiersAgree("x = rand(1, 500);\n"
+                      "s = sum(x .* x);\n"
+                      "y = x .* s + s;\n"
+                      "disp(sum(y));\n",
+                      "red_feeds_elementwise");
+}
+
+TEST(ReductionFusion, CrossLoopClobberOfLiveLeaf) {
+  // The destructive update of `a` sits between a reduction over `a` and
+  // a consumer of that reduction; a cross-loop region that reordered or
+  // merged across the clobber would read updated elements into `s`.
+  expectAllTiersAgree("a = rand(1, 400);\n"
+                      "s = sum(a .* a);\n"
+                      "a = a + 1;\n"
+                      "t = sum(a) + s;\n"
+                      "disp(s);\n"
+                      "disp(t);\n",
+                      "red_cross_loop_clobber");
+}
+
+// --- Threaded kernels. Partitioned loops are identity-indexed pure
+// writes and reductions stay serial, so output is byte-identical at any
+// worker count -- proven here across the VM, the emitted-C tier (mcrt's
+// pool via $MATCOAL_THREADS), and the in-process native tier.
+
+void expectThreadsAgree(const std::string &Source, const std::string &Name) {
+  Diagnostics D1;
+  CompileOptions O1;
+  O1.Threads = 1;
+  auto P1 = compileSource(Source, D1, O1);
+  ASSERT_NE(P1, nullptr) << D1.str();
+  ExecResult R1 = P1->runStatic();
+  ASSERT_TRUE(R1.OK) << R1.Error;
+
+  Diagnostics D4;
+  CompileOptions O4;
+  O4.Threads = 4;
+  auto P4 = compileSource(Source, D4, O4);
+  ASSERT_NE(P4, nullptr) << D4.str();
+  ExecResult R4 = P4->runStatic();
+  ASSERT_TRUE(R4.OK) << R4.Error;
+  EXPECT_EQ(R4.Output, R1.Output)
+      << Name << ": 4-thread VM diverged from 1-thread";
+  EXPECT_GT(R4.ThreadChunks, 0u)
+      << Name << ": no parallel region ran at 4 threads";
+  EXPECT_EQ(R1.ThreadChunks, 0u)
+      << Name << ": 1-thread run dispatched parallel regions";
+
+  if (!ccAvailable())
+    return;
+  // The external-cc tier: the emitted main() resolves $MATCOAL_THREADS
+  // through mcrt_set_threads(0), the same rule resolveThreads applies.
+  ASSERT_EQ(setenv("MATCOAL_THREADS", "4", 1), 0);
+  std::string CcOut = ccRun(emitC(*P4, /*Fuse=*/true), Name + "_t4");
+  ASSERT_EQ(unsetenv("MATCOAL_THREADS"), 0);
+  EXPECT_EQ(CcOut, R1.Output)
+      << Name << ": 4-thread emitted C diverged from 1-thread VM";
+
+  // The in-process native tier at 4 threads (isolated cache directory so
+  // this test never perturbs the shared per-user cache).
+  NativeEngine Engine(::testing::TempDir() + "/fusion_threads_cache");
+  ExecResult RN = Engine.run(*P4);
+  ASSERT_TRUE(RN.OK) << RN.Error;
+  EXPECT_EQ(RN.Output, R1.Output)
+      << Name << ": 4-thread native tier diverged from 1-thread VM";
+}
+
+TEST(ThreadedKernels, ElementwiseChainByteIdentical) {
+  // 200x200 = 40000 elements: past ParMinElems, so the elementwise and
+  // destructive kernels partition across the pool.
+  expectThreadsAgree("a = rand(200, 200);\n"
+                     "b = a .* 2 + 1;\n"
+                     "c = b .* a - 0.5;\n"
+                     "c = c + b;\n"
+                     "disp(sum(sum(c)));\n",
+                     "threads_elementwise");
+}
+
+TEST(ThreadedKernels, MatmulAndReductionByteIdentical) {
+  // Column-partitioned matmul keeps the serial P-inner accumulation
+  // order per column; the reductions stay serial by contract.
+  expectThreadsAgree("a = rand(160, 160);\n"
+                     "m = a * a;\n"
+                     "s = sum(sum(m));\n"
+                     "t = sum(sum(a .* a + m));\n"
+                     "disp(s);\n"
+                     "disp(t);\n",
+                     "threads_matmul");
+}
+
+TEST(ThreadedKernels, SmallArraysStaySerial) {
+  // Below ParMinElems nothing partitions: chunks stay zero even at 4
+  // threads, pinning the threshold gate.
+  Diagnostics Diags;
+  CompileOptions Opts;
+  Opts.Threads = 4;
+  auto P = compileSource("a = rand(20, 20);\n"
+                         "b = a .* 2 + 1;\n"
+                         "disp(sum(sum(b)));\n",
+                         Diags, Opts);
+  ASSERT_NE(P, nullptr) << Diags.str();
+  ExecResult R = P->runStatic();
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ThreadChunks, 0u)
+      << "sub-threshold kernels must not dispatch parallel regions";
 }
 
 // --- The optimization must actually fire across the suite (the paper's
