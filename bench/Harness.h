@@ -18,6 +18,7 @@
 
 #include "bench/programs/Programs.h"
 #include "driver/Compiler.h"
+#include "observe/Histogram.h"
 #include "observe/Observe.h"
 
 #include <algorithm>
@@ -136,11 +137,14 @@ inline ExecResult mustRunNamed(const CompiledProgram &P, const char *Name,
 /// mustRunNamed under the warmup + median-of-N protocol: the returned
 /// result is the last timed run with its WallSeconds replaced by the
 /// median over BenchTimedRuns. The observer's `run.<which>` span covers
-/// the timed runs only (warmups are unrecorded). Aborts on any failure.
+/// the timed runs only (warmups are unrecorded). A non-null \p Hist
+/// receives one microsecond sample per timed run, so percentile columns
+/// (p50/p95) come from the same LatencyHistogram type the service's
+/// metrics endpoint exports. Aborts on any failure.
 inline ExecResult
 mustRunTimed(const CompiledProgram &P, const char *Name, const char *Which,
              ExecResult (CompiledProgram::*Fn)(std::uint64_t) const,
-             Observer *Obs = nullptr) {
+             Observer *Obs = nullptr, LatencyHistogram *Hist = nullptr) {
   for (unsigned K = 0; K < BenchWarmupRuns; ++K)
     mustRunNamed(P, Name, Which, Fn, nullptr);
   std::vector<double> Times;
@@ -155,6 +159,8 @@ mustRunTimed(const CompiledProgram &P, const char *Name, const char *Which,
         std::exit(1);
       }
       Times.push_back(R.WallSeconds);
+      if (Hist)
+        Hist->record(static_cast<std::uint64_t>(R.WallSeconds * 1e6));
     }
   }
   std::sort(Times.begin(), Times.end());

@@ -48,6 +48,11 @@ struct Profile {
   long long FrameBytes = 0;
   long long StaticReductionBytes = 0;
   double RunSeconds = 0;
+  /// p50/p95 over the BenchTimedRuns timed runs, from the same
+  /// LatencyHistogram type the service's metrics endpoint exports
+  /// (log2 buckets, interpolated quantiles -- coarse by design).
+  double RunP50Seconds = 0;
+  double RunP95Seconds = 0;
   double AvgDynamicBytes = 0;
   /// Run-time high-water storage across every group slot (one extra,
   /// untimed run under the RuntimeProfiler): the observed counterpart to
@@ -94,10 +99,13 @@ Profile profile(const BenchmarkProgram &Prog, AnalysisLevel Level,
                          ColoringStrategy::Affinity, P->ranges());
     Out.Edges += IG.numEdges();
   }
+  LatencyHistogram RunHist;
   ExecResult R = mustRunTimed(*P, Prog.Name.c_str(), "static",
-                              &CompiledProgram::runStatic, Obs);
+                              &CompiledProgram::runStatic, Obs, &RunHist);
   Out.RunOK = R.OK;
   Out.RunSeconds = R.WallSeconds;
+  Out.RunP50Seconds = RunHist.quantile(0.5) / 1e6;
+  Out.RunP95Seconds = RunHist.quantile(0.95) / 1e6;
   Out.AvgDynamicBytes = R.Mem.AvgDynamicBytes;
   // One extra untimed run under the profiler (the hooks would pollute the
   // timing above) for the observed high-water bytes.
@@ -227,10 +235,11 @@ void jsonProfile(std::string &J, const char *Key, const Profile &P) {
                 "    \"%s\": {\"stack_groups\": %u, \"heap_groups\": %u, "
                 "\"interference_edges\": %u, \"frame_bytes\": %lld, "
                 "\"static_reduction_bytes\": %lld, \"run_seconds\": %.6f, "
+                "\"run_p50_seconds\": %.6f, \"run_p95_seconds\": %.6f, "
                 "\"avg_dynamic_bytes\": %.1f, \"observed_hwm_bytes\": %lld}",
                 Key, P.StackGroups, P.HeapGroups, P.Edges, P.FrameBytes,
-                P.StaticReductionBytes, P.RunSeconds, P.AvgDynamicBytes,
-                P.ObservedHwmBytes);
+                P.StaticReductionBytes, P.RunSeconds, P.RunP50Seconds,
+                P.RunP95Seconds, P.AvgDynamicBytes, P.ObservedHwmBytes);
   J += Buf;
 }
 

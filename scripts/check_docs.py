@@ -33,6 +33,7 @@ DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/GLOSSARY.md",
     "docs/EXECUTION_TIERS.md",
+    "docs/OBSERVABILITY.md",
 ]
 
 COUNTER_DOCS = ["DESIGN.md", "docs/GLOSSARY.md"]

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Validate matcoald's `metrics` op output (the CI storm gate).
+
+Reads Prometheus text exposition from a file argument or stdin. Two
+input shapes are accepted, so the script works on a raw scrape or
+straight off the daemon's NDJSON stdout:
+
+  * raw exposition text, or
+  * an NDJSON stream containing a `{"kind":"metrics","metrics":"..."}`
+    reply line (the first one found is validated).
+
+Checks, all hard failures:
+
+  1. Grammar: every non-comment line is `name value` or
+     `name{labels} value` with a float value, and every sample's family
+     was declared by a preceding `# TYPE` line.
+  2. The gauges `matcoal_queue_depth` and `matcoal_inflight_requests`
+     exist, and `matcoal_counter` / `matcoal_flight_events_total` are
+     declared counters.
+  3. The four request-latency families
+     `matcoal_svc_{e2e,queue,compile,run}_us` are present, typed
+     histogram, and non-empty (`_count` > 0).
+  4. Per histogram family: finite `le` edges strictly increase, bucket
+     counts are cumulative (non-decreasing), the `+Inf` bucket exists
+     and equals `_count`, `_sum` >= 0, and the three quantile lines
+     (0.5 / 0.95 / 0.99) exist with p50 <= p95 <= p99.
+
+Exit 0 when clean; prints one line per violation and exits 1 otherwise.
+"""
+
+import json
+import re
+import sys
+
+REQUIRED_HISTOGRAMS = [
+    "matcoal_svc_e2e_us",
+    "matcoal_svc_queue_us",
+    "matcoal_svc_compile_us",
+    "matcoal_svc_run_us",
+]
+
+TYPE_RE = re.compile(r"^# TYPE (\S+) (counter|gauge|histogram|summary|untyped)$")
+SAMPLE_RE = re.compile(r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (\S+)$")
+LE_RE = re.compile(r'le="([^"]+)"')
+QUANTILE_RE = re.compile(r'quantile="([^"]+)"')
+
+
+def extract_exposition(text):
+    """Raw exposition passes through; NDJSON yields the metrics reply."""
+    if text.lstrip().startswith("{"):
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(doc, dict) and doc.get("kind") == "metrics":
+                metrics = doc.get("metrics")
+                if not isinstance(metrics, str):
+                    return None, "metrics reply has no string 'metrics' field"
+                return metrics, None
+        return None, "no {\"kind\":\"metrics\"} reply found in NDJSON input"
+    return text, None
+
+
+def family_of(name):
+    """Base family for histogram series suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text):
+    problems = []
+    types = {}          # family -> declared type
+    samples = []        # (name, labels-or-'', value, line number)
+    for n, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if line.startswith("# TYPE") and not m:
+                problems.append(f"line {n}: malformed TYPE line: {line!r}")
+            elif m:
+                if m.group(1) in types:
+                    problems.append(f"line {n}: duplicate TYPE for {m.group(1)}")
+                types[m.group(1)] = m.group(2)
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"line {n}: unparseable sample line: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            fvalue = float(value)
+        except ValueError:
+            problems.append(f"line {n}: non-numeric value in: {line!r}")
+            continue
+        fam = name if name in types else family_of(name)
+        if fam not in types:
+            problems.append(f"line {n}: sample {name} has no # TYPE declaration")
+            continue
+        samples.append((name, labels, fvalue, n))
+
+    for gauge in ("matcoal_queue_depth", "matcoal_inflight_requests"):
+        if types.get(gauge) != "gauge":
+            problems.append(f"{gauge}: missing or not declared as a gauge")
+        elif not any(s[0] == gauge for s in samples):
+            problems.append(f"{gauge}: declared but never sampled")
+    for counter in ("matcoal_counter", "matcoal_flight_events_total"):
+        if types.get(counter) != "counter":
+            problems.append(f"{counter}: missing or not declared as a counter")
+
+    histograms = [f for f, t in types.items() if t == "histogram"]
+    for fam in REQUIRED_HISTOGRAMS:
+        if fam not in histograms:
+            problems.append(f"{fam}: required histogram family is missing")
+
+    for fam in histograms:
+        buckets = []    # (le-text, cumulative count)
+        count = sum_v = inf_v = None
+        quantiles = {}
+        for name, labels, value, n in samples:
+            if name == fam + "_bucket":
+                le = LE_RE.search(labels)
+                if not le:
+                    problems.append(f"line {n}: {fam}_bucket without an le label")
+                    continue
+                if le.group(1) == "+Inf":
+                    inf_v = value
+                else:
+                    buckets.append((le.group(1), value, n))
+            elif name == fam + "_count":
+                count = value
+            elif name == fam + "_sum":
+                sum_v = value
+            elif name == fam:
+                q = QUANTILE_RE.search(labels)
+                if q:
+                    quantiles[q.group(1)] = value
+        prev_le, prev_cum = None, None
+        for le, cum, n in buckets:
+            fle = float(le)
+            if prev_le is not None and fle <= prev_le:
+                problems.append(f"line {n}: {fam} le edges not increasing")
+            if prev_cum is not None and cum < prev_cum:
+                problems.append(f"line {n}: {fam} buckets not cumulative")
+            prev_le, prev_cum = fle, cum
+        if inf_v is None:
+            problems.append(f"{fam}: no +Inf bucket")
+        if count is None:
+            problems.append(f"{fam}: no _count series")
+        if sum_v is None:
+            problems.append(f"{fam}: no _sum series")
+        elif sum_v < 0:
+            problems.append(f"{fam}: negative _sum ({sum_v})")
+        if inf_v is not None and count is not None and inf_v != count:
+            problems.append(f"{fam}: +Inf bucket {inf_v} != _count {count}")
+        if prev_cum is not None and inf_v is not None and inf_v < prev_cum:
+            problems.append(f"{fam}: +Inf bucket below the last finite bucket")
+        missing_q = [q for q in ("0.5", "0.95", "0.99") if q not in quantiles]
+        if missing_q:
+            problems.append(f"{fam}: missing quantile lines: {missing_q}")
+        else:
+            p50, p95, p99 = (quantiles[q] for q in ("0.5", "0.95", "0.99"))
+            if not (0 <= p50 <= p95 <= p99):
+                problems.append(
+                    f"{fam}: quantiles not ordered: "
+                    f"p50={p50} p95={p95} p99={p99}")
+        if fam in REQUIRED_HISTOGRAMS and count is not None and count <= 0:
+            problems.append(f"{fam}: required family has no samples")
+
+    return problems
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(f"usage: {sys.argv[0]} [metrics-file]", file=sys.stderr)
+        return 2
+    raw = (open(sys.argv[1], encoding="utf-8").read()
+           if len(sys.argv) == 2 else sys.stdin.read())
+    text, err = extract_exposition(raw)
+    if err:
+        print(err)
+        return 1
+    problems = check(text)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"{len(problems)} metrics problem(s)")
+        return 1
+    print("metrics OK: grammar valid, required families present, "
+          "buckets cumulative, quantiles ordered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Storm a matcoald binary and scrape its observability surface.
+
+Drives the daemon over stdin/stdout NDJSON: sends N compile requests
+(every sixth traced), retries any backpressure rejection, waits for all
+N completions, THEN scrapes the `metrics` and `dump` ops — so the
+aggregate provably holds every request — and shuts down, which makes
+the daemon write the merged Chrome trace / flight dump files.
+
+Hard assertions:
+  * all N requests eventually complete (rejections are retried);
+  * the metrics reply is a well-formed envelope (grammar is validated
+    separately by check_metrics.py);
+  * the dump reply parses and carries the flight ring;
+  * the merged trace parses, holds >= N complete trees (one root span
+    named "request" per request id), and no event references a parent
+    outside its own request.
+
+Usage:
+  storm_matcoald.py <matcoald> <n-requests> <trace-out> <metrics-out>
+"""
+
+import json
+import subprocess
+import sys
+import time
+
+
+def request_source(i):
+    return (f"s = 0; for i = 1:{3 + i % 5}; s = s + i; end; disp(s);")
+
+
+def main():
+    if len(sys.argv) != 5:
+        print(__doc__, file=sys.stderr)
+        return 2
+    daemon, n, trace_out, metrics_out = (
+        sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4])
+
+    proc = subprocess.Popen(
+        [daemon, "--workers=4", "--queue=8", f"--trace-out={trace_out}"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+
+    def send(obj):
+        proc.stdin.write(json.dumps(obj) + "\n")
+        proc.stdin.flush()
+
+    def recv():
+        line = proc.stdout.readline()
+        assert line, "daemon closed stdout early"
+        return json.loads(line)
+
+    pending = {}
+    for i in range(n):
+        req = {"id": f"c{i}", "source": request_source(i)}
+        if i % 6 == 0:
+            req["trace"] = True
+        pending[req["id"]] = req
+        send(req)
+
+    # Collect completions; a small queue (8) against a 32-burst forces
+    # the backpressure path, and rejected requests are re-sent until the
+    # whole storm lands.
+    done, rejections = {}, 0
+    while len(done) < n:
+        reply = recv()
+        rid = reply.get("id")
+        if reply.get("rejected"):
+            rejections += 1
+            assert rejections < 10 * n, "backpressure never drained"
+            time.sleep(reply.get("retry_after_ms", 10) / 1000.0)
+            send(pending[rid])
+            continue
+        assert rid in pending and rid not in done, reply
+        assert "request_id" in reply, f"no request_id echoed: {reply}"
+        if pending[rid].get("trace"):
+            assert reply.get("spans", {}).get("name") == "request", reply
+        done[rid] = reply
+
+    # Only now is the aggregate guaranteed to hold all n requests.
+    send({"id": "m", "op": "metrics"})
+    metrics = recv()
+    assert metrics.get("kind") == "metrics", metrics
+    with open(metrics_out, "w", encoding="utf-8") as f:
+        f.write(metrics["metrics"])
+
+    send({"id": "d", "op": "dump"})
+    dump = recv()
+    assert dump.get("kind") == "dump", dump
+    assert dump["flight"]["recorded"] >= n, dump["flight"]["recorded"]
+
+    send({"id": "bye", "op": "shutdown"})
+    proc.stdin.close()
+    assert proc.wait() == 0, "daemon exited non-zero"
+
+    # The merged trace: one complete tree per request, zero orphans.
+    with open(trace_out, encoding="utf-8") as f:
+        trace = json.load(f)
+    events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    by_request = {}
+    for e in events:
+        by_request.setdefault(e["args"]["request_id"], []).append(e)
+    assert len(by_request) >= n, (
+        f"expected >= {n} request trees, got {len(by_request)}")
+    for rid, evs in by_request.items():
+        names = {e["name"] for e in evs}
+        roots = [e for e in evs if e["args"]["parent"] == ""]
+        assert len(roots) == 1 and roots[0]["name"] == "request", (
+            f"{rid}: want exactly one 'request' root, got "
+            f"{[r['name'] for r in roots]}")
+        for e in evs:
+            parent = e["args"]["parent"]
+            assert parent == "" or parent in names, (
+                f"{rid}: orphan event {e['name']} (parent {parent!r})")
+
+    print(f"storm OK: {n} requests ({rejections} backpressure retries), "
+          f"{len(events)} trace events across {len(by_request)} trees, "
+          f"flight ring recorded {dump['flight']['recorded']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
+#include <time.h>
 
 /*===--------------------------------------------------------------------===
  * Basics
@@ -157,6 +158,14 @@ mcrt_thread_stats mcrt_get_thread_stats(void) { return g_tstats; }
 void mcrt_reset_thread_stats(void) {
   g_tstats.spawned = 0;
   g_tstats.chunks = 0;
+  g_tstats.busy_ns = 0;
+}
+
+/* Monotonic nanoseconds for partition busy-time metering. */
+static mcrt_size mcrt_now_ns(void) {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (mcrt_size)ts.tv_sec * 1000000000 + (mcrt_size)ts.tv_nsec;
 }
 
 /* All pool state lives under one mutex; workers wait for a generation
@@ -224,12 +233,14 @@ static void *mcrt_worker_main(void *arg) {
     if (id < nparts - 1) {
       mcrt_size lo = (mcrt_size)id * n / nparts;
       mcrt_size hi = ((mcrt_size)id + 1) * n / nparts;
+      mcrt_size t0 = mcrt_now_ns();
       g_part_lo = lo;
       g_worker_jmp = &jb;
       if (setjmp(jb) == 0)
         body(ctx, lo, hi);
       g_worker_jmp = NULL;
       pthread_mutex_lock(&g_pool.mu);
+      g_tstats.busy_ns += mcrt_now_ns() - t0;
       if (--g_pool.outstanding == 0)
         pthread_cond_signal(&g_pool.done_cv);
       pthread_mutex_unlock(&g_pool.mu);
@@ -300,12 +311,16 @@ static void mcrt_par_run(mcrt_size n, void *ctx, mcrt_par_body body,
        * after the join (a longjmp out mid-region would leave workers
        * writing into buffers the host is free to reuse). */
       lo = (mcrt_size)(nparts - 1) * n / nparts;
-      g_part_lo = lo;
-      g_worker_jmp = &jb;
-      if (setjmp(jb) == 0)
-        body(ctx, lo, n);
-      g_worker_jmp = NULL;
-      pthread_mutex_lock(&g_pool.mu);
+      {
+        mcrt_size t0 = mcrt_now_ns();
+        g_part_lo = lo;
+        g_worker_jmp = &jb;
+        if (setjmp(jb) == 0)
+          body(ctx, lo, n);
+        g_worker_jmp = NULL;
+        pthread_mutex_lock(&g_pool.mu);
+        g_tstats.busy_ns += mcrt_now_ns() - t0;
+      }
       while (g_pool.outstanding > 0)
         pthread_cond_wait(&g_pool.done_cv, &g_pool.mu);
       faulted = g_pool.faulted;

@@ -41,8 +41,11 @@ typedef long long mcrt_size;
  * v3: destination-passing returns (mcrt_dps_bind/mcrt_dps_ret), the
  * worker pool (mcrt_set_threads/mcrt_parallel_for), the cancellation
  * hook (mcrt_set_cancel_check/mcrt_cancel_point), and the heap meter
- * (mcrt_get_mem_stats). */
-#define MCRT_ABI_VERSION 3
+ * (mcrt_get_mem_stats).
+ * v4: mcrt_thread_stats grew busy_ns (per-worker busy nanoseconds
+ * summed across parallel partitions) -- a struct-shape change every
+ * host reading thread stats must agree on. */
+#define MCRT_ABI_VERSION 4
 
 /* The MCRT_ABI_VERSION the runtime was compiled with (a function, not the
  * macro, so the check crosses the dlopen boundary). */
@@ -177,6 +180,9 @@ void mcrt_parallel_for(mcrt_size n, void *ctx, mcrt_par_body body);
 typedef struct {
   mcrt_size spawned; /* worker threads created (lifetime total)   */
   mcrt_size chunks;  /* per-thread ranges dispatched to the pool  */
+  mcrt_size busy_ns; /* nanoseconds inside partition bodies, summed
+                      * over every participant (parallel regions
+                      * only; the serial path stays unmetered)     */
 } mcrt_thread_stats;
 mcrt_thread_stats mcrt_get_thread_stats(void);
 void mcrt_reset_thread_stats(void);

@@ -184,6 +184,7 @@ matcoal::compileSource(const std::string &Source, Diagnostics &Diags,
     Obs->Stats.add("rt.pool.held_bytes_hwm", 0);
     Obs->Stats.add("rt.threads.spawned", 0);
     Obs->Stats.add("rt.threads.chunks", 0);
+    Obs->Stats.add("rt.threads.busy_ns", 0);
     Obs->Stats.add("analysis.alias.queries", 0);
     Obs->Stats.add("analysis.inplace.proven", 0);
     Obs->Stats.add("verify.audit.functions", 0);
@@ -613,6 +614,11 @@ ExecResult CompiledProgram::runStatic(std::uint64_t Seed) const {
   count(Obs, "rt.threads.spawned",
         static_cast<std::int64_t>(R.ThreadsSpawned));
   count(Obs, "rt.threads.chunks", static_cast<std::int64_t>(R.ThreadChunks));
+  count(Obs, "rt.threads.busy_ns",
+        static_cast<std::int64_t>(R.ThreadBusyNs));
+  if (Obs)
+    for (std::uint64_t Ns : R.ThreadChunkNs)
+      Obs->Stats.sample("rt.threads.chunk_us", Ns / 1000);
   return R;
 }
 

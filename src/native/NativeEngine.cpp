@@ -154,7 +154,13 @@ ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
 
   CacheOutcome Outcome;
   std::string Err;
-  std::shared_ptr<NativeArtifact> Art = Cache.lookup(Key, Outcome, Err);
+  std::shared_ptr<NativeArtifact> Art;
+  {
+    // Timed as "native.cache" so the service's span tree shows the
+    // lookup next to any cc compile that follows it.
+    PassTimer LookupT(P.Obs, "native.cache");
+    Art = Cache.lookup(Key, Outcome, Err);
+  }
   if (Outcome == CacheOutcome::Corrupt) {
     // The artifact existed but failed validation (truncated file, stale
     // ABI stamp): it was evicted; this run degrades loudly and the next
@@ -178,8 +184,11 @@ ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
     C += "\nvoid matcoal_native_entry(void) { mat_" + P.Entry +
          "(); }\n";
     double CompileSeconds = 0;
-    Art = Cache.insert(Key, C, Preimage, McrtDir, OptFlag, Err,
-                       CompileSeconds);
+    {
+      PassTimer CcT(P.Obs, "native.cc");
+      Art = Cache.insert(Key, C, Preimage, McrtDir, OptFlag, Err,
+                         CompileSeconds);
+    }
     // Whole seconds rounded up per cc invocation: a warm cache shows an
     // exact 0 while even a 100ms compile stays visible in the counter.
     count(P.Obs, "native.compile_seconds",
@@ -290,7 +299,9 @@ ExecResult NativeEngine::run(const CompiledProgram &P, std::uint64_t Seed) {
   mcrt_thread_stats TS = Art->GetThreadStats();
   R.ThreadsSpawned = static_cast<std::uint64_t>(TS.spawned);
   R.ThreadChunks = static_cast<std::uint64_t>(TS.chunks);
+  R.ThreadBusyNs = static_cast<std::uint64_t>(TS.busy_ns);
   count(P.Obs, "rt.threads.spawned", static_cast<std::int64_t>(TS.spawned));
   count(P.Obs, "rt.threads.chunks", static_cast<std::int64_t>(TS.chunks));
+  count(P.Obs, "rt.threads.busy_ns", static_cast<std::int64_t>(TS.busy_ns));
   return R;
 }

@@ -1,0 +1,92 @@
+//===- FlightRecorder.cpp - Lock-free ring of recent service events -------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/FlightRecorder.h"
+
+#include "observe/Observe.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace matcoal {
+
+namespace {
+
+void copyField(char *Dst, std::size_t Cap, const char *Src) {
+  std::size_t N = std::strlen(Src);
+  if (N >= Cap)
+    N = Cap - 1;
+  std::memcpy(Dst, Src, N);
+  Dst[N] = '\0';
+}
+
+} // namespace
+
+void FlightRecorder::record(const char *Kind, const std::string &RequestId,
+                            const std::string &Name,
+                            const std::string &Detail, int Worker) {
+  // Build the fixed-width payload off to the side, then publish it word
+  // by word under the seqlock stamp.
+  Payload P{};
+  copyField(P.Kind, sizeof(P.Kind), Kind);
+  copyField(P.RequestId, sizeof(P.RequestId), RequestId.c_str());
+  copyField(P.Name, sizeof(P.Name), Name.c_str());
+  copyField(P.Detail, sizeof(P.Detail), Detail.c_str());
+  P.Micros = nowMicros();
+  P.Worker = Worker;
+
+  std::uint64_t Ticket = Next.fetch_add(1, std::memory_order_relaxed);
+  P.Ticket = static_cast<std::int64_t>(Ticket);
+  std::uint64_t Words[kWords] = {};
+  std::memcpy(Words, &P, sizeof(P));
+
+  Slot &S = Ring[Ticket & (Capacity - 1)];
+  S.Seq.store(Ticket * 2 + 1, std::memory_order_release);
+  for (std::size_t I = 0; I < kWords; ++I)
+    S.Words[I].store(Words[I], std::memory_order_relaxed);
+  // The even, ticket-derived stamp tells readers *which* write finished,
+  // not just that some write did.
+  S.Seq.store(Ticket * 2 + 2, std::memory_order_release);
+}
+
+std::string FlightRecorder::dumpJson() const {
+  std::uint64_t Total = Next.load(std::memory_order_acquire);
+  std::uint64_t Live = std::min<std::uint64_t>(Total, Capacity);
+  std::uint64_t Oldest = Total - Live;
+
+  std::ostringstream OS;
+  OS << "{\"recorded\": " << Total << ", \"capacity\": " << Capacity
+     << ", \"events\": [";
+  bool First = true;
+  for (std::uint64_t T = Oldest; T < Total; ++T) {
+    const Slot &S = Ring[T & (Capacity - 1)];
+    std::uint64_t Before = S.Seq.load(std::memory_order_acquire);
+    if (Before != T * 2 + 2)
+      continue; // Mid-write, or the slot was lapped past this ticket.
+    std::uint64_t Words[kWords];
+    for (std::size_t I = 0; I < kWords; ++I)
+      Words[I] = S.Words[I].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (S.Seq.load(std::memory_order_relaxed) != Before)
+      continue; // Overwritten while copying; drop rather than emit torn.
+    Payload P{};
+    std::memcpy(&P, Words, sizeof(P));
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << "{\"seq\": " << P.Ticket << ", \"t_us\": " << P.Micros
+       << ", \"kind\": \"" << jsonEscape(P.Kind) << "\", \"request_id\": \""
+       << jsonEscape(P.RequestId) << "\", \"name\": \"" << jsonEscape(P.Name)
+       << "\", \"worker\": " << P.Worker << ", \"detail\": \""
+       << jsonEscape(P.Detail) << "\"}";
+  }
+  OS << "]}";
+  return OS.str();
+}
+
+} // namespace matcoal

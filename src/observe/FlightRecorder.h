@@ -1,0 +1,91 @@
+//===- FlightRecorder.h - Lock-free ring of recent service events -*- C++ -*-=//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, lock-free ring buffer of recent span and trap events --
+/// the service's black box. Workers append with one atomic fetch_add and
+/// a seqlock-stamped slot write (no mutex, no allocation, fixed-width
+/// char payloads), so recording costs little even under a storm. The
+/// ring is dumped as structured JSON on trap, deadline expiry, shutdown,
+/// or the matcoald `dump` op, turning post-mortems of "what was in
+/// flight when that deadline fired?" into a file read.
+///
+/// Consistency contract: the ring is *lossy by construction*. Each slot
+/// carries a sequence stamp written odd before and even (ticket-derived)
+/// after the payload; a reader copies the slot and keeps it only if the
+/// stamp was the expected even value and unchanged across the copy, so a
+/// slot overwritten mid-read (the writer lapped the reader) is skipped,
+/// never emitted torn. The payload itself is stored as relaxed atomic
+/// words, so concurrent record/dump is race-free under the C++ memory
+/// model (and under TSan) -- the stamp protocol supplies ordering, the
+/// word atomics supply freedom from tearing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_OBSERVE_FLIGHTRECORDER_H
+#define MATCOAL_OBSERVE_FLIGHTRECORDER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace matcoal {
+
+class FlightRecorder {
+public:
+  /// Ring capacity; power of two so the slot index is a mask.
+  static constexpr std::size_t Capacity = 256;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder &) = delete;
+  FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  /// Appends one event. Lock-free; truncates oversized strings to the
+  /// fixed field widths. \p Worker is the lane (-1 = out of pool).
+  void record(const char *Kind, const std::string &RequestId,
+              const std::string &Name, const std::string &Detail,
+              int Worker);
+
+  /// Events recorded over the recorder's lifetime (including any the
+  /// ring has since overwritten).
+  std::uint64_t recorded() const {
+    return Next.load(std::memory_order_relaxed);
+  }
+
+  /// The surviving ring contents, oldest first, as a JSON object:
+  /// {"recorded": N, "capacity": C, "events": [{"seq", "t_us", "kind",
+  /// "request_id", "name", "worker", "detail"}, ...]}. Slots caught
+  /// mid-write are skipped.
+  std::string dumpJson() const;
+
+  /// The fixed-width slot payload (exposed for the unit tests that pin
+  /// truncation behavior).
+  struct Payload {
+    char Kind[16];
+    char RequestId[40];
+    char Name[48];
+    char Detail[96];
+    std::uint64_t Micros;
+    std::int64_t Ticket;
+    std::int64_t Worker;
+  };
+
+private:
+  static constexpr std::size_t kWords =
+      (sizeof(Payload) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+  struct Slot {
+    std::atomic<std::uint64_t> Seq{0}; // Odd while a writer is inside.
+    std::atomic<std::uint64_t> Words[kWords] = {};
+  };
+
+  Slot Ring[Capacity];
+  std::atomic<std::uint64_t> Next{0};
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_OBSERVE_FLIGHTRECORDER_H

@@ -1,0 +1,44 @@
+//===- Histogram.cpp - Prometheus rendering for LatencyHistogram ----------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Histogram.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace matcoal {
+
+std::string LatencyHistogram::prometheusText(const std::string &Family) const {
+  std::ostringstream OS;
+  OS << "# TYPE " << Family << " histogram\n";
+  // Highest occupied bucket bounds the finite `le` ladder so empty
+  // histograms stay two lines and busy ones stay readable.
+  unsigned Top = 0;
+  for (unsigned I = 0; I < kBuckets; ++I)
+    if (Buckets[I] != 0)
+      Top = I;
+  std::uint64_t Cum = 0;
+  for (unsigned I = 0; I <= Top && I < kBuckets - 1; ++I) {
+    Cum += Buckets[I];
+    OS << Family << "_bucket{le=\"" << bucketUpper(I) << "\"} " << Cum << "\n";
+  }
+  OS << Family << "_bucket{le=\"+Inf\"} " << CountV << "\n";
+  OS << Family << "_sum " << SumV << "\n";
+  OS << Family << "_count " << CountV << "\n";
+  static const struct {
+    const char *Label;
+    double Q;
+  } Quantiles[] = {{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}};
+  for (const auto &Sel : Quantiles) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", quantile(Sel.Q));
+    OS << Family << "{quantile=\"" << Sel.Label << "\"} " << Buf << "\n";
+  }
+  return OS.str();
+}
+
+} // namespace matcoal

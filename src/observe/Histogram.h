@@ -1,0 +1,148 @@
+//===- Histogram.h - Fixed log2-bucket latency histograms -------*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-shape latency histogram with power-of-two bucket boundaries.
+///
+/// Every histogram in the system -- the service's request-latency families,
+/// the ThreadPool's per-chunk durations, the bench harness's run
+/// distributions -- shares one bucket layout so merges are plain
+/// element-wise adds and the Prometheus exposition is schema-stable:
+///
+///   bucket 0:  [0, 1)
+///   bucket i:  [2^(i-1), 2^i)          for 1 <= i < kBuckets-1
+///   bucket 39: [2^38, +inf)            (the overflow bucket)
+///
+/// Samples are unsigned integers in whatever unit the family name declares
+/// (`svc.e2e_us` is microseconds, `rt.threads.chunk_us` likewise). With
+/// microsecond samples the finite range tops out above 76 hours, so the
+/// overflow bucket is unreachable in practice but keeps record() total.
+///
+/// Quantile estimates interpolate linearly inside the containing bucket
+/// (the same convention Prometheus's histogram_quantile uses), so they are
+/// deterministic functions of the bucket counts -- two histograms with
+/// equal buckets report equal quantiles, bit for bit.
+///
+/// Thread-safety: none, by design. Histograms live inside per-session
+/// StatRegistries (see Observe.h's contract) or under the service's
+/// aggregate mutex; they are merged, never shared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_OBSERVE_HISTOGRAM_H
+#define MATCOAL_OBSERVE_HISTOGRAM_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace matcoal {
+
+class LatencyHistogram {
+public:
+  static constexpr unsigned kBuckets = 40;
+
+  /// Records one sample. O(1), no allocation.
+  void record(std::uint64_t Value) {
+    Buckets[bucketOf(Value)] += 1;
+    CountV += 1;
+    SumV += Value;
+    if (Value > MaxV)
+      MaxV = Value;
+  }
+
+  std::uint64_t count() const { return CountV; }
+  std::uint64_t sum() const { return SumV; }
+  std::uint64_t max() const { return MaxV; }
+  bool empty() const { return CountV == 0; }
+  std::uint64_t bucketCount(unsigned I) const { return Buckets[I]; }
+
+  /// The bucket index \p Value lands in: 0 for values < 1, otherwise
+  /// 1 + floor(log2(Value)), clamped to the overflow bucket.
+  static unsigned bucketOf(std::uint64_t Value) {
+    unsigned I = 0;
+    while (Value != 0) {
+      Value >>= 1;
+      ++I;
+    }
+    return I < kBuckets ? I : kBuckets - 1;
+  }
+
+  /// Inclusive-exclusive upper bound of bucket \p I (2^I); the overflow
+  /// bucket has no finite bound and reports UINT64_MAX.
+  static std::uint64_t bucketUpper(unsigned I) {
+    if (I >= kBuckets - 1)
+      return ~static_cast<std::uint64_t>(0);
+    return static_cast<std::uint64_t>(1) << I;
+  }
+
+  /// Lower bound of bucket \p I (0 for bucket 0, else 2^(I-1)).
+  static std::uint64_t bucketLower(unsigned I) {
+    return I == 0 ? 0 : static_cast<std::uint64_t>(1) << (I - 1);
+  }
+
+  /// Quantile estimate for \p Q in [0, 1]: finds the bucket holding the
+  /// Q-th ranked sample and interpolates linearly within its bounds.
+  /// Returns 0 for an empty histogram. Deterministic given the buckets.
+  double quantile(double Q) const {
+    if (CountV == 0)
+      return 0.0;
+    if (Q < 0.0)
+      Q = 0.0;
+    if (Q > 1.0)
+      Q = 1.0;
+    // Rank of the target sample, 1-based; Q=0 maps to the first sample.
+    double Rank = Q * static_cast<double>(CountV);
+    if (Rank < 1.0)
+      Rank = 1.0;
+    std::uint64_t Cum = 0;
+    for (unsigned I = 0; I < kBuckets; ++I) {
+      if (Buckets[I] == 0)
+        continue;
+      std::uint64_t Next = Cum + Buckets[I];
+      if (static_cast<double>(Next) >= Rank) {
+        double Lo = static_cast<double>(bucketLower(I));
+        // The overflow bucket has no finite width; report its lower edge.
+        if (I == kBuckets - 1)
+          return Lo;
+        double Hi = static_cast<double>(bucketUpper(I));
+        double Within = (Rank - static_cast<double>(Cum)) /
+                        static_cast<double>(Buckets[I]);
+        return Lo + (Hi - Lo) * Within;
+      }
+      Cum = Next;
+    }
+    return static_cast<double>(bucketLower(kBuckets - 1)); // Unreachable.
+  }
+
+  /// Element-wise fold of \p Other into this histogram.
+  void merge(const LatencyHistogram &Other) {
+    for (unsigned I = 0; I < kBuckets; ++I)
+      Buckets[I] += Other.Buckets[I];
+    CountV += Other.CountV;
+    SumV += Other.SumV;
+    if (Other.MaxV > MaxV)
+      MaxV = Other.MaxV;
+  }
+
+  /// Prometheus text exposition for one histogram family: cumulative
+  /// `<family>_bucket{le="..."}` lines up through the highest occupied
+  /// bucket plus `le="+Inf"`, then `_sum`, `_count`, and p50/p95/p99
+  /// `<family>{quantile="..."}` gauge lines. \p Family must already be a
+  /// legal metric name (underscores, no dots).
+  std::string prometheusText(const std::string &Family) const;
+
+private:
+  std::array<std::uint64_t, kBuckets> Buckets{};
+  std::uint64_t CountV = 0;
+  std::uint64_t SumV = 0;
+  std::uint64_t MaxV = 0;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_OBSERVE_HISTOGRAM_H

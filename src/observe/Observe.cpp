@@ -3,6 +3,7 @@
 #include "observe/Observe.h"
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 using namespace matcoal;
@@ -194,7 +195,20 @@ std::string Observer::statsJson() const {
        << "\", \"calls\": " << Calls << ", \"wall_us\": " << Micros << "}";
     First = false;
   }
-  OS << "\n  ],\n  \"remarks\": " << Remarks.size()
+  OS << "\n  ],\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, Hist] : Stats.histograms()) {
+    char P50[32], P95[32], P99[32];
+    std::snprintf(P50, sizeof(P50), "%.6g", Hist.quantile(0.5));
+    std::snprintf(P95, sizeof(P95), "%.6g", Hist.quantile(0.95));
+    std::snprintf(P99, sizeof(P99), "%.6g", Hist.quantile(0.99));
+    OS << (First ? "\n" : ",\n") << "    \"" << jsonEscape(Name)
+       << "\": {\"count\": " << Hist.count() << ", \"sum\": " << Hist.sum()
+       << ", \"max\": " << Hist.max() << ", \"p50\": " << P50
+       << ", \"p95\": " << P95 << ", \"p99\": " << P99 << "}";
+    First = false;
+  }
+  OS << "\n  },\n  \"remarks\": " << Remarks.size()
      << ",\n  \"config\": " << hardwareConfigJson() << "\n}\n";
   return OS.str();
 }

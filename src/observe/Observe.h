@@ -48,6 +48,7 @@
 #ifndef MATCOAL_OBSERVE_OBSERVE_H
 #define MATCOAL_OBSERVE_OBSERVE_H
 
+#include "observe/Histogram.h"
 #include "support/Diagnostics.h"
 
 #include <cstdint>
@@ -121,15 +122,38 @@ public:
   bool has(const std::string &Name) const { return Counters.count(Name); }
   const std::map<std::string, std::int64_t> &all() const { return Counters; }
 
+  // --- Latency histograms. Counters answer "how many"; these answer
+  // "how long, distributionally". They share the registry so the
+  // service's per-request -> aggregate fold stays a single merge().
+  // Histogram names are *not* part of the pinned counter schema.
+
+  /// Records one sample into the named fixed log2-bucket histogram,
+  /// creating it on first use.
+  void sample(const std::string &Name, std::uint64_t Value) {
+    Hists[Name].record(Value);
+  }
+  /// The named histogram, or nullptr if nothing was ever sampled.
+  const LatencyHistogram *histogram(const std::string &Name) const {
+    auto It = Hists.find(Name);
+    return It == Hists.end() ? nullptr : &It->second;
+  }
+  const std::map<std::string, LatencyHistogram> &histograms() const {
+    return Hists;
+  }
+
   /// Merges \p Other into this registry (used by the bench harness to
-  /// fold per-program observers into one suite-wide block).
+  /// fold per-program observers into one suite-wide block, and by the
+  /// service to fold per-request registries into the aggregate).
   void merge(const StatRegistry &Other) {
     for (const auto &[Name, Value] : Other.Counters)
       Counters[Name] += Value;
+    for (const auto &[Name, Hist] : Other.Hists)
+      Hists[Name].merge(Hist);
   }
 
 private:
   std::map<std::string, std::int64_t> Counters;
+  std::map<std::string, LatencyHistogram> Hists;
 };
 
 class Observer;

@@ -1,0 +1,181 @@
+//===- Span.cpp - Request-scoped span trees and trace merging -------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Span.h"
+
+#include "observe/Observe.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace matcoal {
+
+int SpanRecorder::begin(const std::string &Name, std::uint64_t StartMicros) {
+  Span S;
+  S.Name = Name;
+  S.StartMicros = StartMicros ? StartMicros : nowMicros();
+  S.Parent = Stack.empty() ? -1 : Stack.back();
+  int Id = static_cast<int>(Spans.size());
+  Spans.push_back(std::move(S));
+  Stack.push_back(Id);
+  return Id;
+}
+
+void SpanRecorder::end(int Id, std::uint64_t EndMicros) {
+  if (Id < 0 || Id >= static_cast<int>(Spans.size()))
+    return;
+  auto It = std::find(Stack.begin(), Stack.end(), Id);
+  if (It == Stack.end())
+    return; // Already closed.
+  std::uint64_t End = EndMicros ? EndMicros : nowMicros();
+  // Close everything opened under Id first so nesting never dangles.
+  while (!Stack.empty()) {
+    int Top = Stack.back();
+    Stack.pop_back();
+    Span &S = Spans[static_cast<std::size_t>(Top)];
+    S.DurMicros = End >= S.StartMicros ? End - S.StartMicros : 0;
+    if (Top == Id)
+      break;
+  }
+}
+
+int SpanRecorder::leaf(const std::string &Name, std::uint64_t StartMicros,
+                       std::uint64_t DurMicros) {
+  Span S;
+  S.Name = Name;
+  S.StartMicros = StartMicros;
+  S.DurMicros = DurMicros;
+  S.Parent = Stack.empty() ? -1 : Stack.back();
+  int Id = static_cast<int>(Spans.size());
+  Spans.push_back(std::move(S));
+  return Id;
+}
+
+namespace {
+
+/// Children of \p Parent in recording order (recording order is sibling
+/// order: ids only grow).
+std::vector<int> childrenOf(const std::vector<Span> &Spans, int Parent) {
+  std::vector<int> Out;
+  for (int I = 0; I < static_cast<int>(Spans.size()); ++I)
+    if (Spans[static_cast<std::size_t>(I)].Parent == Parent)
+      Out.push_back(I);
+  return Out;
+}
+
+void emitNode(const std::vector<Span> &Spans, int Id, std::ostringstream &OS) {
+  const Span &S = Spans[static_cast<std::size_t>(Id)];
+  OS << "{\"name\": \"" << jsonEscape(S.Name) << "\", \"start_us\": "
+     << S.StartMicros << ", \"dur_us\": " << S.DurMicros
+     << ", \"children\": [";
+  bool First = true;
+  for (int C : childrenOf(Spans, Id)) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    emitNode(Spans, C, OS);
+  }
+  OS << "]}";
+}
+
+void emitStructure(const std::vector<Span> &Spans, int Id, unsigned Depth,
+                   std::ostringstream &OS) {
+  const Span &S = Spans[static_cast<std::size_t>(Id)];
+  for (unsigned I = 0; I < Depth * 2; ++I)
+    OS << ' ';
+  OS << S.Name << "\n";
+  for (int C : childrenOf(Spans, Id))
+    emitStructure(Spans, C, Depth + 1, OS);
+}
+
+} // namespace
+
+std::string SpanRecorder::treeJson() const {
+  std::ostringstream OS;
+  std::vector<int> Roots = childrenOf(Spans, -1);
+  if (Roots.size() == 1) {
+    emitNode(Spans, Roots[0], OS);
+    return OS.str();
+  }
+  OS << "[";
+  bool First = true;
+  for (int R : Roots) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    emitNode(Spans, R, OS);
+  }
+  OS << "]";
+  return OS.str();
+}
+
+std::string SpanRecorder::structureText() const {
+  std::ostringstream OS;
+  for (int R : childrenOf(Spans, -1))
+    emitStructure(Spans, R, 0, OS);
+  return OS.str();
+}
+
+void SpanSink::add(const std::string &RequestId, int Lane,
+                   std::vector<Span> Spans) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries.push_back(Entry{RequestId, Lane, std::move(Spans)});
+}
+
+std::size_t SpanSink::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}
+
+std::string SpanSink::chromeJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::uint64_t Epoch = ~static_cast<std::uint64_t>(0);
+  for (const Entry &E : Entries)
+    for (const Span &S : E.Spans)
+      Epoch = std::min(Epoch, S.StartMicros);
+  if (Entries.empty())
+    Epoch = 0;
+
+  std::ostringstream OS;
+  OS << "{\"traceEvents\": [\n";
+  bool First = true;
+  std::set<int> Lanes;
+  for (const Entry &E : Entries) {
+    int Tid = E.Lane + 2; // Lane -1 (out-of-pool) maps to tid 1.
+    Lanes.insert(E.Lane);
+    for (const Span &S : E.Spans) {
+      if (!First)
+        OS << ",\n";
+      First = false;
+      const char *ParentName =
+          S.Parent >= 0
+              ? E.Spans[static_cast<std::size_t>(S.Parent)].Name.c_str()
+              : "";
+      OS << "  {\"name\": \"" << jsonEscape(S.Name)
+         << "\", \"cat\": \"request\", \"ph\": \"X\", \"ts\": "
+         << (S.StartMicros - Epoch) << ", \"dur\": " << S.DurMicros
+         << ", \"pid\": 1, \"tid\": " << Tid
+         << ", \"args\": {\"request_id\": \"" << jsonEscape(E.RequestId)
+         << "\", \"parent\": \"" << jsonEscape(ParentName) << "\"}}";
+    }
+  }
+  for (int Lane : Lanes) {
+    if (!First)
+      OS << ",\n";
+    First = false;
+    std::string Label =
+        Lane < 0 ? std::string("client") : "worker " + std::to_string(Lane);
+    OS << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << (Lane + 2) << ", \"args\": {\"name\": \"" << Label
+       << "\"}}";
+  }
+  OS << "\n]}\n";
+  return OS.str();
+}
+
+} // namespace matcoal

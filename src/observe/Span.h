@@ -1,0 +1,131 @@
+//===- Span.h - Request-scoped span trees and trace merging -----*- C++ -*-===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Request-scoped tracing for the serving stack.
+///
+/// A `SpanRecorder` collects one request's span tree: `begin`/`end` open
+/// and close nested spans on the same steady microsecond clock PassTimer
+/// uses (`nowMicros`), and `leaf` attaches an already-timed child (a
+/// compile-stage PassTimer event, a native cache lookup) under the
+/// currently open span. The *structure* of the tree -- names, nesting,
+/// sibling order -- is a deterministic function of the request, which is
+/// what the span-determinism tests pin; only the wall times vary.
+///
+/// A `SpanSink` is the service-wide merge point: finished trees are
+/// appended under a mutex with the worker lane that ran them, and
+/// `chromeJson()` renders the whole history as one Chrome trace-event
+/// file (`matcoald --trace-out`) with one lane (tid) per worker, so
+/// multi-request storms read as a timeline instead of a counter delta.
+///
+/// SpanRecorder follows the Observer thread-safety contract: one request,
+/// one recorder, no locks. SpanSink is the one concurrency-aware piece.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MATCOAL_OBSERVE_SPAN_H
+#define MATCOAL_OBSERVE_SPAN_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace matcoal {
+
+/// One node of a request's span tree. Parent links index into the
+/// recorder's flat vector; -1 marks a root.
+struct Span {
+  std::string Name;
+  std::uint64_t StartMicros = 0;
+  std::uint64_t DurMicros = 0;
+  int Parent = -1;
+};
+
+class SpanRecorder {
+public:
+  /// Opens a span under the innermost still-open span (or as a root) and
+  /// returns its id. \p StartMicros defaults to now.
+  int begin(const std::string &Name, std::uint64_t StartMicros = 0);
+
+  /// Closes span \p Id. Idempotent; closes any children left open first
+  /// so the tree is always well-formed. \p EndMicros defaults to now.
+  void end(int Id, std::uint64_t EndMicros = 0);
+
+  /// Attaches an already-timed child under the innermost open span.
+  int leaf(const std::string &Name, std::uint64_t StartMicros,
+           std::uint64_t DurMicros);
+
+  bool allClosed() const { return Stack.empty(); }
+  const std::vector<Span> &spans() const { return Spans; }
+
+  /// The tree as nested JSON: {"name","start_us","dur_us","children"}.
+  /// Sibling order is recording order. Newline-free.
+  std::string treeJson() const;
+
+  /// The structure with wall times stripped: one `depth*2`-space-indented
+  /// name per line, in tree order. Two identical runs must produce
+  /// byte-identical structure text -- the determinism contract.
+  std::string structureText() const;
+
+private:
+  std::vector<Span> Spans;
+  std::vector<int> Stack;
+};
+
+/// RAII wrapper over begin/end for straight-line scopes.
+class ScopedSpan {
+public:
+  ScopedSpan(SpanRecorder &R, const std::string &Name)
+      : Rec(&R), Id(R.begin(Name)) {}
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+  ~ScopedSpan() { stop(); }
+  void stop() {
+    if (Rec) {
+      Rec->end(Id);
+      Rec = nullptr;
+    }
+  }
+
+private:
+  SpanRecorder *Rec;
+  int Id;
+};
+
+/// Mutex-guarded collection of finished span trees, one entry per
+/// request, rendered as a single merged Chrome trace.
+class SpanSink {
+public:
+  /// Appends one finished tree. \p Lane is the worker id (>= 0) or -1
+  /// for requests processed outside the pool (processNow, client lane).
+  void add(const std::string &RequestId, int Lane, std::vector<Span> Spans);
+
+  /// Number of trees collected so far.
+  std::size_t size() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}): every span becomes
+  /// a complete "X" event with pid 1 and tid = lane + 2 (tid 1 is the
+  /// oracle/client lane), timestamps relative to the earliest span in the
+  /// sink, and args carrying the request id plus the span's parent name
+  /// so trees stay reconstructible after the merge. Thread-name metadata
+  /// events label each lane.
+  std::string chromeJson() const;
+
+private:
+  struct Entry {
+    std::string RequestId;
+    int Lane;
+    std::vector<Span> Spans;
+  };
+  mutable std::mutex Mu;
+  std::vector<Entry> Entries;
+};
+
+} // namespace matcoal
+
+#endif // MATCOAL_OBSERVE_SPAN_H

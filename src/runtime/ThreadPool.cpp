@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -23,6 +24,13 @@ using namespace matcoal;
 namespace {
 
 thread_local ParConfig ActivePar;
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// One contiguous partition of a region.
 struct Partition {
@@ -55,7 +63,8 @@ public:
   void run(std::int64_t N, int Threads,
            const std::function<void(std::int64_t, std::int64_t)> &Body,
            const CancelToken *Cancel, std::uint64_t &PartsOut,
-           unsigned &CreatedOut, bool &Cancelled) {
+           unsigned &CreatedOut, bool &Cancelled,
+           std::vector<std::uint64_t> &PartNsOut) {
     std::lock_guard<std::mutex> Region(RegionMu);
     CreatedOut = ensureWorkers(static_cast<unsigned>(Threads - 1));
     std::int64_t P = std::min<std::int64_t>(
@@ -69,16 +78,22 @@ public:
       Lo = Hi;
     }
     PartsOut = static_cast<std::uint64_t>(P);
+    // One duration slot per partition. Each slot is written by exactly
+    // one thread (worker I writes slot I before its Outstanding
+    // decrement; the caller writes the last slot); the DoneCv join
+    // publishes the worker slots back to the caller.
+    PartNsOut.assign(static_cast<size_t>(P), 0);
     if (P == 1) {
       // No worker available (single-core fallback): run it all here.
       CancelFlag.store(false, std::memory_order_relaxed);
-      runPartition(Parts[0], Body, Cancel);
+      PartNsOut[0] = runPartition(Parts[0], Body, Cancel);
       Cancelled = CancelFlag.load(std::memory_order_relaxed);
       return;
     }
     {
       std::lock_guard<std::mutex> L(Mu);
       CurParts = &Parts;
+      CurPartNs = &PartNsOut;
       CurBody = &Body;
       CurCancel = Cancel;
       CancelFlag.store(false, std::memory_order_relaxed);
@@ -89,12 +104,13 @@ public:
     WorkCv.notify_all();
     // The caller is partition P-1; it polls the shared cancel flag like
     // any worker so one expiry stops every partition promptly.
-    runPartition(Parts.back(), Body, Cancel);
+    PartNsOut.back() = runPartition(Parts.back(), Body, Cancel);
     std::exception_ptr Err;
     {
       std::unique_lock<std::mutex> L(Mu);
       DoneCv.wait(L, [&] { return Outstanding == 0; });
       CurParts = nullptr;
+      CurPartNs = nullptr;
       CurBody = nullptr;
       CurCancel = nullptr;
       Err = FirstError;
@@ -135,27 +151,32 @@ private:
     return Created;
   }
 
-  /// Executes one partition in cancel-polled chunks. Workers run with
-  /// default thread_local state: no BufferPool, no ParScope -- pure
+  /// Executes one partition in cancel-polled chunks and returns the
+  /// nanoseconds spent doing it (the partition's busy time). Workers run
+  /// with default thread_local state: no BufferPool, no ParScope -- pure
   /// writes only, as the header's body contract requires.
-  void runPartition(const Partition &P,
-                    const std::function<void(std::int64_t, std::int64_t)> &Body,
-                    const CancelToken *Cancel) {
+  std::uint64_t
+  runPartition(const Partition &P,
+               const std::function<void(std::int64_t, std::int64_t)> &Body,
+               const CancelToken *Cancel) {
+    std::uint64_t Begin = nowNs();
     for (std::int64_t C = P.Lo; C < P.Hi; C += ParCancelChunk) {
       if (CancelFlag.load(std::memory_order_relaxed))
-        return;
+        break;
       Body(C, std::min(P.Hi, C + ParCancelChunk));
       if (Cancel && Cancel->expired()) {
         CancelFlag.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
     }
+    return nowNs() - Begin;
   }
 
   void workerMain(unsigned Index) {
     std::uint64_t Seen = 0;
     for (;;) {
       const std::vector<Partition> *Parts;
+      std::vector<std::uint64_t> *PartNs;
       const std::function<void(std::int64_t, std::int64_t)> *Body;
       const CancelToken *Cancel;
       {
@@ -165,6 +186,7 @@ private:
           return;
         Seen = Gen;
         Parts = CurParts;
+        PartNs = CurPartNs;
         Body = CurBody;
         Cancel = CurCancel;
       }
@@ -176,7 +198,9 @@ private:
         continue;
       std::exception_ptr Err;
       try {
-        runPartition((*Parts)[Index], *Body, Cancel);
+        std::uint64_t Ns = runPartition((*Parts)[Index], *Body, Cancel);
+        if (PartNs)
+          (*PartNs)[Index] = Ns;
       } catch (...) {
         Err = std::current_exception();
       }
@@ -199,6 +223,7 @@ private:
   unsigned Outstanding = 0;
   bool Shutdown = false;
   const std::vector<Partition> *CurParts = nullptr;
+  std::vector<std::uint64_t> *CurPartNs = nullptr;
   const std::function<void(std::int64_t, std::int64_t)> *CurBody = nullptr;
   const CancelToken *CurCancel = nullptr;
   std::atomic<bool> CancelFlag{false};
@@ -223,12 +248,18 @@ void matcoal::parRunUnits(
     std::uint64_t Parts = 0;
     unsigned Created = 0;
     bool Cancelled = false;
+    std::vector<std::uint64_t> PartNs;
     Pool::instance().run(Items, C.Threads, Body, C.Cancel, Parts, Created,
-                         Cancelled);
+                         Cancelled, PartNs);
     if (C.Spawned)
       *C.Spawned += Created;
     if (C.Chunks)
       *C.Chunks += Parts;
+    if (C.BusyNs)
+      for (std::uint64_t Ns : PartNs)
+        *C.BusyNs += Ns;
+    if (C.ChunkNs)
+      C.ChunkNs->insert(C.ChunkNs->end(), PartNs.begin(), PartNs.end());
     if (Cancelled)
       throw MatError("deadline exceeded inside parallel region",
                      TrapKind::Deadline);

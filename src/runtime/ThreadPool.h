@@ -44,6 +44,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace matcoal {
 
@@ -68,6 +69,17 @@ struct ParConfig {
   /// Cumulative partitions dispatched across parallel regions
   /// (rt.threads.chunks); null = uncounted.
   std::uint64_t *Chunks = nullptr;
+  /// Cumulative nanoseconds workers (and the caller, for its own
+  /// partition) spent inside partition bodies (rt.threads.busy_ns);
+  /// null = untimed. Like Spawned/Chunks this covers parallel regions
+  /// only -- the serial path stays zero-overhead -- and only the
+  /// executing thread touches it: workers time their partition into a
+  /// region-local slot and the caller folds after the join.
+  std::uint64_t *BusyNs = nullptr;
+  /// Per-partition durations in nanoseconds, appended one entry per
+  /// dispatched partition (the chunk-duration histogram's feed); null =
+  /// unrecorded. Same ownership rule as BusyNs.
+  std::vector<std::uint64_t> *ChunkNs = nullptr;
   /// Polled at chunk boundaries; expiry throws MatError(Deadline) from
   /// parRun on the executing thread. Null = uncancellable.
   const CancelToken *Cancel = nullptr;

@@ -9,7 +9,9 @@
 
 #include "observe/RuntimeProfiler.h"
 
+#include <cctype>
 #include <exception>
+#include <sstream>
 
 using namespace matcoal;
 
@@ -74,6 +76,7 @@ bool ServiceRequest::fromJson(const JsonValue &V, ServiceRequest &Out,
       return false;
     }
   }
+  Out.Trace = V.get("trace").asBool(false);
   Out.NoFuse = V.get("no_fuse").asBool(false);
   Out.NoRanges = V.get("no_ranges").asBool(false);
   Out.Profile = V.get("profile").asBool(false);
@@ -86,6 +89,8 @@ JsonValue ServiceResponse::toJson() const {
   JsonValue O = JsonValue::object();
   if (!Id.empty())
     O.set("id", JsonValue::str(Id));
+  if (!RequestId.empty())
+    O.set("request_id", JsonValue::str(RequestId));
   O.set("ok", JsonValue::boolean(OK));
   O.set("kind", JsonValue::str(responseKindName(Kind)));
   if (Kind == ResponseKind::Backpressure) {
@@ -132,6 +137,13 @@ JsonValue ServiceResponse::toJson() const {
     for (const auto &[Name, Value] : Counters)
       C.set(Name, JsonValue::number(static_cast<double>(Value)));
     O.set("counters", std::move(C));
+  }
+  if (!SpansJson.empty()) {
+    // The recorder emitted this block itself (observe/ cannot depend on
+    // the service's JsonValue); parse so it nests instead of stringifying.
+    std::string Err;
+    if (std::optional<JsonValue> S = JsonValue::parse(SpansJson, Err))
+      O.set("spans", std::move(*S));
   }
   return O;
 }
@@ -191,6 +203,9 @@ ServiceResponse
 CompileService::backpressureResponse(const ServiceRequest &R) const {
   ServiceResponse Resp;
   Resp.Id = R.Id;
+  Resp.RequestId =
+      "req-" + std::to_string(NextReq.fetch_add(1, std::memory_order_relaxed) +
+                              1);
   Resp.Kind = ResponseKind::Backpressure;
   Resp.OK = false;
   Resp.RetryAfterMs = Cfg.RetryAfterMs;
@@ -202,16 +217,16 @@ CompileService::backpressureResponse(const ServiceRequest &R) const {
 
 ServiceResponse CompileService::processNow(const ServiceRequest &R) {
   std::int64_t Now = cancelNowMicros();
-  return process(R, deadlineAbsFor(R, Now), /*WorkerId=*/-1, /*QueueMs=*/0);
+  return process(R, deadlineAbsFor(R, Now), /*WorkerId=*/-1,
+                 /*AdmittedMicros=*/Now);
 }
 
 void CompileService::workerLoop(int WorkerId) {
   Job J;
   while (Queue.pop(J)) {
     ServiceResponse Resp;
-    std::int64_t QueueMs = (cancelNowMicros() - J.AdmittedMicros) / 1000;
     try {
-      Resp = process(J.Req, J.DeadlineAbsMicros, WorkerId, QueueMs);
+      Resp = process(J.Req, J.DeadlineAbsMicros, WorkerId, J.AdmittedMicros);
     } catch (...) {
       // process() has its own catch-everything; this is the belt to its
       // suspenders (e.g. bad_alloc building the response).
@@ -244,18 +259,56 @@ void CompileService::finishJob(const Job &J, ServiceResponse Resp) {
 ServiceResponse CompileService::process(const ServiceRequest &R,
                                         std::int64_t DeadlineAbsMicros,
                                         int WorkerId,
-                                        std::int64_t QueueMs) {
-  // Everything below is per-session state: this request's observer,
-  // profiler, diagnostics, and (inside compileSource) its own
+                                        std::int64_t AdmittedMicros) {
+  // Everything below is per-session state: this request's observer, span
+  // recorder, profiler, diagnostics, and (inside compileSource) its own
   // SymExprContext. Nothing here is shared across workers.
   Observer Obs;
+  SpanRecorder Rec;
+  std::string Rid =
+      "req-" + std::to_string(NextReq.fetch_add(1, std::memory_order_relaxed) +
+                              1);
+  std::int64_t Start = cancelNowMicros();
+  std::int64_t QueueMs =
+      AdmittedMicros > 0 ? (Start - AdmittedMicros) / 1000 : 0;
+  // The root span opens at *admission*: queue wait is part of the
+  // request's story (and of its deadline), so the tree starts there.
+  std::uint64_t RootStart = static_cast<std::uint64_t>(
+      AdmittedMicros > 0 ? AdmittedMicros : Start);
+  int Root = Rec.begin("request", RootStart);
+  int QSpan = Rec.begin("queue", RootStart);
+  Rec.end(QSpan, static_cast<std::uint64_t>(Start));
+
   ServiceResponse Resp =
-      processInner(R, DeadlineAbsMicros, WorkerId, QueueMs, Obs);
+      processInner(R, DeadlineAbsMicros, WorkerId, QueueMs, Obs, Rec);
+  Rec.end(Root);
+  Resp.RequestId = Rid;
+  if (R.Trace)
+    Resp.SpansJson = Rec.treeJson();
+
+  // Flight recorder: one lifecycle event per request; failed outcomes
+  // (trap, deadline, internal) additionally leave their whole span tree
+  // in the ring so a post-mortem dump shows where the time went.
+  const char *KindName = responseKindName(Resp.Kind);
+  bool Failed = Resp.Kind == ResponseKind::Trap ||
+                Resp.Kind == ResponseKind::Deadline ||
+                Resp.Kind == ResponseKind::Internal;
+  if (Failed) {
+    for (const Span &S : Rec.spans())
+      Flight.record("span", Rid, S.Name, KindName, WorkerId);
+    if (!Resp.Trap.empty())
+      Flight.record("trap", Rid, Resp.Trap, Resp.Error, WorkerId);
+  }
+  Flight.record("request", Rid, R.Id, KindName, WorkerId);
+
+  if (Cfg.KeepSpans)
+    Sink.add(Rid, WorkerId, Rec.spans());
+
   for (const auto &[Name, Value] : Obs.Stats.all())
     Resp.Counters.emplace_back(Name, Value);
   // Single exit: every outcome -- protocol error, queue expiry, compile
   // failure, trap, success -- reaches the aggregate exactly once.
-  foldStats(Resp, Obs.Stats);
+  foldStats(Resp, Obs, cancelNowMicros() - static_cast<std::int64_t>(RootStart));
   return Resp;
 }
 
@@ -263,7 +316,8 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
                                              std::int64_t DeadlineAbsMicros,
                                              int WorkerId,
                                              std::int64_t QueueMs,
-                                             Observer &Obs) {
+                                             Observer &Obs,
+                                             SpanRecorder &Rec) {
   ServiceResponse Resp;
   Resp.Id = R.Id;
   Resp.Worker = WorkerId;
@@ -313,9 +367,19 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
     O.HeapLimit = Cfg.HeapLimit;
     O.RecursionLimit = Cfg.RecursionLimit;
 
+    // Pipeline-stage PassTimer events recorded during the compile become
+    // the compile span's children, so the tree shows parse -> lower ->
+    // ssa -> ... -> audit -> invert without the driver knowing about
+    // spans at all.
+    std::size_t CompileTraceMark = Obs.Trace.size();
+    int CompileSpan = Rec.begin("compile");
     PassTimer CompileT(nullptr, "svc.compile");
     std::unique_ptr<CompiledProgram> P = compileSource(R.Source, Diags, O);
     CompileT.stop();
+    for (std::size_t I = CompileTraceMark; I < Obs.Trace.size(); ++I)
+      Rec.leaf(Obs.Trace[I].Name, Obs.Trace[I].StartMicros,
+               Obs.Trace[I].DurMicros);
+    Rec.end(CompileSpan);
     Resp.CompileSeconds = CompileT.seconds();
 
     if (!P) {
@@ -343,6 +407,12 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
     if (R.Profile)
       P->Prof = &Prof;
 
+    // The dispatch span covers tier selection and the run; trace events
+    // the tier emits while running (native cache lookup, cc compile)
+    // nest under the run span.
+    int DispatchSpan = Rec.begin("dispatch");
+    std::size_t RunTraceMark = Obs.Trace.size();
+    int RunSpan = Rec.begin("run");
     PassTimer RunT(nullptr, "svc.run");
     ExecResult X;
     if (R.Native) {
@@ -361,6 +431,11 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
       X = P->runStatic(R.Seed);
     }
     RunT.stop();
+    for (std::size_t I = RunTraceMark; I < Obs.Trace.size(); ++I)
+      Rec.leaf(Obs.Trace[I].Name, Obs.Trace[I].StartMicros,
+               Obs.Trace[I].DurMicros);
+    Rec.end(RunSpan);
+    Rec.end(DispatchSpan);
     Resp.RunSeconds = RunT.seconds();
     Resp.Ops = X.Ops;
 
@@ -394,7 +469,18 @@ ServiceResponse CompileService::processInner(const ServiceRequest &R,
 }
 
 void CompileService::foldStats(const ServiceResponse &Resp,
-                               const StatRegistry &ReqStats) {
+                               const Observer &Obs,
+                               std::int64_t E2eMicros) {
+  // Native cc time, when one actually ran this request (the counter is
+  // whole seconds; the trace event has the microseconds).
+  std::uint64_t NativeCcMicros = 0;
+  bool NativeCc = false;
+  for (const TraceEvent &E : Obs.Trace)
+    if (E.Name == "native.cc") {
+      NativeCcMicros += E.DurMicros;
+      NativeCc = true;
+    }
+
   std::lock_guard<std::mutex> Lock(StatsMu);
   Agg.add("svc.requests.completed");
   Agg.add(std::string("svc.kind.") + responseKindName(Resp.Kind));
@@ -402,7 +488,20 @@ void CompileService::foldStats(const ServiceResponse &Resp,
     Agg.add("svc.rung." + Resp.Rung);
   if (!Resp.Trap.empty())
     Agg.add("svc.trap." + Resp.Trap);
-  Agg.merge(ReqStats);
+  // The four request-latency histograms (+ native compile when it
+  // happened), all in microseconds; the `metrics` op renders them as
+  // Prometheus families with p50/p95/p99.
+  Agg.sample("svc.e2e_us", static_cast<std::uint64_t>(
+                               E2eMicros > 0 ? E2eMicros : 0));
+  Agg.sample("svc.queue_us",
+             static_cast<std::uint64_t>(Resp.QueueMs > 0 ? Resp.QueueMs : 0) *
+                 1000);
+  Agg.sample("svc.compile_us",
+             static_cast<std::uint64_t>(Resp.CompileSeconds * 1e6));
+  Agg.sample("svc.run_us", static_cast<std::uint64_t>(Resp.RunSeconds * 1e6));
+  if (NativeCc)
+    Agg.sample("svc.native_compile_us", NativeCcMicros);
+  Agg.merge(Obs.Stats);
 }
 
 void CompileService::drain() {
@@ -423,12 +522,29 @@ void CompileService::shutdown() {
 std::string CompileService::statsJson() const {
   JsonValue O = JsonValue::object();
   JsonValue Counters = JsonValue::object();
+  JsonValue Hists = JsonValue::object();
   {
     std::lock_guard<std::mutex> Lock(StatsMu);
     for (const auto &[Name, Value] : Agg.all())
       Counters.set(Name, JsonValue::number(static_cast<double>(Value)));
+    for (const auto &[Name, H] : Agg.histograms()) {
+      JsonValue E = JsonValue::object();
+      E.set("count", JsonValue::number(static_cast<double>(H.count())));
+      E.set("sum", JsonValue::number(static_cast<double>(H.sum())));
+      E.set("max", JsonValue::number(static_cast<double>(H.max())));
+      E.set("p50", JsonValue::number(H.quantile(0.5)));
+      E.set("p95", JsonValue::number(H.quantile(0.95)));
+      E.set("p99", JsonValue::number(H.quantile(0.99)));
+      Hists.set(Name, std::move(E));
+    }
   }
   O.set("counters", std::move(Counters));
+  // Live gauges: what is *now*, next to the counters' what-has-been.
+  JsonValue G = JsonValue::object();
+  G.set("queue_depth", JsonValue::number(static_cast<double>(Queue.size())));
+  G.set("inflight", JsonValue::number(static_cast<double>(inFlightNow())));
+  O.set("gauges", std::move(G));
+  O.set("histograms", std::move(Hists));
   JsonValue C = JsonValue::object();
   C.set("workers", JsonValue::number(Cfg.Workers));
   C.set("queue_capacity",
@@ -440,4 +556,35 @@ std::string CompileService::statsJson() const {
         JsonValue::number(static_cast<double>(Cfg.RetryAfterMs)));
   O.set("config", std::move(C));
   return O.dump();
+}
+
+/// "svc.e2e_us" -> "matcoal_svc_e2e_us": Prometheus metric names allow
+/// [a-zA-Z0-9_:] only.
+static std::string promName(const std::string &Name) {
+  std::string Out = "matcoal_";
+  for (char Ch : Name)
+    Out += (std::isalnum(static_cast<unsigned char>(Ch)) || Ch == '_')
+               ? Ch
+               : '_';
+  return Out;
+}
+
+std::string CompileService::metricsText() const {
+  std::ostringstream OS;
+  OS << "# matcoald service metrics (Prometheus text exposition)\n";
+  OS << "# TYPE matcoal_queue_depth gauge\n";
+  OS << "matcoal_queue_depth " << Queue.size() << "\n";
+  OS << "# TYPE matcoal_inflight_requests gauge\n";
+  OS << "matcoal_inflight_requests " << inFlightNow() << "\n";
+  OS << "# TYPE matcoal_flight_events_total counter\n";
+  OS << "matcoal_flight_events_total " << Flight.recorded() << "\n";
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  // Every aggregate counter as one family, keyed by label, so the
+  // pinned-schema names stay greppable verbatim.
+  OS << "# TYPE matcoal_counter counter\n";
+  for (const auto &[Name, Value] : Agg.all())
+    OS << "matcoal_counter{name=\"" << Name << "\"} " << Value << "\n";
+  for (const auto &[Name, H] : Agg.histograms())
+    OS << H.prometheusText(promName(Name));
+  return OS.str();
 }

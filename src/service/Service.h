@@ -50,6 +50,8 @@
 
 #include "driver/Compiler.h"
 #include "native/NativeEngine.h"
+#include "observe/FlightRecorder.h"
+#include "observe/Span.h"
 #include "service/JobQueue.h"
 #include "service/Json.h"
 
@@ -83,6 +85,13 @@ struct ServiceConfig {
   /// store and the in-memory dlopen index -- is shared across requests
   /// and workers.
   std::string CacheDir;
+  /// Retain every finished request's span tree in the service-wide
+  /// SpanSink so `matcoald --trace-out` can write one merged Chrome
+  /// trace at shutdown. Off by default: per-request spans are always
+  /// recorded (they are cheap and feed the flight recorder), but only a
+  /// trace-collecting daemon should accumulate them for the run's
+  /// lifetime.
+  bool KeepSpans = false;
 };
 
 /// One compile-and-run request, decoded from the NDJSON envelope.
@@ -116,6 +125,9 @@ struct ServiceRequest {
   /// --threads`; values clamp to [1, 64]. Output is byte-identical at
   /// any thread count.
   int Threads = 0;
+  /// Attach the request's span tree (queue wait, compile stages, tier
+  /// dispatch, run) to the response envelope as a nested "spans" block.
+  bool Trace = false;
 
   /// Decodes the protocol envelope; returns false with \p Error set on a
   /// malformed request (missing source, mistyped fields).
@@ -167,6 +179,13 @@ struct ServiceResponse {
   std::vector<LintDiag> Lint;
   /// Per-request compile/run counters (the request Observer's registry).
   std::vector<std::pair<std::string, std::int64_t>> Counters;
+  /// Server-assigned stable request id ("req-N", monotone per service),
+  /// echoed in every envelope so client logs, the merged Chrome trace,
+  /// and the flight recorder line up on one key.
+  std::string RequestId;
+  /// The request's span tree as a nested JSON object (SpanRecorder
+  /// treeJson), attached when the request asked for `"trace": true`.
+  std::string SpansJson;
 
   JsonValue toJson() const;
 };
@@ -205,10 +224,28 @@ public:
   void shutdown();
 
   /// Server-wide aggregate: svc.* counters plus the merged per-request
-  /// compile/run counters, as a statsJson-style object.
+  /// compile/run counters, live queue-depth/in-flight gauges, and
+  /// latency-histogram summaries, as a statsJson-style object.
   std::string statsJson() const;
 
+  /// The aggregate in Prometheus text exposition format (the `metrics`
+  /// op): counters, the two gauges, and every latency histogram as a
+  /// `_bucket`/`_sum`/`_count` family with p50/p95/p99 quantile lines.
+  std::string metricsText() const;
+
+  /// The flight recorder's surviving ring, as structured JSON (the
+  /// `dump` op; also written on shutdown by `matcoald --flight-dump`).
+  std::string flightDumpJson() const { return Flight.dumpJson(); }
+
+  /// The merged multi-request Chrome trace collected when
+  /// ServiceConfig::KeepSpans is set (`matcoald --trace-out`).
+  std::string chromeTraceJson() const { return Sink.chromeJson(); }
+
   std::size_t queueDepth() const { return Queue.size(); }
+  std::size_t inFlightNow() const {
+    std::lock_guard<std::mutex> Lock(FlightMu);
+    return InFlight;
+  }
   const ServiceConfig &config() const { return Cfg; }
 
 private:
@@ -222,14 +259,16 @@ private:
   void workerLoop(int WorkerId);
   ServiceResponse process(const ServiceRequest &R,
                           std::int64_t DeadlineAbsMicros, int WorkerId,
-                          std::int64_t QueueMs);
+                          std::int64_t AdmittedMicros);
   ServiceResponse processInner(const ServiceRequest &R,
                                std::int64_t DeadlineAbsMicros, int WorkerId,
-                               std::int64_t QueueMs, Observer &Obs);
+                               std::int64_t QueueMs, Observer &Obs,
+                               SpanRecorder &Rec);
   void finishJob(const Job &J, ServiceResponse Resp);
   std::int64_t deadlineAbsFor(const ServiceRequest &R,
                               std::int64_t NowMicros) const;
-  void foldStats(const ServiceResponse &Resp, const StatRegistry &ReqStats);
+  void foldStats(const ServiceResponse &Resp, const Observer &Obs,
+                 std::int64_t E2eMicros);
 
   ServiceConfig Cfg;
   JobQueue<Job> Queue;
@@ -251,6 +290,15 @@ private:
   // shared across requests and workers (the engine's index mutex and the
   // process-wide run mutex make that safe; see NativeEngine.h).
   NativeEngine Native;
+
+  // Request-id source; mutable so even the const backpressure envelope
+  // builder can stamp the rejection it hands back.
+  mutable std::atomic<std::uint64_t> NextReq{0};
+
+  // The merged-trace collector (fed only under Cfg.KeepSpans) and the
+  // always-on flight recorder; both are internally synchronized.
+  SpanSink Sink;
+  FlightRecorder Flight;
 };
 
 } // namespace matcoal

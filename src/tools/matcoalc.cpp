@@ -42,6 +42,7 @@
 #include "native/NativeEngine.h"
 #include "observe/Observe.h"
 #include "observe/RuntimeProfiler.h"
+#include "observe/Span.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -119,6 +120,12 @@ void usage(const char *Argv0) {
                "                       (open in chrome://tracing); under\n"
                "                       profiling it gains a memory counter\n"
                "                       track on the op-clock\n"
+               "  --span-trace <file>  write this invocation's span tree as\n"
+               "                       JSON ('-' for stdout): request >\n"
+               "                       compile (one child per pipeline\n"
+               "                       stage) > run, the same shape a\n"
+               "                       matcoald reply carries under\n"
+               "                       \"trace\":true\n"
                "  --print-after=<pass> print the IR after a pass (lower,\n"
                "                       ssa, cleanup, invert)\n"
                "  --print-after-all    print the IR after every dump point\n"
@@ -167,8 +174,8 @@ int main(int Argc, char **Argv) {
   bool DoTimeline = false, DoDrift = false, EmitProfiling = false;
   bool ProfileSet = false, DoNative = false;
   std::int64_t TimeoutMs = 0;
-  std::string RemarkPass, StatsPath, TracePath, ProfilePath, BenchName,
-      CacheDir;
+  std::string RemarkPass, StatsPath, TracePath, SpanPath, ProfilePath,
+      BenchName, CacheDir;
   Observer Obs;
   CompileOptions Opts;
   const char *Path = nullptr;
@@ -229,6 +236,12 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       TracePath = Argv[++I];
+    } else if (!std::strcmp(Argv[I], "--span-trace")) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --span-trace needs an argument\n");
+        return 2;
+      }
+      SpanPath = Argv[++I];
     } else if (!std::strcmp(Argv[I], "--profile")) {
       ProfileSet = true;
       ProfilePath = "profile.json";
@@ -313,7 +326,7 @@ int main(int Argc, char **Argv) {
   }
 
   bool Observing = DoRemarks || !StatsPath.empty() || !TracePath.empty() ||
-                   Obs.wantsAnyDump();
+                   !SpanPath.empty() || Obs.wantsAnyDump();
   bool DoProfile = ProfileSet || DoTimeline || DoDrift;
   Opts.Lint = DoLint;
   if (Observing)
@@ -328,7 +341,21 @@ int main(int Argc, char **Argv) {
     Deadline.setDeadlineIn(TimeoutMs);
     Opts.Cancel = &Deadline;
   }
+  // The single-shot span tree: the same request > compile (one child per
+  // pipeline stage) > run shape a matcoald reply carries, minus the
+  // queue/dispatch spans only a daemon has.
+  SpanRecorder Rec;
+  bool Spanning = !SpanPath.empty();
+  int RootSpan = Spanning ? Rec.begin("request") : -1;
+  int CompileSpan = Spanning ? Rec.begin("compile") : -1;
+  std::size_t CompileTraceMark = Obs.Trace.size();
   auto Program = compileSource(Source, Diags, Opts);
+  if (Spanning) {
+    for (std::size_t I = CompileTraceMark; I < Obs.Trace.size(); ++I)
+      Rec.leaf(Obs.Trace[I].Name, Obs.Trace[I].StartMicros,
+               Obs.Trace[I].DurMicros);
+    Rec.end(CompileSpan);
+  }
 
   // IR dumps precede any mode output, mirroring compiler -print-after
   // conventions.
@@ -347,6 +374,11 @@ int main(int Argc, char **Argv) {
     if (!TracePath.empty())
       OK &= writeOut(TracePath,
                      DoProfile ? Prof.traceJson(&Obs) : Obs.traceJson());
+    if (Spanning) {
+      if (!Rec.allClosed())
+        Rec.end(RootSpan);
+      OK &= writeOut(SpanPath, Rec.treeJson() + "\n");
+    }
     return OK;
   };
 
@@ -411,6 +443,8 @@ int main(int Argc, char **Argv) {
 
   if (DoProfile)
     Program->Prof = &Prof;
+  int RunSpan = Spanning ? Rec.begin("run") : -1;
+  std::size_t RunTraceMark = Obs.Trace.size();
   ExecResult R;
   if (DoNative) {
     // A per-invocation engine when the cache dir was pinned (tests want
@@ -424,6 +458,13 @@ int main(int Argc, char **Argv) {
     }
   } else {
     R = Program->runStatic();
+  }
+  if (Spanning) {
+    for (std::size_t I = RunTraceMark; I < Obs.Trace.size(); ++I)
+      Rec.leaf(Obs.Trace[I].Name, Obs.Trace[I].StartMicros,
+               Obs.Trace[I].DurMicros);
+    Rec.end(RunSpan);
+    Rec.end(RootSpan);
   }
   std::fputs(R.Output.c_str(), stdout);
   if (!R.OK) {

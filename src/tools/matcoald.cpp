@@ -19,8 +19,10 @@
 // native tier; the artifact cache is shared across requests and the
 // response's "tier" field names what actually ran), threads (worker
 // threads for the run's kernel loops, 0 = server env default, output is
-// byte-identical at any count); op: "compile" (default), "lint" (return
-// matlint + matvet findings instead of running), "stats", or "shutdown".
+// byte-identical at any count), trace (echo the request's span tree in
+// the reply); op: "compile" (default), "lint" (return matlint + matvet
+// findings instead of running), "stats", "metrics" (Prometheus text
+// exposition), "dump" (flight-recorder ring as JSON), or "shutdown".
 //
 // The contract matcoald adds over matcoalc is *survival*: a request that
 // fails to parse, trips a verifier fault, traps at runtime, or outruns
@@ -88,13 +90,21 @@ void usage(const char *Argv0) {
       "                     $XDG_CACHE_HOME or ~/.cache, matcoal/native,\n"
       "                     created 0700)\n"
       "  --socket=<path>    listen on a unix socket instead of stdin\n"
+      "  --trace-out=<file> keep every request's span tree and write the\n"
+      "                     merged Chrome trace-event JSON (one lane per\n"
+      "                     worker) to <file> at shutdown\n"
+      "  --flight-dump=<file>  write the flight-recorder ring as JSON to\n"
+      "                     <file> at shutdown\n"
       "  --help             this text\n"
       "\n"
       "request ops: \"compile\" (default) runs the source; \"lint\"\n"
       "compiles and returns the matlint + matvet findings as a JSON\n"
       "array (same record shape as matcoalc --lint-json) instead of\n"
-      "running; \"stats\" returns the server-wide counter aggregate;\n"
-      "\"shutdown\" drains and stops the daemon.\n",
+      "running; \"stats\" returns the server-wide counter aggregate\n"
+      "(gauges and latency histograms included); \"metrics\" returns the\n"
+      "same aggregate as Prometheus text exposition; \"dump\" returns the\n"
+      "flight recorder's recent span/trap events; \"shutdown\" drains and\n"
+      "stops the daemon.\n",
       Argv0);
 }
 
@@ -192,6 +202,31 @@ bool serveStream(CompileService &Svc, std::istream &In,
       Out.writeLine(R.dump());
       continue;
     }
+    if (Op == "metrics") {
+      JsonValue R = JsonValue::object();
+      const std::string &Id = Doc->get("id").asString();
+      if (!Id.empty())
+        R.set("id", JsonValue::str(Id));
+      R.set("ok", JsonValue::boolean(true));
+      R.set("kind", JsonValue::str("metrics"));
+      R.set("metrics", JsonValue::str(Svc.metricsText()));
+      Out.writeLine(R.dump());
+      continue;
+    }
+    if (Op == "dump") {
+      JsonValue R = JsonValue::object();
+      const std::string &Id = Doc->get("id").asString();
+      if (!Id.empty())
+        R.set("id", JsonValue::str(Id));
+      R.set("ok", JsonValue::boolean(true));
+      R.set("kind", JsonValue::str("dump"));
+      std::string DumpErr;
+      std::optional<JsonValue> Dump =
+          JsonValue::parse(Svc.flightDumpJson(), DumpErr);
+      R.set("flight", Dump ? std::move(*Dump) : JsonValue::null());
+      Out.writeLine(R.dump());
+      continue;
+    }
     if (Op == "shutdown") {
       // Drain accepted work first so every admitted request still gets
       // its reply before the acknowledgment.
@@ -209,7 +244,7 @@ bool serveStream(CompileService &Svc, std::istream &In,
       Out.writeLine(protocolError(Doc->get("id").asString(),
                                   "unknown op '" + Op +
                                       "' (have: compile, lint, stats, "
-                                      "shutdown)")
+                                      "metrics, dump, shutdown)")
                         .toJson()
                         .dump());
       continue;
@@ -391,9 +426,26 @@ bool parseCount(const char *Arg, const char *Prefix, std::int64_t &Out) {
 
 } // namespace
 
+/// Writes \p Text to \p Path (whole-file, truncating). A failure is a
+/// loud stderr complaint, not a crash: the daemon already served its
+/// requests and losing the trace must not change its exit status.
+void writeFileOrWarn(const std::string &Path, const std::string &Text,
+                     const char *What) {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "matcoald: cannot write %s to %s: %s\n", What,
+                 Path.c_str(), std::strerror(errno));
+    return;
+  }
+  std::fputs(Text.c_str(), F);
+  std::fclose(F);
+}
+
 int main(int Argc, char **Argv) {
   ServiceConfig Cfg;
   std::string SocketPath;
+  std::string TraceOut;
+  std::string FlightOut;
   for (int I = 1; I < Argc; ++I) {
     std::int64_t N = 0;
     if (parseCount(Argv[I], "--workers=", N)) {
@@ -412,6 +464,18 @@ int main(int Argc, char **Argv) {
       }
     } else if (!std::strncmp(Argv[I], "--socket=", 9)) {
       SocketPath = Argv[I] + 9;
+    } else if (!std::strncmp(Argv[I], "--trace-out=", 12)) {
+      TraceOut = Argv[I] + 12;
+      if (TraceOut.empty()) {
+        std::fprintf(stderr, "matcoald: --trace-out needs a file\n");
+        return 2;
+      }
+    } else if (!std::strncmp(Argv[I], "--flight-dump=", 14)) {
+      FlightOut = Argv[I] + 14;
+      if (FlightOut.empty()) {
+        std::fprintf(stderr, "matcoald: --flight-dump needs a file\n");
+        return 2;
+      }
     } else if (!std::strcmp(Argv[I], "--help") ||
                !std::strcmp(Argv[I], "-h")) {
       usage(Argv[0]);
@@ -448,10 +512,15 @@ int main(int Argc, char **Argv) {
   // A client that vanishes mid-reply must not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
 
+  Cfg.KeepSpans = !TraceOut.empty();
   CompileService Svc(Cfg);
   if (!SocketPath.empty()) {
     int RC = serveSocket(Svc, SocketPath);
     Svc.shutdown();
+    if (!TraceOut.empty())
+      writeFileOrWarn(TraceOut, Svc.chromeTraceJson(), "merged trace");
+    if (!FlightOut.empty())
+      writeFileOrWarn(FlightOut, Svc.flightDumpJson(), "flight dump");
     return RC;
   }
   auto St = std::make_shared<StreamState>(stdout);
@@ -460,5 +529,9 @@ int main(int Argc, char **Argv) {
   Svc.drain();
   St->waitIdle();
   Svc.shutdown();
+  if (!TraceOut.empty())
+    writeFileOrWarn(TraceOut, Svc.chromeTraceJson(), "merged trace");
+  if (!FlightOut.empty())
+    writeFileOrWarn(FlightOut, Svc.flightDumpJson(), "flight dump");
   return 0;
 }

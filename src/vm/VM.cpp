@@ -164,6 +164,8 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   BufferSteals = 0;
   ThreadsSpawned = 0;
   ThreadChunks = 0;
+  ThreadBusyNs = 0;
+  ThreadChunkNs.clear();
   CurLoc = SourceLoc();
   CurOp = Opcode::Jmp;
   primeLegality();
@@ -201,6 +203,8 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
     PC.Threads = Threads;
     PC.Spawned = &ThreadsSpawned;
     PC.Chunks = &ThreadChunks;
+    PC.BusyNs = &ThreadBusyNs;
+    PC.ChunkNs = &ThreadChunkNs;
     PC.Cancel = Cancel;
     ParScope Par(PC);
     runFunction(*F, Args);
@@ -235,6 +239,8 @@ ExecResult VM::run(const std::string &Entry, const std::vector<Array> &Args) {
   R.PoolHeldHwmBytes = Pool.heldBytesHwm();
   R.ThreadsSpawned = ThreadsSpawned;
   R.ThreadChunks = ThreadChunks;
+  R.ThreadBusyNs = ThreadBusyNs;
+  R.ThreadChunkNs = ThreadChunkNs;
   return R;
 }
 

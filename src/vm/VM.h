@@ -83,6 +83,12 @@ struct ExecResult {
   /// Partitions dispatched across this run's parallel kernel regions
   /// (rt.threads.chunks; 0 when every loop stayed serial).
   std::uint64_t ThreadChunks = 0;
+  /// Nanoseconds spent inside partition bodies across this run's
+  /// parallel regions (rt.threads.busy_ns; 0 when serial).
+  std::uint64_t ThreadBusyNs = 0;
+  /// Per-partition durations in nanoseconds, one entry per dispatched
+  /// partition (feeds the rt.threads.chunk_us histogram).
+  std::vector<std::uint64_t> ThreadChunkNs;
   /// Source location of the trapping instruction, when the IR carried one.
   SourceLoc TrapLoc;
 };
@@ -222,6 +228,8 @@ private:
   std::uint64_t BufferSteals = 0;
   std::uint64_t ThreadsSpawned = 0;
   std::uint64_t ThreadChunks = 0;
+  std::uint64_t ThreadBusyNs = 0;
+  std::vector<std::uint64_t> ThreadChunkNs;
   int Threads = 1;
   bool ReuseBuffers = true;
   const InPlaceLegality *Legal = nullptr;

@@ -1,0 +1,191 @@
+//===- HistogramTest.cpp - LatencyHistogram unit tests --------------------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// The log2-bucket histogram behind every latency family in the system:
+// bucket boundaries (the exact power-of-two edges, including the
+// degenerate 0 and overflow cases), quantile interpolation, merging, and
+// the Prometheus text exposition's invariants (cumulative buckets,
+// +Inf == count, ordered quantiles).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace matcoal;
+
+namespace {
+
+TEST(HistogramBuckets, BoundaryValuesLandOnTheRightSide) {
+  // Bucket 0 is [0, 1); bucket i is [2^(i-1), 2^i). A value exactly on a
+  // power of two belongs to the bucket whose LOWER edge it is.
+  EXPECT_EQ(LatencyHistogram::bucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucketOf(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucketOf(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketOf(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucketOf(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucketOf(7), 3u);
+  EXPECT_EQ(LatencyHistogram::bucketOf(8), 4u);
+  for (unsigned I = 1; I + 1 < LatencyHistogram::kBuckets; ++I) {
+    std::uint64_t Lo = LatencyHistogram::bucketLower(I);
+    std::uint64_t Hi = LatencyHistogram::bucketUpper(I);
+    EXPECT_EQ(LatencyHistogram::bucketOf(Lo), I) << "lower edge of " << I;
+    EXPECT_EQ(LatencyHistogram::bucketOf(Hi - 1), I) << "last of " << I;
+    EXPECT_EQ(LatencyHistogram::bucketOf(Hi), I + 1) << "upper edge of " << I;
+  }
+}
+
+TEST(HistogramBuckets, HugeValuesClampToTheOverflowBucket) {
+  const unsigned Last = LatencyHistogram::kBuckets - 1;
+  EXPECT_EQ(LatencyHistogram::bucketOf(~static_cast<std::uint64_t>(0)), Last);
+  EXPECT_EQ(LatencyHistogram::bucketOf(LatencyHistogram::bucketLower(Last)),
+            Last);
+  EXPECT_EQ(LatencyHistogram::bucketUpper(Last), ~static_cast<std::uint64_t>(0));
+  LatencyHistogram H;
+  H.record(~static_cast<std::uint64_t>(0));
+  EXPECT_EQ(H.bucketCount(Last), 1u);
+  // The overflow bucket has no finite width: quantiles report its lower
+  // edge rather than inventing an upper bound.
+  EXPECT_EQ(H.quantile(0.99),
+            static_cast<double>(LatencyHistogram::bucketLower(Last)));
+}
+
+TEST(HistogramQuantiles, EmptyHistogramReportsZero) {
+  LatencyHistogram H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.quantile(0.5), 0.0);
+  EXPECT_EQ(H.quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantiles, SingleSampleInterpolatesWithinItsBucket) {
+  LatencyHistogram H;
+  H.record(50); // Bucket [32, 64), the only occupied one.
+  // Rank 1 of 1 -> the top of the containing bucket, at every quantile.
+  EXPECT_EQ(H.quantile(0.0), 64.0);
+  EXPECT_EQ(H.quantile(0.5), 64.0);
+  EXPECT_EQ(H.quantile(1.0), 64.0);
+}
+
+TEST(HistogramQuantiles, UniformFillInterpolatesLinearly) {
+  // 4 samples in [8, 16): ranks map to evenly spaced points in the bucket.
+  LatencyHistogram H;
+  for (std::uint64_t V : {8u, 9u, 10u, 11u})
+    H.record(V);
+  EXPECT_DOUBLE_EQ(H.quantile(0.25), 10.0); // 8 + (16-8) * 1/4
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 12.0);
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 16.0);
+}
+
+TEST(HistogramQuantiles, QuantilesAreMonotoneAcrossBuckets) {
+  LatencyHistogram H;
+  for (std::uint64_t V = 1; V <= 1000; ++V)
+    H.record(V * 7);
+  double P50 = H.quantile(0.5), P95 = H.quantile(0.95),
+         P99 = H.quantile(0.99);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+  EXPECT_LE(P99, static_cast<double>(H.max()) * 2.0);
+  EXPECT_GT(P50, 0.0);
+  // Determinism: a histogram rebuilt from the same samples answers
+  // bit-identically.
+  LatencyHistogram H2;
+  for (std::uint64_t V = 1; V <= 1000; ++V)
+    H2.record(V * 7);
+  EXPECT_EQ(H.quantile(0.5), P50);
+  EXPECT_EQ(H2.quantile(0.95), P95);
+  EXPECT_EQ(H2.quantile(0.99), P99);
+}
+
+TEST(HistogramMerge, MergeIsElementWiseAddition) {
+  LatencyHistogram A, B, Both;
+  for (std::uint64_t V : {3u, 100u, 9000u}) {
+    A.record(V);
+    Both.record(V);
+  }
+  for (std::uint64_t V : {5u, 70u, 1u << 20}) {
+    B.record(V);
+    Both.record(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), Both.count());
+  EXPECT_EQ(A.sum(), Both.sum());
+  EXPECT_EQ(A.max(), Both.max());
+  for (unsigned I = 0; I < LatencyHistogram::kBuckets; ++I)
+    EXPECT_EQ(A.bucketCount(I), Both.bucketCount(I)) << "bucket " << I;
+  EXPECT_EQ(A.quantile(0.5), Both.quantile(0.5));
+  EXPECT_EQ(A.quantile(0.99), Both.quantile(0.99));
+}
+
+/// Pulls "<name> <value>" pairs out of an exposition block, skipping
+/// comment lines.
+std::vector<std::pair<std::string, double>> parseExposition(
+    const std::string &Text) {
+  std::vector<std::pair<std::string, double>> Out;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::size_t Sp = Line.rfind(' ');
+    EXPECT_NE(Sp, std::string::npos) << Line;
+    Out.push_back({Line.substr(0, Sp), std::stod(Line.substr(Sp + 1))});
+  }
+  return Out;
+}
+
+TEST(HistogramExposition, BucketsAreCumulativeAndInfEqualsCount) {
+  LatencyHistogram H;
+  for (std::uint64_t V : {1u, 3u, 3u, 900u, 40000u})
+    H.record(V);
+  std::string Text = H.prometheusText("matcoal_test_us");
+  EXPECT_NE(Text.find("# TYPE matcoal_test_us histogram"), std::string::npos);
+  double Prev = 0, Inf = -1, Count = -1, Sum = -1;
+  for (const auto &[Name, Value] : parseExposition(Text)) {
+    if (Name.find("_bucket{le=\"+Inf\"}") != std::string::npos) {
+      Inf = Value;
+    } else if (Name.find("_bucket{") != std::string::npos) {
+      EXPECT_GE(Value, Prev) << "buckets must be cumulative: " << Name;
+      Prev = Value;
+    } else if (Name == "matcoal_test_us_count") {
+      Count = Value;
+    } else if (Name == "matcoal_test_us_sum") {
+      Sum = Value;
+    }
+  }
+  EXPECT_EQ(Inf, 5.0);
+  EXPECT_EQ(Count, 5.0);
+  EXPECT_EQ(Sum, 40907.0);
+  EXPECT_GE(Inf, Prev); // +Inf dominates every finite bucket.
+}
+
+TEST(HistogramExposition, QuantileLinesAreOrderedAndPresent) {
+  LatencyHistogram H;
+  for (std::uint64_t V = 1; V <= 300; ++V)
+    H.record(V);
+  std::string Text = H.prometheusText("matcoal_test_us");
+  double P50 = -1, P95 = -1, P99 = -1;
+  for (const auto &[Name, Value] : parseExposition(Text)) {
+    if (Name == "matcoal_test_us{quantile=\"0.5\"}")
+      P50 = Value;
+    else if (Name == "matcoal_test_us{quantile=\"0.95\"}")
+      P95 = Value;
+    else if (Name == "matcoal_test_us{quantile=\"0.99\"}")
+      P99 = Value;
+  }
+  ASSERT_GE(P50, 0.0);
+  ASSERT_GE(P95, 0.0);
+  ASSERT_GE(P99, 0.0);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+}
+
+} // namespace

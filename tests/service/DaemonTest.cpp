@@ -98,6 +98,62 @@ TEST(MatcoaldDaemon, DeadlineRequestsComeBackClassified) {
       << R.Output;
 }
 
+TEST(MatcoaldDaemon, MetricsAndDumpOpsServeTheObservabilityAggregates) {
+  SubprocessResult R = runDaemon({
+      R"({"id":"a","source":"x = 6 * 7; disp(x);","trace":true})",
+      R"({"id":"m","op":"metrics"})",
+      R"({"id":"d","op":"dump"})",
+      R"({"id":"z","op":"shutdown"})",
+  });
+  ASSERT_EQ(R.St, SubprocessResult::Status::OK) << R.Diag;
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  // The traced compile reply carries its server-assigned id and spans.
+  EXPECT_NE(R.Output.find("\"request_id\":\"req-"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"spans\":{\"name\":\"request\""),
+            std::string::npos)
+      << R.Output;
+  // The metrics op returns Prometheus text exposition (escaped into the
+  // JSON string). Like stats, it is point-in-time -- it may answer before
+  // the queued compile folds in -- so assert the endpoint shape only; the
+  // histogram contents are pinned deterministically in TraceTest after
+  // processNow.
+  EXPECT_NE(R.Output.find("\"kind\":\"metrics\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("# TYPE matcoal_queue_depth gauge"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("# TYPE matcoal_inflight_requests gauge"),
+            std::string::npos)
+      << R.Output;
+  // The dump op returns the flight-recorder ring as structured JSON.
+  EXPECT_NE(R.Output.find("\"kind\":\"dump\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"capacity\":256"), std::string::npos)
+      << R.Output;
+}
+
+TEST(MatcoaldDaemon, TraceOutWritesAMergedChromeTraceAtShutdown) {
+  // The daemon writes the merged trace on the stdin (implicit-shutdown)
+  // path; the file lands after exit, so a follow-up cat observes it.
+  std::string Script = std::string("printf '%s\\n'") +
+                       R"( '{"id":"a","source":"disp(2 + 2);"}')" +
+                       R"( '{"id":"b","source":"disp(3 + 3);"}')" + " | '" +
+                       MATCOALD_PATH +
+                       "' --workers=2 --trace-out=trace_out_test.json" +
+                       " >/dev/null && cat trace_out_test.json" +
+                       " && rm -f trace_out_test.json";
+  SubprocessResult R = runSubprocess({"sh", "-c", Script},
+                                     /*TimeoutMs=*/60000, {});
+  ASSERT_EQ(R.St, SubprocessResult::Status::OK) << R.Diag;
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"traceEvents\""), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("\"request_id\": \"req-"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"ph\": \"M\""), std::string::npos)
+      << "worker-lane thread_name metadata must be present: " << R.Output;
+}
+
 TEST(MatcoaldDaemon, UnrecognizedFaultEnvIsALoudStartupError) {
   // Satellite contract: a typo'd MATCOAL_FAULT is a refusal to start
   // (exit 2), never a silently ignored setting.

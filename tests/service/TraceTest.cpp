@@ -1,0 +1,325 @@
+//===- TraceTest.cpp - Request tracing and service-metrics tests ----------===//
+//
+// Part of the matcoal project: a reproduction of "Static Array Storage
+// Optimization in MATLAB" (Joisha & Banerjee, PLDI 2003).
+//
+// The observability contract on top of the service layer: every request
+// carries a span tree (queue wait, compile stages, tier dispatch, run)
+// whose STRUCTURE is deterministic; the `metrics` aggregate is valid
+// Prometheus text with ordered quantiles; deadline-expired requests leave
+// their spans in the flight recorder; and a concurrent storm under
+// KeepSpans yields a well-formed merged Chrome trace with one complete
+// span tree per request and zero orphans.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Span.h"
+#include "service/Json.h"
+#include "service/Service.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace matcoal;
+
+namespace {
+
+ServiceConfig smallConfig(unsigned Workers = 2, std::size_t QueueCap = 8) {
+  ServiceConfig C;
+  C.Workers = Workers;
+  C.QueueCap = QueueCap;
+  return C;
+}
+
+ServiceRequest traceReq(std::string Id, std::string Source) {
+  ServiceRequest R;
+  R.Id = std::move(Id);
+  R.Source = std::move(Source);
+  R.Trace = true;
+  return R;
+}
+
+JsonValue parseOK(const std::string &Text) {
+  std::string Err;
+  std::optional<JsonValue> V = JsonValue::parse(Text, Err);
+  EXPECT_TRUE(V.has_value()) << Err << "\nin: " << Text;
+  return V ? *V : JsonValue::null();
+}
+
+/// The wall-time-free skeleton of a span tree: "name(child,child,...)".
+/// Two runs of the same request must produce identical skeletons even
+/// though every start/duration differs.
+std::string structureOf(const JsonValue &Node) {
+  std::string S = Node.get("name").asString() + "(";
+  bool First = true;
+  for (const JsonValue &C : Node.get("children").items()) {
+    if (!First)
+      S += ",";
+    First = false;
+    S += structureOf(C);
+  }
+  return S + ")";
+}
+
+/// Depth-first collection of every span name in the tree.
+void collectNames(const JsonValue &Node, std::set<std::string> &Out) {
+  Out.insert(Node.get("name").asString());
+  for (const JsonValue &C : Node.get("children").items())
+    collectNames(C, Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Span trees in the response envelope
+//===----------------------------------------------------------------------===//
+
+TEST(RequestTrace, EnvelopeCoversQueueCompileStagesDispatchAndRun) {
+  CompileService Svc(smallConfig());
+  ServiceResponse R =
+      Svc.processNow(traceReq("t1", "x = 1 + 1; disp(x);"));
+  ASSERT_TRUE(R.OK) << R.Error;
+  ASSERT_FALSE(R.SpansJson.empty()) << "trace:true must attach spans";
+  EXPECT_FALSE(R.RequestId.empty());
+  JsonValue Tree = parseOK(R.SpansJson);
+  EXPECT_EQ(Tree.get("name").asString(), "request");
+  std::set<std::string> Names;
+  collectNames(Tree, Names);
+  // The acceptance list: queue wait, every compile stage, tier dispatch,
+  // the run itself.
+  for (const char *Must :
+       {"queue", "compile", "parse", "lower", "ssa", "cleanup", "typeinf",
+        "invert", "dispatch", "run"})
+    EXPECT_TRUE(Names.count(Must)) << "span tree is missing '" << Must
+                                   << "' in " << R.SpansJson;
+  // The envelope's JSON form nests the same tree under "spans".
+  JsonValue Env = R.toJson();
+  EXPECT_EQ(Env.get("spans").get("name").asString(), "request");
+  EXPECT_EQ(Env.get("request_id").asString(), R.RequestId);
+}
+
+TEST(RequestTrace, UntracedRequestsCarryNoSpansButStillGetAnId) {
+  CompileService Svc(smallConfig());
+  ServiceRequest R;
+  R.Id = "plain";
+  R.Source = "disp(7);";
+  ServiceResponse Resp = Svc.processNow(R);
+  ASSERT_TRUE(Resp.OK) << Resp.Error;
+  EXPECT_TRUE(Resp.SpansJson.empty());
+  EXPECT_FALSE(Resp.RequestId.empty());
+}
+
+TEST(RequestTrace, SpanStructureIsDeterministicAcrossRuns) {
+  CompileService Svc(smallConfig());
+  const std::string Src =
+      "a = zeros(8, 8); a(3, 3) = 2; disp(sum(a(:, 3)));";
+  ServiceResponse A = Svc.processNow(traceReq("d1", Src));
+  ServiceResponse B = Svc.processNow(traceReq("d2", Src));
+  ASSERT_TRUE(A.OK) << A.Error;
+  ASSERT_TRUE(B.OK) << B.Error;
+  std::string SA = structureOf(parseOK(A.SpansJson));
+  std::string SB = structureOf(parseOK(B.SpansJson));
+  EXPECT_EQ(SA, SB)
+      << "identical requests must produce identical span structure";
+  EXPECT_NE(A.RequestId, B.RequestId) << "request ids stay unique";
+}
+
+TEST(RequestTrace, FailedCompilesStillProduceAWellFormedTree) {
+  CompileService Svc(smallConfig());
+  ServiceResponse R = Svc.processNow(traceReq("bad", "x = (((;"));
+  EXPECT_FALSE(R.OK);
+  ASSERT_FALSE(R.SpansJson.empty());
+  JsonValue Tree = parseOK(R.SpansJson);
+  std::set<std::string> Names;
+  collectNames(Tree, Names);
+  EXPECT_TRUE(Names.count("compile"));
+  EXPECT_FALSE(Names.count("run")) << "nothing ran; no run span";
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(FlightRecorder, DeadlineExpiryLeavesTheRequestsSpansInTheDump) {
+  CompileService Svc(smallConfig());
+  ServiceRequest R = traceReq("dl", "while true; end");
+  R.DeadlineMs = 80;
+  ServiceResponse Resp = Svc.processNow(R);
+  EXPECT_EQ(Resp.Kind, ResponseKind::Deadline);
+  JsonValue Dump = parseOK(Svc.flightDumpJson());
+  EXPECT_GT(Dump.get("recorded").asInt(), 0);
+  bool SawTrap = false, SawRunSpan = false, SawRequest = false;
+  for (const JsonValue &E : Dump.get("events").items()) {
+    if (E.get("request_id").asString() != Resp.RequestId)
+      continue;
+    const std::string &Kind = E.get("kind").asString();
+    SawTrap |= Kind == "trap";
+    SawRequest |= Kind == "deadline" || Kind == "request";
+    SawRunSpan |= Kind == "span" && E.get("name").asString() == "run";
+  }
+  EXPECT_TRUE(SawTrap) << Svc.flightDumpJson();
+  EXPECT_TRUE(SawRequest);
+  EXPECT_TRUE(SawRunSpan)
+      << "the expired request's spans must survive in the ring";
+}
+
+TEST(FlightRecorder, CleanRequestsRecordOnlyTheirCompletionEvent) {
+  CompileService Svc(smallConfig());
+  ServiceResponse R = Svc.processNow(traceReq("ok", "disp(4);"));
+  ASSERT_TRUE(R.OK) << R.Error;
+  JsonValue Dump = parseOK(Svc.flightDumpJson());
+  int Mine = 0;
+  for (const JsonValue &E : Dump.get("events").items())
+    if (E.get("request_id").asString() == R.RequestId) {
+      ++Mine;
+      EXPECT_EQ(E.get("kind").asString(), "request")
+          << "a clean request records no span/trap events";
+    }
+  EXPECT_EQ(Mine, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics exposition
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, ExpositionIsWellFormedWithOrderedQuantiles) {
+  CompileService Svc(smallConfig());
+  for (int I = 0; I < 3; ++I) {
+    ServiceResponse R = Svc.processNow(
+        traceReq("m" + std::to_string(I), "x = 2 * 3; disp(x);"));
+    ASSERT_TRUE(R.OK) << R.Error;
+  }
+  std::string Text = Svc.metricsText();
+  // Every request histogram family is typed and carries p50/p95/p99.
+  for (const char *Family :
+       {"matcoal_svc_e2e_us", "matcoal_svc_queue_us",
+        "matcoal_svc_compile_us", "matcoal_svc_run_us"}) {
+    std::string F(Family);
+    EXPECT_NE(Text.find("# TYPE " + F + " histogram"), std::string::npos)
+        << Family;
+    EXPECT_NE(Text.find(F + "_bucket{le=\"+Inf\"} 3"), std::string::npos)
+        << Family << " must count all three requests:\n" << Text;
+    EXPECT_NE(Text.find(F + "_count 3"), std::string::npos) << Family;
+    for (const char *Q : {"0.5", "0.95", "0.99"})
+      EXPECT_NE(Text.find(F + "{quantile=\"" + Q + "\"}"),
+                std::string::npos)
+          << Family << " quantile " << Q;
+  }
+  EXPECT_NE(Text.find("# TYPE matcoal_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(Text.find("# TYPE matcoal_inflight_requests gauge"),
+            std::string::npos);
+  EXPECT_NE(Text.find("matcoal_counter{name=\"svc.requests.completed\"} 3"),
+            std::string::npos)
+      << Text;
+}
+
+TEST(Metrics, StatsJsonCarriesGaugesAndHistogramSummaries) {
+  CompileService Svc(smallConfig());
+  ASSERT_TRUE(Svc.processNow(traceReq("g", "disp(1 + 2);")).OK);
+  JsonValue Stats = parseOK(Svc.statsJson());
+  EXPECT_EQ(Stats.get("gauges").get("queue_depth").asInt(-1), 0);
+  EXPECT_EQ(Stats.get("gauges").get("inflight").asInt(-1), 0);
+  const JsonValue &E2e = Stats.get("histograms").get("svc.e2e_us");
+  EXPECT_EQ(E2e.get("count").asInt(), 1);
+  EXPECT_GT(E2e.get("sum").asInt(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// The merged Chrome trace under a storm
+//===----------------------------------------------------------------------===//
+
+TEST(ChromeTrace, StormYieldsOneCompleteTreePerRequestAndNoOrphans) {
+  constexpr int kRequests = 24;
+  ServiceConfig Cfg = smallConfig(/*Workers=*/4, /*QueueCap=*/kRequests);
+  Cfg.KeepSpans = true;
+  CompileService Svc(Cfg);
+  std::atomic<int> Done{0};
+  for (int I = 0; I < kRequests; ++I) {
+    ServiceRequest R;
+    R.Id = "s" + std::to_string(I);
+    // Mix outcomes: every 5th request is a compile error, every 7th a
+    // runtime trap; spans must stay complete either way.
+    R.Source = I % 5 == 0   ? "x = (((;"
+               : I % 7 == 0 ? "a = [1 2]; disp(a(9));"
+                            : "s = 0; for i = 1:50; s = s + i; end; disp(s);";
+    while (!Svc.submit(R, [&Done](ServiceResponse) { ++Done; }))
+      std::this_thread::yield();
+  }
+  Svc.drain();
+  ASSERT_EQ(Done.load(), kRequests);
+
+  JsonValue Trace = parseOK(Svc.chromeTraceJson());
+  const std::vector<JsonValue> &Events = Trace.get("traceEvents").items();
+  ASSERT_FALSE(Events.empty());
+
+  // Index the complete ("X") events by request id.
+  std::map<std::string, std::set<std::string>> NamesByReq;
+  std::map<std::string, int> RootsByReq;
+  for (const JsonValue &E : Events) {
+    if (E.get("ph").asString() != "X")
+      continue;
+    const std::string &Rid = E.get("args").get("request_id").asString();
+    EXPECT_FALSE(Rid.empty()) << "every span names its request";
+    NamesByReq[Rid].insert(E.get("name").asString());
+    if (E.get("args").get("parent").asString().empty())
+      ++RootsByReq[Rid];
+  }
+  EXPECT_EQ(NamesByReq.size(), static_cast<std::size_t>(kRequests))
+      << "one span tree per request";
+  for (const auto &[Rid, Names] : NamesByReq) {
+    EXPECT_EQ(RootsByReq[Rid], 1) << Rid << ": exactly one root span";
+    EXPECT_TRUE(Names.count("request")) << Rid;
+    EXPECT_TRUE(Names.count("queue")) << Rid;
+    EXPECT_TRUE(Names.count("compile")) << Rid;
+  }
+  // Zero orphans: every non-root event's parent is a span that exists in
+  // the same request's tree.
+  for (const JsonValue &E : Events) {
+    if (E.get("ph").asString() != "X")
+      continue;
+    const std::string &Parent = E.get("args").get("parent").asString();
+    if (Parent.empty())
+      continue;
+    const std::string &Rid = E.get("args").get("request_id").asString();
+    EXPECT_TRUE(NamesByReq[Rid].count(Parent))
+        << "orphan span '" << E.get("name").asString() << "' under "
+        << Rid;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SpanRecorder unit behavior the service contracts lean on
+//===----------------------------------------------------------------------===//
+
+TEST(SpanRecorder, StructureTextStripsWallTimes) {
+  SpanRecorder A, B;
+  int RA = A.begin("request", 100);
+  int CA = A.begin("compile", 110);
+  A.leaf("parse", 111, 5);
+  A.end(CA, 200);
+  A.end(RA, 300);
+  int RB = B.begin("request", 9000);
+  int CB = B.begin("compile", 9001);
+  B.leaf("parse", 9002, 700);
+  B.end(CB, 9900);
+  B.end(RB, 9999);
+  EXPECT_EQ(A.structureText(), B.structureText());
+  EXPECT_TRUE(A.allClosed());
+}
+
+TEST(SpanRecorder, EndClosesDanglingChildren) {
+  SpanRecorder R;
+  int Root = R.begin("request", 10);
+  R.begin("compile", 20); // Never explicitly ended.
+  R.end(Root, 50);
+  EXPECT_TRUE(R.allClosed());
+  JsonValue Tree = parseOK(R.treeJson());
+  EXPECT_EQ(Tree.get("children").items().size(), 1u);
+}
+
+} // namespace
